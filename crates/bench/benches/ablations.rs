@@ -1,0 +1,89 @@
+//! Ablations for the design choices DESIGN.md §5 calls out:
+//!
+//! * defunctionalized frames vs boxed-closure continuations;
+//! * name-lookup environments vs compiled de Bruijn frames;
+//! * owned-state (`MS → MS`) monitor hooks vs interior-mutability hooks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monsem_bench::labelled_countdown;
+use monsem_core::closure_cps::eval_cps_with;
+use monsem_core::machine::{eval_with, EvalOptions};
+use monsem_core::{programs, Env, Value};
+use monsem_monitor::machine::eval_monitored_with;
+use monsem_monitor::scope::Scope;
+use monsem_monitor::Monitor;
+use monsem_pe::engine::compile;
+use monsem_syntax::{Annotation, Expr};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// The owned-state counting monitor (the library's idiom).
+struct OwnedCounter;
+impl Monitor for OwnedCounter {
+    type State = u64;
+    fn name(&self) -> &str {
+        "owned-counter"
+    }
+    fn initial_state(&self) -> u64 {
+        0
+    }
+    fn pre(&self, _: &Annotation, _: &Expr, _: &Scope<'_>, n: u64) -> u64 {
+        n + 1
+    }
+}
+
+/// The same monitor with interior mutability: the threaded state is `()`
+/// and the count lives in a `Cell` inside the monitor.
+struct CellCounter(Rc<Cell<u64>>);
+impl Monitor for CellCounter {
+    type State = ();
+    fn name(&self) -> &str {
+        "cell-counter"
+    }
+    fn initial_state(&self) {}
+    fn pre(&self, _: &Annotation, _: &Expr, _: &Scope<'_>, (): ()) {
+        self.0.set(self.0.get() + 1);
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let opts = EvalOptions::default();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(20);
+
+    // Continuation encoding.
+    let fib = programs::fib(17);
+    group.bench_function("continuations/defunctionalized", |b| {
+        b.iter(|| assert_eq!(eval_with(&fib, &Env::empty(), &opts), Ok(Value::Int(1597))))
+    });
+    group.bench_function("continuations/boxed-closures", |b| {
+        b.iter(|| assert_eq!(eval_cps_with(&fib, &Env::empty(), &opts), Ok(Value::Int(1597))))
+    });
+
+    // Environment encoding.
+    let compiled = compile(&fib).expect("compiles");
+    group.bench_function("environments/name-lookup-interp", |b| {
+        b.iter(|| eval_with(&fib, &Env::empty(), &opts).unwrap())
+    });
+    group.bench_function("environments/compiled-de-bruijn", |b| {
+        b.iter(|| compiled.run().unwrap())
+    });
+
+    // Monitor state style.
+    let labelled = labelled_countdown(2_000);
+    group.bench_function("monitor-state/owned", |b| {
+        b.iter(|| {
+            eval_monitored_with(&labelled, &Env::empty(), &OwnedCounter, 0, &opts).unwrap()
+        })
+    });
+    group.bench_function("monitor-state/interior-mutable", |b| {
+        b.iter(|| {
+            let m = CellCounter(Rc::new(Cell::new(0)));
+            eval_monitored_with(&labelled, &Env::empty(), &m, (), &opts).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Cost of monitor cascades (§6): the same program under 0–6 stacked
+//! monitors, plus the three language modules on one workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use monsem_bench::labelled_countdown;
+use monsem_core::machine::EvalOptions;
+use monsem_core::Env;
+use monsem_monitor::compose::boxed;
+use monsem_monitor::imperative::eval_monitored_imperative_with;
+use monsem_monitor::lazy::eval_monitored_lazy_with;
+use monsem_monitor::machine::eval_monitored_with;
+use monsem_monitor::{Monitor, MonitorStack};
+use monsem_monitors::profiler::Profiler;
+use monsem_syntax::Namespace;
+
+fn stack_of(depth: usize) -> MonitorStack {
+    let mut stack = MonitorStack::empty();
+    for i in 0..depth {
+        // Only layer 0 listens on the anonymous namespace; the rest pay
+        // dispatch (accepts) but never fire — measuring cascade overhead.
+        let ns = if i == 0 { Namespace::anonymous() } else { Namespace::new(format!("ns{i}")) };
+        stack = stack.push(boxed(Profiler::in_namespace(ns)));
+    }
+    stack
+}
+
+fn bench_cascade(c: &mut Criterion) {
+    let program = labelled_countdown(2_000);
+    let opts = EvalOptions::default();
+    let mut group = c.benchmark_group("cascade_depth");
+    group.sample_size(15);
+    for depth in [0usize, 1, 2, 4, 6] {
+        let stack = stack_of(depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &stack, |b, s| {
+            b.iter(|| {
+                eval_monitored_with(&program, &Env::empty(), s, s.initial_state(), &opts)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("language_modules");
+    group.sample_size(15);
+    let p = Profiler::new();
+    group.bench_function("strict", |b| {
+        b.iter(|| {
+            eval_monitored_with(&program, &Env::empty(), &p, p.initial_state(), &opts).unwrap()
+        })
+    });
+    group.bench_function("lazy", |b| {
+        b.iter(|| {
+            eval_monitored_lazy_with(&program, &Env::empty(), &p, p.initial_state(), &opts)
+                .unwrap()
+        })
+    });
+    group.bench_function("imperative", |b| {
+        b.iter(|| {
+            eval_monitored_imperative_with(&program, &Env::empty(), &p, p.initial_state(), &opts)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cascade);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Experiment E7 — Figure 11: run time against the number of trace
+//! printouts, at a fixed amount of underlying computation.
+//!
+//! The paper's observation: the standard interpreter's line is flat; the
+//! monitored interpreter's time grows linearly with monitoring activity,
+//! approaching the standard interpreter as the number of requested trace
+//! printouts goes to zero.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use monsem_bench::trace_density_program;
+use monsem_core::machine::{eval_with, EvalOptions};
+use monsem_core::Env;
+use monsem_monitor::machine::eval_monitored_with;
+use monsem_monitor::Monitor;
+use monsem_monitors::Tracer;
+
+const ITERS: i64 = 2_000;
+
+fn bench_density(c: &mut Criterion) {
+    let tracer = Tracer::new();
+    let opts = EvalOptions::default();
+    let mut group = c.benchmark_group("fig11_trace_density");
+    group.sample_size(15);
+
+    for traced in [0, 250, 500, 1_000, 1_500, 2_000] {
+        let program = trace_density_program(ITERS, traced);
+        let erased = program.erase_annotations();
+        group.bench_with_input(
+            BenchmarkId::new("standard-interp", traced),
+            &erased,
+            |b, e| b.iter(|| eval_with(e, &Env::empty(), &opts).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("monitored-interp", traced),
+            &program,
+            |b, e| {
+                b.iter(|| {
+                    eval_monitored_with(e, &Env::empty(), &tracer, tracer.initial_state(), &opts)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_density);
+criterion_main!(benches);

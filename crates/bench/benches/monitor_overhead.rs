@@ -1,0 +1,41 @@
+//! Per-monitor overhead of the toolbox (§8/§9.2): the same labelled
+//! workload under each monitor, against the identity monitor, on the
+//! monitored interpreter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monsem_bench::labelled_countdown;
+use monsem_core::machine::EvalOptions;
+use monsem_core::Env;
+use monsem_monitor::machine::eval_monitored_with;
+use monsem_monitor::{IdentityMonitor, Monitor};
+use monsem_monitors::{AbProfiler, Collecting, Profiler, Stepper, UnsortedDemon};
+
+fn bench_monitors(c: &mut Criterion) {
+    let program = labelled_countdown(2_000);
+    let opts = EvalOptions::default();
+    let mut group = c.benchmark_group("monitor_overhead");
+    group.sample_size(20);
+
+    fn run<M: Monitor>(
+        program: &monsem_syntax::Expr,
+        m: &M,
+        opts: &EvalOptions,
+    ) {
+        eval_monitored_with(program, &Env::empty(), m, m.initial_state(), opts).unwrap();
+    }
+
+    group.bench_function("identity", |b| b.iter(|| run(&program, &IdentityMonitor, &opts)));
+    group.bench_function("ab-profiler", |b| b.iter(|| run(&program, &AbProfiler, &opts)));
+    group.bench_function("profiler", |b| b.iter(|| run(&program, &Profiler::new(), &opts)));
+    group.bench_function("collecting", |b| {
+        b.iter(|| run(&program, &Collecting::new(), &opts))
+    });
+    group.bench_function("demon", |b| {
+        b.iter(|| run(&program, &UnsortedDemon::new(), &opts))
+    });
+    group.bench_function("stepper", |b| b.iter(|| run(&program, &Stepper::new(), &opts)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitors);
+criterion_main!(benches);

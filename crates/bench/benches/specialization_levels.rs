@@ -1,0 +1,65 @@
+//! Experiment E6 — the §9.1 specialization-level measurements.
+//!
+//! The paper reports (for a tracer):
+//! * the monitored interpreter ≈ 11% slower than the standard interpreter;
+//! * the instrumented program ≈ 85% faster than the monitored interpreter
+//!   and ≈ 83% faster than the standard interpreter.
+//!
+//! Here: `interp/standard` vs `interp/monitored` give the first
+//! comparison; `compiled/standard` and `compiled/monitored` are the
+//! level-2 artifacts for the second.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monsem_bench::{trace_density_program, traced_fib};
+use monsem_core::machine::{eval_with, EvalOptions};
+use monsem_core::Env;
+use monsem_monitor::machine::eval_monitored_with;
+use monsem_monitor::Monitor;
+use monsem_monitors::Tracer;
+use monsem_pe::engine::{compile, compile_monitored};
+
+fn bench_levels(c: &mut Criterion) {
+    let tracer = Tracer::new();
+    let opts = EvalOptions::default();
+
+    // Main comparison (the regime of the paper's table): ~20% of the
+    // computation routes through a traced call.
+    let sparse = trace_density_program(4_000, 800);
+    // Secondary: every call traced — dynamic tracing dominates (§9.1's
+    // remark about the tracer's dynamic stream operations).
+    let dense = traced_fib(17);
+
+    for (name, program) in [("sparse-trace", sparse), ("fully-traced", dense)] {
+        let erased = program.erase_annotations();
+        let compiled_standard = compile(&erased).expect("compiles");
+        let compiled_monitored = compile_monitored(&program, &tracer).expect("compiles");
+
+        let mut group = c.benchmark_group(format!("specialization_levels/{name}"));
+        group.sample_size(20);
+        group.bench_function("interp/standard", |b| {
+            b.iter(|| eval_with(&erased, &Env::empty(), &opts).unwrap())
+        });
+        group.bench_function("interp/monitored-tracer", |b| {
+            b.iter(|| {
+                eval_monitored_with(
+                    &program,
+                    &Env::empty(),
+                    &tracer,
+                    tracer.initial_state(),
+                    &opts,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_function("compiled/standard", |b| {
+            b.iter(|| compiled_standard.run().unwrap())
+        });
+        group.bench_function("compiled/monitored-tracer", |b| {
+            b.iter(|| compiled_monitored.run_monitored(&tracer, &opts).unwrap())
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_levels);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Answer algebras (§3.1).
+//!
+//! A continuation semantics can be *parameterized with respect to its final
+//! answer*: the initial continuation `κ_init = {λv. φ v}` applies an
+//! operation `φ : V → Ans` drawn from an **answer algebra**. Swapping the
+//! algebra re-targets the whole semantics — the monitoring semantics of §4
+//! is obtained by composing every `φᵢ` with the answer transformer
+//! `θ α = λσ.⟨α,σ⟩` (Definition 4.1; implemented in `monsem-monitor`).
+
+use crate::error::EvalError;
+use crate::value::Value;
+
+/// An answer algebra `Ans = [Ans; {φ₁ … φₙ}]` for `L_λ`.
+///
+/// `L_λ`'s final answer is produced solely by its initial continuation, so
+/// a single operation `φ : V → Ans` suffices (as the paper notes when
+/// instantiating `Ans_std` and `Ans_str`).
+pub trait AnswerAlgebra {
+    /// The answer domain.
+    type Ans;
+
+    /// The operation `φ` mapping a denotable value to a final answer.
+    ///
+    /// # Errors
+    ///
+    /// May reject values outside the answer domain (e.g. [`BasAnswer`]
+    /// rejects functions, mirroring the projection `v|Bas`).
+    fn phi(&self, v: Value) -> Result<Self::Ans, EvalError>;
+}
+
+/// `Ans_std^{L_λ} = [Bas; φ v = v|Bas]`: the standard answer algebra.
+///
+/// The projection fails on function values — a program whose result is a
+/// closure has no standard basic answer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BasAnswer;
+
+impl AnswerAlgebra for BasAnswer {
+    type Ans = Value;
+
+    fn phi(&self, v: Value) -> Result<Value, EvalError> {
+        if v.is_basic() {
+            Ok(v)
+        } else {
+            Err(EvalError::TypeError {
+                expected: "a basic value (v|Bas)",
+                found: v.to_string(),
+                operation: "answer",
+            })
+        }
+    }
+}
+
+/// The identity answer algebra: `Ans = V`. Useful when the caller wants to
+/// observe function results (e.g. the specializer's residual closures).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ValueAnswer;
+
+impl AnswerAlgebra for ValueAnswer {
+    type Ans = Value;
+
+    fn phi(&self, v: Value) -> Result<Value, EvalError> {
+        Ok(v)
+    }
+}
+
+/// `Ans_str^{L_λ}`: the paper's string answer algebra,
+/// `φ v = "The result is: " ++ toStr(v)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StringAnswer;
+
+impl AnswerAlgebra for StringAnswer {
+    type Ans = String;
+
+    fn phi(&self, v: Value) -> Result<String, EvalError> {
+        Ok(format!("The result is: {v}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prims::Prim;
+
+    #[test]
+    fn bas_answer_projects_basic_values() {
+        assert_eq!(BasAnswer.phi(Value::Int(7)), Ok(Value::Int(7)));
+        assert!(BasAnswer.phi(Value::prim(Prim::Add)).is_err());
+    }
+
+    #[test]
+    fn string_answer_matches_the_paper() {
+        assert_eq!(
+            StringAnswer.phi(Value::Int(120)),
+            Ok("The result is: 120".to_string())
+        );
+    }
+
+    #[test]
+    fn value_answer_is_total() {
+        assert_eq!(ValueAnswer.phi(Value::prim(Prim::Add)), Ok(Value::prim(Prim::Add)));
+    }
+}

@@ -1,0 +1,264 @@
+//! Environments `ρ ∈ Env = Ide → V` (Figure 2, *Alg*).
+//!
+//! A persistent association structure with two kinds of frames:
+//!
+//! * plain frames binding one identifier to a value;
+//! * **rec frames** realizing the paper's `letrec` equation
+//!   `ρ' = ρ[f ↦ (λv. E⟦e₁⟧ ρ'[x↦v]) in Fun]` without reference cycles:
+//!   the frame stores the *syntax* of each lambda-valued binding, and a
+//!   lookup of `f` constructs the closure with the environment rooted at
+//!   that very frame. Since the closure's environment reaches the rec
+//!   frame again, recursion unfolds exactly as the fixpoint does — and no
+//!   `RefCell` knot is needed (the `repro_why` concern of the brief).
+//!
+//! At the bottom of every environment sits the initial environment of
+//! primitives (resolved by name, so it costs nothing to construct).
+
+use crate::prims::Prim;
+use crate::value::{Closure, Value};
+use monsem_syntax::{Binding, Expr, Ident, Lambda};
+use std::fmt;
+use std::rc::Rc;
+
+#[derive(Debug)]
+enum Node {
+    /// `ρ[x ↦ v]`
+    Frame { name: Ident, value: Value, parent: Env },
+    /// One frame per `letrec`, holding every lambda-valued binding.
+    Rec { bindings: Rc<Vec<(Ident, Rc<Lambda>)>>, parent: Env },
+}
+
+/// A persistent environment. Cloning is O(1).
+///
+/// ```
+/// use monsem_core::{Env, Value};
+/// use monsem_syntax::Ident;
+/// let outer = Env::empty().extend(Ident::new("x"), Value::Int(1));
+/// let inner = outer.extend(Ident::new("x"), Value::Int(2));
+/// assert_eq!(inner.lookup(&Ident::new("x")), Some(Value::Int(2)));
+/// assert_eq!(outer.lookup(&Ident::new("x")), Some(Value::Int(1))); // persistent
+/// assert!(matches!(outer.lookup(&Ident::new("+")), Some(Value::Prim(..))));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Env(Option<Rc<Node>>);
+
+impl Env {
+    /// The initial environment: primitives only.
+    pub fn empty() -> Env {
+        Env(None)
+    }
+
+    /// `ρ[name ↦ value]`.
+    pub fn extend(&self, name: Ident, value: Value) -> Env {
+        Env(Some(Rc::new(Node::Frame { name, value, parent: self.clone() })))
+    }
+
+    /// Pushes a rec frame for the lambda-valued bindings of a `letrec`.
+    ///
+    /// Looking any of these names up yields a closure whose environment is
+    /// rooted at this frame, tying the recursive knot.
+    pub fn extend_rec(&self, bindings: Rc<Vec<(Ident, Rc<Lambda>)>>) -> Env {
+        Env(Some(Rc::new(Node::Rec { bindings, parent: self.clone() })))
+    }
+
+    /// Looks `name` up, falling back to the primitive table.
+    pub fn lookup(&self, name: &Ident) -> Option<Value> {
+        let mut cur = self;
+        loop {
+            match cur.0.as_deref() {
+                Some(Node::Frame { name: n, value, parent }) => {
+                    if n == name {
+                        return Some(value.clone());
+                    }
+                    cur = parent;
+                }
+                Some(Node::Rec { bindings, parent }) => {
+                    if let Some((_, lam)) = bindings.iter().find(|(n, _)| n == name) {
+                        return Some(Value::Closure(Rc::new(Closure {
+                            param: lam.param.clone(),
+                            body: lam.body.clone(),
+                            env: cur.clone(),
+                        })));
+                    }
+                    cur = parent;
+                }
+                None => return Prim::by_name(name.as_str()).map(Value::prim),
+            }
+        }
+    }
+
+    /// Depth of the environment chain (frames, not bindings) — useful for
+    /// diagnostics and tests.
+    pub fn depth(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self;
+        while let Some(node) = cur.0.as_deref() {
+            n += 1;
+            cur = match node {
+                Node::Frame { parent, .. } | Node::Rec { parent, .. } => parent,
+            };
+        }
+        n
+    }
+}
+
+impl fmt::Display for Env {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[")?;
+        let mut cur = self;
+        let mut first = true;
+        while let Some(node) = cur.0.as_deref() {
+            match node {
+                Node::Frame { name, value, parent } => {
+                    if !first {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{name} ↦ {value}")?;
+                    first = false;
+                    cur = parent;
+                }
+                Node::Rec { bindings, parent } => {
+                    for (name, _) in bindings.iter() {
+                        if !first {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{name} ↦ <rec>")?;
+                        first = false;
+                    }
+                    cur = parent;
+                }
+            }
+        }
+        f.write_str("]")
+    }
+}
+
+/// Extracts the lambda under any annotations, for rec-frame eligibility.
+/// Annotations wrapped directly around the lambda are *also* kept by the
+/// caller (evaluated once at binding time); recursion goes through the
+/// stripped lambda.
+pub fn lambda_of(e: &Expr) -> Option<Rc<Lambda>> {
+    match e.strip_annotations() {
+        Expr::Lambda(l) => Some(Rc::new(l.clone())),
+        _ => None,
+    }
+}
+
+/// The evaluation plan every engine uses for `letrec f₁ = e₁ and … in e`
+/// (the paper's single-lambda form generalized to the mixed bindings its
+/// §8 examples use):
+///
+/// 1. non-lambda bindings are evaluated in source order (each sees the
+///    previous ones, **not** the group's functions);
+/// 2. the rec frame for the (stripped) lambda bindings is pushed — so
+///    recursive closures *do* see the value bindings, matching the
+///    intuition that `letrec base = 10 and f = λx. … base …` works;
+/// 3. lambda bindings that carry annotations are then evaluated once (the
+///    annotation is a monitoring event that must fire), shadowing their
+///    rec-frame entry with an identical closure;
+/// 4. the body runs.
+#[derive(Debug)]
+pub struct LetrecPlan {
+    /// Bindings to evaluate: values first (source order), then annotated
+    /// lambda bindings (source order).
+    pub ordered: Vec<Binding>,
+    /// How many of `ordered` are value bindings — the rec frame is pushed
+    /// after exactly this many bindings have been evaluated.
+    pub values: usize,
+    /// The rec frame contents (stripped lambdas), possibly empty.
+    pub rec: Rc<Vec<(Ident, Rc<Lambda>)>>,
+}
+
+impl LetrecPlan {
+    /// Computes the plan for a binding group.
+    pub fn of(bindings: &[Binding]) -> LetrecPlan {
+        let mut ordered: Vec<Binding> = Vec::new();
+        let mut annotated: Vec<Binding> = Vec::new();
+        let mut rec: Vec<(Ident, Rc<Lambda>)> = Vec::new();
+        for b in bindings {
+            match lambda_of(&b.value) {
+                Some(l) => {
+                    rec.push((b.name.clone(), l));
+                    if matches!(&*b.value, Expr::Ann(..)) {
+                        annotated.push(b.clone());
+                    }
+                }
+                None => ordered.push(b.clone()),
+            }
+        }
+        let values = ordered.len();
+        ordered.extend(annotated);
+        LetrecPlan { ordered, values, rec: Rc::new(rec) }
+    }
+
+    /// Pushes the rec frame if the group has any functions.
+    pub fn push_rec(&self, env: &Env) -> Env {
+        if self.rec.is_empty() {
+            env.clone()
+        } else {
+            env.extend_rec(self.rec.clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_syntax::parse_expr;
+
+    #[test]
+    fn lookup_finds_innermost_binding() {
+        let env = Env::empty()
+            .extend(Ident::new("x"), Value::Int(1))
+            .extend(Ident::new("x"), Value::Int(2));
+        assert_eq!(env.lookup(&Ident::new("x")), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn primitives_resolve_at_the_base() {
+        let env = Env::empty();
+        assert!(matches!(env.lookup(&Ident::new("+")), Some(Value::Prim(Prim::Add, _))));
+        assert_eq!(env.lookup(&Ident::new("no-such")), None);
+    }
+
+    #[test]
+    fn user_bindings_shadow_primitives() {
+        let env = Env::empty().extend(Ident::new("+"), Value::Int(9));
+        assert_eq!(env.lookup(&Ident::new("+")), Some(Value::Int(9)));
+    }
+
+    #[test]
+    fn rec_frame_ties_the_knot() {
+        // letrec f = lambda x. f — looking f up must yield a closure whose
+        // environment again resolves f.
+        let lam = match parse_expr("lambda x. f").unwrap() {
+            Expr::Lambda(l) => Rc::new(l),
+            _ => unreachable!(),
+        };
+        let env =
+            Env::empty().extend_rec(Rc::new(vec![(Ident::new("f"), lam)]));
+        let v = env.lookup(&Ident::new("f")).unwrap();
+        match v {
+            Value::Closure(c) => {
+                let inner = c.env.lookup(&Ident::new("f")).unwrap();
+                assert!(matches!(inner, Value::Closure(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_shows_bindings_in_scope_order() {
+        let env = Env::empty()
+            .extend(Ident::new("x"), Value::Int(1))
+            .extend(Ident::new("y"), Value::Int(2));
+        assert_eq!(env.to_string(), "[y ↦ 2, x ↦ 1]");
+    }
+
+    #[test]
+    fn lambda_of_sees_through_annotations() {
+        let e = parse_expr("{p}:lambda x. x").unwrap();
+        assert!(lambda_of(&e).is_some());
+        assert!(lambda_of(&parse_expr("1 + 2").unwrap()).is_none());
+    }
+}

@@ -1,0 +1,104 @@
+//! Evaluation errors.
+//!
+//! Soundness (§7) requires the monitored semantics to agree with the
+//! standard semantics on *every* program — including erroneous ones — so
+//! errors are ordinary, comparable values rather than panics. The
+//! soundness property tests assert that both engines produce equal
+//! `Result<Value, EvalError>`s.
+
+use crate::value::Value;
+use monsem_syntax::Ident;
+use std::fmt;
+
+/// An error raised during evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// `ρ x` was undefined and `x` is not a primitive.
+    UnboundVariable(Ident),
+    /// Application of a non-function (`v₁ | Fun` failed, Figure 2).
+    NotAFunction(Value),
+    /// A primitive received a value outside its domain.
+    TypeError {
+        /// What the operation wanted.
+        expected: &'static str,
+        /// What it got (rendered, so the error stays cheap to clone).
+        found: String,
+        /// The operation that failed.
+        operation: &'static str,
+    },
+    /// The condition of an `if`/`while` was not a boolean
+    /// (`v | Bool` failed, Figure 2).
+    NonBooleanCondition(String),
+    /// Integer division or modulus by zero.
+    DivisionByZero,
+    /// `hd`/`tl` of the empty list.
+    EmptyList(&'static str),
+    /// Arithmetic overflowed (we evaluate with checked arithmetic so that
+    /// the standard and monitored engines agree bit-for-bit).
+    Overflow(&'static str),
+    /// The step budget ran out; see
+    /// [`EvalOptions::fuel`](crate::machine::EvalOptions).
+    FuelExhausted,
+    /// An imperative construct reached a pure language module.
+    UnsupportedConstruct(&'static str),
+    /// Assignment to a name not bound to a mutable location.
+    NotAssignable(Ident),
+    /// A call-by-need value depends on itself (lazy module).
+    BlackHole,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
+            EvalError::NotAFunction(v) => {
+                write!(f, "cannot apply non-function value `{v}`")
+            }
+            EvalError::TypeError { expected, found, operation } => {
+                write!(f, "`{operation}` expected {expected}, found `{found}`")
+            }
+            EvalError::NonBooleanCondition(v) => {
+                write!(f, "condition evaluated to non-boolean `{v}`")
+            }
+            EvalError::DivisionByZero => f.write_str("division by zero"),
+            EvalError::EmptyList(op) => write!(f, "`{op}` of the empty list"),
+            EvalError::Overflow(op) => write!(f, "integer overflow in `{op}`"),
+            EvalError::FuelExhausted => f.write_str("evaluation fuel exhausted"),
+            EvalError::UnsupportedConstruct(what) => write!(
+                f,
+                "`{what}` requires the imperative language module"
+            ),
+            EvalError::NotAssignable(x) => {
+                write!(f, "`{x}` is not bound to an assignable location")
+            }
+            EvalError::BlackHole => f.write_str("value depends on itself (black hole)"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_specific() {
+        let e = EvalError::TypeError {
+            expected: "an integer",
+            found: "true".into(),
+            operation: "+",
+        };
+        assert_eq!(e.to_string(), "`+` expected an integer, found `true`");
+        assert_eq!(
+            EvalError::UnboundVariable(Ident::new("y")).to_string(),
+            "unbound variable `y`"
+        );
+    }
+
+    #[test]
+    fn errors_are_comparable_for_soundness_tests() {
+        assert_eq!(EvalError::DivisionByZero, EvalError::DivisionByZero);
+        assert_ne!(EvalError::DivisionByZero, EvalError::FuelExhausted);
+    }
+}

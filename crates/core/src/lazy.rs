@@ -1,0 +1,343 @@
+//! The lazy (call-by-need) language module (§9.2).
+//!
+//! The paper's Haskell environment "allows automatic integration of
+//! monitoring tools with several language modules (lazy, strict and
+//! imperative languages)". This module gives `L_λ` a call-by-need
+//! semantics: function arguments and `let`/`letrec`-bound values are
+//! suspended as memoized thunks and forced on first use.
+//!
+//! Primitives are strict in all arguments, and data constructors (`cons`)
+//! are built from forced values, so laziness lives exactly in *bindings*:
+//! an argument that is never used is never evaluated. Self-dependent
+//! values are detected as [`EvalError::BlackHole`].
+
+use crate::env::{Env, LetrecPlan};
+use crate::error::EvalError;
+use crate::machine::{constant, EvalOptions};
+use crate::prims::Prim;
+use crate::value::{Closure, ThunkRef, ThunkState, Value};
+use monsem_syntax::{Binding, Expr};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Continuation frames of the lazy machine.
+#[derive(Debug)]
+enum Frame {
+    /// After the function value of `e₁ e₂` arrives, apply it to a thunk of
+    /// the (unevaluated) argument. Call-by-name order: the function
+    /// expression is evaluated first.
+    ApplyTo { arg: Rc<Expr>, env: Env },
+    /// Waiting for the condition of an `if`.
+    Branch { then: Rc<Expr>, els: Rc<Expr>, env: Env },
+    /// Memoize the value into the thunk being forced.
+    Update(ThunkRef),
+    /// A primitive waiting for its `index`-th argument to be forced.
+    PrimArgs { prim: Prim, args: Vec<Value>, index: usize },
+    /// Discard and evaluate the second expression of a sequence.
+    Discard { second: Rc<Expr>, env: Env },
+}
+
+enum State {
+    Eval(Rc<Expr>, Env),
+    Continue(Value),
+}
+
+/// Evaluates `expr` call-by-need in the initial environment.
+///
+/// # Errors
+///
+/// Any [`EvalError`]; additionally [`EvalError::BlackHole`] when a value
+/// depends on itself.
+pub fn eval_lazy(expr: &Expr) -> Result<Value, EvalError> {
+    eval_lazy_with(expr, &Env::empty(), &EvalOptions::default())
+}
+
+/// Evaluates `expr` call-by-need in `env` with the given options.
+///
+/// # Errors
+///
+/// Same as [`eval_lazy`], plus [`EvalError::FuelExhausted`].
+pub fn eval_lazy_with(
+    expr: &Expr,
+    env: &Env,
+    options: &EvalOptions,
+) -> Result<Value, EvalError> {
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut state = State::Eval(Rc::new(expr.clone()), env.clone());
+    let mut fuel = options.fuel;
+
+    loop {
+        if fuel == 0 {
+            return Err(EvalError::FuelExhausted);
+        }
+        fuel -= 1;
+
+        state = match state {
+            State::Eval(expr, env) => match &*expr {
+                Expr::Con(c) => State::Continue(constant(c)),
+                Expr::Var(x) => match env.lookup(x) {
+                    Some(Value::Thunk(t)) => force(t, &mut stack)?,
+                    Some(v) => State::Continue(v),
+                    None => return Err(EvalError::UnboundVariable(x.clone())),
+                },
+                Expr::Lambda(l) => State::Continue(Value::Closure(Rc::new(Closure {
+                    param: l.param.clone(),
+                    body: l.body.clone(),
+                    env: env.clone(),
+                }))),
+                Expr::If(c, t, e) => {
+                    stack.push(Frame::Branch { then: t.clone(), els: e.clone(), env: env.clone() });
+                    State::Eval(c.clone(), env)
+                }
+                Expr::App(f, a) => {
+                    stack.push(Frame::ApplyTo { arg: a.clone(), env: env.clone() });
+                    State::Eval(f.clone(), env)
+                }
+                Expr::Let(x, v, b) => {
+                    let t = suspend(v.clone(), env.clone());
+                    State::Eval(b.clone(), env.extend(x.clone(), t))
+                }
+                Expr::Letrec(bs, body) => State::Eval(body.clone(), letrec_env(bs, &env)),
+                Expr::Ann(_, inner) => State::Eval(inner.clone(), env),
+                Expr::Seq(a, b) => {
+                    stack.push(Frame::Discard { second: b.clone(), env: env.clone() });
+                    State::Eval(a.clone(), env)
+                }
+                Expr::Assign(..) => {
+                    return Err(EvalError::UnsupportedConstruct("assignment"))
+                }
+                Expr::While(..) => return Err(EvalError::UnsupportedConstruct("while")),
+            },
+            State::Continue(value) => match stack.pop() {
+                None => return Ok(value),
+                Some(Frame::ApplyTo { arg, env }) => match value {
+                    Value::Closure(c) => {
+                        let t = suspend(arg, env);
+                        State::Eval(c.body.clone(), c.env.extend(c.param.clone(), t))
+                    }
+                    Value::Prim(p, collected) => {
+                        let mut args = collected.as_ref().clone();
+                        args.push(suspend(arg, env));
+                        if args.len() == p.arity() {
+                            prim_step(p, args, &mut stack)?
+                        } else {
+                            State::Continue(Value::Prim(p, Rc::new(args)))
+                        }
+                    }
+                    other => return Err(EvalError::NotAFunction(other)),
+                },
+                Some(Frame::Branch { then, els, env }) => match value {
+                    Value::Bool(true) => State::Eval(then, env),
+                    Value::Bool(false) => State::Eval(els, env),
+                    other => return Err(EvalError::NonBooleanCondition(other.to_string())),
+                },
+                Some(Frame::Update(t)) => {
+                    *t.borrow_mut() = ThunkState::Forced(value.clone());
+                    State::Continue(value)
+                }
+                Some(Frame::PrimArgs { prim, mut args, index }) => {
+                    args[index] = value;
+                    prim_step(prim, args, &mut stack)?
+                }
+                Some(Frame::Discard { second, env }) => State::Eval(second, env),
+            },
+        };
+    }
+}
+
+/// Wraps an expression as a pending thunk (constants are bound directly —
+/// a worthwhile and semantics-preserving shortcut).
+fn suspend(expr: Rc<Expr>, env: Env) -> Value {
+    if let Expr::Con(c) = &*expr {
+        return constant(c);
+    }
+    Value::Thunk(Rc::new(RefCell::new(ThunkState::Pending { expr, env })))
+}
+
+/// Begins forcing a thunk: memoized values return immediately; pending
+/// thunks are marked in-progress and entered under an update frame.
+fn force(t: ThunkRef, stack: &mut Vec<Frame>) -> Result<State, EvalError> {
+    let taken = {
+        let mut state = t.borrow_mut();
+        match &*state {
+            ThunkState::Forced(v) => return Ok(State::Continue(v.clone())),
+            ThunkState::InProgress => return Err(EvalError::BlackHole),
+            ThunkState::Pending { .. } => {
+                std::mem::replace(&mut *state, ThunkState::InProgress)
+            }
+        }
+    };
+    match taken {
+        ThunkState::Pending { expr, env } => {
+            stack.push(Frame::Update(t));
+            Ok(State::Eval(expr, env))
+        }
+        _ => unreachable!("checked above"),
+    }
+}
+
+/// Forces the first outstanding thunk among a primitive's arguments, or
+/// applies the primitive once all are forced. Already-memoized thunks are
+/// replaced inline without a machine step.
+fn prim_step(prim: Prim, mut args: Vec<Value>, stack: &mut Vec<Frame>) -> Result<State, EvalError> {
+    let mut i = 0;
+    while i < args.len() {
+        if let Value::Thunk(t) = &args[i] {
+            let t = t.clone();
+            let forced = {
+                let state = t.borrow();
+                match &*state {
+                    ThunkState::Forced(v) => Some(v.clone()),
+                    ThunkState::InProgress => return Err(EvalError::BlackHole),
+                    ThunkState::Pending { .. } => None,
+                }
+            };
+            match forced {
+                Some(v) => {
+                    args[i] = v;
+                    continue;
+                }
+                None => {
+                    stack.push(Frame::PrimArgs { prim, args: args.clone(), index: i });
+                    return force(t, stack);
+                }
+            }
+        }
+        i += 1;
+    }
+    Ok(State::Continue(prim.apply(&args)?))
+}
+
+/// Builds the `letrec` environment: lambda bindings go into a rec frame;
+/// other bindings become thunks whose environment is the *final*
+/// environment (patched after construction), so value bindings may refer
+/// to each other — and a self-dependent value is caught as a black hole
+/// rather than an unbound variable.
+fn letrec_env(bs: &[Binding], env: &Env) -> Env {
+    let plan = LetrecPlan::of(bs);
+    let mut env = env.clone();
+    let mut created: Vec<ThunkRef> = Vec::new();
+    let suspend_binding = |env: &Env, b: &Binding, created: &mut Vec<ThunkRef>| {
+        match suspend(b.value.clone(), Env::empty()) {
+            Value::Thunk(t) => {
+                created.push(t.clone());
+                env.extend(b.name.clone(), Value::Thunk(t))
+            }
+            constant_value => env.extend(b.name.clone(), constant_value),
+        }
+    };
+    for b in &plan.ordered[..plan.values] {
+        env = suspend_binding(&env, b, &mut created);
+    }
+    env = plan.push_rec(&env);
+    for b in &plan.ordered[plan.values..] {
+        env = suspend_binding(&env, b, &mut created);
+    }
+    // Tie the knot: every suspended binding sees the final environment
+    // (rec frame included), so value bindings may refer to the group's
+    // functions and self-dependence surfaces as a black hole.
+    for t in created {
+        let mut state = t.borrow_mut();
+        if let ThunkState::Pending { env: thunk_env, .. } = &mut *state {
+            *thunk_env = env.clone();
+        }
+    }
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::eval;
+    use monsem_syntax::{parse_expr, Ident};
+
+    fn run_lazy(src: &str) -> Result<Value, EvalError> {
+        eval_lazy(&parse_expr(src).expect("parses"))
+    }
+
+    #[test]
+    fn agrees_with_strict_on_factorial() {
+        let src = "letrec fac = lambda x. if x = 0 then 1 else x * (fac (x - 1)) in fac 6";
+        let e = parse_expr(src).unwrap();
+        assert_eq!(eval_lazy(&e), eval(&e));
+        assert_eq!(eval_lazy(&e), Ok(Value::Int(720)));
+    }
+
+    #[test]
+    fn unused_erroneous_argument_is_never_evaluated() {
+        // Strict evaluation would divide by zero; call-by-need never
+        // touches the argument.
+        assert_eq!(
+            run_lazy("(lambda x. 42) (1 / 0)"),
+            Ok(Value::Int(42))
+        );
+    }
+
+    /// Smallest fuel for which the program completes (binary search).
+    fn min_fuel(e: &Expr) -> u64 {
+        let (mut lo, mut hi) = (1u64, 50_000_000u64);
+        assert!(eval_lazy_with(e, &Env::empty(), &EvalOptions::with_fuel(hi)).is_ok());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if eval_lazy_with(e, &Env::empty(), &EvalOptions::with_fuel(mid)).is_ok() {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
+    #[test]
+    fn bindings_are_memoized_not_re_evaluated() {
+        // With call-by-name (no memoization), using `x` four times would
+        // pay for `fib 14` four times. Call-by-need pays once: the 4-use
+        // program must cost far less than twice the 1-use program.
+        const FIB: &str =
+            "letrec fib = lambda n. if n < 2 then n else (fib (n-1)) + (fib (n-2)) in ";
+        let once = parse_expr(&format!("{FIB} let x = fib 14 in x + 0")).unwrap();
+        let four = parse_expr(&format!("{FIB} let x = fib 14 in x + x + x + x")).unwrap();
+        let cost_once = min_fuel(&once);
+        let cost_four = min_fuel(&four);
+        assert!(
+            cost_four < cost_once + cost_once / 2,
+            "sharing lost: 1 use costs {cost_once}, 4 uses cost {cost_four}"
+        );
+    }
+
+    #[test]
+    fn black_hole_is_detected() {
+        assert_eq!(run_lazy("letrec x = x + 1 in x"), Err(EvalError::BlackHole));
+    }
+
+    #[test]
+    fn call_by_need_uses_function_first_order() {
+        // The function position errors before the argument is touched.
+        assert_eq!(
+            run_lazy("missing (1 / 0)"),
+            Err(EvalError::UnboundVariable(Ident::new("missing")))
+        );
+    }
+
+    #[test]
+    fn annotations_are_transparent() {
+        assert_eq!(
+            run_lazy("letrec f = lambda x. {l}:(x + 1) in {m}:(f 1)"),
+            Ok(Value::Int(2))
+        );
+    }
+
+    #[test]
+    fn primitives_force_all_arguments() {
+        assert_eq!(run_lazy("let x = 1 + 1 in x * x"), Ok(Value::Int(4)));
+        assert_eq!(run_lazy("let bad = 1 / 0 in bad + 1"), Err(EvalError::DivisionByZero));
+    }
+
+    #[test]
+    fn lazy_letrec_value_bindings() {
+        assert_eq!(
+            run_lazy("letrec a = 1 + 1 in letrec b = a * 10 in b"),
+            Ok(Value::Int(20))
+        );
+    }
+}

@@ -1,0 +1,532 @@
+//! The standard continuation semantics of `L_λ` as a defunctionalized
+//! machine (Figure 2).
+//!
+//! Every clause of the paper's valuation functional `G_λ` becomes a machine
+//! transition; every continuation becomes a [`Frame`] on an explicit stack.
+//! The correspondence, clause by clause:
+//!
+//! | Figure 2 | here |
+//! |---|---|
+//! | `⟦k⟧ : κ (K⟦k⟧)` | `Eval(Con) → Continue(value)` |
+//! | `⟦x⟧ : κ (ρ x)` | `Eval(Var) → Continue(ρ x)` |
+//! | `⟦lambda x.e⟧ : κ (… in Fun)` | `Eval(Lambda) → Continue(closure)` |
+//! | `⟦if⟧ : E⟦e₁⟧ ρ {λv. v|Bool → …}` | push [`Frame::Branch`], eval `e₁` |
+//! | `⟦e₁ e₂⟧ : E⟦e₂⟧ ρ {λv₂. E⟦e₁⟧ ρ {λv₁. (v₁|Fun) v₂ κ}}` | push [`Frame::Arg`], eval `e₂` **first** (the paper's order) |
+//! | `⟦letrec⟧ : E⟦e₂⟧ ρ' κ` | rec frame in [`Env`], then eval the body |
+//!
+//! Annotations are skipped (`Eval(Ann(_, e)) → Eval(e)`): this machine *is*
+//! the oblivious functional `G_obl` of Definition 7.1, which the soundness
+//! property tests exercise against the monitored machine.
+
+use crate::env::{Env, LetrecPlan};
+use crate::error::EvalError;
+use crate::value::{Closure, Value};
+use monsem_syntax::{Con, Expr, Ident};
+use std::rc::Rc;
+
+/// Evaluation options.
+#[derive(Debug, Clone)]
+pub struct EvalOptions {
+    /// Maximum number of machine transitions before
+    /// [`EvalError::FuelExhausted`]. The default is effectively unlimited.
+    pub fuel: u64,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { fuel: u64::MAX }
+    }
+}
+
+impl EvalOptions {
+    /// Options with a step budget (used by property tests over generated
+    /// programs, where nontermination must be cut off deterministically).
+    pub fn with_fuel(fuel: u64) -> Self {
+        EvalOptions { fuel }
+    }
+}
+
+/// Defunctionalized continuations. A stack of frames is one continuation
+/// `κ`; the empty stack is the initial continuation `κ_init`.
+#[derive(Debug, Clone)]
+pub enum Frame {
+    /// Waiting for the argument value of `e₁ e₂`; then evaluate `e₁`.
+    Arg {
+        /// The function expression `e₁`.
+        func: Rc<Expr>,
+        /// The environment of the application.
+        env: Env,
+    },
+    /// Waiting for the function value; then apply it to the saved argument.
+    Apply {
+        /// The already-evaluated argument `v₂`.
+        arg: Value,
+    },
+    /// Waiting for the condition of an `if`.
+    Branch {
+        /// Then-branch.
+        then: Rc<Expr>,
+        /// Else-branch.
+        els: Rc<Expr>,
+        /// Environment of the conditional.
+        env: Env,
+    },
+    /// Waiting for the bound value of a `let`.
+    Bind {
+        /// The let-bound name.
+        name: Ident,
+        /// The body to evaluate next.
+        body: Rc<Expr>,
+        /// Environment of the `let`.
+        env: Env,
+    },
+    /// Waiting for the value of the `index`-th binding of a `letrec`
+    /// (per the [`LetrecPlan`] order: values, rec frame, annotated
+    /// lambdas).
+    LetrecBind {
+        /// The group's evaluation plan.
+        plan: Rc<LetrecPlan>,
+        /// Which planned binding is being evaluated.
+        index: usize,
+        /// The `letrec` body.
+        body: Rc<Expr>,
+        /// Environment in which the current binding is evaluated.
+        env: Env,
+    },
+    /// Discard the value of `e₁` in `e₁ ; e₂` and evaluate `e₂`.
+    Discard {
+        /// The second expression.
+        second: Rc<Expr>,
+        /// Environment of the sequence.
+        env: Env,
+    },
+}
+
+/// Machine states: evaluating an expression, or returning a value to the
+/// topmost frame.
+#[derive(Debug, Clone)]
+enum State {
+    Eval(Rc<Expr>, Env),
+    Continue(Value),
+}
+
+/// Statistics from a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Machine transitions taken.
+    pub steps: u64,
+    /// High-water mark of the continuation stack.
+    pub max_stack: usize,
+}
+
+/// Applies a function value to an argument, as `(v₁|Fun) v₂ κ` does.
+pub(crate) fn apply_value(fun: Value, arg: Value) -> Result<StateAfterApply, EvalError> {
+    match fun {
+        Value::Closure(c) => Ok(StateAfterApply::Enter(
+            c.body.clone(),
+            c.env.extend(c.param.clone(), arg),
+        )),
+        Value::Prim(p, collected) => {
+            let mut args = collected.as_ref().clone();
+            args.push(arg);
+            if args.len() == p.arity() {
+                Ok(StateAfterApply::Value(p.apply(&args)?))
+            } else {
+                Ok(StateAfterApply::Value(Value::Prim(p, Rc::new(args))))
+            }
+        }
+        other => Err(EvalError::NotAFunction(other)),
+    }
+}
+
+/// Result of applying a function value: either enter a body or return a
+/// value immediately (primitives).
+pub(crate) enum StateAfterApply {
+    Enter(Rc<Expr>, Env),
+    Value(Value),
+}
+
+/// Evaluates `expr` in the initial (primitive-only) environment.
+///
+/// # Errors
+///
+/// Any [`EvalError`] the program provokes.
+///
+/// ```
+/// use monsem_core::{machine::eval, value::Value};
+/// use monsem_syntax::parse_expr;
+/// let e = parse_expr("(lambda x. x * x) 7")?;
+/// assert_eq!(eval(&e)?, Value::Int(49));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn eval(expr: &Expr) -> Result<Value, EvalError> {
+    eval_with(expr, &Env::empty(), &EvalOptions::default())
+}
+
+/// Evaluates `expr` in `env` with the given options.
+///
+/// # Errors
+///
+/// Any [`EvalError`] the program provokes, including
+/// [`EvalError::FuelExhausted`] when the step budget runs out.
+pub fn eval_with(expr: &Expr, env: &Env, options: &EvalOptions) -> Result<Value, EvalError> {
+    run(expr, env, options).0
+}
+
+/// Evaluates `expr` and applies an answer algebra's `φ` as the initial
+/// continuation would: `κ_init = {λv. φ v}` (§3.1).
+///
+/// # Errors
+///
+/// Any [`EvalError`] the program provokes, or the algebra's rejection of
+/// the final value.
+///
+/// ```
+/// use monsem_core::answer::StringAnswer;
+/// use monsem_core::machine::eval_with_algebra;
+/// use monsem_syntax::parse_expr;
+/// let e = parse_expr("6 * 7")?;
+/// assert_eq!(eval_with_algebra(&e, &StringAnswer)?, "The result is: 42");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn eval_with_algebra<Alg: crate::answer::AnswerAlgebra>(
+    expr: &Expr,
+    algebra: &Alg,
+) -> Result<Alg::Ans, EvalError> {
+    let value = eval(expr)?;
+    algebra.phi(value)
+}
+
+/// Like [`eval_with`] but also reports [`EvalStats`].
+pub fn eval_stats(
+    expr: &Expr,
+    env: &Env,
+    options: &EvalOptions,
+) -> (Result<Value, EvalError>, EvalStats) {
+    run(expr, env, options)
+}
+
+fn run(expr: &Expr, env: &Env, options: &EvalOptions) -> (Result<Value, EvalError>, EvalStats) {
+    let mut stats = EvalStats::default();
+    let result = drive(expr, env, options, &mut stats);
+    (result, stats)
+}
+
+fn drive(
+    expr: &Expr,
+    env: &Env,
+    options: &EvalOptions,
+    stats: &mut EvalStats,
+) -> Result<Value, EvalError> {
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut state = State::Eval(Rc::new(expr.clone()), env.clone());
+    let mut fuel = options.fuel;
+
+    loop {
+        if fuel == 0 {
+            return Err(EvalError::FuelExhausted);
+        }
+        fuel -= 1;
+        stats.steps += 1;
+        stats.max_stack = stats.max_stack.max(stack.len());
+
+        state = match state {
+            State::Eval(expr, env) => match &*expr {
+                Expr::Con(c) => State::Continue(constant(c)),
+                Expr::Var(x) => match env.lookup(x) {
+                    Some(v) => State::Continue(v),
+                    None => return Err(EvalError::UnboundVariable(x.clone())),
+                },
+                Expr::Lambda(l) => State::Continue(Value::Closure(Rc::new(Closure {
+                    param: l.param.clone(),
+                    body: l.body.clone(),
+                    env: env.clone(),
+                }))),
+                Expr::If(c, t, e) => {
+                    stack.push(Frame::Branch { then: t.clone(), els: e.clone(), env: env.clone() });
+                    State::Eval(c.clone(), env)
+                }
+                Expr::App(f, a) => {
+                    // Paper order: evaluate the argument first.
+                    stack.push(Frame::Arg { func: f.clone(), env: env.clone() });
+                    State::Eval(a.clone(), env)
+                }
+                Expr::Let(x, v, b) => {
+                    stack.push(Frame::Bind { name: x.clone(), body: b.clone(), env: env.clone() });
+                    State::Eval(v.clone(), env)
+                }
+                Expr::Letrec(bs, body) => {
+                    let plan = Rc::new(LetrecPlan::of(bs));
+                    let env = if plan.values == 0 { plan.push_rec(&env) } else { env };
+                    if plan.ordered.is_empty() {
+                        State::Eval(body.clone(), env)
+                    } else {
+                        let first = plan.ordered[0].value.clone();
+                        stack.push(Frame::LetrecBind {
+                            plan,
+                            index: 0,
+                            body: body.clone(),
+                            env: env.clone(),
+                        });
+                        State::Eval(first, env)
+                    }
+                }
+                // The oblivious functional G_obl (Definition 7.1): the
+                // standard semantics disregards monitor annotations.
+                Expr::Ann(_, inner) => State::Eval(inner.clone(), env),
+                Expr::Seq(a, b) => {
+                    stack.push(Frame::Discard { second: b.clone(), env: env.clone() });
+                    State::Eval(a.clone(), env)
+                }
+                Expr::Assign(..) => {
+                    return Err(EvalError::UnsupportedConstruct("assignment"))
+                }
+                Expr::While(..) => return Err(EvalError::UnsupportedConstruct("while")),
+            },
+            State::Continue(value) => match stack.pop() {
+                None => return Ok(value),
+                Some(Frame::Arg { func, env }) => {
+                    stack.push(Frame::Apply { arg: value });
+                    State::Eval(func, env)
+                }
+                Some(Frame::Apply { arg }) => match apply_value(value, arg)? {
+                    StateAfterApply::Enter(body, env) => State::Eval(body, env),
+                    StateAfterApply::Value(v) => State::Continue(v),
+                },
+                Some(Frame::Branch { then, els, env }) => match value {
+                    Value::Bool(true) => State::Eval(then, env),
+                    Value::Bool(false) => State::Eval(els, env),
+                    other => return Err(EvalError::NonBooleanCondition(other.to_string())),
+                },
+                Some(Frame::Bind { name, body, env }) => {
+                    State::Eval(body, env.extend(name, value))
+                }
+                Some(Frame::LetrecBind { plan, index, body, env }) => {
+                    let mut env = env.extend(plan.ordered[index].name.clone(), value);
+                    if index + 1 == plan.values {
+                        env = plan.push_rec(&env);
+                    }
+                    if index + 1 < plan.ordered.len() {
+                        let next = plan.ordered[index + 1].value.clone();
+                        stack.push(Frame::LetrecBind {
+                            plan,
+                            index: index + 1,
+                            body,
+                            env: env.clone(),
+                        });
+                        State::Eval(next, env)
+                    } else {
+                        State::Eval(body, env)
+                    }
+                }
+                Some(Frame::Discard { second, env }) => State::Eval(second, env),
+            },
+        };
+    }
+}
+
+/// `K : Con → V` — the meaning of constants (Figure 2).
+pub fn constant(c: &Con) -> Value {
+    match c {
+        Con::Int(n) => Value::Int(*n),
+        Con::Bool(b) => Value::Bool(*b),
+        Con::Str(s) => Value::Str(s.clone()),
+        Con::Nil => Value::Nil,
+        Con::Unit => Value::Unit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_syntax::parse_expr;
+
+    fn run_src(src: &str) -> Result<Value, EvalError> {
+        eval(&parse_expr(src).expect("parses"))
+    }
+
+    #[test]
+    fn factorial_of_five_is_120() {
+        assert_eq!(
+            run_src("letrec fac = lambda x. if x = 0 then 1 else x * (fac (x - 1)) in fac 5"),
+            Ok(Value::Int(120))
+        );
+    }
+
+    #[test]
+    fn paper_profiler_program_evaluates_to_120_with_annotations() {
+        assert_eq!(
+            run_src(
+                "letrec fac = lambda x. if (x = 0) then {A}:1 else {B}:(x * (fac (x - 1))) \
+                 in fac 5"
+            ),
+            Ok(Value::Int(120))
+        );
+    }
+
+    #[test]
+    fn higher_order_functions() {
+        assert_eq!(
+            run_src("let twice = lambda f. lambda x. f (f x) in twice (lambda n. n + 3) 10"),
+            Ok(Value::Int(16))
+        );
+    }
+
+    #[test]
+    fn application_evaluates_argument_first() {
+        // The argument's division by zero fires even though the function
+        // expression is unbound — matching the paper's order E⟦e₂⟧ first.
+        assert_eq!(run_src("missing (1 / 0)"), Err(EvalError::DivisionByZero));
+    }
+
+    #[test]
+    fn mutual_recursion_via_and() {
+        assert_eq!(
+            run_src(
+                "letrec even = lambda n. if n = 0 then true else odd (n - 1) \
+                 and odd = lambda n. if n = 0 then false else even (n - 1) in even 10"
+            ),
+            Ok(Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn letrec_with_non_lambda_rhs_behaves_sequentially() {
+        assert_eq!(
+            run_src("letrec a = 1 + 1 in letrec b = a * 10 in b"),
+            Ok(Value::Int(20))
+        );
+    }
+
+    #[test]
+    fn letrec_mixing_values_and_functions() {
+        assert_eq!(
+            run_src(
+                "letrec base = 10 and add = lambda x. x + base in add 5"
+            ),
+            // `base` is bound before `add` is *called* (all bindings are
+            // evaluated before the body), so the call sees base = 10 via
+            // the plain frame stacked above the rec frame.
+            Ok(Value::Int(15))
+        );
+    }
+
+    #[test]
+    fn annotations_are_invisible_to_the_standard_semantics() {
+        let plain = run_src("letrec f = lambda x. x * 2 in f 21");
+        let annotated =
+            run_src("letrec f = lambda x. {lbl}:(x * 2) in {root}:(f 21)");
+        assert_eq!(plain, annotated);
+        assert_eq!(plain, Ok(Value::Int(42)));
+    }
+
+    #[test]
+    fn deep_recursion_does_not_overflow_the_rust_stack() {
+        assert_eq!(
+            run_src(
+                "letrec count = lambda n. if n = 0 then 0 else count (n - 1) in count 200000"
+            ),
+            Ok(Value::Int(0))
+        );
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_reported() {
+        let e = parse_expr("letrec loop = lambda x. loop x in loop 0").unwrap();
+        assert_eq!(
+            eval_with(&e, &Env::empty(), &EvalOptions::with_fuel(10_000)),
+            Err(EvalError::FuelExhausted)
+        );
+    }
+
+    #[test]
+    fn runtime_errors_surface() {
+        assert_eq!(run_src("1 + true"), Err(EvalError::TypeError {
+            expected: "an integer",
+            found: "true".into(),
+            operation: "+",
+        }));
+        assert_eq!(
+            run_src("nonexistent"),
+            Err(EvalError::UnboundVariable(Ident::new("nonexistent")))
+        );
+        assert_eq!(run_src("1 2"), Err(EvalError::NotAFunction(Value::Int(1))));
+        assert_eq!(
+            run_src("if 3 then 1 else 2"),
+            Err(EvalError::NonBooleanCondition("3".into()))
+        );
+    }
+
+    #[test]
+    fn imperative_constructs_are_rejected_by_the_pure_machine() {
+        assert_eq!(
+            run_src("x := 1"),
+            Err(EvalError::UnsupportedConstruct("assignment"))
+        );
+        assert_eq!(
+            run_src("while true do 1 end"),
+            Err(EvalError::UnsupportedConstruct("while"))
+        );
+    }
+
+    #[test]
+    fn seq_discards_the_first_value() {
+        assert_eq!(run_src("1; 2"), Ok(Value::Int(2)));
+    }
+
+    #[test]
+    fn list_programs() {
+        assert_eq!(
+            run_src(
+                "letrec sum = lambda l. if null? l then 0 else (hd l) + (sum (tl l)) \
+                 in sum [1, 2, 3, 4]"
+            ),
+            Ok(Value::Int(10))
+        );
+        assert_eq!(run_src("length (1 : 2 : [])"), Ok(Value::Int(2)));
+    }
+
+    #[test]
+    fn curried_primitives_are_first_class() {
+        assert_eq!(
+            run_src("let inc = (+) 1 in inc 41"),
+            Ok(Value::Int(42))
+        );
+        assert_eq!(
+            run_src(
+                "letrec map = lambda f. lambda l. \
+                   if null? l then [] else (f (hd l)) : (map f (tl l)) \
+                 in map ((+) 10) [1, 2]"
+            ),
+            Ok(Value::list([Value::Int(11), Value::Int(12)]))
+        );
+    }
+
+    #[test]
+    fn stats_count_steps_and_stack() {
+        let e = parse_expr("1 + 2").unwrap();
+        let (r, stats) = eval_stats(&e, &Env::empty(), &EvalOptions::default());
+        assert_eq!(r, Ok(Value::Int(3)));
+        assert!(stats.steps >= 5, "steps = {}", stats.steps);
+        assert!(stats.max_stack >= 1);
+    }
+
+    #[test]
+    fn shadowing_respects_lexical_scope() {
+        assert_eq!(
+            run_src("let x = 1 in (lambda x. x + 1) 10 + x"),
+            Ok(Value::Int(12))
+        );
+    }
+
+    #[test]
+    fn closures_capture_their_environment() {
+        assert_eq!(
+            run_src(
+                "let make = lambda n. lambda x. x + n in \
+                 let add3 = make 3 in let add5 = make 5 in add3 1 + add5 1"
+            ),
+            Ok(Value::Int(10))
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! A small standard library for `L_λ` programs — the list and arithmetic
+//! helpers the paper's example style assumes, as ordinary `letrec`
+//! bindings that can be wrapped around any program.
+//!
+//! ```
+//! use monsem_core::machine::eval;
+//! use monsem_core::prelude::with_prelude;
+//! use monsem_core::Value;
+//! use monsem_syntax::parse_expr;
+//!
+//! let e = parse_expr("sum (map (lambda x. x * x) (range 1 4))")?;
+//! assert_eq!(eval(&with_prelude(&e))?, Value::Int(30)); // 1+4+9+16
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use monsem_syntax::{parse_expr, Binding, Expr, Ident};
+use std::rc::Rc;
+
+/// The prelude definitions, in dependency order: each may use the ones
+/// before it.
+const PRELUDE: &[(&str, &str)] = &[
+    ("compose", "lambda f. lambda g. lambda x. f (g x)"),
+    ("id", "lambda x. x"),
+    ("const", "lambda k. lambda u. k"),
+    ("flip", "lambda f. lambda a. lambda b. f b a"),
+    (
+        "foldr",
+        "lambda f. lambda z. lambda l. \
+         if null? l then z else f (hd l) (foldr f z (tl l))",
+    ),
+    (
+        "foldl",
+        "lambda f. lambda z. lambda l. \
+         if null? l then z else foldl f (f z (hd l)) (tl l)",
+    ),
+    ("map", "lambda f. lambda l. foldr (lambda x. lambda acc. (f x) : acc) [] l"),
+    (
+        "filter",
+        "lambda p. lambda l. \
+         foldr (lambda x. lambda acc. if p x then x : acc else acc) [] l",
+    ),
+    ("append", "lambda a. lambda b. foldr (lambda x. lambda acc. x : acc) b a"),
+    ("reverse", "lambda l. foldl (lambda acc. lambda x. x : acc) [] l"),
+    ("sum", "lambda l. foldl (lambda a. lambda b. a + b) 0 l"),
+    ("product", "lambda l. foldl (lambda a. lambda b. a * b) 1 l"),
+    (
+        "range",
+        "lambda lo. lambda hi. if lo > hi then [] else lo : (range (lo + 1) hi)",
+    ),
+    (
+        "zip",
+        "lambda a. lambda b. \
+         if null? a then [] else if null? b then [] \
+         else ((hd a) : (hd b)) : (zip (tl a) (tl b))",
+    ),
+    (
+        "all?",
+        "lambda p. lambda l. if null? l then true \
+         else if p (hd l) then all? p (tl l) else false",
+    ),
+    (
+        "any?",
+        "lambda p. lambda l. if null? l then false \
+         else if p (hd l) then true else any? p (tl l)",
+    ),
+    (
+        "member?",
+        "lambda x. lambda l. any? (lambda y. y = x) l",
+    ),
+    (
+        "nth",
+        "lambda i. lambda l. if i = 0 then hd l else nth (i - 1) (tl l)",
+    ),
+    (
+        "sorted?",
+        "lambda l. if null? l then true else if null? (tl l) then true \
+         else if (hd l) <= (hd (tl l)) then sorted? (tl l) else false",
+    ),
+];
+
+/// The prelude as `letrec` bindings, in dependency order.
+pub fn prelude_bindings() -> Vec<Binding> {
+    PRELUDE
+        .iter()
+        .map(|(name, src)| {
+            let value = parse_expr(src)
+                .unwrap_or_else(|e| panic!("prelude `{name}` failed to parse: {e}"));
+            Binding::new(*name, value)
+        })
+        .collect()
+}
+
+/// Wraps `body` in the prelude: each definition in its own `letrec`, so
+/// later definitions may use earlier ones and user code may shadow any of
+/// them.
+pub fn with_prelude(body: &Expr) -> Expr {
+    prelude_bindings()
+        .into_iter()
+        .rev()
+        .fold(body.clone(), |acc, b| Expr::Letrec(vec![b], Rc::new(acc)))
+}
+
+/// The names the prelude defines.
+pub fn prelude_names() -> Vec<Ident> {
+    PRELUDE.iter().map(|(name, _)| Ident::new(*name)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::eval;
+    use crate::Value;
+
+    fn run(src: &str) -> Value {
+        let e = monsem_syntax::parse_expr(src).expect("parses");
+        eval(&with_prelude(&e)).expect("evaluates")
+    }
+
+    #[test]
+    fn list_combinators() {
+        assert_eq!(run("map (lambda x. x + 1) [1, 2, 3]"),
+            Value::list([2, 3, 4].map(Value::Int)));
+        assert_eq!(run("filter (lambda x. (mod x 2) = 0) (range 1 10)"),
+            Value::list([2, 4, 6, 8, 10].map(Value::Int)));
+        assert_eq!(run("append [1, 2] [3]"), Value::list([1, 2, 3].map(Value::Int)));
+        assert_eq!(run("reverse (range 1 4)"), Value::list([4, 3, 2, 1].map(Value::Int)));
+        assert_eq!(run("sum (range 1 100)"), Value::Int(5050));
+        assert_eq!(run("product (range 1 6)"), Value::Int(720));
+        assert_eq!(run("nth 2 [10, 20, 30, 40]"), Value::Int(30));
+    }
+
+    #[test]
+    fn folds_and_predicates() {
+        assert_eq!(run("foldr (:) [] [1, 2]"), Value::list([1, 2].map(Value::Int)));
+        assert_eq!(run("all? (lambda x. x > 0) [1, 2, 3]"), Value::Bool(true));
+        assert_eq!(run("any? (lambda x. x > 2) [1, 2, 3]"), Value::Bool(true));
+        assert_eq!(run("member? 3 [1, 2, 3]"), Value::Bool(true));
+        assert_eq!(run("member? 9 [1, 2, 3]"), Value::Bool(false));
+        assert_eq!(run("sorted? [1, 2, 2, 5]"), Value::Bool(true));
+        assert_eq!(run("sorted? [2, 1]"), Value::Bool(false));
+    }
+
+    #[test]
+    fn higher_order_plumbing() {
+        assert_eq!(run("(compose (lambda x. x * 2) (lambda x. x + 1)) 10"), Value::Int(22));
+        assert_eq!(run("flip (-) 1 10"), Value::Int(9));
+        assert_eq!(run("const 7 99"), Value::Int(7));
+        assert_eq!(
+            run("zip [1, 2] [true, false]"),
+            Value::list([
+                Value::pair(Value::Int(1), Value::Bool(true)),
+                Value::pair(Value::Int(2), Value::Bool(false)),
+            ])
+        );
+    }
+
+    #[test]
+    fn user_code_can_shadow_the_prelude() {
+        assert_eq!(run("let sum = lambda l. 42 in sum [1, 2, 3]"), Value::Int(42));
+    }
+
+    #[test]
+    fn prelude_names_match_bindings() {
+        let names = prelude_names();
+        let bindings = prelude_bindings();
+        assert_eq!(names.len(), bindings.len());
+        for (n, b) in names.iter().zip(&bindings) {
+            assert_eq!(n, &b.name);
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Primitive operations.
+//!
+//! The paper assumes `-`, `*`, `=`, `hd`, `tl`, … are "primitives" bound in
+//! the initial environment. Each primitive is a curried function value;
+//! applying one collects arguments until the arity is reached, then
+//! computes. All arithmetic is checked so the standard, monitored and
+//! specialized engines agree exactly (overflow is a reported error, not a
+//! wrap or a panic).
+
+use crate::error::EvalError;
+use crate::value::Value;
+use std::fmt;
+use std::rc::Rc;
+
+/// The primitive operations of the initial environment.
+///
+/// ```
+/// use monsem_core::prims::Prim;
+/// use monsem_core::Value;
+/// let plus = Prim::by_name("+").unwrap();
+/// assert_eq!(plus.arity(), 2);
+/// assert_eq!(plus.apply(&[Value::Int(40), Value::Int(2)]), Ok(Value::Int(42)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Prim {
+    /// `+` on integers
+    Add,
+    /// `-` on integers
+    Sub,
+    /// `*` on integers
+    Mul,
+    /// `/` integer division
+    Div,
+    /// `mod`
+    Mod,
+    /// unary negation (`neg`)
+    Neg,
+    /// `abs`
+    Abs,
+    /// `min`
+    Min,
+    /// `max`
+    Max,
+    /// `=` structural equality on basic values
+    Eq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `not`
+    Not,
+    /// `cons` (also written infix `:`)
+    Cons,
+    /// `hd`
+    Hd,
+    /// `tl`
+    Tl,
+    /// `null?`
+    IsNull,
+    /// `length` of a proper list
+    Length,
+    /// `++` — append for strings and lists
+    Append,
+    /// `toStr` — render any basic value as a string (the paper's `toStr`
+    /// in the `Ans_str` answer algebra, §3.1)
+    ToStr,
+}
+
+impl Prim {
+    /// All primitives with their source-level names.
+    pub const ALL: &'static [(&'static str, Prim)] = &[
+        ("+", Prim::Add),
+        ("-", Prim::Sub),
+        ("*", Prim::Mul),
+        ("/", Prim::Div),
+        ("mod", Prim::Mod),
+        ("neg", Prim::Neg),
+        ("abs", Prim::Abs),
+        ("min", Prim::Min),
+        ("max", Prim::Max),
+        ("=", Prim::Eq),
+        ("<", Prim::Lt),
+        (">", Prim::Gt),
+        ("<=", Prim::Le),
+        (">=", Prim::Ge),
+        ("not", Prim::Not),
+        ("cons", Prim::Cons),
+        ("hd", Prim::Hd),
+        ("tl", Prim::Tl),
+        ("null?", Prim::IsNull),
+        ("length", Prim::Length),
+        ("++", Prim::Append),
+        ("toStr", Prim::ToStr),
+    ];
+
+    /// Resolves a primitive by its source-level name.
+    pub fn by_name(name: &str) -> Option<Prim> {
+        Prim::ALL.iter().find(|(n, _)| *n == name).map(|(_, p)| *p)
+    }
+
+    /// The source-level name.
+    pub fn name(self) -> &'static str {
+        Prim::ALL
+            .iter()
+            .find(|(_, p)| *p == self)
+            .map(|(n, _)| *n)
+            .expect("every primitive is in ALL")
+    }
+
+    /// Number of arguments the primitive consumes.
+    pub fn arity(self) -> usize {
+        match self {
+            Prim::Neg | Prim::Abs | Prim::Not | Prim::Hd | Prim::Tl | Prim::IsNull
+            | Prim::Length | Prim::ToStr => 1,
+            _ => 2,
+        }
+    }
+
+    /// Applies the primitive to a full argument vector.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::TypeError`] on domain violations,
+    /// [`EvalError::DivisionByZero`], [`EvalError::EmptyList`] and
+    /// [`EvalError::Overflow`] as appropriate.
+    pub fn apply(self, args: &[Value]) -> Result<Value, EvalError> {
+        debug_assert_eq!(args.len(), self.arity());
+        let int = |v: &Value| -> Result<i64, EvalError> {
+            match v {
+                Value::Int(n) => Ok(*n),
+                other => Err(EvalError::TypeError {
+                    expected: "an integer",
+                    found: other.to_string(),
+                    operation: self.name(),
+                }),
+            }
+        };
+        let boolean = |v: &Value| -> Result<bool, EvalError> {
+            match v {
+                Value::Bool(b) => Ok(*b),
+                other => Err(EvalError::TypeError {
+                    expected: "a boolean",
+                    found: other.to_string(),
+                    operation: self.name(),
+                }),
+            }
+        };
+        match self {
+            Prim::Add => int(&args[0])?
+                .checked_add(int(&args[1])?)
+                .map(Value::Int)
+                .ok_or(EvalError::Overflow("+")),
+            Prim::Sub => int(&args[0])?
+                .checked_sub(int(&args[1])?)
+                .map(Value::Int)
+                .ok_or(EvalError::Overflow("-")),
+            Prim::Mul => int(&args[0])?
+                .checked_mul(int(&args[1])?)
+                .map(Value::Int)
+                .ok_or(EvalError::Overflow("*")),
+            Prim::Div => {
+                let d = int(&args[1])?;
+                if d == 0 {
+                    return Err(EvalError::DivisionByZero);
+                }
+                int(&args[0])?.checked_div(d).map(Value::Int).ok_or(EvalError::Overflow("/"))
+            }
+            Prim::Mod => {
+                let d = int(&args[1])?;
+                if d == 0 {
+                    return Err(EvalError::DivisionByZero);
+                }
+                int(&args[0])?
+                    .checked_rem(d)
+                    .map(Value::Int)
+                    .ok_or(EvalError::Overflow("mod"))
+            }
+            Prim::Neg => int(&args[0])?
+                .checked_neg()
+                .map(Value::Int)
+                .ok_or(EvalError::Overflow("neg")),
+            Prim::Abs => int(&args[0])?
+                .checked_abs()
+                .map(Value::Int)
+                .ok_or(EvalError::Overflow("abs")),
+            Prim::Min => Ok(Value::Int(int(&args[0])?.min(int(&args[1])?))),
+            Prim::Max => Ok(Value::Int(int(&args[0])?.max(int(&args[1])?))),
+            Prim::Eq => structural_eq(&args[0], &args[1], self.name()).map(Value::Bool),
+            Prim::Lt => Ok(Value::Bool(int(&args[0])? < int(&args[1])?)),
+            Prim::Gt => Ok(Value::Bool(int(&args[0])? > int(&args[1])?)),
+            Prim::Le => Ok(Value::Bool(int(&args[0])? <= int(&args[1])?)),
+            Prim::Ge => Ok(Value::Bool(int(&args[0])? >= int(&args[1])?)),
+            Prim::Not => Ok(Value::Bool(!boolean(&args[0])?)),
+            Prim::Cons => Ok(Value::pair(args[0].clone(), args[1].clone())),
+            Prim::Hd => match &args[0] {
+                Value::Pair(h, _) => Ok((**h).clone()),
+                Value::Nil => Err(EvalError::EmptyList("hd")),
+                other => Err(EvalError::TypeError {
+                    expected: "a list",
+                    found: other.to_string(),
+                    operation: "hd",
+                }),
+            },
+            Prim::Tl => match &args[0] {
+                Value::Pair(_, t) => Ok((**t).clone()),
+                Value::Nil => Err(EvalError::EmptyList("tl")),
+                other => Err(EvalError::TypeError {
+                    expected: "a list",
+                    found: other.to_string(),
+                    operation: "tl",
+                }),
+            },
+            Prim::IsNull => Ok(Value::Bool(matches!(&args[0], Value::Nil))),
+            Prim::Length => {
+                let items = args[0].iter_list().ok_or_else(|| EvalError::TypeError {
+                    expected: "a proper list",
+                    found: args[0].to_string(),
+                    operation: "length",
+                })?;
+                Ok(Value::Int(items.len() as i64))
+            }
+            Prim::Append => match (&args[0], &args[1]) {
+                (Value::Str(a), Value::Str(b)) => {
+                    Ok(Value::Str(Rc::from(format!("{a}{b}").as_str())))
+                }
+                (a, b) => {
+                    let items = a.iter_list().ok_or_else(|| EvalError::TypeError {
+                        expected: "two strings or two lists",
+                        found: a.to_string(),
+                        operation: "++",
+                    })?;
+                    b.iter_list().ok_or_else(|| EvalError::TypeError {
+                        expected: "two strings or two lists",
+                        found: b.to_string(),
+                        operation: "++",
+                    })?;
+                    Ok(items
+                        .into_iter()
+                        .rev()
+                        .fold(b.clone(), |tail, head| Value::pair(head.clone(), tail)))
+                }
+            },
+            Prim::ToStr => Ok(Value::Str(Rc::from(args[0].to_string().as_str()))),
+        }
+    }
+}
+
+/// Structural equality as the `=` primitive sees it: defined on basic
+/// values (including lists of them), an error if a function is involved.
+fn structural_eq(a: &Value, b: &Value, op: &'static str) -> Result<bool, EvalError> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok(x == y),
+        (Value::Bool(x), Value::Bool(y)) => Ok(x == y),
+        (Value::Str(x), Value::Str(y)) => Ok(x == y),
+        (Value::Unit, Value::Unit) => Ok(true),
+        (Value::Nil, Value::Nil) => Ok(true),
+        (Value::Nil, Value::Pair(..)) | (Value::Pair(..), Value::Nil) => Ok(false),
+        (Value::Pair(..), Value::Pair(..)) => {
+            // Iterative along tails (long lists).
+            let (mut x, mut y) = (a, b);
+            loop {
+                match (x, y) {
+                    (Value::Pair(h1, t1), Value::Pair(h2, t2)) => {
+                        if !structural_eq(h1, h2, op)? {
+                            return Ok(false);
+                        }
+                        x = t1;
+                        y = t2;
+                    }
+                    _ => return structural_eq(x, y, op),
+                }
+            }
+        }
+        (Value::Closure(_) | Value::Prim(..), _) | (_, Value::Closure(_) | Value::Prim(..)) => {
+            Err(EvalError::TypeError {
+                expected: "comparable (non-function) values",
+                found: format!("{a} = {b}"),
+                operation: op,
+            })
+        }
+        _ => Ok(false),
+    }
+}
+
+impl fmt::Display for Prim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_is_checked() {
+        assert_eq!(Prim::Add.apply(&[Value::Int(2), Value::Int(3)]), Ok(Value::Int(5)));
+        assert_eq!(
+            Prim::Add.apply(&[Value::Int(i64::MAX), Value::Int(1)]),
+            Err(EvalError::Overflow("+"))
+        );
+        assert_eq!(
+            Prim::Div.apply(&[Value::Int(1), Value::Int(0)]),
+            Err(EvalError::DivisionByZero)
+        );
+        assert_eq!(Prim::Div.apply(&[Value::Int(7), Value::Int(2)]), Ok(Value::Int(3)));
+    }
+
+    #[test]
+    fn equality_spans_lists_and_scalars() {
+        let l1 = Value::list([Value::Int(1), Value::Int(2)]);
+        let l2 = Value::list([Value::Int(1), Value::Int(2)]);
+        assert_eq!(Prim::Eq.apply(&[l1.clone(), l2]), Ok(Value::Bool(true)));
+        assert_eq!(Prim::Eq.apply(&[l1.clone(), Value::Nil]), Ok(Value::Bool(false)));
+        assert_eq!(Prim::Eq.apply(&[Value::Int(1), Value::Bool(true)]), Ok(Value::Bool(false)));
+        assert!(Prim::Eq.apply(&[Value::prim(Prim::Add), Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn list_operations() {
+        let l = Value::list([Value::Int(1), Value::Int(2)]);
+        assert_eq!(Prim::Hd.apply(std::slice::from_ref(&l)), Ok(Value::Int(1)));
+        assert_eq!(
+            Prim::Tl.apply(std::slice::from_ref(&l)),
+            Ok(Value::list([Value::Int(2)]))
+        );
+        assert_eq!(Prim::Hd.apply(&[Value::Nil]), Err(EvalError::EmptyList("hd")));
+        assert_eq!(Prim::Length.apply(&[l]), Ok(Value::Int(2)));
+        assert_eq!(Prim::IsNull.apply(&[Value::Nil]), Ok(Value::Bool(true)));
+    }
+
+    #[test]
+    fn append_handles_strings_and_lists() {
+        let a = Value::Str(Rc::from("ab"));
+        let b = Value::Str(Rc::from("cd"));
+        assert_eq!(Prim::Append.apply(&[a, b]), Ok(Value::Str(Rc::from("abcd"))));
+        let l1 = Value::list([Value::Int(1)]);
+        let l2 = Value::list([Value::Int(2)]);
+        assert_eq!(
+            Prim::Append.apply(&[l1, l2]),
+            Ok(Value::list([Value::Int(1), Value::Int(2)]))
+        );
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for (name, p) in Prim::ALL {
+            assert_eq!(Prim::by_name(name), Some(*p));
+            assert_eq!(p.name(), *name);
+        }
+        assert_eq!(Prim::by_name("frobnicate"), None);
+    }
+
+    #[test]
+    fn to_str_matches_display() {
+        assert_eq!(
+            Prim::ToStr.apply(&[Value::list([Value::Int(1)])]),
+            Ok(Value::Str(Rc::from("[1]")))
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! The paper's example programs and the benchmark workloads, as ready-made
+//! sources. Every program here parses; the constructors panic otherwise
+//! (they are test/bench fixtures, not user input).
+
+use monsem_syntax::{parse_expr, Expr};
+
+fn parse(src: &str) -> Expr {
+    parse_expr(src).unwrap_or_else(|e| panic!("fixture program failed to parse: {e}\n{src}"))
+}
+
+/// `fac n` — plain factorial.
+pub fn fac(n: i64) -> Expr {
+    parse(&format!(
+        "letrec fac = lambda x. if x = 0 then 1 else x * (fac (x - 1)) in fac {n}"
+    ))
+}
+
+/// The §5 profiler example: each conditional branch labelled `{{A}}`/`{{B}}`.
+/// Monitoring `fac 5` yields σ = ⟨1, 5⟩.
+pub fn fac_ab(n: i64) -> Expr {
+    parse(&format!(
+        "letrec fac = lambda x. if (x = 0) then {{A}}:1 else {{B}}:(x * (fac (x - 1))) in fac {n}"
+    ))
+}
+
+/// The §8 profiler/tracer program without annotations: `fac` via `mul`.
+pub fn fac_mul_plain(n: i64) -> Expr {
+    parse(&format!(
+        "letrec mul = lambda x. lambda y. x*y in \
+         letrec fac = lambda x. if (x=0) then 1 else mul x (fac (x-1)) in fac {n}"
+    ))
+}
+
+/// The §8 profiler program: function bodies labelled with their names.
+/// Monitoring `fac 3` yields `[fac ↦ 4, mul ↦ 3]`.
+pub fn fac_mul_profiled(n: i64) -> Expr {
+    parse(&format!(
+        "letrec mul = lambda x. lambda y. {{mul}}:(x*y) in \
+         letrec fac = lambda x. {{fac}}:if (x=0) then 1 else mul x (fac (x-1)) in fac {n}"
+    ))
+}
+
+/// The §8 tracer program: function bodies annotated with headers.
+pub fn fac_mul_traced(n: i64) -> Expr {
+    parse(&format!(
+        "letrec mul = lambda x. lambda y. {{mul(x, y)}}:(x*y) in \
+         letrec fac = lambda x. {{fac(x)}}:if (x=0) then 1 else mul x (fac (x-1)) in fac {n}"
+    ))
+}
+
+/// The §8 demon program: `inclist` reverses while incrementing, so `l1`
+/// and `l3` hold unsorted lists. The demon reports σ = {l1, l3}.
+pub fn inclist_demon() -> Expr {
+    parse(
+        "letrec inclist = lambda l. lambda acc. \
+            if (l=[]) then acc else inclist (tl l) (((hd l)+1):acc) in \
+         letrec l1 = {l1}:(inclist [1,10,100] []) in \
+         letrec l2 = {l2}:(inclist l1 []) in \
+         letrec l3 = {l3}:(inclist l2 []) in l3",
+    )
+}
+
+/// The §8 collecting-monitor program. Monitoring `fac 3` yields
+/// `[test ↦ {true,false}, n ↦ {1,2,3}]`.
+pub fn collecting_fac(n: i64) -> Expr {
+    parse(&format!(
+        "letrec fac = lambda n. if {{test}}:(n=0) then 1 else {{n}}:n * (fac (n-1)) in fac {n}"
+    ))
+}
+
+/// `fib n` — naive Fibonacci, the classic interpreter benchmark.
+pub fn fib(n: i64) -> Expr {
+    parse(&format!(
+        "letrec fib = lambda n. if n < 2 then n else (fib (n-1)) + (fib (n-2)) in fib {n}"
+    ))
+}
+
+/// `ack m n` — Ackermann, for deep recursion stress.
+pub fn ack(m: i64, n: i64) -> Expr {
+    parse(&format!(
+        "letrec ack = lambda m. lambda n. \
+            if m = 0 then n + 1 \
+            else if n = 0 then ack (m - 1) 1 \
+            else ack (m - 1) (ack m (n - 1)) \
+         in ack {m} {n}"
+    ))
+}
+
+/// `sum [1..n]` via a list build + fold — exercises list primitives.
+pub fn sum_to(n: i64) -> Expr {
+    parse(&format!(
+        "letrec build = lambda i. if i = 0 then [] else i : (build (i - 1)) in \
+         letrec sum = lambda l. if null? l then 0 else (hd l) + (sum (tl l)) in \
+         sum (build {n})"
+    ))
+}
+
+/// Insertion sort of the reversed list `[n, n-1, …, 1]` — the demon
+/// workload at scale.
+pub fn insertion_sort(n: i64) -> Expr {
+    parse(&format!(
+        "letrec insert = lambda x. lambda l. \
+            if null? l then [x] \
+            else if x <= (hd l) then x : l \
+            else (hd l) : (insert x (tl l)) in \
+         letrec sort = lambda l. \
+            if null? l then [] else insert (hd l) (sort (tl l)) in \
+         letrec build = lambda i. if i = 0 then [] else i : (build (i - 1)) in \
+         sort (build {n})"
+    ))
+}
+
+/// `pow base exp` — the canonical partial-evaluation example: specializing
+/// on a static `exp` unrolls the recursion entirely.
+pub fn pow(base: i64, exp: i64) -> Expr {
+    parse(&format!(
+        "letrec pow = lambda b. lambda e. if e = 0 then 1 else b * (pow b (e - 1)) \
+         in pow {base} {exp}"
+    ))
+}
+
+/// The `pow` program with a free dynamic `base` variable, for
+/// specialization with respect to partial input (§9.1, level 3).
+pub fn pow_open() -> Expr {
+    parse(
+        "letrec pow = lambda b. lambda e. if e = 0 then 1 else b * (pow b (e - 1)) \
+         in lambda base. pow base exp",
+    )
+}
+
+/// `tak x y z` — the Takeuchi function, a classic call-heavy benchmark.
+pub fn tak(x: i64, y: i64, z: i64) -> Expr {
+    parse(&format!(
+        "letrec tak = lambda x. lambda y. lambda z.             if y < x             then tak (tak (x - 1) y z) (tak (y - 1) z x) (tak (z - 1) x y)             else z          in tak {x} {y} {z}"
+    ))
+}
+
+/// Merge sort over the reversed list `[n, …, 1]` — heavier list workload
+/// than insertion sort, with three mutually used helpers.
+pub fn merge_sort(n: i64) -> Expr {
+    parse(&format!(
+        "letrec take = lambda k. lambda l.             if k = 0 then [] else if null? l then []             else (hd l) : (take (k - 1) (tl l)) in          letrec drop = lambda k. lambda l.             if k = 0 then l else if null? l then []             else drop (k - 1) (tl l) in          letrec merge = lambda a. lambda b.             if null? a then b else if null? b then a             else if (hd a) <= (hd b)                  then (hd a) : (merge (tl a) b)                  else (hd b) : (merge a (tl b)) in          letrec sort = lambda l.             if null? l then [] else if null? (tl l) then l             else merge (sort (take ((length l) / 2) l))                        (sort (drop ((length l) / 2) l)) in          letrec build = lambda i. if i = 0 then [] else i : (build (i - 1)) in          sort (build {n})"
+    ))
+}
+
+/// The primes below `n` by trial division — arithmetic-heavy.
+pub fn primes_below(n: i64) -> Expr {
+    parse(&format!(
+        "letrec divides = lambda d. lambda m. (mod m d) = 0 in          letrec has_factor = lambda d. lambda m.             if d * d > m then false             else if divides d m then true             else has_factor (d + 1) m in          letrec prime? = lambda m. if m < 2 then false else not (has_factor 2 m) in          letrec upto = lambda i.             if i >= {n} then []             else if prime? i then i : (upto (i + 1)) else upto (i + 1)          in upto 2"
+    ))
+}
+
+/// `n`-queens (counts solutions) — the heaviest stress fixture: deep
+/// recursion, higher-order-free but list- and branch-intensive.
+pub fn nqueens(n: i64) -> Expr {
+    parse(&format!(
+        "letrec safe = lambda col. lambda dist. lambda placed.             if null? placed then true             else if (hd placed) = col then false             else if (hd placed) = col + dist then false             else if (hd placed) = col - dist then false             else safe col (dist + 1) (tl placed) in          letrec count = lambda row. lambda placed. lambda col.             if col > {n} then 0             else (if safe col 1 placed                   then (if row = {n} then 1 else count (row + 1) (col : placed) 1)                   else 0)                  + (count row placed (col + 1))          in count 1 [] 1"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::eval;
+    use crate::value::Value;
+
+    #[test]
+    fn fixtures_evaluate_to_expected_values() {
+        assert_eq!(eval(&fac(5)), Ok(Value::Int(120)));
+        assert_eq!(eval(&fac_ab(5)), Ok(Value::Int(120)));
+        assert_eq!(eval(&fac_mul_plain(3)), Ok(Value::Int(6)));
+        assert_eq!(eval(&fac_mul_profiled(3)), Ok(Value::Int(6)));
+        assert_eq!(eval(&fac_mul_traced(3)), Ok(Value::Int(6)));
+        assert_eq!(eval(&collecting_fac(3)), Ok(Value::Int(6)));
+        assert_eq!(eval(&fib(10)), Ok(Value::Int(55)));
+        assert_eq!(eval(&ack(2, 3)), Ok(Value::Int(9)));
+        assert_eq!(eval(&sum_to(10)), Ok(Value::Int(55)));
+        assert_eq!(eval(&pow(2, 10)), Ok(Value::Int(1024)));
+    }
+
+    #[test]
+    fn demon_program_computes_the_thrice_incremented_list() {
+        // inclist reverses and increments: [1,10,100] → [101,11,2] → [3,12,102] → [103,13,4]
+        assert_eq!(
+            eval(&inclist_demon()),
+            Ok(Value::list([Value::Int(103), Value::Int(13), Value::Int(4)]))
+        );
+    }
+
+    #[test]
+    fn heavier_workloads_compute_known_values() {
+        assert_eq!(eval(&tak(8, 4, 2)), Ok(Value::Int(3)));
+        assert_eq!(
+            eval(&merge_sort(6)),
+            Ok(Value::list((1..=6).map(Value::Int)))
+        );
+        assert_eq!(
+            eval(&primes_below(30)),
+            Ok(Value::list([2, 3, 5, 7, 11, 13, 17, 19, 23, 29].map(Value::Int)))
+        );
+        // Known n-queens counts: 1, 0, 0, 2, 10, 4, 40, 92…
+        assert_eq!(eval(&nqueens(4)), Ok(Value::Int(2)));
+        assert_eq!(eval(&nqueens(5)), Ok(Value::Int(10)));
+        assert_eq!(eval(&nqueens(6)), Ok(Value::Int(4)));
+    }
+
+    #[test]
+    fn insertion_sort_sorts() {
+        assert_eq!(
+            eval(&insertion_sort(4)),
+            Ok(Value::list([
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(3),
+                Value::Int(4)
+            ]))
+        );
+    }
+}

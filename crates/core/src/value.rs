@@ -1,0 +1,386 @@
+//! Denotable values — the paper's `V = Bas + Fun` (Figure 2, *Alg*),
+//! extended with lists (used by the §8 demon), partially applied
+//! primitives, memoized thunks (lazy module) and store locations
+//! (imperative module).
+
+use crate::env::Env;
+use crate::prims::Prim;
+use monsem_syntax::{Expr, Ident};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A user-defined function value: the paper's
+/// `(λv. E⟦e⟧ ρ[x↦v]) in Fun`.
+#[derive(Debug, Clone)]
+pub struct Closure {
+    /// The bound variable `x`.
+    pub param: Ident,
+    /// The body `e`.
+    pub body: Rc<Expr>,
+    /// The captured environment `ρ`.
+    pub env: Env,
+}
+
+/// The state of a call-by-need thunk (lazy language module, §9.2).
+#[derive(Debug)]
+pub enum ThunkState {
+    /// Not yet forced.
+    Pending {
+        /// The suspended expression.
+        expr: Rc<Expr>,
+        /// Its environment.
+        env: Env,
+    },
+    /// Currently being forced — observing this means the value depends on
+    /// itself (a "black hole").
+    InProgress,
+    /// Forced to a value (memoized).
+    Forced(Value),
+}
+
+/// A shared, memoized thunk.
+pub type ThunkRef = Rc<RefCell<ThunkState>>;
+
+/// The tail of a cons cell.
+///
+/// A dedicated wrapper so that dropping a long, uniquely-owned list
+/// unlinks the chain **iteratively** — a million-element list neither
+/// overflows the stack when built nor when freed. Dereferences to the
+/// tail [`Value`].
+#[derive(Clone, Debug)]
+pub struct Tail(Rc<Value>);
+
+impl Tail {
+    /// Wraps a tail value.
+    pub fn new(v: Value) -> Tail {
+        Tail(Rc::new(v))
+    }
+
+    /// The shared tail.
+    pub fn as_rc(&self) -> &Rc<Value> {
+        &self.0
+    }
+}
+
+impl From<Rc<Value>> for Tail {
+    fn from(rc: Rc<Value>) -> Tail {
+        Tail(rc)
+    }
+}
+
+impl std::ops::Deref for Tail {
+    type Target = Value;
+
+    fn deref(&self) -> &Value {
+        &self.0
+    }
+}
+
+impl fmt::Display for Tail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl PartialEq for Tail {
+    fn eq(&self, other: &Tail) -> bool {
+        **self == **other
+    }
+}
+
+impl PartialEq<Value> for Tail {
+    fn eq(&self, other: &Value) -> bool {
+        **self == *other
+    }
+}
+
+thread_local! {
+    /// Shared `Nil` used to unlink chains cheaply during drops.
+    static NIL: Rc<Value> = Rc::new(Value::Nil);
+}
+
+impl Drop for Tail {
+    fn drop(&mut self) {
+        // Fast path: scalar or shared tails drop trivially.
+        if !matches!(&*self.0, Value::Pair(..)) || Rc::strong_count(&self.0) > 1 {
+            return;
+        }
+        // Unlink the uniquely-owned chain iteratively.
+        let mut cur = NIL.with(|nil| std::mem::replace(&mut self.0, nil.clone()));
+        while let Ok(mut v) = Rc::try_unwrap(cur) {
+            let Value::Pair(_, t) = &mut v else { break };
+            cur = NIL.with(|nil| std::mem::replace(&mut t.0, nil.clone()));
+            // `v` now has a Nil tail and drops shallowly.
+        }
+    }
+}
+
+/// Denotable values `v ∈ V`.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Integer (∈ `Bas`).
+    Int(i64),
+    /// Boolean (∈ `Bas`).
+    Bool(bool),
+    /// String (∈ `Bas`; used by the `Ans_str` answer algebra of §3.1).
+    Str(Rc<str>),
+    /// The unit value (imperative module).
+    Unit,
+    /// The empty list `[]`.
+    Nil,
+    /// A cons cell. The tail is wrapped so long lists free iteratively;
+    /// it dereferences to the tail [`Value`].
+    Pair(Rc<Value>, Tail),
+    /// A user function (∈ `Fun`).
+    Closure(Rc<Closure>),
+    /// A primitive, possibly partially applied (collected arguments in
+    /// application order).
+    Prim(Prim, Rc<Vec<Value>>),
+    /// A call-by-need suspension (lazy module only; never escapes as a
+    /// final answer).
+    Thunk(ThunkRef),
+    /// A store location (imperative module only; environments bind
+    /// variables to locations).
+    Loc(usize),
+    /// An engine-specific function value (e.g. a compiled closure from
+    /// `monsem-pe`). Opaque to monitors and to the `=` primitive; only
+    /// the engine that created it can apply it.
+    Ext(ExtValue),
+}
+
+/// An opaque, engine-owned value. Compared by identity; displayed by tag.
+#[derive(Clone)]
+pub struct ExtValue {
+    /// A short tag naming the owning engine (shown by `Display`).
+    pub tag: &'static str,
+    /// The payload, downcast by the owning engine.
+    pub payload: Rc<dyn std::any::Any>,
+}
+
+impl ExtValue {
+    /// Wraps an engine value.
+    pub fn new<T: 'static>(tag: &'static str, payload: T) -> Self {
+        ExtValue { tag, payload: Rc::new(payload) }
+    }
+
+    /// Recovers the engine value.
+    pub fn downcast<T: 'static>(&self) -> Option<&T> {
+        self.payload.downcast_ref::<T>()
+    }
+}
+
+impl fmt::Debug for ExtValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ExtValue({})", self.tag)
+    }
+}
+
+impl Value {
+    /// Builds a primitive value with no collected arguments.
+    pub fn prim(p: Prim) -> Value {
+        Value::Prim(p, Rc::new(Vec::new()))
+    }
+
+    /// Builds a cons cell.
+    pub fn pair(head: Value, tail: Value) -> Value {
+        Value::Pair(Rc::new(head), Tail::new(tail))
+    }
+
+    /// Builds a proper list.
+    pub fn list(items: impl IntoIterator<Item = Value>) -> Value {
+        let items: Vec<Value> = items.into_iter().collect();
+        items.into_iter().rev().fold(Value::Nil, |tail, head| Value::pair(head, tail))
+    }
+
+    /// A short name for the value's kind, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "integer",
+            Value::Bool(_) => "boolean",
+            Value::Str(_) => "string",
+            Value::Unit => "unit",
+            Value::Nil => "empty list",
+            Value::Pair(..) => "pair",
+            Value::Closure(_) => "function",
+            Value::Prim(..) => "primitive",
+            Value::Thunk(_) => "thunk",
+            Value::Loc(_) => "location",
+            Value::Ext(e) => e.tag,
+        }
+    }
+
+    /// Whether this value is a member of the paper's basic-value domain
+    /// `Bas` (plus lists of basic values, which the §8 examples treat as
+    /// observable).
+    pub fn is_basic(&self) -> bool {
+        // Iterative along cons tails, so arbitrarily long lists are fine
+        // (heads recurse; deeply left-nested pairs are not a list shape).
+        let mut cur = self;
+        loop {
+            match cur {
+                Value::Int(_) | Value::Bool(_) | Value::Str(_) | Value::Unit | Value::Nil => {
+                    return true
+                }
+                Value::Pair(h, t) => {
+                    if !h.is_basic() {
+                        return false;
+                    }
+                    cur = t;
+                }
+                Value::Closure(_) | Value::Prim(..) | Value::Thunk(_) | Value::Loc(_)
+                | Value::Ext(_) => return false,
+            }
+        }
+    }
+
+    /// Collects a proper list into a vector; `None` for improper lists or
+    /// non-lists.
+    pub fn iter_list(&self) -> Option<Vec<&Value>> {
+        let mut out = Vec::new();
+        let mut cur = self;
+        loop {
+            match cur {
+                Value::Nil => return Some(out),
+                Value::Pair(h, t) => {
+                    out.push(h.as_ref());
+                    cur = t;
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+/// Structural equality on observable values.
+///
+/// Functions compare by identity (two closures are equal only if they are
+/// the *same* closure); thunks never compare equal. This is exactly the
+/// equality the soundness theorem (§7) needs: answers drawn from `Bas`
+/// compare structurally.
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Unit, Value::Unit) => true,
+            (Value::Nil, Value::Nil) => true,
+            (Value::Pair(..), Value::Pair(..)) => {
+                // Iterative along tails, so long lists compare without
+                // exhausting the stack.
+                let (mut x, mut y) = (self, other);
+                loop {
+                    match (x, y) {
+                        (Value::Pair(h1, t1), Value::Pair(h2, t2)) => {
+                            if h1 != h2 {
+                                return false;
+                            }
+                            x = t1;
+                            y = t2;
+                        }
+                        _ => return x == y,
+                    }
+                }
+            }
+            (Value::Closure(a), Value::Closure(b)) => Rc::ptr_eq(a, b),
+            (Value::Prim(a, xs), Value::Prim(b, ys)) => a == b && xs == ys,
+            (Value::Loc(a), Value::Loc(b)) => a == b,
+            (Value::Ext(a), Value::Ext(b)) => Rc::ptr_eq(&a.payload, &b.payload),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Unit => f.write_str("()"),
+            Value::Nil => f.write_str("[]"),
+            Value::Pair(..) => {
+                if let Some(items) = self.iter_list() {
+                    f.write_str("[")?;
+                    for (i, v) in items.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{v}")?;
+                    }
+                    f.write_str("]")
+                } else if let Value::Pair(h, t) = self {
+                    write!(f, "({h} . {})", &**t)
+                } else {
+                    unreachable!()
+                }
+            }
+            Value::Closure(c) => write!(f, "<function:{}>", c.param),
+            Value::Prim(p, args) if args.is_empty() => write!(f, "<primitive:{p}>"),
+            Value::Prim(p, args) => write!(f, "<primitive:{p}/{}>", args.len()),
+            Value::Thunk(_) => f.write_str("<thunk>"),
+            Value::Loc(l) => write!(f, "<loc:{l}>"),
+            Value::Ext(e) => write!(f, "<{}>", e.tag),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lists_display_like_source_literals() {
+        let v = Value::list([Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(v.to_string(), "[1, 2, 3]");
+        assert_eq!(Value::Nil.to_string(), "[]");
+    }
+
+    #[test]
+    fn improper_pairs_display_with_a_dot() {
+        let v = Value::pair(Value::Int(1), Value::Int(2));
+        assert_eq!(v.to_string(), "(1 . 2)");
+    }
+
+    #[test]
+    fn structural_equality_on_ground_values() {
+        assert_eq!(
+            Value::list([Value::Int(1), Value::Int(2)]),
+            Value::list([Value::Int(1), Value::Int(2)])
+        );
+        assert_ne!(Value::Int(1), Value::Bool(true));
+        assert_ne!(Value::Nil, Value::Unit);
+    }
+
+    #[test]
+    fn closures_compare_by_identity() {
+        let c = Rc::new(Closure {
+            param: Ident::new("x"),
+            body: Rc::new(Expr::var("x")),
+            env: Env::empty(),
+        });
+        let a = Value::Closure(c.clone());
+        let b = Value::Closure(c);
+        assert_eq!(a, b);
+        let other = Value::Closure(Rc::new(Closure {
+            param: Ident::new("x"),
+            body: Rc::new(Expr::var("x")),
+            env: Env::empty(),
+        }));
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn is_basic_rejects_functions_inside_lists() {
+        let fun = Value::prim(Prim::Add);
+        assert!(!Value::pair(Value::Int(1), fun).is_basic());
+        assert!(Value::list([Value::Int(1)]).is_basic());
+    }
+
+    #[test]
+    fn iter_list_rejects_improper_lists() {
+        assert!(Value::pair(Value::Int(1), Value::Int(2)).iter_list().is_none());
+        assert_eq!(Value::Nil.iter_list(), Some(vec![]));
+    }
+}

@@ -1,0 +1,160 @@
+//! The monitoring answer algebra (Definition 4.1).
+//!
+//! The standard answer algebra's operations `φᵢ : A*ᵢ → Ans` are composed
+//! with the **answer transformer**
+//!
+//! ```text
+//! θ : Ans → Ans̄        θ α = λσ. ⟨α, σ⟩
+//! ```
+//!
+//! giving `φ̄ᵢ = θ ∘ φᵢ` into `Ans̄ = MS → (Ans × MS)`. Its one-sided
+//! inverse `θ⁻¹ ᾱ = (ᾱ σ)↓₁` (σ arbitrary) recovers the standard answer;
+//! `θ⁻¹ ∘ θ = id` is Lemma 7.3's engine and is tested below.
+//!
+//! These combinators make the §7 statements *executable*: the soundness
+//! harness really does compare `(fix G)⟦s⟧ / Ans_std` against
+//! `θ⁻¹((fix Ḡ)⟦s̄⟧) / Ans_mon`.
+
+use monsem_core::answer::AnswerAlgebra;
+use monsem_core::error::EvalError;
+use monsem_core::Value;
+
+/// The function type inside a [`MonAnswer`]: `MS → (Ans × MS)` with
+/// evaluation errors as the implementation's bottom.
+pub type AnswerFn<A, S> = dyn Fn(S) -> Result<(A, S), EvalError>;
+
+/// A monitoring answer: `MS → (Ans × MS)`, with evaluation errors
+/// propagated through `Result` (the implementation's bottom).
+pub struct MonAnswer<A, S> {
+    run: Box<AnswerFn<A, S>>,
+    _marker: std::marker::PhantomData<A>,
+}
+
+impl<A, S> MonAnswer<A, S> {
+    /// Wraps a state transformer as a monitoring answer.
+    pub fn new(run: impl Fn(S) -> Result<(A, S), EvalError> + 'static) -> Self {
+        MonAnswer { run: Box::new(run), _marker: std::marker::PhantomData }
+    }
+
+    /// Applies the monitoring answer to an initial state.
+    ///
+    /// # Errors
+    ///
+    /// Whatever error the underlying evaluation produced.
+    pub fn apply(&self, sigma: S) -> Result<(A, S), EvalError> {
+        (self.run)(sigma)
+    }
+}
+
+/// The answer transformer `θ α = λσ.⟨α, σ⟩`.
+pub fn theta<A: Clone + 'static, S: 'static>(alpha: A) -> MonAnswer<A, S> {
+    MonAnswer::new(move |sigma| Ok((alpha.clone(), sigma)))
+}
+
+/// `θ⁻¹ ᾱ = (ᾱ σ)↓₁` for an arbitrary σ.
+///
+/// # Errors
+///
+/// Whatever error the monitoring answer produces.
+pub fn theta_inv<A, S>(abar: &MonAnswer<A, S>, arbitrary_sigma: S) -> Result<A, EvalError> {
+    abar.apply(arbitrary_sigma).map(|(a, _)| a)
+}
+
+/// The derived monitoring answer algebra `Ans_mon = [Ans̄; {θ∘φᵢ}]`
+/// (Definition 4.1), wrapping a standard algebra.
+pub struct MonAnswerAlgebra<Alg> {
+    inner: Alg,
+}
+
+impl<Alg> MonAnswerAlgebra<Alg> {
+    /// Derives the monitoring algebra from a standard one.
+    pub fn new(inner: Alg) -> Self {
+        MonAnswerAlgebra { inner }
+    }
+}
+
+impl<Alg> MonAnswerAlgebra<Alg>
+where
+    Alg: AnswerAlgebra,
+    Alg::Ans: Clone + 'static,
+{
+    /// `φ̄ = θ ∘ φ`.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the underlying `φ` rejects.
+    pub fn phi_bar<S: 'static>(&self, v: Value) -> Result<MonAnswer<Alg::Ans, S>, EvalError> {
+        let alpha = self.inner.phi(v)?;
+        Ok(theta(alpha))
+    }
+}
+
+/// The relation `R` of Definition 7.4: two monitoring answers are related
+/// iff their first projections agree for **all** initial states. We check
+/// it on a caller-supplied sample of states (universally quantified
+/// checking being the property tests' job).
+pub fn related<A: PartialEq, S: Clone>(
+    a1: &MonAnswer<A, S>,
+    a2: &MonAnswer<A, S>,
+    sample_states: &[S],
+) -> bool {
+    sample_states.iter().all(|s1| {
+        sample_states.iter().all(|s2| {
+            match (a1.apply(s1.clone()), a2.apply(s2.clone())) {
+                (Ok((x, _)), Ok((y, _))) => x == y,
+                (Err(e1), Err(e2)) => e1 == e2,
+                _ => false,
+            }
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_core::answer::BasAnswer;
+
+    #[test]
+    fn theta_pairs_the_answer_with_the_state() {
+        let abar: MonAnswer<i64, Vec<u8>> = theta(42);
+        assert_eq!(abar.apply(vec![7]).unwrap(), (42, vec![7]));
+    }
+
+    #[test]
+    fn theta_inv_theta_is_identity() {
+        for alpha in [0i64, -3, 999] {
+            let abar: MonAnswer<i64, u8> = theta(alpha);
+            assert_eq!(theta_inv(&abar, 0).unwrap(), alpha);
+            // σ is arbitrary:
+            assert_eq!(theta_inv(&abar, 255).unwrap(), alpha);
+        }
+    }
+
+    #[test]
+    fn derived_algebra_composes_theta_with_phi() {
+        let alg = MonAnswerAlgebra::new(BasAnswer);
+        let abar = alg.phi_bar::<u8>(Value::Int(5)).unwrap();
+        assert_eq!(abar.apply(9).unwrap(), (Value::Int(5), 9));
+        assert!(alg.phi_bar::<u8>(Value::prim(monsem_core::prims::Prim::Add)).is_err());
+    }
+
+    #[test]
+    fn relation_r_ignores_states_but_not_answers() {
+        let a: MonAnswer<i64, u8> = theta(1);
+        let b: MonAnswer<i64, u8> = theta(1);
+        let c: MonAnswer<i64, u8> = theta(2);
+        let states = [0u8, 1, 2];
+        assert!(related(&a, &b, &states));
+        assert!(!related(&a, &c, &states));
+    }
+
+    #[test]
+    fn relation_r_is_invariant_under_state_transformers() {
+        // Lemma 7.5: ᾱ₁ R ᾱ₂ ⟺ ᾱ₁ R (ᾱ₂ ∘ v).
+        let a: MonAnswer<i64, u8> = theta(1);
+        let b_composed: MonAnswer<i64, u8> =
+            MonAnswer::new(move |sigma: u8| Ok((1, sigma.wrapping_add(13))));
+        let states = [0u8, 100, 200];
+        assert!(related(&a, &b_composed, &states));
+    }
+}

@@ -1,0 +1,496 @@
+//! Monitor composition (§6).
+//!
+//! "With the simple constraint that the annotation syntaxes are disjoint,
+//! monitors may be composed in such a way that they are guaranteed not to
+//! interfere with each other."
+//!
+//! Two realizations:
+//!
+//! * [`Compose`] — the typed cascade of Figure 5. `Compose<M1, M2>` has
+//!   state `(MS₁, MS₂)`, the product the paper's answer domain
+//!   `MS₂ → ((Ans × MS₁) × MS₂)` carries. Because a monitor can read the
+//!   state of monitors *before* it in the cascade, `M2`'s hooks receive a
+//!   [`Scope`] as usual and may be given `M1`'s state via
+//!   [`Compose::observing`] (the paper: "a monitor could monitor the
+//!   behavior of the monitors before it in the cascade").
+//! * [`MonitorStack`] — a dynamic cascade of boxed monitors, built with
+//!   the `&` operator exactly as the paper's §9.2 environment builds
+//!   `profile & debug & strict`.
+//!
+//! Both check the §6 disjointness requirement: an annotation accepted by
+//! two layers is a specification error, reported eagerly by
+//! [`MonitorStack::check_disjoint`] and (optionally) at runtime.
+
+use crate::scope::Scope;
+use crate::spec::{DynMonitor, DynState, Monitor};
+use monsem_core::Value;
+use monsem_syntax::{Annotation, Expr};
+use std::ops::BitAnd;
+
+/// The typed cascade of two monitors (Figure 5): first `M1` is derived
+/// over the standard semantics, then `M2` over the result.
+///
+/// ```
+/// use monsem_monitor::{machine::eval_monitored, Compose};
+/// use monsem_monitor::spec::IdentityMonitor;
+/// use monsem_syntax::parse_expr;
+/// let prog = parse_expr("{p}:(1 + 1)")?;
+/// let cascade = Compose::new(IdentityMonitor, IdentityMonitor);
+/// let (answer, ((), ())) = eval_monitored(&prog, &cascade)?;
+/// assert_eq!(answer.to_string(), "2");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Compose<M1, M2> {
+    /// The inner monitor (derived first).
+    pub first: M1,
+    /// The outer monitor (derived over the monitored semantics).
+    pub second: M2,
+    name: String,
+}
+
+impl<M1: Monitor, M2: Monitor> Compose<M1, M2> {
+    /// Cascades `second` over `first`.
+    pub fn new(first: M1, second: M2) -> Self {
+        let name = format!("{} & {}", first.name(), second.name());
+        Compose { first, second, name }
+    }
+
+    /// Gives the outer monitor a view of the inner monitor's state *at
+    /// this moment* — see [`ObservedPre`] for the hook shape.
+    ///
+    /// This is deliberately a read-only affordance: `M2` may observe
+    /// `MS₁` but never write it, which is what keeps cascades
+    /// interference-free.
+    pub fn observing(self) -> ObservingCompose<M1, M2> {
+        ObservingCompose(self)
+    }
+}
+
+impl<M1: Monitor, M2: Monitor> Monitor for Compose<M1, M2> {
+    type State = (M1::State, M2::State);
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        self.first.accepts(ann) || self.second.accepts(ann)
+    }
+
+    fn initial_state(&self) -> Self::State {
+        (self.first.initial_state(), self.second.initial_state())
+    }
+
+    fn pre(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        (s1, s2): Self::State,
+    ) -> Self::State {
+        let s1 = if self.first.accepts(ann) { self.first.pre(ann, expr, scope, s1) } else { s1 };
+        let s2 = if self.second.accepts(ann) { self.second.pre(ann, expr, scope, s2) } else { s2 };
+        (s1, s2)
+    }
+
+    fn post(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        (s1, s2): Self::State,
+    ) -> Self::State {
+        // Post-processing unnests: the outer monitor's updPost wraps the
+        // inner one's (Figure 5), so M2 sees the state after M1 ran.
+        let s1 =
+            if self.first.accepts(ann) { self.first.post(ann, expr, scope, value, s1) } else { s1 };
+        let s2 = if self.second.accepts(ann) {
+            self.second.post(ann, expr, scope, value, s2)
+        } else {
+            s2
+        };
+        (s1, s2)
+    }
+
+    fn render_state(&self, (s1, s2): &Self::State) -> String {
+        format!(
+            "{}: {}\n{}: {}",
+            self.first.name(),
+            self.first.render_state(s1),
+            self.second.name(),
+            self.second.render_state(s2)
+        )
+    }
+}
+
+/// A monitor whose outer hooks receive the inner monitor's current state —
+/// the §6 remark that "a monitor could monitor the behavior of the
+/// monitors before it in the cascade" made concrete.
+///
+/// Implement [`ObservedPre`] for `M2` to receive `MS₁`.
+#[derive(Debug, Clone)]
+pub struct ObservingCompose<M1, M2>(Compose<M1, M2>);
+
+/// Optional extension implemented by outer monitors that want to observe
+/// the inner monitor's state.
+pub trait ObservedPre<Inner>: Monitor {
+    /// Like [`Monitor::pre`], with the inner monitor state in view.
+    fn pre_observing(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        inner: &Inner,
+        state: Self::State,
+    ) -> Self::State;
+}
+
+impl<M1, M2> Monitor for ObservingCompose<M1, M2>
+where
+    M1: Monitor,
+    M2: ObservedPre<M1::State>,
+{
+    type State = (M1::State, M2::State);
+
+    fn name(&self) -> &str {
+        Monitor::name(&self.0)
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        Monitor::accepts(&self.0, ann)
+    }
+
+    fn initial_state(&self) -> Self::State {
+        self.0.initial_state()
+    }
+
+    fn pre(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        (s1, s2): Self::State,
+    ) -> Self::State {
+        let s1 =
+            if self.0.first.accepts(ann) { self.0.first.pre(ann, expr, scope, s1) } else { s1 };
+        let s2 = if self.0.second.accepts(ann) {
+            self.0.second.pre_observing(ann, expr, scope, &s1, s2)
+        } else {
+            s2
+        };
+        (s1, s2)
+    }
+
+    fn post(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        state: Self::State,
+    ) -> Self::State {
+        self.0.post(ann, expr, scope, value, state)
+    }
+
+    fn render_state(&self, state: &Self::State) -> String {
+        self.0.render_state(state)
+    }
+}
+
+/// A dynamic cascade of monitors, in cascade order (innermost first).
+///
+/// Built with the `&` operator on boxed monitors:
+///
+/// ```
+/// use monsem_monitor::compose::{boxed, MonitorStack};
+/// use monsem_monitor::spec::IdentityMonitor;
+///
+/// let tools: MonitorStack = boxed(IdentityMonitor) & boxed(IdentityMonitor);
+/// assert_eq!(tools.len(), 2);
+/// ```
+pub struct MonitorStack {
+    monitors: Vec<Box<dyn DynMonitor>>,
+}
+
+/// Boxes a monitor for use in a [`MonitorStack`].
+pub fn boxed<M: Monitor + 'static>(monitor: M) -> Box<dyn DynMonitor> {
+    Box::new(monitor)
+}
+
+impl MonitorStack {
+    /// A stack with a single monitor.
+    pub fn single(monitor: Box<dyn DynMonitor>) -> Self {
+        MonitorStack { monitors: vec![monitor] }
+    }
+
+    /// An empty stack (the identity of `&`).
+    pub fn empty() -> Self {
+        MonitorStack { monitors: Vec::new() }
+    }
+
+    /// Appends a monitor as the new outermost layer.
+    pub fn push(mut self, monitor: Box<dyn DynMonitor>) -> Self {
+        self.monitors.push(monitor);
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// Whether the stack has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.monitors.is_empty()
+    }
+
+    /// The layers, innermost first.
+    pub fn layers(&self) -> &[Box<dyn DynMonitor>] {
+        &self.monitors
+    }
+
+    /// Checks the §6 disjointness requirement against a concrete program:
+    /// every annotation must be accepted by **at most one** layer.
+    ///
+    /// # Errors
+    ///
+    /// The offending annotation and the two claiming layers.
+    pub fn check_disjoint(&self, program: &Expr) -> Result<(), DisjointnessError> {
+        for ann in program.annotations() {
+            let claimants: Vec<&str> = self
+                .monitors
+                .iter()
+                .filter(|m| m.accepts(ann))
+                .map(|m| m.name())
+                .collect();
+            if claimants.len() > 1 {
+                return Err(DisjointnessError {
+                    annotation: ann.clone(),
+                    first: claimants[0].to_string(),
+                    second: claimants[1].to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Violation of the §6 disjointness requirement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisjointnessError {
+    /// The annotation claimed twice.
+    pub annotation: Annotation,
+    /// First claiming monitor.
+    pub first: String,
+    /// Second claiming monitor.
+    pub second: String,
+}
+
+impl std::fmt::Display for DisjointnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "annotation {} is claimed by both `{}` and `{}` — cascaded monitors must have \
+             disjoint annotation syntaxes (§6)",
+            self.annotation, self.first, self.second
+        )
+    }
+}
+
+impl std::error::Error for DisjointnessError {}
+
+impl Monitor for MonitorStack {
+    type State = Vec<DynState>;
+
+    fn name(&self) -> &str {
+        "monitor-stack"
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        self.monitors.iter().any(|m| m.accepts(ann))
+    }
+
+    fn initial_state(&self) -> Self::State {
+        self.monitors.iter().map(|m| m.initial_state_dyn()).collect()
+    }
+
+    fn pre(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        mut states: Self::State,
+    ) -> Self::State {
+        for (m, s) in self.monitors.iter().zip(states.iter_mut()) {
+            if m.accepts(ann) {
+                *s = m.pre_dyn(ann, expr, scope, s.clone());
+            }
+        }
+        states
+    }
+
+    fn post(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        mut states: Self::State,
+    ) -> Self::State {
+        for (m, s) in self.monitors.iter().zip(states.iter_mut()) {
+            if m.accepts(ann) {
+                *s = m.post_dyn(ann, expr, scope, value, s.clone());
+            }
+        }
+        states
+    }
+
+    fn render_state(&self, states: &Self::State) -> String {
+        self.monitors
+            .iter()
+            .zip(states.iter())
+            .map(|(m, s)| format!("{}: {}", m.name(), m.render_state_dyn(s)))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl BitAnd<Box<dyn DynMonitor>> for Box<dyn DynMonitor> {
+    type Output = MonitorStack;
+
+    fn bitand(self, rhs: Box<dyn DynMonitor>) -> MonitorStack {
+        MonitorStack::single(self).push(rhs)
+    }
+}
+
+impl BitAnd<Box<dyn DynMonitor>> for MonitorStack {
+    type Output = MonitorStack;
+
+    fn bitand(self, rhs: Box<dyn DynMonitor>) -> MonitorStack {
+        self.push(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::eval_monitored;
+    use monsem_syntax::{parse_expr, Namespace};
+
+    /// Counts annotations in one namespace.
+    #[derive(Debug, Clone)]
+    struct NsCounter {
+        ns: Namespace,
+        label: &'static str,
+    }
+    impl NsCounter {
+        fn new(ns: &str, label: &'static str) -> Self {
+            NsCounter { ns: Namespace::new(ns), label }
+        }
+    }
+    impl Monitor for NsCounter {
+        type State = u32;
+        fn name(&self) -> &str {
+            self.label
+        }
+        fn accepts(&self, ann: &Annotation) -> bool {
+            ann.namespace == self.ns
+        }
+        fn initial_state(&self) -> u32 {
+            0
+        }
+        fn pre(&self, _: &Annotation, _: &Expr, _: &Scope<'_>, n: u32) -> u32 {
+            n + 1
+        }
+    }
+
+    const DOUBLY: &str = "letrec f = lambda x. {a/one}:({b/two}:(x + 1)) in f ({a/one}:41)";
+
+    #[test]
+    fn typed_cascade_separates_states() {
+        let e = parse_expr(DOUBLY).unwrap();
+        let m = Compose::new(NsCounter::new("a", "A"), NsCounter::new("b", "B"));
+        let (v, (a, b)) = eval_monitored(&e, &m).unwrap();
+        assert_eq!(v, Value::Int(42));
+        assert_eq!((a, b), (2, 1));
+    }
+
+    #[test]
+    fn dynamic_stack_matches_the_typed_cascade() {
+        let e = parse_expr(DOUBLY).unwrap();
+        let stack = boxed(NsCounter::new("a", "A")) & boxed(NsCounter::new("b", "B"));
+        stack.check_disjoint(&e).unwrap();
+        let (v, states) = eval_monitored(&e, &stack).unwrap();
+        assert_eq!(v, Value::Int(42));
+        assert_eq!(states[0].downcast::<u32>(), Some(2));
+        assert_eq!(states[1].downcast::<u32>(), Some(1));
+    }
+
+    #[test]
+    fn disjointness_violations_are_reported() {
+        let e = parse_expr("{a/x}:1").unwrap();
+        let stack = boxed(NsCounter::new("a", "first")) & boxed(NsCounter::new("a", "second"));
+        let err = stack.check_disjoint(&e).unwrap_err();
+        assert_eq!(err.first, "first");
+        assert_eq!(err.second, "second");
+        assert!(err.to_string().contains("disjoint"));
+    }
+
+    #[test]
+    fn composition_does_not_change_the_answer() {
+        let e = parse_expr(DOUBLY).unwrap();
+        let plain = monsem_core::machine::eval(&e).unwrap();
+        let m = Compose::new(NsCounter::new("a", "A"), NsCounter::new("b", "B"));
+        let (v, _) = eval_monitored(&e, &m).unwrap();
+        assert_eq!(v, plain);
+    }
+
+    #[test]
+    fn observing_compose_lets_the_outer_monitor_read_inner_state() {
+        /// Records the inner counter's value at each of its own events.
+        #[derive(Debug, Clone)]
+        struct Snapshots;
+        impl Monitor for Snapshots {
+            type State = Vec<u32>;
+            fn name(&self) -> &str {
+                "snapshots"
+            }
+            fn accepts(&self, ann: &Annotation) -> bool {
+                ann.namespace == Namespace::new("b")
+            }
+            fn initial_state(&self) -> Vec<u32> {
+                Vec::new()
+            }
+        }
+        impl ObservedPre<u32> for Snapshots {
+            fn pre_observing(
+                &self,
+                _: &Annotation,
+                _: &Expr,
+                _: &Scope<'_>,
+                inner: &u32,
+                mut s: Vec<u32>,
+            ) -> Vec<u32> {
+                s.push(*inner);
+                s
+            }
+        }
+        let e = parse_expr(DOUBLY).unwrap();
+        let m = Compose::new(NsCounter::new("a", "A"), Snapshots).observing();
+        let (_, (a, snaps)) = eval_monitored(&e, &m).unwrap();
+        assert_eq!(a, 2);
+        // {b/two} fires once, inside the second {a/one} — it sees 2.
+        assert_eq!(snaps, vec![2]);
+    }
+
+    #[test]
+    fn render_state_names_every_layer() {
+        let stack = boxed(NsCounter::new("a", "A")) & boxed(NsCounter::new("b", "B"));
+        let s = stack.initial_state();
+        let rendered = stack.render_state(&s);
+        assert!(rendered.contains("A: 0"));
+        assert!(rendered.contains("B: 0"));
+    }
+}

@@ -1,0 +1,326 @@
+//! The monitored lazy language module — the §9.2 integration of the
+//! monitoring semantics with call-by-need evaluation.
+//!
+//! Derived from [`monsem_core::lazy`] by the Definition 4.2 construction:
+//! one extra transition for `{μ}:e` and one `κ_post` frame; everything
+//! else inherits. Note that under call-by-need an annotation inside a
+//! never-forced binding never fires — monitoring reflects the actual
+//! demand-driven evaluation order, which is precisely what a lazy tracer
+//! is for.
+
+use crate::scope::Scope;
+use crate::spec::Monitor;
+use monsem_core::env::{Env, LetrecPlan};
+use monsem_core::error::EvalError;
+use monsem_core::machine::{constant, EvalOptions};
+use monsem_core::prims::Prim;
+use monsem_core::value::{Closure, ThunkRef, ThunkState, Value};
+use monsem_syntax::{Annotation, Binding, Expr};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[derive(Debug)]
+enum Frame {
+    ApplyTo { arg: Rc<Expr>, env: Env },
+    Branch { then: Rc<Expr>, els: Rc<Expr>, env: Env },
+    Update(ThunkRef),
+    PrimArgs { prim: Prim, args: Vec<Value>, index: usize },
+    Discard { second: Rc<Expr>, env: Env },
+    Post { ann: Annotation, expr: Rc<Expr>, env: Env },
+}
+
+enum State {
+    Eval(Rc<Expr>, Env),
+    Continue(Value),
+}
+
+/// Evaluates the annotated program call-by-need under monitor `m`.
+///
+/// # Errors
+///
+/// Any [`EvalError`] the program provokes.
+pub fn eval_monitored_lazy<M: Monitor>(
+    expr: &Expr,
+    monitor: &M,
+) -> Result<(Value, M::State), EvalError> {
+    eval_monitored_lazy_with(
+        expr,
+        &Env::empty(),
+        monitor,
+        monitor.initial_state(),
+        &EvalOptions::default(),
+    )
+}
+
+/// Full-control variant of [`eval_monitored_lazy`].
+///
+/// # Errors
+///
+/// Any [`EvalError`], including [`EvalError::FuelExhausted`].
+pub fn eval_monitored_lazy_with<M: Monitor>(
+    expr: &Expr,
+    env: &Env,
+    monitor: &M,
+    sigma: M::State,
+    options: &EvalOptions,
+) -> Result<(Value, M::State), EvalError> {
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut state = State::Eval(Rc::new(expr.clone()), env.clone());
+    let mut sigma = sigma;
+    let mut fuel = options.fuel;
+
+    loop {
+        if fuel == 0 {
+            return Err(EvalError::FuelExhausted);
+        }
+        fuel -= 1;
+
+        state = match state {
+            State::Eval(expr, env) => match &*expr {
+                Expr::Ann(ann, inner) => {
+                    if monitor.accepts(ann) {
+                        sigma = monitor.pre(ann, inner, &Scope::pure(&env), sigma);
+                        stack.push(Frame::Post {
+                            ann: ann.clone(),
+                            expr: inner.clone(),
+                            env: env.clone(),
+                        });
+                    }
+                    State::Eval(inner.clone(), env)
+                }
+                Expr::Con(c) => State::Continue(constant(c)),
+                Expr::Var(x) => match env.lookup(x) {
+                    Some(Value::Thunk(t)) => force(t, &mut stack)?,
+                    Some(v) => State::Continue(v),
+                    None => return Err(EvalError::UnboundVariable(x.clone())),
+                },
+                Expr::Lambda(l) => State::Continue(Value::Closure(Rc::new(Closure {
+                    param: l.param.clone(),
+                    body: l.body.clone(),
+                    env: env.clone(),
+                }))),
+                Expr::If(c, t, e) => {
+                    stack.push(Frame::Branch { then: t.clone(), els: e.clone(), env: env.clone() });
+                    State::Eval(c.clone(), env)
+                }
+                Expr::App(f, a) => {
+                    stack.push(Frame::ApplyTo { arg: a.clone(), env: env.clone() });
+                    State::Eval(f.clone(), env)
+                }
+                Expr::Let(x, v, b) => {
+                    let t = suspend(v.clone(), env.clone());
+                    State::Eval(b.clone(), env.extend(x.clone(), t))
+                }
+                Expr::Letrec(bs, body) => State::Eval(body.clone(), letrec_env(bs, &env)),
+                Expr::Seq(a, b) => {
+                    stack.push(Frame::Discard { second: b.clone(), env: env.clone() });
+                    State::Eval(a.clone(), env)
+                }
+                Expr::Assign(..) => {
+                    return Err(EvalError::UnsupportedConstruct("assignment"))
+                }
+                Expr::While(..) => return Err(EvalError::UnsupportedConstruct("while")),
+            },
+            State::Continue(value) => match stack.pop() {
+                None => return Ok((value, sigma)),
+                Some(Frame::Post { ann, expr, env }) => {
+                    sigma = monitor.post(&ann, &expr, &Scope::pure(&env), &value, sigma);
+                    State::Continue(value)
+                }
+                Some(Frame::ApplyTo { arg, env }) => match value {
+                    Value::Closure(c) => {
+                        let t = suspend(arg, env);
+                        State::Eval(c.body.clone(), c.env.extend(c.param.clone(), t))
+                    }
+                    Value::Prim(p, collected) => {
+                        let mut args = collected.as_ref().clone();
+                        args.push(suspend(arg, env));
+                        if args.len() == p.arity() {
+                            prim_step(p, args, &mut stack)?
+                        } else {
+                            State::Continue(Value::Prim(p, Rc::new(args)))
+                        }
+                    }
+                    other => return Err(EvalError::NotAFunction(other)),
+                },
+                Some(Frame::Branch { then, els, env }) => match value {
+                    Value::Bool(true) => State::Eval(then, env),
+                    Value::Bool(false) => State::Eval(els, env),
+                    other => return Err(EvalError::NonBooleanCondition(other.to_string())),
+                },
+                Some(Frame::Update(t)) => {
+                    *t.borrow_mut() = ThunkState::Forced(value.clone());
+                    State::Continue(value)
+                }
+                Some(Frame::PrimArgs { prim, mut args, index }) => {
+                    args[index] = value;
+                    prim_step(prim, args, &mut stack)?
+                }
+                Some(Frame::Discard { second, env }) => State::Eval(second, env),
+            },
+        };
+    }
+}
+
+fn suspend(expr: Rc<Expr>, env: Env) -> Value {
+    if let Expr::Con(c) = &*expr {
+        return constant(c);
+    }
+    Value::Thunk(Rc::new(RefCell::new(ThunkState::Pending { expr, env })))
+}
+
+fn force(t: ThunkRef, stack: &mut Vec<Frame>) -> Result<State, EvalError> {
+    let taken = {
+        let mut state = t.borrow_mut();
+        match &*state {
+            ThunkState::Forced(v) => return Ok(State::Continue(v.clone())),
+            ThunkState::InProgress => return Err(EvalError::BlackHole),
+            ThunkState::Pending { .. } => {
+                std::mem::replace(&mut *state, ThunkState::InProgress)
+            }
+        }
+    };
+    match taken {
+        ThunkState::Pending { expr, env } => {
+            stack.push(Frame::Update(t));
+            Ok(State::Eval(expr, env))
+        }
+        _ => unreachable!("checked above"),
+    }
+}
+
+fn prim_step(prim: Prim, mut args: Vec<Value>, stack: &mut Vec<Frame>) -> Result<State, EvalError> {
+    let mut i = 0;
+    while i < args.len() {
+        if let Value::Thunk(t) = &args[i] {
+            let t = t.clone();
+            let forced = {
+                let state = t.borrow();
+                match &*state {
+                    ThunkState::Forced(v) => Some(v.clone()),
+                    ThunkState::InProgress => return Err(EvalError::BlackHole),
+                    ThunkState::Pending { .. } => None,
+                }
+            };
+            match forced {
+                Some(v) => {
+                    args[i] = v;
+                    continue;
+                }
+                None => {
+                    stack.push(Frame::PrimArgs { prim, args: args.clone(), index: i });
+                    return force(t, stack);
+                }
+            }
+        }
+        i += 1;
+    }
+    Ok(State::Continue(prim.apply(&args)?))
+}
+
+fn letrec_env(bs: &[Binding], env: &Env) -> Env {
+    let plan = LetrecPlan::of(bs);
+    let mut env = env.clone();
+    let mut created: Vec<ThunkRef> = Vec::new();
+    let suspend_binding = |env: &Env, b: &Binding, created: &mut Vec<ThunkRef>| {
+        match suspend(b.value.clone(), Env::empty()) {
+            Value::Thunk(t) => {
+                created.push(t.clone());
+                env.extend(b.name.clone(), Value::Thunk(t))
+            }
+            constant_value => env.extend(b.name.clone(), constant_value),
+        }
+    };
+    for b in &plan.ordered[..plan.values] {
+        env = suspend_binding(&env, b, &mut created);
+    }
+    env = plan.push_rec(&env);
+    for b in &plan.ordered[plan.values..] {
+        env = suspend_binding(&env, b, &mut created);
+    }
+    for t in created {
+        let mut state = t.borrow_mut();
+        if let ThunkState::Pending { env: thunk_env, .. } = &mut *state {
+            *thunk_env = env.clone();
+        }
+    }
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_core::lazy::eval_lazy;
+    use monsem_syntax::parse_expr;
+
+    #[derive(Debug, Clone, Default)]
+    struct Log;
+    impl Monitor for Log {
+        type State = Vec<String>;
+        fn name(&self) -> &str {
+            "log"
+        }
+        fn initial_state(&self) -> Vec<String> {
+            Vec::new()
+        }
+        fn pre(&self, a: &Annotation, _: &Expr, _: &Scope<'_>, mut s: Vec<String>) -> Vec<String> {
+            s.push(format!("pre {}", a.name()));
+            s
+        }
+        fn post(
+            &self,
+            a: &Annotation,
+            _: &Expr,
+            _: &Scope<'_>,
+            v: &Value,
+            mut s: Vec<String>,
+        ) -> Vec<String> {
+            s.push(format!("post {} = {v}", a.name()));
+            s
+        }
+    }
+
+    #[test]
+    fn answers_match_the_unmonitored_lazy_machine() {
+        let e = parse_expr(
+            "letrec fac = lambda x. {f}:if x = 0 then 1 else x * (fac (x - 1)) in fac 5",
+        )
+        .unwrap();
+        let (v, _) = eval_monitored_lazy(&e, &Log).unwrap();
+        assert_eq!(Ok(v), eval_lazy(&e));
+    }
+
+    #[test]
+    fn unused_annotated_argument_never_fires_the_monitor() {
+        let e = parse_expr("(lambda x. 1) ({never}:(2 + 3))").unwrap();
+        let (v, log) = eval_monitored_lazy(&e, &Log).unwrap();
+        assert_eq!(v, Value::Int(1));
+        assert!(log.is_empty(), "monitor fired on unused binding: {log:?}");
+    }
+
+    #[test]
+    fn forced_annotated_argument_fires_exactly_once_despite_two_uses() {
+        let e = parse_expr("(lambda x. x + x) ({once}:(2 + 3))").unwrap();
+        let (v, log) = eval_monitored_lazy(&e, &Log).unwrap();
+        assert_eq!(v, Value::Int(10));
+        assert_eq!(log, vec!["pre once".to_string(), "post once = 5".to_string()]);
+    }
+
+    #[test]
+    fn demand_order_shows_in_the_event_log() {
+        // `y` is demanded before `x` because `+` forces left-to-right but
+        // the outer expression is `y + x`... make it explicit:
+        let e = parse_expr(
+            "let x = {x}:1 in let y = {y}:2 in y + x",
+        )
+        .unwrap();
+        let (_, log) = eval_monitored_lazy(&e, &Log).unwrap();
+        assert_eq!(
+            log,
+            vec!["pre y", "post y = 2", "pre x", "post x = 1"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        );
+    }
+}

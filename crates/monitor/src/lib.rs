@@ -1,0 +1,82 @@
+//! **Parameterized monitoring semantics** — the core contribution of
+//! *Monitoring Semantics: A Formal Framework for Specifying, Implementing,
+//! and Reasoning about Execution Monitors* (Kishon, Hudak, Consel, PLDI
+//! 1991), reproduced in Rust.
+//!
+//! The paper derives, from any continuation semantics, a *monitoring
+//! semantics* in which the meaning of a program is a function
+//! `MS → (Ans × MS)`: given an initial monitor state it produces the
+//! original answer **unchanged** together with the accumulated monitoring
+//! information. The derivation is parameterized by a *monitor
+//! specification* `Mon = (MSyn, MAlg, MFun)` (Definition 5.1):
+//!
+//! * **MSyn** — which annotations `{μ}:e` the monitor reacts to
+//!   ([`Monitor::accepts`]);
+//! * **MAlg** — the monitor-state domain `MS` ([`Monitor::State`]);
+//! * **MFun** — the pre/post monitoring functions
+//!   `M_pre : Ann → S → A* → MS → MS` and
+//!   `M_post : Ann → S → A* → A*' → MS → MS`
+//!   ([`Monitor::pre`], [`Monitor::post`]).
+//!
+//! Module map:
+//!
+//! * [`spec`] — the [`Monitor`] trait and the identity monitor;
+//! * [`scope`] — the semantic context `A*` handed to monitoring functions
+//!   (environment, plus the store in the imperative module);
+//! * [`machine`] — the monitored strict evaluator (Figure 3), derived from
+//!   the standard machine by adding exactly one transition (`{μ}:e`) and
+//!   one frame (`κ_post`);
+//! * [`lazy`] / [`imperative`] — monitored §9.2 language modules;
+//! * [`answer`] — the answer transformer `θ` and monitoring answer algebra
+//!   (Definition 4.1);
+//! * [`compose`] — monitor composition (§6): typed cascades
+//!   ([`Compose`]) and the dynamic [`compose::MonitorStack`] built with
+//!   the `&` operator, as in the paper's
+//!   `evaluate (profile & debug & strict) prog`;
+//! * [`soundness`] — executable form of Theorem 7.7, used by the property
+//!   tests;
+//! * [`session`] — the §9.2 programming environment tying language modules
+//!   and monitor toolboxes together.
+//!
+//! # Example: a one-off counting monitor
+//!
+//! ```
+//! use monsem_monitor::{machine::eval_monitored, scope::Scope, Monitor};
+//! use monsem_syntax::{parse_expr, Annotation, Expr};
+//! use monsem_core::Value;
+//!
+//! /// Counts evaluations of annotated expressions.
+//! struct CountAll;
+//! impl Monitor for CountAll {
+//!     type State = u64;
+//!     fn name(&self) -> &str { "count-all" }
+//!     fn initial_state(&self) -> u64 { 0 }
+//!     fn pre(&self, _: &Annotation, _: &Expr, _: &Scope<'_>, n: u64) -> u64 { n + 1 }
+//! }
+//!
+//! let prog = parse_expr(
+//!     "letrec fac = lambda x. if (x = 0) then {A}:1 else {B}:(x * (fac (x - 1))) in fac 5",
+//! )?;
+//! let (answer, count) = eval_monitored(&prog, &CountAll)?;
+//! assert_eq!(answer, Value::Int(120)); // soundness: the answer is unchanged
+//! assert_eq!(count, 6);                // {A} once, {B} five times
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod answer;
+pub mod compose;
+pub mod imperative;
+pub mod lazy;
+pub mod machine;
+pub mod scope;
+pub mod session;
+pub mod soundness;
+pub mod spec;
+
+pub use compose::{Compose, MonitorStack};
+pub use machine::{eval_monitored, eval_monitored_with};
+pub use scope::Scope;
+pub use spec::{DynMonitor, IdentityMonitor, Monitor};

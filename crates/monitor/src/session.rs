@@ -1,0 +1,319 @@
+//! The §9.2 programming environment.
+//!
+//! "The implementation provides a generic programming environment which
+//! allows automatic integration of monitoring tools with several language
+//! modules (lazy, strict and imperative languages). … the user simply
+//! types `evaluate (profile & debug & strict) prog`."
+//!
+//! [`Session`] is that environment: pick a [`LanguageModule`], stack
+//! monitors with `&` (see [`MonitorStack`]), and [`Session::run`] a
+//! program. The result is a [`Report`]: the program's answer plus every
+//! monitor's final state, with the §6 disjointness requirement checked up
+//! front.
+
+use crate::compose::{DisjointnessError, MonitorStack};
+use crate::imperative::eval_monitored_imperative_with;
+use crate::lazy::eval_monitored_lazy_with;
+use crate::machine::eval_monitored_with;
+use crate::spec::{DynMonitor, DynState, Monitor};
+use monsem_core::error::EvalError;
+use monsem_core::machine::EvalOptions;
+use monsem_core::{Env, Value};
+use monsem_syntax::{parse_program, Expr, ParseError};
+use std::fmt;
+
+/// Which language module interprets the program (§9.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LanguageModule {
+    /// Call-by-value (the paper's `strict`).
+    #[default]
+    Strict,
+    /// Call-by-need (the paper's `lazy`).
+    Lazy,
+    /// Store-threading with assignment and loops.
+    Imperative,
+}
+
+/// A configured monitoring session.
+pub struct Session {
+    language: LanguageModule,
+    tools: MonitorStack,
+    options: EvalOptions,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A strict session with no monitors.
+    pub fn new() -> Self {
+        Session {
+            language: LanguageModule::Strict,
+            tools: MonitorStack::empty(),
+            options: EvalOptions::default(),
+        }
+    }
+
+    /// Selects the language module.
+    pub fn language(mut self, language: LanguageModule) -> Self {
+        self.language = language;
+        self
+    }
+
+    /// Adds a monitor as the outermost cascade layer.
+    pub fn monitor(mut self, monitor: Box<dyn DynMonitor>) -> Self {
+        self.tools = self.tools.push(monitor);
+        self
+    }
+
+    /// Installs a whole stack at once (replacing any previous tools).
+    pub fn tools(mut self, tools: MonitorStack) -> Self {
+        self.tools = tools;
+        self
+    }
+
+    /// Sets evaluation options (fuel).
+    pub fn options(mut self, options: EvalOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Parses and runs a source program.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError`] on parse failure, §6 disjointness violations, or
+    /// evaluation errors.
+    pub fn run(&self, src: &str) -> Result<Report, SessionError> {
+        let prog = parse_program(src)?;
+        self.run_expr(&prog)
+    }
+
+    /// Runs an already-parsed program.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError`] on §6 disjointness violations or evaluation errors.
+    pub fn run_expr(&self, prog: &Expr) -> Result<Report, SessionError> {
+        self.tools.check_disjoint(prog)?;
+        let sigma = self.tools.initial_state();
+        let (answer, states) = match self.language {
+            LanguageModule::Strict => {
+                eval_monitored_with(prog, &Env::empty(), &self.tools, sigma, &self.options)?
+            }
+            LanguageModule::Lazy => {
+                eval_monitored_lazy_with(prog, &Env::empty(), &self.tools, sigma, &self.options)?
+            }
+            LanguageModule::Imperative => {
+                let (v, s, _store) = eval_monitored_imperative_with(
+                    prog,
+                    &Env::empty(),
+                    &self.tools,
+                    sigma,
+                    &self.options,
+                )?;
+                (v, s)
+            }
+        };
+        let entries = self
+            .tools
+            .layers()
+            .iter()
+            .zip(states)
+            .map(|(m, s)| ReportEntry {
+                monitor: m.name().to_string(),
+                rendered: m.render_state_dyn(&s),
+                state: s,
+            })
+            .collect();
+        Ok(Report { answer, entries })
+    }
+}
+
+/// The §9.2 one-liner: `evaluate(profile & debug, Strict, prog)`.
+///
+/// # Errors
+///
+/// See [`Session::run_expr`].
+pub fn evaluate(
+    tools: MonitorStack,
+    language: LanguageModule,
+    prog: &Expr,
+) -> Result<Report, SessionError> {
+    Session::new().language(language).tools(tools).run_expr(prog)
+}
+
+/// One monitor's contribution to a [`Report`].
+#[derive(Debug)]
+pub struct ReportEntry {
+    /// Monitor name.
+    pub monitor: String,
+    /// Human-readable final state.
+    pub rendered: String,
+    /// The raw final state (downcast with [`DynState::downcast`]).
+    pub state: DynState,
+}
+
+/// The outcome of a monitored run: the answer plus every monitor's final
+/// state.
+#[derive(Debug)]
+pub struct Report {
+    /// The program's answer — by Theorem 7.7, identical to what the
+    /// unmonitored language module produces.
+    pub answer: Value,
+    /// Per-monitor final states, in cascade order.
+    pub entries: Vec<ReportEntry>,
+}
+
+impl Report {
+    /// The final state of the named monitor.
+    pub fn state_of(&self, monitor: &str) -> Option<&DynState> {
+        self.entries.iter().find(|e| e.monitor == monitor).map(|e| &e.state)
+    }
+
+    /// The rendered state of the named monitor.
+    pub fn rendered_of(&self, monitor: &str) -> Option<&str> {
+        self.entries.iter().find(|e| e.monitor == monitor).map(|e| e.rendered.as_str())
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "answer: {}", self.answer)?;
+        for e in &self.entries {
+            writeln!(f, "--- {} ---", e.monitor)?;
+            writeln!(f, "{}", e.rendered)?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors a session can produce.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The source did not parse.
+    Parse(ParseError),
+    /// Two monitors claimed the same annotation (§6).
+    Disjointness(DisjointnessError),
+    /// The program failed to evaluate.
+    Eval(EvalError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Parse(e) => write!(f, "{e}"),
+            SessionError::Disjointness(e) => write!(f, "{e}"),
+            SessionError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Parse(e) => Some(e),
+            SessionError::Disjointness(e) => Some(e),
+            SessionError::Eval(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for SessionError {
+    fn from(e: ParseError) -> Self {
+        SessionError::Parse(e)
+    }
+}
+
+impl From<DisjointnessError> for SessionError {
+    fn from(e: DisjointnessError) -> Self {
+        SessionError::Disjointness(e)
+    }
+}
+
+impl From<EvalError> for SessionError {
+    fn from(e: EvalError) -> Self {
+        SessionError::Eval(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::boxed;
+    use crate::scope::Scope;
+    use monsem_syntax::{Annotation, Namespace};
+
+    #[derive(Debug, Clone)]
+    struct NsCounter(Namespace, &'static str);
+    impl Monitor for NsCounter {
+        type State = u32;
+        fn name(&self) -> &str {
+            self.1
+        }
+        fn accepts(&self, ann: &Annotation) -> bool {
+            ann.namespace == self.0
+        }
+        fn initial_state(&self) -> u32 {
+            0
+        }
+        fn pre(&self, _: &Annotation, _: &Expr, _: &Scope<'_>, n: u32) -> u32 {
+            n + 1
+        }
+    }
+
+    #[test]
+    fn session_runs_with_stacked_tools_across_modules() {
+        let src = "letrec f = lambda x. {a/hit}:({b/hit}:(x + 1)) in f 41";
+        for lang in [LanguageModule::Strict, LanguageModule::Lazy, LanguageModule::Imperative] {
+            let report = Session::new()
+                .language(lang)
+                .monitor(boxed(NsCounter(Namespace::new("a"), "count-a")))
+                .monitor(boxed(NsCounter(Namespace::new("b"), "count-b")))
+                .run(src)
+                .unwrap();
+            assert_eq!(report.answer, Value::Int(42), "{lang:?}");
+            assert_eq!(report.state_of("count-a").unwrap().downcast::<u32>(), Some(1));
+            assert_eq!(report.rendered_of("count-b"), Some("1"));
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_session_errors() {
+        let err = Session::new().run("if without then").unwrap_err();
+        assert!(matches!(err, SessionError::Parse(_)));
+    }
+
+    #[test]
+    fn disjointness_is_checked_before_running() {
+        let err = Session::new()
+            .monitor(boxed(NsCounter(Namespace::new("a"), "one")))
+            .monitor(boxed(NsCounter(Namespace::new("a"), "two")))
+            .run("{a/x}:1")
+            .unwrap_err();
+        assert!(matches!(err, SessionError::Disjointness(_)));
+    }
+
+    #[test]
+    fn imperative_module_runs_imperative_programs() {
+        let report = Session::new()
+            .language(LanguageModule::Imperative)
+            .run("let x = 0 in while x < 4 do x := x + 1 end; x")
+            .unwrap();
+        assert_eq!(report.answer, Value::Int(4));
+    }
+
+    #[test]
+    fn report_displays_every_monitor() {
+        let report = Session::new()
+            .monitor(boxed(NsCounter(Namespace::anonymous(), "anon")))
+            .run("{hit}:1")
+            .unwrap();
+        let shown = report.to_string();
+        assert!(shown.contains("answer: 1"));
+        assert!(shown.contains("--- anon ---"));
+    }
+}

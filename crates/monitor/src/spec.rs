@@ -1,0 +1,262 @@
+//! Monitor specifications (Definition 5.1).
+//!
+//! A monitor is a triple `Mon = (MSyn, MAlg, MFun)`. The [`Monitor`] trait
+//! packages the three components: the annotation syntax the monitor reacts
+//! to, the monitor-state algebra, and the pair of monitoring functions.
+//! Monitoring functions are *pure state transformers* `MS → MS` — the
+//! paper's §7 proof leans on exactly this (they are Reynolds-"trivial"
+//! functions, so composing them with a continuation cannot change the
+//! final answer).
+
+use crate::scope::Scope;
+use monsem_core::Value;
+use monsem_syntax::{Annotation, Expr};
+use std::any::Any;
+use std::fmt;
+use std::rc::Rc;
+
+/// A monitor specification.
+///
+/// The default implementations make the common cases tiny: a monitor that
+/// only gathers information *before* evaluation implements just
+/// [`Monitor::pre`] (like the Figure 6 profiler); one that reacts to
+/// results implements just [`Monitor::post`] (like the Figure 8 demon and
+/// Figure 9 collecting monitor).
+pub trait Monitor {
+    /// **MAlg** — the monitor-state domain `MS`.
+    type State: Clone + fmt::Debug + 'static;
+
+    /// A short name (used by composition diagnostics and session reports).
+    fn name(&self) -> &str;
+
+    /// **MSyn** — whether the annotation belongs to this monitor's syntax.
+    ///
+    /// The default accepts everything; cascaded monitors (§6) must narrow
+    /// this so that annotation syntaxes stay disjoint (use
+    /// [`Annotation::namespace`] or the shape of
+    /// [`Annotation::kind`](monsem_syntax::AnnKind)).
+    fn accepts(&self, ann: &Annotation) -> bool {
+        let _ = ann;
+        true
+    }
+
+    /// The initial (presumably empty) monitor state `σ`.
+    fn initial_state(&self) -> Self::State;
+
+    /// **MFun** — `M_pre ⟦μ⟧ ⟦s⟧ a* : MS → MS`, invoked just *before* the
+    /// annotated expression is evaluated.
+    fn pre(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        state: Self::State,
+    ) -> Self::State {
+        let _ = (ann, expr, scope);
+        state
+    }
+
+    /// **MFun** — `M_post ⟦μ⟧ ⟦s⟧ a* ι* : MS → MS`, invoked just *after*,
+    /// with the intermediate result `ι*` that flows into the continuation.
+    fn post(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        state: Self::State,
+    ) -> Self::State {
+        let _ = (ann, expr, scope, value);
+        state
+    }
+
+    /// Renders a final monitor state for human consumption (session
+    /// reports, examples). Defaults to the `Debug` form.
+    fn render_state(&self, state: &Self::State) -> String {
+        format!("{state:?}")
+    }
+}
+
+/// The identity monitor: empty state, identity monitoring functions.
+///
+/// Instantiating the monitoring semantics with this monitor yields the
+/// standard semantics back — the degenerate case of Theorem 7.7, used by
+/// tests and as the unit of composition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdentityMonitor;
+
+impl Monitor for IdentityMonitor {
+    type State = ();
+
+    fn name(&self) -> &str {
+        "identity"
+    }
+
+    fn initial_state(&self) {}
+}
+
+/// An object-safe view of a monitor, with the state erased to
+/// `Rc<dyn Any>`. This is what [`MonitorStack`](crate::MonitorStack) and
+/// the [`session`](crate::session) environment traffic in.
+pub trait DynMonitor {
+    /// See [`Monitor::name`].
+    fn name(&self) -> &str;
+    /// See [`Monitor::accepts`].
+    fn accepts(&self, ann: &Annotation) -> bool;
+    /// See [`Monitor::initial_state`].
+    fn initial_state_dyn(&self) -> DynState;
+    /// See [`Monitor::pre`].
+    fn pre_dyn(&self, ann: &Annotation, expr: &Expr, scope: &Scope<'_>, state: DynState)
+        -> DynState;
+    /// See [`Monitor::post`].
+    fn post_dyn(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        state: DynState,
+    ) -> DynState;
+    /// See [`Monitor::render_state`].
+    fn render_state_dyn(&self, state: &DynState) -> String;
+}
+
+/// A type-erased monitor state.
+#[derive(Clone)]
+pub struct DynState(Rc<dyn Any>);
+
+impl DynState {
+    /// Wraps a concrete state.
+    pub fn new<S: 'static>(state: S) -> Self {
+        DynState(Rc::new(state))
+    }
+
+    /// Recovers the concrete state.
+    pub fn downcast<S: 'static + Clone>(&self) -> Option<S> {
+        self.0.downcast_ref::<S>().cloned()
+    }
+}
+
+impl fmt::Debug for DynState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("DynState(..)")
+    }
+}
+
+impl<M: Monitor> DynMonitor for M {
+    fn name(&self) -> &str {
+        Monitor::name(self)
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        Monitor::accepts(self, ann)
+    }
+
+    fn initial_state_dyn(&self) -> DynState {
+        DynState::new(self.initial_state())
+    }
+
+    fn pre_dyn(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        state: DynState,
+    ) -> DynState {
+        let s: M::State = state
+            .downcast()
+            .expect("monitor state type mismatch: a DynState must round-trip through its own monitor");
+        DynState::new(self.pre(ann, expr, scope, s))
+    }
+
+    fn post_dyn(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        state: DynState,
+    ) -> DynState {
+        let s: M::State = state
+            .downcast()
+            .expect("monitor state type mismatch: a DynState must round-trip through its own monitor");
+        DynState::new(self.post(ann, expr, scope, value, s))
+    }
+
+    fn render_state_dyn(&self, state: &DynState) -> String {
+        match state.downcast::<M::State>() {
+            Some(s) => self.render_state(&s),
+            None => "<foreign state>".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_core::Env;
+
+    #[derive(Debug, Clone, Copy, Default)]
+    struct Count;
+    impl Monitor for Count {
+        type State = u32;
+        fn name(&self) -> &str {
+            "count"
+        }
+        fn initial_state(&self) -> u32 {
+            0
+        }
+        fn pre(&self, _: &Annotation, _: &Expr, _: &Scope<'_>, n: u32) -> u32 {
+            n + 1
+        }
+    }
+
+    #[test]
+    fn identity_monitor_does_nothing() {
+        let m = IdentityMonitor;
+        let env = Env::empty();
+        let scope = Scope::pure(&env);
+        let ann = Annotation::label("A");
+        let e = Expr::int(1);
+        m.initial_state();
+        m.pre(&ann, &e, &scope, ());
+        m.post(&ann, &e, &scope, &Value::Int(1), ());
+    }
+
+    #[test]
+    fn dyn_monitor_round_trips_state() {
+        let m = Count;
+        let env = Env::empty();
+        let scope = Scope::pure(&env);
+        let ann = Annotation::label("A");
+        let e = Expr::int(1);
+        let s0 = DynMonitor::initial_state_dyn(&m);
+        let s1 = m.pre_dyn(&ann, &e, &scope, s0);
+        let s2 = m.pre_dyn(&ann, &e, &scope, s1);
+        assert_eq!(s2.downcast::<u32>(), Some(2));
+        assert_eq!(m.render_state_dyn(&s2), "2");
+    }
+
+    #[test]
+    fn default_hooks_are_identity() {
+        #[derive(Debug)]
+        struct Passive;
+        impl Monitor for Passive {
+            type State = String;
+            fn name(&self) -> &str {
+                "passive"
+            }
+            fn initial_state(&self) -> String {
+                "s".into()
+            }
+        }
+        let env = Env::empty();
+        let scope = Scope::pure(&env);
+        let ann = Annotation::label("A");
+        let e = Expr::int(1);
+        let s = Passive.pre(&ann, &e, &scope, "x".into());
+        assert_eq!(s, "x");
+        let s = Passive.post(&ann, &e, &scope, &Value::Int(1), s);
+        assert_eq!(s, "x");
+    }
+}

@@ -1,0 +1,152 @@
+//! A dynamic call-graph monitor (toolbox extension).
+//!
+//! Uses the same `{f(x…)}:` header annotations as the Figure 7 tracer,
+//! but instead of printing, it accumulates the *call multigraph*: how
+//! many times each caller invoked each callee. The bracketing guarantee
+//! of pre/post events (§4.3) makes the caller stack exact.
+
+use monsem_core::Value;
+use monsem_monitor::scope::Scope;
+use monsem_monitor::Monitor;
+use monsem_syntax::{AnnKind, Annotation, Expr, Ident, Namespace};
+use std::collections::BTreeMap;
+
+/// The accumulated call graph plus the active call stack.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CallGraphState {
+    /// `(caller, callee) → count`; the root pseudo-caller is `None`.
+    pub edges: BTreeMap<(Option<Ident>, Ident), u64>,
+    stack: Vec<Ident>,
+}
+
+impl CallGraphState {
+    /// Calls from `caller` (`None` for top level) to `callee`.
+    pub fn calls(&self, caller: Option<&str>, callee: &str) -> u64 {
+        self.edges
+            .get(&(caller.map(Ident::new), Ident::new(callee)))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total number of monitored calls.
+    pub fn total_calls(&self) -> u64 {
+        self.edges.values().sum()
+    }
+
+    /// Deepest nesting reached is not tracked; the *current* depth is —
+    /// zero again once evaluation finishes.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+/// The call-graph monitor.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    namespace: Namespace,
+}
+
+impl CallGraph {
+    /// A call-graph monitor on anonymous-namespace headers.
+    pub fn new() -> Self {
+        CallGraph::default()
+    }
+
+    /// Restricts to one namespace.
+    pub fn in_namespace(namespace: Namespace) -> Self {
+        CallGraph { namespace }
+    }
+}
+
+impl Monitor for CallGraph {
+    type State = CallGraphState;
+
+    fn name(&self) -> &str {
+        "call-graph"
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        ann.namespace == self.namespace && matches!(ann.kind, AnnKind::FunHeader { .. })
+    }
+
+    fn initial_state(&self) -> CallGraphState {
+        CallGraphState::default()
+    }
+
+    fn pre(
+        &self,
+        ann: &Annotation,
+        _: &Expr,
+        _: &Scope<'_>,
+        mut s: CallGraphState,
+    ) -> CallGraphState {
+        let callee = ann.name().clone();
+        let caller = s.stack.last().cloned();
+        *s.edges.entry((caller, callee.clone())).or_insert(0) += 1;
+        s.stack.push(callee);
+        s
+    }
+
+    fn post(
+        &self,
+        _: &Annotation,
+        _: &Expr,
+        _: &Scope<'_>,
+        _: &Value,
+        mut s: CallGraphState,
+    ) -> CallGraphState {
+        s.stack.pop();
+        s
+    }
+
+    fn render_state(&self, s: &CallGraphState) -> String {
+        s.edges
+            .iter()
+            .map(|((caller, callee), n)| {
+                let from = caller.as_ref().map(Ident::as_str).unwrap_or("<top>");
+                format!("{from} → {callee}: {n}")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_core::programs;
+    use monsem_monitor::machine::eval_monitored;
+
+    #[test]
+    fn builds_the_fac_mul_call_graph() {
+        let (_, g) = eval_monitored(&programs::fac_mul_traced(3), &CallGraph::new()).unwrap();
+        assert_eq!(g.calls(None, "fac"), 1, "{g:?}");
+        assert_eq!(g.calls(Some("fac"), "fac"), 3);
+        assert_eq!(g.calls(Some("fac"), "mul"), 3);
+        assert_eq!(g.calls(None, "mul"), 0);
+        assert_eq!(g.total_calls(), 7);
+        assert_eq!(g.depth(), 0, "stack unwound completely");
+    }
+
+    #[test]
+    fn render_lists_edges() {
+        let (_, g) = eval_monitored(&programs::fac_mul_traced(2), &CallGraph::new()).unwrap();
+        let shown = CallGraph::new().render_state(&g);
+        assert!(shown.contains("<top> → fac: 1"));
+        assert!(shown.contains("fac → mul: 2"));
+    }
+
+    #[test]
+    fn mutual_recursion_edges() {
+        let prog = monsem_syntax::parse_expr(
+            "letrec even = lambda n. {even(n)}:if n = 0 then true else odd (n - 1) \
+             and odd = lambda n. {odd(n)}:if n = 0 then false else even (n - 1) \
+             in even 4",
+        )
+        .unwrap();
+        let (_, g) = eval_monitored(&prog, &CallGraph::new()).unwrap();
+        assert_eq!(g.calls(Some("even"), "odd"), 2);
+        assert_eq!(g.calls(Some("odd"), "even"), 2);
+        assert_eq!(g.calls(None, "even"), 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! The collecting monitor (§8, Figure 9) — a collecting interpretation à
+//! la Hudak & Young: "what are all possible values to which an expression
+//! might evaluate during program execution?"
+//!
+//! Monitor state: an *interpretations environment* `MS = Ide → {V}`. The
+//! post-monitoring function is `σ[x ↦ σ(x) ∪ {v}]`.
+
+use monsem_core::Value;
+use monsem_monitor::scope::Scope;
+use monsem_monitor::Monitor;
+use monsem_syntax::{AnnKind, Annotation, Expr, Ident, Namespace};
+use std::collections::BTreeMap;
+
+/// The interpretations environment `Ide → {V}`.
+///
+/// Values are kept insertion-ordered and deduplicated structurally (the
+/// paper's sets; `Value` is not `Ord`, so a vector-backed set is used).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Interpretations(BTreeMap<Ident, Vec<Value>>);
+
+impl Interpretations {
+    /// The values observed for `x`, in first-seen order.
+    pub fn values_of(&self, x: &Ident) -> &[Value] {
+        self.0.get(x).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// `σ[x ↦ σ(x) ∪ {v}]`.
+    pub fn insert(mut self, x: &Ident, v: &Value) -> Self {
+        let set = self.0.entry(x.clone()).or_default();
+        if !set.iter().any(|seen| seen == v) {
+            set.push(v.clone());
+        }
+        self
+    }
+
+    /// Tagged names in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Ident, &[Value])> {
+        self.0.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// Number of tagged names observed.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no tagged expression was evaluated.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// The Figure 9 collecting monitor: each expression of interest is tagged
+/// with a name; the monitor accumulates the set of values produced there.
+///
+/// For the paper's `fac 3` program the final state is
+/// `[test ↦ {true, false}, n ↦ {1, 2, 3}]`.
+///
+/// ```
+/// use monsem_monitor::machine::eval_monitored;
+/// use monsem_monitors::Collecting;
+/// use monsem_core::Value;
+/// use monsem_syntax::{parse_expr, Ident};
+/// let prog = parse_expr("letrec f = lambda x. {v}:(x * x) in f 2 + f 3")?;
+/// let (_, seen) = eval_monitored(&prog, &Collecting::new())?;
+/// assert_eq!(seen.values_of(&Ident::new("v")), &[Value::Int(9), Value::Int(4)]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Collecting {
+    namespace: Namespace,
+}
+
+impl Collecting {
+    /// A collecting monitor on anonymous-namespace labels.
+    pub fn new() -> Self {
+        Collecting::default()
+    }
+
+    /// Restricts to one namespace (for cascades, §6).
+    pub fn in_namespace(namespace: Namespace) -> Self {
+        Collecting { namespace }
+    }
+}
+
+impl Monitor for Collecting {
+    type State = Interpretations;
+
+    fn name(&self) -> &str {
+        "collecting"
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        ann.namespace == self.namespace && matches!(ann.kind, AnnKind::Label(_))
+    }
+
+    fn initial_state(&self) -> Interpretations {
+        Interpretations::default()
+    }
+
+    fn post(
+        &self,
+        ann: &Annotation,
+        _: &Expr,
+        _: &Scope<'_>,
+        value: &Value,
+        s: Interpretations,
+    ) -> Interpretations {
+        s.insert(ann.name(), value)
+    }
+
+    fn render_state(&self, s: &Interpretations) -> String {
+        let body = s
+            .iter()
+            .map(|(x, vs)| {
+                let set = vs.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ");
+                format!("{x} ↦ {{{set}}}")
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("[{body}]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_core::programs;
+    use monsem_monitor::machine::eval_monitored;
+    use monsem_syntax::parse_expr;
+
+    #[test]
+    fn section8_collecting_example() {
+        let (v, s) = eval_monitored(&programs::collecting_fac(3), &Collecting::new()).unwrap();
+        assert_eq!(v, Value::Int(6));
+        assert_eq!(
+            s.values_of(&Ident::new("test")),
+            &[Value::Bool(false), Value::Bool(true)]
+        );
+        // The argument-first application order (Fig. 2) reaches the
+        // innermost call's `n` first, so insertion order is 1, 2, 3 — the
+        // paper reports the same *set* {1, 2, 3}.
+        assert_eq!(
+            s.values_of(&Ident::new("n")),
+            &[Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
+        let rendered = Collecting::new().render_state(&s);
+        assert_eq!(rendered, "[n ↦ {1, 2, 3}, test ↦ {false, true}]");
+    }
+
+    #[test]
+    fn duplicate_values_are_collected_once() {
+        let e = parse_expr(
+            "letrec f = lambda x. {v}:(x * 0) in f 1 + f 2 + f 3",
+        )
+        .unwrap();
+        let (_, s) = eval_monitored(&e, &Collecting::new()).unwrap();
+        assert_eq!(s.values_of(&Ident::new("v")), &[Value::Int(0)]);
+    }
+
+    #[test]
+    fn collects_structured_values() {
+        let e = parse_expr("{l}:(1 : []) ++ {l}:(2 : [])").unwrap();
+        let (_, s) = eval_monitored(&e, &Collecting::new()).unwrap();
+        assert_eq!(
+            s.values_of(&Ident::new("l")),
+            &[Value::list([Value::Int(2)]), Value::list([Value::Int(1)])]
+        );
+    }
+
+    #[test]
+    fn empty_when_no_tags_fire() {
+        let e = parse_expr("if false then {dead}:1 else 2").unwrap();
+        let (_, s) = eval_monitored(&e, &Collecting::new()).unwrap();
+        assert!(s.is_empty());
+    }
+}

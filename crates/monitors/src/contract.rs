@@ -1,0 +1,286 @@
+//! Contract monitoring with predicates written in `L_λ` itself.
+//!
+//! The §8 demon fires on a predicate coded in the *host* language; this
+//! monitor lets the predicate be an *object-language* function
+//! `lambda v. <bool>` — the programmer states contracts in the language
+//! they are debugging. At each `{contract/name}:` point the monitor runs
+//! the registered predicate on the produced value in a fuel-bounded
+//! sub-evaluation; `false` (or a failing predicate) is recorded as a
+//! violation.
+//!
+//! The sub-evaluation happens entirely inside the monitor state
+//! transformer, so Theorem 7.7 still applies: contracts observe, they
+//! never change the program (a *failing* contract is reported, not
+//! raised).
+
+use monsem_core::error::EvalError;
+use monsem_core::machine::{eval_with, EvalOptions};
+use monsem_core::value::Value;
+use monsem_core::Env;
+use monsem_monitor::scope::Scope;
+use monsem_monitor::Monitor;
+use monsem_syntax::{parse_expr, AnnKind, Annotation, Expr, Ident, Namespace};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// What became of one contract check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// The predicate returned `true`.
+    Held,
+    /// The predicate returned `false` for this rendered value.
+    Violated(String),
+    /// The predicate itself failed (type error, fuel, …).
+    PredicateFailed(EvalError),
+}
+
+/// Accumulated results per contract name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ContractReport {
+    checks: BTreeMap<Ident, Vec<Verdict>>,
+    /// Annotated points with no registered contract.
+    pub unknown: Vec<Ident>,
+}
+
+impl ContractReport {
+    /// All verdicts for one contract, in evaluation order.
+    pub fn verdicts(&self, name: &str) -> &[Verdict] {
+        self.checks.get(&Ident::new(name)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The violations (and predicate failures) across all contracts.
+    pub fn violations(&self) -> Vec<(&Ident, &Verdict)> {
+        self.checks
+            .iter()
+            .flat_map(|(n, vs)| {
+                vs.iter().filter(|v| !matches!(v, Verdict::Held)).map(move |v| (n, v))
+            })
+            .collect()
+    }
+
+    /// Whether every check held.
+    pub fn all_held(&self) -> bool {
+        self.violations().is_empty() && self.unknown.is_empty()
+    }
+}
+
+/// The contract monitor: a table of named object-language predicates.
+pub struct ContractMonitor {
+    namespace: Namespace,
+    predicates: BTreeMap<Ident, Value>,
+    fuel: u64,
+}
+
+impl std::fmt::Debug for ContractMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContractMonitor")
+            .field("contracts", &self.predicates.keys().collect::<Vec<_>>())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for ContractMonitor {
+    fn default() -> Self {
+        ContractMonitor::new()
+    }
+}
+
+impl ContractMonitor {
+    /// An empty table on the `contract/` namespace.
+    pub fn new() -> Self {
+        ContractMonitor {
+            namespace: Namespace::new("contract"),
+            predicates: BTreeMap::new(),
+            fuel: 1_000_000,
+        }
+    }
+
+    /// Restricts to another namespace.
+    pub fn in_namespace(mut self, namespace: Namespace) -> Self {
+        self.namespace = namespace;
+        self
+    }
+
+    /// Bounds each predicate sub-evaluation (default: 10⁶ steps).
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Registers `name` with a predicate expression `lambda v. <bool>`
+    /// (parsed and evaluated to a function value now).
+    ///
+    /// # Errors
+    ///
+    /// Parse or evaluation errors in the predicate source.
+    pub fn contract(
+        mut self,
+        name: impl Into<Ident>,
+        predicate_src: &str,
+    ) -> Result<Self, Box<dyn std::error::Error>> {
+        let pred_expr = parse_expr(predicate_src)?;
+        let pred_value = eval_with(
+            &pred_expr,
+            &Env::empty(),
+            &EvalOptions::with_fuel(self.fuel),
+        )?;
+        self.predicates.insert(name.into(), pred_value);
+        Ok(self)
+    }
+
+    fn check(&self, name: &Ident, value: &Value) -> Option<Verdict> {
+        let pred = self.predicates.get(name)?;
+        // Apply the predicate closure to the value: `p v` with both bound
+        // in a scratch environment.
+        let env = Env::empty()
+            .extend(Ident::new("contract-pred"), pred.clone())
+            .extend(Ident::new("contract-value"), value.clone());
+        let call: Expr = Expr::App(
+            Rc::new(Expr::var("contract-pred")),
+            Rc::new(Expr::var("contract-value")),
+        );
+        Some(match eval_with(&call, &env, &EvalOptions::with_fuel(self.fuel)) {
+            Ok(Value::Bool(true)) => Verdict::Held,
+            Ok(Value::Bool(false)) => Verdict::Violated(value.to_string()),
+            Ok(other) => Verdict::PredicateFailed(EvalError::NonBooleanCondition(
+                other.to_string(),
+            )),
+            Err(e) => Verdict::PredicateFailed(e),
+        })
+    }
+}
+
+impl Monitor for ContractMonitor {
+    type State = ContractReport;
+
+    fn name(&self) -> &str {
+        "contracts"
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        ann.namespace == self.namespace && matches!(ann.kind, AnnKind::Label(_))
+    }
+
+    fn initial_state(&self) -> ContractReport {
+        ContractReport::default()
+    }
+
+    fn post(
+        &self,
+        ann: &Annotation,
+        _: &Expr,
+        _: &Scope<'_>,
+        value: &Value,
+        mut s: ContractReport,
+    ) -> ContractReport {
+        let name = ann.name().clone();
+        match self.check(&name, value) {
+            Some(verdict) => s.checks.entry(name).or_default().push(verdict),
+            None => {
+                if !s.unknown.contains(&name) {
+                    s.unknown.push(name);
+                }
+            }
+        }
+        s
+    }
+
+    fn render_state(&self, s: &ContractReport) -> String {
+        if s.all_held() {
+            let n: usize = s.checks.values().map(Vec::len).sum();
+            return format!("all contracts held ({n} checks)");
+        }
+        let mut lines = Vec::new();
+        for (name, verdict) in s.violations() {
+            match verdict {
+                Verdict::Violated(v) => lines.push(format!("{name} violated by {v}")),
+                Verdict::PredicateFailed(e) => {
+                    lines.push(format!("{name}: predicate failed: {e}"))
+                }
+                Verdict::Held => {}
+            }
+        }
+        for name in &s.unknown {
+            lines.push(format!("{name}: no contract registered"));
+        }
+        lines.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_monitor::machine::eval_monitored;
+
+    #[test]
+    fn object_language_contracts_check_values() {
+        let monitor = ContractMonitor::new()
+            .contract("positive", "lambda v. v > 0")
+            .unwrap()
+            .contract(
+                "sorted",
+                "letrec go = lambda l. if null? l then true else if null? (tl l) then true \
+                 else if (hd l) <= (hd (tl l)) then go (tl l) else false in go",
+            )
+            .unwrap();
+        let prog = parse_expr(
+            "{contract/positive}:(3 - 1) + length ({contract/sorted}:[1, 2, 3])",
+        )
+        .unwrap();
+        let (v, report) = eval_monitored(&prog, &monitor).unwrap();
+        assert_eq!(v, Value::Int(5));
+        assert!(report.all_held(), "{report:?}");
+        assert_eq!(report.verdicts("positive"), &[Verdict::Held]);
+    }
+
+    #[test]
+    fn violations_carry_the_offending_value() {
+        let monitor =
+            ContractMonitor::new().contract("positive", "lambda v. v > 0").unwrap();
+        let prog = parse_expr("{contract/positive}:(1 - 5)").unwrap();
+        let (v, report) = eval_monitored(&prog, &monitor).unwrap();
+        // The answer is untouched: contracts observe, they don't enforce.
+        assert_eq!(v, Value::Int(-4));
+        assert_eq!(
+            report.verdicts("positive"),
+            &[Verdict::Violated("-4".into())]
+        );
+        assert!(monitor.render_state(&report).contains("positive violated by -4"));
+    }
+
+    #[test]
+    fn predicate_failures_are_reported_not_raised() {
+        let monitor =
+            ContractMonitor::new().contract("broken", "lambda v. v + 1").unwrap();
+        let prog = parse_expr("{contract/broken}:true").unwrap();
+        let (v, report) = eval_monitored(&prog, &monitor).unwrap();
+        assert_eq!(v, Value::Bool(true));
+        assert!(matches!(
+            report.verdicts("broken"),
+            [Verdict::PredicateFailed(_)]
+        ));
+    }
+
+    #[test]
+    fn unregistered_points_are_flagged() {
+        let monitor = ContractMonitor::new();
+        let prog = parse_expr("{contract/ghost}:1").unwrap();
+        let (_, report) = eval_monitored(&prog, &monitor).unwrap();
+        assert_eq!(report.unknown, vec![Ident::new("ghost")]);
+        assert!(!report.all_held());
+    }
+
+    #[test]
+    fn nonterminating_predicates_are_cut_off() {
+        let monitor = ContractMonitor::new()
+            .with_fuel(10_000)
+            .contract("loop", "letrec f = lambda v. f v in f")
+            .unwrap();
+        let prog = parse_expr("{contract/loop}:1").unwrap();
+        let (_, report) = eval_monitored(&prog, &monitor).unwrap();
+        assert!(matches!(
+            report.verdicts("loop"),
+            [Verdict::PredicateFailed(EvalError::FuelExhausted)]
+        ));
+    }
+}

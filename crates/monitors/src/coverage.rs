@@ -1,0 +1,115 @@
+//! A coverage monitor (toolbox extension).
+//!
+//! Counts how many times each labelled program point is *reached*; a
+//! report against the program's full label set then lists the points that
+//! never executed. This is the profiler algebra put to a different
+//! question — a small demonstration of how cheaply new tools arise from
+//! monitor specifications.
+
+use monsem_monitor::scope::Scope;
+use monsem_monitor::Monitor;
+use monsem_syntax::{AnnKind, Annotation, Expr, Ident, Namespace};
+use std::collections::BTreeMap;
+
+/// Hit counts per label.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Hits(BTreeMap<Ident, u64>);
+
+impl Hits {
+    /// Times the label was reached.
+    pub fn hits(&self, label: &Ident) -> u64 {
+        self.0.get(label).copied().unwrap_or(0)
+    }
+
+    /// Labels reached at least once.
+    pub fn covered(&self) -> impl Iterator<Item = &Ident> {
+        self.0.keys()
+    }
+}
+
+/// The coverage monitor.
+#[derive(Debug, Clone, Default)]
+pub struct Coverage {
+    namespace: Namespace,
+}
+
+impl Coverage {
+    /// Coverage of anonymous-namespace labels.
+    pub fn new() -> Self {
+        Coverage::default()
+    }
+
+    /// Restricts to one namespace.
+    pub fn in_namespace(namespace: Namespace) -> Self {
+        Coverage { namespace }
+    }
+
+    /// The labels of `program` (in this monitor's namespace) that `hits`
+    /// never reached.
+    pub fn uncovered(&self, program: &Expr, hits: &Hits) -> Vec<Ident> {
+        let mut missing = Vec::new();
+        for ann in program.annotations() {
+            if self.accepts(ann) {
+                let label = ann.name();
+                if hits.hits(label) == 0 && !missing.contains(label) {
+                    missing.push(label.clone());
+                }
+            }
+        }
+        missing
+    }
+}
+
+impl Monitor for Coverage {
+    type State = Hits;
+
+    fn name(&self) -> &str {
+        "coverage"
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        ann.namespace == self.namespace && matches!(ann.kind, AnnKind::Label(_))
+    }
+
+    fn initial_state(&self) -> Hits {
+        Hits::default()
+    }
+
+    fn pre(&self, ann: &Annotation, _: &Expr, _: &Scope<'_>, mut s: Hits) -> Hits {
+        *s.0.entry(ann.name().clone()).or_insert(0) += 1;
+        s
+    }
+
+    fn render_state(&self, s: &Hits) -> String {
+        s.0.iter()
+            .map(|(l, n)| format!("{l}: {n}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_monitor::machine::eval_monitored;
+    use monsem_syntax::parse_expr;
+
+    #[test]
+    fn dead_branches_are_reported_uncovered() {
+        let e = parse_expr("if true then {live}:1 else {dead}:2").unwrap();
+        let cov = Coverage::new();
+        let (_, hits) = eval_monitored(&e, &cov).unwrap();
+        assert_eq!(hits.hits(&Ident::new("live")), 1);
+        assert_eq!(hits.hits(&Ident::new("dead")), 0);
+        assert_eq!(cov.uncovered(&e, &hits), vec![Ident::new("dead")]);
+    }
+
+    #[test]
+    fn full_coverage_reports_nothing() {
+        let e = parse_expr("{a}:1 + {b}:2").unwrap();
+        let cov = Coverage::new();
+        let (_, hits) = eval_monitored(&e, &cov).unwrap();
+        assert!(cov.uncovered(&e, &hits).is_empty());
+        assert_eq!(cov.render_state(&hits), "a: 1, b: 1");
+    }
+}

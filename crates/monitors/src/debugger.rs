@@ -1,0 +1,234 @@
+//! A scripted interactive debugger à la dbx (§9.2).
+//!
+//! §8 notes the framework "can also support interactive monitors (e.g.
+//! symbolic debuggers, steppers) by providing an input as well as an
+//! output stream to and from the monitor". That is exactly this monitor's
+//! state: a *command stream* (the input) and a *transcript* (the output).
+//! Running a program under the debugger is deterministic — a session is a
+//! pure function of the program and the script — which makes debugger
+//! sessions unit-testable.
+//!
+//! Execution stops at every accepted annotation ("breakpoint"); commands
+//! are consumed from the script until a [`Command::Continue`] (or the
+//! script runs dry, which continues implicitly).
+
+use monsem_core::Value;
+use monsem_monitor::scope::Scope;
+use monsem_monitor::Monitor;
+use monsem_syntax::{AnnKind, Annotation, Expr, Ident, Namespace};
+use std::collections::BTreeSet;
+
+/// Debugger commands — the input stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Print a variable's current value.
+    Print(Ident),
+    /// Show where execution is stopped (breakpoint label and expression).
+    Where,
+    /// Report this breakpoint's return value when it completes.
+    Finish,
+    /// Resume execution until the next breakpoint.
+    Continue,
+    /// Ignore all further breakpoints.
+    Disable,
+}
+
+/// The debugger session state: remaining input, transcript so far, and
+/// bookkeeping.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DebugSession {
+    script: Vec<Command>,
+    cursor: usize,
+    /// The output stream.
+    pub transcript: Vec<String>,
+    enabled: bool,
+    watching_returns: BTreeSet<Ident>,
+}
+
+impl DebugSession {
+    fn say(&mut self, line: String) {
+        self.transcript.push(line);
+    }
+
+    fn next_command(&mut self) -> Option<Command> {
+        let c = self.script.get(self.cursor).cloned();
+        if c.is_some() {
+            self.cursor += 1;
+        }
+        c
+    }
+}
+
+/// The scripted debugger monitor.
+#[derive(Debug, Clone)]
+pub struct Debugger {
+    namespace: Namespace,
+    script: Vec<Command>,
+}
+
+impl Debugger {
+    /// A debugger that stops at anonymous-namespace labels, driven by
+    /// `script`.
+    pub fn with_script(script: Vec<Command>) -> Self {
+        Debugger { namespace: Namespace::anonymous(), script }
+    }
+
+    /// Restricts breakpoints to one namespace.
+    pub fn in_namespace(mut self, namespace: Namespace) -> Self {
+        self.namespace = namespace;
+        self
+    }
+}
+
+impl Monitor for Debugger {
+    type State = DebugSession;
+
+    fn name(&self) -> &str {
+        "debugger"
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        ann.namespace == self.namespace && matches!(ann.kind, AnnKind::Label(_))
+    }
+
+    fn initial_state(&self) -> DebugSession {
+        DebugSession {
+            script: self.script.clone(),
+            cursor: 0,
+            transcript: Vec::new(),
+            enabled: true,
+            watching_returns: BTreeSet::new(),
+        }
+    }
+
+    fn pre(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        mut s: DebugSession,
+    ) -> DebugSession {
+        if !s.enabled {
+            return s;
+        }
+        let label = ann.name().clone();
+        s.say(format!("stopped at {{{label}}}"));
+        loop {
+            match s.next_command() {
+                Some(Command::Print(x)) => {
+                    let shown = scope.render(&x);
+                    s.say(format!("{x} = {shown}"));
+                }
+                Some(Command::Where) => {
+                    s.say(format!("at {{{label}}}: {expr}"));
+                }
+                Some(Command::Finish) => {
+                    s.watching_returns.insert(label.clone());
+                }
+                Some(Command::Continue) => break,
+                Some(Command::Disable) => {
+                    s.say("breakpoints disabled".to_string());
+                    s.enabled = false;
+                    break;
+                }
+                None => {
+                    s.say("(script exhausted — continuing)".to_string());
+                    s.enabled = false;
+                    break;
+                }
+            }
+        }
+        s
+    }
+
+    fn post(
+        &self,
+        ann: &Annotation,
+        _: &Expr,
+        _: &Scope<'_>,
+        value: &Value,
+        mut s: DebugSession,
+    ) -> DebugSession {
+        if s.watching_returns.contains(ann.name()) {
+            s.say(format!("{{{}}} returned {value}", ann.name()));
+        }
+        s
+    }
+
+    fn render_state(&self, s: &DebugSession) -> String {
+        s.transcript.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_monitor::machine::eval_monitored;
+    use monsem_syntax::parse_expr;
+
+    const PROG: &str = "letrec fac = lambda x. {fac}:if x = 0 then 1 else x * (fac (x - 1)) \
+                        in fac 2";
+
+    #[test]
+    fn scripted_session_is_deterministic_and_testable() {
+        let script = vec![
+            Command::Where,
+            Command::Print(Ident::new("x")),
+            Command::Finish,
+            Command::Continue,
+            Command::Print(Ident::new("x")),
+            Command::Continue,
+            Command::Disable,
+        ];
+        let dbg = Debugger::with_script(script);
+        let e = parse_expr(PROG).unwrap();
+        let (v, s) = eval_monitored(&e, &dbg).unwrap();
+        assert_eq!(v, Value::Int(2));
+        assert_eq!(
+            s.transcript,
+            vec![
+                "stopped at {fac}",
+                "at {fac}: if x = 0 then 1 else x * fac (x - 1)",
+                "x = 2",
+                "stopped at {fac}",
+                "x = 1",
+                "stopped at {fac}",
+                "breakpoints disabled",
+                "{fac} returned 1",
+                "{fac} returned 1",
+                "{fac} returned 2",
+            ]
+        );
+    }
+
+    #[test]
+    fn exhausted_script_continues_silently_after_notice() {
+        let dbg = Debugger::with_script(vec![Command::Continue]);
+        let e = parse_expr(PROG).unwrap();
+        let (_, s) = eval_monitored(&e, &dbg).unwrap();
+        // First breakpoint consumed the only Continue; the second prints
+        // the exhaustion notice and disables.
+        assert_eq!(
+            s.transcript,
+            vec![
+                "stopped at {fac}",
+                "stopped at {fac}",
+                "(script exhausted — continuing)",
+            ]
+        );
+    }
+
+    #[test]
+    fn debugging_never_changes_the_answer() {
+        let e = parse_expr(PROG).unwrap();
+        let plain = monsem_core::machine::eval(&e).unwrap();
+        for script in [
+            vec![],
+            vec![Command::Disable],
+            vec![Command::Where, Command::Continue, Command::Continue, Command::Continue],
+        ] {
+            let (v, _) = eval_monitored(&e, &Debugger::with_script(script)).unwrap();
+            assert_eq!(v, plain);
+        }
+    }
+}

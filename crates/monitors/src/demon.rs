@@ -1,0 +1,198 @@
+//! Event monitoring — demons (§8, Figure 8).
+//!
+//! Magpie-style demons fire when a semantic event occurs. The paper's
+//! example checks for *unsorted lists*: program points are labelled, and
+//! the post-monitoring function records the label whenever the value
+//! produced there is an unsorted list. Our generalization
+//! ([`PredicateDemon`]) takes any predicate over the produced value —
+//! "our approach improves on Magpie in that it provides a mechanism to
+//! specify demons for *any* semantic event".
+
+use monsem_core::Value;
+use monsem_monitor::scope::Scope;
+use monsem_monitor::Monitor;
+use monsem_syntax::{AnnKind, Annotation, Expr, Ident, Namespace};
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// `sorted?` from Figure 8: integer lists in non-decreasing order.
+/// Non-lists and non-integer elements count as sorted (the demon only
+/// fires on a *definitely* unsorted list).
+pub fn is_sorted(v: &Value) -> bool {
+    let Some(items) = v.iter_list() else { return true };
+    items.windows(2).all(|w| match (w[0], w[1]) {
+        (Value::Int(a), Value::Int(b)) => a <= b,
+        _ => true,
+    })
+}
+
+/// A demon firing on an arbitrary semantic event: it records the labels of
+/// program points whose value satisfies `trigger`.
+#[derive(Clone)]
+pub struct PredicateDemon {
+    name: String,
+    namespace: Namespace,
+    trigger: Rc<dyn Fn(&Value) -> bool>,
+}
+
+impl std::fmt::Debug for PredicateDemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredicateDemon").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+impl PredicateDemon {
+    /// A demon named `name` firing when `trigger` holds of the value
+    /// produced at a labelled point.
+    pub fn new(name: impl Into<String>, trigger: impl Fn(&Value) -> bool + 'static) -> Self {
+        PredicateDemon {
+            name: name.into(),
+            namespace: Namespace::anonymous(),
+            trigger: Rc::new(trigger),
+        }
+    }
+
+    /// Restricts the demon to one annotation namespace.
+    pub fn in_namespace(mut self, namespace: Namespace) -> Self {
+        self.namespace = namespace;
+        self
+    }
+}
+
+impl Monitor for PredicateDemon {
+    type State = BTreeSet<Ident>;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        ann.namespace == self.namespace && matches!(ann.kind, AnnKind::Label(_))
+    }
+
+    fn initial_state(&self) -> BTreeSet<Ident> {
+        BTreeSet::new()
+    }
+
+    fn post(
+        &self,
+        ann: &Annotation,
+        _: &Expr,
+        _: &Scope<'_>,
+        value: &Value,
+        mut s: BTreeSet<Ident>,
+    ) -> BTreeSet<Ident> {
+        if (self.trigger)(value) {
+            s.insert(ann.name().clone());
+        }
+        s
+    }
+
+    fn render_state(&self, s: &BTreeSet<Ident>) -> String {
+        let body = s.iter().map(|i| i.as_str()).collect::<Vec<_>>().join(", ");
+        format!("{{{body}}}")
+    }
+}
+
+/// The Figure 8 demon: reports the labels of program points that produced
+/// unsorted lists. `M_pre` is the identity; `M_post` adds the label when
+/// `sorted? v` fails.
+///
+/// ```
+/// use monsem_monitor::machine::eval_monitored;
+/// use monsem_monitors::UnsortedDemon;
+/// use monsem_syntax::parse_expr;
+/// let prog = parse_expr("{bad}:[3, 1] ++ {ok}:[1, 2]")?;
+/// let (_, fired) = eval_monitored(&prog, &UnsortedDemon::new())?;
+/// let names: Vec<&str> = fired.iter().map(|i| i.as_str()).collect();
+/// assert_eq!(names, ["bad"]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnsortedDemon(PredicateDemon);
+
+impl Default for UnsortedDemon {
+    fn default() -> Self {
+        UnsortedDemon::new()
+    }
+}
+
+impl UnsortedDemon {
+    /// The paper's unsorted-list demon.
+    pub fn new() -> Self {
+        UnsortedDemon(PredicateDemon::new("unsorted-demon", |v| !is_sorted(v)))
+    }
+}
+
+impl Monitor for UnsortedDemon {
+    type State = BTreeSet<Ident>;
+
+    fn name(&self) -> &str {
+        "unsorted-demon"
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        self.0.accepts(ann)
+    }
+
+    fn initial_state(&self) -> BTreeSet<Ident> {
+        self.0.initial_state()
+    }
+
+    fn post(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        s: BTreeSet<Ident>,
+    ) -> BTreeSet<Ident> {
+        self.0.post(ann, expr, scope, value, s)
+    }
+
+    fn render_state(&self, s: &BTreeSet<Ident>) -> String {
+        self.0.render_state(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_core::programs;
+    use monsem_monitor::machine::eval_monitored;
+    use monsem_syntax::parse_expr;
+
+    #[test]
+    fn section8_demon_reports_l1_and_l3() {
+        let (_, s) = eval_monitored(&programs::inclist_demon(), &UnsortedDemon::new()).unwrap();
+        let names: Vec<&str> = s.iter().map(|i| i.as_str()).collect();
+        assert_eq!(names, vec!["l1", "l3"]);
+        assert_eq!(UnsortedDemon::new().render_state(&s), "{l1, l3}");
+    }
+
+    #[test]
+    fn sorted_predicate_matches_figure8() {
+        assert!(is_sorted(&Value::list([Value::Int(1), Value::Int(2), Value::Int(2)])));
+        assert!(!is_sorted(&Value::list([Value::Int(2), Value::Int(1)])));
+        assert!(is_sorted(&Value::Nil));
+        assert!(is_sorted(&Value::Int(7)), "non-lists never trigger");
+    }
+
+    #[test]
+    fn predicate_demon_fires_on_any_semantic_event() {
+        // A demon for "negative intermediate result" — the §8 remark that
+        // any event is expressible.
+        let demon = PredicateDemon::new("negative", |v| matches!(v, Value::Int(n) if *n < 0));
+        let e = parse_expr("{p1}:(1 - 5) + {p2}:(10 - 2)").unwrap();
+        let (_, s) = eval_monitored(&e, &demon).unwrap();
+        let names: Vec<&str> = s.iter().map(|i| i.as_str()).collect();
+        assert_eq!(names, vec!["p1"]);
+    }
+
+    #[test]
+    fn demon_is_silent_on_sorted_runs() {
+        let e = parse_expr("letrec l = {ok}:[1, 2, 3] in l").unwrap();
+        let (_, s) = eval_monitored(&e, &UnsortedDemon::new()).unwrap();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! The monitor toolbox — §8 of *Monitoring Semantics* and the §9.2
+//! "extendable toolbox of monitors".
+//!
+//! Each monitor here is a complete specification in the Definition 5.1
+//! sense — monitor syntax (which annotations it accepts), monitor algebra
+//! (its state type) and monitoring functions — implemented against the
+//! [`monsem_monitor::Monitor`] trait:
+//!
+//! | paper | module | state |
+//! |---|---|---|
+//! | Figure 4 (§5) A/B profiler | [`profiler::AbProfiler`] | `⟨countA, countB⟩` |
+//! | Figure 6 profiler | [`profiler::Profiler`] | counter environment `Ide → ℕ` |
+//! | Figure 7 fancy tracer | [`tracer::Tracer`] | output channel × indent level |
+//! | Figure 8 demon | [`demon::UnsortedDemon`] | name set `{Ide}` |
+//! | Figure 9 collecting monitor | [`collecting::Collecting`] | `Ide → {V}` |
+//! | §8 "any semantic event" remark | [`demon::PredicateDemon`] | name set |
+//! | §9.2 stepper | [`stepper::Stepper`] | numbered event log |
+//! | §9.2 interactive debugger à la dbx | [`debugger::Debugger`] | command stream × transcript |
+//! | extensions | [`coverage::Coverage`], [`watch::Watchpoint`], [`timing::TimeProfiler`], [`logger::EventLogger`], [`callgraph::CallGraph`], [`memo::MemoScout`], [`replay::Recorder`]/[`replay::Replay`], [`space::SpaceProfiler`] | |
+//!
+//! The [`toolbox`] module packages each as a boxed constructor for use
+//! with the `&` composition operator and the
+//! [`Session`](monsem_monitor::session::Session) environment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod callgraph;
+pub mod collecting;
+pub mod contract;
+pub mod coverage;
+pub mod debugger;
+pub mod demon;
+pub mod logger;
+pub mod memo;
+pub mod profiler;
+pub mod replay;
+pub mod space;
+pub mod stepper;
+pub mod timing;
+pub mod toolbox;
+pub mod tracer;
+pub mod watch;
+
+pub use callgraph::CallGraph;
+pub use collecting::Collecting;
+pub use contract::ContractMonitor;
+pub use debugger::{Command, Debugger};
+pub use demon::{PredicateDemon, UnsortedDemon};
+pub use memo::MemoScout;
+pub use profiler::{AbProfiler, Profiler};
+pub use replay::{Recorder, Replay};
+pub use space::SpaceProfiler;
+pub use stepper::Stepper;
+pub use tracer::Tracer;

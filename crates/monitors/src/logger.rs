@@ -1,0 +1,132 @@
+//! A raw event logger (toolbox extension).
+//!
+//! Records every pre/post event at accepted annotations: phase, label,
+//! pretty-printed expression and (on post) the produced value. This is
+//! the "assembly language" of monitors — several of the fancier tools are
+//! refinements of it, and the test suites use it to pin down event
+//! ordering.
+
+use monsem_core::Value;
+use monsem_monitor::scope::Scope;
+use monsem_monitor::Monitor;
+use monsem_syntax::{Annotation, Expr, Namespace};
+
+/// Which side of the evaluation the event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Before evaluation (`M_pre`).
+    Pre,
+    /// After evaluation (`M_post`).
+    Post,
+}
+
+/// One logged event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Pre or post.
+    pub phase: Phase,
+    /// The annotation's label or function name.
+    pub point: String,
+    /// The produced value (post events only), rendered.
+    pub value: Option<String>,
+}
+
+/// The event logger.
+#[derive(Debug, Clone, Default)]
+pub struct EventLogger {
+    namespace: Namespace,
+}
+
+impl EventLogger {
+    /// Logs anonymous-namespace annotations.
+    pub fn new() -> Self {
+        EventLogger::default()
+    }
+
+    /// Restricts to one namespace.
+    pub fn in_namespace(namespace: Namespace) -> Self {
+        EventLogger { namespace }
+    }
+}
+
+impl Monitor for EventLogger {
+    type State = Vec<Event>;
+
+    fn name(&self) -> &str {
+        "event-logger"
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        ann.namespace == self.namespace
+    }
+
+    fn initial_state(&self) -> Vec<Event> {
+        Vec::new()
+    }
+
+    fn pre(&self, ann: &Annotation, _: &Expr, _: &Scope<'_>, mut s: Vec<Event>) -> Vec<Event> {
+        s.push(Event { phase: Phase::Pre, point: ann.name().to_string(), value: None });
+        s
+    }
+
+    fn post(
+        &self,
+        ann: &Annotation,
+        _: &Expr,
+        _: &Scope<'_>,
+        value: &Value,
+        mut s: Vec<Event>,
+    ) -> Vec<Event> {
+        s.push(Event {
+            phase: Phase::Post,
+            point: ann.name().to_string(),
+            value: Some(value.to_string()),
+        });
+        s
+    }
+
+    fn render_state(&self, s: &Vec<Event>) -> String {
+        s.iter()
+            .map(|e| match (&e.phase, &e.value) {
+                (Phase::Pre, _) => format!("→ {}", e.point),
+                (Phase::Post, Some(v)) => format!("← {} = {v}", e.point),
+                (Phase::Post, None) => format!("← {}", e.point),
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_monitor::machine::eval_monitored;
+    use monsem_syntax::parse_expr;
+
+    #[test]
+    fn events_bracket_properly() {
+        let e = parse_expr("{a}:({b}:1 + {c}:2)").unwrap();
+        let (_, log) = eval_monitored(&e, &EventLogger::new()).unwrap();
+        let shape: Vec<(Phase, &str)> =
+            log.iter().map(|ev| (ev.phase, ev.point.as_str())).collect();
+        // Argument-first order: c before b, all inside a.
+        assert_eq!(
+            shape,
+            vec![
+                (Phase::Pre, "a"),
+                (Phase::Pre, "c"),
+                (Phase::Post, "c"),
+                (Phase::Pre, "b"),
+                (Phase::Post, "b"),
+                (Phase::Post, "a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn render_uses_arrows() {
+        let e = parse_expr("{p}:7").unwrap();
+        let (_, log) = eval_monitored(&e, &EventLogger::new()).unwrap();
+        assert_eq!(EventLogger::new().render_state(&log), "→ p\n← p = 7");
+    }
+}

@@ -1,0 +1,136 @@
+//! A memoization-opportunity demon (toolbox extension).
+//!
+//! §8's point that demons can watch "*any* semantic event" includes
+//! events about the *history* of evaluation: this monitor records, for
+//! each `{f(x…)}:`-annotated function, how often each argument tuple
+//! recurs. Functions repeatedly called with the same arguments are
+//! memoization candidates — the classic `fib` diagnosis.
+
+use monsem_monitor::scope::Scope;
+use monsem_monitor::Monitor;
+use monsem_syntax::{AnnKind, Annotation, Expr, Ident, Namespace};
+use std::collections::BTreeMap;
+
+/// Call counts per (function, rendered argument tuple).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CallCounts(BTreeMap<(Ident, String), u64>);
+
+impl CallCounts {
+    /// Times `f` was called with exactly this rendered argument tuple.
+    pub fn count(&self, f: &str, args: &str) -> u64 {
+        self.0.get(&(Ident::new(f), args.to_string())).copied().unwrap_or(0)
+    }
+
+    /// The calls that happened more than once — the memoization report.
+    pub fn repeated(&self) -> impl Iterator<Item = (&Ident, &str, u64)> {
+        self.0
+            .iter()
+            .filter(|(_, n)| **n > 1)
+            .map(|((f, a), n)| (f, a.as_str(), *n))
+    }
+
+    /// How many calls a perfect memo table would have saved.
+    pub fn redundant_calls(&self) -> u64 {
+        self.0.values().map(|n| n.saturating_sub(1)).sum()
+    }
+}
+
+/// The memoization-opportunity monitor.
+#[derive(Debug, Clone, Default)]
+pub struct MemoScout {
+    namespace: Namespace,
+}
+
+impl MemoScout {
+    /// Watches anonymous-namespace function headers.
+    pub fn new() -> Self {
+        MemoScout::default()
+    }
+
+    /// Restricts to one namespace.
+    pub fn in_namespace(namespace: Namespace) -> Self {
+        MemoScout { namespace }
+    }
+}
+
+impl Monitor for MemoScout {
+    type State = CallCounts;
+
+    fn name(&self) -> &str {
+        "memo-scout"
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        ann.namespace == self.namespace && matches!(ann.kind, AnnKind::FunHeader { .. })
+    }
+
+    fn initial_state(&self) -> CallCounts {
+        CallCounts::default()
+    }
+
+    fn pre(
+        &self,
+        ann: &Annotation,
+        _: &Expr,
+        scope: &Scope<'_>,
+        mut s: CallCounts,
+    ) -> CallCounts {
+        let AnnKind::FunHeader { name, params } = &ann.kind else {
+            return s;
+        };
+        let args =
+            params.iter().map(|p| scope.render(p)).collect::<Vec<_>>().join(", ");
+        *s.0.entry((name.clone(), args)).or_insert(0) += 1;
+        s
+    }
+
+    fn render_state(&self, s: &CallCounts) -> String {
+        let mut lines: Vec<String> = s
+            .repeated()
+            .map(|(f, args, n)| format!("{f}({args}) evaluated {n}×"))
+            .collect();
+        if lines.is_empty() {
+            return "no repeated calls".into();
+        }
+        lines.push(format!("memoization would save {} calls", s.redundant_calls()));
+        lines.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_monitor::machine::eval_monitored;
+    use monsem_syntax::parse_expr;
+
+    fn traced_fib(n: i64) -> monsem_syntax::Expr {
+        parse_expr(&format!(
+            "letrec fib = lambda n. {{fib(n)}}:if n < 2 then n else (fib (n-1)) + (fib (n-2)) \
+             in fib {n}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn diagnoses_naive_fib() {
+        let (_, counts) = eval_monitored(&traced_fib(8), &MemoScout::new()).unwrap();
+        // fib 8 evaluates fib 1 twenty-one times.
+        assert_eq!(counts.count("fib", "1"), 21);
+        assert_eq!(counts.count("fib", "8"), 1);
+        assert!(counts.redundant_calls() > 50);
+        let report = MemoScout::new().render_state(&counts);
+        assert!(report.contains("fib(1) evaluated 21×"), "{report}");
+        assert!(report.contains("memoization would save"), "{report}");
+    }
+
+    #[test]
+    fn silent_on_linear_recursion() {
+        let prog = parse_expr(
+            "letrec fac = lambda x. {fac(x)}:if x = 0 then 1 else x * (fac (x - 1)) in fac 6",
+        )
+        .unwrap();
+        let (_, counts) = eval_monitored(&prog, &MemoScout::new()).unwrap();
+        assert_eq!(counts.redundant_calls(), 0);
+        assert_eq!(MemoScout::new().render_state(&counts), "no repeated calls");
+    }
+}

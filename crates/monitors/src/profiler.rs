@@ -1,0 +1,207 @@
+//! Profilers.
+//!
+//! * [`AbProfiler`] — the §5 example (Figure 4): a pair of counters, one
+//!   for annotation `{A}` and one for `{B}`.
+//! * [`Profiler`] — the §8 profiler (Figure 6): a *counter environment*
+//!   `ρ_c ∈ CEnv = Ide → ℕ`; the pre-monitoring function increments the
+//!   counter of the function named by the annotation, the post-monitoring
+//!   function does nothing.
+
+use monsem_monitor::scope::Scope;
+use monsem_monitor::Monitor;
+use monsem_syntax::{AnnKind, Annotation, Expr, Ident, Namespace};
+use std::collections::BTreeMap;
+
+/// The Figure 4 state: how many times `{A}` / `{B}` were evaluated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AbCounts {
+    /// Evaluations of expressions annotated `{A}`.
+    pub a: u64,
+    /// Evaluations of expressions annotated `{B}`.
+    pub b: u64,
+}
+
+/// The §5 profiler: counts evaluations of expressions annotated `{A}` or
+/// `{B}`.
+///
+/// For the paper's `fac 5` program the final state is `σ = ⟨1, 5⟩`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AbProfiler;
+
+impl Monitor for AbProfiler {
+    type State = AbCounts;
+
+    fn name(&self) -> &str {
+        "ab-profiler"
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        matches!(&ann.kind, AnnKind::Label(l) if matches!(l.as_str(), "A" | "B"))
+    }
+
+    fn initial_state(&self) -> AbCounts {
+        AbCounts::default()
+    }
+
+    fn pre(&self, ann: &Annotation, _: &Expr, _: &Scope<'_>, mut s: AbCounts) -> AbCounts {
+        match ann.name().as_str() {
+            "A" => s.a += 1,
+            "B" => s.b += 1,
+            _ => {}
+        }
+        s
+    }
+
+    fn render_state(&self, s: &AbCounts) -> String {
+        format!("⟨{}, {}⟩", s.a, s.b)
+    }
+}
+
+/// The counter environment `CEnv = Ide → ℕ` of Figure 6, with the
+/// operations the paper lists.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterEnv(BTreeMap<Ident, u64>);
+
+impl CounterEnv {
+    /// `initEnv` — every counter at ⊥ (zero / absent).
+    pub fn init() -> Self {
+        CounterEnv::default()
+    }
+
+    /// `ρ_c(f)` — environment lookup (0 when the function was never used).
+    pub fn count(&self, f: &Ident) -> u64 {
+        self.0.get(f).copied().unwrap_or(0)
+    }
+
+    /// `incCtr ⟦f⟧ ρ_c = ρ_c[f ↦ n]` where `n = ρ_c(f)+1` or 1.
+    pub fn inc(mut self, f: &Ident) -> Self {
+        *self.0.entry(f.clone()).or_insert(0) += 1;
+        self
+    }
+
+    /// Counters in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Ident, u64)> {
+        self.0.iter().map(|(k, v)| (k, *v))
+    }
+
+    /// Number of distinct counted names.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether nothing was counted.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// The §8 profiler (Figure 6): counts how many times each named function's
+/// body is evaluated. Function bodies are annotated `{f}:` with the
+/// function's name (see
+/// [`profile_functions`](monsem_syntax::points::profile_functions)).
+///
+/// For the paper's `fac 3` program the final state is
+/// `[fac ↦ 4, mul ↦ 3]`.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    namespace: Namespace,
+}
+
+impl Profiler {
+    /// A profiler for bare-label annotations in the anonymous namespace.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// A profiler listening on a specific namespace (for cascades, §6).
+    pub fn in_namespace(namespace: Namespace) -> Self {
+        Profiler { namespace }
+    }
+}
+
+impl Monitor for Profiler {
+    type State = CounterEnv;
+
+    fn name(&self) -> &str {
+        "profiler"
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        ann.namespace == self.namespace && matches!(ann.kind, AnnKind::Label(_))
+    }
+
+    fn initial_state(&self) -> CounterEnv {
+        CounterEnv::init()
+    }
+
+    fn pre(&self, ann: &Annotation, _: &Expr, _: &Scope<'_>, s: CounterEnv) -> CounterEnv {
+        s.inc(ann.name())
+    }
+
+    fn render_state(&self, s: &CounterEnv) -> String {
+        let body = s
+            .iter()
+            .map(|(f, n)| format!("{f} ↦ {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("[{body}]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_core::{programs, Value};
+    use monsem_monitor::machine::eval_monitored;
+    use monsem_syntax::parse_expr;
+
+    #[test]
+    fn section5_example_yields_1_and_5() {
+        let (v, s) = eval_monitored(&programs::fac_ab(5), &AbProfiler).unwrap();
+        assert_eq!(v, Value::Int(120));
+        assert_eq!(s, AbCounts { a: 1, b: 5 });
+        assert_eq!(AbProfiler.render_state(&s), "⟨1, 5⟩");
+    }
+
+    #[test]
+    fn section8_example_yields_fac4_mul3() {
+        let (v, s) = eval_monitored(&programs::fac_mul_profiled(3), &Profiler::new()).unwrap();
+        assert_eq!(v, Value::Int(6));
+        assert_eq!(s.count(&Ident::new("fac")), 4);
+        assert_eq!(s.count(&Ident::new("mul")), 3);
+        assert_eq!(Profiler::new().render_state(&s), "[fac ↦ 4, mul ↦ 3]");
+    }
+
+    #[test]
+    fn ab_profiler_ignores_other_labels() {
+        let e = parse_expr("{A}:({C}:1 + {B}:2)").unwrap();
+        let (_, s) = eval_monitored(&e, &AbProfiler).unwrap();
+        assert_eq!(s, AbCounts { a: 1, b: 1 });
+    }
+
+    #[test]
+    fn profiler_ignores_function_headers() {
+        // The §8 tracer's annotations must not disturb a profiler in the
+        // same cascade: header annotations are not labels.
+        let (_, s) = eval_monitored(&programs::fac_mul_traced(3), &Profiler::new()).unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn namespaced_profiler_listens_only_to_its_namespace() {
+        let e = parse_expr("{p/f}:({f}:1)").unwrap();
+        let p = Profiler::in_namespace(Namespace::new("p"));
+        let (_, s) = eval_monitored(&e, &p).unwrap();
+        assert_eq!(s.count(&Ident::new("f")), 1);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn counter_env_operations_match_figure6() {
+        let f = Ident::new("f");
+        let env = CounterEnv::init();
+        assert_eq!(env.count(&f), 0);
+        let env = env.inc(&f).inc(&f);
+        assert_eq!(env.count(&f), 2);
+    }
+}

@@ -1,0 +1,266 @@
+//! Record/replay monitoring — regression detection as a monitor pair.
+//!
+//! [`Recorder`] captures the full monitoring-event tape of a run (the §2
+//! "linear ordering on program execution" made concrete). [`Replay`]
+//! checks a later run against a recorded tape and reports the **first
+//! divergence** — which program point fired differently, or produced a
+//! different value. Because monitors cannot change behaviour (§7), taping
+//! a run is always safe; replaying turns any monitored program into its
+//! own regression test.
+
+use monsem_core::Value;
+use monsem_monitor::scope::Scope;
+use monsem_monitor::Monitor;
+use monsem_syntax::{Annotation, Expr, Namespace};
+use std::rc::Rc;
+
+/// One taped event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TapeEvent {
+    /// Entered the annotated point.
+    Pre(String),
+    /// Left it with the rendered value.
+    Post(String, String),
+}
+
+/// An immutable event tape.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Tape(Rc<Vec<TapeEvent>>);
+
+impl Tape {
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TapeEvent] {
+        &self.0
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Records every accepted event into a [`Tape`].
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    namespace: Namespace,
+}
+
+impl Recorder {
+    /// Records anonymous-namespace annotations.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Restricts to one namespace.
+    pub fn in_namespace(namespace: Namespace) -> Self {
+        Recorder { namespace }
+    }
+}
+
+impl Monitor for Recorder {
+    type State = Vec<TapeEvent>;
+
+    fn name(&self) -> &str {
+        "recorder"
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        ann.namespace == self.namespace
+    }
+
+    fn initial_state(&self) -> Vec<TapeEvent> {
+        Vec::new()
+    }
+
+    fn pre(
+        &self,
+        ann: &Annotation,
+        _: &Expr,
+        _: &Scope<'_>,
+        mut s: Vec<TapeEvent>,
+    ) -> Vec<TapeEvent> {
+        s.push(TapeEvent::Pre(ann.name().to_string()));
+        s
+    }
+
+    fn post(
+        &self,
+        ann: &Annotation,
+        _: &Expr,
+        _: &Scope<'_>,
+        value: &Value,
+        mut s: Vec<TapeEvent>,
+    ) -> Vec<TapeEvent> {
+        s.push(TapeEvent::Post(ann.name().to_string(), value.to_string()));
+        s
+    }
+
+    fn render_state(&self, s: &Vec<TapeEvent>) -> String {
+        format!("{} events recorded", s.len())
+    }
+}
+
+/// Turns a recorder's final state into a replayable tape.
+pub fn tape_of(events: Vec<TapeEvent>) -> Tape {
+    Tape(Rc::new(events))
+}
+
+/// The replay verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayState {
+    /// How many events matched so far.
+    pub matched: usize,
+    /// The first divergence, if any: (position, expected, actual).
+    pub divergence: Option<(usize, Option<TapeEvent>, TapeEvent)>,
+}
+
+impl ReplayState {
+    /// Whether the run has followed the tape so far (and, at the end of a
+    /// run, whether it matched completely — combine with
+    /// [`ReplayState::complete`]).
+    pub fn on_track(&self) -> bool {
+        self.divergence.is_none()
+    }
+
+    /// Whether the whole tape was consumed.
+    pub fn complete(&self, tape: &Tape) -> bool {
+        self.on_track() && self.matched == tape.len()
+    }
+}
+
+/// Checks a run against a recorded tape.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    tape: Tape,
+    namespace: Namespace,
+}
+
+impl Replay {
+    /// Replays against `tape` (anonymous namespace).
+    pub fn new(tape: Tape) -> Self {
+        Replay { tape, namespace: Namespace::anonymous() }
+    }
+
+    /// Restricts to one namespace.
+    pub fn in_namespace(mut self, namespace: Namespace) -> Self {
+        self.namespace = namespace;
+        self
+    }
+
+    fn check(&self, actual: TapeEvent, mut s: ReplayState) -> ReplayState {
+        if s.divergence.is_some() {
+            return s;
+        }
+        let expected = self.tape.events().get(s.matched).cloned();
+        if expected.as_ref() == Some(&actual) {
+            s.matched += 1;
+        } else {
+            s.divergence = Some((s.matched, expected, actual));
+        }
+        s
+    }
+}
+
+impl Monitor for Replay {
+    type State = ReplayState;
+
+    fn name(&self) -> &str {
+        "replay"
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        ann.namespace == self.namespace
+    }
+
+    fn initial_state(&self) -> ReplayState {
+        ReplayState { matched: 0, divergence: None }
+    }
+
+    fn pre(
+        &self,
+        ann: &Annotation,
+        _: &Expr,
+        _: &Scope<'_>,
+        s: ReplayState,
+    ) -> ReplayState {
+        self.check(TapeEvent::Pre(ann.name().to_string()), s)
+    }
+
+    fn post(
+        &self,
+        ann: &Annotation,
+        _: &Expr,
+        _: &Scope<'_>,
+        value: &Value,
+        s: ReplayState,
+    ) -> ReplayState {
+        self.check(TapeEvent::Post(ann.name().to_string(), value.to_string()), s)
+    }
+
+    fn render_state(&self, s: &ReplayState) -> String {
+        match &s.divergence {
+            None => format!("on tape ({} events matched)", s.matched),
+            Some((at, expected, actual)) => format!(
+                "diverged at event {at}: expected {expected:?}, got {actual:?}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_core::programs;
+    use monsem_monitor::machine::eval_monitored;
+    use monsem_syntax::parse_expr;
+
+    #[test]
+    fn identical_runs_replay_completely() {
+        let prog = programs::fac_ab(5);
+        let (_, events) = eval_monitored(&prog, &Recorder::new()).unwrap();
+        let tape = tape_of(events);
+        assert_eq!(tape.len(), 12); // {A} once + {B} five times, pre+post
+
+        let replay = Replay::new(tape.clone());
+        let (v, verdict) = eval_monitored(&prog, &replay).unwrap();
+        assert_eq!(v.to_string(), "120");
+        assert!(verdict.complete(&tape), "{}", replay.render_state(&verdict));
+    }
+
+    #[test]
+    fn a_behavioural_change_is_pinpointed() {
+        let original = programs::fac_ab(5);
+        let (_, events) = eval_monitored(&original, &Recorder::new()).unwrap();
+        let tape = tape_of(events);
+
+        // The "regression": same shape, different base case value.
+        let changed = parse_expr(
+            "letrec fac = lambda x. if (x = 0) then {A}:2 else {B}:(x * (fac (x - 1))) in fac 5",
+        )
+        .unwrap();
+        let replay = Replay::new(tape);
+        let (_, verdict) = eval_monitored(&changed, &replay).unwrap();
+        let (at, expected, actual) = verdict.divergence.expect("must diverge");
+        assert_eq!(expected, Some(TapeEvent::Post("A".into(), "1".into())));
+        assert_eq!(actual, TapeEvent::Post("A".into(), "2".into()));
+        // Events 0..at matched: the divergence is at A's post event.
+        assert!(at > 0);
+    }
+
+    #[test]
+    fn extra_events_diverge_too() {
+        let short = parse_expr("{p}:1").unwrap();
+        let long = parse_expr("{p}:1; {p}:1").unwrap();
+        let (_, events) = eval_monitored(&short, &Recorder::new()).unwrap();
+        let replay = Replay::new(tape_of(events));
+        let (_, verdict) = eval_monitored(&long, &replay).unwrap();
+        assert!(!verdict.on_track());
+        let (_, expected, _) = verdict.divergence.unwrap();
+        assert_eq!(expected, None, "tape exhausted, run kept going");
+    }
+}

@@ -1,0 +1,167 @@
+//! A space profiler (toolbox extension): the sizes of the values flowing
+//! through annotated program points.
+//!
+//! "Size" is the number of value nodes (list cells count one per element,
+//! scalars one; functions count as one opaque node). Per label the
+//! monitor keeps the maximum and the running total — enough to spot the
+//! point that materializes the big intermediate structure.
+
+use monsem_core::value::Value;
+use monsem_monitor::scope::Scope;
+use monsem_monitor::Monitor;
+use monsem_syntax::{AnnKind, Annotation, Expr, Ident, Namespace};
+use std::collections::BTreeMap;
+
+/// The number of value nodes, iterative along cons tails so long lists
+/// are safe to measure.
+pub fn value_size(v: &Value) -> u64 {
+    let mut total = 0u64;
+    let mut cur = v;
+    loop {
+        match cur {
+            Value::Pair(h, t) => {
+                total += 1 + value_size(h);
+                cur = t;
+            }
+            _ => return total + 1,
+        }
+    }
+}
+
+/// Per-label size statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SizeStats {
+    /// Largest value observed.
+    pub max: u64,
+    /// Sum over all observations.
+    pub total: u64,
+    /// Number of observations.
+    pub observations: u64,
+}
+
+/// Sizes per label.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Sizes(BTreeMap<Ident, SizeStats>);
+
+impl Sizes {
+    /// The statistics for a label.
+    pub fn stats(&self, label: &str) -> SizeStats {
+        self.0.get(&Ident::new(label)).copied().unwrap_or_default()
+    }
+
+    /// The label with the largest observed value, if any fired.
+    pub fn heaviest(&self) -> Option<(&Ident, SizeStats)> {
+        self.0.iter().max_by_key(|(_, s)| s.max).map(|(l, s)| (l, *s))
+    }
+}
+
+/// The space profiler monitor.
+#[derive(Debug, Clone, Default)]
+pub struct SpaceProfiler {
+    namespace: Namespace,
+}
+
+impl SpaceProfiler {
+    /// Measures anonymous-namespace labels.
+    pub fn new() -> Self {
+        SpaceProfiler::default()
+    }
+
+    /// Restricts to one namespace.
+    pub fn in_namespace(namespace: Namespace) -> Self {
+        SpaceProfiler { namespace }
+    }
+}
+
+impl Monitor for SpaceProfiler {
+    type State = Sizes;
+
+    fn name(&self) -> &str {
+        "space-profiler"
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        ann.namespace == self.namespace && matches!(ann.kind, AnnKind::Label(_))
+    }
+
+    fn initial_state(&self) -> Sizes {
+        Sizes::default()
+    }
+
+    fn post(
+        &self,
+        ann: &Annotation,
+        _: &Expr,
+        _: &Scope<'_>,
+        value: &Value,
+        mut s: Sizes,
+    ) -> Sizes {
+        let size = value_size(value);
+        let entry = s.0.entry(ann.name().clone()).or_default();
+        entry.max = entry.max.max(size);
+        entry.total += size;
+        entry.observations += 1;
+        s
+    }
+
+    fn render_state(&self, s: &Sizes) -> String {
+        s.0.iter()
+            .map(|(l, st)| {
+                format!(
+                    "{l}: max {} nodes, avg {:.1} over {} values",
+                    st.max,
+                    st.total as f64 / st.observations.max(1) as f64,
+                    st.observations
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_monitor::machine::eval_monitored;
+    use monsem_syntax::parse_expr;
+
+    #[test]
+    fn value_size_counts_nodes() {
+        assert_eq!(value_size(&Value::Int(1)), 1);
+        assert_eq!(value_size(&Value::list([Value::Int(1), Value::Int(2)])), 5);
+        assert_eq!(
+            value_size(&Value::pair(
+                Value::list([Value::Int(1)]),
+                Value::Int(2)
+            )),
+            5
+        );
+    }
+
+    #[test]
+    fn spots_the_point_that_builds_the_big_list() {
+        let e = parse_expr(
+            "letrec build = lambda i. if i = 0 then [] else i : (build (i - 1)) in \
+             {small}:(1 + 1) + length ({big}:(build 50))",
+        )
+        .unwrap();
+        let (_, sizes) = eval_monitored(&e, &SpaceProfiler::new()).unwrap();
+        assert_eq!(sizes.stats("small").max, 1);
+        assert_eq!(sizes.stats("big").max, 101); // 50 cells + 50 ints + nil
+        let (heaviest, _) = sizes.heaviest().unwrap();
+        assert_eq!(heaviest.as_str(), "big");
+    }
+
+    #[test]
+    fn accumulates_across_recursive_observations() {
+        let e = parse_expr(
+            "letrec build = lambda i. if i = 0 then [] else i : {cell}:(build (i - 1)) in \
+             build 3",
+        )
+        .unwrap();
+        let (_, sizes) = eval_monitored(&e, &SpaceProfiler::new()).unwrap();
+        let s = sizes.stats("cell");
+        assert_eq!(s.observations, 3);
+        assert_eq!(s.max, 5); // the two-element tail [2, 1]
+    }
+}

@@ -1,0 +1,195 @@
+//! A stepper — one of the §9.2 toolbox monitors.
+//!
+//! Records a numbered, ordered log of every monitored evaluation event
+//! (entering and leaving annotated program points) together with the
+//! expression text and, on exit, the produced value. A front end can
+//! replay the log one event at a time; the deterministic log *is* the
+//! stepping session (the interactive variant is [`crate::debugger`]).
+
+use monsem_core::Value;
+use monsem_monitor::scope::Scope;
+use monsem_monitor::Monitor;
+use monsem_syntax::{Annotation, Expr, Namespace};
+use std::rc::Rc;
+
+/// One step event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepEvent {
+    /// About to evaluate the annotated expression.
+    Enter {
+        /// Step number (0-based, shared across enter/leave).
+        step: u64,
+        /// The annotation's label or function name.
+        point: String,
+        /// The expression, pretty-printed.
+        expr: String,
+    },
+    /// Finished evaluating it.
+    Leave {
+        /// Step number.
+        step: u64,
+        /// The annotation's label or function name.
+        point: String,
+        /// The produced value, rendered.
+        value: String,
+    },
+}
+
+/// Stepper state: the event log (persistent, O(1) to extend) and the next
+/// step number.
+#[derive(Debug, Clone, Default)]
+pub struct StepLog {
+    events: Option<Rc<Node>>,
+    next: u64,
+    open: Vec<u64>,
+}
+
+#[derive(Debug)]
+struct Node {
+    event: StepEvent,
+    prev: Option<Rc<Node>>,
+}
+
+impl StepLog {
+    fn enter(&self, point: String, expr: String) -> StepLog {
+        let event = StepEvent::Enter { step: self.next, point, expr };
+        let mut open = self.open.clone();
+        open.push(self.next);
+        StepLog {
+            events: Some(Rc::new(Node { event, prev: self.events.clone() })),
+            next: self.next + 1,
+            open,
+        }
+    }
+
+    fn leave(&self, point: String, value: String) -> StepLog {
+        let mut open = self.open.clone();
+        let step = open.pop().unwrap_or(0);
+        let event = StepEvent::Leave { step, point, value };
+        StepLog {
+            events: Some(Rc::new(Node { event, prev: self.events.clone() })),
+            next: self.next,
+            open,
+        }
+    }
+
+    /// The events, oldest first.
+    pub fn events(&self) -> Vec<StepEvent> {
+        let mut out = Vec::new();
+        let mut cur = &self.events;
+        while let Some(node) = cur.as_deref() {
+            out.push(node.event.clone());
+            cur = &node.prev;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Number of enter events recorded.
+    pub fn steps(&self) -> u64 {
+        self.next
+    }
+}
+
+/// The stepper monitor: log everything, in order.
+#[derive(Debug, Clone, Default)]
+pub struct Stepper {
+    namespace: Namespace,
+}
+
+impl Stepper {
+    /// A stepper on the anonymous namespace.
+    pub fn new() -> Self {
+        Stepper::default()
+    }
+
+    /// Restricts to one namespace.
+    pub fn in_namespace(namespace: Namespace) -> Self {
+        Stepper { namespace }
+    }
+}
+
+impl Monitor for Stepper {
+    type State = StepLog;
+
+    fn name(&self) -> &str {
+        "stepper"
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        ann.namespace == self.namespace
+    }
+
+    fn initial_state(&self) -> StepLog {
+        StepLog::default()
+    }
+
+    fn pre(&self, ann: &Annotation, expr: &Expr, _: &Scope<'_>, s: StepLog) -> StepLog {
+        s.enter(ann.name().to_string(), expr.to_string())
+    }
+
+    fn post(
+        &self,
+        ann: &Annotation,
+        _: &Expr,
+        _: &Scope<'_>,
+        value: &Value,
+        s: StepLog,
+    ) -> StepLog {
+        s.leave(ann.name().to_string(), value.to_string())
+    }
+
+    fn render_state(&self, s: &StepLog) -> String {
+        s.events()
+            .iter()
+            .map(|e| match e {
+                StepEvent::Enter { step, point, expr } => {
+                    format!("step {step}: enter {point}: {expr}")
+                }
+                StepEvent::Leave { step, point, value } => {
+                    format!("step {step}: leave {point} = {value}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_monitor::machine::eval_monitored;
+    use monsem_syntax::parse_expr;
+
+    #[test]
+    fn logs_enter_and_leave_in_order() {
+        let e = parse_expr("{outer}:({inner}:1 + 2)").unwrap();
+        let (_, log) = eval_monitored(&e, &Stepper::new()).unwrap();
+        let events = log.events();
+        assert_eq!(events.len(), 4);
+        assert!(matches!(&events[0], StepEvent::Enter { step: 0, point, .. } if point == "outer"));
+        assert!(matches!(&events[1], StepEvent::Enter { step: 1, point, .. } if point == "inner"));
+        assert!(matches!(&events[2], StepEvent::Leave { step: 1, point, value }
+            if point == "inner" && value == "1"));
+        assert!(matches!(&events[3], StepEvent::Leave { step: 0, point, value }
+            if point == "outer" && value == "3"));
+        assert_eq!(log.steps(), 2);
+    }
+
+    #[test]
+    fn render_is_one_line_per_event() {
+        let e = parse_expr("{p}:42").unwrap();
+        let (_, log) = eval_monitored(&e, &Stepper::new()).unwrap();
+        assert_eq!(
+            Stepper::new().render_state(&log),
+            "step 0: enter p: 42\nstep 0: leave p = 42"
+        );
+    }
+
+    #[test]
+    fn captures_expression_text() {
+        let e = parse_expr("{p}:(1 + 2)").unwrap();
+        let (_, log) = eval_monitored(&e, &Stepper::new()).unwrap();
+        assert!(matches!(&log.events()[0], StepEvent::Enter { expr, .. } if expr == "1 + 2"));
+    }
+}

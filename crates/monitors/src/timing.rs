@@ -1,0 +1,128 @@
+//! A wall-clock time profiler (toolbox extension).
+//!
+//! Accumulates, per label, the wall-clock time spent between the pre- and
+//! post-events of annotated expressions (inclusive of callees, like the
+//! paper's interpreter-level measurements in §9.1). The monitor state
+//! carries `Instant`s, which is sound: monitor state never feeds back into
+//! evaluation, so nondeterministic contents cannot perturb the answer.
+
+use monsem_core::Value;
+use monsem_monitor::scope::Scope;
+use monsem_monitor::Monitor;
+use monsem_syntax::{AnnKind, Annotation, Expr, Ident, Namespace};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Accumulated inclusive times per label, plus the stack of open timers.
+#[derive(Debug, Clone, Default)]
+pub struct Timings {
+    totals: BTreeMap<Ident, (Duration, u64)>,
+    open: Vec<(Ident, Instant)>,
+}
+
+impl Timings {
+    /// Total inclusive time attributed to `label`.
+    pub fn total(&self, label: &Ident) -> Duration {
+        self.totals.get(label).map(|(d, _)| *d).unwrap_or_default()
+    }
+
+    /// How many times `label` completed.
+    pub fn count(&self, label: &Ident) -> u64 {
+        self.totals.get(label).map(|(_, n)| *n).unwrap_or(0)
+    }
+
+    /// Labels with at least one completed timing.
+    pub fn labels(&self) -> impl Iterator<Item = &Ident> {
+        self.totals.keys()
+    }
+}
+
+/// The time profiler.
+#[derive(Debug, Clone, Default)]
+pub struct TimeProfiler {
+    namespace: Namespace,
+}
+
+impl TimeProfiler {
+    /// Times anonymous-namespace labels.
+    pub fn new() -> Self {
+        TimeProfiler::default()
+    }
+
+    /// Restricts to one namespace.
+    pub fn in_namespace(namespace: Namespace) -> Self {
+        TimeProfiler { namespace }
+    }
+}
+
+impl Monitor for TimeProfiler {
+    type State = Timings;
+
+    fn name(&self) -> &str {
+        "time-profiler"
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        ann.namespace == self.namespace && matches!(ann.kind, AnnKind::Label(_))
+    }
+
+    fn initial_state(&self) -> Timings {
+        Timings::default()
+    }
+
+    fn pre(&self, ann: &Annotation, _: &Expr, _: &Scope<'_>, mut s: Timings) -> Timings {
+        s.open.push((ann.name().clone(), Instant::now()));
+        s
+    }
+
+    fn post(
+        &self,
+        ann: &Annotation,
+        _: &Expr,
+        _: &Scope<'_>,
+        _: &Value,
+        mut s: Timings,
+    ) -> Timings {
+        // Post events unnest strictly, so the matching timer is on top.
+        if let Some((label, started)) = s.open.pop() {
+            debug_assert_eq!(&label, ann.name());
+            let entry = s.totals.entry(label).or_insert((Duration::ZERO, 0));
+            entry.0 += started.elapsed();
+            entry.1 += 1;
+        }
+        s
+    }
+
+    fn render_state(&self, s: &Timings) -> String {
+        s.totals
+            .iter()
+            .map(|(l, (d, n))| format!("{l}: {:?} over {n} activations", d))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_core::programs;
+    use monsem_monitor::machine::eval_monitored;
+
+    #[test]
+    fn counts_activations_and_accumulates_time() {
+        let (_, t) = eval_monitored(&programs::fac_mul_profiled(5), &TimeProfiler::new()).unwrap();
+        assert_eq!(t.count(&Ident::new("fac")), 6);
+        assert_eq!(t.count(&Ident::new("mul")), 5);
+        assert!(t.total(&Ident::new("fac")) >= t.total(&Ident::new("mul")),
+            "outer activations include inner ones");
+        assert!(t.open.is_empty());
+    }
+
+    #[test]
+    fn render_names_every_label() {
+        let (_, t) = eval_monitored(&programs::fac_mul_profiled(2), &TimeProfiler::new()).unwrap();
+        let shown = TimeProfiler::new().render_state(&t);
+        assert!(shown.contains("fac:"));
+        assert!(shown.contains("mul:"));
+    }
+}

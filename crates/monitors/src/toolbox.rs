@@ -1,0 +1,191 @@
+//! Boxed constructors for the §9.2 toolbox, for use with the `&`
+//! composition operator and [`Session`](monsem_monitor::session::Session):
+//!
+//! ```
+//! use monsem_monitors::toolbox::{profile, trace};
+//! use monsem_monitor::session::{evaluate, LanguageModule};
+//! use monsem_syntax::parse_expr;
+//!
+//! let prog = parse_expr(
+//!     "letrec mul = lambda x. lambda y. {mul(x, y)}:(x*y) in \
+//!      letrec fac = lambda x. {fac}:(mul x 1) in fac 3",
+//! )?;
+//! let report = evaluate(profile() & trace(), LanguageModule::Strict, &prog)?;
+//! assert_eq!(report.answer.to_string(), "3");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Label-shaped and header-shaped annotations are disjoint syntaxes, so a
+//! profiler and a tracer compose without namespaces; same-shaped monitors
+//! need distinct namespaces (§6).
+
+use crate::collecting::Collecting;
+use crate::coverage::Coverage;
+use crate::debugger::{Command, Debugger};
+use crate::demon::{PredicateDemon, UnsortedDemon};
+use crate::logger::EventLogger;
+use crate::profiler::Profiler;
+use crate::stepper::Stepper;
+use crate::timing::TimeProfiler;
+use crate::tracer::Tracer;
+use crate::watch::Watchpoint;
+use monsem_core::Value;
+use monsem_monitor::compose::boxed;
+use monsem_monitor::DynMonitor;
+use monsem_syntax::{Ident, Namespace};
+
+/// The Figure 6 profiler on bare labels.
+pub fn profile() -> Box<dyn DynMonitor> {
+    boxed(Profiler::new())
+}
+
+/// The Figure 7 tracer on function headers.
+pub fn trace() -> Box<dyn DynMonitor> {
+    boxed(Tracer::new())
+}
+
+/// The Figure 9 collecting monitor, namespaced to `collect/`.
+pub fn collect() -> Box<dyn DynMonitor> {
+    boxed(Collecting::in_namespace(Namespace::new("collect")))
+}
+
+/// The Figure 8 unsorted-list demon, namespaced to `demon/`.
+pub fn demon_unsorted() -> Box<dyn DynMonitor> {
+    boxed(PredicateDemon::new("unsorted-demon", |v| !crate::demon::is_sorted(v))
+        .in_namespace(Namespace::new("demon")))
+}
+
+/// A demon for an arbitrary semantic event, namespaced to `demon/`.
+pub fn demon(name: &str, trigger: impl Fn(&Value) -> bool + 'static) -> Box<dyn DynMonitor> {
+    boxed(PredicateDemon::new(name, trigger).in_namespace(Namespace::new("demon")))
+}
+
+/// The anonymous-namespace unsorted demon (as in the paper's §8 example,
+/// where it is the only monitor).
+pub fn demon_unsorted_anon() -> Box<dyn DynMonitor> {
+    boxed(UnsortedDemon::new())
+}
+
+/// A scripted dbx-style debugger on `bp/` labels.
+pub fn debug(script: Vec<Command>) -> Box<dyn DynMonitor> {
+    boxed(Debugger::with_script(script).in_namespace(Namespace::new("bp")))
+}
+
+/// A stepper on `step/` annotations.
+pub fn step() -> Box<dyn DynMonitor> {
+    boxed(Stepper::in_namespace(Namespace::new("step")))
+}
+
+/// Coverage of `cov/` labels.
+pub fn coverage() -> Box<dyn DynMonitor> {
+    boxed(Coverage::in_namespace(Namespace::new("cov")))
+}
+
+/// A watchpoint on `watch/` annotations.
+pub fn watch(variable: impl Into<Ident>) -> Box<dyn DynMonitor> {
+    boxed(Watchpoint::new(variable).in_namespace(Namespace::new("watch")))
+}
+
+/// A wall-clock profiler on `time/` labels.
+pub fn time() -> Box<dyn DynMonitor> {
+    boxed(TimeProfiler::in_namespace(Namespace::new("time")))
+}
+
+/// A raw event log on `log/` annotations.
+pub fn log() -> Box<dyn DynMonitor> {
+    boxed(EventLogger::in_namespace(Namespace::new("log")))
+}
+
+/// A dynamic call graph over `graph/` function headers.
+pub fn call_graph() -> Box<dyn DynMonitor> {
+    boxed(crate::callgraph::CallGraph::in_namespace(Namespace::new("graph")))
+}
+
+/// A memoization-opportunity report over `memo/` function headers.
+pub fn memo_scout() -> Box<dyn DynMonitor> {
+    boxed(crate::memo::MemoScout::in_namespace(Namespace::new("memo")))
+}
+
+/// A space profiler over `space/` labels.
+pub fn space() -> Box<dyn DynMonitor> {
+    boxed(crate::space::SpaceProfiler::in_namespace(Namespace::new("space")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_core::programs;
+    use monsem_monitor::session::{evaluate, LanguageModule};
+    use monsem_monitor::Monitor;
+
+    #[test]
+    fn profile_and_trace_compose_on_the_section8_program() {
+        // One program carrying both monitors' annotations: labels for the
+        // profiler, headers for the tracer.
+        let prog = monsem_syntax::parse_expr(
+            "letrec mul = lambda x. lambda y. {mul(x, y)}:({mul}:(x*y)) in \
+             letrec fac = lambda x. {fac(x)}:({fac}:if (x=0) then 1 else mul x (fac (x-1))) \
+             in fac 3",
+        )
+        .unwrap();
+        let report = evaluate(profile() & trace(), LanguageModule::Strict, &prog).unwrap();
+        assert_eq!(report.answer, Value::Int(6));
+        assert_eq!(report.rendered_of("profiler"), Some("[fac ↦ 4, mul ↦ 3]"));
+        assert!(report.rendered_of("tracer").unwrap().contains("[FAC receives (3)]"));
+    }
+
+    #[test]
+    fn three_way_cascade_with_disjoint_namespaces() {
+        let prog = monsem_syntax::parse_expr(
+            "letrec f = lambda x. {f}:({collect/v}:({demon/d}:(x : []))) in f 1 ++ f 2",
+        )
+        .unwrap();
+        let stack = profile() & collect() & demon_unsorted();
+        let report = evaluate(stack, LanguageModule::Strict, &prog).unwrap();
+        assert_eq!(report.answer, Value::list([Value::Int(1), Value::Int(2)]));
+        assert_eq!(report.rendered_of("profiler"), Some("[f ↦ 2]"));
+        assert!(report.rendered_of("collecting").unwrap().contains("v ↦"));
+        assert_eq!(report.rendered_of("unsorted-demon"), Some("{}"));
+    }
+
+    #[test]
+    fn every_toolbox_monitor_is_constructible_and_sound() {
+        let prog = programs::fac_ab(4);
+        let tools = profile()
+            & trace()
+            & collect()
+            & demon_unsorted()
+            & debug(vec![])
+            & step()
+            & coverage()
+            & watch("x")
+            & time()
+            & log()
+            & call_graph()
+            & memo_scout();
+        let n = tools.len();
+        assert_eq!(n, 12);
+        let report = evaluate(tools, LanguageModule::Strict, &prog).unwrap();
+        assert_eq!(report.answer, Value::Int(24));
+        assert_eq!(report.entries.len(), n);
+    }
+
+    #[test]
+    fn demon_constructor_takes_arbitrary_triggers() {
+        let prog = monsem_syntax::parse_expr("{demon/z}:(3 - 3)").unwrap();
+        let d = demon("zero", |v| matches!(v, Value::Int(0)));
+        let report = evaluate(monsem_monitor::MonitorStack::single(d), LanguageModule::Strict, &prog)
+            .unwrap();
+        assert_eq!(report.rendered_of("zero"), Some("{z}"));
+    }
+
+    #[test]
+    fn label_and_header_syntaxes_are_disjoint_without_namespaces() {
+        let p = Profiler::new();
+        let t = Tracer::new();
+        let label = monsem_syntax::Annotation::label("x");
+        let header = monsem_syntax::Annotation::fun_header("x", vec![]);
+        assert!(Monitor::accepts(&p, &label) && !Monitor::accepts(&p, &header));
+        assert!(Monitor::accepts(&t, &header) && !Monitor::accepts(&t, &label));
+    }
+}

@@ -1,0 +1,226 @@
+//! The fancy tracer of Figure 7.
+//!
+//! Monitor syntax: function headers `{f(x₁, …, xₙ)}:` on function bodies
+//! (see [`trace_functions`](monsem_syntax::points::trace_functions)).
+//! Monitor state: an output channel (a stream of lines) and a trace-level
+//! indicator. The pre-monitoring function prints
+//! `[F receives (v₁ … vₙ)]` at the current indentation and increments the
+//! level; the post-monitoring function prints `[F returns v]` one level
+//! out, reproducing the paper's indented transcript:
+//!
+//! ```text
+//! [FAC receives (3)]
+//! |    [FAC receives (2)]
+//! |    |    [FAC receives (1)]
+//! ...
+//! |    [FAC returns 2]
+//! |    [MUL receives (3 2)]
+//! |    [MUL returns 6]
+//! [FAC returns 6]
+//! ```
+
+use monsem_monitor::scope::Scope;
+use monsem_monitor::Monitor;
+use monsem_syntax::{AnnKind, Annotation, Expr, Namespace};
+use std::rc::Rc;
+
+/// The output channel: a persistent stream of rendered lines.
+///
+/// `addStream`/`initStream` from Figure 7, with structural sharing so that
+/// cloning the monitor state (which the semantics does freely) is O(1).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OutChan(Option<Rc<ChanNode>>);
+
+#[derive(Debug, PartialEq)]
+struct ChanNode {
+    line: String,
+    prev: OutChan,
+}
+
+impl OutChan {
+    /// `initStream` — the empty channel.
+    pub fn init() -> Self {
+        OutChan::default()
+    }
+
+    /// `addStream` — appends a line.
+    pub fn add(&self, line: String) -> Self {
+        OutChan(Some(Rc::new(ChanNode { line, prev: self.clone() })))
+    }
+
+    /// The lines, oldest first.
+    pub fn lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut cur = self;
+        while let Some(node) = cur.0.as_deref() {
+            out.push(node.line.clone());
+            cur = &node.prev;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Renders the whole channel.
+    pub fn render(&self) -> String {
+        self.lines().join("\n")
+    }
+}
+
+/// Tracer state: output channel × trace level (Figure 7's `MS = OutChan × ℕ`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TracerState {
+    /// The output channel.
+    pub chan: OutChan,
+    /// Current nesting level.
+    pub level: u64,
+}
+
+/// The Figure 7 tracer.
+///
+/// ```
+/// use monsem_monitor::{machine::eval_monitored, Monitor};
+/// use monsem_monitors::Tracer;
+/// use monsem_syntax::parse_expr;
+/// let prog = parse_expr("letrec id = lambda x. {id(x)}:x in id 7")?;
+/// let tracer = Tracer::new();
+/// let (answer, state) = eval_monitored(&prog, &tracer)?;
+/// assert_eq!(answer.to_string(), "7");
+/// assert_eq!(tracer.render_state(&state), "[ID receives (7)]\n[ID returns 7]");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    namespace: Namespace,
+}
+
+impl Tracer {
+    /// A tracer for header annotations in the anonymous namespace.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// A tracer listening on a specific namespace (for cascades, §6).
+    pub fn in_namespace(namespace: Namespace) -> Self {
+        Tracer { namespace }
+    }
+
+    /// `indent n o` — the paper indents with one `|` per open level.
+    fn indent(level: u64) -> String {
+        "|    ".repeat(level as usize)
+    }
+}
+
+impl Monitor for Tracer {
+    type State = TracerState;
+
+    fn name(&self) -> &str {
+        "tracer"
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        ann.namespace == self.namespace && matches!(ann.kind, AnnKind::FunHeader { .. })
+    }
+
+    fn initial_state(&self) -> TracerState {
+        TracerState::default()
+    }
+
+    fn pre(
+        &self,
+        ann: &Annotation,
+        _: &Expr,
+        scope: &Scope<'_>,
+        s: TracerState,
+    ) -> TracerState {
+        let AnnKind::FunHeader { name, params } = &ann.kind else {
+            return s;
+        };
+        let args =
+            params.iter().map(|p| scope.render(p)).collect::<Vec<_>>().join(" ");
+        let line = format!(
+            "{}[{} receives ({args})]",
+            Tracer::indent(s.level),
+            name.as_str().to_uppercase()
+        );
+        TracerState { chan: s.chan.add(line), level: s.level + 1 }
+    }
+
+    fn post(
+        &self,
+        ann: &Annotation,
+        _: &Expr,
+        _: &Scope<'_>,
+        value: &monsem_core::Value,
+        s: TracerState,
+    ) -> TracerState {
+        let AnnKind::FunHeader { name, .. } = &ann.kind else {
+            return s;
+        };
+        let level = s.level.saturating_sub(1);
+        let line = format!(
+            "{}[{} returns {value}]",
+            Tracer::indent(level),
+            name.as_str().to_uppercase()
+        );
+        TracerState { chan: s.chan.add(line), level }
+    }
+
+    fn render_state(&self, s: &TracerState) -> String {
+        s.chan.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_core::{programs, Value};
+    use monsem_monitor::machine::eval_monitored;
+
+    /// The §8 transcript for `fac 3` via `mul`, in our rendering.
+    pub const FAC3_TRANSCRIPT: &str = "\
+[FAC receives (3)]
+|    [FAC receives (2)]
+|    |    [FAC receives (1)]
+|    |    |    [FAC receives (0)]
+|    |    |    [FAC returns 1]
+|    |    |    [MUL receives (1 1)]
+|    |    |    [MUL returns 1]
+|    |    [FAC returns 1]
+|    |    [MUL receives (2 1)]
+|    |    [MUL returns 2]
+|    [FAC returns 2]
+|    [MUL receives (3 2)]
+|    [MUL returns 6]
+[FAC returns 6]";
+
+    #[test]
+    fn reproduces_the_section8_transcript() {
+        let (v, s) = eval_monitored(&programs::fac_mul_traced(3), &Tracer::new()).unwrap();
+        assert_eq!(v, Value::Int(6));
+        assert_eq!(s.chan.render(), FAC3_TRANSCRIPT);
+        assert_eq!(s.level, 0, "every receives was matched by a returns");
+    }
+
+    #[test]
+    fn out_chan_preserves_order_and_shares_structure() {
+        let c = OutChan::init().add("a".into()).add("b".into());
+        let c2 = c.add("c".into());
+        assert_eq!(c.lines(), vec!["a", "b"]);
+        assert_eq!(c2.lines(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn tracer_ignores_bare_labels() {
+        let (_, s) = eval_monitored(&programs::fac_mul_profiled(3), &Tracer::new()).unwrap();
+        assert_eq!(s, TracerState::default());
+    }
+
+    #[test]
+    fn nesting_level_reflects_recursion_depth() {
+        let (_, s) = eval_monitored(&programs::fac_mul_traced(2), &Tracer::new()).unwrap();
+        let lines = s.chan.lines();
+        assert!(lines[0].starts_with("[FAC"));
+        assert!(lines[1].starts_with("|    [FAC"));
+        assert!(lines[2].starts_with("|    |    [FAC"));
+    }
+}

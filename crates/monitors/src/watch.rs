@@ -1,0 +1,138 @@
+//! A watchpoint monitor (toolbox extension; the Magpie variable-event
+//! demon of §8 generalized to "record every change").
+//!
+//! At every accepted annotation the monitor samples a named variable in
+//! the current [`Scope`] and records a transition whenever the observed
+//! value differs from the previous sample. Under the imperative language
+//! module this watches mutation through the store.
+
+use monsem_core::Value;
+use monsem_monitor::scope::Scope;
+use monsem_monitor::Monitor;
+use monsem_syntax::{Annotation, Expr, Ident, Namespace};
+
+/// The observation history of a watched variable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WatchLog {
+    /// Each entry is (annotation label, value observed). Only *changes*
+    /// are recorded (including the first observation).
+    pub transitions: Vec<(String, Value)>,
+    last: Option<Value>,
+}
+
+/// Watches one variable.
+#[derive(Debug, Clone)]
+pub struct Watchpoint {
+    variable: Ident,
+    namespace: Namespace,
+}
+
+impl Watchpoint {
+    /// Watches `variable` at anonymous-namespace annotations.
+    pub fn new(variable: impl Into<Ident>) -> Self {
+        Watchpoint { variable: variable.into(), namespace: Namespace::anonymous() }
+    }
+
+    /// Restricts to one namespace.
+    pub fn in_namespace(mut self, namespace: Namespace) -> Self {
+        self.namespace = namespace;
+        self
+    }
+
+    fn sample(&self, ann: &Annotation, scope: &Scope<'_>, mut s: WatchLog) -> WatchLog {
+        if let Some(v) = scope.lookup(&self.variable) {
+            if s.last.as_ref() != Some(&v) {
+                s.transitions.push((ann.name().to_string(), v.clone()));
+                s.last = Some(v);
+            }
+        }
+        s
+    }
+}
+
+impl Monitor for Watchpoint {
+    type State = WatchLog;
+
+    fn name(&self) -> &str {
+        "watchpoint"
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        ann.namespace == self.namespace
+    }
+
+    fn initial_state(&self) -> WatchLog {
+        WatchLog::default()
+    }
+
+    fn pre(&self, ann: &Annotation, _: &Expr, scope: &Scope<'_>, s: WatchLog) -> WatchLog {
+        self.sample(ann, scope, s)
+    }
+
+    fn post(
+        &self,
+        ann: &Annotation,
+        _: &Expr,
+        scope: &Scope<'_>,
+        _: &Value,
+        s: WatchLog,
+    ) -> WatchLog {
+        self.sample(ann, scope, s)
+    }
+
+    fn render_state(&self, s: &WatchLog) -> String {
+        s.transitions
+            .iter()
+            .map(|(at, v)| format!("{} = {v} (at {{{at}}})", self.variable))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_monitor::imperative::eval_monitored_imperative;
+    use monsem_monitor::machine::eval_monitored;
+    use monsem_syntax::parse_expr;
+
+    #[test]
+    fn watches_mutation_in_the_imperative_module() {
+        let e = parse_expr(
+            "let x = 0 in while x < 3 do {w}:(x := x + 1) end; x",
+        )
+        .unwrap();
+        let (_, log) = eval_monitored_imperative(&e, &Watchpoint::new("x")).unwrap();
+        let values: Vec<&Value> = log.transitions.iter().map(|(_, v)| v).collect();
+        assert_eq!(
+            values,
+            vec![&Value::Int(0), &Value::Int(1), &Value::Int(2), &Value::Int(3)]
+        );
+    }
+
+    #[test]
+    fn unchanged_samples_are_not_recorded() {
+        let e = parse_expr("let x = 5 in {a}:1 + {b}:2 + {c}:x").unwrap();
+        let (_, log) = eval_monitored(&e, &Watchpoint::new("x")).unwrap();
+        assert_eq!(log.transitions.len(), 1, "{log:?}");
+        assert_eq!(log.transitions[0].1, Value::Int(5));
+    }
+
+    #[test]
+    fn rebinding_in_pure_code_is_visible() {
+        let e = parse_expr(
+            "let x = 1 in {outer}:(let x = 2 in {inner}:x) + {back}:x",
+        )
+        .unwrap();
+        let (_, log) = eval_monitored(&e, &Watchpoint::new("x")).unwrap();
+        let values: Vec<i64> = log
+            .transitions
+            .iter()
+            .map(|(_, v)| match v {
+                Value::Int(n) => *n,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(values, vec![1, 2, 1]);
+    }
+}

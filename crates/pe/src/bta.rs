@@ -1,0 +1,582 @@
+//! Binding-time analysis (BTA).
+//!
+//! Schism — the partial evaluator the paper uses (§9.1) — is an *offline*
+//! partial evaluator: a binding-time analysis first classifies every
+//! program point as **static** (computable from the known inputs alone)
+//! or **dynamic**, producing a two-level term that drives specialization.
+//! Our specializer makes those decisions online, but the analysis is
+//! valuable on its own: it *predicts* how much of a program (or of an
+//! instrumented program's monitoring code) specialization can remove, and
+//! the `paper_tables` harness reports it alongside the measurements.
+//!
+//! The analysis is a monovariant abstract interpretation over the
+//! two-point lattice `S ⊑ D`, with abstract closures for higher-order
+//! flow and a fixpoint loop for `letrec`. Each program point's
+//! classification is the join over every evaluation context that reaches
+//! it.
+
+use monsem_core::prims::Prim;
+use monsem_syntax::points::{ExprPath, PathStep};
+use monsem_syntax::{Expr, Ident, Lambda};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A binding time: static (known at specialization time) or dynamic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Bt {
+    /// Computable at specialization time.
+    Static,
+    /// Only available at run time.
+    Dynamic,
+}
+
+impl Bt {
+    /// Least upper bound.
+    pub fn join(self, other: Bt) -> Bt {
+        self.max(other)
+    }
+}
+
+/// Abstract values flowing through the analysis.
+#[derive(Debug, Clone)]
+enum Abs {
+    /// First-order data with a binding time.
+    Data(Bt),
+    /// A (possibly partially applied) primitive: the result of a full
+    /// application joins the binding times of all arguments seen so far.
+    Prim(Bt),
+    /// A function: its definition site, body, and abstract environment.
+    Fun(Rc<AbsFun>),
+}
+
+#[derive(Debug)]
+struct AbsFun {
+    path: ExprPath,
+    lambda: Lambda,
+    env: AEnv,
+}
+
+impl Abs {
+    /// Collapses an abstract value to a binding time: functions are
+    /// specialization-time entities (their *applications* decide what is
+    /// dynamic).
+    fn bt(&self) -> Bt {
+        match self {
+            Abs::Data(bt) | Abs::Prim(bt) => *bt,
+            Abs::Fun(_) => Bt::Static,
+        }
+    }
+
+    /// Collapses to plain data, losing the ability to be applied: a
+    /// function forced into data must be treated as dynamic, because a
+    /// later application of it can no longer be analyzed.
+    fn collapse(&self) -> Bt {
+        match self {
+            Abs::Data(bt) | Abs::Prim(bt) => *bt,
+            Abs::Fun(_) => Bt::Dynamic,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct AEnv(Option<Rc<ANode>>);
+
+#[derive(Debug)]
+enum ANode {
+    Plain { name: Ident, value: Abs, parent: AEnv },
+    Rec { defs: Rc<Vec<(Ident, Lambda, ExprPath)>>, parent: AEnv },
+}
+
+impl AEnv {
+    fn plain(&self, name: Ident, value: Abs) -> AEnv {
+        AEnv(Some(Rc::new(ANode::Plain { name, value, parent: self.clone() })))
+    }
+
+    fn rec(&self, defs: Rc<Vec<(Ident, Lambda, ExprPath)>>) -> AEnv {
+        AEnv(Some(Rc::new(ANode::Rec { defs, parent: self.clone() })))
+    }
+
+    fn lookup(&self, name: &Ident) -> Option<Abs> {
+        let mut cur = self;
+        loop {
+            match cur.0.as_deref() {
+                Some(ANode::Plain { name: n, value, parent }) => {
+                    if n == name {
+                        return Some(value.clone());
+                    }
+                    cur = parent;
+                }
+                Some(ANode::Rec { defs, parent }) => {
+                    if let Some((_, lam, path)) = defs.iter().find(|(n, _, _)| n == name) {
+                        return Some(Abs::Fun(Rc::new(AbsFun {
+                            path: path.clone(),
+                            lambda: lam.clone(),
+                            env: cur.clone(),
+                        })));
+                    }
+                    cur = parent;
+                }
+                None => return None,
+            }
+        }
+    }
+}
+
+/// The result of a binding-time analysis: a classification per program
+/// point (path from the root).
+#[derive(Debug, Default)]
+pub struct Division {
+    marks: BTreeMap<ExprPath, Bt>,
+}
+
+impl Division {
+    /// The binding time recorded for a program point (points the analysis
+    /// never reached — dead code — are absent).
+    pub fn bt_at(&self, path: &ExprPath) -> Option<Bt> {
+        self.marks.get(path).copied()
+    }
+
+    /// The binding time of the whole program.
+    pub fn result(&self) -> Option<Bt> {
+        self.bt_at(&ExprPath::root())
+    }
+
+    /// How many reached points are static / dynamic.
+    pub fn counts(&self) -> (usize, usize) {
+        let stat = self.marks.values().filter(|b| **b == Bt::Static).count();
+        (stat, self.marks.len() - stat)
+    }
+
+    fn mark(&mut self, path: &ExprPath, bt: Bt) -> Bt {
+        let entry = self.marks.entry(path.clone()).or_insert(Bt::Static);
+        *entry = entry.join(bt);
+        *entry
+    }
+}
+
+struct Analyzer {
+    division: Division,
+    /// Memo/assumption table for function bodies:
+    /// (definition path, argument bt) → result bt. Seeds optimistically
+    /// with `Static`; the outer fixpoint loop re-runs until stable.
+    assumptions: BTreeMap<(ExprPath, Bt), Bt>,
+    changed: bool,
+    /// Active (path, arg-bt) calls, to cut recursion within one pass.
+    active: Vec<(ExprPath, Bt)>,
+}
+
+impl Analyzer {
+    fn analyze(&mut self, e: &Expr, path: &ExprPath, env: &AEnv) -> Abs {
+        let result = match e {
+            Expr::Con(_) => Abs::Data(Bt::Static),
+            Expr::Var(x) => match env.lookup(x) {
+                Some(v) => v,
+                None => {
+                    if Prim::by_name(x.as_str()).is_some() {
+                        Abs::Prim(Bt::Static)
+                    } else {
+                        // Free variable: a dynamic input.
+                        Abs::Data(Bt::Dynamic)
+                    }
+                }
+            },
+            Expr::Lambda(l) => Abs::Fun(Rc::new(AbsFun {
+                path: path.clone(),
+                lambda: l.clone(),
+                env: env.clone(),
+            })),
+            Expr::If(c, t, f) => {
+                let cb = self.analyze(c, &path.child(PathStep::Cond), env).bt();
+                let tb = self.analyze(t, &path.child(PathStep::Then), env);
+                let fb = self.analyze(f, &path.child(PathStep::Else), env);
+                Abs::Data(cb.join(tb.collapse()).join(fb.collapse()))
+            }
+            Expr::App(f, a) => {
+                let av = self.analyze(a, &path.child(PathStep::Arg), env);
+                let fv = self.analyze(f, &path.child(PathStep::Fun), env);
+                match fv {
+                    Abs::Fun(def) => self.apply(&def, av),
+                    Abs::Prim(acc) => Abs::Prim(acc.join(av.collapse())),
+                    // Applying collapsed data: nothing is known about the
+                    // callee any more, so the result is dynamic.
+                    Abs::Data(_) => Abs::Data(Bt::Dynamic),
+                }
+            }
+            Expr::Let(x, v, b) => {
+                let vv = self.analyze(v, &path.child(PathStep::BindingValue(0)), env);
+                let env = env.plain(x.clone(), vv);
+                self.analyze(b, &path.child(PathStep::Body), &env)
+            }
+            Expr::Letrec(bs, body) => {
+                let defs: Vec<(Ident, Lambda, ExprPath)> = bs
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, b)| match b.value.strip_annotations() {
+                        Expr::Lambda(l) => Some((
+                            b.name.clone(),
+                            l.clone(),
+                            path.child(PathStep::BindingValue(i)),
+                        )),
+                        _ => None,
+                    })
+                    .collect();
+                let mut env = env.clone();
+                for (i, b) in bs.iter().enumerate() {
+                    if !b.value.is_lambda_like() {
+                        let v = self.analyze(
+                            &b.value,
+                            &path.child(PathStep::BindingValue(i)),
+                            &env,
+                        );
+                        env = env.plain(b.name.clone(), v);
+                    }
+                }
+                if !defs.is_empty() {
+                    env = env.rec(Rc::new(defs));
+                }
+                self.analyze(body, &path.child(PathStep::Body), &env)
+            }
+            Expr::Ann(_, inner) => {
+                // Annotated points are monitoring events: dynamic by
+                // decree (the specializer never folds them), though the
+                // inner computation keeps its own classification.
+                self.analyze(inner, &path.child(PathStep::Annotated), env);
+                Abs::Data(Bt::Dynamic)
+            }
+            Expr::Seq(a, b) => {
+                self.analyze(a, &path.child(PathStep::SeqFirst), env);
+                self.analyze(b, &path.child(PathStep::SeqSecond), env)
+            }
+            Expr::Assign(_, v) => {
+                self.analyze(v, &path.child(PathStep::AssignValue), env);
+                Abs::Data(Bt::Dynamic)
+            }
+            Expr::While(c, b) => {
+                self.analyze(c, &path.child(PathStep::Cond), env);
+                self.analyze(b, &path.child(PathStep::LoopBody), env);
+                Abs::Data(Bt::Dynamic)
+            }
+        };
+        self.division.mark(path, result.bt());
+        result
+    }
+
+    fn apply(&mut self, def: &AbsFun, arg: Abs) -> Abs {
+        let key = (def.path.clone(), arg.bt());
+        if self.active.contains(&key) {
+            // Recursive call within this pass: use the current assumption.
+            let assumed = self.assumptions.get(&key).copied().unwrap_or(Bt::Static);
+            return Abs::Data(assumed);
+        }
+        self.active.push(key.clone());
+        let env = def.env.plain(def.lambda.param.clone(), arg);
+        let body_path = key.0.child(PathStep::LambdaBody);
+        let out = self.analyze(&def.lambda.body, &body_path, &env);
+        self.active.pop();
+        let prev = self.assumptions.get(&key).copied().unwrap_or(Bt::Static);
+        let joined = prev.join(out.collapse());
+        if joined != prev {
+            self.assumptions.insert(key, joined);
+            self.changed = true;
+        }
+        // Function and primitive results stay applicable; data carries
+        // the fixpoint-joined binding time.
+        match out {
+            Abs::Fun(_) | Abs::Prim(_) => out,
+            Abs::Data(_) => Abs::Data(joined),
+        }
+    }
+}
+
+/// Runs the analysis: free variables are dynamic inputs unless listed in
+/// `static_inputs`; constants and primitives are static. Iterates to a
+/// fixpoint.
+///
+/// ```
+/// use monsem_pe::bta::{analyze, Bt};
+/// use monsem_syntax::{parse_expr, Ident};
+/// let e = parse_expr("n + (2 * 3)")?;
+/// assert_eq!(analyze(&e, &[]).result(), Some(Bt::Dynamic));
+/// assert_eq!(analyze(&e, &[Ident::new("n")]).result(), Some(Bt::Static));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn analyze(program: &Expr, static_inputs: &[Ident]) -> Division {
+    let mut assumptions = BTreeMap::new();
+    for _pass in 0..16 {
+        let mut a = Analyzer {
+            division: Division::default(),
+            assumptions,
+            changed: false,
+            active: Vec::new(),
+        };
+        let mut env = AEnv::default();
+        for name in static_inputs {
+            env = env.plain(name.clone(), Abs::Data(Bt::Static));
+        }
+        a.analyze(program, &ExprPath::root(), &env);
+        if !a.changed {
+            return a.division;
+        }
+        assumptions = a.assumptions;
+    }
+    // The lattice has height 1 per key, so this is unreachable in
+    // practice; return the last division anyway.
+    let mut a = Analyzer {
+        division: Division::default(),
+        assumptions,
+        changed: false,
+        active: Vec::new(),
+    };
+    let mut env = AEnv::default();
+    for name in static_inputs {
+        env = env.plain(name.clone(), Abs::Data(Bt::Static));
+    }
+    a.analyze(program, &ExprPath::root(), &env);
+    a.division
+}
+
+/// Renders the program as a *two-level term*: every dynamic program point
+/// is wrapped in `«…»`, static code is left bare — the offline partial
+/// evaluator's traditional presentation of a division.
+pub fn render_two_level(program: &Expr, division: &Division) -> String {
+    fn walk(e: &Expr, path: &ExprPath, d: &Division, out: &mut String) {
+        let dynamic = d.bt_at(path) == Some(Bt::Dynamic);
+        if dynamic {
+            out.push('«');
+        }
+        match e {
+            Expr::Con(_) | Expr::Var(_) => out.push_str(&e.to_string()),
+            Expr::Lambda(l) => {
+                out.push_str("lambda ");
+                out.push_str(l.param.as_str());
+                out.push_str(". ");
+                walk(&l.body, &path.child(PathStep::LambdaBody), d, out);
+            }
+            Expr::If(c, t, f) => {
+                out.push_str("if ");
+                walk(c, &path.child(PathStep::Cond), d, out);
+                out.push_str(" then ");
+                walk(t, &path.child(PathStep::Then), d, out);
+                out.push_str(" else ");
+                walk(f, &path.child(PathStep::Else), d, out);
+            }
+            Expr::App(f, a) => {
+                out.push('(');
+                walk(f, &path.child(PathStep::Fun), d, out);
+                out.push(' ');
+                walk(a, &path.child(PathStep::Arg), d, out);
+                out.push(')');
+            }
+            Expr::Let(x, v, b) => {
+                out.push_str("let ");
+                out.push_str(x.as_str());
+                out.push_str(" = ");
+                walk(v, &path.child(PathStep::BindingValue(0)), d, out);
+                out.push_str(" in ");
+                walk(b, &path.child(PathStep::Body), d, out);
+            }
+            Expr::Letrec(bs, body) => {
+                out.push_str("letrec ");
+                for (i, b) in bs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(" and ");
+                    }
+                    out.push_str(b.name.as_str());
+                    out.push_str(" = ");
+                    walk(&b.value, &path.child(PathStep::BindingValue(i)), d, out);
+                }
+                out.push_str(" in ");
+                walk(body, &path.child(PathStep::Body), d, out);
+            }
+            Expr::Ann(a, inner) => {
+                out.push_str(&a.to_string());
+                out.push(':');
+                walk(inner, &path.child(PathStep::Annotated), d, out);
+            }
+            Expr::Seq(a, b) => {
+                walk(a, &path.child(PathStep::SeqFirst), d, out);
+                out.push_str("; ");
+                walk(b, &path.child(PathStep::SeqSecond), d, out);
+            }
+            Expr::Assign(x, v) => {
+                out.push_str(x.as_str());
+                out.push_str(" := ");
+                walk(v, &path.child(PathStep::AssignValue), d, out);
+            }
+            Expr::While(c, b) => {
+                out.push_str("while ");
+                walk(c, &path.child(PathStep::Cond), d, out);
+                out.push_str(" do ");
+                walk(b, &path.child(PathStep::LoopBody), d, out);
+                out.push_str(" end");
+            }
+        }
+        if dynamic {
+            out.push('»');
+        }
+    }
+    let mut out = String::new();
+    walk(program, &ExprPath::root(), division, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_syntax::parse_expr;
+
+    #[test]
+    fn closed_programs_are_fully_static() {
+        let e = parse_expr(
+            "letrec fac = lambda x. if x = 0 then 1 else x * (fac (x - 1)) in fac 5",
+        )
+        .unwrap();
+        let d = analyze(&e, &[]);
+        assert_eq!(d.result(), Some(Bt::Static));
+        let (_, dynamic) = d.counts();
+        assert_eq!(dynamic, 0);
+    }
+
+    #[test]
+    fn free_variables_are_dynamic_inputs() {
+        let e = parse_expr("n + 1").unwrap();
+        let d = analyze(&e, &[]);
+        assert_eq!(d.result(), Some(Bt::Dynamic));
+        // …unless declared static:
+        let d = analyze(&e, &[Ident::new("n")]);
+        assert_eq!(d.result(), Some(Bt::Static));
+    }
+
+    #[test]
+    fn pow_with_static_exponent_has_static_control() {
+        let e = parse_expr(
+            "letrec pow = lambda b. lambda e. if e = 0 then 1 else b * (pow b (e - 1)) \
+             in pow base exp",
+        )
+        .unwrap();
+        let d = analyze(&e, &[Ident::new("exp")]);
+        // The overall result is dynamic (it depends on base)…
+        assert_eq!(d.result(), Some(Bt::Dynamic));
+        // …but a healthy share of the program is static (the analysis is
+        // monovariant, so `pow` is summarized over both call patterns).
+        let (stat, dynamic) = d.counts();
+        assert!(stat > 0, "static points: {stat}, dynamic: {dynamic}");
+    }
+
+    #[test]
+    fn annotations_pin_points_dynamic() {
+        let e = parse_expr("{A}:(1 + 2)").unwrap();
+        let d = analyze(&e, &[]);
+        assert_eq!(d.result(), Some(Bt::Dynamic));
+        // The computation inside is still static.
+        let inner = ExprPath(vec![PathStep::Annotated]);
+        assert_eq!(d.bt_at(&inner), Some(Bt::Static));
+    }
+
+    #[test]
+    fn recursion_reaches_a_fixpoint() {
+        let e = parse_expr(
+            "letrec f = lambda n. if n = 0 then m else f (n - 1) in f k",
+        )
+        .unwrap();
+        // m and k free → dynamic; the analysis must terminate and mark
+        // the program dynamic.
+        let d = analyze(&e, &[]);
+        assert_eq!(d.result(), Some(Bt::Dynamic));
+    }
+
+    #[test]
+    fn two_level_rendering_marks_dynamic_points() {
+        let e = parse_expr("(n + 1) * (2 + 3)").unwrap();
+        let d = analyze(&e, &[]);
+        let rendered = render_two_level(&e, &d);
+        // The n-side is dynamic, the constant side static.
+        assert!(rendered.contains("«n»"), "{rendered}");
+        assert!(rendered.contains("(((+) 2) 3)"), "{rendered}");
+        // The static sub-sum is not wrapped.
+        assert!(!rendered.contains("«(((+) 2"), "{rendered}");
+    }
+
+    #[test]
+    fn higher_order_flow_is_tracked() {
+        let e = parse_expr(
+            "let apply = lambda f. lambda x. f x in apply (lambda y. y + 1) d",
+        )
+        .unwrap();
+        let d = analyze(&e, &[]);
+        assert_eq!(d.result(), Some(Bt::Dynamic));
+        let d = analyze(&e, &[Ident::new("d")]);
+        assert_eq!(d.result(), Some(Bt::Static));
+    }
+}
+
+#[cfg(test)]
+mod cross_validation {
+    use super::*;
+    use crate::specialize::{specialize_with, SpecializeOptions};
+    use monsem_core::Value;
+    use monsem_syntax::parse_expr;
+
+    /// BTA's verdict and the specializer's behaviour must line up: a
+    /// program the analysis calls fully static (given its inputs) must
+    /// specialize to a literal, and one it calls dynamic must leave a
+    /// residue.
+    #[test]
+    fn analysis_predicts_specialization() {
+        let cases: &[(&str, &[(&str, i64)])] = &[
+            ("letrec fac = lambda x. if x = 0 then 1 else x * (fac (x - 1)) in fac 6", &[]),
+            ("n * (2 + 3)", &[("n", 7)]),
+            ("if flag then 1 else 2", &[("flag", 1)]), // non-bool static input: still static per BTA
+        ];
+        for (src, inputs) in cases {
+            let program = parse_expr(src).unwrap();
+            let statics: Vec<Ident> = inputs.iter().map(|(n, _)| Ident::new(*n)).collect();
+            let division = analyze(&program, &statics);
+            let values: Vec<(Ident, Value)> = inputs
+                .iter()
+                .map(|(n, v)| (Ident::new(*n), Value::Int(*v)))
+                .collect();
+            let (residual, _) =
+                specialize_with(&program, &values, &SpecializeOptions::default());
+            match division.result() {
+                Some(Bt::Static) => {
+                    // Static per BTA ⇒ the specializer either folds to a
+                    // constant or preserves a runtime error (`if 1 …`).
+                    let fully_folded = matches!(residual, monsem_syntax::Expr::Con(_));
+                    let is_error_residue =
+                        monsem_core::machine::eval(&residual).is_err();
+                    assert!(
+                        fully_folded || is_error_residue,
+                        "BTA said static but residual is {residual}"
+                    );
+                }
+                Some(Bt::Dynamic) => {
+                    assert!(
+                        !matches!(residual, monsem_syntax::Expr::Con(_)),
+                        "BTA said dynamic but the specializer folded {src} to {residual}"
+                    );
+                }
+                None => panic!("analysis reached no verdict for {src}"),
+            }
+        }
+    }
+
+    /// And in the other direction on generated closed programs: BTA must
+    /// call them static (they have no free variables), matching the
+    /// specializer's ability to fold them given enough budget.
+    #[test]
+    fn closed_generated_programs_are_static() {
+        use monsem_syntax::gen::{gen_program, GenConfig};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2026);
+        for _ in 0..25 {
+            let program = gen_program(&mut rng, &GenConfig::default());
+            let division = analyze(&program, &[]);
+            assert_eq!(
+                division.result(),
+                Some(Bt::Static),
+                "closed program analysed dynamic: {program}"
+            );
+        }
+    }
+}

@@ -1,0 +1,721 @@
+//! Source-to-source instrumentation — the level-2 artifact of Figure 10
+//! as an actual `L_λ` **program**.
+//!
+//! "Specializing the monitor … with respect to a source program would
+//! produce an instrumented program; i.e. a program including extra code to
+//! perform the monitoring actions." (§9.1)
+//!
+//! [`instrument`] performs that specialization as a state-passing
+//! translation: the meaning `MS → (Ans × MS)` of the monitoring semantics
+//! becomes the *type* of the translated program. Writing `⟨v, σ⟩` as the
+//! cons pair `v : σ`:
+//!
+//! ```text
+//! T⟦k⟧          = λσ. k : σ
+//! T⟦x⟧          = λσ. x : σ
+//! T⟦λx.e⟧       = λσ. (λx. T⟦e⟧) : σ            (functions thread σ when applied)
+//! T⟦e₁ e₂⟧      = λσ. let p₂ = T⟦e₂⟧ σ in
+//!                     let p₁ = T⟦e₁⟧ (tl p₂) in (hd p₁) (hd p₂) (tl p₁)
+//! T⟦{μ}:e⟧      = λσ. let p = T⟦e⟧ (pre_μ σ) in (hd p) : (post_μ (hd p) (tl p))
+//! ```
+//!
+//! The monitoring actions `pre_μ`/`post_μ` are ordinary `L_λ` code supplied
+//! by a [`SourceMonitor`]; annotations the monitor does not accept vanish.
+//! The result is a plain program: it runs on the standard evaluator (or
+//! the compiled engine, or specialized further with respect to partial
+//! input — level 3), pretty-prints, and re-parses.
+
+use crate::specialize::{specialize, SpecializeOptions};
+use monsem_syntax::{Annotation, Binding, Expr, Ident, Lambda};
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// A monitor specification whose monitoring functions are `L_λ` code.
+///
+/// * `initial` — the initial monitor state `σ₀`, as a closed expression;
+/// * `pre(μ)` — `Some(λσ. σ')` when the monitor reacts to `μ`;
+/// * `post(μ)` — `Some(λv. λσ. σ')` when the monitor post-processes `μ`;
+/// * `prelude` — helper functions the actions may call, bound around the
+///   whole instrumented program.
+///
+/// An annotation is *accepted* when `pre` or `post` returns `Some`.
+pub struct SourceMonitor {
+    /// Monitor name (diagnostics only).
+    pub name: String,
+    /// The initial state σ₀.
+    pub initial: Expr,
+    /// Helper bindings available to all monitoring actions.
+    pub prelude: Vec<Binding>,
+    /// Builds the pre-action `λσ. σ'` for an annotation.
+    pub pre: Box<ActionBuilder>,
+    /// Builds the post-action `λv. λσ. σ'` for an annotation.
+    pub post: Box<ActionBuilder>,
+}
+
+/// Builds the monitoring action (as `L_λ` code) for an annotation, or
+/// `None` when the monitor does not react to it.
+pub type ActionBuilder = dyn Fn(&Annotation) -> Option<Expr>;
+
+impl SourceMonitor {
+    fn accepts(&self, ann: &Annotation) -> bool {
+        (self.pre)(ann).is_some() || (self.post)(ann).is_some()
+    }
+}
+
+struct Tr<'m> {
+    monitor: &'m SourceMonitor,
+    bound: Vec<Ident>,
+    fresh: u64,
+    used: BTreeSet<Ident>,
+}
+
+impl Tr<'_> {
+    fn fresh(&mut self, base: &str) -> Ident {
+        loop {
+            self.fresh += 1;
+            let candidate = Ident::new(format!("{base}_{}", self.fresh));
+            if !self.used.contains(&candidate) {
+                self.used.insert(candidate.clone());
+                return candidate;
+            }
+        }
+    }
+
+    /// `λσ. body(σ)` with a fresh σ.
+    fn state_fn(&mut self, body: impl FnOnce(&mut Self, &Ident) -> Expr) -> Expr {
+        let sigma = self.fresh("s");
+        let b = body(self, &sigma);
+        Expr::lam(sigma, b)
+    }
+
+    /// `v : σ`.
+    fn pair(v: Expr, s: Expr) -> Expr {
+        Expr::binop("cons", v, s)
+    }
+
+    fn hd(e: Expr) -> Expr {
+        Expr::app(Expr::var("hd"), e)
+    }
+
+    fn tl(e: Expr) -> Expr {
+        Expr::app(Expr::var("tl"), e)
+    }
+
+    /// The state-threading wrapper for a primitive of the given arity:
+    /// each collected argument returns through the state, the final one
+    /// computes. E.g. arity 2:
+    /// `λσ. (λa. λσ₁. ((λb. λσ₂. ((p a b) : σ₂)) : σ₁)) : σ`.
+    fn wrap_prim(&mut self, name: &Ident, arity: usize) -> Expr {
+        let params: Vec<Ident> =
+            (0..arity).map(|i| self.fresh(&format!("a{i}"))).collect();
+        let call = params
+            .iter()
+            .fold(Expr::Var(name.clone()), |f, p| Expr::app(f, Expr::Var(p.clone())));
+        // Innermost: λσ. call : σ
+        let mut acc = self.state_fn(|_, s| Tr::pair(call, Expr::Var(s.clone())));
+        for p in params.iter().rev() {
+            let lam = Expr::lam(p.clone(), acc);
+            acc = self.state_fn(|_, s| Tr::pair(lam, Expr::Var(s.clone())));
+        }
+        acc
+    }
+
+    /// T⟦e⟧ — an expression of shape `λσ. v : σ'`.
+    fn translate(&mut self, e: &Expr) -> Expr {
+        match e {
+            Expr::Con(_) => {
+                let v = e.clone();
+                self.state_fn(|_, s| Tr::pair(v, Expr::Var(s.clone())))
+            }
+            Expr::Var(x) => {
+                if !self.bound.contains(x) {
+                    if let Some(p) = monsem_core::prims::Prim::by_name(x.as_str()) {
+                        return self.wrap_prim(x, p.arity());
+                    }
+                }
+                let v = e.clone();
+                self.state_fn(|_, s| Tr::pair(v, Expr::Var(s.clone())))
+            }
+            Expr::Lambda(l) => {
+                self.bound.push(l.param.clone());
+                let body = self.translate(&l.body);
+                self.bound.pop();
+                let f = Expr::Lambda(Lambda { param: l.param.clone(), body: Rc::new(body) });
+                self.state_fn(|_, s| Tr::pair(f, Expr::Var(s.clone())))
+            }
+            Expr::App(f, a) => {
+                let ta = self.translate(a);
+                let tf = self.translate(f);
+                self.state_fn(|tr, s| {
+                    let p2 = tr.fresh("p");
+                    let p1 = tr.fresh("p");
+                    Expr::let_(
+                        p2.clone(),
+                        Expr::app(ta, Expr::Var(s.clone())),
+                        Expr::let_(
+                            p1.clone(),
+                            Expr::app(tf, Tr::tl(Expr::Var(p2.clone()))),
+                            Expr::app(
+                                Expr::app(
+                                    Tr::hd(Expr::Var(p1.clone())),
+                                    Tr::hd(Expr::Var(p2)),
+                                ),
+                                Tr::tl(Expr::Var(p1)),
+                            ),
+                        ),
+                    )
+                })
+            }
+            Expr::If(c, t, f) => {
+                let tc = self.translate(c);
+                let tt = self.translate(t);
+                let tf = self.translate(f);
+                self.state_fn(|tr, s| {
+                    let p = tr.fresh("p");
+                    Expr::let_(
+                        p.clone(),
+                        Expr::app(tc, Expr::Var(s.clone())),
+                        Expr::if_(
+                            Tr::hd(Expr::Var(p.clone())),
+                            Expr::app(tt, Tr::tl(Expr::Var(p.clone()))),
+                            Expr::app(tf, Tr::tl(Expr::Var(p))),
+                        ),
+                    )
+                })
+            }
+            Expr::Let(x, v, b) => {
+                let tv = self.translate(v);
+                self.bound.push(x.clone());
+                let tb = self.translate(b);
+                self.bound.pop();
+                self.state_fn(|tr, s| {
+                    let p = tr.fresh("p");
+                    Expr::let_(
+                        p.clone(),
+                        Expr::app(tv, Expr::Var(s.clone())),
+                        Expr::let_(
+                            x.clone(),
+                            Tr::hd(Expr::Var(p.clone())),
+                            Expr::app(tb, Tr::tl(Expr::Var(p))),
+                        ),
+                    )
+                })
+            }
+            Expr::Letrec(bs, body) => self.translate_letrec(bs, body),
+            Expr::Ann(ann, inner) => {
+                if !self.monitor.accepts(ann) {
+                    return self.translate(inner);
+                }
+                let pre = (self.monitor.pre)(ann);
+                let post = (self.monitor.post)(ann);
+                let ti = self.translate(inner);
+                self.state_fn(|tr, s| {
+                    let entry_state = match pre {
+                        Some(pre_fn) => Expr::app(pre_fn, Expr::Var(s.clone())),
+                        None => Expr::Var(s.clone()),
+                    };
+                    let p = tr.fresh("p");
+                    let result = match post {
+                        Some(post_fn) => Tr::pair(
+                            Tr::hd(Expr::Var(p.clone())),
+                            Expr::app(
+                                Expr::app(post_fn, Tr::hd(Expr::Var(p.clone()))),
+                                Tr::tl(Expr::Var(p.clone())),
+                            ),
+                        ),
+                        None => Expr::Var(p.clone()),
+                    };
+                    Expr::let_(p, Expr::app(ti, entry_state), result)
+                })
+            }
+            Expr::Seq(a, b) => {
+                let ta = self.translate(a);
+                let tb = self.translate(b);
+                self.state_fn(|tr, s| {
+                    let p = tr.fresh("p");
+                    Expr::let_(
+                        p.clone(),
+                        Expr::app(ta, Expr::Var(s.clone())),
+                        Expr::app(tb, Tr::tl(Expr::Var(p))),
+                    )
+                })
+            }
+            Expr::Assign(..) | Expr::While(..) => {
+                // The pure state-passing translation has no store; the
+                // imperative module is monitored at the interpreter level.
+                panic!("instrument: imperative constructs are not supported")
+            }
+        }
+    }
+
+    fn translate_letrec(&mut self, bs: &[Binding], body: &Expr) -> Expr {
+        // Mirror the LetrecPlan: value bindings thread the state in order,
+        // lambda bindings become a residual letrec of translated
+        // functions, annotated lambda bindings are rebound afterwards so
+        // their events fire.
+        let value_bindings: Vec<&Binding> =
+            bs.iter().filter(|b| !b.value.is_lambda_like()).collect();
+        let fun_bindings: Vec<(Ident, Lambda)> = bs
+            .iter()
+            .filter_map(|b| match b.value.strip_annotations() {
+                Expr::Lambda(l) => Some((b.name.clone(), l.clone())),
+                _ => None,
+            })
+            .collect();
+        let annotated: Vec<&Binding> = bs
+            .iter()
+            .filter(|b| b.value.is_lambda_like() && matches!(&*b.value, Expr::Ann(..)))
+            .collect();
+
+        for b in bs {
+            self.bound.push(b.name.clone());
+        }
+
+        let translated_values: Vec<(Ident, Expr)> = value_bindings
+            .iter()
+            .map(|b| (b.name.clone(), self.translate(&b.value)))
+            .collect();
+        let translated_funs: Vec<Binding> = fun_bindings
+            .iter()
+            .map(|(name, l)| {
+                self.bound.push(l.param.clone());
+                let tb = self.translate(&l.body);
+                self.bound.pop();
+                Binding::new(
+                    name.clone(),
+                    Expr::Lambda(Lambda { param: l.param.clone(), body: Rc::new(tb) }),
+                )
+            })
+            .collect();
+        let translated_annotated: Vec<(Ident, Expr)> = annotated
+            .iter()
+            .map(|b| (b.name.clone(), self.translate(&b.value)))
+            .collect();
+        let t_body = self.translate(body);
+
+        for _ in bs {
+            self.bound.pop();
+        }
+
+        self.state_fn(|tr, s| {
+            let mut state: Expr = Expr::Var(s.clone());
+            let mut wrappers: Vec<Box<dyn FnOnce(Expr) -> Expr>> = Vec::new();
+            for (name, tv) in translated_values {
+                let p = tr.fresh("p");
+                let prev_state = state;
+                state = Tr::tl(Expr::Var(p.clone()));
+                wrappers.push(Box::new(move |inner| {
+                    Expr::let_(
+                        p.clone(),
+                        Expr::app(tv, prev_state),
+                        Expr::let_(name, Tr::hd(Expr::Var(p)), inner),
+                    )
+                }));
+            }
+            if !translated_funs.is_empty() {
+                let funs = translated_funs;
+                wrappers.push(Box::new(move |inner| Expr::Letrec(funs, Rc::new(inner))));
+            }
+            for (name, tv) in translated_annotated {
+                let p = tr.fresh("p");
+                let prev_state = state;
+                state = Tr::tl(Expr::Var(p.clone()));
+                wrappers.push(Box::new(move |inner| {
+                    Expr::let_(
+                        p.clone(),
+                        Expr::app(tv, prev_state),
+                        Expr::let_(name, Tr::hd(Expr::Var(p)), inner),
+                    )
+                }));
+            }
+            let mut out = Expr::app(t_body, state);
+            for w in wrappers.into_iter().rev() {
+                out = w(out);
+            }
+            out
+        })
+    }
+}
+
+/// Instruments `program` with `monitor`, yielding a plain `L_λ` program
+/// that computes the cons pair `answer : final-monitor-state`.
+///
+/// # Panics
+///
+/// Panics on imperative constructs (`:=`, `while`), which the pure
+/// state-passing translation does not model.
+pub fn instrument(program: &Expr, monitor: &SourceMonitor) -> Expr {
+    let mut used: BTreeSet<Ident> = BTreeSet::new();
+    monsem_syntax::points::visit(program, |_, node| {
+        if let Expr::Var(x) = node {
+            used.insert(x.clone());
+        }
+    });
+    // The translation's own projections use `hd`/`tl`/`cons`; a user
+    // binding shadowing any primitive name would capture them, so rename
+    // such binders apart first.
+    let program = rename_prim_shadowers(program, &mut used);
+    let mut tr = Tr { monitor, bound: Vec::new(), fresh: 0, used };
+    let translated = tr.translate(&program);
+    let applied = Expr::app(translated, monitor.initial.clone());
+    monitor
+        .prelude
+        .iter()
+        .rev()
+        .fold(applied, |acc, b| Expr::Letrec(vec![b.clone()], Rc::new(acc)))
+}
+
+/// Instruments and then specializes the instrumented program — composing
+/// level 2 with the level-3 machinery, which removes most of the pairing
+/// and state-threading overhead for the unmonitored parts.
+pub fn instrument_optimized(
+    program: &Expr,
+    monitor: &SourceMonitor,
+    opts: &SpecializeOptions,
+) -> Expr {
+    specialize(&instrument(program, monitor), opts)
+}
+
+/// Alpha-renames every binder whose name collides with a primitive, so
+/// the translation's generated projections cannot be captured.
+fn rename_prim_shadowers(e: &Expr, used: &mut BTreeSet<Ident>) -> Expr {
+    use monsem_core::prims::Prim;
+    fn fresh(base: &Ident, used: &mut BTreeSet<Ident>) -> Ident {
+        let mut n = 0u64;
+        loop {
+            n += 1;
+            let candidate = Ident::new(format!("{}_r{}", base.as_str(), n));
+            if used.insert(candidate.clone()) {
+                return candidate;
+            }
+        }
+    }
+    fn go(
+        e: &Expr,
+        map: &mut Vec<(Ident, Ident)>,
+        used: &mut BTreeSet<Ident>,
+    ) -> Expr {
+        let rename_binder = |x: &Ident, used: &mut BTreeSet<Ident>| -> Ident {
+            if Prim::by_name(x.as_str()).is_some() {
+                fresh(x, used)
+            } else {
+                x.clone()
+            }
+        };
+        match e {
+            Expr::Con(_) => e.clone(),
+            Expr::Var(x) => match map.iter().rev().find(|(from, _)| from == x) {
+                Some((_, to)) => Expr::Var(to.clone()),
+                None => e.clone(),
+            },
+            Expr::Lambda(l) => {
+                let p = rename_binder(&l.param, used);
+                map.push((l.param.clone(), p.clone()));
+                let body = go(&l.body, map, used);
+                map.pop();
+                Expr::Lambda(Lambda { param: p, body: Rc::new(body) })
+            }
+            Expr::If(c, t, f) => {
+                Expr::if_(go(c, map, used), go(t, map, used), go(f, map, used))
+            }
+            Expr::App(f, a) => Expr::app(go(f, map, used), go(a, map, used)),
+            Expr::Let(x, v, b) => {
+                let v2 = go(v, map, used);
+                let x2 = rename_binder(x, used);
+                map.push((x.clone(), x2.clone()));
+                let b2 = go(b, map, used);
+                map.pop();
+                Expr::Let(x2, Rc::new(v2), Rc::new(b2))
+            }
+            Expr::Letrec(bs, body) => {
+                let renamed: Vec<Ident> =
+                    bs.iter().map(|b| rename_binder(&b.name, used)).collect();
+                for (b, r) in bs.iter().zip(&renamed) {
+                    map.push((b.name.clone(), r.clone()));
+                }
+                let new_bs: Vec<Binding> = bs
+                    .iter()
+                    .zip(&renamed)
+                    .map(|(b, r)| Binding { name: r.clone(), value: Rc::new(go(&b.value, map, used)) })
+                    .collect();
+                let body2 = go(body, map, used);
+                for _ in bs {
+                    map.pop();
+                }
+                Expr::Letrec(new_bs, Rc::new(body2))
+            }
+            Expr::Ann(a, inner) => Expr::Ann(a.clone(), Rc::new(go(inner, map, used))),
+            Expr::Seq(a, b) => {
+                Expr::Seq(Rc::new(go(a, map, used)), Rc::new(go(b, map, used)))
+            }
+            Expr::Assign(x, v) => {
+                let v2 = go(v, map, used);
+                let x2 = match map.iter().rev().find(|(from, _)| from == x) {
+                    Some((_, to)) => to.clone(),
+                    None => x.clone(),
+                };
+                Expr::Assign(x2, Rc::new(v2))
+            }
+            Expr::While(c, b) => {
+                Expr::While(Rc::new(go(c, map, used)), Rc::new(go(b, map, used)))
+            }
+        }
+    }
+    go(e, &mut Vec::new(), used)
+}
+
+// ---------------------------------------------------------------------
+// Ready-made source monitors
+// ---------------------------------------------------------------------
+
+/// A step counter: `MS = ℕ`, every label increments.
+pub fn step_counter() -> SourceMonitor {
+    SourceMonitor {
+        name: "step-counter".into(),
+        initial: Expr::int(0),
+        prelude: Vec::new(),
+        pre: Box::new(|ann| {
+            matches!(ann.kind, monsem_syntax::AnnKind::Label(_)).then(|| {
+                // λσ. σ + 1
+                Expr::lam("sc", Expr::binop("+", Expr::var("sc"), Expr::int(1)))
+            })
+        }),
+        post: Box::new(|_| None),
+    }
+}
+
+/// The §5 profiler (Figure 4) as source code: `MS = ⟨countA, countB⟩`,
+/// encoded as the pair `a : b`.
+pub fn ab_profiler_source() -> SourceMonitor {
+    fn bump(which: &'static str) -> impl Fn(&Annotation) -> Option<Expr> {
+        move |ann: &Annotation| {
+            (ann.name().as_str() == which).then(|| {
+                let s = Expr::var("sigma");
+                let hd = Expr::app(Expr::var("hd"), s.clone());
+                let tl = Expr::app(Expr::var("tl"), s);
+                if which == "A" {
+                    Expr::lam(
+                        "sigma",
+                        Expr::binop("cons", Expr::binop("+", hd, Expr::int(1)), tl),
+                    )
+                } else {
+                    Expr::lam(
+                        "sigma",
+                        Expr::binop("cons", hd, Expr::binop("+", tl, Expr::int(1))),
+                    )
+                }
+            })
+        }
+    }
+    SourceMonitor {
+        name: "ab-profiler".into(),
+        initial: Expr::binop("cons", Expr::int(0), Expr::int(0)),
+        prelude: Vec::new(),
+        pre: Box::new(move |ann| bump("A")(ann).or_else(|| bump("B")(ann))),
+        post: Box::new(|_| None),
+    }
+}
+
+/// The Figure 6 profiler as source code: `MS = CEnv`, a counter
+/// environment encoded as an association list of `name : count` pairs.
+/// `incCtr` is the prelude helper.
+pub fn profiler_source() -> SourceMonitor {
+    let inc_ctr = monsem_syntax::parse_expr(
+        "lambda name. lambda env. \
+           if null? env then ((name : 1) : []) \
+           else if (hd (hd env)) = name \
+                then ((name : ((tl (hd env)) + 1)) : (tl env)) \
+                else (hd env) : (incCtr name (tl env))",
+    )
+    .expect("incCtr parses");
+    SourceMonitor {
+        name: "profiler".into(),
+        initial: Expr::nil(),
+        prelude: vec![Binding::new("incCtr", inc_ctr)],
+        pre: Box::new(|ann| {
+            if let monsem_syntax::AnnKind::Label(l) = &ann.kind {
+                // λσ. incCtr "l" σ
+                Some(Expr::lam(
+                    "sigma",
+                    Expr::app(
+                        Expr::app(Expr::var("incCtr"), Expr::str(l.as_str())),
+                        Expr::var("sigma"),
+                    ),
+                ))
+            } else {
+                None
+            }
+        }),
+        post: Box::new(|_| None),
+    }
+}
+
+/// The Figure 9 collecting monitor as source code: `MS = Ide → {V}`,
+/// encoded as an association list `name : values-list`. Intended for
+/// first-order tagged expressions (set membership uses `=`).
+pub fn collecting_source() -> SourceMonitor {
+    let member = monsem_syntax::parse_expr(
+        "lambda x. lambda l. \
+           if null? l then false else if (hd l) = x then true else member x (tl l)",
+    )
+    .expect("member parses");
+    let add_val = monsem_syntax::parse_expr(
+        "lambda name. lambda v. lambda env. \
+           if null? env then ((name : (v : [])) : []) \
+           else if (hd (hd env)) = name \
+                then (if member v (tl (hd env)) \
+                      then env \
+                      else ((name : ((tl (hd env)) ++ (v : []))) : (tl env))) \
+                else (hd env) : (addVal name v (tl env))",
+    )
+    .expect("addVal parses");
+    SourceMonitor {
+        name: "collecting".into(),
+        initial: Expr::nil(),
+        prelude: vec![Binding::new("member", member), Binding::new("addVal", add_val)],
+        pre: Box::new(|_| None),
+        post: Box::new(|ann| {
+            if let monsem_syntax::AnnKind::Label(l) = &ann.kind {
+                // λv. λσ. addVal "l" v σ
+                Some(Expr::lam_n(
+                    ["v", "sigma"],
+                    Expr::app(
+                        Expr::app(
+                            Expr::app(Expr::var("addVal"), Expr::str(l.as_str())),
+                            Expr::var("v"),
+                        ),
+                        Expr::var("sigma"),
+                    ),
+                ))
+            } else {
+                None
+            }
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_core::machine::eval;
+    use monsem_core::{programs, Value};
+    use monsem_monitor::machine::eval_monitored;
+    use monsem_monitors::profiler::{AbProfiler, Profiler};
+    use monsem_syntax::parse_expr;
+
+    fn run_pair(e: &Expr) -> (Value, Value) {
+        match eval(e).expect("instrumented program runs") {
+            Value::Pair(v, s) => ((*v).clone(), (*s).clone()),
+            other => panic!("instrumented program must return a pair, got {other}"),
+        }
+    }
+
+    #[test]
+    fn instrumented_ab_profiler_matches_the_monitored_interpreter() {
+        let prog = programs::fac_ab(5);
+        let instrumented = instrument(&prog, &ab_profiler_source());
+        let (answer, state) = run_pair(&instrumented);
+        let (expected_answer, counts) = eval_monitored(&prog, &AbProfiler).unwrap();
+        assert_eq!(answer, expected_answer);
+        assert_eq!(
+            state,
+            Value::pair(Value::Int(counts.a as i64), Value::Int(counts.b as i64))
+        );
+    }
+
+    #[test]
+    fn instrumented_profiler_reproduces_figure6_counts() {
+        let prog = programs::fac_mul_profiled(3);
+        let instrumented = instrument(&prog, &profiler_source());
+        let (answer, state) = run_pair(&instrumented);
+        assert_eq!(answer, Value::Int(6));
+        let entries = state.iter_list().expect("assoc list");
+        let shown: Vec<String> = entries.iter().map(|e| e.to_string()).collect();
+        let (_, interp_counts) = eval_monitored(&prog, &Profiler::new()).unwrap();
+        assert_eq!(interp_counts.count(&monsem_syntax::Ident::new("fac")), 4);
+        assert_eq!(shown, vec!["(fac . 4)", "(mul . 3)"]);
+    }
+
+    #[test]
+    fn instrumented_collecting_matches_figure9() {
+        let prog = programs::collecting_fac(3);
+        let instrumented = instrument(&prog, &collecting_source());
+        let (answer, state) = run_pair(&instrumented);
+        assert_eq!(answer, Value::Int(6));
+        let entries = state.iter_list().expect("assoc list");
+        let shown: Vec<String> = entries.iter().map(|e| e.to_string()).collect();
+        // test collects {false,true}; n collects {1,2,3} (demand order);
+        // each entry `name : values` is itself a proper list.
+        assert_eq!(shown, vec!["[test, false, true]", "[n, 1, 2, 3]"]);
+    }
+
+    #[test]
+    fn step_counter_counts_all_labels() {
+        let prog = programs::fac_ab(5);
+        let instrumented = instrument(&prog, &step_counter());
+        let (answer, state) = run_pair(&instrumented);
+        assert_eq!(answer, Value::Int(120));
+        assert_eq!(state, Value::Int(6)); // {A} once, {B} five times
+    }
+
+    #[test]
+    fn instrumented_program_is_printable_and_reparses() {
+        let prog = programs::fac_ab(3);
+        let instrumented = instrument(&prog, &step_counter());
+        let printed = instrumented.to_string();
+        let reparsed = parse_expr(&printed).expect("level-2 artifact is a program");
+        assert_eq!(reparsed, instrumented);
+    }
+
+    #[test]
+    fn unmonitored_annotations_vanish_from_the_instrumented_program() {
+        let prog = parse_expr("{other(x)}:({A}:1 + 1)").unwrap();
+        let instrumented = instrument(&prog, &ab_profiler_source());
+        assert!(instrumented.annotations().is_empty());
+        let (answer, state) = run_pair(&instrumented);
+        assert_eq!(answer, Value::Int(2));
+        assert_eq!(state, Value::pair(Value::Int(1), Value::Int(0)));
+    }
+
+    #[test]
+    fn instrumented_program_runs_on_the_compiled_engine() {
+        let prog = programs::fac_ab(5);
+        let instrumented = instrument(&prog, &step_counter());
+        let compiled = crate::engine::compile(&instrumented).unwrap();
+        let v = compiled.run().unwrap();
+        assert_eq!(v, Value::pair(Value::Int(120), Value::Int(6)));
+    }
+
+    #[test]
+    fn instrumented_program_specializes_further() {
+        let prog = programs::fac_ab(5);
+        let optimized =
+            instrument_optimized(&prog, &step_counter(), &SpecializeOptions::default());
+        // fac 5 is fully static — even the monitor state computes away.
+        assert_eq!(
+            optimized,
+            Expr::binop("cons", Expr::int(120), Expr::int(6))
+        );
+    }
+
+    #[test]
+    fn shadowed_primitive_names_are_respected() {
+        // A user binding named `hd` must not be wrapped as the primitive.
+        let prog = parse_expr("let hd = lambda x. 42 in hd [1, 2]").unwrap();
+        let instrumented = instrument(&prog, &step_counter());
+        let (answer, _) = run_pair(&instrumented);
+        assert_eq!(answer, Value::Int(42));
+    }
+
+    #[test]
+    fn higher_order_programs_instrument_correctly() {
+        let prog = parse_expr(
+            "let twice = lambda f. lambda x. f (f x) in twice (lambda n. {A}:(n + 1)) 40",
+        )
+        .unwrap();
+        let instrumented = instrument(&prog, &ab_profiler_source());
+        let (answer, state) = run_pair(&instrumented);
+        assert_eq!(answer, Value::Int(42));
+        assert_eq!(state, Value::pair(Value::Int(2), Value::Int(0)));
+    }
+}

@@ -1,0 +1,166 @@
+//! The Figure 10 pipeline as concrete artifacts, plus small measurement
+//! helpers shared by the benchmark harness.
+//!
+//! | level | paper | here |
+//! |---|---|---|
+//! | interpreter | "Int" | [`monsem_core::machine::eval`] on the erased program |
+//! | 1 | interpreter × monitor specs → instrumented interpreter | [`monsem_monitor::machine::eval_monitored`] with a concrete monitor (statically dispatched) |
+//! | 2 | × source program → instrumented program | [`crate::engine::compile_monitored`] (compiled form) and [`crate::instrument()`] (source form) |
+//! | 3 | × partial input → specialized program | [`crate::specialize::specialize_with`] |
+
+use crate::engine::{compile, compile_monitored, CompileError, CompiledProgram};
+use monsem_core::error::EvalError;
+use monsem_core::machine::{eval_with, EvalOptions};
+use monsem_core::{Env, Value};
+use monsem_monitor::machine::eval_monitored_with;
+use monsem_monitor::Monitor;
+use monsem_syntax::Expr;
+use std::time::{Duration, Instant};
+
+/// The artifacts of the specialization pipeline for one (program,
+/// monitor) pair.
+pub struct Pipeline<'m, M: Monitor> {
+    /// The annotated source program.
+    pub program: Expr,
+    /// The erased program (`s` from `s̄`) — what the standard interpreter
+    /// runs.
+    pub erased: Expr,
+    /// The monitor.
+    pub monitor: &'m M,
+    compiled_standard: CompiledProgram,
+    compiled_monitored: CompiledProgram,
+}
+
+impl<'m, M: Monitor> Pipeline<'m, M> {
+    /// Builds every artifact up front (compilation is the "specialization
+    /// time" of the paper's level 2 — not counted in run times).
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError`] for programs outside the compiled engine's
+    /// fragment.
+    pub fn new(program: Expr, monitor: &'m M) -> Result<Self, CompileError> {
+        let erased = program.erase_annotations();
+        let compiled_standard = compile(&erased)?;
+        let compiled_monitored = compile_monitored(&program, monitor)?;
+        Ok(Pipeline { program, erased, monitor, compiled_standard, compiled_monitored })
+    }
+
+    /// Level “Int”: the standard interpreter on the erased program.
+    ///
+    /// # Errors
+    ///
+    /// Any [`EvalError`].
+    pub fn run_standard_interpreter(&self) -> Result<Value, EvalError> {
+        eval_with(&self.erased, &Env::empty(), &EvalOptions::default())
+    }
+
+    /// Level 1: the monitored interpreter (monitor statically dispatched).
+    ///
+    /// # Errors
+    ///
+    /// Any [`EvalError`].
+    pub fn run_monitored_interpreter(&self) -> Result<(Value, M::State), EvalError> {
+        eval_monitored_with(
+            &self.program,
+            &Env::empty(),
+            self.monitor,
+            self.monitor.initial_state(),
+            &EvalOptions::default(),
+        )
+    }
+
+    /// Level 2 baseline: the compiled engine on the erased program.
+    ///
+    /// # Errors
+    ///
+    /// Any [`EvalError`].
+    pub fn run_compiled_standard(&self) -> Result<Value, EvalError> {
+        self.compiled_standard.run()
+    }
+
+    /// Level 2: the compiled instrumented program.
+    ///
+    /// # Errors
+    ///
+    /// Any [`EvalError`].
+    pub fn run_compiled_monitored(&self) -> Result<(Value, M::State), EvalError> {
+        self.compiled_monitored.run_monitored(self.monitor, &EvalOptions::default())
+    }
+
+    /// The compiled artifacts, for callers that want to time them
+    /// externally.
+    pub fn compiled(&self) -> (&CompiledProgram, &CompiledProgram) {
+        (&self.compiled_standard, &self.compiled_monitored)
+    }
+}
+
+/// Median-of-runs wall-clock measurement (the harness's unit of account;
+/// Criterion benches exist separately for statistically serious numbers).
+pub fn measure<F: FnMut()>(mut f: F, warmup: u32, runs: u32) -> Duration {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples: Vec<Duration> = (0..runs.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Formats a speedup/slowdown pair the way the paper reports them:
+/// "x is N% slower than y" / "x is N% faster than y".
+pub fn relative_percent(subject: Duration, baseline: Duration) -> String {
+    let s = subject.as_secs_f64();
+    let b = baseline.as_secs_f64();
+    if s >= b {
+        format!("{:.0}% slower", (s / b - 1.0) * 100.0)
+    } else {
+        format!("{:.0}% faster", (1.0 - s / b) * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_core::programs;
+    use monsem_monitors::Tracer;
+
+    #[test]
+    fn all_levels_agree_on_the_answer() {
+        let tracer = Tracer::new();
+        let p = Pipeline::new(programs::fac_mul_traced(6), &tracer).unwrap();
+        let standard = p.run_standard_interpreter().unwrap();
+        let (v1, s1) = p.run_monitored_interpreter().unwrap();
+        let v2 = p.run_compiled_standard().unwrap();
+        let (v3, s3) = p.run_compiled_monitored().unwrap();
+        assert_eq!(standard, v1);
+        assert_eq!(standard, v2);
+        assert_eq!(standard, v3);
+        assert_eq!(s1.chan.render(), s3.chan.render());
+    }
+
+    #[test]
+    fn measure_returns_a_sane_median() {
+        let d = measure(
+            || {
+                std::hint::black_box(1 + 1);
+            },
+            1,
+            5,
+        );
+        assert!(d < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn relative_percent_formats_both_directions() {
+        let fast = Duration::from_millis(20);
+        let slow = Duration::from_millis(100);
+        assert_eq!(relative_percent(slow, fast), "400% slower");
+        assert_eq!(relative_percent(fast, slow), "80% faster");
+    }
+}

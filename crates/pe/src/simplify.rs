@@ -1,0 +1,503 @@
+//! Residual-program cleanup — the "arity raising" / tupling-elimination
+//! post-pass of a partial evaluator.
+//!
+//! The online specializer anchors effects by residualizing them in place,
+//! which leaves instrumented programs with patterns like
+//!
+//! ```text
+//! let p = (A : B) in … hd p … tl p …
+//! ```
+//!
+//! This pass rewrites them into direct bindings
+//! `let h = A in let t = B in … h … t …`, propagates trivial bindings,
+//! folds projections of literal pairs, and β-reduces applications of
+//! literal lambdas to trivial arguments — all semantics-preserving
+//! (evaluation order and failure points are kept; only values that are
+//! provably pure move or disappear). Iterated to a fixpoint, it turns the
+//! level-3 output of `instrument → specialize` into readable straight-line
+//! code.
+
+use monsem_syntax::{Binding, Expr, Ident, Lambda};
+use std::rc::Rc;
+
+/// Expressions that terminate, have no effects, and cannot fail — safe to
+/// drop, duplicate, or reorder.
+fn trivial(e: &Expr) -> bool {
+    matches!(e, Expr::Var(_) | Expr::Con(_) | Expr::Lambda(_))
+}
+
+/// Function-position expressions whose own evaluation is pure (cannot
+/// fail, no effects): trivial expressions and under-applied primitives
+/// over trivial arguments (e.g. `(+) x`, `cons h` — the *application*
+/// may fail later, their construction cannot).
+fn pure_function_position(e: &Expr) -> bool {
+    fn prim_spine(e: &Expr, args: usize) -> bool {
+        match e {
+            Expr::Var(op) => match monsem_core::prims::Prim::by_name(op.as_str()) {
+                Some(p) => args < p.arity(),
+                None => false,
+            },
+            Expr::App(f, a) => trivial(a) && prim_spine(f, args + 1),
+            _ => false,
+        }
+    }
+    trivial(e) || prim_spine(e, 0)
+}
+
+/// Is `e` syntactically `cons a b`?
+fn as_cons(e: &Expr) -> Option<(&Expr, &Expr)> {
+    if let Expr::App(f, b) = e {
+        if let Expr::App(g, a) = &**f {
+            if let Expr::Var(op) = &**g {
+                if op.as_str() == "cons" {
+                    return Some((a, b));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn as_proj(e: &Expr) -> Option<(&str, &Expr)> {
+    if let Expr::App(f, a) = e {
+        if let Expr::Var(op) = &**f {
+            if matches!(op.as_str(), "hd" | "tl") {
+                return Some((op.as_str(), a));
+            }
+        }
+    }
+    None
+}
+
+/// How `x` occurs in `e`: only under `hd x` / `tl x`, or in other ways.
+fn occurrences_only_projections(e: &Expr, x: &Ident) -> bool {
+    fn go(e: &Expr, x: &Ident, shadowed: bool) -> bool {
+        if shadowed {
+            return true;
+        }
+        if let Some((_, arg)) = as_proj(e) {
+            if matches!(arg, Expr::Var(v) if v == x) {
+                return true;
+            }
+        }
+        match e {
+            Expr::Var(v) => v != x,
+            Expr::Con(_) => true,
+            Expr::Lambda(l) => go(&l.body, x, l.param == *x),
+            Expr::If(a, b, c) => go(a, x, false) && go(b, x, false) && go(c, x, false),
+            Expr::App(a, b) | Expr::Seq(a, b) | Expr::While(a, b) => {
+                go(a, x, false) && go(b, x, false)
+            }
+            Expr::Let(v, val, body) => go(val, x, false) && go(body, x, v == x),
+            Expr::Letrec(bs, body) => {
+                let rebound = bs.iter().any(|b| b.name == *x);
+                bs.iter().all(|b| go(&b.value, x, rebound)) && go(body, x, rebound)
+            }
+            Expr::Ann(_, inner) => go(inner, x, false),
+            Expr::Assign(v, val) => v != x && go(val, x, false),
+        }
+    }
+    go(e, x, false)
+}
+
+/// Substitutes `replacement` for free occurrences of `x` (capture is not
+/// an issue here: the specializer's fresh renaming guarantees binder
+/// names are unique, and replacements are trivial expressions).
+fn subst(e: &Expr, x: &Ident, replacement: &Expr) -> Expr {
+    match e {
+        Expr::Var(v) => {
+            if v == x {
+                replacement.clone()
+            } else {
+                e.clone()
+            }
+        }
+        Expr::Con(_) => e.clone(),
+        Expr::Lambda(l) => {
+            if l.param == *x {
+                e.clone()
+            } else {
+                Expr::Lambda(Lambda {
+                    param: l.param.clone(),
+                    body: Rc::new(subst(&l.body, x, replacement)),
+                })
+            }
+        }
+        Expr::If(a, b, c) => Expr::if_(
+            subst(a, x, replacement),
+            subst(b, x, replacement),
+            subst(c, x, replacement),
+        ),
+        Expr::App(a, b) => Expr::app(subst(a, x, replacement), subst(b, x, replacement)),
+        Expr::Let(v, val, body) => {
+            let val = subst(val, x, replacement);
+            if v == x {
+                Expr::Let(v.clone(), Rc::new(val), body.clone())
+            } else {
+                Expr::let_(v.clone(), val, subst(body, x, replacement))
+            }
+        }
+        Expr::Letrec(bs, body) => {
+            if bs.iter().any(|b| b.name == *x) {
+                return e.clone();
+            }
+            Expr::Letrec(
+                bs.iter()
+                    .map(|b| Binding {
+                        name: b.name.clone(),
+                        value: Rc::new(subst(&b.value, x, replacement)),
+                    })
+                    .collect(),
+                Rc::new(subst(body, x, replacement)),
+            )
+        }
+        Expr::Ann(a, inner) => Expr::Ann(a.clone(), Rc::new(subst(inner, x, replacement))),
+        Expr::Seq(a, b) => Expr::Seq(
+            Rc::new(subst(a, x, replacement)),
+            Rc::new(subst(b, x, replacement)),
+        ),
+        Expr::Assign(v, val) => Expr::Assign(v.clone(), Rc::new(subst(val, x, replacement))),
+        Expr::While(a, b) => Expr::While(
+            Rc::new(subst(a, x, replacement)),
+            Rc::new(subst(b, x, replacement)),
+        ),
+    }
+}
+
+/// Replaces `hd x` / `tl x` with the given variables.
+fn subst_projections(e: &Expr, x: &Ident, h: &Ident, t: &Ident) -> Expr {
+    if let Some((op, arg)) = as_proj(e) {
+        if matches!(arg, Expr::Var(v) if v == x) {
+            return Expr::Var(if op == "hd" { h.clone() } else { t.clone() });
+        }
+    }
+    match e {
+        Expr::Var(_) | Expr::Con(_) => e.clone(),
+        Expr::Lambda(l) => {
+            if l.param == *x {
+                e.clone()
+            } else {
+                Expr::Lambda(Lambda {
+                    param: l.param.clone(),
+                    body: Rc::new(subst_projections(&l.body, x, h, t)),
+                })
+            }
+        }
+        Expr::If(a, b, c) => Expr::if_(
+            subst_projections(a, x, h, t),
+            subst_projections(b, x, h, t),
+            subst_projections(c, x, h, t),
+        ),
+        Expr::App(a, b) => {
+            Expr::app(subst_projections(a, x, h, t), subst_projections(b, x, h, t))
+        }
+        Expr::Let(v, val, body) => {
+            let val = subst_projections(val, x, h, t);
+            if v == x {
+                Expr::Let(v.clone(), Rc::new(val), body.clone())
+            } else {
+                Expr::let_(v.clone(), val, subst_projections(body, x, h, t))
+            }
+        }
+        Expr::Letrec(bs, body) => {
+            if bs.iter().any(|b| b.name == *x) {
+                return e.clone();
+            }
+            Expr::Letrec(
+                bs.iter()
+                    .map(|b| Binding {
+                        name: b.name.clone(),
+                        value: Rc::new(subst_projections(&b.value, x, h, t)),
+                    })
+                    .collect(),
+                Rc::new(subst_projections(body, x, h, t)),
+            )
+        }
+        Expr::Ann(a, inner) => {
+            Expr::Ann(a.clone(), Rc::new(subst_projections(inner, x, h, t)))
+        }
+        Expr::Seq(a, b) => Expr::Seq(
+            Rc::new(subst_projections(a, x, h, t)),
+            Rc::new(subst_projections(b, x, h, t)),
+        ),
+        Expr::Assign(v, val) => {
+            Expr::Assign(v.clone(), Rc::new(subst_projections(val, x, h, t)))
+        }
+        Expr::While(a, b) => Expr::While(
+            Rc::new(subst_projections(a, x, h, t)),
+            Rc::new(subst_projections(b, x, h, t)),
+        ),
+    }
+}
+
+fn count_free(e: &Expr, x: &Ident) -> usize {
+    match e {
+        Expr::Var(v) => usize::from(v == x),
+        Expr::Con(_) => 0,
+        Expr::Lambda(l) => {
+            if l.param == *x {
+                0
+            } else {
+                count_free(&l.body, x)
+            }
+        }
+        Expr::If(a, b, c) => count_free(a, x) + count_free(b, x) + count_free(c, x),
+        Expr::App(a, b) | Expr::Seq(a, b) | Expr::While(a, b) => {
+            count_free(a, x) + count_free(b, x)
+        }
+        Expr::Let(v, val, body) => {
+            count_free(val, x) + if v == x { 0 } else { count_free(body, x) }
+        }
+        Expr::Letrec(bs, body) => {
+            if bs.iter().any(|b| b.name == *x) {
+                0
+            } else {
+                bs.iter().map(|b| count_free(&b.value, x)).sum::<usize>()
+                    + count_free(body, x)
+            }
+        }
+        Expr::Ann(_, inner) => count_free(inner, x),
+        Expr::Assign(v, val) => usize::from(v == x) + count_free(val, x),
+    }
+}
+
+struct Simplifier {
+    fresh: u64,
+    changed: bool,
+}
+
+impl Simplifier {
+    fn fresh(&mut self, base: &Ident) -> Ident {
+        self.fresh += 1;
+        Ident::new(format!("{}'{}", base.as_str(), self.fresh))
+    }
+
+    fn pass(&mut self, e: &Expr) -> Expr {
+        // Bottom-up.
+        let e = match e {
+            Expr::Var(_) | Expr::Con(_) => e.clone(),
+            Expr::Lambda(l) => Expr::Lambda(Lambda {
+                param: l.param.clone(),
+                body: Rc::new(self.pass(&l.body)),
+            }),
+            Expr::If(a, b, c) => Expr::if_(self.pass(a), self.pass(b), self.pass(c)),
+            Expr::App(a, b) => Expr::app(self.pass(a), self.pass(b)),
+            Expr::Let(x, v, b) => Expr::let_(x.clone(), self.pass(v), self.pass(b)),
+            Expr::Letrec(bs, body) => Expr::Letrec(
+                bs.iter()
+                    .map(|b| Binding {
+                        name: b.name.clone(),
+                        value: Rc::new(self.pass(&b.value)),
+                    })
+                    .collect(),
+                Rc::new(self.pass(body)),
+            ),
+            Expr::Ann(a, inner) => Expr::Ann(a.clone(), Rc::new(self.pass(inner))),
+            Expr::Seq(a, b) => Expr::Seq(Rc::new(self.pass(a)), Rc::new(self.pass(b))),
+            Expr::Assign(x, v) => Expr::Assign(x.clone(), Rc::new(self.pass(v))),
+            Expr::While(a, b) => Expr::While(Rc::new(self.pass(a)), Rc::new(self.pass(b))),
+        };
+        self.rewrite(e)
+    }
+
+    fn rewrite(&mut self, e: Expr) -> Expr {
+        // hd (a : b) → a, tl (a : b) → b — when the discarded side is pure.
+        if let Some((op, arg)) = as_proj(&e) {
+            if let Some((a, b)) = as_cons(arg) {
+                let (keep, drop) = if op == "hd" { (a, b) } else { (b, a) };
+                if trivial(drop) {
+                    self.changed = true;
+                    return keep.clone();
+                }
+            }
+        }
+
+        // (λx. body) v → body[x := v] for trivial v (preserves order: v is
+        // a value; for a single-use x any v would do, but trivial is safe
+        // and enough in practice).
+        if let Expr::App(f, a) = &e {
+            if let Expr::Lambda(l) = &**f {
+                if trivial(a) {
+                    self.changed = true;
+                    return subst(&l.body, &l.param, a);
+                }
+                // Otherwise name it: (λx.b) E → let x = E in b, which the
+                // let rules below can continue to improve.
+                self.changed = true;
+                return Expr::let_(l.param.clone(), (**a).clone(), (*l.body).clone());
+            }
+        }
+
+        // let x = (let y = A in B) in C → let y = A in let x = B in C
+        // (binder names are globally unique after specialization, so no
+        // capture; evaluation order A, B, C is unchanged).
+        if let Expr::Let(x, v, body) = &e {
+            if let Expr::Let(y, a, b) = &**v {
+                self.changed = true;
+                return Expr::let_(
+                    y.clone(),
+                    (**a).clone(),
+                    Expr::let_(x.clone(), (**b).clone(), (**body).clone()),
+                );
+            }
+        }
+
+        // f (let y = A in B) → let y = A in f B, when f's own evaluation
+        // is pure — the argument is evaluated first (Fig. 2), so the
+        // order A, B, f is unchanged.
+        if let Expr::App(f, a) = &e {
+            if pure_function_position(f) {
+                if let Expr::Let(y, va, b) = &**a {
+                    self.changed = true;
+                    return Expr::let_(
+                        y.clone(),
+                        (**va).clone(),
+                        Expr::app((**f).clone(), (**b).clone()),
+                    );
+                }
+            }
+        }
+
+        if let Expr::Let(x, v, body) = &e {
+            // let x = trivial in body → body[x := trivial]
+            if trivial(v) {
+                self.changed = true;
+                return subst(body, x, v);
+            }
+            // let x = v in x → v
+            if matches!(&**body, Expr::Var(b) if b == x) {
+                self.changed = true;
+                return (**v).clone();
+            }
+            // Unused, pure binding → drop.
+            if count_free(body, x) == 0 && trivial(v) {
+                self.changed = true;
+                return (**body).clone();
+            }
+            // let x = (A : B) in body, x used only as hd x / tl x
+            //   → let h = A in let t = B in body[hd x→h, tl x→t]
+            if let Some((a, b)) = as_cons(v) {
+                if occurrences_only_projections(body, x) && count_free(body, x) > 0 {
+                    self.changed = true;
+                    let h = self.fresh(x);
+                    let t = self.fresh(x);
+                    let body2 = subst_projections(body, x, &h, &t);
+                    return Expr::let_(
+                        h,
+                        a.clone(),
+                        Expr::let_(t, b.clone(), body2),
+                    );
+                }
+            }
+        }
+
+        e
+    }
+}
+
+/// Simplifies a residual program to a fixpoint (bounded at 32 passes; in
+/// practice 3–5 suffice).
+///
+/// ```
+/// use monsem_pe::simplify::simplify;
+/// use monsem_syntax::parse_expr;
+/// let e = parse_expr("let p = (a : b) in (hd p) + (tl p)")?;
+/// assert_eq!(simplify(&e), parse_expr("a + b")?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn simplify(e: &Expr) -> Expr {
+    let mut s = Simplifier { fresh: 0, changed: true };
+    let mut cur = e.clone();
+    let mut passes = 0;
+    while s.changed && passes < 32 {
+        s.changed = false;
+        cur = s.pass(&cur);
+        passes += 1;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instrument::{instrument, instrument_optimized, step_counter};
+    use crate::specialize::SpecializeOptions;
+    use monsem_core::machine::eval;
+    use monsem_core::{programs, Value};
+    use monsem_syntax::parse_expr;
+
+    #[test]
+    fn projections_of_pairs_fold() {
+        let e = parse_expr("hd (1 : 2)").unwrap();
+        assert_eq!(simplify(&e), Expr::int(1));
+        let e = parse_expr("tl (x : y)").unwrap();
+        assert_eq!(simplify(&e), Expr::var("y"));
+    }
+
+    #[test]
+    fn impure_sides_are_not_dropped() {
+        let e = parse_expr("hd (1 : (2 / 0))").unwrap();
+        // The failing tail must stay.
+        assert_eq!(simplify(&e), e);
+    }
+
+    #[test]
+    fn pair_lets_are_split() {
+        let e = parse_expr("let p = (a : b) in (hd p) + (tl p)").unwrap();
+        let simplified = simplify(&e);
+        assert_eq!(simplified, parse_expr("a + b").unwrap());
+    }
+
+    #[test]
+    fn trivial_bindings_are_inlined() {
+        let e = parse_expr("let x = y in x + x").unwrap();
+        assert_eq!(simplify(&e), parse_expr("y + y").unwrap());
+    }
+
+    #[test]
+    fn beta_reduction_of_literal_lambdas() {
+        let e = parse_expr("(lambda x. x * x) y").unwrap();
+        assert_eq!(simplify(&e), parse_expr("y * y").unwrap());
+        // Non-trivial arguments become lets, preserving evaluation order.
+        let e = parse_expr("(lambda x. x * x) (f 1)").unwrap();
+        assert_eq!(simplify(&e), parse_expr("let x = f 1 in x * x").unwrap());
+    }
+
+    #[test]
+    fn cleans_level3_output_to_straight_line_code() {
+        let program = parse_expr(
+            "letrec pow = lambda b. lambda e. \
+                {step}:if e = 0 then 1 else b * (pow b (e - 1)) \
+             in pow base 4",
+        )
+        .unwrap();
+        let optimized =
+            instrument_optimized(&program, &step_counter(), &SpecializeOptions::default());
+        let cleaned = simplify(&optimized);
+        assert!(
+            cleaned.size() < optimized.size(),
+            "no improvement: {} vs {}",
+            cleaned.size(),
+            optimized.size()
+        );
+        // Still correct, for several bases.
+        for base in [2i64, 7] {
+            let run = Expr::let_("base", Expr::int(base), cleaned.clone());
+            let v = eval(&run).unwrap();
+            assert_eq!(
+                v,
+                Value::pair(Value::Int(base.pow(4)), Value::Int(5)),
+            );
+        }
+    }
+
+    #[test]
+    fn preserves_instrumented_program_semantics() {
+        for n in [3i64, 6] {
+            let program = programs::fac_ab(n);
+            let instrumented = instrument(&program, &step_counter());
+            let cleaned = simplify(&instrumented);
+            assert_eq!(eval(&cleaned), eval(&instrumented));
+        }
+    }
+}

@@ -1,0 +1,948 @@
+//! A partial evaluator for `L_λ` — the "standard partial evaluation
+//! techniques" the paper applies with Schism (§9.1), here as an *online*
+//! specializer.
+//!
+//! Given a program and (optionally) static values for some of its free
+//! variables, [`specialize`] produces a *residual program*:
+//!
+//! * static computation is performed now: constant folding, static
+//!   conditionals, β-reduction, polyvariant unfolding of recursive calls
+//!   whose arguments are static (`pow b 20` unrolls to `b * b * … * 1`);
+//! * dynamic computation is *residualized*: rebuilt as source code that
+//!   performs it at run time, with evaluation order and run-time errors
+//!   preserved (a folded expression is only dropped when its static
+//!   evaluation succeeded; anything that might fail stays in the residue);
+//! * monitoring annotations are barriers: `{μ}:e` always remains in the
+//!   residue (with a specialized body), because erasing one would erase a
+//!   monitoring event. The *static* part of monitoring disappears, the
+//!   *dynamic* part stays — exactly the split §9.1 observes.
+//!
+//! Termination is enforced by an unfold budget plus a speculation bound:
+//! under a dynamic conditional, recursive calls with dynamic arguments are
+//! residualized rather than unfolded, so specializing `fac` with an
+//! unknown argument yields `fac` back (constant-folded), not an infinite
+//! unrolling.
+//!
+//! **Monovariance**: unlike Schism, the specializer does not generate
+//! named variants per static-argument pattern; a recursive function
+//! called with the same mixed static/dynamic pattern from several sites
+//! is unfolded (and its residue duplicated) at each. Correctness is
+//! unaffected; residual size can be larger than a polyvariant
+//! specializer's.
+//!
+//! **Stack use**: unfolding recurses on the Rust stack, so the deepest
+//! static call chain the specializer follows is bounded by
+//! [`SpecializeOptions::max_unfolds`]. When specializing programs with
+//! very deep static recursion, either lower the budget (the residue stays
+//! correct — leftover work happens at run time) or give the thread a
+//! larger stack.
+
+use monsem_core::machine::constant;
+use monsem_core::prims::Prim;
+use monsem_core::value::Value;
+use monsem_syntax::{Binding, Con, Expr, Ident, Lambda};
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// Tunables for the specializer.
+#[derive(Debug, Clone)]
+pub struct SpecializeOptions {
+    /// Maximum number of function unfoldings (β-reductions of named or
+    /// anonymous functions). When exhausted, calls are residualized.
+    pub max_unfolds: u64,
+    /// Maximum nesting of *dynamic* conditionals under which recursive
+    /// calls with dynamic arguments are still unfolded. 0 is the sober
+    /// default: unfold those only outside dynamic branches.
+    pub max_speculation: u32,
+}
+
+impl Default for SpecializeOptions {
+    fn default() -> Self {
+        SpecializeOptions { max_unfolds: 10_000, max_speculation: 0 }
+    }
+}
+
+/// Statistics reported by [`specialize_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpecializeStats {
+    /// Function unfoldings performed.
+    pub unfolds: u64,
+    /// Primitive applications folded at specialization time.
+    pub folds: u64,
+}
+
+// ---------------------------------------------------------------------
+// Specialization environments (rec frames as in the evaluators, so no
+// reference cycles arise).
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct SEnv(Option<Rc<SNode>>);
+
+#[derive(Debug)]
+enum SNode {
+    Plain { name: Ident, operand: Out, parent: SEnv },
+    Rec { defs: Rc<Vec<(Ident, Lambda)>>, parent: SEnv },
+}
+
+// Environments bind names directly to specialization outcomes ([`Out`]);
+// a dynamic binding is `Out::Dyn(Var(fresh))`.
+
+#[derive(Debug)]
+struct FunDef {
+    /// `Some` when the function came from a `letrec` rec frame.
+    rec_name: Option<Ident>,
+    lambda: Lambda,
+    env: SEnv,
+    /// The rec group the function belongs to, if any.
+    group: Option<Rc<Vec<(Ident, Lambda)>>>,
+}
+
+impl SEnv {
+    fn empty() -> SEnv {
+        SEnv(None)
+    }
+
+    fn plain(&self, name: Ident, operand: Out) -> SEnv {
+        SEnv(Some(Rc::new(SNode::Plain { name, operand, parent: self.clone() })))
+    }
+
+    fn rec(&self, defs: Rc<Vec<(Ident, Lambda)>>) -> SEnv {
+        SEnv(Some(Rc::new(SNode::Rec { defs, parent: self.clone() })))
+    }
+
+    fn lookup(&self, name: &Ident) -> Option<Out> {
+        let mut cur = self;
+        loop {
+            match cur.0.as_deref() {
+                Some(SNode::Plain { name: n, operand, parent }) => {
+                    if n == name {
+                        return Some(operand.clone());
+                    }
+                    cur = parent;
+                }
+                Some(SNode::Rec { defs, parent }) => {
+                    if let Some((n, lam)) = defs.iter().find(|(n, _)| n == name) {
+                        return Some(Out::Fun(Rc::new(FunDef {
+                            rec_name: Some(n.clone()),
+                            lambda: lam.clone(),
+                            env: cur.clone(),
+                            group: Some(defs.clone()),
+                        })));
+                    }
+                    cur = parent;
+                }
+                None => return None,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Outcomes
+// ---------------------------------------------------------------------
+
+/// The result of specializing one expression.
+#[derive(Debug, Clone)]
+enum Out {
+    /// Evaluated completely at specialization time (and did not fail).
+    Known(Value),
+    /// Residual code.
+    Dyn(Expr),
+    /// A known function value (kept symbolic so applications can unfold).
+    Fun(Rc<FunDef>),
+    /// A **partially static** cons cell: the structure is known now even
+    /// though the components may be dynamic. `hd`/`tl` project it at
+    /// specialization time — this is what lets the state-passing pairs of
+    /// an instrumented program evaporate. Only built from *discardable*
+    /// components (variables, literals, lambdas, other partially static
+    /// data), so projecting away one side cannot lose an effect.
+    Part(Rc<Out>, Rc<Out>),
+    /// A primitive applied to fewer arguments than its arity, with
+    /// possibly mixed static/dynamic arguments (all discardable).
+    PrimApp(Prim, Vec<Out>),
+}
+
+struct Ctx {
+    opts: SpecializeOptions,
+    stats: SpecializeStats,
+    fresh: u64,
+    used_names: BTreeSet<Ident>,
+    /// `Rc` identities of rec groups whose residual `letrec` is in scope.
+    scopes: Vec<usize>,
+    /// Nesting depth of dynamic conditionals currently being specialized.
+    speculation: u32,
+    /// Names that appear as assignment targets anywhere in the program
+    /// (conservatively by name): their bindings must stay residual, since
+    /// the imperative module gives them store cells.
+    assigned: BTreeSet<Ident>,
+}
+
+impl Ctx {
+    fn fresh(&mut self, base: &Ident) -> Ident {
+        loop {
+            self.fresh += 1;
+            let candidate = Ident::new(format!("{}_{}", base.as_str(), self.fresh));
+            if !self.used_names.contains(&candidate) {
+                self.used_names.insert(candidate.clone());
+                return candidate;
+            }
+        }
+    }
+
+    fn may_unfold(&self, recursive: bool, arg_known: bool) -> bool {
+        self.stats.unfolds < self.opts.max_unfolds
+            && (!recursive || arg_known || self.speculation <= self.opts.max_speculation)
+    }
+}
+
+/// Renders a known value back into source syntax.
+fn value_to_expr(v: &Value) -> Expr {
+    match v {
+        Value::Int(n) => Expr::int(*n),
+        Value::Bool(b) => Expr::bool(*b),
+        Value::Str(s) => Expr::Con(Con::Str(s.clone())),
+        Value::Unit => Expr::Con(Con::Unit),
+        Value::Nil => Expr::nil(),
+        Value::Pair(..) => {
+            // Iterative along tails (long list literals).
+            let mut heads = Vec::new();
+            let mut cur = v;
+            while let Value::Pair(h, t) = cur {
+                heads.push(value_to_expr(h));
+                cur = t;
+            }
+            let mut out = value_to_expr(cur);
+            for h in heads.into_iter().rev() {
+                out = Expr::binop("cons", h, out);
+            }
+            out
+        }
+        Value::Prim(p, args) => args
+            .iter()
+            .fold(Expr::var(p.name()), |f, a| Expr::app(f, value_to_expr(a))),
+        Value::Closure(_) | Value::Thunk(_) | Value::Loc(_) | Value::Ext(_) => {
+            unreachable!("the specializer only produces first-order known values")
+        }
+    }
+}
+
+/// Residual expressions whose evaluation can be dropped or duplicated
+/// freely: they terminate, have no effects, and cannot fail.
+fn trivial_expr(e: &Expr) -> bool {
+    matches!(e, Expr::Var(_) | Expr::Con(_) | Expr::Lambda(_))
+}
+
+/// Outcomes safe to embed into partially static structures (see
+/// [`Out::Part`]).
+fn discardable(out: &Out) -> bool {
+    match out {
+        Out::Known(_) | Out::Fun(_) => true,
+        Out::Dyn(e) => trivial_expr(e),
+        Out::Part(a, b) => discardable(a) && discardable(b),
+        Out::PrimApp(_, args) => args.iter().all(discardable),
+    }
+}
+
+impl Out {
+    /// Forces an outcome into residual code.
+    fn into_expr(self, ctx: &mut Ctx) -> Expr {
+        match self {
+            Out::Known(v) => value_to_expr(&v),
+            Out::Dyn(e) => e,
+            Out::Fun(def) => fun_to_expr(&def, ctx),
+            Out::Part(h, t) => Expr::binop(
+                "cons",
+                (*h).clone().into_expr(ctx),
+                (*t).clone().into_expr(ctx),
+            ),
+            Out::PrimApp(p, args) => args.into_iter().fold(
+                Expr::var(p.name()),
+                |f, a| Expr::app(f, a.into_expr(ctx)),
+            ),
+        }
+    }
+}
+
+/// Residualizes a function value: a variable reference when its `letrec`
+/// is in residual scope, otherwise a freshly specialized lambda (wrapped
+/// in its rec group's `letrec` if it is recursive).
+fn fun_to_expr(def: &FunDef, ctx: &mut Ctx) -> Expr {
+    if let (Some(name), Some(group)) = (&def.rec_name, &def.group) {
+        let id = Rc::as_ptr(group) as usize;
+        if ctx.scopes.contains(&id) {
+            return Expr::Var(name.clone());
+        }
+        // The group is not in scope: re-emit it around a reference.
+        let rec_env = def.env.clone();
+        let bindings = residual_group(group, &rec_env, ctx);
+        return Expr::Letrec(bindings, Rc::new(Expr::Var(name.clone())));
+    }
+    // Anonymous function: specialize generically under a fresh parameter.
+    let p = ctx.fresh(&def.lambda.param);
+    let env = def.env.plain(def.lambda.param.clone(), Out::Dyn(Expr::Var(p.clone())));
+    let body = pe(&def.lambda.body, &env, ctx).into_expr(ctx);
+    Expr::lam(p, body)
+}
+
+/// Generically specializes every binding of a rec group (bodies folded,
+/// recursive calls residualized), producing residual `letrec` bindings.
+fn residual_group(
+    group: &Rc<Vec<(Ident, Lambda)>>,
+    rec_env: &SEnv,
+    ctx: &mut Ctx,
+) -> Vec<Binding> {
+    let id = Rc::as_ptr(group) as usize;
+    ctx.scopes.push(id);
+    let bindings = group
+        .iter()
+        .map(|(name, lam)| {
+            let p = ctx.fresh(&lam.param);
+            let env = rec_env.plain(lam.param.clone(), Out::Dyn(Expr::Var(p.clone())));
+            let body = pe(&lam.body, &env, ctx).into_expr(ctx);
+            Binding::new(name.clone(), Expr::lam(p, body))
+        })
+        .collect();
+    ctx.scopes.pop();
+    bindings
+}
+
+fn pe(e: &Expr, env: &SEnv, ctx: &mut Ctx) -> Out {
+    match e {
+        Expr::Con(c) => Out::Known(constant(c)),
+        Expr::Var(x) => match env.lookup(x) {
+            Some(out) => out,
+            None => match Prim::by_name(x.as_str()) {
+                Some(p) => Out::PrimApp(p, Vec::new()),
+                // A dynamic input (or a genuinely unbound name — the
+                // residual program fails exactly where the original does).
+                None => Out::Dyn(Expr::Var(x.clone())),
+            },
+        },
+        Expr::Lambda(l) => Out::Fun(Rc::new(FunDef {
+            rec_name: None,
+            lambda: l.clone(),
+            env: env.clone(),
+            group: None,
+        })),
+        Expr::If(c, t, f) => match pe(c, env, ctx) {
+            Out::Known(Value::Bool(true)) => pe(t, env, ctx),
+            Out::Known(Value::Bool(false)) => pe(f, env, ctx),
+            // A statically non-boolean condition is a run-time error:
+            // keep it (and its branches) in the residue.
+            cond => {
+                let cond_expr = cond.into_expr(ctx);
+                ctx.speculation += 1;
+                let t = pe(t, env, ctx).into_expr(ctx);
+                let f = pe(f, env, ctx).into_expr(ctx);
+                ctx.speculation -= 1;
+                Out::Dyn(Expr::if_(cond_expr, t, f))
+            }
+        },
+        Expr::App(fe, ae) => {
+            // Figure 2 order: the argument is evaluated first; the
+            // residual code preserves that via let-binding when needed.
+            let arg = pe(ae, env, ctx);
+            let func = pe(fe, env, ctx);
+            apply(func, arg, ctx)
+        }
+        Expr::Let(x, v, b) => {
+            let value = pe(v, env, ctx);
+            bind_and_continue(x, value, b, env, ctx)
+        }
+        Expr::Letrec(bs, body) => pe_letrec(bs, body, env, ctx),
+        Expr::Ann(a, inner) => {
+            // Annotations are monitoring events: never fold them away.
+            let inner = pe(inner, env, ctx).into_expr(ctx);
+            Out::Dyn(Expr::Ann(a.clone(), Rc::new(inner)))
+        }
+        Expr::Seq(a, b) => {
+            let first = pe(a, env, ctx);
+            let second = pe(b, env, ctx);
+            match first {
+                // The first component evaluated statically (no error):
+                // it can be dropped.
+                Out::Known(_) | Out::Fun(_) | Out::Part(..) | Out::PrimApp(..) => second,
+                Out::Dyn(ae) => {
+                    let be = second.into_expr(ctx);
+                    Out::Dyn(Expr::Seq(Rc::new(ae), Rc::new(be)))
+                }
+            }
+        }
+        Expr::Assign(x, v) => {
+            let ve = pe(v, env, ctx).into_expr(ctx);
+            // The target may have been renamed by specialization.
+            let target = match env.lookup(x) {
+                Some(Out::Dyn(Expr::Var(n))) => n,
+                _ => x.clone(),
+            };
+            Out::Dyn(Expr::Assign(target, Rc::new(ve)))
+        }
+        Expr::While(c, b) => {
+            // Loops are inherently dynamic here (the pure specializer has
+            // no store model): residualize both parts.
+            ctx.speculation += 1;
+            let ce = pe(c, env, ctx).into_expr(ctx);
+            let be = pe(b, env, ctx).into_expr(ctx);
+            ctx.speculation -= 1;
+            Out::Dyn(Expr::While(Rc::new(ce), Rc::new(be)))
+        }
+    }
+}
+
+/// Binds `x` to the outcome of its right-hand side and specializes `body`;
+/// emits a residual `let` only when the value stayed dynamic.
+fn bind_and_continue(x: &Ident, value: Out, body: &Expr, env: &SEnv, ctx: &mut Ctx) -> Out {
+    // An assigned variable needs a real (store-backed) binding at run
+    // time, whatever its initializer folded to.
+    if ctx.assigned.contains(x) {
+        let ve = value.into_expr(ctx);
+        let fresh = ctx.fresh(x);
+        let env = env.plain(x.clone(), Out::Dyn(Expr::Var(fresh.clone())));
+        let out = pe(body, &env, ctx).into_expr(ctx);
+        return Out::Dyn(Expr::let_(fresh, ve, out));
+    }
+    match value {
+        Out::Dyn(ve) if !trivial_expr(&ve) => {
+            let fresh = ctx.fresh(x);
+            let env = env.plain(x.clone(), Out::Dyn(Expr::Var(fresh.clone())));
+            let out = pe(body, &env, ctx).into_expr(ctx);
+            Out::Dyn(Expr::let_(fresh, ve, out))
+        }
+        known_ish => {
+            let env = env.plain(x.clone(), known_ish);
+            pe(body, &env, ctx)
+        }
+    }
+}
+
+fn apply(func: Out, arg: Out, ctx: &mut Ctx) -> Out {
+    match func {
+        Out::Fun(def) => {
+            let recursive = def.group.is_some();
+            let arg_known = matches!(arg, Out::Known(_));
+            if ctx.may_unfold(recursive, arg_known) {
+                ctx.stats.unfolds += 1;
+                return unfold(&def, arg, ctx);
+            }
+            // Residual call.
+            let fe = fun_to_expr(&def, ctx);
+            let ae = arg.into_expr(ctx);
+            Out::Dyn(Expr::app(fe, ae))
+        }
+        Out::Known(Value::Prim(p, collected)) => {
+            let outs: Vec<Out> = collected.iter().cloned().map(Out::Known).collect();
+            apply_prim(p, outs, arg, ctx)
+        }
+        Out::PrimApp(p, outs) => apply_prim(p, outs, arg, ctx),
+        Out::Known(other) => {
+            // Applying a non-function: a run-time error, preserved.
+            let ae = arg.into_expr(ctx);
+            Out::Dyn(Expr::app(value_to_expr(&other), ae))
+        }
+        func @ (Out::Dyn(_) | Out::Part(..)) => {
+            let ae = arg.into_expr(ctx);
+            let fe = func.into_expr(ctx);
+            Out::Dyn(Expr::app(fe, ae))
+        }
+    }
+}
+
+/// Applies a primitive to one more argument, folding what can be folded
+/// and keeping partially static structure where possible.
+fn apply_prim(p: Prim, mut outs: Vec<Out>, arg: Out, ctx: &mut Ctx) -> Out {
+    // A non-trivial dynamic argument must stay where it is (its effects
+    // anchor the evaluation order): residualize the application here.
+    if matches!(&arg, Out::Dyn(e) if !trivial_expr(e)) {
+        let ae = arg.into_expr(ctx);
+        let fe = Out::PrimApp(p, outs).into_expr(ctx);
+        return Out::Dyn(Expr::app(fe, ae));
+    }
+    outs.push(arg);
+    if outs.len() < p.arity() {
+        return Out::PrimApp(p, outs);
+    }
+
+    // Fully applied. All-static folds completely:
+    if outs.iter().all(|o| matches!(o, Out::Known(_))) {
+        let args: Vec<Value> = outs
+            .iter()
+            .map(|o| match o {
+                Out::Known(v) => v.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        return match p.apply(&args) {
+            Ok(v) => {
+                ctx.stats.folds += 1;
+                Out::Known(v)
+            }
+            // The primitive fails on these inputs: leave the failing
+            // application in the residue.
+            Err(_) => Out::Dyn(
+                args.iter()
+                    .fold(Expr::var(p.name()), |f, a| Expr::app(f, value_to_expr(a))),
+            ),
+        };
+    }
+
+    // Partially static structure:
+    match (p, outs.as_slice()) {
+        (Prim::Cons, [h, t]) if discardable(h) && discardable(t) => {
+            ctx.stats.folds += 1;
+            Out::Part(Rc::new(h.clone()), Rc::new(t.clone()))
+        }
+        (Prim::Hd, [Out::Part(h, t)]) if discardable(t) => {
+            ctx.stats.folds += 1;
+            (**h).clone()
+        }
+        (Prim::Tl, [Out::Part(h, t)]) if discardable(h) => {
+            ctx.stats.folds += 1;
+            (**t).clone()
+        }
+        (Prim::IsNull, [Out::Part(h, t)]) if discardable(h) && discardable(t) => {
+            ctx.stats.folds += 1;
+            Out::Known(Value::Bool(false))
+        }
+        _ => {
+            let mut fe = Expr::var(p.name());
+            for o in outs {
+                let ae = o.into_expr(ctx);
+                fe = Expr::app(fe, ae);
+            }
+            Out::Dyn(fe)
+        }
+    }
+}
+
+/// β-reduces `def` applied to `arg`. A complex dynamic argument is
+/// let-bound so it is neither duplicated nor reordered.
+fn unfold(def: &FunDef, arg: Out, ctx: &mut Ctx) -> Out {
+    // Assigned parameters need a real binding at run time (see
+    // `bind_and_continue`).
+    if ctx.assigned.contains(&def.lambda.param) {
+        let ae = arg.into_expr(ctx);
+        let fresh = ctx.fresh(&def.lambda.param);
+        let env = def
+            .env
+            .plain(def.lambda.param.clone(), Out::Dyn(Expr::Var(fresh.clone())));
+        let out = pe_in_group(def, &env, ctx).into_expr(ctx);
+        return Out::Dyn(Expr::let_(fresh, ae, out));
+    }
+    match arg {
+        Out::Dyn(ae) if !trivial_expr(&ae) => {
+            // A complex dynamic argument is let-bound so it is neither
+            // duplicated nor reordered.
+            let fresh = ctx.fresh(&def.lambda.param);
+            let env = def
+                .env
+                .plain(def.lambda.param.clone(), Out::Dyn(Expr::Var(fresh.clone())));
+            let out = pe_in_group(def, &env, ctx).into_expr(ctx);
+            Out::Dyn(Expr::let_(fresh, ae, out))
+        }
+        direct => {
+            let env = def.env.plain(def.lambda.param.clone(), direct);
+            pe_in_group(def, &env, ctx)
+        }
+    }
+}
+
+/// Specializes a function body. If the function belongs to a rec group
+/// whose residual `letrec` is *not* in scope, residual recursive calls
+/// inside must re-emit the group; marking the scope is only done by
+/// `pe_letrec`/`residual_group`, so nothing to do here beyond recursing.
+fn pe_in_group(def: &FunDef, env: &SEnv, ctx: &mut Ctx) -> Out {
+    pe(&def.lambda.body, env, ctx)
+}
+
+fn pe_letrec(bs: &[Binding], body: &Expr, env: &SEnv, ctx: &mut Ctx) -> Out {
+    let group: Vec<(Ident, Lambda)> = bs
+        .iter()
+        .filter_map(|b| match b.value.strip_annotations() {
+            Expr::Lambda(l) => Some((b.name.clone(), l.clone())),
+            _ => None,
+        })
+        .collect();
+    let has_rec = !group.is_empty();
+    let group = Rc::new(group);
+
+    // 1. Value bindings first, in source order (the engines' LetrecPlan).
+    let mut env = env.clone();
+    let mut residual_values: Vec<(Ident, Expr)> = Vec::new();
+    for b in bs {
+        if b.value.is_lambda_like() {
+            continue;
+        }
+        let out = pe(&b.value, &env, ctx);
+        let force_residual = ctx.assigned.contains(&b.name)
+            || matches!(&out, Out::Dyn(ve) if !trivial_expr(ve));
+        if force_residual {
+            let ve = out.into_expr(ctx);
+            let fresh = ctx.fresh(&b.name);
+            env = env.plain(b.name.clone(), Out::Dyn(Expr::Var(fresh.clone())));
+            residual_values.push((fresh, ve));
+        } else {
+            env = env.plain(b.name.clone(), out);
+        }
+    }
+
+    // 2. Rec frame on top, so recursive closures see the values.
+    let env_after_rec = if has_rec { env.rec(group.clone()) } else { env.clone() };
+    let mut env = env_after_rec.clone();
+
+    // 3. Annotated lambda bindings: their annotation is a monitoring
+    // event, so the binding stays in the residue; recursion still goes
+    // through the (stripped) rec group.
+    let mut residual_annotated: Vec<(Ident, Expr)> = Vec::new();
+    let group_id = Rc::as_ptr(&group) as usize;
+    if has_rec {
+        ctx.scopes.push(group_id);
+    }
+    for b in bs {
+        if b.value.is_lambda_like() && matches!(&*b.value, Expr::Ann(..)) {
+            let ve = pe(&b.value, &env, ctx).into_expr(ctx);
+            let fresh = ctx.fresh(&b.name);
+            env = env.plain(b.name.clone(), Out::Dyn(Expr::Var(fresh.clone())));
+            residual_annotated.push((fresh, ve));
+        }
+    }
+
+    let body_out = pe(body, &env, ctx);
+
+    // Fully static result with nothing dynamic left: drop the letrec.
+    if residual_values.is_empty()
+        && residual_annotated.is_empty()
+        && matches!(body_out, Out::Known(_))
+    {
+        if has_rec {
+            ctx.scopes.pop();
+        }
+        return body_out;
+    }
+
+    let body_expr = body_out.into_expr(ctx);
+    if has_rec {
+        ctx.scopes.pop();
+    }
+
+    let mut bindings: Vec<Binding> = Vec::new();
+    for (name, ve) in residual_values {
+        bindings.push(Binding::new(name, ve));
+    }
+    if has_rec {
+        let mut group_bindings = residual_group(&group, &env_after_rec, ctx);
+        bindings.append(&mut group_bindings);
+    }
+    for (name, ve) in residual_annotated {
+        bindings.push(Binding::new(name, ve));
+    }
+
+    // Prune function bindings the residue never mentions (pure, so safe).
+    let result = Expr::Letrec(bindings, Rc::new(body_expr));
+    Out::Dyn(prune_letrec(result))
+}
+
+/// Drops lambda bindings that the body (and the other kept bindings)
+/// never reference. Value bindings are always kept (they may fail).
+fn prune_letrec(e: Expr) -> Expr {
+    let Expr::Letrec(bindings, body) = e else { return e };
+    let mut used: BTreeSet<Ident> = body.free_vars();
+    for b in &bindings {
+        if !b.value.is_lambda_like() {
+            used.extend(b.value.free_vars());
+        }
+    }
+    loop {
+        let mut grew = false;
+        for b in &bindings {
+            if b.value.is_lambda_like() && used.contains(&b.name) {
+                for v in b.value.free_vars() {
+                    grew |= used.insert(v);
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    let kept: Vec<Binding> = bindings
+        .into_iter()
+        .filter(|b| !b.value.is_lambda_like() || used.contains(&b.name))
+        .collect();
+    if kept.is_empty() {
+        return (*body).clone();
+    }
+    Expr::Letrec(kept, body)
+}
+
+/// Specializes `program` with no static inputs.
+///
+/// ```
+/// use monsem_pe::specialize::{specialize, SpecializeOptions};
+/// use monsem_syntax::{parse_expr, Expr};
+/// let e = parse_expr("let k = 6 * 7 in if k = 42 then win else 0")?;
+/// let residual = specialize(&e, &SpecializeOptions::default());
+/// assert_eq!(residual, Expr::var("win")); // only the dynamic input is left
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn specialize(program: &Expr, opts: &SpecializeOptions) -> Expr {
+    specialize_with(program, &[], opts).0
+}
+
+/// Specializes `program` with the given static values for free variables
+/// (the "partial input" of Figure 10, level 3). Returns the residual
+/// program and statistics.
+pub fn specialize_with(
+    program: &Expr,
+    static_inputs: &[(Ident, Value)],
+    opts: &SpecializeOptions,
+) -> (Expr, SpecializeStats) {
+    let mut ctx = Ctx {
+        opts: opts.clone(),
+        stats: SpecializeStats::default(),
+        fresh: 0,
+        used_names: collect_idents(program),
+        scopes: Vec::new(),
+        speculation: 0,
+        assigned: assigned_vars(program),
+    };
+    let mut env = SEnv::empty();
+    for (name, value) in static_inputs {
+        env = env.plain(name.clone(), Out::Known(value.clone()));
+    }
+    let out = pe(program, &env, &mut ctx);
+    let expr = out.into_expr(&mut ctx);
+    (expr, ctx.stats)
+}
+
+/// All assignment targets in the program, by name (a conservative
+/// over-approximation under shadowing — it only costs folding).
+fn assigned_vars(e: &Expr) -> BTreeSet<Ident> {
+    let mut out = BTreeSet::new();
+    monsem_syntax::points::visit(e, |_, node| {
+        if let Expr::Assign(x, _) = node {
+            out.insert(x.clone());
+        }
+    });
+    out
+}
+
+fn collect_idents(e: &Expr) -> BTreeSet<Ident> {
+    let mut out = BTreeSet::new();
+    monsem_syntax::points::visit(e, |_, node| match node {
+        Expr::Var(x) => {
+            out.insert(x.clone());
+        }
+        Expr::Lambda(l) => {
+            out.insert(l.param.clone());
+        }
+        Expr::Let(x, ..) | Expr::Assign(x, _) => {
+            out.insert(x.clone());
+        }
+        Expr::Letrec(bs, _) => {
+            for b in bs {
+                out.insert(b.name.clone());
+            }
+        }
+        _ => {}
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_core::machine::eval;
+    use monsem_core::programs;
+    use monsem_core::EvalError;
+    use monsem_syntax::parse_expr;
+
+    fn spec(src: &str) -> Expr {
+        specialize(&parse_expr(src).unwrap(), &SpecializeOptions::default())
+    }
+
+    #[test]
+    fn fully_static_programs_fold_to_literals() {
+        assert_eq!(spec("1 + 2 * 3"), Expr::int(7));
+        assert_eq!(
+            spec("letrec fac = lambda x. if x = 0 then 1 else x * (fac (x - 1)) in fac 5"),
+            Expr::int(120)
+        );
+        assert_eq!(spec("(lambda x. x + x) 21"), Expr::int(42));
+        assert_eq!(spec("if 1 < 2 then 10 else 20"), Expr::int(10));
+    }
+
+    #[test]
+    fn pow_with_static_exponent_unrolls_completely() {
+        let e = parse_expr(
+            "letrec pow = lambda b. lambda e. if e = 0 then 1 else b * (pow b (e - 1)) \
+             in pow base 5",
+        )
+        .unwrap();
+        let residual = specialize(&e, &SpecializeOptions::default());
+        // No letrec, no conditional — just multiplications by `base`.
+        let printed = residual.to_string();
+        assert!(!printed.contains("letrec"), "{printed}");
+        assert!(!printed.contains("if"), "{printed}");
+        assert_eq!(printed.matches('*').count(), 5, "{printed}");
+        // And it computes the right thing.
+        let apply = Expr::let_("base", Expr::int(3), residual);
+        assert_eq!(eval(&apply), Ok(Value::Int(243)));
+    }
+
+    #[test]
+    fn dynamic_recursion_residualizes_the_function() {
+        let residual = spec(
+            "letrec fac = lambda x. if x = 0 then 1 else x * (fac (x - 1)) in fac n",
+        );
+        let printed = residual.to_string();
+        assert!(printed.contains("letrec"), "{printed}");
+        // Residual agrees with the original for every n.
+        for n in 0..7 {
+            let orig = parse_expr(&format!(
+                "letrec fac = lambda x. if x = 0 then 1 else x * (fac (x - 1)) in fac {n}"
+            ))
+            .unwrap();
+            let with_input = Expr::let_("n", Expr::int(n), residual.clone());
+            assert_eq!(eval(&with_input), eval(&orig));
+        }
+    }
+
+    #[test]
+    fn static_inputs_drive_specialization() {
+        let e = parse_expr(
+            "letrec pow = lambda b. lambda e. if e = 0 then 1 else b * (pow b (e - 1)) \
+             in pow base exp",
+        )
+        .unwrap();
+        let (residual, stats) = specialize_with(
+            &e,
+            &[(Ident::new("exp"), Value::Int(8))],
+            &SpecializeOptions::default(),
+        );
+        assert!(stats.unfolds >= 8);
+        let run = Expr::let_("base", Expr::int(2), residual);
+        assert_eq!(eval(&run), Ok(Value::Int(256)));
+    }
+
+    #[test]
+    fn runtime_errors_are_preserved_not_hidden() {
+        // Static division by zero must remain a runtime error.
+        let r = spec("1 / 0");
+        assert_eq!(eval(&r), Err(EvalError::DivisionByZero));
+        // An erroring dead branch may survive, but the live branch folds.
+        let r = spec("if true then 7 else (1 / 0)");
+        assert_eq!(eval(&r), Ok(Value::Int(7)));
+        // A statically non-boolean condition stays a runtime error.
+        let r = spec("if 3 then 1 else 2");
+        assert!(matches!(eval(&r), Err(EvalError::NonBooleanCondition(_))));
+    }
+
+    #[test]
+    fn sequencing_preserves_possible_failures() {
+        let r = spec("(1 / 0); 2");
+        assert_eq!(eval(&r), Err(EvalError::DivisionByZero));
+        let r = spec("1; 2");
+        assert_eq!(r, Expr::int(2));
+    }
+
+    #[test]
+    fn annotations_are_never_folded_away() {
+        let r = spec("{A}:(1 + 2) * {B}:4");
+        let anns: Vec<String> = r.annotations().iter().map(|a| a.to_string()).collect();
+        assert_eq!(anns, vec!["{A}", "{B}"]);
+        assert_eq!(eval(&r), Ok(Value::Int(12)));
+    }
+
+    #[test]
+    fn higher_order_programs_specialize() {
+        let r = spec("let twice = lambda f. lambda x. f (f x) in twice (lambda n. n + 1) y");
+        // Unfolds to y + 1 + 1 (modulo association).
+        let check = Expr::let_("y", Expr::int(40), r);
+        assert_eq!(eval(&check), Ok(Value::Int(42)));
+    }
+
+    #[test]
+    fn residual_agrees_on_paper_programs_with_dynamic_inputs() {
+        for (make, arg) in [
+            (programs::fac as fn(i64) -> Expr, 6i64),
+            (programs::fib, 10),
+            (programs::sum_to, 12),
+        ] {
+            let concrete = make(arg);
+            let residual = specialize(&concrete, &SpecializeOptions::default());
+            assert_eq!(eval(&residual), eval(&concrete));
+        }
+    }
+
+    #[test]
+    fn unfold_budget_bounds_the_residual() {
+        let opts = SpecializeOptions { max_unfolds: 3, max_speculation: 0 };
+        let e = parse_expr(
+            "letrec count = lambda n. if n = 0 then 0 else count (n - 1) in count 1000000",
+        )
+        .unwrap();
+        let residual = specialize(&e, &opts);
+        // Budget too small to finish statically: the residue still
+        // computes the answer at run time.
+        assert_eq!(eval(&residual), Ok(Value::Int(0)));
+    }
+
+    #[test]
+    fn mutual_recursion_specializes() {
+        let src = "letrec even = lambda n. if n = 0 then true else odd (n - 1) \
+                   and odd = lambda n. if n = 0 then false else even (n - 1) in even ";
+        let closed = parse_expr(&format!("{src} 8")).unwrap();
+        assert_eq!(specialize(&closed, &SpecializeOptions::default()), Expr::bool(true));
+        let open = parse_expr(&format!("{src} k")).unwrap();
+        let residual = specialize(&open, &SpecializeOptions::default());
+        let run = Expr::let_("k", Expr::int(9), residual);
+        assert_eq!(eval(&run), Ok(Value::Bool(false)));
+    }
+
+    #[test]
+    fn residual_programs_round_trip_through_the_parser() {
+        let residual = spec(
+            "letrec pow = lambda b. lambda e. if e = 0 then 1 else b * (pow b (e - 1)) \
+             in pow base 4",
+        );
+        let printed = residual.to_string();
+        assert_eq!(parse_expr(&printed).unwrap(), residual);
+    }
+}
+
+#[cfg(test)]
+mod imperative_tests {
+    use super::*;
+    use monsem_core::imperative::eval_imperative;
+    use monsem_syntax::parse_expr;
+
+    #[test]
+    fn imperative_programs_residualize_and_agree() {
+        // The pure specializer has no store model: loops and assignments
+        // are residual, but static scaffolding around them still folds.
+        let src = "let n = 2 + 3 in let acc = 1 in \
+                   (while n > 0 do acc := acc * n; n := n - 1 end); acc";
+        let program = parse_expr(src).unwrap();
+        let residual = specialize(&program, &SpecializeOptions::default());
+        assert_eq!(eval_imperative(&residual), eval_imperative(&program));
+        assert_eq!(eval_imperative(&residual), Ok(Value::Int(120)));
+        // The `2 + 3` folded.
+        assert!(!residual.to_string().contains("2 + 3"), "{residual}");
+    }
+}
+
+#[cfg(test)]
+mod assigned_param_tests {
+    use super::*;
+    use monsem_core::imperative::eval_imperative;
+    use monsem_syntax::parse_expr;
+
+    #[test]
+    fn assigned_parameters_keep_their_bindings() {
+        let program = parse_expr("(lambda x. (x := x + 1; x)) 41").unwrap();
+        let residual = specialize(&program, &SpecializeOptions::default());
+        assert_eq!(eval_imperative(&residual), eval_imperative(&program));
+        assert_eq!(eval_imperative(&residual), Ok(Value::Int(42)));
+    }
+}

@@ -1,0 +1,643 @@
+//! The annotated abstract syntax of `L_λ`.
+//!
+//! Mirrors Figure 2 of the paper plus the §4.1 annotation clause
+//! `ē ::= … | {μ}:ē`, and the §9.2 imperative extension (sequencing,
+//! assignment, `while`) handled only by the imperative language module.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// An interned-ish identifier (cheap to clone, compared by content).
+///
+/// Identifiers name bound variables, function names and primitives
+/// (`+`, `*`, `hd`, …, which live in the initial environment).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ident(Rc<str>);
+
+impl Ident {
+    /// Creates an identifier from anything string-like.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Ident(Rc::from(name.as_ref()))
+    }
+
+    /// The identifier's text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ident({:?})", &*self.0)
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Ident {
+    fn from(s: &str) -> Self {
+        Ident::new(s)
+    }
+}
+
+impl From<String> for Ident {
+    fn from(s: String) -> Self {
+        Ident::new(s)
+    }
+}
+
+impl AsRef<str> for Ident {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+/// Constants `k ∈ Con` (the paper's `Bas = Int + Bool + …` at the syntax
+/// level, plus the empty list and unit used by the extended examples).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Con {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// String literal (used by the `Ans_str` answer algebra of §3.1).
+    Str(Rc<str>),
+    /// The empty list `[]`.
+    Nil,
+    /// The unit value (result of assignments in the imperative module).
+    Unit,
+}
+
+impl fmt::Display for Con {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Con::Int(n) => write!(f, "{n}"),
+            Con::Bool(b) => write!(f, "{b}"),
+            Con::Str(s) => write!(f, "{s:?}"),
+            Con::Nil => f.write_str("[]"),
+            Con::Unit => f.write_str("()"),
+        }
+    }
+}
+
+/// A monitor-annotation namespace.
+///
+/// Section 6 requires cascaded monitors to have *disjoint annotation
+/// syntaxes*; namespaces make that disjointness checkable. The concrete
+/// syntax is `{ns/label}:e`; the empty namespace prints as `{label}:e`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Namespace(Rc<str>);
+
+impl Default for Namespace {
+    fn default() -> Self {
+        Namespace(Rc::from(""))
+    }
+}
+
+impl Namespace {
+    /// The anonymous namespace used when a program carries only one
+    /// monitor's annotations (as in all of the paper's examples).
+    pub fn anonymous() -> Self {
+        Namespace::default()
+    }
+
+    /// Creates a named namespace.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Namespace(Rc::from(name.as_ref()))
+    }
+
+    /// The namespace's text (empty for the anonymous namespace).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Whether this is the anonymous namespace.
+    pub fn is_anonymous(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// The body of an annotation `μ` — the paper's *monitor syntax* (MSyn).
+///
+/// The examples of §5 and §8 use two shapes: bare labels (`{A}`, `{fac}`,
+/// `{l1}`, `{test}`) and function headers carrying the formal parameters
+/// (`{fac(x)}`, `{mul(x, y)}`, used by the fancy tracer of Figure 7).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AnnKind {
+    /// A bare label, e.g. `{A}` or `{fac}`.
+    Label(Ident),
+    /// A function header `f(x₁, …, xₙ)` as required by the tracer's
+    /// `Fh` monitor syntax (Figure 7).
+    FunHeader {
+        /// The function name.
+        name: Ident,
+        /// The formal parameters whose run-time values the monitor may read
+        /// from the environment.
+        params: Vec<Ident>,
+    },
+}
+
+impl AnnKind {
+    /// The label or function name carried by the annotation.
+    pub fn name(&self) -> &Ident {
+        match self {
+            AnnKind::Label(l) => l,
+            AnnKind::FunHeader { name, .. } => name,
+        }
+    }
+}
+
+/// A monitoring annotation `μ` together with its namespace.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Annotation {
+    /// Which monitor's annotation syntax this belongs to (§6 disjointness).
+    pub namespace: Namespace,
+    /// The annotation body.
+    pub kind: AnnKind,
+}
+
+impl Annotation {
+    /// A bare label in the anonymous namespace, e.g. `{A}`.
+    pub fn label(name: impl Into<Ident>) -> Self {
+        Annotation { namespace: Namespace::anonymous(), kind: AnnKind::Label(name.into()) }
+    }
+
+    /// A function header in the anonymous namespace, e.g. `{fac(x)}`.
+    pub fn fun_header(name: impl Into<Ident>, params: Vec<Ident>) -> Self {
+        Annotation {
+            namespace: Namespace::anonymous(),
+            kind: AnnKind::FunHeader { name: name.into(), params },
+        }
+    }
+
+    /// Moves this annotation into `namespace`.
+    pub fn in_namespace(mut self, namespace: Namespace) -> Self {
+        self.namespace = namespace;
+        self
+    }
+
+    /// The label or function name carried by the annotation.
+    pub fn name(&self) -> &Ident {
+        self.kind.name()
+    }
+}
+
+impl fmt::Display for Annotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        if !self.namespace.is_anonymous() {
+            write!(f, "{}/", self.namespace.as_str())?;
+        }
+        match &self.kind {
+            AnnKind::Label(l) => write!(f, "{l}")?,
+            AnnKind::FunHeader { name, params } => {
+                write!(f, "{name}(")?;
+                for (i, p) in params.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                f.write_str(")")?;
+            }
+        }
+        f.write_str("}")
+    }
+}
+
+/// A lambda abstraction `lambda x. e`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lambda {
+    /// The bound variable.
+    pub param: Ident,
+    /// The body.
+    pub body: Rc<Expr>,
+}
+
+impl Lambda {
+    /// Creates `lambda param. body`.
+    pub fn new(param: impl Into<Ident>, body: Expr) -> Self {
+        Lambda { param: param.into(), body: Rc::new(body) }
+    }
+}
+
+/// One binding of a `letrec` (the paper writes
+/// `letrec f = lambda x. e₁ in e₂`; §8 also binds non-lambda right-hand
+/// sides, e.g. `letrec l1 = {l1}:(inclist … )`, which behaves as a
+/// sequential `let`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binding {
+    /// The bound name.
+    pub name: Ident,
+    /// The right-hand side. Recursion is only meaningful when this is a
+    /// lambda (possibly under annotations); see
+    /// [`Expr::strip_annotations`].
+    pub value: Rc<Expr>,
+}
+
+impl Binding {
+    /// Creates a binding `name = value`.
+    pub fn new(name: impl Into<Ident>, value: Expr) -> Self {
+        Binding { name: name.into(), value: Rc::new(value) }
+    }
+}
+
+/// Annotated expressions `ē ∈ Exp̄` (Figure 2 + the §4.1 annotation clause
+/// + the §9.2 imperative extension).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Constant `k`.
+    Con(Con),
+    /// Identifier `x` (bound variable, `letrec` name or primitive).
+    Var(Ident),
+    /// Abstraction `lambda x. e`.
+    Lambda(Lambda),
+    /// Conditional `if e₁ then e₂ else e₃`.
+    If(Rc<Expr>, Rc<Expr>, Rc<Expr>),
+    /// Application `e₁ e₂`.
+    App(Rc<Expr>, Rc<Expr>),
+    /// Recursive bindings `letrec f₁ = e₁ and … in e` (mutual recursion is
+    /// an extension; the paper's single-binding form is the common case).
+    Letrec(Vec<Binding>, Rc<Expr>),
+    /// Non-recursive `let x = e₁ in e₂` (sugar kept in the tree so the
+    /// pretty-printer round-trips; semantically `(lambda x. e₂) e₁`).
+    Let(Ident, Rc<Expr>, Rc<Expr>),
+    /// Annotated expression `{μ}:e` (§4.1).
+    Ann(Annotation, Rc<Expr>),
+    /// Sequencing `e₁ ; e₂` (imperative module, §9.2).
+    Seq(Rc<Expr>, Rc<Expr>),
+    /// Assignment `x := e` (imperative module, §9.2).
+    Assign(Ident, Rc<Expr>),
+    /// Loop `while e₁ do e₂ end` (imperative module, §9.2).
+    While(Rc<Expr>, Rc<Expr>),
+}
+
+impl Expr {
+    /// Integer constant.
+    pub fn int(n: i64) -> Expr {
+        Expr::Con(Con::Int(n))
+    }
+
+    /// Boolean constant.
+    pub fn bool(b: bool) -> Expr {
+        Expr::Con(Con::Bool(b))
+    }
+
+    /// String constant.
+    pub fn str(s: impl AsRef<str>) -> Expr {
+        Expr::Con(Con::Str(Rc::from(s.as_ref())))
+    }
+
+    /// The empty list `[]`.
+    pub fn nil() -> Expr {
+        Expr::Con(Con::Nil)
+    }
+
+    /// Variable reference.
+    pub fn var(name: impl Into<Ident>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// `lambda param. body`.
+    pub fn lam(param: impl Into<Ident>, body: Expr) -> Expr {
+        Expr::Lambda(Lambda::new(param, body))
+    }
+
+    /// Curried multi-parameter lambda.
+    pub fn lam_n<I: Into<Ident>>(params: impl IntoIterator<Item = I>, body: Expr) -> Expr {
+        let params: Vec<Ident> = params.into_iter().map(Into::into).collect();
+        params.into_iter().rev().fold(body, |b, p| Expr::lam(p, b))
+    }
+
+    /// Application `f x`.
+    pub fn app(f: Expr, x: Expr) -> Expr {
+        Expr::App(Rc::new(f), Rc::new(x))
+    }
+
+    /// Curried application `f x₁ … xₙ`.
+    pub fn app_n(f: Expr, args: impl IntoIterator<Item = Expr>) -> Expr {
+        args.into_iter().fold(f, Expr::app)
+    }
+
+    /// Conditional.
+    pub fn if_(c: Expr, t: Expr, e: Expr) -> Expr {
+        Expr::If(Rc::new(c), Rc::new(t), Rc::new(e))
+    }
+
+    /// Single-binding `letrec`.
+    pub fn letrec(name: impl Into<Ident>, value: Expr, body: Expr) -> Expr {
+        Expr::Letrec(vec![Binding::new(name, value)], Rc::new(body))
+    }
+
+    /// Non-recursive `let`.
+    pub fn let_(name: impl Into<Ident>, value: Expr, body: Expr) -> Expr {
+        Expr::Let(name.into(), Rc::new(value), Rc::new(body))
+    }
+
+    /// Annotated expression `{μ}:e`.
+    pub fn ann(ann: Annotation, e: Expr) -> Expr {
+        Expr::Ann(ann, Rc::new(e))
+    }
+
+    /// Binary primitive application: `binop("+", a, b)` is `(+ a) b`.
+    pub fn binop(op: &str, a: Expr, b: Expr) -> Expr {
+        Expr::app(Expr::app(Expr::var(op), a), b)
+    }
+
+    /// List literal `[e₁, …, eₙ]` as a cons chain.
+    pub fn list(items: impl IntoIterator<Item = Expr>) -> Expr {
+        let items: Vec<Expr> = items.into_iter().collect();
+        items
+            .into_iter()
+            .rev()
+            .fold(Expr::nil(), |tail, head| Expr::binop("cons", head, tail))
+    }
+
+    /// Strips any number of leading annotations, returning the bare
+    /// expression underneath (used when deciding whether a `letrec`
+    /// right-hand side is a lambda, and by the §7 obliviousness
+    /// construction `G_obl`).
+    pub fn strip_annotations(&self) -> &Expr {
+        let mut e = self;
+        while let Expr::Ann(_, inner) = e {
+            e = inner;
+        }
+        e
+    }
+
+    /// Whether this expression (modulo annotations) is a lambda.
+    pub fn is_lambda_like(&self) -> bool {
+        matches!(self.strip_annotations(), Expr::Lambda(_))
+    }
+
+    /// Removes **all** annotations, everywhere — the erasure `ē ↦ e` used
+    /// throughout §7 ("`s̄` is `s` augmented with monitor annotations").
+    pub fn erase_annotations(&self) -> Expr {
+        match self {
+            Expr::Con(c) => Expr::Con(c.clone()),
+            Expr::Var(x) => Expr::Var(x.clone()),
+            Expr::Lambda(l) => Expr::Lambda(Lambda {
+                param: l.param.clone(),
+                body: Rc::new(l.body.erase_annotations()),
+            }),
+            Expr::If(c, t, e) => Expr::if_(
+                c.erase_annotations(),
+                t.erase_annotations(),
+                e.erase_annotations(),
+            ),
+            Expr::App(f, x) => Expr::app(f.erase_annotations(), x.erase_annotations()),
+            Expr::Letrec(bs, body) => Expr::Letrec(
+                bs.iter()
+                    .map(|b| Binding {
+                        name: b.name.clone(),
+                        value: Rc::new(b.value.erase_annotations()),
+                    })
+                    .collect(),
+                Rc::new(body.erase_annotations()),
+            ),
+            Expr::Let(x, v, b) => {
+                Expr::let_(x.clone(), v.erase_annotations(), b.erase_annotations())
+            }
+            Expr::Ann(_, e) => e.erase_annotations(),
+            Expr::Seq(a, b) => {
+                Expr::Seq(Rc::new(a.erase_annotations()), Rc::new(b.erase_annotations()))
+            }
+            Expr::Assign(x, e) => Expr::Assign(x.clone(), Rc::new(e.erase_annotations())),
+            Expr::While(c, b) => {
+                Expr::While(Rc::new(c.erase_annotations()), Rc::new(b.erase_annotations()))
+            }
+        }
+    }
+
+    /// Counts the AST nodes (annotations included); handy for generators
+    /// and benchmarks.
+    pub fn size(&self) -> usize {
+        1 + match self {
+            Expr::Con(_) | Expr::Var(_) => 0,
+            Expr::Lambda(l) => l.body.size(),
+            Expr::If(a, b, c) => a.size() + b.size() + c.size(),
+            Expr::App(a, b) | Expr::Seq(a, b) | Expr::While(a, b) => a.size() + b.size(),
+            Expr::Letrec(bs, body) => {
+                bs.iter().map(|b| b.value.size()).sum::<usize>() + body.size()
+            }
+            Expr::Let(_, v, b) => v.size() + b.size(),
+            Expr::Ann(_, e) => e.size(),
+            Expr::Assign(_, e) => e.size(),
+        }
+    }
+
+    /// Collects every annotation in the tree, outermost-first per node.
+    pub fn annotations(&self) -> Vec<&Annotation> {
+        fn go<'a>(e: &'a Expr, acc: &mut Vec<&'a Annotation>) {
+            match e {
+                Expr::Con(_) | Expr::Var(_) => {}
+                Expr::Lambda(l) => go(&l.body, acc),
+                Expr::If(a, b, c) => {
+                    go(a, acc);
+                    go(b, acc);
+                    go(c, acc);
+                }
+                Expr::App(a, b) | Expr::Seq(a, b) | Expr::While(a, b) => {
+                    go(a, acc);
+                    go(b, acc);
+                }
+                Expr::Letrec(bs, body) => {
+                    for b in bs {
+                        go(&b.value, acc);
+                    }
+                    go(body, acc);
+                }
+                Expr::Let(_, v, b) => {
+                    go(v, acc);
+                    go(b, acc);
+                }
+                Expr::Ann(a, inner) => {
+                    acc.push(a);
+                    go(inner, acc);
+                }
+                Expr::Assign(_, e) => go(e, acc),
+            }
+        }
+        let mut acc = Vec::new();
+        go(self, &mut acc);
+        acc
+    }
+
+    /// The free variables of the expression (primitives count as free;
+    /// they are resolved by the initial environment).
+    pub fn free_vars(&self) -> std::collections::BTreeSet<Ident> {
+        use std::collections::BTreeSet;
+        fn go(e: &Expr, bound: &mut Vec<Ident>, free: &mut BTreeSet<Ident>) {
+            match e {
+                Expr::Con(_) => {}
+                Expr::Var(x) => {
+                    if !bound.contains(x) {
+                        free.insert(x.clone());
+                    }
+                }
+                Expr::Lambda(l) => {
+                    bound.push(l.param.clone());
+                    go(&l.body, bound, free);
+                    bound.pop();
+                }
+                Expr::If(a, b, c) => {
+                    go(a, bound, free);
+                    go(b, bound, free);
+                    go(c, bound, free);
+                }
+                Expr::App(a, b) | Expr::Seq(a, b) | Expr::While(a, b) => {
+                    go(a, bound, free);
+                    go(b, bound, free);
+                }
+                Expr::Letrec(bs, body) => {
+                    for b in bs {
+                        bound.push(b.name.clone());
+                    }
+                    for b in bs {
+                        go(&b.value, bound, free);
+                    }
+                    go(body, bound, free);
+                    for _ in bs {
+                        bound.pop();
+                    }
+                }
+                Expr::Let(x, v, b) => {
+                    go(v, bound, free);
+                    bound.push(x.clone());
+                    go(b, bound, free);
+                    bound.pop();
+                }
+                Expr::Ann(_, inner) => go(inner, bound, free),
+                Expr::Assign(x, e) => {
+                    if !bound.contains(x) {
+                        free.insert(x.clone());
+                    }
+                    go(e, bound, free);
+                }
+            }
+        }
+        let mut free = BTreeSet::new();
+        go(self, &mut Vec::new(), &mut free);
+        free
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::pretty::pretty(self))
+    }
+}
+
+impl std::str::FromStr for Expr {
+    type Err = crate::parser::ParseError;
+
+    /// Parses concrete syntax; inverse of `Display`.
+    ///
+    /// ```
+    /// use monsem_syntax::Expr;
+    /// let e: Expr = "1 + 2 * 3".parse()?;
+    /// assert_eq!(e.to_string(), "1 + 2 * 3");
+    /// # Ok::<(), monsem_syntax::ParseError>(())
+    /// ```
+    fn from_str(s: &str) -> Result<Expr, Self::Err> {
+        crate::parser::parse_expr(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_expected_shapes() {
+        let e = Expr::app_n(Expr::var("f"), [Expr::int(1), Expr::int(2)]);
+        match &e {
+            Expr::App(inner, two) => {
+                assert_eq!(**two, Expr::int(2));
+                match &**inner {
+                    Expr::App(f, one) => {
+                        assert_eq!(**f, Expr::var("f"));
+                        assert_eq!(**one, Expr::int(1));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lam_n_curries_left_to_right() {
+        let e = Expr::lam_n(["x", "y"], Expr::var("x"));
+        match e {
+            Expr::Lambda(l) => {
+                assert_eq!(l.param.as_str(), "x");
+                assert!(matches!(&*l.body, Expr::Lambda(inner) if inner.param.as_str() == "y"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn erase_annotations_is_idempotent_and_total() {
+        let e = Expr::ann(
+            Annotation::label("A"),
+            Expr::if_(
+                Expr::ann(Annotation::label("B"), Expr::bool(true)),
+                Expr::int(1),
+                Expr::int(2),
+            ),
+        );
+        let erased = e.erase_annotations();
+        assert!(erased.annotations().is_empty());
+        assert_eq!(erased.erase_annotations(), erased);
+    }
+
+    #[test]
+    fn strip_annotations_sees_through_stacked_labels() {
+        let lam = Expr::lam("x", Expr::var("x"));
+        let e = Expr::ann(
+            Annotation::label("outer"),
+            Expr::ann(Annotation::label("inner"), lam.clone()),
+        );
+        assert_eq!(e.strip_annotations(), &lam);
+        assert!(e.is_lambda_like());
+    }
+
+    #[test]
+    fn free_vars_respects_binders() {
+        let e = Expr::letrec(
+            "f",
+            Expr::lam("x", Expr::binop("+", Expr::var("x"), Expr::var("y"))),
+            Expr::app(Expr::var("f"), Expr::var("z")),
+        );
+        let fv = e.free_vars();
+        let names: Vec<&str> = fv.iter().map(|i| i.as_str()).collect();
+        assert_eq!(names, vec!["+", "y", "z"]);
+    }
+
+    #[test]
+    fn list_builds_cons_chain() {
+        let e = Expr::list([Expr::int(1), Expr::int(2)]);
+        assert_eq!(format!("{e}"), "1 : 2 : []");
+    }
+
+    #[test]
+    fn size_counts_annotations_transparently() {
+        let plain = Expr::if_(Expr::bool(true), Expr::int(1), Expr::int(2));
+        let annotated = Expr::ann(Annotation::label("A"), plain.clone());
+        assert_eq!(annotated.size(), plain.size() + 1);
+    }
+
+    #[test]
+    fn annotation_display_includes_namespace() {
+        let a = Annotation::fun_header("fac", vec![Ident::new("x")])
+            .in_namespace(Namespace::new("trace"));
+        assert_eq!(a.to_string(), "{trace/fac(x)}");
+        assert_eq!(Annotation::label("A").to_string(), "{A}");
+    }
+}

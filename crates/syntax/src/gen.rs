@@ -1,0 +1,396 @@
+//! Random well-formed `L_λ` programs (feature `gen`).
+//!
+//! The soundness theorem (§7) quantifies over *all* programs `s` and all
+//! annotation placements `s̄`. The property tests approximate that
+//! quantification with this generator:
+//!
+//! * [`gen_program`] produces a closed, type-correct, terminating program
+//!   (a handful of known-terminating recursive templates — factorial,
+//!   Fibonacci, list fold — wrapped around a random total expression);
+//! * [`sprinkle_annotations`] decorates a random subset of program points
+//!   with labels, the way the paper's "programming environment" would.
+//!
+//! Generated programs never divide by zero nor take `hd`/`tl` of `[]`, so a
+//! fuel-bounded evaluator either produces a value or runs out of fuel; both
+//! outcomes must agree between the standard and monitored semantics.
+
+use crate::ast::{Annotation, Expr, Ident, Namespace};
+use crate::points::{annotate_at, visit, ExprPath};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// The types the generator tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ty {
+    Int,
+    Bool,
+    List,
+}
+
+/// Tunables for [`gen_program`].
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Maximum expression depth of the random body.
+    pub max_depth: u32,
+    /// How many recursive template functions to bind (0–4 useful).
+    pub templates: u32,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { max_depth: 5, templates: 2 }
+    }
+}
+
+struct Gen<'a> {
+    rng: &'a mut StdRng,
+    /// In-scope variables with their types.
+    scope: Vec<(Ident, Ty)>,
+    /// Bound template functions callable as `f <small int>` returning `Int`.
+    int_funs: Vec<Ident>,
+    fresh: u32,
+}
+
+impl Gen<'_> {
+    fn fresh_ident(&mut self, prefix: &str) -> Ident {
+        self.fresh += 1;
+        Ident::new(format!("{prefix}{}", self.fresh))
+    }
+
+    fn var_of(&mut self, ty: Ty) -> Option<Expr> {
+        let candidates: Vec<&Ident> = self
+            .scope
+            .iter()
+            .filter(|(_, t)| *t == ty)
+            .map(|(i, _)| i)
+            .collect();
+        candidates.choose(self.rng).map(|i| Expr::var((*i).as_str()))
+    }
+
+    fn gen(&mut self, ty: Ty, depth: u32) -> Expr {
+        if depth == 0 {
+            return self.leaf(ty);
+        }
+        match ty {
+            Ty::Int => match self.rng.gen_range(0..10) {
+                0 | 1 => self.leaf(Ty::Int),
+                2 => Expr::binop("+", self.gen(Ty::Int, depth - 1), self.gen(Ty::Int, depth - 1)),
+                3 => Expr::binop("-", self.gen(Ty::Int, depth - 1), self.gen(Ty::Int, depth - 1)),
+                4 => Expr::binop("*", self.gen(Ty::Int, depth - 1), self.gen(Ty::Int, depth - 1)),
+                5 => Expr::if_(
+                    self.gen(Ty::Bool, depth - 1),
+                    self.gen(Ty::Int, depth - 1),
+                    self.gen(Ty::Int, depth - 1),
+                ),
+                6 => {
+                    // (lambda x. body) arg — exercises closures.
+                    let x = self.fresh_ident("x");
+                    self.scope.push((x.clone(), Ty::Int));
+                    let body = self.gen(Ty::Int, depth - 1);
+                    self.scope.pop();
+                    Expr::app(Expr::lam(x, body), self.gen(Ty::Int, depth - 1))
+                }
+                7 => {
+                    // let x = e in body — exercises Let.
+                    let x = self.fresh_ident("v");
+                    let value = self.gen(Ty::Int, depth - 1);
+                    self.scope.push((x.clone(), Ty::Int));
+                    let body = self.gen(Ty::Int, depth - 1);
+                    self.scope.pop();
+                    Expr::let_(x, value, body)
+                }
+                8 if !self.int_funs.is_empty() => {
+                    let f = self.int_funs.choose(self.rng).expect("nonempty").clone();
+                    let arg = self.rng.gen_range(0..6);
+                    Expr::app(Expr::var(f.as_str()), Expr::int(arg))
+                }
+                _ => {
+                    // length of a generated list — exercises list prims.
+                    Expr::app(Expr::var("length"), self.gen(Ty::List, depth - 1))
+                }
+            },
+            Ty::Bool => match self.rng.gen_range(0..6) {
+                0 => self.leaf(Ty::Bool),
+                1 => Expr::binop("=", self.gen(Ty::Int, depth - 1), self.gen(Ty::Int, depth - 1)),
+                2 => Expr::binop("<", self.gen(Ty::Int, depth - 1), self.gen(Ty::Int, depth - 1)),
+                3 => Expr::app(Expr::var("not"), self.gen(Ty::Bool, depth - 1)),
+                4 => Expr::app(Expr::var("null?"), self.gen(Ty::List, depth - 1)),
+                _ => Expr::if_(
+                    self.gen(Ty::Bool, depth - 1),
+                    self.gen(Ty::Bool, depth - 1),
+                    self.gen(Ty::Bool, depth - 1),
+                ),
+            },
+            Ty::List => match self.rng.gen_range(0..4) {
+                0 => self.leaf(Ty::List),
+                1 => Expr::binop(
+                    "cons",
+                    self.gen(Ty::Int, depth - 1),
+                    self.gen(Ty::List, depth - 1),
+                ),
+                2 => {
+                    // `tl (x : xs)` is always safe.
+                    let xs = self.gen(Ty::List, depth - 1);
+                    let x = self.gen(Ty::Int, depth - 1);
+                    Expr::app(Expr::var("tl"), Expr::binop("cons", x, xs))
+                }
+                _ => Expr::if_(
+                    self.gen(Ty::Bool, depth - 1),
+                    self.gen(Ty::List, depth - 1),
+                    self.gen(Ty::List, depth - 1),
+                ),
+            },
+        }
+    }
+
+    fn leaf(&mut self, ty: Ty) -> Expr {
+        if self.rng.gen_bool(0.5) {
+            if let Some(v) = self.var_of(ty) {
+                return v;
+            }
+        }
+        match ty {
+            Ty::Int => Expr::int(self.rng.gen_range(-9..10)),
+            Ty::Bool => Expr::bool(self.rng.gen()),
+            Ty::List => {
+                let n = self.rng.gen_range(0..3);
+                Expr::list((0..n).map(|_| Expr::int(self.rng.gen_range(0..10))))
+            }
+        }
+    }
+}
+
+/// The known-terminating recursive templates.
+fn template(i: u32, name: &Ident) -> Expr {
+    let n = Expr::var("n");
+    match i % 4 {
+        0 => {
+            // factorial, clamped to small arguments by the caller
+            Expr::lam(
+                "n",
+                Expr::if_(
+                    Expr::binop("<", n.clone(), Expr::int(1)),
+                    Expr::int(1),
+                    Expr::binop(
+                        "*",
+                        n.clone(),
+                        Expr::app(
+                            Expr::var(name.as_str()),
+                            Expr::binop("-", n, Expr::int(1)),
+                        ),
+                    ),
+                ),
+            )
+        }
+        1 => {
+            // fibonacci
+            Expr::lam(
+                "n",
+                Expr::if_(
+                    Expr::binop("<", n.clone(), Expr::int(2)),
+                    n.clone(),
+                    Expr::binop(
+                        "+",
+                        Expr::app(
+                            Expr::var(name.as_str()),
+                            Expr::binop("-", n.clone(), Expr::int(1)),
+                        ),
+                        Expr::app(
+                            Expr::var(name.as_str()),
+                            Expr::binop("-", n, Expr::int(2)),
+                        ),
+                    ),
+                ),
+            )
+        }
+        2 => {
+            // triangular numbers
+            Expr::lam(
+                "n",
+                Expr::if_(
+                    Expr::binop("<", n.clone(), Expr::int(1)),
+                    Expr::int(0),
+                    Expr::binop(
+                        "+",
+                        n.clone(),
+                        Expr::app(
+                            Expr::var(name.as_str()),
+                            Expr::binop("-", n, Expr::int(1)),
+                        ),
+                    ),
+                ),
+            )
+        }
+        _ => {
+            // 2^n by doubling
+            Expr::lam(
+                "n",
+                Expr::if_(
+                    Expr::binop("<", n.clone(), Expr::int(1)),
+                    Expr::int(1),
+                    Expr::binop(
+                        "*",
+                        Expr::int(2),
+                        Expr::app(
+                            Expr::var(name.as_str()),
+                            Expr::binop("-", n, Expr::int(1)),
+                        ),
+                    ),
+                ),
+            )
+        }
+    }
+}
+
+/// Generates a closed, terminating program computing an integer.
+pub fn gen_program(rng: &mut StdRng, config: &GenConfig) -> Expr {
+    let mut g = Gen { rng, scope: Vec::new(), int_funs: Vec::new(), fresh: 0 };
+    let mut funs = Vec::new();
+    for i in 0..config.templates {
+        let name = Ident::new(format!("t{i}"));
+        funs.push((name.clone(), template(g.rng.gen(), &name)));
+        g.int_funs.push(name);
+    }
+    let body = g.gen(Ty::Int, config.max_depth);
+    funs.into_iter()
+        .rev()
+        .fold(body, |acc, (name, lam)| Expr::letrec(name, lam, acc))
+}
+
+/// Generates a closed, terminating *imperative* program computing an
+/// integer: a pure core wrapped in mutable accumulator loops.
+pub fn gen_imperative_program(rng: &mut StdRng, config: &GenConfig) -> Expr {
+    let pure_core = gen_program(rng, config);
+    let iterations = rng.gen_range(1..8);
+    let step = rng.gen_range(1..5);
+    // let seed = <pure core> in let acc = 0 in let i = 0 in
+    // (while i < N do acc := acc + seed + STEP; i := i + 1 end); acc
+    Expr::let_(
+        "seed",
+        pure_core,
+        Expr::let_(
+            "acc",
+            Expr::int(0),
+            Expr::let_(
+                "i",
+                Expr::int(0),
+                Expr::Seq(
+                    std::rc::Rc::new(Expr::While(
+                        std::rc::Rc::new(Expr::binop(
+                            "<",
+                            Expr::var("i"),
+                            Expr::int(iterations),
+                        )),
+                        std::rc::Rc::new(Expr::Seq(
+                            std::rc::Rc::new(Expr::Assign(
+                                Ident::new("acc"),
+                                std::rc::Rc::new(Expr::binop(
+                                    "+",
+                                    Expr::var("acc"),
+                                    Expr::binop("+", Expr::var("seed"), Expr::int(step)),
+                                )),
+                            )),
+                            std::rc::Rc::new(Expr::Assign(
+                                Ident::new("i"),
+                                std::rc::Rc::new(Expr::binop(
+                                    "+",
+                                    Expr::var("i"),
+                                    Expr::int(1),
+                                )),
+                            )),
+                        )),
+                    )),
+                    std::rc::Rc::new(Expr::var("acc")),
+                ),
+            ),
+        ),
+    )
+}
+
+/// Annotates each program point independently with probability `density`,
+/// using fresh labels `L0, L1, …` in `namespace`.
+pub fn sprinkle_annotations(
+    rng: &mut StdRng,
+    e: &Expr,
+    namespace: &Namespace,
+    density: f64,
+) -> Expr {
+    let mut paths: Vec<ExprPath> = Vec::new();
+    visit(e, |path, _| paths.push(path.clone()));
+    // Annotate bottom-up (longest paths first) so earlier injections don't
+    // invalidate later paths.
+    paths.sort_by_key(|p| std::cmp::Reverse(p.0.len()));
+    let mut out = e.clone();
+    let mut label = 0;
+    for path in paths {
+        if rng.gen_bool(density) {
+            let ann = Annotation::label(format!("L{label}")).in_namespace(namespace.clone());
+            label += 1;
+            out = annotate_at(&out, &path, ann).expect("path stays valid bottom-up");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_programs_are_closed_modulo_primitives() {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        for _ in 0..50 {
+            let e = gen_program(&mut rng, &GenConfig::default());
+            for v in e.free_vars() {
+                assert!(
+                    matches!(
+                        v.as_str(),
+                        "+" | "-" | "*" | "=" | "<" | "not" | "null?" | "length" | "tl" | "cons"
+                    ),
+                    "unexpected free variable {v} in {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generated_programs_round_trip_through_the_parser() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let e = gen_program(&mut rng, &GenConfig::default());
+            let printed = e.to_string();
+            let parsed = crate::parser::parse_expr(&printed)
+                .unwrap_or_else(|err| panic!("{printed}: {err}"));
+            assert_eq!(parsed, e);
+        }
+    }
+
+    #[test]
+    fn sprinkled_annotations_erase_back_to_the_original() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let e = gen_program(&mut rng, &GenConfig::default());
+            let annotated = sprinkle_annotations(&mut rng, &e, &Namespace::anonymous(), 0.3);
+            assert_eq!(annotated.erase_annotations(), e);
+        }
+    }
+
+    #[test]
+    fn imperative_programs_parse_and_round_trip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let e = gen_imperative_program(&mut rng, &GenConfig::default());
+            let printed = e.to_string();
+            assert_eq!(crate::parser::parse_expr(&printed).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn density_one_annotates_every_point() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = gen_program(&mut rng, &GenConfig { max_depth: 3, templates: 0 });
+        let annotated = sprinkle_annotations(&mut rng, &e, &Namespace::anonymous(), 1.0);
+        assert_eq!(annotated.annotations().len(), e.size());
+    }
+}

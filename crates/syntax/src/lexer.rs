@@ -1,0 +1,479 @@
+//! Lexer for the concrete syntax of `L_λ`.
+//!
+//! The concrete syntax follows the paper's examples:
+//!
+//! ```text
+//! letrec fac = lambda x. if (x = 0) then {A}:1 else {B}:(x * (fac (x - 1)))
+//! in fac 5
+//! ```
+//!
+//! Tokens carry byte offsets so parse errors can point into the source.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Integer literal.
+    Int(i64),
+    /// String literal (already unescaped).
+    Str(Rc<str>),
+    /// Identifier or keyword candidate.
+    Ident(Rc<str>),
+    /// `lambda`
+    Lambda,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `letrec`
+    Letrec,
+    /// `let`
+    Let,
+    /// `and` (multi-binding letrec separator)
+    And,
+    /// `in`
+    In,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `while`
+    While,
+    /// `do`
+    Do,
+    /// `end`
+    End,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:` (annotation separator after `}`; infix cons elsewhere)
+    Colon,
+    /// `:=`
+    Assign,
+    /// `/` inside an annotation namespace or division operator
+    Slash,
+    /// An operator identifier: `+ - * = < > <= >= ++`
+    Op(Rc<str>),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(n) => write!(f, "{n}"),
+            TokenKind::Str(s) => write!(f, "{s:?}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Lambda => f.write_str("lambda"),
+            TokenKind::If => f.write_str("if"),
+            TokenKind::Then => f.write_str("then"),
+            TokenKind::Else => f.write_str("else"),
+            TokenKind::Letrec => f.write_str("letrec"),
+            TokenKind::Let => f.write_str("let"),
+            TokenKind::And => f.write_str("and"),
+            TokenKind::In => f.write_str("in"),
+            TokenKind::True => f.write_str("true"),
+            TokenKind::False => f.write_str("false"),
+            TokenKind::While => f.write_str("while"),
+            TokenKind::Do => f.write_str("do"),
+            TokenKind::End => f.write_str("end"),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::LBracket => f.write_str("["),
+            TokenKind::RBracket => f.write_str("]"),
+            TokenKind::LBrace => f.write_str("{"),
+            TokenKind::RBrace => f.write_str("}"),
+            TokenKind::Dot => f.write_str("."),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Semi => f.write_str(";"),
+            TokenKind::Colon => f.write_str(":"),
+            TokenKind::Assign => f.write_str(":="),
+            TokenKind::Slash => f.write_str("/"),
+            TokenKind::Op(s) => write!(f, "{s}"),
+            TokenKind::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub offset: usize,
+}
+
+/// An error produced while lexing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset where the error occurred.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Converts a byte offset into a 1-based (line, column) pair, for
+/// human-readable diagnostics.
+pub fn line_col(src: &str, offset: usize) -> (usize, usize) {
+    let clamped = offset.min(src.len());
+    let before = &src[..clamped];
+    let line = before.bytes().filter(|b| *b == b'\n').count() + 1;
+    let col = before.rfind('\n').map(|i| clamped - i).unwrap_or(clamped + 1);
+    (line, col)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '\'' || c == '?' || c == '!'
+}
+
+/// Lexes an entire source string into tokens (ending with [`TokenKind::Eof`]).
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unterminated strings, malformed integers or
+/// unexpected characters. Comments run from `--` to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut chars = src.char_indices().peekable();
+
+    while let Some(&(offset, c)) = chars.peek() {
+        match c {
+            _ if c.is_whitespace() => {
+                chars.next();
+            }
+            '-' if bytes.get(offset + 1) == Some(&b'-') => {
+                // Comment to end of line.
+                for (_, c2) in chars.by_ref() {
+                    if c2 == '\n' {
+                        break;
+                    }
+                }
+            }
+            '0'..='9' => {
+                let mut end = offset;
+                while let Some(&(i, d)) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        end = i + d.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let text = &src[offset..end];
+                let value: i64 = text.parse().map_err(|_| LexError {
+                    message: format!("integer literal `{text}` out of range"),
+                    offset,
+                })?;
+                tokens.push(Token { kind: TokenKind::Int(value), offset });
+            }
+            '"' => {
+                chars.next();
+                let mut value = String::new();
+                let mut closed = false;
+                while let Some((_, c2)) = chars.next() {
+                    match c2 {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => match chars.next() {
+                            Some((_, 'n')) => value.push('\n'),
+                            Some((_, 't')) => value.push('\t'),
+                            Some((_, '\\')) => value.push('\\'),
+                            Some((_, '"')) => value.push('"'),
+                            Some((i, other)) => {
+                                return Err(LexError {
+                                    message: format!("unknown escape `\\{other}`"),
+                                    offset: i,
+                                })
+                            }
+                            None => {
+                                return Err(LexError {
+                                    message: "unterminated escape".into(),
+                                    offset,
+                                })
+                            }
+                        },
+                        other => value.push(other),
+                    }
+                }
+                if !closed {
+                    return Err(LexError { message: "unterminated string literal".into(), offset });
+                }
+                tokens.push(Token { kind: TokenKind::Str(Rc::from(value.as_str())), offset });
+            }
+            _ if is_ident_start(c) => {
+                let mut end = offset;
+                while let Some(&(i, d)) = chars.peek() {
+                    if is_ident_continue(d) {
+                        end = i + d.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let text = &src[offset..end];
+                let kind = match text {
+                    "lambda" => TokenKind::Lambda,
+                    "if" => TokenKind::If,
+                    "then" => TokenKind::Then,
+                    "else" => TokenKind::Else,
+                    "letrec" => TokenKind::Letrec,
+                    "let" => TokenKind::Let,
+                    "and" => TokenKind::And,
+                    "in" => TokenKind::In,
+                    "true" => TokenKind::True,
+                    "false" => TokenKind::False,
+                    "while" => TokenKind::While,
+                    "do" => TokenKind::Do,
+                    "end" => TokenKind::End,
+                    _ => TokenKind::Ident(Rc::from(text)),
+                };
+                tokens.push(Token { kind, offset });
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::LParen, offset });
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::RParen, offset });
+            }
+            '[' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::LBracket, offset });
+            }
+            ']' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::RBracket, offset });
+            }
+            '{' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::LBrace, offset });
+            }
+            '}' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::RBrace, offset });
+            }
+            '.' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::Dot, offset });
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::Comma, offset });
+            }
+            ';' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::Semi, offset });
+            }
+            ':' => {
+                chars.next();
+                if let Some(&(_, '=')) = chars.peek() {
+                    chars.next();
+                    tokens.push(Token { kind: TokenKind::Assign, offset });
+                } else {
+                    tokens.push(Token { kind: TokenKind::Colon, offset });
+                }
+            }
+            '/' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::Slash, offset });
+            }
+            '+' => {
+                chars.next();
+                if let Some(&(_, '+')) = chars.peek() {
+                    chars.next();
+                    tokens.push(Token { kind: TokenKind::Op(Rc::from("++")), offset });
+                } else {
+                    tokens.push(Token { kind: TokenKind::Op(Rc::from("+")), offset });
+                }
+            }
+            '-' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::Op(Rc::from("-")), offset });
+            }
+            '*' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::Op(Rc::from("*")), offset });
+            }
+            '=' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::Op(Rc::from("=")), offset });
+            }
+            '<' => {
+                chars.next();
+                if let Some(&(_, '=')) = chars.peek() {
+                    chars.next();
+                    tokens.push(Token { kind: TokenKind::Op(Rc::from("<=")), offset });
+                } else {
+                    tokens.push(Token { kind: TokenKind::Op(Rc::from("<")), offset });
+                }
+            }
+            '>' => {
+                chars.next();
+                if let Some(&(_, '=')) = chars.peek() {
+                    chars.next();
+                    tokens.push(Token { kind: TokenKind::Op(Rc::from(">=")), offset });
+                } else {
+                    tokens.push(Token { kind: TokenKind::Op(Rc::from(">")), offset });
+                }
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    offset,
+                })
+            }
+        }
+    }
+
+    tokens.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_paper_factorial() {
+        let toks = kinds("letrec fac = lambda x. if (x = 0) then {A}:1 else {B}:(x * (fac (x - 1))) in fac 5");
+        assert_eq!(toks.first(), Some(&TokenKind::Letrec));
+        assert!(toks.contains(&TokenKind::LBrace));
+        assert!(toks.contains(&TokenKind::Colon));
+        assert_eq!(toks.last(), Some(&TokenKind::Eof));
+    }
+
+    #[test]
+    fn distinguishes_assign_from_colon() {
+        assert_eq!(
+            kinds("x := 1"),
+            vec![
+                TokenKind::Ident(Rc::from("x")),
+                TokenKind::Assign,
+                TokenKind::Int(1),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(kinds("a : b")[1], TokenKind::Colon);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("1 -- a comment\n2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comment_requires_two_dashes() {
+        assert_eq!(
+            kinds("1 - 2"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Op(Rc::from("-")),
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb""#),
+            vec![TokenKind::Str(Rc::from("a\nb")), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let err = lex("\"oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert_eq!(err.offset, 0);
+    }
+
+    #[test]
+    fn primed_identifiers_and_predicates() {
+        assert_eq!(
+            kinds("x' null? set!"),
+            vec![
+                TokenKind::Ident(Rc::from("x'")),
+                TokenKind::Ident(Rc::from("null?")),
+                TokenKind::Ident(Rc::from("set!")),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("a <= b ++ c"),
+            vec![
+                TokenKind::Ident(Rc::from("a")),
+                TokenKind::Op(Rc::from("<=")),
+                TokenKind::Ident(Rc::from("b")),
+                TokenKind::Op(Rc::from("++")),
+                TokenKind::Ident(Rc::from("c")),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_col_is_one_based() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 1), (1, 2));
+        assert_eq!(line_col(src, 3), (2, 1));
+        assert_eq!(line_col(src, 7), (3, 2));
+        assert_eq!(line_col(src, 999), (3, 3), "clamped to the end");
+    }
+
+    #[test]
+    fn offsets_point_at_token_starts() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+    }
+}

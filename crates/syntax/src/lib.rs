@@ -1,0 +1,64 @@
+//! Abstract syntax for `L_λ`, the higher-order functional language of
+//! *Monitoring Semantics* (Kishon, Hudak, Consel — PLDI 1991).
+//!
+//! The paper's language (its Figure 2) has constants, identifiers, lambda
+//! abstractions, conditionals, applications and `letrec`. Section 4.1 extends
+//! every syntactic category with *monitoring annotations* `{μ}:e`; this crate
+//! provides the annotated syntax directly, together with:
+//!
+//! * [`ast`] — the expression tree, annotations and identifiers;
+//! * [`lexer`] / [`parser`] — a concrete syntax close to the paper's
+//!   (`letrec fac = lambda x. if (x = 0) then {A}:1 else {B}:(x * fac(x - 1)) in fac 5`);
+//! * [`pretty`] — a pretty-printer whose output re-parses to the same tree;
+//! * [`points`] — program points (paths from the root) and the annotation
+//!   injection helpers the paper attributes to a "suitably engineered
+//!   programming environment" (§4.1): trace a function, label call sites, …;
+//! * [`grammar`] — the *syntactic functionals* of §4.1 (`H`, `H̄`, `H̿`):
+//!   a machine-checkable model of how annotation layers extend the grammar;
+//! * [`gen`] *(feature `gen`)* — random well-formed program generation used
+//!   by the soundness property tests (Theorem 7.7).
+//!
+//! # Example
+//!
+//! ```
+//! use monsem_syntax::parse_expr;
+//!
+//! let e = parse_expr(
+//!     "letrec fac = lambda x. if (x = 0) then {A}:1 else {B}:(x * (fac (x - 1))) \
+//!      in fac 5",
+//! )?;
+//! assert_eq!(e.to_string().contains("{A}:1"), true);
+//! # Ok::<(), monsem_syntax::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod grammar;
+pub mod lexer;
+pub mod parser;
+pub mod points;
+pub mod pretty;
+
+#[cfg(feature = "gen")]
+pub mod gen;
+
+pub use ast::{AnnKind, Annotation, Binding, Con, Expr, Ident, Lambda, Namespace};
+pub use lexer::{line_col, LexError, Token, TokenKind};
+pub use parser::{parse_expr, parse_program, ParseError};
+pub use points::{ExprPath, PathStep};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_doc_example_parses() {
+        let src = "letrec fac = lambda x. if (x = 0) then {A}:1 else {B}:(x * (fac (x - 1))) in fac 5";
+        let e = parse_expr(src).expect("parses");
+        let printed = e.to_string();
+        let e2 = parse_expr(&printed).expect("round-trips");
+        assert_eq!(e, e2);
+    }
+}

@@ -1,0 +1,616 @@
+//! Recursive-descent parser for the concrete syntax of `L_λ`.
+//!
+//! Operator precedence, loosest to tightest:
+//!
+//! 1. `;` (sequencing, imperative module) — left associative
+//! 2. `x := e` (assignment, imperative module)
+//! 3. keyword forms: `letrec … in`, `let … in`, `lambda x. e`,
+//!    `if … then … else`, `while … do … end`
+//! 4. comparisons `= < > <= >=` — non-associative
+//! 5. `:` (cons) — right associative
+//! 6. `+ - ++` — left associative
+//! 7. `* /` — left associative
+//! 8. unary minus
+//! 9. application (juxtaposition) — left associative
+//! 10. annotation prefix `{μ}:` and atoms
+//!
+//! An annotation `{μ}:` may prefix a keyword form (so `{fac}:if … then … else …`
+//! parses as in the paper) or a single application operand; annotate a larger
+//! expression by parenthesizing it, exactly as the paper writes
+//! `{B}:(x * fac(x - 1))`.
+//!
+//! Binary operators desugar to curried applications of primitive
+//! identifiers: `a + b` is `((+ a) b)`. With the paper's argument-first
+//! application order (Figure 2) this evaluates `b`, then `a`, then applies.
+
+use crate::ast::{AnnKind, Annotation, Binding, Con, Expr, Ident, Namespace};
+use crate::lexer::{lex, LexError, Token, TokenKind};
+use std::fmt;
+
+/// An error produced while parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset of the offending token.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl ParseError {
+    /// Renders the error with a 1-based line:column position computed
+    /// against the original source.
+    pub fn display_in(&self, src: &str) -> String {
+        let (line, col) = crate::lexer::line_col(src, self.offset);
+        format!("parse error at {line}:{col}: {}", self.message)
+    }
+}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, offset: e.offset }
+    }
+}
+
+/// Parses a complete expression, requiring the whole input to be consumed.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending token.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+/// Parses a program. `L_λ` programs are single expressions, so this is an
+/// alias of [`parse_expr`] kept for symmetry with the paper's `Prog` domain.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending token.
+pub fn parse_program(src: &str) -> Result<Expr, ParseError> {
+    parse_expr(src)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        let i = (self.pos + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: message.into(), offset: self.offset() })
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected `{kind}`, found `{}`", self.peek()))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            self.err(format!("expected end of input, found `{}`", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<Ident, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Ident::new(&*name))
+            }
+            other => self.err(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    // expr := seq
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.seq()
+    }
+
+    fn seq(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.assign()?;
+        while matches!(self.peek(), TokenKind::Semi) {
+            self.bump();
+            let rhs = self.assign()?;
+            e = Expr::Seq(e.into(), rhs.into());
+        }
+        Ok(e)
+    }
+
+    fn assign(&mut self) -> Result<Expr, ParseError> {
+        if let (TokenKind::Ident(_), TokenKind::Assign) = (self.peek(), self.peek2()) {
+            let name = self.ident()?;
+            self.bump(); // :=
+            let value = self.assign()?;
+            return Ok(Expr::Assign(name, value.into()));
+        }
+        self.keyword_or_binary()
+    }
+
+    fn keyword_or_binary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            TokenKind::Letrec
+            | TokenKind::Let
+            | TokenKind::Lambda
+            | TokenKind::If
+            | TokenKind::While => self.keyword(),
+            _ => self.cmp(),
+        }
+    }
+
+    fn keyword(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Letrec => {
+                self.bump();
+                let mut bindings = Vec::new();
+                loop {
+                    let name = self.ident()?;
+                    self.expect(&TokenKind::Op("=".into()))?;
+                    let value = self.assign()?;
+                    bindings.push(Binding::new(name, value));
+                    if matches!(self.peek(), TokenKind::And) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::In)?;
+                let body = self.expr()?;
+                Ok(Expr::Letrec(bindings, body.into()))
+            }
+            TokenKind::Let => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(&TokenKind::Op("=".into()))?;
+                let value = self.assign()?;
+                self.expect(&TokenKind::In)?;
+                let body = self.expr()?;
+                Ok(Expr::let_(name, value, body))
+            }
+            TokenKind::Lambda => {
+                self.bump();
+                let mut params = vec![self.ident()?];
+                while let TokenKind::Ident(_) = self.peek() {
+                    params.push(self.ident()?);
+                }
+                self.expect(&TokenKind::Dot)?;
+                let body = self.assign()?;
+                Ok(Expr::lam_n(params, body))
+            }
+            TokenKind::If => {
+                self.bump();
+                let c = self.keyword_or_binary()?;
+                self.expect(&TokenKind::Then)?;
+                let t = self.assign()?;
+                self.expect(&TokenKind::Else)?;
+                let e = self.assign()?;
+                Ok(Expr::if_(c, t, e))
+            }
+            TokenKind::While => {
+                self.bump();
+                let c = self.expr()?;
+                self.expect(&TokenKind::Do)?;
+                let b = self.expr()?;
+                self.expect(&TokenKind::End)?;
+                Ok(Expr::While(c.into(), b.into()))
+            }
+            other => self.err(format!("expected a keyword form, found `{other}`")),
+        }
+    }
+
+    fn cmp(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.cons()?;
+        if let TokenKind::Op(op) = self.peek().clone() {
+            if matches!(&*op, "=" | "<" | ">" | "<=" | ">=") {
+                self.bump();
+                let rhs = self.cons()?;
+                return Ok(Expr::binop(&op, lhs, rhs));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn cons(&mut self) -> Result<Expr, ParseError> {
+        let head = self.additive()?;
+        if matches!(self.peek(), TokenKind::Colon) {
+            self.bump();
+            let tail = self.cons()?;
+            return Ok(Expr::binop("cons", head, tail));
+        }
+        Ok(head)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.multiplicative()?;
+        while let TokenKind::Op(op) = self.peek().clone() {
+            if matches!(&*op, "+" | "-" | "++") {
+                self.bump();
+                let rhs = self.multiplicative()?;
+                e = Expr::binop(&op, e, rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary()?;
+        loop {
+            match self.peek().clone() {
+                TokenKind::Op(op) if &*op == "*" => {
+                    self.bump();
+                    let rhs = self.unary()?;
+                    e = Expr::binop("*", e, rhs);
+                }
+                TokenKind::Slash => {
+                    self.bump();
+                    let rhs = self.unary()?;
+                    e = Expr::binop("/", e, rhs);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if let TokenKind::Op(op) = self.peek() {
+            if &**op == "-" {
+                self.bump();
+                let operand = self.unary()?;
+                // `-e` is sugar for the `neg` primitive; `-5` folds to a literal.
+                if let Expr::Con(Con::Int(n)) = operand {
+                    return Ok(Expr::int(-n));
+                }
+                return Ok(Expr::app(Expr::var("neg"), operand));
+            }
+        }
+        self.application()
+    }
+
+    fn application(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.prefix()?;
+        while self.starts_operand() {
+            let arg = self.prefix()?;
+            e = Expr::app(e, arg);
+        }
+        Ok(e)
+    }
+
+    /// Whether the next token can begin an application operand.
+    fn starts_operand(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::Int(_)
+                | TokenKind::Str(_)
+                | TokenKind::Ident(_)
+                | TokenKind::True
+                | TokenKind::False
+                | TokenKind::LParen
+                | TokenKind::LBracket
+                | TokenKind::LBrace
+        )
+    }
+
+    fn prefix(&mut self) -> Result<Expr, ParseError> {
+        if matches!(self.peek(), TokenKind::LBrace) {
+            let ann = self.annotation()?;
+            self.expect(&TokenKind::Colon)?;
+            let operand = match self.peek() {
+                TokenKind::Letrec
+                | TokenKind::Let
+                | TokenKind::Lambda
+                | TokenKind::If
+                | TokenKind::While => self.keyword()?,
+                _ => self.prefix()?,
+            };
+            return Ok(Expr::ann(ann, operand));
+        }
+        self.atom()
+    }
+
+    fn annotation(&mut self) -> Result<Annotation, ParseError> {
+        self.expect(&TokenKind::LBrace)?;
+        let first = self.ident()?;
+        let (namespace, name) = if matches!(self.peek(), TokenKind::Slash) {
+            self.bump();
+            let name = self.ident()?;
+            (Namespace::new(first.as_str()), name)
+        } else {
+            (Namespace::anonymous(), first)
+        };
+        let kind = if matches!(self.peek(), TokenKind::LParen) {
+            self.bump();
+            let mut params = Vec::new();
+            if !matches!(self.peek(), TokenKind::RParen) {
+                params.push(self.ident()?);
+                while matches!(self.peek(), TokenKind::Comma) {
+                    self.bump();
+                    params.push(self.ident()?);
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            AnnKind::FunHeader { name, params }
+        } else {
+            AnnKind::Label(name)
+        };
+        self.expect(&TokenKind::RBrace)?;
+        Ok(Annotation { namespace, kind })
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(Expr::int(n))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Con(Con::Str(s)))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::bool(true))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::bool(false))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::var(&*name))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                if matches!(self.peek(), TokenKind::RParen) {
+                    self.bump();
+                    return Ok(Expr::Con(Con::Unit));
+                }
+                // Operator sections: `(+)`, `(/)`, `(:)` name the primitive
+                // directly, so the pretty-printer can round-trip partial
+                // applications such as `(+) 1`.
+                match (self.peek().clone(), self.peek2().clone()) {
+                    (TokenKind::Op(op), TokenKind::RParen) => {
+                        self.bump();
+                        self.bump();
+                        return Ok(Expr::var(&*op));
+                    }
+                    (TokenKind::Slash, TokenKind::RParen) => {
+                        self.bump();
+                        self.bump();
+                        return Ok(Expr::var("/"));
+                    }
+                    (TokenKind::Colon, TokenKind::RParen) => {
+                        self.bump();
+                        self.bump();
+                        return Ok(Expr::var("cons"));
+                    }
+                    _ => {}
+                }
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                if !matches!(self.peek(), TokenKind::RBracket) {
+                    items.push(self.keyword_or_binary()?);
+                    while matches!(self.peek(), TokenKind::Comma) {
+                        self.bump();
+                        items.push(self.keyword_or_binary()?);
+                    }
+                }
+                self.expect(&TokenKind::RBracket)?;
+                Ok(Expr::list(items))
+            }
+            other => self.err(format!("expected an expression, found `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_section5_profiler_program() {
+        let e = parse_expr(
+            "letrec fac = lambda x. if (x = 0) then {A}:1 else {B}:(x * (fac (x - 1))) in fac 5",
+        )
+        .unwrap();
+        let anns = e.annotations();
+        assert_eq!(anns.len(), 2);
+        assert_eq!(anns[0].name().as_str(), "A");
+        assert_eq!(anns[1].name().as_str(), "B");
+    }
+
+    #[test]
+    fn parses_section8_tracer_program() {
+        let e = parse_expr(
+            "letrec mul = lambda x. lambda y. {mul(x, y)}:(x*y) in \
+             letrec fac = lambda x. {fac(x)}:if (x=0) then 1 else mul x (fac (x-1)) \
+             in fac 3",
+        )
+        .unwrap();
+        let anns = e.annotations();
+        assert_eq!(anns.len(), 2);
+        assert!(matches!(&anns[0].kind, AnnKind::FunHeader { name, params }
+            if name.as_str() == "mul" && params.len() == 2));
+        assert!(matches!(&anns[1].kind, AnnKind::FunHeader { name, params }
+            if name.as_str() == "fac" && params.len() == 1));
+    }
+
+    #[test]
+    fn application_is_left_associative() {
+        let e = parse_expr("f x y").unwrap();
+        assert_eq!(
+            e,
+            Expr::app(Expr::app(Expr::var("f"), Expr::var("x")), Expr::var("y"))
+        );
+    }
+
+    #[test]
+    fn annotation_binds_a_single_operand() {
+        // `{f}:g x` is `({f}:g) x`, matching `{n}:n * (fac (n-1))` in §8.
+        let e = parse_expr("{f}:g x").unwrap();
+        assert_eq!(
+            e,
+            Expr::app(
+                Expr::ann(Annotation::label("f"), Expr::var("g")),
+                Expr::var("x")
+            )
+        );
+    }
+
+    #[test]
+    fn annotation_prefixes_keyword_forms() {
+        let e = parse_expr("{fac}:if x then 1 else 2").unwrap();
+        assert!(matches!(e, Expr::Ann(_, ref inner) if matches!(**inner, Expr::If(..))));
+    }
+
+    #[test]
+    fn operator_precedence_mul_over_add() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(
+            e,
+            Expr::binop("+", Expr::int(1), Expr::binop("*", Expr::int(2), Expr::int(3)))
+        );
+    }
+
+    #[test]
+    fn cons_is_right_associative_and_looser_than_add() {
+        let e = parse_expr("1 + 2 : 3 : []").unwrap();
+        assert_eq!(
+            e,
+            Expr::binop(
+                "cons",
+                Expr::binop("+", Expr::int(1), Expr::int(2)),
+                Expr::binop("cons", Expr::int(3), Expr::nil())
+            )
+        );
+    }
+
+    #[test]
+    fn comparison_is_non_associative() {
+        assert!(parse_expr("1 < 2 < 3").is_err());
+    }
+
+    #[test]
+    fn list_literals_desugar_to_cons_chains() {
+        let e = parse_expr("[1, 10, 100]").unwrap();
+        assert_eq!(
+            e,
+            Expr::list([Expr::int(1), Expr::int(10), Expr::int(100)])
+        );
+    }
+
+    #[test]
+    fn multi_param_lambda_curries() {
+        assert_eq!(
+            parse_expr("lambda x y. x").unwrap(),
+            parse_expr("lambda x. lambda y. x").unwrap()
+        );
+    }
+
+    #[test]
+    fn letrec_with_and_builds_mutual_bindings() {
+        let e = parse_expr(
+            "letrec even = lambda n. if n = 0 then true else odd (n - 1) \
+             and odd = lambda n. if n = 0 then false else even (n - 1) \
+             in even 10",
+        )
+        .unwrap();
+        match e {
+            Expr::Letrec(bs, _) => assert_eq!(bs.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus_folds_literals_and_wraps_vars() {
+        assert_eq!(parse_expr("-5").unwrap(), Expr::int(-5));
+        assert_eq!(
+            parse_expr("-x").unwrap(),
+            Expr::app(Expr::var("neg"), Expr::var("x"))
+        );
+        assert_eq!(
+            parse_expr("x - 1").unwrap(),
+            Expr::binop("-", Expr::var("x"), Expr::int(1))
+        );
+    }
+
+    #[test]
+    fn namespaced_annotations() {
+        let e = parse_expr("{trace/fac(x)}:x").unwrap();
+        match e {
+            Expr::Ann(a, _) => {
+                assert_eq!(a.namespace, Namespace::new("trace"));
+                assert!(matches!(a.kind, AnnKind::FunHeader { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn imperative_forms_parse() {
+        let e = parse_expr("x := 1; while x < 10 do x := x + 1 end; x").unwrap();
+        assert!(matches!(e, Expr::Seq(..)));
+    }
+
+    #[test]
+    fn unit_literal() {
+        assert_eq!(parse_expr("()").unwrap(), Expr::Con(Con::Unit));
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        let err = parse_expr("1 2 )").unwrap_err();
+        assert!(err.message.contains("expected end of input"), "{err}");
+    }
+
+    #[test]
+    fn error_carries_offset() {
+        let err = parse_expr("if x then 1").unwrap_err();
+        assert_eq!(err.offset, 11);
+    }
+}

@@ -1,0 +1,611 @@
+//! Program points and annotation injection.
+//!
+//! Section 4.1 notes that "every program point may be uniquely identified by
+//! tracing its location from the root of the program's syntax tree", and that
+//! in practice annotations "would not be added explicitly by the user, but
+//! rather would be supplied by a suitably engineered programming
+//! environment" — e.g. *trace calls to the function `f`* virtually adds a
+//! `{f(x…)}:` annotation to `f`'s body. This module is that environment:
+//!
+//! * [`ExprPath`] — a root-to-node path identifying a program point;
+//! * [`annotate_at`] — inject one annotation at a path;
+//! * [`trace_functions`] — add `{f(x₁,…,xₙ)}:` headers to named functions
+//!   (the tracer's workflow in §8);
+//! * [`profile_functions`] — add `{f}:` labels to named function bodies
+//!   (the profiler's workflow in §8);
+//! * [`annotate_where`] — predicate-driven injection (demons, collecting).
+
+use crate::ast::{AnnKind, Annotation, Binding, Expr, Ident, Lambda, Namespace};
+use std::fmt;
+use std::rc::Rc;
+
+/// One step from a node to a child in the syntax tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PathStep {
+    /// The body of a lambda.
+    LambdaBody,
+    /// Condition of an `if` / `while`.
+    Cond,
+    /// Then-branch of an `if`.
+    Then,
+    /// Else-branch of an `if`.
+    Else,
+    /// Function position of an application.
+    Fun,
+    /// Argument position of an application.
+    Arg,
+    /// The `i`-th binding's right-hand side of a `letrec` (or the bound
+    /// value of a `let` with `i = 0`).
+    BindingValue(usize),
+    /// Body of a `letrec` / `let`.
+    Body,
+    /// Underneath an annotation.
+    Annotated,
+    /// Left of `;`.
+    SeqFirst,
+    /// Right of `;`.
+    SeqSecond,
+    /// Right-hand side of `:=`.
+    AssignValue,
+    /// Body of a `while`.
+    LoopBody,
+}
+
+/// A root-to-node path — the paper's "location from the root of the
+/// program's syntax tree" (§4.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct ExprPath(pub Vec<PathStep>);
+
+impl ExprPath {
+    /// The root path.
+    pub fn root() -> Self {
+        ExprPath::default()
+    }
+
+    /// Extends the path with one more step.
+    pub fn child(&self, step: PathStep) -> Self {
+        let mut steps = self.0.clone();
+        steps.push(step);
+        ExprPath(steps)
+    }
+}
+
+impl fmt::Display for ExprPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return f.write_str("<root>");
+        }
+        for (i, s) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            write!(f, "{s:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors from annotation injection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PointError {
+    /// The path walked off the tree.
+    NoSuchPoint(ExprPath),
+    /// A requested function name was not bound by any `letrec`/`let`.
+    UnknownFunction(Ident),
+}
+
+impl fmt::Display for PointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PointError::NoSuchPoint(p) => write!(f, "no program point at path {p}"),
+            PointError::UnknownFunction(name) => {
+                write!(f, "no function named `{name}` is bound in the program")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PointError {}
+
+fn with_child<F>(e: &Expr, step: PathStep, rest: &[PathStep], f: &F) -> Result<Expr, PointError>
+where
+    F: Fn(&Expr) -> Expr,
+{
+    fn rec<F: Fn(&Expr) -> Expr>(
+        e: &Expr,
+        path: &[PathStep],
+        f: &F,
+    ) -> Result<Expr, PointError> {
+        at_path(e, path, f)
+    }
+    match (e, step) {
+        (Expr::Lambda(l), PathStep::LambdaBody) => Ok(Expr::Lambda(Lambda {
+            param: l.param.clone(),
+            body: Rc::new(rec(&l.body, rest, f)?),
+        })),
+        (Expr::If(c, t, x), PathStep::Cond) => {
+            Ok(Expr::If(Rc::new(rec(c, rest, f)?), t.clone(), x.clone()))
+        }
+        (Expr::If(c, t, x), PathStep::Then) => {
+            Ok(Expr::If(c.clone(), Rc::new(rec(t, rest, f)?), x.clone()))
+        }
+        (Expr::If(c, t, x), PathStep::Else) => {
+            Ok(Expr::If(c.clone(), t.clone(), Rc::new(rec(x, rest, f)?)))
+        }
+        (Expr::App(g, a), PathStep::Fun) => {
+            Ok(Expr::App(Rc::new(rec(g, rest, f)?), a.clone()))
+        }
+        (Expr::App(g, a), PathStep::Arg) => {
+            Ok(Expr::App(g.clone(), Rc::new(rec(a, rest, f)?)))
+        }
+        (Expr::Letrec(bs, body), PathStep::BindingValue(i)) => {
+            let mut bs = bs.clone();
+            let b = bs.get(i).cloned().ok_or_else(|| {
+                PointError::NoSuchPoint(ExprPath(vec![step]))
+            })?;
+            bs[i] = Binding { name: b.name, value: Rc::new(rec(&b.value, rest, f)?) };
+            Ok(Expr::Letrec(bs, body.clone()))
+        }
+        (Expr::Letrec(bs, body), PathStep::Body) => {
+            Ok(Expr::Letrec(bs.clone(), Rc::new(rec(body, rest, f)?)))
+        }
+        (Expr::Let(x, v, body), PathStep::BindingValue(0)) => {
+            Ok(Expr::Let(x.clone(), Rc::new(rec(v, rest, f)?), body.clone()))
+        }
+        (Expr::Let(x, v, body), PathStep::Body) => {
+            Ok(Expr::Let(x.clone(), v.clone(), Rc::new(rec(body, rest, f)?)))
+        }
+        (Expr::Ann(a, inner), PathStep::Annotated) => {
+            Ok(Expr::Ann(a.clone(), Rc::new(rec(inner, rest, f)?)))
+        }
+        (Expr::Seq(a, b), PathStep::SeqFirst) => {
+            Ok(Expr::Seq(Rc::new(rec(a, rest, f)?), b.clone()))
+        }
+        (Expr::Seq(a, b), PathStep::SeqSecond) => {
+            Ok(Expr::Seq(a.clone(), Rc::new(rec(b, rest, f)?)))
+        }
+        (Expr::Assign(x, v), PathStep::AssignValue) => {
+            Ok(Expr::Assign(x.clone(), Rc::new(rec(v, rest, f)?)))
+        }
+        (Expr::While(c, b), PathStep::Cond) => {
+            Ok(Expr::While(Rc::new(rec(c, rest, f)?), b.clone()))
+        }
+        (Expr::While(c, b), PathStep::LoopBody) => {
+            Ok(Expr::While(c.clone(), Rc::new(rec(b, rest, f)?)))
+        }
+        _ => Err(PointError::NoSuchPoint(ExprPath(vec![step]))),
+    }
+}
+
+fn at_path<F>(e: &Expr, path: &[PathStep], f: &F) -> Result<Expr, PointError>
+where
+    F: Fn(&Expr) -> Expr,
+{
+    match path.split_first() {
+        None => Ok(f(e)),
+        Some((&step, rest)) => with_child(e, step, rest, f),
+    }
+}
+
+/// Rewrites the node at `path` with `f` (identity elsewhere).
+///
+/// # Errors
+///
+/// [`PointError::NoSuchPoint`] if the path does not denote a node of `e`.
+pub fn rewrite_at<F>(e: &Expr, path: &ExprPath, f: F) -> Result<Expr, PointError>
+where
+    F: Fn(&Expr) -> Expr,
+{
+    at_path(e, &path.0, &f).map_err(|err| match err {
+        PointError::NoSuchPoint(_) => PointError::NoSuchPoint(path.clone()),
+        other => other,
+    })
+}
+
+/// Injects `{ann}:` at the program point `path`.
+///
+/// # Errors
+///
+/// [`PointError::NoSuchPoint`] if the path does not denote a node of `e`.
+pub fn annotate_at(e: &Expr, path: &ExprPath, ann: Annotation) -> Result<Expr, PointError> {
+    rewrite_at(e, path, move |node| Expr::ann(ann.clone(), node.clone()))
+}
+
+/// Visits every node with its path, outermost first.
+pub fn visit<F: FnMut(&ExprPath, &Expr)>(e: &Expr, mut f: F) {
+    fn go<F: FnMut(&ExprPath, &Expr)>(e: &Expr, path: &ExprPath, f: &mut F) {
+        f(path, e);
+        match e {
+            Expr::Con(_) | Expr::Var(_) => {}
+            Expr::Lambda(l) => go(&l.body, &path.child(PathStep::LambdaBody), f),
+            Expr::If(c, t, x) => {
+                go(c, &path.child(PathStep::Cond), f);
+                go(t, &path.child(PathStep::Then), f);
+                go(x, &path.child(PathStep::Else), f);
+            }
+            Expr::App(g, a) => {
+                go(g, &path.child(PathStep::Fun), f);
+                go(a, &path.child(PathStep::Arg), f);
+            }
+            Expr::Letrec(bs, body) => {
+                for (i, b) in bs.iter().enumerate() {
+                    go(&b.value, &path.child(PathStep::BindingValue(i)), f);
+                }
+                go(body, &path.child(PathStep::Body), f);
+            }
+            Expr::Let(_, v, body) => {
+                go(v, &path.child(PathStep::BindingValue(0)), f);
+                go(body, &path.child(PathStep::Body), f);
+            }
+            Expr::Ann(_, inner) => go(inner, &path.child(PathStep::Annotated), f),
+            Expr::Seq(a, b) => {
+                go(a, &path.child(PathStep::SeqFirst), f);
+                go(b, &path.child(PathStep::SeqSecond), f);
+            }
+            Expr::Assign(_, v) => go(v, &path.child(PathStep::AssignValue), f),
+            Expr::While(c, b) => {
+                go(c, &path.child(PathStep::Cond), f);
+                go(b, &path.child(PathStep::LoopBody), f);
+            }
+        }
+    }
+    go(e, &ExprPath::root(), &mut f);
+}
+
+/// Annotates every node satisfying `pred` (applied to the *unannotated*
+/// node) with the annotation produced by `make`, in the given namespace.
+pub fn annotate_where<P, M>(e: &Expr, pred: &P, make: &M) -> Expr
+where
+    P: Fn(&Expr) -> bool,
+    M: Fn(&Expr) -> Annotation,
+{
+    fn map<P: Fn(&Expr) -> bool, M: Fn(&Expr) -> Annotation>(
+        e: &Expr,
+        pred: &P,
+        make: &M,
+    ) -> Expr {
+        let mapped = match e {
+            Expr::Con(_) | Expr::Var(_) => e.clone(),
+            Expr::Lambda(l) => Expr::Lambda(Lambda {
+                param: l.param.clone(),
+                body: Rc::new(map(&l.body, pred, make)),
+            }),
+            Expr::If(c, t, x) => Expr::if_(
+                map(c, pred, make),
+                map(t, pred, make),
+                map(x, pred, make),
+            ),
+            Expr::App(g, a) => Expr::app(map(g, pred, make), map(a, pred, make)),
+            Expr::Letrec(bs, body) => Expr::Letrec(
+                bs.iter()
+                    .map(|b| Binding {
+                        name: b.name.clone(),
+                        value: Rc::new(map(&b.value, pred, make)),
+                    })
+                    .collect(),
+                Rc::new(map(body, pred, make)),
+            ),
+            Expr::Let(x, v, b) => {
+                Expr::let_(x.clone(), map(v, pred, make), map(b, pred, make))
+            }
+            Expr::Ann(a, inner) => Expr::Ann(a.clone(), Rc::new(map(inner, pred, make))),
+            Expr::Seq(a, b) => {
+                Expr::Seq(Rc::new(map(a, pred, make)), Rc::new(map(b, pred, make)))
+            }
+            Expr::Assign(x, v) => Expr::Assign(x.clone(), Rc::new(map(v, pred, make))),
+            Expr::While(c, b) => {
+                Expr::While(Rc::new(map(c, pred, make)), Rc::new(map(b, pred, make)))
+            }
+        };
+        if !matches!(e, Expr::Ann(..)) && pred(e) {
+            Expr::ann(make(e), mapped)
+        } else {
+            mapped
+        }
+    }
+    map(e, pred, make)
+}
+
+/// Collects the curried parameter list and innermost body of a lambda
+/// (seeing through annotations).
+fn uncurry(e: &Expr) -> (Vec<Ident>, &Expr) {
+    let mut params = Vec::new();
+    let mut cur = e.strip_annotations();
+    while let Expr::Lambda(l) = cur {
+        params.push(l.param.clone());
+        cur = l.body.strip_annotations();
+    }
+    (params, cur)
+}
+
+fn annotate_named_bindings<F>(
+    e: &Expr,
+    names: &[Ident],
+    namespace: &Namespace,
+    make: &F,
+    found: &mut Vec<Ident>,
+) -> Expr
+where
+    F: Fn(&Ident, &[Ident]) -> AnnKind,
+{
+    fn map<F: Fn(&Ident, &[Ident]) -> AnnKind>(
+        e: &Expr,
+        names: &[Ident],
+        ns: &Namespace,
+        make: &F,
+        found: &mut Vec<Ident>,
+    ) -> Expr {
+        match e {
+            Expr::Con(_) | Expr::Var(_) => e.clone(),
+            Expr::Lambda(l) => Expr::Lambda(Lambda {
+                param: l.param.clone(),
+                body: Rc::new(map(&l.body, names, ns, make, found)),
+            }),
+            Expr::If(c, t, x) => Expr::if_(
+                map(c, names, ns, make, found),
+                map(t, names, ns, make, found),
+                map(x, names, ns, make, found),
+            ),
+            Expr::App(g, a) => Expr::app(
+                map(g, names, ns, make, found),
+                map(a, names, ns, make, found),
+            ),
+            Expr::Letrec(bs, body) => {
+                let bs = bs
+                    .iter()
+                    .map(|b| {
+                        let value = map(&b.value, names, ns, make, found);
+                        let value = if names.contains(&b.name) && value.is_lambda_like() {
+                            found.push(b.name.clone());
+                            annotate_lambda_body(&value, &b.name, ns, make)
+                        } else {
+                            value
+                        };
+                        Binding { name: b.name.clone(), value: Rc::new(value) }
+                    })
+                    .collect();
+                Expr::Letrec(bs, Rc::new(map(body, names, ns, make, found)))
+            }
+            Expr::Let(x, v, b) => {
+                let value = map(v, names, ns, make, found);
+                let value = if names.contains(x) && value.is_lambda_like() {
+                    found.push(x.clone());
+                    annotate_lambda_body(&value, x, ns, make)
+                } else {
+                    value
+                };
+                Expr::Let(x.clone(), Rc::new(value), Rc::new(map(b, names, ns, make, found)))
+            }
+            Expr::Ann(a, inner) => {
+                Expr::Ann(a.clone(), Rc::new(map(inner, names, ns, make, found)))
+            }
+            Expr::Seq(a, b) => Expr::Seq(
+                Rc::new(map(a, names, ns, make, found)),
+                Rc::new(map(b, names, ns, make, found)),
+            ),
+            Expr::Assign(x, v) => {
+                Expr::Assign(x.clone(), Rc::new(map(v, names, ns, make, found)))
+            }
+            Expr::While(c, b) => Expr::While(
+                Rc::new(map(c, names, ns, make, found)),
+                Rc::new(map(b, names, ns, make, found)),
+            ),
+        }
+    }
+
+    /// Wraps the *innermost* body of the (possibly curried, possibly
+    /// annotated) lambda `value` with `{make(name, params)}:` — exactly where
+    /// the paper places profiler/tracer annotations in §8.
+    fn annotate_lambda_body<F: Fn(&Ident, &[Ident]) -> AnnKind>(
+        value: &Expr,
+        name: &Ident,
+        ns: &Namespace,
+        make: &F,
+    ) -> Expr {
+        let (params, _) = uncurry(value);
+        let ann =
+            Annotation { namespace: ns.clone(), kind: make(name, &params) };
+        fn wrap(e: &Expr, depth: usize, ann: &Annotation) -> Expr {
+            match e {
+                Expr::Ann(a, inner) => {
+                    Expr::Ann(a.clone(), Rc::new(wrap(inner, depth, ann)))
+                }
+                Expr::Lambda(l) if depth > 0 => Expr::Lambda(Lambda {
+                    param: l.param.clone(),
+                    body: Rc::new(wrap(&l.body, depth - 1, ann)),
+                }),
+                other => Expr::ann(ann.clone(), other.clone()),
+            }
+        }
+        wrap(value, params.len(), &ann)
+    }
+
+    map(e, names, namespace, make, found)
+}
+
+/// Adds `{f(x₁,…,xₙ)}:` tracer headers to the bodies of the named functions
+/// (the §8 tracer workflow). Curried functions are annotated at the
+/// innermost body so the header sees all parameters, matching the paper's
+/// `{mul(x, y)}:(x*y)`.
+///
+/// # Errors
+///
+/// [`PointError::UnknownFunction`] if a requested name is not bound to a
+/// lambda anywhere in `e`.
+pub fn trace_functions(
+    e: &Expr,
+    names: &[Ident],
+    namespace: &Namespace,
+) -> Result<Expr, PointError> {
+    let mut found = Vec::new();
+    let out = annotate_named_bindings(
+        e,
+        names,
+        namespace,
+        &|name, params| AnnKind::FunHeader { name: name.clone(), params: params.to_vec() },
+        &mut found,
+    );
+    for n in names {
+        if !found.contains(n) {
+            return Err(PointError::UnknownFunction(n.clone()));
+        }
+    }
+    Ok(out)
+}
+
+/// Adds `{f}:` profiler labels to the bodies of the named functions (the §8
+/// profiler workflow).
+///
+/// # Errors
+///
+/// [`PointError::UnknownFunction`] if a requested name is not bound to a
+/// lambda anywhere in `e`.
+pub fn profile_functions(
+    e: &Expr,
+    names: &[Ident],
+    namespace: &Namespace,
+) -> Result<Expr, PointError> {
+    let mut found = Vec::new();
+    let out = annotate_named_bindings(
+        e,
+        names,
+        namespace,
+        &|name, _| AnnKind::Label(name.clone()),
+        &mut found,
+    );
+    for n in names {
+        if !found.contains(n) {
+            return Err(PointError::UnknownFunction(n.clone()));
+        }
+    }
+    Ok(out)
+}
+
+/// Every `letrec`/`let`-bound function name in the program (lambda-valued
+/// bindings only), in binding order.
+pub fn bound_function_names(e: &Expr) -> Vec<Ident> {
+    let mut names = Vec::new();
+    visit(e, |_, node| match node {
+        Expr::Letrec(bs, _) => {
+            for b in bs {
+                if b.value.is_lambda_like() && !names.contains(&b.name) {
+                    names.push(b.name.clone());
+                }
+            }
+        }
+        Expr::Let(x, v, _)
+            if v.is_lambda_like() && !names.contains(x) => {
+                names.push(x.clone());
+            }
+        _ => {}
+    });
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    const FAC_MUL: &str = "letrec mul = lambda x. lambda y. x*y in \
+         letrec fac = lambda x. if (x=0) then 1 else mul x (fac (x-1)) in fac 3";
+
+    #[test]
+    fn trace_functions_reproduces_paper_annotations() {
+        let plain = parse_expr(FAC_MUL).unwrap();
+        let traced = trace_functions(
+            &plain,
+            &[Ident::new("mul"), Ident::new("fac")],
+            &Namespace::anonymous(),
+        )
+        .unwrap();
+        let expected = parse_expr(
+            "letrec mul = lambda x. lambda y. {mul(x, y)}:(x*y) in \
+             letrec fac = lambda x. {fac(x)}:if (x=0) then 1 else mul x (fac (x-1)) in fac 3",
+        )
+        .unwrap();
+        assert_eq!(traced, expected);
+    }
+
+    #[test]
+    fn profile_functions_labels_bodies() {
+        let plain = parse_expr(FAC_MUL).unwrap();
+        let labelled = profile_functions(
+            &plain,
+            &[Ident::new("fac")],
+            &Namespace::anonymous(),
+        )
+        .unwrap();
+        let anns = labelled.annotations();
+        assert_eq!(anns.len(), 1);
+        assert_eq!(anns[0].name().as_str(), "fac");
+    }
+
+    #[test]
+    fn unknown_function_is_reported() {
+        let plain = parse_expr(FAC_MUL).unwrap();
+        let err =
+            trace_functions(&plain, &[Ident::new("nope")], &Namespace::anonymous()).unwrap_err();
+        assert_eq!(err, PointError::UnknownFunction(Ident::new("nope")));
+    }
+
+    #[test]
+    fn annotate_at_injects_and_bad_paths_error() {
+        let e = parse_expr("if true then 1 else 2").unwrap();
+        let path = ExprPath(vec![PathStep::Then]);
+        let annotated = annotate_at(&e, &path, Annotation::label("A")).unwrap();
+        assert_eq!(annotated.annotations().len(), 1);
+        let bad = ExprPath(vec![PathStep::LambdaBody]);
+        assert!(matches!(
+            annotate_at(&e, &bad, Annotation::label("A")),
+            Err(PointError::NoSuchPoint(_))
+        ));
+    }
+
+    #[test]
+    fn erase_inverts_injection() {
+        let plain = parse_expr(FAC_MUL).unwrap();
+        let traced = trace_functions(
+            &plain,
+            &[Ident::new("mul"), Ident::new("fac")],
+            &Namespace::anonymous(),
+        )
+        .unwrap();
+        assert_eq!(traced.erase_annotations(), plain);
+    }
+
+    #[test]
+    fn visit_enumerates_every_node() {
+        let e = parse_expr("f (g 1)").unwrap();
+        let mut count = 0;
+        visit(&e, |_, _| count += 1);
+        assert_eq!(count, e.size());
+    }
+
+    #[test]
+    fn annotate_where_labels_conditionals() {
+        let e = parse_expr("if a then 1 else if b then 2 else 3").unwrap();
+        let mut n = 0;
+        let labelled = annotate_where(
+            &e,
+            &|node| matches!(node, Expr::If(..)),
+            &|_| {
+                Annotation::label("cond")
+            },
+        );
+        visit(&labelled, |_, node| {
+            if matches!(node, Expr::Ann(..)) {
+                n += 1;
+            }
+        });
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn bound_function_names_in_order() {
+        let e = parse_expr(FAC_MUL).unwrap();
+        let bound = bound_function_names(&e);
+        let names: Vec<&str> = bound.iter().map(|i| i.as_str()).collect();
+        assert_eq!(names, vec!["mul", "fac"]);
+    }
+}

@@ -1,0 +1,490 @@
+//! Precedence-aware pretty-printer whose output re-parses to the same tree.
+//!
+//! The printer and [`crate::parser`] share one precedence table; every
+//! construct is printed with the minimal parenthesization that preserves the
+//! parse. `Expr`'s [`std::fmt::Display`] delegates here.
+
+use crate::ast::{Con, Expr};
+
+/// Precedence levels, mirroring the parser's grammar (higher binds tighter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Level {
+    Seq = 0,
+    Assign = 1,
+    Keyword = 2,
+    Cmp = 3,
+    Cons = 4,
+    Add = 5,
+    Mul = 6,
+    Unary = 7,
+    App = 8,
+    Operand = 9,
+}
+
+const INFIX_OPS: &[&str] = &["+", "-", "*", "/", "=", "<", ">", "<=", ">=", "++"];
+
+/// If `e` is a fully-applied infix primitive `((op a) b)`, returns
+/// `(op, a, b)`.
+fn as_infix(e: &Expr) -> Option<(&str, &Expr, &Expr)> {
+    if let Expr::App(f, b) = e {
+        if let Expr::App(g, a) = &**f {
+            if let Expr::Var(op) = &**g {
+                let name = op.as_str();
+                if INFIX_OPS.contains(&name) || name == "cons" {
+                    return Some((name, a, b));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn op_level(op: &str) -> (Level, Level, Level) {
+    // (own level, left operand min level, right operand min level)
+    match op {
+        "=" | "<" | ">" | "<=" | ">=" => (Level::Cmp, Level::Cons, Level::Cons),
+        "cons" => (Level::Cons, Level::Add, Level::Cons),
+        "+" | "-" | "++" => (Level::Add, Level::Add, Level::Mul),
+        "*" | "/" => (Level::Mul, Level::Mul, Level::Unary),
+        other => unreachable!("not an infix op: {other}"),
+    }
+}
+
+/// The level at which `e` prints without surrounding parentheses.
+fn level_of(e: &Expr) -> Level {
+    match e {
+        Expr::Seq(..) => Level::Seq,
+        Expr::Assign(..) => Level::Assign,
+        Expr::Letrec(..) | Expr::Let(..) | Expr::Lambda(_) | Expr::If(..) | Expr::While(..) => {
+            Level::Keyword
+        }
+        Expr::Ann(_, inner) => {
+            // `{μ}:` may prefix a keyword form (then it extends as far as the
+            // keyword form does) or a single application operand.
+            if level_of(inner.as_ref()) == Level::Keyword {
+                Level::Keyword
+            } else {
+                Level::Operand
+            }
+        }
+        Expr::App(..) => match as_infix(e) {
+            Some((op, _, _)) => op_level(op).0,
+            None => Level::App,
+        },
+        Expr::Con(Con::Int(n)) if *n < 0 => Level::Unary,
+        Expr::Con(_) | Expr::Var(_) => Level::Operand,
+    }
+}
+
+fn escape_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+}
+
+fn print_at(e: &Expr, min: Level, out: &mut String) {
+    let own = level_of(e);
+    if own < min {
+        out.push('(');
+        print_bare(e, out);
+        out.push(')');
+    } else {
+        print_bare(e, out);
+    }
+}
+
+fn print_bare(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Con(Con::Int(n)) => out.push_str(&n.to_string()),
+        Expr::Con(Con::Bool(b)) => out.push_str(if *b { "true" } else { "false" }),
+        Expr::Con(Con::Str(s)) => escape_str(s, out),
+        Expr::Con(Con::Nil) => out.push_str("[]"),
+        Expr::Con(Con::Unit) => out.push_str("()"),
+        Expr::Var(x) => {
+            let name = x.as_str();
+            if INFIX_OPS.contains(&name) {
+                out.push('(');
+                out.push_str(name);
+                out.push(')');
+            } else if name == "cons" {
+                // `cons` is a plain identifier; it parses as itself.
+                out.push_str(name);
+            } else {
+                out.push_str(name);
+            }
+        }
+        Expr::Lambda(l) => {
+            out.push_str("lambda ");
+            out.push_str(l.param.as_str());
+            out.push_str(". ");
+            print_at(&l.body, Level::Keyword, out);
+        }
+        Expr::If(c, t, f) => {
+            out.push_str("if ");
+            print_at(c, Level::Keyword, out);
+            out.push_str(" then ");
+            print_at(t, Level::Keyword, out);
+            out.push_str(" else ");
+            print_at(f, Level::Keyword, out);
+        }
+        Expr::Letrec(bindings, body) => {
+            out.push_str("letrec ");
+            for (i, b) in bindings.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" and ");
+                }
+                out.push_str(b.name.as_str());
+                out.push_str(" = ");
+                print_at(&b.value, Level::Keyword, out);
+            }
+            out.push_str(" in ");
+            print_at(body, Level::Seq, out);
+        }
+        Expr::Let(x, v, body) => {
+            out.push_str("let ");
+            out.push_str(x.as_str());
+            out.push_str(" = ");
+            print_at(v, Level::Keyword, out);
+            out.push_str(" in ");
+            print_at(body, Level::Seq, out);
+        }
+        Expr::Ann(a, inner) => {
+            out.push_str(&a.to_string());
+            out.push(':');
+            // The parser accepts a keyword form directly after `{μ}:`;
+            // anything else must fit in a single application operand.
+            if level_of(inner) == Level::Keyword {
+                print_bare(inner, out);
+            } else {
+                print_at(inner, Level::Operand, out);
+            }
+        }
+        Expr::App(..) => {
+            if let Some((op, a, b)) = as_infix(e) {
+                let (_, la, lb) = op_level(op);
+                print_at(a, la, out);
+                out.push(' ');
+                out.push_str(if op == "cons" { ":" } else { op });
+                out.push(' ');
+                print_at(b, lb, out);
+            } else if let Expr::App(f, x) = e {
+                print_at(f, Level::App, out);
+                out.push(' ');
+                print_at(x, Level::Operand, out);
+            }
+        }
+        Expr::Seq(a, b) => {
+            print_at(a, Level::Seq, out);
+            out.push_str("; ");
+            print_at(b, Level::Assign, out);
+        }
+        Expr::Assign(x, v) => {
+            out.push_str(x.as_str());
+            out.push_str(" := ");
+            print_at(v, Level::Assign, out);
+        }
+        Expr::While(c, b) => {
+            out.push_str("while ");
+            print_at(c, Level::Seq, out);
+            out.push_str(" do ");
+            print_at(b, Level::Seq, out);
+            out.push_str(" end");
+        }
+    }
+}
+
+/// Pretty-prints an expression so that it re-parses to the same tree.
+///
+/// ```
+/// use monsem_syntax::{parse_expr, pretty::pretty};
+/// let e = parse_expr("1 + 2 * 3")?;
+/// assert_eq!(pretty(&e), "1 + 2 * 3");
+/// # Ok::<(), monsem_syntax::ParseError>(())
+/// ```
+pub fn pretty(e: &Expr) -> String {
+    let mut out = String::new();
+    print_bare(e, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn round_trip(src: &str) {
+        let e = parse_expr(src).unwrap_or_else(|err| panic!("{src}: {err}"));
+        let printed = pretty(&e);
+        let e2 = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("printed `{printed}` of `{src}`: {err}"));
+        assert_eq!(e, e2, "round-trip of `{src}` via `{printed}`");
+    }
+
+    #[test]
+    fn round_trips_paper_programs() {
+        round_trip(
+            "letrec fac = lambda x. if (x = 0) then {A}:1 else {B}:(x * (fac (x - 1))) in fac 5",
+        );
+        round_trip(
+            "letrec mul = lambda x. lambda y. {mul(x, y)}:(x*y) in \
+             letrec fac = lambda x. {fac(x)}:if (x=0) then 1 else mul x (fac (x-1)) in fac 3",
+        );
+        round_trip(
+            "letrec inclist = lambda l. lambda acc. if (l=[]) then acc \
+             else inclist (tl l) (((hd l)+1):acc) in \
+             letrec l1 = {l1}:(inclist [1,10,100] []) in \
+             letrec l2 = {l2}:(inclist l1 []) in \
+             letrec l3 = {l3}:(inclist l2 []) in l3",
+        );
+        round_trip(
+            "letrec fac = lambda n. if {test}:(n=0) then 1 else {n}:n * (fac (n-1)) in fac 3",
+        );
+    }
+
+    #[test]
+    fn round_trips_tricky_shapes() {
+        round_trip("f (g x) (h y)");
+        round_trip("(lambda x. x) 1");
+        round_trip("{f}:g x");
+        round_trip("1 + 2 * 3 : [4]");
+        round_trip("(+) 1");
+        round_trip("(:) 1 []");
+        round_trip("x := 1; while x < 10 do x := x + 1 end; x");
+        round_trip("if a = b then lambda x. x else lambda y. y");
+        round_trip("letrec e = lambda n. if n = 0 then true else o (n - 1) \
+                    and o = lambda n. if n = 0 then false else e (n - 1) in e 4");
+        round_trip("\"a\\nb\" ++ \"c\"");
+        round_trip("f (-1)");
+        round_trip("{ns/lbl}:(a + b)");
+    }
+
+    #[test]
+    fn negative_literal_argument_is_parenthesized() {
+        let e = Expr::app(Expr::var("f"), Expr::int(-1));
+        assert_eq!(pretty(&e), "f (-1)");
+    }
+
+    #[test]
+    fn keyword_under_operator_is_parenthesized() {
+        let e = Expr::binop("+", Expr::if_(Expr::bool(true), Expr::int(1), Expr::int(2)), Expr::int(3));
+        let printed = pretty(&e);
+        assert_eq!(printed, "(if true then 1 else 2) + 3");
+        assert_eq!(parse_expr(&printed).unwrap(), e);
+    }
+
+    #[test]
+    fn partial_infix_application_round_trips() {
+        let e = Expr::app(Expr::var("+"), Expr::int(1));
+        let printed = pretty(&e);
+        assert_eq!(printed, "(+) 1");
+        assert_eq!(parse_expr(&printed).unwrap(), e);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multi-line layout
+// ---------------------------------------------------------------------
+
+/// Pretty-prints with line breaks and indentation once a construct
+/// exceeds `width` columns. Output still re-parses to the same tree
+/// (only whitespace is added relative to [`pretty`]).
+///
+/// ```
+/// use monsem_syntax::{parse_expr, pretty::pretty_block};
+/// let e = parse_expr("letrec f = lambda x. if x = 0 then 1 else x * (f (x - 1)) in f 3")?;
+/// let shown = pretty_block(&e, 30);
+/// assert!(shown.lines().count() > 1);
+/// assert_eq!(parse_expr(&shown)?, e);
+/// # Ok::<(), monsem_syntax::ParseError>(())
+/// ```
+pub fn pretty_block(e: &Expr, width: usize) -> String {
+    block(e, Level::Seq, width)
+}
+
+fn indent_lines(s: &str, by: usize) -> String {
+    let pad = " ".repeat(by);
+    s.lines()
+        .enumerate()
+        .map(|(i, l)| if i == 0 { l.to_string() } else { format!("{pad}{l}") })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn block(e: &Expr, min: Level, width: usize) -> String {
+    let flat = {
+        let mut out = String::new();
+        print_at(e, min, &mut out);
+        out
+    };
+    if flat.len() <= width || !flat.contains(' ') {
+        return flat;
+    }
+    let own = level_of(e);
+    let body = block_bare(e, width);
+    if own < min {
+        format!("({})", indent_lines(&body, 1))
+    } else {
+        body
+    }
+}
+
+fn block_bare(e: &Expr, width: usize) -> String {
+    match e {
+        Expr::Letrec(bindings, body) => {
+            let mut out = String::new();
+            for (i, b) in bindings.iter().enumerate() {
+                out.push_str(if i == 0 { "letrec " } else { "\nand " });
+                let head_len = if i == 0 { 7 } else { 4 };
+                out.push_str(b.name.as_str());
+                out.push_str(" = ");
+                let inner = block(&b.value, Level::Keyword, width.saturating_sub(head_len));
+                out.push_str(&indent_lines(&inner, head_len + b.name.as_str().len() + 3));
+            }
+            out.push_str("\nin ");
+            out.push_str(&indent_lines(&block(body, Level::Seq, width), 3));
+            out
+        }
+        Expr::Let(x, v, body) => {
+            let mut out = format!("let {x} = ");
+            let inner = block(v, Level::Keyword, width.saturating_sub(4));
+            out.push_str(&indent_lines(&inner, 4 + x.as_str().len() + 3));
+            out.push_str("\nin ");
+            out.push_str(&indent_lines(&block(body, Level::Seq, width), 3));
+            out
+        }
+        Expr::If(c, t, f) => {
+            let c = indent_lines(&block(c, Level::Keyword, width.saturating_sub(3)), 3);
+            let t = indent_lines(&block(t, Level::Assign, width.saturating_sub(5)), 5);
+            let f = indent_lines(&block(f, Level::Assign, width.saturating_sub(5)), 5);
+            format!("if {c}\nthen {t}\nelse {f}")
+        }
+        Expr::Lambda(l) => {
+            let body = block(&l.body, Level::Assign, width.saturating_sub(2));
+            format!("lambda {}.\n  {}", l.param, indent_lines(&body, 2))
+        }
+        Expr::Ann(a, inner) => {
+            let prefix = format!("{a}:");
+            let rendered = if level_of(inner) == Level::Keyword {
+                block(inner, Level::Keyword, width.saturating_sub(prefix.len()))
+            } else {
+                block(inner, Level::Operand, width.saturating_sub(prefix.len()))
+            };
+            format!("{prefix}{}", indent_lines(&rendered, prefix.len()))
+        }
+        Expr::Seq(a, b) => {
+            format!(
+                "{};\n{}",
+                block(a, Level::Seq, width),
+                block(b, Level::Assign, width)
+            )
+        }
+        Expr::While(c, b) => {
+            let c = indent_lines(&block(c, Level::Seq, width.saturating_sub(6)), 6);
+            let b = indent_lines(&block(b, Level::Seq, width.saturating_sub(2)), 2);
+            format!("while {c}\ndo {b}\nend")
+        }
+        Expr::App(..) => {
+            if let Some((op, a, b)) = as_infix(e) {
+                let (_, la, lb) = op_level(op);
+                let left = block(a, la, width);
+                let right = indent_lines(&block(b, lb, width.saturating_sub(2)), 2);
+                let symbol = if op == "cons" { ":" } else { op };
+                return format!("{left}\n{symbol} {right}");
+            }
+            // Application spine: function then each argument, indented.
+            let mut spine = Vec::new();
+            let mut cur = e;
+            while let Expr::App(f, a) = cur {
+                spine.push(a.as_ref());
+                cur = f;
+            }
+            spine.reverse();
+            let mut out = block(cur, Level::App, width);
+            for arg in spine {
+                out.push_str("\n  ");
+                out.push_str(&indent_lines(&block(arg, Level::Operand, width.saturating_sub(2)), 2));
+            }
+            out
+        }
+        Expr::Assign(x, v) => {
+            let inner = block(v, Level::Assign, width.saturating_sub(2));
+            format!("{x} :=\n  {}", indent_lines(&inner, 2))
+        }
+        // Leaves never exceed the width check meaningfully.
+        Expr::Con(_) | Expr::Var(_) => pretty(e),
+    }
+}
+
+#[cfg(test)]
+mod block_tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn round_trip_block(src: &str, width: usize) {
+        let e = parse_expr(src).unwrap();
+        let shown = pretty_block(&e, width);
+        let reparsed = parse_expr(&shown)
+            .unwrap_or_else(|err| panic!("{err}\nlayout:\n{shown}"));
+        assert_eq!(reparsed, e, "layout:\n{shown}");
+    }
+
+    #[test]
+    fn narrow_layouts_reparse() {
+        let programs = [
+            "letrec fac = lambda x. if (x = 0) then {A}:1 else {B}:(x * (fac (x - 1))) in fac 5",
+            "letrec mul = lambda x. lambda y. {mul(x, y)}:(x*y) in \
+             letrec fac = lambda x. {fac(x)}:if (x=0) then 1 else mul x (fac (x-1)) in fac 3",
+            "let x = 1 in x := 2; while x < 10 do x := x + 1 end; x",
+            "letrec e = lambda n. if n = 0 then true else o (n - 1) \
+             and o = lambda n. if n = 0 then false else e (n - 1) in e 4",
+            "f (g (h 1 2 3)) (i 4 5) [1, 2, 3]",
+        ];
+        for src in programs {
+            for width in [10, 20, 40, 100] {
+                round_trip_block(src, width);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_enough_input_stays_one_line() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(pretty_block(&e, 80), "1 + 2 * 3");
+    }
+
+    #[test]
+    fn long_programs_actually_break() {
+        let e = parse_expr(
+            "letrec fac = lambda x. if x = 0 then 1 else x * (fac (x - 1)) in fac 5",
+        )
+        .unwrap();
+        let shown = pretty_block(&e, 30);
+        assert!(shown.lines().count() >= 4, "{shown}");
+    }
+
+    #[cfg(feature = "gen")]
+    #[test]
+    fn generated_programs_round_trip_at_every_width() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..30 {
+            let e = crate::gen::gen_program(&mut rng, &crate::gen::GenConfig::default());
+            for width in [12, 30, 72] {
+                let shown = pretty_block(&e, width);
+                assert_eq!(
+                    parse_expr(&shown).unwrap(),
+                    e,
+                    "layout:\n{shown}"
+                );
+            }
+        }
+    }
+}

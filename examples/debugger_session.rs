@@ -1,0 +1,41 @@
+//! A scripted dbx-style debugger session (§8/§9.2): breakpoints are
+//! `{label}:` annotations; commands arrive on an input stream, responses
+//! land on the transcript — the whole session is a pure function of the
+//! program and the script, hence reproducible.
+//!
+//! ```text
+//! cargo run --example debugger_session
+//! ```
+
+use monitoring_semantics::monitor::machine::eval_monitored;
+use monitoring_semantics::monitors::debugger::{Command, Debugger};
+use monitoring_semantics::syntax::{parse_expr, Ident};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = parse_expr(
+        "letrec fib = lambda n. {fib}:if n < 2 then n else (fib (n-1)) + (fib (n-2)) \
+         in fib 4",
+    )?;
+
+    // The input stream: stop twice, inspect, watch one return, then
+    // switch breakpoints off.
+    let script = vec![
+        Command::Where,
+        Command::Print(Ident::new("n")),
+        Command::Finish,
+        Command::Continue,
+        Command::Print(Ident::new("n")),
+        Command::Continue,
+        Command::Disable,
+    ];
+
+    let debugger = Debugger::with_script(script);
+    let (answer, session) = eval_monitored(&program, &debugger)?;
+
+    println!("session transcript:");
+    for line in &session.transcript {
+        println!("  {line}");
+    }
+    println!("\nanswer = {answer}");
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Performance diagnosis with composed monitors: profile, build the call
+//! graph, and measure memoization opportunity for naive `fib` — three
+//! observations from one monitored run each, no interference (§6).
+//!
+//! ```text
+//! cargo run --example diagnosis
+//! ```
+
+use monitoring_semantics::monitor::machine::eval_monitored;
+use monitoring_semantics::monitor::Monitor;
+use monitoring_semantics::monitors::callgraph::CallGraph;
+use monitoring_semantics::monitors::memo::MemoScout;
+use monitoring_semantics::monitors::profiler::Profiler;
+use monitoring_semantics::syntax::points::{profile_functions, trace_functions};
+use monitoring_semantics::syntax::{parse_expr, Ident, Namespace};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let plain = parse_expr(
+        "letrec fib = lambda n. if n < 2 then n else (fib (n-1)) + (fib (n-2)) in fib 14",
+    )?;
+
+    // Ask the environment to arm the tools (§4.1's "virtual" annotations).
+    let labelled = profile_functions(&plain, &[Ident::new("fib")], &Namespace::anonymous())?;
+    let traced = trace_functions(&plain, &[Ident::new("fib")], &Namespace::anonymous())?;
+
+    let profiler = Profiler::new();
+    let (answer, profile) = eval_monitored(&labelled, &profiler)?;
+    println!("fib 14 = {answer}");
+    println!("calls:      {}", profiler.render_state(&profile));
+
+    let graph = CallGraph::new();
+    let (_, edges) = eval_monitored(&traced, &graph)?;
+    println!("call graph:");
+    for line in graph.render_state(&edges).lines() {
+        println!("  {line}");
+    }
+
+    let scout = MemoScout::new();
+    let (_, counts) = eval_monitored(&traced, &scout)?;
+    println!("diagnosis:");
+    let mut repeats: Vec<_> = counts.repeated().collect();
+    repeats.sort_by_key(|(_, _, n)| std::cmp::Reverse(*n));
+    for (f, args, n) in repeats.into_iter().take(5) {
+        println!("  {f}({args}) recomputed {n}×");
+    }
+    println!(
+        "  a memo table would avoid {} of {} calls",
+        counts.redundant_calls(),
+        edges.total_calls()
+    );
+
+    Ok(())
+}

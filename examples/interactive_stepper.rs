@@ -1,0 +1,69 @@
+//! A single-stepping front end on the resumable [`Execution`] API — the
+//! interactive-monitor substrate of §8/[Kis91] as a pull-based event
+//! stream. Here the "user" is a deterministic driver that inspects the
+//! monitor state between events; swap the loop body for a read-eval-print
+//! prompt and you have a live stepper.
+//!
+//! ```text
+//! cargo run --example interactive_stepper
+//! ```
+
+use monitoring_semantics::core::machine::EvalOptions;
+use monitoring_semantics::core::Env;
+use monitoring_semantics::monitor::machine::{Event, Execution};
+use monitoring_semantics::monitor::Monitor;
+use monitoring_semantics::monitors::profiler::Profiler;
+use monitoring_semantics::syntax::parse_expr;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = parse_expr(
+        "letrec fac = lambda x. {fac}:if x = 0 then 1 else x * (fac (x - 1)) in fac 4",
+    )?;
+
+    let profiler = Profiler::new();
+    let mut exec = Execution::new(
+        &program,
+        &Env::empty(),
+        &profiler,
+        Monitor::initial_state(&profiler),
+        &EvalOptions::default(),
+    );
+
+    let mut depth = 0usize;
+    while let Some(event) = exec.next_event()? {
+        match event {
+            Event::Pre { ann, env, .. } => {
+                println!(
+                    "{:indent$}⇒ enter {{{}}} with x = {}",
+                    "",
+                    ann.name(),
+                    monitoring_semantics::monitor::Scope::pure(&env)
+                        .render(&monitoring_semantics::syntax::Ident::new("x")),
+                    indent = depth * 2
+                );
+                depth += 1;
+                // Between events the driver can inspect σ at will:
+                if let Some(sigma) = exec.monitor_state() {
+                    println!(
+                        "{:indent$}  (σ so far: {})",
+                        "",
+                        profiler.render_state(sigma),
+                        indent = depth * 2
+                    );
+                }
+            }
+            Event::Post { ann, value, .. } => {
+                depth -= 1;
+                println!(
+                    "{:indent$}⇐ leave {{{}}} = {value}",
+                    "",
+                    ann.name(),
+                    indent = depth * 2
+                );
+            }
+            Event::Done { answer } => println!("\nanswer = {answer}"),
+        }
+    }
+
+    Ok(())
+}

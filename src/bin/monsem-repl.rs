@@ -1,0 +1,459 @@
+//! `monsem-repl` — an interactive front end to the §9.2 monitoring
+//! environment.
+//!
+//! ```text
+//! λ> def fac = lambda x. if x = 0 then 1 else x * (fac (x - 1))
+//! λ> fac 5
+//! 120
+//! λ> :trace fac
+//! λ> fac 2
+//! [FAC receives (2)]
+//! |    [FAC receives (1)]
+//! ...
+//! ```
+//!
+//! Commands: `:help`, `:defs`, `:module strict|lazy|imperative`,
+//! `:trace f,g…`, `:profile f,g…`, `:collect`, `:monitors off`, `:load
+//! <file>`, `:quit`. Everything else is parsed as an `L_λ` expression and
+//! evaluated under the accumulated definitions and active monitors.
+//!
+//! The REPL core is a pure `line in → lines out` function, so the whole
+//! interaction model is unit-tested.
+
+use monitoring_semantics::monitor::session::{LanguageModule, Session};
+use monitoring_semantics::monitors::toolbox;
+use monitoring_semantics::syntax::points::{profile_functions, trace_functions};
+use monitoring_semantics::syntax::{parse_expr, Binding, Expr, Ident, Namespace};
+use std::io::{BufRead, Write};
+use std::rc::Rc;
+
+/// Which tools are armed for the next evaluations.
+#[derive(Debug, Clone, Default)]
+struct Tools {
+    trace: Vec<Ident>,
+    profile: Vec<Ident>,
+    collect: bool,
+}
+
+/// The REPL state: accumulated definitions, language module, armed tools.
+struct Repl {
+    defs: Vec<Binding>,
+    module: LanguageModule,
+    tools: Tools,
+    prelude: bool,
+    done: bool,
+}
+
+impl Default for Repl {
+    fn default() -> Self {
+        Repl {
+            defs: Vec::new(),
+            module: LanguageModule::default(),
+            tools: Tools::default(),
+            prelude: true,
+            done: false,
+        }
+    }
+}
+
+impl Repl {
+    fn new() -> Repl {
+        Repl::default()
+    }
+
+    /// Processes one input line, returning the lines to print.
+    fn handle(&mut self, line: &str) -> Vec<String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Vec::new();
+        }
+        if let Some(rest) = line.strip_prefix(':') {
+            return self.command(rest);
+        }
+        if let Some(rest) = line.strip_prefix("def ") {
+            return self.define(rest);
+        }
+        self.evaluate(line)
+    }
+
+    fn command(&mut self, rest: &str) -> Vec<String> {
+        let mut words = rest.split_whitespace();
+        match words.next().unwrap_or("") {
+            "help" | "h" | "?" => vec![
+                "def <name> = <expr>      add a (possibly recursive) definition".into(),
+                "<expr>                   evaluate under the definitions".into(),
+                ":defs                    list definitions".into(),
+                ":module strict|lazy|imperative".into(),
+                ":trace f,g…              trace the named functions".into(),
+                ":profile f,g…            profile the named functions".into(),
+                ":collect                 collect values of {collect/x}: tags".into(),
+                ":monitors off            disarm all tools".into(),
+                ":specialize <expr>       print the partially evaluated residual".into(),
+                ":bta <expr>              binding-time summary".into(),
+                ":prelude on|off          toggle the standard prelude (default on)".into(),
+                ":load <file>             read definitions/expressions from a file".into(),
+                ":quit                    leave".into(),
+            ],
+            "defs" => {
+                if self.defs.is_empty() {
+                    vec!["(no definitions)".into()]
+                } else {
+                    self.defs.iter().map(|b| format!("{} = {}", b.name, b.value)).collect()
+                }
+            }
+            "module" => match words.next() {
+                Some("strict") => {
+                    self.module = LanguageModule::Strict;
+                    vec!["module: strict".into()]
+                }
+                Some("lazy") => {
+                    self.module = LanguageModule::Lazy;
+                    vec!["module: lazy".into()]
+                }
+                Some("imperative") => {
+                    self.module = LanguageModule::Imperative;
+                    vec!["module: imperative".into()]
+                }
+                other => vec![format!(
+                    "unknown module {:?}; try strict, lazy or imperative",
+                    other.unwrap_or("")
+                )],
+            },
+            "trace" => {
+                self.tools.trace = parse_names(words.next().unwrap_or(""));
+                vec![format!(
+                    "tracing: {}",
+                    if self.tools.trace.is_empty() { "(off)".into() } else { join(&self.tools.trace) }
+                )]
+            }
+            "profile" => {
+                self.tools.profile = parse_names(words.next().unwrap_or(""));
+                vec![format!(
+                    "profiling: {}",
+                    if self.tools.profile.is_empty() {
+                        "(off)".into()
+                    } else {
+                        join(&self.tools.profile)
+                    }
+                )]
+            }
+            "collect" => {
+                self.tools.collect = true;
+                vec!["collecting {collect/x}: tags".into()]
+            }
+            "prelude" => match words.next() {
+                Some("off") => {
+                    self.prelude = false;
+                    vec!["prelude: off".into()]
+                }
+                _ => {
+                    self.prelude = true;
+                    vec!["prelude: on (map, filter, foldr, range, …)".into()]
+                }
+            },
+            "monitors" => {
+                self.tools = Tools::default();
+                vec!["all monitors off".into()]
+            }
+            "specialize" => {
+                let src: String = rest["specialize".len()..].trim().to_string();
+                match parse_expr(&src) {
+                    Ok(e) => {
+                        let program = self.program_for(e);
+                        let residual = monitoring_semantics::pe::simplify::simplify(
+                            &monitoring_semantics::pe::specialize::specialize(
+                                &program,
+                                &Default::default(),
+                            ),
+                        );
+                        vec![residual.to_string()]
+                    }
+                    Err(e) => vec![e.to_string()],
+                }
+            }
+            "bta" => {
+                let src: String = rest["bta".len()..].trim().to_string();
+                match parse_expr(&src) {
+                    Ok(e) => {
+                        let program = self.program_for(e);
+                        let division =
+                            monitoring_semantics::pe::bta::analyze(&program, &[]);
+                        let (st, dy) = division.counts();
+                        vec![
+                            format!("{st} static points, {dy} dynamic"),
+                        ]
+                    }
+                    Err(e) => vec![e.to_string()],
+                }
+            }
+            "load" => {
+                let Some(path) = words.next() else {
+                    return vec![":load needs a file path".into()];
+                };
+                match std::fs::read_to_string(path) {
+                    Ok(contents) => {
+                        let mut out = Vec::new();
+                        for l in contents.lines() {
+                            out.extend(self.handle(l));
+                        }
+                        out
+                    }
+                    Err(e) => vec![format!("cannot read `{path}`: {e}")],
+                }
+            }
+            "quit" | "q" => {
+                self.done = true;
+                vec!["bye".into()]
+            }
+            other => vec![format!("unknown command `:{other}` (try :help)")],
+        }
+    }
+
+    fn define(&mut self, rest: &str) -> Vec<String> {
+        let Some((name, body)) = rest.split_once('=') else {
+            return vec!["def needs the shape `def name = expr`".into()];
+        };
+        let name = name.trim();
+        match parse_expr(body.trim()) {
+            Ok(value) => {
+                let name = Ident::new(name);
+                self.defs.retain(|b| b.name != name);
+                self.defs.push(Binding::new(name.clone(), value));
+                vec![format!("defined {name}")]
+            }
+            Err(e) => vec![e.to_string()],
+        }
+    }
+
+    /// Wraps the expression in the accumulated definitions (each its own
+    /// `letrec`, so later definitions may use earlier ones), under the
+    /// prelude when enabled.
+    fn program_for(&self, body: Expr) -> Expr {
+        let with_defs = self
+            .defs
+            .iter()
+            .rev()
+            .fold(body, |acc, b| Expr::Letrec(vec![b.clone()], Rc::new(acc)));
+        if self.prelude {
+            monitoring_semantics::core::prelude::with_prelude(&with_defs)
+        } else {
+            with_defs
+        }
+    }
+
+    fn evaluate(&mut self, src: &str) -> Vec<String> {
+        let expr = match parse_expr(src) {
+            Ok(e) => e,
+            Err(e) => return vec![e.to_string()],
+        };
+        let mut program = self.program_for(expr);
+
+        // Arm the requested tools by annotating the program, the way the
+        // paper's environment "virtually adds" annotations (§4.1).
+        let mut session = Session::new().language(self.module);
+        if !self.tools.trace.is_empty() {
+            program = match trace_functions(&program, &self.tools.trace, &Namespace::anonymous())
+            {
+                Ok(p) => p,
+                Err(e) => return vec![e.to_string()],
+            };
+            session = session.monitor(toolbox::trace());
+        }
+        if !self.tools.profile.is_empty() {
+            program = match profile_functions(
+                &program,
+                &self.tools.profile,
+                &Namespace::anonymous(),
+            ) {
+                Ok(p) => p,
+                Err(e) => return vec![e.to_string()],
+            };
+            session = session.monitor(toolbox::profile());
+        }
+        if self.tools.collect {
+            session = session.monitor(toolbox::collect());
+        }
+
+        match session.run_expr(&program) {
+            Ok(report) => {
+                let mut out = Vec::new();
+                for entry in &report.entries {
+                    if !entry.rendered.is_empty() {
+                        out.extend(entry.rendered.lines().map(String::from));
+                    }
+                }
+                out.push(report.answer.to_string());
+                out
+            }
+            Err(e) => vec![e.to_string()],
+        }
+    }
+}
+
+fn parse_names(csv: &str) -> Vec<Ident> {
+    csv.split(',').map(str::trim).filter(|s| !s.is_empty()).map(Ident::new).collect()
+}
+
+fn join(names: &[Ident]) -> String {
+    names.iter().map(Ident::as_str).collect::<Vec<_>>().join(", ")
+}
+
+fn main() {
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    let mut repl = Repl::new();
+    println!("monsem repl — :help for commands");
+    loop {
+        print!("λ> ");
+        stdout.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        for out in repl.handle(&line) {
+            println!("{out}");
+        }
+        if repl.done {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(lines: &[&str]) -> Vec<String> {
+        let mut repl = Repl::new();
+        let mut out = Vec::new();
+        for l in lines {
+            out.extend(repl.handle(l));
+        }
+        out
+    }
+
+    #[test]
+    fn definitions_accumulate_and_evaluate() {
+        let out = run(&[
+            "def double = lambda x. x * 2",
+            "def quad = lambda x. double (double x)",
+            "quad 10",
+        ]);
+        assert_eq!(out, vec!["defined double", "defined quad", "40"]);
+    }
+
+    #[test]
+    fn recursive_definitions_work() {
+        let out = run(&[
+            "def fac = lambda x. if x = 0 then 1 else x * (fac (x - 1))",
+            "fac 5",
+        ]);
+        assert_eq!(out.last().map(String::as_str), Some("120"));
+    }
+
+    #[test]
+    fn redefinition_replaces() {
+        let out = run(&["def k = lambda u. 1", "def k = lambda u. 2", "k 0"]);
+        assert_eq!(out.last().map(String::as_str), Some("2"));
+    }
+
+    #[test]
+    fn tracing_prints_the_transcript_then_the_answer() {
+        let out = run(&[
+            "def fac = lambda x. if x = 0 then 1 else x * (fac (x - 1))",
+            ":trace fac",
+            "fac 2",
+        ]);
+        assert!(out.contains(&"[FAC receives (2)]".to_string()), "{out:?}");
+        assert_eq!(out.last().map(String::as_str), Some("2"));
+    }
+
+    #[test]
+    fn profiling_reports_counts() {
+        let out = run(&[
+            "def fib = lambda n. if n < 2 then n else (fib (n-1)) + (fib (n-2))",
+            ":profile fib",
+            "fib 5",
+        ]);
+        assert!(out.iter().any(|l| l.contains("fib ↦ 15")), "{out:?}");
+        assert_eq!(out.last().map(String::as_str), Some("5"));
+    }
+
+    #[test]
+    fn monitors_off_disarms() {
+        let out = run(&[
+            "def id = lambda x. x",
+            ":trace id",
+            ":monitors off",
+            "id 7",
+        ]);
+        assert_eq!(out.last().map(String::as_str), Some("7"));
+        assert!(!out.iter().any(|l| l.contains("receives")), "{out:?}");
+    }
+
+    #[test]
+    fn module_switching() {
+        let out = run(&[
+            ":module lazy",
+            "(lambda x. 42) (1 / 0)",
+            ":module strict",
+            "(lambda x. 42) (1 / 0)",
+        ]);
+        assert_eq!(
+            out,
+            vec!["module: lazy", "42", "module: strict", "division by zero"]
+        );
+    }
+
+    #[test]
+    fn imperative_module_runs_loops() {
+        let out = run(&[
+            ":module imperative",
+            "let x = 0 in while x < 3 do x := x + 1 end; x",
+        ]);
+        assert_eq!(out.last().map(String::as_str), Some("3"));
+    }
+
+    #[test]
+    fn parse_errors_are_reported_not_fatal() {
+        let out = run(&["if without then", "1 + 1"]);
+        assert!(out[0].contains("parse error"));
+        assert_eq!(out.last().map(String::as_str), Some("2"));
+    }
+
+    #[test]
+    fn unknown_functions_in_trace_are_reported() {
+        let out = run(&[":trace ghost", "1 + 1"]);
+        assert!(out.iter().any(|l| l.contains("no function named `ghost`")), "{out:?}");
+    }
+
+    #[test]
+    fn prelude_is_available_and_toggleable() {
+        let out = run(&["sum (map (lambda x. x * 2) (range 1 3))"]);
+        assert_eq!(out.last().map(String::as_str), Some("12"));
+        let out = run(&[":prelude off", "sum [1]"]);
+        assert!(out.last().unwrap().contains("unbound variable `sum`"), "{out:?}");
+    }
+
+    #[test]
+    fn specialize_command_prints_residuals() {
+        let out = run(&[
+            ":prelude off",
+            "def pow = lambda b. lambda e. if e = 0 then 1 else b * (pow b (e - 1))",
+            ":specialize pow base 3",
+        ]);
+        assert_eq!(
+            out.last().map(String::as_str),
+            Some("base * (base * (base * 1))")
+        );
+    }
+
+    #[test]
+    fn help_and_quit() {
+        let mut repl = Repl::new();
+        assert!(!repl.handle(":help").is_empty());
+        repl.handle(":quit");
+        assert!(repl.done);
+    }
+}

@@ -1,0 +1,227 @@
+//! `monsem` — a command-line front end for the monitoring-semantics
+//! environment (§9.2 as a shell tool).
+//!
+//! ```text
+//! monsem run        (-e <src> | <file>) [--module strict|lazy|imperative]
+//! monsem trace      (-e <src> | <file>) --functions f,g,…
+//! monsem profile    (-e <src> | <file>) [--functions f,g,…]
+//! monsem instrument (-e <src> | <file>)            # level-2 artifact, as source
+//! monsem specialize (-e <src> | <file>) [--input name=int]…   # level 3
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! monsem run -e 'letrec fac = lambda x. if x = 0 then 1 else x * (fac (x - 1)) in fac 5'
+//! monsem trace -e '…' --functions fac
+//! monsem specialize -e 'pow base e' --input e=10
+//! ```
+
+use monitoring_semantics::core::machine::eval;
+use monitoring_semantics::core::Value;
+use monitoring_semantics::monitor::session::{LanguageModule, Session};
+use monitoring_semantics::monitors::toolbox;
+use monitoring_semantics::pe::instrument::{instrument, step_counter};
+use monitoring_semantics::pe::simplify::simplify;
+use monitoring_semantics::pe::specialize::{specialize_with, SpecializeOptions};
+use monitoring_semantics::syntax::points::{
+    bound_function_names, profile_functions, trace_functions,
+};
+use monitoring_semantics::syntax::{parse_program, Expr, Ident, Namespace};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("monsem: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "run" => cmd_run(rest),
+        "trace" => cmd_trace(rest),
+        "profile" => cmd_profile(rest),
+        "instrument" => cmd_instrument(rest),
+        "bta" => cmd_bta(rest),
+        "specialize" => cmd_specialize(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  monsem run        (-e <src> | <file>) [--module strict|lazy|imperative]\n  \
+     monsem trace      (-e <src> | <file>) [--functions f,g,…]\n  \
+     monsem profile    (-e <src> | <file>) [--functions f,g,…]\n  \
+     monsem instrument (-e <src> | <file>)\n  \
+     monsem bta        (-e <src> | <file>) [--static name,name]\n  \
+     monsem specialize (-e <src> | <file>) [--input name=int]…"
+        .to_string()
+}
+
+/// Reads the program from `-e <src>` or a file path, returning it plus
+/// the remaining flags.
+fn program_and_flags(args: &[String]) -> Result<(Expr, Vec<String>), String> {
+    let mut source: Option<String> = None;
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "-e" {
+            let src = it.next().ok_or("-e needs an argument")?;
+            source = Some(src.clone());
+        } else if a.starts_with("--") {
+            flags.push(a.clone());
+            if let Some(v) = it.next() {
+                flags.push(v.clone());
+            }
+        } else if source.is_none() {
+            source = Some(
+                std::fs::read_to_string(a)
+                    .map_err(|e| format!("cannot read `{a}`: {e}"))?,
+            );
+        } else {
+            return Err(format!("unexpected argument `{a}`"));
+        }
+    }
+    let source = source.ok_or_else(usage)?;
+    let program = parse_program(&source).map_err(|e| e.display_in(&source))?;
+    Ok((program, flags))
+}
+
+fn flag_value<'a>(flags: &'a [String], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .position(|f| f == name)
+        .and_then(|i| flags.get(i + 1))
+        .map(String::as_str)
+}
+
+fn requested_functions(program: &Expr, flags: &[String]) -> Vec<Ident> {
+    match flag_value(flags, "--functions") {
+        Some(list) => list.split(',').map(str::trim).map(Ident::new).collect(),
+        None => bound_function_names(program),
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (program, flags) = program_and_flags(args)?;
+    let module = match flag_value(&flags, "--module").unwrap_or("strict") {
+        "strict" => LanguageModule::Strict,
+        "lazy" => LanguageModule::Lazy,
+        "imperative" => LanguageModule::Imperative,
+        other => return Err(format!("unknown language module `{other}`")),
+    };
+    let report = Session::new()
+        .language(module)
+        .run_expr(&program)
+        .map_err(|e| e.to_string())?;
+    println!("{}", report.answer);
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let (program, flags) = program_and_flags(args)?;
+    let functions = requested_functions(&program, &flags);
+    let annotated = trace_functions(&program, &functions, &Namespace::anonymous())
+        .map_err(|e| e.to_string())?;
+    let report = Session::new()
+        .monitor(toolbox::trace())
+        .run_expr(&annotated)
+        .map_err(|e| e.to_string())?;
+    if let Some(t) = report.rendered_of("tracer") {
+        println!("{t}");
+    }
+    println!("answer: {}", report.answer);
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let (program, flags) = program_and_flags(args)?;
+    let functions = requested_functions(&program, &flags);
+    let annotated = profile_functions(&program, &functions, &Namespace::anonymous())
+        .map_err(|e| e.to_string())?;
+    let report = Session::new()
+        .monitor(toolbox::profile())
+        .run_expr(&annotated)
+        .map_err(|e| e.to_string())?;
+    if let Some(p) = report.rendered_of("profiler") {
+        println!("{p}");
+    }
+    println!("answer: {}", report.answer);
+    Ok(())
+}
+
+fn cmd_instrument(args: &[String]) -> Result<(), String> {
+    let (program, _) = program_and_flags(args)?;
+    let instrumented = instrument(&program, &step_counter());
+    println!(
+        "{}",
+        monitoring_semantics::syntax::pretty::pretty_block(&simplify(&instrumented), 80)
+    );
+    Ok(())
+}
+
+fn cmd_bta(args: &[String]) -> Result<(), String> {
+    let (program, flags) = program_and_flags(args)?;
+    let statics: Vec<Ident> = flag_value(&flags, "--static")
+        .map(|list| list.split(',').map(str::trim).map(Ident::new).collect())
+        .unwrap_or_default();
+    let division = monitoring_semantics::pe::bta::analyze(&program, &statics);
+    let (s, d) = division.counts();
+    eprintln!("; {s} static points, {d} dynamic points (dynamic parts in «…»)");
+    println!(
+        "{}",
+        monitoring_semantics::pe::bta::render_two_level(&program, &division)
+    );
+    Ok(())
+}
+
+fn cmd_specialize(args: &[String]) -> Result<(), String> {
+    let (program, flags) = program_and_flags(args)?;
+    let mut inputs: Vec<(Ident, Value)> = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = flags[i..].iter().position(|f| f == "--input") {
+        let idx = i + pos;
+        let spec = flags
+            .get(idx + 1)
+            .ok_or("--input needs name=int")?;
+        let (name, value) = spec.split_once('=').ok_or("--input needs name=int")?;
+        let n: i64 = value.parse().map_err(|_| format!("`{value}` is not an integer"))?;
+        inputs.push((Ident::new(name), Value::Int(n)));
+        i = idx + 2;
+    }
+    let (residual, stats) =
+        specialize_with(&program, &inputs, &SpecializeOptions::default());
+    let residual = simplify(&residual);
+    eprintln!(
+        "; {} unfolds, {} folds, residual size {}",
+        stats.unfolds,
+        stats.folds,
+        residual.size()
+    );
+    println!(
+        "{}",
+        monitoring_semantics::syntax::pretty::pretty_block(&residual, 80)
+    );
+    // If the residual is closed, also print its value.
+    if residual.free_vars().iter().all(|v| {
+        monitoring_semantics::core::prims::Prim::by_name(v.as_str()).is_some()
+    }) {
+        if let Ok(v) = eval(&residual) {
+            eprintln!("; value: {v}");
+        }
+    }
+    Ok(())
+}

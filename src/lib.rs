@@ -1,0 +1,64 @@
+//! # Monitoring Semantics
+//!
+//! A Rust reproduction of *Monitoring Semantics: A Formal Framework for
+//! Specifying, Implementing, and Reasoning about Execution Monitors*
+//! (Amir Kishon, Paul Hudak, Charles Consel — PLDI 1991 / Yale
+//! YALEU/DCS/RR-850).
+//!
+//! A *monitoring semantics* is a conservative extension of a language's
+//! standard (continuation) semantics that captures monitoring activity —
+//! debuggers, profilers, tracers, demons — as pure monitor-state
+//! transformers attached to annotated program points. The meaning of a
+//! program becomes `MS → (Ans × MS)`: the original answer, **provably
+//! unchanged**, paired with the accumulated monitoring information.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! * [`syntax`] — the `L_λ` language: AST, annotations `{μ}:e`, parser,
+//!   pretty-printer, program points;
+//! * [`core`] — semantic algebras and the standard continuation semantics
+//!   (strict machine, call-by-need and imperative modules, answer
+//!   algebras);
+//! * [`monitor`] — the paper's contribution: the [`Monitor`] trait
+//!   (Definition 5.1), monitored evaluators (Figure 3), composition (§6),
+//!   soundness (§7), and the §9.2 session environment;
+//! * [`monitors`] — the §8 toolbox: profiler, tracer, demon, collecting
+//!   monitor, stepper, scripted debugger, and extensions;
+//! * [`pe`] — the §9.1 partial-evaluation pipeline: compiled engines,
+//!   source-to-source instrumentation, a specializer with partially
+//!   static data, and binding-time analysis.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use monitoring_semantics::monitor::machine::eval_monitored;
+//! use monitoring_semantics::monitors::Profiler;
+//! use monitoring_semantics::syntax::parse_expr;
+//!
+//! // The paper's §8 example: each function body labelled with its name.
+//! let program = parse_expr(
+//!     "letrec mul = lambda x. lambda y. {mul}:(x*y) in \
+//!      letrec fac = lambda x. {fac}:if (x=0) then 1 else mul x (fac (x-1)) \
+//!      in fac 3",
+//! )?;
+//!
+//! let profiler = Profiler::new();
+//! let (answer, counts) = eval_monitored(&program, &profiler)?;
+//! assert_eq!(answer.to_string(), "6"); // the answer is never changed
+//! assert_eq!(
+//!     monitoring_semantics::monitor::Monitor::render_state(&profiler, &counts),
+//!     "[fac ↦ 4, mul ↦ 3]", // the paper's reported profile
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use monsem_core as core;
+pub use monsem_monitor as monitor;
+pub use monsem_monitors as monitors;
+pub use monsem_pe as pe;
+pub use monsem_syntax as syntax;
+
+pub use monsem_monitor::Monitor;

@@ -1,0 +1,72 @@
+//! §3.1 end to end: parameterizing the semantics by its final answer.
+//!
+//! The paper's point is that the *same* valuation functional serves any
+//! answer algebra — swapping `Ans_std` for `Ans_str` (or the derived
+//! monitoring algebra) re-targets the semantics without touching it.
+
+use monitoring_semantics::core::answer::{AnswerAlgebra, BasAnswer, StringAnswer, ValueAnswer};
+use monitoring_semantics::core::machine::{eval, eval_with_algebra};
+use monitoring_semantics::core::{programs, EvalError, Value};
+use monitoring_semantics::syntax::parse_expr;
+
+#[test]
+fn std_algebra_projects_to_bas() {
+    // φ v = v|Bas succeeds on basic answers…
+    assert_eq!(
+        eval_with_algebra(&programs::fac(5), &BasAnswer).unwrap(),
+        Value::Int(120)
+    );
+    // …including observable lists (the §8 examples treat them as answers)…
+    assert_eq!(
+        eval_with_algebra(&programs::inclist_demon(), &BasAnswer).unwrap(),
+        Value::list([Value::Int(103), Value::Int(13), Value::Int(4)])
+    );
+    // …and rejects function answers, exactly as the projection does.
+    let fun = parse_expr("lambda x. x").unwrap();
+    assert!(matches!(
+        eval_with_algebra(&fun, &BasAnswer),
+        Err(EvalError::TypeError { .. })
+    ));
+}
+
+#[test]
+fn str_algebra_renders_answers_as_the_paper_shows() {
+    // Ans_str: φ v = "The result is:" ++ toStr(v).
+    assert_eq!(
+        eval_with_algebra(&programs::fac(5), &StringAnswer).unwrap(),
+        "The result is: 120"
+    );
+    assert_eq!(
+        eval_with_algebra(&parse_expr("[1, 2] ++ [3]").unwrap(), &StringAnswer).unwrap(),
+        "The result is: [1, 2, 3]"
+    );
+}
+
+#[test]
+fn value_algebra_admits_function_answers() {
+    let fun = parse_expr("lambda x. x").unwrap();
+    let v = eval_with_algebra(&fun, &ValueAnswer).unwrap();
+    assert!(matches!(v, Value::Closure(_)));
+}
+
+#[test]
+fn the_to_str_primitive_agrees_with_the_algebra() {
+    // `toStr` inside the language matches the rendering φ uses.
+    let rendered = eval(&parse_expr("toStr [1, 2, 3]").unwrap()).unwrap();
+    let direct = eval(&parse_expr("[1, 2, 3]").unwrap()).unwrap();
+    assert_eq!(rendered, Value::Str(direct.to_string().into()));
+    assert_eq!(
+        StringAnswer.phi(direct).unwrap(),
+        "The result is: [1, 2, 3]"
+    );
+}
+
+#[test]
+fn algebras_compose_with_monitoring() {
+    // The monitored run's first projection feeds any algebra — the
+    // Definition 4.1 derivation, spelled with the building blocks.
+    use monitoring_semantics::monitor::machine::eval_monitored;
+    use monitoring_semantics::monitors::Profiler;
+    let (answer, _) = eval_monitored(&programs::fac_mul_profiled(3), &Profiler::new()).unwrap();
+    assert_eq!(StringAnswer.phi(answer).unwrap(), "The result is: 6");
+}

@@ -1,0 +1,125 @@
+//! Larger end-to-end case studies: the monitors applied to realistic
+//! workloads, at sizes where the properties they check actually bite.
+
+use monitoring_semantics::core::machine::eval;
+use monitoring_semantics::core::{programs, Value};
+use monitoring_semantics::monitor::machine::eval_monitored;
+use monitoring_semantics::monitors::callgraph::CallGraph;
+use monitoring_semantics::monitors::demon::{PredicateDemon, UnsortedDemon};
+use monitoring_semantics::monitors::memo::MemoScout;
+use monitoring_semantics::monitors::profiler::Profiler;
+use monitoring_semantics::syntax::points::{annotate_where, profile_functions, trace_functions};
+use monitoring_semantics::syntax::{parse_expr, Expr, Ident, Namespace};
+
+/// The sortedness demon as a *verifier* for merge sort: annotate every
+/// recursive `sort` result; the demon must stay silent on the final
+/// output but we also check it flags a deliberately broken merge.
+#[test]
+fn demon_verifies_merge_sort_and_catches_a_bug() {
+    // Correct merge sort: wrap the body of `sort` with a label so the
+    // demon checks every intermediate sorted run.
+    let good = parse_expr(
+        "letrec merge = lambda a. lambda b. \
+            if null? a then b else if null? b then a \
+            else if (hd a) <= (hd b) \
+                 then (hd a) : (merge (tl a) b) \
+                 else (hd b) : (merge a (tl b)) in \
+         letrec evens = lambda l. if null? l then [] else if null? (tl l) then l \
+            else (hd l) : (evens (tl (tl l))) in \
+         letrec odds = lambda l. if null? l then [] else if null? (tl l) then [] \
+            else (hd (tl l)) : (odds (tl (tl l))) in \
+         letrec sort = lambda l. \
+            {run}:(if null? l then [] else if null? (tl l) then l \
+            else merge (sort (evens l)) (sort (odds l))) in \
+         sort [9, 3, 7, 1, 8, 2, 6, 4, 5]",
+    )
+    .unwrap();
+    let (answer, fired) = eval_monitored(&good, &UnsortedDemon::new()).unwrap();
+    assert_eq!(answer, Value::list((1..=9).map(Value::Int)));
+    assert!(fired.is_empty(), "demon fired on a correct sort: {fired:?}");
+
+    // Broken merge (flipped comparison): the demon pinpoints the label.
+    let bad_src = good.to_string().replace("hd a <= hd b", "hd a >= hd b");
+    let bad = parse_expr(&bad_src).unwrap();
+    let (_, fired) = eval_monitored(&bad, &UnsortedDemon::new()).unwrap();
+    let names: Vec<&str> = fired.iter().map(Ident::as_str).collect();
+    assert_eq!(names, vec!["run"], "the demon names the offending point");
+}
+
+/// Profile `n`-queens: the profiler's counter environment quantifies the
+/// search (safe checks dominate), and the answer stays correct.
+#[test]
+fn profiling_nqueens_quantifies_the_search() {
+    let plain = programs::nqueens(5);
+    let annotated = profile_functions(
+        &plain,
+        &[Ident::new("safe"), Ident::new("count")],
+        &Namespace::anonymous(),
+    )
+    .unwrap();
+    let p = Profiler::new();
+    let (answer, profile) = eval_monitored(&annotated, &p).unwrap();
+    assert_eq!(answer, Value::Int(10));
+    let safe = profile.count(&Ident::new("safe"));
+    let count = profile.count(&Ident::new("count"));
+    assert!(safe > count, "safe ({safe}) dominates count ({count})");
+    assert!(count > 100, "the search explores >100 nodes, saw {count}");
+}
+
+/// The memo scout quantifies exactly how much a memo table would save on
+/// tak — and the call graph shows tak's self-calls.
+#[test]
+fn memo_scout_and_call_graph_on_tak() {
+    let plain = programs::tak(8, 4, 2);
+    let traced =
+        trace_functions(&plain, &[Ident::new("tak")], &Namespace::anonymous()).unwrap();
+
+    let (answer, counts) = eval_monitored(&traced, &MemoScout::new()).unwrap();
+    assert_eq!(answer, Value::Int(3));
+    assert!(counts.redundant_calls() > 10, "tak recomputes: {}", counts.redundant_calls());
+
+    let (_, graph) = eval_monitored(&traced, &CallGraph::new()).unwrap();
+    assert_eq!(graph.calls(None, "tak"), 1);
+    assert!(graph.calls(Some("tak"), "tak") > 50);
+}
+
+/// `annotate_where` as a "semantic grep": tag every conditional in the
+/// primes program and collect how many evaluate.
+#[test]
+fn predicate_demon_counts_divisibility_hits() {
+    let plain = programs::primes_below(50);
+    // Tag every `if` — the demon records which ones ever produce `true`.
+    let counter = std::cell::Cell::new(0u32);
+    let tagged = annotate_where(
+        &plain,
+        &|node| matches!(node, Expr::If(..)),
+        &|_| {
+            counter.set(counter.get() + 1);
+            monitoring_semantics::syntax::Annotation::label(format!("c{}", counter.get()))
+        },
+    );
+    let truthy = PredicateDemon::new("truthy", |v| matches!(v, Value::Bool(true)));
+    // The annotation wraps the whole `if`, so the demon sees branch
+    // *results*; we only check soundness + that it fired somewhere.
+    let (answer, fired) = eval_monitored(&tagged, &truthy).unwrap();
+    assert_eq!(answer, eval(&plain).unwrap());
+    assert!(!fired.is_empty());
+}
+
+/// Monitors on the heavy fixtures never change answers (spot-check of
+/// Theorem 7.7 at scale).
+#[test]
+fn soundness_at_scale() {
+    for plain in [
+        programs::merge_sort(40),
+        programs::primes_below(200),
+        programs::nqueens(6),
+        programs::tak(10, 5, 2),
+    ] {
+        let names = monitoring_semantics::syntax::points::bound_function_names(&plain);
+        let annotated =
+            profile_functions(&plain, &names, &Namespace::anonymous()).unwrap();
+        let (monitored, _) = eval_monitored(&annotated, &Profiler::new()).unwrap();
+        assert_eq!(Ok(monitored), eval(&plain));
+    }
+}

@@ -1,0 +1,137 @@
+//! End-to-end tests of the `monsem` command-line tool and the REPL
+//! binary, via their real executables.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn monsem(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_monsem"))
+        .args(args)
+        .output()
+        .expect("monsem runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn run_evaluates_programs() {
+    let (stdout, _, ok) = monsem(&[
+        "run",
+        "-e",
+        "letrec fac = lambda x. if x = 0 then 1 else x * (fac (x - 1)) in fac 5",
+    ]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "120");
+}
+
+#[test]
+fn run_supports_language_modules() {
+    let (stdout, _, ok) = monsem(&[
+        "run",
+        "--module",
+        "imperative",
+        "-e",
+        "let x = 0 in while x < 7 do x := x + 1 end; x",
+    ]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "7");
+
+    let (stdout, _, ok) = monsem(&[
+        "run",
+        "--module",
+        "lazy",
+        "-e",
+        "(lambda u. 9) (1 / 0)",
+    ]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "9");
+}
+
+#[test]
+fn trace_prints_the_transcript() {
+    let (stdout, _, ok) = monsem(&[
+        "trace",
+        "-e",
+        "letrec fac = lambda x. if x = 0 then 1 else x * (fac (x - 1)) in fac 2",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("[FAC receives (2)]"), "{stdout}");
+    assert!(stdout.trim_end().ends_with("answer: 2"), "{stdout}");
+}
+
+#[test]
+fn profile_reports_counts() {
+    let (stdout, _, ok) = monsem(&[
+        "profile",
+        "-e",
+        "letrec mul = lambda x. lambda y. x*y in \
+         letrec fac = lambda x. if (x=0) then 1 else mul x (fac (x-1)) in fac 3",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("[fac ↦ 4, mul ↦ 3]"), "{stdout}");
+}
+
+#[test]
+fn specialize_prints_residuals_and_values() {
+    let (stdout, stderr, ok) = monsem(&[
+        "specialize",
+        "-e",
+        "letrec pow = lambda b. lambda e. if e = 0 then 1 else b * (pow b (e - 1)) \
+         in pow base e",
+        "--input",
+        "e=4",
+    ]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "base * (base * (base * (base * 1)))");
+    assert!(stderr.contains("unfolds"), "{stderr}");
+}
+
+#[test]
+fn bta_renders_two_level_terms() {
+    let (stdout, stderr, ok) = monsem(&["bta", "-e", "n + (2 * 3)"]);
+    assert!(ok);
+    assert!(stdout.contains("«n»"), "{stdout}");
+    assert!(stderr.contains("static points"), "{stderr}");
+}
+
+#[test]
+fn parse_errors_carry_line_and_column() {
+    let (_, stderr, ok) = monsem(&["run", "-e", "if x\nthen"]);
+    assert!(!ok);
+    assert!(stderr.contains("parse error at 2:5"), "{stderr}");
+}
+
+#[test]
+fn unknown_commands_fail_with_usage() {
+    let (_, stderr, ok) = monsem(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn repl_session_end_to_end() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_monsem-repl"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("repl starts");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            b"def double = lambda x. x * 2\n\
+              double 21\n\
+              sum (map double (range 1 3))\n\
+              :quit\n",
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("42"), "{stdout}");
+    assert!(stdout.contains("12"), "{stdout}"); // 2 + 4 + 6
+    assert!(stdout.contains("bye"), "{stdout}");
+}

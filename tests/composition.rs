@@ -1,0 +1,97 @@
+//! Experiment E9 — §6: cascaded monitors with disjoint annotation
+//! syntaxes do not interfere, and the composite behaves like running each
+//! monitor alone.
+
+use monitoring_semantics::core::machine::eval;
+use monitoring_semantics::monitor::compose::{boxed, Compose};
+use monitoring_semantics::monitor::machine::eval_monitored;
+use monitoring_semantics::monitor::session::{evaluate, LanguageModule};
+use monitoring_semantics::monitors::collecting::Collecting;
+use monitoring_semantics::monitors::profiler::Profiler;
+use monitoring_semantics::monitors::tracer::Tracer;
+use monitoring_semantics::syntax::{parse_expr, Ident, Namespace};
+
+/// One program carrying three monitors' annotations: profiler labels,
+/// tracer headers, and `collect/`-namespaced collecting tags.
+fn three_way_program() -> monitoring_semantics::syntax::Expr {
+    parse_expr(
+        "letrec mul = lambda x. lambda y. {mul(x, y)}:({mul}:(x*y)) in \
+         letrec fac = lambda x. {fac(x)}:({fac}:if (x=0) then 1 \
+            else {collect/step}:(mul x (fac (x-1)))) \
+         in fac 4",
+    )
+    .unwrap()
+}
+
+#[test]
+fn typed_cascade_equals_individual_runs() {
+    let prog = three_way_program();
+    let profiler = Profiler::new();
+    let tracer = Tracer::new();
+
+    let (v_solo_p, profile_alone) = eval_monitored(&prog, &profiler).unwrap();
+    let (v_solo_t, trace_alone) = eval_monitored(&prog, &tracer).unwrap();
+
+    let composed = Compose::new(Profiler::new(), Tracer::new());
+    let (v_both, (profile_both, trace_both)) = eval_monitored(&prog, &composed).unwrap();
+
+    assert_eq!(v_both, v_solo_p);
+    assert_eq!(v_both, v_solo_t);
+    assert_eq!(profile_both, profile_alone, "composition changed the profiler's state");
+    assert_eq!(
+        trace_both.chan.render(),
+        trace_alone.chan.render(),
+        "composition changed the tracer's transcript"
+    );
+}
+
+#[test]
+fn cascade_answer_matches_the_standard_semantics() {
+    let prog = three_way_program();
+    let plain = eval(&prog).unwrap();
+    let stack = boxed(Profiler::new())
+        & boxed(Tracer::new())
+        & boxed(Collecting::in_namespace(Namespace::new("collect")));
+    stack.check_disjoint(&prog).unwrap();
+    let report = evaluate(stack, LanguageModule::Strict, &prog).unwrap();
+    assert_eq!(report.answer, plain);
+    assert_eq!(report.entries.len(), 3);
+}
+
+#[test]
+fn composite_state_is_the_paper_product_shape() {
+    // §6: Ans̄̄ = MS₂ → ((Ans × MS₁) × MS₂). With the typed cascade the
+    // state type is literally the product (MS₁, MS₂).
+    let prog = three_way_program();
+    let composed = Compose::new(Profiler::new(), Tracer::new());
+    let (_, (ms1, ms2)): (_, (_, _)) = eval_monitored(&prog, &composed).unwrap();
+    assert_eq!(ms1.count(&Ident::new("fac")), 5);
+    assert!(ms2.chan.render().contains("[FAC receives (4)]"));
+}
+
+#[test]
+fn composition_order_does_not_matter_for_disjoint_monitors() {
+    let prog = three_way_program();
+    let pt = Compose::new(Profiler::new(), Tracer::new());
+    let tp = Compose::new(Tracer::new(), Profiler::new());
+    let (v1, (p1, t1)) = eval_monitored(&prog, &pt).unwrap();
+    let (v2, (t2, p2)) = eval_monitored(&prog, &tp).unwrap();
+    assert_eq!(v1, v2);
+    assert_eq!(p1, p2);
+    assert_eq!(t1.chan.render(), t2.chan.render());
+}
+
+#[test]
+fn a_cascade_may_be_iterated_arbitrarily() {
+    // "This process may be repeated an arbitrary number of times."
+    let prog = three_way_program();
+    let deep = Compose::new(
+        Compose::new(Profiler::new(), Tracer::new()),
+        Collecting::in_namespace(Namespace::new("collect")),
+    );
+    let (v, ((profile, trace), collected)) = eval_monitored(&prog, &deep).unwrap();
+    assert_eq!(v, eval(&prog).unwrap());
+    assert_eq!(profile.count(&Ident::new("mul")), 4);
+    assert!(!trace.chan.lines().is_empty());
+    assert_eq!(collected.values_of(&Ident::new("step")).len(), 4);
+}

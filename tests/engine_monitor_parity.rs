@@ -1,0 +1,148 @@
+//! Level-2 parity: the compiled engine must produce byte-identical
+//! monitor states to the monitored interpreter for every §8-style
+//! monitor — i.e. specialization really is *transparent* to monitoring.
+
+use monitoring_semantics::core::machine::EvalOptions;
+use monitoring_semantics::core::{programs, Env};
+use monitoring_semantics::monitor::machine::eval_monitored_with;
+use monitoring_semantics::monitor::Monitor;
+use monitoring_semantics::monitors::callgraph::CallGraph;
+use monitoring_semantics::monitors::collecting::Collecting;
+use monitoring_semantics::monitors::demon::UnsortedDemon;
+use monitoring_semantics::monitors::memo::MemoScout;
+use monitoring_semantics::monitors::profiler::{AbProfiler, Profiler};
+use monitoring_semantics::monitors::replay::{tape_of, Recorder, Replay};
+use monitoring_semantics::monitors::space::SpaceProfiler;
+use monitoring_semantics::monitors::stepper::Stepper;
+use monitoring_semantics::monitors::tracer::Tracer;
+use monitoring_semantics::pe::engine::compile_monitored;
+use monitoring_semantics::syntax::gen::{gen_program, sprinkle_annotations, GenConfig};
+use monitoring_semantics::syntax::{Expr, Namespace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn parity<M: Monitor>(program: &Expr, monitor: &M) -> (M::State, M::State) {
+    let opts = EvalOptions::default();
+    let (vi, si) = eval_monitored_with(
+        program,
+        &Env::empty(),
+        monitor,
+        monitor.initial_state(),
+        &opts,
+    )
+    .expect("interpreter run");
+    let compiled = compile_monitored(program, monitor).expect("compiles");
+    let (vc, sc) = compiled.run_monitored(monitor, &opts).expect("compiled run");
+    assert_eq!(vi, vc, "answers diverge");
+    (si, sc)
+}
+
+#[test]
+fn profilers_match() {
+    let (a, b) = parity(&programs::fac_ab(7), &AbProfiler);
+    assert_eq!(a, b);
+    let (a, b) = parity(&programs::fac_mul_profiled(6), &Profiler::new());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn tracer_transcripts_match() {
+    let t = Tracer::new();
+    let (a, b) = parity(&programs::fac_mul_traced(5), &t);
+    assert_eq!(a.chan.render(), b.chan.render());
+}
+
+#[test]
+fn demon_and_collecting_match() {
+    let (a, b) = parity(&programs::inclist_demon(), &UnsortedDemon::new());
+    assert_eq!(a, b);
+    let (a, b) = parity(&programs::collecting_fac(4), &Collecting::new());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn stepper_and_space_match() {
+    let (a, b) = parity(&programs::fac_ab(5), &Stepper::new());
+    // Step logs include expression text; the compiled engine reports a
+    // placeholder for it, so compare the event *shape* (point + step).
+    let shape = |log: &monitoring_semantics::monitors::stepper::StepLog| {
+        log.events()
+            .iter()
+            .map(|e| match e {
+                monitoring_semantics::monitors::stepper::StepEvent::Enter {
+                    step, point, ..
+                } => format!("enter {step} {point}"),
+                monitoring_semantics::monitors::stepper::StepEvent::Leave {
+                    step, point, value,
+                } => format!("leave {step} {point} {value}"),
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(shape(&a), shape(&b));
+
+    let (a, b) = parity(&programs::fac_ab(5), &SpaceProfiler::new());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn call_graph_and_memo_match() {
+    let traced = programs::fac_mul_traced(5);
+    let (a, b) = parity(&traced, &CallGraph::new());
+    assert_eq!(a, b);
+    let (a, b) = parity(&traced, &MemoScout::new());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn a_tape_recorded_on_the_interpreter_replays_on_the_engine() {
+    let program = programs::fac_ab(6);
+    let (_, events) = eval_monitored_with(
+        &program,
+        &Env::empty(),
+        &Recorder::new(),
+        Vec::new(),
+        &EvalOptions::default(),
+    )
+    .unwrap();
+    let tape = tape_of(events);
+    let replay = Replay::new(tape.clone());
+    let compiled = compile_monitored(&program, &replay).unwrap();
+    let (_, verdict) = compiled.run_monitored(&replay, &EvalOptions::default()).unwrap();
+    assert!(verdict.complete(&tape), "{}", replay.render_state(&verdict));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generated programs, sprinkled labels: interpreter and compiled
+    /// engine produce identical profiler states.
+    #[test]
+    fn profiler_parity_on_generated_programs(seed: u64, density in 0u16..=600) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plain = gen_program(&mut rng, &GenConfig::default());
+        let program = sprinkle_annotations(
+            &mut rng,
+            &plain,
+            &Namespace::anonymous(),
+            f64::from(density) / 1000.0,
+        );
+        let opts = EvalOptions::with_fuel(400_000);
+        let monitor = Profiler::new();
+        let interp = eval_monitored_with(
+            &program,
+            &Env::empty(),
+            &monitor,
+            monitor.initial_state(),
+            &opts,
+        );
+        let compiled = compile_monitored(&program, &monitor)
+            .expect("compiles")
+            .run_monitored(&monitor, &opts);
+        use monitoring_semantics::core::EvalError;
+        let fuel = |r: &Result<_, EvalError>| matches!(r, Err(EvalError::FuelExhausted));
+        if !fuel(&interp) && !fuel(&compiled) {
+            prop_assert_eq!(interp, compiled);
+        }
+    }
+}

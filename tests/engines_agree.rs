@@ -1,0 +1,78 @@
+//! Cross-engine agreement: the defunctionalized machine, the
+//! boxed-closure CPS transliteration, and the compiled engine implement
+//! the *same* standard semantics; the lazy module agrees on values for
+//! programs where both terminate.
+
+use monitoring_semantics::core::closure_cps::eval_cps_with;
+use monitoring_semantics::core::lazy::eval_lazy_with;
+use monitoring_semantics::core::machine::{eval_with, EvalOptions};
+use monitoring_semantics::core::{Env, EvalError};
+use monitoring_semantics::pe::engine::compile;
+use monitoring_semantics::syntax::gen::{gen_program, GenConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FUEL: u64 = 400_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn machine_cps_and_compiled_agree(seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let program = gen_program(&mut rng, &GenConfig::default());
+        let opts = EvalOptions::with_fuel(FUEL);
+
+        let machine = eval_with(&program, &Env::empty(), &opts);
+        let cps = eval_cps_with(&program, &Env::empty(), &opts);
+        let compiled = compile(&program).expect("pure program compiles");
+        let engine = compiled
+            .run_monitored(&monitoring_semantics::monitor::IdentityMonitor, &opts)
+            .map(|(v, ())| v);
+
+        // Step accounting differs per engine, so fuel exhaustion is the
+        // only allowed disagreement.
+        let fuel = |r: &Result<_, EvalError>| matches!(r, Err(EvalError::FuelExhausted));
+        if !fuel(&machine) && !fuel(&cps) {
+            prop_assert_eq!(&machine, &cps);
+        }
+        if !fuel(&machine) && !fuel(&engine) {
+            prop_assert_eq!(&machine, &engine);
+        }
+    }
+
+    #[test]
+    fn lazy_agrees_on_successful_strict_runs(seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let program = gen_program(&mut rng, &GenConfig::default());
+        let opts = EvalOptions::with_fuel(FUEL);
+
+        let strict = eval_with(&program, &Env::empty(), &opts);
+        let lazy = eval_lazy_with(&program, &Env::empty(), &opts);
+        // Call-by-need may avoid errors strict evaluation hits (an unused
+        // failing argument), so agreement is one-sided: when the strict
+        // run succeeds, the lazy run must produce the same value.
+        if let Ok(v) = &strict {
+            if !matches!(lazy, Err(EvalError::FuelExhausted)) {
+                prop_assert_eq!(&lazy, &Ok(v.clone()));
+            }
+        }
+    }
+
+    #[test]
+    fn imperative_module_agrees_on_pure_programs(seed: u64) {
+        use monitoring_semantics::core::imperative::eval_imperative_with;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let program = gen_program(&mut rng, &GenConfig::default());
+        let opts = EvalOptions::with_fuel(FUEL);
+
+        let pure = eval_with(&program, &Env::empty(), &opts);
+        let imperative =
+            eval_imperative_with(&program, &Env::empty(), &opts).map(|(v, _)| v);
+        let fuel = |r: &Result<_, EvalError>| matches!(r, Err(EvalError::FuelExhausted));
+        if !fuel(&pure) && !fuel(&imperative) {
+            prop_assert_eq!(pure, imperative);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! The §7 lemmas, executable: the answer transformer machinery of
+//! Definition 4.1 and the relation `R` of Definition 7.4 evaluated on
+//! real monitored meanings, not toy values.
+
+use monitoring_semantics::core::machine::eval;
+use monitoring_semantics::core::programs;
+use monitoring_semantics::monitor::answer::{related, theta, theta_inv, MonAnswer};
+use monitoring_semantics::monitor::machine::eval_monitored_with;
+use monitoring_semantics::monitors::profiler::{CounterEnv, Profiler};
+use monitoring_semantics::syntax::{Expr, Ident};
+use monitoring_semantics::core::machine::EvalOptions;
+use monitoring_semantics::core::Env;
+
+/// Wraps a monitored program as the paper's meaning `MS → (Ans × MS)`.
+fn meaning_of(program: Expr) -> MonAnswer<monitoring_semantics::core::Value, CounterEnv> {
+    MonAnswer::new(move |sigma| {
+        eval_monitored_with(
+            &program,
+            &Env::empty(),
+            &Profiler::new(),
+            sigma,
+            &EvalOptions::default(),
+        )
+    })
+}
+
+/// Lemma 7.3's engine on a real program:
+/// `θ⁻¹((fix Ḡ)⟦s̄⟧ …) = (fix G)⟦s⟧ …` — for arbitrary σ.
+#[test]
+fn theta_inverse_recovers_the_standard_answer() {
+    let annotated = programs::fac_mul_profiled(4);
+    let standard = eval(&annotated).unwrap();
+    let meaning = meaning_of(annotated);
+    for sigma in [
+        CounterEnv::init(),
+        CounterEnv::init().inc(&Ident::new("noise")),
+        CounterEnv::init().inc(&Ident::new("fac")).inc(&Ident::new("fac")),
+    ] {
+        assert_eq!(theta_inv(&meaning, sigma).unwrap(), standard);
+    }
+}
+
+/// Definition 7.4 on real meanings: the monitored meaning of `s̄` is
+/// `R`-related to `θ` of the standard answer of `s` — the two sides of
+/// Lemma 7.6.
+#[test]
+fn monitored_meaning_is_related_to_theta_of_the_standard_answer() {
+    let annotated = programs::fac_ab(6);
+    let standard = eval(&annotated).unwrap();
+    let lhs = theta(standard);
+    let rhs = meaning_of(annotated);
+    let sample_states = [
+        CounterEnv::init(),
+        CounterEnv::init().inc(&Ident::new("A")),
+        CounterEnv::init().inc(&Ident::new("B")).inc(&Ident::new("B")),
+    ];
+    assert!(related(&lhs, &rhs, &sample_states));
+}
+
+/// And the relation distinguishes genuinely different programs.
+#[test]
+fn the_relation_rejects_different_answers() {
+    let five = meaning_of(programs::fac_ab(5));
+    let six = meaning_of(programs::fac_ab(6));
+    let states = [CounterEnv::init()];
+    assert!(!related(&five, &six, &states));
+}
+
+/// Lemma 7.5 on a real meaning: composing a state transformer onto the
+/// initial state does not change the first projection.
+#[test]
+fn relation_invariant_under_state_transformers_for_real_meanings() {
+    let program = programs::fac_mul_profiled(3);
+    let plain = meaning_of(program.clone());
+    // ᾱ ∘ v with v = "charge the ghost counter first".
+    let composed = MonAnswer::new(move |sigma: CounterEnv| {
+        let sigma = sigma.inc(&Ident::new("ghost"));
+        eval_monitored_with(
+            &program,
+            &Env::empty(),
+            &Profiler::new(),
+            sigma,
+            &EvalOptions::default(),
+        )
+    });
+    let states = [CounterEnv::init(), CounterEnv::init().inc(&Ident::new("x"))];
+    assert!(related(&plain, &composed, &states));
+}

@@ -1,0 +1,98 @@
+//! Experiments E1–E5: every literal output in the paper's §5 and §8,
+//! reproduced exactly (see DESIGN.md's experiment index).
+
+use monitoring_semantics::core::{programs, Value};
+use monitoring_semantics::monitor::machine::eval_monitored;
+use monitoring_semantics::monitor::Monitor;
+use monitoring_semantics::monitors::collecting::Collecting;
+use monitoring_semantics::monitors::demon::UnsortedDemon;
+use monitoring_semantics::monitors::profiler::{AbCounts, AbProfiler, Profiler};
+use monitoring_semantics::monitors::tracer::Tracer;
+use monitoring_semantics::syntax::Ident;
+
+/// §5: "The profiling information gathered by monitoring this program
+/// with the above monitor would be σ = ⟨1, 5⟩."
+#[test]
+fn e1_ab_profiler_fac5() {
+    let (answer, sigma) = eval_monitored(&programs::fac_ab(5), &AbProfiler).unwrap();
+    assert_eq!(answer, Value::Int(120));
+    assert_eq!(sigma, AbCounts { a: 1, b: 5 });
+}
+
+/// §8: "The profiler semantics would provide the following information in
+/// the counter environment: [fac ↦ 4, mul ↦ 3]".
+#[test]
+fn e2_profiler_fac3() {
+    let p = Profiler::new();
+    let (answer, sigma) = eval_monitored(&programs::fac_mul_profiled(3), &p).unwrap();
+    assert_eq!(answer, Value::Int(6));
+    assert_eq!(sigma.count(&Ident::new("fac")), 4);
+    assert_eq!(sigma.count(&Ident::new("mul")), 3);
+    assert_eq!(p.render_state(&sigma), "[fac ↦ 4, mul ↦ 3]");
+}
+
+/// §8: the tracer's indented transcript for `fac 3` via `mul`.
+#[test]
+fn e3_tracer_fac3_transcript() {
+    let t = Tracer::new();
+    let (answer, sigma) = eval_monitored(&programs::fac_mul_traced(3), &t).unwrap();
+    assert_eq!(answer, Value::Int(6));
+    let expected = "\
+[FAC receives (3)]
+|    [FAC receives (2)]
+|    |    [FAC receives (1)]
+|    |    |    [FAC receives (0)]
+|    |    |    [FAC returns 1]
+|    |    |    [MUL receives (1 1)]
+|    |    |    [MUL returns 1]
+|    |    [FAC returns 1]
+|    |    [MUL receives (2 1)]
+|    |    [MUL returns 2]
+|    [FAC returns 2]
+|    [MUL receives (3 2)]
+|    [MUL returns 6]
+[FAC returns 6]";
+    assert_eq!(t.render_state(&sigma), expected);
+}
+
+/// §8: "The demon returns the following information in its state:
+/// σ = {l1, l3}".
+#[test]
+fn e4_demon_inclist() {
+    let d = UnsortedDemon::new();
+    let (answer, sigma) = eval_monitored(&programs::inclist_demon(), &d).unwrap();
+    // inclist reverses while incrementing: the final list is [103, 13, 4].
+    assert_eq!(
+        answer,
+        Value::list([Value::Int(103), Value::Int(13), Value::Int(4)])
+    );
+    let names: Vec<&str> = sigma.iter().map(|i| i.as_str()).collect();
+    assert_eq!(names, vec!["l1", "l3"]);
+}
+
+/// §8: "The collecting monitor provides the following information in its
+/// final state: [test ↦ {True, False}, n ↦ {1, 2, 3}]".
+#[test]
+fn e5_collecting_fac3() {
+    let c = Collecting::new();
+    let (answer, sigma) = eval_monitored(&programs::collecting_fac(3), &c).unwrap();
+    assert_eq!(answer, Value::Int(6));
+    assert_eq!(
+        sigma.values_of(&Ident::new("test")),
+        &[Value::Bool(false), Value::Bool(true)]
+    );
+    assert_eq!(
+        sigma.values_of(&Ident::new("n")),
+        &[Value::Int(1), Value::Int(2), Value::Int(3)]
+    );
+}
+
+/// §3.1: the string answer algebra maps the final answer as the paper
+/// shows ("The result is: …").
+#[test]
+fn string_answer_algebra() {
+    use monitoring_semantics::core::answer::{AnswerAlgebra, StringAnswer};
+    use monitoring_semantics::core::machine::eval;
+    let v = eval(&programs::fac(5)).unwrap();
+    assert_eq!(StringAnswer.phi(v).unwrap(), "The result is: 120");
+}

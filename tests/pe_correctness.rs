@@ -1,0 +1,166 @@
+//! Partial-evaluation correctness (the §9.1 pipeline): specialization and
+//! instrumentation preserve behaviour on generated programs.
+
+use monitoring_semantics::core::machine::{eval_with, EvalOptions};
+use monitoring_semantics::core::{Env, EvalError, Value};
+use monitoring_semantics::monitor::machine::eval_monitored_with;
+use monitoring_semantics::monitor::Monitor;
+use monitoring_semantics::pe::instrument::{instrument, step_counter};
+use monitoring_semantics::pe::specialize::{specialize, SpecializeOptions};
+use monitoring_semantics::syntax::gen::{gen_program, sprinkle_annotations, GenConfig};
+use monitoring_semantics::syntax::{Annotation, Expr, Namespace};
+
+/// Generated programs can compose recursive templates into large static
+/// computations (`fib (2^5)`…), so the property tests run the specializer
+/// with a small unfold budget: correctness must hold at *any* budget.
+fn small_budget() -> SpecializeOptions {
+    SpecializeOptions { max_unfolds: 400, ..SpecializeOptions::default() }
+}
+
+/// The specializer's unfold chain recurses on the Rust stack (see its
+/// module docs); debug-build frames are fat, so run each case on a
+/// dedicated thread with room to spare. The closure returns `Ok(())` or
+/// a failure description (values inside are not `Send`).
+fn on_big_stack(f: impl FnOnce() -> Result<(), String> + Send + 'static) -> Result<(), String> {
+    std::thread::Builder::new()
+        .stack_size(256 * 1024 * 1024)
+        .spawn(f)
+        .expect("spawn")
+        .join()
+        .expect("no panic")
+}
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FUEL: u64 = 800_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Residual programs compute the same result (value or error) as the
+    /// original — fuel aside, since the residual takes fewer steps.
+    #[test]
+    fn specialization_preserves_results(seed: u64) {
+        let outcome = on_big_stack(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let program = gen_program(&mut rng, &GenConfig::default());
+            let residual = specialize(&program, &small_budget());
+            let opts = EvalOptions::with_fuel(FUEL);
+            let original = eval_with(&program, &Env::empty(), &opts);
+            let specialized = eval_with(&residual, &Env::empty(), &opts);
+            let fuel = |r: &Result<Value, EvalError>| matches!(r, Err(EvalError::FuelExhausted));
+            if !fuel(&original) && !fuel(&specialized) && original != specialized {
+                return Err(format!(
+                    "original {original:?} != specialized {specialized:?}\nresidual: {residual}"
+                ));
+            }
+            Ok(())
+        });
+        prop_assert!(outcome.is_ok(), "{}", outcome.unwrap_err());
+    }
+
+    /// Specialization also preserves *monitoring*: annotations survive,
+    /// and a step counter sees the same events on the residual program
+    /// whenever no folding removed inner computation around them. We
+    /// check the stronger end-to-end property on the answer plus the
+    /// invariant that annotation names survive verbatim.
+    #[test]
+    fn specialization_keeps_annotations(seed: u64, density in 50u16..400) {
+        let outcome = on_big_stack(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let plain = gen_program(&mut rng, &GenConfig::default());
+            let program = sprinkle_annotations(
+                &mut rng,
+                &plain,
+                &Namespace::anonymous(),
+                f64::from(density) / 1000.0,
+            );
+            let residual = specialize(&program, &small_budget());
+            let before: std::collections::BTreeSet<String> =
+                program.annotations().iter().map(|a| a.to_string()).collect();
+            let after: std::collections::BTreeSet<String> =
+                residual.annotations().iter().map(|a| a.to_string()).collect();
+            // Annotations may be dropped only with dead code (a branch the
+            // specializer proved unreachable); they are never invented.
+            if !after.is_subset(&before) {
+                return Err(format!(
+                    "invented annotations: {:?}",
+                    after.difference(&before).collect::<Vec<_>>()
+                ));
+            }
+            Ok(())
+        });
+        prop_assert!(outcome.is_ok(), "{}", outcome.unwrap_err());
+    }
+
+    /// The instrumented (state-passing) program computes the same answer
+    /// as the monitored interpreter, and the same monitor state.
+    #[test]
+    fn instrumentation_agrees_with_the_monitored_interpreter(seed: u64, density in 0u16..400) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plain = gen_program(&mut rng, &GenConfig::default());
+        let program = sprinkle_annotations(
+            &mut rng,
+            &plain,
+            &Namespace::anonymous(),
+            f64::from(density) / 1000.0,
+        );
+
+        /// The Rust-side step counter matching `pe::instrument::step_counter`.
+        struct Count;
+        impl Monitor for Count {
+            type State = i64;
+            fn name(&self) -> &str { "count" }
+            fn accepts(&self, ann: &Annotation) -> bool {
+                matches!(ann.kind, monitoring_semantics::syntax::AnnKind::Label(_))
+            }
+            fn initial_state(&self) -> i64 { 0 }
+            fn pre(
+                &self,
+                _: &Annotation,
+                _: &Expr,
+                _: &monitoring_semantics::monitor::Scope<'_>,
+                n: i64,
+            ) -> i64 {
+                n + 1
+            }
+        }
+
+        let opts = EvalOptions::with_fuel(FUEL);
+        let monitored =
+            eval_monitored_with(&program, &Env::empty(), &Count, 0, &opts);
+        let instrumented = instrument(&program, &step_counter());
+        let translated = eval_with(&instrumented, &Env::empty(), &opts);
+
+        match (monitored, translated) {
+            (Err(EvalError::FuelExhausted), _) | (_, Err(EvalError::FuelExhausted)) => {}
+            (Ok((v, n)), Ok(Value::Pair(tv, tn))) => {
+                prop_assert_eq!(v, (*tv).clone());
+                prop_assert_eq!(Value::Int(n), (*tn).clone());
+            }
+            (Err(e1), Err(e2)) => prop_assert_eq!(e1, e2),
+            (a, b) => prop_assert!(false, "monitored: {:?}, instrumented: {:?}", a, b),
+        }
+    }
+}
+
+/// Level 3 on the flagship example: `pow` with a static exponent unrolls
+/// to straight-line code and still computes powers.
+#[test]
+fn pow_specialization_is_correct_for_every_base() {
+    let program = monitoring_semantics::syntax::parse_expr(
+        "letrec pow = lambda b. lambda e. if e = 0 then 1 else b * (pow b (e - 1)) \
+         in pow base 16",
+    )
+    .unwrap();
+    let residual = specialize(&program, &SpecializeOptions::default());
+    assert!(!residual.to_string().contains("letrec"));
+    for base in [-3i64, 0, 1, 2, 5] {
+        let run = Expr::let_("base", Expr::int(base), residual.clone());
+        assert_eq!(
+            eval_with(&run, &Env::empty(), &EvalOptions::default()),
+            Ok(Value::Int(base.pow(16)))
+        );
+    }
+}

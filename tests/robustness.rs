@@ -1,0 +1,79 @@
+//! Robustness properties: the front end never panics, printing
+//! round-trips, and the residual-cleanup pass preserves semantics.
+
+use monitoring_semantics::core::machine::{eval_with, EvalOptions};
+use monitoring_semantics::core::{Env, EvalError};
+use monitoring_semantics::pe::simplify::simplify;
+use monitoring_semantics::syntax::gen::{gen_program, sprinkle_annotations, GenConfig};
+use monitoring_semantics::syntax::{parse_expr, Namespace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary input never panics the lexer/parser — it parses or
+    /// reports a positioned error.
+    #[test]
+    fn parser_never_panics(src in ".{0,200}") {
+        match parse_expr(&src) {
+            Ok(_) => {}
+            Err(e) => {
+                // The error position is within (or just past) the input.
+                prop_assert!(e.offset <= src.len());
+                let _ = e.display_in(&src);
+            }
+        }
+    }
+
+    /// Structured junk built from the language's own tokens.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        words in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "lambda", "letrec", "let", "in", "if", "then", "else", "and",
+                "while", "do", "end", "x", "f", "0", "1", "(", ")", "[", "]",
+                "{", "}", ":", ":=", ".", ",", ";", "+", "-", "*", "/", "=",
+                "<", "<=", "++", "true", "false", "\"s\"",
+            ]),
+            0..40,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = parse_expr(&src);
+    }
+
+    /// Pretty-printed annotated programs re-parse to the same tree.
+    #[test]
+    fn annotated_round_trip(seed: u64, density in 0u16..=1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plain = gen_program(&mut rng, &GenConfig::default());
+        let program = sprinkle_annotations(
+            &mut rng,
+            &plain,
+            &Namespace::new("ns"),
+            f64::from(density) / 1000.0,
+        );
+        let printed = program.to_string();
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|e| panic!("{}\nprogram: {printed}", e.display_in(&printed)));
+        prop_assert_eq!(reparsed, program);
+    }
+
+    /// The residual-cleanup pass is semantics-preserving on generated
+    /// programs (values and errors alike).
+    #[test]
+    fn simplify_preserves_semantics(seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let program = gen_program(&mut rng, &GenConfig::default());
+        let cleaned = simplify(&program);
+        let opts = EvalOptions::with_fuel(400_000);
+        let original = eval_with(&program, &Env::empty(), &opts);
+        let simplified = eval_with(&cleaned, &Env::empty(), &opts);
+        let fuel = |r: &Result<_, EvalError>| matches!(r, Err(EvalError::FuelExhausted));
+        if !fuel(&original) && !fuel(&simplified) {
+            prop_assert_eq!(original, simplified, "cleaned: {}", cleaned);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Experiment E11 — the §9.2 environment:
+//! `evaluate (profile & debug & strict) prog`, across the three language
+//! modules, with the toolbox constructors.
+
+use monitoring_semantics::core::Value;
+use monitoring_semantics::monitor::session::{evaluate, LanguageModule, Session, SessionError};
+use monitoring_semantics::monitors::debugger::Command;
+use monitoring_semantics::monitors::toolbox;
+use monitoring_semantics::syntax::{parse_expr, Ident};
+
+/// The paper's one-liner, transliterated:
+/// `evaluate (profile & debug & strict) prog`.
+#[test]
+fn evaluate_profile_and_debug_and_strict() {
+    let prog = parse_expr(
+        "letrec fac = lambda x. {fac}:({bp/stop}:if x = 0 then 1 else x * (fac (x - 1))) \
+         in fac 4",
+    )
+    .unwrap();
+    let tools = toolbox::profile()
+        & toolbox::debug(vec![
+            Command::Where,
+            Command::Print(Ident::new("x")),
+            Command::Continue,
+            Command::Disable,
+        ]);
+    let report = evaluate(tools, LanguageModule::Strict, &prog).unwrap();
+    assert_eq!(report.answer, Value::Int(24));
+    assert_eq!(report.rendered_of("profiler"), Some("[fac ↦ 5]"));
+    let transcript = report.rendered_of("debugger").unwrap();
+    assert!(transcript.contains("stopped at {stop}"));
+    assert!(transcript.contains("x = 4"));
+    assert!(transcript.contains("breakpoints disabled"));
+}
+
+/// Every language module runs the same pure monitored program and reports
+/// the same answer and profile.
+#[test]
+fn language_modules_agree_on_monitored_pure_programs() {
+    let prog = parse_expr(
+        "letrec fib = lambda n. {fib}:if n < 2 then n else (fib (n-1)) + (fib (n-2)) \
+         in fib 10",
+    )
+    .unwrap();
+    let mut profiles = Vec::new();
+    for lang in [LanguageModule::Strict, LanguageModule::Lazy, LanguageModule::Imperative] {
+        let report = Session::new()
+            .language(lang)
+            .monitor(toolbox::profile())
+            .run_expr(&prog)
+            .unwrap();
+        assert_eq!(report.answer, Value::Int(55), "{lang:?}");
+        profiles.push(report.rendered_of("profiler").unwrap().to_string());
+    }
+    // Strict and imperative evaluate identically; call-by-need takes the
+    // same call tree here (every argument is demanded).
+    assert_eq!(profiles[0], profiles[2]);
+    assert_eq!(profiles[0], profiles[1]);
+}
+
+/// The imperative module supports the full §9.2 surface: loops and
+/// assignment, still monitored and still answer-preserving.
+#[test]
+fn imperative_programs_with_watchpoints() {
+    let prog = parse_expr(
+        "let sum = 0 in let i = 0 in \
+         (while i < 5 do {watch/tick}:(sum := sum + i); i := i + 1 end); sum",
+    )
+    .unwrap();
+    let report = Session::new()
+        .language(LanguageModule::Imperative)
+        .monitor(toolbox::watch("sum"))
+        .run_expr(&prog)
+        .unwrap();
+    assert_eq!(report.answer, Value::Int(10));
+    let log = report.rendered_of("watchpoint").unwrap();
+    // sum takes values 0,1,3,6,10 across the loop.
+    for v in ["sum = 0", "sum = 1", "sum = 3", "sum = 6", "sum = 10"] {
+        assert!(log.contains(v), "missing `{v}` in:\n{log}");
+    }
+}
+
+#[test]
+fn lazy_module_skips_events_in_unused_bindings() {
+    let prog = parse_expr("(lambda x. 7) ({never}:(1 + 2))").unwrap();
+    let strict = Session::new().monitor(toolbox::profile()).run_expr(&prog).unwrap();
+    let lazy = Session::new()
+        .language(LanguageModule::Lazy)
+        .monitor(toolbox::profile())
+        .run_expr(&prog)
+        .unwrap();
+    assert_eq!(strict.answer, lazy.answer);
+    assert_eq!(strict.rendered_of("profiler"), Some("[never ↦ 1]"));
+    assert_eq!(lazy.rendered_of("profiler"), Some("[]"));
+}
+
+#[test]
+fn session_surfaces_evaluation_errors() {
+    let err = Session::new().run("1 / 0").unwrap_err();
+    assert!(matches!(err, SessionError::Eval(_)));
+    assert_eq!(err.to_string(), "division by zero");
+}
