@@ -1,14 +1,15 @@
 //! Ablations for the design choices DESIGN.md §5 calls out:
 //!
 //! * defunctionalized frames vs boxed-closure continuations;
-//! * name-lookup environments vs compiled de Bruijn frames;
+//! * variable lookup: string comparison vs interned symbols vs lexical
+//!   addresses (and, for reference, the compiled de Bruijn engine);
 //! * owned-state (`MS → MS`) monitor hooks vs interior-mutability hooks.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use monsem_bench::labelled_countdown;
 use monsem_core::closure_cps::eval_cps_with;
-use monsem_core::machine::{eval_with, EvalOptions};
-use monsem_core::{programs, Env, Value};
+use monsem_core::machine::{eval_with, EvalOptions, LookupMode};
+use monsem_core::{programs, resolve_closed, Env, Value};
 use monsem_monitor::machine::eval_monitored_with;
 use monsem_monitor::scope::Scope;
 use monsem_monitor::Monitor;
@@ -49,7 +50,8 @@ impl Monitor for CellCounter {
 fn bench_ablations(c: &mut Criterion) {
     let opts = EvalOptions::default();
     let mut group = c.benchmark_group("ablations");
-    group.sample_size(20);
+    group.sample_size(40);
+    group.measurement_time(std::time::Duration::from_secs(2));
 
     // Continuation encoding.
     let fib = programs::fib(17);
@@ -57,24 +59,58 @@ fn bench_ablations(c: &mut Criterion) {
         b.iter(|| assert_eq!(eval_with(&fib, &Env::empty(), &opts), Ok(Value::Int(1597))))
     });
     group.bench_function("continuations/boxed-closures", |b| {
-        b.iter(|| assert_eq!(eval_cps_with(&fib, &Env::empty(), &opts), Ok(Value::Int(1597))))
+        b.iter(|| {
+            assert_eq!(
+                eval_cps_with(&fib, &Env::empty(), &opts),
+                Ok(Value::Int(1597))
+            )
+        })
     });
 
-    // Environment encoding.
+    // Variable lookup discipline, head to head on the classic recursion
+    // benchmarks. `string-compare` reconstructs the pre-interning seed
+    // (full string comparison per frame, linear primitive scan);
+    // `interned-symbol` is one u32 compare per frame; `lexical-address`
+    // follows resolver-computed (depth, slot) addresses — no comparisons.
+    // The lexical row evaluates a *pre-resolved* tree: resolution is a
+    // one-time pass (hoisted out of the timed loop exactly like `compile`
+    // below), and `BySymbol` stops `eval_with` from redundantly
+    // re-resolving per iteration — the `VarAt` nodes take the address
+    // path unconditionally in every mode.
+    let workloads: [(&str, Expr, Value); 3] = [
+        ("fac-12", programs::fac(12), Value::Int(479_001_600)),
+        ("fib-17", programs::fib(17), Value::Int(1597)),
+        ("ack-2-3", programs::ack(2, 3), Value::Int(9)),
+    ];
+    for (name, program, expected) in &workloads {
+        let resolved = resolve_closed(program);
+        for (mode_name, mode, program) in [
+            ("string-compare", LookupMode::ByString, program),
+            ("interned-symbol", LookupMode::BySymbol, program),
+            ("lexical-address", LookupMode::BySymbol, &resolved),
+        ] {
+            let o = EvalOptions::with_lookup(mode);
+            group.bench_with_input(
+                BenchmarkId::new(format!("environments/{mode_name}"), name),
+                program,
+                |b, program| {
+                    b.iter(|| {
+                        assert_eq!(eval_with(program, &Env::empty(), &o), Ok(expected.clone()))
+                    })
+                },
+            );
+        }
+    }
+    // Reference point: the pe crate's closure-compiled de Bruijn engine.
     let compiled = compile(&fib).expect("compiles");
-    group.bench_function("environments/name-lookup-interp", |b| {
-        b.iter(|| eval_with(&fib, &Env::empty(), &opts).unwrap())
-    });
-    group.bench_function("environments/compiled-de-bruijn", |b| {
+    group.bench_function("environments/compiled-de-bruijn/fib-17", |b| {
         b.iter(|| compiled.run().unwrap())
     });
 
     // Monitor state style.
     let labelled = labelled_countdown(2_000);
     group.bench_function("monitor-state/owned", |b| {
-        b.iter(|| {
-            eval_monitored_with(&labelled, &Env::empty(), &OwnedCounter, 0, &opts).unwrap()
-        })
+        b.iter(|| eval_monitored_with(&labelled, &Env::empty(), &OwnedCounter, 0, &opts).unwrap())
     });
     group.bench_function("monitor-state/interior-mutable", |b| {
         b.iter(|| {

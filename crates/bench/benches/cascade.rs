@@ -18,7 +18,11 @@ fn stack_of(depth: usize) -> MonitorStack {
     for i in 0..depth {
         // Only layer 0 listens on the anonymous namespace; the rest pay
         // dispatch (accepts) but never fire — measuring cascade overhead.
-        let ns = if i == 0 { Namespace::anonymous() } else { Namespace::new(format!("ns{i}")) };
+        let ns = if i == 0 {
+            Namespace::anonymous()
+        } else {
+            Namespace::new(format!("ns{i}"))
+        };
         stack = stack.push(boxed(Profiler::in_namespace(ns)));
     }
     stack
@@ -33,8 +37,7 @@ fn bench_cascade(c: &mut Criterion) {
         let stack = stack_of(depth);
         group.bench_with_input(BenchmarkId::from_parameter(depth), &stack, |b, s| {
             b.iter(|| {
-                eval_monitored_with(&program, &Env::empty(), s, s.initial_state(), &opts)
-                    .unwrap()
+                eval_monitored_with(&program, &Env::empty(), s, s.initial_state(), &opts).unwrap()
             })
         });
     }
@@ -50,8 +53,7 @@ fn bench_cascade(c: &mut Criterion) {
     });
     group.bench_function("lazy", |b| {
         b.iter(|| {
-            eval_monitored_lazy_with(&program, &Env::empty(), &p, p.initial_state(), &opts)
-                .unwrap()
+            eval_monitored_lazy_with(&program, &Env::empty(), &p, p.initial_state(), &opts).unwrap()
         })
     });
     group.bench_function("imperative", |b| {

@@ -16,24 +16,28 @@ fn bench_monitors(c: &mut Criterion) {
     let mut group = c.benchmark_group("monitor_overhead");
     group.sample_size(20);
 
-    fn run<M: Monitor>(
-        program: &monsem_syntax::Expr,
-        m: &M,
-        opts: &EvalOptions,
-    ) {
+    fn run<M: Monitor>(program: &monsem_syntax::Expr, m: &M, opts: &EvalOptions) {
         eval_monitored_with(program, &Env::empty(), m, m.initial_state(), opts).unwrap();
     }
 
-    group.bench_function("identity", |b| b.iter(|| run(&program, &IdentityMonitor, &opts)));
-    group.bench_function("ab-profiler", |b| b.iter(|| run(&program, &AbProfiler, &opts)));
-    group.bench_function("profiler", |b| b.iter(|| run(&program, &Profiler::new(), &opts)));
+    group.bench_function("identity", |b| {
+        b.iter(|| run(&program, &IdentityMonitor, &opts))
+    });
+    group.bench_function("ab-profiler", |b| {
+        b.iter(|| run(&program, &AbProfiler, &opts))
+    });
+    group.bench_function("profiler", |b| {
+        b.iter(|| run(&program, &Profiler::new(), &opts))
+    });
     group.bench_function("collecting", |b| {
         b.iter(|| run(&program, &Collecting::new(), &opts))
     });
     group.bench_function("demon", |b| {
         b.iter(|| run(&program, &UnsortedDemon::new(), &opts))
     });
-    group.bench_function("stepper", |b| b.iter(|| run(&program, &Stepper::new(), &opts)));
+    group.bench_function("stepper", |b| {
+        b.iter(|| run(&program, &Stepper::new(), &opts))
+    });
     group.finish();
 }
 

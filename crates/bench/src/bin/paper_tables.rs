@@ -2,8 +2,14 @@
 //! text (see EXPERIMENTS.md for the index and recorded results).
 //!
 //! ```text
-//! cargo run --release -p monsem-bench --bin paper_tables -- [--table all|examples|spec-levels|fig11|futamura]
+//! cargo run --release -p monsem-bench --bin paper_tables -- \
+//!     [--table all|examples|spec-levels|fig11|futamura] [--json <dir>]
 //! ```
+//!
+//! With `--json <dir>`, the timed tables additionally write
+//! machine-readable snapshots — `BENCH_spec_levels.json` (E6) and
+//! `BENCH_fig11.json` (E7) — into `<dir>`, so the performance trajectory
+//! can be tracked across revisions.
 //!
 //! Absolute times are machine-dependent; the *shape* (who wins, by what
 //! factor, linearity in monitoring activity) is what reproduces the paper.
@@ -19,6 +25,7 @@ use monsem_pe::engine::{compile, compile_monitored};
 use monsem_pe::instrument::{instrument, instrument_optimized, step_counter};
 use monsem_pe::pipeline::{measure, relative_percent};
 use monsem_pe::specialize::SpecializeOptions;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 fn main() {
@@ -30,16 +37,27 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("all")
         .to_string();
+    let json_dir: Option<PathBuf> =
+        args.iter()
+            .position(|a| a == "--json")
+            .map(|i| match args.get(i + 1) {
+                Some(dir) => PathBuf::from(dir),
+                None => {
+                    eprintln!("--json needs a directory argument");
+                    std::process::exit(2);
+                }
+            });
+    let json = json_dir.as_deref();
 
     match table.as_str() {
         "examples" => examples(),
-        "spec-levels" => spec_levels(),
-        "fig11" => fig11(),
+        "spec-levels" => spec_levels(json),
+        "fig11" => fig11(json),
         "futamura" => futamura(),
         "all" => {
             examples();
-            spec_levels();
-            fig11();
+            spec_levels(json);
+            fig11(json);
             futamura();
         }
         other => {
@@ -47,6 +65,18 @@ fn main() {
             std::process::exit(2);
         }
     }
+}
+
+/// Milliseconds with enough digits for a JSON snapshot.
+fn json_ms(d: Duration) -> String {
+    format!("{:.6}", d.as_secs_f64() * 1e3)
+}
+
+fn write_json(dir: &Path, file: &str, body: String) {
+    std::fs::create_dir_all(dir).expect("create --json directory");
+    let path = dir.join(file);
+    std::fs::write(&path, body).expect("write JSON snapshot");
+    println!("\nwrote {}", path.display());
 }
 
 fn header(title: &str) {
@@ -58,8 +88,7 @@ fn header(title: &str) {
 /// E1–E5: the paper's worked examples, verbatim.
 fn examples() {
     header("E1 (§5): A/B profiler on fac 5  —  paper: σ = ⟨1, 5⟩");
-    let (v, s) =
-        eval_monitored_with_defaults(&programs::fac_ab(5), &monsem_monitors::AbProfiler);
+    let (v, s) = eval_monitored_with_defaults(&programs::fac_ab(5), &monsem_monitors::AbProfiler);
     println!("answer = {v}");
     println!("σ = {}", monsem_monitors::AbProfiler.render_state(&s));
 
@@ -92,8 +121,14 @@ fn eval_monitored_with_defaults<M: Monitor>(
     e: &monsem_syntax::Expr,
     m: &M,
 ) -> (monsem_core::Value, M::State) {
-    eval_monitored_with(e, &Env::empty(), m, m.initial_state(), &EvalOptions::default())
-        .expect("example evaluates")
+    eval_monitored_with(
+        e,
+        &Env::empty(),
+        m,
+        m.initial_state(),
+        &EvalOptions::default(),
+    )
+    .expect("example evaluates")
 }
 
 const WARMUP: u32 = 3;
@@ -112,7 +147,7 @@ fn ms(d: Duration) -> String {
 /// variant is reported afterwards — that regime is dominated by the
 /// tracer's *dynamic* stream operations, which §9.1 notes no amount of
 /// specialization removes.
-fn spec_levels() {
+fn spec_levels(json: Option<&Path>) {
     header(
         "E6 (§9.1): specialization levels, tracer at ~20% trace density\n\
          paper: monitored interp ≈ 11% slower than standard interp;\n\
@@ -134,8 +169,14 @@ fn spec_levels() {
     );
     let t_monitored = measure(
         || {
-            eval_monitored_with(&program, &Env::empty(), &tracer, tracer.initial_state(), &opts)
-                .unwrap();
+            eval_monitored_with(
+                &program,
+                &Env::empty(),
+                &tracer,
+                tracer.initial_state(),
+                &opts,
+            )
+            .unwrap();
         },
         WARMUP,
         RUNS,
@@ -168,6 +209,7 @@ fn spec_levels() {
         relative_percent(t_compiled_mon, t_interp)
     );
     println!("  — compiled, no monitor       {}", ms(t_compiled_std));
+    let main_times = (t_interp, t_monitored, t_compiled_mon, t_compiled_std);
 
     println!();
     println!("fully-traced variant (every call traced — dynamic tracing dominates, cf. §9.1's");
@@ -184,8 +226,14 @@ fn spec_levels() {
     );
     let t_monitored = measure(
         || {
-            eval_monitored_with(&program, &Env::empty(), &tracer, tracer.initial_state(), &opts)
-                .unwrap();
+            eval_monitored_with(
+                &program,
+                &Env::empty(),
+                &tracer,
+                tracer.initial_state(),
+                &opts,
+            )
+            .unwrap();
         },
         WARMUP,
         RUNS,
@@ -208,16 +256,47 @@ fn spec_levels() {
         ms(t_compiled_mon),
         relative_percent(t_compiled_mon, t_monitored)
     );
+
+    if let Some(dir) = json {
+        let body = format!(
+            "{{\n  \
+               \"table\": \"spec_levels\",\n  \
+               \"unit\": \"ms\",\n  \
+               \"statistic\": \"median of {RUNS} after {WARMUP} warmups\",\n  \
+               \"main\": {{\n    \
+                 \"workload\": {{ \"iterations\": 4000, \"traced\": 800 }},\n    \
+                 \"standard_interpreter\": {},\n    \
+                 \"monitored_interpreter\": {},\n    \
+                 \"instrumented_compiled\": {},\n    \
+                 \"compiled_no_monitor\": {}\n  \
+               }},\n  \
+               \"fully_traced\": {{\n    \
+                 \"workload\": \"traced_fib(17)\",\n    \
+                 \"standard_interpreter\": {},\n    \
+                 \"monitored_interpreter\": {},\n    \
+                 \"instrumented_compiled\": {}\n  \
+               }}\n}}\n",
+            json_ms(main_times.0),
+            json_ms(main_times.1),
+            json_ms(main_times.2),
+            json_ms(main_times.3),
+            json_ms(t_interp),
+            json_ms(t_monitored),
+            json_ms(t_compiled_mon),
+        );
+        write_json(dir, "BENCH_spec_levels.json", body);
+    }
 }
 
 /// E7: Figure 11.
-fn fig11() {
+fn fig11(json: Option<&Path>) {
     header(
         "E7 (Figure 11): run time vs number of trace printouts (2000 iterations)\n\
          paper: standard interpreter flat; monitored interpreter linear in trace activity",
     );
     let tracer = Tracer::new();
     let opts = EvalOptions::default();
+    let mut points: Vec<String> = Vec::new();
     println!("{:>8} {:>14} {:>16}", "traced", "standard", "monitored");
     for traced in [0, 250, 500, 1000, 1500, 2000] {
         let program = trace_density_program(2000, traced);
@@ -244,6 +323,23 @@ fn fig11() {
             RUNS,
         );
         println!("{:>8} {} {}", traced, ms(t_std), ms(t_mon));
+        points.push(format!(
+            "    {{ \"traced\": {traced}, \"standard\": {}, \"monitored\": {} }}",
+            json_ms(t_std),
+            json_ms(t_mon),
+        ));
+    }
+    if let Some(dir) = json {
+        let body = format!(
+            "{{\n  \
+               \"table\": \"fig11\",\n  \
+               \"unit\": \"ms\",\n  \
+               \"statistic\": \"median of {RUNS} after {WARMUP} warmups\",\n  \
+               \"iterations\": 2000,\n  \
+               \"points\": [\n{}\n  ]\n}}\n",
+            points.join(",\n"),
+        );
+        write_json(dir, "BENCH_fig11.json", body);
     }
 }
 
@@ -262,7 +358,10 @@ fn futamura() {
     let instrumented = instrument(&program, &monitor);
     let optimized = instrument_optimized(&program, &monitor, &SpecializeOptions::default());
     println!("annotated program:          {}", programs::fac_ab(5));
-    println!("instrumented size:          {} AST nodes", instrumented.size());
+    println!(
+        "instrumented size:          {} AST nodes",
+        instrumented.size()
+    );
     println!("after specialization:       {} AST nodes", optimized.size());
     println!("specialized program:        {optimized}");
 
@@ -293,6 +392,9 @@ fn futamura() {
         RUNS,
     );
     println!("instrumented, interpreted:  {}", ms(t_interp_instrumented));
-    println!("instrumented, compiled:     {}", ms(t_compiled_instrumented));
+    println!(
+        "instrumented, compiled:     {}",
+        ms(t_compiled_instrumented)
+    );
     println!("specialized (level 3):      {}", ms(t_specialized));
 }

@@ -98,6 +98,9 @@ mod tests {
 
     #[test]
     fn value_answer_is_total() {
-        assert_eq!(ValueAnswer.phi(Value::prim(Prim::Add)), Ok(Value::prim(Prim::Add)));
+        assert_eq!(
+            ValueAnswer.phi(Value::prim(Prim::Add)),
+            Ok(Value::prim(Prim::Add))
+        );
     }
 }

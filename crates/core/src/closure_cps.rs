@@ -13,7 +13,8 @@
 
 use crate::env::{Env, LetrecPlan};
 use crate::error::EvalError;
-use crate::machine::{constant, EvalOptions};
+use crate::machine::{constant, EvalOptions, LookupMode};
+use crate::resolve::resolve_for;
 use crate::value::{Closure, Value};
 use monsem_syntax::Expr;
 use std::rc::Rc;
@@ -40,6 +41,7 @@ fn done_err(e: EvalError) -> Bounce {
 fn step(expr: Rc<Expr>, env: Env, k: Kont) -> Bounce {
     match &*expr {
         Expr::Con(c) => k(constant(c)),
+        Expr::VarAt(_, addr) => k(env.lookup_addr(addr)),
         Expr::Var(x) => match env.lookup(x) {
             Some(v) => k(v),
             None => done_err(EvalError::UnboundVariable(x.clone())),
@@ -96,7 +98,11 @@ fn step(expr: Rc<Expr>, env: Env, k: Kont) -> Bounce {
         }
         Expr::Letrec(bs, body) => {
             let plan = Rc::new(LetrecPlan::of(bs));
-            let env = if plan.values == 0 { plan.push_rec(&env) } else { env };
+            let env = if plan.values == 0 {
+                plan.push_rec(&env)
+            } else {
+                env
+            };
             bind_from(plan, 0, body.clone(), env, k)
         }
         Expr::Ann(_, inner) => {
@@ -121,13 +127,7 @@ fn step(expr: Rc<Expr>, env: Env, k: Kont) -> Bounce {
 
 /// Evaluates the `index`-th planned letrec binding, then the rest, then
 /// the body (pushing the rec frame after the value bindings).
-fn bind_from(
-    plan: Rc<LetrecPlan>,
-    index: usize,
-    body: Rc<Expr>,
-    env: Env,
-    k: Kont,
-) -> Bounce {
+fn bind_from(plan: Rc<LetrecPlan>, index: usize, body: Rc<Expr>, env: Env, k: Kont) -> Bounce {
     if index == plan.ordered.len() {
         return Bounce::More(Box::new(move || step(body, env, k)));
     }
@@ -138,7 +138,7 @@ fn bind_from(
             value_expr,
             env2,
             Box::new(move |v| {
-                let mut env = env.extend(plan.ordered[index].name.clone(), v);
+                let mut env = plan.bind(&env, index, v);
                 if index + 1 == plan.values {
                     env = plan.push_rec(&env);
                 }
@@ -190,11 +190,11 @@ pub fn eval_cps(expr: &Expr) -> Result<Value, EvalError> {
 pub fn eval_cps_with(expr: &Expr, env: &Env, options: &EvalOptions) -> Result<Value, EvalError> {
     // κ_init = {λv. φ v} with φ the identity here; answer algebras are
     // applied by callers (see `answer`).
-    let mut bounce = step(
-        Rc::new(expr.clone()),
-        env.clone(),
-        Box::new(|v| Bounce::Done(Ok(v))),
-    );
+    let program = match options.lookup {
+        LookupMode::ByAddress => Rc::new(resolve_for(expr, env)),
+        LookupMode::BySymbol | LookupMode::ByString => Rc::new(expr.clone()),
+    };
+    let mut bounce = step(program, env.clone(), Box::new(|v| Bounce::Done(Ok(v))));
     let mut fuel = options.fuel;
     loop {
         match bounce {

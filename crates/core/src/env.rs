@@ -13,19 +13,43 @@
 //!
 //! At the bottom of every environment sits the initial environment of
 //! primitives (resolved by name, so it costs nothing to construct).
+//!
+//! # Lookup fast paths
+//!
+//! Three lookup disciplines coexist, fastest first:
+//!
+//! * [`Env::lookup_addr`] — follows a [`VarAddr`] computed by the static
+//!   resolver (`crate::resolve`): pointer hops and an indexed read, **zero
+//!   name comparisons** of any kind;
+//! * [`Env::lookup`] — walks the chain comparing interned symbols (one
+//!   `u32` compare per frame) and finishes with a hashed primitive lookup;
+//!   used for occurrences the resolver could not address (free variables
+//!   of dynamically-shaped `letrec` value bindings, REPL-style
+//!   environments) and for monitors reading variables by name;
+//! * [`Env::lookup_str`] — re-creates the pre-interning behaviour (full
+//!   string comparison per frame, linear primitive scan) and exists only
+//!   so the `ablation_environments` benchmark can measure what the fast
+//!   paths buy.
 
 use crate::prims::Prim;
 use crate::value::{Closure, Value};
-use monsem_syntax::{Binding, Expr, Ident, Lambda};
+use monsem_syntax::{Binding, Expr, Ident, Lambda, VarAddr};
 use std::fmt;
 use std::rc::Rc;
 
 #[derive(Debug)]
 enum Node {
     /// `ρ[x ↦ v]`
-    Frame { name: Ident, value: Value, parent: Env },
+    Frame {
+        name: Ident,
+        value: Value,
+        parent: Env,
+    },
     /// One frame per `letrec`, holding every lambda-valued binding.
-    Rec { bindings: Rc<Vec<(Ident, Rc<Lambda>)>>, parent: Env },
+    Rec {
+        bindings: Rc<Vec<(Ident, Rc<Lambda>)>>,
+        parent: Env,
+    },
 }
 
 /// A persistent environment. Cloning is O(1).
@@ -50,7 +74,11 @@ impl Env {
 
     /// `ρ[name ↦ value]`.
     pub fn extend(&self, name: Ident, value: Value) -> Env {
-        Env(Some(Rc::new(Node::Frame { name, value, parent: self.clone() })))
+        Env(Some(Rc::new(Node::Frame {
+            name,
+            value,
+            parent: self.clone(),
+        })))
     }
 
     /// Pushes a rec frame for the lambda-valued bindings of a `letrec`.
@@ -58,31 +86,110 @@ impl Env {
     /// Looking any of these names up yields a closure whose environment is
     /// rooted at this frame, tying the recursive knot.
     pub fn extend_rec(&self, bindings: Rc<Vec<(Ident, Rc<Lambda>)>>) -> Env {
-        Env(Some(Rc::new(Node::Rec { bindings, parent: self.clone() })))
+        Env(Some(Rc::new(Node::Rec {
+            bindings,
+            parent: self.clone(),
+        })))
     }
 
     /// Looks `name` up, falling back to the primitive table.
+    ///
+    /// Frame comparisons are interned-symbol compares (one `u32` each); the
+    /// primitive fallback is a hashed symbol lookup.
     pub fn lookup(&self, name: &Ident) -> Option<Value> {
         let mut cur = self;
         loop {
             match cur.0.as_deref() {
-                Some(Node::Frame { name: n, value, parent }) => {
+                Some(Node::Frame {
+                    name: n,
+                    value,
+                    parent,
+                }) => {
                     if n == name {
                         return Some(value.clone());
                     }
                     cur = parent;
                 }
                 Some(Node::Rec { bindings, parent }) => {
-                    if let Some((_, lam)) = bindings.iter().find(|(n, _)| n == name) {
-                        return Some(Value::Closure(Rc::new(Closure {
-                            param: lam.param.clone(),
-                            body: lam.body.clone(),
-                            env: cur.clone(),
-                        })));
+                    if let Some(slot) = bindings.iter().position(|(n, _)| n == name) {
+                        return Some(cur.rec_closure(bindings, slot));
                     }
                     cur = parent;
                 }
-                None => return Prim::by_name(name.as_str()).map(Value::prim),
+                None => return Prim::by_ident(name).map(Value::prim),
+            }
+        }
+    }
+
+    /// Follows a lexical address computed by `crate::resolve`: `depth`
+    /// pointer hops, then an indexed read. No name comparison of any kind
+    /// happens on this path.
+    ///
+    /// # Panics
+    ///
+    /// If the address does not fit this environment. The resolver only
+    /// emits addresses for binders it tracked through every engine's
+    /// uniform frame discipline, so a panic here is a resolver bug, not a
+    /// program error.
+    pub fn lookup_addr(&self, addr: &VarAddr) -> Value {
+        let (depth, slot) = match addr {
+            VarAddr::Frame { depth } => (*depth, None),
+            VarAddr::Rec { depth, slot } => (*depth, Some(*slot as usize)),
+            // Statically proved to live below every frame: one indexed
+            // read into the primitive table, no chain walk at all.
+            VarAddr::Base { slot } => return Value::prim(Prim::ALL[*slot as usize].1),
+        };
+        let mut cur = self;
+        for _ in 0..depth {
+            cur = match cur.0.as_deref() {
+                Some(Node::Frame { parent, .. }) | Some(Node::Rec { parent, .. }) => parent,
+                None => panic!("lexical address escapes the environment"),
+            };
+        }
+        match (cur.0.as_deref(), slot) {
+            (Some(Node::Frame { value, .. }), None) => value.clone(),
+            (Some(Node::Rec { bindings, .. }), Some(slot)) => cur.rec_closure(bindings, slot),
+            _ => panic!("lexical address shape does not match the environment"),
+        }
+    }
+
+    /// The closure for slot `slot` of the rec frame at `self`, rooted at
+    /// this very frame (the knot of the `letrec` fixpoint).
+    fn rec_closure(&self, bindings: &[(Ident, Rc<Lambda>)], slot: usize) -> Value {
+        let (_, lam) = &bindings[slot];
+        Value::Closure(Rc::new(Closure {
+            param: lam.param.clone(),
+            body: lam.body.clone(),
+            env: self.clone(),
+        }))
+    }
+
+    /// Pre-interning lookup, kept verbatim for the environments ablation:
+    /// a full string comparison per frame and a linear scan of the
+    /// primitive table at the bottom. Semantically identical to
+    /// [`Env::lookup`]; never use it outside benchmarks.
+    pub fn lookup_str(&self, name: &Ident) -> Option<Value> {
+        let text = name.as_str();
+        let mut cur = self;
+        loop {
+            match cur.0.as_deref() {
+                Some(Node::Frame {
+                    name: n,
+                    value,
+                    parent,
+                }) => {
+                    if n.as_str() == text {
+                        return Some(value.clone());
+                    }
+                    cur = parent;
+                }
+                Some(Node::Rec { bindings, parent }) => {
+                    if let Some(slot) = bindings.iter().position(|(n, _)| n.as_str() == text) {
+                        return Some(cur.rec_closure(bindings, slot));
+                    }
+                    cur = parent;
+                }
+                None => return Prim::by_name(text).map(Value::prim),
             }
         }
     }
@@ -109,7 +216,11 @@ impl fmt::Display for Env {
         let mut first = true;
         while let Some(node) = cur.0.as_deref() {
             match node {
-                Node::Frame { name, value, parent } => {
+                Node::Frame {
+                    name,
+                    value,
+                    parent,
+                } => {
                     if !first {
                         f.write_str(", ")?;
                     }
@@ -155,7 +266,7 @@ pub fn lambda_of(e: &Expr) -> Option<Rc<Lambda>> {
 ///    intuition that `letrec base = 10 and f = λx. … base …` works;
 /// 3. lambda bindings that carry annotations are then evaluated once (the
 ///    annotation is a monitoring event that must fire), shadowing their
-///    rec-frame entry with an identical closure;
+///    rec-frame entry with the rec-frame closure (see [`LetrecPlan::bind`]);
 /// 4. the body runs.
 #[derive(Debug)]
 pub struct LetrecPlan {
@@ -188,7 +299,11 @@ impl LetrecPlan {
         }
         let values = ordered.len();
         ordered.extend(annotated);
-        LetrecPlan { ordered, values, rec: Rc::new(rec) }
+        LetrecPlan {
+            ordered,
+            values,
+            rec: Rc::new(rec),
+        }
     }
 
     /// Pushes the rec frame if the group has any functions.
@@ -198,6 +313,27 @@ impl LetrecPlan {
         } else {
             env.extend_rec(self.rec.clone())
         }
+    }
+
+    /// Extends `env` with the `index`-th planned binding, given the value
+    /// its right-hand side evaluated to.
+    ///
+    /// Value bindings (`index < values`) bind that value. Annotated lambda
+    /// bindings bind the **rec-frame closure** instead: evaluating the
+    /// right-hand side existed only to fire the annotation's monitoring
+    /// events, and the rec closure is the same function rooted at the one
+    /// environment shape the static resolver predicts for the group's
+    /// bodies. (Before lexical addressing the shadow frame held the freshly
+    /// evaluated closure — an *identical* closure over a slightly taller
+    /// environment; observable behaviour is unchanged, but a single body
+    /// can now only run in a single frame layout.)
+    pub fn bind(&self, env: &Env, index: usize, value: Value) -> Env {
+        let name = &self.ordered[index].name;
+        if index < self.values {
+            return env.extend(name.clone(), value);
+        }
+        let rec_bound = env.lookup(name).unwrap_or(value);
+        env.extend(name.clone(), rec_bound)
     }
 }
 
@@ -217,7 +353,10 @@ mod tests {
     #[test]
     fn primitives_resolve_at_the_base() {
         let env = Env::empty();
-        assert!(matches!(env.lookup(&Ident::new("+")), Some(Value::Prim(Prim::Add, _))));
+        assert!(matches!(
+            env.lookup(&Ident::new("+")),
+            Some(Value::Prim(Prim::Add, _))
+        ));
         assert_eq!(env.lookup(&Ident::new("no-such")), None);
     }
 
@@ -235,8 +374,7 @@ mod tests {
             Expr::Lambda(l) => Rc::new(l),
             _ => unreachable!(),
         };
-        let env =
-            Env::empty().extend_rec(Rc::new(vec![(Ident::new("f"), lam)]));
+        let env = Env::empty().extend_rec(Rc::new(vec![(Ident::new("f"), lam)]));
         let v = env.lookup(&Ident::new("f")).unwrap();
         match v {
             Value::Closure(c) => {

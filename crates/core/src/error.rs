@@ -54,7 +54,11 @@ impl fmt::Display for EvalError {
             EvalError::NotAFunction(v) => {
                 write!(f, "cannot apply non-function value `{v}`")
             }
-            EvalError::TypeError { expected, found, operation } => {
+            EvalError::TypeError {
+                expected,
+                found,
+                operation,
+            } => {
                 write!(f, "`{operation}` expected {expected}, found `{found}`")
             }
             EvalError::NonBooleanCondition(v) => {
@@ -64,10 +68,9 @@ impl fmt::Display for EvalError {
             EvalError::EmptyList(op) => write!(f, "`{op}` of the empty list"),
             EvalError::Overflow(op) => write!(f, "integer overflow in `{op}`"),
             EvalError::FuelExhausted => f.write_str("evaluation fuel exhausted"),
-            EvalError::UnsupportedConstruct(what) => write!(
-                f,
-                "`{what}` requires the imperative language module"
-            ),
+            EvalError::UnsupportedConstruct(what) => {
+                write!(f, "`{what}` requires the imperative language module")
+            }
             EvalError::NotAssignable(x) => {
                 write!(f, "`{x}` is not bound to an assignable location")
             }

@@ -10,7 +10,8 @@
 
 use crate::env::{Env, LetrecPlan};
 use crate::error::EvalError;
-use crate::machine::{constant, EvalOptions};
+use crate::machine::{constant, EvalOptions, LookupMode};
+use crate::resolve::resolve_for;
 use crate::value::{Closure, Value};
 use monsem_syntax::{Expr, Ident};
 use std::rc::Rc;
@@ -54,18 +55,49 @@ impl Store {
 
 #[derive(Debug)]
 enum Frame {
-    Arg { func: Rc<Expr>, env: Env },
-    Apply { arg: Value },
-    Branch { then: Rc<Expr>, els: Rc<Expr>, env: Env },
-    Bind { name: Ident, body: Rc<Expr>, env: Env },
-    LetrecBind { plan: Rc<LetrecPlan>, index: usize, body: Rc<Expr>, env: Env },
-    Discard { second: Rc<Expr>, env: Env },
+    Arg {
+        func: Rc<Expr>,
+        env: Env,
+    },
+    Apply {
+        arg: Value,
+    },
+    Branch {
+        then: Rc<Expr>,
+        els: Rc<Expr>,
+        env: Env,
+    },
+    Bind {
+        name: Ident,
+        body: Rc<Expr>,
+        env: Env,
+    },
+    LetrecBind {
+        plan: Rc<LetrecPlan>,
+        index: usize,
+        body: Rc<Expr>,
+        env: Env,
+    },
+    Discard {
+        second: Rc<Expr>,
+        env: Env,
+    },
     /// Store the value into the location and yield unit.
-    Write { loc: usize },
+    Write {
+        loc: usize,
+    },
     /// Condition of a `while` just evaluated.
-    LoopTest { cond: Rc<Expr>, body: Rc<Expr>, env: Env },
+    LoopTest {
+        cond: Rc<Expr>,
+        body: Rc<Expr>,
+        env: Env,
+    },
     /// Body of a `while` just evaluated; re-test the condition.
-    LoopBack { cond: Rc<Expr>, body: Rc<Expr>, env: Env },
+    LoopBack {
+        cond: Rc<Expr>,
+        body: Rc<Expr>,
+        env: Env,
+    },
 }
 
 enum State {
@@ -96,7 +128,12 @@ pub fn eval_imperative_with(
 ) -> Result<(Value, Store), EvalError> {
     let mut store = Store::new();
     let mut stack: Vec<Frame> = Vec::new();
-    let mut state = State::Eval(Rc::new(expr.clone()), env.clone());
+    let program = match options.lookup {
+        LookupMode::ByAddress => Rc::new(resolve_for(expr, env)),
+        LookupMode::BySymbol | LookupMode::ByString => Rc::new(expr.clone()),
+    };
+    let by_string = options.lookup == LookupMode::ByString;
+    let mut state = State::Eval(program, env.clone());
     let mut fuel = options.fuel;
 
     loop {
@@ -108,31 +145,57 @@ pub fn eval_imperative_with(
         state = match state {
             State::Eval(expr, env) => match &*expr {
                 Expr::Con(c) => State::Continue(constant(c)),
-                Expr::Var(x) => match env.lookup(x) {
-                    Some(Value::Loc(l)) => State::Continue(store.read(l).clone()),
-                    Some(v) => State::Continue(v),
-                    None => return Err(EvalError::UnboundVariable(x.clone())),
+                Expr::VarAt(_, addr) => match env.lookup_addr(addr) {
+                    Value::Loc(l) => State::Continue(store.read(l).clone()),
+                    v => State::Continue(v),
                 },
+                Expr::Var(x) => {
+                    let v = if by_string {
+                        env.lookup_str(x)
+                    } else {
+                        env.lookup(x)
+                    };
+                    match v {
+                        Some(Value::Loc(l)) => State::Continue(store.read(l).clone()),
+                        Some(v) => State::Continue(v),
+                        None => return Err(EvalError::UnboundVariable(x.clone())),
+                    }
+                }
                 Expr::Lambda(l) => State::Continue(Value::Closure(Rc::new(Closure {
                     param: l.param.clone(),
                     body: l.body.clone(),
                     env: env.clone(),
                 }))),
                 Expr::If(c, t, e) => {
-                    stack.push(Frame::Branch { then: t.clone(), els: e.clone(), env: env.clone() });
+                    stack.push(Frame::Branch {
+                        then: t.clone(),
+                        els: e.clone(),
+                        env: env.clone(),
+                    });
                     State::Eval(c.clone(), env)
                 }
                 Expr::App(f, a) => {
-                    stack.push(Frame::Arg { func: f.clone(), env: env.clone() });
+                    stack.push(Frame::Arg {
+                        func: f.clone(),
+                        env: env.clone(),
+                    });
                     State::Eval(a.clone(), env)
                 }
                 Expr::Let(x, v, b) => {
-                    stack.push(Frame::Bind { name: x.clone(), body: b.clone(), env: env.clone() });
+                    stack.push(Frame::Bind {
+                        name: x.clone(),
+                        body: b.clone(),
+                        env: env.clone(),
+                    });
                     State::Eval(v.clone(), env)
                 }
                 Expr::Letrec(bs, body) => {
                     let plan = Rc::new(LetrecPlan::of(bs));
-                    let env = if plan.values == 0 { plan.push_rec(&env) } else { env };
+                    let env = if plan.values == 0 {
+                        plan.push_rec(&env)
+                    } else {
+                        env
+                    };
                     if plan.ordered.is_empty() {
                         State::Eval(body.clone(), env)
                     } else {
@@ -148,7 +211,10 @@ pub fn eval_imperative_with(
                 }
                 Expr::Ann(_, inner) => State::Eval(inner.clone(), env),
                 Expr::Seq(a, b) => {
-                    stack.push(Frame::Discard { second: b.clone(), env: env.clone() });
+                    stack.push(Frame::Discard {
+                        second: b.clone(),
+                        env: env.clone(),
+                    });
                     State::Eval(a.clone(), env)
                 }
                 Expr::Assign(x, e) => match env.lookup(x) {
@@ -202,7 +268,12 @@ pub fn eval_imperative_with(
                     let loc = store.alloc(value);
                     State::Eval(body, env.extend(name, Value::Loc(loc)))
                 }
-                Some(Frame::LetrecBind { plan, index, body, env }) => {
+                Some(Frame::LetrecBind {
+                    plan,
+                    index,
+                    body,
+                    env,
+                }) => {
                     // Function bindings stay immutable (recursion resolves
                     // through the rec frame, so mutating them would be
                     // unsound); value bindings get store cells.
@@ -211,7 +282,7 @@ pub fn eval_imperative_with(
                     } else {
                         value
                     };
-                    let mut env = env.extend(plan.ordered[index].name.clone(), bound);
+                    let mut env = plan.bind(&env, index, bound);
                     if index + 1 == plan.values {
                         env = plan.push_rec(&env);
                     }
@@ -315,7 +386,10 @@ mod tests {
 
     #[test]
     fn while_result_is_unit() {
-        assert_eq!(run_imp("let x = 0 in while false do x := 1 end"), Ok(Value::Unit));
+        assert_eq!(
+            run_imp("let x = 0 in while false do x := 1 end"),
+            Ok(Value::Unit)
+        );
     }
 
     #[test]
@@ -337,18 +411,14 @@ mod tests {
 
     #[test]
     fn annotations_are_transparent() {
-        assert_eq!(
-            run_imp("let x = 0 in {w}:(x := 5); x"),
-            Ok(Value::Int(5))
-        );
+        assert_eq!(run_imp("let x = 0 in {w}:(x := 5); x"), Ok(Value::Int(5)));
     }
 
     #[test]
     fn fuel_bounds_infinite_loops() {
         let e = parse_expr("while true do 1 end").unwrap();
         assert_eq!(
-            eval_imperative_with(&e, &Env::empty(), &EvalOptions::with_fuel(1000))
-                .map(|(v, _)| v),
+            eval_imperative_with(&e, &Env::empty(), &EvalOptions::with_fuel(1000)).map(|(v, _)| v),
             Err(EvalError::FuelExhausted)
         );
     }

@@ -13,8 +13,9 @@
 
 use crate::env::{Env, LetrecPlan};
 use crate::error::EvalError;
-use crate::machine::{constant, EvalOptions};
+use crate::machine::{constant, EvalOptions, LookupMode};
 use crate::prims::Prim;
+use crate::resolve::resolve_for;
 use crate::value::{Closure, ThunkRef, ThunkState, Value};
 use monsem_syntax::{Binding, Expr};
 use std::cell::RefCell;
@@ -28,11 +29,19 @@ enum Frame {
     /// expression is evaluated first.
     ApplyTo { arg: Rc<Expr>, env: Env },
     /// Waiting for the condition of an `if`.
-    Branch { then: Rc<Expr>, els: Rc<Expr>, env: Env },
+    Branch {
+        then: Rc<Expr>,
+        els: Rc<Expr>,
+        env: Env,
+    },
     /// Memoize the value into the thunk being forced.
     Update(ThunkRef),
     /// A primitive waiting for its `index`-th argument to be forced.
-    PrimArgs { prim: Prim, args: Vec<Value>, index: usize },
+    PrimArgs {
+        prim: Prim,
+        args: Vec<Value>,
+        index: usize,
+    },
     /// Discard and evaluate the second expression of a sequence.
     Discard { second: Rc<Expr>, env: Env },
 }
@@ -57,13 +66,14 @@ pub fn eval_lazy(expr: &Expr) -> Result<Value, EvalError> {
 /// # Errors
 ///
 /// Same as [`eval_lazy`], plus [`EvalError::FuelExhausted`].
-pub fn eval_lazy_with(
-    expr: &Expr,
-    env: &Env,
-    options: &EvalOptions,
-) -> Result<Value, EvalError> {
+pub fn eval_lazy_with(expr: &Expr, env: &Env, options: &EvalOptions) -> Result<Value, EvalError> {
     let mut stack: Vec<Frame> = Vec::new();
-    let mut state = State::Eval(Rc::new(expr.clone()), env.clone());
+    let program = match options.lookup {
+        LookupMode::ByAddress => Rc::new(resolve_for(expr, env)),
+        LookupMode::BySymbol | LookupMode::ByString => Rc::new(expr.clone()),
+    };
+    let by_string = options.lookup == LookupMode::ByString;
+    let mut state = State::Eval(program, env.clone());
     let mut fuel = options.fuel;
 
     loop {
@@ -75,22 +85,40 @@ pub fn eval_lazy_with(
         state = match state {
             State::Eval(expr, env) => match &*expr {
                 Expr::Con(c) => State::Continue(constant(c)),
-                Expr::Var(x) => match env.lookup(x) {
-                    Some(Value::Thunk(t)) => force(t, &mut stack)?,
-                    Some(v) => State::Continue(v),
-                    None => return Err(EvalError::UnboundVariable(x.clone())),
+                Expr::VarAt(_, addr) => match env.lookup_addr(addr) {
+                    Value::Thunk(t) => force(t, &mut stack)?,
+                    v => State::Continue(v),
                 },
+                Expr::Var(x) => {
+                    let v = if by_string {
+                        env.lookup_str(x)
+                    } else {
+                        env.lookup(x)
+                    };
+                    match v {
+                        Some(Value::Thunk(t)) => force(t, &mut stack)?,
+                        Some(v) => State::Continue(v),
+                        None => return Err(EvalError::UnboundVariable(x.clone())),
+                    }
+                }
                 Expr::Lambda(l) => State::Continue(Value::Closure(Rc::new(Closure {
                     param: l.param.clone(),
                     body: l.body.clone(),
                     env: env.clone(),
                 }))),
                 Expr::If(c, t, e) => {
-                    stack.push(Frame::Branch { then: t.clone(), els: e.clone(), env: env.clone() });
+                    stack.push(Frame::Branch {
+                        then: t.clone(),
+                        els: e.clone(),
+                        env: env.clone(),
+                    });
                     State::Eval(c.clone(), env)
                 }
                 Expr::App(f, a) => {
-                    stack.push(Frame::ApplyTo { arg: a.clone(), env: env.clone() });
+                    stack.push(Frame::ApplyTo {
+                        arg: a.clone(),
+                        env: env.clone(),
+                    });
                     State::Eval(f.clone(), env)
                 }
                 Expr::Let(x, v, b) => {
@@ -100,12 +128,13 @@ pub fn eval_lazy_with(
                 Expr::Letrec(bs, body) => State::Eval(body.clone(), letrec_env(bs, &env)),
                 Expr::Ann(_, inner) => State::Eval(inner.clone(), env),
                 Expr::Seq(a, b) => {
-                    stack.push(Frame::Discard { second: b.clone(), env: env.clone() });
+                    stack.push(Frame::Discard {
+                        second: b.clone(),
+                        env: env.clone(),
+                    });
                     State::Eval(a.clone(), env)
                 }
-                Expr::Assign(..) => {
-                    return Err(EvalError::UnsupportedConstruct("assignment"))
-                }
+                Expr::Assign(..) => return Err(EvalError::UnsupportedConstruct("assignment")),
                 Expr::While(..) => return Err(EvalError::UnsupportedConstruct("while")),
             },
             State::Continue(value) => match stack.pop() {
@@ -135,7 +164,11 @@ pub fn eval_lazy_with(
                     *t.borrow_mut() = ThunkState::Forced(value.clone());
                     State::Continue(value)
                 }
-                Some(Frame::PrimArgs { prim, mut args, index }) => {
+                Some(Frame::PrimArgs {
+                    prim,
+                    mut args,
+                    index,
+                }) => {
                     args[index] = value;
                     prim_step(prim, args, &mut stack)?
                 }
@@ -162,9 +195,7 @@ fn force(t: ThunkRef, stack: &mut Vec<Frame>) -> Result<State, EvalError> {
         match &*state {
             ThunkState::Forced(v) => return Ok(State::Continue(v.clone())),
             ThunkState::InProgress => return Err(EvalError::BlackHole),
-            ThunkState::Pending { .. } => {
-                std::mem::replace(&mut *state, ThunkState::InProgress)
-            }
+            ThunkState::Pending { .. } => std::mem::replace(&mut *state, ThunkState::InProgress),
         }
     };
     match taken {
@@ -198,7 +229,11 @@ fn prim_step(prim: Prim, mut args: Vec<Value>, stack: &mut Vec<Frame>) -> Result
                     continue;
                 }
                 None => {
-                    stack.push(Frame::PrimArgs { prim, args: args.clone(), index: i });
+                    stack.push(Frame::PrimArgs {
+                        prim,
+                        args: args.clone(),
+                        index: i,
+                    });
                     return force(t, stack);
                 }
             }
@@ -216,30 +251,45 @@ fn prim_step(prim: Prim, mut args: Vec<Value>, stack: &mut Vec<Frame>) -> Result
 fn letrec_env(bs: &[Binding], env: &Env) -> Env {
     let plan = LetrecPlan::of(bs);
     let mut env = env.clone();
-    let mut created: Vec<ThunkRef> = Vec::new();
-    let suspend_binding = |env: &Env, b: &Binding, created: &mut Vec<ThunkRef>| {
-        match suspend(b.value.clone(), Env::empty()) {
-            Value::Thunk(t) => {
-                created.push(t.clone());
-                env.extend(b.name.clone(), Value::Thunk(t))
-            }
-            constant_value => env.extend(b.name.clone(), constant_value),
+    let mut value_thunks: Vec<ThunkRef> = Vec::new();
+    let mut annotated_thunks: Vec<ThunkRef> = Vec::new();
+    let suspend_binding = |env: &Env, b: &Binding, created: &mut Vec<ThunkRef>| match suspend(
+        b.value.clone(),
+        Env::empty(),
+    ) {
+        Value::Thunk(t) => {
+            created.push(t.clone());
+            env.extend(b.name.clone(), Value::Thunk(t))
         }
+        constant_value => env.extend(b.name.clone(), constant_value),
     };
     for b in &plan.ordered[..plan.values] {
-        env = suspend_binding(&env, b, &mut created);
+        env = suspend_binding(&env, b, &mut value_thunks);
     }
     env = plan.push_rec(&env);
+    let rec_env = env.clone();
     for b in &plan.ordered[plan.values..] {
-        env = suspend_binding(&env, b, &mut created);
+        env = suspend_binding(&env, b, &mut annotated_thunks);
     }
-    // Tie the knot: every suspended binding sees the final environment
-    // (rec frame included), so value bindings may refer to the group's
-    // functions and self-dependence surfaces as a black hole.
-    for t in created {
+    // Tie the knot. Value bindings see the *final* environment (shadow
+    // frames included), so they may refer to the group's functions and
+    // self-dependence surfaces as a black hole; the resolver leaves their
+    // free variables unaddressed (barrier) precisely because the strict
+    // engines give them a different, shorter view. Annotated lambda
+    // bindings instead close over the rec-rooted environment — the one
+    // shape the resolver predicts for the group's function bodies, and the
+    // same shape the strict engines use after `LetrecPlan::bind` rebinds
+    // shadows to the rec closure.
+    for t in value_thunks {
         let mut state = t.borrow_mut();
         if let ThunkState::Pending { env: thunk_env, .. } = &mut *state {
             *thunk_env = env.clone();
+        }
+    }
+    for t in annotated_thunks {
+        let mut state = t.borrow_mut();
+        if let ThunkState::Pending { env: thunk_env, .. } = &mut *state {
+            *thunk_env = rec_env.clone();
         }
     }
     env
@@ -267,10 +317,7 @@ mod tests {
     fn unused_erroneous_argument_is_never_evaluated() {
         // Strict evaluation would divide by zero; call-by-need never
         // touches the argument.
-        assert_eq!(
-            run_lazy("(lambda x. 42) (1 / 0)"),
-            Ok(Value::Int(42))
-        );
+        assert_eq!(run_lazy("(lambda x. 42) (1 / 0)"), Ok(Value::Int(42)));
     }
 
     /// Smallest fuel for which the program completes (binary search).
@@ -330,7 +377,10 @@ mod tests {
     #[test]
     fn primitives_force_all_arguments() {
         assert_eq!(run_lazy("let x = 1 + 1 in x * x"), Ok(Value::Int(4)));
-        assert_eq!(run_lazy("let bad = 1 / 0 in bad + 1"), Err(EvalError::DivisionByZero));
+        assert_eq!(
+            run_lazy("let bad = 1 / 0 in bad + 1"),
+            Err(EvalError::DivisionByZero)
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!
 //! The semantic algebras (Figure 2, *Alg*) live in [`value`], [`mod@env`] and
 //! [`prims`]; the §3.1 *answer algebras* in [`answer`]; the §9.2 lazy and
-//! imperative language modules in [`lazy`] and [`imperative`].
+//! imperative language modules in [`lazy`] and [`imperative`]. Before the
+//! first transition every engine runs [`mod@resolve`], the static pass that
+//! rewrites variable occurrences to lexical `(depth, slot)` addresses so the
+//! hot loop does pointer hops instead of name comparisons.
 //!
 //! # Example
 //!
@@ -46,10 +49,12 @@ pub mod machine;
 pub mod prelude;
 pub mod prims;
 pub mod programs;
+pub mod resolve;
 pub mod value;
 
 pub use answer::{AnswerAlgebra, BasAnswer, StringAnswer, ValueAnswer};
 pub use env::Env;
 pub use error::EvalError;
-pub use machine::{eval, eval_with, EvalOptions};
+pub use machine::{eval, eval_with, EvalOptions, LookupMode};
+pub use resolve::{resolve, resolve_closed, resolve_for, resolve_rc};
 pub use value::{Closure, Value};

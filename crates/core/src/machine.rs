@@ -20,9 +20,33 @@
 
 use crate::env::{Env, LetrecPlan};
 use crate::error::EvalError;
+use crate::resolve::resolve_for;
 use crate::value::{Closure, Value};
 use monsem_syntax::{Con, Expr, Ident};
 use std::rc::Rc;
+
+/// How variable occurrences are dispatched to the environment.
+///
+/// The default, [`LookupMode::ByAddress`], statically resolves the program
+/// (`crate::resolve`) before the first transition and follows lexical
+/// addresses at `Expr::VarAt` occurrences — zero comparisons on the hot
+/// path. The other two modes exist for the `ablation_environments`
+/// benchmark and for differential testing of the resolver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LookupMode {
+    /// Resolve once, then follow `(depth, slot)` addresses
+    /// ([`Env::lookup_addr`]); unresolved occurrences fall back to
+    /// interned-symbol lookup.
+    #[default]
+    ByAddress,
+    /// No resolution pass; every occurrence walks the chain comparing
+    /// interned symbols ([`Env::lookup`]).
+    BySymbol,
+    /// No resolution pass; every occurrence compares full strings and
+    /// primitives are found by linear scan ([`Env::lookup_str`]) — the
+    /// pre-interning baseline, benchmarks only.
+    ByString,
+}
 
 /// Evaluation options.
 #[derive(Debug, Clone)]
@@ -30,11 +54,16 @@ pub struct EvalOptions {
     /// Maximum number of machine transitions before
     /// [`EvalError::FuelExhausted`]. The default is effectively unlimited.
     pub fuel: u64,
+    /// Variable lookup discipline; defaults to [`LookupMode::ByAddress`].
+    pub lookup: LookupMode,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { fuel: u64::MAX }
+        EvalOptions {
+            fuel: u64::MAX,
+            lookup: LookupMode::default(),
+        }
     }
 }
 
@@ -42,7 +71,18 @@ impl EvalOptions {
     /// Options with a step budget (used by property tests over generated
     /// programs, where nontermination must be cut off deterministically).
     pub fn with_fuel(fuel: u64) -> Self {
-        EvalOptions { fuel }
+        EvalOptions {
+            fuel,
+            ..EvalOptions::default()
+        }
+    }
+
+    /// Options with an explicit lookup discipline.
+    pub fn with_lookup(lookup: LookupMode) -> Self {
+        EvalOptions {
+            lookup,
+            ..EvalOptions::default()
+        }
     }
 }
 
@@ -219,7 +259,15 @@ fn drive(
     stats: &mut EvalStats,
 ) -> Result<Value, EvalError> {
     let mut stack: Vec<Frame> = Vec::new();
-    let mut state = State::Eval(Rc::new(expr.clone()), env.clone());
+    // Under the default mode the program is lexically addressed once, up
+    // front; the loop below then never compares a name for any occurrence
+    // the resolver reached.
+    let program = match options.lookup {
+        LookupMode::ByAddress => Rc::new(resolve_for(expr, env)),
+        LookupMode::BySymbol | LookupMode::ByString => Rc::new(expr.clone()),
+    };
+    let by_string = options.lookup == LookupMode::ByString;
+    let mut state = State::Eval(program, env.clone());
     let mut fuel = options.fuel;
 
     loop {
@@ -233,31 +281,54 @@ fn drive(
         state = match state {
             State::Eval(expr, env) => match &*expr {
                 Expr::Con(c) => State::Continue(constant(c)),
-                Expr::Var(x) => match env.lookup(x) {
-                    Some(v) => State::Continue(v),
-                    None => return Err(EvalError::UnboundVariable(x.clone())),
-                },
+                Expr::VarAt(_, addr) => State::Continue(env.lookup_addr(addr)),
+                Expr::Var(x) => {
+                    let v = if by_string {
+                        env.lookup_str(x)
+                    } else {
+                        env.lookup(x)
+                    };
+                    match v {
+                        Some(v) => State::Continue(v),
+                        None => return Err(EvalError::UnboundVariable(x.clone())),
+                    }
+                }
                 Expr::Lambda(l) => State::Continue(Value::Closure(Rc::new(Closure {
                     param: l.param.clone(),
                     body: l.body.clone(),
                     env: env.clone(),
                 }))),
                 Expr::If(c, t, e) => {
-                    stack.push(Frame::Branch { then: t.clone(), els: e.clone(), env: env.clone() });
+                    stack.push(Frame::Branch {
+                        then: t.clone(),
+                        els: e.clone(),
+                        env: env.clone(),
+                    });
                     State::Eval(c.clone(), env)
                 }
                 Expr::App(f, a) => {
                     // Paper order: evaluate the argument first.
-                    stack.push(Frame::Arg { func: f.clone(), env: env.clone() });
+                    stack.push(Frame::Arg {
+                        func: f.clone(),
+                        env: env.clone(),
+                    });
                     State::Eval(a.clone(), env)
                 }
                 Expr::Let(x, v, b) => {
-                    stack.push(Frame::Bind { name: x.clone(), body: b.clone(), env: env.clone() });
+                    stack.push(Frame::Bind {
+                        name: x.clone(),
+                        body: b.clone(),
+                        env: env.clone(),
+                    });
                     State::Eval(v.clone(), env)
                 }
                 Expr::Letrec(bs, body) => {
                     let plan = Rc::new(LetrecPlan::of(bs));
-                    let env = if plan.values == 0 { plan.push_rec(&env) } else { env };
+                    let env = if plan.values == 0 {
+                        plan.push_rec(&env)
+                    } else {
+                        env
+                    };
                     if plan.ordered.is_empty() {
                         State::Eval(body.clone(), env)
                     } else {
@@ -275,12 +346,13 @@ fn drive(
                 // standard semantics disregards monitor annotations.
                 Expr::Ann(_, inner) => State::Eval(inner.clone(), env),
                 Expr::Seq(a, b) => {
-                    stack.push(Frame::Discard { second: b.clone(), env: env.clone() });
+                    stack.push(Frame::Discard {
+                        second: b.clone(),
+                        env: env.clone(),
+                    });
                     State::Eval(a.clone(), env)
                 }
-                Expr::Assign(..) => {
-                    return Err(EvalError::UnsupportedConstruct("assignment"))
-                }
+                Expr::Assign(..) => return Err(EvalError::UnsupportedConstruct("assignment")),
                 Expr::While(..) => return Err(EvalError::UnsupportedConstruct("while")),
             },
             State::Continue(value) => match stack.pop() {
@@ -298,11 +370,14 @@ fn drive(
                     Value::Bool(false) => State::Eval(els, env),
                     other => return Err(EvalError::NonBooleanCondition(other.to_string())),
                 },
-                Some(Frame::Bind { name, body, env }) => {
-                    State::Eval(body, env.extend(name, value))
-                }
-                Some(Frame::LetrecBind { plan, index, body, env }) => {
-                    let mut env = env.extend(plan.ordered[index].name.clone(), value);
+                Some(Frame::Bind { name, body, env }) => State::Eval(body, env.extend(name, value)),
+                Some(Frame::LetrecBind {
+                    plan,
+                    index,
+                    body,
+                    env,
+                }) => {
+                    let mut env = plan.bind(&env, index, value);
                     if index + 1 == plan.values {
                         env = plan.push_rec(&env);
                     }
@@ -401,9 +476,7 @@ mod tests {
     #[test]
     fn letrec_mixing_values_and_functions() {
         assert_eq!(
-            run_src(
-                "letrec base = 10 and add = lambda x. x + base in add 5"
-            ),
+            run_src("letrec base = 10 and add = lambda x. x + base in add 5"),
             // `base` is bound before `add` is *called* (all bindings are
             // evaluated before the body), so the call sees base = 10 via
             // the plain frame stacked above the rec frame.
@@ -414,8 +487,7 @@ mod tests {
     #[test]
     fn annotations_are_invisible_to_the_standard_semantics() {
         let plain = run_src("letrec f = lambda x. x * 2 in f 21");
-        let annotated =
-            run_src("letrec f = lambda x. {lbl}:(x * 2) in {root}:(f 21)");
+        let annotated = run_src("letrec f = lambda x. {lbl}:(x * 2) in {root}:(f 21)");
         assert_eq!(plain, annotated);
         assert_eq!(plain, Ok(Value::Int(42)));
     }
@@ -423,9 +495,7 @@ mod tests {
     #[test]
     fn deep_recursion_does_not_overflow_the_rust_stack() {
         assert_eq!(
-            run_src(
-                "letrec count = lambda n. if n = 0 then 0 else count (n - 1) in count 200000"
-            ),
+            run_src("letrec count = lambda n. if n = 0 then 0 else count (n - 1) in count 200000"),
             Ok(Value::Int(0))
         );
     }
@@ -441,11 +511,14 @@ mod tests {
 
     #[test]
     fn runtime_errors_surface() {
-        assert_eq!(run_src("1 + true"), Err(EvalError::TypeError {
-            expected: "an integer",
-            found: "true".into(),
-            operation: "+",
-        }));
+        assert_eq!(
+            run_src("1 + true"),
+            Err(EvalError::TypeError {
+                expected: "an integer",
+                found: "true".into(),
+                operation: "+",
+            })
+        );
         assert_eq!(
             run_src("nonexistent"),
             Err(EvalError::UnboundVariable(Ident::new("nonexistent")))
@@ -488,10 +561,7 @@ mod tests {
 
     #[test]
     fn curried_primitives_are_first_class() {
-        assert_eq!(
-            run_src("let inc = (+) 1 in inc 41"),
-            Ok(Value::Int(42))
-        );
+        assert_eq!(run_src("let inc = (+) 1 in inc 41"), Ok(Value::Int(42)));
         assert_eq!(
             run_src(
                 "letrec map = lambda f. lambda l. \

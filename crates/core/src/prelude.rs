@@ -33,14 +33,23 @@ const PRELUDE: &[(&str, &str)] = &[
         "lambda f. lambda z. lambda l. \
          if null? l then z else foldl f (f z (hd l)) (tl l)",
     ),
-    ("map", "lambda f. lambda l. foldr (lambda x. lambda acc. (f x) : acc) [] l"),
+    (
+        "map",
+        "lambda f. lambda l. foldr (lambda x. lambda acc. (f x) : acc) [] l",
+    ),
     (
         "filter",
         "lambda p. lambda l. \
          foldr (lambda x. lambda acc. if p x then x : acc else acc) [] l",
     ),
-    ("append", "lambda a. lambda b. foldr (lambda x. lambda acc. x : acc) b a"),
-    ("reverse", "lambda l. foldl (lambda acc. lambda x. x : acc) [] l"),
+    (
+        "append",
+        "lambda a. lambda b. foldr (lambda x. lambda acc. x : acc) b a",
+    ),
+    (
+        "reverse",
+        "lambda l. foldl (lambda acc. lambda x. x : acc) [] l",
+    ),
     ("sum", "lambda l. foldl (lambda a. lambda b. a + b) 0 l"),
     ("product", "lambda l. foldl (lambda a. lambda b. a * b) 1 l"),
     (
@@ -63,10 +72,7 @@ const PRELUDE: &[(&str, &str)] = &[
         "lambda p. lambda l. if null? l then false \
          else if p (hd l) then true else any? p (tl l)",
     ),
-    (
-        "member?",
-        "lambda x. lambda l. any? (lambda y. y = x) l",
-    ),
+    ("member?", "lambda x. lambda l. any? (lambda y. y = x) l"),
     (
         "nth",
         "lambda i. lambda l. if i = 0 then hd l else nth (i - 1) (tl l)",
@@ -83,8 +89,8 @@ pub fn prelude_bindings() -> Vec<Binding> {
     PRELUDE
         .iter()
         .map(|(name, src)| {
-            let value = parse_expr(src)
-                .unwrap_or_else(|e| panic!("prelude `{name}` failed to parse: {e}"));
+            let value =
+                parse_expr(src).unwrap_or_else(|e| panic!("prelude `{name}` failed to parse: {e}"));
             Binding::new(*name, value)
         })
         .collect()
@@ -118,12 +124,22 @@ mod tests {
 
     #[test]
     fn list_combinators() {
-        assert_eq!(run("map (lambda x. x + 1) [1, 2, 3]"),
-            Value::list([2, 3, 4].map(Value::Int)));
-        assert_eq!(run("filter (lambda x. (mod x 2) = 0) (range 1 10)"),
-            Value::list([2, 4, 6, 8, 10].map(Value::Int)));
-        assert_eq!(run("append [1, 2] [3]"), Value::list([1, 2, 3].map(Value::Int)));
-        assert_eq!(run("reverse (range 1 4)"), Value::list([4, 3, 2, 1].map(Value::Int)));
+        assert_eq!(
+            run("map (lambda x. x + 1) [1, 2, 3]"),
+            Value::list([2, 3, 4].map(Value::Int))
+        );
+        assert_eq!(
+            run("filter (lambda x. (mod x 2) = 0) (range 1 10)"),
+            Value::list([2, 4, 6, 8, 10].map(Value::Int))
+        );
+        assert_eq!(
+            run("append [1, 2] [3]"),
+            Value::list([1, 2, 3].map(Value::Int))
+        );
+        assert_eq!(
+            run("reverse (range 1 4)"),
+            Value::list([4, 3, 2, 1].map(Value::Int))
+        );
         assert_eq!(run("sum (range 1 100)"), Value::Int(5050));
         assert_eq!(run("product (range 1 6)"), Value::Int(720));
         assert_eq!(run("nth 2 [10, 20, 30, 40]"), Value::Int(30));
@@ -131,7 +147,10 @@ mod tests {
 
     #[test]
     fn folds_and_predicates() {
-        assert_eq!(run("foldr (:) [] [1, 2]"), Value::list([1, 2].map(Value::Int)));
+        assert_eq!(
+            run("foldr (:) [] [1, 2]"),
+            Value::list([1, 2].map(Value::Int))
+        );
         assert_eq!(run("all? (lambda x. x > 0) [1, 2, 3]"), Value::Bool(true));
         assert_eq!(run("any? (lambda x. x > 2) [1, 2, 3]"), Value::Bool(true));
         assert_eq!(run("member? 3 [1, 2, 3]"), Value::Bool(true));
@@ -142,7 +161,10 @@ mod tests {
 
     #[test]
     fn higher_order_plumbing() {
-        assert_eq!(run("(compose (lambda x. x * 2) (lambda x. x + 1)) 10"), Value::Int(22));
+        assert_eq!(
+            run("(compose (lambda x. x * 2) (lambda x. x + 1)) 10"),
+            Value::Int(22)
+        );
         assert_eq!(run("flip (-) 1 10"), Value::Int(9));
         assert_eq!(run("const 7 99"), Value::Int(7));
         assert_eq!(
@@ -156,7 +178,10 @@ mod tests {
 
     #[test]
     fn user_code_can_shadow_the_prelude() {
-        assert_eq!(run("let sum = lambda l. 42 in sum [1, 2, 3]"), Value::Int(42));
+        assert_eq!(
+            run("let sum = lambda l. 42 in sum [1, 2, 3]"),
+            Value::Int(42)
+        );
     }
 
     #[test]

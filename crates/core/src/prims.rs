@@ -97,9 +97,32 @@ impl Prim {
         ("toStr", Prim::ToStr),
     ];
 
-    /// Resolves a primitive by its source-level name.
+    /// Resolves a primitive by its source-level name (linear scan; the
+    /// evaluators use the interned fast path [`Prim::by_ident`]).
     pub fn by_name(name: &str) -> Option<Prim> {
         Prim::ALL.iter().find(|(n, _)| *n == name).map(|(_, p)| *p)
+    }
+
+    /// Resolves a primitive by interned symbol: one indexed read into a
+    /// per-thread dense table (symbols are small sequential integers, so
+    /// the table is sym-indexed — no hashing, no string comparison). This
+    /// sits at the bottom of every [`crate::Env`] lookup.
+    pub fn by_ident(name: &monsem_syntax::Ident) -> Option<Prim> {
+        thread_local! {
+            static BY_SYM: Vec<Option<Prim>> = {
+                let entries: Vec<(u32, Prim)> = Prim::ALL
+                    .iter()
+                    .map(|(n, p)| (monsem_syntax::Ident::new(n).sym(), *p))
+                    .collect();
+                let len = entries.iter().map(|(s, _)| *s + 1).max().unwrap_or(0);
+                let mut table = vec![None; len as usize];
+                for (s, p) in entries {
+                    table[s as usize] = Some(p);
+                }
+                table
+            };
+        }
+        BY_SYM.with(|table| table.get(name.sym() as usize).copied().flatten())
     }
 
     /// The source-level name.
@@ -114,8 +137,14 @@ impl Prim {
     /// Number of arguments the primitive consumes.
     pub fn arity(self) -> usize {
         match self {
-            Prim::Neg | Prim::Abs | Prim::Not | Prim::Hd | Prim::Tl | Prim::IsNull
-            | Prim::Length | Prim::ToStr => 1,
+            Prim::Neg
+            | Prim::Abs
+            | Prim::Not
+            | Prim::Hd
+            | Prim::Tl
+            | Prim::IsNull
+            | Prim::Length
+            | Prim::ToStr => 1,
             _ => 2,
         }
     }
@@ -167,7 +196,10 @@ impl Prim {
                 if d == 0 {
                     return Err(EvalError::DivisionByZero);
                 }
-                int(&args[0])?.checked_div(d).map(Value::Int).ok_or(EvalError::Overflow("/"))
+                int(&args[0])?
+                    .checked_div(d)
+                    .map(Value::Int)
+                    .ok_or(EvalError::Overflow("/"))
             }
             Prim::Mod => {
                 let d = int(&args[1])?;
@@ -298,7 +330,10 @@ mod tests {
 
     #[test]
     fn arithmetic_is_checked() {
-        assert_eq!(Prim::Add.apply(&[Value::Int(2), Value::Int(3)]), Ok(Value::Int(5)));
+        assert_eq!(
+            Prim::Add.apply(&[Value::Int(2), Value::Int(3)]),
+            Ok(Value::Int(5))
+        );
         assert_eq!(
             Prim::Add.apply(&[Value::Int(i64::MAX), Value::Int(1)]),
             Err(EvalError::Overflow("+"))
@@ -307,7 +342,10 @@ mod tests {
             Prim::Div.apply(&[Value::Int(1), Value::Int(0)]),
             Err(EvalError::DivisionByZero)
         );
-        assert_eq!(Prim::Div.apply(&[Value::Int(7), Value::Int(2)]), Ok(Value::Int(3)));
+        assert_eq!(
+            Prim::Div.apply(&[Value::Int(7), Value::Int(2)]),
+            Ok(Value::Int(3))
+        );
     }
 
     #[test]
@@ -315,9 +353,17 @@ mod tests {
         let l1 = Value::list([Value::Int(1), Value::Int(2)]);
         let l2 = Value::list([Value::Int(1), Value::Int(2)]);
         assert_eq!(Prim::Eq.apply(&[l1.clone(), l2]), Ok(Value::Bool(true)));
-        assert_eq!(Prim::Eq.apply(&[l1.clone(), Value::Nil]), Ok(Value::Bool(false)));
-        assert_eq!(Prim::Eq.apply(&[Value::Int(1), Value::Bool(true)]), Ok(Value::Bool(false)));
-        assert!(Prim::Eq.apply(&[Value::prim(Prim::Add), Value::Int(1)]).is_err());
+        assert_eq!(
+            Prim::Eq.apply(&[l1.clone(), Value::Nil]),
+            Ok(Value::Bool(false))
+        );
+        assert_eq!(
+            Prim::Eq.apply(&[Value::Int(1), Value::Bool(true)]),
+            Ok(Value::Bool(false))
+        );
+        assert!(Prim::Eq
+            .apply(&[Value::prim(Prim::Add), Value::Int(1)])
+            .is_err());
     }
 
     #[test]
@@ -328,7 +374,10 @@ mod tests {
             Prim::Tl.apply(std::slice::from_ref(&l)),
             Ok(Value::list([Value::Int(2)]))
         );
-        assert_eq!(Prim::Hd.apply(&[Value::Nil]), Err(EvalError::EmptyList("hd")));
+        assert_eq!(
+            Prim::Hd.apply(&[Value::Nil]),
+            Err(EvalError::EmptyList("hd"))
+        );
         assert_eq!(Prim::Length.apply(&[l]), Ok(Value::Int(2)));
         assert_eq!(Prim::IsNull.apply(&[Value::Nil]), Ok(Value::Bool(true)));
     }
@@ -337,7 +386,10 @@ mod tests {
     fn append_handles_strings_and_lists() {
         let a = Value::Str(Rc::from("ab"));
         let b = Value::Str(Rc::from("cd"));
-        assert_eq!(Prim::Append.apply(&[a, b]), Ok(Value::Str(Rc::from("abcd"))));
+        assert_eq!(
+            Prim::Append.apply(&[a, b]),
+            Ok(Value::Str(Rc::from("abcd")))
+        );
         let l1 = Value::list([Value::Int(1)]);
         let l2 = Value::list([Value::Int(2)]);
         assert_eq!(

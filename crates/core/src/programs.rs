@@ -183,7 +183,11 @@ mod tests {
         // inclist reverses and increments: [1,10,100] → [101,11,2] → [3,12,102] → [103,13,4]
         assert_eq!(
             eval(&inclist_demon()),
-            Ok(Value::list([Value::Int(103), Value::Int(13), Value::Int(4)]))
+            Ok(Value::list([
+                Value::Int(103),
+                Value::Int(13),
+                Value::Int(4)
+            ]))
         );
     }
 
@@ -196,7 +200,9 @@ mod tests {
         );
         assert_eq!(
             eval(&primes_below(30)),
-            Ok(Value::list([2, 3, 5, 7, 11, 13, 17, 19, 23, 29].map(Value::Int)))
+            Ok(Value::list(
+                [2, 3, 5, 7, 11, 13, 17, 19, 23, 29].map(Value::Int)
+            ))
         );
         // Known n-queens counts: 1, 0, 0, 2, 10, 4, 40, 92…
         assert_eq!(eval(&nqueens(4)), Ok(Value::Int(2)));

@@ -1,0 +1,489 @@
+//! Static resolution of variable occurrences to lexical addresses.
+//!
+//! Every engine in the workspace — the standard machine, the trampolined
+//! CPS engine, the lazy and imperative modules, and their monitored
+//! counterparts — extends the environment with exactly the same frame
+//! discipline:
+//!
+//! * applying a closure pushes **one** frame (the parameter);
+//! * `let x = v in b` pushes one frame around `b`;
+//! * `letrec` follows the [`LetrecPlan`]: one frame per value binding (in
+//!   source order), then one rec frame for all lambda-like bindings, then
+//!   one shadow frame per *annotated* lambda binding.
+//!
+//! Because the discipline is shared, a variable occurrence's binder sits at
+//! a statically known number of environment nodes below the top. This pass
+//! walks the tree once, rewrites each occurrence `Var(x)` whose binder it
+//! can see into `VarAt(x, addr)`, and leaves the rest alone — evaluation
+//! then does pointer hops ([`Env::lookup_addr`]) instead of comparisons.
+//!
+//! Two kinds of occurrence stay unresolved, falling back to (interned,
+//! O(1)-compare) name lookup:
+//!
+//! * **free variables** — bindings of caller-supplied (REPL-style)
+//!   environments whose shape the resolver cannot know. When evaluation
+//!   is known to start from the bare base environment
+//!   ([`resolve_closed`]), free occurrences of *primitive* names do
+//!   resolve — to a direct [`VarAddr::Base`] index into the primitive
+//!   table, skipping the chain walk altogether;
+//! * free variables of **`letrec` value bindings** — the strict engines
+//!   evaluate those right-hand sides in the partially built environment
+//!   while the lazy engine forces them against the final, knot-tied one,
+//!   so no single depth is correct for both. A [`Scope::Barrier`] marks
+//!   this boundary; binders *inside* the right-hand side still resolve.
+//!
+//! Annotations `{μ}:e` are structure, not binders: the pass threads them
+//! through untouched, which is what keeps the soundness theorem (7.7)
+//! applicable to resolved trees — `resolve(e)` erases to the same program
+//! as `e`, and the monitored machines fire identical events on both.
+
+use crate::env::{lambda_of, Env, LetrecPlan};
+use crate::prims::Prim;
+use monsem_syntax::{Binding, Expr, Ident, Lambda, VarAddr};
+use std::rc::Rc;
+
+/// One statically tracked environment node (cf. `env::Node`).
+enum Scope {
+    /// A single-name frame: lambda parameter, `let`, or `letrec` shadow.
+    Single(Ident),
+    /// A rec frame; slot = first occurrence, like runtime lookup.
+    Rec(Vec<Ident>),
+    /// The shape below this point differs between engines: stop resolving.
+    Barrier,
+}
+
+/// The resolver's static model of the environment in force.
+struct Frames {
+    stack: Vec<Scope>,
+    /// Whether evaluation is known to start from [`Env::empty`] — in which
+    /// case a statically free occurrence (outside every barrier) can only
+    /// be a primitive, and resolves to a [`VarAddr::Base`] table index.
+    closed: bool,
+}
+
+/// Resolves every variable occurrence whose binder is statically visible;
+/// see the module docs for what stays unresolved. Idempotent, and safe to
+/// apply to already (or partially) resolved trees.
+///
+/// This variant assumes nothing about the environment evaluation will
+/// start from, so free variables stay name-looked-up; use
+/// [`resolve_closed`] (or [`resolve_for`]) when that environment is known
+/// to be the primitive base.
+pub fn resolve(expr: &Expr) -> Expr {
+    go(
+        expr,
+        &mut Frames {
+            stack: Vec::new(),
+            closed: false,
+        },
+    )
+}
+
+/// [`resolve`], additionally resolving free occurrences of primitive
+/// names to direct [`VarAddr::Base`] indices into the primitive table.
+/// Only sound when evaluation starts from [`Env::empty`] — a caller
+/// environment could rebind `+`.
+pub fn resolve_closed(expr: &Expr) -> Expr {
+    go(
+        expr,
+        &mut Frames {
+            stack: Vec::new(),
+            closed: true,
+        },
+    )
+}
+
+/// Picks [`resolve_closed`] when `env` is the bare base environment and
+/// the conservative [`resolve`] otherwise. The engines call this once at
+/// entry.
+pub fn resolve_for(expr: &Expr, env: &Env) -> Expr {
+    if env.depth() == 0 {
+        resolve_closed(expr)
+    } else {
+        resolve(expr)
+    }
+}
+
+/// [`resolve`] for reference-counted trees.
+pub fn resolve_rc(expr: &Rc<Expr>) -> Rc<Expr> {
+    Rc::new(resolve(expr))
+}
+
+fn go(e: &Expr, stack: &mut Frames) -> Expr {
+    match e {
+        Expr::Con(_) => e.clone(),
+        Expr::Var(x) | Expr::VarAt(x, _) => match stack.addr_of(x) {
+            Some(addr) => Expr::VarAt(x.clone(), addr),
+            None => Expr::Var(x.clone()),
+        },
+        Expr::Lambda(l) => {
+            stack.push(Scope::Single(l.param.clone()));
+            let body = go(&l.body, stack);
+            stack.pop();
+            Expr::Lambda(Lambda {
+                param: l.param.clone(),
+                body: Rc::new(body),
+            })
+        }
+        Expr::If(c, t, els) => Expr::If(
+            Rc::new(go(c, stack)),
+            Rc::new(go(t, stack)),
+            Rc::new(go(els, stack)),
+        ),
+        Expr::App(f, a) => Expr::App(Rc::new(go(f, stack)), Rc::new(go(a, stack))),
+        Expr::Let(x, v, b) => {
+            let v = go(v, stack);
+            stack.push(Scope::Single(x.clone()));
+            let b = go(b, stack);
+            stack.pop();
+            Expr::Let(x.clone(), Rc::new(v), Rc::new(b))
+        }
+        Expr::Letrec(bs, body) => resolve_letrec(bs, body, stack),
+        Expr::Ann(ann, inner) => Expr::Ann(ann.clone(), Rc::new(go(inner, stack))),
+        Expr::Seq(a, b) => Expr::Seq(Rc::new(go(a, stack)), Rc::new(go(b, stack))),
+        // The assigned name stays a name: the imperative machine looks the
+        // location up by (interned) name. Only the right-hand side resolves.
+        Expr::Assign(x, v) => Expr::Assign(x.clone(), Rc::new(go(v, stack))),
+        Expr::While(c, b) => Expr::While(Rc::new(go(c, stack)), Rc::new(go(b, stack))),
+    }
+}
+
+fn resolve_letrec(bs: &[Binding], body: &Expr, stack: &mut Frames) -> Expr {
+    let plan = LetrecPlan::of(bs);
+
+    // Stack shape for lambda-like right-hand sides: their bodies only ever
+    // run through closures rooted at the rec frame (the shadow frames bind
+    // that same closure — LetrecPlan::bind), which sits above the value
+    // frames.
+    let mut new_bs = Vec::with_capacity(bs.len());
+    for b in bs {
+        let value = if lambda_of(&b.value).is_some() {
+            for vb in &plan.ordered[..plan.values] {
+                stack.push(Scope::Single(vb.name.clone()));
+            }
+            stack.push(Scope::Rec(
+                plan.rec.iter().map(|(n, _)| n.clone()).collect(),
+            ));
+            let value = go(&b.value, stack);
+            stack.truncate(stack.len() - plan.values - 1);
+            value
+        } else {
+            // Value bindings: the strict machines evaluate these in the
+            // partially built environment, the lazy engine in the final
+            // one — resolve only their internal binders.
+            stack.push(Scope::Barrier);
+            let value = go(&b.value, stack);
+            stack.pop();
+            value
+        };
+        new_bs.push(Binding {
+            name: b.name.clone(),
+            value: Rc::new(value),
+        });
+    }
+
+    // Body shape: value frames, rec frame, one shadow frame per annotated
+    // lambda binding — exactly what every engine has built by then.
+    let before = stack.len();
+    for vb in &plan.ordered[..plan.values] {
+        stack.push(Scope::Single(vb.name.clone()));
+    }
+    if !plan.rec.is_empty() {
+        stack.push(Scope::Rec(
+            plan.rec.iter().map(|(n, _)| n.clone()).collect(),
+        ));
+    }
+    for ab in &plan.ordered[plan.values..] {
+        stack.push(Scope::Single(ab.name.clone()));
+    }
+    let body = go(body, stack);
+    stack.truncate(before);
+
+    Expr::Letrec(new_bs, Rc::new(body))
+}
+
+impl Frames {
+    fn push(&mut self, scope: Scope) {
+        self.stack.push(scope);
+    }
+
+    fn pop(&mut self) {
+        self.stack.pop();
+    }
+
+    fn len(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn truncate(&mut self, len: usize) {
+        self.stack.truncate(len);
+    }
+
+    fn addr_of(&self, x: &Ident) -> Option<VarAddr> {
+        for (depth, scope) in (0_u32..).zip(self.stack.iter().rev()) {
+            match scope {
+                Scope::Single(n) => {
+                    if n == x {
+                        return Some(VarAddr::Frame { depth });
+                    }
+                }
+                Scope::Rec(names) => {
+                    if let Some(slot) = names.iter().position(|n| n == x) {
+                        return Some(VarAddr::Rec {
+                            depth,
+                            slot: slot as u32,
+                        });
+                    }
+                }
+                // Below a barrier the runtime frame count is mode-dependent
+                // — and the letrec's own binders, invisible here, may bind
+                // the name in some modes — so nothing below it (not even
+                // the base) can be addressed.
+                Scope::Barrier => return None,
+            }
+        }
+        // Statically free. Under a closed base environment the only thing
+        // left to find is a primitive, at a known table index.
+        if self.closed {
+            if let Some(slot) = Prim::ALL.iter().position(|(n, _)| *n == x.as_str()) {
+                return Some(VarAddr::Base { slot: slot as u32 });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_syntax::parse_expr;
+
+    fn resolved(src: &str) -> Expr {
+        resolve(&parse_expr(src).unwrap())
+    }
+
+    /// Collects `(name, addr)` for every resolved occurrence.
+    fn addresses(e: &Expr) -> Vec<(String, VarAddr)> {
+        fn walk(e: &Expr, out: &mut Vec<(String, VarAddr)>) {
+            match e {
+                Expr::VarAt(x, a) => out.push((x.as_str().to_string(), *a)),
+                Expr::Con(_) | Expr::Var(_) => {}
+                Expr::Lambda(l) => walk(&l.body, out),
+                Expr::If(a, b, c) => {
+                    walk(a, out);
+                    walk(b, out);
+                    walk(c, out);
+                }
+                Expr::App(a, b) | Expr::Seq(a, b) | Expr::While(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                Expr::Letrec(bs, body) => {
+                    for b in bs {
+                        walk(&b.value, out);
+                    }
+                    walk(body, out);
+                }
+                Expr::Let(_, v, b) => {
+                    walk(v, out);
+                    walk(b, out);
+                }
+                Expr::Ann(_, inner) => walk(inner, out),
+                Expr::Assign(_, v) => walk(v, out),
+            }
+        }
+        let mut out = Vec::new();
+        walk(e, &mut out);
+        out
+    }
+
+    #[test]
+    fn lambda_parameter_resolves_to_depth_zero() {
+        let e = resolved("lambda x. x");
+        assert_eq!(
+            addresses(&e),
+            vec![("x".into(), VarAddr::Frame { depth: 0 })]
+        );
+    }
+
+    #[test]
+    fn shadowing_picks_the_nearest_binder() {
+        let e = resolved("lambda x. lambda x. x");
+        assert_eq!(
+            addresses(&e),
+            vec![("x".into(), VarAddr::Frame { depth: 0 })]
+        );
+        let e = resolved("lambda x. lambda y. x");
+        assert_eq!(
+            addresses(&e),
+            vec![("x".into(), VarAddr::Frame { depth: 1 })]
+        );
+    }
+
+    #[test]
+    fn free_variables_and_primitives_stay_unresolved() {
+        let e = resolved("lambda x. x + free");
+        // `x` resolves; `+` and `free` stay Var.
+        assert_eq!(
+            addresses(&e),
+            vec![("x".into(), VarAddr::Frame { depth: 0 })]
+        );
+    }
+
+    #[test]
+    fn let_pushes_one_frame() {
+        let e = resolved("let a = 1 in lambda b. a");
+        assert_eq!(
+            addresses(&e),
+            vec![("a".into(), VarAddr::Frame { depth: 1 })]
+        );
+    }
+
+    #[test]
+    fn letrec_functions_resolve_through_the_rec_frame() {
+        let e = resolved("letrec f = lambda x. f x in f 1");
+        assert_eq!(
+            addresses(&e),
+            vec![
+                // In the body of f: param frame (depth 0), rec frame at 1.
+                ("f".into(), VarAddr::Rec { depth: 1, slot: 0 }),
+                ("x".into(), VarAddr::Frame { depth: 0 }),
+                // In the letrec body: rec frame on top.
+                ("f".into(), VarAddr::Rec { depth: 0, slot: 0 }),
+            ]
+        );
+    }
+
+    #[test]
+    fn mutual_recursion_uses_slots() {
+        let e = resolved("letrec even = lambda n. odd n and odd = lambda n. even n in even 4");
+        assert_eq!(
+            addresses(&e),
+            vec![
+                ("odd".into(), VarAddr::Rec { depth: 1, slot: 1 }),
+                ("n".into(), VarAddr::Frame { depth: 0 }),
+                ("even".into(), VarAddr::Rec { depth: 1, slot: 0 }),
+                ("n".into(), VarAddr::Frame { depth: 0 }),
+                ("even".into(), VarAddr::Rec { depth: 0, slot: 0 }),
+            ]
+        );
+    }
+
+    #[test]
+    fn letrec_value_bindings_resolve_behind_a_barrier() {
+        // `a` is a value binding: its occurrence of the outer `x` must NOT
+        // resolve (strict evaluates it under fewer frames than lazy), but
+        // its internal lambda still resolves its own parameter.
+        let e = resolved("lambda x. letrec a = (lambda y. y) x in a");
+        let addrs = addresses(&e);
+        assert_eq!(
+            addrs,
+            vec![
+                ("y".into(), VarAddr::Frame { depth: 0 }),
+                // letrec body: a's value frame on top (no rec frame).
+                ("a".into(), VarAddr::Frame { depth: 0 }),
+            ]
+        );
+    }
+
+    #[test]
+    fn letrec_body_sees_values_rec_and_shadows() {
+        let e = resolved(
+            "letrec base = 10 and f = {m}:(lambda x. x) and g = lambda x. x in (f base) ; g 1",
+        );
+        let addrs = addresses(&e);
+        // Body env: [shadow f, rec {f, g}, base, ...]: f hits the shadow
+        // frame at depth 0, base its value frame at depth 2, g the rec
+        // frame at depth 1 slot 1.
+        assert!(addrs.contains(&("f".into(), VarAddr::Frame { depth: 0 })));
+        assert!(addrs.contains(&("base".into(), VarAddr::Frame { depth: 2 })));
+        assert!(addrs.contains(&("g".into(), VarAddr::Rec { depth: 1, slot: 1 })));
+    }
+
+    #[test]
+    fn annotations_thread_through_unchanged() {
+        let src = "{trace/f(x)}:(lambda x. {b}:x)";
+        let e = resolved(src);
+        let original = parse_expr(src).unwrap();
+        assert_eq!(e, original, "resolution preserves program equality");
+        assert_eq!(
+            e.annotations().len(),
+            original.annotations().len(),
+            "no annotation is lost or duplicated"
+        );
+    }
+
+    #[test]
+    fn closed_resolution_addresses_primitives_into_the_base_table() {
+        let e = resolve_closed(&parse_expr("lambda x. x + free").unwrap());
+        let addrs = addresses(&e);
+        let plus = Prim::ALL.iter().position(|(n, _)| *n == "+").unwrap() as u32;
+        assert!(addrs.contains(&("x".into(), VarAddr::Frame { depth: 0 })));
+        assert!(addrs.contains(&("+".into(), VarAddr::Base { slot: plus })));
+        // Non-primitive free variables still fall back to name lookup
+        // (and to the dynamic unbound-variable error).
+        assert!(!addrs.iter().any(|(n, _)| n == "free"));
+    }
+
+    #[test]
+    fn closed_resolution_respects_shadowing_and_barriers() {
+        // A binder named `+` shadows the primitive (the parser forbids
+        // such binders, but the AST allows them).
+        let shadowed = Expr::Let(
+            Ident::new("+"),
+            Rc::new(Expr::int(1)),
+            Rc::new(Expr::Var(Ident::new("+"))),
+        );
+        let e = resolve_closed(&shadowed);
+        assert_eq!(
+            addresses(&e),
+            vec![("+".into(), VarAddr::Frame { depth: 0 })]
+        );
+        // ...and below a letrec value-binding barrier even primitives stay
+        // name-looked-up (the letrec's own binders are invisible there).
+        let e = resolve_closed(&parse_expr("letrec a = 1 + 2 in a").unwrap());
+        assert_eq!(
+            addresses(&e),
+            vec![("a".into(), VarAddr::Frame { depth: 0 })]
+        );
+    }
+
+    #[test]
+    fn resolve_for_only_goes_closed_on_the_base_environment() {
+        use crate::value::Value;
+        let src = "1 + 2";
+        let open = resolve_for(
+            &parse_expr(src).unwrap(),
+            &Env::empty().extend(Ident::new("y"), Value::Int(0)),
+        );
+        assert!(
+            addresses(&open).is_empty(),
+            "caller env: `+` could be rebound"
+        );
+        let closed = resolve_for(&parse_expr(src).unwrap(), &Env::empty());
+        assert!(matches!(
+            addresses(&closed)[..],
+            [(_, VarAddr::Base { .. })]
+        ));
+    }
+
+    #[test]
+    fn base_addresses_evaluate_to_the_primitive() {
+        let e = resolve_closed(&parse_expr("2 + 3").unwrap());
+        assert_eq!(crate::machine::eval(&e), Ok(crate::value::Value::Int(5)));
+    }
+
+    #[test]
+    fn resolution_is_idempotent() {
+        let e = resolved("letrec f = lambda x. if x = 0 then 1 else x * f (x - 1) in f 5");
+        let twice = resolve(&e);
+        assert_eq!(addresses(&e), addresses(&twice));
+    }
+
+    #[test]
+    fn erasure_drops_addresses() {
+        let e = resolved("lambda x. {m}:x");
+        let erased = e.erase_annotations();
+        assert!(addresses(&erased).is_empty());
+    }
+}

@@ -161,7 +161,10 @@ pub struct ExtValue {
 impl ExtValue {
     /// Wraps an engine value.
     pub fn new<T: 'static>(tag: &'static str, payload: T) -> Self {
-        ExtValue { tag, payload: Rc::new(payload) }
+        ExtValue {
+            tag,
+            payload: Rc::new(payload),
+        }
     }
 
     /// Recovers the engine value.
@@ -177,9 +180,14 @@ impl fmt::Debug for ExtValue {
 }
 
 impl Value {
-    /// Builds a primitive value with no collected arguments.
+    /// Builds a primitive value with no collected arguments. The empty
+    /// argument vector is shared per thread — every primitive *reference*
+    /// constructs one of these, and a refcount bump beats an allocation.
     pub fn prim(p: Prim) -> Value {
-        Value::Prim(p, Rc::new(Vec::new()))
+        thread_local! {
+            static NO_ARGS: Rc<Vec<Value>> = Rc::new(Vec::new());
+        }
+        Value::Prim(p, NO_ARGS.with(Rc::clone))
     }
 
     /// Builds a cons cell.
@@ -190,7 +198,10 @@ impl Value {
     /// Builds a proper list.
     pub fn list(items: impl IntoIterator<Item = Value>) -> Value {
         let items: Vec<Value> = items.into_iter().collect();
-        items.into_iter().rev().fold(Value::Nil, |tail, head| Value::pair(head, tail))
+        items
+            .into_iter()
+            .rev()
+            .fold(Value::Nil, |tail, head| Value::pair(head, tail))
     }
 
     /// A short name for the value's kind, used in error messages.
@@ -228,7 +239,10 @@ impl Value {
                     }
                     cur = t;
                 }
-                Value::Closure(_) | Value::Prim(..) | Value::Thunk(_) | Value::Loc(_)
+                Value::Closure(_)
+                | Value::Prim(..)
+                | Value::Thunk(_)
+                | Value::Loc(_)
                 | Value::Ext(_) => return false,
             }
         }
@@ -380,7 +394,9 @@ mod tests {
 
     #[test]
     fn iter_list_rejects_improper_lists() {
-        assert!(Value::pair(Value::Int(1), Value::Int(2)).iter_list().is_none());
+        assert!(Value::pair(Value::Int(1), Value::Int(2))
+            .iter_list()
+            .is_none());
         assert_eq!(Value::Nil.iter_list(), Some(vec![]));
     }
 }

@@ -33,7 +33,10 @@ pub struct MonAnswer<A, S> {
 impl<A, S> MonAnswer<A, S> {
     /// Wraps a state transformer as a monitoring answer.
     pub fn new(run: impl Fn(S) -> Result<(A, S), EvalError> + 'static) -> Self {
-        MonAnswer { run: Box::new(run), _marker: std::marker::PhantomData }
+        MonAnswer {
+            run: Box::new(run),
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Applies the monitoring answer to an initial state.
@@ -99,13 +102,13 @@ pub fn related<A: PartialEq, S: Clone>(
     sample_states: &[S],
 ) -> bool {
     sample_states.iter().all(|s1| {
-        sample_states.iter().all(|s2| {
-            match (a1.apply(s1.clone()), a2.apply(s2.clone())) {
+        sample_states
+            .iter()
+            .all(|s2| match (a1.apply(s1.clone()), a2.apply(s2.clone())) {
                 (Ok((x, _)), Ok((y, _))) => x == y,
                 (Err(e1), Err(e2)) => e1 == e2,
                 _ => false,
-            }
-        })
+            })
     })
 }
 
@@ -135,7 +138,9 @@ mod tests {
         let alg = MonAnswerAlgebra::new(BasAnswer);
         let abar = alg.phi_bar::<u8>(Value::Int(5)).unwrap();
         assert_eq!(abar.apply(9).unwrap(), (Value::Int(5), 9));
-        assert!(alg.phi_bar::<u8>(Value::prim(monsem_core::prims::Prim::Add)).is_err());
+        assert!(alg
+            .phi_bar::<u8>(Value::prim(monsem_core::prims::Prim::Add))
+            .is_err());
     }
 
     #[test]

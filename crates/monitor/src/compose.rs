@@ -53,7 +53,11 @@ impl<M1: Monitor, M2: Monitor> Compose<M1, M2> {
     /// Cascades `second` over `first`.
     pub fn new(first: M1, second: M2) -> Self {
         let name = format!("{} & {}", first.name(), second.name());
-        Compose { first, second, name }
+        Compose {
+            first,
+            second,
+            name,
+        }
     }
 
     /// Gives the outer monitor a view of the inner monitor's state *at
@@ -89,8 +93,16 @@ impl<M1: Monitor, M2: Monitor> Monitor for Compose<M1, M2> {
         scope: &Scope<'_>,
         (s1, s2): Self::State,
     ) -> Self::State {
-        let s1 = if self.first.accepts(ann) { self.first.pre(ann, expr, scope, s1) } else { s1 };
-        let s2 = if self.second.accepts(ann) { self.second.pre(ann, expr, scope, s2) } else { s2 };
+        let s1 = if self.first.accepts(ann) {
+            self.first.pre(ann, expr, scope, s1)
+        } else {
+            s1
+        };
+        let s2 = if self.second.accepts(ann) {
+            self.second.pre(ann, expr, scope, s2)
+        } else {
+            s2
+        };
         (s1, s2)
     }
 
@@ -104,8 +116,11 @@ impl<M1: Monitor, M2: Monitor> Monitor for Compose<M1, M2> {
     ) -> Self::State {
         // Post-processing unnests: the outer monitor's updPost wraps the
         // inner one's (Figure 5), so M2 sees the state after M1 ran.
-        let s1 =
-            if self.first.accepts(ann) { self.first.post(ann, expr, scope, value, s1) } else { s1 };
+        let s1 = if self.first.accepts(ann) {
+            self.first.post(ann, expr, scope, value, s1)
+        } else {
+            s1
+        };
         let s2 = if self.second.accepts(ann) {
             self.second.post(ann, expr, scope, value, s2)
         } else {
@@ -173,8 +188,11 @@ where
         scope: &Scope<'_>,
         (s1, s2): Self::State,
     ) -> Self::State {
-        let s1 =
-            if self.0.first.accepts(ann) { self.0.first.pre(ann, expr, scope, s1) } else { s1 };
+        let s1 = if self.0.first.accepts(ann) {
+            self.0.first.pre(ann, expr, scope, s1)
+        } else {
+            s1
+        };
         let s2 = if self.0.second.accepts(ann) {
             self.0.second.pre_observing(ann, expr, scope, &s1, s2)
         } else {
@@ -222,12 +240,16 @@ pub fn boxed<M: Monitor + 'static>(monitor: M) -> Box<dyn DynMonitor> {
 impl MonitorStack {
     /// A stack with a single monitor.
     pub fn single(monitor: Box<dyn DynMonitor>) -> Self {
-        MonitorStack { monitors: vec![monitor] }
+        MonitorStack {
+            monitors: vec![monitor],
+        }
     }
 
     /// An empty stack (the identity of `&`).
     pub fn empty() -> Self {
-        MonitorStack { monitors: Vec::new() }
+        MonitorStack {
+            monitors: Vec::new(),
+        }
     }
 
     /// Appends a monitor as the new outermost layer.
@@ -313,7 +335,10 @@ impl Monitor for MonitorStack {
     }
 
     fn initial_state(&self) -> Self::State {
-        self.monitors.iter().map(|m| m.initial_state_dyn()).collect()
+        self.monitors
+            .iter()
+            .map(|m| m.initial_state_dyn())
+            .collect()
     }
 
     fn pre(
@@ -387,7 +412,10 @@ mod tests {
     }
     impl NsCounter {
         fn new(ns: &str, label: &'static str) -> Self {
-            NsCounter { ns: Namespace::new(ns), label }
+            NsCounter {
+                ns: Namespace::new(ns),
+                label,
+            }
         }
     }
     impl Monitor for NsCounter {

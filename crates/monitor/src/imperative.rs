@@ -10,23 +10,59 @@ use crate::spec::Monitor;
 use monsem_core::env::{Env, LetrecPlan};
 use monsem_core::error::EvalError;
 use monsem_core::imperative::Store;
-use monsem_core::machine::{constant, EvalOptions};
+use monsem_core::machine::{constant, EvalOptions, LookupMode};
+use monsem_core::resolve::resolve_for;
 use monsem_core::value::{Closure, Value};
 use monsem_syntax::{Annotation, Expr, Ident};
 use std::rc::Rc;
 
 #[derive(Debug)]
 enum Frame {
-    Arg { func: Rc<Expr>, env: Env },
-    Apply { arg: Value },
-    Branch { then: Rc<Expr>, els: Rc<Expr>, env: Env },
-    Bind { name: Ident, body: Rc<Expr>, env: Env },
-    LetrecBind { plan: Rc<LetrecPlan>, index: usize, body: Rc<Expr>, env: Env },
-    Discard { second: Rc<Expr>, env: Env },
-    Write { loc: usize },
-    LoopTest { cond: Rc<Expr>, body: Rc<Expr>, env: Env },
-    LoopBack { cond: Rc<Expr>, body: Rc<Expr>, env: Env },
-    Post { ann: Annotation, expr: Rc<Expr>, env: Env },
+    Arg {
+        func: Rc<Expr>,
+        env: Env,
+    },
+    Apply {
+        arg: Value,
+    },
+    Branch {
+        then: Rc<Expr>,
+        els: Rc<Expr>,
+        env: Env,
+    },
+    Bind {
+        name: Ident,
+        body: Rc<Expr>,
+        env: Env,
+    },
+    LetrecBind {
+        plan: Rc<LetrecPlan>,
+        index: usize,
+        body: Rc<Expr>,
+        env: Env,
+    },
+    Discard {
+        second: Rc<Expr>,
+        env: Env,
+    },
+    Write {
+        loc: usize,
+    },
+    LoopTest {
+        cond: Rc<Expr>,
+        body: Rc<Expr>,
+        env: Env,
+    },
+    LoopBack {
+        cond: Rc<Expr>,
+        body: Rc<Expr>,
+        env: Env,
+    },
+    Post {
+        ann: Annotation,
+        expr: Rc<Expr>,
+        env: Env,
+    },
 }
 
 enum State {
@@ -68,7 +104,12 @@ pub fn eval_monitored_imperative_with<M: Monitor>(
 ) -> Result<(Value, M::State, Store), EvalError> {
     let mut store = Store::new();
     let mut stack: Vec<Frame> = Vec::new();
-    let mut state = State::Eval(Rc::new(expr.clone()), env.clone());
+    let program = match options.lookup {
+        LookupMode::ByAddress => Rc::new(resolve_for(expr, env)),
+        LookupMode::BySymbol | LookupMode::ByString => Rc::new(expr.clone()),
+    };
+    let by_string = options.lookup == LookupMode::ByString;
+    let mut state = State::Eval(program, env.clone());
     let mut sigma = sigma;
     let mut fuel = options.fuel;
 
@@ -82,8 +123,7 @@ pub fn eval_monitored_imperative_with<M: Monitor>(
             State::Eval(expr, env) => match &*expr {
                 Expr::Ann(ann, inner) => {
                     if monitor.accepts(ann) {
-                        sigma =
-                            monitor.pre(ann, inner, &Scope::with_store(&env, &store), sigma);
+                        sigma = monitor.pre(ann, inner, &Scope::with_store(&env, &store), sigma);
                         stack.push(Frame::Post {
                             ann: ann.clone(),
                             expr: inner.clone(),
@@ -93,31 +133,57 @@ pub fn eval_monitored_imperative_with<M: Monitor>(
                     State::Eval(inner.clone(), env)
                 }
                 Expr::Con(c) => State::Continue(constant(c)),
-                Expr::Var(x) => match env.lookup(x) {
-                    Some(Value::Loc(l)) => State::Continue(store.read(l).clone()),
-                    Some(v) => State::Continue(v),
-                    None => return Err(EvalError::UnboundVariable(x.clone())),
+                Expr::VarAt(_, addr) => match env.lookup_addr(addr) {
+                    Value::Loc(l) => State::Continue(store.read(l).clone()),
+                    v => State::Continue(v),
                 },
+                Expr::Var(x) => {
+                    let v = if by_string {
+                        env.lookup_str(x)
+                    } else {
+                        env.lookup(x)
+                    };
+                    match v {
+                        Some(Value::Loc(l)) => State::Continue(store.read(l).clone()),
+                        Some(v) => State::Continue(v),
+                        None => return Err(EvalError::UnboundVariable(x.clone())),
+                    }
+                }
                 Expr::Lambda(l) => State::Continue(Value::Closure(Rc::new(Closure {
                     param: l.param.clone(),
                     body: l.body.clone(),
                     env: env.clone(),
                 }))),
                 Expr::If(c, t, e) => {
-                    stack.push(Frame::Branch { then: t.clone(), els: e.clone(), env: env.clone() });
+                    stack.push(Frame::Branch {
+                        then: t.clone(),
+                        els: e.clone(),
+                        env: env.clone(),
+                    });
                     State::Eval(c.clone(), env)
                 }
                 Expr::App(f, a) => {
-                    stack.push(Frame::Arg { func: f.clone(), env: env.clone() });
+                    stack.push(Frame::Arg {
+                        func: f.clone(),
+                        env: env.clone(),
+                    });
                     State::Eval(a.clone(), env)
                 }
                 Expr::Let(x, v, b) => {
-                    stack.push(Frame::Bind { name: x.clone(), body: b.clone(), env: env.clone() });
+                    stack.push(Frame::Bind {
+                        name: x.clone(),
+                        body: b.clone(),
+                        env: env.clone(),
+                    });
                     State::Eval(v.clone(), env)
                 }
                 Expr::Letrec(bs, body) => {
                     let plan = Rc::new(LetrecPlan::of(bs));
-                    let env = if plan.values == 0 { plan.push_rec(&env) } else { env };
+                    let env = if plan.values == 0 {
+                        plan.push_rec(&env)
+                    } else {
+                        env
+                    };
                     if plan.ordered.is_empty() {
                         State::Eval(body.clone(), env)
                     } else {
@@ -132,7 +198,10 @@ pub fn eval_monitored_imperative_with<M: Monitor>(
                     }
                 }
                 Expr::Seq(a, b) => {
-                    stack.push(Frame::Discard { second: b.clone(), env: env.clone() });
+                    stack.push(Frame::Discard {
+                        second: b.clone(),
+                        env: env.clone(),
+                    });
                     State::Eval(a.clone(), env)
                 }
                 Expr::Assign(x, e) => match env.lookup(x) {
@@ -155,13 +224,8 @@ pub fn eval_monitored_imperative_with<M: Monitor>(
             State::Continue(value) => match stack.pop() {
                 None => return Ok((value, sigma, store)),
                 Some(Frame::Post { ann, expr, env }) => {
-                    sigma = monitor.post(
-                        &ann,
-                        &expr,
-                        &Scope::with_store(&env, &store),
-                        &value,
-                        sigma,
-                    );
+                    sigma =
+                        monitor.post(&ann, &expr, &Scope::with_store(&env, &store), &value, sigma);
                     State::Continue(value)
                 }
                 Some(Frame::Arg { func, env }) => {
@@ -196,13 +260,18 @@ pub fn eval_monitored_imperative_with<M: Monitor>(
                     let loc = store.alloc(value);
                     State::Eval(body, env.extend(name, Value::Loc(loc)))
                 }
-                Some(Frame::LetrecBind { plan, index, body, env }) => {
+                Some(Frame::LetrecBind {
+                    plan,
+                    index,
+                    body,
+                    env,
+                }) => {
                     let bound = if index < plan.values {
                         Value::Loc(store.alloc(value))
                     } else {
                         value
                     };
-                    let mut env = env.extend(plan.ordered[index].name.clone(), bound);
+                    let mut env = plan.bind(&env, index, bound);
                     if index + 1 == plan.values {
                         env = plan.push_rec(&env);
                     }
@@ -283,10 +352,7 @@ mod tests {
 
     #[test]
     fn monitor_observes_mutation_through_the_store() {
-        let e = parse_expr(
-            "let n = 0 in while n < 3 do {tick}:(n := n + 1) end; n",
-        )
-        .unwrap();
+        let e = parse_expr("let n = 0 in while n < 3 do {tick}:(n := n + 1) end; n").unwrap();
         let (v, seen) = eval_monitored_imperative(&e, &Watch(Ident::new("n"))).unwrap();
         assert_eq!(v, Value::Int(3));
         assert_eq!(seen, vec![Value::Int(0), Value::Int(1), Value::Int(2)]);

@@ -12,8 +12,9 @@ use crate::scope::Scope;
 use crate::spec::Monitor;
 use monsem_core::env::{Env, LetrecPlan};
 use monsem_core::error::EvalError;
-use monsem_core::machine::{constant, EvalOptions};
+use monsem_core::machine::{constant, EvalOptions, LookupMode};
 use monsem_core::prims::Prim;
+use monsem_core::resolve::resolve_for;
 use monsem_core::value::{Closure, ThunkRef, ThunkState, Value};
 use monsem_syntax::{Annotation, Binding, Expr};
 use std::cell::RefCell;
@@ -21,12 +22,30 @@ use std::rc::Rc;
 
 #[derive(Debug)]
 enum Frame {
-    ApplyTo { arg: Rc<Expr>, env: Env },
-    Branch { then: Rc<Expr>, els: Rc<Expr>, env: Env },
+    ApplyTo {
+        arg: Rc<Expr>,
+        env: Env,
+    },
+    Branch {
+        then: Rc<Expr>,
+        els: Rc<Expr>,
+        env: Env,
+    },
     Update(ThunkRef),
-    PrimArgs { prim: Prim, args: Vec<Value>, index: usize },
-    Discard { second: Rc<Expr>, env: Env },
-    Post { ann: Annotation, expr: Rc<Expr>, env: Env },
+    PrimArgs {
+        prim: Prim,
+        args: Vec<Value>,
+        index: usize,
+    },
+    Discard {
+        second: Rc<Expr>,
+        env: Env,
+    },
+    Post {
+        ann: Annotation,
+        expr: Rc<Expr>,
+        env: Env,
+    },
 }
 
 enum State {
@@ -65,7 +84,12 @@ pub fn eval_monitored_lazy_with<M: Monitor>(
     options: &EvalOptions,
 ) -> Result<(Value, M::State), EvalError> {
     let mut stack: Vec<Frame> = Vec::new();
-    let mut state = State::Eval(Rc::new(expr.clone()), env.clone());
+    let program = match options.lookup {
+        LookupMode::ByAddress => Rc::new(resolve_for(expr, env)),
+        LookupMode::BySymbol | LookupMode::ByString => Rc::new(expr.clone()),
+    };
+    let by_string = options.lookup == LookupMode::ByString;
+    let mut state = State::Eval(program, env.clone());
     let mut sigma = sigma;
     let mut fuel = options.fuel;
 
@@ -89,22 +113,40 @@ pub fn eval_monitored_lazy_with<M: Monitor>(
                     State::Eval(inner.clone(), env)
                 }
                 Expr::Con(c) => State::Continue(constant(c)),
-                Expr::Var(x) => match env.lookup(x) {
-                    Some(Value::Thunk(t)) => force(t, &mut stack)?,
-                    Some(v) => State::Continue(v),
-                    None => return Err(EvalError::UnboundVariable(x.clone())),
+                Expr::VarAt(_, addr) => match env.lookup_addr(addr) {
+                    Value::Thunk(t) => force(t, &mut stack)?,
+                    v => State::Continue(v),
                 },
+                Expr::Var(x) => {
+                    let v = if by_string {
+                        env.lookup_str(x)
+                    } else {
+                        env.lookup(x)
+                    };
+                    match v {
+                        Some(Value::Thunk(t)) => force(t, &mut stack)?,
+                        Some(v) => State::Continue(v),
+                        None => return Err(EvalError::UnboundVariable(x.clone())),
+                    }
+                }
                 Expr::Lambda(l) => State::Continue(Value::Closure(Rc::new(Closure {
                     param: l.param.clone(),
                     body: l.body.clone(),
                     env: env.clone(),
                 }))),
                 Expr::If(c, t, e) => {
-                    stack.push(Frame::Branch { then: t.clone(), els: e.clone(), env: env.clone() });
+                    stack.push(Frame::Branch {
+                        then: t.clone(),
+                        els: e.clone(),
+                        env: env.clone(),
+                    });
                     State::Eval(c.clone(), env)
                 }
                 Expr::App(f, a) => {
-                    stack.push(Frame::ApplyTo { arg: a.clone(), env: env.clone() });
+                    stack.push(Frame::ApplyTo {
+                        arg: a.clone(),
+                        env: env.clone(),
+                    });
                     State::Eval(f.clone(), env)
                 }
                 Expr::Let(x, v, b) => {
@@ -113,12 +155,13 @@ pub fn eval_monitored_lazy_with<M: Monitor>(
                 }
                 Expr::Letrec(bs, body) => State::Eval(body.clone(), letrec_env(bs, &env)),
                 Expr::Seq(a, b) => {
-                    stack.push(Frame::Discard { second: b.clone(), env: env.clone() });
+                    stack.push(Frame::Discard {
+                        second: b.clone(),
+                        env: env.clone(),
+                    });
                     State::Eval(a.clone(), env)
                 }
-                Expr::Assign(..) => {
-                    return Err(EvalError::UnsupportedConstruct("assignment"))
-                }
+                Expr::Assign(..) => return Err(EvalError::UnsupportedConstruct("assignment")),
                 Expr::While(..) => return Err(EvalError::UnsupportedConstruct("while")),
             },
             State::Continue(value) => match stack.pop() {
@@ -152,7 +195,11 @@ pub fn eval_monitored_lazy_with<M: Monitor>(
                     *t.borrow_mut() = ThunkState::Forced(value.clone());
                     State::Continue(value)
                 }
-                Some(Frame::PrimArgs { prim, mut args, index }) => {
+                Some(Frame::PrimArgs {
+                    prim,
+                    mut args,
+                    index,
+                }) => {
                     args[index] = value;
                     prim_step(prim, args, &mut stack)?
                 }
@@ -175,9 +222,7 @@ fn force(t: ThunkRef, stack: &mut Vec<Frame>) -> Result<State, EvalError> {
         match &*state {
             ThunkState::Forced(v) => return Ok(State::Continue(v.clone())),
             ThunkState::InProgress => return Err(EvalError::BlackHole),
-            ThunkState::Pending { .. } => {
-                std::mem::replace(&mut *state, ThunkState::InProgress)
-            }
+            ThunkState::Pending { .. } => std::mem::replace(&mut *state, ThunkState::InProgress),
         }
     };
     match taken {
@@ -208,7 +253,11 @@ fn prim_step(prim: Prim, mut args: Vec<Value>, stack: &mut Vec<Frame>) -> Result
                     continue;
                 }
                 None => {
-                    stack.push(Frame::PrimArgs { prim, args: args.clone(), index: i });
+                    stack.push(Frame::PrimArgs {
+                        prim,
+                        args: args.clone(),
+                        index: i,
+                    });
                     return force(t, stack);
                 }
             }
@@ -221,27 +270,39 @@ fn prim_step(prim: Prim, mut args: Vec<Value>, stack: &mut Vec<Frame>) -> Result
 fn letrec_env(bs: &[Binding], env: &Env) -> Env {
     let plan = LetrecPlan::of(bs);
     let mut env = env.clone();
-    let mut created: Vec<ThunkRef> = Vec::new();
-    let suspend_binding = |env: &Env, b: &Binding, created: &mut Vec<ThunkRef>| {
-        match suspend(b.value.clone(), Env::empty()) {
-            Value::Thunk(t) => {
-                created.push(t.clone());
-                env.extend(b.name.clone(), Value::Thunk(t))
-            }
-            constant_value => env.extend(b.name.clone(), constant_value),
+    let mut value_thunks: Vec<ThunkRef> = Vec::new();
+    let mut annotated_thunks: Vec<ThunkRef> = Vec::new();
+    let suspend_binding = |env: &Env, b: &Binding, created: &mut Vec<ThunkRef>| match suspend(
+        b.value.clone(),
+        Env::empty(),
+    ) {
+        Value::Thunk(t) => {
+            created.push(t.clone());
+            env.extend(b.name.clone(), Value::Thunk(t))
         }
+        constant_value => env.extend(b.name.clone(), constant_value),
     };
     for b in &plan.ordered[..plan.values] {
-        env = suspend_binding(&env, b, &mut created);
+        env = suspend_binding(&env, b, &mut value_thunks);
     }
     env = plan.push_rec(&env);
+    let rec_env = env.clone();
     for b in &plan.ordered[plan.values..] {
-        env = suspend_binding(&env, b, &mut created);
+        env = suspend_binding(&env, b, &mut annotated_thunks);
     }
-    for t in created {
+    // Value thunks see the final environment; annotated lambda thunks
+    // close over the rec-rooted one — the shape the resolver predicts for
+    // the group's function bodies (see `monsem_core::lazy::letrec_env`).
+    for t in value_thunks {
         let mut state = t.borrow_mut();
         if let ThunkState::Pending { env: thunk_env, .. } = &mut *state {
             *thunk_env = env.clone();
+        }
+    }
+    for t in annotated_thunks {
+        let mut state = t.borrow_mut();
+        if let ThunkState::Pending { env: thunk_env, .. } = &mut *state {
+            *thunk_env = rec_env.clone();
         }
     }
     env
@@ -303,17 +364,17 @@ mod tests {
         let e = parse_expr("(lambda x. x + x) ({once}:(2 + 3))").unwrap();
         let (v, log) = eval_monitored_lazy(&e, &Log).unwrap();
         assert_eq!(v, Value::Int(10));
-        assert_eq!(log, vec!["pre once".to_string(), "post once = 5".to_string()]);
+        assert_eq!(
+            log,
+            vec!["pre once".to_string(), "post once = 5".to_string()]
+        );
     }
 
     #[test]
     fn demand_order_shows_in_the_event_log() {
         // `y` is demanded before `x` because `+` forces left-to-right but
         // the outer expression is `y + x`... make it explicit:
-        let e = parse_expr(
-            "let x = {x}:1 in let y = {y}:2 in y + x",
-        )
-        .unwrap();
+        let e = parse_expr("let x = {x}:1 in let y = {y}:2 in y + x").unwrap();
         let (_, log) = eval_monitored_lazy(&e, &Log).unwrap();
         assert_eq!(
             log,

@@ -21,7 +21,8 @@ use crate::scope::Scope;
 use crate::spec::Monitor;
 use monsem_core::env::{Env, LetrecPlan};
 use monsem_core::error::EvalError;
-use monsem_core::machine::{constant, EvalOptions};
+use monsem_core::machine::{constant, EvalOptions, LookupMode};
+use monsem_core::resolve::resolve_for;
 use monsem_core::value::{Closure, Value};
 use monsem_syntax::{Annotation, Expr, Ident};
 use std::rc::Rc;
@@ -31,16 +32,41 @@ use std::rc::Rc;
 /// Figure 3).
 #[derive(Debug)]
 enum Frame {
-    Arg { func: Rc<Expr>, env: Env },
-    Apply { arg: Value },
-    Branch { then: Rc<Expr>, els: Rc<Expr>, env: Env },
-    Bind { name: Ident, body: Rc<Expr>, env: Env },
-    LetrecBind { plan: Rc<LetrecPlan>, index: usize, body: Rc<Expr>, env: Env },
-    Discard { second: Rc<Expr>, env: Env },
+    Arg {
+        func: Rc<Expr>,
+        env: Env,
+    },
+    Apply {
+        arg: Value,
+    },
+    Branch {
+        then: Rc<Expr>,
+        els: Rc<Expr>,
+        env: Env,
+    },
+    Bind {
+        name: Ident,
+        body: Rc<Expr>,
+        env: Env,
+    },
+    LetrecBind {
+        plan: Rc<LetrecPlan>,
+        index: usize,
+        body: Rc<Expr>,
+        env: Env,
+    },
+    Discard {
+        second: Rc<Expr>,
+        env: Env,
+    },
     /// `κ_post = {λv. (κ v) ∘ updPost}`: when the value of the annotated
     /// expression arrives, apply the post-monitoring function and fall
     /// through to the continuation below.
-    Post { ann: Annotation, expr: Rc<Expr>, env: Env },
+    Post {
+        ann: Annotation,
+        expr: Rc<Expr>,
+        env: Env,
+    },
 }
 
 enum State {
@@ -61,7 +87,13 @@ pub fn eval_monitored<M: Monitor>(
     expr: &Expr,
     monitor: &M,
 ) -> Result<(Value, M::State), EvalError> {
-    eval_monitored_with(expr, &Env::empty(), monitor, monitor.initial_state(), &EvalOptions::default())
+    eval_monitored_with(
+        expr,
+        &Env::empty(),
+        monitor,
+        monitor.initial_state(),
+        &EvalOptions::default(),
+    )
 }
 
 /// The meaning of a program in monitoring semantics: `MS → (Ans × MS)`.
@@ -164,6 +196,7 @@ pub struct Execution<'m, M: Monitor> {
     sigma: Option<M::State>,
     answer: Option<Value>,
     fuel: u64,
+    by_string: bool,
 }
 
 impl<'m, M: Monitor> Execution<'m, M> {
@@ -176,13 +209,22 @@ impl<'m, M: Monitor> Execution<'m, M> {
         sigma: M::State,
         options: &EvalOptions,
     ) -> Self {
+        // The derived machine inherits the standard machine's lexical
+        // addressing: annotations are structure, not binders, so the
+        // resolver threads `{μ}:e` through unchanged and the monitored
+        // transitions see the same addresses the oblivious machine does.
+        let program = match options.lookup {
+            LookupMode::ByAddress => Rc::new(resolve_for(expr, env)),
+            LookupMode::BySymbol | LookupMode::ByString => Rc::new(expr.clone()),
+        };
         Execution {
             monitor,
             stack: Vec::new(),
-            state: Some(State::Eval(Rc::new(expr.clone()), env.clone())),
+            state: Some(State::Eval(program, env.clone())),
             sigma: Some(sigma),
             answer: None,
             fuel: options.fuel,
+            by_string: options.lookup == LookupMode::ByString,
         }
     }
 
@@ -226,8 +268,7 @@ impl<'m, M: Monitor> Execution<'m, M> {
                 Some(_) => {}
                 None => {
                     // Already completed through earlier polling.
-                    let answer =
-                        self.answer.take().expect("finish called after completion");
+                    let answer = self.answer.take().expect("finish called after completion");
                     let sigma = self.sigma.take().expect("state present");
                     return Ok((answer, sigma));
                 }
@@ -236,7 +277,9 @@ impl<'m, M: Monitor> Execution<'m, M> {
     }
 
     fn advance(&mut self) -> Result<Option<Event>, EvalError> {
-        let Some(mut state) = self.state.take() else { return Ok(None) };
+        let Some(mut state) = self.state.take() else {
+            return Ok(None);
+        };
         let monitor = self.monitor;
         loop {
             if self.fuel == 0 {
@@ -252,8 +295,7 @@ impl<'m, M: Monitor> Execution<'m, M> {
                     Expr::Ann(ann, inner) => {
                         if monitor.accepts(ann) {
                             let sigma = self.sigma.take().expect("state present");
-                            self.sigma =
-                                Some(monitor.pre(ann, inner, &Scope::pure(&env), sigma));
+                            self.sigma = Some(monitor.pre(ann, inner, &Scope::pure(&env), sigma));
                             self.stack.push(Frame::Post {
                                 ann: ann.clone(),
                                 expr: inner.clone(),
@@ -270,10 +312,18 @@ impl<'m, M: Monitor> Execution<'m, M> {
                         State::Eval(inner.clone(), env)
                     }
                     Expr::Con(c) => State::Continue(constant(c)),
-                    Expr::Var(x) => match env.lookup(x) {
-                        Some(v) => State::Continue(v),
-                        None => return Err(EvalError::UnboundVariable(x.clone())),
-                    },
+                    Expr::VarAt(_, addr) => State::Continue(env.lookup_addr(addr)),
+                    Expr::Var(x) => {
+                        let v = if self.by_string {
+                            env.lookup_str(x)
+                        } else {
+                            env.lookup(x)
+                        };
+                        match v {
+                            Some(v) => State::Continue(v),
+                            None => return Err(EvalError::UnboundVariable(x.clone())),
+                        }
+                    }
                     Expr::Lambda(l) => State::Continue(Value::Closure(Rc::new(Closure {
                         param: l.param.clone(),
                         body: l.body.clone(),
@@ -288,7 +338,10 @@ impl<'m, M: Monitor> Execution<'m, M> {
                         State::Eval(c.clone(), env)
                     }
                     Expr::App(f, a) => {
-                        self.stack.push(Frame::Arg { func: f.clone(), env: env.clone() });
+                        self.stack.push(Frame::Arg {
+                            func: f.clone(),
+                            env: env.clone(),
+                        });
                         State::Eval(a.clone(), env)
                     }
                     Expr::Let(x, v, b) => {
@@ -301,7 +354,11 @@ impl<'m, M: Monitor> Execution<'m, M> {
                     }
                     Expr::Letrec(bs, body) => {
                         let plan = Rc::new(LetrecPlan::of(bs));
-                        let env = if plan.values == 0 { plan.push_rec(&env) } else { env };
+                        let env = if plan.values == 0 {
+                            plan.push_rec(&env)
+                        } else {
+                            env
+                        };
                         if plan.ordered.is_empty() {
                             State::Eval(body.clone(), env)
                         } else {
@@ -316,15 +373,14 @@ impl<'m, M: Monitor> Execution<'m, M> {
                         }
                     }
                     Expr::Seq(a, b) => {
-                        self.stack.push(Frame::Discard { second: b.clone(), env: env.clone() });
+                        self.stack.push(Frame::Discard {
+                            second: b.clone(),
+                            env: env.clone(),
+                        });
                         State::Eval(a.clone(), env)
                     }
-                    Expr::Assign(..) => {
-                        return Err(EvalError::UnsupportedConstruct("assignment"))
-                    }
-                    Expr::While(..) => {
-                        return Err(EvalError::UnsupportedConstruct("while"))
-                    }
+                    Expr::Assign(..) => return Err(EvalError::UnsupportedConstruct("assignment")),
+                    Expr::While(..) => return Err(EvalError::UnsupportedConstruct("while")),
                 },
                 State::Continue(value) => match self.stack.pop() {
                     None => {
@@ -334,13 +390,8 @@ impl<'m, M: Monitor> Execution<'m, M> {
                     }
                     Some(Frame::Post { ann, expr, env }) => {
                         let sigma = self.sigma.take().expect("state present");
-                        self.sigma = Some(monitor.post(
-                            &ann,
-                            &expr,
-                            &Scope::pure(&env),
-                            &value,
-                            sigma,
-                        ));
+                        self.sigma =
+                            Some(monitor.post(&ann, &expr, &Scope::pure(&env), &value, sigma));
                         let event = Event::Post {
                             ann,
                             expr,
@@ -372,15 +423,18 @@ impl<'m, M: Monitor> Execution<'m, M> {
                     Some(Frame::Branch { then, els, env }) => match value {
                         Value::Bool(true) => State::Eval(then, env),
                         Value::Bool(false) => State::Eval(els, env),
-                        other => {
-                            return Err(EvalError::NonBooleanCondition(other.to_string()))
-                        }
+                        other => return Err(EvalError::NonBooleanCondition(other.to_string())),
                     },
                     Some(Frame::Bind { name, body, env }) => {
                         State::Eval(body, env.extend(name, value))
                     }
-                    Some(Frame::LetrecBind { plan, index, body, env }) => {
-                        let mut env = env.extend(plan.ordered[index].name.clone(), value);
+                    Some(Frame::LetrecBind {
+                        plan,
+                        index,
+                        body,
+                        env,
+                    }) => {
+                        let mut env = plan.bind(&env, index, value);
                         if index + 1 == plan.values {
                             env = plan.push_rec(&env);
                         }
@@ -424,7 +478,13 @@ mod tests {
         fn initial_state(&self) -> Vec<String> {
             Vec::new()
         }
-        fn pre(&self, ann: &Annotation, _: &Expr, _: &Scope<'_>, mut s: Vec<String>) -> Vec<String> {
+        fn pre(
+            &self,
+            ann: &Annotation,
+            _: &Expr,
+            _: &Scope<'_>,
+            mut s: Vec<String>,
+        ) -> Vec<String> {
             s.push(format!("pre {}", ann.name()));
             s
         }
@@ -443,8 +503,11 @@ mod tests {
 
     #[test]
     fn identity_monitor_reproduces_standard_answers() {
-        for prog in [programs::fac_ab(5), programs::fac_mul_traced(3), programs::inclist_demon()]
-        {
+        for prog in [
+            programs::fac_ab(5),
+            programs::fac_mul_traced(3),
+            programs::inclist_demon(),
+        ] {
             let (v, ()) = eval_monitored(&prog, &IdentityMonitor).unwrap();
             assert_eq!(Ok(v), eval(&prog));
         }
@@ -511,14 +574,26 @@ mod tests {
         .unwrap();
         let (_, log) = eval_monitored(&e, &EventLog).unwrap();
         let posts: Vec<&String> = log.iter().filter(|l| l.starts_with("post")).collect();
-        assert_eq!(posts, ["post fac = 1", "post fac = 1", "post fac = 2", "post fac = 6"]
-            .iter().collect::<Vec<_>>());
+        assert_eq!(
+            posts,
+            [
+                "post fac = 1",
+                "post fac = 1",
+                "post fac = 2",
+                "post fac = 6"
+            ]
+            .iter()
+            .collect::<Vec<_>>()
+        );
     }
 
     #[test]
     fn errors_abort_with_pending_posts_dropped() {
         let e = parse_expr("{a}:(1 / 0)").unwrap();
-        assert_eq!(eval_monitored(&e, &EventLog).unwrap_err(), EvalError::DivisionByZero);
+        assert_eq!(
+            eval_monitored(&e, &EventLog).unwrap_err(),
+            EvalError::DivisionByZero
+        );
     }
 
     #[test]
@@ -527,8 +602,13 @@ mod tests {
         let meaning = monitored_meaning(&e, &EventLog);
         let (v1, s1) = meaning(vec!["seed".into()]).unwrap();
         assert_eq!(v1, Value::Int(42));
-        assert_eq!(s1, vec!["seed", "pre a", "post a = 42"]
-            .into_iter().map(String::from).collect::<Vec<_>>());
+        assert_eq!(
+            s1,
+            vec!["seed", "pre a", "post a = 42"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        );
         // Different initial states, same answer — Definition 7.4's R.
         let (v2, _) = meaning(Vec::new()).unwrap();
         assert_eq!(v1, v2);
@@ -549,7 +629,10 @@ mod tests {
         assert!(matches!(&ev, Event::Pre { ann, .. } if ann.name().as_str() == "a"));
         assert_eq!(exec.monitor_state().unwrap(), &vec!["pre a".to_string()]);
         // Second: pre b.
-        assert!(matches!(exec.next_event().unwrap().unwrap(), Event::Pre { .. }));
+        assert!(matches!(
+            exec.next_event().unwrap().unwrap(),
+            Event::Pre { .. }
+        ));
         // Third: post b with the value 1.
         let ev = exec.next_event().unwrap().unwrap();
         assert!(
@@ -558,10 +641,15 @@ mod tests {
             "{ev:?}"
         );
         // Then post a = 3 and Done.
-        assert!(matches!(exec.next_event().unwrap().unwrap(), Event::Post { .. }));
         assert!(matches!(
             exec.next_event().unwrap().unwrap(),
-            Event::Done { answer: Value::Int(3) }
+            Event::Post { .. }
+        ));
+        assert!(matches!(
+            exec.next_event().unwrap().unwrap(),
+            Event::Done {
+                answer: Value::Int(3)
+            }
         ));
         assert!(exec.next_event().unwrap().is_none(), "stream is exhausted");
     }

@@ -27,7 +27,10 @@ impl<'a> Scope<'a> {
 
     /// An imperative scope carrying the store.
     pub fn with_store(env: &'a Env, store: &'a Store) -> Self {
-        Scope { env, store: Some(store) }
+        Scope {
+            env,
+            store: Some(store),
+        }
     }
 
     /// The raw environment.

@@ -143,7 +143,10 @@ pub fn evaluate(
     language: LanguageModule,
     prog: &Expr,
 ) -> Result<Report, SessionError> {
-    Session::new().language(language).tools(tools).run_expr(prog)
+    Session::new()
+        .language(language)
+        .tools(tools)
+        .run_expr(prog)
 }
 
 /// One monitor's contribution to a [`Report`].
@@ -171,12 +174,18 @@ pub struct Report {
 impl Report {
     /// The final state of the named monitor.
     pub fn state_of(&self, monitor: &str) -> Option<&DynState> {
-        self.entries.iter().find(|e| e.monitor == monitor).map(|e| &e.state)
+        self.entries
+            .iter()
+            .find(|e| e.monitor == monitor)
+            .map(|e| &e.state)
     }
 
     /// The rendered state of the named monitor.
     pub fn rendered_of(&self, monitor: &str) -> Option<&str> {
-        self.entries.iter().find(|e| e.monitor == monitor).map(|e| e.rendered.as_str())
+        self.entries
+            .iter()
+            .find(|e| e.monitor == monitor)
+            .map(|e| e.rendered.as_str())
     }
 }
 
@@ -268,7 +277,11 @@ mod tests {
     #[test]
     fn session_runs_with_stacked_tools_across_modules() {
         let src = "letrec f = lambda x. {a/hit}:({b/hit}:(x + 1)) in f 41";
-        for lang in [LanguageModule::Strict, LanguageModule::Lazy, LanguageModule::Imperative] {
+        for lang in [
+            LanguageModule::Strict,
+            LanguageModule::Lazy,
+            LanguageModule::Imperative,
+        ] {
             let report = Session::new()
                 .language(lang)
                 .monitor(boxed(NsCounter(Namespace::new("a"), "count-a")))
@@ -276,7 +289,10 @@ mod tests {
                 .run(src)
                 .unwrap();
             assert_eq!(report.answer, Value::Int(42), "{lang:?}");
-            assert_eq!(report.state_of("count-a").unwrap().downcast::<u32>(), Some(1));
+            assert_eq!(
+                report.state_of("count-a").unwrap().downcast::<u32>(),
+                Some(1)
+            );
             assert_eq!(report.rendered_of("count-b"), Some("1"));
         }
     }

@@ -112,8 +112,8 @@ pub fn check_sigma_independence<M: Monitor>(
 ) -> Result<(), Box<SoundnessViolation>> {
     let mut first: Option<Result<Value, EvalError>> = None;
     for sigma in sigmas {
-        let r = eval_monitored_with(annotated, &Env::empty(), monitor, sigma, options)
-            .map(|(v, _)| v);
+        let r =
+            eval_monitored_with(annotated, &Env::empty(), monitor, sigma, options).map(|(v, _)| v);
         if matches!(r, Err(EvalError::FuelExhausted)) {
             continue;
         }
@@ -194,8 +194,13 @@ mod tests {
             }
         }
         let prog = programs::fac_ab(6);
-        check_sigma_independence(&prog, &Count, [0, 1, 17, u64::MAX / 2], &EvalOptions::default())
-            .unwrap();
+        check_sigma_independence(
+            &prog,
+            &Count,
+            [0, 1, 17, u64::MAX / 2],
+            &EvalOptions::default(),
+        )
+        .unwrap();
     }
 
     #[test]

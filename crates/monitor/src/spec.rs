@@ -106,8 +106,13 @@ pub trait DynMonitor {
     /// See [`Monitor::initial_state`].
     fn initial_state_dyn(&self) -> DynState;
     /// See [`Monitor::pre`].
-    fn pre_dyn(&self, ann: &Annotation, expr: &Expr, scope: &Scope<'_>, state: DynState)
-        -> DynState;
+    fn pre_dyn(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        state: DynState,
+    ) -> DynState;
     /// See [`Monitor::post`].
     fn post_dyn(
         &self,
@@ -163,9 +168,9 @@ impl<M: Monitor> DynMonitor for M {
         scope: &Scope<'_>,
         state: DynState,
     ) -> DynState {
-        let s: M::State = state
-            .downcast()
-            .expect("monitor state type mismatch: a DynState must round-trip through its own monitor");
+        let s: M::State = state.downcast().expect(
+            "monitor state type mismatch: a DynState must round-trip through its own monitor",
+        );
         DynState::new(self.pre(ann, expr, scope, s))
     }
 
@@ -177,9 +182,9 @@ impl<M: Monitor> DynMonitor for M {
         value: &Value,
         state: DynState,
     ) -> DynState {
-        let s: M::State = state
-            .downcast()
-            .expect("monitor state type mismatch: a DynState must round-trip through its own monitor");
+        let s: M::State = state.downcast().expect(
+            "monitor state type mismatch: a DynState must round-trip through its own monitor",
+        );
         DynState::new(self.post(ann, expr, scope, value, s))
     }
 

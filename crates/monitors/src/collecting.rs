@@ -112,7 +112,11 @@ impl Monitor for Collecting {
         let body = s
             .iter()
             .map(|(x, vs)| {
-                let set = vs.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ");
+                let set = vs
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ");
                 format!("{x} ↦ {{{set}}}")
             })
             .collect::<Vec<_>>()
@@ -149,10 +153,7 @@ mod tests {
 
     #[test]
     fn duplicate_values_are_collected_once() {
-        let e = parse_expr(
-            "letrec f = lambda x. {v}:(x * 0) in f 1 + f 2 + f 3",
-        )
-        .unwrap();
+        let e = parse_expr("letrec f = lambda x. {v}:(x * 0) in f 1 + f 2 + f 3").unwrap();
         let (_, s) = eval_monitored(&e, &Collecting::new()).unwrap();
         assert_eq!(s.values_of(&Ident::new("v")), &[Value::Int(0)]);
     }

@@ -45,7 +45,10 @@ pub struct ContractReport {
 impl ContractReport {
     /// All verdicts for one contract, in evaluation order.
     pub fn verdicts(&self, name: &str) -> &[Verdict] {
-        self.checks.get(&Ident::new(name)).map(Vec::as_slice).unwrap_or(&[])
+        self.checks
+            .get(&Ident::new(name))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The violations (and predicate failures) across all contracts.
@@ -53,7 +56,9 @@ impl ContractReport {
         self.checks
             .iter()
             .flat_map(|(n, vs)| {
-                vs.iter().filter(|v| !matches!(v, Verdict::Held)).map(move |v| (n, v))
+                vs.iter()
+                    .filter(|v| !matches!(v, Verdict::Held))
+                    .map(move |v| (n, v))
             })
             .collect()
     }
@@ -139,14 +144,16 @@ impl ContractMonitor {
             Rc::new(Expr::var("contract-pred")),
             Rc::new(Expr::var("contract-value")),
         );
-        Some(match eval_with(&call, &env, &EvalOptions::with_fuel(self.fuel)) {
-            Ok(Value::Bool(true)) => Verdict::Held,
-            Ok(Value::Bool(false)) => Verdict::Violated(value.to_string()),
-            Ok(other) => Verdict::PredicateFailed(EvalError::NonBooleanCondition(
-                other.to_string(),
-            )),
-            Err(e) => Verdict::PredicateFailed(e),
-        })
+        Some(
+            match eval_with(&call, &env, &EvalOptions::with_fuel(self.fuel)) {
+                Ok(Value::Bool(true)) => Verdict::Held,
+                Ok(Value::Bool(false)) => Verdict::Violated(value.to_string()),
+                Ok(other) => {
+                    Verdict::PredicateFailed(EvalError::NonBooleanCondition(other.to_string()))
+                }
+                Err(e) => Verdict::PredicateFailed(e),
+            },
+        )
     }
 }
 
@@ -194,9 +201,7 @@ impl Monitor for ContractMonitor {
         for (name, verdict) in s.violations() {
             match verdict {
                 Verdict::Violated(v) => lines.push(format!("{name} violated by {v}")),
-                Verdict::PredicateFailed(e) => {
-                    lines.push(format!("{name}: predicate failed: {e}"))
-                }
+                Verdict::PredicateFailed(e) => lines.push(format!("{name}: predicate failed: {e}")),
                 Verdict::Held => {}
             }
         }
@@ -223,10 +228,8 @@ mod tests {
                  else if (hd l) <= (hd (tl l)) then go (tl l) else false in go",
             )
             .unwrap();
-        let prog = parse_expr(
-            "{contract/positive}:(3 - 1) + length ({contract/sorted}:[1, 2, 3])",
-        )
-        .unwrap();
+        let prog = parse_expr("{contract/positive}:(3 - 1) + length ({contract/sorted}:[1, 2, 3])")
+            .unwrap();
         let (v, report) = eval_monitored(&prog, &monitor).unwrap();
         assert_eq!(v, Value::Int(5));
         assert!(report.all_held(), "{report:?}");
@@ -235,8 +238,9 @@ mod tests {
 
     #[test]
     fn violations_carry_the_offending_value() {
-        let monitor =
-            ContractMonitor::new().contract("positive", "lambda v. v > 0").unwrap();
+        let monitor = ContractMonitor::new()
+            .contract("positive", "lambda v. v > 0")
+            .unwrap();
         let prog = parse_expr("{contract/positive}:(1 - 5)").unwrap();
         let (v, report) = eval_monitored(&prog, &monitor).unwrap();
         // The answer is untouched: contracts observe, they don't enforce.
@@ -245,13 +249,16 @@ mod tests {
             report.verdicts("positive"),
             &[Verdict::Violated("-4".into())]
         );
-        assert!(monitor.render_state(&report).contains("positive violated by -4"));
+        assert!(monitor
+            .render_state(&report)
+            .contains("positive violated by -4"));
     }
 
     #[test]
     fn predicate_failures_are_reported_not_raised() {
-        let monitor =
-            ContractMonitor::new().contract("broken", "lambda v. v + 1").unwrap();
+        let monitor = ContractMonitor::new()
+            .contract("broken", "lambda v. v + 1")
+            .unwrap();
         let prog = parse_expr("{contract/broken}:true").unwrap();
         let (v, report) = eval_monitored(&prog, &monitor).unwrap();
         assert_eq!(v, Value::Bool(true));

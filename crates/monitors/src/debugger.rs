@@ -70,7 +70,10 @@ impl Debugger {
     /// A debugger that stops at anonymous-namespace labels, driven by
     /// `script`.
     pub fn with_script(script: Vec<Command>) -> Self {
-        Debugger { namespace: Namespace::anonymous(), script }
+        Debugger {
+            namespace: Namespace::anonymous(),
+            script,
+        }
     }
 
     /// Restricts breakpoints to one namespace.
@@ -225,7 +228,12 @@ mod tests {
         for script in [
             vec![],
             vec![Command::Disable],
-            vec![Command::Where, Command::Continue, Command::Continue, Command::Continue],
+            vec![
+                Command::Where,
+                Command::Continue,
+                Command::Continue,
+                Command::Continue,
+            ],
         ] {
             let (v, _) = eval_monitored(&e, &Debugger::with_script(script)).unwrap();
             assert_eq!(v, plain);

@@ -19,7 +19,9 @@ use std::rc::Rc;
 /// Non-lists and non-integer elements count as sorted (the demon only
 /// fires on a *definitely* unsorted list).
 pub fn is_sorted(v: &Value) -> bool {
-    let Some(items) = v.iter_list() else { return true };
+    let Some(items) = v.iter_list() else {
+        return true;
+    };
     items.windows(2).all(|w| match (w[0], w[1]) {
         (Value::Int(a), Value::Int(b)) => a <= b,
         _ => true,
@@ -37,7 +39,9 @@ pub struct PredicateDemon {
 
 impl std::fmt::Debug for PredicateDemon {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PredicateDemon").field("name", &self.name).finish_non_exhaustive()
+        f.debug_struct("PredicateDemon")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
     }
 }
 
@@ -172,7 +176,11 @@ mod tests {
 
     #[test]
     fn sorted_predicate_matches_figure8() {
-        assert!(is_sorted(&Value::list([Value::Int(1), Value::Int(2), Value::Int(2)])));
+        assert!(is_sorted(&Value::list([
+            Value::Int(1),
+            Value::Int(2),
+            Value::Int(2)
+        ])));
         assert!(!is_sorted(&Value::list([Value::Int(2), Value::Int(1)])));
         assert!(is_sorted(&Value::Nil));
         assert!(is_sorted(&Value::Int(7)), "non-lists never trigger");

@@ -65,7 +65,11 @@ impl Monitor for EventLogger {
     }
 
     fn pre(&self, ann: &Annotation, _: &Expr, _: &Scope<'_>, mut s: Vec<Event>) -> Vec<Event> {
-        s.push(Event { phase: Phase::Pre, point: ann.name().to_string(), value: None });
+        s.push(Event {
+            phase: Phase::Pre,
+            point: ann.name().to_string(),
+            value: None,
+        });
         s
     }
 

@@ -18,7 +18,10 @@ pub struct CallCounts(BTreeMap<(Ident, String), u64>);
 impl CallCounts {
     /// Times `f` was called with exactly this rendered argument tuple.
     pub fn count(&self, f: &str, args: &str) -> u64 {
-        self.0.get(&(Ident::new(f), args.to_string())).copied().unwrap_or(0)
+        self.0
+            .get(&(Ident::new(f), args.to_string()))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// The calls that happened more than once — the memoization report.
@@ -68,18 +71,15 @@ impl Monitor for MemoScout {
         CallCounts::default()
     }
 
-    fn pre(
-        &self,
-        ann: &Annotation,
-        _: &Expr,
-        scope: &Scope<'_>,
-        mut s: CallCounts,
-    ) -> CallCounts {
+    fn pre(&self, ann: &Annotation, _: &Expr, scope: &Scope<'_>, mut s: CallCounts) -> CallCounts {
         let AnnKind::FunHeader { name, params } = &ann.kind else {
             return s;
         };
-        let args =
-            params.iter().map(|p| scope.render(p)).collect::<Vec<_>>().join(", ");
+        let args = params
+            .iter()
+            .map(|p| scope.render(p))
+            .collect::<Vec<_>>()
+            .join(", ");
         *s.0.entry((name.clone(), args)).or_insert(0) += 1;
         s
     }
@@ -92,7 +92,10 @@ impl Monitor for MemoScout {
         if lines.is_empty() {
             return "no repeated calls".into();
         }
-        lines.push(format!("memoization would save {} calls", s.redundant_calls()));
+        lines.push(format!(
+            "memoization would save {} calls",
+            s.redundant_calls()
+        ));
         lines.join("\n")
     }
 }

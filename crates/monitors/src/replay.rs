@@ -143,7 +143,10 @@ pub struct Replay {
 impl Replay {
     /// Replays against `tape` (anonymous namespace).
     pub fn new(tape: Tape) -> Self {
-        Replay { tape, namespace: Namespace::anonymous() }
+        Replay {
+            tape,
+            namespace: Namespace::anonymous(),
+        }
     }
 
     /// Restricts to one namespace.
@@ -178,16 +181,13 @@ impl Monitor for Replay {
     }
 
     fn initial_state(&self) -> ReplayState {
-        ReplayState { matched: 0, divergence: None }
+        ReplayState {
+            matched: 0,
+            divergence: None,
+        }
     }
 
-    fn pre(
-        &self,
-        ann: &Annotation,
-        _: &Expr,
-        _: &Scope<'_>,
-        s: ReplayState,
-    ) -> ReplayState {
+    fn pre(&self, ann: &Annotation, _: &Expr, _: &Scope<'_>, s: ReplayState) -> ReplayState {
         self.check(TapeEvent::Pre(ann.name().to_string()), s)
     }
 
@@ -199,15 +199,18 @@ impl Monitor for Replay {
         value: &Value,
         s: ReplayState,
     ) -> ReplayState {
-        self.check(TapeEvent::Post(ann.name().to_string(), value.to_string()), s)
+        self.check(
+            TapeEvent::Post(ann.name().to_string(), value.to_string()),
+            s,
+        )
     }
 
     fn render_state(&self, s: &ReplayState) -> String {
         match &s.divergence {
             None => format!("on tape ({} events matched)", s.matched),
-            Some((at, expected, actual)) => format!(
-                "diverged at event {at}: expected {expected:?}, got {actual:?}"
-            ),
+            Some((at, expected, actual)) => {
+                format!("diverged at event {at}: expected {expected:?}, got {actual:?}")
+            }
         }
     }
 }

@@ -51,7 +51,10 @@ impl Sizes {
 
     /// The label with the largest observed value, if any fired.
     pub fn heaviest(&self) -> Option<(&Ident, SizeStats)> {
-        self.0.iter().max_by_key(|(_, s)| s.max).map(|(l, s)| (l, *s))
+        self.0
+            .iter()
+            .max_by_key(|(_, s)| s.max)
+            .map(|(l, s)| (l, *s))
     }
 }
 
@@ -130,10 +133,7 @@ mod tests {
         assert_eq!(value_size(&Value::Int(1)), 1);
         assert_eq!(value_size(&Value::list([Value::Int(1), Value::Int(2)])), 5);
         assert_eq!(
-            value_size(&Value::pair(
-                Value::list([Value::Int(1)]),
-                Value::Int(2)
-            )),
+            value_size(&Value::pair(Value::list([Value::Int(1)]), Value::Int(2))),
             5
         );
     }

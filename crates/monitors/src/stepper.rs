@@ -52,11 +52,18 @@ struct Node {
 
 impl StepLog {
     fn enter(&self, point: String, expr: String) -> StepLog {
-        let event = StepEvent::Enter { step: self.next, point, expr };
+        let event = StepEvent::Enter {
+            step: self.next,
+            point,
+            expr,
+        };
         let mut open = self.open.clone();
         open.push(self.next);
         StepLog {
-            events: Some(Rc::new(Node { event, prev: self.events.clone() })),
+            events: Some(Rc::new(Node {
+                event,
+                prev: self.events.clone(),
+            })),
             next: self.next + 1,
             open,
         }
@@ -67,7 +74,10 @@ impl StepLog {
         let step = open.pop().unwrap_or(0);
         let event = StepEvent::Leave { step, point, value };
         StepLog {
-            events: Some(Rc::new(Node { event, prev: self.events.clone() })),
+            events: Some(Rc::new(Node {
+                event,
+                prev: self.events.clone(),
+            })),
             next: self.next,
             open,
         }
@@ -169,10 +179,14 @@ mod tests {
         assert_eq!(events.len(), 4);
         assert!(matches!(&events[0], StepEvent::Enter { step: 0, point, .. } if point == "outer"));
         assert!(matches!(&events[1], StepEvent::Enter { step: 1, point, .. } if point == "inner"));
-        assert!(matches!(&events[2], StepEvent::Leave { step: 1, point, value }
-            if point == "inner" && value == "1"));
-        assert!(matches!(&events[3], StepEvent::Leave { step: 0, point, value }
-            if point == "outer" && value == "3"));
+        assert!(
+            matches!(&events[2], StepEvent::Leave { step: 1, point, value }
+            if point == "inner" && value == "1")
+        );
+        assert!(
+            matches!(&events[3], StepEvent::Leave { step: 0, point, value }
+            if point == "outer" && value == "3")
+        );
         assert_eq!(log.steps(), 2);
     }
 

@@ -113,8 +113,10 @@ mod tests {
         let (_, t) = eval_monitored(&programs::fac_mul_profiled(5), &TimeProfiler::new()).unwrap();
         assert_eq!(t.count(&Ident::new("fac")), 6);
         assert_eq!(t.count(&Ident::new("mul")), 5);
-        assert!(t.total(&Ident::new("fac")) >= t.total(&Ident::new("mul")),
-            "outer activations include inner ones");
+        assert!(
+            t.total(&Ident::new("fac")) >= t.total(&Ident::new("mul")),
+            "outer activations include inner ones"
+        );
         assert!(t.open.is_empty());
     }
 

@@ -51,8 +51,10 @@ pub fn collect() -> Box<dyn DynMonitor> {
 
 /// The Figure 8 unsorted-list demon, namespaced to `demon/`.
 pub fn demon_unsorted() -> Box<dyn DynMonitor> {
-    boxed(PredicateDemon::new("unsorted-demon", |v| !crate::demon::is_sorted(v))
-        .in_namespace(Namespace::new("demon")))
+    boxed(
+        PredicateDemon::new("unsorted-demon", |v| !crate::demon::is_sorted(v))
+            .in_namespace(Namespace::new("demon")),
+    )
 }
 
 /// A demon for an arbitrary semantic event, namespaced to `demon/`.
@@ -98,7 +100,9 @@ pub fn log() -> Box<dyn DynMonitor> {
 
 /// A dynamic call graph over `graph/` function headers.
 pub fn call_graph() -> Box<dyn DynMonitor> {
-    boxed(crate::callgraph::CallGraph::in_namespace(Namespace::new("graph")))
+    boxed(crate::callgraph::CallGraph::in_namespace(Namespace::new(
+        "graph",
+    )))
 }
 
 /// A memoization-opportunity report over `memo/` function headers.
@@ -108,7 +112,9 @@ pub fn memo_scout() -> Box<dyn DynMonitor> {
 
 /// A space profiler over `space/` labels.
 pub fn space() -> Box<dyn DynMonitor> {
-    boxed(crate::space::SpaceProfiler::in_namespace(Namespace::new("space")))
+    boxed(crate::space::SpaceProfiler::in_namespace(Namespace::new(
+        "space",
+    )))
 }
 
 #[cfg(test)]
@@ -131,7 +137,10 @@ mod tests {
         let report = evaluate(profile() & trace(), LanguageModule::Strict, &prog).unwrap();
         assert_eq!(report.answer, Value::Int(6));
         assert_eq!(report.rendered_of("profiler"), Some("[fac ↦ 4, mul ↦ 3]"));
-        assert!(report.rendered_of("tracer").unwrap().contains("[FAC receives (3)]"));
+        assert!(report
+            .rendered_of("tracer")
+            .unwrap()
+            .contains("[FAC receives (3)]"));
     }
 
     #[test]
@@ -174,8 +183,12 @@ mod tests {
     fn demon_constructor_takes_arbitrary_triggers() {
         let prog = monsem_syntax::parse_expr("{demon/z}:(3 - 3)").unwrap();
         let d = demon("zero", |v| matches!(v, Value::Int(0)));
-        let report = evaluate(monsem_monitor::MonitorStack::single(d), LanguageModule::Strict, &prog)
-            .unwrap();
+        let report = evaluate(
+            monsem_monitor::MonitorStack::single(d),
+            LanguageModule::Strict,
+            &prog,
+        )
+        .unwrap();
         assert_eq!(report.rendered_of("zero"), Some("{z}"));
     }
 

@@ -45,7 +45,10 @@ impl OutChan {
 
     /// `addStream` — appends a line.
     pub fn add(&self, line: String) -> Self {
-        OutChan(Some(Rc::new(ChanNode { line, prev: self.clone() })))
+        OutChan(Some(Rc::new(ChanNode {
+            line,
+            prev: self.clone(),
+        })))
     }
 
     /// The lines, oldest first.
@@ -125,24 +128,24 @@ impl Monitor for Tracer {
         TracerState::default()
     }
 
-    fn pre(
-        &self,
-        ann: &Annotation,
-        _: &Expr,
-        scope: &Scope<'_>,
-        s: TracerState,
-    ) -> TracerState {
+    fn pre(&self, ann: &Annotation, _: &Expr, scope: &Scope<'_>, s: TracerState) -> TracerState {
         let AnnKind::FunHeader { name, params } = &ann.kind else {
             return s;
         };
-        let args =
-            params.iter().map(|p| scope.render(p)).collect::<Vec<_>>().join(" ");
+        let args = params
+            .iter()
+            .map(|p| scope.render(p))
+            .collect::<Vec<_>>()
+            .join(" ");
         let line = format!(
             "{}[{} receives ({args})]",
             Tracer::indent(s.level),
             name.as_str().to_uppercase()
         );
-        TracerState { chan: s.chan.add(line), level: s.level + 1 }
+        TracerState {
+            chan: s.chan.add(line),
+            level: s.level + 1,
+        }
     }
 
     fn post(
@@ -162,7 +165,10 @@ impl Monitor for Tracer {
             Tracer::indent(level),
             name.as_str().to_uppercase()
         );
-        TracerState { chan: s.chan.add(line), level }
+        TracerState {
+            chan: s.chan.add(line),
+            level,
+        }
     }
 
     fn render_state(&self, s: &TracerState) -> String {

@@ -30,7 +30,10 @@ pub struct Watchpoint {
 impl Watchpoint {
     /// Watches `variable` at anonymous-namespace annotations.
     pub fn new(variable: impl Into<Ident>) -> Self {
-        Watchpoint { variable: variable.into(), namespace: Namespace::anonymous() }
+        Watchpoint {
+            variable: variable.into(),
+            namespace: Namespace::anonymous(),
+        }
     }
 
     /// Restricts to one namespace.
@@ -98,15 +101,17 @@ mod tests {
 
     #[test]
     fn watches_mutation_in_the_imperative_module() {
-        let e = parse_expr(
-            "let x = 0 in while x < 3 do {w}:(x := x + 1) end; x",
-        )
-        .unwrap();
+        let e = parse_expr("let x = 0 in while x < 3 do {w}:(x := x + 1) end; x").unwrap();
         let (_, log) = eval_monitored_imperative(&e, &Watchpoint::new("x")).unwrap();
         let values: Vec<&Value> = log.transitions.iter().map(|(_, v)| v).collect();
         assert_eq!(
             values,
-            vec![&Value::Int(0), &Value::Int(1), &Value::Int(2), &Value::Int(3)]
+            vec![
+                &Value::Int(0),
+                &Value::Int(1),
+                &Value::Int(2),
+                &Value::Int(3)
+            ]
         );
     }
 
@@ -120,10 +125,7 @@ mod tests {
 
     #[test]
     fn rebinding_in_pure_code_is_visible() {
-        let e = parse_expr(
-            "let x = 1 in {outer}:(let x = 2 in {inner}:x) + {back}:x",
-        )
-        .unwrap();
+        let e = parse_expr("let x = 1 in {outer}:(let x = 2 in {inner}:x) + {back}:x").unwrap();
         let (_, log) = eval_monitored(&e, &Watchpoint::new("x")).unwrap();
         let values: Vec<i64> = log
             .transitions

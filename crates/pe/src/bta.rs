@@ -83,24 +83,42 @@ struct AEnv(Option<Rc<ANode>>);
 
 #[derive(Debug)]
 enum ANode {
-    Plain { name: Ident, value: Abs, parent: AEnv },
-    Rec { defs: Rc<Vec<(Ident, Lambda, ExprPath)>>, parent: AEnv },
+    Plain {
+        name: Ident,
+        value: Abs,
+        parent: AEnv,
+    },
+    Rec {
+        defs: Rc<Vec<(Ident, Lambda, ExprPath)>>,
+        parent: AEnv,
+    },
 }
 
 impl AEnv {
     fn plain(&self, name: Ident, value: Abs) -> AEnv {
-        AEnv(Some(Rc::new(ANode::Plain { name, value, parent: self.clone() })))
+        AEnv(Some(Rc::new(ANode::Plain {
+            name,
+            value,
+            parent: self.clone(),
+        })))
     }
 
     fn rec(&self, defs: Rc<Vec<(Ident, Lambda, ExprPath)>>) -> AEnv {
-        AEnv(Some(Rc::new(ANode::Rec { defs, parent: self.clone() })))
+        AEnv(Some(Rc::new(ANode::Rec {
+            defs,
+            parent: self.clone(),
+        })))
     }
 
     fn lookup(&self, name: &Ident) -> Option<Abs> {
         let mut cur = self;
         loop {
             match cur.0.as_deref() {
-                Some(ANode::Plain { name: n, value, parent }) => {
+                Some(ANode::Plain {
+                    name: n,
+                    value,
+                    parent,
+                }) => {
                     if n == name {
                         return Some(value.clone());
                     }
@@ -169,7 +187,7 @@ impl Analyzer {
     fn analyze(&mut self, e: &Expr, path: &ExprPath, env: &AEnv) -> Abs {
         let result = match e {
             Expr::Con(_) => Abs::Data(Bt::Static),
-            Expr::Var(x) => match env.lookup(x) {
+            Expr::Var(x) | Expr::VarAt(x, _) => match env.lookup(x) {
                 Some(v) => v,
                 None => {
                     if Prim::by_name(x.as_str()).is_some() {
@@ -223,11 +241,8 @@ impl Analyzer {
                 let mut env = env.clone();
                 for (i, b) in bs.iter().enumerate() {
                     if !b.value.is_lambda_like() {
-                        let v = self.analyze(
-                            &b.value,
-                            &path.child(PathStep::BindingValue(i)),
-                            &env,
-                        );
+                        let v =
+                            self.analyze(&b.value, &path.child(PathStep::BindingValue(i)), &env);
                         env = env.plain(b.name.clone(), v);
                     }
                 }
@@ -345,7 +360,7 @@ pub fn render_two_level(program: &Expr, division: &Division) -> String {
             out.push('«');
         }
         match e {
-            Expr::Con(_) | Expr::Var(_) => out.push_str(&e.to_string()),
+            Expr::Con(_) | Expr::Var(_) | Expr::VarAt(..) => out.push_str(&e.to_string()),
             Expr::Lambda(l) => {
                 out.push_str("lambda ");
                 out.push_str(l.param.as_str());
@@ -427,10 +442,9 @@ mod tests {
 
     #[test]
     fn closed_programs_are_fully_static() {
-        let e = parse_expr(
-            "letrec fac = lambda x. if x = 0 then 1 else x * (fac (x - 1)) in fac 5",
-        )
-        .unwrap();
+        let e =
+            parse_expr("letrec fac = lambda x. if x = 0 then 1 else x * (fac (x - 1)) in fac 5")
+                .unwrap();
         let d = analyze(&e, &[]);
         assert_eq!(d.result(), Some(Bt::Static));
         let (_, dynamic) = d.counts();
@@ -475,10 +489,7 @@ mod tests {
 
     #[test]
     fn recursion_reaches_a_fixpoint() {
-        let e = parse_expr(
-            "letrec f = lambda n. if n = 0 then m else f (n - 1) in f k",
-        )
-        .unwrap();
+        let e = parse_expr("letrec f = lambda n. if n = 0 then m else f (n - 1) in f k").unwrap();
         // m and k free → dynamic; the analysis must terminate and mark
         // the program dynamic.
         let d = analyze(&e, &[]);
@@ -499,10 +510,8 @@ mod tests {
 
     #[test]
     fn higher_order_flow_is_tracked() {
-        let e = parse_expr(
-            "let apply = lambda f. lambda x. f x in apply (lambda y. y + 1) d",
-        )
-        .unwrap();
+        let e =
+            parse_expr("let apply = lambda f. lambda x. f x in apply (lambda y. y + 1) d").unwrap();
         let d = analyze(&e, &[]);
         assert_eq!(d.result(), Some(Bt::Dynamic));
         let d = analyze(&e, &[Ident::new("d")]);
@@ -524,7 +533,10 @@ mod cross_validation {
     #[test]
     fn analysis_predicts_specialization() {
         let cases: &[(&str, &[(&str, i64)])] = &[
-            ("letrec fac = lambda x. if x = 0 then 1 else x * (fac (x - 1)) in fac 6", &[]),
+            (
+                "letrec fac = lambda x. if x = 0 then 1 else x * (fac (x - 1)) in fac 6",
+                &[],
+            ),
             ("n * (2 + 3)", &[("n", 7)]),
             ("if flag then 1 else 2", &[("flag", 1)]), // non-bool static input: still static per BTA
         ];
@@ -536,15 +548,13 @@ mod cross_validation {
                 .iter()
                 .map(|(n, v)| (Ident::new(*n), Value::Int(*v)))
                 .collect();
-            let (residual, _) =
-                specialize_with(&program, &values, &SpecializeOptions::default());
+            let (residual, _) = specialize_with(&program, &values, &SpecializeOptions::default());
             match division.result() {
                 Some(Bt::Static) => {
                     // Static per BTA ⇒ the specializer either folds to a
                     // constant or preserves a runtime error (`if 1 …`).
                     let fully_folded = matches!(residual, monsem_syntax::Expr::Con(_));
-                    let is_error_residue =
-                        monsem_core::machine::eval(&residual).is_err();
+                    let is_error_residue = monsem_core::machine::eval(&residual).is_err();
                     assert!(
                         fully_folded || is_error_residue,
                         "BTA said static but residual is {residual}"

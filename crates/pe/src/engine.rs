@@ -6,7 +6,17 @@
 //! time:
 //!
 //! * **environment lookup** — variable references are resolved to frame
-//!   indices (de Bruijn style), so no name comparison happens at run time;
+//!   indices (de Bruijn style), so no name comparison happens at run time.
+//!   This pass is deliberately *not* shared with `monsem_core::resolve`:
+//!   that resolver targets the interpreted machines' environment layout
+//!   (and must leave letrec value-bindings unaddressed, since their
+//!   runtime frame shape is mode-dependent), whereas this compiler owns
+//!   its frame discipline outright and can always produce an index. The
+//!   two passes do share the interning layer — name comparisons here are
+//!   O(1) symbol compares and primitives resolve through the dense
+//!   symbol-indexed table — and pre-resolved `VarAt` trees compile
+//!   unchanged (the address is simply recomputed against this engine's
+//!   own layout);
 //! * **syntax dispatch** — the `case e of …` of the valuation functional
 //!   disappears into the structure of [`Code`];
 //! * **annotation dispatch** — `{μ}:e` is resolved against the monitor's
@@ -182,7 +192,7 @@ impl<M: Monitor> Compiler<'_, M> {
                 }
             }
         }
-        match Prim::by_name(name.as_str()) {
+        match Prim::by_ident(name) {
             Some(p) => Code::Prim(p),
             None => Code::Unbound(name.clone()),
         }
@@ -206,12 +216,15 @@ impl<M: Monitor> Compiler<'_, M> {
     fn compile(&mut self, e: &Expr) -> Result<Code, CompileError> {
         Ok(match e {
             Expr::Con(c) => Code::Const(constant(c)),
-            Expr::Var(x) => self.resolve(x),
+            Expr::Var(x) | Expr::VarAt(x, _) => self.resolve(x),
             Expr::Lambda(l) => {
                 self.scope.push(CFrame::Plain(l.param.clone()));
                 let body = self.compile(&l.body)?;
                 self.scope.pop();
-                Code::Lambda(Rc::new(CodeLambda { param: l.param.clone(), body: Rc::new(body) }))
+                Code::Lambda(Rc::new(CodeLambda {
+                    param: l.param.clone(),
+                    body: Rc::new(body),
+                }))
             }
             Expr::If(c, t, f) => Code::If(
                 Rc::new(self.compile(c)?),
@@ -277,9 +290,7 @@ impl<M: Monitor> Compiler<'_, M> {
                     bs.iter().filter(|b| !b.value.is_lambda_like()).collect();
                 let annotated_bindings: Vec<&monsem_syntax::Binding> = bs
                     .iter()
-                    .filter(|b| {
-                        b.value.is_lambda_like() && matches!(&*b.value, Expr::Ann(..))
-                    })
+                    .filter(|b| b.value.is_lambda_like() && matches!(&*b.value, Expr::Ann(..)))
                     .collect();
                 let has_rec = !rec_sources.is_empty();
 
@@ -340,7 +351,11 @@ impl<M: Monitor> Compiler<'_, M> {
                     self.hooks += 1;
                     let names = self.frame_names();
                     let body = self.compile(inner)?;
-                    Code::Hook { ann: ann.clone(), names, body: Rc::new(body) }
+                    Code::Hook {
+                        ann: ann.clone(),
+                        names,
+                        body: Rc::new(body),
+                    }
                 } else {
                     // Static annotation dispatch: foreign annotations cost
                     // nothing at run time.
@@ -361,10 +376,16 @@ impl<M: Monitor> Compiler<'_, M> {
 ///
 /// [`CompileError::Unsupported`] on imperative constructs.
 pub fn compile(e: &Expr) -> Result<CompiledProgram, CompileError> {
-    let mut c: Compiler<'_, IdentityMonitor> =
-        Compiler { monitor: None, scope: Vec::new(), hooks: 0 };
+    let mut c: Compiler<'_, IdentityMonitor> = Compiler {
+        monitor: None,
+        scope: Vec::new(),
+        hooks: 0,
+    };
     let code = c.compile(e)?;
-    Ok(CompiledProgram { code: Rc::new(code), hooks: 0 })
+    Ok(CompiledProgram {
+        code: Rc::new(code),
+        hooks: 0,
+    })
 }
 
 /// Compiles a program against a monitor: accepted annotations become
@@ -378,10 +399,17 @@ pub fn compile_monitored<M: Monitor>(
     e: &Expr,
     monitor: &M,
 ) -> Result<CompiledProgram, CompileError> {
-    let mut c = Compiler { monitor: Some(monitor), scope: Vec::new(), hooks: 0 };
+    let mut c = Compiler {
+        monitor: Some(monitor),
+        scope: Vec::new(),
+        hooks: 0,
+    };
     let code = c.compile(e)?;
     let hooks = c.hooks;
-    Ok(CompiledProgram { code: Rc::new(code), hooks })
+    Ok(CompiledProgram {
+        code: Rc::new(code),
+        hooks,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -395,8 +423,14 @@ struct REnv(Option<Rc<RFrame>>);
 
 #[derive(Debug)]
 enum RFrame {
-    Plain { value: Value, parent: REnv },
-    Rec { lambdas: Rc<Vec<Rc<CodeLambda>>>, parent: REnv },
+    Plain {
+        value: Value,
+        parent: REnv,
+    },
+    Rec {
+        lambdas: Rc<Vec<Rc<CodeLambda>>>,
+        parent: REnv,
+    },
 }
 
 /// A compiled closure, stored in [`Value::Ext`].
@@ -410,18 +444,27 @@ const EXT_TAG: &str = "compiled-fn";
 
 impl REnv {
     fn plain(&self, value: Value) -> REnv {
-        REnv(Some(Rc::new(RFrame::Plain { value, parent: self.clone() })))
+        REnv(Some(Rc::new(RFrame::Plain {
+            value,
+            parent: self.clone(),
+        })))
     }
 
     fn rec(&self, lambdas: Rc<Vec<Rc<CodeLambda>>>) -> REnv {
-        REnv(Some(Rc::new(RFrame::Rec { lambdas, parent: self.clone() })))
+        REnv(Some(Rc::new(RFrame::Rec {
+            lambdas,
+            parent: self.clone(),
+        })))
     }
 
     fn frame(&self, depth: u32) -> &RFrame {
         let mut cur = self;
         let mut d = depth;
         loop {
-            let frame = cur.0.as_deref().expect("compiler-resolved depth is in range");
+            let frame = cur
+                .0
+                .as_deref()
+                .expect("compiler-resolved depth is in range");
             if d == 0 {
                 return frame;
             }
@@ -445,7 +488,10 @@ impl REnv {
         let mut cur = self;
         let mut d = depth;
         loop {
-            let frame = cur.0.as_deref().expect("compiler-resolved depth is in range");
+            let frame = cur
+                .0
+                .as_deref()
+                .expect("compiler-resolved depth is in range");
             if d == 0 {
                 match frame {
                     RFrame::Rec { lambdas, .. } => {
@@ -467,7 +513,10 @@ impl REnv {
         let mut cur = self;
         let mut d = depth;
         loop {
-            let frame = cur.0.as_deref().expect("compiler-resolved depth is in range");
+            let frame = cur
+                .0
+                .as_deref()
+                .expect("compiler-resolved depth is in range");
             if d == 0 {
                 match frame {
                     RFrame::Rec { lambdas, .. } => {
@@ -524,20 +573,52 @@ impl REnv {
 
 #[derive(Debug)]
 enum RtFrame {
-    Arg { func: Rc<Code>, env: REnv },
-    Apply { arg: Value },
+    Arg {
+        func: Rc<Code>,
+        env: REnv,
+    },
+    Apply {
+        arg: Value,
+    },
     /// Second operand of a `Prim2` evaluated; evaluate the first next.
-    Prim2First { p: Prim, first: Rc<Code>, env: REnv },
+    Prim2First {
+        p: Prim,
+        first: Rc<Code>,
+        env: REnv,
+    },
     /// Both operands ready; apply.
-    Prim2Apply { p: Prim, second: Value },
+    Prim2Apply {
+        p: Prim,
+        second: Value,
+    },
     /// Operand of a `Prim1` evaluated; apply.
-    Prim1Apply { p: Prim },
+    Prim1Apply {
+        p: Prim,
+    },
     /// Argument of a direct rec call evaluated; enter the callee.
-    EnterRec { depth: u32, index: u32, env: REnv },
-    Branch { then: Rc<Code>, els: Rc<Code>, env: REnv },
-    BindThen { body: Rc<Code>, env: REnv },
-    Discard { second: Rc<Code>, env: REnv },
-    Post { ann: Annotation, names: Rc<Vec<FrameNamesOpaque>>, env: REnv },
+    EnterRec {
+        depth: u32,
+        index: u32,
+        env: REnv,
+    },
+    Branch {
+        then: Rc<Code>,
+        els: Rc<Code>,
+        env: REnv,
+    },
+    BindThen {
+        body: Rc<Code>,
+        env: REnv,
+    },
+    Discard {
+        second: Rc<Code>,
+        env: REnv,
+    },
+    Post {
+        ann: Annotation,
+        names: Rc<Vec<FrameNamesOpaque>>,
+        env: REnv,
+    },
 }
 
 enum RtState {
@@ -553,7 +634,8 @@ impl CompiledProgram {
     ///
     /// Any [`EvalError`] the program provokes.
     pub fn run(&self) -> Result<Value, EvalError> {
-        self.run_monitored(&IdentityMonitor, &EvalOptions::default()).map(|(v, ())| v)
+        self.run_monitored(&IdentityMonitor, &EvalOptions::default())
+            .map(|(v, ())| v)
     }
 
     /// Runs the program under a monitor, threading its state through the
@@ -588,7 +670,10 @@ impl CompiledProgram {
                     Code::Unbound(x) => return Err(EvalError::UnboundVariable(x.clone())),
                     Code::Lambda(l) => RtState::Continue(Value::Ext(ExtValue::new(
                         EXT_TAG,
-                        CompiledClosure { lambda: l.clone(), env: env.clone() },
+                        CompiledClosure {
+                            lambda: l.clone(),
+                            env: env.clone(),
+                        },
                     ))),
                     Code::If(c, t, f) => {
                         stack.push(RtFrame::Branch {
@@ -599,7 +684,10 @@ impl CompiledProgram {
                         RtState::Eval(c.clone(), env)
                     }
                     Code::App(f, a) => {
-                        stack.push(RtFrame::Arg { func: f.clone(), env: env.clone() });
+                        stack.push(RtFrame::Arg {
+                            func: f.clone(),
+                            env: env.clone(),
+                        });
                         RtState::Eval(a.clone(), env)
                     }
                     Code::Prim1(p, a) => {
@@ -623,19 +711,30 @@ impl CompiledProgram {
                         RtState::Eval(arg.clone(), env)
                     }
                     Code::Bind(v, body) => {
-                        stack.push(RtFrame::BindThen { body: body.clone(), env: env.clone() });
+                        stack.push(RtFrame::BindThen {
+                            body: body.clone(),
+                            env: env.clone(),
+                        });
                         RtState::Eval(v.clone(), env)
                     }
                     Code::RecGroup(lambdas, rest) => {
                         RtState::Eval(rest.clone(), env.rec(lambdas.clone()))
                     }
                     Code::Seq(a, b) => {
-                        stack.push(RtFrame::Discard { second: b.clone(), env: env.clone() });
+                        stack.push(RtFrame::Discard {
+                            second: b.clone(),
+                            env: env.clone(),
+                        });
                         RtState::Eval(a.clone(), env)
                     }
                     Code::Hook { ann, names, body } => {
                         let hook_env = env.to_env(names);
-                        sigma = monitor.pre(ann, body_expr_placeholder(), &Scope::pure(&hook_env), sigma);
+                        sigma = monitor.pre(
+                            ann,
+                            body_expr_placeholder(),
+                            &Scope::pure(&hook_env),
+                            sigma,
+                        );
                         stack.push(RtFrame::Post {
                             ann: ann.clone(),
                             names: names.clone(),
@@ -668,18 +767,14 @@ impl CompiledProgram {
                     Some(RtFrame::Prim2Apply { p, second }) => {
                         RtState::Continue(p.apply(&[value, second])?)
                     }
-                    Some(RtFrame::Prim1Apply { p }) => {
-                        RtState::Continue(p.apply(&[value])?)
-                    }
+                    Some(RtFrame::Prim1Apply { p }) => RtState::Continue(p.apply(&[value])?),
                     Some(RtFrame::EnterRec { depth, index, env }) => {
                         let (body, callee_env) = env.enter_rec(depth, index);
                         RtState::Eval(body, callee_env.plain(value))
                     }
                     Some(RtFrame::Apply { arg }) => match value {
                         Value::Ext(ext) => match ext.downcast::<CompiledClosure>() {
-                            Some(c) => {
-                                RtState::Eval(c.lambda.body.clone(), c.env.plain(arg))
-                            }
+                            Some(c) => RtState::Eval(c.lambda.body.clone(), c.env.plain(arg)),
                             None => return Err(EvalError::NotAFunction(Value::Ext(ext))),
                         },
                         Value::Prim(p, collected) => {
@@ -696,13 +791,9 @@ impl CompiledProgram {
                     Some(RtFrame::Branch { then, els, env }) => match value {
                         Value::Bool(true) => RtState::Eval(then, env),
                         Value::Bool(false) => RtState::Eval(els, env),
-                        other => {
-                            return Err(EvalError::NonBooleanCondition(other.to_string()))
-                        }
+                        other => return Err(EvalError::NonBooleanCondition(other.to_string())),
                     },
-                    Some(RtFrame::BindThen { body, env }) => {
-                        RtState::Eval(body, env.plain(value))
-                    }
+                    Some(RtFrame::BindThen { body, env }) => RtState::Eval(body, env.plain(value)),
                     Some(RtFrame::Discard { second, env }) => RtState::Eval(second, env),
                 },
             };
@@ -826,10 +917,7 @@ mod tests {
 
     #[test]
     fn hook_env_sees_letrec_functions_as_opaque_values() {
-        let e = parse_expr(
-            "letrec f = lambda x. {fh(f, x)}:(x + 1) in f 1",
-        )
-        .unwrap();
+        let e = parse_expr("letrec f = lambda x. {fh(f, x)}:(x + 1) in f 1").unwrap();
         let t = Tracer::new();
         let (_, s) = compile_monitored(&e, &t)
             .unwrap()
@@ -842,7 +930,10 @@ mod tests {
     #[test]
     fn imperative_constructs_are_compile_errors() {
         let e = parse_expr("x := 1").unwrap();
-        assert_eq!(compile(&e).unwrap_err(), CompileError::Unsupported("assignment"));
+        assert_eq!(
+            compile(&e).unwrap_err(),
+            CompileError::Unsupported("assignment")
+        );
     }
 
     #[test]

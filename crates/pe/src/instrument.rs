@@ -106,11 +106,10 @@ impl Tr<'_> {
     /// computes. E.g. arity 2:
     /// `λσ. (λa. λσ₁. ((λb. λσ₂. ((p a b) : σ₂)) : σ₁)) : σ`.
     fn wrap_prim(&mut self, name: &Ident, arity: usize) -> Expr {
-        let params: Vec<Ident> =
-            (0..arity).map(|i| self.fresh(&format!("a{i}"))).collect();
-        let call = params
-            .iter()
-            .fold(Expr::Var(name.clone()), |f, p| Expr::app(f, Expr::Var(p.clone())));
+        let params: Vec<Ident> = (0..arity).map(|i| self.fresh(&format!("a{i}"))).collect();
+        let call = params.iter().fold(Expr::Var(name.clone()), |f, p| {
+            Expr::app(f, Expr::Var(p.clone()))
+        });
         // Innermost: λσ. call : σ
         let mut acc = self.state_fn(|_, s| Tr::pair(call, Expr::Var(s.clone())));
         for p in params.iter().rev() {
@@ -127,7 +126,7 @@ impl Tr<'_> {
                 let v = e.clone();
                 self.state_fn(|_, s| Tr::pair(v, Expr::Var(s.clone())))
             }
-            Expr::Var(x) => {
+            Expr::Var(x) | Expr::VarAt(x, _) => {
                 if !self.bound.contains(x) {
                     if let Some(p) = monsem_core::prims::Prim::by_name(x.as_str()) {
                         return self.wrap_prim(x, p.arity());
@@ -140,7 +139,10 @@ impl Tr<'_> {
                 self.bound.push(l.param.clone());
                 let body = self.translate(&l.body);
                 self.bound.pop();
-                let f = Expr::Lambda(Lambda { param: l.param.clone(), body: Rc::new(body) });
+                let f = Expr::Lambda(Lambda {
+                    param: l.param.clone(),
+                    body: Rc::new(body),
+                });
                 self.state_fn(|_, s| Tr::pair(f, Expr::Var(s.clone())))
             }
             Expr::App(f, a) => {
@@ -156,10 +158,7 @@ impl Tr<'_> {
                             p1.clone(),
                             Expr::app(tf, Tr::tl(Expr::Var(p2.clone()))),
                             Expr::app(
-                                Expr::app(
-                                    Tr::hd(Expr::Var(p1.clone())),
-                                    Tr::hd(Expr::Var(p2)),
-                                ),
+                                Expr::app(Tr::hd(Expr::Var(p1.clone())), Tr::hd(Expr::Var(p2))),
                                 Tr::tl(Expr::Var(p1)),
                             ),
                         ),
@@ -283,7 +282,10 @@ impl Tr<'_> {
                 self.bound.pop();
                 Binding::new(
                     name.clone(),
-                    Expr::Lambda(Lambda { param: l.param.clone(), body: Rc::new(tb) }),
+                    Expr::Lambda(Lambda {
+                        param: l.param.clone(),
+                        body: Rc::new(tb),
+                    }),
                 )
             })
             .collect();
@@ -355,14 +357,17 @@ pub fn instrument(program: &Expr, monitor: &SourceMonitor) -> Expr {
     // binding shadowing any primitive name would capture them, so rename
     // such binders apart first.
     let program = rename_prim_shadowers(program, &mut used);
-    let mut tr = Tr { monitor, bound: Vec::new(), fresh: 0, used };
+    let mut tr = Tr {
+        monitor,
+        bound: Vec::new(),
+        fresh: 0,
+        used,
+    };
     let translated = tr.translate(&program);
     let applied = Expr::app(translated, monitor.initial.clone());
-    monitor
-        .prelude
-        .iter()
-        .rev()
-        .fold(applied, |acc, b| Expr::Letrec(vec![b.clone()], Rc::new(acc)))
+    monitor.prelude.iter().rev().fold(applied, |acc, b| {
+        Expr::Letrec(vec![b.clone()], Rc::new(acc))
+    })
 }
 
 /// Instruments and then specializes the instrumented program — composing
@@ -390,11 +395,7 @@ fn rename_prim_shadowers(e: &Expr, used: &mut BTreeSet<Ident>) -> Expr {
             }
         }
     }
-    fn go(
-        e: &Expr,
-        map: &mut Vec<(Ident, Ident)>,
-        used: &mut BTreeSet<Ident>,
-    ) -> Expr {
+    fn go(e: &Expr, map: &mut Vec<(Ident, Ident)>, used: &mut BTreeSet<Ident>) -> Expr {
         let rename_binder = |x: &Ident, used: &mut BTreeSet<Ident>| -> Ident {
             if Prim::by_name(x.as_str()).is_some() {
                 fresh(x, used)
@@ -404,20 +405,23 @@ fn rename_prim_shadowers(e: &Expr, used: &mut BTreeSet<Ident>) -> Expr {
         };
         match e {
             Expr::Con(_) => e.clone(),
-            Expr::Var(x) => match map.iter().rev().find(|(from, _)| from == x) {
-                Some((_, to)) => Expr::Var(to.clone()),
-                None => e.clone(),
-            },
+            Expr::Var(x) | Expr::VarAt(x, _) => {
+                match map.iter().rev().find(|(from, _)| from == x) {
+                    Some((_, to)) => Expr::Var(to.clone()),
+                    None => Expr::Var(x.clone()),
+                }
+            }
             Expr::Lambda(l) => {
                 let p = rename_binder(&l.param, used);
                 map.push((l.param.clone(), p.clone()));
                 let body = go(&l.body, map, used);
                 map.pop();
-                Expr::Lambda(Lambda { param: p, body: Rc::new(body) })
+                Expr::Lambda(Lambda {
+                    param: p,
+                    body: Rc::new(body),
+                })
             }
-            Expr::If(c, t, f) => {
-                Expr::if_(go(c, map, used), go(t, map, used), go(f, map, used))
-            }
+            Expr::If(c, t, f) => Expr::if_(go(c, map, used), go(t, map, used), go(f, map, used)),
             Expr::App(f, a) => Expr::app(go(f, map, used), go(a, map, used)),
             Expr::Let(x, v, b) => {
                 let v2 = go(v, map, used);
@@ -428,15 +432,17 @@ fn rename_prim_shadowers(e: &Expr, used: &mut BTreeSet<Ident>) -> Expr {
                 Expr::Let(x2, Rc::new(v2), Rc::new(b2))
             }
             Expr::Letrec(bs, body) => {
-                let renamed: Vec<Ident> =
-                    bs.iter().map(|b| rename_binder(&b.name, used)).collect();
+                let renamed: Vec<Ident> = bs.iter().map(|b| rename_binder(&b.name, used)).collect();
                 for (b, r) in bs.iter().zip(&renamed) {
                     map.push((b.name.clone(), r.clone()));
                 }
                 let new_bs: Vec<Binding> = bs
                     .iter()
                     .zip(&renamed)
-                    .map(|(b, r)| Binding { name: r.clone(), value: Rc::new(go(&b.value, map, used)) })
+                    .map(|(b, r)| Binding {
+                        name: r.clone(),
+                        value: Rc::new(go(&b.value, map, used)),
+                    })
                     .collect();
                 let body2 = go(body, map, used);
                 for _ in bs {
@@ -445,9 +451,7 @@ fn rename_prim_shadowers(e: &Expr, used: &mut BTreeSet<Ident>) -> Expr {
                 Expr::Letrec(new_bs, Rc::new(body2))
             }
             Expr::Ann(a, inner) => Expr::Ann(a.clone(), Rc::new(go(inner, map, used))),
-            Expr::Seq(a, b) => {
-                Expr::Seq(Rc::new(go(a, map, used)), Rc::new(go(b, map, used)))
-            }
+            Expr::Seq(a, b) => Expr::Seq(Rc::new(go(a, map, used)), Rc::new(go(b, map, used))),
             Expr::Assign(x, v) => {
                 let v2 = go(v, map, used);
                 let x2 = match map.iter().rev().find(|(from, _)| from == x) {
@@ -456,9 +460,7 @@ fn rename_prim_shadowers(e: &Expr, used: &mut BTreeSet<Ident>) -> Expr {
                 };
                 Expr::Assign(x2, Rc::new(v2))
             }
-            Expr::While(c, b) => {
-                Expr::While(Rc::new(go(c, map, used)), Rc::new(go(b, map, used)))
-            }
+            Expr::While(c, b) => Expr::While(Rc::new(go(c, map, used)), Rc::new(go(b, map, used))),
         }
     }
     go(e, &mut Vec::new(), used)
@@ -572,7 +574,10 @@ pub fn collecting_source() -> SourceMonitor {
     SourceMonitor {
         name: "collecting".into(),
         initial: Expr::nil(),
-        prelude: vec![Binding::new("member", member), Binding::new("addVal", add_val)],
+        prelude: vec![
+            Binding::new("member", member),
+            Binding::new("addVal", add_val),
+        ],
         pre: Box::new(|_| None),
         post: Box::new(|ann| {
             if let monsem_syntax::AnnKind::Label(l) = &ann.kind {
@@ -689,13 +694,9 @@ mod tests {
     #[test]
     fn instrumented_program_specializes_further() {
         let prog = programs::fac_ab(5);
-        let optimized =
-            instrument_optimized(&prog, &step_counter(), &SpecializeOptions::default());
+        let optimized = instrument_optimized(&prog, &step_counter(), &SpecializeOptions::default());
         // fac 5 is fully static — even the monitor state computes away.
-        assert_eq!(
-            optimized,
-            Expr::binop("cons", Expr::int(120), Expr::int(6))
-        );
+        assert_eq!(optimized, Expr::binop("cons", Expr::int(120), Expr::int(6)));
     }
 
     #[test]

@@ -43,7 +43,13 @@ impl<'m, M: Monitor> Pipeline<'m, M> {
         let erased = program.erase_annotations();
         let compiled_standard = compile(&erased)?;
         let compiled_monitored = compile_monitored(&program, monitor)?;
-        Ok(Pipeline { program, erased, monitor, compiled_standard, compiled_monitored })
+        Ok(Pipeline {
+            program,
+            erased,
+            monitor,
+            compiled_standard,
+            compiled_monitored,
+        })
     }
 
     /// Level “Int”: the standard interpreter on the erased program.
@@ -85,7 +91,8 @@ impl<'m, M: Monitor> Pipeline<'m, M> {
     ///
     /// Any [`EvalError`].
     pub fn run_compiled_monitored(&self) -> Result<(Value, M::State), EvalError> {
-        self.compiled_monitored.run_monitored(self.monitor, &EvalOptions::default())
+        self.compiled_monitored
+            .run_monitored(self.monitor, &EvalOptions::default())
     }
 
     /// The compiled artifacts, for callers that want to time them

@@ -81,7 +81,7 @@ fn occurrences_only_projections(e: &Expr, x: &Ident) -> bool {
             }
         }
         match e {
-            Expr::Var(v) => v != x,
+            Expr::Var(v) | Expr::VarAt(v, _) => v != x,
             Expr::Con(_) => true,
             Expr::Lambda(l) => go(&l.body, x, l.param == *x),
             Expr::If(a, b, c) => go(a, x, false) && go(b, x, false) && go(c, x, false),
@@ -105,7 +105,7 @@ fn occurrences_only_projections(e: &Expr, x: &Ident) -> bool {
 /// names are unique, and replacements are trivial expressions).
 fn subst(e: &Expr, x: &Ident, replacement: &Expr) -> Expr {
     match e {
-        Expr::Var(v) => {
+        Expr::Var(v) | Expr::VarAt(v, _) => {
             if v == x {
                 replacement.clone()
             } else {
@@ -172,7 +172,7 @@ fn subst_projections(e: &Expr, x: &Ident, h: &Ident, t: &Ident) -> Expr {
         }
     }
     match e {
-        Expr::Var(_) | Expr::Con(_) => e.clone(),
+        Expr::Var(_) | Expr::VarAt(..) | Expr::Con(_) => e.clone(),
         Expr::Lambda(l) => {
             if l.param == *x {
                 e.clone()
@@ -188,9 +188,7 @@ fn subst_projections(e: &Expr, x: &Ident, h: &Ident, t: &Ident) -> Expr {
             subst_projections(b, x, h, t),
             subst_projections(c, x, h, t),
         ),
-        Expr::App(a, b) => {
-            Expr::app(subst_projections(a, x, h, t), subst_projections(b, x, h, t))
-        }
+        Expr::App(a, b) => Expr::app(subst_projections(a, x, h, t), subst_projections(b, x, h, t)),
         Expr::Let(v, val, body) => {
             let val = subst_projections(val, x, h, t);
             if v == x {
@@ -213,16 +211,12 @@ fn subst_projections(e: &Expr, x: &Ident, h: &Ident, t: &Ident) -> Expr {
                 Rc::new(subst_projections(body, x, h, t)),
             )
         }
-        Expr::Ann(a, inner) => {
-            Expr::Ann(a.clone(), Rc::new(subst_projections(inner, x, h, t)))
-        }
+        Expr::Ann(a, inner) => Expr::Ann(a.clone(), Rc::new(subst_projections(inner, x, h, t))),
         Expr::Seq(a, b) => Expr::Seq(
             Rc::new(subst_projections(a, x, h, t)),
             Rc::new(subst_projections(b, x, h, t)),
         ),
-        Expr::Assign(v, val) => {
-            Expr::Assign(v.clone(), Rc::new(subst_projections(val, x, h, t)))
-        }
+        Expr::Assign(v, val) => Expr::Assign(v.clone(), Rc::new(subst_projections(val, x, h, t))),
         Expr::While(a, b) => Expr::While(
             Rc::new(subst_projections(a, x, h, t)),
             Rc::new(subst_projections(b, x, h, t)),
@@ -232,7 +226,7 @@ fn subst_projections(e: &Expr, x: &Ident, h: &Ident, t: &Ident) -> Expr {
 
 fn count_free(e: &Expr, x: &Ident) -> usize {
     match e {
-        Expr::Var(v) => usize::from(v == x),
+        Expr::Var(v) | Expr::VarAt(v, _) => usize::from(v == x),
         Expr::Con(_) => 0,
         Expr::Lambda(l) => {
             if l.param == *x {
@@ -252,8 +246,7 @@ fn count_free(e: &Expr, x: &Ident) -> usize {
             if bs.iter().any(|b| b.name == *x) {
                 0
             } else {
-                bs.iter().map(|b| count_free(&b.value, x)).sum::<usize>()
-                    + count_free(body, x)
+                bs.iter().map(|b| count_free(&b.value, x)).sum::<usize>() + count_free(body, x)
             }
         }
         Expr::Ann(_, inner) => count_free(inner, x),
@@ -275,7 +268,7 @@ impl Simplifier {
     fn pass(&mut self, e: &Expr) -> Expr {
         // Bottom-up.
         let e = match e {
-            Expr::Var(_) | Expr::Con(_) => e.clone(),
+            Expr::Var(_) | Expr::VarAt(..) | Expr::Con(_) => e.clone(),
             Expr::Lambda(l) => Expr::Lambda(Lambda {
                 param: l.param.clone(),
                 body: Rc::new(self.pass(&l.body)),
@@ -382,11 +375,7 @@ impl Simplifier {
                     let h = self.fresh(x);
                     let t = self.fresh(x);
                     let body2 = subst_projections(body, x, &h, &t);
-                    return Expr::let_(
-                        h,
-                        a.clone(),
-                        Expr::let_(t, b.clone(), body2),
-                    );
+                    return Expr::let_(h, a.clone(), Expr::let_(t, b.clone(), body2));
                 }
             }
         }
@@ -406,7 +395,10 @@ impl Simplifier {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn simplify(e: &Expr) -> Expr {
-    let mut s = Simplifier { fresh: 0, changed: true };
+    let mut s = Simplifier {
+        fresh: 0,
+        changed: true,
+    };
     let mut cur = e.clone();
     let mut passes = 0;
     while s.changed && passes < 32 {
@@ -484,10 +476,7 @@ mod tests {
         for base in [2i64, 7] {
             let run = Expr::let_("base", Expr::int(base), cleaned.clone());
             let v = eval(&run).unwrap();
-            assert_eq!(
-                v,
-                Value::pair(Value::Int(base.pow(4)), Value::Int(5)),
-            );
+            assert_eq!(v, Value::pair(Value::Int(base.pow(4)), Value::Int(5)),);
         }
     }
 

@@ -58,7 +58,10 @@ pub struct SpecializeOptions {
 
 impl Default for SpecializeOptions {
     fn default() -> Self {
-        SpecializeOptions { max_unfolds: 10_000, max_speculation: 0 }
+        SpecializeOptions {
+            max_unfolds: 10_000,
+            max_speculation: 0,
+        }
     }
 }
 
@@ -81,8 +84,15 @@ struct SEnv(Option<Rc<SNode>>);
 
 #[derive(Debug)]
 enum SNode {
-    Plain { name: Ident, operand: Out, parent: SEnv },
-    Rec { defs: Rc<Vec<(Ident, Lambda)>>, parent: SEnv },
+    Plain {
+        name: Ident,
+        operand: Out,
+        parent: SEnv,
+    },
+    Rec {
+        defs: Rc<Vec<(Ident, Lambda)>>,
+        parent: SEnv,
+    },
 }
 
 // Environments bind names directly to specialization outcomes ([`Out`]);
@@ -104,18 +114,29 @@ impl SEnv {
     }
 
     fn plain(&self, name: Ident, operand: Out) -> SEnv {
-        SEnv(Some(Rc::new(SNode::Plain { name, operand, parent: self.clone() })))
+        SEnv(Some(Rc::new(SNode::Plain {
+            name,
+            operand,
+            parent: self.clone(),
+        })))
     }
 
     fn rec(&self, defs: Rc<Vec<(Ident, Lambda)>>) -> SEnv {
-        SEnv(Some(Rc::new(SNode::Rec { defs, parent: self.clone() })))
+        SEnv(Some(Rc::new(SNode::Rec {
+            defs,
+            parent: self.clone(),
+        })))
     }
 
     fn lookup(&self, name: &Ident) -> Option<Out> {
         let mut cur = self;
         loop {
             match cur.0.as_deref() {
-                Some(SNode::Plain { name: n, operand, parent }) => {
+                Some(SNode::Plain {
+                    name: n,
+                    operand,
+                    parent,
+                }) => {
                     if n == name {
                         return Some(operand.clone());
                     }
@@ -256,10 +277,9 @@ impl Out {
                 (*h).clone().into_expr(ctx),
                 (*t).clone().into_expr(ctx),
             ),
-            Out::PrimApp(p, args) => args.into_iter().fold(
-                Expr::var(p.name()),
-                |f, a| Expr::app(f, a.into_expr(ctx)),
-            ),
+            Out::PrimApp(p, args) => args
+                .into_iter()
+                .fold(Expr::var(p.name()), |f, a| Expr::app(f, a.into_expr(ctx))),
         }
     }
 }
@@ -280,18 +300,16 @@ fn fun_to_expr(def: &FunDef, ctx: &mut Ctx) -> Expr {
     }
     // Anonymous function: specialize generically under a fresh parameter.
     let p = ctx.fresh(&def.lambda.param);
-    let env = def.env.plain(def.lambda.param.clone(), Out::Dyn(Expr::Var(p.clone())));
+    let env = def
+        .env
+        .plain(def.lambda.param.clone(), Out::Dyn(Expr::Var(p.clone())));
     let body = pe(&def.lambda.body, &env, ctx).into_expr(ctx);
     Expr::lam(p, body)
 }
 
 /// Generically specializes every binding of a rec group (bodies folded,
 /// recursive calls residualized), producing residual `letrec` bindings.
-fn residual_group(
-    group: &Rc<Vec<(Ident, Lambda)>>,
-    rec_env: &SEnv,
-    ctx: &mut Ctx,
-) -> Vec<Binding> {
+fn residual_group(group: &Rc<Vec<(Ident, Lambda)>>, rec_env: &SEnv, ctx: &mut Ctx) -> Vec<Binding> {
     let id = Rc::as_ptr(group) as usize;
     ctx.scopes.push(id);
     let bindings = group
@@ -310,7 +328,7 @@ fn residual_group(
 fn pe(e: &Expr, env: &SEnv, ctx: &mut Ctx) -> Out {
     match e {
         Expr::Con(c) => Out::Known(constant(c)),
-        Expr::Var(x) => match env.lookup(x) {
+        Expr::Var(x) | Expr::VarAt(x, _) => match env.lookup(x) {
             Some(out) => out,
             None => match Prim::by_name(x.as_str()) {
                 Some(p) => Out::PrimApp(p, Vec::new()),
@@ -574,8 +592,8 @@ fn pe_letrec(bs: &[Binding], body: &Expr, env: &SEnv, ctx: &mut Ctx) -> Out {
             continue;
         }
         let out = pe(&b.value, &env, ctx);
-        let force_residual = ctx.assigned.contains(&b.name)
-            || matches!(&out, Out::Dyn(ve) if !trivial_expr(ve));
+        let force_residual =
+            ctx.assigned.contains(&b.name) || matches!(&out, Out::Dyn(ve) if !trivial_expr(ve));
         if force_residual {
             let ve = out.into_expr(ctx);
             let fresh = ctx.fresh(&b.name);
@@ -587,7 +605,11 @@ fn pe_letrec(bs: &[Binding], body: &Expr, env: &SEnv, ctx: &mut Ctx) -> Out {
     }
 
     // 2. Rec frame on top, so recursive closures see the values.
-    let env_after_rec = if has_rec { env.rec(group.clone()) } else { env.clone() };
+    let env_after_rec = if has_rec {
+        env.rec(group.clone())
+    } else {
+        env.clone()
+    };
     let mut env = env_after_rec.clone();
 
     // 3. Annotated lambda bindings: their annotation is a monitoring
@@ -645,7 +667,9 @@ fn pe_letrec(bs: &[Binding], body: &Expr, env: &SEnv, ctx: &mut Ctx) -> Out {
 /// Drops lambda bindings that the body (and the other kept bindings)
 /// never reference. Value bindings are always kept (they may fail).
 fn prune_letrec(e: Expr) -> Expr {
-    let Expr::Letrec(bindings, body) = e else { return e };
+    let Expr::Letrec(bindings, body) = e else {
+        return e;
+    };
     let mut used: BTreeSet<Ident> = body.free_vars();
     for b in &bindings {
         if !b.value.is_lambda_like() {
@@ -792,9 +816,8 @@ mod tests {
 
     #[test]
     fn dynamic_recursion_residualizes_the_function() {
-        let residual = spec(
-            "letrec fac = lambda x. if x = 0 then 1 else x * (fac (x - 1)) in fac n",
-        );
+        let residual =
+            spec("letrec fac = lambda x. if x = 0 then 1 else x * (fac (x - 1)) in fac n");
         let printed = residual.to_string();
         assert!(printed.contains("letrec"), "{printed}");
         // Residual agrees with the original for every n.
@@ -877,7 +900,10 @@ mod tests {
 
     #[test]
     fn unfold_budget_bounds_the_residual() {
-        let opts = SpecializeOptions { max_unfolds: 3, max_speculation: 0 };
+        let opts = SpecializeOptions {
+            max_unfolds: 3,
+            max_speculation: 0,
+        };
         let e = parse_expr(
             "letrec count = lambda n. if n = 0 then 0 else count (n - 1) in count 1000000",
         )
@@ -893,7 +919,10 @@ mod tests {
         let src = "letrec even = lambda n. if n = 0 then true else odd (n - 1) \
                    and odd = lambda n. if n = 0 then false else even (n - 1) in even ";
         let closed = parse_expr(&format!("{src} 8")).unwrap();
-        assert_eq!(specialize(&closed, &SpecializeOptions::default()), Expr::bool(true));
+        assert_eq!(
+            specialize(&closed, &SpecializeOptions::default()),
+            Expr::bool(true)
+        );
         let open = parse_expr(&format!("{src} k")).unwrap();
         let residual = specialize(&open, &SpecializeOptions::default());
         let run = Expr::let_("k", Expr::int(9), residual);

@@ -3,38 +3,92 @@
 //! Mirrors Figure 2 of the paper plus the §4.1 annotation clause
 //! `ē ::= … | {μ}:ē`, and the §9.2 imperative extension (sequencing,
 //! assignment, `while`) handled only by the imperative language module.
+//!
+//! Two departures from the literal grammar, both invisible to the
+//! semantics: identifiers are *interned* ([`Ident`] compares and hashes a
+//! `u32` symbol instead of text), and a variable occurrence may carry a
+//! resolver-computed lexical address ([`Expr::VarAt`] with a [`VarAddr`]).
+//! `VarAt` never comes out of the parser — `monsem-core`'s `resolve` pass
+//! produces it — and equality treats `Var` and `VarAt` with the same
+//! identifier as the same expression, so resolution is transparent to
+//! tests and monitors that compare syntax.
 
+use crate::intern::Symbol;
 use std::fmt;
 use std::rc::Rc;
 
-/// An interned-ish identifier (cheap to clone, compared by content).
+/// An interned identifier (cheap to clone, compared in O(1)).
 ///
 /// Identifiers name bound variables, function names and primitives
-/// (`+`, `*`, `hd`, …, which live in the initial environment).
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Ident(Rc<str>);
+/// (`+`, `*`, `hd`, …, which live in the initial environment). Equality and
+/// hashing compare the interned [`Symbol`] — a single integer operation —
+/// while ordering and display go through the retained text, so sorted
+/// output (e.g. [`Expr::free_vars`]) stays alphabetical.
+#[derive(Clone)]
+pub struct Ident {
+    sym: Symbol,
+    text: Rc<str>,
+}
 
 impl Ident {
-    /// Creates an identifier from anything string-like.
+    /// Creates (and interns) an identifier from anything string-like.
     pub fn new(name: impl AsRef<str>) -> Self {
-        Ident(Rc::from(name.as_ref()))
+        let (sym, text) = crate::intern::intern(name.as_ref());
+        Ident { sym, text }
     }
 
     /// The identifier's text.
     pub fn as_str(&self) -> &str {
-        &self.0
+        &self.text
+    }
+
+    /// The interned symbol: equal symbols ⇔ equal text (within a thread).
+    pub fn sym(&self) -> Symbol {
+        self.sym
+    }
+}
+
+impl PartialEq for Ident {
+    fn eq(&self, other: &Self) -> bool {
+        self.sym == other.sym
+    }
+}
+
+impl Eq for Ident {}
+
+impl std::hash::Hash for Ident {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.sym.hash(state);
+    }
+}
+
+impl PartialOrd for Ident {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ident {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Textual order (with a symbol fast path for the equal case), so
+        // sorted collections of identifiers read alphabetically.
+        if self.sym == other.sym {
+            std::cmp::Ordering::Equal
+        } else {
+            self.text.cmp(&other.text)
+        }
     }
 }
 
 impl fmt::Debug for Ident {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Ident({:?})", &*self.0)
+        write!(f, "Ident({:?})", &*self.text)
     }
 }
 
 impl fmt::Display for Ident {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.text)
     }
 }
 
@@ -89,12 +143,12 @@ impl fmt::Display for Con {
 /// Section 6 requires cascaded monitors to have *disjoint annotation
 /// syntaxes*; namespaces make that disjointness checkable. The concrete
 /// syntax is `{ns/label}:e`; the empty namespace prints as `{label}:e`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Namespace(Rc<str>);
+#[derive(Debug, Clone)]
+pub struct Namespace(Ident);
 
 impl Default for Namespace {
     fn default() -> Self {
-        Namespace(Rc::from(""))
+        Namespace(Ident::new(""))
     }
 }
 
@@ -105,19 +159,45 @@ impl Namespace {
         Namespace::default()
     }
 
-    /// Creates a named namespace.
+    /// Creates a named (and interned) namespace.
     pub fn new(name: impl AsRef<str>) -> Self {
-        Namespace(Rc::from(name.as_ref()))
+        Namespace(Ident::new(name))
     }
 
     /// The namespace's text (empty for the anonymous namespace).
     pub fn as_str(&self) -> &str {
-        &self.0
+        self.0.as_str()
     }
 
     /// Whether this is the anonymous namespace.
     pub fn is_anonymous(&self) -> bool {
-        self.0.is_empty()
+        self.as_str().is_empty()
+    }
+}
+
+impl PartialEq for Namespace {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl Eq for Namespace {}
+
+impl std::hash::Hash for Namespace {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl PartialOrd for Namespace {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Namespace {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
     }
 }
 
@@ -163,14 +243,20 @@ pub struct Annotation {
 impl Annotation {
     /// A bare label in the anonymous namespace, e.g. `{A}`.
     pub fn label(name: impl Into<Ident>) -> Self {
-        Annotation { namespace: Namespace::anonymous(), kind: AnnKind::Label(name.into()) }
+        Annotation {
+            namespace: Namespace::anonymous(),
+            kind: AnnKind::Label(name.into()),
+        }
     }
 
     /// A function header in the anonymous namespace, e.g. `{fac(x)}`.
     pub fn fun_header(name: impl Into<Ident>, params: Vec<Ident>) -> Self {
         Annotation {
             namespace: Namespace::anonymous(),
-            kind: AnnKind::FunHeader { name: name.into(), params },
+            kind: AnnKind::FunHeader {
+                name: name.into(),
+                params,
+            },
         }
     }
 
@@ -221,7 +307,10 @@ pub struct Lambda {
 impl Lambda {
     /// Creates `lambda param. body`.
     pub fn new(param: impl Into<Ident>, body: Expr) -> Self {
-        Lambda { param: param.into(), body: Rc::new(body) }
+        Lambda {
+            param: param.into(),
+            body: Rc::new(body),
+        }
     }
 }
 
@@ -242,18 +331,67 @@ pub struct Binding {
 impl Binding {
     /// Creates a binding `name = value`.
     pub fn new(name: impl Into<Ident>, value: Expr) -> Self {
-        Binding { name: name.into(), value: Rc::new(value) }
+        Binding {
+            name: name.into(),
+            value: Rc::new(value),
+        }
     }
+}
+
+/// A lexical address computed by the static resolver
+/// (`monsem-core::resolve`): where a variable's binding lives relative to
+/// the environment in force when the occurrence is evaluated.
+///
+/// `depth` counts environment *nodes* (frames **and** rec-frames each count
+/// one) from the top of the environment at the occurrence. A `Frame` node
+/// binds exactly one name, so it needs no slot; a `Rec` node binds all the
+/// lambda-like `letrec` bindings at once, so `slot` picks the binding (the
+/// first occurrence of the name, matching name lookup's left-to-right
+/// scan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarAddr {
+    /// `depth` nodes up, a single-binding frame (lambda parameter, `let`,
+    /// or a sequential `letrec` binding).
+    Frame {
+        /// Environment nodes to skip.
+        depth: u32,
+    },
+    /// `depth` nodes up, slot `slot` of a recursive `letrec` frame.
+    Rec {
+        /// Environment nodes to skip.
+        depth: u32,
+        /// Index into the rec-frame's binding list.
+        slot: u32,
+    },
+    /// Below every frame, slot `slot` of the *base* environment's table —
+    /// the initial environment the evaluator starts from. The resolver
+    /// only emits this when it has proved no frame can bind the name (the
+    /// occurrence is statically free, outside every barrier, and
+    /// evaluation starts from the base environment itself), so lookup
+    /// skips the chain walk entirely.
+    Base {
+        /// Index into the base environment's table.
+        slot: u32,
+    },
 }
 
 /// Annotated expressions `ē ∈ Exp̄` (Figure 2 + the §4.1 annotation clause
 /// + the §9.2 imperative extension).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Expr` compares **modulo resolution**: a [`Expr::VarAt`] produced by the
+/// static resolver is equal to the [`Expr::Var`] it was resolved from, so
+/// parse/pretty round-trips and annotation-erasure laws are unaffected by
+/// whether a tree has been resolved.
+#[derive(Debug, Clone)]
 pub enum Expr {
     /// Constant `k`.
     Con(Con),
     /// Identifier `x` (bound variable, `letrec` name or primitive).
     Var(Ident),
+    /// A resolved identifier: `x` plus the lexical address of its binding.
+    /// Produced only by `monsem-core::resolve`; evaluators treat it as
+    /// `Var(x)` with an O(1) environment access.
+    VarAt(Ident, VarAddr),
     /// Abstraction `lambda x. e`.
     Lambda(Lambda),
     /// Conditional `if e₁ then e₂ else e₃`.
@@ -274,6 +412,27 @@ pub enum Expr {
     Assign(Ident, Rc<Expr>),
     /// Loop `while e₁ do e₂ end` (imperative module, §9.2).
     While(Rc<Expr>, Rc<Expr>),
+}
+
+impl PartialEq for Expr {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Expr::Con(a), Expr::Con(b)) => a == b,
+            // Resolution is an annotation, not a program change: `VarAt`
+            // compares equal to the `Var` it was resolved from.
+            (Expr::Var(a) | Expr::VarAt(a, _), Expr::Var(b) | Expr::VarAt(b, _)) => a == b,
+            (Expr::Lambda(a), Expr::Lambda(b)) => a == b,
+            (Expr::If(c1, t1, e1), Expr::If(c2, t2, e2)) => c1 == c2 && t1 == t2 && e1 == e2,
+            (Expr::App(f1, x1), Expr::App(f2, x2)) => f1 == f2 && x1 == x2,
+            (Expr::Letrec(bs1, b1), Expr::Letrec(bs2, b2)) => bs1 == bs2 && b1 == b2,
+            (Expr::Let(x1, v1, b1), Expr::Let(x2, v2, b2)) => x1 == x2 && v1 == v2 && b1 == b2,
+            (Expr::Ann(a1, e1), Expr::Ann(a2, e2)) => a1 == a2 && e1 == e2,
+            (Expr::Seq(a1, b1), Expr::Seq(a2, b2)) => a1 == a2 && b1 == b2,
+            (Expr::Assign(x1, e1), Expr::Assign(x2, e2)) => x1 == x2 && e1 == e2,
+            (Expr::While(c1, b1), Expr::While(c2, b2)) => c1 == c2 && b1 == b2,
+            _ => false,
+        }
+    }
 }
 
 impl Expr {
@@ -379,7 +538,9 @@ impl Expr {
     pub fn erase_annotations(&self) -> Expr {
         match self {
             Expr::Con(c) => Expr::Con(c.clone()),
-            Expr::Var(x) => Expr::Var(x.clone()),
+            // Erasing annotations changes `letrec` frame shapes, so any
+            // lexical address is stale afterwards: drop back to `Var`.
+            Expr::Var(x) | Expr::VarAt(x, _) => Expr::Var(x.clone()),
             Expr::Lambda(l) => Expr::Lambda(Lambda {
                 param: l.param.clone(),
                 body: Rc::new(l.body.erase_annotations()),
@@ -403,13 +564,15 @@ impl Expr {
                 Expr::let_(x.clone(), v.erase_annotations(), b.erase_annotations())
             }
             Expr::Ann(_, e) => e.erase_annotations(),
-            Expr::Seq(a, b) => {
-                Expr::Seq(Rc::new(a.erase_annotations()), Rc::new(b.erase_annotations()))
-            }
+            Expr::Seq(a, b) => Expr::Seq(
+                Rc::new(a.erase_annotations()),
+                Rc::new(b.erase_annotations()),
+            ),
             Expr::Assign(x, e) => Expr::Assign(x.clone(), Rc::new(e.erase_annotations())),
-            Expr::While(c, b) => {
-                Expr::While(Rc::new(c.erase_annotations()), Rc::new(b.erase_annotations()))
-            }
+            Expr::While(c, b) => Expr::While(
+                Rc::new(c.erase_annotations()),
+                Rc::new(b.erase_annotations()),
+            ),
         }
     }
 
@@ -417,7 +580,7 @@ impl Expr {
     /// and benchmarks.
     pub fn size(&self) -> usize {
         1 + match self {
-            Expr::Con(_) | Expr::Var(_) => 0,
+            Expr::Con(_) | Expr::Var(_) | Expr::VarAt(..) => 0,
             Expr::Lambda(l) => l.body.size(),
             Expr::If(a, b, c) => a.size() + b.size() + c.size(),
             Expr::App(a, b) | Expr::Seq(a, b) | Expr::While(a, b) => a.size() + b.size(),
@@ -434,7 +597,7 @@ impl Expr {
     pub fn annotations(&self) -> Vec<&Annotation> {
         fn go<'a>(e: &'a Expr, acc: &mut Vec<&'a Annotation>) {
             match e {
-                Expr::Con(_) | Expr::Var(_) => {}
+                Expr::Con(_) | Expr::Var(_) | Expr::VarAt(..) => {}
                 Expr::Lambda(l) => go(&l.body, acc),
                 Expr::If(a, b, c) => {
                     go(a, acc);
@@ -474,7 +637,7 @@ impl Expr {
         fn go(e: &Expr, bound: &mut Vec<Ident>, free: &mut BTreeSet<Ident>) {
             match e {
                 Expr::Con(_) => {}
-                Expr::Var(x) => {
+                Expr::Var(x) | Expr::VarAt(x, _) => {
                     if !bound.contains(x) {
                         free.insert(x.clone());
                     }

@@ -38,7 +38,10 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { max_depth: 5, templates: 2 }
+        GenConfig {
+            max_depth: 5,
+            templates: 2,
+        }
     }
 }
 
@@ -64,7 +67,9 @@ impl Gen<'_> {
             .filter(|(_, t)| *t == ty)
             .map(|(i, _)| i)
             .collect();
-        candidates.choose(self.rng).map(|i| Expr::var((*i).as_str()))
+        candidates
+            .choose(self.rng)
+            .map(|i| Expr::var((*i).as_str()))
     }
 
     fn gen(&mut self, ty: Ty, depth: u32) -> Expr {
@@ -74,9 +79,21 @@ impl Gen<'_> {
         match ty {
             Ty::Int => match self.rng.gen_range(0..10) {
                 0 | 1 => self.leaf(Ty::Int),
-                2 => Expr::binop("+", self.gen(Ty::Int, depth - 1), self.gen(Ty::Int, depth - 1)),
-                3 => Expr::binop("-", self.gen(Ty::Int, depth - 1), self.gen(Ty::Int, depth - 1)),
-                4 => Expr::binop("*", self.gen(Ty::Int, depth - 1), self.gen(Ty::Int, depth - 1)),
+                2 => Expr::binop(
+                    "+",
+                    self.gen(Ty::Int, depth - 1),
+                    self.gen(Ty::Int, depth - 1),
+                ),
+                3 => Expr::binop(
+                    "-",
+                    self.gen(Ty::Int, depth - 1),
+                    self.gen(Ty::Int, depth - 1),
+                ),
+                4 => Expr::binop(
+                    "*",
+                    self.gen(Ty::Int, depth - 1),
+                    self.gen(Ty::Int, depth - 1),
+                ),
                 5 => Expr::if_(
                     self.gen(Ty::Bool, depth - 1),
                     self.gen(Ty::Int, depth - 1),
@@ -111,8 +128,16 @@ impl Gen<'_> {
             },
             Ty::Bool => match self.rng.gen_range(0..6) {
                 0 => self.leaf(Ty::Bool),
-                1 => Expr::binop("=", self.gen(Ty::Int, depth - 1), self.gen(Ty::Int, depth - 1)),
-                2 => Expr::binop("<", self.gen(Ty::Int, depth - 1), self.gen(Ty::Int, depth - 1)),
+                1 => Expr::binop(
+                    "=",
+                    self.gen(Ty::Int, depth - 1),
+                    self.gen(Ty::Int, depth - 1),
+                ),
+                2 => Expr::binop(
+                    "<",
+                    self.gen(Ty::Int, depth - 1),
+                    self.gen(Ty::Int, depth - 1),
+                ),
                 3 => Expr::app(Expr::var("not"), self.gen(Ty::Bool, depth - 1)),
                 4 => Expr::app(Expr::var("null?"), self.gen(Ty::List, depth - 1)),
                 _ => Expr::if_(
@@ -174,10 +199,7 @@ fn template(i: u32, name: &Ident) -> Expr {
                     Expr::binop(
                         "*",
                         n.clone(),
-                        Expr::app(
-                            Expr::var(name.as_str()),
-                            Expr::binop("-", n, Expr::int(1)),
-                        ),
+                        Expr::app(Expr::var(name.as_str()), Expr::binop("-", n, Expr::int(1))),
                     ),
                 ),
             )
@@ -195,10 +217,7 @@ fn template(i: u32, name: &Ident) -> Expr {
                             Expr::var(name.as_str()),
                             Expr::binop("-", n.clone(), Expr::int(1)),
                         ),
-                        Expr::app(
-                            Expr::var(name.as_str()),
-                            Expr::binop("-", n, Expr::int(2)),
-                        ),
+                        Expr::app(Expr::var(name.as_str()), Expr::binop("-", n, Expr::int(2))),
                     ),
                 ),
             )
@@ -213,10 +232,7 @@ fn template(i: u32, name: &Ident) -> Expr {
                     Expr::binop(
                         "+",
                         n.clone(),
-                        Expr::app(
-                            Expr::var(name.as_str()),
-                            Expr::binop("-", n, Expr::int(1)),
-                        ),
+                        Expr::app(Expr::var(name.as_str()), Expr::binop("-", n, Expr::int(1))),
                     ),
                 ),
             )
@@ -231,10 +247,7 @@ fn template(i: u32, name: &Ident) -> Expr {
                     Expr::binop(
                         "*",
                         Expr::int(2),
-                        Expr::app(
-                            Expr::var(name.as_str()),
-                            Expr::binop("-", n, Expr::int(1)),
-                        ),
+                        Expr::app(Expr::var(name.as_str()), Expr::binop("-", n, Expr::int(1))),
                     ),
                 ),
             )
@@ -244,7 +257,12 @@ fn template(i: u32, name: &Ident) -> Expr {
 
 /// Generates a closed, terminating program computing an integer.
 pub fn gen_program(rng: &mut StdRng, config: &GenConfig) -> Expr {
-    let mut g = Gen { rng, scope: Vec::new(), int_funs: Vec::new(), fresh: 0 };
+    let mut g = Gen {
+        rng,
+        scope: Vec::new(),
+        int_funs: Vec::new(),
+        fresh: 0,
+    };
     let mut funs = Vec::new();
     for i in 0..config.templates {
         let name = Ident::new(format!("t{i}"));
@@ -276,11 +294,7 @@ pub fn gen_imperative_program(rng: &mut StdRng, config: &GenConfig) -> Expr {
                 Expr::int(0),
                 Expr::Seq(
                     std::rc::Rc::new(Expr::While(
-                        std::rc::Rc::new(Expr::binop(
-                            "<",
-                            Expr::var("i"),
-                            Expr::int(iterations),
-                        )),
+                        std::rc::Rc::new(Expr::binop("<", Expr::var("i"), Expr::int(iterations))),
                         std::rc::Rc::new(Expr::Seq(
                             std::rc::Rc::new(Expr::Assign(
                                 Ident::new("acc"),
@@ -292,11 +306,7 @@ pub fn gen_imperative_program(rng: &mut StdRng, config: &GenConfig) -> Expr {
                             )),
                             std::rc::Rc::new(Expr::Assign(
                                 Ident::new("i"),
-                                std::rc::Rc::new(Expr::binop(
-                                    "+",
-                                    Expr::var("i"),
-                                    Expr::int(1),
-                                )),
+                                std::rc::Rc::new(Expr::binop("+", Expr::var("i"), Expr::int(1))),
                             )),
                         )),
                     )),
@@ -389,7 +399,13 @@ mod tests {
     #[test]
     fn density_one_annotates_every_point() {
         let mut rng = StdRng::seed_from_u64(1);
-        let e = gen_program(&mut rng, &GenConfig { max_depth: 3, templates: 0 });
+        let e = gen_program(
+            &mut rng,
+            &GenConfig {
+                max_depth: 3,
+                templates: 0,
+            },
+        );
         let annotated = sprinkle_annotations(&mut rng, &e, &Namespace::anonymous(), 1.0);
         assert_eq!(annotated.annotations().len(), e.size());
     }

@@ -1,0 +1,71 @@
+//! Thread-local string interning for identifiers and namespaces.
+//!
+//! Every [`crate::Ident`] (and [`crate::Namespace`]) carries a `u32` symbol
+//! assigned by this interner, so equality and hashing are single integer
+//! operations instead of string comparisons — the variable-lookup fast path
+//! the evaluators rely on (see `monsem-core::env`). The interned text is
+//! kept alongside the symbol (`Rc<str>`), so `Display`, pretty-printing and
+//! ordering still see the characters without consulting the interner.
+//!
+//! The interner is **thread-local**, which is sound precisely because the
+//! interned handles hold `Rc<str>` and are therefore `!Send`: two symbols
+//! can only ever meet in a comparison on the thread that interned both, and
+//! per thread the map `text → symbol` is injective.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// An interned symbol: equal symbols ⇔ equal text (within a thread).
+pub type Symbol = u32;
+
+#[derive(Default)]
+struct Interner {
+    by_text: HashMap<Rc<str>, Symbol>,
+    texts: Vec<Rc<str>>,
+}
+
+thread_local! {
+    static INTERNER: RefCell<Interner> = RefCell::new(Interner::default());
+}
+
+/// Interns `text`, returning its symbol and the shared text allocation.
+pub(crate) fn intern(text: &str) -> (Symbol, Rc<str>) {
+    INTERNER.with(|cell| {
+        let mut interner = cell.borrow_mut();
+        if let Some(&sym) = interner.by_text.get(text) {
+            return (sym, interner.texts[sym as usize].clone());
+        }
+        let shared: Rc<str> = Rc::from(text);
+        let sym = Symbol::try_from(interner.texts.len()).expect("interner overflow");
+        interner.texts.push(shared.clone());
+        interner.by_text.insert(shared.clone(), sym);
+        (sym, shared)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_injective_per_thread() {
+        let (a1, t1) = intern("fac");
+        let (a2, t2) = intern("fac");
+        let (b, _) = intern("fib");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert!(Rc::ptr_eq(&t1, &t2), "repeated interning shares the text");
+    }
+
+    #[test]
+    fn distinct_threads_get_independent_tables() {
+        let (here, _) = intern("only-on-main");
+        let there = std::thread::spawn(|| intern("something-else").0)
+            .join()
+            .unwrap();
+        // Fresh thread, fresh table: first symbol handed out again.
+        assert_eq!(there, 0);
+        let _ = here;
+    }
+}

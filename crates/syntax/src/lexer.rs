@@ -146,7 +146,10 @@ pub fn line_col(src: &str, offset: usize) -> (usize, usize) {
     let clamped = offset.min(src.len());
     let before = &src[..clamped];
     let line = before.bytes().filter(|b| *b == b'\n').count() + 1;
-    let col = before.rfind('\n').map(|i| clamped - i).unwrap_or(clamped + 1);
+    let col = before
+        .rfind('\n')
+        .map(|i| clamped - i)
+        .unwrap_or(clamped + 1);
     (line, col)
 }
 
@@ -197,7 +200,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     message: format!("integer literal `{text}` out of range"),
                     offset,
                 })?;
-                tokens.push(Token { kind: TokenKind::Int(value), offset });
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    offset,
+                });
             }
             '"' => {
                 chars.next();
@@ -231,9 +237,15 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     }
                 }
                 if !closed {
-                    return Err(LexError { message: "unterminated string literal".into(), offset });
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        offset,
+                    });
                 }
-                tokens.push(Token { kind: TokenKind::Str(Rc::from(value.as_str())), offset });
+                tokens.push(Token {
+                    kind: TokenKind::Str(Rc::from(value.as_str())),
+                    offset,
+                });
             }
             _ if is_ident_start(c) => {
                 let mut end = offset;
@@ -266,90 +278,153 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             '(' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::LParen, offset });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset,
+                });
             }
             ')' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::RParen, offset });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset,
+                });
             }
             '[' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::LBracket, offset });
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    offset,
+                });
             }
             ']' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::RBracket, offset });
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    offset,
+                });
             }
             '{' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::LBrace, offset });
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    offset,
+                });
             }
             '}' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::RBrace, offset });
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    offset,
+                });
             }
             '.' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::Dot, offset });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset,
+                });
             }
             ',' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::Comma, offset });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset,
+                });
             }
             ';' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::Semi, offset });
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    offset,
+                });
             }
             ':' => {
                 chars.next();
                 if let Some(&(_, '=')) = chars.peek() {
                     chars.next();
-                    tokens.push(Token { kind: TokenKind::Assign, offset });
+                    tokens.push(Token {
+                        kind: TokenKind::Assign,
+                        offset,
+                    });
                 } else {
-                    tokens.push(Token { kind: TokenKind::Colon, offset });
+                    tokens.push(Token {
+                        kind: TokenKind::Colon,
+                        offset,
+                    });
                 }
             }
             '/' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::Slash, offset });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    offset,
+                });
             }
             '+' => {
                 chars.next();
                 if let Some(&(_, '+')) = chars.peek() {
                     chars.next();
-                    tokens.push(Token { kind: TokenKind::Op(Rc::from("++")), offset });
+                    tokens.push(Token {
+                        kind: TokenKind::Op(Rc::from("++")),
+                        offset,
+                    });
                 } else {
-                    tokens.push(Token { kind: TokenKind::Op(Rc::from("+")), offset });
+                    tokens.push(Token {
+                        kind: TokenKind::Op(Rc::from("+")),
+                        offset,
+                    });
                 }
             }
             '-' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::Op(Rc::from("-")), offset });
+                tokens.push(Token {
+                    kind: TokenKind::Op(Rc::from("-")),
+                    offset,
+                });
             }
             '*' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::Op(Rc::from("*")), offset });
+                tokens.push(Token {
+                    kind: TokenKind::Op(Rc::from("*")),
+                    offset,
+                });
             }
             '=' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::Op(Rc::from("=")), offset });
+                tokens.push(Token {
+                    kind: TokenKind::Op(Rc::from("=")),
+                    offset,
+                });
             }
             '<' => {
                 chars.next();
                 if let Some(&(_, '=')) = chars.peek() {
                     chars.next();
-                    tokens.push(Token { kind: TokenKind::Op(Rc::from("<=")), offset });
+                    tokens.push(Token {
+                        kind: TokenKind::Op(Rc::from("<=")),
+                        offset,
+                    });
                 } else {
-                    tokens.push(Token { kind: TokenKind::Op(Rc::from("<")), offset });
+                    tokens.push(Token {
+                        kind: TokenKind::Op(Rc::from("<")),
+                        offset,
+                    });
                 }
             }
             '>' => {
                 chars.next();
                 if let Some(&(_, '=')) = chars.peek() {
                     chars.next();
-                    tokens.push(Token { kind: TokenKind::Op(Rc::from(">=")), offset });
+                    tokens.push(Token {
+                        kind: TokenKind::Op(Rc::from(">=")),
+                        offset,
+                    });
                 } else {
-                    tokens.push(Token { kind: TokenKind::Op(Rc::from(">")), offset });
+                    tokens.push(Token {
+                        kind: TokenKind::Op(Rc::from(">")),
+                        offset,
+                    });
                 }
             }
             other => {
@@ -361,7 +436,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
         }
     }
 
-    tokens.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: src.len(),
+    });
     Ok(tokens)
 }
 
@@ -375,7 +453,9 @@ mod tests {
 
     #[test]
     fn lexes_paper_factorial() {
-        let toks = kinds("letrec fac = lambda x. if (x = 0) then {A}:1 else {B}:(x * (fac (x - 1))) in fac 5");
+        let toks = kinds(
+            "letrec fac = lambda x. if (x = 0) then {A}:1 else {B}:(x * (fac (x - 1))) in fac 5",
+        );
         assert_eq!(toks.first(), Some(&TokenKind::Letrec));
         assert!(toks.contains(&TokenKind::LBrace));
         assert!(toks.contains(&TokenKind::Colon));

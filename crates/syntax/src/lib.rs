@@ -36,6 +36,7 @@
 
 pub mod ast;
 pub mod grammar;
+pub mod intern;
 pub mod lexer;
 pub mod parser;
 pub mod points;
@@ -44,7 +45,7 @@ pub mod pretty;
 #[cfg(feature = "gen")]
 pub mod gen;
 
-pub use ast::{AnnKind, Annotation, Binding, Con, Expr, Ident, Lambda, Namespace};
+pub use ast::{AnnKind, Annotation, Binding, Con, Expr, Ident, Lambda, Namespace, VarAddr};
 pub use lexer::{line_col, LexError, Token, TokenKind};
 pub use parser::{parse_expr, parse_program, ParseError};
 pub use points::{ExprPath, PathStep};
@@ -55,7 +56,8 @@ mod tests {
 
     #[test]
     fn crate_doc_example_parses() {
-        let src = "letrec fac = lambda x. if (x = 0) then {A}:1 else {B}:(x * (fac (x - 1))) in fac 5";
+        let src =
+            "letrec fac = lambda x. if (x = 0) then {A}:1 else {B}:(x * (fac (x - 1))) in fac 5";
         let e = parse_expr(src).expect("parses");
         let printed = e.to_string();
         let e2 = parse_expr(&printed).expect("round-trips");

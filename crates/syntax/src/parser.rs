@@ -55,7 +55,10 @@ impl ParseError {
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, offset: e.offset }
+        ParseError {
+            message: e.message,
+            offset: e.offset,
+        }
     }
 }
 
@@ -110,7 +113,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { message: message.into(), offset: self.offset() })
+        Err(ParseError {
+            message: message.into(),
+            offset: self.offset(),
+        })
     }
 
     fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
@@ -513,7 +519,11 @@ mod tests {
         let e = parse_expr("1 + 2 * 3").unwrap();
         assert_eq!(
             e,
-            Expr::binop("+", Expr::int(1), Expr::binop("*", Expr::int(2), Expr::int(3)))
+            Expr::binop(
+                "+",
+                Expr::int(1),
+                Expr::binop("*", Expr::int(2), Expr::int(3))
+            )
         );
     }
 
@@ -538,10 +548,7 @@ mod tests {
     #[test]
     fn list_literals_desugar_to_cons_chains() {
         let e = parse_expr("[1, 10, 100]").unwrap();
-        assert_eq!(
-            e,
-            Expr::list([Expr::int(1), Expr::int(10), Expr::int(100)])
-        );
+        assert_eq!(e, Expr::list([Expr::int(1), Expr::int(10), Expr::int(100)]));
     }
 
     #[test]

@@ -111,11 +111,7 @@ fn with_child<F>(e: &Expr, step: PathStep, rest: &[PathStep], f: &F) -> Result<E
 where
     F: Fn(&Expr) -> Expr,
 {
-    fn rec<F: Fn(&Expr) -> Expr>(
-        e: &Expr,
-        path: &[PathStep],
-        f: &F,
-    ) -> Result<Expr, PointError> {
+    fn rec<F: Fn(&Expr) -> Expr>(e: &Expr, path: &[PathStep], f: &F) -> Result<Expr, PointError> {
         at_path(e, path, f)
     }
     match (e, step) {
@@ -132,29 +128,33 @@ where
         (Expr::If(c, t, x), PathStep::Else) => {
             Ok(Expr::If(c.clone(), t.clone(), Rc::new(rec(x, rest, f)?)))
         }
-        (Expr::App(g, a), PathStep::Fun) => {
-            Ok(Expr::App(Rc::new(rec(g, rest, f)?), a.clone()))
-        }
-        (Expr::App(g, a), PathStep::Arg) => {
-            Ok(Expr::App(g.clone(), Rc::new(rec(a, rest, f)?)))
-        }
+        (Expr::App(g, a), PathStep::Fun) => Ok(Expr::App(Rc::new(rec(g, rest, f)?), a.clone())),
+        (Expr::App(g, a), PathStep::Arg) => Ok(Expr::App(g.clone(), Rc::new(rec(a, rest, f)?))),
         (Expr::Letrec(bs, body), PathStep::BindingValue(i)) => {
             let mut bs = bs.clone();
-            let b = bs.get(i).cloned().ok_or_else(|| {
-                PointError::NoSuchPoint(ExprPath(vec![step]))
-            })?;
-            bs[i] = Binding { name: b.name, value: Rc::new(rec(&b.value, rest, f)?) };
+            let b = bs
+                .get(i)
+                .cloned()
+                .ok_or_else(|| PointError::NoSuchPoint(ExprPath(vec![step])))?;
+            bs[i] = Binding {
+                name: b.name,
+                value: Rc::new(rec(&b.value, rest, f)?),
+            };
             Ok(Expr::Letrec(bs, body.clone()))
         }
         (Expr::Letrec(bs, body), PathStep::Body) => {
             Ok(Expr::Letrec(bs.clone(), Rc::new(rec(body, rest, f)?)))
         }
-        (Expr::Let(x, v, body), PathStep::BindingValue(0)) => {
-            Ok(Expr::Let(x.clone(), Rc::new(rec(v, rest, f)?), body.clone()))
-        }
-        (Expr::Let(x, v, body), PathStep::Body) => {
-            Ok(Expr::Let(x.clone(), v.clone(), Rc::new(rec(body, rest, f)?)))
-        }
+        (Expr::Let(x, v, body), PathStep::BindingValue(0)) => Ok(Expr::Let(
+            x.clone(),
+            Rc::new(rec(v, rest, f)?),
+            body.clone(),
+        )),
+        (Expr::Let(x, v, body), PathStep::Body) => Ok(Expr::Let(
+            x.clone(),
+            v.clone(),
+            Rc::new(rec(body, rest, f)?),
+        )),
         (Expr::Ann(a, inner), PathStep::Annotated) => {
             Ok(Expr::Ann(a.clone(), Rc::new(rec(inner, rest, f)?)))
         }
@@ -216,7 +216,7 @@ pub fn visit<F: FnMut(&ExprPath, &Expr)>(e: &Expr, mut f: F) {
     fn go<F: FnMut(&ExprPath, &Expr)>(e: &Expr, path: &ExprPath, f: &mut F) {
         f(path, e);
         match e {
-            Expr::Con(_) | Expr::Var(_) => {}
+            Expr::Con(_) | Expr::Var(_) | Expr::VarAt(..) => {}
             Expr::Lambda(l) => go(&l.body, &path.child(PathStep::LambdaBody), f),
             Expr::If(c, t, x) => {
                 go(c, &path.child(PathStep::Cond), f);
@@ -259,22 +259,16 @@ where
     P: Fn(&Expr) -> bool,
     M: Fn(&Expr) -> Annotation,
 {
-    fn map<P: Fn(&Expr) -> bool, M: Fn(&Expr) -> Annotation>(
-        e: &Expr,
-        pred: &P,
-        make: &M,
-    ) -> Expr {
+    fn map<P: Fn(&Expr) -> bool, M: Fn(&Expr) -> Annotation>(e: &Expr, pred: &P, make: &M) -> Expr {
         let mapped = match e {
-            Expr::Con(_) | Expr::Var(_) => e.clone(),
+            Expr::Con(_) | Expr::Var(_) | Expr::VarAt(..) => e.clone(),
             Expr::Lambda(l) => Expr::Lambda(Lambda {
                 param: l.param.clone(),
                 body: Rc::new(map(&l.body, pred, make)),
             }),
-            Expr::If(c, t, x) => Expr::if_(
-                map(c, pred, make),
-                map(t, pred, make),
-                map(x, pred, make),
-            ),
+            Expr::If(c, t, x) => {
+                Expr::if_(map(c, pred, make), map(t, pred, make), map(x, pred, make))
+            }
             Expr::App(g, a) => Expr::app(map(g, pred, make), map(a, pred, make)),
             Expr::Letrec(bs, body) => Expr::Letrec(
                 bs.iter()
@@ -285,13 +279,9 @@ where
                     .collect(),
                 Rc::new(map(body, pred, make)),
             ),
-            Expr::Let(x, v, b) => {
-                Expr::let_(x.clone(), map(v, pred, make), map(b, pred, make))
-            }
+            Expr::Let(x, v, b) => Expr::let_(x.clone(), map(v, pred, make), map(b, pred, make)),
             Expr::Ann(a, inner) => Expr::Ann(a.clone(), Rc::new(map(inner, pred, make))),
-            Expr::Seq(a, b) => {
-                Expr::Seq(Rc::new(map(a, pred, make)), Rc::new(map(b, pred, make)))
-            }
+            Expr::Seq(a, b) => Expr::Seq(Rc::new(map(a, pred, make)), Rc::new(map(b, pred, make))),
             Expr::Assign(x, v) => Expr::Assign(x.clone(), Rc::new(map(v, pred, make))),
             Expr::While(c, b) => {
                 Expr::While(Rc::new(map(c, pred, make)), Rc::new(map(b, pred, make)))
@@ -336,7 +326,7 @@ where
         found: &mut Vec<Ident>,
     ) -> Expr {
         match e {
-            Expr::Con(_) | Expr::Var(_) => e.clone(),
+            Expr::Con(_) | Expr::Var(_) | Expr::VarAt(..) => e.clone(),
             Expr::Lambda(l) => Expr::Lambda(Lambda {
                 param: l.param.clone(),
                 body: Rc::new(map(&l.body, names, ns, make, found)),
@@ -361,7 +351,10 @@ where
                         } else {
                             value
                         };
-                        Binding { name: b.name.clone(), value: Rc::new(value) }
+                        Binding {
+                            name: b.name.clone(),
+                            value: Rc::new(value),
+                        }
                     })
                     .collect();
                 Expr::Letrec(bs, Rc::new(map(body, names, ns, make, found)))
@@ -374,7 +367,11 @@ where
                 } else {
                     value
                 };
-                Expr::Let(x.clone(), Rc::new(value), Rc::new(map(b, names, ns, make, found)))
+                Expr::Let(
+                    x.clone(),
+                    Rc::new(value),
+                    Rc::new(map(b, names, ns, make, found)),
+                )
             }
             Expr::Ann(a, inner) => {
                 Expr::Ann(a.clone(), Rc::new(map(inner, names, ns, make, found)))
@@ -383,9 +380,7 @@ where
                 Rc::new(map(a, names, ns, make, found)),
                 Rc::new(map(b, names, ns, make, found)),
             ),
-            Expr::Assign(x, v) => {
-                Expr::Assign(x.clone(), Rc::new(map(v, names, ns, make, found)))
-            }
+            Expr::Assign(x, v) => Expr::Assign(x.clone(), Rc::new(map(v, names, ns, make, found))),
             Expr::While(c, b) => Expr::While(
                 Rc::new(map(c, names, ns, make, found)),
                 Rc::new(map(b, names, ns, make, found)),
@@ -403,13 +398,13 @@ where
         make: &F,
     ) -> Expr {
         let (params, _) = uncurry(value);
-        let ann =
-            Annotation { namespace: ns.clone(), kind: make(name, &params) };
+        let ann = Annotation {
+            namespace: ns.clone(),
+            kind: make(name, &params),
+        };
         fn wrap(e: &Expr, depth: usize, ann: &Annotation) -> Expr {
             match e {
-                Expr::Ann(a, inner) => {
-                    Expr::Ann(a.clone(), Rc::new(wrap(inner, depth, ann)))
-                }
+                Expr::Ann(a, inner) => Expr::Ann(a.clone(), Rc::new(wrap(inner, depth, ann))),
                 Expr::Lambda(l) if depth > 0 => Expr::Lambda(Lambda {
                     param: l.param.clone(),
                     body: Rc::new(wrap(&l.body, depth - 1, ann)),
@@ -442,7 +437,10 @@ pub fn trace_functions(
         e,
         names,
         namespace,
-        &|name, params| AnnKind::FunHeader { name: name.clone(), params: params.to_vec() },
+        &|name, params| AnnKind::FunHeader {
+            name: name.clone(),
+            params: params.to_vec(),
+        },
         &mut found,
     );
     for n in names {
@@ -493,10 +491,9 @@ pub fn bound_function_names(e: &Expr) -> Vec<Ident> {
                 }
             }
         }
-        Expr::Let(x, v, _)
-            if v.is_lambda_like() && !names.contains(x) => {
-                names.push(x.clone());
-            }
+        Expr::Let(x, v, _) if v.is_lambda_like() && !names.contains(x) => {
+            names.push(x.clone());
+        }
         _ => {}
     });
     names
@@ -530,12 +527,8 @@ mod tests {
     #[test]
     fn profile_functions_labels_bodies() {
         let plain = parse_expr(FAC_MUL).unwrap();
-        let labelled = profile_functions(
-            &plain,
-            &[Ident::new("fac")],
-            &Namespace::anonymous(),
-        )
-        .unwrap();
+        let labelled =
+            profile_functions(&plain, &[Ident::new("fac")], &Namespace::anonymous()).unwrap();
         let anns = labelled.annotations();
         assert_eq!(anns.len(), 1);
         assert_eq!(anns[0].name().as_str(), "fac");
@@ -586,13 +579,9 @@ mod tests {
     fn annotate_where_labels_conditionals() {
         let e = parse_expr("if a then 1 else if b then 2 else 3").unwrap();
         let mut n = 0;
-        let labelled = annotate_where(
-            &e,
-            &|node| matches!(node, Expr::If(..)),
-            &|_| {
-                Annotation::label("cond")
-            },
-        );
+        let labelled = annotate_where(&e, &|node| matches!(node, Expr::If(..)), &|_| {
+            Annotation::label("cond")
+        });
         visit(&labelled, |_, node| {
             if matches!(node, Expr::Ann(..)) {
                 n += 1;

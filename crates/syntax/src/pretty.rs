@@ -28,7 +28,7 @@ const INFIX_OPS: &[&str] = &["+", "-", "*", "/", "=", "<", ">", "<=", ">=", "++"
 fn as_infix(e: &Expr) -> Option<(&str, &Expr, &Expr)> {
     if let Expr::App(f, b) = e {
         if let Expr::App(g, a) = &**f {
-            if let Expr::Var(op) = &**g {
+            if let Expr::Var(op) | Expr::VarAt(op, _) = &**g {
                 let name = op.as_str();
                 if INFIX_OPS.contains(&name) || name == "cons" {
                     return Some((name, a, b));
@@ -72,7 +72,7 @@ fn level_of(e: &Expr) -> Level {
             None => Level::App,
         },
         Expr::Con(Con::Int(n)) if *n < 0 => Level::Unary,
-        Expr::Con(_) | Expr::Var(_) => Level::Operand,
+        Expr::Con(_) | Expr::Var(_) | Expr::VarAt(..) => Level::Operand,
     }
 }
 
@@ -108,7 +108,7 @@ fn print_bare(e: &Expr, out: &mut String) {
         Expr::Con(Con::Str(s)) => escape_str(s, out),
         Expr::Con(Con::Nil) => out.push_str("[]"),
         Expr::Con(Con::Unit) => out.push_str("()"),
-        Expr::Var(x) => {
+        Expr::Var(x) | Expr::VarAt(x, _) => {
             let name = x.as_str();
             if INFIX_OPS.contains(&name) {
                 out.push('(');
@@ -259,8 +259,10 @@ mod tests {
         round_trip("(:) 1 []");
         round_trip("x := 1; while x < 10 do x := x + 1 end; x");
         round_trip("if a = b then lambda x. x else lambda y. y");
-        round_trip("letrec e = lambda n. if n = 0 then true else o (n - 1) \
-                    and o = lambda n. if n = 0 then false else e (n - 1) in e 4");
+        round_trip(
+            "letrec e = lambda n. if n = 0 then true else o (n - 1) \
+                    and o = lambda n. if n = 0 then false else e (n - 1) in e 4",
+        );
         round_trip("\"a\\nb\" ++ \"c\"");
         round_trip("f (-1)");
         round_trip("{ns/lbl}:(a + b)");
@@ -274,7 +276,11 @@ mod tests {
 
     #[test]
     fn keyword_under_operator_is_parenthesized() {
-        let e = Expr::binop("+", Expr::if_(Expr::bool(true), Expr::int(1), Expr::int(2)), Expr::int(3));
+        let e = Expr::binop(
+            "+",
+            Expr::if_(Expr::bool(true), Expr::int(1), Expr::int(2)),
+            Expr::int(3),
+        );
         let printed = pretty(&e);
         assert_eq!(printed, "(if true then 1 else 2) + 3");
         assert_eq!(parse_expr(&printed).unwrap(), e);
@@ -313,7 +319,13 @@ fn indent_lines(s: &str, by: usize) -> String {
     let pad = " ".repeat(by);
     s.lines()
         .enumerate()
-        .map(|(i, l)| if i == 0 { l.to_string() } else { format!("{pad}{l}") })
+        .map(|(i, l)| {
+            if i == 0 {
+                l.to_string()
+            } else {
+                format!("{pad}{l}")
+            }
+        })
         .collect::<Vec<_>>()
         .join("\n")
 }
@@ -410,7 +422,10 @@ fn block_bare(e: &Expr, width: usize) -> String {
             let mut out = block(cur, Level::App, width);
             for arg in spine {
                 out.push_str("\n  ");
-                out.push_str(&indent_lines(&block(arg, Level::Operand, width.saturating_sub(2)), 2));
+                out.push_str(&indent_lines(
+                    &block(arg, Level::Operand, width.saturating_sub(2)),
+                    2,
+                ));
             }
             out
         }
@@ -419,7 +434,7 @@ fn block_bare(e: &Expr, width: usize) -> String {
             format!("{x} :=\n  {}", indent_lines(&inner, 2))
         }
         // Leaves never exceed the width check meaningfully.
-        Expr::Con(_) | Expr::Var(_) => pretty(e),
+        Expr::Con(_) | Expr::Var(_) | Expr::VarAt(..) => pretty(e),
     }
 }
 
@@ -431,8 +446,7 @@ mod block_tests {
     fn round_trip_block(src: &str, width: usize) {
         let e = parse_expr(src).unwrap();
         let shown = pretty_block(&e, width);
-        let reparsed = parse_expr(&shown)
-            .unwrap_or_else(|err| panic!("{err}\nlayout:\n{shown}"));
+        let reparsed = parse_expr(&shown).unwrap_or_else(|err| panic!("{err}\nlayout:\n{shown}"));
         assert_eq!(reparsed, e, "layout:\n{shown}");
     }
 
@@ -462,10 +476,9 @@ mod block_tests {
 
     #[test]
     fn long_programs_actually_break() {
-        let e = parse_expr(
-            "letrec fac = lambda x. if x = 0 then 1 else x * (fac (x - 1)) in fac 5",
-        )
-        .unwrap();
+        let e =
+            parse_expr("letrec fac = lambda x. if x = 0 then 1 else x * (fac (x - 1)) in fac 5")
+                .unwrap();
         let shown = pretty_block(&e, 30);
         assert!(shown.lines().count() >= 4, "{shown}");
     }
@@ -479,11 +492,7 @@ mod block_tests {
             let e = crate::gen::gen_program(&mut rng, &crate::gen::GenConfig::default());
             for width in [12, 30, 72] {
                 let shown = pretty_block(&e, width);
-                assert_eq!(
-                    parse_expr(&shown).unwrap(),
-                    e,
-                    "layout:\n{shown}"
-                );
+                assert_eq!(parse_expr(&shown).unwrap(), e, "layout:\n{shown}");
             }
         }
     }

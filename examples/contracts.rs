@@ -14,9 +14,12 @@ use monitoring_semantics::syntax::parse_expr;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The contracts, stated in L_λ itself.
     let monitor = ContractMonitor::new()
-        .contract("sorted", "letrec go = lambda l. \
+        .contract(
+            "sorted",
+            "letrec go = lambda l. \
             if null? l then true else if null? (tl l) then true \
-            else if (hd l) <= (hd (tl l)) then go (tl l) else false in go")?
+            else if (hd l) <= (hd (tl l)) then go (tl l) else false in go",
+        )?
         .contract("nonempty", "lambda l. not (null? l)")?
         .contract("positive", "lambda v. v > 0")?;
 

@@ -16,9 +16,8 @@ use monitoring_semantics::monitors::profiler::Profiler;
 use monitoring_semantics::syntax::parse_expr;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let program = parse_expr(
-        "letrec fac = lambda x. {fac}:if x = 0 then 1 else x * (fac (x - 1)) in fac 4",
-    )?;
+    let program =
+        parse_expr("letrec fac = lambda x. {fac}:if x = 0 then 1 else x * (fac (x - 1)) in fac 4")?;
 
     let profiler = Profiler::new();
     let mut exec = Execution::new(

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (monitored_answer, counts) = eval_monitored(&fac5, &AbProfiler)?;
     assert_eq!(answer, monitored_answer); // soundness, checked live
     println!("monitored answer:       {monitored_answer}");
-    println!("A/B profile:            σ = {}", AbProfiler.render_state(&counts));
+    println!(
+        "A/B profile:            σ = {}",
+        AbProfiler.render_state(&counts)
+    );
 
     // 3. The §8 profiler: function bodies labelled with their names.
     let fac_mul = parse_expr(
@@ -39,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profiler = Profiler::new();
     let (answer, profile) = eval_monitored(&fac_mul, &profiler)?;
     println!("fac 3 via mul:          {answer}");
-    println!("call counts:            {}", profiler.render_state(&profile));
+    println!(
+        "call counts:            {}",
+        profiler.render_state(&profile)
+    );
 
     Ok(())
 }

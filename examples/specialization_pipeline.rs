@@ -44,11 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Level 3: specialize w.r.t. the static exponent. The recursion, the
     // interpreter dispatch *and the monitor's static work* all vanish.
-    let (residual, stats) = specialize_with(
-        &instrumented,
-        &[],
-        &SpecializeOptions::default(),
-    );
+    let (residual, stats) = specialize_with(&instrumented, &[], &SpecializeOptions::default());
     println!(
         "level 3 — specialized ({} nodes after {} unfolds, {} folds):",
         residual.size(),

@@ -98,7 +98,10 @@ impl Repl {
                 if self.defs.is_empty() {
                     vec!["(no definitions)".into()]
                 } else {
-                    self.defs.iter().map(|b| format!("{} = {}", b.name, b.value)).collect()
+                    self.defs
+                        .iter()
+                        .map(|b| format!("{} = {}", b.name, b.value))
+                        .collect()
                 }
             }
             "module" => match words.next() {
@@ -123,7 +126,11 @@ impl Repl {
                 self.tools.trace = parse_names(words.next().unwrap_or(""));
                 vec![format!(
                     "tracing: {}",
-                    if self.tools.trace.is_empty() { "(off)".into() } else { join(&self.tools.trace) }
+                    if self.tools.trace.is_empty() {
+                        "(off)".into()
+                    } else {
+                        join(&self.tools.trace)
+                    }
                 )]
             }
             "profile" => {
@@ -176,12 +183,9 @@ impl Repl {
                 match parse_expr(&src) {
                     Ok(e) => {
                         let program = self.program_for(e);
-                        let division =
-                            monitoring_semantics::pe::bta::analyze(&program, &[]);
+                        let division = monitoring_semantics::pe::bta::analyze(&program, &[]);
                         let (st, dy) = division.counts();
-                        vec![
-                            format!("{st} static points, {dy} dynamic"),
-                        ]
+                        vec![format!("{st} static points, {dy} dynamic")]
                     }
                     Err(e) => vec![e.to_string()],
                 }
@@ -252,22 +256,18 @@ impl Repl {
         // paper's environment "virtually adds" annotations (§4.1).
         let mut session = Session::new().language(self.module);
         if !self.tools.trace.is_empty() {
-            program = match trace_functions(&program, &self.tools.trace, &Namespace::anonymous())
-            {
+            program = match trace_functions(&program, &self.tools.trace, &Namespace::anonymous()) {
                 Ok(p) => p,
                 Err(e) => return vec![e.to_string()],
             };
             session = session.monitor(toolbox::trace());
         }
         if !self.tools.profile.is_empty() {
-            program = match profile_functions(
-                &program,
-                &self.tools.profile,
-                &Namespace::anonymous(),
-            ) {
-                Ok(p) => p,
-                Err(e) => return vec![e.to_string()],
-            };
+            program =
+                match profile_functions(&program, &self.tools.profile, &Namespace::anonymous()) {
+                    Ok(p) => p,
+                    Err(e) => return vec![e.to_string()],
+                };
             session = session.monitor(toolbox::profile());
         }
         if self.tools.collect {
@@ -291,11 +291,19 @@ impl Repl {
 }
 
 fn parse_names(csv: &str) -> Vec<Ident> {
-    csv.split(',').map(str::trim).filter(|s| !s.is_empty()).map(Ident::new).collect()
+    csv.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(Ident::new)
+        .collect()
 }
 
 fn join(names: &[Ident]) -> String {
-    names.iter().map(Ident::as_str).collect::<Vec<_>>().join(", ")
+    names
+        .iter()
+        .map(Ident::as_str)
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn main() {
@@ -382,12 +390,7 @@ mod tests {
 
     #[test]
     fn monitors_off_disarms() {
-        let out = run(&[
-            "def id = lambda x. x",
-            ":trace id",
-            ":monitors off",
-            "id 7",
-        ]);
+        let out = run(&["def id = lambda x. x", ":trace id", ":monitors off", "id 7"]);
         assert_eq!(out.last().map(String::as_str), Some("7"));
         assert!(!out.iter().any(|l| l.contains("receives")), "{out:?}");
     }
@@ -425,7 +428,10 @@ mod tests {
     #[test]
     fn unknown_functions_in_trace_are_reported() {
         let out = run(&[":trace ghost", "1 + 1"]);
-        assert!(out.iter().any(|l| l.contains("no function named `ghost`")), "{out:?}");
+        assert!(
+            out.iter().any(|l| l.contains("no function named `ghost`")),
+            "{out:?}"
+        );
     }
 
     #[test]
@@ -433,7 +439,10 @@ mod tests {
         let out = run(&["sum (map (lambda x. x * 2) (range 1 3))"]);
         assert_eq!(out.last().map(String::as_str), Some("12"));
         let out = run(&[":prelude off", "sum [1]"]);
-        assert!(out.last().unwrap().contains("unbound variable `sum`"), "{out:?}");
+        assert!(
+            out.last().unwrap().contains("unbound variable `sum`"),
+            "{out:?}"
+        );
     }
 
     #[test]

@@ -87,10 +87,8 @@ fn program_and_flags(args: &[String]) -> Result<(Expr, Vec<String>), String> {
                 flags.push(v.clone());
             }
         } else if source.is_none() {
-            source = Some(
-                std::fs::read_to_string(a)
-                    .map_err(|e| format!("cannot read `{a}`: {e}"))?,
-            );
+            source =
+                Some(std::fs::read_to_string(a).map_err(|e| format!("cannot read `{a}`: {e}"))?);
         } else {
             return Err(format!("unexpected argument `{a}`"));
         }
@@ -194,16 +192,15 @@ fn cmd_specialize(args: &[String]) -> Result<(), String> {
     let mut i = 0;
     while let Some(pos) = flags[i..].iter().position(|f| f == "--input") {
         let idx = i + pos;
-        let spec = flags
-            .get(idx + 1)
-            .ok_or("--input needs name=int")?;
+        let spec = flags.get(idx + 1).ok_or("--input needs name=int")?;
         let (name, value) = spec.split_once('=').ok_or("--input needs name=int")?;
-        let n: i64 = value.parse().map_err(|_| format!("`{value}` is not an integer"))?;
+        let n: i64 = value
+            .parse()
+            .map_err(|_| format!("`{value}` is not an integer"))?;
         inputs.push((Ident::new(name), Value::Int(n)));
         i = idx + 2;
     }
-    let (residual, stats) =
-        specialize_with(&program, &inputs, &SpecializeOptions::default());
+    let (residual, stats) = specialize_with(&program, &inputs, &SpecializeOptions::default());
     let residual = simplify(&residual);
     eprintln!(
         "; {} unfolds, {} folds, residual size {}",
@@ -216,9 +213,11 @@ fn cmd_specialize(args: &[String]) -> Result<(), String> {
         monitoring_semantics::syntax::pretty::pretty_block(&residual, 80)
     );
     // If the residual is closed, also print its value.
-    if residual.free_vars().iter().all(|v| {
-        monitoring_semantics::core::prims::Prim::by_name(v.as_str()).is_some()
-    }) {
+    if residual
+        .free_vars()
+        .iter()
+        .all(|v| monitoring_semantics::core::prims::Prim::by_name(v.as_str()).is_some())
+    {
         if let Ok(v) = eval(&residual) {
             eprintln!("; value: {v}");
         }

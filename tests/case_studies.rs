@@ -71,12 +71,15 @@ fn profiling_nqueens_quantifies_the_search() {
 #[test]
 fn memo_scout_and_call_graph_on_tak() {
     let plain = programs::tak(8, 4, 2);
-    let traced =
-        trace_functions(&plain, &[Ident::new("tak")], &Namespace::anonymous()).unwrap();
+    let traced = trace_functions(&plain, &[Ident::new("tak")], &Namespace::anonymous()).unwrap();
 
     let (answer, counts) = eval_monitored(&traced, &MemoScout::new()).unwrap();
     assert_eq!(answer, Value::Int(3));
-    assert!(counts.redundant_calls() > 10, "tak recomputes: {}", counts.redundant_calls());
+    assert!(
+        counts.redundant_calls() > 10,
+        "tak recomputes: {}",
+        counts.redundant_calls()
+    );
 
     let (_, graph) = eval_monitored(&traced, &CallGraph::new()).unwrap();
     assert_eq!(graph.calls(None, "tak"), 1);
@@ -90,14 +93,10 @@ fn predicate_demon_counts_divisibility_hits() {
     let plain = programs::primes_below(50);
     // Tag every `if` — the demon records which ones ever produce `true`.
     let counter = std::cell::Cell::new(0u32);
-    let tagged = annotate_where(
-        &plain,
-        &|node| matches!(node, Expr::If(..)),
-        &|_| {
-            counter.set(counter.get() + 1);
-            monitoring_semantics::syntax::Annotation::label(format!("c{}", counter.get()))
-        },
-    );
+    let tagged = annotate_where(&plain, &|node| matches!(node, Expr::If(..)), &|_| {
+        counter.set(counter.get() + 1);
+        monitoring_semantics::syntax::Annotation::label(format!("c{}", counter.get()))
+    });
     let truthy = PredicateDemon::new("truthy", |v| matches!(v, Value::Bool(true)));
     // The annotation wraps the whole `if`, so the demon sees branch
     // *results*; we only check soundness + that it fired somewhere.
@@ -117,8 +116,7 @@ fn soundness_at_scale() {
         programs::tak(10, 5, 2),
     ] {
         let names = monitoring_semantics::syntax::points::bound_function_names(&plain);
-        let annotated =
-            profile_functions(&plain, &names, &Namespace::anonymous()).unwrap();
+        let annotated = profile_functions(&plain, &names, &Namespace::anonymous()).unwrap();
         let (monitored, _) = eval_monitored(&annotated, &Profiler::new()).unwrap();
         assert_eq!(Ok(monitored), eval(&plain));
     }

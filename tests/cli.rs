@@ -39,13 +39,7 @@ fn run_supports_language_modules() {
     assert!(ok);
     assert_eq!(stdout.trim(), "7");
 
-    let (stdout, _, ok) = monsem(&[
-        "run",
-        "--module",
-        "lazy",
-        "-e",
-        "(lambda u. 9) (1 / 0)",
-    ]);
+    let (stdout, _, ok) = monsem(&["run", "--module", "lazy", "-e", "(lambda u. 9) (1 / 0)"]);
     assert!(ok);
     assert_eq!(stdout.trim(), "9");
 }

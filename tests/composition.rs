@@ -37,7 +37,10 @@ fn typed_cascade_equals_individual_runs() {
 
     assert_eq!(v_both, v_solo_p);
     assert_eq!(v_both, v_solo_t);
-    assert_eq!(profile_both, profile_alone, "composition changed the profiler's state");
+    assert_eq!(
+        profile_both, profile_alone,
+        "composition changed the profiler's state"
+    );
     assert_eq!(
         trace_both.chan.render(),
         trace_alone.chan.render(),

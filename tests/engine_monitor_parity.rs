@@ -33,7 +33,9 @@ fn parity<M: Monitor>(program: &Expr, monitor: &M) -> (M::State, M::State) {
     )
     .expect("interpreter run");
     let compiled = compile_monitored(program, monitor).expect("compiles");
-    let (vc, sc) = compiled.run_monitored(monitor, &opts).expect("compiled run");
+    let (vc, sc) = compiled
+        .run_monitored(monitor, &opts)
+        .expect("compiled run");
     assert_eq!(vi, vc, "answers diverge");
     (si, sc)
 }
@@ -74,7 +76,9 @@ fn stepper_and_space_match() {
                     step, point, ..
                 } => format!("enter {step} {point}"),
                 monitoring_semantics::monitors::stepper::StepEvent::Leave {
-                    step, point, value,
+                    step,
+                    point,
+                    value,
                 } => format!("leave {step} {point} {value}"),
             })
             .collect::<Vec<_>>()
@@ -108,7 +112,9 @@ fn a_tape_recorded_on_the_interpreter_replays_on_the_engine() {
     let tape = tape_of(events);
     let replay = Replay::new(tape.clone());
     let compiled = compile_monitored(&program, &replay).unwrap();
-    let (_, verdict) = compiled.run_monitored(&replay, &EvalOptions::default()).unwrap();
+    let (_, verdict) = compiled
+        .run_monitored(&replay, &EvalOptions::default())
+        .unwrap();
     assert!(verdict.complete(&tape), "{}", replay.render_state(&verdict));
 }
 

@@ -3,13 +3,13 @@
 //! real monitored meanings, not toy values.
 
 use monitoring_semantics::core::machine::eval;
+use monitoring_semantics::core::machine::EvalOptions;
 use monitoring_semantics::core::programs;
+use monitoring_semantics::core::Env;
 use monitoring_semantics::monitor::answer::{related, theta, theta_inv, MonAnswer};
 use monitoring_semantics::monitor::machine::eval_monitored_with;
 use monitoring_semantics::monitors::profiler::{CounterEnv, Profiler};
 use monitoring_semantics::syntax::{Expr, Ident};
-use monitoring_semantics::core::machine::EvalOptions;
-use monitoring_semantics::core::Env;
 
 /// Wraps a monitored program as the paper's meaning `MS → (Ans × MS)`.
 fn meaning_of(program: Expr) -> MonAnswer<monitoring_semantics::core::Value, CounterEnv> {
@@ -34,7 +34,9 @@ fn theta_inverse_recovers_the_standard_answer() {
     for sigma in [
         CounterEnv::init(),
         CounterEnv::init().inc(&Ident::new("noise")),
-        CounterEnv::init().inc(&Ident::new("fac")).inc(&Ident::new("fac")),
+        CounterEnv::init()
+            .inc(&Ident::new("fac"))
+            .inc(&Ident::new("fac")),
     ] {
         assert_eq!(theta_inv(&meaning, sigma).unwrap(), standard);
     }
@@ -52,7 +54,9 @@ fn monitored_meaning_is_related_to_theta_of_the_standard_answer() {
     let sample_states = [
         CounterEnv::init(),
         CounterEnv::init().inc(&Ident::new("A")),
-        CounterEnv::init().inc(&Ident::new("B")).inc(&Ident::new("B")),
+        CounterEnv::init()
+            .inc(&Ident::new("B"))
+            .inc(&Ident::new("B")),
     ];
     assert!(related(&lhs, &rhs, &sample_states));
 }

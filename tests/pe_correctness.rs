@@ -14,7 +14,10 @@ use monitoring_semantics::syntax::{Annotation, Expr, Namespace};
 /// computations (`fib (2^5)`…), so the property tests run the specializer
 /// with a small unfold budget: correctness must hold at *any* budget.
 fn small_budget() -> SpecializeOptions {
-    SpecializeOptions { max_unfolds: 400, ..SpecializeOptions::default() }
+    SpecializeOptions {
+        max_unfolds: 400,
+        ..SpecializeOptions::default()
+    }
 }
 
 /// The specializer's unfold chain recurses on the Rust stack (see its

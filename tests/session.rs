@@ -43,7 +43,11 @@ fn language_modules_agree_on_monitored_pure_programs() {
     )
     .unwrap();
     let mut profiles = Vec::new();
-    for lang in [LanguageModule::Strict, LanguageModule::Lazy, LanguageModule::Imperative] {
+    for lang in [
+        LanguageModule::Strict,
+        LanguageModule::Lazy,
+        LanguageModule::Imperative,
+    ] {
         let report = Session::new()
             .language(lang)
             .monitor(toolbox::profile())
@@ -83,7 +87,10 @@ fn imperative_programs_with_watchpoints() {
 #[test]
 fn lazy_module_skips_events_in_unused_bindings() {
     let prog = parse_expr("(lambda x. 7) ({never}:(1 + 2))").unwrap();
-    let strict = Session::new().monitor(toolbox::profile()).run_expr(&prog).unwrap();
+    let strict = Session::new()
+        .monitor(toolbox::profile())
+        .run_expr(&prog)
+        .unwrap();
     let lazy = Session::new()
         .language(LanguageModule::Lazy)
         .monitor(toolbox::profile())

@@ -1,0 +1,253 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The workspace builds without registry access, so the `[[bench]]` targets
+//! link against this small wall-clock harness instead. It reproduces the
+//! criterion API the benches use — [`Criterion::benchmark_group`],
+//! `sample_size`, `bench_function`, `bench_with_input`, [`BenchmarkId`],
+//! [`criterion_group!`] / [`criterion_main!`] — and reports median ±
+//! interquartile-range nanoseconds per iteration on stdout.
+//!
+//! Statistical differences from upstream: fixed warm-up (~60 ms), per-sample
+//! auto-calibrated iteration counts, no outlier analysis, no HTML reports.
+//! A positional CLI argument filters benchmarks by substring, like upstream.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: either a plain name, or a function name plus a
+/// parameter rendered as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { id: name }
+    }
+}
+
+/// The top-level harness state.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <substring>` filters benchmarks, like upstream.
+        // Flag-style arguments (e.g. `--bench`, injected by cargo) are not
+        // name filters and are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+            sample_size: 100,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&full, &mut bencher.samples_ns);
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] performs the actual
+/// warm-up, calibration and sampling.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: run for ~60ms to estimate cost per iter.
+        let warmup = Duration::from_millis(60);
+        let start = Instant::now();
+        let mut warm_iters: u32 = 0;
+        while start.elapsed() < warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        // Aim each sample at measurement_time / sample_size, at least 1 iter.
+        let budget_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters = (budget_ns / per_iter.max(1.0)).ceil().max(1.0) as u64;
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+fn report(name: &str, samples_ns: &mut [f64]) {
+    if samples_ns.is_empty() {
+        println!("{name:<55} (no samples: Bencher::iter never called)");
+        return;
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let q = |p: f64| samples_ns[((samples_ns.len() - 1) as f64 * p).round() as usize];
+    println!(
+        "{name:<55} time: [{} {} {}]",
+        format_ns(q(0.25)),
+        format_ns(q(0.5)),
+        format_ns(q(0.75)),
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.4} ns")
+    }
+}
+
+/// Collects benchmark functions into a single runner function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("interp", 128).id, "interp/128");
+        assert_eq!(BenchmarkId::from_parameter("fac").id, "fac");
+    }
+
+    #[test]
+    fn groups_measure_and_filter() {
+        let mut c = Criterion {
+            filter: Some("match-me".into()),
+        };
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(2));
+        let mut ran = false;
+        group.bench_function("match-me", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1))
+        });
+        let mut skipped = false;
+        group.bench_function("other", |_| skipped = true);
+        group.finish();
+        assert!(ran && !skipped);
+    }
+}
