@@ -1,13 +1,16 @@
 //! Per-monitor overhead of the toolbox (§8/§9.2): the same labelled
 //! workload under each monitor, against the identity monitor, on the
-//! monitored interpreter.
+//! monitored interpreter. The `guarded-*` entries measure the fault
+//! model's cost: the same monitor wrapped in
+//! [`Guarded`](monsem_monitor::Guarded) (verdict checks, `catch_unwind`,
+//! budget bookkeeping) against its bare self.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use monsem_bench::labelled_countdown;
 use monsem_core::machine::EvalOptions;
 use monsem_core::Env;
 use monsem_monitor::machine::eval_monitored_with;
-use monsem_monitor::{IdentityMonitor, Monitor};
+use monsem_monitor::{Budget, FaultPolicy, Guarded, IdentityMonitor, Monitor};
 use monsem_monitors::{AbProfiler, Collecting, Profiler, Stepper, UnsortedDemon};
 
 fn bench_monitors(c: &mut Criterion) {
@@ -37,6 +40,26 @@ fn bench_monitors(c: &mut Criterion) {
     });
     group.bench_function("stepper", |b| {
         b.iter(|| run(&program, &Stepper::new(), &opts))
+    });
+    // Fault-model overhead: verdict plumbing + catch_unwind, no budgets.
+    group.bench_function("guarded-identity", |b| {
+        let m = Guarded::new(IdentityMonitor).policy(FaultPolicy::Quarantine);
+        b.iter(|| run(&program, &m, &opts))
+    });
+    group.bench_function("guarded-demon", |b| {
+        let m = Guarded::new(UnsortedDemon::new()).policy(FaultPolicy::Quarantine);
+        b.iter(|| run(&program, &m, &opts))
+    });
+    // Budget bookkeeping on top: step counting + a wall clock read per event.
+    group.bench_function("guarded-demon-budgeted", |b| {
+        let m = Guarded::new(UnsortedDemon::new())
+            .policy(FaultPolicy::Quarantine)
+            .budget(
+                Budget::unlimited()
+                    .with_steps(u64::MAX)
+                    .with_wall(std::time::Duration::from_secs(3600)),
+            );
+        b.iter(|| run(&program, &m, &opts))
     });
     group.finish();
 }

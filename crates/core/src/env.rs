@@ -209,6 +209,60 @@ impl Env {
     }
 }
 
+impl Drop for Env {
+    /// Deep environment chains are freed iteratively, like list spines in
+    /// `value.rs` (`Tail`'s `Drop`). Without this, dropping the last clone
+    /// of a ~10⁶-frame environment — or of a closure whose captured
+    /// environment captures another closure, and so on — recurses once per
+    /// frame and overflows the stack.
+    ///
+    /// The worklist also unlinks uniquely-owned closure environments and
+    /// pending-thunk environments reachable from frame values, because
+    /// those are exactly the edges by which an `Env` chain re-enters
+    /// another `Env` chain.
+    fn drop(&mut self) {
+        // Fast path: the empty environment, or a chain still shared with
+        // another clone — either way nothing is actually freed here.
+        let Some(rc) = self.0.take() else { return };
+        if Rc::strong_count(&rc) > 1 {
+            return;
+        }
+        let mut work: Vec<Rc<Node>> = vec![rc];
+        while let Some(rc) = work.pop() {
+            let Ok(node) = Rc::try_unwrap(rc) else {
+                continue;
+            };
+            let (value, mut parent) = match node {
+                Node::Frame { value, parent, .. } => (Some(value), parent),
+                Node::Rec { parent, .. } => (None, parent),
+            };
+            if let Some(p) = parent.0.take() {
+                work.push(p);
+            }
+            match value {
+                Some(Value::Closure(c)) => {
+                    if let Ok(mut c) = Rc::try_unwrap(c) {
+                        if let Some(p) = c.env.0.take() {
+                            work.push(p);
+                        }
+                    }
+                }
+                Some(Value::Thunk(t)) => {
+                    if let Ok(cell) = Rc::try_unwrap(t) {
+                        if let crate::value::ThunkState::Pending { mut env, .. } = cell.into_inner()
+                        {
+                            if let Some(p) = env.0.take() {
+                                work.push(p);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
 impl fmt::Display for Env {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("[")?;
@@ -391,6 +445,84 @@ mod tests {
             .extend(Ident::new("x"), Value::Int(1))
             .extend(Ident::new("y"), Value::Int(2));
         assert_eq!(env.to_string(), "[y ↦ 2, x ↦ 1]");
+    }
+
+    /// A million-frame chain must free without recursing (each frame used
+    /// to add one stack frame to the drop, overflowing around ~10⁵).
+    #[test]
+    fn deep_frame_chain_drops_iteratively() {
+        let mut env = Env::empty();
+        for i in 0..1_000_000u32 {
+            env = env.extend(Ident::new("x"), Value::Int(i as i64));
+        }
+        assert_eq!(env.depth(), 1_000_000);
+        drop(env);
+    }
+
+    /// Rec frames interleaved with plain frames take the same worklist.
+    #[test]
+    fn deep_rec_chain_drops_iteratively() {
+        let lam = match parse_expr("lambda x. x").unwrap() {
+            Expr::Lambda(l) => Rc::new(l),
+            _ => unreachable!(),
+        };
+        let bindings = Rc::new(vec![(Ident::new("f"), lam)]);
+        let mut env = Env::empty();
+        for _ in 0..500_000 {
+            env = env.extend_rec(bindings.clone());
+            env = env.extend(Ident::new("y"), Value::Unit);
+        }
+        drop(env);
+    }
+
+    /// Closure chains: frame → closure → env → frame → closure → … This
+    /// re-enters `Env` through `Closure::env`, which the worklist unlinks.
+    #[test]
+    fn deep_closure_chain_drops_iteratively() {
+        let body = match parse_expr("lambda x. x").unwrap() {
+            Expr::Lambda(l) => l.body,
+            _ => unreachable!(),
+        };
+        let mut v = Value::Unit;
+        for _ in 0..500_000 {
+            let env = Env::empty().extend(Ident::new("f"), v);
+            v = Value::Closure(Rc::new(Closure {
+                param: Ident::new("x"),
+                body: body.clone(),
+                env,
+            }));
+        }
+        drop(v);
+    }
+
+    /// Pending thunks capture environments too (lazy module); their chains
+    /// must also free without recursion.
+    #[test]
+    fn deep_thunk_chain_drops_iteratively() {
+        use crate::value::ThunkState;
+        use std::cell::RefCell;
+        let expr = Rc::new(parse_expr("1 + 2").unwrap());
+        let mut v = Value::Unit;
+        for _ in 0..500_000 {
+            let env = Env::empty().extend(Ident::new("t"), v);
+            v = Value::Thunk(Rc::new(RefCell::new(ThunkState::Pending {
+                expr: expr.clone(),
+                env,
+            })));
+        }
+        drop(v);
+    }
+
+    #[test]
+    fn shared_chains_survive_a_clone_dropping() {
+        let mut env = Env::empty();
+        for i in 0..1000 {
+            env = env.extend(Ident::new("x"), Value::Int(i));
+        }
+        let keep = env.clone();
+        drop(env);
+        assert_eq!(keep.lookup(&Ident::new("x")), Some(Value::Int(999)));
+        assert_eq!(keep.depth(), 1000);
     }
 
     #[test]

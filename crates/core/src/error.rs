@@ -45,6 +45,22 @@ pub enum EvalError {
     NotAssignable(Ident),
     /// A call-by-need value depends on itself (lazy module).
     BlackHole,
+    /// A monitor vetoed the computation: a fallible monitoring function
+    /// (`try_pre`/`try_post`) returned an `Abort` verdict. This is the
+    /// *intended* divergence from Theorem 7.7 — the monitored run stops
+    /// where the standard run would continue — and the soundness checker
+    /// classifies it accordingly.
+    MonitorAbort {
+        /// `name()` of the monitor that aborted.
+        monitor: String,
+        /// The monitor's stated reason.
+        reason: String,
+    },
+    /// A monitored machine detected a broken internal invariant (for
+    /// example the `MS` cell was empty at a hook site). Formerly a panic;
+    /// surfaced as an error so a buggy monitoring path cannot take the
+    /// whole evaluator down.
+    Internal(&'static str),
 }
 
 impl fmt::Display for EvalError {
@@ -75,6 +91,12 @@ impl fmt::Display for EvalError {
                 write!(f, "`{x}` is not bound to an assignable location")
             }
             EvalError::BlackHole => f.write_str("value depends on itself (black hole)"),
+            EvalError::MonitorAbort { monitor, reason } => {
+                write!(f, "monitor `{monitor}` aborted evaluation: {reason}")
+            }
+            EvalError::Internal(what) => {
+                write!(f, "internal invariant violated: {what}")
+            }
         }
     }
 }
@@ -96,6 +118,22 @@ mod tests {
         assert_eq!(
             EvalError::UnboundVariable(Ident::new("y")).to_string(),
             "unbound variable `y`"
+        );
+    }
+
+    #[test]
+    fn monitor_abort_names_the_culprit() {
+        let e = EvalError::MonitorAbort {
+            monitor: "bound-demon".into(),
+            reason: "value exceeded 100".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "monitor `bound-demon` aborted evaluation: value exceeded 100"
+        );
+        assert_eq!(
+            EvalError::Internal("monitor state missing at hook").to_string(),
+            "internal invariant violated: monitor state missing at hook"
         );
     }
 

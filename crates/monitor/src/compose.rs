@@ -21,8 +21,9 @@
 //! two layers is a specification error, reported eagerly by
 //! [`MonitorStack::check_disjoint`] and (optionally) at runtime.
 
+use crate::fault::{Budget, FaultPolicy, Guarded, Health};
 use crate::scope::Scope;
-use crate::spec::{DynMonitor, DynState, Monitor};
+use crate::spec::{DynMonitor, DynState, Monitor, Outcome};
 use monsem_core::Value;
 use monsem_syntax::{Annotation, Expr};
 use std::ops::BitAnd;
@@ -127,6 +128,99 @@ impl<M1: Monitor, M2: Monitor> Monitor for Compose<M1, M2> {
             s2
         };
         (s1, s2)
+    }
+
+    fn try_pre(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        (s1, s2): Self::State,
+    ) -> Outcome<Self::State> {
+        let s1 = if self.first.accepts(ann) {
+            match self.first.try_pre(ann, expr, scope, s1) {
+                Outcome::Continue(s) => s,
+                Outcome::Abort {
+                    state,
+                    monitor,
+                    reason,
+                } => {
+                    return Outcome::Abort {
+                        state: (state, s2),
+                        monitor,
+                        reason,
+                    }
+                }
+            }
+        } else {
+            s1
+        };
+        let s2 = if self.second.accepts(ann) {
+            match self.second.try_pre(ann, expr, scope, s2) {
+                Outcome::Continue(s) => s,
+                Outcome::Abort {
+                    state,
+                    monitor,
+                    reason,
+                } => {
+                    return Outcome::Abort {
+                        state: (s1, state),
+                        monitor,
+                        reason,
+                    }
+                }
+            }
+        } else {
+            s2
+        };
+        Outcome::Continue((s1, s2))
+    }
+
+    fn try_post(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        (s1, s2): Self::State,
+    ) -> Outcome<Self::State> {
+        let s1 = if self.first.accepts(ann) {
+            match self.first.try_post(ann, expr, scope, value, s1) {
+                Outcome::Continue(s) => s,
+                Outcome::Abort {
+                    state,
+                    monitor,
+                    reason,
+                } => {
+                    return Outcome::Abort {
+                        state: (state, s2),
+                        monitor,
+                        reason,
+                    }
+                }
+            }
+        } else {
+            s1
+        };
+        let s2 = if self.second.accepts(ann) {
+            match self.second.try_post(ann, expr, scope, value, s2) {
+                Outcome::Continue(s) => s,
+                Outcome::Abort {
+                    state,
+                    monitor,
+                    reason,
+                } => {
+                    return Outcome::Abort {
+                        state: (s1, state),
+                        monitor,
+                        reason,
+                    }
+                }
+            }
+        } else {
+            s2
+        };
+        Outcome::Continue((s1, s2))
     }
 
     fn render_state(&self, (s1, s2): &Self::State) -> String {
@@ -237,6 +331,18 @@ pub fn boxed<M: Monitor + 'static>(monitor: M) -> Box<dyn DynMonitor> {
     Box::new(monitor)
 }
 
+/// Boxes a monitor wrapped in a fault [`Guarded`] layer: its panics are
+/// confined (or not) per `policy` and its hook usage is bounded by
+/// `budget`. The guarded layer keeps the monitor's name, so session
+/// reports and abort reasons are unchanged.
+pub fn guarded<M: Monitor + 'static>(
+    monitor: M,
+    policy: FaultPolicy,
+    budget: Budget,
+) -> Box<dyn DynMonitor> {
+    Box::new(Guarded::new(monitor).policy(policy).budget(budget))
+}
+
 impl MonitorStack {
     /// A stack with a single monitor.
     pub fn single(monitor: Box<dyn DynMonitor>) -> Self {
@@ -268,9 +374,30 @@ impl MonitorStack {
         self.monitors.is_empty()
     }
 
+    /// Appends a fault-guarded monitor as the new outermost layer — see
+    /// [`guarded`].
+    pub fn push_guarded<M: Monitor + 'static>(
+        self,
+        monitor: M,
+        policy: FaultPolicy,
+        budget: Budget,
+    ) -> Self {
+        self.push(guarded(monitor, policy, budget))
+    }
+
     /// The layers, innermost first.
     pub fn layers(&self) -> &[Box<dyn DynMonitor>] {
         &self.monitors
+    }
+
+    /// Per-layer health for a final stack state, innermost first. Plain
+    /// (unguarded) layers are always [`Health::Ok`].
+    pub fn healths(&self, states: &[DynState]) -> Vec<(String, Health)> {
+        self.monitors
+            .iter()
+            .zip(states.iter())
+            .map(|(m, s)| (m.name().to_string(), m.health_dyn(s)))
+            .collect()
     }
 
     /// Checks the §6 disjointness requirement against a concrete program:
@@ -370,6 +497,67 @@ impl Monitor for MonitorStack {
             }
         }
         states
+    }
+
+    fn try_pre(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        mut states: Self::State,
+    ) -> Outcome<Self::State> {
+        for (i, m) in self.monitors.iter().enumerate() {
+            if m.accepts(ann) {
+                match m.try_pre_dyn(ann, expr, scope, states[i].clone()) {
+                    Outcome::Continue(next) => states[i] = next,
+                    Outcome::Abort {
+                        state,
+                        monitor,
+                        reason,
+                    } => {
+                        // Only the vetoing layer's cell moves; neighbours
+                        // keep the states they had when the veto fired.
+                        states[i] = state;
+                        return Outcome::Abort {
+                            state: states,
+                            monitor,
+                            reason,
+                        };
+                    }
+                }
+            }
+        }
+        Outcome::Continue(states)
+    }
+
+    fn try_post(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        mut states: Self::State,
+    ) -> Outcome<Self::State> {
+        for (i, m) in self.monitors.iter().enumerate() {
+            if m.accepts(ann) {
+                match m.try_post_dyn(ann, expr, scope, value, states[i].clone()) {
+                    Outcome::Continue(next) => states[i] = next,
+                    Outcome::Abort {
+                        state,
+                        monitor,
+                        reason,
+                    } => {
+                        states[i] = state;
+                        return Outcome::Abort {
+                            state: states,
+                            monitor,
+                            reason,
+                        };
+                    }
+                }
+            }
+        }
+        Outcome::Continue(states)
     }
 
     fn render_state(&self, states: &Self::State) -> String {
@@ -511,6 +699,152 @@ mod tests {
         assert_eq!(a, 2);
         // {b/two} fires once, inside the second {a/one} — it sees 2.
         assert_eq!(snaps, vec![2]);
+    }
+
+    /// Accepts namespace `ns` and panics at its `fail_at`-th event.
+    #[derive(Debug, Clone)]
+    struct NsBomb {
+        ns: Namespace,
+        fail_at: u32,
+    }
+    impl Monitor for NsBomb {
+        type State = u32;
+        fn name(&self) -> &str {
+            "bomb"
+        }
+        fn accepts(&self, ann: &Annotation) -> bool {
+            ann.namespace == self.ns
+        }
+        fn initial_state(&self) -> u32 {
+            0
+        }
+        fn pre(&self, _: &Annotation, _: &Expr, _: &Scope<'_>, n: u32) -> u32 {
+            if n == self.fail_at {
+                panic!("bomb went off");
+            }
+            n + 1
+        }
+    }
+
+    #[test]
+    fn quarantined_layer_does_not_disturb_its_neighbours() {
+        let e = parse_expr(DOUBLY).unwrap();
+        // Healthy run: both counters see their events.
+        let healthy = MonitorStack::empty()
+            .push(boxed(NsCounter::new("a", "A")))
+            .push(boxed(NsCounter::new("b", "B")));
+        let (v_healthy, healthy_states) = eval_monitored(&e, &healthy).unwrap();
+
+        // Same stack with a bomb wedged between the two counters; it
+        // accepts namespace `a` annotations too — skip disjointness on
+        // purpose, we want it to receive events.
+        let stack = MonitorStack::empty()
+            .push(boxed(NsCounter::new("a", "A")))
+            .push_guarded(
+                NsBomb {
+                    ns: Namespace::new("a"),
+                    fail_at: 0,
+                },
+                FaultPolicy::Quarantine,
+                Budget::unlimited(),
+            )
+            .push(boxed(NsCounter::new("b", "B")));
+        let (v, states) = eval_monitored(&e, &stack).unwrap();
+        assert_eq!(v, v_healthy, "answer preserved");
+        assert_eq!(
+            states[0].downcast::<u32>(),
+            healthy_states[0].downcast::<u32>(),
+            "inner neighbour undisturbed"
+        );
+        assert_eq!(
+            states[2].downcast::<u32>(),
+            healthy_states[1].downcast::<u32>(),
+            "outer neighbour undisturbed"
+        );
+        let healths = stack.healths(&states);
+        assert_eq!(healths[0].1, Health::Ok);
+        assert!(matches!(&healths[1].1, Health::Quarantined(msg) if msg == "bomb went off"));
+        assert_eq!(healths[2].1, Health::Ok);
+    }
+
+    #[test]
+    fn abort_inside_a_stack_names_the_layer() {
+        /// Aborts on its first event.
+        #[derive(Debug, Clone)]
+        struct Veto(Namespace);
+        impl Monitor for Veto {
+            type State = ();
+            fn name(&self) -> &str {
+                "veto"
+            }
+            fn accepts(&self, ann: &Annotation) -> bool {
+                ann.namespace == self.0
+            }
+            fn initial_state(&self) {}
+            fn try_pre(&self, _: &Annotation, _: &Expr, _: &Scope<'_>, _: ()) -> Outcome<()> {
+                Outcome::abort((), "veto", "no b events allowed")
+            }
+        }
+        let e = parse_expr(DOUBLY).unwrap();
+        let stack = MonitorStack::empty()
+            .push(boxed(NsCounter::new("a", "A")))
+            .push(boxed(Veto(Namespace::new("b"))));
+        let err = eval_monitored(&e, &stack).unwrap_err();
+        assert_eq!(
+            err,
+            monsem_core::EvalError::MonitorAbort {
+                monitor: "veto".into(),
+                reason: "no b events allowed".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn fatal_panic_in_a_stack_layer_still_propagates() {
+        let e = parse_expr(DOUBLY).unwrap();
+        let stack = MonitorStack::empty().push_guarded(
+            NsBomb {
+                ns: Namespace::new("a"),
+                fail_at: 0,
+            },
+            FaultPolicy::Fatal,
+            Budget::unlimited(),
+        );
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| eval_monitored(&e, &stack)));
+        assert!(caught.is_err(), "Fatal policy re-raises the panic");
+    }
+
+    #[test]
+    fn typed_cascade_propagates_abort_from_either_side() {
+        #[derive(Debug, Clone)]
+        struct VetoNs(Namespace);
+        impl Monitor for VetoNs {
+            type State = ();
+            fn name(&self) -> &str {
+                "veto-ns"
+            }
+            fn accepts(&self, ann: &Annotation) -> bool {
+                ann.namespace == self.0
+            }
+            fn initial_state(&self) {}
+            fn try_pre(&self, ann: &Annotation, _: &Expr, _: &Scope<'_>, _: ()) -> Outcome<()> {
+                Outcome::abort((), "veto-ns", format!("vetoed `{}`", ann.name()))
+            }
+        }
+        let e = parse_expr(DOUBLY).unwrap();
+        let inner_veto = Compose::new(VetoNs(Namespace::new("b")), NsCounter::new("a", "A"));
+        let err = eval_monitored(&e, &inner_veto).unwrap_err();
+        assert!(matches!(
+            &err,
+            monsem_core::EvalError::MonitorAbort { monitor, .. } if monitor == "veto-ns"
+        ));
+        let outer_veto = Compose::new(NsCounter::new("a", "A"), VetoNs(Namespace::new("b")));
+        let err = eval_monitored(&e, &outer_veto).unwrap_err();
+        assert!(matches!(
+            &err,
+            monsem_core::EvalError::MonitorAbort { monitor, .. } if monitor == "veto-ns"
+        ));
     }
 
     #[test]

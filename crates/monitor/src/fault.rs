@@ -1,0 +1,553 @@
+//! Fault isolation for monitors: policies, budgets, and quarantine.
+//!
+//! The paper's monitoring functions are *pure* `MS → MS` transformers, and
+//! Theorem 7.7 guarantees they cannot change the program's answer. A
+//! deployable monitor, however, is arbitrary code: it may panic, it may
+//! loop, it may burn more time than the monitored program itself. This
+//! module makes attaching such a monitor safe:
+//!
+//! * [`FaultPolicy`] decides what a monitor fault means — [`Fatal`]
+//!   (propagate, the historical behaviour) or [`Quarantine`] (confine);
+//! * [`Budget`] bounds how many monitoring events a monitor may handle and
+//!   how much wall-clock time its hooks may consume in total;
+//! * [`Guarded`] wraps any [`Monitor`] and enforces both: each hook call
+//!   runs under [`std::panic::catch_unwind`], and a monitor that panics
+//!   (under `Quarantine`) or exceeds its budget **degrades to the identity
+//!   monitor** for the rest of the run, keeping its last good state.
+//!
+//! Degradation is sound by construction: the identity monitor is the
+//! degenerate case of Theorem 7.7, so from the fault onward the monitored
+//! run is answer-equivalent to the standard run — the property tests in
+//! `tests/fault_isolation.rs` check exactly this. What happened is not
+//! hidden: the wrapper records a per-monitor [`Health`] that session
+//! reports surface.
+//!
+//! [`Fatal`]: FaultPolicy::Fatal
+//! [`Quarantine`]: FaultPolicy::Quarantine
+
+use crate::scope::Scope;
+use crate::spec::{Monitor, Outcome};
+use monsem_core::Value;
+use monsem_syntax::{Annotation, Expr};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// What a monitor fault (panic) means for the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// The panic propagates and takes the evaluator down — the behaviour
+    /// of an unwrapped monitor, and the default.
+    #[default]
+    Fatal,
+    /// The panic is caught; the monitor keeps its last good state, is
+    /// marked [`Health::Quarantined`], and behaves as the identity monitor
+    /// for the rest of the run. Abort verdicts from the wrapped monitor
+    /// are confined the same way (recorded as [`Health::Aborted`], not
+    /// propagated), so a quarantined monitor can *never* change the
+    /// answer.
+    Quarantine,
+}
+
+/// Resource bounds for one monitor. `Budget::default()` is unlimited.
+///
+/// Budgets are *reported, not fatal*: an over-budget monitor stops being
+/// consulted (identity degradation) and its health says so, but the
+/// program runs to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Maximum number of monitoring events (pre and post each count as
+    /// one) the monitor may handle.
+    pub steps: Option<u64>,
+    /// Maximum total wall-clock time the monitor's hooks may consume.
+    /// Checked after each hook returns, so a hook that diverges outright
+    /// is beyond this bound — pair the budget with `Quarantine` and an
+    /// external watchdog if the monitor is fully untrusted.
+    pub wall: Option<Duration>,
+}
+
+impl Budget {
+    /// No bounds at all.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Bounds the number of monitoring events.
+    pub fn with_steps(mut self, steps: u64) -> Budget {
+        self.steps = Some(steps);
+        self
+    }
+
+    /// Bounds the total wall-clock time spent in hooks.
+    pub fn with_wall(mut self, wall: Duration) -> Budget {
+        self.wall = Some(wall);
+        self
+    }
+}
+
+/// Per-monitor health, reported by [`Monitor::health`] and surfaced in
+/// session reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Health {
+    /// The monitor handled every event it was offered.
+    Ok,
+    /// The monitor returned an [`Outcome::Abort`] verdict. Under
+    /// [`FaultPolicy::Fatal`] the abort also stops evaluation (this
+    /// variant is then only visible in the state carried by the abort);
+    /// under [`FaultPolicy::Quarantine`] the verdict is confined and the
+    /// run continues without the monitor.
+    Aborted(String),
+    /// The monitor panicked and was confined by
+    /// [`FaultPolicy::Quarantine`]; the payload is the panic message.
+    Quarantined(String),
+    /// The monitor exceeded its [`Budget`] and stopped being consulted.
+    OverBudget(String),
+}
+
+impl Health {
+    /// Whether the monitor is still being consulted.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Health::Ok)
+    }
+}
+
+impl fmt::Display for Health {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Health::Ok => f.write_str("ok"),
+            Health::Aborted(reason) => write!(f, "aborted: {reason}"),
+            Health::Quarantined(reason) => write!(f, "quarantined: {reason}"),
+            Health::OverBudget(reason) => write!(f, "over budget: {reason}"),
+        }
+    }
+}
+
+/// The state of a [`Guarded`] monitor: the wrapped monitor's state plus
+/// the bookkeeping the guard needs.
+#[derive(Debug, Clone)]
+pub struct GuardState<S> {
+    /// The wrapped monitor's state — its *last good* state once the
+    /// monitor is no longer [`Health::Ok`].
+    pub state: S,
+    /// Whether the monitor is still being consulted, and if not, why.
+    pub health: Health,
+    /// Monitoring events handled so far (pre + post).
+    pub events: u64,
+    /// Total wall-clock time spent inside the monitor's hooks.
+    pub spent: Duration,
+}
+
+/// Wraps a monitor with a [`FaultPolicy`] and a [`Budget`].
+///
+/// `Guarded<M>` is itself a [`Monitor`] — same name, same annotation
+/// syntax — so it slots into every engine, [`Compose`](crate::Compose)
+/// cascade, and [`MonitorStack`](crate::MonitorStack) unchanged. Its state
+/// is a [`GuardState`] around `M`'s state.
+///
+/// ```
+/// use monsem_monitor::fault::{Budget, FaultPolicy, Guarded, Health};
+/// use monsem_monitor::machine::eval_monitored;
+/// use monsem_monitor::{Monitor, Scope};
+/// use monsem_syntax::{parse_expr, Annotation, Expr};
+///
+/// /// Panics the third time it sees an event.
+/// struct Flaky;
+/// impl Monitor for Flaky {
+///     type State = u32;
+///     fn name(&self) -> &str { "flaky" }
+///     fn initial_state(&self) -> u32 { 0 }
+///     fn pre(&self, _: &Annotation, _: &Expr, _: &Scope<'_>, n: u32) -> u32 {
+///         if n == 2 { panic!("injected") }
+///         n + 1
+///     }
+/// }
+///
+/// let prog = parse_expr("{a}:1 + {b}:2 + {c}:3 + {d}:4")?;
+/// let guarded = Guarded::new(Flaky).policy(FaultPolicy::Quarantine);
+/// let (answer, s) = eval_monitored(&prog, &guarded)?;
+/// assert_eq!(answer, monsem_core::Value::Int(10)); // answer preserved
+/// assert_eq!(s.state, 2);                          // last good state
+/// assert!(matches!(s.health, Health::Quarantined(_)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Guarded<M> {
+    inner: M,
+    policy: FaultPolicy,
+    budget: Budget,
+}
+
+impl<M: Monitor> Guarded<M> {
+    /// Guards `inner` with the default policy ([`FaultPolicy::Fatal`]) and
+    /// an unlimited budget — behaviourally identical to the bare monitor
+    /// until configured.
+    pub fn new(inner: M) -> Self {
+        Guarded {
+            inner,
+            policy: FaultPolicy::default(),
+            budget: Budget::default(),
+        }
+    }
+
+    /// Sets the fault policy.
+    pub fn policy(mut self, policy: FaultPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The wrapped monitor.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Runs one hook invocation under the guard: budget check, panic
+    /// confinement, health bookkeeping. `hook` receives the wrapped
+    /// monitor's state and returns its verdict.
+    fn guard_step(
+        &self,
+        mut gs: GuardState<M::State>,
+        hook: impl FnOnce(&M, M::State) -> Outcome<M::State>,
+    ) -> Outcome<GuardState<M::State>> {
+        // A degraded monitor is the identity monitor: no hook call, no
+        // state change, no verdict.
+        if !gs.health.is_ok() {
+            return Outcome::Continue(gs);
+        }
+        if let Some(max) = self.budget.steps {
+            if gs.events >= max {
+                gs.health = Health::OverBudget(format!("step budget of {max} events exhausted"));
+                return Outcome::Continue(gs);
+            }
+        }
+        gs.events += 1;
+        // Keep the last good state on this side of the unwind boundary:
+        // if the hook panics, `taken` is consumed and `gs.state` is what
+        // the report shows. Cloning `MS` is cheap for the paper's monitors
+        // (sets, maps, counters — all persistent or small).
+        let taken = gs.state.clone();
+        let started = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| hook(&self.inner, taken)));
+        gs.spent += started.elapsed();
+        match result {
+            Ok(Outcome::Continue(next)) => {
+                gs.state = next;
+                if let Some(max) = self.budget.wall {
+                    if gs.spent > max {
+                        gs.health = Health::OverBudget(format!("wall budget of {max:?} exhausted"));
+                    }
+                }
+                Outcome::Continue(gs)
+            }
+            Ok(Outcome::Abort {
+                state,
+                monitor,
+                reason,
+            }) => {
+                gs.state = state;
+                gs.health = Health::Aborted(reason.clone());
+                match self.policy {
+                    FaultPolicy::Fatal => Outcome::Abort {
+                        state: gs,
+                        monitor,
+                        reason,
+                    },
+                    // Confined: the verdict is recorded but the run goes
+                    // on without the monitor.
+                    FaultPolicy::Quarantine => Outcome::Continue(gs),
+                }
+            }
+            Err(payload) => match self.policy {
+                FaultPolicy::Fatal => std::panic::resume_unwind(payload),
+                FaultPolicy::Quarantine => {
+                    gs.health = Health::Quarantined(panic_message(payload.as_ref()));
+                    Outcome::Continue(gs)
+                }
+            },
+        }
+    }
+}
+
+/// Best-effort rendering of a panic payload (`panic!` with a literal gives
+/// `&str`, with a format string gives `String`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl<M: Monitor> Monitor for Guarded<M> {
+    type State = GuardState<M::State>;
+
+    fn name(&self) -> &str {
+        // Same name as the wrapped monitor, so reports and abort reasons
+        // read naturally.
+        self.inner.name()
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        self.inner.accepts(ann)
+    }
+
+    fn initial_state(&self) -> Self::State {
+        GuardState {
+            state: self.inner.initial_state(),
+            health: Health::Ok,
+            events: 0,
+            spent: Duration::ZERO,
+        }
+    }
+
+    fn try_pre(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        state: Self::State,
+    ) -> Outcome<Self::State> {
+        self.guard_step(state, |m, s| m.try_pre(ann, expr, scope, s))
+    }
+
+    fn try_post(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        state: Self::State,
+    ) -> Outcome<Self::State> {
+        self.guard_step(state, |m, s| m.try_post(ann, expr, scope, value, s))
+    }
+
+    // The pure hooks collapse the verdict: machines never call these on a
+    // Guarded monitor (they call try_*), but composition of pure paths
+    // might. Abort verdicts degrade to "record and continue" here because
+    // a pure hook has no way to veto.
+    fn pre(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        state: Self::State,
+    ) -> Self::State {
+        match self.try_pre(ann, expr, scope, state) {
+            Outcome::Continue(s) | Outcome::Abort { state: s, .. } => s,
+        }
+    }
+
+    fn post(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        state: Self::State,
+    ) -> Self::State {
+        match self.try_post(ann, expr, scope, value, state) {
+            Outcome::Continue(s) | Outcome::Abort { state: s, .. } => s,
+        }
+    }
+
+    fn render_state(&self, state: &Self::State) -> String {
+        let inner = self.inner.render_state(&state.state);
+        if state.health.is_ok() {
+            inner
+        } else {
+            format!("{inner} [{}]", state.health)
+        }
+    }
+
+    fn health(&self, state: &Self::State) -> Health {
+        state.health.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_core::Env;
+
+    /// Counts events; panics at `fail_at` if set; aborts at `abort_at` if
+    /// set.
+    #[derive(Debug, Clone)]
+    struct Probe {
+        fail_at: Option<u64>,
+        abort_at: Option<u64>,
+    }
+
+    impl Monitor for Probe {
+        type State = u64;
+        fn name(&self) -> &str {
+            "probe"
+        }
+        fn initial_state(&self) -> u64 {
+            0
+        }
+        fn try_pre(&self, _: &Annotation, _: &Expr, _: &Scope<'_>, n: u64) -> Outcome<u64> {
+            if Some(n) == self.fail_at {
+                panic!("probe panicked at event {n}");
+            }
+            if Some(n) == self.abort_at {
+                return Outcome::abort(n, "probe", format!("abort at event {n}"));
+            }
+            Outcome::Continue(n + 1)
+        }
+    }
+
+    fn fire(
+        m: &impl Monitor<State = GuardState<u64>>,
+        s: GuardState<u64>,
+    ) -> Outcome<GuardState<u64>> {
+        let env = Env::empty();
+        let scope = Scope::pure(&env);
+        m.try_pre(&Annotation::label("A"), &Expr::int(1), &scope, s)
+    }
+
+    #[test]
+    fn quarantine_confines_a_panic_and_keeps_last_good_state() {
+        let m = Guarded::new(Probe {
+            fail_at: Some(2),
+            abort_at: None,
+        })
+        .policy(FaultPolicy::Quarantine);
+        let mut s = m.initial_state();
+        for _ in 0..5 {
+            s = match fire(&m, s) {
+                Outcome::Continue(s) => s,
+                other => panic!("unexpected verdict {other:?}"),
+            };
+        }
+        assert_eq!(s.state, 2, "state frozen at the last good value");
+        assert_eq!(s.events, 3, "two good events plus the faulty one");
+        assert!(matches!(&s.health, Health::Quarantined(msg) if msg.contains("event 2")));
+        assert_eq!(
+            m.render_state(&s),
+            "2 [quarantined: probe panicked at event 2]"
+        );
+    }
+
+    #[test]
+    fn fatal_abort_propagates_with_the_reason() {
+        let m = Guarded::new(Probe {
+            fail_at: None,
+            abort_at: Some(1),
+        });
+        let s = m.initial_state();
+        let Outcome::Continue(s) = fire(&m, s) else {
+            panic!("first event continues");
+        };
+        match fire(&m, s) {
+            Outcome::Abort {
+                state,
+                monitor,
+                reason,
+            } => {
+                assert_eq!(monitor, "probe");
+                assert_eq!(reason, "abort at event 1");
+                assert!(matches!(state.health, Health::Aborted(_)));
+            }
+            other => panic!("unexpected verdict {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quarantine_confines_abort_verdicts_too() {
+        let m = Guarded::new(Probe {
+            fail_at: None,
+            abort_at: Some(0),
+        })
+        .policy(FaultPolicy::Quarantine);
+        let mut s = m.initial_state();
+        for _ in 0..3 {
+            s = match fire(&m, s) {
+                Outcome::Continue(s) => s,
+                other => panic!("unexpected verdict {other:?}"),
+            };
+        }
+        assert!(matches!(s.health, Health::Aborted(_)));
+        assert_eq!(s.state, 0);
+    }
+
+    #[test]
+    fn step_budget_degrades_without_stopping() {
+        let m = Guarded::new(Probe {
+            fail_at: None,
+            abort_at: None,
+        })
+        .budget(Budget::unlimited().with_steps(3));
+        let mut s = m.initial_state();
+        for _ in 0..10 {
+            s = match fire(&m, s) {
+                Outcome::Continue(s) => s,
+                other => panic!("unexpected verdict {other:?}"),
+            };
+        }
+        assert_eq!(s.state, 3, "only the budgeted events ran");
+        assert!(matches!(&s.health, Health::OverBudget(msg) if msg.contains("3 events")));
+    }
+
+    #[test]
+    fn wall_budget_marks_slow_monitors() {
+        /// Burns ~1ms per event.
+        #[derive(Debug)]
+        struct Slow;
+        impl Monitor for Slow {
+            type State = u64;
+            fn name(&self) -> &str {
+                "slow"
+            }
+            fn initial_state(&self) -> u64 {
+                0
+            }
+            fn pre(&self, _: &Annotation, _: &Expr, _: &Scope<'_>, n: u64) -> u64 {
+                let t = Instant::now();
+                while t.elapsed() < Duration::from_millis(1) {
+                    std::hint::spin_loop();
+                }
+                n + 1
+            }
+        }
+        let m =
+            Guarded::new(Slow).budget(Budget::unlimited().with_wall(Duration::from_micros(100)));
+        let env = Env::empty();
+        let scope = Scope::pure(&env);
+        let mut s = m.initial_state();
+        for _ in 0..5 {
+            s = match m.try_pre(&Annotation::label("A"), &Expr::int(1), &scope, s) {
+                Outcome::Continue(s) => s,
+                other => panic!("unexpected verdict {other:?}"),
+            };
+        }
+        assert_eq!(s.state, 1, "degraded after the first over-budget event");
+        assert!(matches!(s.health, Health::OverBudget(_)));
+        assert!(s.spent >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn unconfigured_guard_is_transparent() {
+        let m = Guarded::new(Probe {
+            fail_at: None,
+            abort_at: None,
+        });
+        let mut s = m.initial_state();
+        for _ in 0..4 {
+            s = match fire(&m, s) {
+                Outcome::Continue(s) => s,
+                other => panic!("unexpected verdict {other:?}"),
+            };
+        }
+        assert_eq!(s.state, 4);
+        assert!(s.health.is_ok());
+        assert_eq!(m.health(&s), Health::Ok);
+        assert_eq!(m.render_state(&s), "4");
+    }
+}

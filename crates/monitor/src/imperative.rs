@@ -6,7 +6,7 @@
 //! variables — the semantic events a Magpie-style demon (§8) watches.
 
 use crate::scope::Scope;
-use crate::spec::Monitor;
+use crate::spec::{Monitor, Outcome};
 use monsem_core::env::{Env, LetrecPlan};
 use monsem_core::error::EvalError;
 use monsem_core::imperative::Store;
@@ -123,7 +123,17 @@ pub fn eval_monitored_imperative_with<M: Monitor>(
             State::Eval(expr, env) => match &*expr {
                 Expr::Ann(ann, inner) => {
                     if monitor.accepts(ann) {
-                        sigma = monitor.pre(ann, inner, &Scope::with_store(&env, &store), sigma);
+                        sigma = match monitor.try_pre(
+                            ann,
+                            inner,
+                            &Scope::with_store(&env, &store),
+                            sigma,
+                        ) {
+                            Outcome::Continue(s) => s,
+                            Outcome::Abort {
+                                monitor, reason, ..
+                            } => return Err(EvalError::MonitorAbort { monitor, reason }),
+                        };
                         stack.push(Frame::Post {
                             ann: ann.clone(),
                             expr: inner.clone(),
@@ -224,8 +234,18 @@ pub fn eval_monitored_imperative_with<M: Monitor>(
             State::Continue(value) => match stack.pop() {
                 None => return Ok((value, sigma, store)),
                 Some(Frame::Post { ann, expr, env }) => {
-                    sigma =
-                        monitor.post(&ann, &expr, &Scope::with_store(&env, &store), &value, sigma);
+                    sigma = match monitor.try_post(
+                        &ann,
+                        &expr,
+                        &Scope::with_store(&env, &store),
+                        &value,
+                        sigma,
+                    ) {
+                        Outcome::Continue(s) => s,
+                        Outcome::Abort {
+                            monitor, reason, ..
+                        } => return Err(EvalError::MonitorAbort { monitor, reason }),
+                    };
                     State::Continue(value)
                 }
                 Some(Frame::Arg { func, env }) => {
@@ -365,6 +385,37 @@ mod tests {
         let e = parse_expr(src).unwrap();
         let (v, _) = eval_monitored_imperative(&e, &Watch(Ident::new("acc"))).unwrap();
         assert_eq!(Ok(v), eval_imperative(&e));
+    }
+
+    #[test]
+    fn abort_verdict_stops_imperative_evaluation_mid_loop() {
+        /// Aborts as soon as the watched variable's store contents exceed
+        /// the bound — a §8 demon with teeth, reading through the store.
+        #[derive(Debug, Clone)]
+        struct Ceiling(Ident, i64);
+        impl Monitor for Ceiling {
+            type State = ();
+            fn name(&self) -> &str {
+                "ceiling"
+            }
+            fn initial_state(&self) {}
+            fn try_pre(&self, _: &Annotation, _: &Expr, scope: &Scope<'_>, _: ()) -> Outcome<()> {
+                if let Some(Value::Int(n)) = scope.lookup(&self.0) {
+                    if n > self.1 {
+                        return Outcome::abort((), "ceiling", format!("{} reached {n}", self.0));
+                    }
+                }
+                Outcome::Continue(())
+            }
+        }
+        let e = parse_expr("let n = 0 in while true do {tick}:(n := n + 1) end; n").unwrap();
+        assert_eq!(
+            eval_monitored_imperative(&e, &Ceiling(Ident::new("n"), 2)).unwrap_err(),
+            EvalError::MonitorAbort {
+                monitor: "ceiling".into(),
+                reason: "n reached 3".into(),
+            }
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! is for.
 
 use crate::scope::Scope;
-use crate::spec::Monitor;
+use crate::spec::{Monitor, Outcome};
 use monsem_core::env::{Env, LetrecPlan};
 use monsem_core::error::EvalError;
 use monsem_core::machine::{constant, EvalOptions, LookupMode};
@@ -103,7 +103,12 @@ pub fn eval_monitored_lazy_with<M: Monitor>(
             State::Eval(expr, env) => match &*expr {
                 Expr::Ann(ann, inner) => {
                     if monitor.accepts(ann) {
-                        sigma = monitor.pre(ann, inner, &Scope::pure(&env), sigma);
+                        sigma = match monitor.try_pre(ann, inner, &Scope::pure(&env), sigma) {
+                            Outcome::Continue(s) => s,
+                            Outcome::Abort {
+                                monitor, reason, ..
+                            } => return Err(EvalError::MonitorAbort { monitor, reason }),
+                        };
                         stack.push(Frame::Post {
                             ann: ann.clone(),
                             expr: inner.clone(),
@@ -167,7 +172,12 @@ pub fn eval_monitored_lazy_with<M: Monitor>(
             State::Continue(value) => match stack.pop() {
                 None => return Ok((value, sigma)),
                 Some(Frame::Post { ann, expr, env }) => {
-                    sigma = monitor.post(&ann, &expr, &Scope::pure(&env), &value, sigma);
+                    sigma = match monitor.try_post(&ann, &expr, &Scope::pure(&env), &value, sigma) {
+                        Outcome::Continue(s) => s,
+                        Outcome::Abort {
+                            monitor, reason, ..
+                        } => return Err(EvalError::MonitorAbort { monitor, reason }),
+                    };
                     State::Continue(value)
                 }
                 Some(Frame::ApplyTo { arg, env }) => match value {
@@ -367,6 +377,46 @@ mod tests {
         assert_eq!(
             log,
             vec!["pre once".to_string(), "post once = 5".to_string()]
+        );
+    }
+
+    #[test]
+    fn abort_verdict_stops_lazy_evaluation() {
+        #[derive(Debug)]
+        struct NoBigValues;
+        impl Monitor for NoBigValues {
+            type State = ();
+            fn name(&self) -> &str {
+                "no-big"
+            }
+            fn initial_state(&self) {}
+            fn try_post(
+                &self,
+                _: &Annotation,
+                _: &Expr,
+                _: &Scope<'_>,
+                v: &Value,
+                _: (),
+            ) -> Outcome<()> {
+                if matches!(v, Value::Int(i) if *i > 10) {
+                    return Outcome::abort((), "no-big", format!("saw {v}"));
+                }
+                Outcome::Continue(())
+            }
+        }
+        let e = parse_expr("let x = {x}:(6 * 7) in x + 1").unwrap();
+        assert_eq!(
+            eval_monitored_lazy(&e, &NoBigValues).unwrap_err(),
+            EvalError::MonitorAbort {
+                monitor: "no-big".into(),
+                reason: "saw 42".into(),
+            }
+        );
+        // A never-demanded annotation never gets the chance to abort.
+        let e = parse_expr("let x = {x}:(6 * 7) in 1").unwrap();
+        assert_eq!(
+            eval_monitored_lazy(&e, &NoBigValues).unwrap(),
+            (Value::Int(1), ())
         );
     }
 

@@ -29,6 +29,10 @@
 //! * [`lazy`] / [`imperative`] — monitored §9.2 language modules;
 //! * [`answer`] — the answer transformer `θ` and monitoring answer algebra
 //!   (Definition 4.1);
+//! * [`fault`] — fault isolation: verdicts may abort evaluation with a
+//!   reason, and the [`Guarded`] wrapper confines panicking or over-budget
+//!   monitors so they degrade to the identity monitor instead of taking
+//!   the evaluator down (Theorem 7.7 licenses the degradation);
 //! * [`compose`] — monitor composition (§6): typed cascades
 //!   ([`Compose`]) and the dynamic [`compose::MonitorStack`] built with
 //!   the `&` operator, as in the paper's
@@ -68,6 +72,7 @@
 
 pub mod answer;
 pub mod compose;
+pub mod fault;
 pub mod imperative;
 pub mod lazy;
 pub mod machine;
@@ -77,6 +82,7 @@ pub mod soundness;
 pub mod spec;
 
 pub use compose::{Compose, MonitorStack};
+pub use fault::{Budget, FaultPolicy, Guarded, Health};
 pub use machine::{eval_monitored, eval_monitored_with};
 pub use scope::Scope;
-pub use spec::{DynMonitor, IdentityMonitor, Monitor};
+pub use spec::{DynMonitor, IdentityMonitor, Monitor, Outcome};

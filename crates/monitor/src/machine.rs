@@ -18,7 +18,7 @@
 //! the convenient one.
 
 use crate::scope::Scope;
-use crate::spec::Monitor;
+use crate::spec::{Monitor, Outcome};
 use monsem_core::env::{Env, LetrecPlan};
 use monsem_core::error::EvalError;
 use monsem_core::machine::{constant, EvalOptions, LookupMode};
@@ -262,14 +262,20 @@ impl<'m, M: Monitor> Execution<'m, M> {
                     let sigma = self
                         .sigma
                         .take()
-                        .expect("monitor state present at completion");
+                        .ok_or(EvalError::Internal("monitor state missing at completion"))?;
                     return Ok((answer, sigma));
                 }
                 Some(_) => {}
                 None => {
                     // Already completed through earlier polling.
-                    let answer = self.answer.take().expect("finish called after completion");
-                    let sigma = self.sigma.take().expect("state present");
+                    let answer = self
+                        .answer
+                        .take()
+                        .ok_or(EvalError::Internal("finish called with no answer recorded"))?;
+                    let sigma = self
+                        .sigma
+                        .take()
+                        .ok_or(EvalError::Internal("monitor state missing at completion"))?;
                     return Ok((answer, sigma));
                 }
             }
@@ -294,8 +300,23 @@ impl<'m, M: Monitor> Execution<'m, M> {
                     // exactly as the standard semantics skips all of them.
                     Expr::Ann(ann, inner) => {
                         if monitor.accepts(ann) {
-                            let sigma = self.sigma.take().expect("state present");
-                            self.sigma = Some(monitor.pre(ann, inner, &Scope::pure(&env), sigma));
+                            let sigma = self
+                                .sigma
+                                .take()
+                                .ok_or(EvalError::Internal("monitor state missing at pre hook"))?;
+                            match monitor.try_pre(ann, inner, &Scope::pure(&env), sigma) {
+                                Outcome::Continue(s) => self.sigma = Some(s),
+                                Outcome::Abort {
+                                    state,
+                                    monitor,
+                                    reason,
+                                } => {
+                                    // The final σ stays observable through
+                                    // `monitor_state` for post-mortem reports.
+                                    self.sigma = Some(state);
+                                    return Err(EvalError::MonitorAbort { monitor, reason });
+                                }
+                            }
                             self.stack.push(Frame::Post {
                                 ann: ann.clone(),
                                 expr: inner.clone(),
@@ -389,9 +410,21 @@ impl<'m, M: Monitor> Execution<'m, M> {
                         return Ok(Some(Event::Done { answer: value }));
                     }
                     Some(Frame::Post { ann, expr, env }) => {
-                        let sigma = self.sigma.take().expect("state present");
-                        self.sigma =
-                            Some(monitor.post(&ann, &expr, &Scope::pure(&env), &value, sigma));
+                        let sigma = self
+                            .sigma
+                            .take()
+                            .ok_or(EvalError::Internal("monitor state missing at post hook"))?;
+                        match monitor.try_post(&ann, &expr, &Scope::pure(&env), &value, sigma) {
+                            Outcome::Continue(s) => self.sigma = Some(s),
+                            Outcome::Abort {
+                                state,
+                                monitor,
+                                reason,
+                            } => {
+                                self.sigma = Some(state);
+                                return Err(EvalError::MonitorAbort { monitor, reason });
+                            }
+                        }
                         let event = Event::Post {
                             ann,
                             expr,
@@ -683,6 +716,97 @@ mod tests {
         let _ = exec.next_event().unwrap(); // pre a
         assert_eq!(exec.next_event().unwrap_err(), EvalError::DivisionByZero);
         assert!(exec.next_event().unwrap().is_none());
+    }
+
+    /// Aborts when a labelled point produces a value above `limit`.
+    #[derive(Debug, Clone)]
+    pub(crate) struct Bound(pub i64);
+    impl Monitor for Bound {
+        type State = u64;
+        fn name(&self) -> &str {
+            "bound"
+        }
+        fn initial_state(&self) -> u64 {
+            0
+        }
+        fn try_post(
+            &self,
+            ann: &Annotation,
+            _: &Expr,
+            _: &Scope<'_>,
+            v: &Value,
+            n: u64,
+        ) -> Outcome<u64> {
+            if matches!(v, Value::Int(i) if *i > self.0) {
+                return Outcome::abort(
+                    n,
+                    self.name(),
+                    format!("`{}` produced {v}, over the bound {}", ann.name(), self.0),
+                );
+            }
+            Outcome::Continue(n + 1)
+        }
+    }
+
+    #[test]
+    fn abort_verdict_stops_evaluation_with_reason() {
+        let e = parse_expr("{a}:2 + {b}:99 + {c}:3").unwrap();
+        let err = eval_monitored(&e, &Bound(10)).unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::MonitorAbort {
+                monitor: "bound".into(),
+                reason: "`b` produced 99, over the bound 10".into(),
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "monitor `bound` aborted evaluation: `b` produced 99, over the bound 10"
+        );
+    }
+
+    #[test]
+    fn abort_leaves_sigma_observable_in_executions() {
+        let e = parse_expr("{a}:2 + {b}:99").unwrap();
+        let mut exec = Execution::new(&e, &Env::empty(), &Bound(10), 0, &EvalOptions::default());
+        loop {
+            match exec.next_event() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("expected an abort"),
+                Err(EvalError::MonitorAbort { monitor, .. }) => {
+                    assert_eq!(monitor, "bound");
+                    break;
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        // σ at the moment of the veto: only {b} had produced a value, and
+        // its event aborted before counting.
+        assert_eq!(exec.monitor_state(), Some(&0));
+    }
+
+    #[test]
+    fn pre_hooks_can_abort_too() {
+        #[derive(Debug)]
+        struct NoEntry;
+        impl Monitor for NoEntry {
+            type State = ();
+            fn name(&self) -> &str {
+                "no-entry"
+            }
+            fn initial_state(&self) {}
+            fn try_pre(&self, ann: &Annotation, _: &Expr, _: &Scope<'_>, _: ()) -> Outcome<()> {
+                Outcome::abort((), "no-entry", format!("refused to enter `{}`", ann.name()))
+            }
+        }
+        let e = parse_expr("1 + {gate}:2").unwrap();
+        assert_eq!(
+            eval_monitored(&e, &NoEntry).unwrap_err(),
+            EvalError::MonitorAbort {
+                monitor: "no-entry".into(),
+                reason: "refused to enter `gate`".into(),
+            }
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! front.
 
 use crate::compose::{DisjointnessError, MonitorStack};
+use crate::fault::{Budget, FaultPolicy, Health};
 use crate::imperative::eval_monitored_imperative_with;
 use crate::lazy::eval_monitored_lazy_with;
 use crate::machine::eval_monitored_with;
@@ -66,6 +67,19 @@ impl Session {
     /// Adds a monitor as the outermost cascade layer.
     pub fn monitor(mut self, monitor: Box<dyn DynMonitor>) -> Self {
         self.tools = self.tools.push(monitor);
+        self
+    }
+
+    /// Adds a fault-guarded monitor as the outermost cascade layer: its
+    /// panics are confined per `policy`, its hook usage bounded by
+    /// `budget`, and its [`ReportEntry::health`] says what happened.
+    pub fn monitor_guarded<M: Monitor + 'static>(
+        mut self,
+        monitor: M,
+        policy: FaultPolicy,
+        budget: Budget,
+    ) -> Self {
+        self.tools = self.tools.push_guarded(monitor, policy, budget);
         self
     }
 
@@ -126,6 +140,7 @@ impl Session {
             .map(|(m, s)| ReportEntry {
                 monitor: m.name().to_string(),
                 rendered: m.render_state_dyn(&s),
+                health: m.health_dyn(&s),
                 state: s,
             })
             .collect();
@@ -156,6 +171,10 @@ pub struct ReportEntry {
     pub monitor: String,
     /// Human-readable final state.
     pub rendered: String,
+    /// Whether the monitor handled every event, or was degraded mid-run
+    /// (quarantined after a panic, or over budget). Plain monitors are
+    /// always [`Health::Ok`].
+    pub health: Health,
     /// The raw final state (downcast with [`DynState::downcast`]).
     pub state: DynState,
 }
@@ -187,13 +206,30 @@ impl Report {
             .find(|e| e.monitor == monitor)
             .map(|e| e.rendered.as_str())
     }
+
+    /// The health of the named monitor.
+    pub fn health_of(&self, monitor: &str) -> Option<&Health> {
+        self.entries
+            .iter()
+            .find(|e| e.monitor == monitor)
+            .map(|e| &e.health)
+    }
+
+    /// Whether every monitor handled every event it was offered.
+    pub fn all_healthy(&self) -> bool {
+        self.entries.iter().all(|e| e.health.is_ok())
+    }
 }
 
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "answer: {}", self.answer)?;
         for e in &self.entries {
-            writeln!(f, "--- {} ---", e.monitor)?;
+            if e.health.is_ok() {
+                writeln!(f, "--- {} ---", e.monitor)?;
+            } else {
+                writeln!(f, "--- {} ({}) ---", e.monitor, e.health)?;
+            }
             writeln!(f, "{}", e.rendered)?;
         }
         Ok(())
@@ -295,6 +331,123 @@ mod tests {
             );
             assert_eq!(report.rendered_of("count-b"), Some("1"));
         }
+    }
+
+    /// Panics the moment it sees an event in its namespace.
+    #[derive(Debug, Clone)]
+    struct NsBomb(Namespace);
+    impl Monitor for NsBomb {
+        type State = u32;
+        fn name(&self) -> &str {
+            "bomb"
+        }
+        fn accepts(&self, ann: &Annotation) -> bool {
+            ann.namespace == self.0
+        }
+        fn initial_state(&self) -> u32 {
+            0
+        }
+        fn pre(&self, _: &Annotation, _: &Expr, _: &Scope<'_>, _: u32) -> u32 {
+            panic!("session bomb");
+        }
+    }
+
+    #[test]
+    fn session_reports_health_instead_of_crashing() {
+        let src = "letrec f = lambda x. {a/hit}:({b/hit}:(x + 1)) in f 41";
+        for lang in [
+            LanguageModule::Strict,
+            LanguageModule::Lazy,
+            LanguageModule::Imperative,
+        ] {
+            let report = Session::new()
+                .language(lang)
+                .monitor(boxed(NsCounter(Namespace::new("a"), "count-a")))
+                .monitor_guarded(
+                    NsBomb(Namespace::new("b")),
+                    FaultPolicy::Quarantine,
+                    Budget::unlimited(),
+                )
+                .run(src)
+                .unwrap();
+            assert_eq!(report.answer, Value::Int(42), "{lang:?}: answer preserved");
+            assert_eq!(report.health_of("count-a"), Some(&Health::Ok));
+            assert!(
+                matches!(report.health_of("bomb"), Some(Health::Quarantined(msg)) if msg == "session bomb"),
+                "{lang:?}: {:?}",
+                report.health_of("bomb")
+            );
+            assert!(!report.all_healthy());
+            assert!(report
+                .to_string()
+                .contains("bomb (quarantined: session bomb)"));
+        }
+    }
+
+    #[test]
+    fn session_surfaces_monitor_aborts_in_every_module() {
+        /// Vetoes any value over 10 at annotated points.
+        #[derive(Debug, Clone)]
+        struct Cap(Namespace);
+        impl Monitor for Cap {
+            type State = ();
+            fn name(&self) -> &str {
+                "cap"
+            }
+            fn accepts(&self, ann: &Annotation) -> bool {
+                ann.namespace == self.0
+            }
+            fn initial_state(&self) {}
+            fn try_post(
+                &self,
+                _: &Annotation,
+                _: &Expr,
+                _: &Scope<'_>,
+                v: &Value,
+                _: (),
+            ) -> crate::spec::Outcome<()> {
+                if matches!(v, Value::Int(n) if *n > 10) {
+                    return crate::spec::Outcome::abort((), "cap", format!("saw {v}"));
+                }
+                crate::spec::Outcome::Continue(())
+            }
+        }
+        for lang in [
+            LanguageModule::Strict,
+            LanguageModule::Lazy,
+            LanguageModule::Imperative,
+        ] {
+            let err = Session::new()
+                .language(lang)
+                .monitor(boxed(Cap(Namespace::anonymous())))
+                .run("{big}:(6 * 7)")
+                .unwrap_err();
+            assert!(
+                matches!(
+                    &err,
+                    SessionError::Eval(EvalError::MonitorAbort { monitor, reason })
+                        if monitor == "cap" && reason == "saw 42"
+                ),
+                "{lang:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn over_budget_monitors_are_reported_not_fatal() {
+        let report = Session::new()
+            .monitor_guarded(
+                NsCounter(Namespace::anonymous(), "thrifty"),
+                FaultPolicy::Quarantine,
+                Budget::unlimited().with_steps(2),
+            )
+            .run("{a}:1 + {b}:2 + {c}:3")
+            .unwrap();
+        assert_eq!(report.answer, Value::Int(6));
+        assert!(matches!(
+            report.health_of("thrifty"),
+            Some(Health::OverBudget(_))
+        ));
     }
 
     #[test]

@@ -14,9 +14,27 @@
 //! machine on the annotated program and compares `Result`s — values *and*
 //! errors must agree (an unsound monitor could otherwise "fix" a crash).
 //!
-//! Fuel is the one caveat: the monitored machine takes extra transitions
-//! at annotated points, so a run that exhausts fuel in only one engine is
-//! reported as [`SoundnessOutcome::Inconclusive`] rather than a violation.
+//! Two *intended* divergences from the theorem are classified rather than
+//! reported as violations:
+//!
+//! * **Fuel** — the monitored machine takes extra transitions at annotated
+//!   points (one `{μ}:e` step plus one `κ_post` return per accepted
+//!   annotation), so a run that exhausts fuel in only one engine is
+//!   [`SoundnessOutcome::Inconclusive`]. The same reasoning covers the
+//!   specialized `pe` engine, which *fuses* transitions (a two-argument
+//!   primitive application is one step instead of several) and therefore
+//!   exhausts the same fuel later than the interpreters — the differential
+//!   test `tests/fuel_accounting.rs` pins down both directions.
+//! * **Abort verdicts** — a checking monitor that returns
+//!   [`Outcome::Abort`](crate::spec::Outcome::Abort) *means* to change the
+//!   observable behaviour: the paper's Theorem 7.7 covers pure `MS → MS`
+//!   monitoring functions, and an aborting monitor is deliberately outside
+//!   that class. A monitored run ending in
+//!   [`EvalError::MonitorAbort`] is reported as
+//!   [`SoundnessOutcome::MonitorAborted`], never as a violation. (A
+//!   *quarantined* faulty monitor, by contrast, degrades to the identity
+//!   monitor and is back inside the theorem — the fault-isolation property
+//!   tests hold it to exact answer equality.)
 
 use crate::machine::eval_monitored_with;
 use crate::spec::Monitor;
@@ -33,6 +51,15 @@ pub enum SoundnessOutcome {
     Agreed(Result<Value, EvalError>),
     /// At least one engine ran out of fuel; no verdict.
     Inconclusive,
+    /// The monitor vetoed the monitored run
+    /// ([`EvalError::MonitorAbort`]). Not a violation: an abort verdict is
+    /// an intended departure from Theorem 7.7's pure-monitor premise.
+    MonitorAborted {
+        /// The vetoing monitor.
+        monitor: String,
+        /// Its stated reason.
+        reason: String,
+    },
 }
 
 /// A soundness violation: the monitored semantics changed the program's
@@ -87,6 +114,12 @@ pub fn check_soundness<M: Monitor>(
     match (&standard, &monitored) {
         (Err(EvalError::FuelExhausted), _) | (_, Err(EvalError::FuelExhausted)) => {
             Ok(SoundnessOutcome::Inconclusive)
+        }
+        (_, Err(EvalError::MonitorAbort { monitor, reason })) => {
+            Ok(SoundnessOutcome::MonitorAborted {
+                monitor: monitor.clone(),
+                reason: reason.clone(),
+            })
         }
         _ if standard == monitored => Ok(SoundnessOutcome::Agreed(standard)),
         _ => Err(Box::new(SoundnessViolation {
@@ -201,6 +234,53 @@ mod tests {
             &EvalOptions::default(),
         )
         .unwrap();
+    }
+
+    #[test]
+    fn abort_verdicts_are_classified_not_violations() {
+        use crate::spec::Outcome;
+        #[derive(Debug)]
+        struct Veto;
+        impl Monitor for Veto {
+            type State = ();
+            fn name(&self) -> &str {
+                "veto"
+            }
+            fn initial_state(&self) {}
+            fn try_pre(&self, _: &Annotation, _: &Expr, _: &Scope<'_>, _: ()) -> Outcome<()> {
+                Outcome::abort((), "veto", "no annotations allowed")
+            }
+        }
+        let e = parse_expr("{a}:1 + 2").unwrap();
+        let outcome = check_soundness(&e, &Veto, &EvalOptions::default()).unwrap();
+        assert_eq!(
+            outcome,
+            SoundnessOutcome::MonitorAborted {
+                monitor: "veto".into(),
+                reason: "no annotations allowed".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn quarantined_faults_stay_inside_the_theorem() {
+        use crate::fault::{FaultPolicy, Guarded};
+        #[derive(Debug)]
+        struct Bomb;
+        impl Monitor for Bomb {
+            type State = ();
+            fn name(&self) -> &str {
+                "soundness-bomb"
+            }
+            fn initial_state(&self) {}
+            fn pre(&self, _: &Annotation, _: &Expr, _: &Scope<'_>, _: ()) {
+                panic!("boom");
+            }
+        }
+        let prog = programs::fac_ab(5);
+        let guarded = Guarded::new(Bomb).policy(FaultPolicy::Quarantine);
+        let outcome = check_soundness(&prog, &guarded, &EvalOptions::default()).unwrap();
+        assert!(matches!(outcome, SoundnessOutcome::Agreed(Ok(_))));
     }
 
     #[test]

@@ -15,6 +15,65 @@ use std::any::Any;
 use std::fmt;
 use std::rc::Rc;
 
+/// The verdict of a fallible monitoring function
+/// ([`Monitor::try_pre`]/[`Monitor::try_post`]).
+///
+/// The paper's monitoring functions are total `MS → MS` transformers; a
+/// *checking* monitor (the §8 demon, a contract) additionally wants to
+/// veto the computation. `Outcome` is that judgement: `Continue` is the
+/// ordinary case, `Abort` stops evaluation with a reason, surfaced by the
+/// monitored machines as
+/// [`EvalError::MonitorAbort`](monsem_core::EvalError::MonitorAbort).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome<S> {
+    /// Keep evaluating with the updated monitor state.
+    Continue(S),
+    /// Veto the computation.
+    Abort {
+        /// The monitor state at the moment of the veto (reported, since
+        /// evaluation produces no answer).
+        state: S,
+        /// Which monitor vetoed (composition fills in the layer's name).
+        monitor: String,
+        /// Why.
+        reason: String,
+    },
+}
+
+impl<S> Outcome<S> {
+    /// Shorthand for an abort verdict.
+    pub fn abort(state: S, monitor: impl Into<String>, reason: impl Into<String>) -> Self {
+        Outcome::Abort {
+            state,
+            monitor: monitor.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// The carried state, whatever the verdict.
+    pub fn state(&self) -> &S {
+        match self {
+            Outcome::Continue(s) | Outcome::Abort { state: s, .. } => s,
+        }
+    }
+
+    /// Applies `f` to the carried state, preserving the verdict.
+    pub fn map<T>(self, f: impl FnOnce(S) -> T) -> Outcome<T> {
+        match self {
+            Outcome::Continue(s) => Outcome::Continue(f(s)),
+            Outcome::Abort {
+                state,
+                monitor,
+                reason,
+            } => Outcome::Abort {
+                state: f(state),
+                monitor,
+                reason,
+            },
+        }
+    }
+}
+
 /// A monitor specification.
 ///
 /// The default implementations make the common cases tiny: a monitor that
@@ -22,6 +81,16 @@ use std::rc::Rc;
 /// [`Monitor::pre`] (like the Figure 6 profiler); one that reacts to
 /// results implements just [`Monitor::post`] (like the Figure 8 demon and
 /// Figure 9 collecting monitor).
+///
+/// # Fallible hooks
+///
+/// The monitored machines actually invoke [`Monitor::try_pre`] and
+/// [`Monitor::try_post`], whose default implementations delegate to the
+/// pure hooks and always `Continue` — so every pure monitor is
+/// source-compatible and still satisfies Theorem 7.7. A checking monitor
+/// overrides the `try_*` forms to return [`Outcome::Abort`]; a fault-prone
+/// monitor is wrapped in [`Guarded`](crate::fault::Guarded) to confine
+/// panics and enforce budgets.
 pub trait Monitor {
     /// **MAlg** — the monitor-state domain `MS`.
     type State: Clone + fmt::Debug + 'static;
@@ -70,10 +139,45 @@ pub trait Monitor {
         state
     }
 
+    /// Fallible form of [`Monitor::pre`]: may veto the computation.
+    ///
+    /// This is what the monitored machines call. The default delegates to
+    /// the pure hook and continues, so ordinary monitors never see it.
+    fn try_pre(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        state: Self::State,
+    ) -> Outcome<Self::State> {
+        Outcome::Continue(self.pre(ann, expr, scope, state))
+    }
+
+    /// Fallible form of [`Monitor::post`]: may veto the computation.
+    fn try_post(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        state: Self::State,
+    ) -> Outcome<Self::State> {
+        Outcome::Continue(self.post(ann, expr, scope, value, state))
+    }
+
     /// Renders a final monitor state for human consumption (session
     /// reports, examples). Defaults to the `Debug` form.
     fn render_state(&self, state: &Self::State) -> String {
         format!("{state:?}")
+    }
+
+    /// The monitor's health as recorded in `state`. Plain monitors are
+    /// always healthy; [`Guarded`](crate::fault::Guarded) monitors report
+    /// quarantine/budget degradation here, and session reports surface it
+    /// per monitor.
+    fn health(&self, state: &Self::State) -> crate::fault::Health {
+        let _ = state;
+        crate::fault::Health::Ok
     }
 }
 
@@ -122,8 +226,27 @@ pub trait DynMonitor {
         value: &Value,
         state: DynState,
     ) -> DynState;
+    /// See [`Monitor::try_pre`].
+    fn try_pre_dyn(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        state: DynState,
+    ) -> Outcome<DynState>;
+    /// See [`Monitor::try_post`].
+    fn try_post_dyn(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        state: DynState,
+    ) -> Outcome<DynState>;
     /// See [`Monitor::render_state`].
     fn render_state_dyn(&self, state: &DynState) -> String;
+    /// See [`Monitor::health`].
+    fn health_dyn(&self, state: &DynState) -> crate::fault::Health;
 }
 
 /// A type-erased monitor state.
@@ -188,10 +311,44 @@ impl<M: Monitor> DynMonitor for M {
         DynState::new(self.post(ann, expr, scope, value, s))
     }
 
+    fn try_pre_dyn(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        state: DynState,
+    ) -> Outcome<DynState> {
+        let s: M::State = state.downcast().expect(
+            "monitor state type mismatch: a DynState must round-trip through its own monitor",
+        );
+        self.try_pre(ann, expr, scope, s).map(DynState::new)
+    }
+
+    fn try_post_dyn(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        state: DynState,
+    ) -> Outcome<DynState> {
+        let s: M::State = state.downcast().expect(
+            "monitor state type mismatch: a DynState must round-trip through its own monitor",
+        );
+        self.try_post(ann, expr, scope, value, s).map(DynState::new)
+    }
+
     fn render_state_dyn(&self, state: &DynState) -> String {
         match state.downcast::<M::State>() {
             Some(s) => self.render_state(&s),
             None => "<foreign state>".to_string(),
+        }
+    }
+
+    fn health_dyn(&self, state: &DynState) -> crate::fault::Health {
+        match state.downcast::<M::State>() {
+            Some(s) => self.health(&s),
+            None => crate::fault::Health::Ok,
         }
     }
 }

@@ -18,7 +18,7 @@ use monsem_core::machine::{eval_with, EvalOptions};
 use monsem_core::value::Value;
 use monsem_core::Env;
 use monsem_monitor::scope::Scope;
-use monsem_monitor::Monitor;
+use monsem_monitor::{Monitor, Outcome};
 use monsem_syntax::{parse_expr, AnnKind, Annotation, Expr, Ident, Namespace};
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -70,10 +70,16 @@ impl ContractReport {
 }
 
 /// The contract monitor: a table of named object-language predicates.
+///
+/// Contracts *observe* by default: a violation is recorded in the
+/// [`ContractReport`] and the run continues. [`ContractMonitor::enforcing`]
+/// upgrades violations to [`Outcome::Abort`] verdicts, stopping the run
+/// with [`EvalError::MonitorAbort`] at the first failed check.
 pub struct ContractMonitor {
     namespace: Namespace,
     predicates: BTreeMap<Ident, Value>,
     fuel: u64,
+    enforcing: bool,
 }
 
 impl std::fmt::Debug for ContractMonitor {
@@ -97,7 +103,16 @@ impl ContractMonitor {
             namespace: Namespace::new("contract"),
             predicates: BTreeMap::new(),
             fuel: 1_000_000,
+            enforcing: false,
         }
+    }
+
+    /// Makes contract violations abort evaluation instead of only being
+    /// recorded. Predicate failures and unregistered points still only
+    /// report — enforcement is reserved for a definite `false`.
+    pub fn enforcing(mut self) -> Self {
+        self.enforcing = true;
+        self
     }
 
     /// Restricts to another namespace.
@@ -192,6 +207,24 @@ impl Monitor for ContractMonitor {
         s
     }
 
+    fn try_post(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        s: ContractReport,
+    ) -> Outcome<ContractReport> {
+        let s = self.post(ann, expr, scope, value, s);
+        if self.enforcing {
+            if let Some(Verdict::Violated(v)) = s.verdicts(ann.name().as_str()).last() {
+                let reason = format!("contract `{}` violated by {v}", ann.name());
+                return Outcome::abort(s, "contracts", reason);
+            }
+        }
+        Outcome::Continue(s)
+    }
+
     fn render_state(&self, s: &ContractReport) -> String {
         if s.all_held() {
             let n: usize = s.checks.values().map(Vec::len).sum();
@@ -259,6 +292,37 @@ mod tests {
         let monitor = ContractMonitor::new()
             .contract("broken", "lambda v. v + 1")
             .unwrap();
+        let prog = parse_expr("{contract/broken}:true").unwrap();
+        let (v, report) = eval_monitored(&prog, &monitor).unwrap();
+        assert_eq!(v, Value::Bool(true));
+        assert!(matches!(
+            report.verdicts("broken"),
+            [Verdict::PredicateFailed(_)]
+        ));
+    }
+
+    #[test]
+    fn enforcing_contracts_abort_at_the_first_violation() {
+        let monitor = ContractMonitor::new()
+            .contract("positive", "lambda v. v > 0")
+            .unwrap()
+            .enforcing();
+        let prog = parse_expr("{contract/positive}:(1 - 5) + {contract/positive}:7").unwrap();
+        assert_eq!(
+            eval_monitored(&prog, &monitor).unwrap_err(),
+            EvalError::MonitorAbort {
+                monitor: "contracts".into(),
+                reason: "contract `positive` violated by -4".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn enforcing_contracts_still_only_report_predicate_failures() {
+        let monitor = ContractMonitor::new()
+            .contract("broken", "lambda v. v + 1")
+            .unwrap()
+            .enforcing();
         let prog = parse_expr("{contract/broken}:true").unwrap();
         let (v, report) = eval_monitored(&prog, &monitor).unwrap();
         assert_eq!(v, Value::Bool(true));

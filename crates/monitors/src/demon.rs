@@ -10,7 +10,7 @@
 
 use monsem_core::Value;
 use monsem_monitor::scope::Scope;
-use monsem_monitor::Monitor;
+use monsem_monitor::{Monitor, Outcome};
 use monsem_syntax::{AnnKind, Annotation, Expr, Ident, Namespace};
 use std::collections::BTreeSet;
 use std::rc::Rc;
@@ -30,11 +30,18 @@ pub fn is_sorted(v: &Value) -> bool {
 
 /// A demon firing on an arbitrary semantic event: it records the labels of
 /// program points whose value satisfies `trigger`.
+///
+/// By default a demon *observes* — it records and the run continues, as
+/// Theorem 7.7 requires of a pure monitor. [`PredicateDemon::enforcing`]
+/// turns it into a checker that returns an
+/// [`Outcome::Abort`] verdict the first time it fires, stopping
+/// evaluation with [`EvalError::MonitorAbort`](monsem_core::error::EvalError::MonitorAbort).
 #[derive(Clone)]
 pub struct PredicateDemon {
     name: String,
     namespace: Namespace,
     trigger: Rc<dyn Fn(&Value) -> bool>,
+    enforcing: bool,
 }
 
 impl std::fmt::Debug for PredicateDemon {
@@ -53,12 +60,20 @@ impl PredicateDemon {
             name: name.into(),
             namespace: Namespace::anonymous(),
             trigger: Rc::new(trigger),
+            enforcing: false,
         }
     }
 
     /// Restricts the demon to one annotation namespace.
     pub fn in_namespace(mut self, namespace: Namespace) -> Self {
         self.namespace = namespace;
+        self
+    }
+
+    /// Makes the demon abort evaluation (with the offending label as the
+    /// reason) instead of merely recording when it fires.
+    pub fn enforcing(mut self) -> Self {
+        self.enforcing = true;
         self
     }
 }
@@ -90,6 +105,23 @@ impl Monitor for PredicateDemon {
             s.insert(ann.name().clone());
         }
         s
+    }
+
+    fn try_post(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        s: BTreeSet<Ident>,
+    ) -> Outcome<BTreeSet<Ident>> {
+        let fired = (self.trigger)(value);
+        let s = self.post(ann, expr, scope, value, s);
+        if self.enforcing && fired {
+            let reason = format!("demon fired at `{}`", ann.name());
+            return Outcome::abort(s, self.name.clone(), reason);
+        }
+        Outcome::Continue(s)
     }
 
     fn render_state(&self, s: &BTreeSet<Ident>) -> String {
@@ -195,6 +227,21 @@ mod tests {
         let (_, s) = eval_monitored(&e, &demon).unwrap();
         let names: Vec<&str> = s.iter().map(|i| i.as_str()).collect();
         assert_eq!(names, vec!["p1"]);
+    }
+
+    #[test]
+    fn enforcing_demon_aborts_with_the_offending_label() {
+        use monsem_core::error::EvalError;
+        let demon =
+            PredicateDemon::new("negative", |v| matches!(v, Value::Int(n) if *n < 0)).enforcing();
+        let e = parse_expr("{p1}:(1 - 5) + {p2}:(10 - 2)").unwrap();
+        assert_eq!(
+            eval_monitored(&e, &demon).unwrap_err(),
+            EvalError::MonitorAbort {
+                monitor: "negative".into(),
+                reason: "demon fired at `p1`".into(),
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Fault injection — a monitor that misbehaves on demand.
+//!
+//! The fault model (verdicts, budgets, quarantine — see
+//! [`monsem_monitor::fault`]) needs an adversary to test against.
+//! [`FaultyMonitor`] counts the semantic events it sees (one `pre` and one
+//! `post` per accepted annotation) and, on the *N*th, does one of three
+//! bad things:
+//!
+//! * [`FaultMode::Panic`] — panics, exercising
+//!   [`FaultPolicy::Quarantine`](monsem_monitor::FaultPolicy) /
+//!   `Fatal` handling;
+//! * [`FaultMode::Abort`] — returns an
+//!   [`Outcome::Abort`] verdict, exercising
+//!   [`EvalError::MonitorAbort`](monsem_core::error::EvalError::MonitorAbort)
+//!   propagation;
+//! * [`FaultMode::Busy`] — spins for a bounded wall-clock duration,
+//!   exercising [`Budget::with_wall`](monsem_monitor::Budget::with_wall)
+//!   (a stand-in for divergence: real divergence cannot be preempted from
+//!   safe code, so the "diverging" monitor burns a configurable slice of
+//!   time instead).
+//!
+//! Before and after the fault the monitor is the counting monitor — pure,
+//! total, and squarely inside Theorem 7.7 — so any observable difference
+//! in a quarantined run is attributable to the injected fault alone.
+
+use monsem_core::Value;
+use monsem_monitor::scope::Scope;
+use monsem_monitor::{Monitor, Outcome};
+use monsem_syntax::{Annotation, Expr};
+use std::time::{Duration, Instant};
+
+/// What the monitor does when its trigger event arrives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Panic with a message naming the event number.
+    Panic,
+    /// Return an abort verdict with this reason.
+    Abort(String),
+    /// Spin (without yielding a fault) for this long — long enough to
+    /// trip a wall-clock [`Budget`](monsem_monitor::Budget).
+    Busy(Duration),
+}
+
+/// A monitor that behaves like a pure event counter until its `fire_at`th
+/// event, then injects the configured fault exactly once.
+///
+/// ```
+/// use monsem_monitor::machine::eval_monitored_with;
+/// use monsem_monitor::{FaultPolicy, Guarded, Health, Monitor};
+/// use monsem_core::machine::EvalOptions;
+/// use monsem_core::{Env, Value};
+/// use monsem_monitors::{FaultMode, FaultyMonitor};
+/// use monsem_syntax::parse_expr;
+///
+/// let prog = parse_expr("{a}:1 + {b}:2")?;
+/// let bomb = FaultyMonitor::new(2, FaultMode::Panic);
+/// let guarded = Guarded::new(bomb).policy(FaultPolicy::Quarantine);
+/// let (v, s) =
+///     eval_monitored_with(&prog, &Env::empty(), &guarded, guarded.initial_state(), &EvalOptions::default())?;
+/// assert_eq!(v, Value::Int(3)); // the answer survives the fault
+/// assert!(matches!(s.health, Health::Quarantined(_)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultyMonitor {
+    name: String,
+    fire_at: u64,
+    mode: FaultMode,
+}
+
+impl FaultyMonitor {
+    /// A monitor that injects `mode` on the `fire_at`th event (1-based;
+    /// `fire_at = 0` never fires).
+    pub fn new(fire_at: u64, mode: FaultMode) -> Self {
+        FaultyMonitor {
+            name: "faulty".into(),
+            fire_at,
+            mode,
+        }
+    }
+
+    /// Renames the monitor (useful when stacking several).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    fn step(&self, seen: u64) -> Outcome<u64> {
+        let seen = seen + 1;
+        if seen == self.fire_at {
+            match &self.mode {
+                FaultMode::Panic => panic!("{}: injected panic at event {seen}", self.name),
+                FaultMode::Abort(reason) => {
+                    return Outcome::abort(seen, self.name.clone(), reason.clone())
+                }
+                FaultMode::Busy(d) => {
+                    let start = Instant::now();
+                    while start.elapsed() < *d {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+        Outcome::Continue(seen)
+    }
+}
+
+impl Monitor for FaultyMonitor {
+    /// Events seen so far.
+    type State = u64;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn initial_state(&self) -> u64 {
+        0
+    }
+
+    fn try_pre(&self, _: &Annotation, _: &Expr, _: &Scope<'_>, seen: u64) -> Outcome<u64> {
+        self.step(seen)
+    }
+
+    fn try_post(
+        &self,
+        _: &Annotation,
+        _: &Expr,
+        _: &Scope<'_>,
+        _: &Value,
+        seen: u64,
+    ) -> Outcome<u64> {
+        self.step(seen)
+    }
+
+    fn render_state(&self, seen: &u64) -> String {
+        format!("{seen} events")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_core::error::EvalError;
+    use monsem_core::machine::EvalOptions;
+    use monsem_core::{Env, Value};
+    use monsem_monitor::machine::{eval_monitored, eval_monitored_with};
+    use monsem_monitor::{Budget, FaultPolicy, Guarded, Health};
+    use monsem_syntax::parse_expr;
+
+    #[test]
+    fn abort_mode_fires_on_the_nth_event() {
+        // Events: pre(a)=1, post(a)=2, pre(b)=3 — fire_at 3 aborts in b's pre.
+        let m = FaultyMonitor::new(3, FaultMode::Abort("third event".into()));
+        let e = parse_expr("{a}:1 + {b}:2").unwrap();
+        assert_eq!(
+            eval_monitored(&e, &m).unwrap_err(),
+            EvalError::MonitorAbort {
+                monitor: "faulty".into(),
+                reason: "third event".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn zero_never_fires() {
+        let m = FaultyMonitor::new(0, FaultMode::Panic);
+        let e = parse_expr("{a}:1 + {b}:2").unwrap();
+        let (v, seen) = eval_monitored(&e, &m).unwrap();
+        assert_eq!(v, Value::Int(3));
+        assert_eq!(seen, 4);
+    }
+
+    #[test]
+    fn panic_mode_is_quarantinable() {
+        let bomb = FaultyMonitor::new(1, FaultMode::Panic);
+        let guarded = Guarded::new(bomb).policy(FaultPolicy::Quarantine);
+        let e = parse_expr("{a}:(20 + 22)").unwrap();
+        let (v, s) = eval_monitored_with(
+            &e,
+            &Env::empty(),
+            &guarded,
+            guarded.initial_state(),
+            &EvalOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(v, Value::Int(42));
+        assert!(matches!(s.health, Health::Quarantined(_)), "{:?}", s.health);
+    }
+
+    #[test]
+    fn busy_mode_trips_a_wall_budget() {
+        let slow = FaultyMonitor::new(1, FaultMode::Busy(Duration::from_millis(20)));
+        let guarded =
+            Guarded::new(slow).budget(Budget::unlimited().with_wall(Duration::from_millis(1)));
+        let e = parse_expr("{a}:(20 + 22)").unwrap();
+        let (v, s) = eval_monitored_with(
+            &e,
+            &Env::empty(),
+            &guarded,
+            guarded.initial_state(),
+            &EvalOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(v, Value::Int(42));
+        assert!(matches!(s.health, Health::OverBudget(_)), "{:?}", s.health);
+    }
+}

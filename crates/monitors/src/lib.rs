@@ -17,6 +17,7 @@
 //! | §9.2 stepper | [`stepper::Stepper`] | numbered event log |
 //! | §9.2 interactive debugger à la dbx | [`debugger::Debugger`] | command stream × transcript |
 //! | extensions | [`coverage::Coverage`], [`watch::Watchpoint`], [`timing::TimeProfiler`], [`logger::EventLogger`], [`callgraph::CallGraph`], [`memo::MemoScout`], [`replay::Recorder`]/[`replay::Replay`], [`space::SpaceProfiler`] | |
+//! | fault injection (tests the fault model itself) | [`faulty::FaultyMonitor`] | event count |
 //!
 //! The [`toolbox`] module packages each as a boxed constructor for use
 //! with the `&` composition operator and the
@@ -31,6 +32,7 @@ pub mod contract;
 pub mod coverage;
 pub mod debugger;
 pub mod demon;
+pub mod faulty;
 pub mod logger;
 pub mod memo;
 pub mod profiler;
@@ -47,6 +49,7 @@ pub use collecting::Collecting;
 pub use contract::ContractMonitor;
 pub use debugger::{Command, Debugger};
 pub use demon::{PredicateDemon, UnsortedDemon};
+pub use faulty::{FaultMode, FaultyMonitor};
 pub use memo::MemoScout;
 pub use profiler::{AbProfiler, Profiler};
 pub use replay::{Recorder, Replay};

@@ -31,11 +31,11 @@
 
 use monsem_core::env::Env;
 use monsem_core::error::EvalError;
-use monsem_core::machine::{constant, EvalOptions};
+use monsem_core::machine::{constant, EvalOptions, EvalStats};
 use monsem_core::prims::Prim;
 use monsem_core::value::{ExtValue, Value};
 use monsem_monitor::scope::Scope;
-use monsem_monitor::spec::IdentityMonitor;
+use monsem_monitor::spec::{IdentityMonitor, Outcome};
 use monsem_monitor::Monitor;
 use monsem_syntax::{Annotation, Expr, Ident};
 use std::fmt;
@@ -650,16 +650,42 @@ impl CompiledProgram {
         monitor: &M,
         options: &EvalOptions,
     ) -> Result<(Value, M::State), EvalError> {
+        self.run_monitored_stats(monitor, options)
+            .map(|(v, s, _)| (v, s))
+    }
+
+    /// Like [`CompiledProgram::run_monitored`], also reporting
+    /// [`EvalStats`]. `stats.steps` counts *this engine's* transitions —
+    /// fuel is decremented once per transition, exactly as in
+    /// `monsem_core::machine`, but the compiled engine fuses work
+    /// (`Prim1`/`Prim2`/`CallRec` are single transitions the interpreter
+    /// spreads over several), so the same program legitimately takes fewer
+    /// steps here. The differential test `tests/fuel_accounting.rs` pins
+    /// down the invariant both engines share: fuel = steps succeeds,
+    /// fuel = steps − 1 exhausts.
+    ///
+    /// # Errors
+    ///
+    /// Any [`EvalError`] the program provokes, including
+    /// [`EvalError::FuelExhausted`].
+    pub fn run_monitored_stats<M: Monitor>(
+        &self,
+        monitor: &M,
+        options: &EvalOptions,
+    ) -> Result<(Value, M::State, EvalStats), EvalError> {
         let mut stack: Vec<RtFrame> = Vec::new();
         let mut state = RtState::Eval(self.code.clone(), REnv::default());
         let mut sigma = monitor.initial_state();
         let mut fuel = options.fuel;
+        let mut stats = EvalStats::default();
 
         loop {
             if fuel == 0 {
                 return Err(EvalError::FuelExhausted);
             }
             fuel -= 1;
+            stats.steps += 1;
+            stats.max_stack = stats.max_stack.max(stack.len());
 
             state = match state {
                 RtState::Eval(code, env) => match &*code {
@@ -729,12 +755,17 @@ impl CompiledProgram {
                     }
                     Code::Hook { ann, names, body } => {
                         let hook_env = env.to_env(names);
-                        sigma = monitor.pre(
+                        sigma = match monitor.try_pre(
                             ann,
                             body_expr_placeholder(),
                             &Scope::pure(&hook_env),
                             sigma,
-                        );
+                        ) {
+                            Outcome::Continue(s) => s,
+                            Outcome::Abort {
+                                monitor, reason, ..
+                            } => return Err(EvalError::MonitorAbort { monitor, reason }),
+                        };
                         stack.push(RtFrame::Post {
                             ann: ann.clone(),
                             names: names.clone(),
@@ -744,16 +775,21 @@ impl CompiledProgram {
                     }
                 },
                 RtState::Continue(value) => match stack.pop() {
-                    None => return Ok((value, sigma)),
+                    None => return Ok((value, sigma, stats)),
                     Some(RtFrame::Post { ann, names, env }) => {
                         let hook_env = env.to_env(&names);
-                        sigma = monitor.post(
+                        sigma = match monitor.try_post(
                             &ann,
                             body_expr_placeholder(),
                             &Scope::pure(&hook_env),
                             &value,
                             sigma,
-                        );
+                        ) {
+                            Outcome::Continue(s) => s,
+                            Outcome::Abort {
+                                monitor, reason, ..
+                            } => return Err(EvalError::MonitorAbort { monitor, reason }),
+                        };
                         RtState::Continue(value)
                     }
                     Some(RtFrame::Arg { func, env }) => {
@@ -953,6 +989,105 @@ mod tests {
                 "letrec count = lambda n. if n = 0 then 0 else count (n - 1) in count 200000"
             ),
             Ok(Value::Int(0))
+        );
+    }
+
+    /// Post-hook monitor that vetoes any value above its bound.
+    #[derive(Debug)]
+    struct Cap(i64);
+    impl Monitor for Cap {
+        type State = ();
+        fn name(&self) -> &str {
+            "cap"
+        }
+        fn initial_state(&self) {}
+        fn try_post(
+            &self,
+            _: &monsem_syntax::Annotation,
+            _: &monsem_syntax::Expr,
+            _: &monsem_monitor::scope::Scope<'_>,
+            value: &Value,
+            (): (),
+        ) -> Outcome<()> {
+            match value {
+                Value::Int(n) if *n > self.0 => {
+                    Outcome::abort((), "cap", format!("saw {n}, bound is {}", self.0))
+                }
+                _ => Outcome::Continue(()),
+            }
+        }
+    }
+
+    #[test]
+    fn abort_verdict_stops_the_compiled_engine() {
+        let e = parse_expr(
+            "letrec fac = lambda x. {f}:(if x = 0 then 1 else x * (fac (x - 1))) in fac 5",
+        )
+        .unwrap();
+        let cap = Cap(10);
+        let err = compile_monitored(&e, &cap)
+            .unwrap()
+            .run_monitored(&cap, &EvalOptions::default())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::MonitorAbort {
+                monitor: "cap".into(),
+                reason: "saw 24, bound is 10".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn quarantined_panics_leave_the_compiled_answer_intact() {
+        use monsem_monitor::{FaultPolicy, Guarded};
+        #[derive(Debug)]
+        struct Bomb;
+        impl Monitor for Bomb {
+            type State = ();
+            fn name(&self) -> &str {
+                "pe-bomb"
+            }
+            fn initial_state(&self) {}
+            fn pre(
+                &self,
+                _: &monsem_syntax::Annotation,
+                _: &monsem_syntax::Expr,
+                _: &monsem_monitor::scope::Scope<'_>,
+                (): (),
+            ) {
+                panic!("compiled boom");
+            }
+        }
+        let e = programs::fac_ab(5);
+        let guarded = Guarded::new(Bomb).policy(FaultPolicy::Quarantine);
+        let (v, state) = compile_monitored(&e, &guarded)
+            .unwrap()
+            .run_monitored(&guarded, &EvalOptions::default())
+            .unwrap();
+        assert_eq!(v, Value::Int(120), "answer must match the standard run");
+        assert!(matches!(
+            state.health,
+            monsem_monitor::Health::Quarantined(_)
+        ));
+    }
+
+    #[test]
+    fn stats_count_each_fuel_decrement() {
+        let e = parse_expr("1 + 2").unwrap();
+        let p = compile(&e).unwrap();
+        let (v, (), stats) = p
+            .run_monitored_stats(&IdentityMonitor, &EvalOptions::default())
+            .unwrap();
+        assert_eq!(v, Value::Int(3));
+        assert!(stats.steps > 0);
+        // fuel = steps succeeds; fuel = steps - 1 exhausts.
+        assert!(p
+            .run_monitored(&IdentityMonitor, &EvalOptions::with_fuel(stats.steps))
+            .is_ok());
+        assert_eq!(
+            p.run_monitored(&IdentityMonitor, &EvalOptions::with_fuel(stats.steps - 1)),
+            Err(EvalError::FuelExhausted)
         );
     }
 }

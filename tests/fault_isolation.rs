@@ -1,0 +1,213 @@
+//! Fault isolation properties: a quarantined faulty monitor degrades to
+//! the identity monitor and therefore stays inside Theorem 7.7 — the
+//! monitored answer equals the standard answer, byte for byte, no matter
+//! when or how the monitor misbehaves, and a faulty layer in a stack
+//! never disturbs its healthy neighbours.
+
+use monitoring_semantics::core::machine::{eval_with, EvalOptions};
+use monitoring_semantics::core::{Env, EvalError, Value};
+use monitoring_semantics::monitor::compose::boxed;
+use monitoring_semantics::monitor::machine::eval_monitored_with;
+use monitoring_semantics::monitor::scope::Scope;
+use monitoring_semantics::monitor::soundness::{check_soundness, SoundnessOutcome};
+use monitoring_semantics::monitor::{Budget, FaultPolicy, Guarded, Health, Monitor, MonitorStack};
+use monitoring_semantics::monitors::{FaultMode, FaultyMonitor};
+use monitoring_semantics::syntax::gen::{gen_program, sprinkle_annotations, GenConfig};
+use monitoring_semantics::syntax::{parse_expr, Annotation, Expr, Namespace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FUEL: u64 = 400_000;
+
+/// A generated program with annotations sprinkled at `density`/1000.
+fn annotated_program(seed: u64, density: u16) -> Expr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let plain = gen_program(&mut rng, &GenConfig::default());
+    sprinkle_annotations(
+        &mut rng,
+        &plain,
+        &Namespace::new("ns"),
+        f64::from(density) / 1000.0,
+    )
+}
+
+fn fuel_limited(r: &Result<Value, EvalError>) -> bool {
+    matches!(r, Err(EvalError::FuelExhausted))
+}
+
+/// Counts every event it sees — the healthy neighbour in cascade tests.
+#[derive(Debug)]
+struct Count;
+impl Monitor for Count {
+    type State = u64;
+    fn name(&self) -> &str {
+        "count"
+    }
+    fn initial_state(&self) -> u64 {
+        0
+    }
+    fn pre(&self, _: &Annotation, _: &Expr, _: &Scope<'_>, n: u64) -> u64 {
+        n + 1
+    }
+    fn post(&self, _: &Annotation, _: &Expr, _: &Scope<'_>, _: &Value, n: u64) -> u64 {
+        n + 1
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A monitor that panics on its Nth event, quarantined, never changes
+    /// the standard answer (values *and* errors agree).
+    #[test]
+    fn quarantined_panic_never_changes_the_answer(
+        seed: u64,
+        density in 100u16..=1000,
+        fire_at in 1u64..=12,
+    ) {
+        let program = annotated_program(seed, density);
+        let bomb = FaultyMonitor::new(fire_at, FaultMode::Panic);
+        let guarded = Guarded::new(bomb).policy(FaultPolicy::Quarantine);
+        let outcome = check_soundness(&program, &guarded, &EvalOptions::with_fuel(FUEL))
+            .unwrap_or_else(|v| panic!("soundness violation: {v}"));
+        let aborted = matches!(outcome, SoundnessOutcome::MonitorAborted { .. });
+        prop_assert!(
+            !aborted,
+            "a quarantined fault must be confined, not surfaced as an abort"
+        );
+    }
+
+    /// Same property for a monitor whose fault is an *abort verdict*:
+    /// quarantine confines the verdict, so the run completes unchanged.
+    #[test]
+    fn quarantined_abort_never_changes_the_answer(
+        seed: u64,
+        density in 100u16..=1000,
+        fire_at in 1u64..=12,
+    ) {
+        let program = annotated_program(seed, density);
+        let veto = FaultyMonitor::new(fire_at, FaultMode::Abort("injected".into()));
+        let guarded = Guarded::new(veto).policy(FaultPolicy::Quarantine);
+        let outcome = check_soundness(&program, &guarded, &EvalOptions::with_fuel(FUEL))
+            .unwrap_or_else(|v| panic!("soundness violation: {v}"));
+        let aborted = matches!(outcome, SoundnessOutcome::MonitorAborted { .. });
+        prop_assert!(!aborted, "quarantine must confine the abort verdict");
+    }
+
+    /// Two-layer cascade: a quarantined bomb layered next to a healthy
+    /// counter leaves both the answer and the counter's final state
+    /// exactly as a fault-free run produces them.
+    #[test]
+    fn cascade_with_a_quarantined_layer_matches_the_fault_free_run(
+        seed: u64,
+        density in 100u16..=1000,
+        fire_at in 1u64..=12,
+    ) {
+        let program = annotated_program(seed, density);
+        let opts = EvalOptions::with_fuel(FUEL);
+
+        let healthy = MonitorStack::empty().push(boxed(Count));
+        let healthy_run = eval_monitored_with(
+            &program, &Env::empty(), &healthy, healthy.initial_state(), &opts,
+        );
+
+        let stack = MonitorStack::empty()
+            .push(boxed(Count))
+            .push_guarded(
+                FaultyMonitor::new(fire_at, FaultMode::Panic),
+                FaultPolicy::Quarantine,
+                Budget::unlimited(),
+            );
+        let faulty_run = eval_monitored_with(
+            &program, &Env::empty(), &stack, stack.initial_state(), &opts,
+        );
+
+        // Fuel budgets are identical (same machine, same hooks), so both
+        // runs exhaust together; guard anyway.
+        match (healthy_run, faulty_run) {
+            (Err(EvalError::FuelExhausted), _) | (_, Err(EvalError::FuelExhausted)) => {}
+            (Ok((v_healthy, healthy_states)), Ok((v, states))) => {
+                prop_assert_eq!(v, v_healthy, "answer disturbed by the quarantined layer");
+                prop_assert_eq!(
+                    states[0].downcast::<u64>(),
+                    healthy_states[0].downcast::<u64>(),
+                    "healthy neighbour's state disturbed"
+                );
+                let healths = stack.healths(&states);
+                prop_assert_eq!(&healths[0].1, &Health::Ok);
+                if fire_at <= states[0].downcast::<u64>().unwrap_or(0) {
+                    prop_assert!(
+                        matches!(&healths[1].1, Health::Quarantined(_)),
+                        "the bomb saw its trigger event but was not quarantined: {:?}",
+                        healths[1].1
+                    );
+                }
+            }
+            (Err(e_healthy), Err(e)) => {
+                prop_assert_eq!(e, e_healthy, "runs disagree on the error");
+            }
+            (healthy_run, faulty_run) => prop_assert!(
+                false,
+                "one run succeeded while the other failed: healthy ok={} faulty ok={}",
+                healthy_run.is_ok(),
+                faulty_run.is_ok()
+            ),
+        }
+    }
+
+    /// Under the default `Fatal` policy an abort verdict surfaces as
+    /// `MonitorAbort` — and agrees with the standard run everywhere the
+    /// monitor does *not* fire.
+    #[test]
+    fn fatal_abort_surfaces_or_the_run_agrees(
+        seed: u64,
+        density in 100u16..=1000,
+        fire_at in 1u64..=12,
+    ) {
+        let program = annotated_program(seed, density);
+        let veto = FaultyMonitor::new(fire_at, FaultMode::Abort("injected".into()));
+        let opts = EvalOptions::with_fuel(FUEL);
+        let monitored = eval_monitored_with(
+            &program, &Env::empty(), &veto, veto.initial_state(), &opts,
+        ).map(|(v, _)| v);
+        let standard = eval_with(&program.erase_annotations(), &Env::empty(), &opts);
+        if !fuel_limited(&monitored) && !fuel_limited(&standard) {
+            match monitored {
+                Err(EvalError::MonitorAbort { monitor, reason }) => {
+                    prop_assert_eq!(monitor, "faulty");
+                    prop_assert_eq!(reason, "injected");
+                }
+                other => prop_assert_eq!(other, standard, "pure phase must agree"),
+            }
+        }
+    }
+}
+
+/// Deterministic cascade smoke test on a paper program: the quarantined
+/// layer reports its health, neighbours stay `Ok`, answer is `120`.
+#[test]
+fn cascade_smoke_test_on_fac() {
+    let program = parse_expr(
+        "letrec fac = lambda x. {ns/fac}:(if x = 0 then 1 else x * (fac (x - 1))) in fac 5",
+    )
+    .unwrap();
+    let stack = MonitorStack::empty().push(boxed(Count)).push_guarded(
+        FaultyMonitor::new(1, FaultMode::Panic),
+        FaultPolicy::Quarantine,
+        Budget::unlimited(),
+    );
+    let (v, states) = eval_monitored_with(
+        &program,
+        &Env::empty(),
+        &stack,
+        stack.initial_state(),
+        &EvalOptions::with_fuel(FUEL),
+    )
+    .unwrap();
+    assert_eq!(v, Value::Int(120));
+    assert_eq!(states[0].downcast::<u64>(), Some(12), "6 pre + 6 post");
+    let healths = stack.healths(&states);
+    assert_eq!(healths[0].1, Health::Ok);
+    assert!(matches!(&healths[1].1, Health::Quarantined(_)));
+}
