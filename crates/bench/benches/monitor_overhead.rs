@@ -12,6 +12,8 @@ use monsem_core::Env;
 use monsem_monitor::machine::eval_monitored_with;
 use monsem_monitor::{Budget, FaultPolicy, Guarded, IdentityMonitor, Monitor};
 use monsem_monitors::{AbProfiler, Collecting, Profiler, Stepper, UnsortedDemon};
+use monsem_pe::SpecializedSpec;
+use monsem_tspec::SpecMonitor;
 
 fn bench_monitors(c: &mut Criterion) {
     let program = labelled_countdown(2_000);
@@ -40,6 +42,25 @@ fn bench_monitors(c: &mut Criterion) {
     });
     group.bench_function("stepper", |b| {
         b.iter(|| run(&program, &Stepper::new(), &opts))
+    });
+    // Temporal-specification monitors: `tspec-safety` pays the full
+    // interpreted alphabet dispatch per event, `tspec-specialized` has
+    // the per-site letters resolved ahead of time, and `tspec-demon`
+    // states the §8 unsorted-demon property as a spec (compare `demon`).
+    group.bench_function("tspec-safety", |b| {
+        let m = SpecMonitor::new("safety", "always(post(B) => value >= 0)").unwrap();
+        b.iter(|| run(&program, &m, &opts))
+    });
+    group.bench_function("tspec-specialized", |b| {
+        let m = SpecializedSpec::new(
+            &program,
+            SpecMonitor::new("safety", "always(post(B) => value >= 0)").unwrap(),
+        );
+        b.iter(|| run(&program, &m, &opts))
+    });
+    group.bench_function("tspec-demon", |b| {
+        let m = SpecMonitor::new("unsorted", "never(post(_) and unsorted)").unwrap();
+        b.iter(|| run(&program, &m, &opts))
     });
     // Fault-model overhead: verdict plumbing + catch_unwind, no budgets.
     group.bench_function("guarded-identity", |b| {

@@ -29,7 +29,7 @@
 //! * free variables of **`letrec` value bindings** — the strict engines
 //!   evaluate those right-hand sides in the partially built environment
 //!   while the lazy engine forces them against the final, knot-tied one,
-//!   so no single depth is correct for both. A [`Scope::Barrier`] marks
+//!   so no single depth is correct for both. An internal scope barrier marks
 //!   this boundary; binders *inside* the right-hand side still resolve.
 //!
 //! Annotations `{μ}:e` are structure, not binders: the pass threads them

@@ -23,7 +23,7 @@
 
 use crate::fault::{Budget, FaultPolicy, Guarded, Health};
 use crate::scope::Scope;
-use crate::spec::{DynMonitor, DynState, Monitor, Outcome};
+use crate::spec::{DynMonitor, DynState, HookPhase, Monitor, Outcome};
 use monsem_core::Value;
 use monsem_syntax::{Annotation, Expr};
 use std::ops::BitAnd;
@@ -83,6 +83,10 @@ impl<M1: Monitor, M2: Monitor> Monitor for Compose<M1, M2> {
         self.first.accepts(ann) || self.second.accepts(ann)
     }
 
+    fn accepts_event(&self, ann: &Annotation, phase: HookPhase) -> bool {
+        self.first.accepts_event(ann, phase) || self.second.accepts_event(ann, phase)
+    }
+
     fn initial_state(&self) -> Self::State {
         (self.first.initial_state(), self.second.initial_state())
     }
@@ -94,12 +98,12 @@ impl<M1: Monitor, M2: Monitor> Monitor for Compose<M1, M2> {
         scope: &Scope<'_>,
         (s1, s2): Self::State,
     ) -> Self::State {
-        let s1 = if self.first.accepts(ann) {
+        let s1 = if self.first.accepts_event(ann, HookPhase::Pre) {
             self.first.pre(ann, expr, scope, s1)
         } else {
             s1
         };
-        let s2 = if self.second.accepts(ann) {
+        let s2 = if self.second.accepts_event(ann, HookPhase::Pre) {
             self.second.pre(ann, expr, scope, s2)
         } else {
             s2
@@ -117,12 +121,12 @@ impl<M1: Monitor, M2: Monitor> Monitor for Compose<M1, M2> {
     ) -> Self::State {
         // Post-processing unnests: the outer monitor's updPost wraps the
         // inner one's (Figure 5), so M2 sees the state after M1 ran.
-        let s1 = if self.first.accepts(ann) {
+        let s1 = if self.first.accepts_event(ann, HookPhase::Post) {
             self.first.post(ann, expr, scope, value, s1)
         } else {
             s1
         };
-        let s2 = if self.second.accepts(ann) {
+        let s2 = if self.second.accepts_event(ann, HookPhase::Post) {
             self.second.post(ann, expr, scope, value, s2)
         } else {
             s2
@@ -137,7 +141,7 @@ impl<M1: Monitor, M2: Monitor> Monitor for Compose<M1, M2> {
         scope: &Scope<'_>,
         (s1, s2): Self::State,
     ) -> Outcome<Self::State> {
-        let s1 = if self.first.accepts(ann) {
+        let s1 = if self.first.accepts_event(ann, HookPhase::Pre) {
             match self.first.try_pre(ann, expr, scope, s1) {
                 Outcome::Continue(s) => s,
                 Outcome::Abort {
@@ -155,7 +159,7 @@ impl<M1: Monitor, M2: Monitor> Monitor for Compose<M1, M2> {
         } else {
             s1
         };
-        let s2 = if self.second.accepts(ann) {
+        let s2 = if self.second.accepts_event(ann, HookPhase::Pre) {
             match self.second.try_pre(ann, expr, scope, s2) {
                 Outcome::Continue(s) => s,
                 Outcome::Abort {
@@ -184,7 +188,7 @@ impl<M1: Monitor, M2: Monitor> Monitor for Compose<M1, M2> {
         value: &Value,
         (s1, s2): Self::State,
     ) -> Outcome<Self::State> {
-        let s1 = if self.first.accepts(ann) {
+        let s1 = if self.first.accepts_event(ann, HookPhase::Post) {
             match self.first.try_post(ann, expr, scope, value, s1) {
                 Outcome::Continue(s) => s,
                 Outcome::Abort {
@@ -202,7 +206,7 @@ impl<M1: Monitor, M2: Monitor> Monitor for Compose<M1, M2> {
         } else {
             s1
         };
-        let s2 = if self.second.accepts(ann) {
+        let s2 = if self.second.accepts_event(ann, HookPhase::Post) {
             match self.second.try_post(ann, expr, scope, value, s2) {
                 Outcome::Continue(s) => s,
                 Outcome::Abort {
@@ -271,6 +275,12 @@ where
         Monitor::accepts(&self.0, ann)
     }
 
+    fn accepts_event(&self, ann: &Annotation, phase: HookPhase) -> bool {
+        // The outer monitor's observing hook fires at `pre` whenever it
+        // accepts at all, so only narrow the inner layer's phases.
+        self.0.first.accepts_event(ann, phase) || self.0.second.accepts(ann)
+    }
+
     fn initial_state(&self) -> Self::State {
         self.0.initial_state()
     }
@@ -282,7 +292,7 @@ where
         scope: &Scope<'_>,
         (s1, s2): Self::State,
     ) -> Self::State {
-        let s1 = if self.0.first.accepts(ann) {
+        let s1 = if self.0.first.accepts_event(ann, HookPhase::Pre) {
             self.0.first.pre(ann, expr, scope, s1)
         } else {
             s1
@@ -461,6 +471,12 @@ impl Monitor for MonitorStack {
         self.monitors.iter().any(|m| m.accepts(ann))
     }
 
+    fn accepts_event(&self, ann: &Annotation, phase: HookPhase) -> bool {
+        self.monitors
+            .iter()
+            .any(|m| m.accepts_event_dyn(ann, phase))
+    }
+
     fn initial_state(&self) -> Self::State {
         self.monitors
             .iter()
@@ -476,7 +492,7 @@ impl Monitor for MonitorStack {
         mut states: Self::State,
     ) -> Self::State {
         for (m, s) in self.monitors.iter().zip(states.iter_mut()) {
-            if m.accepts(ann) {
+            if m.accepts_event_dyn(ann, HookPhase::Pre) {
                 *s = m.pre_dyn(ann, expr, scope, s.clone());
             }
         }
@@ -492,7 +508,7 @@ impl Monitor for MonitorStack {
         mut states: Self::State,
     ) -> Self::State {
         for (m, s) in self.monitors.iter().zip(states.iter_mut()) {
-            if m.accepts(ann) {
+            if m.accepts_event_dyn(ann, HookPhase::Post) {
                 *s = m.post_dyn(ann, expr, scope, value, s.clone());
             }
         }
@@ -507,7 +523,7 @@ impl Monitor for MonitorStack {
         mut states: Self::State,
     ) -> Outcome<Self::State> {
         for (i, m) in self.monitors.iter().enumerate() {
-            if m.accepts(ann) {
+            if m.accepts_event_dyn(ann, HookPhase::Pre) {
                 match m.try_pre_dyn(ann, expr, scope, states[i].clone()) {
                     Outcome::Continue(next) => states[i] = next,
                     Outcome::Abort {
@@ -539,7 +555,7 @@ impl Monitor for MonitorStack {
         mut states: Self::State,
     ) -> Outcome<Self::State> {
         for (i, m) in self.monitors.iter().enumerate() {
-            if m.accepts(ann) {
+            if m.accepts_event_dyn(ann, HookPhase::Post) {
                 match m.try_post_dyn(ann, expr, scope, value, states[i].clone()) {
                     Outcome::Continue(next) => states[i] = next,
                     Outcome::Abort {

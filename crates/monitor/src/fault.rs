@@ -298,6 +298,10 @@ impl<M: Monitor> Monitor for Guarded<M> {
         self.inner.accepts(ann)
     }
 
+    fn accepts_event(&self, ann: &Annotation, phase: crate::spec::HookPhase) -> bool {
+        self.inner.accepts_event(ann, phase)
+    }
+
     fn initial_state(&self) -> Self::State {
         GuardState {
             state: self.inner.initial_state(),

@@ -6,7 +6,7 @@
 //! variables — the semantic events a Magpie-style demon (§8) watches.
 
 use crate::scope::Scope;
-use crate::spec::{Monitor, Outcome};
+use crate::spec::{HookPhase, Monitor, Outcome};
 use monsem_core::env::{Env, LetrecPlan};
 use monsem_core::error::EvalError;
 use monsem_core::imperative::Store;
@@ -123,17 +123,19 @@ pub fn eval_monitored_imperative_with<M: Monitor>(
             State::Eval(expr, env) => match &*expr {
                 Expr::Ann(ann, inner) => {
                     if monitor.accepts(ann) {
-                        sigma = match monitor.try_pre(
-                            ann,
-                            inner,
-                            &Scope::with_store(&env, &store),
-                            sigma,
-                        ) {
-                            Outcome::Continue(s) => s,
-                            Outcome::Abort {
-                                monitor, reason, ..
-                            } => return Err(EvalError::MonitorAbort { monitor, reason }),
-                        };
+                        if monitor.accepts_event(ann, HookPhase::Pre) {
+                            sigma = match monitor.try_pre(
+                                ann,
+                                inner,
+                                &Scope::with_store(&env, &store),
+                                sigma,
+                            ) {
+                                Outcome::Continue(s) => s,
+                                Outcome::Abort {
+                                    monitor, reason, ..
+                                } => return Err(EvalError::MonitorAbort { monitor, reason }),
+                            };
+                        }
                         stack.push(Frame::Post {
                             ann: ann.clone(),
                             expr: inner.clone(),
@@ -234,18 +236,20 @@ pub fn eval_monitored_imperative_with<M: Monitor>(
             State::Continue(value) => match stack.pop() {
                 None => return Ok((value, sigma, store)),
                 Some(Frame::Post { ann, expr, env }) => {
-                    sigma = match monitor.try_post(
-                        &ann,
-                        &expr,
-                        &Scope::with_store(&env, &store),
-                        &value,
-                        sigma,
-                    ) {
-                        Outcome::Continue(s) => s,
-                        Outcome::Abort {
-                            monitor, reason, ..
-                        } => return Err(EvalError::MonitorAbort { monitor, reason }),
-                    };
+                    if monitor.accepts_event(&ann, HookPhase::Post) {
+                        sigma = match monitor.try_post(
+                            &ann,
+                            &expr,
+                            &Scope::with_store(&env, &store),
+                            &value,
+                            sigma,
+                        ) {
+                            Outcome::Continue(s) => s,
+                            Outcome::Abort {
+                                monitor, reason, ..
+                            } => return Err(EvalError::MonitorAbort { monitor, reason }),
+                        };
+                    }
                     State::Continue(value)
                 }
                 Some(Frame::Arg { func, env }) => {

@@ -9,7 +9,7 @@
 //! is for.
 
 use crate::scope::Scope;
-use crate::spec::{Monitor, Outcome};
+use crate::spec::{HookPhase, Monitor, Outcome};
 use monsem_core::env::{Env, LetrecPlan};
 use monsem_core::error::EvalError;
 use monsem_core::machine::{constant, EvalOptions, LookupMode};
@@ -103,12 +103,14 @@ pub fn eval_monitored_lazy_with<M: Monitor>(
             State::Eval(expr, env) => match &*expr {
                 Expr::Ann(ann, inner) => {
                     if monitor.accepts(ann) {
-                        sigma = match monitor.try_pre(ann, inner, &Scope::pure(&env), sigma) {
-                            Outcome::Continue(s) => s,
-                            Outcome::Abort {
-                                monitor, reason, ..
-                            } => return Err(EvalError::MonitorAbort { monitor, reason }),
-                        };
+                        if monitor.accepts_event(ann, HookPhase::Pre) {
+                            sigma = match monitor.try_pre(ann, inner, &Scope::pure(&env), sigma) {
+                                Outcome::Continue(s) => s,
+                                Outcome::Abort {
+                                    monitor, reason, ..
+                                } => return Err(EvalError::MonitorAbort { monitor, reason }),
+                            };
+                        }
                         stack.push(Frame::Post {
                             ann: ann.clone(),
                             expr: inner.clone(),
@@ -172,12 +174,20 @@ pub fn eval_monitored_lazy_with<M: Monitor>(
             State::Continue(value) => match stack.pop() {
                 None => return Ok((value, sigma)),
                 Some(Frame::Post { ann, expr, env }) => {
-                    sigma = match monitor.try_post(&ann, &expr, &Scope::pure(&env), &value, sigma) {
-                        Outcome::Continue(s) => s,
-                        Outcome::Abort {
-                            monitor, reason, ..
-                        } => return Err(EvalError::MonitorAbort { monitor, reason }),
-                    };
+                    if monitor.accepts_event(&ann, HookPhase::Post) {
+                        sigma = match monitor.try_post(
+                            &ann,
+                            &expr,
+                            &Scope::pure(&env),
+                            &value,
+                            sigma,
+                        ) {
+                            Outcome::Continue(s) => s,
+                            Outcome::Abort {
+                                monitor, reason, ..
+                            } => return Err(EvalError::MonitorAbort { monitor, reason }),
+                        };
+                    }
                     State::Continue(value)
                 }
                 Some(Frame::ApplyTo { arg, env }) => match value {

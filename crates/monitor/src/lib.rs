@@ -85,4 +85,4 @@ pub use compose::{Compose, MonitorStack};
 pub use fault::{Budget, FaultPolicy, Guarded, Health};
 pub use machine::{eval_monitored, eval_monitored_with};
 pub use scope::Scope;
-pub use spec::{DynMonitor, IdentityMonitor, Monitor, Outcome};
+pub use spec::{DynMonitor, HookPhase, IdentityMonitor, Monitor, Outcome};

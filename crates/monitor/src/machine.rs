@@ -18,7 +18,7 @@
 //! the convenient one.
 
 use crate::scope::Scope;
-use crate::spec::{Monitor, Outcome};
+use crate::spec::{HookPhase, Monitor, Outcome};
 use monsem_core::env::{Env, LetrecPlan};
 use monsem_core::error::EvalError;
 use monsem_core::machine::{constant, EvalOptions, LookupMode};
@@ -300,21 +300,25 @@ impl<'m, M: Monitor> Execution<'m, M> {
                     // exactly as the standard semantics skips all of them.
                     Expr::Ann(ann, inner) => {
                         if monitor.accepts(ann) {
-                            let sigma = self
-                                .sigma
-                                .take()
-                                .ok_or(EvalError::Internal("monitor state missing at pre hook"))?;
-                            match monitor.try_pre(ann, inner, &Scope::pure(&env), sigma) {
-                                Outcome::Continue(s) => self.sigma = Some(s),
-                                Outcome::Abort {
-                                    state,
-                                    monitor,
-                                    reason,
-                                } => {
-                                    // The final σ stays observable through
-                                    // `monitor_state` for post-mortem reports.
-                                    self.sigma = Some(state);
-                                    return Err(EvalError::MonitorAbort { monitor, reason });
+                            // `accepts_event` may rule a phase's hook the
+                            // identity; the frame and session event stream
+                            // are unchanged either way.
+                            if monitor.accepts_event(ann, HookPhase::Pre) {
+                                let sigma = self.sigma.take().ok_or(EvalError::Internal(
+                                    "monitor state missing at pre hook",
+                                ))?;
+                                match monitor.try_pre(ann, inner, &Scope::pure(&env), sigma) {
+                                    Outcome::Continue(s) => self.sigma = Some(s),
+                                    Outcome::Abort {
+                                        state,
+                                        monitor,
+                                        reason,
+                                    } => {
+                                        // The final σ stays observable through
+                                        // `monitor_state` for post-mortem reports.
+                                        self.sigma = Some(state);
+                                        return Err(EvalError::MonitorAbort { monitor, reason });
+                                    }
                                 }
                             }
                             self.stack.push(Frame::Post {
@@ -410,19 +414,21 @@ impl<'m, M: Monitor> Execution<'m, M> {
                         return Ok(Some(Event::Done { answer: value }));
                     }
                     Some(Frame::Post { ann, expr, env }) => {
-                        let sigma = self
-                            .sigma
-                            .take()
-                            .ok_or(EvalError::Internal("monitor state missing at post hook"))?;
-                        match monitor.try_post(&ann, &expr, &Scope::pure(&env), &value, sigma) {
-                            Outcome::Continue(s) => self.sigma = Some(s),
-                            Outcome::Abort {
-                                state,
-                                monitor,
-                                reason,
-                            } => {
-                                self.sigma = Some(state);
-                                return Err(EvalError::MonitorAbort { monitor, reason });
+                        if monitor.accepts_event(&ann, HookPhase::Post) {
+                            let sigma = self
+                                .sigma
+                                .take()
+                                .ok_or(EvalError::Internal("monitor state missing at post hook"))?;
+                            match monitor.try_post(&ann, &expr, &Scope::pure(&env), &value, sigma) {
+                                Outcome::Continue(s) => self.sigma = Some(s),
+                                Outcome::Abort {
+                                    state,
+                                    monitor,
+                                    reason,
+                                } => {
+                                    self.sigma = Some(state);
+                                    return Err(EvalError::MonitorAbort { monitor, reason });
+                                }
                             }
                         }
                         let event = Event::Post {

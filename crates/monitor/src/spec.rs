@@ -40,6 +40,22 @@ pub enum Outcome<S> {
     },
 }
 
+/// Which monitoring function a hook invocation belongs to.
+///
+/// The monitored machines fire two hooks per accepted annotation — `updPre`
+/// just before the annotated expression is evaluated and `updPost` just
+/// after. [`Monitor::accepts_event`] refines **MSyn** with this phase so a
+/// compiled monitor (e.g. a `monsem-tspec` automaton whose alphabet only
+/// mentions `post` events) can tell the machine that one of the two hooks
+/// is the identity and may be skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HookPhase {
+    /// The `updPre` hook, before the annotated expression runs.
+    Pre,
+    /// The `updPost` hook, after the annotated expression produced `ι*`.
+    Post,
+}
+
 impl<S> Outcome<S> {
     /// Shorthand for an abort verdict.
     pub fn abort(state: S, monitor: impl Into<String>, reason: impl Into<String>) -> Self {
@@ -107,6 +123,20 @@ pub trait Monitor {
     fn accepts(&self, ann: &Annotation) -> bool {
         let _ = ann;
         true
+    }
+
+    /// **MSyn**, refined per hook phase: whether the monitor wants the
+    /// `updPre` or `updPost` hook at this annotation.
+    ///
+    /// This is a *pure optimization hint*: a machine may consult it to skip
+    /// an identity hook (the pe engine drops the hook at compile time), or
+    /// may ignore it and invoke `try_pre`/`try_post` anyway — so an
+    /// implementation must only return `false` for a phase whose hook is a
+    /// no-op on its state. The default says both phases matter whenever
+    /// [`Monitor::accepts`] does.
+    fn accepts_event(&self, ann: &Annotation, phase: HookPhase) -> bool {
+        let _ = phase;
+        self.accepts(ann)
     }
 
     /// The initial (presumably empty) monitor state `σ`.
@@ -207,6 +237,8 @@ pub trait DynMonitor {
     fn name(&self) -> &str;
     /// See [`Monitor::accepts`].
     fn accepts(&self, ann: &Annotation) -> bool;
+    /// See [`Monitor::accepts_event`].
+    fn accepts_event_dyn(&self, ann: &Annotation, phase: HookPhase) -> bool;
     /// See [`Monitor::initial_state`].
     fn initial_state_dyn(&self) -> DynState;
     /// See [`Monitor::pre`].
@@ -278,6 +310,10 @@ impl<M: Monitor> DynMonitor for M {
 
     fn accepts(&self, ann: &Annotation) -> bool {
         Monitor::accepts(self, ann)
+    }
+
+    fn accepts_event_dyn(&self, ann: &Annotation, phase: HookPhase) -> bool {
+        Monitor::accepts_event(self, ann, phase)
     }
 
     fn initial_state_dyn(&self) -> DynState {

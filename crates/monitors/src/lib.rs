@@ -17,6 +17,7 @@
 //! | §9.2 stepper | [`stepper::Stepper`] | numbered event log |
 //! | §9.2 interactive debugger à la dbx | [`debugger::Debugger`] | command stream × transcript |
 //! | extensions | [`coverage::Coverage`], [`watch::Watchpoint`], [`timing::TimeProfiler`], [`logger::EventLogger`], [`callgraph::CallGraph`], [`memo::MemoScout`], [`replay::Recorder`]/[`replay::Replay`], [`space::SpaceProfiler`] | |
+//! | temporal specifications | [`SpecMonitor`] (re-exported from `monsem-tspec`) | DFA state × match trace |
 //! | fault injection (tests the fault model itself) | [`faulty::FaultyMonitor`] | event count |
 //!
 //! The [`toolbox`] module packages each as a boxed constructor for use
@@ -56,3 +57,5 @@ pub use replay::{Recorder, Replay};
 pub use space::SpaceProfiler;
 pub use stepper::Stepper;
 pub use tracer::Tracer;
+
+pub use monsem_tspec::{SpecMonitor, SpecState};

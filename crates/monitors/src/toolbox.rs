@@ -29,6 +29,7 @@ use crate::stepper::Stepper;
 use crate::timing::TimeProfiler;
 use crate::tracer::Tracer;
 use crate::watch::Watchpoint;
+use crate::SpecMonitor;
 use monsem_core::Value;
 use monsem_monitor::compose::boxed;
 use monsem_monitor::DynMonitor;
@@ -117,6 +118,25 @@ pub fn space() -> Box<dyn DynMonitor> {
     )))
 }
 
+/// An *observing* temporal-specification monitor compiled from `src`
+/// (see `monsem-tspec` for the spec grammar), namespaced to `spec/` so
+/// it composes disjointly with the rest of the toolbox. Use
+/// [`SpecMonitor::new`] + [`SpecMonitor::enforcing`] directly if the
+/// spec should abort on violation or watch another namespace; this
+/// constructor records violations without changing the answer.
+///
+/// # Panics
+///
+/// Panics if `src` fails to parse or compile — toolbox constructors are
+/// for specs known at build time. Use [`SpecMonitor::new`] to handle the
+/// error.
+pub fn temporal(name: &str, src: &str) -> Box<dyn DynMonitor> {
+    match SpecMonitor::new(name, src) {
+        Ok(m) => boxed(m.in_namespace(Namespace::new("spec"))),
+        Err(e) => panic!("invalid temporal spec `{name}`: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +210,21 @@ mod tests {
         )
         .unwrap();
         assert_eq!(report.rendered_of("zero"), Some("{z}"));
+    }
+
+    #[test]
+    fn temporal_composes_with_the_classic_toolbox() {
+        let prog = monsem_syntax::parse_expr(
+            "letrec f = lambda x. {f}:({spec/f}:(x * 2)) in f 1 + f 2 + f 3",
+        )
+        .unwrap();
+        let stack = profile() & temporal("doubles", "always(post(f) => value >= 2)");
+        let report = evaluate(stack, LanguageModule::Strict, &prog).unwrap();
+        assert_eq!(report.answer, Value::Int(12));
+        assert_eq!(report.rendered_of("profiler"), Some("[f ↦ 3]"));
+        let spec = report.rendered_of("doubles").unwrap();
+        assert!(spec.contains("3 events"), "rendered: {spec}");
+        assert!(!spec.contains("VIOLATED"), "rendered: {spec}");
     }
 
     #[test]

@@ -35,7 +35,7 @@ use monsem_core::machine::{constant, EvalOptions, EvalStats};
 use monsem_core::prims::Prim;
 use monsem_core::value::{ExtValue, Value};
 use monsem_monitor::scope::Scope;
-use monsem_monitor::spec::{IdentityMonitor, Outcome};
+use monsem_monitor::spec::{HookPhase, IdentityMonitor, Outcome};
 use monsem_monitor::Monitor;
 use monsem_syntax::{Annotation, Expr, Ident};
 use std::fmt;
@@ -135,6 +135,11 @@ pub enum Code {
         ann: Annotation,
         /// Scope names, innermost first.
         names: Rc<Vec<FrameNamesOpaque>>,
+        /// Whether the monitor's pre hook fires here (its
+        /// `accepts_event` verdict, resolved at compile time).
+        pre: bool,
+        /// Whether the post hook fires here.
+        post: bool,
         /// The annotated code.
         body: Rc<Code>,
     },
@@ -346,7 +351,21 @@ impl<M: Monitor> Compiler<'_, M> {
                 chain
             }
             Expr::Ann(ann, inner) => {
-                let accepted = self.monitor.map(|m| m.accepts(ann)).unwrap_or(false);
+                // Static event dispatch: `accepts_event` is resolved per
+                // phase at compile time, so a post-only monitor pays
+                // nothing at pre (and vice versa), and an annotation with
+                // neither phase live vanishes like a foreign one.
+                let (pre, post) = self
+                    .monitor
+                    .map(|m| {
+                        (
+                            m.accepts_event(ann, HookPhase::Pre),
+                            m.accepts_event(ann, HookPhase::Post),
+                        )
+                    })
+                    .unwrap_or((false, false));
+                let accepted =
+                    (pre || post) && self.monitor.map(|m| m.accepts(ann)).unwrap_or(false);
                 if accepted {
                     self.hooks += 1;
                     let names = self.frame_names();
@@ -354,6 +373,8 @@ impl<M: Monitor> Compiler<'_, M> {
                     Code::Hook {
                         ann: ann.clone(),
                         names,
+                        pre,
+                        post,
                         body: Rc::new(body),
                     }
                 } else {
@@ -753,24 +774,34 @@ impl CompiledProgram {
                         });
                         RtState::Eval(a.clone(), env)
                     }
-                    Code::Hook { ann, names, body } => {
-                        let hook_env = env.to_env(names);
-                        sigma = match monitor.try_pre(
-                            ann,
-                            body_expr_placeholder(),
-                            &Scope::pure(&hook_env),
-                            sigma,
-                        ) {
-                            Outcome::Continue(s) => s,
-                            Outcome::Abort {
-                                monitor, reason, ..
-                            } => return Err(EvalError::MonitorAbort { monitor, reason }),
-                        };
-                        stack.push(RtFrame::Post {
-                            ann: ann.clone(),
-                            names: names.clone(),
-                            env: env.clone(),
-                        });
+                    Code::Hook {
+                        ann,
+                        names,
+                        pre,
+                        post,
+                        body,
+                    } => {
+                        if *pre {
+                            let hook_env = env.to_env(names);
+                            sigma = match monitor.try_pre(
+                                ann,
+                                body_expr_placeholder(),
+                                &Scope::pure(&hook_env),
+                                sigma,
+                            ) {
+                                Outcome::Continue(s) => s,
+                                Outcome::Abort {
+                                    monitor, reason, ..
+                                } => return Err(EvalError::MonitorAbort { monitor, reason }),
+                            };
+                        }
+                        if *post {
+                            stack.push(RtFrame::Post {
+                                ann: ann.clone(),
+                                names: names.clone(),
+                                env: env.clone(),
+                            });
+                        }
                         RtState::Eval(body.clone(), env)
                     }
                 },

@@ -28,6 +28,11 @@
 //!    arguments, with [`bta`] providing the supporting binding-time
 //!    analysis), applicable to instrumented programs as to any other.
 //!
+//! [`specmon`] applies the level-2 move to `monsem-tspec` temporal
+//! specifications: the automaton's alphabet dispatch (annotation name →
+//! name class → abstract letter) is resolved per annotation site at
+//! compile time, leaving only the transition-table lookup at run time.
+//!
 //! [`pipeline`] packages the four artifact levels for the benchmarks that
 //! reproduce the paper's measurements (tracer ≈ 11% slower than the
 //! standard interpreter at level 1; the level-2 program ≈ 83–85% faster
@@ -42,8 +47,10 @@ pub mod instrument;
 pub mod pipeline;
 pub mod simplify;
 pub mod specialize;
+pub mod specmon;
 
 pub use engine::{compile, compile_monitored, CompiledProgram};
 pub use instrument::{instrument, SourceMonitor};
 pub use simplify::simplify;
 pub use specialize::{specialize, SpecializeOptions};
+pub use specmon::SpecializedSpec;

@@ -1,0 +1,294 @@
+//! Specializing a temporal-specification monitor with respect to a
+//! program — the §9.1 move applied to `monsem-tspec`.
+//!
+//! An interpreted [`SpecMonitor`] performs *alphabet dispatch* at every
+//! event: hash the annotation name to its name class, classify the
+//! observed value, combine the two into an abstract letter, then index
+//! the transition table. The name-class half of that work depends only
+//! on the program text, so — exactly like the engine's annotation
+//! dispatch — it can be done once, at compile time.
+//!
+//! [`SpecializedSpec`] scans the program's annotations and precomputes,
+//! per annotation site, the pre letter and the post letter family
+//! (fully static when the spec has no value predicates). At run time a
+//! hook is a `HashMap` probe on the literal annotation plus a table
+//! lookup; no name-class resolution or letter arithmetic remains on the
+//! hot path, and phases the automaton cannot observe are compiled away
+//! entirely by the engine's `accepts_event` dispatch.
+//!
+//! State evolution is delegated to [`SpecMonitor::advance`], so the
+//! specialized monitor's states, traces, counters, and abort reasons are
+//! *identical* to the interpreted monitor's — the differential tests in
+//! `tests/tspec_semantics.rs` pin this down.
+
+use monsem_core::Value;
+use monsem_monitor::spec::HookPhase;
+use monsem_monitor::{Monitor, Outcome, Scope};
+use monsem_syntax::{Annotation, Expr};
+use monsem_tspec::{SpecMonitor, SpecState};
+use std::collections::HashMap;
+
+/// The post-letter half of a site: fully resolved when the alphabet has
+/// a single value class, otherwise the name-class component with the
+/// value class still to be observed.
+#[derive(Debug, Clone, Copy)]
+enum PostSite {
+    /// One value class: the letter is known at compile time.
+    Static(u32),
+    /// The value contributes; keep the name class and classify at run
+    /// time.
+    Dynamic(usize),
+}
+
+/// Letters precomputed for one annotation site.
+#[derive(Debug, Clone, Copy)]
+struct Site {
+    /// The pre letter, if the pre phase is observable here.
+    pre: Option<u32>,
+    /// The post letter family, if the post phase is observable here.
+    post: Option<PostSite>,
+}
+
+/// A [`SpecMonitor`] specialized to the annotations of one program.
+#[derive(Debug, Clone)]
+pub struct SpecializedSpec {
+    inner: SpecMonitor,
+    sites: HashMap<Annotation, Site>,
+}
+
+impl SpecializedSpec {
+    /// Specializes `monitor` to the annotation sites of `program`.
+    ///
+    /// Annotations the automaton cannot observe in either phase get no
+    /// site — the engine erases those hooks outright. Events from
+    /// annotations *not* in `program` (possible when the monitor is run
+    /// against a different program) fall back to the interpreted path,
+    /// so specialization never changes verdicts.
+    pub fn new(program: &Expr, monitor: SpecMonitor) -> Self {
+        let aut = monitor.automaton().clone();
+        let alphabet = aut.alphabet();
+        let static_post = alphabet.value_classes() == 1;
+        let mut sites = HashMap::new();
+        for ann in program.annotations() {
+            if ann.namespace != *monitor.namespace() || sites.contains_key(ann) {
+                continue;
+            }
+            let nc = alphabet.name_class(ann.name());
+            let pre = aut.pre_relevant(nc).then(|| alphabet.pre_letter(nc));
+            let post = aut.post_relevant(nc).then(|| {
+                if static_post {
+                    PostSite::Static(alphabet.post_letter(nc, 0))
+                } else {
+                    PostSite::Dynamic(nc)
+                }
+            });
+            if pre.is_some() || post.is_some() {
+                sites.insert(ann.clone(), Site { pre, post });
+            }
+        }
+        SpecializedSpec {
+            inner: monitor,
+            sites,
+        }
+    }
+
+    /// The underlying (unspecialized) monitor.
+    pub fn inner(&self) -> &SpecMonitor {
+        &self.inner
+    }
+
+    /// Number of annotation sites with at least one observable phase.
+    pub fn live_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Ends the trace, as [`SpecMonitor::finish`].
+    ///
+    /// # Errors
+    ///
+    /// The violation reason, if the completed trace is not accepted.
+    pub fn finish(&self, state: &SpecState) -> Result<SpecState, String> {
+        self.inner.finish(state)
+    }
+}
+
+impl Monitor for SpecializedSpec {
+    type State = SpecState;
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        self.sites.contains_key(ann) || self.inner.accepts(ann)
+    }
+
+    fn accepts_event(&self, ann: &Annotation, phase: HookPhase) -> bool {
+        match self.sites.get(ann) {
+            Some(site) => match phase {
+                HookPhase::Pre => site.pre.is_some(),
+                HookPhase::Post => site.post.is_some(),
+            },
+            None => self.inner.accepts_event(ann, phase),
+        }
+    }
+
+    fn initial_state(&self) -> SpecState {
+        self.inner.initial_state()
+    }
+
+    fn pre(&self, ann: &Annotation, expr: &Expr, scope: &Scope<'_>, state: SpecState) -> SpecState {
+        match self.try_pre(ann, expr, scope, state) {
+            Outcome::Continue(s) | Outcome::Abort { state: s, .. } => s,
+        }
+    }
+
+    fn post(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        state: SpecState,
+    ) -> SpecState {
+        match self.try_post(ann, expr, scope, value, state) {
+            Outcome::Continue(s) | Outcome::Abort { state: s, .. } => s,
+        }
+    }
+
+    fn try_pre(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        state: SpecState,
+    ) -> Outcome<SpecState> {
+        match self.sites.get(ann) {
+            Some(Site {
+                pre: Some(letter), ..
+            }) => self
+                .inner
+                .advance(state, *letter, || format!("pre {}", ann.name())),
+            Some(_) => Outcome::Continue(state),
+            None => self.inner.try_pre(ann, expr, scope, state),
+        }
+    }
+
+    fn try_post(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        state: SpecState,
+    ) -> Outcome<SpecState> {
+        match self.sites.get(ann) {
+            Some(Site {
+                post: Some(site), ..
+            }) => {
+                let letter = match site {
+                    PostSite::Static(l) => *l,
+                    PostSite::Dynamic(nc) => {
+                        let alphabet = self.inner.automaton().alphabet();
+                        alphabet.post_letter(*nc, alphabet.classify_value(value))
+                    }
+                };
+                self.inner.advance(state, letter, || {
+                    // Match SpecMonitor's trace entry so states compare
+                    // equal across the interpreted and specialized runs.
+                    let s = value.to_string();
+                    if s.chars().count() > 40 {
+                        let head: String = s.chars().take(37).collect();
+                        format!("post {} = {head}...", ann.name())
+                    } else {
+                        format!("post {} = {s}", ann.name())
+                    }
+                })
+            }
+            Some(_) => Outcome::Continue(state),
+            None => self.inner.try_post(ann, expr, scope, value, state),
+        }
+    }
+
+    fn render_state(&self, state: &SpecState) -> String {
+        self.inner.render_state(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::compile_monitored;
+    use monsem_core::error::EvalError;
+    use monsem_core::machine::EvalOptions;
+    use monsem_monitor::machine::eval_monitored;
+    use monsem_syntax::parse_expr;
+
+    fn fac_prog(n: i64) -> Expr {
+        parse_expr(&format!(
+            "letrec fac = lambda x. {{fac}}:(if x = 0 then 1 else x * (fac (x - 1))) in fac {n}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn specialized_states_match_interpreted_states() {
+        let prog = fac_prog(6);
+        let m = SpecMonitor::new("pos", "always(post(fac) => value >= 1)").unwrap();
+        let (v_i, s_i) = eval_monitored(&prog, &m).unwrap();
+        let sp = SpecializedSpec::new(&prog, m);
+        let (v_c, s_c) = compile_monitored(&prog, &sp)
+            .unwrap()
+            .run_monitored(&sp, &EvalOptions::default())
+            .unwrap();
+        assert_eq!(v_i, v_c);
+        assert_eq!(s_i, s_c, "identical DFA state, counters, and trace");
+        assert!(sp.finish(&s_c).is_ok());
+    }
+
+    #[test]
+    fn post_only_specs_compile_pre_hooks_away() {
+        let prog = fac_prog(3);
+        let sp = SpecializedSpec::new(
+            &prog,
+            SpecMonitor::new("pos", "always(post(fac) => value >= 1)").unwrap(),
+        );
+        assert_eq!(sp.live_sites(), 1);
+        let ann = Annotation::label("fac");
+        assert!(!sp.accepts_event(&ann, HookPhase::Pre));
+        assert!(sp.accepts_event(&ann, HookPhase::Post));
+        // The compiled program still embeds the hook (post phase live).
+        assert_eq!(compile_monitored(&prog, &sp).unwrap().hooks, 1);
+    }
+
+    #[test]
+    fn enforcing_specialized_spec_aborts_the_compiled_engine() {
+        let prog = fac_prog(5);
+        let m = SpecMonitor::new("small", "always(post(fac) => value <= 10)")
+            .unwrap()
+            .enforcing();
+        let sp = SpecializedSpec::new(&prog, m);
+        let err = compile_monitored(&prog, &sp)
+            .unwrap()
+            .run_monitored(&sp, &EvalOptions::default())
+            .unwrap_err();
+        match err {
+            EvalError::MonitorAbort { monitor, reason } => {
+                assert_eq!(monitor, "small");
+                assert!(reason.contains("small"), "{reason}");
+            }
+            other => panic!("expected MonitorAbort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_annotations_get_no_site_and_no_hook() {
+        let prog = parse_expr("{a}:({b}:1 + 1)").unwrap();
+        let sp = SpecializedSpec::new(
+            &prog,
+            SpecMonitor::new("only-a", "always(post(a) => value >= 0)").unwrap(),
+        );
+        assert_eq!(sp.live_sites(), 1, "{{b}} is invisible to the spec");
+        assert_eq!(compile_monitored(&prog, &sp).unwrap().hooks, 1);
+    }
+}

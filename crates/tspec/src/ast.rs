@@ -1,0 +1,167 @@
+//! Abstract syntax for temporal specifications.
+//!
+//! A specification denotes a set of allowed *completed* event traces: the
+//! sequence of `pre`/`post` hook events a monitored run produces, followed
+//! by one synthetic `done` event when evaluation finishes. The surface
+//! syntax has two layers:
+//!
+//! * **event predicates** ([`Pred`]) classify a single event by hook phase,
+//!   annotation name, and (for `post` events) the observed
+//!   [`Value`](monsem_core::Value);
+//! * **trace expressions** ([`SpecExpr`]) are extended regular expressions
+//!   (with intersection `&` and complement `!`) over those predicates.
+//!
+//! Temporal sugar (`always`, `never`, `eventually`, `respond`) is expanded
+//! by the parser, so this AST is already the core language.
+
+use monsem_syntax::Ident;
+
+/// Comparison operators usable in `value <op> n` atoms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `value = n`
+    Eq,
+    /// `value != n`
+    Ne,
+    /// `value < n`
+    Lt,
+    /// `value <= n`
+    Le,
+    /// `value > n`
+    Gt,
+    /// `value >= n`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the comparison.
+    pub fn holds(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+/// An annotation-name pattern: a concrete label/function name or the
+/// wildcard `_`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NamePat {
+    /// `_` — any annotation name.
+    Any,
+    /// A specific annotation name.
+    Name(Ident),
+}
+
+/// Atomic event predicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Atom {
+    /// `true` — holds of every event.
+    True,
+    /// `false` — holds of no event.
+    False,
+    /// `pre(p)` — an `updPre` hook event whose annotation name matches `p`.
+    Pre(NamePat),
+    /// `post(p)` — an `updPost` hook event whose annotation name matches `p`.
+    Post(NamePat),
+    /// `at(p)` — `pre(p) or post(p)`: any hook event at a matching point.
+    At(NamePat),
+    /// `done` — the synthetic end-of-trace event.
+    Done,
+    /// `value <op> n` — holds of `post` events whose observed value is an
+    /// integer satisfying the comparison (never of `pre`/`done` events or
+    /// non-integer results).
+    Value(CmpOp, i64),
+    /// `unsorted` — holds of `post` events whose observed value is a list
+    /// with a definitely-decreasing adjacent integer pair (the Figure 8
+    /// demon's trigger).
+    Unsorted,
+}
+
+/// An event predicate: a boolean combination of [`Atom`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pred {
+    /// An atomic predicate.
+    Atom(Atom),
+    /// `not p`
+    Not(Box<Pred>),
+    /// `p and q`
+    And(Box<Pred>, Box<Pred>),
+    /// `p or q`
+    Or(Box<Pred>, Box<Pred>),
+}
+
+impl Pred {
+    /// `p => q`, expanded to `not p or q` (the parser's desugaring).
+    pub fn implies(self, q: Pred) -> Pred {
+        Pred::Or(Box::new(Pred::Not(Box::new(self))), Box::new(q))
+    }
+}
+
+/// A trace expression: an extended regular expression over event
+/// predicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecExpr {
+    /// `none` — matches no trace at all.
+    Empty,
+    /// `empty` — matches exactly the empty trace.
+    Eps,
+    /// `any` — any single event (including `done`).
+    Any,
+    /// `[p]` — a single event satisfying `p`.
+    Event(Pred),
+    /// `r ; s` — concatenation.
+    Cat(Box<SpecExpr>, Box<SpecExpr>),
+    /// `r | s` — union.
+    Or(Box<SpecExpr>, Box<SpecExpr>),
+    /// `r & s` — intersection.
+    And(Box<SpecExpr>, Box<SpecExpr>),
+    /// `! r` — complement (with respect to all traces).
+    Not(Box<SpecExpr>),
+    /// `r *` — Kleene star.
+    Star(Box<SpecExpr>),
+    /// `r +` — one or more repetitions.
+    Plus(Box<SpecExpr>),
+    /// `r ?` — zero or one occurrence.
+    Opt(Box<SpecExpr>),
+    /// `r {n}` — exactly `n` repetitions.
+    Repeat(Box<SpecExpr>, u32),
+}
+
+impl SpecExpr {
+    /// Walks every predicate in the expression (used to build the abstract
+    /// alphabet).
+    pub fn visit_preds(&self, f: &mut impl FnMut(&Pred)) {
+        match self {
+            SpecExpr::Empty | SpecExpr::Eps | SpecExpr::Any => {}
+            SpecExpr::Event(p) => f(p),
+            SpecExpr::Cat(a, b) | SpecExpr::Or(a, b) | SpecExpr::And(a, b) => {
+                a.visit_preds(f);
+                b.visit_preds(f);
+            }
+            SpecExpr::Not(r)
+            | SpecExpr::Star(r)
+            | SpecExpr::Plus(r)
+            | SpecExpr::Opt(r)
+            | SpecExpr::Repeat(r, _) => r.visit_preds(f),
+        }
+    }
+}
+
+impl Pred {
+    /// Walks every atom in the predicate.
+    pub fn visit_atoms(&self, f: &mut impl FnMut(&Atom)) {
+        match self {
+            Pred::Atom(a) => f(a),
+            Pred::Not(p) => p.visit_atoms(f),
+            Pred::And(p, q) | Pred::Or(p, q) => {
+                p.visit_atoms(f);
+                q.visit_atoms(f);
+            }
+        }
+    }
+}

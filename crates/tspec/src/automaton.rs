@@ -1,0 +1,630 @@
+//! Alphabet abstraction and DFA compilation.
+//!
+//! Event predicates range over an unbounded concrete event space (any
+//! annotation name × any [`Value`]). Compilation first quotients that space
+//! into a finite **abstract alphabet** whose letters are indistinguishable
+//! by every predicate in the spec:
+//!
+//! * *name classes* — one per annotation name mentioned in the spec, plus
+//!   one `OTHER` class for every unmentioned name;
+//! * *value classes* — one per non-empty region of the integer line cut at
+//!   the constants compared against (`… < c₁ < … < c₂ < …`), plus an
+//!   `unsorted-list` class when the spec uses `unsorted`, plus one `OTHER`
+//!   class for all remaining values;
+//! * letters: `pre(nameclass)`, `post(nameclass, valueclass)`, and the
+//!   synthetic `done`.
+//!
+//! Every abstract letter is realizable by a concrete event (each integer
+//! region keeps a concrete representative), so the dead-state analysis on
+//! the compiled DFA is exact: a state is **dead** iff no continuation of
+//! concrete events can ever reach acceptance again, which is precisely the
+//! "violation" judgement the monitor adapter reports.
+//!
+//! The DFA itself is built by memoized Brzozowski iteration: a worklist of
+//! normalized derivatives with a hash-consing cache mapping each
+//! expression to its state number.
+
+use crate::ast::{Atom, NamePat, Pred, SpecExpr};
+use crate::deriv::{
+    and, cat, class, deriv, empty, eps, naive_accepts, not, nullable, or, star, LetterSet, Re,
+};
+use crate::SpecError;
+use monsem_core::Value;
+use monsem_syntax::Ident;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Ceiling on DFA states — a safety valve, far above any reasonable spec.
+pub const MAX_STATES: usize = 4_096;
+
+/// Ceiling on abstract letters.
+pub const MAX_LETTERS: u32 = 4_096;
+
+/// Hook phase of an abstract letter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// An `updPre` hook event.
+    Pre,
+    /// An `updPost` hook event.
+    Post,
+    /// The synthetic end-of-trace event.
+    Done,
+}
+
+/// The representative of a value class (used to decide predicates on
+/// abstract letters; every class is concretely realizable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ValueRep {
+    /// Any value no predicate distinguishes.
+    Other,
+    /// An integer region, by a concrete member.
+    Int(i64),
+    /// A definitely-unsorted list.
+    Unsorted,
+}
+
+/// Mirrors `monsem_monitors::demon::is_sorted` (the Figure 8 demon's
+/// trigger): a value is *unsorted* iff it is a list with an adjacent pair
+/// of integers in decreasing order. Duplicated here because the toolbox
+/// crate depends on this one.
+fn value_is_unsorted(v: &Value) -> bool {
+    let Some(items) = v.iter_list() else {
+        return false;
+    };
+    items.windows(2).any(|w| match (w[0], w[1]) {
+        (Value::Int(a), Value::Int(b)) => a > b,
+        _ => false,
+    })
+}
+
+/// The finite abstract alphabet of a spec.
+#[derive(Debug, Clone)]
+pub struct Alphabet {
+    /// Annotation names mentioned by the spec, in first-mention order.
+    names: Vec<Ident>,
+    name_index: HashMap<Ident, usize>,
+    /// Sorted, deduplicated comparison constants.
+    consts: Vec<i64>,
+    /// Value-class representatives; class 0 is always `Other`.
+    value_reps: Vec<ValueRep>,
+    /// Integer region id (`0..=2k`) → value class, for non-empty regions.
+    region_class: Vec<usize>,
+    /// Class of definitely-unsorted lists, if the spec uses `unsorted`.
+    unsorted_class: Option<usize>,
+}
+
+impl Alphabet {
+    /// Builds the alphabet for a spec by scanning its predicates.
+    pub fn build(spec: &SpecExpr) -> Result<Alphabet, SpecError> {
+        let mut names: Vec<Ident> = Vec::new();
+        let mut name_index = HashMap::new();
+        let mut consts: Vec<i64> = Vec::new();
+        let mut unsorted = false;
+        spec.visit_preds(&mut |p: &Pred| {
+            p.visit_atoms(&mut |a: &Atom| match a {
+                Atom::Pre(NamePat::Name(id))
+                | Atom::Post(NamePat::Name(id))
+                | Atom::At(NamePat::Name(id))
+                    if !name_index.contains_key(id) =>
+                {
+                    name_index.insert(id.clone(), names.len());
+                    names.push(id.clone());
+                }
+                Atom::Value(_, c) => consts.push(*c),
+                Atom::Unsorted => unsorted = true,
+                _ => {}
+            });
+        });
+        consts.sort_unstable();
+        consts.dedup();
+
+        // Cut the integer line at the constants: region 2i+1 = {cᵢ},
+        // region 2i = (cᵢ₋₁, cᵢ) (with open ends at 0 and 2k). Only
+        // non-empty regions become classes, each with a concrete
+        // representative, so every abstract letter is realizable.
+        let k = consts.len();
+        let mut value_reps = vec![ValueRep::Other];
+        let mut region_class = vec![usize::MAX; 2 * k + 1];
+        if k > 0 {
+            for region in 0..=(2 * k) {
+                let rep: Option<i64> = if region % 2 == 1 {
+                    Some(consts[region / 2])
+                } else if region == 0 {
+                    consts[0].checked_sub(1)
+                } else if region == 2 * k {
+                    consts[k - 1].checked_add(1)
+                } else {
+                    let lo = consts[region / 2 - 1];
+                    let hi = consts[region / 2];
+                    // Non-empty open interval (lo, hi) needs hi − lo ≥ 2.
+                    if (hi as i128) - (lo as i128) >= 2 {
+                        Some(lo + 1)
+                    } else {
+                        None
+                    }
+                };
+                if let Some(r) = rep {
+                    region_class[region] = value_reps.len();
+                    value_reps.push(ValueRep::Int(r));
+                }
+            }
+        }
+        let unsorted_class = if unsorted {
+            value_reps.push(ValueRep::Unsorted);
+            Some(value_reps.len() - 1)
+        } else {
+            None
+        };
+
+        let alphabet = Alphabet {
+            names,
+            name_index,
+            consts,
+            value_reps,
+            region_class,
+            unsorted_class,
+        };
+        if alphabet.width() > MAX_LETTERS {
+            return Err(SpecError {
+                message: format!(
+                    "spec alphabet has {} letters (limit {MAX_LETTERS})",
+                    alphabet.width()
+                ),
+                offset: 0,
+            });
+        }
+        Ok(alphabet)
+    }
+
+    /// Number of name classes (mentioned names + `OTHER`).
+    pub fn name_classes(&self) -> usize {
+        self.names.len() + 1
+    }
+
+    /// Number of value classes.
+    pub fn value_classes(&self) -> usize {
+        self.value_reps.len()
+    }
+
+    /// Total number of abstract letters.
+    pub fn width(&self) -> u32 {
+        let n = self.name_classes() as u32;
+        let v = self.value_classes() as u32;
+        n + n * v + 1
+    }
+
+    /// The name class of a concrete annotation name.
+    pub fn name_class(&self, name: &Ident) -> usize {
+        self.name_index
+            .get(name)
+            .copied()
+            .unwrap_or(self.names.len())
+    }
+
+    /// The value class of a concrete observed value.
+    pub fn classify_value(&self, v: &Value) -> usize {
+        match v {
+            Value::Int(n) if !self.consts.is_empty() => {
+                let i = self.consts.partition_point(|c| c < n);
+                let region = if i < self.consts.len() && self.consts[i] == *n {
+                    2 * i + 1
+                } else {
+                    2 * i
+                };
+                let class = self.region_class[region];
+                debug_assert_ne!(class, usize::MAX, "a concrete int inhabits its region");
+                class
+            }
+            v => match self.unsorted_class {
+                Some(class) if value_is_unsorted(v) => class,
+                _ => 0,
+            },
+        }
+    }
+
+    /// The `pre` letter for a name class.
+    pub fn pre_letter(&self, nc: usize) -> u32 {
+        debug_assert!(nc < self.name_classes());
+        nc as u32
+    }
+
+    /// The `post` letter for a name class and value class.
+    pub fn post_letter(&self, nc: usize, vc: usize) -> u32 {
+        debug_assert!(nc < self.name_classes() && vc < self.value_classes());
+        (self.name_classes() + nc * self.value_classes() + vc) as u32
+    }
+
+    /// The synthetic `done` letter.
+    pub fn done_letter(&self) -> u32 {
+        self.width() - 1
+    }
+
+    /// Decomposes a letter into phase, name class and value class.
+    pub fn decode(&self, letter: u32) -> (Phase, usize, usize) {
+        let n = self.name_classes();
+        let v = self.value_classes();
+        let l = letter as usize;
+        if l < n {
+            (Phase::Pre, l, 0)
+        } else if l < n + n * v {
+            let idx = l - n;
+            (Phase::Post, idx / v, idx % v)
+        } else {
+            (Phase::Done, 0, 0)
+        }
+    }
+
+    /// A printable description of a letter (diagnostics and tests).
+    pub fn describe(&self, letter: u32) -> String {
+        let (phase, nc, vc) = self.decode(letter);
+        let name = |nc: usize| -> String {
+            self.names
+                .get(nc)
+                .map(|i| i.as_str().to_string())
+                .unwrap_or_else(|| "<other>".to_string())
+        };
+        match phase {
+            Phase::Pre => format!("pre({})", name(nc)),
+            Phase::Done => "done".to_string(),
+            Phase::Post => {
+                let rep = match self.value_reps[vc] {
+                    ValueRep::Other => "<other>".to_string(),
+                    ValueRep::Int(n) => format!("≈{n}"),
+                    ValueRep::Unsorted => "unsorted-list".to_string(),
+                };
+                format!("post({}) = {rep}", name(nc))
+            }
+        }
+    }
+
+    fn name_matches(&self, pat: &NamePat, nc: usize) -> bool {
+        match pat {
+            NamePat::Any => true,
+            NamePat::Name(id) => self.name_index.get(id) == Some(&nc),
+        }
+    }
+
+    fn eval_atom(&self, atom: &Atom, phase: Phase, nc: usize, vc: usize) -> bool {
+        match atom {
+            Atom::True => true,
+            Atom::False => false,
+            Atom::Done => phase == Phase::Done,
+            Atom::Pre(pat) => phase == Phase::Pre && self.name_matches(pat, nc),
+            Atom::Post(pat) => phase == Phase::Post && self.name_matches(pat, nc),
+            Atom::At(pat) => phase != Phase::Done && self.name_matches(pat, nc),
+            Atom::Value(op, c) => {
+                phase == Phase::Post
+                    && matches!(self.value_reps[vc], ValueRep::Int(n) if op.holds(n, *c))
+            }
+            Atom::Unsorted => phase == Phase::Post && self.value_reps[vc] == ValueRep::Unsorted,
+        }
+    }
+
+    fn eval_pred(&self, pred: &Pred, phase: Phase, nc: usize, vc: usize) -> bool {
+        match pred {
+            Pred::Atom(a) => self.eval_atom(a, phase, nc, vc),
+            Pred::Not(p) => !self.eval_pred(p, phase, nc, vc),
+            Pred::And(p, q) => self.eval_pred(p, phase, nc, vc) && self.eval_pred(q, phase, nc, vc),
+            Pred::Or(p, q) => self.eval_pred(p, phase, nc, vc) || self.eval_pred(q, phase, nc, vc),
+        }
+    }
+
+    /// The set of abstract letters satisfying `pred`.
+    pub fn pred_to_set(&self, pred: &Pred) -> LetterSet {
+        let mut set = LetterSet::empty(self.width());
+        for letter in 0..self.width() {
+            let (phase, nc, vc) = self.decode(letter);
+            if self.eval_pred(pred, phase, nc, vc) {
+                set.insert(letter);
+            }
+        }
+        set
+    }
+
+    /// Lowers a trace expression to a regular expression over this
+    /// alphabet.
+    pub fn lower(&self, spec: &SpecExpr) -> Rc<Re> {
+        match spec {
+            SpecExpr::Empty => empty(),
+            SpecExpr::Eps => eps(),
+            SpecExpr::Any => class(LetterSet::full(self.width())),
+            SpecExpr::Event(p) => class(self.pred_to_set(p)),
+            SpecExpr::Cat(a, b) => cat(self.lower(a), self.lower(b)),
+            SpecExpr::Or(a, b) => or(self.lower(a), self.lower(b)),
+            SpecExpr::And(a, b) => and(self.lower(a), self.lower(b)),
+            SpecExpr::Not(r) => not(self.lower(r)),
+            SpecExpr::Star(r) => star(self.lower(r)),
+            SpecExpr::Plus(r) => {
+                let inner = self.lower(r);
+                cat(inner.clone(), star(inner))
+            }
+            SpecExpr::Opt(r) => or(eps(), self.lower(r)),
+            SpecExpr::Repeat(r, n) => {
+                let inner = self.lower(r);
+                (0..*n).fold(eps(), |acc, _| cat(acc, inner.clone()))
+            }
+        }
+    }
+}
+
+/// A compiled deterministic automaton over the abstract alphabet.
+///
+/// This is the spec's **MAlg** and **MFun** in tabular form: states are
+/// normalized derivatives of the spec expression, the transition table is
+/// total, and the dead/nullable analyses drive the monitor adapter's
+/// verdicts.
+#[derive(Debug, Clone)]
+pub struct Automaton {
+    alphabet: Alphabet,
+    /// The lowered start expression (state 0) — kept for the property
+    /// tests' naive-matcher oracle.
+    re: Rc<Re>,
+    nstates: u32,
+    /// Row-major transition table: `table[s * width + letter]`.
+    table: Vec<u32>,
+    nullable: Vec<bool>,
+    /// `dead[s]` — no word leads from `s` to a nullable state.
+    dead: Vec<bool>,
+    /// `relevant[letter]` — some state moves on this letter.
+    relevant: Vec<bool>,
+}
+
+impl Automaton {
+    /// Compiles a parsed spec to a DFA.
+    ///
+    /// # Errors
+    ///
+    /// If the alphabet or state space exceeds the (generous) safety caps.
+    pub fn compile(spec: &SpecExpr) -> Result<Automaton, SpecError> {
+        let alphabet = Alphabet::build(spec)?;
+        let start = alphabet.lower(spec);
+        let width = alphabet.width() as usize;
+
+        // Memoized derivative closure: the cache maps each normalized
+        // expression to its state number; the worklist explores letters.
+        let mut cache: HashMap<Rc<Re>, u32> = HashMap::new();
+        let mut states: Vec<Rc<Re>> = Vec::new();
+        let mut table: Vec<u32> = Vec::new();
+        cache.insert(start.clone(), 0);
+        states.push(start.clone());
+        let mut next_unexplored = 0usize;
+        while next_unexplored < states.len() {
+            let s = states[next_unexplored].clone();
+            next_unexplored += 1;
+            for letter in 0..width as u32 {
+                let d = deriv(&s, letter);
+                let id = match cache.get(&d) {
+                    Some(&id) => id,
+                    None => {
+                        let id = states.len() as u32;
+                        if states.len() >= MAX_STATES {
+                            return Err(SpecError {
+                                message: format!(
+                                    "spec automaton exceeds {MAX_STATES} states; simplify the spec"
+                                ),
+                                offset: 0,
+                            });
+                        }
+                        cache.insert(d.clone(), id);
+                        states.push(d);
+                        id
+                    }
+                };
+                table.push(id);
+            }
+        }
+
+        let nstates = states.len() as u32;
+        let nullable: Vec<bool> = states.iter().map(|s| nullable(s)).collect();
+
+        // Dead-state analysis: reverse reachability from nullable states.
+        let mut alive = nullable.clone();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for s in 0..nstates as usize {
+                if alive[s] {
+                    continue;
+                }
+                if table[s * width..(s + 1) * width]
+                    .iter()
+                    .any(|&t| alive[t as usize])
+                {
+                    alive[s] = true;
+                    changed = true;
+                }
+            }
+        }
+        let dead: Vec<bool> = alive.iter().map(|a| !a).collect();
+
+        let relevant: Vec<bool> = (0..width)
+            .map(|l| (0..nstates as usize).any(|s| table[s * width + l] != s as u32))
+            .collect();
+
+        Ok(Automaton {
+            alphabet,
+            re: start,
+            nstates,
+            table,
+            nullable,
+            dead,
+            relevant,
+        })
+    }
+
+    /// The abstract alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The lowered start expression (for oracle comparisons).
+    pub fn start_expr(&self) -> &Rc<Re> {
+        &self.re
+    }
+
+    /// Number of DFA states.
+    pub fn num_states(&self) -> u32 {
+        self.nstates
+    }
+
+    /// The start state.
+    pub fn start(&self) -> u32 {
+        0
+    }
+
+    /// One transition.
+    pub fn step(&self, state: u32, letter: u32) -> u32 {
+        self.table[state as usize * self.alphabet.width() as usize + letter as usize]
+    }
+
+    /// Whether `state` accepts the empty continuation.
+    pub fn is_nullable(&self, state: u32) -> bool {
+        self.nullable[state as usize]
+    }
+
+    /// Whether `state` is dead: no continuation reaches acceptance.
+    pub fn is_dead(&self, state: u32) -> bool {
+        self.dead[state as usize]
+    }
+
+    /// Whether any state moves on `letter`; irrelevant letters are
+    /// universal self-loops and may be skipped without observing them.
+    pub fn letter_relevant(&self, letter: u32) -> bool {
+        self.relevant[letter as usize]
+    }
+
+    /// Whether the `pre` hook at name class `nc` can move any state.
+    pub fn pre_relevant(&self, nc: usize) -> bool {
+        self.letter_relevant(self.alphabet.pre_letter(nc))
+    }
+
+    /// Whether any `post` hook at name class `nc` can move any state.
+    pub fn post_relevant(&self, nc: usize) -> bool {
+        (0..self.alphabet.value_classes())
+            .any(|vc| self.letter_relevant(self.alphabet.post_letter(nc, vc)))
+    }
+
+    /// Whether an event carrying this letter is *observed* by the monitor
+    /// adapter (recorded in the trace and counted).
+    ///
+    /// The gate is per hook phase × name class — exactly the granularity
+    /// of [`Monitor::accepts_event`](monsem_monitor::Monitor::accepts_event)
+    /// — so monitor state evolves identically whether or not a machine
+    /// skips the hooks that hint rules out.
+    pub fn letter_observed(&self, letter: u32) -> bool {
+        match self.alphabet.decode(letter) {
+            (Phase::Pre, nc, _) => self.pre_relevant(nc),
+            (Phase::Post, nc, _) => self.post_relevant(nc),
+            (Phase::Done, _, _) => self.letter_relevant(letter),
+        }
+    }
+
+    /// Runs the DFA over a whole word and reports acceptance — the
+    /// compiled counterpart of [`naive_accepts`].
+    pub fn accepts_word(&self, word: &[u32]) -> bool {
+        let mut s = self.start();
+        for &l in word {
+            s = self.step(s, l);
+        }
+        self.is_nullable(s)
+    }
+
+    /// The oracle: direct structural matching on the start expression.
+    pub fn naive_word(&self, word: &[u32]) -> bool {
+        naive_accepts(&self.re, word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_spec;
+
+    fn compile(src: &str) -> Automaton {
+        Automaton::compile(&parse_spec(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn alphabet_of_the_issue_example() {
+        let ast = parse_spec("always(post(fac) => value >= 1)").unwrap();
+        let a = Alphabet::build(&ast).unwrap();
+        // Names: fac + OTHER. Values: OTHER, (−∞,1), {1}, (1,∞).
+        assert_eq!(a.name_classes(), 2);
+        assert_eq!(a.value_classes(), 4);
+        assert_eq!(
+            a.classify_value(&Value::Int(0)),
+            a.classify_value(&Value::Int(-7))
+        );
+        assert_ne!(
+            a.classify_value(&Value::Int(1)),
+            a.classify_value(&Value::Int(2))
+        );
+        assert_eq!(a.classify_value(&Value::Bool(true)), 0);
+    }
+
+    #[test]
+    fn empty_integer_regions_are_not_classes() {
+        let ast = parse_spec("always(value = 0 or value = 1)").unwrap();
+        let a = Alphabet::build(&ast).unwrap();
+        // Regions: (−∞,0), {0}, (0,1) = ∅, {1}, (1,∞) → 4 int classes.
+        assert_eq!(a.value_classes(), 1 + 4);
+    }
+
+    #[test]
+    fn issue_example_flags_small_values_as_dead() {
+        let aut = compile("always(post(fac) => value >= 1)");
+        let a = aut.alphabet();
+        let nc = a.name_class(&Ident::new("fac"));
+        let bad = a.post_letter(nc, a.classify_value(&Value::Int(0)));
+        let good = a.post_letter(nc, a.classify_value(&Value::Int(3)));
+        let s = aut.start();
+        assert!(aut.is_dead(aut.step(s, bad)));
+        assert!(!aut.is_dead(aut.step(s, good)));
+        assert!(aut.is_nullable(aut.step(s, good)));
+    }
+
+    #[test]
+    fn irrelevant_letters_self_loop_everywhere() {
+        let aut = compile("always(post(fac) => value >= 1)");
+        let a = aut.alphabet();
+        let other_nc = a.name_class(&Ident::new("unmentioned"));
+        // `pre` letters never matter to this spec: `post(fac) => …` is
+        // vacuously true of them, so they are universal self-loops.
+        assert!(!aut.pre_relevant(other_nc));
+        assert!(!aut.pre_relevant(a.name_class(&Ident::new("fac"))));
+        // An unmentioned name's post letters are also irrelevant.
+        assert!(!aut.post_relevant(other_nc));
+        assert!(aut.post_relevant(a.name_class(&Ident::new("fac"))));
+    }
+
+    #[test]
+    fn dfa_agrees_with_oracle_on_a_hand_word() {
+        let aut = compile("eventually(post(f))");
+        let a = aut.alphabet();
+        let f = a.name_class(&Ident::new("f"));
+        let hit = a.post_letter(f, 0);
+        let miss = a.pre_letter(f);
+        let done = a.done_letter();
+        for word in [
+            vec![],
+            vec![miss, done],
+            vec![miss, hit, done],
+            vec![hit],
+            vec![done, hit],
+        ] {
+            assert_eq!(aut.accepts_word(&word), aut.naive_word(&word), "{word:?}");
+        }
+    }
+
+    #[test]
+    fn state_explosion_is_reported_not_suffered() {
+        // A tower of repeats forces more derivative states than the cap.
+        let src = "any{200} ; any{200} ; any{200} ; any{200} ; any{200} ; \
+                   any{200} ; any{200} ; any{200} ; any{200} ; any{200} ; \
+                   any{200} ; any{200} ; any{200} ; any{200} ; any{200} ; \
+                   any{200} ; any{200} ; any{200} ; any{200} ; any{200} ; \
+                   any{200} ; any{200}";
+        let err = Automaton::compile(&parse_spec(src).unwrap()).unwrap_err();
+        assert!(err.message.contains("states"));
+    }
+}

@@ -1,0 +1,418 @@
+//! Brzozowski derivatives over an abstract, finite event alphabet.
+//!
+//! Trace expressions are lowered to [`Re`], an extended regular expression
+//! whose leaves are *letter sets* — bit sets over the finite abstract
+//! alphabet built in [`automaton`](crate::automaton). Compilation is then
+//! textbook Brzozowski: the derivative `∂ₐ r` describes the traces that may
+//! follow after reading `a`, and iterating derivatives over all letters
+//! yields a DFA whose states are regular expressions.
+//!
+//! Termination relies on the smart constructors normalizing modulo
+//! associativity, commutativity and idempotence (the Owens–Reppy–Turon
+//! recipe): `or`/`and` chains are flattened, sorted and deduplicated,
+//! double complements cancel, and `ε`/`∅` units collapse — so every spec
+//! reaches finitely many dissimilar derivatives.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A set of abstract letters, as a fixed-width bit set.
+///
+/// All sets flowing into one compilation share the same alphabet width;
+/// set operations assume (and in debug builds check) matching widths.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LetterSet {
+    /// Number of letters in the alphabet.
+    width: u32,
+    bits: Vec<u64>,
+}
+
+impl LetterSet {
+    /// The empty set over an alphabet of `width` letters.
+    pub fn empty(width: u32) -> Self {
+        LetterSet {
+            width,
+            bits: vec![0; width.div_ceil(64) as usize],
+        }
+    }
+
+    /// The full set over an alphabet of `width` letters.
+    pub fn full(width: u32) -> Self {
+        let mut s = Self::empty(width);
+        for l in 0..width {
+            s.insert(l);
+        }
+        s
+    }
+
+    /// Adds letter `l`.
+    pub fn insert(&mut self, l: u32) {
+        debug_assert!(l < self.width);
+        self.bits[(l / 64) as usize] |= 1 << (l % 64);
+    }
+
+    /// Whether letter `l` is in the set.
+    pub fn contains(&self, l: u32) -> bool {
+        debug_assert!(l < self.width);
+        self.bits[(l / 64) as usize] & (1 << (l % 64)) != 0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|w| *w == 0)
+    }
+
+    /// Whether the set contains every letter of the alphabet.
+    pub fn is_full(&self) -> bool {
+        (0..self.width).all(|l| self.contains(l))
+    }
+
+    /// The number of letters in the alphabet (not in the set).
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Union, in place.
+    pub fn union_with(&mut self, other: &LetterSet) {
+        debug_assert_eq!(self.width, other.width);
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// Intersection, in place.
+    pub fn intersect_with(&mut self, other: &LetterSet) {
+        debug_assert_eq!(self.width, other.width);
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= b;
+        }
+    }
+
+    /// Complement with respect to the alphabet, in place.
+    pub fn complement(&mut self) {
+        let width = self.width;
+        for w in self.bits.iter_mut() {
+            *w = !*w;
+        }
+        // Mask the tail beyond `width`.
+        let tail = width % 64;
+        if tail != 0 {
+            if let Some(last) = self.bits.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+/// An extended regular expression over [`LetterSet`] leaves.
+///
+/// `Ord`/`Hash` give the smart constructors a canonical order for ACI
+/// normalization and the compiler a key for its derivative cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Re {
+    /// `∅` — no trace.
+    Empty,
+    /// `ε` — the empty trace.
+    Eps,
+    /// One event drawn from a (non-empty) letter set.
+    Class(LetterSet),
+    /// Concatenation.
+    Cat(Rc<Re>, Rc<Re>),
+    /// Union.
+    Or(Rc<Re>, Rc<Re>),
+    /// Intersection.
+    And(Rc<Re>, Rc<Re>),
+    /// Complement.
+    Not(Rc<Re>),
+    /// Kleene star.
+    Star(Rc<Re>),
+}
+
+/// `ε` (shared).
+pub fn eps() -> Rc<Re> {
+    Rc::new(Re::Eps)
+}
+
+/// `∅` (shared).
+pub fn empty() -> Rc<Re> {
+    Rc::new(Re::Empty)
+}
+
+/// The universal expression `!∅` (every trace).
+pub fn universal() -> Rc<Re> {
+    Rc::new(Re::Not(empty()))
+}
+
+fn is_universal(r: &Re) -> bool {
+    matches!(r, Re::Not(inner) if matches!(**inner, Re::Empty))
+}
+
+/// A single-event class; `Class(∅)` collapses to `∅`.
+pub fn class(s: LetterSet) -> Rc<Re> {
+    if s.is_empty() {
+        empty()
+    } else {
+        Rc::new(Re::Class(s))
+    }
+}
+
+/// Concatenation with `ε`/`∅` units: `∅·r = r·∅ = ∅`, `ε·r = r·ε = r`.
+/// Right-associates nested `Cat`s so equal concatenations are equal terms.
+pub fn cat(a: Rc<Re>, b: Rc<Re>) -> Rc<Re> {
+    match (&*a, &*b) {
+        (Re::Empty, _) | (_, Re::Empty) => empty(),
+        (Re::Eps, _) => b,
+        (_, Re::Eps) => a,
+        (Re::Cat(x, y), _) => cat(x.clone(), cat(y.clone(), b)),
+        _ => Rc::new(Re::Cat(a, b)),
+    }
+}
+
+fn flatten_or(r: &Rc<Re>, out: &mut Vec<Rc<Re>>) {
+    match &**r {
+        Re::Or(a, b) => {
+            flatten_or(a, out);
+            flatten_or(b, out);
+        }
+        _ => out.push(r.clone()),
+    }
+}
+
+fn flatten_and(r: &Rc<Re>, out: &mut Vec<Rc<Re>>) {
+    match &**r {
+        Re::And(a, b) => {
+            flatten_and(a, out);
+            flatten_and(b, out);
+        }
+        _ => out.push(r.clone()),
+    }
+}
+
+/// Union, normalized: flattened, sorted, deduplicated; `∅` is the unit,
+/// the universal expression absorbs, adjacent letter classes merge.
+pub fn or(a: Rc<Re>, b: Rc<Re>) -> Rc<Re> {
+    let mut terms = Vec::new();
+    flatten_or(&a, &mut terms);
+    flatten_or(&b, &mut terms);
+    // Merge all Class leaves into one set; drop ∅; detect the absorber.
+    let mut merged: Option<LetterSet> = None;
+    let mut rest: Vec<Rc<Re>> = Vec::new();
+    for t in terms {
+        match &*t {
+            Re::Empty => {}
+            Re::Class(s) => match &mut merged {
+                Some(m) => m.union_with(s),
+                None => merged = Some(s.clone()),
+            },
+            _ if is_universal(&t) => return universal(),
+            _ => rest.push(t),
+        }
+    }
+    if let Some(m) = merged {
+        rest.push(class(m));
+    }
+    rest.sort();
+    rest.dedup();
+    match rest.len() {
+        0 => empty(),
+        _ => {
+            let mut it = rest.into_iter().rev();
+            let last = it.next().expect("non-empty");
+            it.fold(last, |acc, t| Rc::new(Re::Or(t, acc)))
+        }
+    }
+}
+
+/// Intersection, normalized: flattened, sorted, deduplicated; the
+/// universal expression is the unit, `∅` absorbs, letter classes meet.
+pub fn and(a: Rc<Re>, b: Rc<Re>) -> Rc<Re> {
+    let mut terms = Vec::new();
+    flatten_and(&a, &mut terms);
+    flatten_and(&b, &mut terms);
+    let mut merged: Option<LetterSet> = None;
+    let mut rest: Vec<Rc<Re>> = Vec::new();
+    for t in terms {
+        match &*t {
+            Re::Empty => return empty(),
+            Re::Class(s) => match &mut merged {
+                Some(m) => m.intersect_with(s),
+                None => merged = Some(s.clone()),
+            },
+            _ if is_universal(&t) => {}
+            _ => rest.push(t),
+        }
+    }
+    if let Some(m) = merged {
+        if m.is_empty() {
+            return empty();
+        }
+        rest.push(class(m));
+    }
+    rest.sort();
+    rest.dedup();
+    match rest.len() {
+        0 => universal(),
+        _ => {
+            let mut it = rest.into_iter().rev();
+            let last = it.next().expect("non-empty");
+            it.fold(last, |acc, t| Rc::new(Re::And(t, acc)))
+        }
+    }
+}
+
+/// Complement: `!!r = r`.
+pub fn not(r: Rc<Re>) -> Rc<Re> {
+    match &*r {
+        Re::Not(inner) => inner.clone(),
+        _ => Rc::new(Re::Not(r)),
+    }
+}
+
+/// Kleene star: `∅* = ε* = ε`, `(r*)* = r*`.
+pub fn star(r: Rc<Re>) -> Rc<Re> {
+    match &*r {
+        Re::Empty | Re::Eps => eps(),
+        Re::Star(_) => r,
+        _ => Rc::new(Re::Star(r)),
+    }
+}
+
+/// Whether `r` accepts the empty trace (`ν(r) = ε`).
+pub fn nullable(r: &Re) -> bool {
+    match r {
+        Re::Empty | Re::Class(_) => false,
+        Re::Eps | Re::Star(_) => true,
+        Re::Cat(a, b) | Re::And(a, b) => nullable(a) && nullable(b),
+        Re::Or(a, b) => nullable(a) || nullable(b),
+        Re::Not(a) => !nullable(a),
+    }
+}
+
+/// The Brzozowski derivative `∂ₐ r` with respect to letter `a`.
+pub fn deriv(r: &Rc<Re>, a: u32) -> Rc<Re> {
+    match &**r {
+        Re::Empty | Re::Eps => empty(),
+        Re::Class(s) => {
+            if s.contains(a) {
+                eps()
+            } else {
+                empty()
+            }
+        }
+        Re::Cat(x, y) => {
+            let head = cat(deriv(x, a), y.clone());
+            if nullable(x) {
+                or(head, deriv(y, a))
+            } else {
+                head
+            }
+        }
+        Re::Or(x, y) => or(deriv(x, a), deriv(y, a)),
+        Re::And(x, y) => and(deriv(x, a), deriv(y, a)),
+        Re::Not(x) => not(deriv(x, a)),
+        Re::Star(x) => cat(deriv(x, a), r.clone()),
+    }
+}
+
+/// Reference semantics: whether `word` is in the language of `re`, decided
+/// by direct structural recursion on split points (no derivatives, no
+/// automaton). Exponential without memoization, polynomial with it —
+/// exactly the naive matcher the property tests race the DFA against.
+pub fn naive_accepts(re: &Rc<Re>, word: &[u32]) -> bool {
+    let mut memo = HashMap::new();
+    naive(re, word, 0, word.len(), &mut memo)
+}
+
+type MemoKey = (usize, usize, usize);
+
+fn naive(re: &Rc<Re>, word: &[u32], i: usize, j: usize, memo: &mut HashMap<MemoKey, bool>) -> bool {
+    let key = (Rc::as_ptr(re) as usize, i, j);
+    if let Some(&hit) = memo.get(&key) {
+        return hit;
+    }
+    let ans = match &**re {
+        Re::Empty => false,
+        Re::Eps => i == j,
+        Re::Class(s) => j == i + 1 && s.contains(word[i]),
+        Re::Cat(a, b) => (i..=j).any(|m| naive(a, word, i, m, memo) && naive(b, word, m, j, memo)),
+        Re::Or(a, b) => naive(a, word, i, j, memo) || naive(b, word, i, j, memo),
+        Re::And(a, b) => naive(a, word, i, j, memo) && naive(b, word, i, j, memo),
+        Re::Not(a) => !naive(a, word, i, j, memo),
+        Re::Star(a) => {
+            i == j || (i + 1..=j).any(|m| naive(a, word, i, m, memo) && naive(re, word, m, j, memo))
+        }
+    };
+    memo.insert(key, ans);
+    ans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn letter(width: u32, l: u32) -> Rc<Re> {
+        let mut s = LetterSet::empty(width);
+        s.insert(l);
+        class(s)
+    }
+
+    #[test]
+    fn letter_sets_behave() {
+        let mut s = LetterSet::empty(70);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(69);
+        assert!(s.contains(69) && !s.contains(68));
+        s.complement();
+        assert!(!s.contains(69) && s.contains(68));
+        assert!(LetterSet::full(70).is_full());
+    }
+
+    #[test]
+    fn smart_constructors_normalize() {
+        let a = letter(4, 0);
+        let b = letter(4, 1);
+        assert_eq!(or(a.clone(), a.clone()), a.clone() /* idempotent */);
+        assert_eq!(or(a.clone(), b.clone()), or(b.clone(), a.clone()));
+        assert_eq!(cat(eps(), a.clone()), a);
+        assert_eq!(cat(empty(), b.clone()), empty());
+        assert_eq!(not(not(b.clone())), b);
+        assert_eq!(star(star(letter(4, 2))), star(letter(4, 2)));
+        assert_eq!(and(universal(), b.clone()), b);
+        assert_eq!(or(universal(), b), universal());
+    }
+
+    #[test]
+    fn adjacent_classes_merge_under_or() {
+        let merged = or(letter(4, 0), letter(4, 1));
+        match &*merged {
+            Re::Class(s) => assert!(s.contains(0) && s.contains(1) && !s.contains(2)),
+            other => panic!("expected a merged class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derivative_of_a_star_chain() {
+        // (ab)* over alphabet {a=0, b=1}
+        let ab = cat(letter(2, 0), letter(2, 1));
+        let re = star(ab);
+        assert!(nullable(&re));
+        let d = deriv(&re, 0);
+        assert!(!nullable(&d));
+        let dd = deriv(&d, 1);
+        assert!(nullable(&dd));
+        assert_eq!(dd, re, "∂b∂a (ab)* returns to the start state");
+    }
+
+    #[test]
+    fn naive_matcher_on_small_cases() {
+        let ab = cat(letter(2, 0), letter(2, 1));
+        let re = star(ab);
+        assert!(naive_accepts(&re, &[]));
+        assert!(naive_accepts(&re, &[0, 1, 0, 1]));
+        assert!(!naive_accepts(&re, &[0, 1, 0]));
+        let no_b = not(cat(universal(), cat(letter(2, 1), universal())));
+        assert!(naive_accepts(&no_b, &[0, 0]));
+        assert!(!naive_accepts(&no_b, &[0, 1]));
+    }
+}

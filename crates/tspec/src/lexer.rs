@@ -1,0 +1,246 @@
+//! Tokenizer for the specification surface syntax.
+
+use crate::SpecError;
+
+/// A lexical token, tagged with its byte offset for error reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `?`
+    Question,
+    /// `!`
+    Bang,
+    /// `|`
+    Pipe,
+    /// `&`
+    Amp,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `-` (only valid immediately before an integer literal)
+    Minus,
+    /// `=>`
+    Implies,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A token with its starting byte offset in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset where the token starts.
+    pub offset: usize,
+}
+
+/// Tokenizes `src`.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] on unknown characters or malformed integers.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, SpecError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        let tok = match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+                continue;
+            }
+            '#' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            '(' => {
+                i += 1;
+                Tok::LParen
+            }
+            ')' => {
+                i += 1;
+                Tok::RParen
+            }
+            '[' => {
+                i += 1;
+                Tok::LBracket
+            }
+            ']' => {
+                i += 1;
+                Tok::RBracket
+            }
+            '{' => {
+                i += 1;
+                Tok::LBrace
+            }
+            '}' => {
+                i += 1;
+                Tok::RBrace
+            }
+            '*' => {
+                i += 1;
+                Tok::Star
+            }
+            '+' => {
+                i += 1;
+                Tok::Plus
+            }
+            '?' => {
+                i += 1;
+                Tok::Question
+            }
+            '|' => {
+                i += 1;
+                Tok::Pipe
+            }
+            '&' => {
+                i += 1;
+                Tok::Amp
+            }
+            ';' => {
+                i += 1;
+                Tok::Semi
+            }
+            ',' => {
+                i += 1;
+                Tok::Comma
+            }
+            '-' => {
+                i += 1;
+                Tok::Minus
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    Tok::Ne
+                } else {
+                    i += 1;
+                    Tok::Bang
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    i += 2;
+                    Tok::Implies
+                } else {
+                    i += 1;
+                    Tok::Eq
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    Tok::Le
+                } else {
+                    i += 1;
+                    Tok::Lt
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    Tok::Ge
+                } else {
+                    i += 1;
+                    Tok::Gt
+                }
+            }
+            '0'..='9' => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n: i64 = text.parse().map_err(|_| SpecError {
+                    message: format!("integer literal `{text}` out of range"),
+                    offset: start,
+                })?;
+                Tok::Int(n)
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                // Identifier characters mirror the object language's label
+                // syntax: `null?`, `f'` and friends are legal names.
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' || b == '?' || b == '\'' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Tok::Ident(src[start..i].to_string())
+            }
+            other => {
+                return Err(SpecError {
+                    message: format!("unexpected character `{other}`"),
+                    offset: start,
+                })
+            }
+        };
+        toks.push(Spanned { tok, offset: start });
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_operators_and_idents() {
+        let toks = lex("always([post(fac) => value >= -1])").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|s| &s.tok).collect();
+        assert!(matches!(kinds[0], Tok::Ident(s) if s == "always"));
+        assert!(kinds.contains(&&Tok::Implies));
+        assert!(kinds.contains(&&Tok::Ge));
+        assert!(kinds.contains(&&Tok::Minus));
+        assert!(kinds.contains(&&Tok::Int(1)));
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_skipped() {
+        let toks = lex("# header\n  [done]  # trailing\n").unwrap();
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = lex("[@]").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.offset, 1);
+    }
+}

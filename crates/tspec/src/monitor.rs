@@ -1,0 +1,430 @@
+//! The automaton-as-[`Monitor`] adapter.
+//!
+//! [`SpecMonitor`] runs a compiled [`Automaton`] against the event stream
+//! of a monitored evaluation. Its state is the DFA state plus a bounded
+//! match trace of the relevant events observed so far; its verdicts ride
+//! the existing machinery — an *enforcing* monitor returns
+//! [`Outcome::Abort`] the moment the run enters a dead DFA state (the
+//! observed prefix extends to no accepted trace), an *observing* one
+//! records the violation in its state and lets the run finish, preserving
+//! the answer per Theorem 7.7.
+//!
+//! Events whose hook phase × name class can never move any DFA state are
+//! not observed at all — not counted, not recorded in the trace — and
+//! [`Monitor::accepts_event`] tells the machines those hooks may be
+//! skipped. Observation is gated at exactly the hint's granularity, so the
+//! monitor state evolves identically whether a machine consults the hint
+//! or not.
+
+use crate::automaton::Automaton;
+use crate::{Spec, SpecError};
+use monsem_core::Value;
+use monsem_monitor::{HookPhase, Monitor, Outcome, Scope};
+use monsem_syntax::{Annotation, Expr, Namespace};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Default bound on the recent-event trace kept in [`SpecState`].
+pub const DEFAULT_TRACE_CAP: usize = 8;
+
+/// A compiled temporal specification running as a monitor.
+#[derive(Debug, Clone)]
+pub struct SpecMonitor {
+    name: String,
+    namespace: Namespace,
+    spec: Rc<Spec>,
+    enforcing: bool,
+    trace_cap: usize,
+}
+
+/// The monitor state: current DFA state plus a bounded match trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecState {
+    /// Current DFA state.
+    pub state: u32,
+    /// Number of relevant events observed.
+    pub events: u64,
+    /// The most recent relevant events (bounded ring).
+    pub trace: VecDeque<String>,
+    /// The first violation observed, if any (an observing monitor records
+    /// it here and keeps running).
+    pub violation: Option<String>,
+}
+
+fn short_value(v: &Value) -> String {
+    let s = v.to_string();
+    if s.chars().count() > 40 {
+        let head: String = s.chars().take(37).collect();
+        format!("{head}...")
+    } else {
+        s
+    }
+}
+
+impl SpecMonitor {
+    /// Parses and compiles `src` into an *observing* monitor named `name`,
+    /// watching the anonymous namespace.
+    ///
+    /// # Errors
+    ///
+    /// Parse or compilation errors, with byte offsets.
+    pub fn new(name: impl Into<String>, src: &str) -> Result<Self, SpecError> {
+        Ok(Self::from_spec(name, Spec::parse(src)?))
+    }
+
+    /// Wraps an already-compiled [`Spec`].
+    pub fn from_spec(name: impl Into<String>, spec: Spec) -> Self {
+        SpecMonitor {
+            name: name.into(),
+            namespace: Namespace::anonymous(),
+            spec: Rc::new(spec),
+            enforcing: false,
+            trace_cap: DEFAULT_TRACE_CAP,
+        }
+    }
+
+    /// Upgrades to an enforcing monitor: entering a dead DFA state aborts
+    /// evaluation with [`EvalError::MonitorAbort`] naming this spec.
+    ///
+    /// [`EvalError::MonitorAbort`]: monsem_core::error::EvalError::MonitorAbort
+    pub fn enforcing(mut self) -> Self {
+        self.enforcing = true;
+        self
+    }
+
+    /// Restricts the monitor to annotations in `namespace`.
+    pub fn in_namespace(mut self, namespace: Namespace) -> Self {
+        self.namespace = namespace;
+        self
+    }
+
+    /// Changes the match-trace bound (default [`DEFAULT_TRACE_CAP`]).
+    pub fn trace_cap(mut self, cap: usize) -> Self {
+        self.trace_cap = cap;
+        self
+    }
+
+    /// The compiled spec.
+    pub fn spec(&self) -> &Rc<Spec> {
+        &self.spec
+    }
+
+    /// The compiled automaton.
+    pub fn automaton(&self) -> &Rc<Automaton> {
+        self.spec.automaton()
+    }
+
+    /// The namespace this monitor watches.
+    pub fn namespace(&self) -> &Namespace {
+        &self.namespace
+    }
+
+    /// Whether violations abort evaluation.
+    pub fn is_enforcing(&self) -> bool {
+        self.enforcing
+    }
+
+    /// Advances the state by one abstract letter. Shared by the
+    /// interpreted adapter and the pe-specialized one, so both evolve
+    /// states identically (same trace entries, same counters, same abort
+    /// reasons).
+    ///
+    /// Irrelevant letters (universal self-loops) are not observed:
+    /// the state is returned untouched.
+    pub fn advance(
+        &self,
+        mut s: SpecState,
+        letter: u32,
+        desc: impl FnOnce() -> String,
+    ) -> Outcome<SpecState> {
+        let aut = self.automaton();
+        if !aut.letter_observed(letter) {
+            return Outcome::Continue(s);
+        }
+        let desc = desc();
+        s.events += 1;
+        if self.trace_cap > 0 {
+            if s.trace.len() == self.trace_cap {
+                s.trace.pop_front();
+            }
+            s.trace.push_back(desc.clone());
+        }
+        s.state = aut.step(s.state, letter);
+        if s.violation.is_none() && aut.is_dead(s.state) {
+            let recent: Vec<String> = s.trace.iter().cloned().collect();
+            let reason = format!(
+                "spec `{}` violated at event #{} ({desc}); recent: [{}]",
+                self.name,
+                s.events,
+                recent.join(", ")
+            );
+            s.violation = Some(reason.clone());
+            if self.enforcing {
+                return Outcome::abort(s, self.name.clone(), reason);
+            }
+        }
+        Outcome::Continue(s)
+    }
+
+    /// Ends the trace: feeds the synthetic `done` event and checks that
+    /// the completed trace is accepted.
+    ///
+    /// # Errors
+    ///
+    /// The violation reason — either one already recorded mid-run, or
+    /// "trace ended unsatisfied" if the post-`done` state is not
+    /// accepting (e.g. an `eventually(..)` that never happened).
+    pub fn finish(&self, state: &SpecState) -> Result<SpecState, String> {
+        if let Some(v) = &state.violation {
+            return Err(v.clone());
+        }
+        let aut = self.automaton();
+        let done = aut.alphabet().done_letter();
+        let mut s = match self.advance(state.clone(), done, || "done".to_string()) {
+            Outcome::Continue(s) => s,
+            Outcome::Abort { reason, .. } => return Err(reason),
+        };
+        if let Some(v) = &s.violation {
+            return Err(v.clone());
+        }
+        // If `done` was an (unobserved) self-loop, `advance` left the
+        // state untouched — which is exactly where `done` leads, so the
+        // nullability check below is right in both cases.
+        if !aut.is_nullable(s.state) {
+            let reason = format!(
+                "spec `{}` unsatisfied at end of trace after {} events",
+                self.name, s.events
+            );
+            s.violation = Some(reason.clone());
+            return Err(reason);
+        }
+        Ok(s)
+    }
+
+    fn ours(&self, ann: &Annotation) -> bool {
+        ann.namespace == self.namespace
+    }
+}
+
+impl Monitor for SpecMonitor {
+    type State = SpecState;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        if !self.ours(ann) {
+            return false;
+        }
+        let aut = self.automaton();
+        let nc = aut.alphabet().name_class(ann.name());
+        aut.pre_relevant(nc) || aut.post_relevant(nc)
+    }
+
+    fn accepts_event(&self, ann: &Annotation, phase: HookPhase) -> bool {
+        if !self.ours(ann) {
+            return false;
+        }
+        let aut = self.automaton();
+        let nc = aut.alphabet().name_class(ann.name());
+        match phase {
+            HookPhase::Pre => aut.pre_relevant(nc),
+            HookPhase::Post => aut.post_relevant(nc),
+        }
+    }
+
+    fn initial_state(&self) -> SpecState {
+        SpecState {
+            state: self.automaton().start(),
+            events: 0,
+            trace: VecDeque::new(),
+            violation: None,
+        }
+    }
+
+    fn pre(&self, ann: &Annotation, expr: &Expr, scope: &Scope<'_>, state: SpecState) -> SpecState {
+        // The pure hook observes without the power to veto (Theorem 7.7's
+        // shape); violations are still recorded in the state.
+        match self.try_pre(ann, expr, scope, state) {
+            Outcome::Continue(s) | Outcome::Abort { state: s, .. } => s,
+        }
+    }
+
+    fn post(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        state: SpecState,
+    ) -> SpecState {
+        match self.try_post(ann, expr, scope, value, state) {
+            Outcome::Continue(s) | Outcome::Abort { state: s, .. } => s,
+        }
+    }
+
+    fn try_pre(
+        &self,
+        ann: &Annotation,
+        _expr: &Expr,
+        _scope: &Scope<'_>,
+        state: SpecState,
+    ) -> Outcome<SpecState> {
+        if !self.ours(ann) {
+            return Outcome::Continue(state);
+        }
+        let aut = self.automaton();
+        let letter = aut
+            .alphabet()
+            .pre_letter(aut.alphabet().name_class(ann.name()));
+        self.advance(state, letter, || format!("pre {}", ann.name()))
+    }
+
+    fn try_post(
+        &self,
+        ann: &Annotation,
+        _expr: &Expr,
+        _scope: &Scope<'_>,
+        value: &Value,
+        state: SpecState,
+    ) -> Outcome<SpecState> {
+        if !self.ours(ann) {
+            return Outcome::Continue(state);
+        }
+        let aut = self.automaton();
+        let alphabet = aut.alphabet();
+        let letter = alphabet.post_letter(
+            alphabet.name_class(ann.name()),
+            alphabet.classify_value(value),
+        );
+        self.advance(state, letter, || {
+            format!("post {} = {}", ann.name(), short_value(value))
+        })
+    }
+
+    fn render_state(&self, state: &SpecState) -> String {
+        if let Some(v) = &state.violation {
+            return format!("VIOLATED — {v}");
+        }
+        let aut = self.automaton();
+        let end = aut.step(state.state, aut.alphabet().done_letter());
+        let status = if aut.is_nullable(end) {
+            "would accept"
+        } else {
+            "pending"
+        };
+        format!(
+            "state {}/{} after {} events ({status})",
+            state.state,
+            aut.num_states(),
+            state.events
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_core::error::EvalError;
+    use monsem_monitor::machine::eval_monitored;
+    use monsem_syntax::parse_expr;
+
+    #[test]
+    fn observing_spec_preserves_the_answer_and_records_the_violation() {
+        let prog = parse_expr("{a}:1 + {b}:2").unwrap();
+        let m = SpecMonitor::new("no-b", "never(post(b))").unwrap();
+        let (v, s) = eval_monitored(&prog, &m).unwrap();
+        assert_eq!(v, Value::Int(3));
+        assert!(s.violation.is_some(), "violation recorded: {s:?}");
+        assert!(m.render_state(&s).contains("VIOLATED"));
+    }
+
+    #[test]
+    fn enforcing_spec_aborts_naming_the_spec() {
+        let prog = parse_expr("{a}:1 + {b}:2").unwrap();
+        let m = SpecMonitor::new("no-b", "never(post(b))")
+            .unwrap()
+            .enforcing();
+        let err = eval_monitored(&prog, &m).unwrap_err();
+        match err {
+            EvalError::MonitorAbort { monitor, reason } => {
+                assert_eq!(monitor, "no-b");
+                assert!(reason.contains("no-b"), "{reason}");
+                assert!(reason.contains("post b"), "{reason}");
+            }
+            other => panic!("expected MonitorAbort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn satisfied_spec_accepts_at_finish() {
+        let prog = parse_expr("{a}:1 + {b}:2").unwrap();
+        let m = SpecMonitor::new("sees-b", "eventually(post(b))").unwrap();
+        let (_, s) = eval_monitored(&prog, &m).unwrap();
+        let done = m.finish(&s).unwrap();
+        assert!(done.violation.is_none());
+    }
+
+    #[test]
+    fn unsatisfied_eventually_fails_at_finish() {
+        let prog = parse_expr("{a}:1 + {a}:2").unwrap();
+        let m = SpecMonitor::new("sees-b", "eventually(post(b))").unwrap();
+        let (_, s) = eval_monitored(&prog, &m).unwrap();
+        let err = m.finish(&s).unwrap_err();
+        assert!(err.contains("unsatisfied"), "{err}");
+    }
+
+    #[test]
+    fn namespaces_partition_events() {
+        let prog = parse_expr("{ns/a}:1 + {b}:2").unwrap();
+        // Watching namespace `ns`, the anonymous {b} is foreign: no
+        // violation. The same spec over the anonymous namespace sees it.
+        let scoped = SpecMonitor::new("no-b", "never(post(b))")
+            .unwrap()
+            .in_namespace(Namespace::new("ns"));
+        let (_, s) = eval_monitored(&prog, &scoped).unwrap();
+        assert!(s.violation.is_none());
+        let anon = SpecMonitor::new("no-b", "never(post(b))").unwrap();
+        let (_, s) = eval_monitored(&prog, &anon).unwrap();
+        assert!(s.violation.is_some());
+    }
+
+    #[test]
+    fn value_predicates_see_post_values() {
+        let prog = parse_expr("letrec f = lambda x. {p}:x in f 5").unwrap();
+        let ok = SpecMonitor::new("pos", "always(post(p) => value > 0)").unwrap();
+        let (_, s) = eval_monitored(&prog, &ok).unwrap();
+        assert!(s.violation.is_none());
+        let bad = SpecMonitor::new("neg", "always(post(p) => value < 0)").unwrap();
+        let (_, s) = eval_monitored(&prog, &bad).unwrap();
+        assert!(s.violation.is_some());
+    }
+
+    #[test]
+    fn irrelevant_hooks_are_invisible() {
+        // A post-only spec: pre hooks must not count as events.
+        let prog = parse_expr("{a}:({a}:1)").unwrap();
+        let m = SpecMonitor::new("posts", "always(post(a) => value >= 0)").unwrap();
+        let (_, s) = eval_monitored(&prog, &m).unwrap();
+        assert_eq!(s.events, 2, "only the two post events are observed");
+        let ann = Annotation::label("a");
+        assert!(!m.accepts_event(&ann, HookPhase::Pre));
+        assert!(m.accepts_event(&ann, HookPhase::Post));
+    }
+
+    #[test]
+    fn trace_ring_is_bounded() {
+        let prog = parse_expr(
+            "letrec count = lambda x. if (x = 0) then {z}:0 else {l}:(count (x - 1)) in count 50",
+        )
+        .unwrap();
+        let m = SpecMonitor::new("nonneg", "always(post(l) => value >= 0)")
+            .unwrap()
+            .trace_cap(4);
+        let (_, s) = eval_monitored(&prog, &m).unwrap();
+        assert_eq!(s.trace.len(), 4);
+        assert_eq!(s.events, 50, "one observed event per {{l}} post");
+        assert!(s.violation.is_none());
+    }
+}

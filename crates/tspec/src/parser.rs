@@ -1,0 +1,468 @@
+//! Recursive-descent parser for temporal specifications.
+//!
+//! Grammar (lowest precedence first):
+//!
+//! ```text
+//! expr    := isect ( '|' isect )*
+//! isect   := cat ( '&' cat )*
+//! cat     := prefix ( ';' prefix )*
+//! prefix  := '!' prefix | postfix
+//! postfix := primary ( '*' | '+' | '?' | '{' INT '}' )*
+//! primary := '(' expr ')' | '[' pred ']' | 'any' | 'none' | 'empty'
+//!          | 'always' '(' pred ')' | 'never' '(' pred ')'
+//!          | 'eventually' '(' pred ')'
+//!          | 'respond' '(' pred ',' pred ',' INT ')'
+//!          | patom                      -- bare atoms are sugar for [atom]
+//!
+//! pred    := orp ( '=>' pred )?        -- implication, right-associative
+//! orp     := andp ( 'or' andp )*
+//! andp    := notp ( 'and' notp )*
+//! notp    := 'not' notp | '(' pred ')' | patom
+//! patom   := 'true' | 'false' | 'done' | 'unsorted'
+//!          | 'pre' '(' namepat ')' | 'post' '(' namepat ')'
+//!          | 'at' '(' namepat ')' | 'value' cmp int
+//! namepat := IDENT | '_'
+//! ```
+//!
+//! Temporal sugar expands here:
+//!
+//! * `always(p)`     ⇒ `[p or done]*` — the synthetic end-of-trace marker
+//!   is exempt, so `always` ranges over hook events only
+//! * `never(p)`      ⇒ `[not p]*`
+//! * `eventually(p)` ⇒ `any* ; [p] ; any*`
+//! * `respond(p, q, k)` ⇒ `!(any* ; [p and not q] ; [not q]{k} ; any*)` —
+//!   every `p` event must be answered by a `q` event within `k` events.
+//!   The synthetic `done` event counts against the window, so a trace that
+//!   *ends* unanswered more than `k − 1` events after `p` also violates.
+
+use crate::ast::{Atom, CmpOp, NamePat, Pred, SpecExpr};
+use crate::lexer::{lex, Spanned, Tok};
+use crate::SpecError;
+use monsem_syntax::Ident;
+
+/// Largest allowed bound in `r{n}` and `respond(_, _, n)` — repeats expand
+/// to `n` concatenated copies before compilation.
+pub const MAX_REPEAT: u32 = 255;
+
+/// Parses a specification source into a trace expression.
+///
+/// # Errors
+///
+/// Lexical or syntactic errors, with the byte offset of the offending
+/// token.
+pub fn parse_spec(src: &str) -> Result<SpecExpr, SpecError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        end: src.len(),
+    };
+    let expr = p.expr()?;
+    if let Some(t) = p.peek() {
+        return Err(p.err_at(t.offset, "unexpected trailing input"));
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Spanned> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek().map(|s| &s.tok) == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), SpecError> {
+        if self.eat(&tok) {
+            Ok(())
+        } else {
+            Err(self.err_here(&format!("expected {what}")))
+        }
+    }
+
+    fn err_here(&self, message: &str) -> SpecError {
+        let offset = self.peek().map(|s| s.offset).unwrap_or(self.end);
+        SpecError {
+            message: message.to_string(),
+            offset,
+        }
+    }
+
+    fn err_at(&self, offset: usize, message: &str) -> SpecError {
+        SpecError {
+            message: message.to_string(),
+            offset,
+        }
+    }
+
+    // ---- trace expressions ------------------------------------------------
+
+    fn expr(&mut self) -> Result<SpecExpr, SpecError> {
+        let mut lhs = self.isect()?;
+        while self.eat(&Tok::Pipe) {
+            let rhs = self.isect()?;
+            lhs = SpecExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn isect(&mut self) -> Result<SpecExpr, SpecError> {
+        let mut lhs = self.cat()?;
+        while self.eat(&Tok::Amp) {
+            let rhs = self.cat()?;
+            lhs = SpecExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cat(&mut self) -> Result<SpecExpr, SpecError> {
+        let mut lhs = self.prefix()?;
+        while self.eat(&Tok::Semi) {
+            let rhs = self.prefix()?;
+            lhs = SpecExpr::Cat(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn prefix(&mut self) -> Result<SpecExpr, SpecError> {
+        if self.eat(&Tok::Bang) {
+            let inner = self.prefix()?;
+            return Ok(SpecExpr::Not(Box::new(inner)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<SpecExpr, SpecError> {
+        let mut e = self.primary()?;
+        loop {
+            e = if self.eat(&Tok::Star) {
+                SpecExpr::Star(Box::new(e))
+            } else if self.eat(&Tok::Plus) {
+                SpecExpr::Plus(Box::new(e))
+            } else if self.eat(&Tok::Question) {
+                SpecExpr::Opt(Box::new(e))
+            } else if self.eat(&Tok::LBrace) {
+                let n = self.int_bound()?;
+                self.expect(Tok::RBrace, "`}` after repeat bound")?;
+                SpecExpr::Repeat(Box::new(e), n)
+            } else {
+                return Ok(e);
+            };
+        }
+    }
+
+    fn int_bound(&mut self) -> Result<u32, SpecError> {
+        match self.bump() {
+            Some(Spanned {
+                tok: Tok::Int(n),
+                offset,
+            }) => {
+                if n < 0 || n > MAX_REPEAT as i64 {
+                    Err(self.err_at(offset, &format!("repeat bound must be 0..={MAX_REPEAT}")))
+                } else {
+                    Ok(n as u32)
+                }
+            }
+            Some(Spanned { offset, .. }) => Err(self.err_at(offset, "expected a repeat bound")),
+            None => Err(self.err_here("expected a repeat bound")),
+        }
+    }
+
+    fn primary(&mut self) -> Result<SpecExpr, SpecError> {
+        let Some(t) = self.peek().cloned() else {
+            return Err(self.err_here("expected a trace expression"));
+        };
+        match &t.tok {
+            Tok::LParen => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::LBracket => {
+                self.pos += 1;
+                let p = self.pred()?;
+                self.expect(Tok::RBracket, "`]` after event predicate")?;
+                Ok(SpecExpr::Event(p))
+            }
+            Tok::Ident(word) => match word.as_str() {
+                "any" => {
+                    self.pos += 1;
+                    Ok(SpecExpr::Any)
+                }
+                "none" => {
+                    self.pos += 1;
+                    Ok(SpecExpr::Empty)
+                }
+                "empty" => {
+                    self.pos += 1;
+                    Ok(SpecExpr::Eps)
+                }
+                "always" => {
+                    self.pos += 1;
+                    self.expect(Tok::LParen, "`(` after `always`")?;
+                    let p = self.pred()?;
+                    self.expect(Tok::RParen, "`)`")?;
+                    // `done` is exempt: `always` constrains hook events,
+                    // not the end-of-trace marker.
+                    Ok(SpecExpr::Star(Box::new(SpecExpr::Event(Pred::Or(
+                        Box::new(p),
+                        Box::new(Pred::Atom(Atom::Done)),
+                    )))))
+                }
+                "never" => {
+                    self.pos += 1;
+                    self.expect(Tok::LParen, "`(` after `never`")?;
+                    let p = self.pred()?;
+                    self.expect(Tok::RParen, "`)`")?;
+                    Ok(SpecExpr::Star(Box::new(SpecExpr::Event(Pred::Not(
+                        Box::new(p),
+                    )))))
+                }
+                "eventually" => {
+                    self.pos += 1;
+                    self.expect(Tok::LParen, "`(` after `eventually`")?;
+                    let p = self.pred()?;
+                    self.expect(Tok::RParen, "`)`")?;
+                    Ok(SpecExpr::Cat(
+                        Box::new(SpecExpr::Star(Box::new(SpecExpr::Any))),
+                        Box::new(SpecExpr::Cat(
+                            Box::new(SpecExpr::Event(p)),
+                            Box::new(SpecExpr::Star(Box::new(SpecExpr::Any))),
+                        )),
+                    ))
+                }
+                "respond" => {
+                    self.pos += 1;
+                    self.expect(Tok::LParen, "`(` after `respond`")?;
+                    let p = self.pred()?;
+                    self.expect(Tok::Comma, "`,` between `respond` arguments")?;
+                    let q = self.pred()?;
+                    self.expect(Tok::Comma, "`,` between `respond` arguments")?;
+                    let k = self.int_bound()?;
+                    self.expect(Tok::RParen, "`)`")?;
+                    let not_q = || Pred::Not(Box::new(q.clone()));
+                    let anystar = || SpecExpr::Star(Box::new(SpecExpr::Any));
+                    // `! ( any* ; [p and not q] ; [not q]{k} ; any* )`
+                    let bad = SpecExpr::Cat(
+                        Box::new(anystar()),
+                        Box::new(SpecExpr::Cat(
+                            Box::new(SpecExpr::Event(Pred::And(Box::new(p), Box::new(not_q())))),
+                            Box::new(SpecExpr::Cat(
+                                Box::new(SpecExpr::Repeat(Box::new(SpecExpr::Event(not_q())), k)),
+                                Box::new(anystar()),
+                            )),
+                        )),
+                    );
+                    Ok(SpecExpr::Not(Box::new(bad)))
+                }
+                _ => {
+                    // A bare atomic predicate is sugar for `[atom]`.
+                    let a = self.patom()?;
+                    Ok(SpecExpr::Event(Pred::Atom(a)))
+                }
+            },
+            _ => Err(self.err_at(t.offset, "expected a trace expression")),
+        }
+    }
+
+    // ---- event predicates -------------------------------------------------
+
+    fn pred(&mut self) -> Result<Pred, SpecError> {
+        let lhs = self.orp()?;
+        if self.eat(&Tok::Implies) {
+            let rhs = self.pred()?;
+            return Ok(lhs.implies(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn orp(&mut self) -> Result<Pred, SpecError> {
+        let mut lhs = self.andp()?;
+        loop {
+            match self.peek() {
+                Some(Spanned {
+                    tok: Tok::Ident(w), ..
+                }) if w == "or" => {
+                    self.pos += 1;
+                    let rhs = self.andp()?;
+                    lhs = Pred::Or(Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn andp(&mut self) -> Result<Pred, SpecError> {
+        let mut lhs = self.notp()?;
+        loop {
+            match self.peek() {
+                Some(Spanned {
+                    tok: Tok::Ident(w), ..
+                }) if w == "and" => {
+                    self.pos += 1;
+                    let rhs = self.notp()?;
+                    lhs = Pred::And(Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn notp(&mut self) -> Result<Pred, SpecError> {
+        match self.peek() {
+            Some(Spanned {
+                tok: Tok::Ident(w), ..
+            }) if w == "not" => {
+                self.pos += 1;
+                let inner = self.notp()?;
+                Ok(Pred::Not(Box::new(inner)))
+            }
+            Some(Spanned {
+                tok: Tok::LParen, ..
+            }) => {
+                self.pos += 1;
+                let p = self.pred()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(p)
+            }
+            _ => Ok(Pred::Atom(self.patom()?)),
+        }
+    }
+
+    fn patom(&mut self) -> Result<Atom, SpecError> {
+        let Some(t) = self.bump() else {
+            return Err(self.err_here("expected an event predicate"));
+        };
+        let Tok::Ident(word) = &t.tok else {
+            return Err(self.err_at(t.offset, "expected an event predicate"));
+        };
+        match word.as_str() {
+            "true" => Ok(Atom::True),
+            "false" => Ok(Atom::False),
+            "done" => Ok(Atom::Done),
+            "unsorted" => Ok(Atom::Unsorted),
+            "pre" => Ok(Atom::Pre(self.namepat()?)),
+            "post" => Ok(Atom::Post(self.namepat()?)),
+            "at" => Ok(Atom::At(self.namepat()?)),
+            "value" => {
+                let op = match self.bump() {
+                    Some(Spanned { tok: Tok::Eq, .. }) => CmpOp::Eq,
+                    Some(Spanned { tok: Tok::Ne, .. }) => CmpOp::Ne,
+                    Some(Spanned { tok: Tok::Lt, .. }) => CmpOp::Lt,
+                    Some(Spanned { tok: Tok::Le, .. }) => CmpOp::Le,
+                    Some(Spanned { tok: Tok::Gt, .. }) => CmpOp::Gt,
+                    Some(Spanned { tok: Tok::Ge, .. }) => CmpOp::Ge,
+                    Some(Spanned { offset, .. }) => {
+                        return Err(self.err_at(offset, "expected a comparison after `value`"))
+                    }
+                    None => return Err(self.err_here("expected a comparison after `value`")),
+                };
+                let neg = self.eat(&Tok::Minus);
+                match self.bump() {
+                    Some(Spanned {
+                        tok: Tok::Int(n), ..
+                    }) => Ok(Atom::Value(op, if neg { -n } else { n })),
+                    Some(Spanned { offset, .. }) => {
+                        Err(self.err_at(offset, "expected an integer after the comparison"))
+                    }
+                    None => Err(self.err_here("expected an integer after the comparison")),
+                }
+            }
+            other => Err(self.err_at(
+                t.offset,
+                &format!("unknown event predicate `{other}` (expected pre/post/at/done/value/unsorted/true/false)"),
+            )),
+        }
+    }
+
+    fn namepat(&mut self) -> Result<NamePat, SpecError> {
+        self.expect(Tok::LParen, "`(`")?;
+        let pat = match self.bump() {
+            Some(Spanned {
+                tok: Tok::Ident(w), ..
+            }) => {
+                if w == "_" {
+                    NamePat::Any
+                } else {
+                    NamePat::Name(Ident::new(&w))
+                }
+            }
+            Some(Spanned { offset, .. }) => {
+                return Err(self.err_at(offset, "expected an annotation name or `_`"))
+            }
+            None => return Err(self.err_here("expected an annotation name or `_`")),
+        };
+        self.expect(Tok::RParen, "`)`")?;
+        Ok(pat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_issue_example() {
+        let e = parse_spec("always(post(fac) => value >= 1)").unwrap();
+        let SpecExpr::Star(inner) = e else {
+            panic!("always should desugar to a star");
+        };
+        assert!(matches!(*inner, SpecExpr::Event(_)));
+    }
+
+    #[test]
+    fn precedence_cat_binds_tighter_than_or() {
+        let e = parse_spec("done | done ; done").unwrap();
+        assert!(matches!(e, SpecExpr::Or(_, _)));
+    }
+
+    #[test]
+    fn bare_atoms_are_events() {
+        let e = parse_spec("pre(f) ; post(f)").unwrap();
+        assert!(matches!(e, SpecExpr::Cat(_, _)));
+    }
+
+    #[test]
+    fn respond_desugars_to_a_complement() {
+        let e = parse_spec("respond(pre(req), post(ack), 3)").unwrap();
+        assert!(matches!(e, SpecExpr::Not(_)));
+    }
+
+    #[test]
+    fn reports_offsets() {
+        let err = parse_spec("always(post(fac) => )").unwrap_err();
+        assert_eq!(err.offset, 20);
+        let err = parse_spec("[pre(f)] extra").unwrap_err();
+        assert!(err.message.contains("unexpected trailing input"));
+        assert_eq!(err.offset, 9);
+        let err = parse_spec("[before(f)]").unwrap_err();
+        assert!(err.message.contains("unknown event predicate"));
+    }
+
+    #[test]
+    fn rejects_oversized_repeats() {
+        let err = parse_spec("any{9999}").unwrap_err();
+        assert!(err.message.contains("repeat bound"));
+    }
+}

@@ -26,7 +26,11 @@
 //!   monitor, stepper, scripted debugger, and extensions;
 //! * [`pe`] — the §9.1 partial-evaluation pipeline: compiled engines,
 //!   source-to-source instrumentation, a specializer with partially
-//!   static data, and binding-time analysis.
+//!   static data, and binding-time analysis;
+//! * [`tspec`] — a temporal specification language (regular expressions
+//!   with intersection/complement plus `always`/`never`/`eventually`/
+//!   `respond` sugar) compiled via Brzozowski derivatives into automaton
+//!   monitors.
 //!
 //! # Quickstart
 //!
@@ -60,5 +64,6 @@ pub use monsem_monitor as monitor;
 pub use monsem_monitors as monitors;
 pub use monsem_pe as pe;
 pub use monsem_syntax as syntax;
+pub use monsem_tspec as tspec;
 
 pub use monsem_monitor::Monitor;

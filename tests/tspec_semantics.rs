@@ -1,0 +1,233 @@
+//! Semantics of the `monsem-tspec` temporal specification language.
+//!
+//! Three layers of evidence, each differential:
+//!
+//! 1. **The compiler is right** — the Brzozowski-derivative DFA agrees
+//!    with a naive structural matcher on thousands of random words over
+//!    the abstract alphabet, for specs exercising concatenation, union,
+//!    intersection, complement, repetition, and the temporal sugar.
+//! 2. **The monitor is right** — an automaton monitor for "no negative
+//!    value at a labelled point" reaches exactly the verdicts of the §8
+//!    [`PredicateDemon`] with the same trigger, enforcing and observing
+//!    alike, on randomly generated annotated programs.
+//! 3. **The theory holds** — an observing spec never changes the
+//!    program's answer (Theorem 7.7), an enforcing spec aborts with
+//!    [`EvalError::MonitorAbort`] naming the spec precisely when the
+//!    observing run records a violation, and the pe-specialized monitor
+//!    evolves states identically to the interpreted one.
+
+use monitoring_semantics::core::machine::EvalOptions;
+use monitoring_semantics::core::{Env, EvalError, Value};
+use monitoring_semantics::monitor::machine::eval_monitored_with;
+use monitoring_semantics::monitor::soundness::{check_soundness, SoundnessOutcome};
+use monitoring_semantics::monitor::Monitor;
+use monitoring_semantics::monitors::PredicateDemon;
+use monitoring_semantics::pe::SpecializedSpec;
+use monitoring_semantics::syntax::gen::{gen_program, sprinkle_annotations, GenConfig};
+use monitoring_semantics::syntax::{Expr, Namespace};
+use monitoring_semantics::tspec::{Automaton, SpecMonitor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FUEL: u64 = 400_000;
+
+fn annotated_program(seed: u64, density: u16) -> Expr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let plain = gen_program(&mut rng, &GenConfig::default());
+    sprinkle_annotations(
+        &mut rng,
+        &plain,
+        &Namespace::new("ns"),
+        f64::from(density) / 1000.0,
+    )
+}
+
+// ---------------------------------------------------------------------
+// 1. DFA vs naive matcher
+// ---------------------------------------------------------------------
+
+/// Specs chosen to cover every connective the derivative compiler
+/// normalizes: sequencing, union, intersection, complement, nesting of
+/// star under complement, bounded repetition, and the sugar forms.
+const WORD_SPECS: &[&str] = &[
+    "always(post(fac) => value >= 1)",
+    "never(post(l) and value < 0)",
+    "eventually(post(b))",
+    "respond(pre(req), post(ack), 3)",
+    "[pre(f)] ; [post(f)]*",
+    "(any* ; [post(a)]) & !(any* ; [post(b)] ; any*)",
+    "![pre(x)]{2} | [at(x)]+",
+    "always(value = 0 or value = 1)",
+];
+
+#[test]
+fn dfa_agrees_with_the_naive_matcher_on_random_words() {
+    let mut rng = StdRng::seed_from_u64(0x7E5C);
+    let mut checked = 0u32;
+    for src in WORD_SPECS {
+        let spec = monitoring_semantics::tspec::parse_spec(src).unwrap();
+        let aut = Automaton::compile(&spec).unwrap();
+        let width = aut.alphabet().width();
+        for _ in 0..150 {
+            let len = rng.gen_range(0..=10);
+            let word: Vec<u32> = (0..len).map(|_| rng.gen_range(0..width)).collect();
+            assert_eq!(
+                aut.accepts_word(&word),
+                aut.naive_word(&word),
+                "spec {src:?} disagrees on word {word:?}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 1000, "need at least 1000 words, got {checked}");
+}
+
+// ---------------------------------------------------------------------
+// 2 & 3. Differential properties on generated programs
+// ---------------------------------------------------------------------
+
+/// "No labelled point produces a negative integer" — once as a temporal
+/// spec, once as the §8 demon.
+const NEG_SPEC: &str = "never(post(_) and value < 0)";
+
+fn neg_spec() -> SpecMonitor {
+    SpecMonitor::new("no-negatives", NEG_SPEC)
+        .unwrap()
+        .in_namespace(Namespace::new("ns"))
+}
+
+fn neg_demon() -> PredicateDemon {
+    PredicateDemon::new(
+        "no-negatives-demon",
+        |v| matches!(v, Value::Int(n) if *n < 0),
+    )
+    .in_namespace(Namespace::new("ns"))
+}
+
+fn run<M: Monitor>(program: &Expr, m: &M) -> Result<(Value, M::State), EvalError> {
+    eval_monitored_with(
+        program,
+        &Env::empty(),
+        m,
+        m.initial_state(),
+        &EvalOptions::with_fuel(FUEL),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 7.7 for automaton monitors: an observing spec is a pure
+    /// monitor, so the monitored answer equals the standard answer.
+    #[test]
+    fn observing_spec_preserves_the_answer(seed: u64, density in 100u16..=1000) {
+        let program = annotated_program(seed, density);
+        let outcome = check_soundness(&program, &neg_spec(), &EvalOptions::with_fuel(FUEL))
+            .unwrap_or_else(|v| panic!("soundness violation: {v}"));
+        prop_assert!(
+            !matches!(outcome, SoundnessOutcome::MonitorAborted { .. }),
+            "an observing spec must never abort"
+        );
+    }
+
+    /// The enforcing spec aborts (naming the spec) exactly when the
+    /// observing run records a violation; otherwise the answers agree.
+    #[test]
+    fn enforcing_spec_aborts_iff_the_spec_is_violated(seed: u64, density in 100u16..=1000) {
+        let program = annotated_program(seed, density);
+        let observed = run(&program, &neg_spec());
+        let enforced = run(&program, &neg_spec().enforcing());
+        match observed {
+            Err(EvalError::FuelExhausted) => {} // no verdict either way
+            Ok((answer, state)) => match state.violation {
+                Some(_) => match enforced {
+                    Err(EvalError::MonitorAbort { monitor, reason }) => {
+                        prop_assert_eq!(monitor, "no-negatives");
+                        prop_assert!(
+                            reason.contains("no-negatives"),
+                            "reason must name the spec: {}", reason
+                        );
+                    }
+                    other => prop_assert!(false, "expected MonitorAbort, got {:?}", other),
+                },
+                None => {
+                    let (v, s) = enforced.expect("unviolated spec must not abort");
+                    prop_assert_eq!(answer, v);
+                    prop_assert_eq!(state, s);
+                }
+            },
+            Err(e) => {
+                // Program errors (never aborts: the observing monitor has
+                // no veto) must reproduce under enforcement unless the
+                // spec vetoes first.
+                match enforced {
+                    Err(EvalError::MonitorAbort { .. }) => {}
+                    Err(e2) => prop_assert_eq!(e, e2),
+                    Ok(_) => prop_assert!(false, "enforcing run cannot out-succeed observing"),
+                }
+            }
+        }
+    }
+
+    /// The automaton monitor and the §8 demon implement the same
+    /// property, so their enforcing verdicts coincide event-for-event.
+    #[test]
+    fn enforcing_spec_matches_the_enforcing_demon(seed: u64, density in 100u16..=1000) {
+        let program = annotated_program(seed, density);
+        let by_spec = run(&program, &neg_spec().enforcing()).map(|(v, _)| v);
+        let by_demon = run(&program, &neg_demon().enforcing()).map(|(v, _)| v);
+        match (by_spec, by_demon) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (
+                Err(EvalError::MonitorAbort { monitor: a, .. }),
+                Err(EvalError::MonitorAbort { monitor: b, .. }),
+            ) => {
+                prop_assert_eq!(a, "no-negatives");
+                prop_assert_eq!(b, "no-negatives-demon");
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "verdicts diverge: spec={:?} demon={:?}", a, b),
+        }
+    }
+
+    /// The pe-specialized monitor evolves exactly the interpreted
+    /// monitor's states: same answers, same DFA state, same counters,
+    /// same trace, same violations.
+    #[test]
+    fn specialized_spec_is_state_identical_to_interpreted(seed: u64, density in 100u16..=1000) {
+        let program = annotated_program(seed, density);
+        let interpreted = run(&program, &neg_spec());
+        let specialized = run(&program, &SpecializedSpec::new(&program, neg_spec()));
+        match (interpreted, specialized) {
+            (Ok((v1, s1)), Ok((v2, s2))) => {
+                prop_assert_eq!(v1, v2);
+                prop_assert_eq!(s1, s2);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "runs diverge: {:?} vs {:?}", a, b),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pinned end-to-end example (the ISSUE acceptance shape)
+// ---------------------------------------------------------------------
+
+#[test]
+fn violated_spec_aborts_naming_the_spec_on_a_concrete_program() {
+    let program = monitoring_semantics::syntax::parse_expr("{ns/a}:(1 - 2) + {ns/b}:3").unwrap();
+    let err = run(&program, &neg_spec().enforcing()).unwrap_err();
+    match err {
+        EvalError::MonitorAbort { monitor, reason } => {
+            assert_eq!(monitor, "no-negatives");
+            assert!(reason.contains("no-negatives"), "{reason}");
+            assert!(reason.contains("post a = -1"), "{reason}");
+        }
+        other => panic!("expected MonitorAbort, got {other:?}"),
+    }
+    // The observing twin preserves the answer.
+    let (v, s) = run(&program, &neg_spec()).unwrap();
+    assert_eq!(v, Value::Int(2));
+    assert!(s.violation.is_some());
+}
