@@ -3,22 +3,25 @@
 //!
 //! ```text
 //! cargo run --release -p monsem-bench --bin paper_tables -- \
-//!     [--table all|examples|spec-levels|fig11|futamura] [--json <dir>]
+//!     [--table all|examples|spec-levels|fig11|futamura|tspec|parallel] [--json <dir>]
 //! ```
 //!
 //! With `--json <dir>`, the timed tables additionally write
-//! machine-readable snapshots — `BENCH_spec_levels.json` (E6) and
-//! `BENCH_fig11.json` (E7) — into `<dir>`, so the performance trajectory
-//! can be tracked across revisions.
+//! machine-readable snapshots — `BENCH_spec_levels.json` (E6),
+//! `BENCH_fig11.json` (E7), `BENCH_tspec.json` (tspec overhead) and
+//! `BENCH_parallel.json` (fork-join speedups) — into `<dir>`, so the
+//! performance trajectory can be tracked across revisions.
 //!
 //! Absolute times are machine-dependent; the *shape* (who wins, by what
 //! factor, linearity in monitoring activity) is what reproduces the paper.
 
-use monsem_bench::{trace_density_program, traced_fib};
+use monsem_bench::{
+    labelled_countdown, par_fib, par_merge_sort, trace_density_program, traced_fib,
+};
 use monsem_core::machine::{eval_with, EvalOptions};
 use monsem_core::{programs, Env};
 use monsem_monitor::machine::eval_monitored_with;
-use monsem_monitor::Monitor;
+use monsem_monitor::{eval_parallel_with, Monitor, ParOptions};
 use monsem_monitors::{Collecting, Profiler, Tracer, UnsortedDemon};
 use monsem_pe::bta;
 use monsem_pe::engine::{compile, compile_monitored};
@@ -54,14 +57,20 @@ fn main() {
         "spec-levels" => spec_levels(json),
         "fig11" => fig11(json),
         "futamura" => futamura(),
+        "tspec" => tspec_overhead(json),
+        "parallel" => parallel(json),
         "all" => {
             examples();
             spec_levels(json);
             fig11(json);
             futamura();
+            tspec_overhead(json);
+            parallel(json);
         }
         other => {
-            eprintln!("unknown table `{other}`; try examples, spec-levels, fig11, futamura, all");
+            eprintln!(
+                "unknown table `{other}`; try examples, spec-levels, fig11, futamura, tspec, parallel, all"
+            );
             std::process::exit(2);
         }
     }
@@ -340,6 +349,201 @@ fn fig11(json: Option<&Path>) {
             points.join(",\n"),
         );
         write_json(dir, "BENCH_fig11.json", body);
+    }
+}
+
+/// Temporal-spec overhead (EXPERIMENTS.md §5¾): compiled-automaton
+/// monitors on the hook-dense `labelled_countdown` workload, so the
+/// recorded tspec numbers regenerate from the same command as every
+/// other table (previously criterion-only).
+fn tspec_overhead(json: Option<&Path>) {
+    header(
+        "Tspec overhead: compiled-automaton monitors on labelled_countdown(2000)\n\
+         expectation: one letter classification + one table lookup per event —\n\
+         same order as the hand-written demon, linear in event count",
+    );
+    use monsem_pe::SpecializedSpec;
+    use monsem_tspec::SpecMonitor;
+    let program = labelled_countdown(2000);
+    let erased = program.erase_annotations();
+    let opts = EvalOptions::default();
+    let t_std = measure(
+        || {
+            eval_with(&erased, &Env::empty(), &opts).unwrap();
+        },
+        WARMUP,
+        RUNS,
+    );
+    let safety = SpecMonitor::new("safety", "always(post(B) => value >= 0)").unwrap();
+    let t_safety = measure(
+        || {
+            eval_monitored_with(
+                &program,
+                &Env::empty(),
+                &safety,
+                safety.initial_state(),
+                &opts,
+            )
+            .unwrap();
+        },
+        WARMUP,
+        RUNS,
+    );
+    let specialized = SpecializedSpec::new(
+        &program,
+        SpecMonitor::new("safety", "always(post(B) => value >= 0)").unwrap(),
+    );
+    let t_specialized = measure(
+        || {
+            eval_monitored_with(
+                &program,
+                &Env::empty(),
+                &specialized,
+                specialized.initial_state(),
+                &opts,
+            )
+            .unwrap();
+        },
+        WARMUP,
+        RUNS,
+    );
+    println!("standard interpreter              {}", ms(t_std));
+    println!(
+        "tspec-safety (interpreted sites)  {}   ({} than standard)",
+        ms(t_safety),
+        relative_percent(t_safety, t_std)
+    );
+    println!(
+        "tspec-specialized (site table)    {}   ({} than standard)",
+        ms(t_specialized),
+        relative_percent(t_specialized, t_std)
+    );
+    if let Some(dir) = json {
+        let body = format!(
+            "{{\n  \
+               \"table\": \"tspec_overhead\",\n  \
+               \"unit\": \"ms\",\n  \
+               \"statistic\": \"median of {RUNS} after {WARMUP} warmups\",\n  \
+               \"workload\": \"labelled_countdown(2000)\",\n  \
+               \"spec\": \"always(post(B) => value >= 0)\",\n  \
+               \"standard_interpreter\": {},\n  \
+               \"tspec_safety\": {},\n  \
+               \"tspec_specialized\": {}\n}}\n",
+            json_ms(t_std),
+            json_ms(t_safety),
+            json_ms(t_specialized),
+        );
+        write_json(dir, "BENCH_tspec.json", body);
+    }
+}
+
+/// Fork-join speedup table (BENCH_parallel): profiler-monitored
+/// `par_fib` / `par_merge_sort` workloads across a thread axis, each
+/// point the median of 3 runs, compared against the *sequential*
+/// monitored machine on the identical program. The merge-law proptests
+/// (`tests/parallel_fork_join.rs`) pin the states bit-for-bit; this
+/// table records what the parallelism buys in wall-clock.
+fn parallel(json: Option<&Path>) {
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    header(&format!(
+        "Fork-join parallel evaluation: profiler-monitored workloads, median of 3\n\
+         expectation: ≥ 2× at 4 threads on 8 independent shards (needs ≥ 4 host\n\
+         cores; this host has {host_cpus}); states identical either way",
+    ));
+    use monsem_monitors::Profiler;
+    const PAR_RUNS: u32 = 3;
+    let profiler = Profiler::new();
+    let opts = EvalOptions::default();
+    let threads_axis = [1usize, 2, 4, 8];
+    let workloads = [
+        ("par_fib(8, 21)", par_fib(8, 21)),
+        ("par_merge_sort(8, 220)", par_merge_sort(8, 220)),
+    ];
+    let mut entries: Vec<String> = Vec::new();
+    for (name, program) in &workloads {
+        let seq_out = eval_monitored_with(
+            program,
+            &Env::empty(),
+            &profiler,
+            profiler.initial_state(),
+            &opts,
+        )
+        .expect("workload evaluates");
+        let t_seq = measure(
+            || {
+                eval_monitored_with(
+                    program,
+                    &Env::empty(),
+                    &profiler,
+                    profiler.initial_state(),
+                    &opts,
+                )
+                .unwrap();
+            },
+            WARMUP,
+            PAR_RUNS,
+        );
+        println!("\n{name}");
+        println!("  sequential monitored machine  {}", ms(t_seq));
+        let mut points: Vec<String> = Vec::new();
+        for &threads in &threads_axis {
+            let popts = ParOptions {
+                threads,
+                eval: opts.clone(),
+            };
+            let par_out = eval_parallel_with(
+                program,
+                &Env::empty(),
+                &profiler,
+                profiler.initial_state(),
+                &popts,
+            )
+            .expect("workload evaluates");
+            assert_eq!(seq_out, par_out, "parallel must match sequential exactly");
+            let t_par = measure(
+                || {
+                    eval_parallel_with(
+                        program,
+                        &Env::empty(),
+                        &profiler,
+                        profiler.initial_state(),
+                        &popts,
+                    )
+                    .unwrap();
+                },
+                WARMUP,
+                PAR_RUNS,
+            );
+            let speedup = t_seq.as_secs_f64() / t_par.as_secs_f64();
+            println!(
+                "  {threads} thread{}                     {}   ({speedup:.2}× vs sequential)",
+                if threads == 1 { " " } else { "s" },
+                ms(t_par)
+            );
+            points.push(format!(
+                "      {{ \"threads\": {threads}, \"wall_ms\": {}, \"speedup\": {speedup:.3} }}",
+                json_ms(t_par)
+            ));
+        }
+        entries.push(format!(
+            "    {{\n      \"workload\": \"{name}\",\n      \"sequential_ms\": {},\n      \"points\": [\n{}\n      ]\n    }}",
+            json_ms(t_seq),
+            points.join(",\n"),
+        ));
+    }
+    if let Some(dir) = json {
+        let body = format!(
+            "{{\n  \
+               \"table\": \"parallel\",\n  \
+               \"unit\": \"ms\",\n  \
+               \"statistic\": \"median of {PAR_RUNS} after {WARMUP} warmups\",\n  \
+               \"monitor\": \"profiler\",\n  \
+               \"host_cpus\": {host_cpus},\n  \
+               \"machine\": \"monitor::parallel fork-join vs sequential monitored machine\",\n  \
+               \"workloads\": [\n{}\n  ]\n}}\n",
+            entries.join(",\n"),
+        );
+        write_json(dir, "BENCH_parallel.json", body);
     }
 }
 

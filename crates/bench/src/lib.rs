@@ -44,6 +44,48 @@ pub fn trace_density_program(iters: i64, traced: i64) -> Expr {
     .expect("fixture parses")
 }
 
+/// Fork-join workload (BENCH_parallel): `shards` independent profiled
+/// `fib n` computations under one `par`. Every call routes through the
+/// `{fib}` label, so the profiler state each shard accumulates is
+/// proportional to the work it does — the adversarial case for
+/// split/merge overhead.
+pub fn par_fib(shards: usize, n: i64) -> Expr {
+    let elems = vec![format!("fib {n}"); shards].join(", ");
+    parse_expr(&format!(
+        "letrec fib = lambda n. {{fib}}:(if n < 2 then n else (fib (n - 1)) + (fib (n - 2))) \
+         in par({elems})"
+    ))
+    .expect("fixture parses")
+}
+
+/// Fork-join workload (BENCH_parallel): `shards` independent profiled
+/// merge sorts of the reversed list `[n, …, 1]` under one `par` — the
+/// list-heavy counterpart to [`par_fib`], with the recursive `sort`
+/// carrying the profiled label.
+pub fn par_merge_sort(shards: usize, n: i64) -> Expr {
+    let elems = vec![format!("sort (build {n})"); shards].join(", ");
+    parse_expr(&format!(
+        "letrec take = lambda k. lambda l. \
+            if k = 0 then [] else if null? l then [] \
+            else (hd l) : (take (k - 1) (tl l)) in \
+         letrec drop = lambda k. lambda l. \
+            if k = 0 then l else if null? l then [] \
+            else drop (k - 1) (tl l) in \
+         letrec merge = lambda a. lambda b. \
+            if null? a then b else if null? b then a \
+            else if (hd a) <= (hd b) \
+                 then (hd a) : (merge (tl a) b) \
+                 else (hd b) : (merge a (tl b)) in \
+         letrec sort = lambda l. {{sort}}:(\
+            if null? l then [] else if null? (tl l) then l \
+            else merge (sort (take ((length l) / 2) l)) \
+                       (sort (drop ((length l) / 2) l))) in \
+         letrec build = lambda i. if i = 0 then [] else i : (build (i - 1)) in \
+         par({elems})"
+    ))
+    .expect("fixture parses")
+}
+
 /// Workload used by the monitor-overhead comparison: a countdown whose
 /// branches carry `{A}`/`{B}` labels, so label-shaped monitors all have
 /// `n`+1 events to process (no arithmetic overflow at any size, unlike

@@ -18,6 +18,7 @@ use crate::resolve::resolve_for;
 use crate::value::{Closure, Value};
 use monsem_syntax::Expr;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// `Ans` — the final answer domain of the transliteration.
 type Ans = Result<Value, EvalError>;
@@ -38,7 +39,7 @@ fn done_err(e: EvalError) -> Bounce {
 /// One clause application of the valuation function. Every recursive call
 /// is wrapped in [`Bounce::More`], so Rust stack depth stays constant and
 /// the trampoline loop can meter fuel.
-fn step(expr: Rc<Expr>, env: Env, k: Kont) -> Bounce {
+fn step(expr: Arc<Expr>, env: Env, k: Kont) -> Bounce {
     match &*expr {
         Expr::Con(c) => k(constant(c)),
         Expr::VarAt(_, addr) => k(env.lookup_addr(addr)),
@@ -122,12 +123,15 @@ fn step(expr: Rc<Expr>, env: Env, k: Kont) -> Bounce {
         }
         Expr::Assign(..) => done_err(EvalError::UnsupportedConstruct("assignment")),
         Expr::While(..) => done_err(EvalError::UnsupportedConstruct("while")),
+        Expr::Par(..) => done_err(EvalError::UnsupportedConstruct(
+            "par (only the strict machines evaluate it)",
+        )),
     }
 }
 
 /// Evaluates the `index`-th planned letrec binding, then the rest, then
 /// the body (pushing the rec frame after the value bindings).
-fn bind_from(plan: Rc<LetrecPlan>, index: usize, body: Rc<Expr>, env: Env, k: Kont) -> Bounce {
+fn bind_from(plan: Rc<LetrecPlan>, index: usize, body: Arc<Expr>, env: Env, k: Kont) -> Bounce {
     if index == plan.ordered.len() {
         return Bounce::More(Box::new(move || step(body, env, k)));
     }
@@ -168,7 +172,7 @@ fn apply(fun: Value, arg: Value, k: Kont) -> Bounce {
                 k(Value::Prim(p, Rc::new(args)))
             }
         }
-        other => done_err(EvalError::NotAFunction(other)),
+        other => done_err(EvalError::NotAFunction(other.to_string())),
     }
 }
 
@@ -191,8 +195,8 @@ pub fn eval_cps_with(expr: &Expr, env: &Env, options: &EvalOptions) -> Result<Va
     // κ_init = {λv. φ v} with φ the identity here; answer algebras are
     // applied by callers (see `answer`).
     let program = match options.lookup {
-        LookupMode::ByAddress => Rc::new(resolve_for(expr, env)),
-        LookupMode::BySymbol | LookupMode::ByString => Rc::new(expr.clone()),
+        LookupMode::ByAddress => Arc::new(resolve_for(expr, env)),
+        LookupMode::BySymbol | LookupMode::ByString => Arc::new(expr.clone()),
     };
     let mut bounce = step(program, env.clone(), Box::new(|v| Bounce::Done(Ok(v))));
     let mut fuel = options.fuel;

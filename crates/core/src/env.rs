@@ -36,9 +36,10 @@ use crate::value::{Closure, Value};
 use monsem_syntax::{Binding, Expr, Ident, Lambda, VarAddr};
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 #[derive(Debug)]
-enum Node {
+pub(crate) enum Node {
     /// `ρ[x ↦ v]`
     Frame {
         name: Ident,
@@ -47,7 +48,7 @@ enum Node {
     },
     /// One frame per `letrec`, holding every lambda-valued binding.
     Rec {
-        bindings: Rc<Vec<(Ident, Rc<Lambda>)>>,
+        bindings: Arc<Vec<(Ident, Arc<Lambda>)>>,
         parent: Env,
     },
 }
@@ -64,7 +65,7 @@ enum Node {
 /// assert!(matches!(outer.lookup(&Ident::new("+")), Some(Value::Prim(..))));
 /// ```
 #[derive(Clone, Debug, Default)]
-pub struct Env(Option<Rc<Node>>);
+pub struct Env(pub(crate) Option<Rc<Node>>);
 
 impl Env {
     /// The initial environment: primitives only.
@@ -85,7 +86,7 @@ impl Env {
     ///
     /// Looking any of these names up yields a closure whose environment is
     /// rooted at this frame, tying the recursive knot.
-    pub fn extend_rec(&self, bindings: Rc<Vec<(Ident, Rc<Lambda>)>>) -> Env {
+    pub fn extend_rec(&self, bindings: Arc<Vec<(Ident, Arc<Lambda>)>>) -> Env {
         Env(Some(Rc::new(Node::Rec {
             bindings,
             parent: self.clone(),
@@ -155,7 +156,7 @@ impl Env {
 
     /// The closure for slot `slot` of the rec frame at `self`, rooted at
     /// this very frame (the knot of the `letrec` fixpoint).
-    fn rec_closure(&self, bindings: &[(Ident, Rc<Lambda>)], slot: usize) -> Value {
+    fn rec_closure(&self, bindings: &[(Ident, Arc<Lambda>)], slot: usize) -> Value {
         let (_, lam) = &bindings[slot];
         Value::Closure(Rc::new(Closure {
             param: lam.param.clone(),
@@ -302,9 +303,9 @@ impl fmt::Display for Env {
 /// Annotations wrapped directly around the lambda are *also* kept by the
 /// caller (evaluated once at binding time); recursion goes through the
 /// stripped lambda.
-pub fn lambda_of(e: &Expr) -> Option<Rc<Lambda>> {
+pub fn lambda_of(e: &Expr) -> Option<Arc<Lambda>> {
     match e.strip_annotations() {
-        Expr::Lambda(l) => Some(Rc::new(l.clone())),
+        Expr::Lambda(l) => Some(Arc::new(l.clone())),
         _ => None,
     }
 }
@@ -331,7 +332,7 @@ pub struct LetrecPlan {
     /// after exactly this many bindings have been evaluated.
     pub values: usize,
     /// The rec frame contents (stripped lambdas), possibly empty.
-    pub rec: Rc<Vec<(Ident, Rc<Lambda>)>>,
+    pub rec: Arc<Vec<(Ident, Arc<Lambda>)>>,
 }
 
 impl LetrecPlan {
@@ -339,7 +340,7 @@ impl LetrecPlan {
     pub fn of(bindings: &[Binding]) -> LetrecPlan {
         let mut ordered: Vec<Binding> = Vec::new();
         let mut annotated: Vec<Binding> = Vec::new();
-        let mut rec: Vec<(Ident, Rc<Lambda>)> = Vec::new();
+        let mut rec: Vec<(Ident, Arc<Lambda>)> = Vec::new();
         for b in bindings {
             match lambda_of(&b.value) {
                 Some(l) => {
@@ -356,7 +357,7 @@ impl LetrecPlan {
         LetrecPlan {
             ordered,
             values,
-            rec: Rc::new(rec),
+            rec: Arc::new(rec),
         }
     }
 
@@ -425,10 +426,10 @@ mod tests {
         // letrec f = lambda x. f — looking f up must yield a closure whose
         // environment again resolves f.
         let lam = match parse_expr("lambda x. f").unwrap() {
-            Expr::Lambda(l) => Rc::new(l),
+            Expr::Lambda(l) => Arc::new(l),
             _ => unreachable!(),
         };
-        let env = Env::empty().extend_rec(Rc::new(vec![(Ident::new("f"), lam)]));
+        let env = Env::empty().extend_rec(Arc::new(vec![(Ident::new("f"), lam)]));
         let v = env.lookup(&Ident::new("f")).unwrap();
         match v {
             Value::Closure(c) => {
@@ -463,10 +464,10 @@ mod tests {
     #[test]
     fn deep_rec_chain_drops_iteratively() {
         let lam = match parse_expr("lambda x. x").unwrap() {
-            Expr::Lambda(l) => Rc::new(l),
+            Expr::Lambda(l) => Arc::new(l),
             _ => unreachable!(),
         };
-        let bindings = Rc::new(vec![(Ident::new("f"), lam)]);
+        let bindings = Arc::new(vec![(Ident::new("f"), lam)]);
         let mut env = Env::empty();
         for _ in 0..500_000 {
             env = env.extend_rec(bindings.clone());
@@ -501,7 +502,7 @@ mod tests {
     fn deep_thunk_chain_drops_iteratively() {
         use crate::value::ThunkState;
         use std::cell::RefCell;
-        let expr = Rc::new(parse_expr("1 + 2").unwrap());
+        let expr = Arc::new(parse_expr("1 + 2").unwrap());
         let mut v = Value::Unit;
         for _ in 0..500_000 {
             let env = Env::empty().extend(Ident::new("t"), v);

@@ -6,7 +6,6 @@
 //! soundness property tests assert that both engines produce equal
 //! `Result<Value, EvalError>`s.
 
-use crate::value::Value;
 use monsem_syntax::Ident;
 use std::fmt;
 
@@ -16,7 +15,9 @@ pub enum EvalError {
     /// `ρ x` was undefined and `x` is not a primitive.
     UnboundVariable(Ident),
     /// Application of a non-function (`v₁ | Fun` failed, Figure 2).
-    NotAFunction(Value),
+    /// The value is rendered, so the error stays cheap to clone and
+    /// `Send` (shard errors cross the fork-join scope boundary).
+    NotAFunction(String),
     /// A primitive received a value outside its domain.
     TypeError {
         /// What the operation wanted.

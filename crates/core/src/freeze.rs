@@ -1,0 +1,332 @@
+//! `Send`able snapshots of values and environments for fork-join evaluation.
+//!
+//! [`crate::Value`] and [`crate::Env`] are deliberately `Rc`-based: the
+//! evaluators are single-threaded inner loops, and reference counting there
+//! is not contended. Crossing a `std::thread::scope` boundary (the
+//! `monsem-monitor` parallel machine) therefore goes through an explicit
+//! *freeze*: a deep, `Send + Sync` copy of the value or environment, thawed
+//! back into `Rc` form on the receiving thread.
+//!
+//! Freezing preserves **environment shape exactly**: a frozen chain has the
+//! same sequence of plain and rec frames as the original, so every lexical
+//! address (`VarAddr`) resolved against the original environment stays
+//! valid against the thawed one. Rec frames hold syntax (the lambda
+//! bindings), not values, which keeps the frozen graph acyclic — closures
+//! produced by a rec frame are re-tied on the thawing side exactly as
+//! `Env::rec_closure` ties them here.
+//!
+//! Not every value can cross a thread: lazy thunks (shared mutable cells),
+//! store locations (indices into a thread's heap) and external values
+//! (arbitrary `Rc<dyn Any>` payloads) are rejected with
+//! [`EvalError::UnsupportedConstruct`]. These only arise under the lazy and
+//! imperative engines, which the parallel machine does not drive.
+
+use crate::env::{Env, Node};
+use crate::error::EvalError;
+use crate::prims::Prim;
+use crate::value::{Closure, Value};
+use monsem_syntax::{Expr, Ident, Lambda};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// A `Send + Sync` deep copy of a [`Value`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrozenValue {
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// String (the allocation is shared with the original).
+    Str(Arc<str>),
+    /// Unit.
+    Unit,
+    /// Empty list.
+    Nil,
+    /// Cons cell.
+    Pair(Box<FrozenValue>, Box<FrozenValue>),
+    /// A closure: parameter, body syntax, frozen captured environment.
+    Closure {
+        /// The parameter.
+        param: Ident,
+        /// The body (already `Arc`-shared syntax).
+        body: Arc<Expr>,
+        /// The captured environment.
+        env: FrozenEnv,
+    },
+    /// A (possibly partially applied) primitive.
+    Prim(Prim, Vec<FrozenValue>),
+}
+
+/// A `Send + Sync` deep copy of an [`Env`] chain with identical frame
+/// structure.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FrozenEnv(Option<Arc<FrozenNode>>);
+
+#[derive(Debug, PartialEq)]
+enum FrozenNode {
+    Frame {
+        name: Ident,
+        value: FrozenValue,
+        parent: FrozenEnv,
+    },
+    Rec {
+        bindings: Arc<Vec<(Ident, Arc<Lambda>)>>,
+        parent: FrozenEnv,
+    },
+}
+
+fn unsupported(what: &'static str) -> EvalError {
+    EvalError::UnsupportedConstruct(what)
+}
+
+/// Deep-copies `v` into a thread-portable form.
+///
+/// # Errors
+///
+/// [`EvalError::UnsupportedConstruct`] for thunks, store locations and
+/// external values — none of which have a coherent cross-thread meaning.
+pub fn freeze(v: &Value) -> Result<FrozenValue, EvalError> {
+    match v {
+        Value::Int(n) => Ok(FrozenValue::Int(*n)),
+        Value::Bool(b) => Ok(FrozenValue::Bool(*b)),
+        Value::Str(s) => Ok(FrozenValue::Str(s.clone())),
+        Value::Unit => Ok(FrozenValue::Unit),
+        Value::Nil => Ok(FrozenValue::Nil),
+        Value::Pair(..) => {
+            // Iterate the spine so deep lists don't recurse.
+            let mut spine = Vec::new();
+            let mut cur = v;
+            while let Value::Pair(h, t) = cur {
+                spine.push(freeze(h)?);
+                cur = &**t;
+            }
+            let mut tail = freeze(cur)?;
+            for head in spine.into_iter().rev() {
+                tail = FrozenValue::Pair(Box::new(head), Box::new(tail));
+            }
+            Ok(tail)
+        }
+        Value::Closure(c) => Ok(FrozenValue::Closure {
+            param: c.param.clone(),
+            body: c.body.clone(),
+            env: freeze_env(&c.env)?,
+        }),
+        Value::Prim(p, args) => Ok(FrozenValue::Prim(
+            *p,
+            args.iter().map(freeze).collect::<Result<_, _>>()?,
+        )),
+        Value::Thunk(_) => Err(unsupported("freezing a lazy thunk across threads")),
+        Value::Loc(_) => Err(unsupported("freezing a store location across threads")),
+        Value::Ext(_) => Err(unsupported("freezing an external value across threads")),
+    }
+}
+
+/// Reconstructs a [`Value`] on the current thread.
+pub fn thaw(v: &FrozenValue) -> Value {
+    match v {
+        FrozenValue::Int(n) => Value::Int(*n),
+        FrozenValue::Bool(b) => Value::Bool(*b),
+        FrozenValue::Str(s) => Value::Str(s.clone()),
+        FrozenValue::Unit => Value::Unit,
+        FrozenValue::Nil => Value::Nil,
+        FrozenValue::Pair(..) => {
+            let mut spine = Vec::new();
+            let mut cur = v;
+            while let FrozenValue::Pair(h, t) = cur {
+                spine.push(thaw(h));
+                cur = t;
+            }
+            let mut tail = thaw(cur);
+            for head in spine.into_iter().rev() {
+                tail = Value::pair(head, tail);
+            }
+            tail
+        }
+        FrozenValue::Closure { param, body, env } => Value::Closure(Rc::new(Closure {
+            param: param.clone(),
+            body: body.clone(),
+            env: thaw_env(env),
+        })),
+        FrozenValue::Prim(p, args) => {
+            let args: Vec<Value> = args.iter().map(thaw).collect();
+            Value::Prim(*p, Rc::new(args))
+        }
+    }
+}
+
+/// Deep-copies an environment chain, preserving its frame structure (and
+/// with it every resolved [`monsem_syntax::VarAddr`]).
+///
+/// # Errors
+///
+/// Propagates [`freeze`] errors from any captured value.
+pub fn freeze_env(env: &Env) -> Result<FrozenEnv, EvalError> {
+    // Walk the chain to the root, then rebuild outside-in so long chains
+    // don't recurse (closure values inside frames still freeze recursively,
+    // but env *chains* are the deep dimension in practice).
+    let mut frames = Vec::new();
+    let mut cur = env.clone();
+    while let Some(node) = cur.0.clone() {
+        match &*node {
+            Node::Frame {
+                name,
+                value,
+                parent,
+            } => {
+                frames.push((Some((name.clone(), freeze(value)?)), None));
+                cur = parent.clone();
+            }
+            Node::Rec { bindings, parent } => {
+                frames.push((None, Some(bindings.clone())));
+                cur = parent.clone();
+            }
+        }
+    }
+    let mut out = FrozenEnv(None);
+    for frame in frames.into_iter().rev() {
+        out = match frame {
+            (Some((name, value)), None) => FrozenEnv(Some(Arc::new(FrozenNode::Frame {
+                name,
+                value,
+                parent: out,
+            }))),
+            (None, Some(bindings)) => FrozenEnv(Some(Arc::new(FrozenNode::Rec {
+                bindings,
+                parent: out,
+            }))),
+            _ => unreachable!("each frame is exactly one kind"),
+        };
+    }
+    Ok(out)
+}
+
+/// Reconstructs an [`Env`] with the same frame structure on this thread.
+pub fn thaw_env(env: &FrozenEnv) -> Env {
+    let mut frames = Vec::new();
+    let mut cur = env;
+    while let FrozenEnv(Some(node)) = cur {
+        frames.push(&**node);
+        cur = match &**node {
+            FrozenNode::Frame { parent, .. } => parent,
+            FrozenNode::Rec { parent, .. } => parent,
+        };
+    }
+    let mut out = Env::empty();
+    for node in frames.into_iter().rev() {
+        out = match node {
+            FrozenNode::Frame { name, value, .. } => out.extend(name.clone(), thaw(value)),
+            FrozenNode::Rec { bindings, .. } => out.extend_rec(bindings.clone()),
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{eval_with, EvalOptions};
+    use monsem_syntax::parse_expr;
+
+    fn assert_send<T: Send + Sync>(_: &T) {}
+
+    #[test]
+    fn basic_values_round_trip() {
+        for v in [
+            Value::Int(-3),
+            Value::Bool(true),
+            Value::Unit,
+            Value::Nil,
+            Value::Str(Arc::from("hi")),
+            Value::list([Value::Int(1), Value::Int(2)]),
+            Value::pair(Value::Int(1), Value::Int(2)), // improper pair
+        ] {
+            let frozen = freeze(&v).unwrap();
+            assert_send(&frozen);
+            assert_eq!(thaw(&frozen), v);
+        }
+    }
+
+    #[test]
+    fn closures_survive_freezing_and_still_run() {
+        let e = parse_expr("lambda x. x + y").unwrap();
+        let env = Env::empty().extend(Ident::new("y"), Value::Int(10));
+        let v = eval_with(&e, &env, &EvalOptions::default()).unwrap();
+        let frozen = freeze(&v).unwrap();
+        let thawed = thaw(&frozen);
+        // Apply the thawed closure: (lambda x. x + y) 32 with y = 10.
+        let app_env = Env::empty().extend(Ident::new("f"), thawed);
+        let call = parse_expr("f 32").unwrap();
+        assert_eq!(
+            eval_with(&call, &app_env, &EvalOptions::default()),
+            Ok(Value::Int(42))
+        );
+    }
+
+    #[test]
+    fn rec_environments_keep_lexical_addresses_valid() {
+        // Evaluate a letrec body in an env, freeze mid-flight env shape via
+        // a closure, and check the recursive function still computes.
+        let e = parse_expr(
+            "letrec fac = lambda x. if x = 0 then 1 else x * (fac (x - 1)) in lambda n. fac n",
+        )
+        .unwrap();
+        let v = eval_with(&e, &Env::empty(), &EvalOptions::default()).unwrap();
+        let frozen = freeze(&v).unwrap();
+        assert_send(&frozen);
+        let thawed = thaw(&frozen);
+        let app_env = Env::empty().extend(Ident::new("g"), thawed);
+        let call = parse_expr("g 5").unwrap();
+        assert_eq!(
+            eval_with(&call, &app_env, &EvalOptions::default()),
+            Ok(Value::Int(120))
+        );
+    }
+
+    #[test]
+    fn partially_applied_prims_round_trip() {
+        let e = parse_expr("(+) 1").unwrap();
+        let v = eval_with(&e, &Env::empty(), &EvalOptions::default()).unwrap();
+        let thawed = thaw(&freeze(&v).unwrap());
+        let app_env = Env::empty().extend(Ident::new("inc"), thawed);
+        assert_eq!(
+            eval_with(
+                &parse_expr("inc 41").unwrap(),
+                &app_env,
+                &EvalOptions::default()
+            ),
+            Ok(Value::Int(42))
+        );
+    }
+
+    #[test]
+    fn thunks_and_locations_are_rejected() {
+        use crate::value::ThunkState;
+        use std::cell::RefCell;
+        let t = Value::Thunk(Rc::new(RefCell::new(ThunkState::InProgress)));
+        assert!(matches!(
+            freeze(&t),
+            Err(EvalError::UnsupportedConstruct(_))
+        ));
+        assert!(matches!(
+            freeze(&Value::Loc(0)),
+            Err(EvalError::UnsupportedConstruct(_))
+        ));
+    }
+
+    #[test]
+    fn frozen_values_cross_a_real_thread() {
+        let e = parse_expr("lambda x. x * x").unwrap();
+        let v = eval_with(&e, &Env::empty(), &EvalOptions::default()).unwrap();
+        let frozen = freeze(&v).unwrap();
+        let result = std::thread::spawn(move || {
+            let thawed = thaw(&frozen);
+            let env = Env::empty().extend(Ident::new("sq"), thawed);
+            let v = eval_with(&parse_expr("sq 9").unwrap(), &env, &EvalOptions::default()).unwrap();
+            // `Value` itself is !Send — ship the result back frozen.
+            freeze(&v).unwrap()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(thaw(&result), Value::Int(81));
+    }
+}

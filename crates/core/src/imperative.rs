@@ -15,6 +15,7 @@ use crate::resolve::resolve_for;
 use crate::value::{Closure, Value};
 use monsem_syntax::{Expr, Ident};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// The store `σ : Loc → V`.
 #[derive(Debug, Clone, Default)]
@@ -56,30 +57,30 @@ impl Store {
 #[derive(Debug)]
 enum Frame {
     Arg {
-        func: Rc<Expr>,
+        func: Arc<Expr>,
         env: Env,
     },
     Apply {
         arg: Value,
     },
     Branch {
-        then: Rc<Expr>,
-        els: Rc<Expr>,
+        then: Arc<Expr>,
+        els: Arc<Expr>,
         env: Env,
     },
     Bind {
         name: Ident,
-        body: Rc<Expr>,
+        body: Arc<Expr>,
         env: Env,
     },
     LetrecBind {
         plan: Rc<LetrecPlan>,
         index: usize,
-        body: Rc<Expr>,
+        body: Arc<Expr>,
         env: Env,
     },
     Discard {
-        second: Rc<Expr>,
+        second: Arc<Expr>,
         env: Env,
     },
     /// Store the value into the location and yield unit.
@@ -88,20 +89,20 @@ enum Frame {
     },
     /// Condition of a `while` just evaluated.
     LoopTest {
-        cond: Rc<Expr>,
-        body: Rc<Expr>,
+        cond: Arc<Expr>,
+        body: Arc<Expr>,
         env: Env,
     },
     /// Body of a `while` just evaluated; re-test the condition.
     LoopBack {
-        cond: Rc<Expr>,
-        body: Rc<Expr>,
+        cond: Arc<Expr>,
+        body: Arc<Expr>,
         env: Env,
     },
 }
 
 enum State {
-    Eval(Rc<Expr>, Env),
+    Eval(Arc<Expr>, Env),
     Continue(Value),
 }
 
@@ -129,8 +130,8 @@ pub fn eval_imperative_with(
     let mut store = Store::new();
     let mut stack: Vec<Frame> = Vec::new();
     let program = match options.lookup {
-        LookupMode::ByAddress => Rc::new(resolve_for(expr, env)),
-        LookupMode::BySymbol | LookupMode::ByString => Rc::new(expr.clone()),
+        LookupMode::ByAddress => Arc::new(resolve_for(expr, env)),
+        LookupMode::BySymbol | LookupMode::ByString => Arc::new(expr.clone()),
     };
     let by_string = options.lookup == LookupMode::ByString;
     let mut state = State::Eval(program, env.clone());
@@ -145,6 +146,11 @@ pub fn eval_imperative_with(
         state = match state {
             State::Eval(expr, env) => match &*expr {
                 Expr::Con(c) => State::Continue(constant(c)),
+                Expr::Par(..) => {
+                    return Err(EvalError::UnsupportedConstruct(
+                        "par (only the strict machines evaluate it)",
+                    ))
+                }
                 Expr::VarAt(_, addr) => match env.lookup_addr(addr) {
                     Value::Loc(l) => State::Continue(store.read(l).clone()),
                     v => State::Continue(v),
@@ -257,7 +263,7 @@ pub fn eval_imperative_with(
                             State::Continue(Value::Prim(p, Rc::new(args)))
                         }
                     }
-                    other => return Err(EvalError::NotAFunction(other)),
+                    other => return Err(EvalError::NotAFunction(other.to_string())),
                 },
                 Some(Frame::Branch { then, els, env }) => match value {
                     Value::Bool(true) => State::Eval(then, env),

@@ -20,6 +20,7 @@ use crate::value::{Closure, ThunkRef, ThunkState, Value};
 use monsem_syntax::{Binding, Expr};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Continuation frames of the lazy machine.
 #[derive(Debug)]
@@ -27,11 +28,11 @@ enum Frame {
     /// After the function value of `e₁ e₂` arrives, apply it to a thunk of
     /// the (unevaluated) argument. Call-by-name order: the function
     /// expression is evaluated first.
-    ApplyTo { arg: Rc<Expr>, env: Env },
+    ApplyTo { arg: Arc<Expr>, env: Env },
     /// Waiting for the condition of an `if`.
     Branch {
-        then: Rc<Expr>,
-        els: Rc<Expr>,
+        then: Arc<Expr>,
+        els: Arc<Expr>,
         env: Env,
     },
     /// Memoize the value into the thunk being forced.
@@ -43,11 +44,11 @@ enum Frame {
         index: usize,
     },
     /// Discard and evaluate the second expression of a sequence.
-    Discard { second: Rc<Expr>, env: Env },
+    Discard { second: Arc<Expr>, env: Env },
 }
 
 enum State {
-    Eval(Rc<Expr>, Env),
+    Eval(Arc<Expr>, Env),
     Continue(Value),
 }
 
@@ -69,8 +70,8 @@ pub fn eval_lazy(expr: &Expr) -> Result<Value, EvalError> {
 pub fn eval_lazy_with(expr: &Expr, env: &Env, options: &EvalOptions) -> Result<Value, EvalError> {
     let mut stack: Vec<Frame> = Vec::new();
     let program = match options.lookup {
-        LookupMode::ByAddress => Rc::new(resolve_for(expr, env)),
-        LookupMode::BySymbol | LookupMode::ByString => Rc::new(expr.clone()),
+        LookupMode::ByAddress => Arc::new(resolve_for(expr, env)),
+        LookupMode::BySymbol | LookupMode::ByString => Arc::new(expr.clone()),
     };
     let by_string = options.lookup == LookupMode::ByString;
     let mut state = State::Eval(program, env.clone());
@@ -136,6 +137,11 @@ pub fn eval_lazy_with(expr: &Expr, env: &Env, options: &EvalOptions) -> Result<V
                 }
                 Expr::Assign(..) => return Err(EvalError::UnsupportedConstruct("assignment")),
                 Expr::While(..) => return Err(EvalError::UnsupportedConstruct("while")),
+                Expr::Par(..) => {
+                    return Err(EvalError::UnsupportedConstruct(
+                        "par (only the strict machines evaluate it)",
+                    ))
+                }
             },
             State::Continue(value) => match stack.pop() {
                 None => return Ok(value),
@@ -153,7 +159,7 @@ pub fn eval_lazy_with(expr: &Expr, env: &Env, options: &EvalOptions) -> Result<V
                             State::Continue(Value::Prim(p, Rc::new(args)))
                         }
                     }
-                    other => return Err(EvalError::NotAFunction(other)),
+                    other => return Err(EvalError::NotAFunction(other.to_string())),
                 },
                 Some(Frame::Branch { then, els, env }) => match value {
                     Value::Bool(true) => State::Eval(then, env),
@@ -180,7 +186,7 @@ pub fn eval_lazy_with(expr: &Expr, env: &Env, options: &EvalOptions) -> Result<V
 
 /// Wraps an expression as a pending thunk (constants are bound directly —
 /// a worthwhile and semantics-preserving shortcut).
-fn suspend(expr: Rc<Expr>, env: Env) -> Value {
+fn suspend(expr: Arc<Expr>, env: Env) -> Value {
     if let Expr::Con(c) = &*expr {
         return constant(c);
     }

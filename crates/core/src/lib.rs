@@ -43,6 +43,7 @@ pub mod answer;
 pub mod closure_cps;
 pub mod env;
 pub mod error;
+pub mod freeze;
 pub mod imperative;
 pub mod lazy;
 pub mod machine;

@@ -24,6 +24,7 @@ use crate::resolve::resolve_for;
 use crate::value::{Closure, Value};
 use monsem_syntax::{Con, Expr, Ident};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// How variable occurrences are dispatched to the environment.
 ///
@@ -93,7 +94,7 @@ pub enum Frame {
     /// Waiting for the argument value of `e₁ e₂`; then evaluate `e₁`.
     Arg {
         /// The function expression `e₁`.
-        func: Rc<Expr>,
+        func: Arc<Expr>,
         /// The environment of the application.
         env: Env,
     },
@@ -105,9 +106,9 @@ pub enum Frame {
     /// Waiting for the condition of an `if`.
     Branch {
         /// Then-branch.
-        then: Rc<Expr>,
+        then: Arc<Expr>,
         /// Else-branch.
-        els: Rc<Expr>,
+        els: Arc<Expr>,
         /// Environment of the conditional.
         env: Env,
     },
@@ -116,7 +117,7 @@ pub enum Frame {
         /// The let-bound name.
         name: Ident,
         /// The body to evaluate next.
-        body: Rc<Expr>,
+        body: Arc<Expr>,
         /// Environment of the `let`.
         env: Env,
     },
@@ -129,15 +130,26 @@ pub enum Frame {
         /// Which planned binding is being evaluated.
         index: usize,
         /// The `letrec` body.
-        body: Rc<Expr>,
+        body: Arc<Expr>,
         /// Environment in which the current binding is evaluated.
         env: Env,
     },
     /// Discard the value of `e₁` in `e₁ ; e₂` and evaluate `e₂`.
     Discard {
         /// The second expression.
-        second: Rc<Expr>,
+        second: Arc<Expr>,
         /// Environment of the sequence.
+        env: Env,
+    },
+    /// Collecting the element values of a `par(e₁, …, eₙ)` left-to-right.
+    /// The sequential machine gives `par` its reference semantics — the
+    /// parallel machine must agree with this ordering bit-for-bit.
+    Par {
+        /// All element expressions.
+        items: Vec<Arc<Expr>>,
+        /// Values of the elements evaluated so far.
+        done: Vec<Value>,
+        /// Environment of the `par`.
         env: Env,
     },
 }
@@ -146,7 +158,7 @@ pub enum Frame {
 /// topmost frame.
 #[derive(Debug, Clone)]
 enum State {
-    Eval(Rc<Expr>, Env),
+    Eval(Arc<Expr>, Env),
     Continue(Value),
 }
 
@@ -170,20 +182,52 @@ pub(crate) fn apply_value(fun: Value, arg: Value) -> Result<StateAfterApply, Eva
             let mut args = collected.as_ref().clone();
             args.push(arg);
             if args.len() == p.arity() {
+                if p == crate::prims::Prim::ParMap {
+                    let xs = args.pop().expect("arity checked");
+                    let f = args.pop().expect("arity checked");
+                    let (expr, env) = par_map_enter(f, xs)?;
+                    return Ok(StateAfterApply::Enter(expr, env));
+                }
                 Ok(StateAfterApply::Value(p.apply(&args)?))
             } else {
                 Ok(StateAfterApply::Value(Value::Prim(p, Rc::new(args))))
             }
         }
-        other => Err(EvalError::NotAFunction(other)),
+        other => Err(EvalError::NotAFunction(other.to_string())),
     }
 }
 
 /// Result of applying a function value: either enter a body or return a
 /// value immediately (primitives).
 pub(crate) enum StateAfterApply {
-    Enter(Rc<Expr>, Env),
+    Enter(Arc<Expr>, Env),
     Value(Value),
+}
+
+/// Rewrites a saturated `par_map f xs` into entering `par(f x₁, …, f xₙ)`
+/// in a synthetic environment binding `f` and each list element under
+/// names no source program can shadow (they are not lexable). Shared by
+/// the sequential and monitored strict machines, so `par_map` inherits all
+/// of `par`'s machinery — including fork-join sharding under the parallel
+/// machine.
+pub fn par_map_enter(f: Value, xs: Value) -> Result<(Arc<Expr>, Env), EvalError> {
+    let items = xs.iter_list().ok_or_else(|| EvalError::TypeError {
+        expected: "a proper list",
+        found: xs.to_string(),
+        operation: "par_map",
+    })?;
+    let fun_name = Ident::new("·par_map·f");
+    let mut env = Env::empty().extend(fun_name.clone(), f);
+    let mut elems = Vec::with_capacity(items.len());
+    for (i, item) in items.into_iter().enumerate() {
+        let x = Ident::new(format!("·par_map·x{i}"));
+        env = env.extend(x.clone(), item.clone());
+        elems.push(Arc::new(Expr::App(
+            Arc::new(Expr::Var(fun_name.clone())),
+            Arc::new(Expr::Var(x)),
+        )));
+    }
+    Ok((Arc::new(Expr::Par(elems)), env))
 }
 
 /// Evaluates `expr` in the initial (primitive-only) environment.
@@ -263,8 +307,8 @@ fn drive(
     // front; the loop below then never compares a name for any occurrence
     // the resolver reached.
     let program = match options.lookup {
-        LookupMode::ByAddress => Rc::new(resolve_for(expr, env)),
-        LookupMode::BySymbol | LookupMode::ByString => Rc::new(expr.clone()),
+        LookupMode::ByAddress => Arc::new(resolve_for(expr, env)),
+        LookupMode::BySymbol | LookupMode::ByString => Arc::new(expr.clone()),
     };
     let by_string = options.lookup == LookupMode::ByString;
     let mut state = State::Eval(program, env.clone());
@@ -354,6 +398,17 @@ fn drive(
                 }
                 Expr::Assign(..) => return Err(EvalError::UnsupportedConstruct("assignment")),
                 Expr::While(..) => return Err(EvalError::UnsupportedConstruct("while")),
+                Expr::Par(items) => match items.split_first() {
+                    None => State::Continue(Value::Nil),
+                    Some((first, _)) => {
+                        stack.push(Frame::Par {
+                            items: items.clone(),
+                            done: Vec::new(),
+                            env: env.clone(),
+                        });
+                        State::Eval(first.clone(), env)
+                    }
+                },
             },
             State::Continue(value) => match stack.pop() {
                 None => return Ok(value),
@@ -395,6 +450,21 @@ fn drive(
                     }
                 }
                 Some(Frame::Discard { second, env }) => State::Eval(second, env),
+                Some(Frame::Par {
+                    items,
+                    mut done,
+                    env,
+                }) => {
+                    done.push(value);
+                    if done.len() < items.len() {
+                        let next = items[done.len()].clone();
+                        let elem_env = env.clone();
+                        stack.push(Frame::Par { items, done, env });
+                        State::Eval(next, elem_env)
+                    } else {
+                        State::Continue(Value::list(done))
+                    }
+                }
             },
         };
     }
@@ -523,7 +593,10 @@ mod tests {
             run_src("nonexistent"),
             Err(EvalError::UnboundVariable(Ident::new("nonexistent")))
         );
-        assert_eq!(run_src("1 2"), Err(EvalError::NotAFunction(Value::Int(1))));
+        assert_eq!(
+            run_src("1 2"),
+            Err(EvalError::NotAFunction("1".to_string()))
+        );
         assert_eq!(
             run_src("if 3 then 1 else 2"),
             Err(EvalError::NonBooleanCondition("3".into()))
@@ -598,5 +671,46 @@ mod tests {
             ),
             Ok(Value::Int(10))
         );
+    }
+
+    #[test]
+    fn par_yields_the_list_of_element_values() {
+        assert_eq!(
+            run_src("par(1 + 2, 4 * 5, 0 - 1)"),
+            Ok(Value::list([Value::Int(3), Value::Int(20), Value::Int(-1)]))
+        );
+        assert_eq!(run_src("par()"), Ok(Value::Nil));
+        assert_eq!(run_src("hd par(7, 8)"), Ok(Value::Int(7)));
+    }
+
+    #[test]
+    fn par_evaluates_left_to_right() {
+        // Each element closes over the same outer binding; ordering is
+        // observable through error precedence: the leftmost failing
+        // element decides the error.
+        let err = run_src("par(1, 1 / 0, undefined_var)").unwrap_err();
+        assert!(matches!(err, EvalError::DivisionByZero), "{err:?}");
+    }
+
+    #[test]
+    fn par_map_applies_the_function_to_each_element() {
+        assert_eq!(
+            run_src("par_map (lambda x. x * x) [1, 2, 3, 4]"),
+            Ok(Value::list([
+                Value::Int(1),
+                Value::Int(4),
+                Value::Int(9),
+                Value::Int(16)
+            ]))
+        );
+        assert_eq!(run_src("par_map (lambda x. x) []"), Ok(Value::Nil));
+    }
+
+    #[test]
+    fn par_map_requires_a_proper_list() {
+        assert!(matches!(
+            run_src("par_map (lambda x. x) 3"),
+            Err(EvalError::TypeError { .. })
+        ));
     }
 }

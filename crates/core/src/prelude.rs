@@ -14,7 +14,7 @@
 //! ```
 
 use monsem_syntax::{parse_expr, Binding, Expr, Ident};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The prelude definitions, in dependency order: each may use the ones
 /// before it.
@@ -103,7 +103,7 @@ pub fn with_prelude(body: &Expr) -> Expr {
     prelude_bindings()
         .into_iter()
         .rev()
-        .fold(body.clone(), |acc, b| Expr::Letrec(vec![b], Rc::new(acc)))
+        .fold(body.clone(), |acc, b| Expr::Letrec(vec![b], Arc::new(acc)))
 }
 
 /// The names the prelude defines.

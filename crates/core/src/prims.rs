@@ -10,7 +10,7 @@
 use crate::error::EvalError;
 use crate::value::Value;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The primitive operations of the initial environment.
 ///
@@ -68,6 +68,13 @@ pub enum Prim {
     /// `toStr` — render any basic value as a string (the paper's `toStr`
     /// in the `Ans_str` answer algebra, §3.1)
     ToStr,
+    /// `par_map f xs` — `map` with fork-join evaluation order: the strict
+    /// machines rewrite a saturated application into `par(f x₁, …, f xₙ)`,
+    /// so under the parallel machine the calls run on the worker pool.
+    /// Unlike the other primitives it re-enters the evaluator, so
+    /// [`Prim::apply`] rejects it; the machines intercept it at
+    /// application time.
+    ParMap,
 }
 
 impl Prim {
@@ -95,6 +102,9 @@ impl Prim {
         ("length", Prim::Length),
         ("++", Prim::Append),
         ("toStr", Prim::ToStr),
+        // Keep new primitives at the end: `VarAddr::Base` slots index into
+        // this table, and stable prefixes keep resolved programs valid.
+        ("par_map", Prim::ParMap),
     ];
 
     /// Resolves a primitive by its source-level name (linear scan; the
@@ -104,9 +114,14 @@ impl Prim {
     }
 
     /// Resolves a primitive by interned symbol: one indexed read into a
-    /// per-thread dense table (symbols are small sequential integers, so
-    /// the table is sym-indexed — no hashing, no string comparison). This
-    /// sits at the bottom of every [`crate::Env`] lookup.
+    /// per-thread dense table (symbols are small integers, so the table is
+    /// sym-indexed — no hashing, no string comparison). This sits at the
+    /// bottom of every [`crate::Env`] lookup.
+    ///
+    /// The table itself is `thread_local!` only to avoid synchronization:
+    /// interning is global, so every thread derives the *same* symbols for
+    /// the primitive names and builds an identical table. Symbols created
+    /// on other threads therefore resolve correctly here.
     pub fn by_ident(name: &monsem_syntax::Ident) -> Option<Prim> {
         thread_local! {
             static BY_SYM: Vec<Option<Prim>> = {
@@ -257,7 +272,7 @@ impl Prim {
             }
             Prim::Append => match (&args[0], &args[1]) {
                 (Value::Str(a), Value::Str(b)) => {
-                    Ok(Value::Str(Rc::from(format!("{a}{b}").as_str())))
+                    Ok(Value::Str(Arc::from(format!("{a}{b}").as_str())))
                 }
                 (a, b) => {
                     let items = a.iter_list().ok_or_else(|| EvalError::TypeError {
@@ -276,7 +291,12 @@ impl Prim {
                         .fold(b.clone(), |tail, head| Value::pair(head.clone(), tail)))
                 }
             },
-            Prim::ToStr => Ok(Value::Str(Rc::from(args[0].to_string().as_str()))),
+            Prim::ToStr => Ok(Value::Str(Arc::from(args[0].to_string().as_str()))),
+            // Re-enters the evaluator; the strict machines intercept a
+            // saturated `par_map` before this point is reachable.
+            Prim::ParMap => Err(EvalError::UnsupportedConstruct(
+                "par_map (only the strict machines evaluate it)",
+            )),
         }
     }
 }
@@ -384,11 +404,11 @@ mod tests {
 
     #[test]
     fn append_handles_strings_and_lists() {
-        let a = Value::Str(Rc::from("ab"));
-        let b = Value::Str(Rc::from("cd"));
+        let a = Value::Str(Arc::from("ab"));
+        let b = Value::Str(Arc::from("cd"));
         assert_eq!(
             Prim::Append.apply(&[a, b]),
-            Ok(Value::Str(Rc::from("abcd")))
+            Ok(Value::Str(Arc::from("abcd")))
         );
         let l1 = Value::list([Value::Int(1)]);
         let l2 = Value::list([Value::Int(2)]);
@@ -411,7 +431,7 @@ mod tests {
     fn to_str_matches_display() {
         assert_eq!(
             Prim::ToStr.apply(&[Value::list([Value::Int(1)])]),
-            Ok(Value::Str(Rc::from("[1]")))
+            Ok(Value::Str(Arc::from("[1]")))
         );
     }
 }

@@ -40,7 +40,7 @@
 use crate::env::{lambda_of, Env, LetrecPlan};
 use crate::prims::Prim;
 use monsem_syntax::{Binding, Expr, Ident, Lambda, VarAddr};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One statically tracked environment node (cf. `env::Node`).
 enum Scope {
@@ -105,8 +105,8 @@ pub fn resolve_for(expr: &Expr, env: &Env) -> Expr {
 }
 
 /// [`resolve`] for reference-counted trees.
-pub fn resolve_rc(expr: &Rc<Expr>) -> Rc<Expr> {
-    Rc::new(resolve(expr))
+pub fn resolve_rc(expr: &Arc<Expr>) -> Arc<Expr> {
+    Arc::new(resolve(expr))
 }
 
 fn go(e: &Expr, stack: &mut Frames) -> Expr {
@@ -122,29 +122,31 @@ fn go(e: &Expr, stack: &mut Frames) -> Expr {
             stack.pop();
             Expr::Lambda(Lambda {
                 param: l.param.clone(),
-                body: Rc::new(body),
+                body: Arc::new(body),
             })
         }
         Expr::If(c, t, els) => Expr::If(
-            Rc::new(go(c, stack)),
-            Rc::new(go(t, stack)),
-            Rc::new(go(els, stack)),
+            Arc::new(go(c, stack)),
+            Arc::new(go(t, stack)),
+            Arc::new(go(els, stack)),
         ),
-        Expr::App(f, a) => Expr::App(Rc::new(go(f, stack)), Rc::new(go(a, stack))),
+        Expr::App(f, a) => Expr::App(Arc::new(go(f, stack)), Arc::new(go(a, stack))),
         Expr::Let(x, v, b) => {
             let v = go(v, stack);
             stack.push(Scope::Single(x.clone()));
             let b = go(b, stack);
             stack.pop();
-            Expr::Let(x.clone(), Rc::new(v), Rc::new(b))
+            Expr::Let(x.clone(), Arc::new(v), Arc::new(b))
         }
         Expr::Letrec(bs, body) => resolve_letrec(bs, body, stack),
-        Expr::Ann(ann, inner) => Expr::Ann(ann.clone(), Rc::new(go(inner, stack))),
-        Expr::Seq(a, b) => Expr::Seq(Rc::new(go(a, stack)), Rc::new(go(b, stack))),
+        Expr::Ann(ann, inner) => Expr::Ann(ann.clone(), Arc::new(go(inner, stack))),
+        Expr::Seq(a, b) => Expr::Seq(Arc::new(go(a, stack)), Arc::new(go(b, stack))),
         // The assigned name stays a name: the imperative machine looks the
         // location up by (interned) name. Only the right-hand side resolves.
-        Expr::Assign(x, v) => Expr::Assign(x.clone(), Rc::new(go(v, stack))),
-        Expr::While(c, b) => Expr::While(Rc::new(go(c, stack)), Rc::new(go(b, stack))),
+        Expr::Assign(x, v) => Expr::Assign(x.clone(), Arc::new(go(v, stack))),
+        Expr::While(c, b) => Expr::While(Arc::new(go(c, stack)), Arc::new(go(b, stack))),
+        // `par` binds nothing; each element resolves in the enclosing scope.
+        Expr::Par(items) => Expr::Par(items.iter().map(|e| Arc::new(go(e, stack))).collect()),
     }
 }
 
@@ -178,7 +180,7 @@ fn resolve_letrec(bs: &[Binding], body: &Expr, stack: &mut Frames) -> Expr {
         };
         new_bs.push(Binding {
             name: b.name.clone(),
-            value: Rc::new(value),
+            value: Arc::new(value),
         });
     }
 
@@ -199,7 +201,7 @@ fn resolve_letrec(bs: &[Binding], body: &Expr, stack: &mut Frames) -> Expr {
     let body = go(body, stack);
     stack.truncate(before);
 
-    Expr::Letrec(new_bs, Rc::new(body))
+    Expr::Letrec(new_bs, Arc::new(body))
 }
 
 impl Frames {
@@ -290,6 +292,11 @@ mod tests {
                 }
                 Expr::Ann(_, inner) => walk(inner, out),
                 Expr::Assign(_, v) => walk(v, out),
+                Expr::Par(items) => {
+                    for item in items {
+                        walk(item, out);
+                    }
+                }
             }
         }
         let mut out = Vec::new();
@@ -431,8 +438,8 @@ mod tests {
         // such binders, but the AST allows them).
         let shadowed = Expr::Let(
             Ident::new("+"),
-            Rc::new(Expr::int(1)),
-            Rc::new(Expr::Var(Ident::new("+"))),
+            Arc::new(Expr::int(1)),
+            Arc::new(Expr::Var(Ident::new("+"))),
         );
         let e = resolve_closed(&shadowed);
         assert_eq!(

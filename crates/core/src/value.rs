@@ -9,6 +9,7 @@ use monsem_syntax::{Expr, Ident};
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// A user-defined function value: the paper's
 /// `(λv. E⟦e⟧ ρ[x↦v]) in Fun`.
@@ -17,7 +18,7 @@ pub struct Closure {
     /// The bound variable `x`.
     pub param: Ident,
     /// The body `e`.
-    pub body: Rc<Expr>,
+    pub body: Arc<Expr>,
     /// The captured environment `ρ`.
     pub env: Env,
 }
@@ -28,7 +29,7 @@ pub enum ThunkState {
     /// Not yet forced.
     Pending {
         /// The suspended expression.
-        expr: Rc<Expr>,
+        expr: Arc<Expr>,
         /// Its environment.
         env: Env,
     },
@@ -124,7 +125,7 @@ pub enum Value {
     /// Boolean (∈ `Bas`).
     Bool(bool),
     /// String (∈ `Bas`; used by the `Ans_str` answer algebra of §3.1).
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// The unit value (imperative module).
     Unit,
     /// The empty list `[]`.
@@ -371,7 +372,7 @@ mod tests {
     fn closures_compare_by_identity() {
         let c = Rc::new(Closure {
             param: Ident::new("x"),
-            body: Rc::new(Expr::var("x")),
+            body: Arc::new(Expr::var("x")),
             env: Env::empty(),
         });
         let a = Value::Closure(c.clone());
@@ -379,7 +380,7 @@ mod tests {
         assert_eq!(a, b);
         let other = Value::Closure(Rc::new(Closure {
             param: Ident::new("x"),
-            body: Rc::new(Expr::var("x")),
+            body: Arc::new(Expr::var("x")),
             env: Env::empty(),
         }));
         assert_ne!(a, other);

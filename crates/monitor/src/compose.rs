@@ -23,7 +23,7 @@
 
 use crate::fault::{Budget, FaultPolicy, Guarded, Health};
 use crate::scope::Scope;
-use crate::spec::{DynMonitor, DynState, HookPhase, Monitor, Outcome};
+use crate::spec::{DynMonitor, DynState, HookPhase, MergeMonitor, Monitor, Outcome};
 use monsem_core::Value;
 use monsem_syntax::{Annotation, Expr};
 use std::ops::BitAnd;
@@ -238,6 +238,47 @@ impl<M1: Monitor, M2: Monitor> Monitor for Compose<M1, M2> {
     }
 }
 
+impl<M1: MergeMonitor, M2: MergeMonitor> MergeMonitor for Compose<M1, M2> {
+    fn split(&self, (s1, s2): &Self::State) -> Self::State {
+        (self.first.split(s1), self.second.split(s2))
+    }
+
+    fn merge(&self, (l1, l2): Self::State, (r1, r2): Self::State) -> Self::State {
+        (self.first.merge(l1, r1), self.second.merge(l2, r2))
+    }
+
+    fn merge_outcome(&self, (l1, l2): Self::State, (r1, r2): Self::State) -> Outcome<Self::State> {
+        // A veto from either layer wins; the inner layer merges first,
+        // mirroring the hook order of the cascade.
+        let s1 = match self.first.merge_outcome(l1, r1) {
+            Outcome::Continue(s) => s,
+            Outcome::Abort {
+                state,
+                monitor,
+                reason,
+            } => {
+                return Outcome::Abort {
+                    state: (state, self.second.merge(l2, r2)),
+                    monitor,
+                    reason,
+                }
+            }
+        };
+        match self.second.merge_outcome(l2, r2) {
+            Outcome::Continue(s2) => Outcome::Continue((s1, s2)),
+            Outcome::Abort {
+                state,
+                monitor,
+                reason,
+            } => Outcome::Abort {
+                state: (s1, state),
+                monitor,
+                reason,
+            },
+        }
+    }
+}
+
 /// A monitor whose outer hooks receive the inner monitor's current state —
 /// the §6 remark that "a monitor could monitor the behavior of the
 /// monitors before it in the cascade" made concrete.
@@ -341,6 +382,124 @@ pub fn boxed<M: Monitor + 'static>(monitor: M) -> Box<dyn DynMonitor> {
     Box::new(monitor)
 }
 
+/// Adapter exposing a [`MergeMonitor`]'s split/merge through the
+/// object-safe [`DynMonitor`] interface.
+///
+/// Rust has no trait specialization, so the blanket `impl DynMonitor for
+/// M: Monitor` cannot detect that `M` also implements [`MergeMonitor`] —
+/// its `split_dyn`/`merge_outcome_dyn` always answer `None`. Wrapping the
+/// monitor in `MergeLayer` (via [`boxed_mergeable`] or
+/// [`MonitorStack::push_mergeable`]) routes every hook through unchanged
+/// *and* answers the merge queries, which is what lets a whole
+/// [`MonitorStack`] implement [`MergeMonitor`].
+#[derive(Debug, Clone)]
+pub struct MergeLayer<M>(pub M);
+
+impl<M: MergeMonitor> DynMonitor for MergeLayer<M> {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        self.0.accepts(ann)
+    }
+
+    fn accepts_event_dyn(&self, ann: &Annotation, phase: HookPhase) -> bool {
+        self.0.accepts_event(ann, phase)
+    }
+
+    fn initial_state_dyn(&self) -> DynState {
+        DynState::new(self.0.initial_state())
+    }
+
+    fn pre_dyn(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        state: DynState,
+    ) -> DynState {
+        DynState::new(self.0.pre(ann, expr, scope, Self::unwrap(state)))
+    }
+
+    fn post_dyn(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        state: DynState,
+    ) -> DynState {
+        DynState::new(self.0.post(ann, expr, scope, value, Self::unwrap(state)))
+    }
+
+    fn try_pre_dyn(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        state: DynState,
+    ) -> Outcome<DynState> {
+        self.0
+            .try_pre(ann, expr, scope, Self::unwrap(state))
+            .map(DynState::new)
+    }
+
+    fn try_post_dyn(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        state: DynState,
+    ) -> Outcome<DynState> {
+        self.0
+            .try_post(ann, expr, scope, value, Self::unwrap(state))
+            .map(DynState::new)
+    }
+
+    fn render_state_dyn(&self, state: &DynState) -> String {
+        match state.downcast::<M::State>() {
+            Some(s) => self.0.render_state(&s),
+            None => "<foreign state>".to_string(),
+        }
+    }
+
+    fn health_dyn(&self, state: &DynState) -> Health {
+        match state.downcast::<M::State>() {
+            Some(s) => self.0.health(&s),
+            None => Health::Ok,
+        }
+    }
+
+    fn split_dyn(&self, state: &DynState) -> Option<DynState> {
+        let s = state.downcast::<M::State>()?;
+        Some(DynState::new(self.0.split(&s)))
+    }
+
+    fn merge_outcome_dyn(&self, left: DynState, right: DynState) -> Option<Outcome<DynState>> {
+        Some(
+            self.0
+                .merge_outcome(Self::unwrap(left), Self::unwrap(right))
+                .map(DynState::new),
+        )
+    }
+}
+
+impl<M: MergeMonitor> MergeLayer<M> {
+    fn unwrap(state: DynState) -> M::State {
+        state.downcast().expect(
+            "monitor state type mismatch: a DynState must round-trip through its own monitor",
+        )
+    }
+}
+
+/// Boxes a [`MergeMonitor`] so its split/merge survive type erasure — see
+/// [`MergeLayer`].
+pub fn boxed_mergeable<M: MergeMonitor + 'static>(monitor: M) -> Box<dyn DynMonitor> {
+    Box::new(MergeLayer(monitor))
+}
+
 /// Boxes a monitor wrapped in a fault [`Guarded`] layer: its panics are
 /// confined (or not) per `policy` and its hook usage is bounded by
 /// `budget`. The guarded layer keeps the monitor's name, so session
@@ -382,6 +541,22 @@ impl MonitorStack {
     /// Whether the stack has no layers.
     pub fn is_empty(&self) -> bool {
         self.monitors.is_empty()
+    }
+
+    /// Appends a [`MergeMonitor`] as the new outermost layer, preserving
+    /// its split/merge through type erasure — see [`MergeLayer`].
+    pub fn push_mergeable<M: MergeMonitor + 'static>(self, monitor: M) -> Self {
+        self.push(boxed_mergeable(monitor))
+    }
+
+    /// Whether every layer supports [`MergeMonitor`] split/merge (i.e. was
+    /// pushed via [`MonitorStack::push_mergeable`] / [`boxed_mergeable`]).
+    pub fn is_mergeable(&self) -> bool {
+        let probe = self.initial_state();
+        self.monitors
+            .iter()
+            .zip(probe.iter())
+            .all(|(m, s)| m.split_dyn(s).is_some())
     }
 
     /// Appends a fault-guarded monitor as the new outermost layer — see
@@ -583,6 +758,68 @@ impl Monitor for MonitorStack {
             .map(|(m, s)| format!("{}: {}", m.name(), m.render_state_dyn(s)))
             .collect::<Vec<_>>()
             .join("\n")
+    }
+}
+
+impl MergeMonitor for MonitorStack {
+    /// # Panics
+    ///
+    /// If a layer was not registered as mergeable (pushed with
+    /// [`boxed`]/[`guarded`] instead of [`boxed_mergeable`] /
+    /// [`MonitorStack::push_mergeable`]) — check
+    /// [`MonitorStack::is_mergeable`] first.
+    fn split(&self, states: &Self::State) -> Self::State {
+        self.monitors
+            .iter()
+            .zip(states.iter())
+            .map(|(m, s)| {
+                m.split_dyn(s).unwrap_or_else(|| {
+                    panic!(
+                        "monitor `{}` does not support split/merge; push it with \
+                         `push_mergeable`/`boxed_mergeable` to use the stack under fork-join",
+                        m.name()
+                    )
+                })
+            })
+            .collect()
+    }
+
+    fn merge(&self, left: Self::State, right: Self::State) -> Self::State {
+        match self.merge_outcome(left, right) {
+            Outcome::Continue(s) | Outcome::Abort { state: s, .. } => s,
+        }
+    }
+
+    /// # Panics
+    ///
+    /// As for [`MergeMonitor::split`].
+    fn merge_outcome(&self, mut left: Self::State, right: Self::State) -> Outcome<Self::State> {
+        for (i, (m, r)) in self.monitors.iter().zip(right).enumerate() {
+            let l = left[i].clone();
+            let merged = m.merge_outcome_dyn(l, r).unwrap_or_else(|| {
+                panic!(
+                    "monitor `{}` does not support split/merge; push it with \
+                     `push_mergeable`/`boxed_mergeable` to use the stack under fork-join",
+                    m.name()
+                )
+            });
+            match merged {
+                Outcome::Continue(s) => left[i] = s,
+                Outcome::Abort {
+                    state,
+                    monitor,
+                    reason,
+                } => {
+                    left[i] = state;
+                    return Outcome::Abort {
+                        state: left,
+                        monitor,
+                        reason,
+                    };
+                }
+            }
+        }
+        Outcome::Continue(left)
     }
 }
 

@@ -26,7 +26,7 @@
 //! [`Quarantine`]: FaultPolicy::Quarantine
 
 use crate::scope::Scope;
-use crate::spec::{Monitor, Outcome};
+use crate::spec::{MergeMonitor, Monitor, Outcome};
 use monsem_core::Value;
 use monsem_syntax::{Annotation, Expr};
 use std::fmt;
@@ -275,7 +275,7 @@ impl<M: Monitor> Guarded<M> {
 
 /// Best-effort rendering of a panic payload (`panic!` with a literal gives
 /// `&str`, with a format string gives `String`).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -372,6 +372,74 @@ impl<M: Monitor> Monitor for Guarded<M> {
 
     fn health(&self, state: &Self::State) -> Health {
         state.health.clone()
+    }
+}
+
+impl<M: MergeMonitor> MergeMonitor for Guarded<M> {
+    /// A shard starts healthy with the inner split state and *zeroed*
+    /// accounting: each shard's events and spent time are its own delta,
+    /// summed back at the join. (The step/wall budget is therefore
+    /// enforced per shard relative to the fork point, not globally — a
+    /// documented divergence from the sequential machine, where the budget
+    /// meters the whole linear history.)
+    fn split(&self, gs: &Self::State) -> Self::State {
+        GuardState {
+            state: self.inner.split(&gs.state),
+            health: gs.health.clone(),
+            events: 0,
+            spent: Duration::ZERO,
+        }
+    }
+
+    /// Accounting (events, spent) always sums. The inner states merge only
+    /// while the accumulated side is healthy; once a fault is on record the
+    /// monitor has degraded to the identity monitor, so the right-hand
+    /// delta is discarded — exactly what the sequential machine would have
+    /// recorded, since a degraded monitor's hooks stop firing. The first
+    /// non-[`Health::Ok`] health in shard order wins.
+    fn merge(&self, mut left: Self::State, right: Self::State) -> Self::State {
+        left.events += right.events;
+        left.spent += right.spent;
+        if left.health.is_ok() {
+            left.state = self.inner.merge(left.state, right.state);
+            left.health = right.health;
+        }
+        left
+    }
+
+    /// An abort verdict from the inner merge (a checking monitor whose
+    /// combined shard history violates its spec) is subject to the same
+    /// [`FaultPolicy`] as hook verdicts: `Fatal` propagates, `Quarantine`
+    /// records [`Health::Aborted`] and continues.
+    fn merge_outcome(&self, mut left: Self::State, right: Self::State) -> Outcome<Self::State> {
+        left.events += right.events;
+        left.spent += right.spent;
+        if !left.health.is_ok() {
+            return Outcome::Continue(left);
+        }
+        match self.inner.merge_outcome(left.state, right.state) {
+            Outcome::Continue(s) => {
+                left.state = s;
+                left.health = right.health;
+                Outcome::Continue(left)
+            }
+            Outcome::Abort {
+                state,
+                monitor,
+                reason,
+            } => {
+                left.state = state;
+                left.health = Health::Aborted(reason.clone());
+                match self.policy {
+                    FaultPolicy::Fatal => Outcome::Abort {
+                        state: left,
+                        monitor,
+                        reason,
+                    },
+                    FaultPolicy::Quarantine => Outcome::Continue(left),
+                }
+            }
+        }
     }
 }
 

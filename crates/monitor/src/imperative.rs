@@ -15,58 +15,59 @@ use monsem_core::resolve::resolve_for;
 use monsem_core::value::{Closure, Value};
 use monsem_syntax::{Annotation, Expr, Ident};
 use std::rc::Rc;
+use std::sync::Arc;
 
 #[derive(Debug)]
 enum Frame {
     Arg {
-        func: Rc<Expr>,
+        func: Arc<Expr>,
         env: Env,
     },
     Apply {
         arg: Value,
     },
     Branch {
-        then: Rc<Expr>,
-        els: Rc<Expr>,
+        then: Arc<Expr>,
+        els: Arc<Expr>,
         env: Env,
     },
     Bind {
         name: Ident,
-        body: Rc<Expr>,
+        body: Arc<Expr>,
         env: Env,
     },
     LetrecBind {
         plan: Rc<LetrecPlan>,
         index: usize,
-        body: Rc<Expr>,
+        body: Arc<Expr>,
         env: Env,
     },
     Discard {
-        second: Rc<Expr>,
+        second: Arc<Expr>,
         env: Env,
     },
     Write {
         loc: usize,
     },
     LoopTest {
-        cond: Rc<Expr>,
-        body: Rc<Expr>,
+        cond: Arc<Expr>,
+        body: Arc<Expr>,
         env: Env,
     },
     LoopBack {
-        cond: Rc<Expr>,
-        body: Rc<Expr>,
+        cond: Arc<Expr>,
+        body: Arc<Expr>,
         env: Env,
     },
     Post {
         ann: Annotation,
-        expr: Rc<Expr>,
+        expr: Arc<Expr>,
         env: Env,
     },
 }
 
 enum State {
-    Eval(Rc<Expr>, Env),
+    Eval(Arc<Expr>, Env),
     Continue(Value),
 }
 
@@ -105,8 +106,8 @@ pub fn eval_monitored_imperative_with<M: Monitor>(
     let mut store = Store::new();
     let mut stack: Vec<Frame> = Vec::new();
     let program = match options.lookup {
-        LookupMode::ByAddress => Rc::new(resolve_for(expr, env)),
-        LookupMode::BySymbol | LookupMode::ByString => Rc::new(expr.clone()),
+        LookupMode::ByAddress => Arc::new(resolve_for(expr, env)),
+        LookupMode::BySymbol | LookupMode::ByString => Arc::new(expr.clone()),
     };
     let by_string = options.lookup == LookupMode::ByString;
     let mut state = State::Eval(program, env.clone());
@@ -216,6 +217,11 @@ pub fn eval_monitored_imperative_with<M: Monitor>(
                     });
                     State::Eval(a.clone(), env)
                 }
+                Expr::Par(..) => {
+                    return Err(EvalError::UnsupportedConstruct(
+                        "par (only the strict machines evaluate it)",
+                    ))
+                }
                 Expr::Assign(x, e) => match env.lookup(x) {
                     Some(Value::Loc(l)) => {
                         stack.push(Frame::Write { loc: l });
@@ -273,7 +279,7 @@ pub fn eval_monitored_imperative_with<M: Monitor>(
                             State::Continue(Value::Prim(p, Rc::new(args)))
                         }
                     }
-                    other => return Err(EvalError::NotAFunction(other)),
+                    other => return Err(EvalError::NotAFunction(other.to_string())),
                 },
                 Some(Frame::Branch { then, els, env }) => match value {
                     Value::Bool(true) => State::Eval(then, env),

@@ -19,16 +19,17 @@ use monsem_core::value::{Closure, ThunkRef, ThunkState, Value};
 use monsem_syntax::{Annotation, Binding, Expr};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 #[derive(Debug)]
 enum Frame {
     ApplyTo {
-        arg: Rc<Expr>,
+        arg: Arc<Expr>,
         env: Env,
     },
     Branch {
-        then: Rc<Expr>,
-        els: Rc<Expr>,
+        then: Arc<Expr>,
+        els: Arc<Expr>,
         env: Env,
     },
     Update(ThunkRef),
@@ -38,18 +39,18 @@ enum Frame {
         index: usize,
     },
     Discard {
-        second: Rc<Expr>,
+        second: Arc<Expr>,
         env: Env,
     },
     Post {
         ann: Annotation,
-        expr: Rc<Expr>,
+        expr: Arc<Expr>,
         env: Env,
     },
 }
 
 enum State {
-    Eval(Rc<Expr>, Env),
+    Eval(Arc<Expr>, Env),
     Continue(Value),
 }
 
@@ -85,8 +86,8 @@ pub fn eval_monitored_lazy_with<M: Monitor>(
 ) -> Result<(Value, M::State), EvalError> {
     let mut stack: Vec<Frame> = Vec::new();
     let program = match options.lookup {
-        LookupMode::ByAddress => Rc::new(resolve_for(expr, env)),
-        LookupMode::BySymbol | LookupMode::ByString => Rc::new(expr.clone()),
+        LookupMode::ByAddress => Arc::new(resolve_for(expr, env)),
+        LookupMode::BySymbol | LookupMode::ByString => Arc::new(expr.clone()),
     };
     let by_string = options.lookup == LookupMode::ByString;
     let mut state = State::Eval(program, env.clone());
@@ -168,6 +169,11 @@ pub fn eval_monitored_lazy_with<M: Monitor>(
                     });
                     State::Eval(a.clone(), env)
                 }
+                Expr::Par(..) => {
+                    return Err(EvalError::UnsupportedConstruct(
+                        "par (only the strict machines evaluate it)",
+                    ))
+                }
                 Expr::Assign(..) => return Err(EvalError::UnsupportedConstruct("assignment")),
                 Expr::While(..) => return Err(EvalError::UnsupportedConstruct("while")),
             },
@@ -204,7 +210,7 @@ pub fn eval_monitored_lazy_with<M: Monitor>(
                             State::Continue(Value::Prim(p, Rc::new(args)))
                         }
                     }
-                    other => return Err(EvalError::NotAFunction(other)),
+                    other => return Err(EvalError::NotAFunction(other.to_string())),
                 },
                 Some(Frame::Branch { then, els, env }) => match value {
                     Value::Bool(true) => State::Eval(then, env),
@@ -229,7 +235,7 @@ pub fn eval_monitored_lazy_with<M: Monitor>(
     }
 }
 
-fn suspend(expr: Rc<Expr>, env: Env) -> Value {
+fn suspend(expr: Arc<Expr>, env: Env) -> Value {
     if let Expr::Con(c) = &*expr {
         return constant(c);
     }

@@ -37,6 +37,9 @@
 //!   ([`Compose`]) and the dynamic [`compose::MonitorStack`] built with
 //!   the `&` operator, as in the paper's
 //!   `evaluate (profile & debug & strict) prog`;
+//! * [`parallel`] — fork-join evaluation of `par(e₁, …, eₙ)` across a
+//!   thread scope, for monitors whose states split at the fork and merge
+//!   at the join ([`MergeMonitor`]);
 //! * [`soundness`] — executable form of Theorem 7.7, used by the property
 //!   tests;
 //! * [`session`] — the §9.2 programming environment tying language modules
@@ -76,6 +79,7 @@ pub mod fault;
 pub mod imperative;
 pub mod lazy;
 pub mod machine;
+pub mod parallel;
 pub mod scope;
 pub mod session;
 pub mod soundness;
@@ -84,5 +88,6 @@ pub mod spec;
 pub use compose::{Compose, MonitorStack};
 pub use fault::{Budget, FaultPolicy, Guarded, Health};
 pub use machine::{eval_monitored, eval_monitored_with};
+pub use parallel::{eval_parallel, eval_parallel_with, ParOptions};
 pub use scope::Scope;
-pub use spec::{DynMonitor, HookPhase, IdentityMonitor, Monitor, Outcome};
+pub use spec::{DynMonitor, HookPhase, IdentityMonitor, MergeMonitor, Monitor, Outcome};

@@ -26,6 +26,7 @@ use monsem_core::resolve::resolve_for;
 use monsem_core::value::{Closure, Value};
 use monsem_syntax::{Annotation, Expr, Ident};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Defunctionalized continuations of the monitored machine. Identical to
 /// the standard machine's frames plus [`Frame::Post`] (the `κ_post` of
@@ -33,30 +34,40 @@ use std::rc::Rc;
 #[derive(Debug)]
 enum Frame {
     Arg {
-        func: Rc<Expr>,
+        func: Arc<Expr>,
         env: Env,
     },
     Apply {
         arg: Value,
     },
     Branch {
-        then: Rc<Expr>,
-        els: Rc<Expr>,
+        then: Arc<Expr>,
+        els: Arc<Expr>,
         env: Env,
     },
     Bind {
         name: Ident,
-        body: Rc<Expr>,
+        body: Arc<Expr>,
         env: Env,
     },
     LetrecBind {
         plan: Rc<LetrecPlan>,
         index: usize,
-        body: Rc<Expr>,
+        body: Arc<Expr>,
         env: Env,
     },
     Discard {
-        second: Rc<Expr>,
+        second: Arc<Expr>,
+        env: Env,
+    },
+    /// Collecting the element values of a `par(e₁, …, eₙ)` left-to-right.
+    /// This sequential ordering is the reference semantics for the
+    /// fork-join machine ([`crate::parallel`]): hooks fired inside the
+    /// elements observe the same linear event order as any other
+    /// expression.
+    Par {
+        items: Vec<Arc<Expr>>,
+        done: Vec<Value>,
         env: Env,
     },
     /// `κ_post = {λv. (κ v) ∘ updPost}`: when the value of the annotated
@@ -64,13 +75,13 @@ enum Frame {
     /// through to the continuation below.
     Post {
         ann: Annotation,
-        expr: Rc<Expr>,
+        expr: Arc<Expr>,
         env: Env,
     },
 }
 
 enum State {
-    Eval(Rc<Expr>, Env),
+    Eval(Arc<Expr>, Env),
     Continue(Value),
 }
 
@@ -137,7 +148,7 @@ pub enum Event {
         /// The annotation.
         ann: Annotation,
         /// The annotated expression.
-        expr: Rc<Expr>,
+        expr: Arc<Expr>,
         /// The environment at the program point.
         env: Env,
     },
@@ -146,7 +157,7 @@ pub enum Event {
         /// The annotation.
         ann: Annotation,
         /// The annotated expression.
-        expr: Rc<Expr>,
+        expr: Arc<Expr>,
         /// The environment at the program point.
         env: Env,
         /// The produced value.
@@ -214,8 +225,8 @@ impl<'m, M: Monitor> Execution<'m, M> {
         // resolver threads `{μ}:e` through unchanged and the monitored
         // transitions see the same addresses the oblivious machine does.
         let program = match options.lookup {
-            LookupMode::ByAddress => Rc::new(resolve_for(expr, env)),
-            LookupMode::BySymbol | LookupMode::ByString => Rc::new(expr.clone()),
+            LookupMode::ByAddress => Arc::new(resolve_for(expr, env)),
+            LookupMode::BySymbol | LookupMode::ByString => Arc::new(expr.clone()),
         };
         Execution {
             monitor,
@@ -404,6 +415,17 @@ impl<'m, M: Monitor> Execution<'m, M> {
                         });
                         State::Eval(a.clone(), env)
                     }
+                    Expr::Par(items) => match items.split_first() {
+                        None => State::Continue(Value::Nil),
+                        Some((first, _)) => {
+                            self.stack.push(Frame::Par {
+                                items: items.clone(),
+                                done: Vec::new(),
+                                env: env.clone(),
+                            });
+                            State::Eval(first.clone(), env)
+                        }
+                    },
                     Expr::Assign(..) => return Err(EvalError::UnsupportedConstruct("assignment")),
                     Expr::While(..) => return Err(EvalError::UnsupportedConstruct("while")),
                 },
@@ -452,12 +474,19 @@ impl<'m, M: Monitor> Execution<'m, M> {
                             let mut args = collected.as_ref().clone();
                             args.push(arg);
                             if args.len() == p.arity() {
-                                State::Continue(p.apply(&args)?)
+                                if p == monsem_core::prims::Prim::ParMap {
+                                    let xs = args.pop().expect("par_map has two arguments");
+                                    let f = args.pop().expect("par_map has two arguments");
+                                    let (expr, env) = monsem_core::machine::par_map_enter(f, xs)?;
+                                    State::Eval(expr, env)
+                                } else {
+                                    State::Continue(p.apply(&args)?)
+                                }
                             } else {
                                 State::Continue(Value::Prim(p, Rc::new(args)))
                             }
                         }
-                        other => return Err(EvalError::NotAFunction(other)),
+                        other => return Err(EvalError::NotAFunction(other.to_string())),
                     },
                     Some(Frame::Branch { then, els, env }) => match value {
                         Value::Bool(true) => State::Eval(then, env),
@@ -488,6 +517,21 @@ impl<'m, M: Monitor> Execution<'m, M> {
                             State::Eval(next, env)
                         } else {
                             State::Eval(body, env)
+                        }
+                    }
+                    Some(Frame::Par {
+                        items,
+                        mut done,
+                        env,
+                    }) => {
+                        done.push(value);
+                        match items.get(done.len()).cloned() {
+                            Some(next) => {
+                                let elem_env = env.clone();
+                                self.stack.push(Frame::Par { items, done, env });
+                                State::Eval(next, elem_env)
+                            }
+                            None => State::Continue(Value::list(done)),
                         }
                     }
                     Some(Frame::Discard { second, env }) => State::Eval(second, env),

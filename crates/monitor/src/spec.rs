@@ -211,6 +211,61 @@ pub trait Monitor {
     }
 }
 
+/// A monitor whose state forms a *mergeable* algebra, enabling fork-join
+/// parallel evaluation ([`crate::parallel`]).
+///
+/// The parallel machine evaluates the elements of `par(e₁, …, eₙ)` on
+/// worker threads. Each shard starts from [`MergeMonitor::split`] of the
+/// fork-point state σ, records its own observations, and the machine then
+/// folds the shard states back **deterministically left-to-right** with
+/// [`MergeMonitor::merge`]:
+///
+/// ```text
+/// σ' = merge(…merge(merge(σ, s₁), s₂)…, sₙ)
+/// ```
+///
+/// # Laws
+///
+/// For the fold above to agree with what the sequential machine would have
+/// computed (the parallel extension of Theorem 7.7), implementations must
+/// satisfy:
+///
+/// 1. **Associativity** — `merge(merge(a, b), c) == merge(a, merge(b, c))`.
+/// 2. **Split is a left and right identity** — for every reachable σ,
+///    `merge(σ, split(σ)) == σ` and (when a split state is on the left of
+///    a merge chain rooted at σ) `merge(split(σ), d)` must carry exactly
+///    the delta `d`. For cumulative monitors `split` is simply the empty
+///    state; monitors whose transitions read context (an open-call stack, a
+///    DFA's current node) copy that context into the shard and exclude it
+///    from the delta that `merge` adds back.
+/// 3. **Hook/merge homomorphism** — running the monitor's hooks over a
+///    shard's event sequence starting from `split(σ)` and merging, equals
+///    running the same hooks sequentially from σ. Together with (1)/(2)
+///    this is what the `parallel ≡ sequential` property tests pin down
+///    bit-for-bit.
+///
+/// Laws (1) and (2) make `(State, merge, split)` a monoid *relative to
+/// each fork point*; they are checked for every shipped monitor by the
+/// `merge_laws` proptests.
+pub trait MergeMonitor: Monitor {
+    /// The state a freshly forked shard starts from, given the fork-point
+    /// state. Cumulative monitors return the empty state; context-reading
+    /// monitors copy the context a hook transition consults.
+    fn split(&self, state: &Self::State) -> Self::State;
+
+    /// Folds a shard's final state (`right`, the delta) into the
+    /// accumulated state (`left`). Called left-to-right in shard order.
+    fn merge(&self, left: Self::State, right: Self::State) -> Self::State;
+
+    /// Fallible form of [`MergeMonitor::merge`], mirroring
+    /// [`Monitor::try_pre`]: a *checking* monitor may discover at the join
+    /// point that the combined history violates its specification and veto.
+    /// The parallel machine calls this; the default never vetoes.
+    fn merge_outcome(&self, left: Self::State, right: Self::State) -> Outcome<Self::State> {
+        Outcome::Continue(self.merge(left, right))
+    }
+}
+
 /// The identity monitor: empty state, identity monitoring functions.
 ///
 /// Instantiating the monitoring semantics with this monitor yields the
@@ -227,6 +282,12 @@ impl Monitor for IdentityMonitor {
     }
 
     fn initial_state(&self) {}
+}
+
+impl MergeMonitor for IdentityMonitor {
+    fn split(&self, _: &()) {}
+
+    fn merge(&self, _: (), _: ()) {}
 }
 
 /// An object-safe view of a monitor, with the state erased to
@@ -279,6 +340,21 @@ pub trait DynMonitor {
     fn render_state_dyn(&self, state: &DynState) -> String;
     /// See [`Monitor::health`].
     fn health_dyn(&self, state: &DynState) -> crate::fault::Health;
+    /// See [`MergeMonitor::split`]. `None` means the monitor behind this
+    /// object was not registered as mergeable (Rust has no trait
+    /// specialization, so the blanket [`Monitor`] adapter cannot discover a
+    /// [`MergeMonitor`] impl — wrap the monitor in
+    /// [`MergeLayer`](crate::compose::MergeLayer) to expose it).
+    fn split_dyn(&self, state: &DynState) -> Option<DynState> {
+        let _ = state;
+        None
+    }
+    /// See [`MergeMonitor::merge_outcome`]. `None` as for
+    /// [`DynMonitor::split_dyn`].
+    fn merge_outcome_dyn(&self, left: DynState, right: DynState) -> Option<Outcome<DynState>> {
+        let _ = (left, right);
+        None
+    }
 }
 
 /// A type-erased monitor state.

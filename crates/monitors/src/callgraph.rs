@@ -7,7 +7,7 @@
 
 use monsem_core::Value;
 use monsem_monitor::scope::Scope;
-use monsem_monitor::Monitor;
+use monsem_monitor::{MergeMonitor, Monitor};
 use monsem_syntax::{AnnKind, Annotation, Expr, Ident, Namespace};
 use std::collections::BTreeMap;
 
@@ -108,6 +108,28 @@ impl Monitor for CallGraph {
             })
             .collect::<Vec<_>>()
             .join("\n")
+    }
+}
+
+/// Shards inherit the *caller stack* at the fork point (so calls made
+/// inside a shard are attributed to the function that forked) but start
+/// with no edges of their own; the join sums edge multisets and keeps the
+/// left stack. Pre/post events bracket within a shard, so a shard's stack
+/// returns to the fork depth by its end — discarding it at the join loses
+/// nothing, which is what makes `split` a merge identity.
+impl MergeMonitor for CallGraph {
+    fn split(&self, s: &CallGraphState) -> CallGraphState {
+        CallGraphState {
+            edges: BTreeMap::new(),
+            stack: s.stack.clone(),
+        }
+    }
+
+    fn merge(&self, mut left: CallGraphState, right: CallGraphState) -> CallGraphState {
+        for (edge, n) in right.edges {
+            *left.edges.entry(edge).or_insert(0) += n;
+        }
+        left
     }
 }
 

@@ -7,7 +7,7 @@
 
 use monsem_core::Value;
 use monsem_monitor::scope::Scope;
-use monsem_monitor::Monitor;
+use monsem_monitor::{MergeMonitor, Monitor};
 use monsem_syntax::{AnnKind, Annotation, Expr, Ident, Namespace};
 use std::collections::BTreeMap;
 
@@ -122,6 +122,27 @@ impl Monitor for Collecting {
             .collect::<Vec<_>>()
             .join(", ");
         format!("[{body}]")
+    }
+}
+
+/// Interpretation environments merge per key by ordered, deduplicating
+/// append — the first-seen order of a concatenation is associative, and
+/// appending an empty environment changes nothing, so the laws hold.
+/// (`Value` is not `Send`, so this monitor satisfies the *laws* and works
+/// under [`Compose`](monsem_monitor::Compose) forwarding, but cannot ride
+/// the thread-scoped parallel machine itself.)
+impl MergeMonitor for Collecting {
+    fn split(&self, _: &Interpretations) -> Interpretations {
+        Interpretations::default()
+    }
+
+    fn merge(&self, mut left: Interpretations, right: Interpretations) -> Interpretations {
+        for (x, vs) in right.0 {
+            for v in vs {
+                left = left.insert(&x, &v);
+            }
+        }
+        left
     }
 }
 

@@ -21,7 +21,7 @@ use monsem_monitor::scope::Scope;
 use monsem_monitor::{Monitor, Outcome};
 use monsem_syntax::{parse_expr, AnnKind, Annotation, Expr, Ident, Namespace};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// What became of one contract check.
 #[derive(Debug, Clone, PartialEq)]
@@ -156,8 +156,8 @@ impl ContractMonitor {
             .extend(Ident::new("contract-pred"), pred.clone())
             .extend(Ident::new("contract-value"), value.clone());
         let call: Expr = Expr::App(
-            Rc::new(Expr::var("contract-pred")),
-            Rc::new(Expr::var("contract-value")),
+            Arc::new(Expr::var("contract-pred")),
+            Arc::new(Expr::var("contract-value")),
         );
         Some(
             match eval_with(&call, &env, &EvalOptions::with_fuel(self.fuel)) {

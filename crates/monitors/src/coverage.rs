@@ -7,7 +7,7 @@
 //! monitor specifications.
 
 use monsem_monitor::scope::Scope;
-use monsem_monitor::Monitor;
+use monsem_monitor::{MergeMonitor, Monitor};
 use monsem_syntax::{AnnKind, Annotation, Expr, Ident, Namespace};
 use std::collections::BTreeMap;
 
@@ -85,6 +85,21 @@ impl Monitor for Coverage {
             .map(|(l, n)| format!("{l}: {n}"))
             .collect::<Vec<_>>()
             .join(", ")
+    }
+}
+
+/// Hit counts merge by pointwise addition, exactly like the profiler's
+/// counter environment; a label never reached is its identity 0.
+impl MergeMonitor for Coverage {
+    fn split(&self, _: &Hits) -> Hits {
+        Hits::default()
+    }
+
+    fn merge(&self, mut left: Hits, right: Hits) -> Hits {
+        for (label, n) in right.0 {
+            *left.0.entry(label).or_insert(0) += n;
+        }
+        left
     }
 }
 

@@ -25,7 +25,7 @@
 
 use monsem_core::Value;
 use monsem_monitor::scope::Scope;
-use monsem_monitor::{Monitor, Outcome};
+use monsem_monitor::{MergeMonitor, Monitor, Outcome};
 use monsem_syntax::{Annotation, Expr};
 use std::time::{Duration, Instant};
 
@@ -134,6 +134,20 @@ impl Monitor for FaultyMonitor {
 
     fn render_state(&self, seen: &u64) -> String {
         format!("{seen} events")
+    }
+}
+
+/// Event counts sum at the join. Note that `fire_at` then counts *per
+/// shard* under fork-join (each shard's counter restarts at zero), which
+/// is exactly what the adversarial tests want: the bomb goes off inside a
+/// worker thread.
+impl MergeMonitor for FaultyMonitor {
+    fn split(&self, _: &u64) -> u64 {
+        0
+    }
+
+    fn merge(&self, left: u64, right: u64) -> u64 {
+        left + right
     }
 }
 

@@ -48,6 +48,7 @@ pub mod watch;
 pub use callgraph::CallGraph;
 pub use collecting::Collecting;
 pub use contract::ContractMonitor;
+pub use coverage::Coverage;
 pub use debugger::{Command, Debugger};
 pub use demon::{PredicateDemon, UnsortedDemon};
 pub use faulty::{FaultMode, FaultyMonitor};
@@ -56,6 +57,7 @@ pub use profiler::{AbProfiler, Profiler};
 pub use replay::{Recorder, Replay};
 pub use space::SpaceProfiler;
 pub use stepper::Stepper;
+pub use timing::TimeProfiler;
 pub use tracer::Tracer;
 
 pub use monsem_tspec::{SpecMonitor, SpecState};

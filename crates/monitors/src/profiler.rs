@@ -8,7 +8,7 @@
 //!   function does nothing.
 
 use monsem_monitor::scope::Scope;
-use monsem_monitor::Monitor;
+use monsem_monitor::{MergeMonitor, Monitor};
 use monsem_syntax::{AnnKind, Annotation, Expr, Ident, Namespace};
 use std::collections::BTreeMap;
 
@@ -54,6 +54,21 @@ impl Monitor for AbProfiler {
 
     fn render_state(&self, s: &AbCounts) -> String {
         format!("⟨{}, {}⟩", s.a, s.b)
+    }
+}
+
+/// Counter pairs form a commutative monoid under pointwise addition, so
+/// shards start from zero and the join sums — the textbook instance of
+/// the split/merge laws.
+impl MergeMonitor for AbProfiler {
+    fn split(&self, _: &AbCounts) -> AbCounts {
+        AbCounts::default()
+    }
+
+    fn merge(&self, mut left: AbCounts, right: AbCounts) -> AbCounts {
+        left.a += right.a;
+        left.b += right.b;
+        left
     }
 }
 
@@ -148,6 +163,21 @@ impl Monitor for Profiler {
     }
 }
 
+/// Counter environments merge by pointwise addition: a counter absent from
+/// one side is its identity 0, so `merge` unions the key sets and sums.
+impl MergeMonitor for Profiler {
+    fn split(&self, _: &CounterEnv) -> CounterEnv {
+        CounterEnv::init()
+    }
+
+    fn merge(&self, mut left: CounterEnv, right: CounterEnv) -> CounterEnv {
+        for (f, n) in right.0 {
+            *left.0.entry(f).or_insert(0) += n;
+        }
+        left
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +224,31 @@ mod tests {
         let (_, s) = eval_monitored(&e, &p).unwrap();
         assert_eq!(s.count(&Ident::new("f")), 1);
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn parallel_profile_matches_sequential() {
+        let prog = parse_expr(
+            "letrec fac = lambda x. {fac}:(if x = 0 then 1 else x * fac (x - 1)) \
+             in par(fac 5, fac 6, fac 7, fac 4)",
+        )
+        .unwrap();
+        let seq = eval_monitored(&prog, &Profiler::new()).unwrap();
+        let par = monsem_monitor::eval_parallel(&prog, &Profiler::new()).unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(par.1.count(&Ident::new("fac")), 6 + 7 + 8 + 5);
+    }
+
+    #[test]
+    fn ab_merge_laws_hold_on_samples() {
+        let m = AbProfiler;
+        let (x, y, z) = (
+            AbCounts { a: 1, b: 2 },
+            AbCounts { a: 3, b: 0 },
+            AbCounts { a: 0, b: 7 },
+        );
+        assert_eq!(m.merge(m.merge(x, y), z), m.merge(x, m.merge(y, z)));
+        assert_eq!(m.merge(x, m.split(&x)), x);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use monsem_core::Value;
 use monsem_monitor::scope::Scope;
-use monsem_monitor::Monitor;
+use monsem_monitor::{MergeMonitor, Monitor};
 use monsem_syntax::{AnnKind, Annotation, Expr, Ident, Namespace};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -99,6 +99,31 @@ impl Monitor for TimeProfiler {
             .map(|(l, (d, n))| format!("{l}: {:?} over {n} activations", d))
             .collect::<Vec<_>>()
             .join("\n")
+    }
+}
+
+/// Shards inherit the open-timer stack (timers opened before the fork
+/// stay open across it; bracketing guarantees a shard never pops them)
+/// and accumulate their own totals from zero; the join sums durations and
+/// activation counts per label and keeps the left stack. Activation
+/// counts merge exactly; wall-clock totals are additive by construction,
+/// though their *values* are nondeterministic — which is sound here, as
+/// monitor state never feeds back into evaluation.
+impl MergeMonitor for TimeProfiler {
+    fn split(&self, s: &Timings) -> Timings {
+        Timings {
+            totals: BTreeMap::new(),
+            open: s.open.clone(),
+        }
+    }
+
+    fn merge(&self, mut left: Timings, right: Timings) -> Timings {
+        for (label, (d, n)) in right.totals {
+            let entry = left.totals.entry(label).or_insert((Duration::ZERO, 0));
+            entry.0 += d;
+            entry.1 += n;
+        }
+        left
     }
 }
 

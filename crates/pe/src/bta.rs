@@ -271,6 +271,17 @@ impl Analyzer {
                 self.analyze(b, &path.child(PathStep::LoopBody), env);
                 Abs::Data(Bt::Dynamic)
             }
+            Expr::Par(items) => {
+                // `par` is an evaluation-strategy construct: the whole
+                // point is to leave its elements for the (possibly
+                // parallel) runtime, so it is dynamic by decree — like
+                // annotations — though each element keeps its own
+                // classification.
+                for (i, item) in items.iter().enumerate() {
+                    self.analyze(item, &path.child(PathStep::ParElem(i)), env);
+                }
+                Abs::Data(Bt::Dynamic)
+            }
         };
         self.division.mark(path, result.bt());
         result
@@ -424,6 +435,16 @@ pub fn render_two_level(program: &Expr, division: &Division) -> String {
                 out.push_str(" do ");
                 walk(b, &path.child(PathStep::LoopBody), d, out);
                 out.push_str(" end");
+            }
+            Expr::Par(items) => {
+                out.push_str("par(");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    walk(item, &path.child(PathStep::ParElem(i)), d, out);
+                }
+                out.push(')');
             }
         }
         if dynamic {

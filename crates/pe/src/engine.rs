@@ -128,6 +128,9 @@ pub enum Code {
     RecGroup(Rc<Vec<Rc<CodeLambda>>>, Rc<Code>),
     /// Evaluate and discard, then continue.
     Seq(Rc<Code>, Rc<Code>),
+    /// `par(e₁, …, eₙ)`: elements left-to-right, yielding the list — the
+    /// compiled engine is sequential, so this is the reference semantics.
+    Par(Rc<Vec<Rc<Code>>>),
     /// A monitored program point: the annotation survived compile-time
     /// dispatch, with the scope names captured for the hook environment.
     Hook {
@@ -384,6 +387,13 @@ impl<M: Monitor> Compiler<'_, M> {
                 }
             }
             Expr::Seq(a, b) => Code::Seq(Rc::new(self.compile(a)?), Rc::new(self.compile(b)?)),
+            Expr::Par(items) => {
+                let mut codes = Vec::with_capacity(items.len());
+                for item in items {
+                    codes.push(Rc::new(self.compile(item)?));
+                }
+                Code::Par(Rc::new(codes))
+            }
             Expr::Assign(..) => return Err(CompileError::Unsupported("assignment")),
             Expr::While(..) => return Err(CompileError::Unsupported("while")),
         })
@@ -635,6 +645,12 @@ enum RtFrame {
         second: Rc<Code>,
         env: REnv,
     },
+    /// One `par` element evaluated; evaluate the next or finish the list.
+    Par {
+        items: Rc<Vec<Rc<Code>>>,
+        done: Vec<Value>,
+        env: REnv,
+    },
     Post {
         ann: Annotation,
         names: Rc<Vec<FrameNamesOpaque>>,
@@ -774,6 +790,18 @@ impl CompiledProgram {
                         });
                         RtState::Eval(a.clone(), env)
                     }
+                    Code::Par(items) => match items.first() {
+                        None => RtState::Continue(Value::Nil),
+                        Some(first) => {
+                            let first = first.clone();
+                            stack.push(RtFrame::Par {
+                                items: items.clone(),
+                                done: Vec::new(),
+                                env: env.clone(),
+                            });
+                            RtState::Eval(first, env)
+                        }
+                    },
                     Code::Hook {
                         ann,
                         names,
@@ -842,7 +870,9 @@ impl CompiledProgram {
                     Some(RtFrame::Apply { arg }) => match value {
                         Value::Ext(ext) => match ext.downcast::<CompiledClosure>() {
                             Some(c) => RtState::Eval(c.lambda.body.clone(), c.env.plain(arg)),
-                            None => return Err(EvalError::NotAFunction(Value::Ext(ext))),
+                            None => {
+                                return Err(EvalError::NotAFunction(Value::Ext(ext).to_string()))
+                            }
                         },
                         Value::Prim(p, collected) => {
                             let mut args = collected.as_ref().clone();
@@ -853,7 +883,7 @@ impl CompiledProgram {
                                 RtState::Continue(Value::Prim(p, Rc::new(args)))
                             }
                         }
-                        other => return Err(EvalError::NotAFunction(other)),
+                        other => return Err(EvalError::NotAFunction(other.to_string())),
                     },
                     Some(RtFrame::Branch { then, els, env }) => match value {
                         Value::Bool(true) => RtState::Eval(then, env),
@@ -862,6 +892,25 @@ impl CompiledProgram {
                     },
                     Some(RtFrame::BindThen { body, env }) => RtState::Eval(body, env.plain(value)),
                     Some(RtFrame::Discard { second, env }) => RtState::Eval(second, env),
+                    Some(RtFrame::Par {
+                        items,
+                        mut done,
+                        env,
+                    }) => {
+                        done.push(value);
+                        match items.get(done.len()) {
+                            Some(next) => {
+                                let next = next.clone();
+                                stack.push(RtFrame::Par {
+                                    items,
+                                    done,
+                                    env: env.clone(),
+                                });
+                                RtState::Eval(next, env)
+                            }
+                            None => RtState::Continue(Value::list(done)),
+                        }
+                    }
                 },
             };
         }
@@ -903,6 +952,10 @@ mod tests {
         "letrec base = 10 and add = lambda x. x + base in add 5",
         "{root}:(letrec f = lambda x. {l}:(x + 1) in f 41)",
         "let inc = (+) 1 in inc 41",
+        "par(1 + 2, 3 * 4, 0 - 5)",
+        "hd par(letrec f = lambda x. x + 1 in f 9, 2)",
+        "par()",
+        "par(1, 1 / 0, nope)",
         "1; 2",
         "1 + true",
         "missing (1 / 0)",

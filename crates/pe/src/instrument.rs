@@ -28,7 +28,7 @@
 use crate::specialize::{specialize, SpecializeOptions};
 use monsem_syntax::{Annotation, Binding, Expr, Ident, Lambda};
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A monitor specification whose monitoring functions are `L_λ` code.
 ///
@@ -141,7 +141,7 @@ impl Tr<'_> {
                 self.bound.pop();
                 let f = Expr::Lambda(Lambda {
                     param: l.param.clone(),
-                    body: Rc::new(body),
+                    body: Arc::new(body),
                 });
                 self.state_fn(|_, s| Tr::pair(f, Expr::Var(s.clone())))
             }
@@ -239,6 +239,35 @@ impl Tr<'_> {
                     )
                 })
             }
+            Expr::Par(items) => {
+                // The state-passing translation is inherently sequential,
+                // so `par` gets its reference semantics: thread the state
+                // through the elements left-to-right and pair the list of
+                // their values with the final state.
+                let t_items: Vec<Expr> = items.iter().map(|i| self.translate(i)).collect();
+                self.state_fn(|tr, s| {
+                    let mut state: Expr = Expr::Var(s.clone());
+                    let mut ps: Vec<Ident> = Vec::new();
+                    let mut wrappers: Vec<Box<dyn FnOnce(Expr) -> Expr>> = Vec::new();
+                    for ti in t_items {
+                        let p = tr.fresh("p");
+                        let prev_state = state;
+                        state = Tr::tl(Expr::Var(p.clone()));
+                        ps.push(p.clone());
+                        wrappers.push(Box::new(move |inner| {
+                            Expr::let_(p, Expr::app(ti, prev_state), inner)
+                        }));
+                    }
+                    let list = ps.iter().rev().fold(Expr::nil(), |acc, p| {
+                        Expr::binop("cons", Tr::hd(Expr::Var(p.clone())), acc)
+                    });
+                    let mut out = Tr::pair(list, state);
+                    for w in wrappers.into_iter().rev() {
+                        out = w(out);
+                    }
+                    out
+                })
+            }
             Expr::Assign(..) | Expr::While(..) => {
                 // The pure state-passing translation has no store; the
                 // imperative module is monitored at the interpreter level.
@@ -284,7 +313,7 @@ impl Tr<'_> {
                     name.clone(),
                     Expr::Lambda(Lambda {
                         param: l.param.clone(),
-                        body: Rc::new(tb),
+                        body: Arc::new(tb),
                     }),
                 )
             })
@@ -316,7 +345,7 @@ impl Tr<'_> {
             }
             if !translated_funs.is_empty() {
                 let funs = translated_funs;
-                wrappers.push(Box::new(move |inner| Expr::Letrec(funs, Rc::new(inner))));
+                wrappers.push(Box::new(move |inner| Expr::Letrec(funs, Arc::new(inner))));
             }
             for (name, tv) in translated_annotated {
                 let p = tr.fresh("p");
@@ -366,7 +395,7 @@ pub fn instrument(program: &Expr, monitor: &SourceMonitor) -> Expr {
     let translated = tr.translate(&program);
     let applied = Expr::app(translated, monitor.initial.clone());
     monitor.prelude.iter().rev().fold(applied, |acc, b| {
-        Expr::Letrec(vec![b.clone()], Rc::new(acc))
+        Expr::Letrec(vec![b.clone()], Arc::new(acc))
     })
 }
 
@@ -418,7 +447,7 @@ fn rename_prim_shadowers(e: &Expr, used: &mut BTreeSet<Ident>) -> Expr {
                 map.pop();
                 Expr::Lambda(Lambda {
                     param: p,
-                    body: Rc::new(body),
+                    body: Arc::new(body),
                 })
             }
             Expr::If(c, t, f) => Expr::if_(go(c, map, used), go(t, map, used), go(f, map, used)),
@@ -429,7 +458,7 @@ fn rename_prim_shadowers(e: &Expr, used: &mut BTreeSet<Ident>) -> Expr {
                 map.push((x.clone(), x2.clone()));
                 let b2 = go(b, map, used);
                 map.pop();
-                Expr::Let(x2, Rc::new(v2), Rc::new(b2))
+                Expr::Let(x2, Arc::new(v2), Arc::new(b2))
             }
             Expr::Letrec(bs, body) => {
                 let renamed: Vec<Ident> = bs.iter().map(|b| rename_binder(&b.name, used)).collect();
@@ -441,26 +470,31 @@ fn rename_prim_shadowers(e: &Expr, used: &mut BTreeSet<Ident>) -> Expr {
                     .zip(&renamed)
                     .map(|(b, r)| Binding {
                         name: r.clone(),
-                        value: Rc::new(go(&b.value, map, used)),
+                        value: Arc::new(go(&b.value, map, used)),
                     })
                     .collect();
                 let body2 = go(body, map, used);
                 for _ in bs {
                     map.pop();
                 }
-                Expr::Letrec(new_bs, Rc::new(body2))
+                Expr::Letrec(new_bs, Arc::new(body2))
             }
-            Expr::Ann(a, inner) => Expr::Ann(a.clone(), Rc::new(go(inner, map, used))),
-            Expr::Seq(a, b) => Expr::Seq(Rc::new(go(a, map, used)), Rc::new(go(b, map, used))),
+            Expr::Ann(a, inner) => Expr::Ann(a.clone(), Arc::new(go(inner, map, used))),
+            Expr::Seq(a, b) => Expr::Seq(Arc::new(go(a, map, used)), Arc::new(go(b, map, used))),
             Expr::Assign(x, v) => {
                 let v2 = go(v, map, used);
                 let x2 = match map.iter().rev().find(|(from, _)| from == x) {
                     Some((_, to)) => to.clone(),
                     None => x.clone(),
                 };
-                Expr::Assign(x2, Rc::new(v2))
+                Expr::Assign(x2, Arc::new(v2))
             }
-            Expr::While(c, b) => Expr::While(Rc::new(go(c, map, used)), Rc::new(go(b, map, used))),
+            Expr::While(c, b) => {
+                Expr::While(Arc::new(go(c, map, used)), Arc::new(go(b, map, used)))
+            }
+            Expr::Par(items) => {
+                Expr::Par(items.iter().map(|i| Arc::new(go(i, map, used))).collect())
+            }
         }
     }
     go(e, &mut Vec::new(), used)

@@ -18,7 +18,7 @@
 //! code.
 
 use monsem_syntax::{Binding, Expr, Ident, Lambda};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Expressions that terminate, have no effects, and cannot fail — safe to
 /// drop, duplicate, or reorder.
@@ -95,6 +95,7 @@ fn occurrences_only_projections(e: &Expr, x: &Ident) -> bool {
             }
             Expr::Ann(_, inner) => go(inner, x, false),
             Expr::Assign(v, val) => v != x && go(val, x, false),
+            Expr::Par(items) => items.iter().all(|i| go(i, x, false)),
         }
     }
     go(e, x, false)
@@ -119,7 +120,7 @@ fn subst(e: &Expr, x: &Ident, replacement: &Expr) -> Expr {
             } else {
                 Expr::Lambda(Lambda {
                     param: l.param.clone(),
-                    body: Rc::new(subst(&l.body, x, replacement)),
+                    body: Arc::new(subst(&l.body, x, replacement)),
                 })
             }
         }
@@ -132,7 +133,7 @@ fn subst(e: &Expr, x: &Ident, replacement: &Expr) -> Expr {
         Expr::Let(v, val, body) => {
             let val = subst(val, x, replacement);
             if v == x {
-                Expr::Let(v.clone(), Rc::new(val), body.clone())
+                Expr::Let(v.clone(), Arc::new(val), body.clone())
             } else {
                 Expr::let_(v.clone(), val, subst(body, x, replacement))
             }
@@ -145,21 +146,27 @@ fn subst(e: &Expr, x: &Ident, replacement: &Expr) -> Expr {
                 bs.iter()
                     .map(|b| Binding {
                         name: b.name.clone(),
-                        value: Rc::new(subst(&b.value, x, replacement)),
+                        value: Arc::new(subst(&b.value, x, replacement)),
                     })
                     .collect(),
-                Rc::new(subst(body, x, replacement)),
+                Arc::new(subst(body, x, replacement)),
             )
         }
-        Expr::Ann(a, inner) => Expr::Ann(a.clone(), Rc::new(subst(inner, x, replacement))),
+        Expr::Ann(a, inner) => Expr::Ann(a.clone(), Arc::new(subst(inner, x, replacement))),
         Expr::Seq(a, b) => Expr::Seq(
-            Rc::new(subst(a, x, replacement)),
-            Rc::new(subst(b, x, replacement)),
+            Arc::new(subst(a, x, replacement)),
+            Arc::new(subst(b, x, replacement)),
         ),
-        Expr::Assign(v, val) => Expr::Assign(v.clone(), Rc::new(subst(val, x, replacement))),
+        Expr::Assign(v, val) => Expr::Assign(v.clone(), Arc::new(subst(val, x, replacement))),
         Expr::While(a, b) => Expr::While(
-            Rc::new(subst(a, x, replacement)),
-            Rc::new(subst(b, x, replacement)),
+            Arc::new(subst(a, x, replacement)),
+            Arc::new(subst(b, x, replacement)),
+        ),
+        Expr::Par(items) => Expr::Par(
+            items
+                .iter()
+                .map(|i| Arc::new(subst(i, x, replacement)))
+                .collect(),
         ),
     }
 }
@@ -179,7 +186,7 @@ fn subst_projections(e: &Expr, x: &Ident, h: &Ident, t: &Ident) -> Expr {
             } else {
                 Expr::Lambda(Lambda {
                     param: l.param.clone(),
-                    body: Rc::new(subst_projections(&l.body, x, h, t)),
+                    body: Arc::new(subst_projections(&l.body, x, h, t)),
                 })
             }
         }
@@ -192,7 +199,7 @@ fn subst_projections(e: &Expr, x: &Ident, h: &Ident, t: &Ident) -> Expr {
         Expr::Let(v, val, body) => {
             let val = subst_projections(val, x, h, t);
             if v == x {
-                Expr::Let(v.clone(), Rc::new(val), body.clone())
+                Expr::Let(v.clone(), Arc::new(val), body.clone())
             } else {
                 Expr::let_(v.clone(), val, subst_projections(body, x, h, t))
             }
@@ -205,21 +212,27 @@ fn subst_projections(e: &Expr, x: &Ident, h: &Ident, t: &Ident) -> Expr {
                 bs.iter()
                     .map(|b| Binding {
                         name: b.name.clone(),
-                        value: Rc::new(subst_projections(&b.value, x, h, t)),
+                        value: Arc::new(subst_projections(&b.value, x, h, t)),
                     })
                     .collect(),
-                Rc::new(subst_projections(body, x, h, t)),
+                Arc::new(subst_projections(body, x, h, t)),
             )
         }
-        Expr::Ann(a, inner) => Expr::Ann(a.clone(), Rc::new(subst_projections(inner, x, h, t))),
+        Expr::Ann(a, inner) => Expr::Ann(a.clone(), Arc::new(subst_projections(inner, x, h, t))),
         Expr::Seq(a, b) => Expr::Seq(
-            Rc::new(subst_projections(a, x, h, t)),
-            Rc::new(subst_projections(b, x, h, t)),
+            Arc::new(subst_projections(a, x, h, t)),
+            Arc::new(subst_projections(b, x, h, t)),
         ),
-        Expr::Assign(v, val) => Expr::Assign(v.clone(), Rc::new(subst_projections(val, x, h, t))),
+        Expr::Assign(v, val) => Expr::Assign(v.clone(), Arc::new(subst_projections(val, x, h, t))),
         Expr::While(a, b) => Expr::While(
-            Rc::new(subst_projections(a, x, h, t)),
-            Rc::new(subst_projections(b, x, h, t)),
+            Arc::new(subst_projections(a, x, h, t)),
+            Arc::new(subst_projections(b, x, h, t)),
+        ),
+        Expr::Par(items) => Expr::Par(
+            items
+                .iter()
+                .map(|i| Arc::new(subst_projections(i, x, h, t)))
+                .collect(),
         ),
     }
 }
@@ -251,6 +264,7 @@ fn count_free(e: &Expr, x: &Ident) -> usize {
         }
         Expr::Ann(_, inner) => count_free(inner, x),
         Expr::Assign(v, val) => usize::from(v == x) + count_free(val, x),
+        Expr::Par(items) => items.iter().map(|i| count_free(i, x)).sum(),
     }
 }
 
@@ -271,7 +285,7 @@ impl Simplifier {
             Expr::Var(_) | Expr::VarAt(..) | Expr::Con(_) => e.clone(),
             Expr::Lambda(l) => Expr::Lambda(Lambda {
                 param: l.param.clone(),
-                body: Rc::new(self.pass(&l.body)),
+                body: Arc::new(self.pass(&l.body)),
             }),
             Expr::If(a, b, c) => Expr::if_(self.pass(a), self.pass(b), self.pass(c)),
             Expr::App(a, b) => Expr::app(self.pass(a), self.pass(b)),
@@ -280,15 +294,16 @@ impl Simplifier {
                 bs.iter()
                     .map(|b| Binding {
                         name: b.name.clone(),
-                        value: Rc::new(self.pass(&b.value)),
+                        value: Arc::new(self.pass(&b.value)),
                     })
                     .collect(),
-                Rc::new(self.pass(body)),
+                Arc::new(self.pass(body)),
             ),
-            Expr::Ann(a, inner) => Expr::Ann(a.clone(), Rc::new(self.pass(inner))),
-            Expr::Seq(a, b) => Expr::Seq(Rc::new(self.pass(a)), Rc::new(self.pass(b))),
-            Expr::Assign(x, v) => Expr::Assign(x.clone(), Rc::new(self.pass(v))),
-            Expr::While(a, b) => Expr::While(Rc::new(self.pass(a)), Rc::new(self.pass(b))),
+            Expr::Ann(a, inner) => Expr::Ann(a.clone(), Arc::new(self.pass(inner))),
+            Expr::Seq(a, b) => Expr::Seq(Arc::new(self.pass(a)), Arc::new(self.pass(b))),
+            Expr::Assign(x, v) => Expr::Assign(x.clone(), Arc::new(self.pass(v))),
+            Expr::While(a, b) => Expr::While(Arc::new(self.pass(a)), Arc::new(self.pass(b))),
+            Expr::Par(items) => Expr::Par(items.iter().map(|i| Arc::new(self.pass(i))).collect()),
         };
         self.rewrite(e)
     }

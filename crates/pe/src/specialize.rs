@@ -43,6 +43,7 @@ use monsem_core::value::Value;
 use monsem_syntax::{Binding, Con, Expr, Ident, Lambda};
 use std::collections::BTreeSet;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Tunables for the specializer.
 #[derive(Debug, Clone)]
@@ -296,7 +297,7 @@ fn fun_to_expr(def: &FunDef, ctx: &mut Ctx) -> Expr {
         // The group is not in scope: re-emit it around a reference.
         let rec_env = def.env.clone();
         let bindings = residual_group(group, &rec_env, ctx);
-        return Expr::Letrec(bindings, Rc::new(Expr::Var(name.clone())));
+        return Expr::Letrec(bindings, Arc::new(Expr::Var(name.clone())));
     }
     // Anonymous function: specialize generically under a fresh parameter.
     let p = ctx.fresh(&def.lambda.param);
@@ -372,7 +373,7 @@ fn pe(e: &Expr, env: &SEnv, ctx: &mut Ctx) -> Out {
         Expr::Ann(a, inner) => {
             // Annotations are monitoring events: never fold them away.
             let inner = pe(inner, env, ctx).into_expr(ctx);
-            Out::Dyn(Expr::Ann(a.clone(), Rc::new(inner)))
+            Out::Dyn(Expr::Ann(a.clone(), Arc::new(inner)))
         }
         Expr::Seq(a, b) => {
             let first = pe(a, env, ctx);
@@ -383,7 +384,7 @@ fn pe(e: &Expr, env: &SEnv, ctx: &mut Ctx) -> Out {
                 Out::Known(_) | Out::Fun(_) | Out::Part(..) | Out::PrimApp(..) => second,
                 Out::Dyn(ae) => {
                     let be = second.into_expr(ctx);
-                    Out::Dyn(Expr::Seq(Rc::new(ae), Rc::new(be)))
+                    Out::Dyn(Expr::Seq(Arc::new(ae), Arc::new(be)))
                 }
             }
         }
@@ -394,7 +395,7 @@ fn pe(e: &Expr, env: &SEnv, ctx: &mut Ctx) -> Out {
                 Some(Out::Dyn(Expr::Var(n))) => n,
                 _ => x.clone(),
             };
-            Out::Dyn(Expr::Assign(target, Rc::new(ve)))
+            Out::Dyn(Expr::Assign(target, Arc::new(ve)))
         }
         Expr::While(c, b) => {
             // Loops are inherently dynamic here (the pure specializer has
@@ -403,7 +404,17 @@ fn pe(e: &Expr, env: &SEnv, ctx: &mut Ctx) -> Out {
             let ce = pe(c, env, ctx).into_expr(ctx);
             let be = pe(b, env, ctx).into_expr(ctx);
             ctx.speculation -= 1;
-            Out::Dyn(Expr::While(Rc::new(ce), Rc::new(be)))
+            Out::Dyn(Expr::While(Arc::new(ce), Arc::new(be)))
+        }
+        Expr::Par(items) => {
+            // `par` exists so a parallel runtime can shard it — folding it
+            // away would erase the fork points, so each element is
+            // specialized in place and the form residualizes.
+            let elems: Vec<Arc<Expr>> = items
+                .iter()
+                .map(|i| Arc::new(pe(i, env, ctx).into_expr(ctx)))
+                .collect();
+            Out::Dyn(Expr::Par(elems))
         }
     }
 }
@@ -660,7 +671,7 @@ fn pe_letrec(bs: &[Binding], body: &Expr, env: &SEnv, ctx: &mut Ctx) -> Out {
     }
 
     // Prune function bindings the residue never mentions (pure, so safe).
-    let result = Expr::Letrec(bindings, Rc::new(body_expr));
+    let result = Expr::Letrec(bindings, Arc::new(body_expr));
     Out::Dyn(prune_letrec(result))
 }
 

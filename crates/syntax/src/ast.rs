@@ -15,7 +15,7 @@
 
 use crate::intern::Symbol;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An interned identifier (cheap to clone, compared in O(1)).
 ///
@@ -27,7 +27,7 @@ use std::rc::Rc;
 #[derive(Clone)]
 pub struct Ident {
     sym: Symbol,
-    text: Rc<str>,
+    text: Arc<str>,
 }
 
 impl Ident {
@@ -119,7 +119,7 @@ pub enum Con {
     /// Boolean literal.
     Bool(bool),
     /// String literal (used by the `Ans_str` answer algebra of §3.1).
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// The empty list `[]`.
     Nil,
     /// The unit value (result of assignments in the imperative module).
@@ -301,7 +301,7 @@ pub struct Lambda {
     /// The bound variable.
     pub param: Ident,
     /// The body.
-    pub body: Rc<Expr>,
+    pub body: Arc<Expr>,
 }
 
 impl Lambda {
@@ -309,7 +309,7 @@ impl Lambda {
     pub fn new(param: impl Into<Ident>, body: Expr) -> Self {
         Lambda {
             param: param.into(),
-            body: Rc::new(body),
+            body: Arc::new(body),
         }
     }
 }
@@ -325,7 +325,7 @@ pub struct Binding {
     /// The right-hand side. Recursion is only meaningful when this is a
     /// lambda (possibly under annotations); see
     /// [`Expr::strip_annotations`].
-    pub value: Rc<Expr>,
+    pub value: Arc<Expr>,
 }
 
 impl Binding {
@@ -333,7 +333,7 @@ impl Binding {
     pub fn new(name: impl Into<Ident>, value: Expr) -> Self {
         Binding {
             name: name.into(),
-            value: Rc::new(value),
+            value: Arc::new(value),
         }
     }
 }
@@ -395,23 +395,30 @@ pub enum Expr {
     /// Abstraction `lambda x. e`.
     Lambda(Lambda),
     /// Conditional `if e₁ then e₂ else e₃`.
-    If(Rc<Expr>, Rc<Expr>, Rc<Expr>),
+    If(Arc<Expr>, Arc<Expr>, Arc<Expr>),
     /// Application `e₁ e₂`.
-    App(Rc<Expr>, Rc<Expr>),
+    App(Arc<Expr>, Arc<Expr>),
     /// Recursive bindings `letrec f₁ = e₁ and … in e` (mutual recursion is
     /// an extension; the paper's single-binding form is the common case).
-    Letrec(Vec<Binding>, Rc<Expr>),
+    Letrec(Vec<Binding>, Arc<Expr>),
     /// Non-recursive `let x = e₁ in e₂` (sugar kept in the tree so the
     /// pretty-printer round-trips; semantically `(lambda x. e₂) e₁`).
-    Let(Ident, Rc<Expr>, Rc<Expr>),
+    Let(Ident, Arc<Expr>, Arc<Expr>),
     /// Annotated expression `{μ}:e` (§4.1).
-    Ann(Annotation, Rc<Expr>),
+    Ann(Annotation, Arc<Expr>),
     /// Sequencing `e₁ ; e₂` (imperative module, §9.2).
-    Seq(Rc<Expr>, Rc<Expr>),
+    Seq(Arc<Expr>, Arc<Expr>),
     /// Assignment `x := e` (imperative module, §9.2).
-    Assign(Ident, Rc<Expr>),
+    Assign(Ident, Arc<Expr>),
     /// Loop `while e₁ do e₂ end` (imperative module, §9.2).
-    While(Rc<Expr>, Rc<Expr>),
+    While(Arc<Expr>, Arc<Expr>),
+    /// Fork-join `par(e₁, …, eₙ)`: evaluates every element and yields the
+    /// list `[v₁, …, vₙ]`. Sequentially the elements run left-to-right
+    /// (exactly `[e₁, …, eₙ]` under the strict machine, monitor events
+    /// included); the parallel machine may run them on separate threads
+    /// and merge the monitor-state deltas in the same left-to-right order,
+    /// which is why the two agree (see `monsem-monitor::parallel`).
+    Par(Vec<Arc<Expr>>),
 }
 
 impl PartialEq for Expr {
@@ -430,6 +437,7 @@ impl PartialEq for Expr {
             (Expr::Seq(a1, b1), Expr::Seq(a2, b2)) => a1 == a2 && b1 == b2,
             (Expr::Assign(x1, e1), Expr::Assign(x2, e2)) => x1 == x2 && e1 == e2,
             (Expr::While(c1, b1), Expr::While(c2, b2)) => c1 == c2 && b1 == b2,
+            (Expr::Par(a), Expr::Par(b)) => a == b,
             _ => false,
         }
     }
@@ -448,7 +456,7 @@ impl Expr {
 
     /// String constant.
     pub fn str(s: impl AsRef<str>) -> Expr {
-        Expr::Con(Con::Str(Rc::from(s.as_ref())))
+        Expr::Con(Con::Str(Arc::from(s.as_ref())))
     }
 
     /// The empty list `[]`.
@@ -474,7 +482,7 @@ impl Expr {
 
     /// Application `f x`.
     pub fn app(f: Expr, x: Expr) -> Expr {
-        Expr::App(Rc::new(f), Rc::new(x))
+        Expr::App(Arc::new(f), Arc::new(x))
     }
 
     /// Curried application `f x₁ … xₙ`.
@@ -484,22 +492,27 @@ impl Expr {
 
     /// Conditional.
     pub fn if_(c: Expr, t: Expr, e: Expr) -> Expr {
-        Expr::If(Rc::new(c), Rc::new(t), Rc::new(e))
+        Expr::If(Arc::new(c), Arc::new(t), Arc::new(e))
     }
 
     /// Single-binding `letrec`.
     pub fn letrec(name: impl Into<Ident>, value: Expr, body: Expr) -> Expr {
-        Expr::Letrec(vec![Binding::new(name, value)], Rc::new(body))
+        Expr::Letrec(vec![Binding::new(name, value)], Arc::new(body))
     }
 
     /// Non-recursive `let`.
     pub fn let_(name: impl Into<Ident>, value: Expr, body: Expr) -> Expr {
-        Expr::Let(name.into(), Rc::new(value), Rc::new(body))
+        Expr::Let(name.into(), Arc::new(value), Arc::new(body))
     }
 
     /// Annotated expression `{μ}:e`.
     pub fn ann(ann: Annotation, e: Expr) -> Expr {
-        Expr::Ann(ann, Rc::new(e))
+        Expr::Ann(ann, Arc::new(e))
+    }
+
+    /// Fork-join `par(e₁, …, eₙ)`.
+    pub fn par(items: impl IntoIterator<Item = Expr>) -> Expr {
+        Expr::Par(items.into_iter().map(Arc::new).collect())
     }
 
     /// Binary primitive application: `binop("+", a, b)` is `(+ a) b`.
@@ -543,7 +556,7 @@ impl Expr {
             Expr::Var(x) | Expr::VarAt(x, _) => Expr::Var(x.clone()),
             Expr::Lambda(l) => Expr::Lambda(Lambda {
                 param: l.param.clone(),
-                body: Rc::new(l.body.erase_annotations()),
+                body: Arc::new(l.body.erase_annotations()),
             }),
             Expr::If(c, t, e) => Expr::if_(
                 c.erase_annotations(),
@@ -555,23 +568,29 @@ impl Expr {
                 bs.iter()
                     .map(|b| Binding {
                         name: b.name.clone(),
-                        value: Rc::new(b.value.erase_annotations()),
+                        value: Arc::new(b.value.erase_annotations()),
                     })
                     .collect(),
-                Rc::new(body.erase_annotations()),
+                Arc::new(body.erase_annotations()),
             ),
             Expr::Let(x, v, b) => {
                 Expr::let_(x.clone(), v.erase_annotations(), b.erase_annotations())
             }
             Expr::Ann(_, e) => e.erase_annotations(),
             Expr::Seq(a, b) => Expr::Seq(
-                Rc::new(a.erase_annotations()),
-                Rc::new(b.erase_annotations()),
+                Arc::new(a.erase_annotations()),
+                Arc::new(b.erase_annotations()),
             ),
-            Expr::Assign(x, e) => Expr::Assign(x.clone(), Rc::new(e.erase_annotations())),
+            Expr::Assign(x, e) => Expr::Assign(x.clone(), Arc::new(e.erase_annotations())),
             Expr::While(c, b) => Expr::While(
-                Rc::new(c.erase_annotations()),
-                Rc::new(b.erase_annotations()),
+                Arc::new(c.erase_annotations()),
+                Arc::new(b.erase_annotations()),
+            ),
+            Expr::Par(items) => Expr::Par(
+                items
+                    .iter()
+                    .map(|e| Arc::new(e.erase_annotations()))
+                    .collect(),
             ),
         }
     }
@@ -590,6 +609,7 @@ impl Expr {
             Expr::Let(_, v, b) => v.size() + b.size(),
             Expr::Ann(_, e) => e.size(),
             Expr::Assign(_, e) => e.size(),
+            Expr::Par(items) => items.iter().map(|e| e.size()).sum(),
         }
     }
 
@@ -623,6 +643,11 @@ impl Expr {
                     go(inner, acc);
                 }
                 Expr::Assign(_, e) => go(e, acc),
+                Expr::Par(items) => {
+                    for e in items {
+                        go(e, acc);
+                    }
+                }
             }
         }
         let mut acc = Vec::new();
@@ -680,6 +705,11 @@ impl Expr {
                         free.insert(x.clone());
                     }
                     go(e, bound, free);
+                }
+                Expr::Par(items) => {
+                    for e in items {
+                        go(e, bound, free);
+                    }
                 }
             }
         }

@@ -34,6 +34,11 @@ pub struct GenConfig {
     pub max_depth: u32,
     /// How many recursive template functions to bind (0–4 useful).
     pub templates: u32,
+    /// Probability that a list-typed node becomes a `par(…)` tuple.
+    /// Defaults to `0.0`: `par` is only evaluated by the strict machines,
+    /// so tests that feed generated programs to the lazy/imperative/CPS
+    /// engines must stay par-free; parallel-equivalence tests opt in.
+    pub par_chance: f64,
 }
 
 impl Default for GenConfig {
@@ -41,6 +46,7 @@ impl Default for GenConfig {
         GenConfig {
             max_depth: 5,
             templates: 2,
+            par_chance: 0.0,
         }
     }
 }
@@ -52,6 +58,8 @@ struct Gen<'a> {
     /// Bound template functions callable as `f <small int>` returning `Int`.
     int_funs: Vec<Ident>,
     fresh: u32,
+    /// See [`GenConfig::par_chance`].
+    par_chance: f64,
 }
 
 impl Gen<'_> {
@@ -147,6 +155,12 @@ impl Gen<'_> {
                 ),
             },
             Ty::List => match self.rng.gen_range(0..4) {
+                // A `par(…)` tuple of ints *is* a list of ints; only
+                // parallel-equivalence tests opt into generating it.
+                _ if self.par_chance > 0.0 && self.rng.gen_bool(self.par_chance) => {
+                    let n = self.rng.gen_range(1..4);
+                    Expr::par((0..n).map(|_| self.gen(Ty::Int, depth - 1)))
+                }
                 0 => self.leaf(Ty::List),
                 1 => Expr::binop(
                     "cons",
@@ -262,6 +276,7 @@ pub fn gen_program(rng: &mut StdRng, config: &GenConfig) -> Expr {
         scope: Vec::new(),
         int_funs: Vec::new(),
         fresh: 0,
+        par_chance: config.par_chance,
     };
     let mut funs = Vec::new();
     for i in 0..config.templates {
@@ -293,24 +308,28 @@ pub fn gen_imperative_program(rng: &mut StdRng, config: &GenConfig) -> Expr {
                 "i",
                 Expr::int(0),
                 Expr::Seq(
-                    std::rc::Rc::new(Expr::While(
-                        std::rc::Rc::new(Expr::binop("<", Expr::var("i"), Expr::int(iterations))),
-                        std::rc::Rc::new(Expr::Seq(
-                            std::rc::Rc::new(Expr::Assign(
+                    std::sync::Arc::new(Expr::While(
+                        std::sync::Arc::new(Expr::binop(
+                            "<",
+                            Expr::var("i"),
+                            Expr::int(iterations),
+                        )),
+                        std::sync::Arc::new(Expr::Seq(
+                            std::sync::Arc::new(Expr::Assign(
                                 Ident::new("acc"),
-                                std::rc::Rc::new(Expr::binop(
+                                std::sync::Arc::new(Expr::binop(
                                     "+",
                                     Expr::var("acc"),
                                     Expr::binop("+", Expr::var("seed"), Expr::int(step)),
                                 )),
                             )),
-                            std::rc::Rc::new(Expr::Assign(
+                            std::sync::Arc::new(Expr::Assign(
                                 Ident::new("i"),
-                                std::rc::Rc::new(Expr::binop("+", Expr::var("i"), Expr::int(1))),
+                                std::sync::Arc::new(Expr::binop("+", Expr::var("i"), Expr::int(1))),
                             )),
                         )),
                     )),
-                    std::rc::Rc::new(Expr::var("acc")),
+                    std::sync::Arc::new(Expr::var("acc")),
                 ),
             ),
         ),
@@ -404,6 +423,7 @@ mod tests {
             &GenConfig {
                 max_depth: 3,
                 templates: 0,
+                par_chance: 0.0,
             },
         );
         let annotated = sprinkle_annotations(&mut rng, &e, &Namespace::anonymous(), 1.0);

@@ -1,47 +1,86 @@
-//! Thread-local string interning for identifiers and namespaces.
+//! Global, lock-sharded string interning for identifiers and namespaces.
 //!
 //! Every [`crate::Ident`] (and [`crate::Namespace`]) carries a `u32` symbol
 //! assigned by this interner, so equality and hashing are single integer
 //! operations instead of string comparisons — the variable-lookup fast path
 //! the evaluators rely on (see `monsem-core::env`). The interned text is
-//! kept alongside the symbol (`Rc<str>`), so `Display`, pretty-printing and
-//! ordering still see the characters without consulting the interner.
+//! kept alongside the symbol (`Arc<str>`), so `Display`, pretty-printing
+//! and ordering still see the characters without consulting the interner.
 //!
-//! The interner is **thread-local**, which is sound precisely because the
-//! interned handles hold `Rc<str>` and are therefore `!Send`: two symbols
-//! can only ever meet in a comparison on the thread that interned both, and
-//! per thread the map `text → symbol` is injective.
+//! The interner is **global and `Send`/`Sync`**: the same text interns to
+//! the same symbol on every thread, which is what lets expressions, idents
+//! and monitor states cross a `std::thread::scope` boundary in the
+//! fork-join evaluator (`monsem-monitor::parallel`). Contention is kept off
+//! the hot path two ways: the table is split into `SHARDS` (16) independent
+//! `RwLock`ed shards selected by a hash of the text (so unrelated interns
+//! rarely touch the same lock, and repeat interns take only a read lock),
+//! and symbols only have to be *resolved* during parsing and diagnostics —
+//! evaluation compares the `u32` or follows a lexical address and never
+//! locks anything.
+//!
+//! A symbol encodes its shard in the low `SHARD_BITS` bits and its index
+//! within the shard above them, so resolution needs no global coordination
+//! either.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock, RwLock};
 
-/// An interned symbol: equal symbols ⇔ equal text (within a thread).
+/// An interned symbol: equal symbols ⇔ equal text (process-wide).
 pub type Symbol = u32;
 
+/// log₂ of the shard count.
+const SHARD_BITS: u32 = 4;
+
+/// Number of independent interner shards.
+const SHARDS: usize = 1 << SHARD_BITS;
+
 #[derive(Default)]
-struct Interner {
-    by_text: HashMap<Rc<str>, Symbol>,
-    texts: Vec<Rc<str>>,
+struct Shard {
+    by_text: HashMap<Arc<str>, Symbol>,
+    texts: Vec<Arc<str>>,
 }
 
-thread_local! {
-    static INTERNER: RefCell<Interner> = RefCell::new(Interner::default());
+static INTERNER: OnceLock<[RwLock<Shard>; SHARDS]> = OnceLock::new();
+
+fn shards() -> &'static [RwLock<Shard>; SHARDS] {
+    INTERNER.get_or_init(|| std::array::from_fn(|_| RwLock::new(Shard::default())))
+}
+
+fn shard_of(text: &str) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    text.hash(&mut h);
+    (h.finish() as usize) & (SHARDS - 1)
 }
 
 /// Interns `text`, returning its symbol and the shared text allocation.
-pub(crate) fn intern(text: &str) -> (Symbol, Rc<str>) {
-    INTERNER.with(|cell| {
-        let mut interner = cell.borrow_mut();
-        if let Some(&sym) = interner.by_text.get(text) {
-            return (sym, interner.texts[sym as usize].clone());
+pub(crate) fn intern(text: &str) -> (Symbol, Arc<str>) {
+    let shard_id = shard_of(text);
+    let shard = &shards()[shard_id];
+    // Fast path: already interned — a read lock and a hash lookup.
+    {
+        let guard = shard.read().expect("interner shard poisoned");
+        if let Some(&sym) = guard.by_text.get(text) {
+            let idx = (sym >> SHARD_BITS) as usize;
+            return (sym, guard.texts[idx].clone());
         }
-        let shared: Rc<str> = Rc::from(text);
-        let sym = Symbol::try_from(interner.texts.len()).expect("interner overflow");
-        interner.texts.push(shared.clone());
-        interner.by_text.insert(shared.clone(), sym);
-        (sym, shared)
-    })
+    }
+    let mut guard = shard.write().expect("interner shard poisoned");
+    // Double-check: another thread may have interned between the locks.
+    if let Some(&sym) = guard.by_text.get(text) {
+        let idx = (sym >> SHARD_BITS) as usize;
+        return (sym, guard.texts[idx].clone());
+    }
+    let shared: Arc<str> = Arc::from(text);
+    let idx = u32::try_from(guard.texts.len()).expect("interner shard overflow");
+    let sym = idx
+        .checked_shl(SHARD_BITS)
+        .filter(|s| (s >> SHARD_BITS) == idx)
+        .expect("interner symbol space exhausted")
+        | shard_id as u32;
+    guard.texts.push(shared.clone());
+    guard.by_text.insert(shared.clone(), sym);
+    (sym, shared)
 }
 
 #[cfg(test)]
@@ -49,23 +88,48 @@ mod tests {
     use super::*;
 
     #[test]
-    fn interning_is_injective_per_thread() {
+    fn interning_is_injective() {
         let (a1, t1) = intern("fac");
         let (a2, t2) = intern("fac");
         let (b, _) = intern("fib");
         assert_eq!(a1, a2);
         assert_ne!(a1, b);
-        assert!(Rc::ptr_eq(&t1, &t2), "repeated interning shares the text");
+        assert!(Arc::ptr_eq(&t1, &t2), "repeated interning shares the text");
     }
 
+    /// The new contract of the global interner: every thread sees the same
+    /// text → symbol mapping, so symbols (and the idents built from them)
+    /// may cross thread boundaries and still compare correctly.
     #[test]
-    fn distinct_threads_get_independent_tables() {
-        let (here, _) = intern("only-on-main");
-        let there = std::thread::spawn(|| intern("something-else").0)
-            .join()
-            .unwrap();
-        // Fresh thread, fresh table: first symbol handed out again.
-        assert_eq!(there, 0);
-        let _ = here;
+    fn distinct_threads_agree_on_symbols() {
+        let (here, _) = intern("shared-across-threads");
+        let (there, elsewhere) = std::thread::spawn(|| {
+            let (sym, text) = intern("shared-across-threads");
+            let (other, _) = intern("only-on-the-other-thread");
+            (sym, (text, other))
+        })
+        .join()
+        .unwrap();
+        assert_eq!(here, there, "same text, same symbol, any thread");
+        assert_eq!(&*elsewhere.0, "shared-across-threads");
+        assert_ne!(here, elsewhere.1, "distinct texts stay distinct");
+    }
+
+    /// Many threads interning overlapping names concurrently must agree.
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let names: Vec<String> = (0..64).map(|i| format!("ident-{i}")).collect();
+        let baseline: Vec<Symbol> = names.iter().map(|n| intern(n).0).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let names = &names;
+                let baseline = &baseline;
+                scope.spawn(move || {
+                    for (n, &expect) in names.iter().zip(baseline) {
+                        assert_eq!(intern(n).0, expect);
+                    }
+                });
+            }
+        });
     }
 }

@@ -10,7 +10,7 @@
 //! Tokens carry byte offsets so parse errors can point into the source.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The kind of a lexical token.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,9 +18,9 @@ pub enum TokenKind {
     /// Integer literal.
     Int(i64),
     /// String literal (already unescaped).
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// Identifier or keyword candidate.
-    Ident(Rc<str>),
+    Ident(Arc<str>),
     /// `lambda`
     Lambda,
     /// `if`
@@ -47,6 +47,8 @@ pub enum TokenKind {
     Do,
     /// `end`
     End,
+    /// `par` (fork-join tuple)
+    Par,
     /// `(`
     LParen,
     /// `)`
@@ -72,7 +74,7 @@ pub enum TokenKind {
     /// `/` inside an annotation namespace or division operator
     Slash,
     /// An operator identifier: `+ - * = < > <= >= ++`
-    Op(Rc<str>),
+    Op(Arc<str>),
     /// End of input.
     Eof,
 }
@@ -96,6 +98,7 @@ impl fmt::Display for TokenKind {
             TokenKind::While => f.write_str("while"),
             TokenKind::Do => f.write_str("do"),
             TokenKind::End => f.write_str("end"),
+            TokenKind::Par => f.write_str("par"),
             TokenKind::LParen => f.write_str("("),
             TokenKind::RParen => f.write_str(")"),
             TokenKind::LBracket => f.write_str("["),
@@ -243,7 +246,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     });
                 }
                 tokens.push(Token {
-                    kind: TokenKind::Str(Rc::from(value.as_str())),
+                    kind: TokenKind::Str(Arc::from(value.as_str())),
                     offset,
                 });
             }
@@ -272,7 +275,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     "while" => TokenKind::While,
                     "do" => TokenKind::Do,
                     "end" => TokenKind::End,
-                    _ => TokenKind::Ident(Rc::from(text)),
+                    "par" => TokenKind::Par,
+                    _ => TokenKind::Ident(Arc::from(text)),
                 };
                 tokens.push(Token { kind, offset });
             }
@@ -366,12 +370,12 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 if let Some(&(_, '+')) = chars.peek() {
                     chars.next();
                     tokens.push(Token {
-                        kind: TokenKind::Op(Rc::from("++")),
+                        kind: TokenKind::Op(Arc::from("++")),
                         offset,
                     });
                 } else {
                     tokens.push(Token {
-                        kind: TokenKind::Op(Rc::from("+")),
+                        kind: TokenKind::Op(Arc::from("+")),
                         offset,
                     });
                 }
@@ -379,21 +383,21 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             '-' => {
                 chars.next();
                 tokens.push(Token {
-                    kind: TokenKind::Op(Rc::from("-")),
+                    kind: TokenKind::Op(Arc::from("-")),
                     offset,
                 });
             }
             '*' => {
                 chars.next();
                 tokens.push(Token {
-                    kind: TokenKind::Op(Rc::from("*")),
+                    kind: TokenKind::Op(Arc::from("*")),
                     offset,
                 });
             }
             '=' => {
                 chars.next();
                 tokens.push(Token {
-                    kind: TokenKind::Op(Rc::from("=")),
+                    kind: TokenKind::Op(Arc::from("=")),
                     offset,
                 });
             }
@@ -402,12 +406,12 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 if let Some(&(_, '=')) = chars.peek() {
                     chars.next();
                     tokens.push(Token {
-                        kind: TokenKind::Op(Rc::from("<=")),
+                        kind: TokenKind::Op(Arc::from("<=")),
                         offset,
                     });
                 } else {
                     tokens.push(Token {
-                        kind: TokenKind::Op(Rc::from("<")),
+                        kind: TokenKind::Op(Arc::from("<")),
                         offset,
                     });
                 }
@@ -417,12 +421,12 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 if let Some(&(_, '=')) = chars.peek() {
                     chars.next();
                     tokens.push(Token {
-                        kind: TokenKind::Op(Rc::from(">=")),
+                        kind: TokenKind::Op(Arc::from(">=")),
                         offset,
                     });
                 } else {
                     tokens.push(Token {
-                        kind: TokenKind::Op(Rc::from(">")),
+                        kind: TokenKind::Op(Arc::from(">")),
                         offset,
                     });
                 }
@@ -467,7 +471,7 @@ mod tests {
         assert_eq!(
             kinds("x := 1"),
             vec![
-                TokenKind::Ident(Rc::from("x")),
+                TokenKind::Ident(Arc::from("x")),
                 TokenKind::Assign,
                 TokenKind::Int(1),
                 TokenKind::Eof
@@ -490,7 +494,7 @@ mod tests {
             kinds("1 - 2"),
             vec![
                 TokenKind::Int(1),
-                TokenKind::Op(Rc::from("-")),
+                TokenKind::Op(Arc::from("-")),
                 TokenKind::Int(2),
                 TokenKind::Eof
             ]
@@ -501,7 +505,7 @@ mod tests {
     fn string_escapes() {
         assert_eq!(
             kinds(r#""a\nb""#),
-            vec![TokenKind::Str(Rc::from("a\nb")), TokenKind::Eof]
+            vec![TokenKind::Str(Arc::from("a\nb")), TokenKind::Eof]
         );
     }
 
@@ -517,9 +521,9 @@ mod tests {
         assert_eq!(
             kinds("x' null? set!"),
             vec![
-                TokenKind::Ident(Rc::from("x'")),
-                TokenKind::Ident(Rc::from("null?")),
-                TokenKind::Ident(Rc::from("set!")),
+                TokenKind::Ident(Arc::from("x'")),
+                TokenKind::Ident(Arc::from("null?")),
+                TokenKind::Ident(Arc::from("set!")),
                 TokenKind::Eof
             ]
         );
@@ -530,11 +534,11 @@ mod tests {
         assert_eq!(
             kinds("a <= b ++ c"),
             vec![
-                TokenKind::Ident(Rc::from("a")),
-                TokenKind::Op(Rc::from("<=")),
-                TokenKind::Ident(Rc::from("b")),
-                TokenKind::Op(Rc::from("++")),
-                TokenKind::Ident(Rc::from("c")),
+                TokenKind::Ident(Arc::from("a")),
+                TokenKind::Op(Arc::from("<=")),
+                TokenKind::Ident(Arc::from("b")),
+                TokenKind::Op(Arc::from("++")),
+                TokenKind::Ident(Arc::from("c")),
                 TokenKind::Eof
             ]
         );

@@ -334,6 +334,7 @@ impl Parser {
                 | TokenKind::LParen
                 | TokenKind::LBracket
                 | TokenKind::LBrace
+                | TokenKind::Par
         )
     }
 
@@ -448,6 +449,22 @@ impl Parser {
                 }
                 self.expect(&TokenKind::RBracket)?;
                 Ok(Expr::list(items))
+            }
+            // `par(e₁, …, eₙ)` is self-delimiting, so it parses as an atom;
+            // elements sit at the same level as list-literal elements.
+            TokenKind::Par => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let mut items = Vec::new();
+                if !matches!(self.peek(), TokenKind::RParen) {
+                    items.push(self.keyword_or_binary()?);
+                    while matches!(self.peek(), TokenKind::Comma) {
+                        self.bump();
+                        items.push(self.keyword_or_binary()?);
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expr::par(items))
             }
             other => self.err(format!("expected an expression, found `{other}`")),
         }

@@ -17,7 +17,7 @@
 
 use crate::ast::{AnnKind, Annotation, Binding, Expr, Ident, Lambda, Namespace};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One step from a node to a child in the syntax tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -49,6 +49,8 @@ pub enum PathStep {
     AssignValue,
     /// Body of a `while`.
     LoopBody,
+    /// The `i`-th element of a `par(…)`.
+    ParElem(usize),
 }
 
 /// A root-to-node path — the paper's "location from the root of the
@@ -117,19 +119,19 @@ where
     match (e, step) {
         (Expr::Lambda(l), PathStep::LambdaBody) => Ok(Expr::Lambda(Lambda {
             param: l.param.clone(),
-            body: Rc::new(rec(&l.body, rest, f)?),
+            body: Arc::new(rec(&l.body, rest, f)?),
         })),
         (Expr::If(c, t, x), PathStep::Cond) => {
-            Ok(Expr::If(Rc::new(rec(c, rest, f)?), t.clone(), x.clone()))
+            Ok(Expr::If(Arc::new(rec(c, rest, f)?), t.clone(), x.clone()))
         }
         (Expr::If(c, t, x), PathStep::Then) => {
-            Ok(Expr::If(c.clone(), Rc::new(rec(t, rest, f)?), x.clone()))
+            Ok(Expr::If(c.clone(), Arc::new(rec(t, rest, f)?), x.clone()))
         }
         (Expr::If(c, t, x), PathStep::Else) => {
-            Ok(Expr::If(c.clone(), t.clone(), Rc::new(rec(x, rest, f)?)))
+            Ok(Expr::If(c.clone(), t.clone(), Arc::new(rec(x, rest, f)?)))
         }
-        (Expr::App(g, a), PathStep::Fun) => Ok(Expr::App(Rc::new(rec(g, rest, f)?), a.clone())),
-        (Expr::App(g, a), PathStep::Arg) => Ok(Expr::App(g.clone(), Rc::new(rec(a, rest, f)?))),
+        (Expr::App(g, a), PathStep::Fun) => Ok(Expr::App(Arc::new(rec(g, rest, f)?), a.clone())),
+        (Expr::App(g, a), PathStep::Arg) => Ok(Expr::App(g.clone(), Arc::new(rec(a, rest, f)?))),
         (Expr::Letrec(bs, body), PathStep::BindingValue(i)) => {
             let mut bs = bs.clone();
             let b = bs
@@ -138,40 +140,49 @@ where
                 .ok_or_else(|| PointError::NoSuchPoint(ExprPath(vec![step])))?;
             bs[i] = Binding {
                 name: b.name,
-                value: Rc::new(rec(&b.value, rest, f)?),
+                value: Arc::new(rec(&b.value, rest, f)?),
             };
             Ok(Expr::Letrec(bs, body.clone()))
         }
         (Expr::Letrec(bs, body), PathStep::Body) => {
-            Ok(Expr::Letrec(bs.clone(), Rc::new(rec(body, rest, f)?)))
+            Ok(Expr::Letrec(bs.clone(), Arc::new(rec(body, rest, f)?)))
         }
         (Expr::Let(x, v, body), PathStep::BindingValue(0)) => Ok(Expr::Let(
             x.clone(),
-            Rc::new(rec(v, rest, f)?),
+            Arc::new(rec(v, rest, f)?),
             body.clone(),
         )),
         (Expr::Let(x, v, body), PathStep::Body) => Ok(Expr::Let(
             x.clone(),
             v.clone(),
-            Rc::new(rec(body, rest, f)?),
+            Arc::new(rec(body, rest, f)?),
         )),
         (Expr::Ann(a, inner), PathStep::Annotated) => {
-            Ok(Expr::Ann(a.clone(), Rc::new(rec(inner, rest, f)?)))
+            Ok(Expr::Ann(a.clone(), Arc::new(rec(inner, rest, f)?)))
         }
         (Expr::Seq(a, b), PathStep::SeqFirst) => {
-            Ok(Expr::Seq(Rc::new(rec(a, rest, f)?), b.clone()))
+            Ok(Expr::Seq(Arc::new(rec(a, rest, f)?), b.clone()))
         }
         (Expr::Seq(a, b), PathStep::SeqSecond) => {
-            Ok(Expr::Seq(a.clone(), Rc::new(rec(b, rest, f)?)))
+            Ok(Expr::Seq(a.clone(), Arc::new(rec(b, rest, f)?)))
         }
         (Expr::Assign(x, v), PathStep::AssignValue) => {
-            Ok(Expr::Assign(x.clone(), Rc::new(rec(v, rest, f)?)))
+            Ok(Expr::Assign(x.clone(), Arc::new(rec(v, rest, f)?)))
         }
         (Expr::While(c, b), PathStep::Cond) => {
-            Ok(Expr::While(Rc::new(rec(c, rest, f)?), b.clone()))
+            Ok(Expr::While(Arc::new(rec(c, rest, f)?), b.clone()))
         }
         (Expr::While(c, b), PathStep::LoopBody) => {
-            Ok(Expr::While(c.clone(), Rc::new(rec(b, rest, f)?)))
+            Ok(Expr::While(c.clone(), Arc::new(rec(b, rest, f)?)))
+        }
+        (Expr::Par(items), PathStep::ParElem(i)) => {
+            let mut items = items.clone();
+            let item = items
+                .get(i)
+                .cloned()
+                .ok_or_else(|| PointError::NoSuchPoint(ExprPath(vec![step])))?;
+            items[i] = Arc::new(rec(&item, rest, f)?);
+            Ok(Expr::Par(items))
         }
         _ => Err(PointError::NoSuchPoint(ExprPath(vec![step]))),
     }
@@ -243,6 +254,11 @@ pub fn visit<F: FnMut(&ExprPath, &Expr)>(e: &Expr, mut f: F) {
                 go(b, &path.child(PathStep::SeqSecond), f);
             }
             Expr::Assign(_, v) => go(v, &path.child(PathStep::AssignValue), f),
+            Expr::Par(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    go(item, &path.child(PathStep::ParElem(i)), f);
+                }
+            }
             Expr::While(c, b) => {
                 go(c, &path.child(PathStep::Cond), f);
                 go(b, &path.child(PathStep::LoopBody), f);
@@ -264,7 +280,7 @@ where
             Expr::Con(_) | Expr::Var(_) | Expr::VarAt(..) => e.clone(),
             Expr::Lambda(l) => Expr::Lambda(Lambda {
                 param: l.param.clone(),
-                body: Rc::new(map(&l.body, pred, make)),
+                body: Arc::new(map(&l.body, pred, make)),
             }),
             Expr::If(c, t, x) => {
                 Expr::if_(map(c, pred, make), map(t, pred, make), map(x, pred, make))
@@ -274,17 +290,25 @@ where
                 bs.iter()
                     .map(|b| Binding {
                         name: b.name.clone(),
-                        value: Rc::new(map(&b.value, pred, make)),
+                        value: Arc::new(map(&b.value, pred, make)),
                     })
                     .collect(),
-                Rc::new(map(body, pred, make)),
+                Arc::new(map(body, pred, make)),
             ),
             Expr::Let(x, v, b) => Expr::let_(x.clone(), map(v, pred, make), map(b, pred, make)),
-            Expr::Ann(a, inner) => Expr::Ann(a.clone(), Rc::new(map(inner, pred, make))),
-            Expr::Seq(a, b) => Expr::Seq(Rc::new(map(a, pred, make)), Rc::new(map(b, pred, make))),
-            Expr::Assign(x, v) => Expr::Assign(x.clone(), Rc::new(map(v, pred, make))),
+            Expr::Ann(a, inner) => Expr::Ann(a.clone(), Arc::new(map(inner, pred, make))),
+            Expr::Seq(a, b) => {
+                Expr::Seq(Arc::new(map(a, pred, make)), Arc::new(map(b, pred, make)))
+            }
+            Expr::Assign(x, v) => Expr::Assign(x.clone(), Arc::new(map(v, pred, make))),
+            Expr::Par(items) => Expr::Par(
+                items
+                    .iter()
+                    .map(|item| Arc::new(map(item, pred, make)))
+                    .collect(),
+            ),
             Expr::While(c, b) => {
-                Expr::While(Rc::new(map(c, pred, make)), Rc::new(map(b, pred, make)))
+                Expr::While(Arc::new(map(c, pred, make)), Arc::new(map(b, pred, make)))
             }
         };
         if !matches!(e, Expr::Ann(..)) && pred(e) {
@@ -329,7 +353,7 @@ where
             Expr::Con(_) | Expr::Var(_) | Expr::VarAt(..) => e.clone(),
             Expr::Lambda(l) => Expr::Lambda(Lambda {
                 param: l.param.clone(),
-                body: Rc::new(map(&l.body, names, ns, make, found)),
+                body: Arc::new(map(&l.body, names, ns, make, found)),
             }),
             Expr::If(c, t, x) => Expr::if_(
                 map(c, names, ns, make, found),
@@ -353,11 +377,11 @@ where
                         };
                         Binding {
                             name: b.name.clone(),
-                            value: Rc::new(value),
+                            value: Arc::new(value),
                         }
                     })
                     .collect();
-                Expr::Letrec(bs, Rc::new(map(body, names, ns, make, found)))
+                Expr::Letrec(bs, Arc::new(map(body, names, ns, make, found)))
             }
             Expr::Let(x, v, b) => {
                 let value = map(v, names, ns, make, found);
@@ -369,21 +393,27 @@ where
                 };
                 Expr::Let(
                     x.clone(),
-                    Rc::new(value),
-                    Rc::new(map(b, names, ns, make, found)),
+                    Arc::new(value),
+                    Arc::new(map(b, names, ns, make, found)),
                 )
             }
             Expr::Ann(a, inner) => {
-                Expr::Ann(a.clone(), Rc::new(map(inner, names, ns, make, found)))
+                Expr::Ann(a.clone(), Arc::new(map(inner, names, ns, make, found)))
             }
             Expr::Seq(a, b) => Expr::Seq(
-                Rc::new(map(a, names, ns, make, found)),
-                Rc::new(map(b, names, ns, make, found)),
+                Arc::new(map(a, names, ns, make, found)),
+                Arc::new(map(b, names, ns, make, found)),
             ),
-            Expr::Assign(x, v) => Expr::Assign(x.clone(), Rc::new(map(v, names, ns, make, found))),
+            Expr::Assign(x, v) => Expr::Assign(x.clone(), Arc::new(map(v, names, ns, make, found))),
             Expr::While(c, b) => Expr::While(
-                Rc::new(map(c, names, ns, make, found)),
-                Rc::new(map(b, names, ns, make, found)),
+                Arc::new(map(c, names, ns, make, found)),
+                Arc::new(map(b, names, ns, make, found)),
+            ),
+            Expr::Par(items) => Expr::Par(
+                items
+                    .iter()
+                    .map(|item| Arc::new(map(item, names, ns, make, found)))
+                    .collect(),
             ),
         }
     }
@@ -404,10 +434,10 @@ where
         };
         fn wrap(e: &Expr, depth: usize, ann: &Annotation) -> Expr {
             match e {
-                Expr::Ann(a, inner) => Expr::Ann(a.clone(), Rc::new(wrap(inner, depth, ann))),
+                Expr::Ann(a, inner) => Expr::Ann(a.clone(), Arc::new(wrap(inner, depth, ann))),
                 Expr::Lambda(l) if depth > 0 => Expr::Lambda(Lambda {
                     param: l.param.clone(),
-                    body: Rc::new(wrap(&l.body, depth - 1, ann)),
+                    body: Arc::new(wrap(&l.body, depth - 1, ann)),
                 }),
                 other => Expr::ann(ann.clone(), other.clone()),
             }

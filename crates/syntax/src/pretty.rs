@@ -73,6 +73,8 @@ fn level_of(e: &Expr) -> Level {
         },
         Expr::Con(Con::Int(n)) if *n < 0 => Level::Unary,
         Expr::Con(_) | Expr::Var(_) | Expr::VarAt(..) => Level::Operand,
+        // `par(…)` is self-delimiting, like a list literal.
+        Expr::Par(_) => Level::Operand,
     }
 }
 
@@ -198,6 +200,16 @@ fn print_bare(e: &Expr, out: &mut String) {
             print_at(b, Level::Seq, out);
             out.push_str(" end");
         }
+        Expr::Par(items) => {
+            out.push_str("par(");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_at(item, Level::Keyword, out);
+            }
+            out.push(')');
+        }
     }
 }
 
@@ -266,6 +278,18 @@ mod tests {
         round_trip("\"a\\nb\" ++ \"c\"");
         round_trip("f (-1)");
         round_trip("{ns/lbl}:(a + b)");
+    }
+
+    #[test]
+    fn round_trips_par_forms() {
+        round_trip("par(1 + 2, f x, if a then 1 else 2)");
+        round_trip("par()");
+        round_trip("par(par(1, 2), 3)");
+        round_trip("f par(1, 2)");
+        round_trip("par({A}:1, g par(x))");
+        round_trip("hd par(1, 2) + 3");
+        // `par` is a keyword, but `par_map` is an ordinary identifier.
+        round_trip("par_map f [1, 2, 3]");
     }
 
     #[test]
@@ -432,6 +456,20 @@ fn block_bare(e: &Expr, width: usize) -> String {
         Expr::Assign(x, v) => {
             let inner = block(v, Level::Assign, width.saturating_sub(2));
             format!("{x} :=\n  {}", indent_lines(&inner, 2))
+        }
+        Expr::Par(items) => {
+            let mut out = String::from("par(");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n    ");
+                }
+                out.push_str(&indent_lines(
+                    &block(item, Level::Keyword, width.saturating_sub(4)),
+                    4,
+                ));
+            }
+            out.push(')');
+            out
         }
         // Leaves never exceed the width check meaningfully.
         Expr::Con(_) | Expr::Var(_) | Expr::VarAt(..) => pretty(e),

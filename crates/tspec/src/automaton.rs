@@ -32,7 +32,7 @@ use crate::SpecError;
 use monsem_core::Value;
 use monsem_syntax::Ident;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Ceiling on DFA states — a safety valve, far above any reasonable spec.
 pub const MAX_STATES: usize = 4_096;
@@ -323,7 +323,7 @@ impl Alphabet {
 
     /// Lowers a trace expression to a regular expression over this
     /// alphabet.
-    pub fn lower(&self, spec: &SpecExpr) -> Rc<Re> {
+    pub fn lower(&self, spec: &SpecExpr) -> Arc<Re> {
         match spec {
             SpecExpr::Empty => empty(),
             SpecExpr::Eps => eps(),
@@ -358,7 +358,7 @@ pub struct Automaton {
     alphabet: Alphabet,
     /// The lowered start expression (state 0) — kept for the property
     /// tests' naive-matcher oracle.
-    re: Rc<Re>,
+    re: Arc<Re>,
     nstates: u32,
     /// Row-major transition table: `table[s * width + letter]`.
     table: Vec<u32>,
@@ -382,8 +382,8 @@ impl Automaton {
 
         // Memoized derivative closure: the cache maps each normalized
         // expression to its state number; the worklist explores letters.
-        let mut cache: HashMap<Rc<Re>, u32> = HashMap::new();
-        let mut states: Vec<Rc<Re>> = Vec::new();
+        let mut cache: HashMap<Arc<Re>, u32> = HashMap::new();
+        let mut states: Vec<Arc<Re>> = Vec::new();
         let mut table: Vec<u32> = Vec::new();
         cache.insert(start.clone(), 0);
         states.push(start.clone());
@@ -458,7 +458,7 @@ impl Automaton {
     }
 
     /// The lowered start expression (for oracle comparisons).
-    pub fn start_expr(&self) -> &Rc<Re> {
+    pub fn start_expr(&self) -> &Arc<Re> {
         &self.re
     }
 

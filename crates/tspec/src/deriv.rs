@@ -14,7 +14,7 @@
 //! reaches finitely many dissimilar derivatives.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A set of abstract letters, as a fixed-width bit set.
 ///
@@ -117,30 +117,30 @@ pub enum Re {
     /// One event drawn from a (non-empty) letter set.
     Class(LetterSet),
     /// Concatenation.
-    Cat(Rc<Re>, Rc<Re>),
+    Cat(Arc<Re>, Arc<Re>),
     /// Union.
-    Or(Rc<Re>, Rc<Re>),
+    Or(Arc<Re>, Arc<Re>),
     /// Intersection.
-    And(Rc<Re>, Rc<Re>),
+    And(Arc<Re>, Arc<Re>),
     /// Complement.
-    Not(Rc<Re>),
+    Not(Arc<Re>),
     /// Kleene star.
-    Star(Rc<Re>),
+    Star(Arc<Re>),
 }
 
 /// `ε` (shared).
-pub fn eps() -> Rc<Re> {
-    Rc::new(Re::Eps)
+pub fn eps() -> Arc<Re> {
+    Arc::new(Re::Eps)
 }
 
 /// `∅` (shared).
-pub fn empty() -> Rc<Re> {
-    Rc::new(Re::Empty)
+pub fn empty() -> Arc<Re> {
+    Arc::new(Re::Empty)
 }
 
 /// The universal expression `!∅` (every trace).
-pub fn universal() -> Rc<Re> {
-    Rc::new(Re::Not(empty()))
+pub fn universal() -> Arc<Re> {
+    Arc::new(Re::Not(empty()))
 }
 
 fn is_universal(r: &Re) -> bool {
@@ -148,27 +148,27 @@ fn is_universal(r: &Re) -> bool {
 }
 
 /// A single-event class; `Class(∅)` collapses to `∅`.
-pub fn class(s: LetterSet) -> Rc<Re> {
+pub fn class(s: LetterSet) -> Arc<Re> {
     if s.is_empty() {
         empty()
     } else {
-        Rc::new(Re::Class(s))
+        Arc::new(Re::Class(s))
     }
 }
 
 /// Concatenation with `ε`/`∅` units: `∅·r = r·∅ = ∅`, `ε·r = r·ε = r`.
 /// Right-associates nested `Cat`s so equal concatenations are equal terms.
-pub fn cat(a: Rc<Re>, b: Rc<Re>) -> Rc<Re> {
+pub fn cat(a: Arc<Re>, b: Arc<Re>) -> Arc<Re> {
     match (&*a, &*b) {
         (Re::Empty, _) | (_, Re::Empty) => empty(),
         (Re::Eps, _) => b,
         (_, Re::Eps) => a,
         (Re::Cat(x, y), _) => cat(x.clone(), cat(y.clone(), b)),
-        _ => Rc::new(Re::Cat(a, b)),
+        _ => Arc::new(Re::Cat(a, b)),
     }
 }
 
-fn flatten_or(r: &Rc<Re>, out: &mut Vec<Rc<Re>>) {
+fn flatten_or(r: &Arc<Re>, out: &mut Vec<Arc<Re>>) {
     match &**r {
         Re::Or(a, b) => {
             flatten_or(a, out);
@@ -178,7 +178,7 @@ fn flatten_or(r: &Rc<Re>, out: &mut Vec<Rc<Re>>) {
     }
 }
 
-fn flatten_and(r: &Rc<Re>, out: &mut Vec<Rc<Re>>) {
+fn flatten_and(r: &Arc<Re>, out: &mut Vec<Arc<Re>>) {
     match &**r {
         Re::And(a, b) => {
             flatten_and(a, out);
@@ -190,13 +190,13 @@ fn flatten_and(r: &Rc<Re>, out: &mut Vec<Rc<Re>>) {
 
 /// Union, normalized: flattened, sorted, deduplicated; `∅` is the unit,
 /// the universal expression absorbs, adjacent letter classes merge.
-pub fn or(a: Rc<Re>, b: Rc<Re>) -> Rc<Re> {
+pub fn or(a: Arc<Re>, b: Arc<Re>) -> Arc<Re> {
     let mut terms = Vec::new();
     flatten_or(&a, &mut terms);
     flatten_or(&b, &mut terms);
     // Merge all Class leaves into one set; drop ∅; detect the absorber.
     let mut merged: Option<LetterSet> = None;
-    let mut rest: Vec<Rc<Re>> = Vec::new();
+    let mut rest: Vec<Arc<Re>> = Vec::new();
     for t in terms {
         match &*t {
             Re::Empty => {}
@@ -218,19 +218,19 @@ pub fn or(a: Rc<Re>, b: Rc<Re>) -> Rc<Re> {
         _ => {
             let mut it = rest.into_iter().rev();
             let last = it.next().expect("non-empty");
-            it.fold(last, |acc, t| Rc::new(Re::Or(t, acc)))
+            it.fold(last, |acc, t| Arc::new(Re::Or(t, acc)))
         }
     }
 }
 
 /// Intersection, normalized: flattened, sorted, deduplicated; the
 /// universal expression is the unit, `∅` absorbs, letter classes meet.
-pub fn and(a: Rc<Re>, b: Rc<Re>) -> Rc<Re> {
+pub fn and(a: Arc<Re>, b: Arc<Re>) -> Arc<Re> {
     let mut terms = Vec::new();
     flatten_and(&a, &mut terms);
     flatten_and(&b, &mut terms);
     let mut merged: Option<LetterSet> = None;
-    let mut rest: Vec<Rc<Re>> = Vec::new();
+    let mut rest: Vec<Arc<Re>> = Vec::new();
     for t in terms {
         match &*t {
             Re::Empty => return empty(),
@@ -255,25 +255,25 @@ pub fn and(a: Rc<Re>, b: Rc<Re>) -> Rc<Re> {
         _ => {
             let mut it = rest.into_iter().rev();
             let last = it.next().expect("non-empty");
-            it.fold(last, |acc, t| Rc::new(Re::And(t, acc)))
+            it.fold(last, |acc, t| Arc::new(Re::And(t, acc)))
         }
     }
 }
 
 /// Complement: `!!r = r`.
-pub fn not(r: Rc<Re>) -> Rc<Re> {
+pub fn not(r: Arc<Re>) -> Arc<Re> {
     match &*r {
         Re::Not(inner) => inner.clone(),
-        _ => Rc::new(Re::Not(r)),
+        _ => Arc::new(Re::Not(r)),
     }
 }
 
 /// Kleene star: `∅* = ε* = ε`, `(r*)* = r*`.
-pub fn star(r: Rc<Re>) -> Rc<Re> {
+pub fn star(r: Arc<Re>) -> Arc<Re> {
     match &*r {
         Re::Empty | Re::Eps => eps(),
         Re::Star(_) => r,
-        _ => Rc::new(Re::Star(r)),
+        _ => Arc::new(Re::Star(r)),
     }
 }
 
@@ -289,7 +289,7 @@ pub fn nullable(r: &Re) -> bool {
 }
 
 /// The Brzozowski derivative `∂ₐ r` with respect to letter `a`.
-pub fn deriv(r: &Rc<Re>, a: u32) -> Rc<Re> {
+pub fn deriv(r: &Arc<Re>, a: u32) -> Arc<Re> {
     match &**r {
         Re::Empty | Re::Eps => empty(),
         Re::Class(s) => {
@@ -318,15 +318,21 @@ pub fn deriv(r: &Rc<Re>, a: u32) -> Rc<Re> {
 /// by direct structural recursion on split points (no derivatives, no
 /// automaton). Exponential without memoization, polynomial with it —
 /// exactly the naive matcher the property tests race the DFA against.
-pub fn naive_accepts(re: &Rc<Re>, word: &[u32]) -> bool {
+pub fn naive_accepts(re: &Arc<Re>, word: &[u32]) -> bool {
     let mut memo = HashMap::new();
     naive(re, word, 0, word.len(), &mut memo)
 }
 
 type MemoKey = (usize, usize, usize);
 
-fn naive(re: &Rc<Re>, word: &[u32], i: usize, j: usize, memo: &mut HashMap<MemoKey, bool>) -> bool {
-    let key = (Rc::as_ptr(re) as usize, i, j);
+fn naive(
+    re: &Arc<Re>,
+    word: &[u32],
+    i: usize,
+    j: usize,
+    memo: &mut HashMap<MemoKey, bool>,
+) -> bool {
+    let key = (Arc::as_ptr(re) as usize, i, j);
     if let Some(&hit) = memo.get(&key) {
         return hit;
     }
@@ -350,7 +356,7 @@ fn naive(re: &Rc<Re>, word: &[u32], i: usize, j: usize, memo: &mut HashMap<MemoK
 mod tests {
     use super::*;
 
-    fn letter(width: u32, l: u32) -> Rc<Re> {
+    fn letter(width: u32, l: u32) -> Arc<Re> {
         let mut s = LetterSet::empty(width);
         s.insert(l);
         class(s)

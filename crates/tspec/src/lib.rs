@@ -65,7 +65,7 @@ pub mod monitor;
 pub mod parser;
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 pub use ast::{Atom, CmpOp, NamePat, Pred, SpecExpr};
 pub use automaton::{Alphabet, Automaton, Phase, MAX_LETTERS, MAX_STATES};
@@ -94,12 +94,12 @@ impl std::error::Error for SpecError {}
 /// A parsed and compiled specification: source text, AST, and automaton.
 ///
 /// A `Spec` is immutable and cheap to share; [`SpecMonitor`] holds one
-/// behind an [`Rc`], so cloning a monitor does not recompile anything.
+/// behind an [`Arc`], so cloning a monitor does not recompile anything.
 #[derive(Debug, Clone)]
 pub struct Spec {
     source: String,
     ast: SpecExpr,
-    automaton: Rc<Automaton>,
+    automaton: Arc<Automaton>,
 }
 
 impl Spec {
@@ -115,7 +115,7 @@ impl Spec {
         Ok(Spec {
             source: src.to_string(),
             ast,
-            automaton: Rc::new(automaton),
+            automaton: Arc::new(automaton),
         })
     }
 
@@ -130,7 +130,7 @@ impl Spec {
     }
 
     /// The compiled automaton.
-    pub fn automaton(&self) -> &Rc<Automaton> {
+    pub fn automaton(&self) -> &Arc<Automaton> {
         &self.automaton
     }
 }

@@ -19,10 +19,10 @@
 use crate::automaton::Automaton;
 use crate::{Spec, SpecError};
 use monsem_core::Value;
-use monsem_monitor::{HookPhase, Monitor, Outcome, Scope};
+use monsem_monitor::{HookPhase, MergeMonitor, Monitor, Outcome, Scope};
 use monsem_syntax::{Annotation, Expr, Namespace};
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Default bound on the recent-event trace kept in [`SpecState`].
 pub const DEFAULT_TRACE_CAP: usize = 8;
@@ -32,7 +32,7 @@ pub const DEFAULT_TRACE_CAP: usize = 8;
 pub struct SpecMonitor {
     name: String,
     namespace: Namespace,
-    spec: Rc<Spec>,
+    spec: Arc<Spec>,
     enforcing: bool,
     trace_cap: usize,
 }
@@ -49,6 +49,12 @@ pub struct SpecState {
     /// The first violation observed, if any (an observing monitor records
     /// it here and keeps running).
     pub violation: Option<String>,
+    /// The event tape: every observed letter (with its trace entry) since
+    /// this state was born from [`MergeMonitor::split`]. `None` outside
+    /// fork-join evaluation — the root state records nothing. The join
+    /// replays the tape with [`SpecMonitor::advance`], so the merged state
+    /// is exactly the state the sequential run would have reached.
+    pub tape: Option<Vec<(u32, String)>>,
 }
 
 fn short_value(v: &Value) -> String {
@@ -77,7 +83,7 @@ impl SpecMonitor {
         SpecMonitor {
             name: name.into(),
             namespace: Namespace::anonymous(),
-            spec: Rc::new(spec),
+            spec: Arc::new(spec),
             enforcing: false,
             trace_cap: DEFAULT_TRACE_CAP,
         }
@@ -105,12 +111,12 @@ impl SpecMonitor {
     }
 
     /// The compiled spec.
-    pub fn spec(&self) -> &Rc<Spec> {
+    pub fn spec(&self) -> &Arc<Spec> {
         &self.spec
     }
 
     /// The compiled automaton.
-    pub fn automaton(&self) -> &Rc<Automaton> {
+    pub fn automaton(&self) -> &Arc<Automaton> {
         self.spec.automaton()
     }
 
@@ -142,6 +148,9 @@ impl SpecMonitor {
             return Outcome::Continue(s);
         }
         let desc = desc();
+        if let Some(tape) = &mut s.tape {
+            tape.push((letter, desc.clone()));
+        }
         s.events += 1;
         if self.trace_cap > 0 {
             if s.trace.len() == self.trace_cap {
@@ -240,6 +249,7 @@ impl Monitor for SpecMonitor {
             events: 0,
             trace: VecDeque::new(),
             violation: None,
+            tape: None,
         }
     }
 
@@ -320,6 +330,53 @@ impl Monitor for SpecMonitor {
             aut.num_states(),
             state.events
         )
+    }
+}
+
+/// Temporal specs merge by *replay*. A shard's state starts at the
+/// fork-point DFA state with an empty event tape; the join replays each
+/// shard's tape (in shard order) through [`SpecMonitor::advance`] on the
+/// accumulated state. Replay recomputes the DFA transitions, the event
+/// counter, the bounded trace, and any violation from the authoritative
+/// left-hand state, so the merged state is bit-for-bit the one the
+/// sequential run reaches — the shard's locally computed DFA fields are
+/// provisional and discarded at the join.
+///
+/// Enforcing specs under fork-join should be safety-shaped (`never(..)`,
+/// `always(..)`): their dead states are entered by the violating event
+/// itself, so a shard's local abort agrees with the sequential run no
+/// matter what the other shards observed.
+impl MergeMonitor for SpecMonitor {
+    fn split(&self, s: &SpecState) -> SpecState {
+        SpecState {
+            state: s.state,
+            events: s.events,
+            trace: s.trace.clone(),
+            violation: s.violation.clone(),
+            tape: Some(Vec::new()),
+        }
+    }
+
+    fn merge(&self, left: SpecState, right: SpecState) -> SpecState {
+        match self.merge_outcome(left, right) {
+            Outcome::Continue(s) | Outcome::Abort { state: s, .. } => s,
+        }
+    }
+
+    fn merge_outcome(&self, left: SpecState, right: SpecState) -> Outcome<SpecState> {
+        let Some(tape) = right.tape else {
+            // A tapeless right-hand state was not born from `split`;
+            // nothing to replay.
+            return Outcome::Continue(left);
+        };
+        let mut acc = left;
+        for (letter, desc) in tape {
+            match self.advance(acc, letter, || desc) {
+                Outcome::Continue(s) => acc = s,
+                abort @ Outcome::Abort { .. } => return abort,
+            }
+        }
+        Outcome::Continue(acc)
     }
 }
 
@@ -411,6 +468,87 @@ mod tests {
         let ann = Annotation::label("a");
         assert!(!m.accepts_event(&ann, HookPhase::Pre));
         assert!(m.accepts_event(&ann, HookPhase::Post));
+    }
+
+    #[test]
+    fn parallel_spec_run_matches_sequential_bit_for_bit() {
+        let prog = parse_expr(
+            "letrec f = lambda x. {p}:(x * x) in par(f 2, f 3, f 4, f 5) ++ par(f 6, f 7)",
+        )
+        .unwrap();
+        let m = SpecMonitor::new("pos", "always(post(p) => value > 0)").unwrap();
+        let seq = eval_monitored(&prog, &m).unwrap();
+        let par = monsem_monitor::eval_parallel(&prog, &m).unwrap();
+        assert_eq!(seq, par, "answer and final spec state agree");
+        assert_eq!(par.1.events, 6);
+        assert!(par.1.tape.is_none(), "the root state records no tape");
+    }
+
+    #[test]
+    fn parallel_violation_is_the_sequential_violation() {
+        let prog = parse_expr("par({a}:1, {b}:2, {a}:3)").unwrap();
+        let m = SpecMonitor::new("no-b", "never(post(b))").unwrap();
+        let seq = eval_monitored(&prog, &m).unwrap();
+        let par = monsem_monitor::eval_parallel(&prog, &m).unwrap();
+        assert_eq!(seq, par);
+        assert!(par.1.violation.as_deref().unwrap().contains("post b"));
+    }
+
+    #[test]
+    fn enforcing_spec_aborts_a_shard() {
+        let prog = parse_expr("par({a}:1, {b}:2, {a}:3)").unwrap();
+        let m = SpecMonitor::new("no-b", "never(post(b))")
+            .unwrap()
+            .enforcing();
+        match monsem_monitor::eval_parallel(&prog, &m).unwrap_err() {
+            EvalError::MonitorAbort { monitor, .. } => assert_eq!(monitor, "no-b"),
+            other => panic!("expected MonitorAbort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_and_merge_obey_the_laws() {
+        let m = SpecMonitor::new("pos", "always(post(p) => value > 0)").unwrap();
+        // Build a mid-run state by observing one event.
+        let sigma = match m.advance(
+            m.initial_state(),
+            {
+                let aut = m.automaton();
+                let alphabet = aut.alphabet();
+                alphabet.post_letter(
+                    alphabet.name_class(&monsem_syntax::Ident::new("p")),
+                    alphabet.classify_value(&Value::Int(4)),
+                )
+            },
+            || "post p = 4".to_string(),
+        ) {
+            Outcome::Continue(s) => s,
+            Outcome::Abort { .. } => unreachable!(),
+        };
+        // split is a right identity for merge.
+        assert_eq!(m.merge(sigma.clone(), m.split(&sigma)), sigma);
+        // Associativity over shard tapes.
+        let shard = |descs: &[i64]| {
+            let mut s = m.split(&sigma);
+            for v in descs {
+                let aut = m.automaton();
+                let alphabet = aut.alphabet();
+                let letter = alphabet.post_letter(
+                    alphabet.name_class(&monsem_syntax::Ident::new("p")),
+                    alphabet.classify_value(&Value::Int(*v)),
+                );
+                s = match m.advance(s, letter, || format!("post p = {v}")) {
+                    Outcome::Continue(s) => s,
+                    Outcome::Abort { .. } => unreachable!(),
+                };
+            }
+            s
+        };
+        let (a, b, c) = (shard(&[1, 2]), shard(&[-3]), shard(&[4]));
+        assert_eq!(
+            m.merge(m.merge(a.clone(), b.clone()), c.clone()),
+            m.merge(a, m.merge(b, c))
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@ use monitoring_semantics::monitors::toolbox;
 use monitoring_semantics::syntax::points::{profile_functions, trace_functions};
 use monitoring_semantics::syntax::{parse_expr, Binding, Expr, Ident, Namespace};
 use std::io::{BufRead, Write};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Which tools are armed for the next evaluations.
 #[derive(Debug, Clone, Default)]
@@ -237,7 +237,7 @@ impl Repl {
             .defs
             .iter()
             .rev()
-            .fold(body, |acc, b| Expr::Letrec(vec![b.clone()], Rc::new(acc)));
+            .fold(body, |acc, b| Expr::Letrec(vec![b.clone()], Arc::new(acc)));
         if self.prelude {
             monitoring_semantics::core::prelude::with_prelude(&with_defs)
         } else {
