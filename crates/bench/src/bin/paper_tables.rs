@@ -3,13 +3,14 @@
 //!
 //! ```text
 //! cargo run --release -p monsem-bench --bin paper_tables -- \
-//!     [--table all|examples|spec-levels|fig11|futamura|tspec|parallel] [--json <dir>]
+//!     [--table all|examples|spec-levels|fig11|futamura|tspec|tspec_levels|parallel] [--json <dir>]
 //! ```
 //!
 //! With `--json <dir>`, the timed tables additionally write
 //! machine-readable snapshots — `BENCH_spec_levels.json` (E6),
-//! `BENCH_fig11.json` (E7), `BENCH_tspec.json` (tspec overhead) and
-//! `BENCH_parallel.json` (fork-join speedups) — into `<dir>`, so the
+//! `BENCH_fig11.json` (E7), `BENCH_tspec.json` (tspec overhead),
+//! `BENCH_tspec_levels.json` (the three §9.1 levels for one temporal
+//! spec) and `BENCH_parallel.json` (fork-join speedups) — into `<dir>`, so the
 //! performance trajectory can be tracked across revisions.
 //!
 //! Absolute times are machine-dependent; the *shape* (who wins, by what
@@ -26,7 +27,7 @@ use monsem_monitors::{Collecting, Profiler, Tracer, UnsortedDemon};
 use monsem_pe::bta;
 use monsem_pe::engine::{compile, compile_monitored};
 use monsem_pe::instrument::{instrument, instrument_optimized, step_counter};
-use monsem_pe::pipeline::{measure, relative_percent};
+use monsem_pe::pipeline::{measure, measure_min, relative_percent};
 use monsem_pe::specialize::SpecializeOptions;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -58,6 +59,7 @@ fn main() {
         "fig11" => fig11(json),
         "futamura" => futamura(),
         "tspec" => tspec_overhead(json),
+        "tspec_levels" | "tspec-levels" => tspec_levels(json),
         "parallel" => parallel(json),
         "all" => {
             examples();
@@ -65,11 +67,12 @@ fn main() {
             fig11(json);
             futamura();
             tspec_overhead(json);
+            tspec_levels(json);
             parallel(json);
         }
         other => {
             eprintln!(
-                "unknown table `{other}`; try examples, spec-levels, fig11, futamura, tspec, parallel, all"
+                "unknown table `{other}`; try examples, spec-levels, fig11, futamura, tspec, tspec_levels, parallel, all"
             );
             std::process::exit(2);
         }
@@ -142,6 +145,10 @@ fn eval_monitored_with_defaults<M: Monitor>(
 
 const WARMUP: u32 = 3;
 const RUNS: u32 = 15;
+/// The tspec-levels table compares overheads that differ by tens of
+/// microseconds, so it takes the minimum of more runs (see
+/// [`measure_min`]) instead of the median of [`RUNS`].
+const TSPEC_RUNS: u32 = 25;
 
 fn ms(d: Duration) -> String {
     format!("{:>9.3} ms", d.as_secs_f64() * 1e3)
@@ -434,6 +441,146 @@ fn tspec_overhead(json: Option<&Path>) {
             json_ms(t_specialized),
         );
         write_json(dir, "BENCH_tspec.json", body);
+    }
+}
+
+/// The three §9.1 specialization levels for one temporal spec,
+/// head-to-head (BENCH_tspec_levels): level 1 interprets the spec at
+/// every event (alphabet dispatch + table lookup), level 2 precomputes
+/// site letters and runs on the compiled engine (`SpecializedSpec`),
+/// level 3 compiles the minimized, letter-compressed DFA *into* the
+/// program (`instrument_spec`) — the residual program runs unmonitored,
+/// threading the bare DFA state integer. Each level's *overhead* is its
+/// time minus its own machine's unmonitored baseline, so the comparison
+/// isolates what the monitoring costs at that level.
+fn tspec_levels(json: Option<&Path>) {
+    use monsem_pe::{instrument_spec, spec_verdict, SpecializedSpec};
+    use monsem_tspec::SpecMonitor;
+    header(
+        "Tspec levels: one spec, three §9.1 levels, labelled_countdown(n)\n\
+         expectation: level-3 overhead ≤ level-2 overhead at every point —\n\
+         inlined integer comparisons beat per-event site lookup + trace recording",
+    );
+    const SPEC: &str = "always(post(B) => value >= 0)";
+    let opts = EvalOptions::default();
+    let monitor = SpecMonitor::new("safety", SPEC).unwrap();
+    let mut points: Vec<String> = Vec::new();
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "n", "interp", "level1", "compiled", "level2", "level3", "ovh2", "ovh3"
+    );
+    for n in [500i64, 1000, 2000, 4000] {
+        let program = labelled_countdown(n);
+        let erased = program.erase_annotations();
+        let specialized = SpecializedSpec::new(&program, monitor.clone());
+        let residual = instrument_spec(&program, &monitor);
+        let compiled_std = compile(&erased).expect("compiles");
+        let compiled_mon = compile_monitored(&program, &specialized).expect("compiles");
+        let compiled_res = compile(&residual).expect("residual compiles");
+
+        // Correctness outside the timed region: the residual's final
+        // state decodes to the interpreted monitor's verdict.
+        let (_, s1) = eval_monitored_with(
+            &program,
+            &Env::empty(),
+            &monitor,
+            monitor.initial_state(),
+            &opts,
+        )
+        .expect("level 1 evaluates");
+        match compiled_res.run().expect("level 3 evaluates") {
+            monsem_core::Value::Pair(_, state) => {
+                assert_eq!(*state, monsem_core::Value::Int(i64::from(s1.state)));
+                assert!(spec_verdict(monitor.automaton(), s1.state).is_ok());
+            }
+            other => panic!("residual program must return a pair, got {other}"),
+        }
+
+        let t_interp = measure_min(
+            || {
+                eval_with(&erased, &Env::empty(), &opts).unwrap();
+            },
+            WARMUP,
+            TSPEC_RUNS,
+        );
+        let t_level1 = measure_min(
+            || {
+                eval_monitored_with(
+                    &program,
+                    &Env::empty(),
+                    &monitor,
+                    monitor.initial_state(),
+                    &opts,
+                )
+                .unwrap();
+            },
+            WARMUP,
+            TSPEC_RUNS,
+        );
+        let t_compiled = measure_min(
+            || {
+                compiled_std.run().unwrap();
+            },
+            WARMUP,
+            TSPEC_RUNS,
+        );
+        let t_level2 = measure_min(
+            || {
+                compiled_mon.run_monitored(&specialized, &opts).unwrap();
+            },
+            WARMUP,
+            TSPEC_RUNS,
+        );
+        let t_level3 = measure_min(
+            || {
+                compiled_res.run().unwrap();
+            },
+            WARMUP,
+            TSPEC_RUNS,
+        );
+        let ovh2 = t_level2.saturating_sub(t_compiled);
+        let ovh3 = t_level3.saturating_sub(t_compiled);
+        println!(
+            "{:>6} {} {} {} {} {} {} {}",
+            n,
+            ms(t_interp),
+            ms(t_level1),
+            ms(t_compiled),
+            ms(t_level2),
+            ms(t_level3),
+            ms(ovh2),
+            ms(ovh3)
+        );
+        points.push(format!(
+            "    {{ \"n\": {n}, \"standard_interpreter\": {}, \"level1_interpreted_spec\": {}, \
+             \"compiled_no_monitor\": {}, \"level2_specialized_sites\": {}, \
+             \"level3_self_monitoring\": {}, \"overhead_level2\": {}, \"overhead_level3\": {} }}",
+            json_ms(t_interp),
+            json_ms(t_level1),
+            json_ms(t_compiled),
+            json_ms(t_level2),
+            json_ms(t_level3),
+            json_ms(ovh2),
+            json_ms(ovh3),
+        ));
+    }
+    if let Some(dir) = json {
+        let body = format!(
+            "{{\n  \
+               \"table\": \"tspec_levels\",\n  \
+               \"unit\": \"ms\",\n  \
+               \"statistic\": \"min of {TSPEC_RUNS} after {WARMUP} warmups\",\n  \
+               \"workload\": \"labelled_countdown(n)\",\n  \
+               \"spec\": \"{SPEC}\",\n  \
+               \"levels\": {{\n    \
+                 \"1\": \"interpreted SpecMonitor (alphabet dispatch per event)\",\n    \
+                 \"2\": \"SpecializedSpec on the compiled engine (per-site letters)\",\n    \
+                 \"3\": \"instrument_spec residual program (DFA inlined, no monitor object)\"\n  \
+               }},\n  \
+               \"points\": [\n{}\n  ]\n}}\n",
+            points.join(",\n"),
+        );
+        write_json(dir, "BENCH_tspec_levels.json", body);
     }
 }
 

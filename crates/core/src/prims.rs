@@ -75,6 +75,15 @@ pub enum Prim {
     /// [`Prim::apply`] rejects it; the machines intercept it at
     /// application time.
     ParMap,
+    /// `int?` — total type test: is the value an integer? Residual
+    /// monitoring code classifies observed values with it (the compiled
+    /// spec's value classes are integer regions, so non-integers must be
+    /// told apart without raising a type error).
+    IsInt,
+    /// `pair?` — total type test: is the value a cons cell? Lets residual
+    /// code walk possibly-improper lists safely (`hd`/`tl` error on
+    /// non-pairs).
+    IsPair,
 }
 
 impl Prim {
@@ -105,6 +114,8 @@ impl Prim {
         // Keep new primitives at the end: `VarAddr::Base` slots index into
         // this table, and stable prefixes keep resolved programs valid.
         ("par_map", Prim::ParMap),
+        ("int?", Prim::IsInt),
+        ("pair?", Prim::IsPair),
     ];
 
     /// Resolves a primitive by its source-level name (linear scan; the
@@ -159,7 +170,9 @@ impl Prim {
             | Prim::Tl
             | Prim::IsNull
             | Prim::Length
-            | Prim::ToStr => 1,
+            | Prim::ToStr
+            | Prim::IsInt
+            | Prim::IsPair => 1,
             _ => 2,
         }
     }
@@ -292,6 +305,8 @@ impl Prim {
                 }
             },
             Prim::ToStr => Ok(Value::Str(Arc::from(args[0].to_string().as_str()))),
+            Prim::IsInt => Ok(Value::Bool(matches!(&args[0], Value::Int(_)))),
+            Prim::IsPair => Ok(Value::Bool(matches!(&args[0], Value::Pair(..)))),
             // Re-enters the evaluator; the strict machines intercept a
             // saturated `par_map` before this point is reachable.
             Prim::ParMap => Err(EvalError::UnsupportedConstruct(
@@ -400,6 +415,23 @@ mod tests {
         );
         assert_eq!(Prim::Length.apply(&[l]), Ok(Value::Int(2)));
         assert_eq!(Prim::IsNull.apply(&[Value::Nil]), Ok(Value::Bool(true)));
+    }
+
+    #[test]
+    fn type_tests_are_total() {
+        for v in [
+            Value::Int(3),
+            Value::Bool(true),
+            Value::Nil,
+            Value::Unit,
+            Value::pair(Value::Int(1), Value::Int(2)),
+            Value::prim(Prim::Add),
+        ] {
+            let is_int = Prim::IsInt.apply(std::slice::from_ref(&v)).unwrap();
+            let is_pair = Prim::IsPair.apply(std::slice::from_ref(&v)).unwrap();
+            assert_eq!(is_int, Value::Bool(matches!(v, Value::Int(_))));
+            assert_eq!(is_pair, Value::Bool(matches!(v, Value::Pair(..))));
+        }
     }
 
     #[test]

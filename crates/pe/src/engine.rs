@@ -118,12 +118,35 @@ pub enum Code {
         /// The argument.
         arg: Rc<Code>,
     },
+    /// A saturated curried call `(f a) b` where `f` resolves to a rec
+    /// binding whose source is a two-level lambda (`λx. λy. …`). Both
+    /// frames are pushed directly and the inner body entered — neither
+    /// the callee closure nor the intermediate partial application is
+    /// ever materialized. This is the calling convention of
+    /// state-threading translations (every function takes its argument,
+    /// then the monitor state), so instrumented programs call through
+    /// here on the hot path.
+    CallRec2 {
+        /// Rec frame depth.
+        depth: u32,
+        /// Binding index within the frame.
+        index: u32,
+        /// The first (inner) argument.
+        arg1: Rc<Code>,
+        /// The second (outer) argument, evaluated first as in Figure 2.
+        arg2: Rc<Code>,
+    },
     /// A fully applied binary primitive `(p a) b`; operands evaluate in
     /// the paper's order (`b`, then `a`).
     Prim2(Prim, Rc<Code>, Rc<Code>),
     /// Evaluate a value, push it as a plain frame, continue with the body
     /// (`let` and `letrec` binding sequences).
     Bind(Rc<Code>, Rc<Code>),
+    /// The fused destructuring prologue `let p = v in let h = hd p in
+    /// let t = tl p in body`: evaluate `v`, push all three frames in one
+    /// transition. This is the shape instrumented programs emit at every
+    /// monitored site, so the pair round-trip costs one machine step.
+    BindPair(Rc<Code>, Rc<Code>),
     /// Push a rec frame of mutually recursive lambdas, then continue.
     RecGroup(Rc<Vec<Rc<CodeLambda>>>, Rc<Code>),
     /// Evaluate and discard, then continue.
@@ -166,7 +189,12 @@ pub struct CompiledProgram {
 
 enum CFrame {
     Plain(Ident),
-    Rec(Rc<Vec<Ident>>),
+    Rec {
+        names: Rc<Vec<Ident>>,
+        /// Whether each binding's source is a two-level curried lambda,
+        /// making it a [`Code::CallRec2`] target.
+        curried2: Vec<bool>,
+    },
 }
 
 struct Compiler<'m, M> {
@@ -181,7 +209,7 @@ impl<M: Monitor> Compiler<'_, M> {
     fn is_locally_bound(&self, name: &Ident) -> bool {
         self.scope.iter().any(|f| match f {
             CFrame::Plain(n) => n == name,
-            CFrame::Rec(ns) => ns.iter().any(|n| n == name),
+            CFrame::Rec { names, .. } => names.iter().any(|n| n == name),
         })
     }
 
@@ -193,7 +221,7 @@ impl<M: Monitor> Compiler<'_, M> {
                         return Code::Local(depth as u32);
                     }
                 }
-                CFrame::Rec(names) => {
+                CFrame::Rec { names, .. } => {
                     if let Some(index) = names.iter().position(|n| n == name) {
                         return Code::RecRef(depth as u32, index as u32);
                     }
@@ -206,6 +234,27 @@ impl<M: Monitor> Compiler<'_, M> {
         }
     }
 
+    /// Resolves `name` to a rec binding known at compile time to be a
+    /// two-level curried lambda (a [`Code::CallRec2`] target); `None` if
+    /// it is shadowed, not rec-bound, or single-level.
+    fn resolve_curried2(&self, name: &Ident) -> Option<(u32, u32)> {
+        for (depth, frame) in self.scope.iter().rev().enumerate() {
+            match frame {
+                CFrame::Plain(n) => {
+                    if n == name {
+                        return None;
+                    }
+                }
+                CFrame::Rec { names, curried2 } => {
+                    if let Some(index) = names.iter().position(|n| n == name) {
+                        return curried2[index].then_some((depth as u32, index as u32));
+                    }
+                }
+            }
+        }
+        None
+    }
+
     fn frame_names(&self) -> Rc<Vec<FrameNamesOpaque>> {
         Rc::new(
             self.scope
@@ -214,7 +263,7 @@ impl<M: Monitor> Compiler<'_, M> {
                 .map(|f| {
                     FrameNamesOpaque(match f {
                         CFrame::Plain(n) => FrameNames::Plain(n.clone()),
-                        CFrame::Rec(ns) => FrameNames::Rec(ns.clone()),
+                        CFrame::Rec { names, .. } => FrameNames::Rec(names.clone()),
                     })
                 })
                 .collect(),
@@ -256,6 +305,14 @@ impl<M: Monitor> Compiler<'_, M> {
                                 }
                             }
                         }
+                        if let Some((depth, index)) = self.resolve_curried2(op) {
+                            return Ok(Code::CallRec2 {
+                                depth,
+                                index,
+                                arg1: Rc::new(self.compile(x)?),
+                                arg2: Rc::new(self.compile(a)?),
+                            });
+                        }
                     }
                 }
                 if let Expr::Var(op) = &**f {
@@ -281,7 +338,7 @@ impl<M: Monitor> Compiler<'_, M> {
                 self.scope.push(CFrame::Plain(x.clone()));
                 let body = self.compile(b)?;
                 self.scope.pop();
-                Code::Bind(Rc::new(value), Rc::new(body))
+                bind_code(value, body)
             }
             Expr::Letrec(bs, body) => {
                 // Mirror the interpreters' LetrecPlan: value bindings
@@ -313,7 +370,11 @@ impl<M: Monitor> Compiler<'_, M> {
                 if has_rec {
                     let names: Rc<Vec<Ident>> =
                         Rc::new(rec_sources.iter().map(|(n, _)| n.clone()).collect());
-                    self.scope.push(CFrame::Rec(names));
+                    let curried2 = rec_sources
+                        .iter()
+                        .map(|(_, l)| matches!(&*l.body, Expr::Lambda(_)))
+                        .collect();
+                    self.scope.push(CFrame::Rec { names, curried2 });
                 }
                 let mut rec_lambdas = Vec::with_capacity(rec_sources.len());
                 for (_, l) in &rec_sources {
@@ -398,6 +459,27 @@ impl<M: Monitor> Compiler<'_, M> {
             Expr::While(..) => return Err(CompileError::Unsupported("while")),
         })
     }
+}
+
+/// Assembles a `let`, fusing the destructuring prologue
+/// `let p = v in let h = hd p in let t = tl p in body` into
+/// [`Code::BindPair`] when the projections target exactly the bindings
+/// the pattern introduces.
+fn bind_code(value: Code, body: Code) -> Code {
+    if let Code::Bind(hd_v, rest1) = &body {
+        if let Code::Prim1(Prim::Hd, hd_of) = &**hd_v {
+            if matches!(&**hd_of, Code::Local(0)) {
+                if let Code::Bind(tl_v, rest2) = &**rest1 {
+                    if let Code::Prim1(Prim::Tl, tl_of) = &**tl_v {
+                        if matches!(&**tl_of, Code::Local(1)) {
+                            return Code::BindPair(Rc::new(value), rest2.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Code::Bind(Rc::new(value), Rc::new(body))
 }
 
 /// Compiles a program for standard execution: every annotation is erased
@@ -632,12 +714,34 @@ enum RtFrame {
         index: u32,
         env: REnv,
     },
+    /// Outer argument of a curried rec call evaluated; evaluate the
+    /// inner argument next.
+    CallRec2Second {
+        depth: u32,
+        index: u32,
+        arg1: Rc<Code>,
+        env: REnv,
+    },
+    /// Both arguments of a curried rec call ready; enter the inner body
+    /// with both frames pushed.
+    EnterRec2 {
+        depth: u32,
+        index: u32,
+        second: Value,
+        env: REnv,
+    },
     Branch {
         then: Rc<Code>,
         els: Rc<Code>,
         env: REnv,
     },
     BindThen {
+        body: Rc<Code>,
+        env: REnv,
+    },
+    /// Value of a fused pair-destructuring `let` evaluated; push the
+    /// pair and both projections as frames and continue with the body.
+    BindPairThen {
         body: Rc<Code>,
         env: REnv,
     },
@@ -661,6 +765,44 @@ enum RtFrame {
 enum RtState {
     Eval(Rc<Code>, REnv),
     Continue(Value),
+}
+
+/// Best-effort inline evaluation of operand subtrees that cannot touch
+/// the monitor, the stack, or the environment: constants, local lookups,
+/// and fully-applied primitives over such (all primitives are pure).
+/// `Ok(None)` means the operand needs the general machine; errors
+/// surface exactly as the machine would raise them, since sub-operands
+/// are probed in the machine's evaluation order.
+fn quick(code: &Code, env: &REnv) -> Result<Option<Value>, EvalError> {
+    Ok(Some(match code {
+        Code::Const(v) => v.clone(),
+        Code::Local(d) => env.local(*d),
+        Code::Prim1(p, a) => match quick(a, env)? {
+            Some(av) => p.apply(&[av])?,
+            None => return Ok(None),
+        },
+        Code::Prim2(p, a, b) => {
+            let Some(bv) = quick(b, env)? else {
+                return Ok(None);
+            };
+            match quick(a, env)? {
+                Some(av) => p.apply(&[av, bv])?,
+                None => return Ok(None),
+            }
+        }
+        // Conditionals over quick operands — the shape of the inlined
+        // DFA step chains instrumentation emits — run without touching
+        // the machine at all.
+        Code::If(c, t, f) => match quick(c, env)? {
+            Some(Value::Bool(cond)) => match quick(if cond { t } else { f }, env)? {
+                Some(v) => v,
+                None => return Ok(None),
+            },
+            Some(other) => return Err(EvalError::NonBooleanCondition(other.to_string())),
+            None => return Ok(None),
+        },
+        _ => return Ok(None),
+    }))
 }
 
 impl CompiledProgram {
@@ -738,14 +880,21 @@ impl CompiledProgram {
                             env: env.clone(),
                         },
                     ))),
-                    Code::If(c, t, f) => {
-                        stack.push(RtFrame::Branch {
-                            then: t.clone(),
-                            els: f.clone(),
-                            env: env.clone(),
-                        });
-                        RtState::Eval(c.clone(), env)
-                    }
+                    Code::If(c, t, f) => match quick(c, &env)? {
+                        Some(Value::Bool(true)) => RtState::Eval(t.clone(), env),
+                        Some(Value::Bool(false)) => RtState::Eval(f.clone(), env),
+                        Some(other) => {
+                            return Err(EvalError::NonBooleanCondition(other.to_string()))
+                        }
+                        None => {
+                            stack.push(RtFrame::Branch {
+                                then: t.clone(),
+                                els: f.clone(),
+                                env: env.clone(),
+                            });
+                            RtState::Eval(c.clone(), env)
+                        }
+                    },
                     Code::App(f, a) => {
                         stack.push(RtFrame::Arg {
                             func: f.clone(),
@@ -753,28 +902,111 @@ impl CompiledProgram {
                         });
                         RtState::Eval(a.clone(), env)
                     }
-                    Code::Prim1(p, a) => {
-                        stack.push(RtFrame::Prim1Apply { p: *p });
-                        RtState::Eval(a.clone(), env)
-                    }
-                    Code::Prim2(p, a, b) => {
-                        stack.push(RtFrame::Prim2First {
-                            p: *p,
-                            first: a.clone(),
-                            env: env.clone(),
-                        });
-                        RtState::Eval(b.clone(), env)
-                    }
-                    Code::CallRec { depth, index, arg } => {
-                        stack.push(RtFrame::EnterRec {
-                            depth: *depth,
-                            index: *index,
-                            env: env.clone(),
-                        });
-                        RtState::Eval(arg.clone(), env)
-                    }
-                    Code::Bind(v, body) => {
-                        stack.push(RtFrame::BindThen {
+                    Code::Prim1(p, a) => match quick(a, &env)? {
+                        Some(av) => RtState::Continue(p.apply(&[av])?),
+                        None => {
+                            stack.push(RtFrame::Prim1Apply { p: *p });
+                            RtState::Eval(a.clone(), env)
+                        }
+                    },
+                    Code::Prim2(p, a, b) => match quick(b, &env)? {
+                        Some(bv) => match quick(a, &env)? {
+                            Some(av) => RtState::Continue(p.apply(&[av, bv])?),
+                            None => {
+                                stack.push(RtFrame::Prim2Apply { p: *p, second: bv });
+                                RtState::Eval(a.clone(), env)
+                            }
+                        },
+                        None => {
+                            stack.push(RtFrame::Prim2First {
+                                p: *p,
+                                first: a.clone(),
+                                env: env.clone(),
+                            });
+                            RtState::Eval(b.clone(), env)
+                        }
+                    },
+                    Code::CallRec { depth, index, arg } => match quick(arg, &env)? {
+                        Some(av) => {
+                            let (body, callee_env) = env.enter_rec(*depth, *index);
+                            RtState::Eval(body, callee_env.plain(av))
+                        }
+                        None => {
+                            stack.push(RtFrame::EnterRec {
+                                depth: *depth,
+                                index: *index,
+                                env: env.clone(),
+                            });
+                            RtState::Eval(arg.clone(), env)
+                        }
+                    },
+                    Code::CallRec2 {
+                        depth,
+                        index,
+                        arg1,
+                        arg2,
+                    } => match quick(arg2, &env)? {
+                        Some(bv) => match quick(arg1, &env)? {
+                            Some(av) => {
+                                let (body, callee_env) = env.enter_rec(*depth, *index);
+                                match &*body {
+                                    Code::Lambda(inner) => RtState::Eval(
+                                        inner.body.clone(),
+                                        callee_env.plain(av).plain(bv),
+                                    ),
+                                    _ => unreachable!(
+                                        "compiler aims CallRec2 only at curried lambdas"
+                                    ),
+                                }
+                            }
+                            None => {
+                                stack.push(RtFrame::EnterRec2 {
+                                    depth: *depth,
+                                    index: *index,
+                                    second: bv,
+                                    env: env.clone(),
+                                });
+                                RtState::Eval(arg1.clone(), env)
+                            }
+                        },
+                        None => {
+                            stack.push(RtFrame::CallRec2Second {
+                                depth: *depth,
+                                index: *index,
+                                arg1: arg1.clone(),
+                                env: env.clone(),
+                            });
+                            RtState::Eval(arg2.clone(), env)
+                        }
+                    },
+                    Code::Bind(v, body) => match quick(v, &env)? {
+                        Some(vv) => {
+                            // A run of quick bindings (the destructuring
+                            // prologues instrumentation emits) completes
+                            // in this one transition.
+                            let mut env2 = env.plain(vv);
+                            let mut cur = body.clone();
+                            while let Code::Bind(v2, b2) = &*cur {
+                                match quick(v2, &env2)? {
+                                    Some(vv2) => {
+                                        env2 = env2.plain(vv2);
+                                        cur = b2.clone();
+                                    }
+                                    None => break,
+                                }
+                            }
+                            RtState::Eval(cur, env2)
+                        }
+                        None => {
+                            stack.push(RtFrame::BindThen {
+                                body: body.clone(),
+                                env: env.clone(),
+                            });
+                            RtState::Eval(v.clone(), env)
+                        }
+                    },
+                    Code::BindPair(v, body) => {
+                        stack.push(RtFrame::BindPairThen {
                             body: body.clone(),
                             env: env.clone(),
                         });
@@ -867,6 +1099,35 @@ impl CompiledProgram {
                         let (body, callee_env) = env.enter_rec(depth, index);
                         RtState::Eval(body, callee_env.plain(value))
                     }
+                    Some(RtFrame::CallRec2Second {
+                        depth,
+                        index,
+                        arg1,
+                        env,
+                    }) => {
+                        stack.push(RtFrame::EnterRec2 {
+                            depth,
+                            index,
+                            second: value,
+                            env: env.clone(),
+                        });
+                        RtState::Eval(arg1, env)
+                    }
+                    Some(RtFrame::EnterRec2 {
+                        depth,
+                        index,
+                        second,
+                        env,
+                    }) => {
+                        let (body, callee_env) = env.enter_rec(depth, index);
+                        match &*body {
+                            Code::Lambda(inner) => RtState::Eval(
+                                inner.body.clone(),
+                                callee_env.plain(value).plain(second),
+                            ),
+                            _ => unreachable!("compiler aims CallRec2 only at curried lambdas"),
+                        }
+                    }
                     Some(RtFrame::Apply { arg }) => match value {
                         Value::Ext(ext) => match ext.downcast::<CompiledClosure>() {
                             Some(c) => RtState::Eval(c.lambda.body.clone(), c.env.plain(arg)),
@@ -891,6 +1152,17 @@ impl CompiledProgram {
                         other => return Err(EvalError::NonBooleanCondition(other.to_string())),
                     },
                     Some(RtFrame::BindThen { body, env }) => RtState::Eval(body, env.plain(value)),
+                    Some(RtFrame::BindPairThen { body, env }) => match &value {
+                        Value::Pair(h, t) => {
+                            let (h, t) = ((**h).clone(), (**t).clone());
+                            RtState::Eval(body, env.plain(value).plain(h).plain(t))
+                        }
+                        // Reproduce exactly the error `hd` would raise.
+                        _ => match Prim::Hd.apply(&[value]) {
+                            Err(e) => return Err(e),
+                            Ok(_) => unreachable!("hd rejects non-pairs"),
+                        },
+                    },
                     Some(RtFrame::Discard { second, env }) => RtState::Eval(second, env),
                     Some(RtFrame::Par {
                         items,

@@ -8,16 +8,24 @@
 //! [`instrument`] performs that specialization as a state-passing
 //! translation: the meaning `MS → (Ans × MS)` of the monitoring semantics
 //! becomes the *type* of the translated program. Writing `⟨v, σ⟩` as the
-//! cons pair `v : σ`:
+//! cons pair `v : σ`, the translation `T⟦e⟧σ` produces, for a state
+//! *expression* σ, an expression computing the pair:
 //!
 //! ```text
-//! T⟦k⟧          = λσ. k : σ
-//! T⟦x⟧          = λσ. x : σ
-//! T⟦λx.e⟧       = λσ. (λx. T⟦e⟧) : σ            (functions thread σ when applied)
-//! T⟦e₁ e₂⟧      = λσ. let p₂ = T⟦e₂⟧ σ in
-//!                     let p₁ = T⟦e₁⟧ (tl p₂) in (hd p₁) (hd p₂) (tl p₁)
-//! T⟦{μ}:e⟧      = λσ. let p = T⟦e⟧ (pre_μ σ) in (hd p) : (post_μ (hd p) (tl p))
+//! T⟦e⟧σ         = e : σ                         (e monitor-pure: no accepted
+//!                                                annotation, no user call)
+//! T⟦λx.e⟧σ      = (λx. λσ'. T⟦e⟧σ') : σ         (functions thread σ when applied)
+//! T⟦e₁ e₂⟧σ     = let p₂ = T⟦e₂⟧σ in
+//!                 let p₁ = T⟦e₁⟧(tl p₂) in (hd p₁) (hd p₂) (tl p₁)
+//! T⟦{μ}:e⟧σ     = let p = T⟦e⟧(pre_μ σ) in (hd p) : (post_μ (hd p) (tl p))
 //! ```
+//!
+//! Monitor-pure subexpressions — constants, variables, saturated
+//! primitive applications, conditionals over such — are residualized
+//! **verbatim**: they pay no pairing, no state threading, and no
+//! administrative closures, so the overhead of the instrumented program
+//! scales with its *monitoring activity*, not its size. The generic rules
+//! only fire on the spine that actually carries events.
 //!
 //! The monitoring actions `pre_μ`/`post_μ` are ordinary `L_λ` code supplied
 //! by a [`SourceMonitor`]; annotations the monitor does not accept vanish.
@@ -81,13 +89,6 @@ impl Tr<'_> {
         }
     }
 
-    /// `λσ. body(σ)` with a fresh σ.
-    fn state_fn(&mut self, body: impl FnOnce(&mut Self, &Ident) -> Expr) -> Expr {
-        let sigma = self.fresh("s");
-        let b = body(self, &sigma);
-        Expr::lam(sigma, b)
-    }
-
     /// `v : σ`.
     fn pair(v: Expr, s: Expr) -> Expr {
         Expr::binop("cons", v, s)
@@ -101,172 +102,279 @@ impl Tr<'_> {
         Expr::app(Expr::var("tl"), e)
     }
 
-    /// The state-threading wrapper for a primitive of the given arity:
-    /// each collected argument returns through the state, the final one
-    /// computes. E.g. arity 2:
-    /// `λσ. (λa. λσ₁. ((λb. λσ₂. ((p a b) : σ₂)) : σ₁)) : σ`.
-    fn wrap_prim(&mut self, name: &Ident, arity: usize) -> Expr {
+    /// Applies a monitoring action, turning a literal `λx. body` into
+    /// `let x = arg in body` so each event costs no closure allocation.
+    fn apply_action(f: Expr, arg: Expr) -> Expr {
+        match f {
+            Expr::Lambda(l) => Expr::let_(l.param.clone(), arg, (*l.body).clone()),
+            other => Expr::app(other, arg),
+        }
+    }
+
+    /// Applies a two-argument action (`λv. λσ. body`), inlining both
+    /// lambdas as lets. Actions are closed except for their parameters
+    /// and prelude names, so the substitution is capture-safe; both
+    /// arguments are pure projections, so their evaluation order is
+    /// unobservable.
+    fn apply_action2(f: Expr, a1: Expr, a2: Expr) -> Expr {
+        if let Expr::Lambda(outer) = &f {
+            if let Expr::Lambda(inner) = &*outer.body {
+                return Expr::let_(
+                    outer.param.clone(),
+                    a1,
+                    Expr::let_(inner.param.clone(), a2, (*inner.body).clone()),
+                );
+            }
+        }
+        Expr::app(Tr::apply_action(f, a1), a2)
+    }
+
+    /// A first-class primitive reference, eta-expanded to the threading
+    /// protocol: every function value in the translated world takes its
+    /// argument, then the state, and returns a pair. E.g. arity 2:
+    /// `λa₀. λσ₀. (λa₁. λσ₁. (p a₀ a₁) : σ₁) : σ₀`.
+    fn prim_value(&mut self, name: &Ident, arity: usize) -> Expr {
         let params: Vec<Ident> = (0..arity).map(|i| self.fresh(&format!("a{i}"))).collect();
-        let call = params.iter().fold(Expr::Var(name.clone()), |f, p| {
+        let mut acc = params.iter().fold(Expr::Var(name.clone()), |f, p| {
             Expr::app(f, Expr::Var(p.clone()))
         });
-        // Innermost: λσ. call : σ
-        let mut acc = self.state_fn(|_, s| Tr::pair(call, Expr::Var(s.clone())));
         for p in params.iter().rev() {
-            let lam = Expr::lam(p.clone(), acc);
-            acc = self.state_fn(|_, s| Tr::pair(lam, Expr::Var(s.clone())));
+            let sigma = self.fresh("s");
+            acc = Expr::lam(
+                p.clone(),
+                Expr::lam(sigma.clone(), Tr::pair(acc, Expr::Var(sigma))),
+            );
         }
         acc
     }
 
-    /// T⟦e⟧ — an expression of shape `λσ. v : σ'`.
-    fn translate(&mut self, e: &Expr) -> Expr {
-        match e {
-            Expr::Con(_) => {
-                let v = e.clone();
-                self.state_fn(|_, s| Tr::pair(v, Expr::Var(s.clone())))
+    /// If `e` is an application spine headed by an unshadowed primitive,
+    /// returns the primitive's arity and the arguments in source order.
+    fn prim_spine<'a>(&self, e: &'a Expr) -> Option<(Ident, usize, Vec<&'a Expr>)> {
+        let mut args: Vec<&'a Expr> = Vec::new();
+        let mut cur = e;
+        while let Expr::App(f, a) = cur {
+            args.push(a);
+            cur = f;
+        }
+        match cur {
+            Expr::Var(x) | Expr::VarAt(x, _) if !self.bound.contains(x) => {
+                let p = monsem_core::prims::Prim::by_name(x.as_str())?;
+                args.reverse();
+                Some((x.clone(), p.arity(), args))
             }
+            _ => None,
+        }
+    }
+
+    /// Whether `e` is *monitor-pure*: it fires no accepted annotation,
+    /// calls no user function (whose translated body could), and its
+    /// value is protocol-compatible — in particular it is not a bare or
+    /// partially-applied primitive, whose raw closure would break the
+    /// threading protocol if it escaped. Monitor-pure code residualizes
+    /// verbatim: same value, same errors, no state traffic.
+    fn is_pure(&mut self, e: &Expr) -> bool {
+        match e {
+            Expr::Con(_) => true,
+            // A bound variable holds an already-computed (protocol)
+            // value; an unbound non-primitive is the same scope error in
+            // either world. Unbound primitives are only pure as heads of
+            // saturated applications (handled under `App`).
             Expr::Var(x) | Expr::VarAt(x, _) => {
-                if !self.bound.contains(x) {
-                    if let Some(p) = monsem_core::prims::Prim::by_name(x.as_str()) {
-                        return self.wrap_prim(x, p.arity());
-                    }
+                self.bound.contains(x) || monsem_core::prims::Prim::by_name(x.as_str()).is_none()
+            }
+            // A verbatim lambda would not follow the threading protocol.
+            Expr::Lambda(_) => false,
+            Expr::App(..) => match self.prim_spine(e) {
+                Some((_, arity, args)) => {
+                    args.len() == arity && args.into_iter().all(|a| self.is_pure(a))
                 }
-                let v = e.clone();
-                self.state_fn(|_, s| Tr::pair(v, Expr::Var(s.clone())))
+                None => false,
+            },
+            Expr::If(c, t, f) => self.is_pure(c) && self.is_pure(t) && self.is_pure(f),
+            Expr::Let(x, v, b) => {
+                if !self.is_pure(v) {
+                    return false;
+                }
+                self.bound.push(x.clone());
+                let r = self.is_pure(b);
+                self.bound.pop();
+                r
+            }
+            Expr::Ann(ann, inner) => !self.monitor.accepts(ann) && self.is_pure(inner),
+            Expr::Seq(a, b) => self.is_pure(a) && self.is_pure(b),
+            Expr::Letrec(..) | Expr::Par(_) | Expr::Assign(..) | Expr::While(..) => false,
+        }
+    }
+
+    /// Whether a monitor-pure expression can neither fail nor diverge, so
+    /// it may be moved past other computations without reordering errors.
+    fn is_atomic(&self, e: &Expr) -> bool {
+        match e {
+            Expr::Con(_) => true,
+            Expr::Var(x) | Expr::VarAt(x, _) => self.bound.contains(x),
+            _ => false,
+        }
+    }
+
+    /// Passes the current state expression on, let-binding it first when
+    /// the continuation would duplicate a non-trivial expression.
+    fn with_state(&mut self, s: Expr, k: impl FnOnce(&mut Self, Expr) -> Expr) -> Expr {
+        match s {
+            Expr::Var(_) => k(self, s),
+            other => {
+                let st = self.fresh("st");
+                let body = k(self, Expr::Var(st.clone()));
+                Expr::let_(st, other, body)
+            }
+        }
+    }
+
+    /// T⟦e⟧σ — an expression computing the pair `v : σ'`, given the
+    /// current state as the expression `s` (consumed exactly once on
+    /// every control path).
+    fn thread(&mut self, e: &Expr, s: Expr) -> Expr {
+        if self.is_pure(e) {
+            return Tr::pair(e.erase_annotations(), s);
+        }
+        match e {
+            // Pure cases are handled above; what remains of Var is a
+            // first-class primitive reference.
+            Expr::Con(_) => Tr::pair(e.clone(), s),
+            Expr::Var(x) | Expr::VarAt(x, _) => {
+                match monsem_core::prims::Prim::by_name(x.as_str()) {
+                    Some(p) if !self.bound.contains(x) => {
+                        let v = self.prim_value(x, p.arity());
+                        Tr::pair(v, s)
+                    }
+                    _ => Tr::pair(e.clone(), s),
+                }
             }
             Expr::Lambda(l) => {
                 self.bound.push(l.param.clone());
-                let body = self.translate(&l.body);
+                let sigma = self.fresh("s");
+                let body = self.thread(&l.body, Expr::Var(sigma.clone()));
                 self.bound.pop();
                 let f = Expr::Lambda(Lambda {
                     param: l.param.clone(),
-                    body: Arc::new(body),
+                    body: Arc::new(Expr::lam(sigma, body)),
                 });
-                self.state_fn(|_, s| Tr::pair(f, Expr::Var(s.clone())))
+                Tr::pair(f, s)
             }
-            Expr::App(f, a) => {
-                let ta = self.translate(a);
-                let tf = self.translate(f);
-                self.state_fn(|tr, s| {
-                    let p2 = tr.fresh("p");
-                    let p1 = tr.fresh("p");
-                    Expr::let_(
-                        p2.clone(),
-                        Expr::app(ta, Expr::Var(s.clone())),
-                        Expr::let_(
-                            p1.clone(),
-                            Expr::app(tf, Tr::tl(Expr::Var(p2.clone()))),
-                            Expr::app(
-                                Expr::app(Tr::hd(Expr::Var(p1.clone())), Tr::hd(Expr::Var(p2))),
-                                Tr::tl(Expr::Var(p1)),
-                            ),
-                        ),
-                    )
-                })
-            }
+            Expr::App(f, a) => self.thread_app(e, f, a, s),
             Expr::If(c, t, f) => {
-                let tc = self.translate(c);
-                let tt = self.translate(t);
-                let tf = self.translate(f);
-                self.state_fn(|tr, s| {
-                    let p = tr.fresh("p");
-                    Expr::let_(
-                        p.clone(),
-                        Expr::app(tc, Expr::Var(s.clone())),
-                        Expr::if_(
-                            Tr::hd(Expr::Var(p.clone())),
-                            Expr::app(tt, Tr::tl(Expr::Var(p.clone()))),
-                            Expr::app(tf, Tr::tl(Expr::Var(p))),
-                        ),
-                    )
-                })
+                if self.is_pure(c) {
+                    let cv = c.erase_annotations();
+                    self.with_state(s, |tr, sv| {
+                        let tt = tr.thread(t, sv.clone());
+                        let tf = tr.thread(f, sv);
+                        Expr::if_(cv, tt, tf)
+                    })
+                } else {
+                    let tc = self.thread(c, s);
+                    let p = self.fresh("p");
+                    let tt = self.thread(t, Tr::tl(Expr::Var(p.clone())));
+                    let tf = self.thread(f, Tr::tl(Expr::Var(p.clone())));
+                    Expr::let_(p.clone(), tc, Expr::if_(Tr::hd(Expr::Var(p)), tt, tf))
+                }
             }
             Expr::Let(x, v, b) => {
-                let tv = self.translate(v);
-                self.bound.push(x.clone());
-                let tb = self.translate(b);
-                self.bound.pop();
-                self.state_fn(|tr, s| {
-                    let p = tr.fresh("p");
+                if self.is_pure(v) {
+                    let vv = v.erase_annotations();
+                    self.bound.push(x.clone());
+                    let tb = self.thread(b, s);
+                    self.bound.pop();
+                    Expr::let_(x.clone(), vv, tb)
+                } else {
+                    let tv = self.thread(v, s);
+                    let p = self.fresh("p");
+                    self.bound.push(x.clone());
+                    let tb = self.thread(b, Tr::tl(Expr::Var(p.clone())));
+                    self.bound.pop();
                     Expr::let_(
                         p.clone(),
-                        Expr::app(tv, Expr::Var(s.clone())),
-                        Expr::let_(
-                            x.clone(),
-                            Tr::hd(Expr::Var(p.clone())),
-                            Expr::app(tb, Tr::tl(Expr::Var(p))),
-                        ),
+                        tv,
+                        Expr::let_(x.clone(), Tr::hd(Expr::Var(p)), tb),
                     )
-                })
+                }
             }
-            Expr::Letrec(bs, body) => self.translate_letrec(bs, body),
+            Expr::Letrec(bs, body) => self.thread_letrec(bs, body, s),
             Expr::Ann(ann, inner) => {
                 if !self.monitor.accepts(ann) {
-                    return self.translate(inner);
+                    return self.thread(inner, s);
                 }
                 let pre = (self.monitor.pre)(ann);
                 let post = (self.monitor.post)(ann);
-                let ti = self.translate(inner);
-                self.state_fn(|tr, s| {
-                    let entry_state = match pre {
-                        Some(pre_fn) => Expr::app(pre_fn, Expr::Var(s.clone())),
-                        None => Expr::Var(s.clone()),
-                    };
-                    let p = tr.fresh("p");
-                    let result = match post {
-                        Some(post_fn) => Tr::pair(
+                let entry = match pre {
+                    Some(pre_fn) => Tr::apply_action(pre_fn, s),
+                    None => s,
+                };
+                let ti = self.thread(inner, entry);
+                let p = self.fresh("p");
+                let result = match post {
+                    // Literal `λv. λσ. body` action: destructure the pair
+                    // once and inline the body — the common case costs two
+                    // projections, no closure, no repeated `hd`.
+                    Some(Expr::Lambda(outer)) if matches!(&*outer.body, Expr::Lambda(_)) => {
+                        let Expr::Lambda(inner_lam) = &*outer.body else {
+                            unreachable!()
+                        };
+                        Expr::let_(
+                            outer.param.clone(),
                             Tr::hd(Expr::Var(p.clone())),
-                            Expr::app(
-                                Expr::app(post_fn, Tr::hd(Expr::Var(p.clone()))),
+                            Expr::let_(
+                                inner_lam.param.clone(),
                                 Tr::tl(Expr::Var(p.clone())),
+                                Tr::pair(Expr::Var(outer.param.clone()), (*inner_lam.body).clone()),
                             ),
+                        )
+                    }
+                    Some(post_fn) => Tr::pair(
+                        Tr::hd(Expr::Var(p.clone())),
+                        Tr::apply_action2(
+                            post_fn,
+                            Tr::hd(Expr::Var(p.clone())),
+                            Tr::tl(Expr::Var(p.clone())),
                         ),
-                        None => Expr::Var(p.clone()),
-                    };
-                    Expr::let_(p, Expr::app(ti, entry_state), result)
-                })
+                    ),
+                    None => Expr::Var(p.clone()),
+                };
+                Expr::let_(p, ti, result)
             }
             Expr::Seq(a, b) => {
-                let ta = self.translate(a);
-                let tb = self.translate(b);
-                self.state_fn(|tr, s| {
-                    let p = tr.fresh("p");
-                    Expr::let_(
-                        p.clone(),
-                        Expr::app(ta, Expr::Var(s.clone())),
-                        Expr::app(tb, Tr::tl(Expr::Var(p))),
-                    )
-                })
+                if self.is_pure(a) {
+                    let av = a.erase_annotations();
+                    Expr::Seq(Arc::new(av), Arc::new(self.thread(b, s)))
+                } else {
+                    let ta = self.thread(a, s);
+                    let p = self.fresh("p");
+                    let tb = self.thread(b, Tr::tl(Expr::Var(p.clone())));
+                    Expr::let_(p, ta, tb)
+                }
             }
             Expr::Par(items) => {
                 // The state-passing translation is inherently sequential,
                 // so `par` gets its reference semantics: thread the state
                 // through the elements left-to-right and pair the list of
                 // their values with the final state.
-                let t_items: Vec<Expr> = items.iter().map(|i| self.translate(i)).collect();
-                self.state_fn(|tr, s| {
-                    let mut state: Expr = Expr::Var(s.clone());
-                    let mut ps: Vec<Ident> = Vec::new();
-                    let mut wrappers: Vec<Box<dyn FnOnce(Expr) -> Expr>> = Vec::new();
-                    for ti in t_items {
-                        let p = tr.fresh("p");
-                        let prev_state = state;
-                        state = Tr::tl(Expr::Var(p.clone()));
-                        ps.push(p.clone());
-                        wrappers.push(Box::new(move |inner| {
-                            Expr::let_(p, Expr::app(ti, prev_state), inner)
-                        }));
-                    }
-                    let list = ps.iter().rev().fold(Expr::nil(), |acc, p| {
-                        Expr::binop("cons", Tr::hd(Expr::Var(p.clone())), acc)
-                    });
-                    let mut out = Tr::pair(list, state);
-                    for w in wrappers.into_iter().rev() {
-                        out = w(out);
-                    }
-                    out
-                })
+                let mut state = s;
+                let mut ps: Vec<Ident> = Vec::new();
+                let mut wrappers: Vec<(Ident, Expr)> = Vec::new();
+                for item in items {
+                    let ti = self.thread(item, state);
+                    let p = self.fresh("p");
+                    state = Tr::tl(Expr::Var(p.clone()));
+                    ps.push(p.clone());
+                    wrappers.push((p, ti));
+                }
+                let list = ps.iter().rev().fold(Expr::nil(), |acc, p| {
+                    Expr::binop("cons", Tr::hd(Expr::Var(p.clone())), acc)
+                });
+                let mut out = Tr::pair(list, state);
+                for (p, ti) in wrappers.into_iter().rev() {
+                    out = Expr::let_(p, ti, out);
+                }
+                out
             }
             Expr::Assign(..) | Expr::While(..) => {
                 // The pure state-passing translation has no store; the
@@ -276,7 +384,88 @@ impl Tr<'_> {
         }
     }
 
-    fn translate_letrec(&mut self, bs: &[Binding], body: &Expr) -> Expr {
+    /// Applications. The machine evaluates the argument before the
+    /// function, and the translation preserves that order exactly —
+    /// non-atomic pure parts are let-bound in evaluation order so even
+    /// *errors* surface in the same place as in the source program.
+    fn thread_app(&mut self, whole: &Expr, f: &Expr, a: &Expr, s: Expr) -> Expr {
+        // Saturated primitive spine with at least one impure argument:
+        // the call itself needs no protocol, only the arguments thread.
+        if let Some((name, arity, args)) = self.prim_spine(whole) {
+            if args.len() == arity {
+                let mut state = s;
+                let mut bindings: Vec<(Ident, Expr)> = Vec::new();
+                let mut vals: Vec<Option<Expr>> = vec![None; args.len()];
+                for (i, arg) in args.iter().enumerate().rev() {
+                    if self.is_atomic(arg) {
+                        vals[i] = Some((*arg).clone());
+                    } else if self.is_pure(arg) {
+                        let v = self.fresh("v");
+                        bindings.push((v.clone(), arg.erase_annotations()));
+                        vals[i] = Some(Expr::Var(v));
+                    } else {
+                        let tv = self.thread(arg, state);
+                        let p = self.fresh("p");
+                        state = Tr::tl(Expr::Var(p.clone()));
+                        vals[i] = Some(Tr::hd(Expr::Var(p.clone())));
+                        bindings.push((p, tv));
+                    }
+                }
+                let call = vals
+                    .into_iter()
+                    .map(Option::unwrap)
+                    .fold(Expr::Var(name), Expr::app);
+                let mut out = Tr::pair(call, state);
+                for (x, v) in bindings.into_iter().rev() {
+                    out = Expr::let_(x, v, out);
+                }
+                return out;
+            }
+        }
+        // Generic protocol call: argument first, then function.
+        let (a_binding, a_val, state) = if self.is_atomic(a) {
+            (None, a.clone(), s)
+        } else if self.is_pure(a) {
+            if self.is_pure(f) {
+                // With a pure function the argument evaluates in place
+                // (the machine's arg-then-function order is preserved and
+                // nothing effectful can run before a potential error in
+                // the argument), so no let is needed.
+                (None, a.erase_annotations(), s)
+            } else {
+                let v = self.fresh("v");
+                (Some((v.clone(), a.erase_annotations())), Expr::Var(v), s)
+            }
+        } else {
+            let ta = self.thread(a, s);
+            let p = self.fresh("p");
+            (
+                Some((p.clone(), ta)),
+                Tr::hd(Expr::Var(p.clone())),
+                Tr::tl(Expr::Var(p)),
+            )
+        };
+        let mut out = if self.is_pure(f) {
+            Expr::app(Expr::app(f.erase_annotations(), a_val), state)
+        } else {
+            let tf = self.thread(f, state);
+            let p1 = self.fresh("p");
+            Expr::let_(
+                p1.clone(),
+                tf,
+                Expr::app(
+                    Expr::app(Tr::hd(Expr::Var(p1.clone())), a_val),
+                    Tr::tl(Expr::Var(p1)),
+                ),
+            )
+        };
+        if let Some((x, v)) = a_binding {
+            out = Expr::let_(x, v, out);
+        }
+        out
+    }
+
+    fn thread_letrec(&mut self, bs: &[Binding], body: &Expr, s: Expr) -> Expr {
         // Mirror the LetrecPlan: value bindings thread the state in order,
         // lambda bindings become a residual letrec of translated
         // functions, annotated lambda bindings are rebound afterwards so
@@ -299,72 +488,68 @@ impl Tr<'_> {
             self.bound.push(b.name.clone());
         }
 
-        let translated_values: Vec<(Ident, Expr)> = value_bindings
-            .iter()
-            .map(|b| (b.name.clone(), self.translate(&b.value)))
-            .collect();
+        enum Wrapper {
+            PureLet(Ident, Expr),
+            PairLet(Ident, Ident, Expr),
+            Funs(Vec<Binding>),
+        }
+
+        let mut state = s;
+        let mut wrappers: Vec<Wrapper> = Vec::new();
+        for b in &value_bindings {
+            if self.is_pure(&b.value) {
+                wrappers.push(Wrapper::PureLet(
+                    b.name.clone(),
+                    b.value.erase_annotations(),
+                ));
+            } else {
+                let tv = self.thread(&b.value, state);
+                let p = self.fresh("p");
+                state = Tr::tl(Expr::Var(p.clone()));
+                wrappers.push(Wrapper::PairLet(p, b.name.clone(), tv));
+            }
+        }
         let translated_funs: Vec<Binding> = fun_bindings
             .iter()
             .map(|(name, l)| {
                 self.bound.push(l.param.clone());
-                let tb = self.translate(&l.body);
+                let sigma = self.fresh("s");
+                let tb = self.thread(&l.body, Expr::Var(sigma.clone()));
                 self.bound.pop();
                 Binding::new(
                     name.clone(),
                     Expr::Lambda(Lambda {
                         param: l.param.clone(),
-                        body: Arc::new(tb),
+                        body: Arc::new(Expr::lam(sigma, tb)),
                     }),
                 )
             })
             .collect();
-        let translated_annotated: Vec<(Ident, Expr)> = annotated
-            .iter()
-            .map(|b| (b.name.clone(), self.translate(&b.value)))
-            .collect();
-        let t_body = self.translate(body);
+        if !translated_funs.is_empty() {
+            wrappers.push(Wrapper::Funs(translated_funs));
+        }
+        for b in &annotated {
+            let tv = self.thread(&b.value, state);
+            let p = self.fresh("p");
+            state = Tr::tl(Expr::Var(p.clone()));
+            wrappers.push(Wrapper::PairLet(p, b.name.clone(), tv));
+        }
+        let mut out = self.thread(body, state);
 
         for _ in bs {
             self.bound.pop();
         }
 
-        self.state_fn(|tr, s| {
-            let mut state: Expr = Expr::Var(s.clone());
-            let mut wrappers: Vec<Box<dyn FnOnce(Expr) -> Expr>> = Vec::new();
-            for (name, tv) in translated_values {
-                let p = tr.fresh("p");
-                let prev_state = state;
-                state = Tr::tl(Expr::Var(p.clone()));
-                wrappers.push(Box::new(move |inner| {
-                    Expr::let_(
-                        p.clone(),
-                        Expr::app(tv, prev_state),
-                        Expr::let_(name, Tr::hd(Expr::Var(p)), inner),
-                    )
-                }));
-            }
-            if !translated_funs.is_empty() {
-                let funs = translated_funs;
-                wrappers.push(Box::new(move |inner| Expr::Letrec(funs, Arc::new(inner))));
-            }
-            for (name, tv) in translated_annotated {
-                let p = tr.fresh("p");
-                let prev_state = state;
-                state = Tr::tl(Expr::Var(p.clone()));
-                wrappers.push(Box::new(move |inner| {
-                    Expr::let_(
-                        p.clone(),
-                        Expr::app(tv, prev_state),
-                        Expr::let_(name, Tr::hd(Expr::Var(p)), inner),
-                    )
-                }));
-            }
-            let mut out = Expr::app(t_body, state);
-            for w in wrappers.into_iter().rev() {
-                out = w(out);
-            }
-            out
-        })
+        for w in wrappers.into_iter().rev() {
+            out = match w {
+                Wrapper::PureLet(name, v) => Expr::let_(name, v, out),
+                Wrapper::PairLet(p, name, tv) => {
+                    Expr::let_(p.clone(), tv, Expr::let_(name, Tr::hd(Expr::Var(p)), out))
+                }
+                Wrapper::Funs(funs) => Expr::Letrec(funs, Arc::new(out)),
+            };
+        }
+        out
     }
 }
 
@@ -392,8 +577,7 @@ pub fn instrument(program: &Expr, monitor: &SourceMonitor) -> Expr {
         fresh: 0,
         used,
     };
-    let translated = tr.translate(&program);
-    let applied = Expr::app(translated, monitor.initial.clone());
+    let applied = tr.thread(&program, monitor.initial.clone());
     monitor.prelude.iter().rev().fold(applied, |acc, b| {
         Expr::Letrec(vec![b.clone()], Arc::new(acc))
     })
@@ -633,6 +817,212 @@ pub fn collecting_source() -> SourceMonitor {
     }
 }
 
+// ---------------------------------------------------------------------
+// Level 3: temporal specs compiled into the program
+// ---------------------------------------------------------------------
+
+/// Compiles a temporal-specification monitor into a [`SourceMonitor`] —
+/// the paper's **level 3** for `monsem-tspec`.
+///
+/// The monitor state `MS` threaded by [`instrument`] becomes the bare
+/// DFA state **integer**; each annotation site the automaton can observe
+/// gets the transition function δ(·, letter) inlined as a comparison
+/// chain over the (minimized) states that actually move on that letter.
+/// Post sites whose spec compares values residualize
+/// [`Alphabet::classify_value`](monsem_tspec::Alphabet::classify_value)
+/// as integer comparisons against the cut constants (guarded by the
+/// total `int?` primitive, so non-integer observations classify instead
+/// of erroring), plus a structural `unsorted` check from the prelude
+/// when the spec uses that predicate. Sites the automaton cannot observe
+/// in either phase produce **no code at all** — the annotation vanishes
+/// from the residual program, and no monitor object exists at run time.
+///
+/// The instrumented program computes `answer : final-state`; decode the
+/// final state with [`spec_verdict`]. Because the DFA's dead states are
+/// absorbing, `final-state` is dead **iff** the run violated the spec at
+/// some event — the same earliest-violation judgement the interpreted
+/// [`SpecMonitor`](monsem_tspec::SpecMonitor) reports (level 3 is
+/// observing-style: a plain program has no abort channel, so enforcement
+/// stays with levels 1 and 2).
+pub fn spec_source_monitor(monitor: &monsem_tspec::SpecMonitor) -> SourceMonitor {
+    use monsem_monitor::Monitor as _;
+    use monsem_tspec::Automaton;
+
+    /// A conditional that collapses when both branches are the same
+    /// expression. The chain conditions are total in context (the state
+    /// is an integer, value guards run under `int?`), so dropping the
+    /// test is semantics-preserving; it prunes dispatch on value classes
+    /// whose transitions agree.
+    fn if_same(c: Expr, t: Expr, f: Expr) -> Expr {
+        if t == f {
+            t
+        } else {
+            Expr::if_(c, t, f)
+        }
+    }
+
+    /// δ(·, letter) as residual code on the state variable: a comparison
+    /// chain over the states that move; self-looping states fall through
+    /// to the unchanged σ.
+    fn step_chain(aut: &Automaton, letter: u32, sigma: &str) -> Expr {
+        let moves: Vec<(u32, u32)> = (0..aut.num_states())
+            .filter_map(|s| {
+                let t = aut.step(s, letter);
+                (t != s).then_some((s, t))
+            })
+            .collect();
+        moves
+            .into_iter()
+            .rev()
+            .fold(Expr::var(sigma), |acc, (s, t)| {
+                Expr::if_(
+                    Expr::binop("=", Expr::var(sigma), Expr::int(s as i64)),
+                    Expr::int(t as i64),
+                    acc,
+                )
+            })
+    }
+
+    let aut = monitor.automaton().clone();
+    let namespace = monitor.namespace().clone();
+
+    let pre_aut = aut.clone();
+    let pre_ns = namespace.clone();
+    let pre = move |ann: &Annotation| -> Option<Expr> {
+        if ann.namespace != pre_ns {
+            return None;
+        }
+        let nc = pre_aut.alphabet().name_class(ann.name());
+        if !pre_aut.pre_relevant(nc) {
+            return None;
+        }
+        let letter = pre_aut.alphabet().pre_letter(nc);
+        Some(Expr::lam("sigma", step_chain(&pre_aut, letter, "sigma")))
+    };
+
+    let post_aut = aut.clone();
+    let post = move |ann: &Annotation| -> Option<Expr> {
+        if ann.namespace != namespace {
+            return None;
+        }
+        let alphabet = post_aut.alphabet();
+        let nc = alphabet.name_class(ann.name());
+        if !post_aut.post_relevant(nc) {
+            return None;
+        }
+        let e_class = |vc: usize| step_chain(&post_aut, alphabet.post_letter(nc, vc), "sigma");
+        // Mirror `classify_value`: non-integers (and everything, when no
+        // constants cut the line) classify by the structural `unsorted`
+        // test or fall into class 0.
+        let non_int = match alphabet.unsorted_value_class() {
+            Some(uc) => if_same(
+                Expr::app(Expr::var("specUnsorted"), Expr::var("v")),
+                e_class(uc),
+                e_class(0),
+            ),
+            None => e_class(0),
+        };
+        let consts = alphabet.consts();
+        let body = if consts.is_empty() {
+            non_int
+        } else {
+            let k = consts.len();
+            let e_region = |r: usize| match alphabet.int_region_class(r) {
+                Some(vc) => e_class(vc),
+                // Empty regions have no integer inhabitants; the guard
+                // order below makes these branches unreachable.
+                None => Expr::var("sigma"),
+            };
+            let mut chain = e_region(2 * k);
+            for (i, &c) in consts.iter().enumerate().rev() {
+                chain = if_same(
+                    Expr::binop("=", Expr::var("v"), Expr::int(c)),
+                    e_region(2 * i + 1),
+                    chain,
+                );
+                chain = if_same(
+                    Expr::binop("<", Expr::var("v"), Expr::int(c)),
+                    e_region(2 * i),
+                    chain,
+                );
+            }
+            if_same(Expr::app(Expr::var("int?"), Expr::var("v")), chain, non_int)
+        };
+        Some(Expr::lam_n(["v", "sigma"], body))
+    };
+
+    // Structural `unsorted` as object-language code, used only when the
+    // spec mentions the predicate: a value is unsorted iff it is a
+    // *proper* list with an adjacent pair of integers in decreasing
+    // order (`hd`/`tl` error on non-pairs, hence the total `pair?`
+    // guards).
+    let prelude = if aut.alphabet().unsorted_value_class().is_some() {
+        let proper =
+            monsem_syntax::parse_expr("lambda v. if pair? v then specProper (tl v) else null? v")
+                .expect("specProper parses");
+        let chk = monsem_syntax::parse_expr(
+            "lambda v. \
+               if pair? v \
+               then (if pair? (tl v) \
+                     then (if int? (hd v) \
+                           then (if int? (hd (tl v)) \
+                                 then (if (hd v) > (hd (tl v)) \
+                                       then true \
+                                       else specUnsChk (tl v)) \
+                                 else specUnsChk (tl v)) \
+                           else specUnsChk (tl v)) \
+                     else false) \
+               else false",
+        )
+        .expect("specUnsChk parses");
+        let uns =
+            monsem_syntax::parse_expr("lambda v. if specProper v then specUnsChk v else false")
+                .expect("specUnsorted parses");
+        vec![
+            Binding::new("specProper", proper),
+            Binding::new("specUnsChk", chk),
+            Binding::new("specUnsorted", uns),
+        ]
+    } else {
+        Vec::new()
+    };
+
+    SourceMonitor {
+        name: monitor.name().to_string(),
+        initial: Expr::int(aut.start() as i64),
+        prelude,
+        pre: Box::new(pre),
+        post: Box::new(post),
+    }
+}
+
+/// Instruments `program` so it monitors itself against `monitor`'s spec
+/// — [`instrument`] ∘ [`spec_source_monitor`]. The result is a plain
+/// `L_λ` program computing `answer : final-DFA-state`.
+pub fn instrument_spec(program: &Expr, monitor: &monsem_tspec::SpecMonitor) -> Expr {
+    instrument(program, &spec_source_monitor(monitor))
+}
+
+/// Decodes the integer final state returned by a self-monitoring program
+/// built with [`instrument_spec`].
+///
+/// # Errors
+///
+/// A description of the violation: either the run entered a dead state
+/// (the spec was violated at some event — dead states are absorbing) or
+/// the completed trace is not accepted.
+pub fn spec_verdict(aut: &monsem_tspec::Automaton, state: u32) -> Result<(), String> {
+    if aut.is_dead(state) {
+        return Err(format!("trace violated the spec (dead state {state})"));
+    }
+    let end = aut.step(state, aut.alphabet().done_letter());
+    if aut.is_nullable(end) {
+        Ok(())
+    } else {
+        Err(format!("incomplete trace at end of run (state {state})"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -752,5 +1142,96 @@ mod tests {
         let (answer, state) = run_pair(&instrumented);
         assert_eq!(answer, Value::Int(42));
         assert_eq!(state, Value::pair(Value::Int(2), Value::Int(0)));
+    }
+
+    // ---- level 3: self-monitoring programs ----------------------------
+
+    use monsem_tspec::SpecMonitor;
+
+    fn fac_prog(n: i64) -> Expr {
+        parse_expr(&format!(
+            "letrec fac = lambda x. {{fac}}:(if x = 0 then 1 else x * (fac (x - 1))) in fac {n}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn self_monitoring_program_tracks_the_interpreted_spec() {
+        let prog = fac_prog(6);
+        let m = SpecMonitor::new("pos", "always(post(fac) => value >= 1)").unwrap();
+        let instrumented = instrument_spec(&prog, &m);
+        let (answer, state) = run_pair(&instrumented);
+        let (expected, s_i) = eval_monitored(&prog, &m).unwrap();
+        assert_eq!(answer, expected);
+        assert_eq!(state, Value::Int(s_i.state as i64));
+        assert!(s_i.violation.is_none());
+        assert!(spec_verdict(m.automaton(), s_i.state).is_ok());
+    }
+
+    #[test]
+    fn violating_run_lands_in_a_dead_state() {
+        let prog = parse_expr(
+            "letrec count = lambda x. if x = 0 then {A}:0 else {A}:(count (x - 1)) in count 3",
+        )
+        .unwrap();
+        let m = SpecMonitor::new("pos", "always(post(A) => value >= 1)").unwrap();
+        let instrumented = instrument_spec(&prog, &m);
+        let (_, state) = run_pair(&instrumented);
+        let (_, s_i) = eval_monitored(&prog, &m).unwrap();
+        assert_eq!(state, Value::Int(s_i.state as i64));
+        assert!(s_i.violation.is_some());
+        let Value::Int(s) = state else { unreachable!() };
+        assert!(m.automaton().is_dead(s as u32));
+        assert!(spec_verdict(m.automaton(), s as u32).is_err());
+    }
+
+    #[test]
+    fn dead_sites_emit_no_code_at_level_3() {
+        let prog = parse_expr("{a}:({b}:1 + 1)").unwrap();
+        let m = SpecMonitor::new("only-a", "always(post(a) => value >= 0)").unwrap();
+        let sm = spec_source_monitor(&m);
+        let instrumented = instrument(&prog, &sm);
+        assert!(instrumented.annotations().is_empty());
+        let (answer, _) = run_pair(&instrumented);
+        assert_eq!(answer, Value::Int(2));
+    }
+
+    #[test]
+    fn unsorted_specs_classify_structurally_in_residual_code() {
+        let m = SpecMonitor::new("sorted", "never(post(mk) and unsorted)").unwrap();
+        let cases = [
+            ("{mk}:(1 : (3 : []))", false), // sorted proper list
+            ("{mk}:(3 : (1 : []))", true),  // unsorted proper list
+            ("{mk}:(3 : 2)", false),        // improper list: not unsorted
+            ("{mk}:5", false),              // non-list
+        ];
+        for (src, violates) in cases {
+            let prog = parse_expr(src).unwrap();
+            let instrumented = instrument_spec(&prog, &m);
+            let (_, state) = run_pair(&instrumented);
+            let (_, s_i) = eval_monitored(&prog, &m).unwrap();
+            assert_eq!(state, Value::Int(s_i.state as i64), "{src}");
+            assert_eq!(s_i.violation.is_some(), violates, "{src}");
+            let Value::Int(s) = state else { unreachable!() };
+            assert_eq!(
+                spec_verdict(m.automaton(), s as u32).is_err(),
+                violates,
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn self_monitoring_program_is_printable_and_compiled_runnable() {
+        let prog = fac_prog(4);
+        let m = SpecMonitor::new("pos", "always(post(fac) => value >= 1)").unwrap();
+        let instrumented = instrument_spec(&prog, &m);
+        let printed = instrumented.to_string();
+        let reparsed = parse_expr(&printed).expect("level-3 artifact is a program");
+        assert_eq!(reparsed, instrumented);
+        let compiled = crate::engine::compile(&instrumented).unwrap();
+        let v = compiled.run().unwrap();
+        let (expected, s_i) = eval_monitored(&prog, &m).unwrap();
+        assert_eq!(v, Value::pair(expected, Value::Int(s_i.state as i64)));
     }
 }

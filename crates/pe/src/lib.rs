@@ -32,6 +32,12 @@
 //! specifications: the automaton's alphabet dispatch (annotation name →
 //! name class → abstract letter) is resolved per annotation site at
 //! compile time, leaving only the transition-table lookup at run time.
+//! [`instrument::spec_source_monitor`] completes the trajectory at
+//! level 3: the minimized, letter-compressed DFA is compiled *into* the
+//! program — the threaded monitor state is the DFA state integer, each
+//! observable annotation site carries its transition inlined as a
+//! comparison chain, dead sites emit no code, and no monitor object
+//! exists at run time.
 //!
 //! [`pipeline`] packages the four artifact levels for the benchmarks that
 //! reproduce the paper's measurements (tracer ≈ 11% slower than the
@@ -50,7 +56,9 @@ pub mod specialize;
 pub mod specmon;
 
 pub use engine::{compile, compile_monitored, CompiledProgram};
-pub use instrument::{instrument, SourceMonitor};
+pub use instrument::{
+    instrument, instrument_spec, spec_source_monitor, spec_verdict, SourceMonitor,
+};
 pub use simplify::simplify;
 pub use specialize::{specialize, SpecializeOptions};
 pub use specmon::SpecializedSpec;

@@ -119,6 +119,24 @@ pub fn measure<F: FnMut()>(mut f: F, warmup: u32, runs: u32) -> Duration {
     samples[samples.len() / 2]
 }
 
+/// Minimum-of-runs wall-clock measurement. For a deterministic workload
+/// the minimum is the noise-robust estimator (scheduler and allocator
+/// interference is strictly additive), so comparisons between engine
+/// variants use this rather than [`measure`]'s median.
+pub fn measure_min<F: FnMut()>(mut f: F, warmup: u32, runs: u32) -> Duration {
+    for _ in 0..warmup {
+        f();
+    }
+    (0..runs.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .min()
+        .expect("at least one run")
+}
+
 /// Formats a speedup/slowdown pair the way the paper reports them:
 /// "x is N% slower than y" / "x is N% faster than y".
 pub fn relative_percent(subject: Duration, baseline: Duration) -> String {

@@ -10,7 +10,10 @@
 //!
 //! [`SpecializedSpec`] scans the program's annotations and precomputes,
 //! per annotation site, the pre letter and the post letter family
-//! (fully static when the spec has no value predicates). At run time a
+//! (fully static whenever every post letter of the site's name class
+//! shares one letter equivalence class of the compressed table — in
+//! particular when the spec has no value predicates, or when this name's
+//! observed values are never compared). At run time a
 //! hook is a `HashMap` probe on the literal annotation plus a table
 //! lookup; no name-class resolution or letter arithmetic remains on the
 //! hot path, and phases the automaton cannot observe are compiled away
@@ -28,12 +31,17 @@ use monsem_syntax::{Annotation, Expr};
 use monsem_tspec::{SpecMonitor, SpecState};
 use std::collections::HashMap;
 
-/// The post-letter half of a site: fully resolved when the alphabet has
-/// a single value class, otherwise the name-class component with the
-/// value class still to be observed.
+/// The post-letter half of a site: fully resolved when every post letter
+/// of the site's name class falls in the same letter equivalence class
+/// (trivially so when the alphabet has a single value class — but the
+/// minimized, letter-compressed table often merges columns even when the
+/// spec compares values, e.g. when this name's posts are all ignored),
+/// otherwise the name-class component with the value class still to be
+/// observed.
 #[derive(Debug, Clone, Copy)]
 enum PostSite {
-    /// One value class: the letter is known at compile time.
+    /// All of this name's post letters transition identically: the
+    /// representative letter is known at compile time.
     Static(u32),
     /// The value contributes; keep the name class and classify at run
     /// time.
@@ -67,7 +75,15 @@ impl SpecializedSpec {
     pub fn new(program: &Expr, monitor: SpecMonitor) -> Self {
         let aut = monitor.automaton().clone();
         let alphabet = aut.alphabet();
-        let static_post = alphabet.value_classes() == 1;
+        // A post site is static when all its value classes land in one
+        // letter class — then classifying the observed value cannot
+        // change the transition, and the representative letter suffices.
+        let static_post = |nc: usize| -> Option<u32> {
+            let first = alphabet.post_letter(nc, 0);
+            (1..alphabet.value_classes())
+                .all(|vc| aut.letter_class(alphabet.post_letter(nc, vc)) == aut.letter_class(first))
+                .then_some(first)
+        };
         let mut sites = HashMap::new();
         for ann in program.annotations() {
             if ann.namespace != *monitor.namespace() || sites.contains_key(ann) {
@@ -75,12 +91,9 @@ impl SpecializedSpec {
             }
             let nc = alphabet.name_class(ann.name());
             let pre = aut.pre_relevant(nc).then(|| alphabet.pre_letter(nc));
-            let post = aut.post_relevant(nc).then(|| {
-                if static_post {
-                    PostSite::Static(alphabet.post_letter(nc, 0))
-                } else {
-                    PostSite::Dynamic(nc)
-                }
+            let post = aut.post_relevant(nc).then(|| match static_post(nc) {
+                Some(letter) => PostSite::Static(letter),
+                None => PostSite::Dynamic(nc),
             });
             if pre.is_some() || post.is_some() {
                 sites.insert(ann.clone(), Site { pre, post });

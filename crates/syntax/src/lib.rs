@@ -16,7 +16,10 @@
 //! * [`grammar`] — the *syntactic functionals* of §4.1 (`H`, `H̄`, `H̿`):
 //!   a machine-checkable model of how annotation layers extend the grammar;
 //! * [`gen`] *(feature `gen`)* — random well-formed program generation used
-//!   by the soundness property tests (Theorem 7.7).
+//!   by the soundness property tests (Theorem 7.7);
+//! * [`shrink`] — greedy 1-minimal counterexample shrinking for those
+//!   generated programs (the harness is seed-based, so framework
+//!   shrinking never sees the term structure).
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@ pub mod lexer;
 pub mod parser;
 pub mod points;
 pub mod pretty;
+pub mod shrink;
 
 #[cfg(feature = "gen")]
 pub mod gen;

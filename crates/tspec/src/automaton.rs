@@ -31,7 +31,7 @@ use crate::deriv::{
 use crate::SpecError;
 use monsem_core::Value;
 use monsem_syntax::Ident;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Ceiling on DFA states — a safety valve, far above any reasonable spec.
@@ -165,13 +165,7 @@ impl Alphabet {
             unsorted_class,
         };
         if alphabet.width() > MAX_LETTERS {
-            return Err(SpecError {
-                message: format!(
-                    "spec alphabet has {} letters (limit {MAX_LETTERS})",
-                    alphabet.width()
-                ),
-                offset: 0,
-            });
+            return Err(SpecError::alphabet_limit(alphabet.width(), MAX_LETTERS));
         }
         Ok(alphabet)
     }
@@ -220,6 +214,32 @@ impl Alphabet {
                 _ => 0,
             },
         }
+    }
+
+    /// The sorted, deduplicated comparison constants that cut the
+    /// integer line into value regions. Empty when the spec compares no
+    /// values.
+    pub fn consts(&self) -> &[i64] {
+        &self.consts
+    }
+
+    /// The value class of integer region `r`, or `None` when the region
+    /// is empty (and thus never inhabited by a concrete integer). With
+    /// `k = consts().len()`, region `2i+1` is the singleton `{cᵢ}` and
+    /// region `2i` the open interval below `c₀`, between `cᵢ₋₁` and
+    /// `cᵢ`, or above `cₖ₋₁`. Level-3 code generation walks regions in
+    /// order to residualize [`Alphabet::classify_value`] as comparisons.
+    pub fn int_region_class(&self, region: usize) -> Option<usize> {
+        self.region_class
+            .get(region)
+            .copied()
+            .filter(|&c| c != usize::MAX)
+    }
+
+    /// The value class of definitely-unsorted lists, when the spec uses
+    /// the `unsorted` predicate.
+    pub fn unsorted_value_class(&self) -> Option<usize> {
+        self.unsorted_class
     }
 
     /// The `pre` letter for a name class.
@@ -347,20 +367,59 @@ impl Alphabet {
     }
 }
 
+/// Knobs for [`Automaton::compile_with`].
+///
+/// The defaults (used by [`Automaton::compile`]) give the smallest table:
+/// Hopcroft minimization followed by letter-class compression. The flags
+/// exist so tests can compare the optimized automaton against the plain
+/// ACI-deduped derivative DFA, and so the state cap can be pinned at a
+/// boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOptions {
+    /// Ceiling on derivative-closure states (default [`MAX_STATES`]).
+    pub max_states: usize,
+    /// Merge language-equivalent states (Hopcroft partition refinement).
+    pub minimize: bool,
+    /// Merge letters with identical transition columns into classes.
+    pub compress_letters: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> CompileOptions {
+        CompileOptions {
+            max_states: MAX_STATES,
+            minimize: true,
+            compress_letters: true,
+        }
+    }
+}
+
 /// A compiled deterministic automaton over the abstract alphabet.
 ///
 /// This is the spec's **MAlg** and **MFun** in tabular form: states are
-/// normalized derivatives of the spec expression, the transition table is
-/// total, and the dead/nullable analyses drive the monitor adapter's
-/// verdicts.
+/// normalized derivatives of the spec expression — deduplicated *by
+/// language* via Hopcroft minimization, not just by ACI-normal form —
+/// the transition table is total, and the dead/nullable analyses drive
+/// the monitor adapter's verdicts.
+///
+/// The table is **letter-class compressed**: letters whose transition
+/// columns agree everywhere share a class, so storage is
+/// `states × classes` plus a `letter → class` map rather than
+/// `states × letters`.
 #[derive(Debug, Clone)]
 pub struct Automaton {
     alphabet: Alphabet,
     /// The lowered start expression (state 0) — kept for the property
     /// tests' naive-matcher oracle.
     re: Arc<Re>,
+    /// States in the raw derivative closure, before minimization.
+    raw_states: u32,
     nstates: u32,
-    /// Row-major transition table: `table[s * width + letter]`.
+    /// Number of letter equivalence classes.
+    nclasses: u32,
+    /// Letter → class map, `width` entries.
+    letter_class: Vec<u32>,
+    /// Row-major transition table: `table[s * nclasses + letter_class[l]]`.
     table: Vec<u32>,
     nullable: Vec<bool>,
     /// `dead[s]` — no word leads from `s` to a nullable state.
@@ -369,13 +428,273 @@ pub struct Automaton {
     relevant: Vec<bool>,
 }
 
+/// Groups equal columns of a row-major `nstates × nclasses` table whose
+/// letters are pre-mapped through `letter_class`. Returns the refined
+/// `letter → class` map and the compressed table.
+fn compress_columns(
+    nstates: usize,
+    nclasses: usize,
+    table: &[u32],
+    letter_class: &[u32],
+) -> (Vec<u32>, Vec<u32>) {
+    let mut class_of_column: HashMap<Vec<u32>, u32> = HashMap::new();
+    let mut old_to_new: Vec<u32> = vec![u32::MAX; nclasses];
+    let mut columns: Vec<Vec<u32>> = Vec::new();
+    for c in 0..nclasses {
+        let column: Vec<u32> = (0..nstates).map(|s| table[s * nclasses + c]).collect();
+        let next = columns.len() as u32;
+        let id = *class_of_column.entry(column.clone()).or_insert_with(|| {
+            columns.push(column);
+            next
+        });
+        old_to_new[c] = id;
+    }
+    let new_nclasses = columns.len();
+    let mut new_table = vec![0u32; nstates * new_nclasses];
+    for (id, column) in columns.iter().enumerate() {
+        for (s, &t) in column.iter().enumerate() {
+            new_table[s * new_nclasses + id] = t;
+        }
+    }
+    let new_letter_class: Vec<u32> = letter_class
+        .iter()
+        .map(|&c| old_to_new[c as usize])
+        .collect();
+    (new_letter_class, new_table)
+}
+
+/// Hopcroft's partition-refinement minimization over a total DFA given as
+/// an `nstates × nclasses` table. Returns `(block_count, state → block)`
+/// with blocks renumbered so the block containing state 0 is block 0 and
+/// blocks are ordered by their least member (deterministic output).
+fn hopcroft(
+    nstates: usize,
+    nclasses: usize,
+    table: &[u32],
+    accepting: &[bool],
+) -> (usize, Vec<u32>) {
+    // Refinable partition: `elems` is a permutation of the states grouped
+    // by block; each block is the range `start[b] .. start[b] + len[b]`
+    // with marked elements swapped to the front.
+    let mut elems: Vec<u32> = (0..nstates as u32).collect();
+    let mut loc: Vec<u32> = (0..nstates as u32).collect();
+    let mut blk: Vec<u32> = vec![0; nstates];
+    let mut start: Vec<u32> = vec![0];
+    let mut len: Vec<u32> = vec![nstates as u32];
+    let mut marked: Vec<u32> = vec![0];
+    let mut touched: Vec<u32> = Vec::new();
+
+    let mark = |s: u32,
+                elems: &mut [u32],
+                loc: &mut [u32],
+                blk: &[u32],
+                start: &[u32],
+                marked: &mut [u32],
+                touched: &mut Vec<u32>| {
+        let b = blk[s as usize] as usize;
+        let pos = loc[s as usize];
+        let front = start[b] + marked[b];
+        if pos < front {
+            return; // already marked
+        }
+        let other = elems[front as usize];
+        elems[front as usize] = s;
+        elems[pos as usize] = other;
+        loc[s as usize] = front;
+        loc[other as usize] = pos;
+        if marked[b] == 0 {
+            touched.push(b as u32);
+        }
+        marked[b] += 1;
+    };
+
+    // Per-class preimage lists in CSR form: `pre_flat[c]` holds, grouped
+    // by target state via `pre_off[c]`, every source state mapping there.
+    // Total size equals the table itself, so this never dominates.
+    let mut pre_off: Vec<Vec<u32>> = Vec::with_capacity(nclasses);
+    let mut pre_flat: Vec<Vec<u32>> = Vec::with_capacity(nclasses);
+    for c in 0..nclasses {
+        let mut counts = vec![0u32; nstates + 1];
+        for s in 0..nstates {
+            counts[table[s * nclasses + c] as usize + 1] += 1;
+        }
+        for t in 0..nstates {
+            counts[t + 1] += counts[t];
+        }
+        let mut flat = vec![0u32; nstates];
+        let mut cursor = counts.clone();
+        for s in 0..nstates {
+            let t = table[s * nclasses + c] as usize;
+            flat[cursor[t] as usize] = s as u32;
+            cursor[t] += 1;
+        }
+        pre_off.push(counts);
+        pre_flat.push(flat);
+    }
+
+    // Initial partition: split by acceptance.
+    for s in 0..nstates as u32 {
+        if accepting[s as usize] {
+            mark(
+                s,
+                &mut elems,
+                &mut loc,
+                &blk,
+                &start,
+                &mut marked,
+                &mut touched,
+            );
+        }
+    }
+    let split = |elems: &[u32],
+                 blk: &mut [u32],
+                 start: &mut Vec<u32>,
+                 len: &mut Vec<u32>,
+                 marked: &mut Vec<u32>,
+                 touched: &mut Vec<u32>|
+     -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for &b in touched.iter() {
+            let b = b as usize;
+            let m = marked[b];
+            marked[b] = 0;
+            if m == len[b] {
+                continue; // every member marked — no split
+            }
+            // New block = the marked prefix; the old block keeps the rest.
+            let nb = start.len() as u32;
+            start.push(start[b]);
+            len.push(m);
+            marked.push(0);
+            start[b] += m;
+            len[b] -= m;
+            for i in start[nb as usize]..start[nb as usize] + m {
+                blk[elems[i as usize] as usize] = nb;
+            }
+            out.push((b as u32, nb));
+        }
+        touched.clear();
+        out
+    };
+
+    let mut worklist: Vec<(u32, u32)> = Vec::new();
+    let mut in_w: HashSet<(u32, u32)> = HashSet::new();
+    split(
+        &elems,
+        &mut blk,
+        &mut start,
+        &mut len,
+        &mut marked,
+        &mut touched,
+    );
+    // Seed the worklist with every (block, class) pair of the initial
+    // partition — the textbook "smaller half" refinement then keeps the
+    // total work near O(states · classes · log states).
+    for b in 0..start.len() as u32 {
+        for c in 0..nclasses as u32 {
+            worklist.push((b, c));
+            in_w.insert((b, c));
+        }
+    }
+
+    let mut members_buf: Vec<u32> = Vec::new();
+    let mut pre_buf: Vec<u32> = Vec::new();
+    while let Some((a, c)) = worklist.pop() {
+        in_w.remove(&(a, c));
+        if len[a as usize] == 0 {
+            continue;
+        }
+        let a = a as usize;
+        members_buf.clear();
+        members_buf.extend_from_slice(&elems[start[a] as usize..(start[a] + len[a]) as usize]);
+        pre_buf.clear();
+        let off = &pre_off[c as usize];
+        let flat = &pre_flat[c as usize];
+        for &t in &members_buf {
+            pre_buf
+                .extend_from_slice(&flat[off[t as usize] as usize..off[t as usize + 1] as usize]);
+        }
+        for &s in &pre_buf {
+            mark(
+                s,
+                &mut elems,
+                &mut loc,
+                &blk,
+                &start,
+                &mut marked,
+                &mut touched,
+            );
+        }
+        for (old, new) in split(
+            &elems,
+            &mut blk,
+            &mut start,
+            &mut len,
+            &mut marked,
+            &mut touched,
+        ) {
+            for d in 0..nclasses as u32 {
+                if in_w.contains(&(old, d)) {
+                    worklist.push((new, d));
+                    in_w.insert((new, d));
+                } else {
+                    let pick = if len[old as usize] <= len[new as usize] {
+                        old
+                    } else {
+                        new
+                    };
+                    worklist.push((pick, d));
+                    in_w.insert((pick, d));
+                }
+            }
+        }
+    }
+
+    // Renumber blocks by least member so state 0's block becomes 0 and
+    // the numbering is independent of refinement order.
+    let nblocks = start.len();
+    let mut least = vec![u32::MAX; nblocks];
+    for s in 0..nstates as u32 {
+        let b = blk[s as usize] as usize;
+        if s < least[b] {
+            least[b] = s;
+        }
+    }
+    let mut order: Vec<u32> = (0..nblocks as u32).collect();
+    order.sort_by_key(|&b| least[b as usize]);
+    let mut renumber = vec![0u32; nblocks];
+    for (new, &old) in order.iter().enumerate() {
+        renumber[old as usize] = new as u32;
+    }
+    let block_of: Vec<u32> = blk.iter().map(|&b| renumber[b as usize]).collect();
+    (nblocks, block_of)
+}
+
 impl Automaton {
-    /// Compiles a parsed spec to a DFA.
+    /// Compiles a parsed spec to a minimized, letter-compressed DFA.
     ///
     /// # Errors
     ///
     /// If the alphabet or state space exceeds the (generous) safety caps.
     pub fn compile(spec: &SpecExpr) -> Result<Automaton, SpecError> {
+        Automaton::compile_with(spec, CompileOptions::default())
+    }
+
+    /// Compiles with explicit [`CompileOptions`].
+    ///
+    /// The pipeline is: Brzozowski derivative closure (ACI-deduped), then
+    /// letter-column grouping, then Hopcroft minimization over the grouped
+    /// table, then a second column grouping (minimization can merge more
+    /// columns), then dead-state reverse reachability and letter-relevance
+    /// recomputed **on the minimized automaton** — so earliest-violation
+    /// semantics survive minimization exactly (dead states are absorbing
+    /// and all merge into one sink).
+    ///
+    /// # Errors
+    ///
+    /// If the alphabet exceeds [`MAX_LETTERS`] or the derivative closure
+    /// exceeds `opts.max_states`.
+    pub fn compile_with(spec: &SpecExpr, opts: CompileOptions) -> Result<Automaton, SpecError> {
         let alphabet = Alphabet::build(spec)?;
         let start = alphabet.lower(spec);
         let width = alphabet.width() as usize;
@@ -384,7 +703,7 @@ impl Automaton {
         // expression to its state number; the worklist explores letters.
         let mut cache: HashMap<Arc<Re>, u32> = HashMap::new();
         let mut states: Vec<Arc<Re>> = Vec::new();
-        let mut table: Vec<u32> = Vec::new();
+        let mut raw_table: Vec<u32> = Vec::new();
         cache.insert(start.clone(), 0);
         states.push(start.clone());
         let mut next_unexplored = 0usize;
@@ -397,36 +716,84 @@ impl Automaton {
                     Some(&id) => id,
                     None => {
                         let id = states.len() as u32;
-                        if states.len() >= MAX_STATES {
-                            return Err(SpecError {
-                                message: format!(
-                                    "spec automaton exceeds {MAX_STATES} states; simplify the spec"
-                                ),
-                                offset: 0,
-                            });
+                        if states.len() >= opts.max_states {
+                            return Err(SpecError::state_limit(states.len(), opts.max_states));
                         }
                         cache.insert(d.clone(), id);
                         states.push(d);
                         id
                     }
                 };
-                table.push(id);
+                raw_table.push(id);
             }
         }
 
-        let nstates = states.len() as u32;
-        let nullable: Vec<bool> = states.iter().map(|s| nullable(s)).collect();
+        let raw_states = states.len();
+        let raw_nullable: Vec<bool> = states.iter().map(|s| nullable(s)).collect();
 
-        // Dead-state analysis: reverse reachability from nullable states.
+        // Letter-class compression, pass 1 — before minimization, so the
+        // Hopcroft preimage structures scale with classes, not letters.
+        let identity: Vec<u32> = (0..width as u32).collect();
+        let (mut letter_class, mut table) =
+            compress_columns(raw_states, width, &raw_table, &identity);
+        let mut nclasses = (table.len() / raw_states.max(1)).max(1);
+        let mut nstates = raw_states;
+        let mut nullable = raw_nullable.clone();
+
+        if opts.minimize {
+            let (nblocks, block_of) = hopcroft(nstates, nclasses, &table, &nullable);
+            if nblocks < nstates {
+                // Representative rows: blocks agree on every transition's
+                // *target block*, so any member works.
+                let mut min_table = vec![0u32; nblocks * nclasses];
+                let mut min_nullable = vec![false; nblocks];
+                let mut seen = vec![false; nblocks];
+                for s in 0..nstates {
+                    let b = block_of[s] as usize;
+                    if seen[b] {
+                        continue;
+                    }
+                    seen[b] = true;
+                    min_nullable[b] = nullable[s];
+                    for c in 0..nclasses {
+                        min_table[b * nclasses + c] = block_of[table[s * nclasses + c] as usize];
+                    }
+                }
+                nstates = nblocks;
+                table = min_table;
+                nullable = min_nullable;
+                // Pass 2: merged states can make more columns coincide.
+                let (lc, t) = compress_columns(nstates, nclasses, &table, &letter_class);
+                nclasses = t.len() / nstates;
+                letter_class = lc;
+                table = t;
+            }
+        }
+
+        if !opts.compress_letters {
+            // Expand back to one column per letter (tests compare sizes).
+            let mut full = vec![0u32; nstates * width];
+            for s in 0..nstates {
+                for (l, &c) in letter_class.iter().enumerate() {
+                    full[s * width + l] = table[s * nclasses + c as usize];
+                }
+            }
+            table = full;
+            letter_class = (0..width as u32).collect();
+            nclasses = width;
+        }
+
+        // Dead-state analysis on the final automaton: reverse
+        // reachability from nullable states.
         let mut alive = nullable.clone();
         let mut changed = true;
         while changed {
             changed = false;
-            for s in 0..nstates as usize {
+            for s in 0..nstates {
                 if alive[s] {
                     continue;
                 }
-                if table[s * width..(s + 1) * width]
+                if table[s * nclasses..(s + 1) * nclasses]
                     .iter()
                     .any(|&t| alive[t as usize])
                 {
@@ -438,13 +805,19 @@ impl Automaton {
         let dead: Vec<bool> = alive.iter().map(|a| !a).collect();
 
         let relevant: Vec<bool> = (0..width)
-            .map(|l| (0..nstates as usize).any(|s| table[s * width + l] != s as u32))
+            .map(|l| {
+                let c = letter_class[l] as usize;
+                (0..nstates).any(|s| table[s * nclasses + c] != s as u32)
+            })
             .collect();
 
         Ok(Automaton {
             alphabet,
             re: start,
-            nstates,
+            raw_states: raw_states as u32,
+            nstates: nstates as u32,
+            nclasses: nclasses as u32,
+            letter_class,
             table,
             nullable,
             dead,
@@ -462,9 +835,30 @@ impl Automaton {
         &self.re
     }
 
-    /// Number of DFA states.
+    /// Number of DFA states (after minimization).
     pub fn num_states(&self) -> u32 {
         self.nstates
+    }
+
+    /// Number of states in the raw derivative closure, before Hopcroft
+    /// minimization merged language-equivalent ones.
+    pub fn raw_states(&self) -> u32 {
+        self.raw_states
+    }
+
+    /// Number of letter equivalence classes (table columns).
+    pub fn num_letter_classes(&self) -> u32 {
+        self.nclasses
+    }
+
+    /// The equivalence class of a letter.
+    pub fn letter_class(&self, letter: u32) -> u32 {
+        self.letter_class[letter as usize]
+    }
+
+    /// Total transition-table cells: `states × classes`.
+    pub fn table_cells(&self) -> usize {
+        self.table.len()
     }
 
     /// The start state.
@@ -474,7 +868,14 @@ impl Automaton {
 
     /// One transition.
     pub fn step(&self, state: u32, letter: u32) -> u32 {
-        self.table[state as usize * self.alphabet.width() as usize + letter as usize]
+        let c = self.letter_class[letter as usize] as usize;
+        self.table[state as usize * self.nclasses as usize + c]
+    }
+
+    /// One transition addressed by letter *class* (level-3 codegen steps
+    /// the table by class, not by letter).
+    pub fn step_class(&self, state: u32, class: u32) -> u32 {
+        self.table[state as usize * self.nclasses as usize + class as usize]
     }
 
     /// Whether `state` accepts the empty continuation.
@@ -626,5 +1027,144 @@ mod tests {
                    any{200} ; any{200}";
         let err = Automaton::compile(&parse_spec(src).unwrap()).unwrap_err();
         assert!(err.message.contains("states"));
+        assert!(matches!(
+            err.kind,
+            crate::SpecErrorKind::StateLimit {
+                limit: MAX_STATES,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn state_cap_boundary_is_exact() {
+        // A closure that needs exactly `n` states compiles at cap `n` and
+        // reports a structured StateLimit at cap `n − 1` — no panic.
+        let ast = parse_spec("any{3}").unwrap();
+        let n = Automaton::compile(&ast).unwrap().raw_states() as usize;
+        assert!(n > 2, "repeat spec should need several derivative states");
+        let at_cap = Automaton::compile_with(
+            &ast,
+            CompileOptions {
+                max_states: n,
+                ..CompileOptions::default()
+            },
+        );
+        assert!(at_cap.is_ok());
+        let err = Automaton::compile_with(
+            &ast,
+            CompileOptions {
+                max_states: n - 1,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err.kind,
+            crate::SpecErrorKind::StateLimit {
+                states: n - 1,
+                limit: n - 1
+            }
+        );
+    }
+
+    /// Compiles with every optimization off: the raw ACI-deduped
+    /// derivative DFA with one column per letter.
+    fn compile_raw(src: &str) -> Automaton {
+        Automaton::compile_with(
+            &parse_spec(src).unwrap(),
+            CompileOptions {
+                minimize: false,
+                compress_letters: false,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    const SPECS: &[&str] = &[
+        "always(post(fac) => value >= 1)",
+        "eventually(post(f))",
+        "never(post(_) and value < 0)",
+        "respond(pre(req), post(ack), 3)",
+        "(at(a) ; at(b))* & !(any{5})",
+        "always(post(sort) => not unsorted)",
+        "at(a)? ; at(b){2} ; eventually(done)",
+    ];
+
+    #[test]
+    fn minimized_tables_never_larger_and_agree_on_words() {
+        for src in SPECS {
+            let opt = compile(src);
+            let raw = compile_raw(src);
+            assert!(
+                opt.num_states() <= raw.num_states(),
+                "{src}: {} > {} states",
+                opt.num_states(),
+                raw.num_states()
+            );
+            assert!(
+                opt.table_cells() <= raw.table_cells(),
+                "{src}: {} > {} cells",
+                opt.table_cells(),
+                raw.table_cells()
+            );
+            assert_eq!(opt.raw_states(), raw.num_states(), "{src}");
+            // Exhaustive short words: acceptance, deadness of the reached
+            // state, and observation gating all agree letter-for-letter.
+            let width = opt.alphabet().width();
+            assert_eq!(width, raw.alphabet().width());
+            let mut words: Vec<Vec<u32>> = vec![vec![]];
+            for _ in 0..3 {
+                let mut next = Vec::new();
+                for w in &words {
+                    for l in 0..width {
+                        let mut w2 = w.clone();
+                        w2.push(l);
+                        next.push(w2);
+                    }
+                }
+                words.extend(next);
+                if words.len() > 6000 {
+                    break;
+                }
+            }
+            for w in &words {
+                assert_eq!(opt.accepts_word(w), raw.accepts_word(w), "{src} {w:?}");
+                let (mut so, mut sr) = (opt.start(), raw.start());
+                for &l in w {
+                    so = opt.step(so, l);
+                    sr = raw.step(sr, l);
+                }
+                assert_eq!(opt.is_dead(so), raw.is_dead(sr), "{src} {w:?}");
+                assert_eq!(opt.is_nullable(so), raw.is_nullable(sr), "{src} {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn letter_classes_partition_the_alphabet() {
+        for src in SPECS {
+            let aut = compile(src);
+            let width = aut.alphabet().width();
+            assert!(aut.num_letter_classes() <= width);
+            for l in 0..width {
+                assert!(aut.letter_class(l) < aut.num_letter_classes());
+                // Stepping by letter and by its class agree by definition.
+                for s in 0..aut.num_states() {
+                    assert_eq!(aut.step(s, l), aut.step_class(s, aut.letter_class(l)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimization_merges_language_equivalent_derivatives() {
+        // `at(a){2} | at(a);at(a)` denotes one language; ACI normal form
+        // alone keeps the two branches distinct mid-parse, but the
+        // minimized DFA must be as small as the DFA of either branch.
+        let merged = compile("(at(a) ; at(a)) | at(a){2}");
+        let single = compile("at(a){2}");
+        assert_eq!(merged.num_states(), single.num_states());
     }
 }

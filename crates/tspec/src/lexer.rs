@@ -185,9 +185,8 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, SpecError> {
                     i += 1;
                 }
                 let text = &src[start..i];
-                let n: i64 = text.parse().map_err(|_| SpecError {
-                    message: format!("integer literal `{text}` out of range"),
-                    offset: start,
+                let n: i64 = text.parse().map_err(|_| {
+                    SpecError::syntax(format!("integer literal `{text}` out of range"), start)
                 })?;
                 Tok::Int(n)
             }
@@ -205,10 +204,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, SpecError> {
                 Tok::Ident(src[start..i].to_string())
             }
             other => {
-                return Err(SpecError {
-                    message: format!("unexpected character `{other}`"),
-                    offset: start,
-                })
+                return Err(SpecError::syntax(
+                    format!("unexpected character `{other}`"),
+                    start,
+                ))
             }
         };
         toks.push(Spanned { tok, offset: start });

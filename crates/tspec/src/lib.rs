@@ -68,9 +68,36 @@ use std::fmt;
 use std::sync::Arc;
 
 pub use ast::{Atom, CmpOp, NamePat, Pred, SpecExpr};
-pub use automaton::{Alphabet, Automaton, Phase, MAX_LETTERS, MAX_STATES};
+pub use automaton::{Alphabet, Automaton, CompileOptions, Phase, MAX_LETTERS, MAX_STATES};
 pub use monitor::{SpecMonitor, SpecState};
 pub use parser::parse_spec;
+
+/// What category of failure a [`SpecError`] reports.
+///
+/// Resource-limit overflows are structured (they carry the observed size
+/// and the cap that was exceeded) so callers can react programmatically —
+/// e.g. retry with a larger [`CompileOptions::max_states`] — instead of
+/// string-matching the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecErrorKind {
+    /// A lexical or syntactic error in the spec source.
+    Syntax,
+    /// The derivative closure needed more DFA states than the cap allows.
+    StateLimit {
+        /// How many states had been created when the cap was hit.
+        states: usize,
+        /// The cap in force ([`MAX_STATES`] unless overridden).
+        limit: usize,
+    },
+    /// The abstract alphabet exceeded the letter cap.
+    AlphabetLimit {
+        /// The alphabet width the spec would need.
+        letters: u32,
+        /// The cap in force ([`MAX_LETTERS`]).
+        limit: u32,
+    },
+}
 
 /// An error produced while lexing, parsing, or compiling a specification.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,6 +108,39 @@ pub struct SpecError {
     /// compilation errors (which have no single source location) this is
     /// the start of the spec.
     pub offset: usize,
+    /// Structured classification of the failure.
+    pub kind: SpecErrorKind,
+}
+
+impl SpecError {
+    /// A lexical/syntactic error at a byte offset.
+    pub fn syntax(message: impl Into<String>, offset: usize) -> SpecError {
+        SpecError {
+            message: message.into(),
+            offset,
+            kind: SpecErrorKind::Syntax,
+        }
+    }
+
+    /// A state-cap overflow during DFA compilation.
+    pub fn state_limit(states: usize, limit: usize) -> SpecError {
+        SpecError {
+            message: format!(
+                "spec automaton exceeds {limit} states (reached {states}); simplify the spec"
+            ),
+            offset: 0,
+            kind: SpecErrorKind::StateLimit { states, limit },
+        }
+    }
+
+    /// A letter-cap overflow while building the abstract alphabet.
+    pub fn alphabet_limit(letters: u32, limit: u32) -> SpecError {
+        SpecError {
+            message: format!("spec alphabet has {letters} letters (limit {limit})"),
+            offset: 0,
+            kind: SpecErrorKind::AlphabetLimit { letters, limit },
+        }
+    }
 }
 
 impl fmt::Display for SpecError {

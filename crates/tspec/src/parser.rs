@@ -102,17 +102,11 @@ impl Parser {
 
     fn err_here(&self, message: &str) -> SpecError {
         let offset = self.peek().map(|s| s.offset).unwrap_or(self.end);
-        SpecError {
-            message: message.to_string(),
-            offset,
-        }
+        SpecError::syntax(message, offset)
     }
 
     fn err_at(&self, offset: usize, message: &str) -> SpecError {
-        SpecError {
-            message: message.to_string(),
-            offset,
-        }
+        SpecError::syntax(message, offset)
     }
 
     // ---- trace expressions ------------------------------------------------

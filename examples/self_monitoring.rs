@@ -1,0 +1,63 @@
+//! Level 3 of the §9.1 trajectory: the temporal spec disappears into the
+//! program. [`instrument_spec`] compiles a spec's minimized DFA directly
+//! into the source text — the residual is a plain `L_λ` program that
+//! threads the automaton state as an integer and needs **no monitor at
+//! run time**. The standard interpreter runs it; [`spec_verdict`] decodes
+//! the final state.
+//!
+//! ```text
+//! cargo run --example self_monitoring
+//! ```
+
+use monitoring_semantics::core::machine::eval;
+use monitoring_semantics::core::Value;
+use monitoring_semantics::pe::{instrument_spec, spec_verdict};
+use monitoring_semantics::syntax::parse_expr;
+use monitoring_semantics::tspec::SpecMonitor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A countdown whose every `tick` result must stay non-negative.
+    let program = parse_expr(
+        "letrec count = lambda x. {tick}:(if x = 0 then 0 else count (x - 1)) in count 5",
+    )?;
+    let spec = SpecMonitor::new("non-negative", "always(post(tick) => value >= 0)")?;
+
+    // The residual program: spec inlined, monitor gone. It computes
+    // `answer : final-DFA-state`.
+    let residual = instrument_spec(&program, &spec);
+    println!("residual program (spec compiled into the source):\n");
+    println!("{residual}\n");
+
+    // Run it on the *standard* interpreter — no monitor object exists.
+    let (answer, state) = split_pair(eval(&residual)?);
+    println!("answer = {answer}, final DFA state = {state}");
+    spec_verdict(spec.automaton(), state).expect("the countdown satisfies the spec");
+    println!("verdict: accepted\n");
+
+    // A buggy variant drives the DFA into a dead state; dead states are
+    // absorbing, so the verdict survives to the end of the run.
+    let buggy = parse_expr(
+        "letrec count = lambda x. {tick}:(if x = 0 then 0 - 1 else count (x - 1)) in count 5",
+    )?;
+    let residual = instrument_spec(&buggy, &spec);
+    let (answer, state) = split_pair(eval(&residual)?);
+    println!("buggy answer = {answer} (unchanged, Theorem 7.7)");
+    match spec_verdict(spec.automaton(), state) {
+        Err(reason) => println!("verdict: {reason}"),
+        Ok(()) => panic!("the buggy countdown must violate the spec"),
+    }
+
+    Ok(())
+}
+
+fn split_pair(v: Value) -> (Value, u32) {
+    match v {
+        Value::Pair(answer, state) => {
+            let Value::Int(s) = *state else {
+                panic!("DFA state must be an integer, got {state}");
+            };
+            ((*answer).clone(), u32::try_from(s).expect("state fits u32"))
+        }
+        other => panic!("self-monitoring programs return a pair, got {other}"),
+    }
+}

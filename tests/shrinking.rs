@@ -1,0 +1,137 @@
+//! Counterexample shrinking for generated programs that abort monitors.
+//!
+//! The property harness is seed-based: a failing case reproduces a whole
+//! generated program, not a minimal one. [`shrink`] closes that gap with
+//! greedy 1-minimal reduction under the predicate "the enforcing run
+//! still aborts naming this monitor". These tests pin down the contract
+//! end-to-end: the shrunk program still aborts, never grew, never leaks
+//! free variables, and admits no further single rewrite that keeps the
+//! abort — so counterexamples are minimal expressions, not programs.
+
+use monitoring_semantics::core::machine::EvalOptions;
+use monitoring_semantics::core::{Env, EvalError, Value};
+use monitoring_semantics::monitor::machine::eval_monitored_with;
+use monitoring_semantics::monitor::Monitor;
+use monitoring_semantics::syntax::gen::{gen_program, sprinkle_annotations, GenConfig};
+use monitoring_semantics::syntax::shrink::{free_vars, shrink, shrink_steps};
+use monitoring_semantics::syntax::{parse_expr, Expr, Namespace};
+use monitoring_semantics::tspec::SpecMonitor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FUEL: u64 = 100_000;
+
+fn annotated_program(seed: u64, density: u16) -> Expr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let plain = gen_program(&mut rng, &GenConfig::default());
+    sprinkle_annotations(
+        &mut rng,
+        &plain,
+        &Namespace::new("ns"),
+        f64::from(density) / 1000.0,
+    )
+}
+
+fn neg_spec() -> SpecMonitor {
+    SpecMonitor::new("no-negatives", "never(post(_) and value < 0)")
+        .unwrap()
+        .in_namespace(Namespace::new("ns"))
+        .enforcing()
+}
+
+/// The shrinking predicate: the enforcing spec vetoes this program,
+/// naming itself. Fuel exhaustion or ordinary program errors do not
+/// count — a minimal counterexample must still *abort*.
+fn aborts(program: &Expr) -> bool {
+    let m = neg_spec();
+    matches!(
+        eval_monitored_with(
+            program,
+            &Env::empty(),
+            &m,
+            m.initial_state(),
+            &EvalOptions::with_fuel(FUEL),
+        ),
+        Err(EvalError::MonitorAbort { monitor, .. }) if monitor == "no-negatives"
+    )
+}
+
+#[test]
+fn shrunk_counterexamples_are_one_minimal_and_still_abort() {
+    let mut cases = 0u32;
+    for seed in 0..400u64 {
+        let original = annotated_program(seed, 600);
+        if !aborts(&original) {
+            continue;
+        }
+        cases += 1;
+        let small = shrink(&original, aborts);
+
+        assert!(
+            aborts(&small),
+            "seed {seed}: shrunk program stopped aborting"
+        );
+        assert!(
+            small.size() <= original.size(),
+            "seed {seed}: shrinking grew the program"
+        );
+        assert!(
+            !small.annotations().is_empty(),
+            "seed {seed}: an abort needs at least one observed event"
+        );
+        let allowed = free_vars(&original);
+        assert!(
+            free_vars(&small).is_subset(&allowed),
+            "seed {seed}: shrinking introduced free variables"
+        );
+        // 1-minimality: no single further rewrite (that stays closed
+        // under the original's free variables) keeps the abort.
+        for cand in shrink_steps(&small) {
+            if free_vars(&cand).is_subset(&allowed) {
+                assert!(
+                    !aborts(&cand),
+                    "seed {seed}: not 1-minimal, {cand} still aborts"
+                );
+            }
+        }
+        if cases == 3 {
+            break;
+        }
+    }
+    assert!(
+        cases >= 1,
+        "no aborting generated program found in 400 seeds"
+    );
+}
+
+#[test]
+fn pinned_shrink_reaches_the_known_minimum() {
+    // The violating event is `post p = -1`; everything else — the other
+    // annotation, the addition, the positive magnitude of the constants —
+    // is noise the shrinker must strip.
+    let original = parse_expr("{ns/p}:(1 - 2) + {ns/q}:3").unwrap();
+    assert!(aborts(&original));
+    let small = shrink(&original, aborts);
+    assert_eq!(small, parse_expr("{ns/p}:(0 - 2)").unwrap(), "got {small}");
+    for cand in shrink_steps(&small) {
+        assert!(!aborts(&cand), "{cand} still aborts");
+    }
+}
+
+#[test]
+fn shrinking_a_non_counterexample_is_the_identity() {
+    let benign = parse_expr("{ns/p}:1 + {ns/q}:2").unwrap();
+    assert!(!aborts(&benign));
+    assert_eq!(shrink(&benign, aborts), benign);
+    // Sanity: the benign program actually runs to its answer.
+    let m = neg_spec();
+    let (v, _) = eval_monitored_with(
+        &benign,
+        &Env::empty(),
+        &m,
+        m.initial_state(),
+        &EvalOptions::with_fuel(FUEL),
+    )
+    .unwrap();
+    assert_eq!(v, Value::Int(3));
+}

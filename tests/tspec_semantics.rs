@@ -16,16 +16,16 @@
 //!    observing run records a violation, and the pe-specialized monitor
 //!    evolves states identically to the interpreted one.
 
-use monitoring_semantics::core::machine::EvalOptions;
+use monitoring_semantics::core::machine::{eval_with, EvalOptions};
 use monitoring_semantics::core::{Env, EvalError, Value};
 use monitoring_semantics::monitor::machine::eval_monitored_with;
 use monitoring_semantics::monitor::soundness::{check_soundness, SoundnessOutcome};
 use monitoring_semantics::monitor::Monitor;
 use monitoring_semantics::monitors::PredicateDemon;
-use monitoring_semantics::pe::SpecializedSpec;
+use monitoring_semantics::pe::{instrument_spec, spec_verdict, SpecializedSpec};
 use monitoring_semantics::syntax::gen::{gen_program, sprinkle_annotations, GenConfig};
 use monitoring_semantics::syntax::{Expr, Namespace};
-use monitoring_semantics::tspec::{Automaton, SpecMonitor};
+use monitoring_semantics::tspec::{Automaton, CompileOptions, SpecMonitor};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -81,6 +81,50 @@ fn dfa_agrees_with_the_naive_matcher_on_random_words() {
         }
     }
     assert!(checked >= 1000, "need at least 1000 words, got {checked}");
+}
+
+/// Compiles `src` twice: once with the full optimization pipeline
+/// (Hopcroft minimization + letter-class compression, the default), once
+/// with both passes disabled — the raw ACI-deduped derivative automaton.
+fn compile_pair(src: &str) -> (Automaton, Automaton) {
+    let spec = monitoring_semantics::tspec::parse_spec(src).unwrap();
+    let opt = Automaton::compile(&spec).unwrap();
+    let raw = Automaton::compile_with(
+        &spec,
+        CompileOptions {
+            minimize: false,
+            compress_letters: false,
+            ..CompileOptions::default()
+        },
+    )
+    .unwrap();
+    (opt, raw)
+}
+
+/// The ISSUE acceptance bound: the minimized, letter-compressed table is
+/// never larger than the ACI-deduped one — in states or in cells.
+#[test]
+fn minimized_letter_compressed_tables_are_never_larger() {
+    for src in WORD_SPECS {
+        let (opt, raw) = compile_pair(src);
+        assert!(
+            opt.num_states() <= raw.num_states(),
+            "spec {src:?}: {} minimized states > {} raw",
+            opt.num_states(),
+            raw.num_states()
+        );
+        assert!(
+            opt.table_cells() <= raw.table_cells(),
+            "spec {src:?}: {} minimized cells > {} raw",
+            opt.table_cells(),
+            raw.table_cells()
+        );
+        assert_eq!(
+            opt.raw_states(),
+            raw.num_states(),
+            "spec {src:?}: both compilations explore the same derivative closure"
+        );
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -206,6 +250,90 @@ proptest! {
             }
             (Err(a), Err(b)) => prop_assert_eq!(a, b),
             (a, b) => prop_assert!(false, "runs diverge: {:?} vs {:?}", a, b),
+        }
+    }
+
+    /// Minimization is invisible: the Hopcroft-minimized,
+    /// letter-compressed DFA is language-equivalent to the raw derivative
+    /// automaton — acceptance, deadness, and nullability agree at every
+    /// prefix of every random event word, for every connective.
+    #[test]
+    fn minimized_dfa_is_language_equivalent_on_random_words(seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for src in WORD_SPECS {
+            let (opt, raw) = compile_pair(src);
+            let width = opt.alphabet().width();
+            for _ in 0..6 {
+                let len = rng.gen_range(0..=12);
+                let word: Vec<u32> = (0..len).map(|_| rng.gen_range(0..width)).collect();
+                prop_assert_eq!(
+                    opt.accepts_word(&word),
+                    raw.accepts_word(&word),
+                    "spec {:?} disagrees on word {:?}", src, word
+                );
+                let (mut a, mut b) = (opt.start(), raw.start());
+                for &l in &word {
+                    a = opt.step(a, l);
+                    b = raw.step(b, l);
+                    prop_assert_eq!(opt.is_dead(a), raw.is_dead(b), "deadness, spec {:?}", src);
+                    prop_assert_eq!(
+                        opt.is_nullable(a),
+                        raw.is_nullable(b),
+                        "nullability, spec {:?}", src
+                    );
+                }
+            }
+        }
+    }
+
+    /// Level 3 (§9.1): `instrument_spec` compiles the spec's DFA *into*
+    /// the program. The residual program — run on the plain, unmonitored
+    /// machine — returns `(answer, final state)` with the answer and DFA
+    /// state identical to the interpreted [`SpecMonitor`] run, and
+    /// [`spec_verdict`] decodes the verdict from the bare state integer.
+    #[test]
+    fn level3_self_monitoring_program_matches_the_interpreted_monitor(
+        seed: u64,
+        density in 100u16..=1000,
+    ) {
+        let program = annotated_program(seed, density);
+        let m = neg_spec();
+        let instrumented = instrument_spec(&program, &m);
+        // State threading inflates step counts, so the residual program
+        // gets proportionally more fuel than the interpreted run.
+        let residual_opts = EvalOptions::with_fuel(FUEL * 50);
+        match run(&program, &m) {
+            Err(EvalError::FuelExhausted) => {} // no verdict at this budget
+            Ok((v, s)) => match eval_with(&instrumented, &Env::empty(), &residual_opts) {
+                Err(EvalError::FuelExhausted) => {} // headroom insufficient (rare)
+                Ok(Value::Pair(rv, rs)) => {
+                    prop_assert_eq!(&*rv, &v, "level-3 answer diverged");
+                    prop_assert_eq!(&*rs, &Value::Int(i64::from(s.state)), "level-3 state diverged");
+                    let aut = m.automaton();
+                    prop_assert_eq!(aut.is_dead(s.state), s.violation.is_some());
+                    prop_assert_eq!(
+                        spec_verdict(aut, s.state).is_err(),
+                        m.finish(&s).is_err(),
+                        "verdict decoded from the bare state must match finish()"
+                    );
+                }
+                Ok(other) => prop_assert!(
+                    false,
+                    "residual program must return (answer, state), got {}", other
+                ),
+                Err(e) => prop_assert!(
+                    false,
+                    "residual program failed where the interpreted run succeeded: {:?}", e
+                ),
+            },
+            Err(e) => match eval_with(&instrumented, &Env::empty(), &residual_opts) {
+                Err(EvalError::FuelExhausted) => {}
+                Err(e2) => prop_assert_eq!(e, e2, "program errors must reproduce at level 3"),
+                Ok(v) => prop_assert!(
+                    false,
+                    "residual program out-succeeded the source program: {}", v
+                ),
+            },
         }
     }
 }
