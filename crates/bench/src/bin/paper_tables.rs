@@ -3,15 +3,17 @@
 //!
 //! ```text
 //! cargo run --release -p monsem-bench --bin paper_tables -- \
-//!     [--table all|examples|spec-levels|fig11|futamura|tspec|tspec_levels|parallel] [--json <dir>]
+//!     [--table all|examples|spec-levels|fig11|futamura|tspec|tspec_levels|tiered|parallel] [--json <dir>]
 //! ```
 //!
 //! With `--json <dir>`, the timed tables additionally write
 //! machine-readable snapshots — `BENCH_spec_levels.json` (E6),
 //! `BENCH_fig11.json` (E7), `BENCH_tspec.json` (tspec overhead),
 //! `BENCH_tspec_levels.json` (the three §9.1 levels for one temporal
-//! spec) and `BENCH_parallel.json` (fork-join speedups) — into `<dir>`, so the
-//! performance trajectory can be tracked across revisions.
+//! spec), `BENCH_tiered.json` (profile-guided tiering vs the fixed
+//! levels) and `BENCH_parallel.json` (fork-join speedups) — into
+//! `<dir>`, so the performance trajectory can be tracked across
+//! revisions.
 //!
 //! Absolute times are machine-dependent; the *shape* (who wins, by what
 //! factor, linearity in monitoring activity) is what reproduces the paper.
@@ -60,6 +62,7 @@ fn main() {
         "futamura" => futamura(),
         "tspec" => tspec_overhead(json),
         "tspec_levels" | "tspec-levels" => tspec_levels(json),
+        "tiered" => tiered(json),
         "parallel" => parallel(json),
         "all" => {
             examples();
@@ -68,11 +71,12 @@ fn main() {
             futamura();
             tspec_overhead(json);
             tspec_levels(json);
+            tiered(json);
             parallel(json);
         }
         other => {
             eprintln!(
-                "unknown table `{other}`; try examples, spec-levels, fig11, futamura, tspec, tspec_levels, parallel, all"
+                "unknown table `{other}`; try examples, spec-levels, fig11, futamura, tspec, tspec_levels, tiered, parallel, all"
             );
             std::process::exit(2);
         }
@@ -581,6 +585,153 @@ fn tspec_levels(json: Option<&Path>) {
             points.join(",\n"),
         );
         write_json(dir, "BENCH_tspec_levels.json", body);
+    }
+}
+
+/// Tiered execution table (BENCH_tiered): the profile-guided
+/// `TieredSession` against the three fixed §9.1 levels on the hot-loop
+/// `labelled_countdown` workload. The steady state — once the profile
+/// has promoted the loop to a compiled residual — should sit between
+/// level 2 and level 3: at most level-2 cost everywhere (the residual
+/// *is* compiled), within a small factor of level 3 (the per-run guard
+/// and bookkeeping are constant). Correctness (answer and final DFA
+/// state vs level 1) is asserted before anything is timed, as is
+/// laziness: a cold session compiles nothing.
+fn tiered(json: Option<&Path>) {
+    use monsem_monitor::TierPolicy;
+    use monsem_pe::{instrument_spec, SpecializedSpec, TierOutcome, TieredSession};
+    use monsem_tspec::SpecMonitor;
+    header(
+        "Tiered execution: profile-guided promotion vs the fixed levels, labelled_countdown(n)\n\
+         expectation: steady-state tiered ≤ level 2 everywhere and within ~1.25× of\n\
+         level 3 — the residual is the level-3 translation behind a constant-cost guard",
+    );
+    const SPEC: &str = "always(post(B) => value >= 0)";
+    let opts = EvalOptions::default();
+    let monitor = SpecMonitor::new("safety", SPEC).unwrap();
+
+    // Laziness, asserted once up front: a session whose sites stay cold
+    // never invokes the translation.
+    let cold_runs = 4u64;
+    let mut cold = TieredSession::new(&labelled_countdown(4), monitor.clone())
+        .expect("cold program compiles")
+        .policy(TierPolicy::default().hot_threshold(1_000_000));
+    for _ in 0..cold_runs {
+        cold.run().expect("cold run evaluates");
+    }
+    assert_eq!(
+        cold.stats().residuals_compiled,
+        0,
+        "cold sites must not compile"
+    );
+    println!("laziness: {cold_runs} cold runs compiled 0 residuals\n");
+
+    let mut points: Vec<String> = Vec::new();
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "n", "level1", "level2", "level3", "tiered", "t/l2", "t/l3"
+    );
+    for n in [500i64, 1000, 2000, 4000] {
+        let program = labelled_countdown(n);
+        let specialized = SpecializedSpec::new(&program, monitor.clone());
+        let compiled_mon = compile_monitored(&program, &specialized).expect("compiles");
+        let compiled_res = compile(&instrument_spec(&program, &monitor)).expect("compiles");
+
+        let mut session = TieredSession::new(&program, monitor.clone())
+            .expect("workload compiles")
+            .policy(TierPolicy::default().hot_threshold(64));
+
+        // Correctness outside the timed region: the first (profiled)
+        // run promotes; steady-state runs are residual-served and agree
+        // with level 1 on the answer and the final DFA state.
+        let (answer, s1) = eval_monitored_with(
+            &program,
+            &Env::empty(),
+            &monitor,
+            monitor.initial_state(),
+            &opts,
+        )
+        .expect("level 1 evaluates");
+        let first = session.run().expect("profiled run evaluates");
+        assert_eq!(first.value, answer);
+        assert_eq!(first.state, s1.state);
+        assert_eq!(session.stats().promotions, 1, "the loop must be hot");
+        let steady = session.run().expect("residual run evaluates");
+        assert_eq!(steady.outcome, TierOutcome::Residual);
+        assert_eq!(steady.value, answer);
+        assert_eq!(steady.state, s1.state);
+
+        let t_level1 = measure_min(
+            || {
+                eval_monitored_with(
+                    &program,
+                    &Env::empty(),
+                    &monitor,
+                    monitor.initial_state(),
+                    &opts,
+                )
+                .unwrap();
+            },
+            WARMUP,
+            TSPEC_RUNS,
+        );
+        let t_level2 = measure_min(
+            || {
+                compiled_mon.run_monitored(&specialized, &opts).unwrap();
+            },
+            WARMUP,
+            TSPEC_RUNS,
+        );
+        let t_level3 = measure_min(
+            || {
+                compiled_res.run().unwrap();
+            },
+            WARMUP,
+            TSPEC_RUNS,
+        );
+        let t_tiered = measure_min(
+            || {
+                assert_eq!(session.run().unwrap().outcome, TierOutcome::Residual);
+            },
+            WARMUP,
+            TSPEC_RUNS,
+        );
+        let vs_l2 = t_tiered.as_secs_f64() / t_level2.as_secs_f64();
+        let vs_l3 = t_tiered.as_secs_f64() / t_level3.as_secs_f64();
+        println!(
+            "{:>6} {} {} {} {} {:>9.3}× {:>9.3}×",
+            n,
+            ms(t_level1),
+            ms(t_level2),
+            ms(t_level3),
+            ms(t_tiered),
+            vs_l2,
+            vs_l3
+        );
+        points.push(format!(
+            "    {{ \"n\": {n}, \"level1_interpreted_spec\": {}, \"level2_specialized_sites\": {}, \
+             \"level3_self_monitoring\": {}, \"tiered_steady_state\": {}, \
+             \"tiered_over_level2\": {vs_l2:.4}, \"tiered_over_level3\": {vs_l3:.4} }}",
+            json_ms(t_level1),
+            json_ms(t_level2),
+            json_ms(t_level3),
+            json_ms(t_tiered),
+        ));
+    }
+    if let Some(dir) = json {
+        let body = format!(
+            "{{\n  \
+               \"table\": \"tiered\",\n  \
+               \"unit\": \"ms\",\n  \
+               \"statistic\": \"min of {TSPEC_RUNS} after {WARMUP} warmups\",\n  \
+               \"workload\": \"labelled_countdown(n)\",\n  \
+               \"spec\": \"{SPEC}\",\n  \
+               \"policy\": \"hot_threshold 64; steady state measured after promotion\",\n  \
+               \"laziness\": {{ \"cold_runs\": {cold_runs}, \"residuals_compiled\": 0 }},\n  \
+               \"points\": [\n{}\n  ]\n}}\n",
+            points.join(",\n"),
+        );
+        write_json(dir, "BENCH_tiered.json", body);
     }
 }
 

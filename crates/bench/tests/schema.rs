@@ -1,0 +1,165 @@
+//! Schema guard for the checked-in `BENCH_*.json` snapshots.
+//!
+//! `paper_tables --json` writes machine-readable snapshots that are
+//! committed at the repo root so the performance trajectory is tracked
+//! per PR. The *numbers* are machine-dependent and free to drift; the
+//! *shape* is not — downstream tooling (and EXPERIMENTS.md) reads these
+//! files by field name. This test fails when a snapshot is stale
+//! relative to the table schema: a renamed table, a renamed or removed
+//! field, or a missing snapshot for a table that writes one. Regenerate
+//! with:
+//!
+//! ```text
+//! cargo run --release -p monsem-bench --bin paper_tables -- --table <t> --json .
+//! ```
+
+use std::path::PathBuf;
+
+/// Repo root: two levels up from this crate's manifest.
+fn root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+/// Every snapshot `paper_tables --json` writes, with the field names its
+/// schema promises. Keep in sync with the `points.push`/`format!` bodies
+/// in `src/bin/paper_tables.rs` — a rename there must rename here *and*
+/// regenerate the snapshot.
+const SCHEMAS: &[(&str, &str, &[&str])] = &[
+    (
+        "BENCH_spec_levels.json",
+        "spec_levels",
+        &[
+            "\"unit\"",
+            "\"statistic\"",
+            "\"main\"",
+            "\"fully_traced\"",
+            "\"workload\"",
+            "\"standard_interpreter\"",
+            "\"monitored_interpreter\"",
+            "\"instrumented_compiled\"",
+            "\"compiled_no_monitor\"",
+        ],
+    ),
+    (
+        "BENCH_fig11.json",
+        "fig11",
+        &[
+            "\"unit\"",
+            "\"iterations\"",
+            "\"points\"",
+            "\"traced\"",
+            "\"standard\"",
+            "\"monitored\"",
+        ],
+    ),
+    (
+        "BENCH_tspec.json",
+        "tspec_overhead",
+        &[
+            "\"unit\"",
+            "\"workload\"",
+            "\"spec\"",
+            "\"standard_interpreter\"",
+            "\"tspec_safety\"",
+            "\"tspec_specialized\"",
+        ],
+    ),
+    (
+        "BENCH_tspec_levels.json",
+        "tspec_levels",
+        &[
+            "\"unit\"",
+            "\"workload\"",
+            "\"spec\"",
+            "\"levels\"",
+            "\"points\"",
+            "\"n\"",
+            "\"standard_interpreter\"",
+            "\"level1_interpreted_spec\"",
+            "\"compiled_no_monitor\"",
+            "\"level2_specialized_sites\"",
+            "\"level3_self_monitoring\"",
+            "\"overhead_level2\"",
+            "\"overhead_level3\"",
+        ],
+    ),
+    (
+        "BENCH_tiered.json",
+        "tiered",
+        &[
+            "\"unit\"",
+            "\"workload\"",
+            "\"spec\"",
+            "\"policy\"",
+            "\"laziness\"",
+            "\"cold_runs\"",
+            "\"residuals_compiled\"",
+            "\"points\"",
+            "\"n\"",
+            "\"level1_interpreted_spec\"",
+            "\"level2_specialized_sites\"",
+            "\"level3_self_monitoring\"",
+            "\"tiered_steady_state\"",
+            "\"tiered_over_level2\"",
+            "\"tiered_over_level3\"",
+        ],
+    ),
+    (
+        "BENCH_parallel.json",
+        "parallel",
+        &[
+            "\"unit\"",
+            "\"host_cpus\"",
+            "\"workloads\"",
+            "\"sequential_ms\"",
+            "\"points\"",
+            "\"threads\"",
+            "\"wall_ms\"",
+            "\"speedup\"",
+        ],
+    ),
+];
+
+#[test]
+fn checked_in_snapshots_match_the_table_schemas() {
+    let root = root();
+    let mut problems: Vec<String> = Vec::new();
+    for (file, table, fields) in SCHEMAS {
+        let path = root.join(file);
+        let Ok(body) = std::fs::read_to_string(&path) else {
+            problems.push(format!("{file}: missing — regenerate with --table {table}"));
+            continue;
+        };
+        let tag = format!("\"table\": \"{table}\"");
+        if !body.contains(&tag) {
+            problems.push(format!("{file}: expected {tag}"));
+        }
+        for field in *fields {
+            if !body.contains(field) {
+                problems.push(format!(
+                    "{file}: field {field} missing — snapshot stale vs the {table} schema"
+                ));
+            }
+        }
+    }
+    assert!(
+        problems.is_empty(),
+        "stale BENCH snapshots:\n  {}",
+        problems.join("\n  ")
+    );
+}
+
+/// The laziness claim in the tiered snapshot is load-bearing (the bench
+/// asserts it before writing): a cold session compiles zero residuals.
+#[test]
+fn tiered_snapshot_records_lazy_compilation() {
+    let body = std::fs::read_to_string(root().join("BENCH_tiered.json"))
+        .expect("BENCH_tiered.json is checked in");
+    assert!(
+        body.contains("\"residuals_compiled\": 0"),
+        "the tiered snapshot must record zero cold-session compilations"
+    );
+}

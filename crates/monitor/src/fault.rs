@@ -206,6 +206,38 @@ impl<M: Monitor> Guarded<M> {
         &self.inner
     }
 
+    /// Charges monitoring work done *outside* the hook path against the
+    /// budget.
+    ///
+    /// [`Guarded`]'s own accounting only sees the time spent inside
+    /// hooks, so a driver that discharges monitoring duties without
+    /// firing hooks — a tiered engine running a promoted residual, where
+    /// a whole monitor-pure stretch of transitions executes as compiled
+    /// code — would otherwise run on an unmetered clock. Such a driver
+    /// calls this with the stretch's event count and elapsed monitoring
+    /// time; the step and wall budgets then degrade the monitor exactly
+    /// as if the work had gone through [`Monitor::try_pre`] /
+    /// [`Monitor::try_post`]. A monitor that is already degraded absorbs
+    /// the charge without change.
+    pub fn charge(&self, gs: &mut GuardState<M::State>, events: u64, elapsed: Duration) {
+        if !gs.health.is_ok() {
+            return;
+        }
+        gs.events += events;
+        gs.spent += elapsed;
+        if let Some(max) = self.budget.steps {
+            if gs.events > max {
+                gs.health = Health::OverBudget(format!("step budget of {max} events exhausted"));
+                return;
+            }
+        }
+        if let Some(max) = self.budget.wall {
+            if gs.spent > max {
+                gs.health = Health::OverBudget(format!("wall budget of {max:?} exhausted"));
+            }
+        }
+    }
+
     /// Runs one hook invocation under the guard: budget check, panic
     /// confinement, health bookkeeping. `hook` receives the wrapped
     /// monitor's state and returns its verdict.
@@ -602,6 +634,51 @@ mod tests {
         assert_eq!(s.state, 1, "degraded after the first over-budget event");
         assert!(matches!(s.health, Health::OverBudget(_)));
         assert!(s.spent >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn charged_residual_stretches_count_against_the_wall_budget() {
+        // Regression: the wall budget used to be checked only around
+        // hooks, so monitoring time spent in compiled (hook-free)
+        // stretches never counted. `charge` closes the gap.
+        let m = Guarded::new(Probe {
+            fail_at: None,
+            abort_at: None,
+        })
+        .budget(Budget::unlimited().with_wall(Duration::from_millis(1)));
+        let mut s = m.initial_state();
+        s = match fire(&m, s) {
+            Outcome::Continue(s) => s,
+            other => panic!("unexpected verdict {other:?}"),
+        };
+        assert!(s.health.is_ok());
+        m.charge(&mut s, 10, Duration::from_millis(2));
+        assert_eq!(s.events, 11);
+        assert!(matches!(s.health, Health::OverBudget(_)));
+        // Degraded: further hooks are the identity.
+        let frozen = s.state;
+        s = match fire(&m, s) {
+            Outcome::Continue(s) => s,
+            other => panic!("unexpected verdict {other:?}"),
+        };
+        assert_eq!(s.state, frozen);
+        // Further charges are absorbed without double-reporting.
+        m.charge(&mut s, 1, Duration::ZERO);
+        assert_eq!(s.events, 11);
+    }
+
+    #[test]
+    fn charge_meters_the_step_budget_too() {
+        let m = Guarded::new(Probe {
+            fail_at: None,
+            abort_at: None,
+        })
+        .budget(Budget::unlimited().with_steps(5));
+        let mut s = m.initial_state();
+        m.charge(&mut s, 5, Duration::ZERO);
+        assert!(s.health.is_ok(), "exactly the budget is allowed");
+        m.charge(&mut s, 1, Duration::ZERO);
+        assert!(matches!(&s.health, Health::OverBudget(msg) if msg.contains("5 events")));
     }
 
     #[test]

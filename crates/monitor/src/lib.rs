@@ -43,7 +43,10 @@
 //! * [`soundness`] — executable form of Theorem 7.7, used by the property
 //!   tests;
 //! * [`session`] — the §9.2 programming environment tying language modules
-//!   and monitor toolboxes together.
+//!   and monitor toolboxes together;
+//! * [`tiered`] — bookkeeping for tiered, profile-guided monitoring
+//!   (promotion policy, tier counters, and the specialization tree the
+//!   `monsem-pe` tiered driver builds on).
 //!
 //! # Example: a one-off counting monitor
 //!
@@ -84,6 +87,7 @@ pub mod scope;
 pub mod session;
 pub mod soundness;
 pub mod spec;
+pub mod tiered;
 
 pub use compose::{Compose, MonitorStack};
 pub use fault::{Budget, FaultPolicy, Guarded, Health};
@@ -91,3 +95,4 @@ pub use machine::{eval_monitored, eval_monitored_with};
 pub use parallel::{eval_parallel, eval_parallel_with, ParOptions};
 pub use scope::Scope;
 pub use spec::{DynMonitor, HookPhase, IdentityMonitor, MergeMonitor, Monitor, Outcome};
+pub use tiered::{Relatives, SpecTree, TierPolicy, TierStats};

@@ -1,0 +1,217 @@
+//! Bookkeeping for tiered, profile-guided monitoring.
+//!
+//! The paper's §9.1 specialization levels form a ladder: level 1
+//! interprets the monitor, level 2 compiles the *dispatch*, level 3
+//! compiles the monitor *into* the program. A tiered engine climbs the
+//! ladder at run time, per annotation site, guided by a profile: run
+//! cheap, count events, promote hot sites to compiled residuals behind
+//! guards, demote when the guards fail too often. This module holds the
+//! engine-independent bookkeeping — the promotion policy, the counters a
+//! tiered run reports, and the parent/child specialization tree that
+//! lets a re-promotion *refine* an existing residual instead of
+//! recompiling from scratch. The driver itself ([`TieredSession`] in
+//! `monsem-pe`) lives with the compilation machinery.
+//!
+//! [`TieredSession`]: ../../monsem_pe/tiered/struct.TieredSession.html
+
+/// When to promote, how much to cache, when to give up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierPolicy {
+    /// Total monitoring events a site must accumulate (across profiled
+    /// runs) before its enclosing program is promoted to a compiled
+    /// residual.
+    pub hot_threshold: u64,
+    /// Maximum number of compiled residuals kept in the specialization
+    /// cache; at the cap, promotion requests are declined rather than
+    /// evicting (residuals are per-(site, region) and cheap to hold).
+    pub max_residuals: usize,
+    /// Consecutive guard failures (escapes from the compiled state
+    /// region) a residual tolerates before it is demoted and the region
+    /// refined. `1` demotes on the first escape.
+    pub demote_after: u32,
+    /// How many times a residual may be refined (re-promoted with a
+    /// wider region) before the site is pinned to the interpreted tier.
+    pub max_refinements: u32,
+}
+
+impl Default for TierPolicy {
+    /// Promote after 32 events at a site, cache up to 8 residuals,
+    /// demote after 2 consecutive guard failures, refine at most 3
+    /// times.
+    fn default() -> TierPolicy {
+        TierPolicy {
+            hot_threshold: 32,
+            max_residuals: 8,
+            demote_after: 2,
+            max_refinements: 3,
+        }
+    }
+}
+
+impl TierPolicy {
+    /// Sets the promotion threshold.
+    pub fn hot_threshold(mut self, events: u64) -> TierPolicy {
+        self.hot_threshold = events;
+        self
+    }
+
+    /// Sets the residual-cache capacity.
+    pub fn max_residuals(mut self, n: usize) -> TierPolicy {
+        self.max_residuals = n;
+        self
+    }
+
+    /// Sets the guard-failure tolerance.
+    pub fn demote_after(mut self, n: u32) -> TierPolicy {
+        self.demote_after = n.max(1);
+        self
+    }
+
+    /// Sets the refinement cap.
+    pub fn max_refinements(mut self, n: u32) -> TierPolicy {
+        self.max_refinements = n;
+        self
+    }
+}
+
+/// Counters a tiered driver accumulates across runs. All monotone; a
+/// report, not a control structure (control lives in [`TierPolicy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierStats {
+    /// Runs served by the profiling (interpreted) tier.
+    pub interpreted_runs: u64,
+    /// Runs served end-to-end by a compiled residual.
+    pub residual_runs: u64,
+    /// Monitoring events observed while profiling.
+    pub profiled_events: u64,
+    /// Sites promoted to a compiled residual (first compilation only;
+    /// refinements count separately).
+    pub promotions: u64,
+    /// Residuals actually compiled — promotions plus refinements. A
+    /// cold program must show `0` here: compilation is lazy.
+    pub residuals_compiled: u64,
+    /// Runs whose residual escaped its state region and fell back to
+    /// the interpreted tier (the run still completes, correctly).
+    pub guard_failures: u64,
+    /// Residuals demoted after a guard-failure storm.
+    pub demotions: u64,
+    /// Demoted residuals re-promoted with a refined (wider) region.
+    pub refinements: u64,
+}
+
+/// mijit-style family links for one node of the specialization tree:
+/// every refined residual remembers the coarser residual it grew out of,
+/// and parents list their refinements.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Relatives {
+    /// The node this one refines, if any.
+    pub parent: Option<usize>,
+    /// Nodes that refine this one, in creation order.
+    pub children: Vec<usize>,
+}
+
+/// An append-only specialization tree: nodes carry a payload `T` (for a
+/// tiered monitor, a compiled residual and its state region) plus
+/// [`Relatives`] links. Nodes are identified by index; nothing is ever
+/// removed, so indices stay valid — a *demoted* residual stays in the
+/// tree as the parent its refinement starts from.
+#[derive(Debug, Clone, Default)]
+pub struct SpecTree<T> {
+    nodes: Vec<(T, Relatives)>,
+}
+
+impl<T> SpecTree<T> {
+    /// An empty tree.
+    pub fn new() -> SpecTree<T> {
+        SpecTree { nodes: Vec::new() }
+    }
+
+    /// Adds a root node (no parent) and returns its id.
+    pub fn root(&mut self, value: T) -> usize {
+        self.nodes.push((value, Relatives::default()));
+        self.nodes.len() - 1
+    }
+
+    /// Adds a refinement of `parent` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not a node of this tree.
+    pub fn refine(&mut self, parent: usize, value: T) -> usize {
+        assert!(parent < self.nodes.len(), "refine: no node {parent}");
+        let id = self.nodes.len();
+        self.nodes.push((
+            value,
+            Relatives {
+                parent: Some(parent),
+                children: Vec::new(),
+            },
+        ));
+        self.nodes[parent].1.children.push(id);
+        id
+    }
+
+    /// The payload of node `id`.
+    pub fn get(&self, id: usize) -> Option<&T> {
+        self.nodes.get(id).map(|(v, _)| v)
+    }
+
+    /// The family links of node `id`.
+    pub fn relatives(&self, id: usize) -> Option<&Relatives> {
+        self.nodes.get(id).map(|(_, r)| r)
+    }
+
+    /// Walks the parent chain from `id` (exclusive) to the root
+    /// (inclusive), eldest last.
+    pub fn ancestors(&self, id: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = self.nodes.get(id).and_then(|(_, r)| r.parent);
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.nodes[p].1.parent;
+        }
+        out
+    }
+
+    /// Number of nodes ever added.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_sane() {
+        let p = TierPolicy::default();
+        assert!(p.hot_threshold > 0);
+        assert!(p.max_residuals > 0);
+        assert!(p.demote_after > 0);
+    }
+
+    #[test]
+    fn demote_after_is_at_least_one() {
+        assert_eq!(TierPolicy::default().demote_after(0).demote_after, 1);
+    }
+
+    #[test]
+    fn spec_tree_links_parents_and_children() {
+        let mut t: SpecTree<&str> = SpecTree::new();
+        let root = t.root("coarse");
+        let kid = t.refine(root, "finer");
+        let grandkid = t.refine(kid, "finest");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(grandkid), Some(&"finest"));
+        assert_eq!(t.relatives(kid).unwrap().parent, Some(root));
+        assert_eq!(t.relatives(root).unwrap().children, vec![kid]);
+        assert_eq!(t.ancestors(grandkid), vec![kid, root]);
+        assert_eq!(t.ancestors(root), Vec::<usize>::new());
+    }
+}

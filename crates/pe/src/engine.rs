@@ -159,6 +159,10 @@ pub enum Code {
     Hook {
         /// The (accepted) annotation.
         ann: Annotation,
+        /// The compile-time site index (position in
+        /// [`CompiledProgram::sites`]) — the key of the tiered profiler's
+        /// [`SiteStats`] table.
+        site: u32,
         /// Scope names, innermost first.
         names: Rc<Vec<FrameNamesOpaque>>,
         /// Whether the monitor's pre hook fires here (its
@@ -181,6 +185,9 @@ pub struct CompiledProgram {
     code: Rc<Code>,
     /// Number of hooks embedded at compile time.
     pub hooks: usize,
+    /// Annotation of each embedded hook, indexed by its site id (the
+    /// order the compiler met them). Empty for unmonitored compiles.
+    sites: Vec<Annotation>,
 }
 
 // ---------------------------------------------------------------------
@@ -201,6 +208,7 @@ struct Compiler<'m, M> {
     monitor: Option<&'m M>,
     scope: Vec<CFrame>,
     hooks: usize,
+    site_anns: Vec<Annotation>,
 }
 
 impl<M: Monitor> Compiler<'_, M> {
@@ -432,10 +440,13 @@ impl<M: Monitor> Compiler<'_, M> {
                     (pre || post) && self.monitor.map(|m| m.accepts(ann)).unwrap_or(false);
                 if accepted {
                     self.hooks += 1;
+                    let site = self.site_anns.len() as u32;
+                    self.site_anns.push(ann.clone());
                     let names = self.frame_names();
                     let body = self.compile(inner)?;
                     Code::Hook {
                         ann: ann.clone(),
+                        site,
                         names,
                         pre,
                         post,
@@ -493,11 +504,13 @@ pub fn compile(e: &Expr) -> Result<CompiledProgram, CompileError> {
         monitor: None,
         scope: Vec::new(),
         hooks: 0,
+        site_anns: Vec::new(),
     };
     let code = c.compile(e)?;
     Ok(CompiledProgram {
         code: Rc::new(code),
         hooks: 0,
+        sites: Vec::new(),
     })
 }
 
@@ -516,13 +529,114 @@ pub fn compile_monitored<M: Monitor>(
         monitor: Some(monitor),
         scope: Vec::new(),
         hooks: 0,
+        site_anns: Vec::new(),
     };
     let code = c.compile(e)?;
     let hooks = c.hooks;
+    let sites = c.site_anns;
     Ok(CompiledProgram {
         code: Rc::new(code),
         hooks,
+        sites,
     })
+}
+
+// ---------------------------------------------------------------------
+// Site profiling (the tiered pipeline's cheap layer)
+// ---------------------------------------------------------------------
+
+/// Event counters for one annotation site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteCount {
+    /// Pre-hook firings at this site.
+    pub pre: u64,
+    /// Post-hook firings at this site.
+    pub post: u64,
+}
+
+impl SiteCount {
+    /// Total hook firings at this site.
+    pub fn total(&self) -> u64 {
+        self.pre + self.post
+    }
+}
+
+/// Per-site event counters, indexed by the compile-time site id — the
+/// cheap profiling layer of the tiered pipeline. Updating a counter on
+/// the [`Code::Hook`] path is one array index and one add, so a
+/// profiled run costs next to nothing over a plain monitored run.
+#[derive(Debug, Clone, Default)]
+pub struct SiteStats {
+    counts: Vec<SiteCount>,
+}
+
+impl SiteStats {
+    /// A zeroed table sized for `program`'s embedded hooks.
+    pub fn for_program(program: &CompiledProgram) -> SiteStats {
+        SiteStats {
+            counts: vec![SiteCount::default(); program.sites.len()],
+        }
+    }
+
+    /// The per-site counters, indexed by site id.
+    pub fn counts(&self) -> &[SiteCount] {
+        &self.counts
+    }
+
+    /// Total events across all sites.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(SiteCount::total).sum()
+    }
+
+    /// Site ids whose total event count reached `threshold`.
+    pub fn hot_sites(&self, threshold: u64) -> Vec<usize> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.total() >= threshold)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Resets every counter to zero, keeping the table size.
+    pub fn reset(&mut self) {
+        for c in &mut self.counts {
+            *c = SiteCount::default();
+        }
+    }
+}
+
+/// A per-event callback the engine drives on hook firings. The default
+/// [`NoProbe`] monomorphizes to nothing, so unprofiled runs pay zero.
+trait SiteProbe {
+    fn pre_event(&mut self, site: u32);
+    fn post_event(&mut self, site: u32);
+}
+
+/// The zero-cost probe: unprofiled runs compile the callbacks away.
+struct NoProbe;
+
+impl SiteProbe for NoProbe {
+    #[inline(always)]
+    fn pre_event(&mut self, _site: u32) {}
+    #[inline(always)]
+    fn post_event(&mut self, _site: u32) {}
+}
+
+impl SiteProbe for SiteStats {
+    #[inline(always)]
+    fn pre_event(&mut self, site: u32) {
+        if let Some(c) = self.counts.get_mut(site as usize) {
+            c.pre += 1;
+        }
+    }
+
+    #[inline(always)]
+    fn post_event(&mut self, site: u32) {
+        if let Some(c) = self.counts.get_mut(site as usize) {
+            c.post += 1;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -757,6 +871,7 @@ enum RtFrame {
     },
     Post {
         ann: Annotation,
+        site: u32,
         names: Rc<Vec<FrameNamesOpaque>>,
         env: REnv,
     },
@@ -851,6 +966,39 @@ impl CompiledProgram {
         &self,
         monitor: &M,
         options: &EvalOptions,
+    ) -> Result<(Value, M::State, EvalStats), EvalError> {
+        self.run_probed(monitor, options, &mut NoProbe)
+    }
+
+    /// Like [`CompiledProgram::run_monitored`], additionally counting
+    /// hook firings per annotation site into `stats` — the tiered
+    /// pipeline's profiling layer. The counters accumulate, so one table
+    /// can profile several runs.
+    ///
+    /// # Errors
+    ///
+    /// Any [`EvalError`] the program provokes, including
+    /// [`EvalError::FuelExhausted`].
+    pub fn run_monitored_profiled<M: Monitor>(
+        &self,
+        monitor: &M,
+        options: &EvalOptions,
+        stats: &mut SiteStats,
+    ) -> Result<(Value, M::State), EvalError> {
+        self.run_probed(monitor, options, stats)
+            .map(|(v, s, _)| (v, s))
+    }
+
+    /// Annotation of each embedded hook, indexed by site id.
+    pub fn sites(&self) -> &[Annotation] {
+        &self.sites
+    }
+
+    fn run_probed<M: Monitor, P: SiteProbe>(
+        &self,
+        monitor: &M,
+        options: &EvalOptions,
+        probe: &mut P,
     ) -> Result<(Value, M::State, EvalStats), EvalError> {
         let mut stack: Vec<RtFrame> = Vec::new();
         let mut state = RtState::Eval(self.code.clone(), REnv::default());
@@ -1036,12 +1184,14 @@ impl CompiledProgram {
                     },
                     Code::Hook {
                         ann,
+                        site,
                         names,
                         pre,
                         post,
                         body,
                     } => {
                         if *pre {
+                            probe.pre_event(*site);
                             let hook_env = env.to_env(names);
                             sigma = match monitor.try_pre(
                                 ann,
@@ -1058,6 +1208,7 @@ impl CompiledProgram {
                         if *post {
                             stack.push(RtFrame::Post {
                                 ann: ann.clone(),
+                                site: *site,
                                 names: names.clone(),
                                 env: env.clone(),
                             });
@@ -1067,7 +1218,13 @@ impl CompiledProgram {
                 },
                 RtState::Continue(value) => match stack.pop() {
                     None => return Ok((value, sigma, stats)),
-                    Some(RtFrame::Post { ann, names, env }) => {
+                    Some(RtFrame::Post {
+                        ann,
+                        site,
+                        names,
+                        env,
+                    }) => {
+                        probe.post_event(site);
                         let hook_env = env.to_env(&names);
                         sigma = match monitor.try_post(
                             &ann,
@@ -1270,6 +1427,36 @@ mod tests {
         assert_eq!(with_tracer.hooks, 2);
         let with_profiler = compile_monitored(&e, &Profiler::new()).unwrap();
         assert_eq!(with_profiler.hooks, 0);
+    }
+
+    #[test]
+    fn site_profiling_counts_every_hook_firing_per_site() {
+        // fac_mul_traced(3) has two traced sites; fac recurses 4 times
+        // (3, 2, 1, 0), mul is applied 3 times.
+        let e = programs::fac_mul_traced(3);
+        let program = compile_monitored(&e, &Tracer::new()).unwrap();
+        assert_eq!(program.sites().len(), 2);
+        let mut stats = SiteStats::for_program(&program);
+        let monitored = program
+            .run_monitored(&Tracer::new(), &EvalOptions::default())
+            .unwrap();
+        let profiled = program
+            .run_monitored_profiled(&Tracer::new(), &EvalOptions::default(), &mut stats)
+            .unwrap();
+        assert_eq!(monitored, profiled, "profiling must not perturb the run");
+        let per_site: Vec<u64> = stats.counts().iter().map(SiteCount::total).collect();
+        let mut sorted = per_site.clone();
+        sorted.sort_unstable();
+        // Tracer fires pre+post per event: 2·4 and 2·3 in site order.
+        assert_eq!(sorted, vec![6, 8], "per-site totals: {per_site:?}");
+        assert_eq!(stats.total(), 14);
+        assert_eq!(
+            stats.hot_sites(7),
+            vec![per_site.iter().position(|&c| c == 8).unwrap()]
+        );
+        stats.reset();
+        assert_eq!(stats.total(), 0);
+        assert_eq!(stats.counts().len(), 2);
     }
 
     #[test]

@@ -70,11 +70,79 @@ impl SourceMonitor {
     }
 }
 
+/// A letrec-bound function proven monitor-pure and kept in its original,
+/// unthreaded calling convention — the polyvariant half of the
+/// translation: call paths that cannot observe events skip the pairing
+/// protocol entirely.
+struct PureFun {
+    name: Ident,
+    /// Curry arity: the number of leading lambdas. Saturated calls (and
+    /// only those — enforced by [`uses_saturated`]) use the direct
+    /// convention.
+    arity: usize,
+    /// Position of the binding in `Tr::bound`, so inner shadowing of the
+    /// name is detected.
+    bound_idx: usize,
+}
+
 struct Tr<'m> {
     monitor: &'m SourceMonitor,
     bound: Vec<Ident>,
     fresh: u64,
     used: BTreeSet<Ident>,
+    pure_funs: Vec<PureFun>,
+}
+
+/// Whether every free occurrence of `name` in `e` is the head of an
+/// application spine carrying at least `arity` arguments. Shadowed
+/// occurrences are *not* exempted — the check is conservative, so a
+/// same-named inner binder simply keeps the function threaded.
+fn uses_saturated(name: &Ident, arity: usize, e: &Expr) -> bool {
+    match e {
+        Expr::Con(_) => true,
+        Expr::Var(x) | Expr::VarAt(x, _) => x != name,
+        Expr::App(..) => {
+            let mut args: Vec<&Expr> = Vec::new();
+            let mut cur = e;
+            while let Expr::App(f, a) = cur {
+                args.push(a);
+                cur = f;
+            }
+            let head_ok = match cur {
+                Expr::Var(x) | Expr::VarAt(x, _) if x == name => args.len() >= arity,
+                other => uses_saturated(name, arity, other),
+            };
+            head_ok && args.iter().all(|a| uses_saturated(name, arity, a))
+        }
+        Expr::Lambda(l) => uses_saturated(name, arity, &l.body),
+        Expr::If(c, t, f) => {
+            uses_saturated(name, arity, c)
+                && uses_saturated(name, arity, t)
+                && uses_saturated(name, arity, f)
+        }
+        Expr::Let(_, v, b) => uses_saturated(name, arity, v) && uses_saturated(name, arity, b),
+        Expr::Letrec(bs, b) => {
+            bs.iter().all(|bi| uses_saturated(name, arity, &bi.value))
+                && uses_saturated(name, arity, b)
+        }
+        Expr::Ann(_, inner) => uses_saturated(name, arity, inner),
+        Expr::Seq(a, b) => uses_saturated(name, arity, a) && uses_saturated(name, arity, b),
+        Expr::Assign(_, v) => uses_saturated(name, arity, v),
+        Expr::While(c, b) => uses_saturated(name, arity, c) && uses_saturated(name, arity, b),
+        Expr::Par(items) => items.iter().all(|i| uses_saturated(name, arity, i)),
+    }
+}
+
+/// Curry arity of a lambda (number of leading lambdas) and the body
+/// under them.
+fn lambda_arity(l: &Lambda) -> (usize, &Expr) {
+    let mut arity = 1;
+    let mut body: &Expr = &l.body;
+    while let Expr::Lambda(inner) = body {
+        arity += 1;
+        body = &inner.body;
+    }
+    (arity, body)
 }
 
 impl Tr<'_> {
@@ -167,12 +235,38 @@ impl Tr<'_> {
         }
     }
 
+    /// If `e` is an application spine headed by a letrec function proven
+    /// monitor-pure (and not shadowed by an inner binder), returns the
+    /// function's name, arity, and the arguments in source order.
+    fn pure_fun_spine<'a>(&self, e: &'a Expr) -> Option<(Ident, usize, Vec<&'a Expr>)> {
+        let mut args: Vec<&'a Expr> = Vec::new();
+        let mut cur = e;
+        while let Expr::App(f, a) = cur {
+            args.push(a);
+            cur = f;
+        }
+        match cur {
+            Expr::Var(x) | Expr::VarAt(x, _) => {
+                let last = self.bound.iter().rposition(|n| n == x)?;
+                let pf = self
+                    .pure_funs
+                    .iter()
+                    .rev()
+                    .find(|pf| pf.bound_idx == last && &pf.name == x)?;
+                args.reverse();
+                Some((pf.name.clone(), pf.arity, args))
+            }
+            _ => None,
+        }
+    }
+
     /// Whether `e` is *monitor-pure*: it fires no accepted annotation,
     /// calls no user function (whose translated body could), and its
     /// value is protocol-compatible — in particular it is not a bare or
     /// partially-applied primitive, whose raw closure would break the
-    /// threading protocol if it escaped. Monitor-pure code residualizes
-    /// verbatim: same value, same errors, no state traffic.
+    /// threading protocol if it escaped. Saturated calls to letrec
+    /// functions proven monitor-pure count as pure. Monitor-pure code
+    /// residualizes verbatim: same value, same errors, no state traffic.
     fn is_pure(&mut self, e: &Expr) -> bool {
         match e {
             Expr::Con(_) => true,
@@ -189,7 +283,12 @@ impl Tr<'_> {
                 Some((_, arity, args)) => {
                     args.len() == arity && args.into_iter().all(|a| self.is_pure(a))
                 }
-                None => false,
+                None => match self.pure_fun_spine(e) {
+                    Some((_, arity, args)) => {
+                        args.len() == arity && args.into_iter().all(|a| self.is_pure(a))
+                    }
+                    None => false,
+                },
             },
             Expr::If(c, t, f) => self.is_pure(c) && self.is_pure(t) && self.is_pure(f),
             Expr::Let(x, v, b) => {
@@ -384,6 +483,40 @@ impl Tr<'_> {
         }
     }
 
+    /// A saturated call to a head that keeps the direct (unthreaded)
+    /// calling convention — a primitive or a monitor-pure letrec
+    /// function. Only the arguments thread; the call itself pays no
+    /// protocol. Arguments evaluate in the machine's right-to-left order.
+    fn direct_call_spine(&mut self, head: Ident, args: &[&Expr], s: Expr) -> Expr {
+        let mut state = s;
+        let mut bindings: Vec<(Ident, Expr)> = Vec::new();
+        let mut vals: Vec<Option<Expr>> = vec![None; args.len()];
+        for (i, arg) in args.iter().enumerate().rev() {
+            if self.is_atomic(arg) {
+                vals[i] = Some((*arg).clone());
+            } else if self.is_pure(arg) {
+                let v = self.fresh("v");
+                bindings.push((v.clone(), arg.erase_annotations()));
+                vals[i] = Some(Expr::Var(v));
+            } else {
+                let tv = self.thread(arg, state);
+                let p = self.fresh("p");
+                state = Tr::tl(Expr::Var(p.clone()));
+                vals[i] = Some(Tr::hd(Expr::Var(p.clone())));
+                bindings.push((p, tv));
+            }
+        }
+        let call = vals
+            .into_iter()
+            .map(Option::unwrap)
+            .fold(Expr::Var(head), Expr::app);
+        let mut out = Tr::pair(call, state);
+        for (x, v) in bindings.into_iter().rev() {
+            out = Expr::let_(x, v, out);
+        }
+        out
+    }
+
     /// Applications. The machine evaluates the argument before the
     /// function, and the translation preserves that order exactly —
     /// non-atomic pure parts are let-bound in evaluation order so even
@@ -393,33 +526,16 @@ impl Tr<'_> {
         // the call itself needs no protocol, only the arguments thread.
         if let Some((name, arity, args)) = self.prim_spine(whole) {
             if args.len() == arity {
-                let mut state = s;
-                let mut bindings: Vec<(Ident, Expr)> = Vec::new();
-                let mut vals: Vec<Option<Expr>> = vec![None; args.len()];
-                for (i, arg) in args.iter().enumerate().rev() {
-                    if self.is_atomic(arg) {
-                        vals[i] = Some((*arg).clone());
-                    } else if self.is_pure(arg) {
-                        let v = self.fresh("v");
-                        bindings.push((v.clone(), arg.erase_annotations()));
-                        vals[i] = Some(Expr::Var(v));
-                    } else {
-                        let tv = self.thread(arg, state);
-                        let p = self.fresh("p");
-                        state = Tr::tl(Expr::Var(p.clone()));
-                        vals[i] = Some(Tr::hd(Expr::Var(p.clone())));
-                        bindings.push((p, tv));
-                    }
-                }
-                let call = vals
-                    .into_iter()
-                    .map(Option::unwrap)
-                    .fold(Expr::Var(name), Expr::app);
-                let mut out = Tr::pair(call, state);
-                for (x, v) in bindings.into_iter().rev() {
-                    out = Expr::let_(x, v, out);
-                }
-                return out;
+                return self.direct_call_spine(name, &args, s);
+            }
+        }
+        // Likewise for a saturated call to a monitor-pure letrec
+        // function: the callee residualizes in its original convention,
+        // so the call site stays a plain application.
+        if let Some((name, arity, args)) = self.pure_fun_spine(whole) {
+            if args.len() == arity {
+                let args: Vec<&Expr> = args;
+                return self.direct_call_spine(name, &args, s);
             }
         }
         // Generic protocol call: argument first, then function.
@@ -484,8 +600,69 @@ impl Tr<'_> {
             .filter(|b| b.value.is_lambda_like() && matches!(&*b.value, Expr::Ann(..)))
             .collect();
 
+        let base = self.bound.len();
         for b in bs {
             self.bound.push(b.name.clone());
+        }
+
+        // Polyvariant purity analysis: a letrec function is monitor-pure
+        // when its body fires no events (a greatest fixpoint over the
+        // mutually recursive candidates) AND every occurrence of its name
+        // in the letrec's scope is a saturated call — so the original
+        // calling convention never escapes as a value into the threaded
+        // world. Pure functions residualize verbatim; call sites to them
+        // stay plain applications with no pairing.
+        let marker = self.pure_funs.len();
+        let annotated_names: BTreeSet<&Ident> = annotated.iter().map(|b| &b.name).collect();
+        for (name, l) in &fun_bindings {
+            if annotated_names.contains(name) {
+                continue;
+            }
+            let Some(i) = bs.iter().rposition(|b| &b.name == name) else {
+                continue;
+            };
+            let (arity, _) = lambda_arity(l);
+            let saturated = bs.iter().all(|b| uses_saturated(name, arity, &b.value))
+                && uses_saturated(name, arity, body);
+            if saturated {
+                self.pure_funs.push(PureFun {
+                    name: name.clone(),
+                    arity,
+                    bound_idx: base + i,
+                });
+            }
+        }
+        loop {
+            let candidates: Vec<Ident> = self.pure_funs[marker..]
+                .iter()
+                .map(|pf| pf.name.clone())
+                .collect();
+            let mut dropped: Vec<Ident> = Vec::new();
+            for name in &candidates {
+                let (_, l) = fun_bindings
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .expect("candidate has a binding");
+                let mut params: Vec<Ident> = vec![l.param.clone()];
+                let mut core: &Expr = &l.body;
+                while let Expr::Lambda(inner) = core {
+                    params.push(inner.param.clone());
+                    core = &inner.body;
+                }
+                let core = core.clone();
+                let n_params = params.len();
+                self.bound.append(&mut params);
+                let pure = self.is_pure(&core);
+                self.bound.truncate(self.bound.len() - n_params);
+                if !pure {
+                    dropped.push(name.clone());
+                }
+            }
+            if dropped.is_empty() {
+                break;
+            }
+            self.pure_funs
+                .retain(|pf| pf.bound_idx < base || !dropped.contains(&pf.name));
         }
 
         enum Wrapper {
@@ -512,6 +689,17 @@ impl Tr<'_> {
         let translated_funs: Vec<Binding> = fun_bindings
             .iter()
             .map(|(name, l)| {
+                let keep_direct = self
+                    .pure_funs
+                    .iter()
+                    .skip(marker)
+                    .any(|pf| &pf.name == name);
+                if keep_direct {
+                    // Monitor-pure: keep the original calling convention.
+                    // Unaccepted annotations in the body are erased; the
+                    // purity check guarantees there are no accepted ones.
+                    return Binding::new(name.clone(), Expr::Lambda(l.clone()).erase_annotations());
+                }
                 self.bound.push(l.param.clone());
                 let sigma = self.fresh("s");
                 let tb = self.thread(&l.body, Expr::Var(sigma.clone()));
@@ -536,6 +724,7 @@ impl Tr<'_> {
         }
         let mut out = self.thread(body, state);
 
+        self.pure_funs.truncate(marker);
         for _ in bs {
             self.bound.pop();
         }
@@ -576,6 +765,7 @@ pub fn instrument(program: &Expr, monitor: &SourceMonitor) -> Expr {
         bound: Vec::new(),
         fresh: 0,
         used,
+        pure_funs: Vec::new(),
     };
     let applied = tr.thread(&program, monitor.initial.clone());
     monitor.prelude.iter().rev().fold(applied, |acc, b| {
@@ -845,6 +1035,42 @@ pub fn collecting_source() -> SourceMonitor {
 /// observing-style: a plain program has no abort channel, so enforcement
 /// stays with levels 1 and 2).
 pub fn spec_source_monitor(monitor: &monsem_tspec::SpecMonitor) -> SourceMonitor {
+    spec_source_monitor_impl(monitor, None)
+}
+
+/// Like [`spec_source_monitor`], but the inlined transition chains cover
+/// only the given `region` of DFA states — the profile-guided tiered
+/// pipeline compiles just the states a hot site actually visits.
+///
+/// The threaded state keeps the invariant: σ ≥ 0 is a region state, σ < 0
+/// is an **escape sentinel**. When a transition leaves the region, the
+/// action produces `-(t+1)` where `t` is the state that would have been
+/// entered; every subsequent action preserves the sentinel unchanged —
+/// comparison chains only match (non-negative) region states, so a
+/// negative σ falls through, and the escaping chains test `σ < 0` in
+/// their fallthrough. A driver observing a negative final state knows
+/// monitoring was incomplete from state `-(σ)-1` onward and must fall
+/// back to an interpreted tier for the rest of the trace — and can
+/// refine the region with the escaped-to state for the next compilation.
+/// Letters under which the region is **closed** compile to the same
+/// self-loop-elided chains as the full translation, so in-region events
+/// cost exactly what the full translation costs — the escape machinery
+/// sits entirely on the cold (region-leaving) paths.
+///
+/// The caller must ensure the automaton's start state is in `region`
+/// (the entry guard of the tiered driver); states not in the region and
+/// states out of range are simply never matched by the chains.
+pub fn spec_source_monitor_region(
+    monitor: &monsem_tspec::SpecMonitor,
+    region: &[u32],
+) -> SourceMonitor {
+    spec_source_monitor_impl(monitor, Some(region.iter().copied().collect()))
+}
+
+fn spec_source_monitor_impl(
+    monitor: &monsem_tspec::SpecMonitor,
+    region: Option<BTreeSet<u32>>,
+) -> SourceMonitor {
     use monsem_monitor::Monitor as _;
     use monsem_tspec::Automaton;
 
@@ -864,23 +1090,91 @@ pub fn spec_source_monitor(monitor: &monsem_tspec::SpecMonitor) -> SourceMonitor
     /// δ(·, letter) as residual code on the state variable: a comparison
     /// chain over the states that move; self-looping states fall through
     /// to the unchanged σ.
-    fn step_chain(aut: &Automaton, letter: u32, sigma: &str) -> Expr {
-        let moves: Vec<(u32, u32)> = (0..aut.num_states())
-            .filter_map(|s| {
-                let t = aut.step(s, letter);
-                (t != s).then_some((s, t))
-            })
-            .collect();
-        moves
-            .into_iter()
-            .rev()
-            .fold(Expr::var(sigma), |acc, (s, t)| {
-                Expr::if_(
-                    Expr::binop("=", Expr::var(sigma), Expr::int(s as i64)),
-                    Expr::int(t as i64),
-                    acc,
-                )
-            })
+    ///
+    /// With a region, the chain covers region states only. When the
+    /// region is closed under this letter the shape is identical to the
+    /// full chain (restricted to the region); otherwise every region
+    /// state is matched explicitly and out-of-region targets become the
+    /// escape sentinel `-(t+1)`, with the (unreachable, defensive)
+    /// fallthrough also escaping.
+    fn step_chain(
+        aut: &Automaton,
+        letter: u32,
+        sigma: &str,
+        region: Option<&BTreeSet<u32>>,
+    ) -> Expr {
+        match region {
+            None => {
+                let moves: Vec<(u32, u32)> = (0..aut.num_states())
+                    .filter_map(|s| {
+                        let t = aut.step(s, letter);
+                        (t != s).then_some((s, t))
+                    })
+                    .collect();
+                moves
+                    .into_iter()
+                    .rev()
+                    .fold(Expr::var(sigma), |acc, (s, t)| {
+                        Expr::if_(
+                            Expr::binop("=", Expr::var(sigma), Expr::int(s as i64)),
+                            Expr::int(t as i64),
+                            acc,
+                        )
+                    })
+            }
+            Some(r) => {
+                let closed = r.iter().all(|&s| r.contains(&aut.step(s, letter)));
+                if closed {
+                    r.iter()
+                        .filter_map(|&s| {
+                            let t = aut.step(s, letter);
+                            (t != s).then_some((s, t))
+                        })
+                        .collect::<Vec<_>>()
+                        .into_iter()
+                        .rev()
+                        .fold(Expr::var(sigma), |acc, (s, t)| {
+                            Expr::if_(
+                                Expr::binop("=", Expr::var(sigma), Expr::int(s as i64)),
+                                Expr::int(t as i64),
+                                acc,
+                            )
+                        })
+                } else {
+                    // The fallthrough sees σ < 0 (already escaped —
+                    // region states are all matched above and can't be
+                    // negative) and preserves it; a non-negative σ
+                    // outside the region (which the entry guard and the
+                    // sentinel invariant make unreachable) defensively
+                    // escapes as `-σ-1`. Putting the `σ < 0` test here
+                    // instead of guarding the whole action keeps the
+                    // in-region path exactly as cheap as the full
+                    // translation's.
+                    let fallthrough = Expr::if_(
+                        Expr::binop("<", Expr::var(sigma), Expr::int(0)),
+                        Expr::var(sigma),
+                        Expr::binop(
+                            "-",
+                            Expr::binop("-", Expr::int(0), Expr::var(sigma)),
+                            Expr::int(1),
+                        ),
+                    );
+                    r.iter().rev().fold(fallthrough, |acc, &s| {
+                        let t = aut.step(s, letter);
+                        let target = if r.contains(&t) {
+                            Expr::int(t as i64)
+                        } else {
+                            Expr::int(-(t as i64) - 1)
+                        };
+                        Expr::if_(
+                            Expr::binop("=", Expr::var(sigma), Expr::int(s as i64)),
+                            target,
+                            acc,
+                        )
+                    })
+                }
+            }
+        }
     }
 
     let aut = monitor.automaton().clone();
@@ -888,6 +1182,7 @@ pub fn spec_source_monitor(monitor: &monsem_tspec::SpecMonitor) -> SourceMonitor
 
     let pre_aut = aut.clone();
     let pre_ns = namespace.clone();
+    let pre_region = region.clone();
     let pre = move |ann: &Annotation| -> Option<Expr> {
         if ann.namespace != pre_ns {
             return None;
@@ -897,10 +1192,12 @@ pub fn spec_source_monitor(monitor: &monsem_tspec::SpecMonitor) -> SourceMonitor
             return None;
         }
         let letter = pre_aut.alphabet().pre_letter(nc);
-        Some(Expr::lam("sigma", step_chain(&pre_aut, letter, "sigma")))
+        let chain = step_chain(&pre_aut, letter, "sigma", pre_region.as_ref());
+        Some(Expr::lam("sigma", chain))
     };
 
     let post_aut = aut.clone();
+    let post_region = region;
     let post = move |ann: &Annotation| -> Option<Expr> {
         if ann.namespace != namespace {
             return None;
@@ -910,7 +1207,14 @@ pub fn spec_source_monitor(monitor: &monsem_tspec::SpecMonitor) -> SourceMonitor
         if !post_aut.post_relevant(nc) {
             return None;
         }
-        let e_class = |vc: usize| step_chain(&post_aut, alphabet.post_letter(nc, vc), "sigma");
+        let e_class = |vc: usize| {
+            step_chain(
+                &post_aut,
+                alphabet.post_letter(nc, vc),
+                "sigma",
+                post_region.as_ref(),
+            )
+        };
         // Mirror `classify_value`: non-integers (and everything, when no
         // constants cut the line) classify by the structural `unsorted`
         // test or fall into class 0.
@@ -1001,6 +1305,20 @@ pub fn spec_source_monitor(monitor: &monsem_tspec::SpecMonitor) -> SourceMonitor
 /// `L_λ` program computing `answer : final-DFA-state`.
 pub fn instrument_spec(program: &Expr, monitor: &monsem_tspec::SpecMonitor) -> Expr {
     instrument(program, &spec_source_monitor(monitor))
+}
+
+/// [`instrument`] ∘ [`spec_source_monitor_region`]: a self-monitoring
+/// program whose inlined transitions cover only the given state region.
+/// The result computes `answer : final-state` where a negative final
+/// state is the escape sentinel `-(t+1)` (see
+/// [`spec_source_monitor_region`]); non-negative final states carry the
+/// same meaning as in [`instrument_spec`].
+pub fn instrument_spec_region(
+    program: &Expr,
+    monitor: &monsem_tspec::SpecMonitor,
+    region: &[u32],
+) -> Expr {
+    instrument(program, &spec_source_monitor_region(monitor, region))
 }
 
 /// Decodes the integer final state returned by a self-monitoring program
@@ -1155,6 +1473,62 @@ mod tests {
         .unwrap()
     }
 
+    fn letrec_binding(e: &Expr, name: &str) -> Option<Expr> {
+        let mut found = None;
+        monsem_syntax::points::visit(e, |_, node| {
+            if let Expr::Letrec(bs, _) = node {
+                for b in bs {
+                    if b.name.as_str() == name {
+                        found = Some((*b.value).clone());
+                    }
+                }
+            }
+        });
+        found
+    }
+
+    #[test]
+    fn pure_letrec_functions_keep_the_direct_convention() {
+        let prog = parse_expr(
+            "letrec add = lambda a. lambda b. a + b \
+             and fac = lambda x. {fac}:(if x = 0 then 1 else add x (fac (x - 1))) \
+             in fac 4",
+        )
+        .unwrap();
+        let m = SpecMonitor::new("obs", "always(post(fac) => value >= 0)").unwrap();
+        let instrumented = instrument_spec(&prog, &m);
+        // `add` fires no events and every use is saturated, so its
+        // binding survives verbatim — no state parameter, no pairing.
+        assert_eq!(
+            letrec_binding(&instrumented, "add"),
+            Some(parse_expr("lambda a. lambda b. a + b").unwrap())
+        );
+        let (answer, state) = run_pair(&instrumented);
+        let (expected, s_i) = eval_monitored(&prog, &m).unwrap();
+        assert_eq!(answer, expected);
+        assert_eq!(state, Value::Int(s_i.state as i64));
+    }
+
+    #[test]
+    fn escaping_letrec_functions_stay_threaded() {
+        // `inc` is monitor-pure but escapes as a bare value into `app`,
+        // so it must keep the threading protocol.
+        let prog = parse_expr(
+            "letrec inc = lambda a. a + 1 \
+             and app = lambda f. lambda x. {A}:(f x) \
+             in app inc 5",
+        )
+        .unwrap();
+        let instrumented = instrument(&prog, &ab_profiler_source());
+        assert_ne!(
+            letrec_binding(&instrumented, "inc"),
+            Some(parse_expr("lambda a. a + 1").unwrap())
+        );
+        let (answer, state) = run_pair(&instrumented);
+        assert_eq!(answer, Value::Int(6));
+        assert_eq!(state, Value::pair(Value::Int(1), Value::Int(0)));
+    }
+
     #[test]
     fn self_monitoring_program_tracks_the_interpreted_spec() {
         let prog = fac_prog(6);
@@ -1183,6 +1557,41 @@ mod tests {
         let Value::Int(s) = state else { unreachable!() };
         assert!(m.automaton().is_dead(s as u32));
         assert!(spec_verdict(m.automaton(), s as u32).is_err());
+    }
+
+    #[test]
+    fn region_covering_all_states_matches_the_full_translation() {
+        let prog = fac_prog(6);
+        let m = SpecMonitor::new("pos", "always(post(fac) => value >= 1)").unwrap();
+        let all: Vec<u32> = m.automaton().reachable();
+        let instrumented = instrument_spec_region(&prog, &m, &all);
+        let (answer, state) = run_pair(&instrumented);
+        let (expected, s_i) = eval_monitored(&prog, &m).unwrap();
+        assert_eq!(answer, expected);
+        assert_eq!(state, Value::Int(s_i.state as i64));
+    }
+
+    #[test]
+    fn leaving_the_region_produces_the_escape_sentinel() {
+        let prog = parse_expr(
+            "letrec count = lambda x. if x = 0 then {A}:0 else {A}:(count (x - 1)) in count 3",
+        )
+        .unwrap();
+        let m = SpecMonitor::new("pos", "always(post(A) => value >= 1)").unwrap();
+        let (_, s_i) = eval_monitored(&prog, &m).unwrap();
+        let dead = s_i.state; // the violating run ends in the dead state
+        assert!(m.automaton().is_dead(dead));
+        // Compile only the non-dead states: the final transition leaves
+        // the region and the run ends on the sentinel -(dead+1).
+        let region: Vec<u32> = m
+            .automaton()
+            .reachable()
+            .into_iter()
+            .filter(|&s| s != dead)
+            .collect();
+        let instrumented = instrument_spec_region(&prog, &m, &region);
+        let (_, state) = run_pair(&instrumented);
+        assert_eq!(state, Value::Int(-(dead as i64) - 1));
     }
 
     #[test]

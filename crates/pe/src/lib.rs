@@ -54,11 +54,14 @@ pub mod pipeline;
 pub mod simplify;
 pub mod specialize;
 pub mod specmon;
+pub mod tiered;
 
-pub use engine::{compile, compile_monitored, CompiledProgram};
+pub use engine::{compile, compile_monitored, CompiledProgram, SiteCount, SiteStats};
 pub use instrument::{
-    instrument, instrument_spec, spec_source_monitor, spec_verdict, SourceMonitor,
+    instrument, instrument_spec, instrument_spec_region, spec_source_monitor,
+    spec_source_monitor_region, spec_verdict, SourceMonitor,
 };
 pub use simplify::simplify;
 pub use specialize::{specialize, SpecializeOptions};
 pub use specmon::SpecializedSpec;
+pub use tiered::{TierOutcome, TieredReport, TieredRun, TieredSession};

@@ -1,0 +1,731 @@
+//! Tiered, profile-guided specialization: promote hot programs to
+//! compiled residuals behind state-region guards.
+//!
+//! The §9.1 ladder gives three ways to run a temporal-spec-monitored
+//! program: interpret the monitor (level 1), compile the dispatch
+//! (level 2, [`SpecializedSpec`] on the [`engine`](crate::engine)), or
+//! compile the monitor *into* the program
+//! ([`instrument_spec`](crate::instrument_spec), level 3). Level 3 is
+//! fastest but costs a whole-program translation and fixes the compiled
+//! automaton up front. [`TieredSession`] climbs the ladder at run time
+//! instead, the way a tiered JIT does:
+//!
+//! 1. **Profile** — runs start on the hook tier (level 2), with the
+//!    engine's per-site event counters ([`SiteStats`]) and a DFA-state
+//!    probe riding along at negligible cost.
+//! 2. **Promote** — when a site crosses
+//!    [`TierPolicy::hot_threshold`], the session lazily invokes the
+//!    state-threading translation *restricted to the profiled state
+//!    region* ([`instrument_spec_region`]): transitions inside the
+//!    region inline as comparison chains; transitions that leave it
+//!    produce an escape sentinel. Functions that cannot observe events
+//!    keep their original calling convention (the translation's
+//!    polyvariance), so unmonitored call paths pay nothing.
+//! 3. **Guard** — a run may use the residual only if the start state is
+//!    in the compiled region; a negative (sentinel) final state means
+//!    the run left the region mid-way, and the session re-runs it on
+//!    the hook tier so results are *always* those of level 1.
+//! 4. **Demote & refine** — a guard-failure storm
+//!    ([`TierPolicy::demote_after`] consecutive escapes) demotes the
+//!    residual; the session then re-promotes with the region widened by
+//!    the escaped-to states, linking the new residual to its parent in
+//!    a [`SpecTree`] (mijit-style `Relatives`), so re-promotion refines
+//!    rather than recompiles from scratch — bounded by
+//!    [`TierPolicy::max_refinements`].
+//!
+//! Promotion is observably lazy: a session whose sites never get hot
+//! compiles nothing ([`TierStats::residuals_compiled`] stays 0).
+//! Programs containing `par` and enforcing monitors stay on the hook
+//! tier — the sequential state-threading translation does not model the
+//! fork-join interleaving, and a residual has no abort channel.
+//!
+//! A [`Budget`] attached to the session meters the residual tier: a
+//! compiled stretch fires no hooks, so the wall clock it burns is
+//! charged in bulk via [`Guarded::charge`]; exhaustion demotes the
+//! session back to the hook tier, where ordinary per-hook guarding
+//! applies.
+
+use crate::engine::{compile, compile_monitored, CompileError, CompiledProgram, SiteStats};
+use crate::instrument::{instrument_spec_region, spec_verdict};
+use crate::specmon::SpecializedSpec;
+use monsem_core::error::EvalError;
+use monsem_core::machine::EvalOptions;
+use monsem_core::Value;
+use monsem_monitor::fault::{Budget, GuardState, Guarded, Health};
+use monsem_monitor::spec::HookPhase;
+use monsem_monitor::{Monitor, Outcome, Scope, SpecTree, TierPolicy, TierStats};
+use monsem_syntax::{Annotation, Expr};
+use monsem_tspec::{SpecMonitor, SpecState};
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Which tier served a [`TieredSession::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierOutcome {
+    /// The profiling (hook) tier ran the program.
+    Profiled,
+    /// A compiled residual ran the program end to end.
+    Residual,
+    /// The residual escaped its state region; the hook tier re-ran the
+    /// program and produced the result.
+    GuardFallback,
+}
+
+/// The result of one tiered run.
+#[derive(Debug, Clone)]
+pub struct TieredRun {
+    /// The program's answer — identical across tiers.
+    pub value: Value,
+    /// The final DFA state — identical across tiers.
+    pub state: u32,
+    /// Which tier produced the result.
+    pub outcome: TierOutcome,
+    /// The full monitor state (events, trace), available whenever the
+    /// run went through the hook tier. A pure residual run threads only
+    /// the bare DFA state, so it has no event log to report.
+    pub full: Option<SpecState>,
+}
+
+/// A snapshot of a session's tiering machinery.
+#[derive(Debug, Clone)]
+pub struct TieredReport {
+    /// The tier counters.
+    pub stats: TierStats,
+    /// The state region of the active residual, if one is installed.
+    pub active_region: Option<Vec<u32>>,
+    /// Refinement depth of the active residual (0 for a first
+    /// promotion).
+    pub lineage: usize,
+    /// Sites currently over the promotion threshold.
+    pub hot_sites: Vec<usize>,
+    /// Budget health ([`Health::Ok`] when no budget is attached or the
+    /// budget is not exhausted).
+    pub health: Health,
+}
+
+/// A compiled residual in the specialization cache.
+#[derive(Debug)]
+struct Residual {
+    region: Vec<u32>,
+    program: CompiledProgram,
+    refinements: u32,
+}
+
+/// Wraps the hook-tier monitor to record which DFA states a profiled
+/// run visits — the "per DFA-state region" half of the profile, driving
+/// the region choice at promotion. Interior mutability because monitor
+/// hooks take `&self`; the sequential engine never aliases the probe.
+struct StateProfiler<'a> {
+    inner: &'a SpecializedSpec,
+    visited: RefCell<BTreeSet<u32>>,
+}
+
+impl StateProfiler<'_> {
+    fn record(&self, out: &Outcome<SpecState>) {
+        let s = match out {
+            Outcome::Continue(s) => s,
+            Outcome::Abort { state, .. } => state,
+        };
+        self.visited.borrow_mut().insert(s.state);
+    }
+}
+
+impl Monitor for StateProfiler<'_> {
+    type State = SpecState;
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn accepts(&self, ann: &Annotation) -> bool {
+        self.inner.accepts(ann)
+    }
+
+    fn accepts_event(&self, ann: &Annotation, phase: HookPhase) -> bool {
+        self.inner.accepts_event(ann, phase)
+    }
+
+    fn initial_state(&self) -> SpecState {
+        let s = self.inner.initial_state();
+        self.visited.borrow_mut().insert(s.state);
+        s
+    }
+
+    fn try_pre(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        state: SpecState,
+    ) -> Outcome<SpecState> {
+        let out = self.inner.try_pre(ann, expr, scope, state);
+        self.record(&out);
+        out
+    }
+
+    fn try_post(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        state: SpecState,
+    ) -> Outcome<SpecState> {
+        let out = self.inner.try_post(ann, expr, scope, value, state);
+        self.record(&out);
+        out
+    }
+
+    fn pre(&self, ann: &Annotation, expr: &Expr, scope: &Scope<'_>, state: SpecState) -> SpecState {
+        match self.try_pre(ann, expr, scope, state) {
+            Outcome::Continue(s) | Outcome::Abort { state: s, .. } => s,
+        }
+    }
+
+    fn post(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        state: SpecState,
+    ) -> SpecState {
+        match self.try_post(ann, expr, scope, value, state) {
+            Outcome::Continue(s) | Outcome::Abort { state: s, .. } => s,
+        }
+    }
+
+    fn render_state(&self, state: &SpecState) -> String {
+        self.inner.render_state(state)
+    }
+}
+
+fn contains_par(e: &Expr) -> bool {
+    let mut found = false;
+    monsem_syntax::points::visit(e, |_, node| {
+        if matches!(node, Expr::Par(_)) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// The tiered driver: owns the profile, the specialization cache, and
+/// the promotion/demotion state machine described in the module docs.
+///
+/// ```
+/// use monsem_pe::TieredSession;
+/// use monsem_monitor::TierPolicy;
+/// use monsem_syntax::parse_expr;
+/// use monsem_tspec::SpecMonitor;
+///
+/// let prog = parse_expr(
+///     "letrec fac = lambda x. {fac}:(if x = 0 then 1 else x * (fac (x - 1))) in fac 10",
+/// )?;
+/// let m = SpecMonitor::new("pos", "always(post(fac) => value >= 1)")?;
+/// let mut session = TieredSession::new(&prog, m)?
+///     .policy(TierPolicy::default().hot_threshold(8));
+/// let cold = session.run()?; // profiling tier
+/// let hot = session.run()?;  // site is hot now: compiled residual
+/// assert_eq!(cold.value, hot.value);
+/// assert_eq!(cold.state, hot.state);
+/// assert_eq!(session.stats().residuals_compiled, 1);
+/// assert!(session.verdict(hot.state).is_ok());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct TieredSession {
+    program: Expr,
+    monitor: SpecMonitor,
+    specialized: SpecializedSpec,
+    compiled: CompiledProgram,
+    options: EvalOptions,
+    policy: TierPolicy,
+    site_stats: SiteStats,
+    stats: TierStats,
+    has_par: bool,
+    visited: BTreeSet<u32>,
+    cache: SpecTree<Residual>,
+    active: Option<usize>,
+    consecutive_failures: u32,
+    pending_escapes: BTreeSet<u32>,
+    pinned: bool,
+    guard: Option<(Guarded<SpecMonitor>, GuardState<SpecState>)>,
+}
+
+impl TieredSession {
+    /// Builds a session for `program` monitored against `monitor`'s
+    /// spec. Compiles the hook tier eagerly (it serves the first run);
+    /// residuals are compiled only on promotion.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError`] if the program uses constructs the compiled
+    /// engine does not support (assignment, `while`).
+    pub fn new(program: &Expr, monitor: SpecMonitor) -> Result<TieredSession, CompileError> {
+        let specialized = SpecializedSpec::new(program, monitor.clone());
+        let compiled = compile_monitored(program, &specialized)?;
+        let site_stats = SiteStats::for_program(&compiled);
+        let has_par = contains_par(program);
+        Ok(TieredSession {
+            program: program.clone(),
+            monitor,
+            specialized,
+            compiled,
+            options: EvalOptions::default(),
+            policy: TierPolicy::default(),
+            site_stats,
+            stats: TierStats::default(),
+            has_par,
+            visited: BTreeSet::new(),
+            cache: SpecTree::new(),
+            active: None,
+            consecutive_failures: 0,
+            pending_escapes: BTreeSet::new(),
+            pinned: false,
+            guard: None,
+        })
+    }
+
+    /// Sets the promotion policy.
+    pub fn policy(mut self, policy: TierPolicy) -> TieredSession {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the evaluation options used by every tier.
+    pub fn options(mut self, options: EvalOptions) -> TieredSession {
+        self.options = options;
+        self
+    }
+
+    /// Attaches a monitoring budget. Hook-tier events are charged
+    /// against the step budget; residual runs — which fire no hooks —
+    /// are charged in bulk against the wall budget via
+    /// [`Guarded::charge`] (conservatively: the whole residual run
+    /// counts as monitoring time, since the inlined transitions are
+    /// inseparable from the program). An exhausted budget demotes the
+    /// session to the hook tier for good; [`TieredReport::health`]
+    /// says so.
+    pub fn budget(mut self, budget: Budget) -> TieredSession {
+        let guard = Guarded::new(self.monitor.clone()).budget(budget);
+        let gs = guard.initial_state();
+        self.guard = Some((guard, gs));
+        self
+    }
+
+    /// The spec monitor this session enforces.
+    pub fn monitor(&self) -> &SpecMonitor {
+        &self.monitor
+    }
+
+    /// The tier counters.
+    pub fn stats(&self) -> &TierStats {
+        &self.stats
+    }
+
+    /// The per-site event profile.
+    pub fn site_stats(&self) -> &SiteStats {
+        &self.site_stats
+    }
+
+    /// The state region of the active residual, if one is installed.
+    pub fn active_region(&self) -> Option<&[u32]> {
+        self.active
+            .and_then(|id| self.cache.get(id))
+            .map(|r| r.region.as_slice())
+    }
+
+    /// Decodes a final DFA state as a spec verdict, as
+    /// [`spec_verdict`].
+    ///
+    /// # Errors
+    ///
+    /// The violation reason, if the trace is not accepted.
+    pub fn verdict(&self, state: u32) -> Result<(), String> {
+        spec_verdict(self.monitor.automaton(), state)
+    }
+
+    /// A snapshot of the tiering machinery.
+    pub fn report(&self) -> TieredReport {
+        TieredReport {
+            stats: self.stats,
+            active_region: self.active_region().map(|r| r.to_vec()),
+            lineage: self
+                .active
+                .map(|id| self.cache.ancestors(id).len())
+                .unwrap_or(0),
+            hot_sites: self.site_stats.hot_sites(self.policy.hot_threshold),
+            health: self
+                .guard
+                .as_ref()
+                .map(|(_, gs)| gs.health.clone())
+                .unwrap_or(Health::Ok),
+        }
+    }
+
+    /// Runs the program once on the best tier currently available.
+    ///
+    /// The result — answer and final DFA state — is always that of the
+    /// level-1 monitored run: a residual whose guard fails falls back
+    /// to the hook tier transparently (reported as
+    /// [`TierOutcome::GuardFallback`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`EvalError`] the program provokes; for an enforcing
+    /// monitor, [`EvalError::MonitorAbort`] on violation (enforcing
+    /// monitors never promote, so the abort channel is always live).
+    pub fn run(&mut self) -> Result<TieredRun, EvalError> {
+        if let Some(id) = self.active {
+            let residual = self.cache.get(id).expect("active residual is cached");
+            let started = Instant::now();
+            let result = residual
+                .program
+                .run_monitored(&monsem_monitor::IdentityMonitor, &self.options)
+                .map(|(v, ())| v);
+            let elapsed = started.elapsed();
+            self.charge_wall(elapsed);
+            let (value, sigma) = split_pair(result?);
+            if sigma >= 0 {
+                self.stats.residual_runs += 1;
+                self.consecutive_failures = 0;
+                return Ok(TieredRun {
+                    value,
+                    state: sigma as u32,
+                    outcome: TierOutcome::Residual,
+                    full: None,
+                });
+            }
+            // Guard failure: the run left the compiled region. The
+            // sentinel encodes the state it escaped to; remember it for
+            // refinement and let the hook tier produce the real result.
+            self.stats.guard_failures += 1;
+            self.consecutive_failures += 1;
+            self.pending_escapes.insert((-sigma - 1) as u32);
+            let mut run = self.run_profiled()?;
+            run.outcome = TierOutcome::GuardFallback;
+            if self.active.is_some() && self.consecutive_failures >= self.policy.demote_after {
+                self.demote_and_refine();
+            }
+            return Ok(run);
+        }
+        let run = self.run_profiled()?;
+        self.maybe_promote();
+        Ok(run)
+    }
+
+    /// One hook-tier run: level-2 engine, site counters, state probe.
+    fn run_profiled(&mut self) -> Result<TieredRun, EvalError> {
+        let probe = StateProfiler {
+            inner: &self.specialized,
+            visited: RefCell::new(BTreeSet::new()),
+        };
+        let events_before = self.site_stats.total();
+        let outcome =
+            self.compiled
+                .run_monitored_profiled(&probe, &self.options, &mut self.site_stats);
+        self.visited.extend(probe.visited.into_inner());
+        let delta = self.site_stats.total() - events_before;
+        self.stats.interpreted_runs += 1;
+        self.stats.profiled_events += delta;
+        if let Some((guard, gs)) = self.guard.as_mut() {
+            guard.charge(gs, delta, std::time::Duration::ZERO);
+        }
+        let (value, state) = outcome?;
+        Ok(TieredRun {
+            value,
+            state: state.state,
+            outcome: TierOutcome::Profiled,
+            full: Some(state),
+        })
+    }
+
+    /// Promotes when the profile says so: some site crossed the
+    /// threshold, the program is promotable, and the cache has room.
+    fn maybe_promote(&mut self) {
+        if self.active.is_some()
+            || self.pinned
+            || self.has_par
+            || self.monitor.is_enforcing()
+            || self.stats.residuals_compiled as usize >= self.policy.max_residuals
+            || self
+                .site_stats
+                .hot_sites(self.policy.hot_threshold)
+                .is_empty()
+        {
+            return;
+        }
+        let mut region = self.visited.clone();
+        region.insert(self.monitor.automaton().start());
+        let region: Vec<u32> = region.into_iter().collect();
+        self.install(region, None);
+    }
+
+    /// Compiles and installs a residual for `region`, linked under
+    /// `parent` when it is a refinement. Declines (pinning the session
+    /// to the hook tier) if the region does not contain the start state
+    /// — the entry guard — or the residual fails to compile.
+    fn install(&mut self, region: Vec<u32>, parent: Option<usize>) {
+        if !region.contains(&self.monitor.automaton().start()) {
+            self.pinned = true;
+            return;
+        }
+        let source = instrument_spec_region(&self.program, &self.monitor, &region);
+        let Ok(program) = compile(&source) else {
+            self.pinned = true;
+            return;
+        };
+        let refinements = parent
+            .and_then(|p| self.cache.get(p))
+            .map(|r| r.refinements + 1)
+            .unwrap_or(0);
+        let residual = Residual {
+            region,
+            program,
+            refinements,
+        };
+        self.stats.residuals_compiled += 1;
+        let id = match parent {
+            None => {
+                self.stats.promotions += 1;
+                self.cache.root(residual)
+            }
+            Some(p) => {
+                self.stats.refinements += 1;
+                self.cache.refine(p, residual)
+            }
+        };
+        self.active = Some(id);
+        self.consecutive_failures = 0;
+    }
+
+    /// Demotes the active residual after a guard-failure storm and —
+    /// refinement budget permitting — re-promotes with the region
+    /// widened by everything learned since: the escaped-to states and
+    /// the states the fallback runs visited.
+    fn demote_and_refine(&mut self) {
+        let Some(id) = self.active.take() else {
+            return;
+        };
+        self.stats.demotions += 1;
+        self.consecutive_failures = 0;
+        let parent = self.cache.get(id).expect("demoted residual is cached");
+        if parent.refinements >= self.policy.max_refinements {
+            self.pinned = true;
+            self.pending_escapes.clear();
+            return;
+        }
+        let mut region: BTreeSet<u32> = parent.region.iter().copied().collect();
+        region.append(&mut self.pending_escapes);
+        region.extend(self.visited.iter().copied());
+        self.install(region.into_iter().collect(), Some(id));
+    }
+
+    /// Forces promotion with an explicit state region (a tuning and
+    /// testing hook — normal operation promotes from the profile).
+    /// Returns whether a residual was installed.
+    pub fn promote_with_region(&mut self, region: &[u32]) -> bool {
+        if self.has_par || self.monitor.is_enforcing() {
+            return false;
+        }
+        let parent = self.active.take();
+        let mut region = region.to_vec();
+        region.sort_unstable();
+        region.dedup();
+        let was_pinned = self.pinned;
+        self.pinned = false;
+        self.install(region, parent);
+        if self.active.is_none() {
+            self.pinned = was_pinned || self.pinned;
+        }
+        self.active.is_some()
+    }
+
+    /// Forces demotion to the hook tier (the residual stays cached; the
+    /// profile keeps accumulating and may re-promote later).
+    pub fn demote(&mut self) {
+        if self.active.take().is_some() {
+            self.stats.demotions += 1;
+            self.consecutive_failures = 0;
+        }
+    }
+
+    /// Charges a hook-free residual stretch against the wall budget.
+    fn charge_wall(&mut self, elapsed: std::time::Duration) {
+        if let Some((guard, gs)) = self.guard.as_mut() {
+            guard.charge(gs, 0, elapsed);
+            if !gs.health.is_ok() {
+                // Over budget: compiled monitoring is too expensive.
+                // Back to the hook tier, where per-hook guarding rules.
+                self.active = None;
+                self.pinned = true;
+            }
+        }
+    }
+}
+
+/// Splits the `answer : state` pair a residual computes.
+fn split_pair(v: Value) -> (Value, i64) {
+    match v {
+        Value::Pair(a, s) => match &*s {
+            Value::Int(i) => ((*a).clone(), *i),
+            other => panic!("residual state must be an integer, got {other}"),
+        },
+        other => panic!("residual must compute answer : state, got {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_monitor::machine::eval_monitored;
+    use monsem_syntax::parse_expr;
+
+    fn fac_prog(n: i64) -> Expr {
+        parse_expr(&format!(
+            "letrec fac = lambda x. {{fac}}:(if x = 0 then 1 else x * (fac (x - 1))) in fac {n}"
+        ))
+        .unwrap()
+    }
+
+    fn pos_monitor() -> SpecMonitor {
+        SpecMonitor::new("pos", "always(post(fac) => value >= 1)").unwrap()
+    }
+
+    #[test]
+    fn cold_sessions_compile_nothing() {
+        let mut s = TieredSession::new(&fac_prog(3), pos_monitor()).unwrap();
+        // 4 events per run, default threshold 32: stays cold for a while.
+        for _ in 0..3 {
+            let r = s.run().unwrap();
+            assert_eq!(r.outcome, TierOutcome::Profiled);
+        }
+        assert_eq!(s.stats().residuals_compiled, 0, "promotion is lazy");
+        assert_eq!(s.stats().interpreted_runs, 3);
+        assert!(s.active_region().is_none());
+    }
+
+    #[test]
+    fn hot_sites_promote_and_the_residual_matches_level_1() {
+        let prog = fac_prog(8);
+        let m = pos_monitor();
+        let (expected, level1) = eval_monitored(&prog, &m).unwrap();
+        let mut s = TieredSession::new(&prog, m)
+            .unwrap()
+            .policy(TierPolicy::default().hot_threshold(4));
+        let first = s.run().unwrap();
+        assert_eq!(first.outcome, TierOutcome::Profiled);
+        assert_eq!(s.stats().promotions, 1, "first run tipped the site hot");
+        let second = s.run().unwrap();
+        assert_eq!(second.outcome, TierOutcome::Residual);
+        assert_eq!(second.value, expected);
+        assert_eq!(second.state, level1.state);
+        assert_eq!(first.state, level1.state);
+        assert_eq!(s.stats().residual_runs, 1);
+        assert!(s.verdict(second.state).is_ok());
+    }
+
+    #[test]
+    fn guard_failure_falls_back_demotes_and_refines() {
+        // The run violates `pos` (every post value is 0), so level 1
+        // ends in the dead state.
+        let prog = parse_expr(
+            "letrec count = lambda x. if x = 0 then {fac}:0 else {fac}:(count (x - 1)) in count 4",
+        )
+        .unwrap();
+        let m = pos_monitor();
+        let (expected, level1) = eval_monitored(&prog, &m).unwrap();
+        assert!(m.automaton().is_dead(level1.state));
+        // Default threshold (32) keeps the first run cold: the forced
+        // promotion below is a root, not a refinement.
+        let mut s = TieredSession::new(&prog, m)
+            .unwrap()
+            .policy(TierPolicy::default().demote_after(1));
+        s.run().unwrap();
+        // Install a residual whose region excludes the dead state: the
+        // violating transition escapes, so the residual guard-fails.
+        let region: Vec<u32> = s
+            .monitor()
+            .automaton()
+            .reachable()
+            .into_iter()
+            .filter(|&t| t != level1.state)
+            .collect();
+        assert!(s.promote_with_region(&region));
+        let r = s.run().unwrap();
+        assert_eq!(r.outcome, TierOutcome::GuardFallback);
+        assert_eq!(r.value, expected);
+        assert_eq!(r.state, level1.state, "fallback preserves the DFA state");
+        assert_eq!(s.stats().guard_failures, 1);
+        assert_eq!(s.stats().demotions, 1);
+        // demote_after(1) refines immediately with the escaped-to state.
+        assert_eq!(s.stats().refinements, 1);
+        let region = s.active_region().expect("refined residual installed");
+        assert!(region.len() > 1, "region widened: {region:?}");
+        let refined = s.run().unwrap();
+        assert_eq!(refined.outcome, TierOutcome::Residual);
+        assert_eq!(refined.state, level1.state);
+    }
+
+    #[test]
+    fn par_programs_never_promote() {
+        let prog = parse_expr("par({a}:1, {a}:2) ; {a}:3").unwrap();
+        let m = SpecMonitor::new("obs", "always(post(a) => value >= 0)").unwrap();
+        let mut s = TieredSession::new(&prog, m)
+            .unwrap()
+            .policy(TierPolicy::default().hot_threshold(1));
+        for _ in 0..4 {
+            assert_eq!(s.run().unwrap().outcome, TierOutcome::Profiled);
+        }
+        assert_eq!(s.stats().residuals_compiled, 0);
+        assert!(
+            !s.promote_with_region(&[0]),
+            "forced promotion declines too"
+        );
+    }
+
+    #[test]
+    fn enforcing_monitors_stay_on_the_hook_tier() {
+        let prog = fac_prog(5);
+        let m = pos_monitor().enforcing();
+        let mut s = TieredSession::new(&prog, m)
+            .unwrap()
+            .policy(TierPolicy::default().hot_threshold(1));
+        s.run().unwrap();
+        s.run().unwrap();
+        assert_eq!(s.stats().residuals_compiled, 0);
+    }
+
+    #[test]
+    fn exhausted_budget_demotes_for_good() {
+        let prog = fac_prog(8);
+        let mut s = TieredSession::new(&prog, pos_monitor())
+            .unwrap()
+            .policy(TierPolicy::default().hot_threshold(4))
+            .budget(Budget::unlimited().with_wall(std::time::Duration::ZERO));
+        s.run().unwrap(); // profiles and promotes
+        assert_eq!(s.stats().promotions, 1);
+        let r = s.run().unwrap(); // residual run charges > 0 wall
+        assert_eq!(r.outcome, TierOutcome::Residual, "the run still completes");
+        assert!(!s.report().health.is_ok());
+        assert_eq!(s.run().unwrap().outcome, TierOutcome::Profiled);
+        s.run().unwrap();
+        assert_eq!(s.stats().residuals_compiled, 1, "no re-promotion");
+    }
+
+    #[test]
+    fn report_surfaces_the_machinery() {
+        let prog = fac_prog(8);
+        let mut s = TieredSession::new(&prog, pos_monitor())
+            .unwrap()
+            .policy(TierPolicy::default().hot_threshold(4));
+        s.run().unwrap();
+        let report = s.report();
+        assert_eq!(report.stats.promotions, 1);
+        assert!(report.active_region.is_some());
+        assert_eq!(report.lineage, 0);
+        assert!(!report.hot_sites.is_empty());
+        assert!(report.health.is_ok());
+    }
+}

@@ -934,6 +934,61 @@ impl Automaton {
     pub fn naive_word(&self, word: &[u32]) -> bool {
         naive_accepts(&self.re, word)
     }
+
+    // ---- state-region queries (tiered specialization) -------------------
+
+    /// All states reachable from the start state — the universe a tiered
+    /// compiler may ever need to cover. (Every table state is reachable
+    /// by construction, so this is simply `0..num_states()`.)
+    pub fn reachable(&self) -> Vec<u32> {
+        (0..self.nstates).collect()
+    }
+
+    /// The transition closure of `seeds`: the smallest superset of the
+    /// seed states closed under [`Automaton::step`] over every letter.
+    /// A residual compiled for a closed region can never be escaped, so
+    /// its guards reduce to the entry check.
+    ///
+    /// States out of range are ignored; the result is sorted and deduped.
+    pub fn closure(&self, seeds: &[u32]) -> Vec<u32> {
+        let n = self.nstates as usize;
+        let mut member = vec![false; n];
+        let mut work: Vec<u32> = Vec::new();
+        for &s in seeds {
+            if (s as usize) < n && !member[s as usize] {
+                member[s as usize] = true;
+                work.push(s);
+            }
+        }
+        while let Some(s) = work.pop() {
+            for c in 0..self.nclasses {
+                let t = self.step_class(s, c);
+                if !member[t as usize] {
+                    member[t as usize] = true;
+                    work.push(t);
+                }
+            }
+        }
+        (0..self.nstates).filter(|&s| member[s as usize]).collect()
+    }
+
+    /// Whether `region` is closed under the transition function: no
+    /// letter can move a region state to a state outside the region.
+    /// A guard protecting a residual compiled for a closed region can
+    /// never fire mid-run.
+    pub fn is_closed(&self, region: &[u32]) -> bool {
+        let n = self.nstates as usize;
+        let mut member = vec![false; n];
+        for &s in region {
+            if (s as usize) < n {
+                member[s as usize] = true;
+            }
+        }
+        region
+            .iter()
+            .filter(|&&s| (s as usize) < n)
+            .all(|&s| (0..self.nclasses).all(|c| member[self.step_class(s, c) as usize]))
+    }
 }
 
 #[cfg(test)]
@@ -1015,6 +1070,32 @@ mod tests {
         ] {
             assert_eq!(aut.accepts_word(&word), aut.naive_word(&word), "{word:?}");
         }
+    }
+
+    #[test]
+    fn state_region_queries_report_closure_and_closedness() {
+        let aut = compile("always(post(fac) => value >= 1)");
+        let all = aut.reachable();
+        assert_eq!(all.len(), aut.num_states() as usize);
+        // The closure of the start state is the whole reachable set and
+        // is closed; the start state alone is not (the dead state is
+        // reachable from it but not in the singleton region).
+        let closed = aut.closure(&[aut.start()]);
+        assert_eq!(closed, all);
+        assert!(aut.is_closed(&closed));
+        assert!(!aut.is_closed(&[aut.start()]));
+        // A dead state self-loops on everything: a closed singleton.
+        let a = aut.alphabet();
+        let nc = a.name_class(&Ident::new("fac"));
+        let dead = aut.step(
+            aut.start(),
+            a.post_letter(nc, a.classify_value(&Value::Int(0))),
+        );
+        assert!(aut.is_closed(&[dead]));
+        assert_eq!(aut.closure(&[dead]), vec![dead]);
+        // Out-of-range seeds are ignored rather than panicking.
+        assert_eq!(aut.closure(&[999]), Vec::<u32>::new());
+        assert!(aut.is_closed(&[]));
     }
 
     #[test]

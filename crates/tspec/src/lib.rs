@@ -6,7 +6,8 @@
 //! rest of the workspace. A specification is written in a small surface
 //! syntax over monitor events — regular expressions extended with
 //! intersection, complement, and past-time temporal sugar
-//! (`always`, `never`, `eventually`, `respond`) — and compiled via
+//! (`always`, `never`, `eventually`, `until`, `release`, `respond`) —
+//! and compiled via
 //! Brzozowski derivatives into a deterministic automaton whose
 //! transition function becomes the monitor's hook.
 //!

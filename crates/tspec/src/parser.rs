@@ -11,6 +11,7 @@
 //! primary := '(' expr ')' | '[' pred ']' | 'any' | 'none' | 'empty'
 //!          | 'always' '(' pred ')' | 'never' '(' pred ')'
 //!          | 'eventually' '(' pred ')'
+//!          | 'until' '(' pred ',' pred ')' | 'release' '(' pred ',' pred ')'
 //!          | 'respond' '(' pred ',' pred ',' INT ')'
 //!          | patom                      -- bare atoms are sugar for [atom]
 //!
@@ -30,6 +31,15 @@
 //!   is exempt, so `always` ranges over hook events only
 //! * `never(p)`      ⇒ `[not p]*`
 //! * `eventually(p)` ⇒ `any* ; [p] ; any*`
+//! * `until(p, q)`   ⇒ `[p and not q]* ; [q] ; any*` — strong until: `p`
+//!   holds at every event strictly before the first `q` event, and `q`
+//!   must eventually occur.  A trace that ends (hits `done`) before any
+//!   `q` event violates the spec.
+//! * `release(p, q)` ⇒ `!([not p and q]* ; [not q and not done] ; any*)` —
+//!   the LTL dual of until: `q` holds up to and *including* the first
+//!   event where `p` holds (`p` releases `q`).  If `p` never holds, `q`
+//!   must hold at every hook event; like `always`, the synthetic `done`
+//!   marker is exempt, so a trace may end without `p` ever occurring.
 //! * `respond(p, q, k)` ⇒ `!(any* ; [p and not q] ; [not q]{k} ; any*)` —
 //!   every `p` event must be answered by a `q` event within `k` events.
 //!   The synthetic `done` event counts against the window, so a trace that
@@ -246,6 +256,51 @@ impl Parser {
                         )),
                     ))
                 }
+                "until" => {
+                    self.pos += 1;
+                    self.expect(Tok::LParen, "`(` after `until`")?;
+                    let p = self.pred()?;
+                    self.expect(Tok::Comma, "`,` between `until` arguments")?;
+                    let q = self.pred()?;
+                    self.expect(Tok::RParen, "`)`")?;
+                    // `[p and not q]* ; [q] ; any*` — strong until.
+                    Ok(SpecExpr::Cat(
+                        Box::new(SpecExpr::Star(Box::new(SpecExpr::Event(Pred::And(
+                            Box::new(p),
+                            Box::new(Pred::Not(Box::new(q.clone()))),
+                        ))))),
+                        Box::new(SpecExpr::Cat(
+                            Box::new(SpecExpr::Event(q)),
+                            Box::new(SpecExpr::Star(Box::new(SpecExpr::Any))),
+                        )),
+                    ))
+                }
+                "release" => {
+                    self.pos += 1;
+                    self.expect(Tok::LParen, "`(` after `release`")?;
+                    let p = self.pred()?;
+                    self.expect(Tok::Comma, "`,` between `release` arguments")?;
+                    let q = self.pred()?;
+                    self.expect(Tok::RParen, "`)`")?;
+                    // `!([not p and q]* ; [not q and not done] ; any*)` —
+                    // a violation is a `not q` hook event reached while no
+                    // earlier event released the obligation (`p` held) or
+                    // already violated it (`q` failed).  `done` is exempt.
+                    let bad = SpecExpr::Cat(
+                        Box::new(SpecExpr::Star(Box::new(SpecExpr::Event(Pred::And(
+                            Box::new(Pred::Not(Box::new(p))),
+                            Box::new(q.clone()),
+                        ))))),
+                        Box::new(SpecExpr::Cat(
+                            Box::new(SpecExpr::Event(Pred::And(
+                                Box::new(Pred::Not(Box::new(q))),
+                                Box::new(Pred::Not(Box::new(Pred::Atom(Atom::Done)))),
+                            ))),
+                            Box::new(SpecExpr::Star(Box::new(SpecExpr::Any))),
+                        )),
+                    );
+                    Ok(SpecExpr::Not(Box::new(bad)))
+                }
                 "respond" => {
                     self.pos += 1;
                     self.expect(Tok::LParen, "`(` after `respond`")?;
@@ -441,6 +496,28 @@ mod tests {
     fn respond_desugars_to_a_complement() {
         let e = parse_spec("respond(pre(req), post(ack), 3)").unwrap();
         assert!(matches!(e, SpecExpr::Not(_)));
+    }
+
+    #[test]
+    fn until_desugars_to_a_guarded_prefix() {
+        let e = parse_spec("until(pre(req), post(ack))").unwrap();
+        let SpecExpr::Cat(star, rest) = e else {
+            panic!("until should desugar to a concatenation");
+        };
+        assert!(matches!(*star, SpecExpr::Star(_)));
+        assert!(matches!(*rest, SpecExpr::Cat(_, _)));
+    }
+
+    #[test]
+    fn release_desugars_to_a_complement() {
+        let e = parse_spec("release(post(init), post(ok))").unwrap();
+        assert!(matches!(e, SpecExpr::Not(_)));
+    }
+
+    #[test]
+    fn until_and_release_demand_two_arguments() {
+        assert!(parse_spec("until(pre(a))").is_err());
+        assert!(parse_spec("release(pre(a))").is_err());
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Tiered execution correctness: the profile-guided ladder in
+//! [`TieredSession`] must be invisible — every run, whatever tier serves
+//! it, produces exactly the level-1 (interpreted-monitor) answer and
+//! final DFA state.
+//!
+//! Three differential properties on generated programs:
+//!
+//! 1. **Tier transparency** — repeated tiered runs (which climb from
+//!    the profiling tier to compiled residuals once sites get hot)
+//!    all agree with `eval_monitored`; programs containing `par` never
+//!    leave the profiling tier.
+//! 2. **Demotion safety** — forcing promotion to a full-region residual
+//!    and then demoting mid-session preserves the DFA state exactly
+//!    across the tier changes, in both directions.
+//! 3. **Laziness** — a session whose sites never cross the threshold
+//!    compiles nothing, observable through [`TieredSession::stats`].
+
+use monitoring_semantics::core::machine::EvalOptions;
+use monitoring_semantics::core::{Env, EvalError, Value};
+use monitoring_semantics::monitor::machine::eval_monitored_with;
+use monitoring_semantics::monitor::{Monitor, TierPolicy};
+use monitoring_semantics::pe::{TierOutcome, TieredSession};
+use monitoring_semantics::syntax::gen::{gen_program, sprinkle_annotations, GenConfig};
+use monitoring_semantics::syntax::{Expr, Namespace};
+use monitoring_semantics::tspec::{SpecMonitor, SpecState};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FUEL: u64 = 800_000;
+
+fn neg_spec() -> SpecMonitor {
+    SpecMonitor::new("no-negatives", "never(post(_) and value < 0)")
+        .unwrap()
+        .in_namespace(Namespace::new("ns"))
+}
+
+fn annotated_program(seed: u64, density: u16, par_chance: f64) -> Expr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = GenConfig {
+        par_chance,
+        ..GenConfig::default()
+    };
+    let plain = gen_program(&mut rng, &config);
+    sprinkle_annotations(
+        &mut rng,
+        &plain,
+        &Namespace::new("ns"),
+        f64::from(density) / 1000.0,
+    )
+}
+
+/// The level-1 reference: interpreted monitor on the strict machine.
+fn level1(program: &Expr, m: &SpecMonitor) -> Result<(Value, SpecState), EvalError> {
+    eval_monitored_with(
+        program,
+        &Env::empty(),
+        m,
+        m.initial_state(),
+        &EvalOptions::with_fuel(FUEL),
+    )
+}
+
+fn fuel_exhausted(e: &EvalError) -> bool {
+    matches!(e, EvalError::FuelExhausted)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every tiered run equals level 1, across the promotion boundary:
+    /// with `hot_threshold(1)` the second run of any program that fires
+    /// a hook is served by a compiled residual (unless it contains
+    /// `par`, which must stay on the profiling tier).
+    #[test]
+    fn tiered_runs_match_level_1(seed: u64, density in 100u16..=1000) {
+        let program = annotated_program(seed, density, 0.15);
+        let m = neg_spec();
+        let reference = level1(&program, &m);
+        let mut session = match TieredSession::new(&program, m) {
+            Ok(s) => s
+                .policy(TierPolicy::default().hot_threshold(1).demote_after(1))
+                .options(EvalOptions::with_fuel(FUEL)),
+            // The engine declines imperative constructs; gen_program
+            // emits none, but be explicit rather than assume.
+            Err(e) => return Err(TestCaseError::fail(format!("compile: {e}"))),
+        };
+        let has_par = {
+            let mut found = false;
+            monitoring_semantics::syntax::points::visit(&program, |_, n| {
+                if matches!(n, Expr::Par(_)) { found = true; }
+            });
+            found
+        };
+        for round in 0..4 {
+            match (&reference, session.run()) {
+                (Ok((value, state)), Ok(run)) => {
+                    prop_assert_eq!(&run.value, value, "round {} answer", round);
+                    prop_assert_eq!(run.state, state.state, "round {} state", round);
+                }
+                (Err(e), Err(f)) => {
+                    prop_assert_eq!(e.to_string(), f.to_string());
+                }
+                // The residual evaluates monitor transitions as program
+                // steps, so fuel accounting may differ across tiers —
+                // a fuel verdict on either side is inconclusive.
+                (Ok(_), Err(f)) if fuel_exhausted(&f) => return Ok(()),
+                (Err(e), Ok(_)) if fuel_exhausted(e) => return Ok(()),
+                (r, t) => {
+                    return Err(TestCaseError::fail(format!(
+                        "round {round}: reference {r:?} vs tiered {t:?}"
+                    )));
+                }
+            }
+        }
+        if has_par {
+            prop_assert_eq!(
+                session.stats().residuals_compiled, 0,
+                "par programs must stay on the profiling tier"
+            );
+            prop_assert_eq!(session.stats().interpreted_runs, 4);
+        }
+    }
+
+    /// Forcing a promotion and a demotion mid-session never perturbs
+    /// the DFA state: profiled → residual → profiled all end where
+    /// level 1 ends.
+    #[test]
+    fn forced_demotion_preserves_the_dfa_state(seed: u64, density in 100u16..=1000) {
+        let program = annotated_program(seed, density, 0.0);
+        let m = neg_spec();
+        let region = m.automaton().reachable();
+        let (_, reference) = match level1(&program, &m) {
+            Ok(r) => r,
+            Err(e) if fuel_exhausted(&e) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("level 1: {e}"))),
+        };
+        let mut session = TieredSession::new(&program, m)
+            .map_err(|e| TestCaseError::fail(format!("compile: {e}")))?
+            .options(EvalOptions::with_fuel(FUEL));
+        let before = session.run().unwrap();
+        prop_assert_eq!(before.outcome, TierOutcome::Profiled);
+        prop_assert_eq!(before.state, reference.state);
+        // The region covers every reachable state, so the residual can
+        // never escape: the run is served compiled, end to end.
+        prop_assert!(session.promote_with_region(&region));
+        let residual = session.run().unwrap();
+        prop_assert_eq!(residual.outcome, TierOutcome::Residual);
+        prop_assert_eq!(residual.state, reference.state);
+        session.demote();
+        let after = session.run().unwrap();
+        prop_assert_eq!(after.outcome, TierOutcome::Profiled);
+        prop_assert_eq!(after.state, reference.state);
+        prop_assert_eq!(session.stats().demotions, 1);
+        prop_assert_eq!(session.stats().guard_failures, 0);
+    }
+}
+
+/// Promotion is observably lazy: a program whose only site stays under
+/// the threshold never triggers compilation.
+#[test]
+fn cold_sites_compile_no_residuals() {
+    let program = monitoring_semantics::syntax::parse_expr("let x = {ns/L0}:21 in x + x").unwrap();
+    let mut session = TieredSession::new(&program, neg_spec()).unwrap();
+    for _ in 0..8 {
+        // 8 runs × 1 event stays under the default threshold of 32.
+        let run = session.run().unwrap();
+        assert_eq!(run.outcome, TierOutcome::Profiled);
+        assert_eq!(run.value, Value::Int(42));
+    }
+    assert_eq!(session.stats().residuals_compiled, 0, "compilation is lazy");
+    assert_eq!(session.stats().promotions, 0);
+    assert_eq!(session.stats().profiled_events, 8);
+    assert!(session.active_region().is_none());
+}

@@ -59,6 +59,10 @@ const WORD_SPECS: &[&str] = &[
     "(any* ; [post(a)]) & !(any* ; [post(b)] ; any*)",
     "![pre(x)]{2} | [at(x)]+",
     "always(value = 0 or value = 1)",
+    "until(pre(req), post(ack))",
+    "until(at(a), post(b) and value > 0)",
+    "release(pre(stop), post(ok))",
+    "release(at(r), at(a) or value >= 2)",
 ];
 
 #[test]
@@ -81,6 +85,121 @@ fn dfa_agrees_with_the_naive_matcher_on_random_words() {
         }
     }
     assert!(checked >= 1000, "need at least 1000 words, got {checked}");
+}
+
+/// `until`/`release` differentially against their *LTL* reading, not
+/// just the naive matcher: for random words, acceptance must equal the
+/// quantifier form — `until(p, q)` ⇔ ∃i. q(wᵢ) ∧ ∀j<i. p(wⱼ) ∧ ¬q(wⱼ),
+/// and `release(p, q)` ⇔ ¬∃i. (¬q(wᵢ) ∧ wᵢ ≠ done) ∧ ∀j<i. ¬p(wⱼ) ∧ q(wⱼ).
+#[test]
+fn until_and_release_match_their_ltl_reading_on_random_words() {
+    use monitoring_semantics::syntax::Ident;
+    use monitoring_semantics::tspec::{Atom, CmpOp, NamePat, Pred};
+
+    let pre = |n: &str| Pred::Atom(Atom::Pre(NamePat::Name(Ident::new(n))));
+    let post = |n: &str| Pred::Atom(Atom::Post(NamePat::Name(Ident::new(n))));
+    let at = |n: &str| Pred::Atom(Atom::At(NamePat::Name(Ident::new(n))));
+    let gt0 = || Pred::Atom(Atom::Value(CmpOp::Gt, 0));
+
+    let pairs: &[(&str, Pred, Pred)] = &[
+        ("until(pre(req), post(ack))", pre("req"), post("ack")),
+        (
+            "until(at(a), post(b) and value > 0)",
+            at("a"),
+            Pred::And(Box::new(post("b")), Box::new(gt0())),
+        ),
+        ("release(pre(stop), post(ok))", pre("stop"), post("ok")),
+        (
+            "release(at(r), at(a) or value >= 2)",
+            at("r"),
+            Pred::Or(
+                Box::new(at("a")),
+                Box::new(Pred::Atom(Atom::Value(CmpOp::Ge, 2))),
+            ),
+        ),
+    ];
+
+    let mut rng = StdRng::seed_from_u64(0x0417);
+    for (src, p, q) in pairs {
+        let is_release = src.starts_with("release");
+        let spec = monitoring_semantics::tspec::parse_spec(src).unwrap();
+        let aut = Automaton::compile(&spec).unwrap();
+        let alphabet = aut.alphabet();
+        let pset = alphabet.pred_to_set(p);
+        let qset = alphabet.pred_to_set(q);
+        let done = alphabet.done_letter();
+        let width = alphabet.width();
+        for _ in 0..200 {
+            let len = rng.gen_range(0..=8);
+            let word: Vec<u32> = (0..len).map(|_| rng.gen_range(0..width)).collect();
+            let expected = if is_release {
+                // No un-released `not q` hook event.
+                !(0..word.len()).any(|i| {
+                    !qset.contains(word[i])
+                        && word[i] != done
+                        && word[..i]
+                            .iter()
+                            .all(|&l| !pset.contains(l) && qset.contains(l))
+                })
+            } else {
+                // Some `q` event with a strict `p and not q` prefix.
+                (0..word.len()).any(|i| {
+                    qset.contains(word[i])
+                        && word[..i]
+                            .iter()
+                            .all(|&l| pset.contains(l) && !qset.contains(l))
+                })
+            };
+            assert_eq!(
+                aut.accepts_word(&word),
+                expected,
+                "spec {src:?} diverges from its LTL reading on {word:?}"
+            );
+        }
+    }
+}
+
+/// `until`/`release` through the full monitor stack on concrete
+/// programs: strong until demands its release event before `done`;
+/// release is exempt at `done` but violated by an unreleased `not q`.
+#[test]
+fn until_and_release_verdicts_on_concrete_programs() {
+    let ns = Namespace::new("ns");
+    let m = |src: &str| {
+        SpecMonitor::new("ltl", src)
+            .unwrap()
+            .in_namespace(ns.clone())
+    };
+    let prog = |src: &str| monitoring_semantics::syntax::parse_expr(src).unwrap();
+
+    // The strict machine evaluates the *right* operand of `+` first, so
+    // `{ns/b}:2 + {ns/a}:1` produces the event order a, then b.
+    // until satisfied: a-events, then the releasing b-event.
+    let (_, s) = run(&prog("{ns/b}:2 + {ns/a}:1"), &m("until(at(a), at(b))")).unwrap();
+    assert!(m("until(at(a), at(b))").finish(&s).is_ok());
+    // until violated mid-trace: a non-p event before any q.
+    let (_, s) = run(&prog("{ns/b}:2 + {ns/c}:1"), &m("until(at(a), at(b))")).unwrap();
+    assert!(s.violation.is_some(), "non-p prefix event must kill until");
+    // strong until violated at the end: q never happens.
+    let (_, s) = run(&prog("{ns/a}:1"), &m("until(at(a), at(b))")).unwrap();
+    assert!(s.violation.is_none(), "no verdict before the trace ends");
+    assert!(
+        m("until(at(a), at(b))").finish(&s).is_err(),
+        "strong until is unsatisfied if the trace ends without q"
+    );
+    // release satisfied with p never occurring: done is exempt.
+    let (_, s) = run(&prog("{ns/a}:1"), &m("release(at(r), at(a))")).unwrap();
+    assert!(m("release(at(r), at(a))").finish(&s).is_ok());
+    // release violated: q fails before any releasing p.
+    let (_, s) = run(&prog("{ns/b}:2 + {ns/a}:1"), &m("release(at(r), at(a))")).unwrap();
+    assert!(s.violation.is_some(), "unreleased not-q event must violate");
+    // release satisfied by an early releasing event: q may fail afterwards.
+    let (_, s) = run(
+        &prog("{ns/b}:3 + {ns/r}:2"),
+        &m("release(at(r), at(a) or at(r))"),
+    )
+    .unwrap();
+    assert!(m("release(at(r), at(a) or at(r))").finish(&s).is_ok());
 }
 
 /// Compiles `src` twice: once with the full optimization pipeline
