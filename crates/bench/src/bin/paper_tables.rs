@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p monsem-bench --bin paper_tables -- \
-//!     [--table all|examples|spec-levels|fig11|futamura|tspec|tspec_levels|tiered|parallel] [--json <dir>]
+//!     [--table all|examples|spec-levels|fig11|futamura|tspec|tspec_levels|tiered|parallel|tape] [--json <dir>]
 //! ```
 //!
 //! With `--json <dir>`, the timed tables additionally write
@@ -11,9 +11,10 @@
 //! `BENCH_fig11.json` (E7), `BENCH_tspec.json` (tspec overhead),
 //! `BENCH_tspec_levels.json` (the three §9.1 levels for one temporal
 //! spec), `BENCH_tiered.json` (profile-guided tiering vs the fixed
-//! levels) and `BENCH_parallel.json` (fork-join speedups) — into
-//! `<dir>`, so the performance trajectory can be tracked across
-//! revisions.
+//! levels), `BENCH_parallel.json` (fork-join speedups) and
+//! `BENCH_tape.json` (event-tape recording, serialization, offline
+//! check, and server ingest) — into `<dir>`, so the performance
+//! trajectory can be tracked across revisions.
 //!
 //! Absolute times are machine-dependent; the *shape* (who wins, by what
 //! factor, linearity in monitoring activity) is what reproduces the paper.
@@ -64,6 +65,7 @@ fn main() {
         "tspec_levels" | "tspec-levels" => tspec_levels(json),
         "tiered" => tiered(json),
         "parallel" => parallel(json),
+        "tape" => tape(json),
         "all" => {
             examples();
             spec_levels(json);
@@ -73,10 +75,11 @@ fn main() {
             tspec_levels(json);
             tiered(json);
             parallel(json);
+            tape(json);
         }
         other => {
             eprintln!(
-                "unknown table `{other}`; try examples, spec-levels, fig11, futamura, tspec, tspec_levels, tiered, parallel, all"
+                "unknown table `{other}`; try examples, spec-levels, fig11, futamura, tspec, tspec_levels, tiered, parallel, tape, all"
             );
             std::process::exit(2);
         }
@@ -842,6 +845,166 @@ fn parallel(json: Option<&Path>) {
             entries.join(",\n"),
         );
         write_json(dir, "BENCH_parallel.json", body);
+    }
+}
+
+/// Monitoring-as-a-service table (BENCH_tape): what the event tape
+/// costs at each stage of its life — recording next to the live
+/// monitor, serializing to the versioned binary format, the offline
+/// `check` replay, and ingest through the sharded monitor server's
+/// bounded queues. Recording should sit within a small constant factor
+/// of the live run (one `Vec` push per hook), and the offline stages
+/// should process events orders of magnitude faster than the machine
+/// produced them — the point of checking tapes instead of re-executing.
+fn tape(json: Option<&Path>) {
+    use monsem_monitor::{record_monitored_with, MemorySink, SharedSink};
+    use monsem_tape::{read_tape, write_tape, MonitorServer, ServerConfig};
+    use monsem_tspec::SpecMonitor;
+    header(
+        "Event tapes: record / serialize / offline-check / server ingest, labelled_countdown(2000)\n\
+         expectation: recording within a small factor of the live run; offline check\n\
+         and server ingest orders of magnitude faster than re-execution",
+    );
+    const SPEC: &str = "always(post(B) => value >= 0)";
+    let program = labelled_countdown(2000);
+    let opts = EvalOptions::default();
+    let monitor = SpecMonitor::new("safety", SPEC).unwrap();
+
+    let t_live = measure(
+        || {
+            eval_monitored_with(
+                &program,
+                &Env::empty(),
+                &monitor,
+                monitor.initial_state(),
+                &opts,
+            )
+            .unwrap();
+        },
+        WARMUP,
+        RUNS,
+    );
+    let t_record = measure(
+        || {
+            let mem = MemorySink::new();
+            let sink = SharedSink::new(mem.clone());
+            record_monitored_with(&program, &Env::empty(), monitor.clone(), &sink, &opts).unwrap();
+        },
+        WARMUP,
+        RUNS,
+    );
+
+    // One reference tape for the offline stages.
+    let mem = MemorySink::new();
+    let sink = SharedSink::new(mem.clone());
+    record_monitored_with(&program, &Env::empty(), monitor.clone(), &sink, &opts)
+        .expect("workload evaluates");
+    let events = mem.take();
+    let n_events = events.len();
+    let bytes = write_tape(&events);
+    let bytes_per_event = bytes.len() as f64 / n_events as f64;
+
+    let t_encode = measure(
+        || {
+            std::hint::black_box(write_tape(&events));
+        },
+        WARMUP,
+        RUNS,
+    );
+    let t_decode = measure(
+        || {
+            std::hint::black_box(read_tape(&bytes).unwrap());
+        },
+        WARMUP,
+        RUNS,
+    );
+    let t_check = measure(
+        || {
+            std::hint::black_box(monitor.check_tape(&events));
+        },
+        WARMUP,
+        RUNS,
+    );
+    // Server ingest: one full session lifecycle — open, stream in
+    // chunks through the sharded bounded queues, close. Includes the
+    // per-request round-trips, i.e. what a producer actually pays.
+    const CHUNK: usize = 256;
+    let server = MonitorServer::start(ServerConfig::default());
+    let mut session = 0u64;
+    let t_ingest = measure(
+        || {
+            session += 1;
+            assert!(matches!(
+                server.open(session, SPEC, false),
+                monsem_tape::Response::Ok
+            ));
+            for chunk in events.chunks(CHUNK) {
+                server.events(session, chunk.to_vec());
+            }
+            server.close(session);
+        },
+        WARMUP,
+        RUNS,
+    );
+    server.shutdown();
+
+    let per_ms = |d: Duration| n_events as f64 / (d.as_secs_f64() * 1e3);
+    println!("events on tape                  {n_events:>9}   ({bytes_per_event:.1} bytes/event serialized)");
+    println!("live monitored run              {}", ms(t_live));
+    println!(
+        "recording run (tape sink)       {}   ({} than live)",
+        ms(t_record),
+        relative_percent(t_record, t_live)
+    );
+    println!(
+        "serialize                       {}   ({:>8.0} events/ms)",
+        ms(t_encode),
+        per_ms(t_encode)
+    );
+    println!(
+        "deserialize                     {}   ({:>8.0} events/ms)",
+        ms(t_decode),
+        per_ms(t_decode)
+    );
+    println!(
+        "offline check                   {}   ({:>8.0} events/ms)",
+        ms(t_check),
+        per_ms(t_check)
+    );
+    println!(
+        "server ingest (chunks of {CHUNK})    {}   ({:>8.0} events/ms)",
+        ms(t_ingest),
+        per_ms(t_ingest)
+    );
+
+    if let Some(dir) = json {
+        let body = format!(
+            "{{\n  \
+               \"table\": \"tape\",\n  \
+               \"unit\": \"ms\",\n  \
+               \"statistic\": \"median of {RUNS} after {WARMUP} warmups\",\n  \
+               \"workload\": \"labelled_countdown(2000)\",\n  \
+               \"spec\": \"{SPEC}\",\n  \
+               \"events\": {n_events},\n  \
+               \"bytes_per_event\": {bytes_per_event:.3},\n  \
+               \"live_ms\": {},\n  \
+               \"record_ms\": {},\n  \
+               \"encode_ms\": {},\n  \
+               \"decode_ms\": {},\n  \
+               \"check_ms\": {},\n  \
+               \"check_events_per_ms\": {:.1},\n  \
+               \"server_ingest_ms\": {},\n  \
+               \"server_events_per_ms\": {:.1}\n}}\n",
+            json_ms(t_live),
+            json_ms(t_record),
+            json_ms(t_encode),
+            json_ms(t_decode),
+            json_ms(t_check),
+            per_ms(t_check),
+            json_ms(t_ingest),
+            per_ms(t_ingest),
+        );
+        write_json(dir, "BENCH_tape.json", body);
     }
 }
 

@@ -121,6 +121,25 @@ const SCHEMAS: &[(&str, &str, &[&str])] = &[
             "\"speedup\"",
         ],
     ),
+    (
+        "BENCH_tape.json",
+        "tape",
+        &[
+            "\"unit\"",
+            "\"workload\"",
+            "\"spec\"",
+            "\"events\"",
+            "\"bytes_per_event\"",
+            "\"live_ms\"",
+            "\"record_ms\"",
+            "\"encode_ms\"",
+            "\"decode_ms\"",
+            "\"check_ms\"",
+            "\"check_events_per_ms\"",
+            "\"server_ingest_ms\"",
+            "\"server_events_per_ms\"",
+        ],
+    ),
 ];
 
 #[test]

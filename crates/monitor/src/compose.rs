@@ -239,6 +239,10 @@ impl<M1: Monitor, M2: Monitor> Monitor for Compose<M1, M2> {
 }
 
 impl<M1: MergeMonitor, M2: MergeMonitor> MergeMonitor for Compose<M1, M2> {
+    fn fork(&self, (s1, s2): Self::State) -> Self::State {
+        (self.first.fork(s1), self.second.fork(s2))
+    }
+
     fn split(&self, (s1, s2): &Self::State) -> Self::State {
         (self.first.split(s1), self.second.split(s2))
     }
@@ -470,6 +474,10 @@ impl<M: MergeMonitor> DynMonitor for MergeLayer<M> {
             Some(s) => self.0.health(&s),
             None => Health::Ok,
         }
+    }
+
+    fn fork_dyn(&self, state: DynState) -> Option<DynState> {
+        Some(DynState::new(self.0.fork(Self::unwrap(state))))
     }
 
     fn split_dyn(&self, state: &DynState) -> Option<DynState> {
@@ -762,6 +770,17 @@ impl Monitor for MonitorStack {
 }
 
 impl MergeMonitor for MonitorStack {
+    /// Layers pushed without merge support keep their state unchanged —
+    /// `fork` is a bookkeeping hook, not a split, so there is nothing to
+    /// panic about before [`MergeMonitor::split`] runs.
+    fn fork(&self, states: Self::State) -> Self::State {
+        self.monitors
+            .iter()
+            .zip(states)
+            .map(|(m, s)| m.fork_dyn(s.clone()).unwrap_or(s))
+            .collect()
+    }
+
     /// # Panics
     ///
     /// If a layer was not registered as mergeable (pushed with

@@ -31,6 +31,8 @@ use monsem_core::Value;
 use monsem_syntax::{Annotation, Expr};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// What a monitor fault (panic) means for the evaluation.
@@ -122,6 +124,57 @@ impl fmt::Display for Health {
     }
 }
 
+/// Shared budget accounting for one fork: every shard of the fork (and
+/// the fork-point state itself) charges the same atomic totals, so the
+/// step and wall budgets meter the *whole* monitored history exactly as
+/// the sequential machine does — not each shard in isolation.
+///
+/// Installed by [`MergeMonitor::fork`] on [`Guarded`] states; sequential
+/// runs never carry one.
+#[derive(Debug, Default)]
+pub struct BudgetLedger {
+    /// Monitoring events charged across every holder of this ledger.
+    events: AtomicU64,
+    /// Hook wall-clock time charged across every holder, in nanoseconds.
+    spent_nanos: AtomicU64,
+}
+
+impl BudgetLedger {
+    /// A ledger seeded with the accounting already on record at the fork
+    /// point, so pre-fork history counts against the budget too.
+    pub fn seeded(events: u64, spent: Duration) -> BudgetLedger {
+        BudgetLedger {
+            events: AtomicU64::new(events),
+            spent_nanos: AtomicU64::new(duration_nanos(spent)),
+        }
+    }
+
+    /// Adds `events` and `spent` to the shared totals, returning the new
+    /// totals `(events, spent)`.
+    fn charge(&self, events: u64, spent: Duration) -> (u64, Duration) {
+        let e = self.events.fetch_add(events, Ordering::Relaxed) + events;
+        let n = self
+            .spent_nanos
+            .fetch_add(duration_nanos(spent), Ordering::Relaxed)
+            + duration_nanos(spent);
+        (e, Duration::from_nanos(n))
+    }
+
+    /// The shared event total.
+    pub fn events(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
+    }
+
+    /// The shared hook-time total.
+    pub fn spent(&self) -> Duration {
+        Duration::from_nanos(self.spent_nanos.load(Ordering::Relaxed))
+    }
+}
+
+fn duration_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// The state of a [`Guarded`] monitor: the wrapped monitor's state plus
 /// the bookkeeping the guard needs.
 #[derive(Debug, Clone)]
@@ -131,10 +184,17 @@ pub struct GuardState<S> {
     pub state: S,
     /// Whether the monitor is still being consulted, and if not, why.
     pub health: Health,
-    /// Monitoring events handled so far (pre + post).
+    /// Monitoring events handled so far (pre + post). Under fork-join
+    /// this is the holder's *local* count; the [`BudgetLedger`], when
+    /// present, carries the global total the budget is checked against.
     pub events: u64,
-    /// Total wall-clock time spent inside the monitor's hooks.
+    /// Total wall-clock time spent inside the monitor's hooks (local
+    /// share, as for `events`).
     pub spent: Duration,
+    /// The fork-shared budget ledger, installed by
+    /// [`MergeMonitor::fork`]. `None` in sequential runs (and under the
+    /// per-shard opt-in), where the local fields are the whole story.
+    pub ledger: Option<Arc<BudgetLedger>>,
 }
 
 /// Wraps a monitor with a [`FaultPolicy`] and a [`Budget`].
@@ -175,6 +235,7 @@ pub struct Guarded<M> {
     inner: M,
     policy: FaultPolicy,
     budget: Budget,
+    per_shard_budgets: bool,
 }
 
 impl<M: Monitor> Guarded<M> {
@@ -186,6 +247,7 @@ impl<M: Monitor> Guarded<M> {
             inner,
             policy: FaultPolicy::default(),
             budget: Budget::default(),
+            per_shard_budgets: false,
         }
     }
 
@@ -198,6 +260,16 @@ impl<M: Monitor> Guarded<M> {
     /// Sets the budget.
     pub fn budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Opts back into the historical fork-join accounting: each shard
+    /// meters its budget relative to the fork point instead of charging
+    /// the shared [`BudgetLedger`]. A program can then exceed its budget
+    /// by up to a factor of the shard count — useful only when the budget
+    /// is deliberately a per-shard bound.
+    pub fn per_shard_budgets(mut self, per_shard: bool) -> Self {
+        self.per_shard_budgets = per_shard;
         self
     }
 
@@ -225,14 +297,18 @@ impl<M: Monitor> Guarded<M> {
         }
         gs.events += events;
         gs.spent += elapsed;
+        let (total_events, total_spent) = match &gs.ledger {
+            Some(ledger) => ledger.charge(events, elapsed),
+            None => (gs.events, gs.spent),
+        };
         if let Some(max) = self.budget.steps {
-            if gs.events > max {
+            if total_events > max {
                 gs.health = Health::OverBudget(format!("step budget of {max} events exhausted"));
                 return;
             }
         }
         if let Some(max) = self.budget.wall {
-            if gs.spent > max {
+            if total_spent > max {
                 gs.health = Health::OverBudget(format!("wall budget of {max:?} exhausted"));
             }
         }
@@ -241,7 +317,12 @@ impl<M: Monitor> Guarded<M> {
     /// Runs one hook invocation under the guard: budget check, panic
     /// confinement, health bookkeeping. `hook` receives the wrapped
     /// monitor's state and returns its verdict.
-    fn guard_step(
+    ///
+    /// This is the path [`Monitor::try_pre`]/[`Monitor::try_post`] take;
+    /// it is public so drivers that deliver events from *outside* an
+    /// evaluation — a monitor server feeding a session's guard from a
+    /// tape — get identical policy, budget, and health behaviour.
+    pub fn guard_with(
         &self,
         mut gs: GuardState<M::State>,
         hook: impl FnOnce(&M, M::State) -> Outcome<M::State>,
@@ -252,9 +333,23 @@ impl<M: Monitor> Guarded<M> {
             return Outcome::Continue(gs);
         }
         if let Some(max) = self.budget.steps {
-            if gs.events >= max {
-                gs.health = Health::OverBudget(format!("step budget of {max} events exhausted"));
-                return Outcome::Continue(gs);
+            match &gs.ledger {
+                // Reserve the event slot on the shared ledger first, so
+                // concurrent shards can never jointly exceed the bound.
+                Some(ledger) => {
+                    if ledger.charge(1, Duration::ZERO).0 > max {
+                        gs.health =
+                            Health::OverBudget(format!("step budget of {max} events exhausted"));
+                        return Outcome::Continue(gs);
+                    }
+                }
+                None => {
+                    if gs.events >= max {
+                        gs.health =
+                            Health::OverBudget(format!("step budget of {max} events exhausted"));
+                        return Outcome::Continue(gs);
+                    }
+                }
             }
         }
         gs.events += 1;
@@ -265,12 +360,17 @@ impl<M: Monitor> Guarded<M> {
         let taken = gs.state.clone();
         let started = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| hook(&self.inner, taken)));
-        gs.spent += started.elapsed();
+        let elapsed = started.elapsed();
+        gs.spent += elapsed;
         match result {
             Ok(Outcome::Continue(next)) => {
                 gs.state = next;
                 if let Some(max) = self.budget.wall {
-                    if gs.spent > max {
+                    let total_spent = match &gs.ledger {
+                        Some(ledger) => ledger.charge(0, elapsed).1,
+                        None => gs.spent,
+                    };
+                    if total_spent > max {
                         gs.health = Health::OverBudget(format!("wall budget of {max:?} exhausted"));
                     }
                 }
@@ -340,6 +440,7 @@ impl<M: Monitor> Monitor for Guarded<M> {
             health: Health::Ok,
             events: 0,
             spent: Duration::ZERO,
+            ledger: None,
         }
     }
 
@@ -350,7 +451,7 @@ impl<M: Monitor> Monitor for Guarded<M> {
         scope: &Scope<'_>,
         state: Self::State,
     ) -> Outcome<Self::State> {
-        self.guard_step(state, |m, s| m.try_pre(ann, expr, scope, s))
+        self.guard_with(state, |m, s| m.try_pre(ann, expr, scope, s))
     }
 
     fn try_post(
@@ -361,7 +462,7 @@ impl<M: Monitor> Monitor for Guarded<M> {
         value: &Value,
         state: Self::State,
     ) -> Outcome<Self::State> {
-        self.guard_step(state, |m, s| m.try_post(ann, expr, scope, value, s))
+        self.guard_with(state, |m, s| m.try_post(ann, expr, scope, value, s))
     }
 
     // The pure hooks collapse the verdict: machines never call these on a
@@ -408,18 +509,35 @@ impl<M: Monitor> Monitor for Guarded<M> {
 }
 
 impl<M: MergeMonitor> MergeMonitor for Guarded<M> {
-    /// A shard starts healthy with the inner split state and *zeroed*
-    /// accounting: each shard's events and spent time are its own delta,
-    /// summed back at the join. (The step/wall budget is therefore
-    /// enforced per shard relative to the fork point, not globally — a
-    /// documented divergence from the sequential machine, where the budget
-    /// meters the whole linear history.)
+    /// Installs the fork-shared [`BudgetLedger`], seeded with the
+    /// accounting already on record, whenever the budget has a bound and
+    /// the historical per-shard accounting was not opted into. Every
+    /// shard's [`MergeMonitor::split`] then carries the same ledger, so
+    /// the step/wall budget meters the whole monitored history — shards
+    /// included — exactly as the sequential machine's linear accounting
+    /// does. Nested forks reuse the ledger already in place.
+    fn fork(&self, mut gs: Self::State) -> Self::State {
+        let bounded = self.budget.steps.is_some() || self.budget.wall.is_some();
+        if bounded && !self.per_shard_budgets && gs.ledger.is_none() {
+            gs.ledger = Some(Arc::new(BudgetLedger::seeded(gs.events, gs.spent)));
+        }
+        gs.state = self.inner.fork(gs.state);
+        gs
+    }
+
+    /// A shard starts healthy with the inner split state, *zeroed* local
+    /// accounting (each shard's events and spent time are its own delta,
+    /// summed back at the join), and the fork's shared ledger, against
+    /// which the budget is checked globally. Under
+    /// [`Guarded::per_shard_budgets`] no ledger exists and each shard
+    /// meters its budget relative to the fork point on its own.
     fn split(&self, gs: &Self::State) -> Self::State {
         GuardState {
             state: self.inner.split(&gs.state),
             health: gs.health.clone(),
             events: 0,
             spent: Duration::ZERO,
+            ledger: gs.ledger.clone(),
         }
     }
 

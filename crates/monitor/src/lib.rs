@@ -42,6 +42,9 @@
 //!   at the join ([`MergeMonitor`]);
 //! * [`soundness`] — executable form of Theorem 7.7, used by the property
 //!   tests;
+//! * [`tape`] — serializable event tapes: the pre-abstraction monitoring
+//!   stream as data, recorded through a [`tape::TapeSink`] so it can be
+//!   checked offline or shipped to a monitor server (`monsem-tape`);
 //! * [`session`] — the §9.2 programming environment tying language modules
 //!   and monitor toolboxes together;
 //! * [`tiered`] — bookkeeping for tiered, profile-guided monitoring
@@ -87,12 +90,17 @@ pub mod scope;
 pub mod session;
 pub mod soundness;
 pub mod spec;
+pub mod tape;
 pub mod tiered;
 
 pub use compose::{Compose, MonitorStack};
-pub use fault::{Budget, FaultPolicy, Guarded, Health};
-pub use machine::{eval_monitored, eval_monitored_with};
+pub use fault::{Budget, BudgetLedger, FaultPolicy, GuardState, Guarded, Health};
+pub use machine::{eval_monitored, eval_monitored_stats_with, eval_monitored_with};
 pub use parallel::{eval_parallel, eval_parallel_with, ParOptions};
 pub use scope::Scope;
 pub use spec::{DynMonitor, HookPhase, IdentityMonitor, MergeMonitor, Monitor, Outcome};
+pub use tape::{
+    record_monitored, record_monitored_with, MemorySink, SharedSink, TapeEvent, TapePhase,
+    TapeSink, Taping, ValueDesc,
+};
 pub use tiered::{Relatives, SpecTree, TierPolicy, TierStats};

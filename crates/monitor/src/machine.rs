@@ -135,6 +135,39 @@ pub fn eval_monitored_with<M: Monitor>(
     Execution::new(expr, env, monitor, sigma, options).finish()
 }
 
+/// [`eval_monitored_with`] that additionally reports the number of
+/// machine transitions taken — the same count the fuel budget meters, so
+/// callers (the fork-join driver, accounting tests) can charge the steps
+/// a sub-evaluation consumed back against an enclosing budget.
+///
+/// # Errors
+///
+/// As for [`eval_monitored_with`].
+pub fn eval_monitored_stats_with<M: Monitor>(
+    expr: &Expr,
+    env: &Env,
+    monitor: &M,
+    sigma: M::State,
+    options: &EvalOptions,
+) -> Result<(Value, M::State, u64), EvalError> {
+    let mut exec = Execution::new(expr, env, monitor, sigma, options);
+    let result = loop {
+        match exec.next_event() {
+            Ok(Some(Event::Done { answer })) => break Ok(answer),
+            Ok(Some(_)) => {}
+            Ok(None) => break Err(EvalError::Internal("event stream ended without Done")),
+            Err(err) => break Err(err),
+        }
+    };
+    let steps = exec.steps_taken();
+    let answer = result?;
+    let sigma = exec
+        .sigma
+        .take()
+        .ok_or(EvalError::Internal("monitor state missing at completion"))?;
+    Ok((answer, sigma, steps))
+}
+
 /// A monitoring event, as surfaced by [`Execution::next_event`].
 ///
 /// Events are emitted *after* the corresponding monitoring function has
@@ -207,6 +240,7 @@ pub struct Execution<'m, M: Monitor> {
     sigma: Option<M::State>,
     answer: Option<Value>,
     fuel: u64,
+    initial_fuel: u64,
     by_string: bool,
 }
 
@@ -235,8 +269,15 @@ impl<'m, M: Monitor> Execution<'m, M> {
             sigma: Some(sigma),
             answer: None,
             fuel: options.fuel,
+            initial_fuel: options.fuel,
             by_string: options.lookup == LookupMode::ByString,
         }
+    }
+
+    /// Machine transitions taken so far — the count the fuel budget
+    /// meters (each transition decrements the fuel by one).
+    pub fn steps_taken(&self) -> u64 {
+        self.initial_fuel - self.fuel
     }
 
     /// The current monitor state σ (present until [`Execution::finish`]

@@ -31,15 +31,23 @@
 //! machine, which would have hit the leftmost failing element before
 //! evaluating anything to its right.
 //!
-//! Two documented divergences from the sequential machine:
+//! Resource accounting is **global**, as in the sequential machine:
 //!
-//! * **Fuel** is per shard (each worker gets the full remaining budget)
-//!   rather than shared across elements.
-//! * **Guarded budgets** meter each shard relative to the fork point
-//!   (see [`MergeMonitor for Guarded`](crate::fault::Guarded)).
+//! * **Fuel** is one shared budget. Sequential segments deduct the steps
+//!   they consumed; at a join, each shard's actual step count is charged
+//!   back to the parent, so the elements of a `par` jointly cannot burn
+//!   more fuel than a sequential run of the same program could. (The
+//!   driver's own spine transitions are not charged, so a parallel run
+//!   may use *slightly less* fuel than the sequential machine — never
+//!   more.)
+//! * **Guarded budgets** are metered on a fork-shared
+//!   [`BudgetLedger`](crate::fault::BudgetLedger), installed by
+//!   [`MergeMonitor::fork`] — see [`Guarded`](crate::fault::Guarded),
+//!   whose `per_shard_budgets` builder is the documented opt-in back to
+//!   the historical per-shard accounting.
 
 use crate::fault::panic_message;
-use crate::machine::eval_monitored_with;
+use crate::machine::eval_monitored_stats_with;
 use crate::scope::Scope;
 use crate::spec::{HookPhase, MergeMonitor, Outcome};
 use monsem_core::env::Env;
@@ -63,7 +71,8 @@ pub struct ParOptions {
     /// the freeze/split/merge path, on the calling thread's schedule.
     pub threads: usize,
     /// Options threaded into each shard's sequential machine. The fuel
-    /// budget applies *per shard*.
+    /// budget is *global*: shards draw on the one remaining budget, and
+    /// their actual step counts are charged back at the join.
     pub eval: EvalOptions,
 }
 
@@ -86,8 +95,10 @@ impl ParOptions {
     }
 }
 
-/// What one shard sends back across the scope boundary.
-type ShardResult<S> = Result<(FrozenValue, S), EvalError>;
+/// What one shard sends back across the scope boundary: the frozen
+/// value, the shard's final monitor state, and the machine steps the
+/// shard consumed (charged back to the parent's fuel at the join).
+type ShardResult<S> = Result<(FrozenValue, S, u64), EvalError>;
 
 /// Evaluates `expr` under `monitor`, forking at top-level `par` forms.
 ///
@@ -143,7 +154,10 @@ where
         LookupMode::ByAddress => LookupMode::BySymbol,
         other => other,
     };
-    drive(&program, env, monitor, sigma, &driver_options)
+    // The one fuel budget, drawn down by sequential segments and shard
+    // charge-backs alike.
+    let mut fuel = options.eval.fuel;
+    drive(&program, env, monitor, sigma, &driver_options, &mut fuel)
 }
 
 /// Evaluates `expr`, forking at *top-level* `par` forms — a `par` that is
@@ -166,25 +180,26 @@ fn drive<M>(
     monitor: &M,
     sigma: M::State,
     options: &ParOptions,
+    fuel: &mut u64,
 ) -> Result<(Value, M::State), EvalError>
 where
     M: MergeMonitor + Sync,
     M::State: Send,
 {
     match &**expr {
-        Expr::Par(items) if items.len() > 1 => fork_join(items, env, monitor, sigma, options),
+        Expr::Par(items) if items.len() > 1 => fork_join(items, env, monitor, sigma, options, fuel),
         Expr::Par(items) => match items.split_first() {
             // Degenerate `par`s don't pay for a scope.
             None => Ok((Value::Nil, sigma)),
             Some((only, _)) => {
-                let (v, sigma) = drive(only, env, monitor, sigma, options)?;
+                let (v, sigma) = drive(only, env, monitor, sigma, options, fuel)?;
                 Ok((Value::list([v]), sigma))
             }
         },
         // Evaluation-order-transparent spine forms: recurse so a `par`
         // under a `let`, `seq`, annotation, or `if` still forks.
         Expr::Ann(ann, inner) if !monitor.accepts(ann) => {
-            drive(inner, env, monitor, sigma, options)
+            drive(inner, env, monitor, sigma, options, fuel)
         }
         // Accepted annotations bracket the drive of their body with the
         // same pre/post hooks the sequential machine fires, so
@@ -200,7 +215,7 @@ where
             } else {
                 sigma
             };
-            let (value, sigma) = drive(inner, env, monitor, sigma, options)?;
+            let (value, sigma) = drive(inner, env, monitor, sigma, options, fuel)?;
             let sigma = if monitor.accepts_event(ann, HookPhase::Post) {
                 match monitor.try_post(ann, inner, &Scope::pure(env), &value, sigma) {
                     Outcome::Continue(s) => s,
@@ -214,19 +229,19 @@ where
             Ok((value, sigma))
         }
         Expr::Let(x, v, b) => {
-            let (bound, sigma) = drive(v, env, monitor, sigma, options)?;
+            let (bound, sigma) = drive(v, env, monitor, sigma, options, fuel)?;
             let env = env.extend(x.clone(), bound);
-            drive(b, &env, monitor, sigma, options)
+            drive(b, &env, monitor, sigma, options, fuel)
         }
         Expr::Seq(a, b) => {
-            let (_, sigma) = drive(a, env, monitor, sigma, options)?;
-            drive(b, env, monitor, sigma, options)
+            let (_, sigma) = drive(a, env, monitor, sigma, options, fuel)?;
+            drive(b, env, monitor, sigma, options, fuel)
         }
         Expr::If(c, t, e) => {
-            let (cond, sigma) = drive(c, env, monitor, sigma, options)?;
+            let (cond, sigma) = drive(c, env, monitor, sigma, options, fuel)?;
             match cond {
-                Value::Bool(true) => drive(t, env, monitor, sigma, options),
-                Value::Bool(false) => drive(e, env, monitor, sigma, options),
+                Value::Bool(true) => drive(t, env, monitor, sigma, options, fuel),
+                Value::Bool(false) => drive(e, env, monitor, sigma, options, fuel),
                 other => Err(EvalError::NonBooleanCondition(other.to_string())),
             }
         }
@@ -251,19 +266,41 @@ where
             };
             match forked {
                 Some(f_expr) => {
-                    let (xs, sigma) = drive(xs_expr, env, monitor, sigma, options)?;
-                    let (f, sigma) = drive(f_expr, env, monitor, sigma, options)?;
+                    let (xs, sigma) = drive(xs_expr, env, monitor, sigma, options, fuel)?;
+                    let (f, sigma) = drive(f_expr, env, monitor, sigma, options, fuel)?;
                     let (par_expr, par_env) = par_map_enter(f, xs)?;
-                    drive(&par_expr, &par_env, monitor, sigma, options)
+                    drive(&par_expr, &par_env, monitor, sigma, options, fuel)
                 }
-                None => eval_monitored_with(expr, env, monitor, sigma, &options.eval),
+                None => delegate(expr, env, monitor, sigma, options, fuel),
             }
         }
         // Anything else (letrec, vars, …): hand the subtree to the
         // sequential monitored machine. `par` forms inside it evaluate
         // sequentially.
-        _ => eval_monitored_with(expr, env, monitor, sigma, &options.eval),
+        _ => delegate(expr, env, monitor, sigma, options, fuel),
     }
+}
+
+/// Hands a subtree to the sequential monitored machine with the fuel
+/// that remains, and deducts the steps it actually consumed.
+fn delegate<M>(
+    expr: &Arc<Expr>,
+    env: &Env,
+    monitor: &M,
+    sigma: M::State,
+    options: &ParOptions,
+    fuel: &mut u64,
+) -> Result<(Value, M::State), EvalError>
+where
+    M: MergeMonitor + Sync,
+    M::State: Send,
+{
+    let mut eval_options = options.eval.clone();
+    eval_options.fuel = *fuel;
+    let (value, sigma, steps) =
+        eval_monitored_stats_with(expr, env, monitor, sigma, &eval_options)?;
+    *fuel -= steps;
+    Ok((value, sigma))
 }
 
 /// Whether `expr` is a variable that denotes the (unapplied) `par_map`
@@ -292,6 +329,7 @@ fn fork_join<M>(
     monitor: &M,
     sigma: M::State,
     options: &ParOptions,
+    fuel: &mut u64,
 ) -> Result<(Value, M::State), EvalError>
 where
     M: MergeMonitor + Sync,
@@ -303,10 +341,20 @@ where
     // fork (only the lazy/imperative engines create those, and they don't
     // evaluate `par` at all).
     let frozen_env = freeze_env(env)?;
+    // The fork hook runs once on the fork-point state, before any split:
+    // monitors that need fork-wide shared bookkeeping (Guarded's global
+    // budget ledger) install it here, and every shard's split inherits it.
+    let sigma = monitor.fork(sigma);
     // One split per shard, all relative to the same fork-point σ — taken
     // on this thread, in order, so monitors with ordered internals see a
     // deterministic split sequence.
     let seeds: Vec<M::State> = (0..n).map(|_| monitor.split(&sigma)).collect();
+
+    // Each shard runs with everything that remains of the global fuel;
+    // the join charges back what the shards *actually* consumed, so the
+    // elements jointly cannot outspend the budget (checked below).
+    let mut shard_options = options.eval.clone();
+    shard_options.fuel = *fuel;
 
     let workers = options.threads.min(n).max(1);
     let next = AtomicUsize::new(0);
@@ -333,8 +381,8 @@ where
                 // scope, and the worker goes on to its next shard.
                 let result = catch_unwind(AssertUnwindSafe(|| {
                     let shard_env = thaw_env(&frozen_env);
-                    eval_monitored_with(&items[i], &shard_env, monitor, seed, &options.eval)
-                        .and_then(|(v, s)| Ok((freeze(&v)?, s)))
+                    eval_monitored_stats_with(&items[i], &shard_env, monitor, seed, &shard_options)
+                        .and_then(|(v, s, steps)| Ok((freeze(&v)?, s, steps)))
                 }))
                 .unwrap_or_else(|payload| {
                     Err(EvalError::MonitorAbort {
@@ -360,7 +408,11 @@ where
                 reason: format!("shard {i} of par(..{n}) panicked before producing a result"),
             })
         });
-        let (frozen_value, shard_sigma) = result?;
+        let (frozen_value, shard_sigma, steps) = result?;
+        // Charge the shard's steps against the shared budget, in element
+        // order, so the leftmost over-spending shard exhausts the fuel
+        // exactly where the sequential machine would have.
+        *fuel = fuel.checked_sub(steps).ok_or(EvalError::FuelExhausted)?;
         values.push(thaw(&frozen_value));
         acc = match monitor.merge_outcome(acc, shard_sigma) {
             Outcome::Continue(s) => s,

@@ -248,6 +248,16 @@ pub trait Monitor {
 /// each fork point*; they are checked for every shipped monitor by the
 /// `merge_laws` proptests.
 pub trait MergeMonitor: Monitor {
+    /// Called **once per fork point**, on the fork-point state, before any
+    /// [`MergeMonitor::split`] — the hook where a monitor installs
+    /// bookkeeping that must be *shared* across all shards of one fork
+    /// (e.g. [`Guarded`](crate::fault::Guarded)'s global budget ledger).
+    /// The default is the identity, which is right for monitors whose
+    /// split states are independent.
+    fn fork(&self, state: Self::State) -> Self::State {
+        state
+    }
+
     /// The state a freshly forked shard starts from, given the fork-point
     /// state. Cumulative monitors return the empty state; context-reading
     /// monitors copy the context a hook transition consults.
@@ -340,6 +350,11 @@ pub trait DynMonitor {
     fn render_state_dyn(&self, state: &DynState) -> String;
     /// See [`Monitor::health`].
     fn health_dyn(&self, state: &DynState) -> crate::fault::Health;
+    /// See [`MergeMonitor::fork`]. `None` as for [`DynMonitor::split_dyn`].
+    fn fork_dyn(&self, state: DynState) -> Option<DynState> {
+        let _ = state;
+        None
+    }
     /// See [`MergeMonitor::split`]. `None` means the monitor behind this
     /// object was not registered as mergeable (Rust has no trait
     /// specialization, so the blanket [`Monitor`] adapter cannot discover a

@@ -1,0 +1,500 @@
+//! Serializable event tapes: the pre-abstraction monitoring stream.
+//!
+//! The monitored machines fire hooks *in process*; this module captures
+//! the same stream as plain data so it can leave the process — to a file,
+//! a socket, or a monitor server. A [`TapeEvent`] carries exactly what a
+//! temporal-spec monitor needs to re-derive its abstract letter later:
+//! the hook phase, the annotation's namespace and symbol, a [`ValueDesc`]
+//! of the produced value (for `post` events), and a monotone step index.
+//! Crucially the description is *pre-abstraction*: no spec's alphabet is
+//! baked in, so one tape can be checked against any spec, including specs
+//! that did not exist when the tape was recorded (hot-swap).
+//!
+//! The pieces:
+//!
+//! * [`TapeSink`] — where events go (an in-memory vector, a binary
+//!   writer in `monsem-tape`, a socket client);
+//! * [`SharedSink`] — a cheaply cloneable, thread-safe cursor over a
+//!   sink that assigns step indices; shards of a fork-join evaluation
+//!   append through the same cursor;
+//! * [`Taping`] — a [`Monitor`] wrapper that records every annotation
+//!   event to a sink while delegating to an inner monitor, so recording
+//!   composes with live checking;
+//! * [`record_monitored`] / [`record_monitored_with`] — run a program
+//!   under a taping monitor and close the tape with a [`TapePhase::Done`]
+//!   event on success.
+
+use crate::machine::eval_monitored_with;
+use crate::scope::Scope;
+use crate::spec::{HookPhase, MergeMonitor, Monitor, Outcome};
+use monsem_core::env::Env;
+use monsem_core::error::EvalError;
+use monsem_core::machine::EvalOptions;
+use monsem_core::Value;
+use monsem_syntax::{Annotation, Expr};
+use std::sync::{Arc, Mutex};
+
+/// Which hook a tape event came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TapePhase {
+    /// The `updPre` hook, before the annotated expression ran.
+    Pre,
+    /// The `updPost` hook, after the annotated expression produced a
+    /// value.
+    Post,
+    /// The evaluation completed; closes the trace for end-of-trace
+    /// obligations (`eventually(..)` and friends).
+    Done,
+}
+
+/// A value description rich enough for any spec's abstraction.
+///
+/// Temporal specs abstract observed values three ways: integer regions
+/// cut at comparison constants, the `unsorted` list predicate, and
+/// "other". A `ValueDesc` preserves each input to those abstractions —
+/// the exact integer if the value was one, whether the value is a
+/// definitely-unsorted list, and a bounded display string for
+/// diagnostics — so `Alphabet::classify_desc` reaches the same value
+/// class `classify_value` reached live.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ValueDesc {
+    /// The value, when it was an integer.
+    pub int: Option<i64>,
+    /// Whether the value is a list with an adjacent decreasing integer
+    /// pair (the Figure 8 demon's trigger).
+    pub unsorted: bool,
+    /// Bounded human-readable rendering, as used in violation reasons.
+    pub display: String,
+}
+
+impl ValueDesc {
+    /// Describes a concrete value.
+    pub fn of(v: &Value) -> ValueDesc {
+        ValueDesc {
+            int: match v {
+                Value::Int(n) => Some(*n),
+                _ => None,
+            },
+            unsorted: value_is_unsorted(v),
+            display: short_display(v),
+        }
+    }
+}
+
+/// Canonical bounded rendering of an observed value: at most 40
+/// characters, longer values truncated to 37 plus `...`. Violation
+/// reasons everywhere use exactly this form, which is what lets an
+/// offline `check` reproduce a live run's reasons bit-for-bit.
+pub fn short_display(v: &Value) -> String {
+    let s = v.to_string();
+    if s.chars().count() > 40 {
+        let head: String = s.chars().take(37).collect();
+        format!("{head}...")
+    } else {
+        s
+    }
+}
+
+/// Whether `v` is a list with an adjacent pair of integers in decreasing
+/// order — the trigger shared by the Figure 8 demon and the `unsorted`
+/// spec predicate.
+pub fn value_is_unsorted(v: &Value) -> bool {
+    let Some(items) = v.iter_list() else {
+        return false;
+    };
+    items.windows(2).any(|w| match (w[0], w[1]) {
+        (Value::Int(a), Value::Int(b)) => a > b,
+        _ => false,
+    })
+}
+
+/// One monitoring event, as serialized to a tape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TapeEvent {
+    /// Which hook fired.
+    pub phase: TapePhase,
+    /// The annotation's namespace (`""` for the anonymous namespace).
+    pub namespace: String,
+    /// The annotation symbol.
+    pub name: String,
+    /// The produced value's description; present exactly on
+    /// [`TapePhase::Post`] events.
+    pub value: Option<ValueDesc>,
+    /// Monotone per-tape sequence number, assigned at record time.
+    pub step: u64,
+}
+
+impl TapeEvent {
+    /// A `pre` event.
+    pub fn pre(ann: &Annotation, step: u64) -> TapeEvent {
+        TapeEvent {
+            phase: TapePhase::Pre,
+            namespace: ann.namespace.as_str().to_string(),
+            name: ann.name().as_str().to_string(),
+            value: None,
+            step,
+        }
+    }
+
+    /// A `post` event.
+    pub fn post(ann: &Annotation, value: &Value, step: u64) -> TapeEvent {
+        TapeEvent {
+            phase: TapePhase::Post,
+            namespace: ann.namespace.as_str().to_string(),
+            name: ann.name().as_str().to_string(),
+            value: Some(ValueDesc::of(value)),
+            step,
+        }
+    }
+
+    /// The end-of-trace event.
+    pub fn done(step: u64) -> TapeEvent {
+        TapeEvent {
+            phase: TapePhase::Done,
+            namespace: String::new(),
+            name: String::new(),
+            value: None,
+            step,
+        }
+    }
+}
+
+/// Where recorded events go. Implementations must tolerate being called
+/// from whichever thread currently holds the [`SharedSink`] lock.
+pub trait TapeSink {
+    /// Appends one event.
+    fn record(&mut self, event: TapeEvent);
+}
+
+impl TapeSink for Vec<TapeEvent> {
+    fn record(&mut self, event: TapeEvent) {
+        self.push(event);
+    }
+}
+
+/// An in-memory sink that can be drained from a clone — handy when the
+/// recording monitor is moved into an evaluation but the events are
+/// wanted afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink(Arc<Mutex<Vec<TapeEvent>>>);
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// A copy of the events recorded so far.
+    pub fn events(&self) -> Vec<TapeEvent> {
+        self.0.lock().expect("memory sink lock").clone()
+    }
+
+    /// Drains the recorded events.
+    pub fn take(&self) -> Vec<TapeEvent> {
+        std::mem::take(&mut *self.0.lock().expect("memory sink lock"))
+    }
+}
+
+impl TapeSink for MemorySink {
+    fn record(&mut self, event: TapeEvent) {
+        self.0.lock().expect("memory sink lock").push(event);
+    }
+}
+
+struct SinkCursor {
+    sink: Box<dyn TapeSink + Send>,
+    next: u64,
+}
+
+/// A cloneable, thread-safe cursor over a [`TapeSink`] that assigns the
+/// step indices. All clones share one counter, so events recorded by
+/// fork-join shards interleave into a single well-ordered tape (the
+/// interleaving itself follows the thread schedule; per-shard order is
+/// preserved because each shard's hooks are sequential).
+#[derive(Clone)]
+pub struct SharedSink(Arc<Mutex<SinkCursor>>);
+
+impl SharedSink {
+    /// Wraps a sink.
+    pub fn new(sink: impl TapeSink + Send + 'static) -> SharedSink {
+        SharedSink(Arc::new(Mutex::new(SinkCursor {
+            sink: Box::new(sink),
+            next: 0,
+        })))
+    }
+
+    fn record_with(&self, make: impl FnOnce(u64) -> TapeEvent) {
+        let mut cursor = self.0.lock().expect("tape sink lock");
+        let step = cursor.next;
+        cursor.next += 1;
+        let event = make(step);
+        cursor.sink.record(event);
+    }
+
+    /// Records a `pre` event for `ann`.
+    pub fn record_pre(&self, ann: &Annotation) {
+        self.record_with(|step| TapeEvent::pre(ann, step));
+    }
+
+    /// Records a `post` event for `ann` with the produced value.
+    pub fn record_post(&self, ann: &Annotation, value: &Value) {
+        self.record_with(|step| TapeEvent::post(ann, value, step));
+    }
+
+    /// Records the end-of-trace event.
+    pub fn record_done(&self) {
+        self.record_with(TapeEvent::done);
+    }
+
+    /// Number of events recorded so far.
+    pub fn recorded(&self) -> u64 {
+        self.0.lock().expect("tape sink lock").next
+    }
+}
+
+impl std::fmt::Debug for SharedSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedSink(recorded: {})", self.recorded())
+    }
+}
+
+/// A monitor wrapper that records every annotation event to a tape while
+/// delegating to an inner monitor.
+///
+/// `Taping` accepts *all* annotations — the tape is pre-abstraction, so
+/// it must not inherit the inner monitor's MSyn gating — but the inner
+/// monitor's hooks fire exactly when they would have fired without the
+/// wrapper, so the inner state evolves identically to an untaped run
+/// (the property the `check ≡ live` tests lean on).
+#[derive(Debug, Clone)]
+pub struct Taping<M> {
+    inner: M,
+    sink: SharedSink,
+}
+
+impl<M: Monitor> Taping<M> {
+    /// Records to `sink` while running `inner`.
+    pub fn new(inner: M, sink: SharedSink) -> Taping<M> {
+        Taping { inner, sink }
+    }
+
+    /// The wrapped monitor.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The sink events are recorded to.
+    pub fn sink(&self) -> &SharedSink {
+        &self.sink
+    }
+}
+
+impl<M: Monitor> Monitor for Taping<M> {
+    type State = M::State;
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    // Accept everything: the tape carries the full pre-abstraction
+    // stream, whatever the inner monitor's syntax is.
+    fn accepts(&self, _ann: &Annotation) -> bool {
+        true
+    }
+
+    fn accepts_event(&self, _ann: &Annotation, _phase: HookPhase) -> bool {
+        true
+    }
+
+    fn initial_state(&self) -> Self::State {
+        self.inner.initial_state()
+    }
+
+    fn try_pre(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        state: Self::State,
+    ) -> Outcome<Self::State> {
+        self.sink.record_pre(ann);
+        if self.inner.accepts(ann) && self.inner.accepts_event(ann, HookPhase::Pre) {
+            self.inner.try_pre(ann, expr, scope, state)
+        } else {
+            Outcome::Continue(state)
+        }
+    }
+
+    fn try_post(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        state: Self::State,
+    ) -> Outcome<Self::State> {
+        self.sink.record_post(ann, value);
+        if self.inner.accepts(ann) && self.inner.accepts_event(ann, HookPhase::Post) {
+            self.inner.try_post(ann, expr, scope, value, state)
+        } else {
+            Outcome::Continue(state)
+        }
+    }
+
+    fn pre(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        state: Self::State,
+    ) -> Self::State {
+        match self.try_pre(ann, expr, scope, state) {
+            Outcome::Continue(s) | Outcome::Abort { state: s, .. } => s,
+        }
+    }
+
+    fn post(
+        &self,
+        ann: &Annotation,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        value: &Value,
+        state: Self::State,
+    ) -> Self::State {
+        match self.try_post(ann, expr, scope, value, state) {
+            Outcome::Continue(s) | Outcome::Abort { state: s, .. } => s,
+        }
+    }
+
+    fn render_state(&self, state: &Self::State) -> String {
+        self.inner.render_state(state)
+    }
+
+    fn health(&self, state: &Self::State) -> crate::fault::Health {
+        self.inner.health(state)
+    }
+}
+
+impl<M: MergeMonitor> MergeMonitor for Taping<M> {
+    fn fork(&self, state: Self::State) -> Self::State {
+        self.inner.fork(state)
+    }
+
+    fn split(&self, state: &Self::State) -> Self::State {
+        self.inner.split(state)
+    }
+
+    fn merge(&self, left: Self::State, right: Self::State) -> Self::State {
+        self.inner.merge(left, right)
+    }
+
+    fn merge_outcome(&self, left: Self::State, right: Self::State) -> Outcome<Self::State> {
+        self.inner.merge_outcome(left, right)
+    }
+}
+
+/// Runs `expr` under `monitor`, recording the event tape to `sink` and
+/// closing it with a [`TapePhase::Done`] event iff the evaluation
+/// succeeds (an erroring run leaves the tape open-ended, mirroring a
+/// live trace that never completed).
+///
+/// # Errors
+///
+/// Any [`EvalError`] the program provokes — including aborts from
+/// `monitor` itself, which is consulted live while the tape records.
+pub fn record_monitored<M: Monitor>(
+    expr: &Expr,
+    monitor: M,
+    sink: &SharedSink,
+) -> Result<(Value, M::State), EvalError> {
+    record_monitored_with(expr, &Env::empty(), monitor, sink, &EvalOptions::default())
+}
+
+/// [`record_monitored`] with an explicit environment and options.
+///
+/// # Errors
+///
+/// As for [`record_monitored`].
+pub fn record_monitored_with<M: Monitor>(
+    expr: &Expr,
+    env: &Env,
+    monitor: M,
+    sink: &SharedSink,
+    options: &EvalOptions,
+) -> Result<(Value, M::State), EvalError> {
+    let taping = Taping::new(monitor, sink.clone());
+    let sigma = taping.initial_state();
+    let (value, state) = eval_monitored_with(expr, env, &taping, sigma, options)?;
+    sink.record_done();
+    Ok((value, state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::IdentityMonitor;
+    use monsem_syntax::parse_expr;
+
+    #[test]
+    fn taping_records_the_event_stream_in_hook_order() {
+        let e = parse_expr("{outer}:({inner}:(1 + 2) * 2)").unwrap();
+        let mem = MemorySink::new();
+        let sink = SharedSink::new(mem.clone());
+        let (v, ()) = record_monitored(&e, IdentityMonitor, &sink).unwrap();
+        assert_eq!(v, Value::Int(6));
+        let events = mem.events();
+        let shape: Vec<(TapePhase, &str)> = events
+            .iter()
+            .map(|ev| (ev.phase, ev.name.as_str()))
+            .collect();
+        assert_eq!(
+            shape,
+            vec![
+                (TapePhase::Pre, "outer"),
+                (TapePhase::Pre, "inner"),
+                (TapePhase::Post, "inner"),
+                (TapePhase::Post, "outer"),
+                (TapePhase::Done, ""),
+            ]
+        );
+        assert_eq!(
+            events.iter().map(|ev| ev.step).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4],
+            "steps are assigned monotonically"
+        );
+        assert_eq!(
+            events[2].value,
+            Some(ValueDesc {
+                int: Some(3),
+                unsorted: false,
+                display: "3".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn value_descriptions_cover_the_abstraction_inputs() {
+        let sorted = Value::list([1, 2, 3].map(Value::Int));
+        let unsorted = Value::list([3, 1, 2].map(Value::Int));
+        assert!(!ValueDesc::of(&sorted).unsorted);
+        assert!(ValueDesc::of(&unsorted).unsorted);
+        assert_eq!(ValueDesc::of(&Value::Int(-7)).int, Some(-7));
+        assert_eq!(ValueDesc::of(&Value::Bool(true)).int, None);
+        let long = Value::list((0..40).map(Value::Int).collect::<Vec<_>>());
+        let desc = ValueDesc::of(&long);
+        assert_eq!(desc.display.chars().count(), 40);
+        assert!(desc.display.ends_with("..."));
+    }
+
+    #[test]
+    fn erroring_runs_leave_the_tape_without_done() {
+        let e = parse_expr("{a}:(1 / 0)").unwrap();
+        let mem = MemorySink::new();
+        let sink = SharedSink::new(mem.clone());
+        let err = record_monitored(&e, IdentityMonitor, &sink).unwrap_err();
+        assert_eq!(err, EvalError::DivisionByZero);
+        let events = mem.events();
+        assert!(events.iter().all(|ev| ev.phase != TapePhase::Done));
+        assert_eq!(events.len(), 1, "only `pre a` made it to the tape");
+    }
+}

@@ -1,0 +1,356 @@
+//! The versioned binary tape format.
+//!
+//! A tape is a header followed by a flat record stream:
+//!
+//! ```text
+//! header  := "MTAP" u16-le version (currently 1)
+//! record  := STR | PRE | POST | DONE
+//! STR     := 0x01 uvarint(len) bytes        -- interns the next string id
+//! PRE     := 0x02 uvarint(ns) uvarint(name) uvarint(step)
+//! POST    := 0x03 uvarint(ns) uvarint(name) uvarint(step)
+//!                 u8(flags) [ivarint(int)] uvarint(display)
+//! DONE    := 0x04 uvarint(step)
+//! ```
+//!
+//! Strings (namespaces, names, value displays) are interned: the first
+//! `STR` record defines id 0, the next id 1, and so on; event records
+//! refer to strings by id. `POST` flags: bit 0 — the value was an
+//! integer, carried as a zigzag varint; bit 1 — the value was an
+//! unsorted list ([`ValueDesc::unsorted`]). All integers are LEB128
+//! varints, so a typical event costs a handful of bytes once its strings
+//! are warm.
+//!
+//! The writer is a [`TapeSink`], so it drops into every recording entry
+//! point ([`Taping`](monsem_monitor::Taping), `record_monitored`, the
+//! pe engine); I/O errors are sticky and surface at
+//! [`TapeWriter::finish`], keeping the hook path infallible as
+//! [`TapeSink`] requires.
+
+use crate::wire::{put_ivarint, put_str, put_uvarint, ByteReader, WireError};
+use monsem_monitor::tape::{TapeEvent, TapePhase, TapeSink, ValueDesc};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Write};
+
+/// The four magic bytes opening every tape.
+pub const MAGIC: [u8; 4] = *b"MTAP";
+/// The current format version.
+pub const VERSION: u16 = 1;
+
+const TAG_STR: u8 = 0x01;
+const TAG_PRE: u8 = 0x02;
+const TAG_POST: u8 = 0x03;
+const TAG_DONE: u8 = 0x04;
+
+const FLAG_INT: u8 = 0x01;
+const FLAG_UNSORTED: u8 = 0x02;
+
+/// A malformed tape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TapeError {
+    /// The input does not start with [`MAGIC`].
+    BadMagic,
+    /// The version is newer than this reader understands.
+    BadVersion(u16),
+    /// An unknown record tag, with its byte offset.
+    BadTag(u8, usize),
+    /// An event referred to a string id never interned.
+    BadStringId(u64),
+    /// A byte-level decoding failure.
+    Wire(WireError),
+}
+
+impl fmt::Display for TapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TapeError::BadMagic => write!(f, "not a tape: bad magic"),
+            TapeError::BadVersion(v) => write!(f, "unsupported tape version {v}"),
+            TapeError::BadTag(t, at) => write!(f, "unknown record tag {t:#04x} at byte {at}"),
+            TapeError::BadStringId(id) => write!(f, "reference to un-interned string id {id}"),
+            TapeError::Wire(e) => write!(f, "malformed tape: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TapeError {}
+
+impl From<WireError> for TapeError {
+    fn from(e: WireError) -> TapeError {
+        TapeError::Wire(e)
+    }
+}
+
+/// Streams [`TapeEvent`]s to a [`Write`] in the binary format.
+///
+/// Implements [`TapeSink`], whose `record` cannot fail; write errors are
+/// therefore *sticky* — the first one is kept, subsequent records are
+/// discarded, and [`TapeWriter::finish`] reports it.
+#[derive(Debug)]
+pub struct TapeWriter<W: Write> {
+    out: W,
+    strings: HashMap<String, u64>,
+    buf: Vec<u8>,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> TapeWriter<W> {
+    /// Opens a tape: writes the header immediately.
+    pub fn new(out: W) -> TapeWriter<W> {
+        let mut w = TapeWriter {
+            out,
+            strings: HashMap::new(),
+            buf: Vec::new(),
+            error: None,
+        };
+        w.buf.extend_from_slice(&MAGIC);
+        w.buf.extend_from_slice(&VERSION.to_le_bytes());
+        w.flush_buf();
+        w
+    }
+
+    fn flush_buf(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.out.write_all(&self.buf) {
+                self.error = Some(e);
+            }
+        }
+        self.buf.clear();
+    }
+
+    fn intern(&mut self, s: &str) -> u64 {
+        if let Some(&id) = self.strings.get(s) {
+            return id;
+        }
+        let id = self.strings.len() as u64;
+        self.strings.insert(s.to_string(), id);
+        self.buf.push(TAG_STR);
+        put_str(&mut self.buf, s);
+        id
+    }
+
+    /// Flushes and returns the underlying writer, or the first write
+    /// error encountered.
+    ///
+    /// # Errors
+    ///
+    /// The sticky [`io::Error`], if any record failed to write.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.flush_buf();
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> TapeSink for TapeWriter<W> {
+    fn record(&mut self, event: TapeEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        match event.phase {
+            TapePhase::Pre => {
+                let ns = self.intern(&event.namespace);
+                let name = self.intern(&event.name);
+                self.buf.push(TAG_PRE);
+                put_uvarint(&mut self.buf, ns);
+                put_uvarint(&mut self.buf, name);
+                put_uvarint(&mut self.buf, event.step);
+            }
+            TapePhase::Post => {
+                let ns = self.intern(&event.namespace);
+                let name = self.intern(&event.name);
+                let desc = event.value.unwrap_or_default();
+                let display = self.intern(&desc.display);
+                self.buf.push(TAG_POST);
+                put_uvarint(&mut self.buf, ns);
+                put_uvarint(&mut self.buf, name);
+                put_uvarint(&mut self.buf, event.step);
+                let mut flags = 0u8;
+                if desc.int.is_some() {
+                    flags |= FLAG_INT;
+                }
+                if desc.unsorted {
+                    flags |= FLAG_UNSORTED;
+                }
+                self.buf.push(flags);
+                if let Some(n) = desc.int {
+                    put_ivarint(&mut self.buf, n);
+                }
+                put_uvarint(&mut self.buf, display);
+            }
+            TapePhase::Done => {
+                self.buf.push(TAG_DONE);
+                put_uvarint(&mut self.buf, event.step);
+            }
+        }
+        self.flush_buf();
+    }
+}
+
+/// Serializes `events` into a fresh in-memory tape.
+pub fn write_tape<'a>(events: impl IntoIterator<Item = &'a TapeEvent>) -> Vec<u8> {
+    let mut w = TapeWriter::new(Vec::new());
+    for ev in events {
+        w.record(ev.clone());
+    }
+    w.finish().expect("writing to a Vec cannot fail")
+}
+
+/// Parses a binary tape back into its event stream.
+///
+/// # Errors
+///
+/// [`TapeError`] on any malformation: bad magic or version, unknown
+/// tags, dangling string ids, or truncated records.
+pub fn read_tape(buf: &[u8]) -> Result<Vec<TapeEvent>, TapeError> {
+    let mut r = ByteReader::new(buf);
+    if r.bytes(4)? != MAGIC {
+        return Err(TapeError::BadMagic);
+    }
+    let version = u16::from_le_bytes(r.bytes(2)?.try_into().expect("two bytes"));
+    if version != VERSION {
+        return Err(TapeError::BadVersion(version));
+    }
+    let mut strings: Vec<String> = Vec::new();
+    let lookup = |strings: &[String], id: u64| -> Result<String, TapeError> {
+        usize::try_from(id)
+            .ok()
+            .and_then(|i| strings.get(i))
+            .cloned()
+            .ok_or(TapeError::BadStringId(id))
+    };
+    let mut events = Vec::new();
+    while !r.is_empty() {
+        let at = r.position();
+        match r.u8()? {
+            TAG_STR => strings.push(r.string()?),
+            TAG_PRE => {
+                let namespace = lookup(&strings, r.uvarint()?)?;
+                let name = lookup(&strings, r.uvarint()?)?;
+                let step = r.uvarint()?;
+                events.push(TapeEvent {
+                    phase: TapePhase::Pre,
+                    namespace,
+                    name,
+                    value: None,
+                    step,
+                });
+            }
+            TAG_POST => {
+                let namespace = lookup(&strings, r.uvarint()?)?;
+                let name = lookup(&strings, r.uvarint()?)?;
+                let step = r.uvarint()?;
+                let flags = r.u8()?;
+                let int = if flags & FLAG_INT != 0 {
+                    Some(r.ivarint()?)
+                } else {
+                    None
+                };
+                let display = lookup(&strings, r.uvarint()?)?;
+                events.push(TapeEvent {
+                    phase: TapePhase::Post,
+                    namespace,
+                    name,
+                    value: Some(ValueDesc {
+                        int,
+                        unsorted: flags & FLAG_UNSORTED != 0,
+                        display,
+                    }),
+                    step,
+                });
+            }
+            TAG_DONE => {
+                let step = r.uvarint()?;
+                events.push(TapeEvent {
+                    phase: TapePhase::Done,
+                    namespace: String::new(),
+                    name: String::new(),
+                    value: None,
+                    step,
+                });
+            }
+            tag => return Err(TapeError::BadTag(tag, at)),
+        }
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_core::Value;
+    use monsem_syntax::Annotation;
+
+    fn sample_events() -> Vec<TapeEvent> {
+        let a = Annotation::label("fac");
+        let b = Annotation::label("acc");
+        vec![
+            TapeEvent::pre(&a, 0),
+            TapeEvent::post(&a, &Value::Int(-42), 1),
+            TapeEvent::pre(&b, 2),
+            TapeEvent::post(
+                &b,
+                &Value::list(vec![Value::Int(3), Value::Int(1), Value::Int(2)]),
+                3,
+            ),
+            TapeEvent::post(&a, &Value::Bool(true), 4),
+            TapeEvent::done(5),
+        ]
+    }
+
+    #[test]
+    fn tape_roundtrips_exactly() {
+        let events = sample_events();
+        let bytes = write_tape(&events);
+        assert_eq!(read_tape(&bytes).unwrap(), events);
+    }
+
+    #[test]
+    fn strings_are_interned_once() {
+        let events = sample_events();
+        let bytes = write_tape(&events);
+        // "fac" appears in three events but is stored once.
+        let payload = &bytes[6..];
+        let occurrences = payload.windows(3).filter(|w| *w == b"fac").count();
+        assert_eq!(occurrences, 1);
+    }
+
+    #[test]
+    fn malformed_tapes_are_rejected() {
+        assert_eq!(read_tape(b"NOPE\x01\x00"), Err(TapeError::BadMagic));
+        let mut bytes = write_tape(&sample_events());
+        bytes[4] = 9;
+        assert_eq!(read_tape(&bytes), Err(TapeError::BadVersion(9)));
+        let mut bytes = write_tape(&sample_events());
+        let last_ok = bytes.len();
+        bytes.push(0x7f);
+        assert_eq!(read_tape(&bytes), Err(TapeError::BadTag(0x7f, last_ok)));
+        let bytes = write_tape(&sample_events());
+        assert!(matches!(
+            read_tape(&bytes[..bytes.len() - 1]),
+            Err(TapeError::Wire(_)) | Err(TapeError::BadStringId(_))
+        ));
+    }
+
+    #[test]
+    fn io_errors_are_sticky_and_surface_at_finish() {
+        #[derive(Debug)]
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = TapeWriter::new(Failing);
+        for ev in sample_events() {
+            w.record(ev);
+        }
+        let err = w.finish().unwrap_err();
+        assert_eq!(err.to_string(), "disk full");
+    }
+}

@@ -1,0 +1,40 @@
+//! `monsem-tape` — monitoring as a service.
+//!
+//! The paper's monitoring semantics threads the monitor through the
+//! evaluation itself; this crate lets the monitor leave the process. A
+//! monitored run records its *pre-abstraction* event stream (hook phase,
+//! annotation symbol, value description, step index — see
+//! [`monsem_monitor::tape`]) onto a **tape**, and the tape becomes a
+//! first-class artifact:
+//!
+//! * serialized to a compact, versioned binary [`mod@format`] — a tape on
+//!   disk is an offline regression artifact: `monsem check tape.bin
+//!   spec.tsp` re-derives the verdict (and the earliest-violation
+//!   offset) without re-executing the program;
+//! * streamed to a long-lived [`server::MonitorServer`] over the framed
+//!   [`proto`]col — many producer sessions, bounded ingest queues for
+//!   backpressure, per-session [`Guarded`](monsem_monitor::Guarded) spec
+//!   monitors, and sharded workers;
+//! * re-judged under a **hot-swapped** spec: a [`proto::Request::Swap`]
+//!   compiles the new spec and splices session state by replaying the
+//!   session's bounded suffix window through the new automaton
+//!   ([`server::splice_state`]).
+//!
+//! Because a [`TapeEvent`](monsem_monitor::TapeEvent) carries the
+//! concrete observation rather than any spec's abstract letter, one tape
+//! can be checked against specs that did not exist when it was recorded
+//! — the abstraction (`Alphabet::classify_desc`) happens at check time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod format;
+pub mod net;
+pub mod proto;
+pub mod server;
+pub mod wire;
+
+pub use format::{read_tape, write_tape, TapeError, TapeWriter, MAGIC, VERSION};
+pub use net::{serve_tcp, serve_unix, Client, ServeHandle};
+pub use proto::{read_frame, write_frame, ProtoError, Request, Response, Verdict};
+pub use server::{splice_state, MonitorServer, ServerConfig};

@@ -1,0 +1,265 @@
+//! Socket front ends for the monitor server: TCP and Unix-domain
+//! listeners speaking the framed [`crate::proto`] protocol, plus a small
+//! blocking [`Client`].
+//!
+//! Each accepted connection gets a thread that decodes request frames
+//! and calls [`MonitorServer::request`]; because the server's shard
+//! queues are bounded, a connection whose session floods the server
+//! blocks *in its own thread*, exerting TCP/socket backpressure on that
+//! producer without stalling other connections.
+
+use crate::proto::{read_frame, write_frame, Request, Response};
+use crate::server::MonitorServer;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A handle to a running listener.
+#[derive(Debug)]
+pub struct ServeHandle {
+    addr: Option<SocketAddr>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The bound TCP address (e.g. with port 0 the OS-chosen port).
+    /// `None` for Unix-socket listeners.
+    pub fn addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// Stops accepting new connections and joins the accept loop.
+    /// Existing connections finish at their own pace.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_connection(server: &MonitorServer, mut stream: impl io::Read + io::Write) {
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // clean EOF
+            Err(_) => return,
+        };
+        let resp = match Request::decode(&frame) {
+            Ok(req) => server.request(req),
+            Err(e) => Response::Err(format!("bad request: {e}")),
+        };
+        if write_frame(&mut stream, &resp.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+const POLL: Duration = Duration::from_millis(25);
+
+fn accept_loop<L, S>(
+    listener: L,
+    accept: impl Fn(&L) -> io::Result<S>,
+    server: Arc<MonitorServer>,
+    stop: Arc<AtomicBool>,
+) where
+    S: io::Read + io::Write + Send + 'static,
+{
+    while !stop.load(Ordering::SeqCst) {
+        match accept(&listener) {
+            Ok(stream) => {
+                let server = Arc::clone(&server);
+                let _ = std::thread::Builder::new()
+                    .name("monsem-conn".to_string())
+                    .spawn(move || serve_connection(&server, stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => return,
+        }
+    }
+}
+
+/// Serves the monitor protocol on a TCP listener bound to `addr`
+/// (use port `0` to let the OS pick; read it back from
+/// [`ServeHandle::addr`]).
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn serve_tcp(server: Arc<MonitorServer>, addr: impl ToSocketAddrs) -> io::Result<ServeHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let accept_thread = std::thread::Builder::new()
+        .name("monsem-accept".to_string())
+        .spawn(move || {
+            accept_loop(
+                listener,
+                |l| {
+                    l.accept().map(|(s, _)| {
+                        let _ = s.set_nonblocking(false);
+                        s
+                    })
+                },
+                server,
+                stop2,
+            )
+        })?;
+    Ok(ServeHandle {
+        addr: Some(bound),
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// Serves the monitor protocol on a Unix-domain socket at `path`
+/// (removed first if it already exists).
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn serve_unix(server: Arc<MonitorServer>, path: impl AsRef<Path>) -> io::Result<ServeHandle> {
+    let path = path.as_ref();
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let accept_thread = std::thread::Builder::new()
+        .name("monsem-accept".to_string())
+        .spawn(move || {
+            accept_loop(
+                listener,
+                |l| {
+                    l.accept().map(|(s, _)| {
+                        let _ = s.set_nonblocking(false);
+                        s
+                    })
+                },
+                server,
+                stop2,
+            )
+        })?;
+    Ok(ServeHandle {
+        addr: None,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// A blocking protocol client over any byte stream.
+#[derive(Debug)]
+pub struct Client<S> {
+    stream: S,
+}
+
+impl Client<TcpStream> {
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<Client<TcpStream>> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+}
+
+impl Client<UnixStream> {
+    /// Connects over a Unix-domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect_unix(path: impl AsRef<Path>) -> io::Result<Client<UnixStream>> {
+        Ok(Client {
+            stream: UnixStream::connect(path)?,
+        })
+    }
+}
+
+impl<S: io::Read + io::Write> Client<S> {
+    /// Wraps an already-connected stream.
+    pub fn new(stream: S) -> Client<S> {
+        Client { stream }
+    }
+
+    /// Sends one request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or `InvalidData` if the server's reply does not
+    /// decode (including an unexpected mid-reply EOF).
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let frame = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-request")
+        })?;
+        Response::decode(&frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Opens a session.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::request`].
+    pub fn open(&mut self, session: u64, spec: &str, enforcing: bool) -> io::Result<Response> {
+        self.request(&Request::Open {
+            session,
+            enforcing,
+            spec: spec.to_string(),
+        })
+    }
+
+    /// Streams events into a session.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::request`].
+    pub fn events(
+        &mut self,
+        session: u64,
+        events: Vec<monsem_monitor::TapeEvent>,
+    ) -> io::Result<Response> {
+        self.request(&Request::Events { session, events })
+    }
+
+    /// Hot-swaps a session's spec.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::request`].
+    pub fn swap(&mut self, session: u64, spec: &str) -> io::Result<Response> {
+        self.request(&Request::Swap {
+            session,
+            spec: spec.to_string(),
+        })
+    }
+
+    /// Closes a session.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::request`].
+    pub fn close(&mut self, session: u64) -> io::Result<Response> {
+        self.request(&Request::Close { session })
+    }
+}

@@ -1,0 +1,494 @@
+//! The monitor-server wire protocol: length-framed requests and
+//! responses over any byte stream (TCP or Unix sockets in [`crate::net`]).
+//!
+//! Every message is a frame: a big-endian `u32` payload length followed
+//! by the payload. Payloads are tag-discriminated and use the same
+//! varint primitives as the tape format; events inside an
+//! [`Request::Events`] frame are encoded self-contained (no interning)
+//! so frames can be decoded independently of connection history.
+
+use crate::wire::{put_ivarint, put_str, put_uvarint, ByteReader, WireError};
+use monsem_monitor::tape::{TapeEvent, TapePhase, ValueDesc};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard cap on a frame payload, to bound a malicious or corrupt peer.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// A protocol decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// A frame declared a payload larger than [`MAX_FRAME`].
+    FrameTooLarge(u32),
+    /// An unknown message tag.
+    BadTag(u8),
+    /// A byte-level decoding failure.
+    Wire(WireError),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
+            ProtoError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            ProtoError::Wire(e) => write!(f, "malformed message: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<WireError> for ProtoError {
+    fn from(e: WireError) -> ProtoError {
+        ProtoError::Wire(e)
+    }
+}
+
+fn proto_io(e: ProtoError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Opens a monitoring session: compiles `spec` and installs a fresh
+    /// guarded monitor under `session`.
+    Open {
+        /// Caller-chosen session id; also picks the worker shard.
+        session: u64,
+        /// Whether a violation should abort (and close) the session.
+        enforcing: bool,
+        /// The temporal spec source text.
+        spec: String,
+    },
+    /// Appends events to a session's tape.
+    Events {
+        /// The session to feed.
+        session: u64,
+        /// The events, in tape order.
+        events: Vec<TapeEvent>,
+    },
+    /// Hot-swaps the session's spec, splicing state by replaying the
+    /// session's bounded suffix window through the new automaton.
+    Swap {
+        /// The session to reconfigure.
+        session: u64,
+        /// The new spec source text.
+        spec: String,
+    },
+    /// Closes the session and reports its final verdict.
+    Close {
+        /// The session to finish.
+        session: u64,
+    },
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The request was applied.
+    Ok,
+    /// The request failed; human-readable reason.
+    Err(String),
+    /// A session verdict (returned by every successful session request,
+    /// so producers see violations as soon as they are ingested).
+    Verdict(Verdict),
+}
+
+/// The observable state of a session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// The session this verdict describes.
+    pub session: u64,
+    /// Events ingested so far (including ones the monitor did not
+    /// observe).
+    pub ingested: u64,
+    /// The guard's health: `"ok"`, or the degradation reason.
+    pub health: String,
+    /// The first violation, if any.
+    pub violation: Option<String>,
+    /// Step index of the event that first entered the violation.
+    pub earliest_violation: Option<u64>,
+    /// Final acceptance: `Some` once the session saw its `done` marker
+    /// or was closed, `None` while still open-ended.
+    pub accepted: Option<bool>,
+    /// Whether the last hot-swap had to splice from a truncated window
+    /// (the replayed suffix was shorter than the session's history).
+    pub swap_truncated: bool,
+}
+
+const REQ_OPEN: u8 = 0x01;
+const REQ_EVENTS: u8 = 0x02;
+const REQ_SWAP: u8 = 0x03;
+const REQ_CLOSE: u8 = 0x04;
+
+const RESP_OK: u8 = 0x01;
+const RESP_ERR: u8 = 0x02;
+const RESP_VERDICT: u8 = 0x03;
+
+const EV_PRE: u8 = 0x01;
+const EV_POST: u8 = 0x02;
+const EV_DONE: u8 = 0x03;
+
+const FLAG_INT: u8 = 0x01;
+const FLAG_UNSORTED: u8 = 0x02;
+
+fn put_event(out: &mut Vec<u8>, ev: &TapeEvent) {
+    match ev.phase {
+        TapePhase::Pre => {
+            out.push(EV_PRE);
+            put_str(out, &ev.namespace);
+            put_str(out, &ev.name);
+            put_uvarint(out, ev.step);
+        }
+        TapePhase::Post => {
+            out.push(EV_POST);
+            put_str(out, &ev.namespace);
+            put_str(out, &ev.name);
+            put_uvarint(out, ev.step);
+            let desc = ev.value.clone().unwrap_or_default();
+            let mut flags = 0u8;
+            if desc.int.is_some() {
+                flags |= FLAG_INT;
+            }
+            if desc.unsorted {
+                flags |= FLAG_UNSORTED;
+            }
+            out.push(flags);
+            if let Some(n) = desc.int {
+                put_ivarint(out, n);
+            }
+            put_str(out, &desc.display);
+        }
+        TapePhase::Done => {
+            out.push(EV_DONE);
+            put_uvarint(out, ev.step);
+        }
+    }
+}
+
+fn read_event(r: &mut ByteReader<'_>) -> Result<TapeEvent, ProtoError> {
+    match r.u8()? {
+        EV_PRE => Ok(TapeEvent {
+            phase: TapePhase::Pre,
+            namespace: r.string()?,
+            name: r.string()?,
+            value: None,
+            step: r.uvarint()?,
+        }),
+        EV_POST => {
+            let namespace = r.string()?;
+            let name = r.string()?;
+            let step = r.uvarint()?;
+            let flags = r.u8()?;
+            let int = if flags & FLAG_INT != 0 {
+                Some(r.ivarint()?)
+            } else {
+                None
+            };
+            let display = r.string()?;
+            Ok(TapeEvent {
+                phase: TapePhase::Post,
+                namespace,
+                name,
+                value: Some(ValueDesc {
+                    int,
+                    unsorted: flags & FLAG_UNSORTED != 0,
+                    display,
+                }),
+                step,
+            })
+        }
+        EV_DONE => Ok(TapeEvent {
+            phase: TapePhase::Done,
+            namespace: String::new(),
+            name: String::new(),
+            value: None,
+            step: r.uvarint()?,
+        }),
+        tag => Err(ProtoError::BadTag(tag)),
+    }
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, n: Option<u64>) {
+    match n {
+        Some(n) => {
+            out.push(1);
+            put_uvarint(out, n);
+        }
+        None => out.push(0),
+    }
+}
+
+fn read_opt_u64(r: &mut ByteReader<'_>) -> Result<Option<u64>, ProtoError> {
+    Ok(match r.u8()? {
+        0 => None,
+        _ => Some(r.uvarint()?),
+    })
+}
+
+impl Request {
+    /// Serializes to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Open {
+                session,
+                enforcing,
+                spec,
+            } => {
+                out.push(REQ_OPEN);
+                put_uvarint(&mut out, *session);
+                out.push(u8::from(*enforcing));
+                put_str(&mut out, spec);
+            }
+            Request::Events { session, events } => {
+                out.push(REQ_EVENTS);
+                put_uvarint(&mut out, *session);
+                put_uvarint(&mut out, events.len() as u64);
+                for ev in events {
+                    put_event(&mut out, ev);
+                }
+            }
+            Request::Swap { session, spec } => {
+                out.push(REQ_SWAP);
+                put_uvarint(&mut out, *session);
+                put_str(&mut out, spec);
+            }
+            Request::Close { session } => {
+                out.push(REQ_CLOSE);
+                put_uvarint(&mut out, *session);
+            }
+        }
+        out
+    }
+
+    /// Parses a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on unknown tags or malformed fields.
+    pub fn decode(buf: &[u8]) -> Result<Request, ProtoError> {
+        let mut r = ByteReader::new(buf);
+        match r.u8()? {
+            REQ_OPEN => Ok(Request::Open {
+                session: r.uvarint()?,
+                enforcing: r.u8()? != 0,
+                spec: r.string()?,
+            }),
+            REQ_EVENTS => {
+                let session = r.uvarint()?;
+                let count = r.uvarint()?;
+                let mut events = Vec::new();
+                for _ in 0..count {
+                    events.push(read_event(&mut r)?);
+                }
+                Ok(Request::Events { session, events })
+            }
+            REQ_SWAP => Ok(Request::Swap {
+                session: r.uvarint()?,
+                spec: r.string()?,
+            }),
+            REQ_CLOSE => Ok(Request::Close {
+                session: r.uvarint()?,
+            }),
+            tag => Err(ProtoError::BadTag(tag)),
+        }
+    }
+}
+
+impl Response {
+    /// Serializes to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Ok => out.push(RESP_OK),
+            Response::Err(reason) => {
+                out.push(RESP_ERR);
+                put_str(&mut out, reason);
+            }
+            Response::Verdict(v) => {
+                out.push(RESP_VERDICT);
+                put_uvarint(&mut out, v.session);
+                put_uvarint(&mut out, v.ingested);
+                put_str(&mut out, &v.health);
+                match &v.violation {
+                    Some(reason) => {
+                        out.push(1);
+                        put_str(&mut out, reason);
+                    }
+                    None => out.push(0),
+                }
+                put_opt_u64(&mut out, v.earliest_violation);
+                out.push(match v.accepted {
+                    None => 0,
+                    Some(false) => 1,
+                    Some(true) => 2,
+                });
+                out.push(u8::from(v.swap_truncated));
+            }
+        }
+        out
+    }
+
+    /// Parses a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on unknown tags or malformed fields.
+    pub fn decode(buf: &[u8]) -> Result<Response, ProtoError> {
+        let mut r = ByteReader::new(buf);
+        match r.u8()? {
+            RESP_OK => Ok(Response::Ok),
+            RESP_ERR => Ok(Response::Err(r.string()?)),
+            RESP_VERDICT => {
+                let session = r.uvarint()?;
+                let ingested = r.uvarint()?;
+                let health = r.string()?;
+                let violation = match r.u8()? {
+                    0 => None,
+                    _ => Some(r.string()?),
+                };
+                let earliest_violation = read_opt_u64(&mut r)?;
+                let accepted = match r.u8()? {
+                    0 => None,
+                    1 => Some(false),
+                    _ => Some(true),
+                };
+                let swap_truncated = r.u8()? != 0;
+                Ok(Response::Verdict(Verdict {
+                    session,
+                    ingested,
+                    health,
+                    violation,
+                    earliest_violation,
+                    accepted,
+                    swap_truncated,
+                }))
+            }
+            tag => Err(ProtoError::BadTag(tag)),
+        }
+    }
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying stream.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len =
+        u32::try_from(payload.len()).map_err(|_| proto_io(ProtoError::FrameTooLarge(u32::MAX)))?;
+    if len > MAX_FRAME {
+        return Err(proto_io(ProtoError::FrameTooLarge(len)));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on clean EOF at a
+/// frame boundary.
+///
+/// # Errors
+///
+/// I/O errors, or `InvalidData` when the declared length exceeds
+/// [`MAX_FRAME`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len);
+    if len > MAX_FRAME {
+        return Err(proto_io(ProtoError::FrameTooLarge(len)));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_core::Value;
+    use monsem_syntax::Annotation;
+
+    #[test]
+    fn requests_roundtrip() {
+        let ann = Annotation::label("p");
+        let reqs = vec![
+            Request::Open {
+                session: 7,
+                enforcing: true,
+                spec: "never(post(b))".to_string(),
+            },
+            Request::Events {
+                session: 7,
+                events: vec![
+                    TapeEvent::pre(&ann, 0),
+                    TapeEvent::post(&ann, &Value::Int(-3), 1),
+                    TapeEvent::done(2),
+                ],
+            },
+            Request::Swap {
+                session: 7,
+                spec: "always(post(p) => value > 0)".to_string(),
+            },
+            Request::Close { session: 7 },
+        ];
+        for req in reqs {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resps = vec![
+            Response::Ok,
+            Response::Err("no such session".to_string()),
+            Response::Verdict(Verdict {
+                session: 3,
+                ingested: 10,
+                health: "ok".to_string(),
+                violation: Some("spec `x` violated".to_string()),
+                earliest_violation: Some(4),
+                accepted: Some(false),
+                swap_truncated: true,
+            }),
+            Response::Verdict(Verdict {
+                session: 3,
+                ingested: 0,
+                health: "ok".to_string(),
+                violation: None,
+                earliest_violation: None,
+                accepted: None,
+                swap_truncated: false,
+            }),
+        ];
+        for resp in resps {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_and_eof_is_clean() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        let err = read_frame(&mut io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

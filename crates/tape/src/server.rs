@@ -1,0 +1,495 @@
+//! A long-lived monitor server: many producer sessions stream tape
+//! events in, a sharded worker pool advances one guarded spec monitor
+//! per session, and verdicts flow back.
+//!
+//! Design points:
+//!
+//! * **Sharding** — sessions are routed to `shards` worker threads by
+//!   session id, so one server ingests many concurrent tapes while each
+//!   session's events stay strictly ordered.
+//! * **Backpressure** — each shard's queue is a *bounded*
+//!   [`std::sync::mpsc::sync_channel`] of depth
+//!   [`ServerConfig::queue_depth`]; producers that outrun the monitor
+//!   block on ingest rather than ballooning server memory.
+//! * **Fault policy** — every session's monitor is wrapped in
+//!   [`Guarded`], so the existing fault machinery applies unchanged: a
+//!   panicking or aborting spec under [`FaultPolicy::Quarantine`]
+//!   degrades that session to the identity monitor (ingest continues,
+//!   verdicts report the degradation), and [`Budget`]s meter how much
+//!   monitoring work a session may consume.
+//! * **Hot-swap** — [`Request::Swap`] compiles a new spec and *splices*
+//!   session state by replaying the session's bounded suffix window
+//!   (the last [`ServerConfig::swap_window`] events) through the new
+//!   automaton. If the window had already dropped older events the
+//!   verdict flags `swap_truncated`: the new spec judged only the
+//!   suffix it could see.
+
+use crate::proto::{Request, Response, Verdict};
+use monsem_monitor::tape::{TapeEvent, TapePhase};
+use monsem_monitor::{Budget, FaultPolicy, GuardState, Guarded, Health, Monitor, Outcome};
+use monsem_tspec::{SpecMonitor, SpecState, DEFAULT_REPLAY_CAP};
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+/// Tuning knobs for a [`MonitorServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads; sessions are routed by `session % shards`.
+    pub shards: usize,
+    /// Bounded per-shard queue depth — the backpressure window.
+    pub queue_depth: usize,
+    /// How many recent events each session retains for hot-swap splicing.
+    pub swap_window: usize,
+    /// Fault policy for every session's [`Guarded`] wrapper.
+    pub policy: FaultPolicy,
+    /// Monitoring budget for every session.
+    pub budget: Budget,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            shards: 4,
+            queue_depth: 256,
+            swap_window: DEFAULT_REPLAY_CAP,
+            policy: FaultPolicy::Quarantine,
+            budget: Budget::default(),
+        }
+    }
+}
+
+type Job = (Request, SyncSender<Response>);
+
+/// The server: a set of shard queues feeding worker threads.
+///
+/// Share it behind an [`std::sync::Arc`] — every method takes `&self`.
+/// The in-process entry point is [`MonitorServer::request`]; the socket
+/// front ends in [`crate::net`] decode frames into the same calls.
+#[derive(Debug)]
+pub struct MonitorServer {
+    shards: Mutex<Vec<SyncSender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+struct Session {
+    guard: Guarded<SpecMonitor>,
+    gs: Option<GuardState<SpecState>>,
+    enforcing: bool,
+    window: VecDeque<TapeEvent>,
+    window_dropped: u64,
+    window_cap: usize,
+    ingested: u64,
+    earliest_violation: Option<u64>,
+    accepted: Option<bool>,
+    swap_truncated: bool,
+}
+
+impl Session {
+    fn open(
+        spec: &str,
+        session: u64,
+        enforcing: bool,
+        config: &ServerConfig,
+    ) -> Result<Session, String> {
+        let mut monitor =
+            SpecMonitor::new(format!("session-{session}"), spec).map_err(|e| e.to_string())?;
+        if enforcing {
+            monitor = monitor.enforcing();
+        }
+        let guard = Guarded::new(monitor)
+            .policy(config.policy)
+            .budget(config.budget);
+        let gs = guard.initial_state();
+        Ok(Session {
+            guard,
+            gs: Some(gs),
+            enforcing,
+            window: VecDeque::new(),
+            window_dropped: 0,
+            window_cap: config.swap_window.max(1),
+            ingested: 0,
+            earliest_violation: None,
+            accepted: None,
+            swap_truncated: false,
+        })
+    }
+
+    fn gs(&self) -> &GuardState<SpecState> {
+        self.gs.as_ref().expect("session guard state present")
+    }
+
+    fn verdict(&self, session: u64) -> Verdict {
+        let gs = self.gs();
+        Verdict {
+            session,
+            ingested: self.ingested,
+            health: match &gs.health {
+                Health::Ok => "ok".to_string(),
+                Health::Aborted(r) => format!("aborted: {r}"),
+                Health::Quarantined(r) => format!("quarantined: {r}"),
+                Health::OverBudget(r) => format!("over-budget: {r}"),
+            },
+            violation: gs.state.violation.clone(),
+            earliest_violation: self.earliest_violation,
+            accepted: self.accepted,
+            swap_truncated: self.swap_truncated,
+        }
+    }
+
+    /// Feeds one event through the guarded monitor.
+    fn ingest(&mut self, ev: &TapeEvent) {
+        self.ingested += 1;
+        if self.accepted.is_some() {
+            // The trace already ended; late events are counted but not
+            // judged.
+            return;
+        }
+        if ev.phase == TapePhase::Done {
+            self.finish();
+            return;
+        }
+        if self.window.len() == self.window_cap {
+            self.window.pop_front();
+            self.window_dropped += 1;
+        }
+        self.window.push_back(ev.clone());
+        let gs = self.gs.take().expect("session guard state present");
+        let had_violation = gs.state.violation.is_some();
+        let gs = match self
+            .guard
+            .guard_with(gs, |m, s| m.advance_tape_event(s, ev))
+        {
+            Outcome::Continue(gs) => gs,
+            Outcome::Abort { state: gs, .. } => {
+                // Enforcing abort: the trace is over for this session.
+                self.accepted = Some(false);
+                gs
+            }
+        };
+        if !had_violation && gs.state.violation.is_some() && self.earliest_violation.is_none() {
+            self.earliest_violation = Some(ev.step);
+        }
+        self.gs = Some(gs);
+    }
+
+    /// Ends the trace: runs the end-of-trace check and pins acceptance.
+    fn finish(&mut self) {
+        let gs = self.gs.as_mut().expect("session guard state present");
+        if !gs.health.is_ok() {
+            // A degraded monitor renders no verdict on the full trace.
+            self.accepted = None;
+            return;
+        }
+        match self.guard.inner().finish(&gs.state) {
+            Ok(done) => {
+                gs.state = done;
+                self.accepted = Some(true);
+            }
+            Err(reason) => {
+                if gs.state.violation.is_none() {
+                    gs.state.violation = Some(reason);
+                }
+                self.accepted = Some(false);
+            }
+        }
+    }
+
+    /// Hot-swaps the spec, splicing state by replaying the retained
+    /// window through the new automaton.
+    fn swap(&mut self, spec: &str, session: u64, config: &ServerConfig) -> Result<(), String> {
+        let mut monitor =
+            SpecMonitor::new(format!("session-{session}"), spec).map_err(|e| e.to_string())?;
+        if self.enforcing {
+            monitor = monitor.enforcing();
+        }
+        let (state, earliest) = splice_state(&monitor, self.window.iter());
+        let guard = Guarded::new(monitor)
+            .policy(config.policy)
+            .budget(config.budget);
+        let mut gs = guard.initial_state();
+        gs.state = state;
+        self.guard = guard;
+        self.gs = Some(gs);
+        self.earliest_violation = earliest;
+        self.swap_truncated = self.window_dropped > 0;
+        if self.accepted.is_some() {
+            // The trace had already ended; re-judge it under the new
+            // spec so the close verdict reflects what is now in force.
+            self.accepted = None;
+            self.finish();
+        }
+        Ok(())
+    }
+}
+
+/// Replays `window` through `monitor` from its initial state, returning
+/// the spliced state and the step of the earliest violating event seen
+/// during the replay. This is the pure core of hot-swap, shared with the
+/// tests that assert splice ≡ running the new spec over the same suffix.
+pub fn splice_state<'a>(
+    monitor: &SpecMonitor,
+    window: impl IntoIterator<Item = &'a TapeEvent>,
+) -> (SpecState, Option<u64>) {
+    let mut state = monitor.initial_state();
+    let mut earliest = None;
+    for ev in window {
+        let had = state.violation.is_some();
+        state = match monitor.advance_tape_event(state, ev) {
+            Outcome::Continue(s) | Outcome::Abort { state: s, .. } => s,
+        };
+        if !had && state.violation.is_some() && earliest.is_none() {
+            earliest = Some(ev.step);
+        }
+    }
+    (state, earliest)
+}
+
+fn handle(sessions: &mut HashMap<u64, Session>, config: &ServerConfig, req: Request) -> Response {
+    match req {
+        Request::Open {
+            session,
+            enforcing,
+            spec,
+        } => match Session::open(&spec, session, enforcing, config) {
+            Ok(s) => {
+                sessions.insert(session, s);
+                Response::Ok
+            }
+            Err(e) => Response::Err(format!("open session {session}: {e}")),
+        },
+        Request::Events { session, events } => match sessions.get_mut(&session) {
+            Some(s) => {
+                for ev in &events {
+                    s.ingest(ev);
+                }
+                Response::Verdict(s.verdict(session))
+            }
+            None => Response::Err(format!("no such session {session}")),
+        },
+        Request::Swap { session, spec } => match sessions.get_mut(&session) {
+            Some(s) => match s.swap(&spec, session, config) {
+                Ok(()) => Response::Verdict(s.verdict(session)),
+                Err(e) => Response::Err(format!("swap session {session}: {e}")),
+            },
+            None => Response::Err(format!("no such session {session}")),
+        },
+        Request::Close { session } => match sessions.remove(&session) {
+            Some(mut s) => {
+                if s.accepted.is_none() {
+                    // Closing ends the trace.
+                    s.finish();
+                }
+                Response::Verdict(s.verdict(session))
+            }
+            None => Response::Err(format!("no such session {session}")),
+        },
+    }
+}
+
+fn worker(rx: Receiver<Job>, config: ServerConfig) {
+    let mut sessions: HashMap<u64, Session> = HashMap::new();
+    while let Ok((req, reply)) = rx.recv() {
+        let resp = handle(&mut sessions, &config, req);
+        // A dead requester is not the worker's problem.
+        let _ = reply.send(resp);
+    }
+}
+
+impl MonitorServer {
+    /// Starts the worker pool.
+    pub fn start(config: ServerConfig) -> MonitorServer {
+        let shard_count = config.shards.max(1);
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut workers = Vec::with_capacity(shard_count);
+        for i in 0..shard_count {
+            let (tx, rx) = sync_channel(config.queue_depth.max(1));
+            let cfg = config.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("monsem-shard-{i}"))
+                    .spawn(move || worker(rx, cfg))
+                    .expect("spawn shard worker"),
+            );
+            shards.push(tx);
+        }
+        MonitorServer {
+            shards: Mutex::new(shards),
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Routes a request to its session's shard and waits for the reply.
+    /// Blocks while the shard's bounded queue is full — this is the
+    /// backpressure producers feel.
+    pub fn request(&self, req: Request) -> Response {
+        let session = match &req {
+            Request::Open { session, .. }
+            | Request::Events { session, .. }
+            | Request::Swap { session, .. }
+            | Request::Close { session } => *session,
+        };
+        let tx = {
+            let shards = self.shards.lock().expect("shard table lock");
+            if shards.is_empty() {
+                return Response::Err("server is shut down".to_string());
+            }
+            shards[(session % shards.len() as u64) as usize].clone()
+        };
+        let (reply_tx, reply_rx) = sync_channel(1);
+        if tx.send((req, reply_tx)).is_err() {
+            return Response::Err("server is shut down".to_string());
+        }
+        reply_rx
+            .recv()
+            .unwrap_or_else(|_| Response::Err("server worker died".to_string()))
+    }
+
+    /// Opens a session running `spec`.
+    pub fn open(&self, session: u64, spec: &str, enforcing: bool) -> Response {
+        self.request(Request::Open {
+            session,
+            enforcing,
+            spec: spec.to_string(),
+        })
+    }
+
+    /// Streams events into a session.
+    pub fn events(&self, session: u64, events: Vec<TapeEvent>) -> Response {
+        self.request(Request::Events { session, events })
+    }
+
+    /// Hot-swaps a session's spec.
+    pub fn swap(&self, session: u64, spec: &str) -> Response {
+        self.request(Request::Swap {
+            session,
+            spec: spec.to_string(),
+        })
+    }
+
+    /// Closes a session, ending its trace.
+    pub fn close(&self, session: u64) -> Response {
+        self.request(Request::Close { session })
+    }
+
+    /// Stops accepting requests, drains the queues, and joins the
+    /// workers.
+    pub fn shutdown(&self) {
+        self.shards.lock().expect("shard table lock").clear();
+        let workers: Vec<_> = self
+            .workers
+            .lock()
+            .expect("worker table lock")
+            .drain(..)
+            .collect();
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for MonitorServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_core::Value;
+    use monsem_syntax::Annotation;
+
+    fn post(name: &str, v: i64, step: u64) -> TapeEvent {
+        TapeEvent::post(&Annotation::label(name), &Value::Int(v), step)
+    }
+
+    fn verdict(resp: Response) -> Verdict {
+        match resp {
+            Response::Verdict(v) => v,
+            other => panic!("expected verdict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn session_lifecycle_reports_the_violation() {
+        let server = MonitorServer::start(ServerConfig::default());
+        assert_eq!(server.open(1, "never(post(b))", false), Response::Ok);
+        let v = verdict(server.events(1, vec![post("a", 1, 0), post("b", 2, 1)]));
+        assert_eq!(v.ingested, 2);
+        assert!(v.violation.as_deref().unwrap().contains("post b"));
+        assert_eq!(v.earliest_violation, Some(1));
+        assert_eq!(v.accepted, None, "trace still open");
+        let v = verdict(server.close(1));
+        assert_eq!(v.accepted, Some(false));
+        // The session is gone after close.
+        assert!(matches!(server.events(1, vec![]), Response::Err(_)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn done_event_pins_acceptance() {
+        let server = MonitorServer::start(ServerConfig::default());
+        server.open(2, "eventually(post(b))", false);
+        let v = verdict(server.events(
+            2,
+            vec![post("a", 1, 0), post("b", 2, 1), TapeEvent::done(2)],
+        ));
+        assert_eq!(v.accepted, Some(true));
+        assert_eq!(v.violation, None);
+        server.shutdown();
+    }
+
+    #[test]
+    fn swap_splices_from_the_window() {
+        let server = MonitorServer::start(ServerConfig::default());
+        server.open(3, "never(post(zzz))", false);
+        verdict(server.events(3, vec![post("p", 5, 0), post("p", -5, 1)]));
+        // The new spec sees the replayed suffix and flags the -5.
+        let v = verdict(server.swap(3, "always(post(p) => value > 0)"));
+        assert!(v.violation.as_deref().unwrap().contains("post p = -5"));
+        assert_eq!(v.earliest_violation, Some(1));
+        assert!(!v.swap_truncated);
+        server.shutdown();
+    }
+
+    #[test]
+    fn swap_past_the_window_is_flagged_truncated() {
+        let config = ServerConfig {
+            swap_window: 2,
+            ..ServerConfig::default()
+        };
+        let server = MonitorServer::start(config);
+        server.open(4, "never(post(zzz))", false);
+        verdict(server.events(4, vec![post("p", -5, 0), post("p", 1, 1), post("p", 2, 2)]));
+        // The violating step 0 fell out of the 2-event window.
+        let v = verdict(server.swap(4, "always(post(p) => value > 0)"));
+        assert_eq!(v.violation, None, "the evidence is out of the window");
+        assert!(v.swap_truncated, "and the verdict says so");
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_sessions_and_bad_specs_error() {
+        let server = MonitorServer::start(ServerConfig::default());
+        assert!(matches!(server.events(9, vec![]), Response::Err(_)));
+        assert!(matches!(server.open(9, "always(", false), Response::Err(_)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn enforcing_sessions_stop_at_the_violation() {
+        let config = ServerConfig {
+            policy: FaultPolicy::Fatal,
+            ..ServerConfig::default()
+        };
+        let server = MonitorServer::start(config);
+        server.open(5, "never(post(b))", true);
+        let v = verdict(server.events(5, vec![post("b", 1, 0), post("a", 2, 1)]));
+        assert_eq!(v.accepted, Some(false), "enforcing abort ends the trace");
+        assert_eq!(v.ingested, 2, "late events are counted, not judged");
+        assert_eq!(v.earliest_violation, Some(0));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,174 @@
+//! Low-level wire primitives shared by the tape file format and the
+//! server protocol: LEB128 unsigned varints, zigzag signed varints, and
+//! a bounds-checked byte reader.
+
+use std::fmt;
+
+/// A decoding failure at the byte level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended mid-value.
+    UnexpectedEof,
+    /// A varint ran past 10 bytes (more than 64 bits of payload).
+    VarintOverflow,
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof => write!(f, "unexpected end of input"),
+            WireError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Appends `n` as an LEB128 unsigned varint.
+pub fn put_uvarint(out: &mut Vec<u8>, mut n: u64) {
+    loop {
+        let byte = (n & 0x7f) as u8;
+        n >>= 7;
+        if n == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `n` zigzag-encoded as an unsigned varint.
+pub fn put_ivarint(out: &mut Vec<u8>, n: i64) {
+    put_uvarint(out, ((n << 1) ^ (n >> 63)) as u64);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_uvarint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A cursor over a byte slice with bounds-checked primitive reads.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// The current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads `len` raw bytes.
+    pub fn bytes(&mut self, len: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(len).ok_or(WireError::UnexpectedEof)?;
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(WireError::UnexpectedEof)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads an LEB128 unsigned varint.
+    pub fn uvarint(&mut self) -> Result<u64, WireError> {
+        let mut n: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            let payload = u64::from(byte & 0x7f);
+            if shift == 63 && payload > 1 {
+                return Err(WireError::VarintOverflow);
+            }
+            n |= payload << shift;
+            if byte & 0x80 == 0 {
+                return Ok(n);
+            }
+        }
+        Err(WireError::VarintOverflow)
+    }
+
+    /// Reads a zigzag-encoded signed varint.
+    pub fn ivarint(&mut self) -> Result<i64, WireError> {
+        let z = self.uvarint()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let len = self.uvarint()?;
+        let len = usize::try_from(len).map_err(|_| WireError::UnexpectedEof)?;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uvarint_roundtrips_edge_values() {
+        for n in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, n);
+            let mut r = ByteReader::new(&buf);
+            assert_eq!(r.uvarint().unwrap(), n);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn ivarint_roundtrips_signs() {
+        for n in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            put_ivarint(&mut buf, n);
+            let mut r = ByteReader::new(&buf);
+            assert_eq!(r.ivarint().unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 300);
+        let mut r = ByteReader::new(&buf[..1]);
+        assert_eq!(r.uvarint(), Err(WireError::UnexpectedEof));
+        let mut r = ByteReader::new(&[0xff; 11]);
+        assert_eq!(r.uvarint(), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn strings_roundtrip() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "héllo");
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.string().unwrap(), "héllo");
+    }
+}

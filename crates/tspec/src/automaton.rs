@@ -65,16 +65,10 @@ enum ValueRep {
 
 /// Mirrors `monsem_monitors::demon::is_sorted` (the Figure 8 demon's
 /// trigger): a value is *unsorted* iff it is a list with an adjacent pair
-/// of integers in decreasing order. Duplicated here because the toolbox
-/// crate depends on this one.
+/// of integers in decreasing order. The canonical predicate lives in
+/// `monsem_monitor::tape` so event tapes abstract values identically.
 fn value_is_unsorted(v: &Value) -> bool {
-    let Some(items) = v.iter_list() else {
-        return false;
-    };
-    items.windows(2).any(|w| match (w[0], w[1]) {
-        (Value::Int(a), Value::Int(b)) => a > b,
-        _ => false,
-    })
+    monsem_monitor::tape::value_is_unsorted(v)
 }
 
 /// The finite abstract alphabet of a spec.
@@ -211,6 +205,31 @@ impl Alphabet {
             }
             v => match self.unsorted_class {
                 Some(class) if value_is_unsorted(v) => class,
+                _ => 0,
+            },
+        }
+    }
+
+    /// The value class of a *described* value, as carried on an event
+    /// tape. Agrees with [`Alphabet::classify_value`] on every concrete
+    /// value `v` when the description is `ValueDesc::of(v)`: the
+    /// description preserves exactly the inputs the abstraction reads
+    /// (the integer itself, and list unsortedness).
+    pub fn classify_desc(&self, desc: &monsem_monitor::tape::ValueDesc) -> usize {
+        match desc.int {
+            Some(n) if !self.consts.is_empty() => {
+                let i = self.consts.partition_point(|c| *c < n);
+                let region = if i < self.consts.len() && self.consts[i] == n {
+                    2 * i + 1
+                } else {
+                    2 * i
+                };
+                let class = self.region_class[region];
+                debug_assert_ne!(class, usize::MAX, "a concrete int inhabits its region");
+                class
+            }
+            _ => match self.unsorted_class {
+                Some(class) if desc.unsorted => class,
                 _ => 0,
             },
         }

@@ -70,7 +70,10 @@ use std::sync::Arc;
 
 pub use ast::{Atom, CmpOp, NamePat, Pred, SpecExpr};
 pub use automaton::{Alphabet, Automaton, CompileOptions, Phase, MAX_LETTERS, MAX_STATES};
-pub use monitor::{SpecMonitor, SpecState};
+pub use monitor::{
+    ShardTape, SpecMonitor, SpecState, TapeCheck, TapeOutcome, DEFAULT_REPLAY_CAP,
+    DEFAULT_TRACE_CAP,
+};
 pub use parser::parse_spec;
 
 /// What category of failure a [`SpecError`] reports.

@@ -19,6 +19,7 @@
 use crate::automaton::Automaton;
 use crate::{Spec, SpecError};
 use monsem_core::Value;
+use monsem_monitor::tape::{short_display, TapeEvent, TapePhase};
 use monsem_monitor::{HookPhase, MergeMonitor, Monitor, Outcome, Scope};
 use monsem_syntax::{Annotation, Expr, Namespace};
 use std::collections::VecDeque;
@@ -26,6 +27,13 @@ use std::sync::Arc;
 
 /// Default bound on the recent-event trace kept in [`SpecState`].
 pub const DEFAULT_TRACE_CAP: usize = 8;
+
+/// Default bound on the per-shard replay tape kept by states born from
+/// [`MergeMonitor::split`] (and on the replay window a monitor server
+/// keeps per session). Shards that observe more events than this stop
+/// retaining them and the join falls back to a conservative merge — see
+/// [`SpecMonitor::replay_cap`].
+pub const DEFAULT_REPLAY_CAP: usize = 8192;
 
 /// A compiled temporal specification running as a monitor.
 #[derive(Debug, Clone)]
@@ -35,6 +43,47 @@ pub struct SpecMonitor {
     spec: Arc<Spec>,
     enforcing: bool,
     trace_cap: usize,
+    replay_cap: usize,
+}
+
+/// A shard's bounded replay tape: the observed letters (with their trace
+/// entries) since the state was born from [`MergeMonitor::split`], up to
+/// a hard cap, plus where the shard forked from so the join can tell
+/// whether a truncated tape is still mergeable exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardTape {
+    /// The retained `(letter, description)` events, oldest first. At most
+    /// `cap` entries — see [`ShardTape::dropped`].
+    pub events: Vec<(u32, String)>,
+    /// Events observed but *not* retained because the cap was hit. When
+    /// non-zero the tape no longer supports exact replay.
+    pub dropped: u64,
+    /// The DFA state this shard split from.
+    pub origin_state: u32,
+    /// The event count at the split point.
+    pub origin_events: u64,
+    /// The retention bound this tape was created with.
+    pub cap: usize,
+}
+
+impl ShardTape {
+    fn new(origin: &SpecState, cap: usize) -> ShardTape {
+        ShardTape {
+            events: Vec::new(),
+            dropped: 0,
+            origin_state: origin.state,
+            origin_events: origin.events,
+            cap,
+        }
+    }
+
+    fn push(&mut self, letter: u32, desc: &str) {
+        if self.events.len() < self.cap {
+            self.events.push((letter, desc.to_string()));
+        } else {
+            self.dropped += 1;
+        }
+    }
 }
 
 /// The monitor state: current DFA state plus a bounded match trace.
@@ -49,22 +98,23 @@ pub struct SpecState {
     /// The first violation observed, if any (an observing monitor records
     /// it here and keeps running).
     pub violation: Option<String>,
-    /// The event tape: every observed letter (with its trace entry) since
-    /// this state was born from [`MergeMonitor::split`]. `None` outside
-    /// fork-join evaluation — the root state records nothing. The join
-    /// replays the tape with [`SpecMonitor::advance`], so the merged state
-    /// is exactly the state the sequential run would have reached.
-    pub tape: Option<Vec<(u32, String)>>,
+    /// The bounded event tape recorded since this state was born from
+    /// [`MergeMonitor::split`]. `None` outside fork-join evaluation — the
+    /// root state records nothing. The join replays the tape with
+    /// [`SpecMonitor::advance`], so (while nothing was dropped) the
+    /// merged state is exactly the state the sequential run would have
+    /// reached.
+    pub tape: Option<ShardTape>,
+    /// Whether this state passed through a merge whose replay tape was
+    /// truncated: the DFA fields are then a *conservative* continuation
+    /// of the fork-point state (exact sequential equivalence would need a
+    /// full replay from the fork). Violations already on record remain
+    /// authoritative.
+    pub lossy: bool,
 }
 
 fn short_value(v: &Value) -> String {
-    let s = v.to_string();
-    if s.chars().count() > 40 {
-        let head: String = s.chars().take(37).collect();
-        format!("{head}...")
-    } else {
-        s
-    }
+    short_display(v)
 }
 
 impl SpecMonitor {
@@ -86,6 +136,7 @@ impl SpecMonitor {
             spec: Arc::new(spec),
             enforcing: false,
             trace_cap: DEFAULT_TRACE_CAP,
+            replay_cap: DEFAULT_REPLAY_CAP,
         }
     }
 
@@ -107,6 +158,16 @@ impl SpecMonitor {
     /// Changes the match-trace bound (default [`DEFAULT_TRACE_CAP`]).
     pub fn trace_cap(mut self, cap: usize) -> Self {
         self.trace_cap = cap;
+        self
+    }
+
+    /// Changes the per-shard replay-tape bound (default
+    /// [`DEFAULT_REPLAY_CAP`]). A shard that observes more than `cap`
+    /// relevant events stops retaining them; its join then falls back to
+    /// a merge that preserves violations and event counts but marks the
+    /// merged state [`SpecState::lossy`] instead of replaying exactly.
+    pub fn replay_cap(mut self, cap: usize) -> Self {
+        self.replay_cap = cap;
         self
     }
 
@@ -149,7 +210,7 @@ impl SpecMonitor {
         }
         let desc = desc();
         if let Some(tape) = &mut s.tape {
-            tape.push((letter, desc.clone()));
+            tape.push(letter, &desc);
         }
         s.events += 1;
         if self.trace_cap > 0 {
@@ -213,6 +274,146 @@ impl SpecMonitor {
     fn ours(&self, ann: &Annotation) -> bool {
         ann.namespace == self.namespace
     }
+
+    /// Advances the state by one serialized [`TapeEvent`], exactly as the
+    /// live run would have: the event's name and value description are
+    /// abstracted through the same alphabet maps the in-process hooks
+    /// use, so checking a tape offline reaches the same states (and the
+    /// same verdicts) as monitoring the original execution.
+    ///
+    /// Events from foreign namespaces — and [`TapePhase::Done`], which is
+    /// handled by [`SpecMonitor::check_tape`] via [`SpecMonitor::finish`]
+    /// — leave the state untouched.
+    pub fn advance_tape_event(&self, state: SpecState, ev: &TapeEvent) -> Outcome<SpecState> {
+        if ev.namespace != self.namespace.as_str() {
+            return Outcome::Continue(state);
+        }
+        let aut = self.automaton();
+        let alphabet = aut.alphabet();
+        let nc = alphabet.name_class(&monsem_syntax::Ident::new(&ev.name));
+        match ev.phase {
+            TapePhase::Pre => {
+                let letter = alphabet.pre_letter(nc);
+                self.advance(state, letter, || format!("pre {}", ev.name))
+            }
+            TapePhase::Post => {
+                let vc = match &ev.value {
+                    Some(desc) => alphabet.classify_desc(desc),
+                    None => 0,
+                };
+                let letter = alphabet.post_letter(nc, vc);
+                self.advance(state, letter, || {
+                    let shown = ev.value.as_ref().map_or("?", |d| d.display.as_str());
+                    format!("post {} = {shown}", ev.name)
+                })
+            }
+            TapePhase::Done => Outcome::Continue(state),
+        }
+    }
+
+    /// Checks a recorded tape offline: replays every event through
+    /// [`SpecMonitor::advance_tape_event`] and, if the tape carries a
+    /// [`TapePhase::Done`] marker, closes the trace with
+    /// [`SpecMonitor::finish`]. No re-execution happens — the verdict is
+    /// computed from the serialized stream alone, and agrees with the
+    /// live monitored run that produced the tape.
+    ///
+    /// For an enforcing monitor the replay stops at the first violation,
+    /// mirroring the abort the live run would have taken; an observing
+    /// monitor replays to the end.
+    pub fn check_tape<'a>(&self, events: impl IntoIterator<Item = &'a TapeEvent>) -> TapeCheck {
+        let mut state = self.initial_state();
+        let mut earliest: Option<u64> = None;
+        let mut completed = false;
+        for ev in events {
+            if matches!(ev.phase, TapePhase::Done) {
+                completed = true;
+                break;
+            }
+            let before = state.violation.is_some();
+            state = match self.advance_tape_event(state, ev) {
+                Outcome::Continue(s) => s,
+                Outcome::Abort { state: s, .. } => {
+                    if earliest.is_none() {
+                        earliest = Some(ev.step);
+                    }
+                    return TapeCheck {
+                        outcome: TapeOutcome::Violated(
+                            s.violation
+                                .clone()
+                                .unwrap_or_else(|| "violated".to_string()),
+                        ),
+                        earliest_violation: earliest,
+                        state: s,
+                    };
+                }
+            };
+            if !before && state.violation.is_some() && earliest.is_none() {
+                earliest = Some(ev.step);
+            }
+        }
+        if completed {
+            match self.finish(&state) {
+                Ok(done) => TapeCheck {
+                    outcome: TapeOutcome::Satisfied,
+                    earliest_violation: earliest,
+                    state: done,
+                },
+                Err(reason) => {
+                    let mut s = state;
+                    if s.violation.is_none() {
+                        s.violation = Some(reason.clone());
+                    }
+                    TapeCheck {
+                        outcome: TapeOutcome::Violated(reason),
+                        earliest_violation: earliest,
+                        state: s,
+                    }
+                }
+            }
+        } else if let Some(v) = state.violation.clone() {
+            TapeCheck {
+                outcome: TapeOutcome::Violated(v),
+                earliest_violation: earliest,
+                state,
+            }
+        } else {
+            TapeCheck {
+                outcome: TapeOutcome::Pending,
+                earliest_violation: earliest,
+                state,
+            }
+        }
+    }
+}
+
+/// The verdict of an offline [`SpecMonitor::check_tape`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TapeOutcome {
+    /// The tape ended (with a `done` marker) in an accepting state.
+    Satisfied,
+    /// The spec was violated; carries the rendered reason.
+    Violated(String),
+    /// The tape carries no `done` marker and no violation occurred —
+    /// the trace is an acceptable prefix but not yet complete (the
+    /// recorded run may have errored out, or is still in flight).
+    Pending,
+}
+
+/// The result of checking a tape offline: the verdict, the step index of
+/// the earliest violating event (if any), and the final monitor state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TapeCheck {
+    /// The verdict.
+    pub outcome: TapeOutcome,
+    /// Step index (as recorded on the tape) of the event on which the
+    /// violation was first entered. `None` when nothing was violated
+    /// mid-trace — in particular an `eventually(..)` left unsatisfied at
+    /// `done` is reported in [`TapeCheck::outcome`] with no offset, since
+    /// no single event caused it.
+    pub earliest_violation: Option<u64>,
+    /// The final monitor state after replay.
+    pub state: SpecState,
 }
 
 impl Monitor for SpecMonitor {
@@ -250,6 +451,7 @@ impl Monitor for SpecMonitor {
             trace: VecDeque::new(),
             violation: None,
             tape: None,
+            lossy: false,
         }
     }
 
@@ -324,8 +526,9 @@ impl Monitor for SpecMonitor {
         } else {
             "pending"
         };
+        let lossy = if state.lossy { ", lossy merge" } else { "" };
         format!(
-            "state {}/{} after {} events ({status})",
+            "state {}/{} after {} events ({status}{lossy})",
             state.state,
             aut.num_states(),
             state.events
@@ -342,6 +545,17 @@ impl Monitor for SpecMonitor {
 /// sequential run reaches — the shard's locally computed DFA fields are
 /// provisional and discarded at the join.
 ///
+/// The replay tape is bounded (see [`SpecMonitor::replay_cap`]): a shard
+/// that observes more events than the cap stops retaining them, and its
+/// join degrades gracefully instead of replaying a hole. If the
+/// accumulated left-hand state is still exactly the fork-point state the
+/// shard split from (the earlier shards observed nothing), the shard's
+/// own DFA fields *are* the sequential run's and are adopted wholesale.
+/// Otherwise the merge is conservative: the event count and any shard
+/// violation are preserved, and the result is marked
+/// [`SpecState::lossy`] — exact sequential equivalence would need a full
+/// replay from the fork point.
+///
 /// Enforcing specs under fork-join should be safety-shaped (`never(..)`,
 /// `always(..)`): their dead states are entered by the violating event
 /// itself, so a shard's local abort agrees with the sequential run no
@@ -353,7 +567,8 @@ impl MergeMonitor for SpecMonitor {
             events: s.events,
             trace: s.trace.clone(),
             violation: s.violation.clone(),
-            tape: Some(Vec::new()),
+            tape: Some(ShardTape::new(s, self.replay_cap)),
+            lossy: s.lossy,
         }
     }
 
@@ -369,12 +584,72 @@ impl MergeMonitor for SpecMonitor {
             // nothing to replay.
             return Outcome::Continue(left);
         };
-        let mut acc = left;
-        for (letter, desc) in tape {
-            match self.advance(acc, letter, || desc) {
-                Outcome::Continue(s) => acc = s,
-                abort @ Outcome::Abort { .. } => return abort,
+        if tape.dropped == 0 {
+            // Exact replay: recompute everything on the left state.
+            let mut acc = left;
+            for (letter, desc) in tape.events {
+                match self.advance(acc, letter, || desc) {
+                    Outcome::Continue(s) => acc = s,
+                    abort @ Outcome::Abort { .. } => return abort,
+                }
             }
+            return Outcome::Continue(acc);
+        }
+        if !left.lossy
+            && !right.lossy
+            && left.state == tape.origin_state
+            && left.events == tape.origin_events
+        {
+            // The left state never moved past the fork point, so the
+            // shard's transitions are the sequential run's: adopt its
+            // DFA fields wholesale. The retained tape prefix is folded
+            // into the left shard tape (if any) so an enclosing join
+            // still sees a consistently-truncated tape.
+            let fresh = left.violation.is_none() && right.violation.is_some();
+            let mut merged = SpecState {
+                state: right.state,
+                events: right.events,
+                trace: right.trace,
+                violation: left.violation.or(right.violation),
+                tape: left.tape,
+                lossy: false,
+            };
+            if let Some(ltape) = &mut merged.tape {
+                for (letter, desc) in &tape.events {
+                    ltape.push(*letter, desc);
+                }
+                ltape.dropped += tape.dropped;
+            }
+            if self.enforcing && fresh {
+                let reason = merged
+                    .violation
+                    .clone()
+                    .unwrap_or_else(|| "violated".to_string());
+                return Outcome::abort(merged, self.name.clone(), reason);
+            }
+            return Outcome::Continue(merged);
+        }
+        // Conservative merge: the left state has moved (or was itself
+        // lossy), and the shard's full event sequence is gone. Keep the
+        // authoritative left DFA fields, account the shard's events, and
+        // surface its violation; mark the result lossy.
+        let fresh = left.violation.is_none() && right.violation.is_some();
+        let mut acc = left;
+        acc.events += right.events.saturating_sub(tape.origin_events);
+        acc.lossy = true;
+        if acc.violation.is_none() {
+            acc.violation = right.violation;
+        }
+        if let Some(ltape) = &mut acc.tape {
+            // The enclosing join can no longer replay exactly either.
+            ltape.dropped += tape.events.len() as u64 + tape.dropped;
+        }
+        if self.enforcing && fresh {
+            let reason = acc
+                .violation
+                .clone()
+                .unwrap_or_else(|| "violated".to_string());
+            return Outcome::abort(acc, self.name.clone(), reason);
         }
         Outcome::Continue(acc)
     }
@@ -549,6 +824,135 @@ mod tests {
             m.merge(m.merge(a.clone(), b.clone()), c.clone()),
             m.merge(a, m.merge(b, c))
         );
+    }
+
+    fn post_p_letter(m: &SpecMonitor, v: i64) -> u32 {
+        let aut = m.automaton();
+        let alphabet = aut.alphabet();
+        alphabet.post_letter(
+            alphabet.name_class(&monsem_syntax::Ident::new("p")),
+            alphabet.classify_value(&Value::Int(v)),
+        )
+    }
+
+    #[test]
+    fn shard_tape_memory_is_bounded() {
+        // Regression: a long-running shard must not retain O(n) replay
+        // tape. A million events leave exactly `cap` retained entries.
+        let m = SpecMonitor::new("pos", "always(post(p) => value > 0)")
+            .unwrap()
+            .replay_cap(64);
+        let letter = post_p_letter(&m, 7);
+        let mut s = m.split(&m.initial_state());
+        const N: u64 = 1_000_000;
+        for _ in 0..N {
+            s = match m.advance(s, letter, || "post p = 7".to_string()) {
+                Outcome::Continue(s) => s,
+                Outcome::Abort { .. } => unreachable!(),
+            };
+        }
+        let tape = s.tape.as_ref().unwrap();
+        assert_eq!(tape.events.len(), 64);
+        assert_eq!(tape.dropped, N - 64);
+        assert_eq!(s.events, N);
+    }
+
+    #[test]
+    fn truncated_shard_merges_exactly_into_an_unmoved_fork_point() {
+        // Left never moved past the fork point, so the shard's own DFA
+        // fields are adopted wholesale even though its tape overflowed.
+        let m = SpecMonitor::new("pos", "always(post(p) => value > 0)")
+            .unwrap()
+            .replay_cap(4);
+        let good = post_p_letter(&m, 7);
+        let bad = post_p_letter(&m, -7);
+        let sigma = m.initial_state();
+        let mut shard = m.split(&sigma);
+        for i in 0..10 {
+            let letter = if i == 8 { bad } else { good };
+            shard = match m.advance(shard, letter, || format!("post p = #{i}")) {
+                Outcome::Continue(s) => s,
+                Outcome::Abort { .. } => unreachable!(),
+            };
+        }
+        let shard_state = shard.state;
+        let merged = m.merge(sigma, shard);
+        assert_eq!(merged.events, 10);
+        assert_eq!(merged.state, shard_state, "shard DFA state adopted");
+        assert!(merged.violation.is_some(), "shard violation surfaced");
+        assert!(!merged.lossy, "adoption is exact, not lossy");
+    }
+
+    #[test]
+    fn truncated_shard_merges_conservatively_into_a_moved_fork_point() {
+        let m = SpecMonitor::new("pos", "always(post(p) => value > 0)")
+            .unwrap()
+            .replay_cap(4);
+        let good = post_p_letter(&m, 7);
+        let bad = post_p_letter(&m, -7);
+        let sigma = m.initial_state();
+        // The left accumulator has already absorbed an earlier shard.
+        let left = match m.advance(sigma.clone(), good, || "post p = 7".to_string()) {
+            Outcome::Continue(s) => s,
+            Outcome::Abort { .. } => unreachable!(),
+        };
+        let mut shard = m.split(&sigma);
+        for i in 0..10 {
+            let letter = if i == 8 { bad } else { good };
+            shard = match m.advance(shard, letter, || format!("post p = #{i}")) {
+                Outcome::Continue(s) => s,
+                Outcome::Abort { .. } => unreachable!(),
+            };
+        }
+        let merged = m.merge(left, shard);
+        assert_eq!(merged.events, 1 + 10, "shard events still accounted");
+        assert!(merged.lossy, "truncated merge into a moved state is lossy");
+        assert!(merged.violation.is_some(), "shard violation preserved");
+        assert!(m.render_state(&merged).contains("VIOLATED"));
+    }
+
+    #[test]
+    fn check_tape_matches_the_live_run() {
+        use monsem_monitor::{record_monitored, MemorySink, SharedSink};
+        let prog = parse_expr("{a}:1 + {b}:2").unwrap();
+        let m = SpecMonitor::new("no-b", "never(post(b))").unwrap();
+        let mem = MemorySink::new();
+        let sink = SharedSink::new(mem.clone());
+        let (v, s) = record_monitored(&prog, m.clone(), &sink).unwrap();
+        let tape = mem.take();
+        assert_eq!(v, Value::Int(3));
+        let check = m.check_tape(tape.iter());
+        assert_eq!(check.state.violation, s.violation);
+        assert!(matches!(check.outcome, TapeOutcome::Violated(_)));
+        // The earliest violation is the `post b` event's step index.
+        let step = check.earliest_violation.unwrap();
+        let ev = tape.iter().find(|e| e.step == step).unwrap();
+        assert_eq!(ev.name, "b");
+        assert_eq!(ev.phase, TapePhase::Post);
+    }
+
+    #[test]
+    fn check_tape_reports_satisfied_and_pending() {
+        use monsem_monitor::{record_monitored, MemorySink, SharedSink};
+        let prog = parse_expr("{a}:1 + {b}:2").unwrap();
+        let m = SpecMonitor::new("sees-b", "eventually(post(b))").unwrap();
+        let mem = MemorySink::new();
+        let sink = SharedSink::new(mem.clone());
+        record_monitored(&prog, m.clone(), &sink).unwrap();
+        let tape = mem.take();
+        assert_eq!(m.check_tape(tape.iter()).outcome, TapeOutcome::Satisfied);
+        // Without the `done` marker the trace is merely an open prefix.
+        let open: Vec<_> = tape
+            .iter()
+            .filter(|e| e.phase != TapePhase::Done)
+            .cloned()
+            .collect();
+        assert_eq!(m.check_tape(open.iter()).outcome, TapeOutcome::Pending);
+        // An unsatisfied `eventually` at `done` has no violating event.
+        let unsat = SpecMonitor::new("sees-c", "eventually(post(c))").unwrap();
+        let check = unsat.check_tape(tape.iter());
+        assert!(matches!(check.outcome, TapeOutcome::Violated(_)));
+        assert_eq!(check.earliest_violation, None);
     }
 
     #[test]

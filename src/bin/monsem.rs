@@ -33,7 +33,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("monsem: {message}");
             ExitCode::from(2)
@@ -41,21 +41,29 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn ok(result: Result<(), String>) -> Result<ExitCode, String> {
+    result.map(|()| ExitCode::SUCCESS)
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(command) = args.first() else {
         return Err(usage());
     };
     let rest = &args[1..];
     match command.as_str() {
-        "run" => cmd_run(rest),
-        "trace" => cmd_trace(rest),
-        "profile" => cmd_profile(rest),
-        "instrument" => cmd_instrument(rest),
-        "bta" => cmd_bta(rest),
-        "specialize" => cmd_specialize(rest),
+        "run" => ok(cmd_run(rest)),
+        "trace" => ok(cmd_trace(rest)),
+        "profile" => ok(cmd_profile(rest)),
+        "instrument" => ok(cmd_instrument(rest)),
+        "bta" => ok(cmd_bta(rest)),
+        "specialize" => ok(cmd_specialize(rest)),
+        "record" => ok(cmd_record(rest)),
+        "check" => cmd_check(rest),
+        "serve" => ok(cmd_serve(rest)),
+        "swap" => ok(cmd_swap(rest)),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
@@ -67,7 +75,11 @@ fn usage() -> String {
      monsem profile    (-e <src> | <file>) [--functions f,g,…]\n  \
      monsem instrument (-e <src> | <file>)\n  \
      monsem bta        (-e <src> | <file>) [--static name,name]\n  \
-     monsem specialize (-e <src> | <file>) [--input name=int]…"
+     monsem specialize (-e <src> | <file>) [--input name=int]…\n  \
+     monsem record     (-e <src> | <file>) --out <tape.bin> [--spec <spec|file>]\n  \
+     monsem check      <tape.bin> <spec|file> [--enforcing]\n  \
+     monsem serve      (--tcp <addr> | --unix <path>) [--shards N] [--queue N] [--window N] [--policy fatal|quarantine]\n  \
+     monsem swap       (--tcp <addr> | --unix <path>) --session <id> <spec|file>"
         .to_string()
 }
 
@@ -184,6 +196,178 @@ fn cmd_bta(args: &[String]) -> Result<(), String> {
         monitoring_semantics::pe::bta::render_two_level(&program, &division)
     );
     Ok(())
+}
+
+/// Reads a spec argument: a path to a `.tsp` file if one exists, else
+/// the argument itself as inline spec source.
+fn load_spec(arg: &str) -> Result<String, String> {
+    if std::path::Path::new(arg).is_file() {
+        std::fs::read_to_string(arg).map_err(|e| format!("cannot read `{arg}`: {e}"))
+    } else {
+        Ok(arg.to_string())
+    }
+}
+
+fn cmd_record(args: &[String]) -> Result<(), String> {
+    use monitoring_semantics::monitor::{record_monitored, MemorySink, SharedSink};
+    use monitoring_semantics::tape::write_tape;
+    use monitoring_semantics::tspec::SpecMonitor;
+    let (program, flags) = program_and_flags(args)?;
+    let out = flag_value(&flags, "--out").ok_or("record needs --out <tape.bin>")?;
+    let mem = MemorySink::new();
+    let sink = SharedSink::new(mem.clone());
+    let answer = match flag_value(&flags, "--spec") {
+        Some(spec) => {
+            let src = load_spec(spec)?;
+            let monitor = SpecMonitor::new("cli", &src).map_err(|e| e.to_string())?;
+            let (value, state) =
+                record_monitored(&program, monitor, &sink).map_err(|e| e.to_string())?;
+            if let Some(v) = &state.violation {
+                eprintln!("; live violation: {v}");
+            }
+            value
+        }
+        None => {
+            let (value, ()) = record_monitored(
+                &program,
+                monitoring_semantics::monitor::IdentityMonitor,
+                &sink,
+            )
+            .map_err(|e| e.to_string())?;
+            value
+        }
+    };
+    let events = mem.take();
+    let bytes = write_tape(&events);
+    std::fs::write(out, &bytes).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    eprintln!("; {} events, {} bytes -> {out}", events.len(), bytes.len());
+    println!("{answer}");
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    use monitoring_semantics::tape::read_tape;
+    use monitoring_semantics::tspec::{SpecMonitor, TapeOutcome};
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [tape_path, spec_arg] = positional.as_slice() else {
+        return Err("check needs <tape.bin> <spec|file>".to_string());
+    };
+    let bytes = std::fs::read(tape_path).map_err(|e| format!("cannot read `{tape_path}`: {e}"))?;
+    let events = read_tape(&bytes).map_err(|e| e.to_string())?;
+    let src = load_spec(spec_arg)?;
+    let mut monitor = SpecMonitor::new("check", &src).map_err(|e| e.to_string())?;
+    if args.iter().any(|a| a == "--enforcing") {
+        monitor = monitor.enforcing();
+    }
+    let check = monitor.check_tape(events.iter());
+    match &check.outcome {
+        TapeOutcome::Satisfied => {
+            println!("satisfied after {} events", check.state.events);
+            Ok(ExitCode::SUCCESS)
+        }
+        TapeOutcome::Pending => {
+            println!(
+                "pending after {} events (no `done` marker on the tape)",
+                check.state.events
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        TapeOutcome::Violated(reason) => {
+            match check.earliest_violation {
+                Some(step) => println!("violated at step {step}: {reason}"),
+                None => println!("violated at end of trace: {reason}"),
+            }
+            Ok(ExitCode::from(1))
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use monitoring_semantics::monitor::fault::FaultPolicy;
+    use monitoring_semantics::tape::{serve_tcp, serve_unix, MonitorServer, ServerConfig};
+    use std::sync::Arc;
+    let parse = |name: &str, default: usize| -> Result<usize, String> {
+        match flag_value(args, name) {
+            Some(v) => v.parse().map_err(|_| format!("{name} needs an integer")),
+            None => Ok(default),
+        }
+    };
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        shards: parse("--shards", defaults.shards)?,
+        queue_depth: parse("--queue", defaults.queue_depth)?,
+        swap_window: parse("--window", defaults.swap_window)?,
+        policy: match flag_value(args, "--policy").unwrap_or("quarantine") {
+            "fatal" => FaultPolicy::Fatal,
+            "quarantine" => FaultPolicy::Quarantine,
+            other => return Err(format!("unknown policy `{other}`")),
+        },
+        ..defaults
+    };
+    let server = Arc::new(MonitorServer::start(config));
+    let handle = match (flag_value(args, "--tcp"), flag_value(args, "--unix")) {
+        (Some(addr), None) => serve_tcp(server, addr).map_err(|e| e.to_string())?,
+        (None, Some(path)) => serve_unix(server, path).map_err(|e| e.to_string())?,
+        _ => return Err("serve needs exactly one of --tcp <addr> or --unix <path>".to_string()),
+    };
+    match handle.addr() {
+        Some(addr) => eprintln!("; monitor server listening on tcp {addr}"),
+        None => eprintln!("; monitor server listening on unix socket"),
+    }
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_swap(args: &[String]) -> Result<(), String> {
+    use monitoring_semantics::tape::{Client, Response};
+    let session: u64 = flag_value(args, "--session")
+        .ok_or("swap needs --session <id>")?
+        .parse()
+        .map_err(|_| "--session needs an integer".to_string())?;
+    let spec_arg = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && !matches!(args.get(i.wrapping_sub(1)), Some(prev) if prev.starts_with("--"))
+        })
+        .map(|(_, a)| a)
+        .next()
+        .ok_or("swap needs a <spec|file> argument")?;
+    let spec = load_spec(spec_arg)?;
+    let response = match (flag_value(args, "--tcp"), flag_value(args, "--unix")) {
+        (Some(addr), None) => Client::connect_tcp(addr)
+            .and_then(|mut c| c.swap(session, &spec))
+            .map_err(|e| e.to_string())?,
+        (None, Some(path)) => Client::connect_unix(path)
+            .and_then(|mut c| c.swap(session, &spec))
+            .map_err(|e| e.to_string())?,
+        _ => return Err("swap needs exactly one of --tcp <addr> or --unix <path>".to_string()),
+    };
+    match response {
+        Response::Verdict(v) => {
+            println!(
+                "session {}: {} events ingested, health {}{}{}",
+                v.session,
+                v.ingested,
+                v.health,
+                match &v.violation {
+                    Some(reason) => format!(", violation: {reason}"),
+                    None => ", no violation".to_string(),
+                },
+                if v.swap_truncated {
+                    " (spliced from a truncated window)"
+                } else {
+                    ""
+                }
+            );
+            Ok(())
+        }
+        Response::Ok => Ok(()),
+        Response::Err(e) => Err(e),
+    }
 }
 
 fn cmd_specialize(args: &[String]) -> Result<(), String> {

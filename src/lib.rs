@@ -30,7 +30,11 @@
 //! * [`tspec`] — a temporal specification language (regular expressions
 //!   with intersection/complement plus `always`/`never`/`eventually`/
 //!   `respond` sugar) compiled via Brzozowski derivatives into automaton
-//!   monitors.
+//!   monitors;
+//! * [`tape`] — monitoring as a service: serializable event tapes with a
+//!   versioned binary format, offline checking (`monsem check`), and a
+//!   monitor server with bounded-queue backpressure and hot-swapped
+//!   specs.
 //!
 //! # Quickstart
 //!
@@ -64,6 +68,7 @@ pub use monsem_monitor as monitor;
 pub use monsem_monitors as monitors;
 pub use monsem_pe as pe;
 pub use monsem_syntax as syntax;
+pub use monsem_tape as tape;
 pub use monsem_tspec as tspec;
 
 pub use monsem_monitor::Monitor;

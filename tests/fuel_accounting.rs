@@ -12,7 +12,8 @@
 
 use monitoring_semantics::core::machine::{eval_stats, eval_with, EvalOptions};
 use monitoring_semantics::core::{Env, EvalError};
-use monitoring_semantics::monitor::IdentityMonitor;
+use monitoring_semantics::monitor::machine::eval_monitored_stats_with;
+use monitoring_semantics::monitor::{eval_parallel_with, IdentityMonitor, ParOptions};
 use monitoring_semantics::pe::engine::compile;
 use monitoring_semantics::syntax::parse_expr;
 
@@ -88,6 +89,45 @@ fn compiled_engine_never_takes_more_steps_than_the_interpreter() {
             interp_stats.steps
         );
     }
+}
+
+#[test]
+fn parallel_fuel_is_charged_globally_at_the_join() {
+    // PR 7 bugfix (S3): shard step counts are charged back to the parent
+    // at the join, so the fork-join machine draws on ONE fuel budget.
+    // Under the historical per-shard accounting every shard received the
+    // full remaining budget, so four shards could jointly spend ~4× the
+    // bound — the starved case below would (wrongly) have succeeded.
+    let prog = parse_expr(
+        "letrec fac = lambda x. if x = 0 then 1 else x * (fac (x - 1)) \
+         in par(fac 10, fac 10, fac 10, fac 10)",
+    )
+    .unwrap();
+    let monitor = IdentityMonitor;
+    // `IdentityMonitor::State` is `()`, so the initial state is passed
+    // literally below.
+    let (_, _, seq_steps) =
+        eval_monitored_stats_with(&prog, &Env::empty(), &monitor, (), &EvalOptions::default())
+            .unwrap();
+
+    let par_opts = |fuel: u64| ParOptions {
+        threads: 4,
+        eval: EvalOptions::with_fuel(fuel),
+    };
+
+    // The parallel driver's spine transitions are uncharged, so the
+    // sequential step count is always a sufficient global budget.
+    eval_parallel_with(&prog, &Env::empty(), &monitor, (), &par_opts(seq_steps))
+        .expect("fuel = sequential steps must suffice in parallel");
+
+    // A third of the sequential budget still covers any single shard
+    // (each shard is ~a quarter of the work), so per-shard accounting
+    // would pass — global accounting must exhaust.
+    assert_eq!(
+        eval_parallel_with(&prog, &Env::empty(), &monitor, (), &par_opts(seq_steps / 3)),
+        Err(EvalError::FuelExhausted),
+        "four shards cannot jointly overdraw a global budget"
+    );
 }
 
 #[test]

@@ -53,7 +53,10 @@ fn par_options(threads: usize) -> ParOptions {
 }
 
 /// Runs both machines and compares results, ignoring fuel-exhaustion
-/// divergence (parallel fuel is per shard by documented design).
+/// divergence. Fuel is global in both machines (shard steps are charged
+/// back to the parent at the join), but the parallel driver's spine
+/// transitions are uncharged, so a program near the limit may complete
+/// in parallel while the sequential run exhausts.
 fn assert_parallel_matches_sequential<M>(program: &Expr, monitor: &M, threads: usize)
 where
     M: MergeMonitor + Sync,

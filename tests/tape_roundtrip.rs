@@ -1,0 +1,242 @@
+//! PR 7 (S4): the event tape is a faithful, serializable image of the
+//! pre-abstraction monitoring stream.
+//!
+//! Three differential properties on randomly generated annotated
+//! programs (including `par` tuples, whose shard events interleave on
+//! the tape in the machine's schedule):
+//!
+//! 1. **Serialization is lossless** — `write_tape` → `read_tape` is the
+//!    identity on the in-process [`MemorySink`] stream, including the
+//!    `done` marker and string re-interning.
+//! 2. **Offline check ≡ live run** — `SpecMonitor::check_tape` over a
+//!    recorded tape reaches exactly the live monitored run's verdict,
+//!    DFA state, event count, and violation, and its
+//!    `earliest_violation` names the first violating event's step.
+//! 3. **Hot-swap splice ≡ fresh run over the prefix** — `splice_state`
+//!    for a *different* spec equals folding that spec's
+//!    `advance_tape_event` over the same replayed prefix (the server's
+//!    swap semantics, checked against first principles).
+
+use monitoring_semantics::core::machine::EvalOptions;
+use monitoring_semantics::core::{Env, EvalError};
+use monitoring_semantics::monitor::{
+    record_monitored_with, MemorySink, Monitor, Outcome, SharedSink, TapeEvent, TapePhase,
+};
+use monitoring_semantics::syntax::gen::{gen_program, sprinkle_annotations, GenConfig};
+use monitoring_semantics::syntax::{Expr, Namespace};
+use monitoring_semantics::tape::{read_tape, splice_state, write_tape};
+use monitoring_semantics::tspec::{SpecMonitor, TapeOutcome};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FUEL: u64 = 400_000;
+
+fn annotated_program(seed: u64, density: u16) -> Expr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = GenConfig {
+        par_chance: 0.35,
+        ..GenConfig::default()
+    };
+    let plain = gen_program(&mut rng, &config);
+    sprinkle_annotations(
+        &mut rng,
+        &plain,
+        &Namespace::new("ns"),
+        f64::from(density) / 1000.0,
+    )
+}
+
+fn neg_spec() -> SpecMonitor {
+    SpecMonitor::new("no-negatives", "never(post(_) and value < 0)")
+        .unwrap()
+        .in_namespace(Namespace::new("ns"))
+}
+
+/// A monitored run's outcome: the answer and final monitor state, or
+/// the evaluation error that cut the run short.
+type RunResult<M> = Result<(monitoring_semantics::core::Value, <M as Monitor>::State), EvalError>;
+
+/// Records `program` under `monitor`, returning the tape and the run's
+/// result. The tape carries `done` exactly when the run succeeded.
+fn record<M: Monitor + Clone>(program: &Expr, monitor: M) -> (Vec<TapeEvent>, RunResult<M>) {
+    let mem = MemorySink::new();
+    let sink = SharedSink::new(mem.clone());
+    let result = record_monitored_with(
+        program,
+        &Env::empty(),
+        monitor,
+        &sink,
+        &EvalOptions::with_fuel(FUEL),
+    );
+    (mem.take(), result)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Property 1: the binary format round-trips the exact event stream.
+    #[test]
+    fn tape_serialization_roundtrips(seed: u64, density in 100u16..=1000) {
+        let program = annotated_program(seed, density);
+        let (events, result) = record(&program, neg_spec());
+        let bytes = write_tape(&events);
+        let decoded = read_tape(&bytes).expect("a written tape must decode");
+        prop_assert_eq!(&decoded, &events, "decode ∘ encode must be the identity");
+        prop_assert_eq!(
+            events.iter().any(|e| matches!(e.phase, TapePhase::Done)),
+            result.is_ok(),
+            "the done marker appears exactly on successful runs"
+        );
+    }
+
+    /// Property 2: `check_tape` over the recorded tape is
+    /// indistinguishable from having monitored the run live.
+    #[test]
+    fn offline_check_matches_the_live_run(seed: u64, density in 100u16..=1000) {
+        let program = annotated_program(seed, density);
+        let m = neg_spec();
+        let (events, result) = record(&program, m.clone());
+        // Round-trip through the wire format first: the offline checker
+        // consumes deserialized tapes, not in-process ones.
+        let events = read_tape(&write_tape(&events)).unwrap();
+        let check = m.check_tape(&events);
+
+        match result {
+            Ok((_, live)) => {
+                prop_assert_eq!(check.state.state, live.state, "DFA states agree");
+                prop_assert_eq!(check.state.events, live.events, "event counts agree");
+                prop_assert_eq!(
+                    check.state.violation.clone(), live.violation.clone(),
+                    "violations agree"
+                );
+                match check.outcome {
+                    TapeOutcome::Satisfied => {
+                        prop_assert!(m.finish(&live).is_ok(), "live finish must agree")
+                    }
+                    TapeOutcome::Violated(_) => {
+                        prop_assert!(m.finish(&live).is_err(), "live finish must agree")
+                    }
+                    TapeOutcome::Pending => prop_assert!(
+                        false,
+                        "a tape with a done marker cannot be pending"
+                    ),
+                }
+                // The earliest offset names the first event whose replay
+                // flips the monitor into violation — recomputed here from
+                // first principles.
+                let mut s = m.initial_state();
+                let mut expected = None;
+                for ev in &events {
+                    if matches!(ev.phase, TapePhase::Done) {
+                        break;
+                    }
+                    let had = s.violation.is_some();
+                    s = match m.advance_tape_event(s, ev) {
+                        Outcome::Continue(s) => s,
+                        Outcome::Abort { state, .. } => state,
+                    };
+                    if !had && s.violation.is_some() && expected.is_none() {
+                        expected = Some(ev.step);
+                    }
+                }
+                prop_assert_eq!(check.earliest_violation, expected);
+            }
+            Err(_) => {
+                // Fuel exhaustion or a program error: no done marker, so
+                // the checker must not claim satisfaction.
+                prop_assert!(
+                    !matches!(check.outcome, TapeOutcome::Satisfied),
+                    "an unfinished tape cannot be satisfied"
+                );
+            }
+        }
+    }
+
+    /// Property 2b: enforcement offline equals enforcement live — the
+    /// enforcing checker aborts exactly where the enforcing machine did.
+    #[test]
+    fn enforcing_check_matches_the_enforcing_run(seed: u64, density in 100u16..=1000) {
+        let program = annotated_program(seed, density);
+        let enforcing = neg_spec().enforcing();
+        let (events, result) = record(&program, enforcing.clone());
+        let check = enforcing.check_tape(&events);
+        match result {
+            Err(EvalError::MonitorAbort { .. }) => {
+                prop_assert!(
+                    matches!(check.outcome, TapeOutcome::Violated(_)),
+                    "the live abort must replay as a violation"
+                );
+                // The abort cut the recording at the violating event, so
+                // the earliest offset is the tape's final step.
+                prop_assert_eq!(
+                    check.earliest_violation,
+                    events.last().map(|e| e.step),
+                    "the tape ends at the abort point"
+                );
+            }
+            Ok(_) => prop_assert!(
+                !matches!(check.outcome, TapeOutcome::Violated(_)),
+                "a clean live run cannot replay as violated"
+            ),
+            Err(_) => {} // fuel/program error before any verdict
+        }
+    }
+
+    /// Property 3: the server's hot-swap splice is exactly a fresh run
+    /// of the *new* spec over the replayed prefix.
+    #[test]
+    fn hot_swap_splice_matches_a_fresh_run_over_the_prefix(
+        seed: u64,
+        density in 100u16..=1000,
+        cut in 0usize..=64,
+    ) {
+        let program = annotated_program(seed, density);
+        let (events, _) = record(&program, neg_spec());
+        let prefix: Vec<&TapeEvent> = events
+            .iter()
+            .filter(|e| !matches!(e.phase, TapePhase::Done))
+            .take(cut)
+            .collect();
+
+        // A different property than the one the tape was recorded
+        // under: swap must re-judge history, not copy old state.
+        let swapped = SpecMonitor::new("no-zeros", "never(post(_) and value = 0)")
+            .unwrap()
+            .in_namespace(Namespace::new("ns"));
+
+        let (spliced, earliest) = splice_state(&swapped, prefix.iter().copied());
+
+        let mut s = swapped.initial_state();
+        let mut expected_earliest = None;
+        for ev in &prefix {
+            let had = s.violation.is_some();
+            s = match swapped.advance_tape_event(s, ev) {
+                Outcome::Continue(s) => s,
+                Outcome::Abort { state, .. } => state,
+            };
+            if !had && s.violation.is_some() && expected_earliest.is_none() {
+                expected_earliest = Some(ev.step);
+            }
+        }
+        prop_assert_eq!(spliced, s, "splice must equal the fresh replay");
+        prop_assert_eq!(earliest, expected_earliest);
+    }
+}
+
+/// Pinned concrete shape: the machine evaluates operands right-to-left,
+/// so `{ns/a}:1 + {ns/b}:(0 - 2)` puts the b events first on the tape;
+/// the offline checker convicts at the `post b = -2` step.
+#[test]
+fn earliest_violation_names_the_offending_step() {
+    let program = monitoring_semantics::syntax::parse_expr("{ns/a}:1 + {ns/b}:(0 - 2)").unwrap();
+    let m = neg_spec();
+    let (events, result) = record(&program, m.clone());
+    result.expect("observing runs never abort");
+    let check = m.check_tape(&events);
+    let step = check.earliest_violation.expect("the spec is violated");
+    let offending = events.iter().find(|e| e.step == step).unwrap();
+    assert_eq!(offending.name, "b");
+    assert!(matches!(offending.phase, TapePhase::Post));
+    assert!(matches!(check.outcome, TapeOutcome::Violated(_)));
+}
