@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p monsem-bench --bin paper_tables -- \
-//!     [--table all|examples|spec-levels|fig11|futamura|tspec|tspec_levels|tiered|parallel|tape] [--json <dir>]
+//!     [--table all|examples|spec-levels|fig11|futamura|tspec|tspec_levels|tiered|parallel|tape|stream] [--json <dir>]
 //! ```
 //!
 //! With `--json <dir>`, the timed tables additionally write
@@ -11,10 +11,12 @@
 //! `BENCH_fig11.json` (E7), `BENCH_tspec.json` (tspec overhead),
 //! `BENCH_tspec_levels.json` (the three §9.1 levels for one temporal
 //! spec), `BENCH_tiered.json` (profile-guided tiering vs the fixed
-//! levels), `BENCH_parallel.json` (fork-join speedups) and
+//! levels), `BENCH_parallel.json` (fork-join speedups),
 //! `BENCH_tape.json` (event-tape recording, serialization, offline
-//! check, and server ingest) — into `<dir>`, so the performance
-//! trajectory can be tracked across revisions.
+//! check, and server ingest) and `BENCH_stream.json` (stream-monitor
+//! throughput vs window count and width, with the allocation-free
+//! steady state asserted by a counting allocator) — into `<dir>`, so
+//! the performance trajectory can be tracked across revisions.
 //!
 //! Absolute times are machine-dependent; the *shape* (who wins, by what
 //! factor, linearity in monitoring activity) is what reproduces the paper.
@@ -34,6 +36,34 @@ use monsem_pe::pipeline::{measure, measure_min, relative_percent};
 use monsem_pe::specialize::SpecializeOptions;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
+
+/// The stream table asserts that steady-state stream evaluation never
+/// touches the heap, so the whole binary routes allocation through a
+/// counting wrapper around the system allocator. The cost is two relaxed
+/// atomic increments per allocation — noise for the other tables, which
+/// measure in milliseconds.
+struct CountingAlloc;
+
+static ALLOCATIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+// SAFETY: defers entirely to the system allocator; the counter is a
+// relaxed atomic with no safety obligations.
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::alloc::GlobalAlloc::alloc(&std::alloc::System, layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        std::alloc::GlobalAlloc::dealloc(&std::alloc::System, ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::alloc::GlobalAlloc::realloc(&std::alloc::System, ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -66,6 +96,7 @@ fn main() {
         "tiered" => tiered(json),
         "parallel" => parallel(json),
         "tape" => tape(json),
+        "stream" => stream(json),
         "all" => {
             examples();
             spec_levels(json);
@@ -76,10 +107,11 @@ fn main() {
             tiered(json);
             parallel(json);
             tape(json);
+            stream(json);
         }
         other => {
             eprintln!(
-                "unknown table `{other}`; try examples, spec-levels, fig11, futamura, tspec, tspec_levels, tiered, parallel, tape, all"
+                "unknown table `{other}`; try examples, spec-levels, fig11, futamura, tspec, tspec_levels, tiered, parallel, tape, stream, all"
             );
             std::process::exit(2);
         }
@@ -1005,6 +1037,173 @@ fn tape(json: Option<&Path>) {
             per_ms(t_ingest),
         );
         write_json(dir, "BENCH_tape.json", body);
+    }
+}
+
+/// Stream-monitor throughput vs window count and width, plus the
+/// crate's headline static claim: after `initial_state()` the evaluator
+/// never touches the heap. The counting [`std::alloc::GlobalAlloc`] wrapper
+/// installed at the top of this binary verifies the claim on every run
+/// *before* any timing is reported — a regression that starts
+/// allocating per event fails the table, not just slows it down.
+fn stream(json: Option<&Path>) {
+    use monsem_monitor::tape::TapePhase;
+    use monsem_monitor::Outcome;
+    use monsem_stream::{EvView, StreamMonitor, StreamState};
+
+    header(
+        "Stream monitors: events/ms vs window count and width\n\
+         expectation: O(1) amortized per event (monotonic deques, paged time panes);\n\
+         throughput degrades gently with stream count, not with window width;\n\
+         steady state allocation-free (asserted via a counting global allocator)",
+    );
+
+    // A deterministic event mix: three labels, bounded values, no rand
+    // dependency. ~half the events match each windowed predicate.
+    const N: usize = 50_000;
+    let names = ["a", "b", "c"];
+    let events: Vec<(&str, Option<i64>)> = (0..N)
+        .map(|i| {
+            let name = names[(i * 7 + 3) % names.len()];
+            let int = if i % 4 == 3 {
+                None
+            } else {
+                Some(((i as i64).wrapping_mul(31) % 201) - 100)
+            };
+            (name, int)
+        })
+        .collect();
+
+    // Feeds every event through the live hook path with logical time
+    // (no wall clock, no tape): exactly what a wall-clock-less embedded
+    // monitor pays per event.
+    let feed = |m: &StreamMonitor, mut s: StreamState| -> StreamState {
+        for &(name, int) in &events {
+            let ev = EvView {
+                phase: TapePhase::Post,
+                name,
+                int,
+                unsorted: false,
+            };
+            s = match m.step_event(s, &ev, None, None) {
+                Outcome::Continue(s) => s,
+                Outcome::Abort { state, .. } => state,
+            };
+        }
+        s
+    };
+
+    /// One measured spec variant.
+    struct Point {
+        label: String,
+        streams: usize,
+        window: String,
+        memory_bytes: usize,
+        events_per_ms: f64,
+    }
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut run = |label: &str, window: &str, src: &str| {
+        let m = StreamMonitor::new(label, src).expect("bench spec compiles");
+        let memory_bytes = m.spec().memory().total_bytes;
+        let n_streams = m.spec().streams().len();
+
+        // Warm one full pass so rings and deques reach steady state,
+        // then assert the next pass performs zero heap allocations.
+        let mut s = feed(&m, m.initial_state());
+        let before = ALLOCATIONS.load(std::sync::atomic::Ordering::Relaxed);
+        s = feed(&m, s);
+        let after = ALLOCATIONS.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state stream evaluation allocated ({label})"
+        );
+
+        let mut state = Some(s);
+        let t = measure(
+            || {
+                let s = state.take().expect("state is threaded through");
+                state = Some(feed(&m, s));
+            },
+            WARMUP,
+            RUNS,
+        );
+        let events_per_ms = N as f64 / (t.as_secs_f64() * 1e3);
+        println!(
+            "{label:<26} {n_streams} stream(s), window {window:<9} {:>7} bytes   {events_per_ms:>8.0} events/ms",
+            memory_bytes
+        );
+        points.push(Point {
+            label: label.to_string(),
+            streams: n_streams,
+            window: window.to_string(),
+            memory_bytes,
+            events_per_ms,
+        });
+    };
+
+    // Axis 1: window *count* at a fixed width — alternating sum/count
+    // aggregates plus one never-firing trigger, so trigger evaluation
+    // is on the measured path.
+    for n in [1usize, 2, 4, 8] {
+        let mut src = String::new();
+        for i in 0..n {
+            let agg = if i % 2 == 0 { "sum" } else { "count" };
+            let pred = if i % 2 == 0 { "post(a)" } else { "post(b)" };
+            src.push_str(&format!("stream s{i} = {agg}({pred}) over window(256)\n"));
+        }
+        src.push_str("trigger overload = s0 > 100000000\n");
+        run(&format!("count/sum windows x{n}"), "256", &src);
+    }
+
+    // Axis 2: window *width* for the worst-case aggregates — sliding
+    // min/max ride monotonic deques, whose amortized cost must not grow
+    // with the width.
+    for w in [16usize, 256, 4096] {
+        let src = format!(
+            "stream lo = min(post(a)) over window({w})\n\
+             stream hi = max(post(a)) over window({w})\n\
+             stream spread = hi - lo\n\
+             trigger wild = spread > 100000000\n"
+        );
+        run(&format!("min/max deques w={w}"), &w.to_string(), &src);
+    }
+
+    // Axis 3: time windows (paged panes) with a deadline on the path.
+    // Logical time advances 1 ms per event, so panes rotate constantly.
+    run(
+        "time panes + deadline",
+        "1000 ms",
+        "stream load = rate(post(_)) over window(1000 ms)\n\
+         stream mean = avg(post(a)) over window(500 ms)\n\
+         trigger hot = load > 100000000\n\
+         deadline post(b) every 60000 ms\n",
+    );
+
+    println!("\nsteady state: 0 heap allocations across all variants (asserted)");
+
+    if let Some(dir) = json {
+        let rows: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{ \"label\": \"{}\", \"streams\": {}, \"window\": \"{}\", \"memory_bytes\": {}, \"events_per_ms\": {:.1} }}",
+                    p.label, p.streams, p.window, p.memory_bytes, p.events_per_ms
+                )
+            })
+            .collect();
+        let body = format!(
+            "{{\n  \
+               \"table\": \"stream\",\n  \
+               \"unit\": \"events/ms\",\n  \
+               \"statistic\": \"median of {RUNS} after {WARMUP} warmups\",\n  \
+               \"workload\": \"synthetic post-event mix, {N} events per pass, logical time\",\n  \
+               \"steady_state_allocations\": 0,\n  \
+               \"points\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n"),
+        );
+        write_json(dir, "BENCH_stream.json", body);
     }
 }
 

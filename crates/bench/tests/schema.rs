@@ -122,6 +122,21 @@ const SCHEMAS: &[(&str, &str, &[&str])] = &[
         ],
     ),
     (
+        "BENCH_stream.json",
+        "stream",
+        &[
+            "\"unit\"",
+            "\"workload\"",
+            "\"steady_state_allocations\"",
+            "\"points\"",
+            "\"label\"",
+            "\"streams\"",
+            "\"window\"",
+            "\"memory_bytes\"",
+            "\"events_per_ms\"",
+        ],
+    ),
+    (
         "BENCH_tape.json",
         "tape",
         &[
@@ -168,6 +183,19 @@ fn checked_in_snapshots_match_the_table_schemas() {
         problems.is_empty(),
         "stale BENCH snapshots:\n  {}",
         problems.join("\n  ")
+    );
+}
+
+/// The static-memory claim in the stream snapshot is load-bearing (the
+/// bench asserts it with a counting global allocator before writing):
+/// steady-state stream evaluation performs zero heap allocations.
+#[test]
+fn stream_snapshot_records_allocation_free_steady_state() {
+    let body = std::fs::read_to_string(root().join("BENCH_stream.json"))
+        .expect("BENCH_stream.json is checked in");
+    assert!(
+        body.contains("\"steady_state_allocations\": 0"),
+        "the stream snapshot must record an allocation-free steady state"
     );
 }
 

@@ -122,6 +122,11 @@ pub struct TapeEvent {
     pub value: Option<ValueDesc>,
     /// Monotone per-tape sequence number, assigned at record time.
     pub step: u64,
+    /// Monotone timestamp in milliseconds, present when the recording
+    /// sink had a clock attached (tape format v2). `None` on untimed
+    /// tapes; time-windowed stream monitors then fall back to logical
+    /// time (the observed-event ordinal).
+    pub time: Option<u64>,
 }
 
 impl TapeEvent {
@@ -133,6 +138,7 @@ impl TapeEvent {
             name: ann.name().as_str().to_string(),
             value: None,
             step,
+            time: None,
         }
     }
 
@@ -144,6 +150,7 @@ impl TapeEvent {
             name: ann.name().as_str().to_string(),
             value: Some(ValueDesc::of(value)),
             step,
+            time: None,
         }
     }
 
@@ -155,7 +162,14 @@ impl TapeEvent {
             name: String::new(),
             value: None,
             step,
+            time: None,
         }
+    }
+
+    /// Stamps the event with a timestamp (milliseconds, monotone).
+    pub fn at(mut self, time: u64) -> TapeEvent {
+        self.time = Some(time);
+        self
     }
 }
 
@@ -204,6 +218,8 @@ impl TapeSink for MemorySink {
 struct SinkCursor {
     sink: Box<dyn TapeSink + Send>,
     next: u64,
+    clock: Option<Box<dyn Fn() -> u64 + Send>>,
+    last_time: u64,
 }
 
 /// A cloneable, thread-safe cursor over a [`TapeSink`] that assigns the
@@ -220,6 +236,23 @@ impl SharedSink {
         SharedSink(Arc::new(Mutex::new(SinkCursor {
             sink: Box::new(sink),
             next: 0,
+            clock: None,
+            last_time: 0,
+        })))
+    }
+
+    /// Wraps a sink with a clock: every recorded event is stamped with
+    /// `clock()` milliseconds, clamped to be monotone non-decreasing.
+    /// Tapes recorded through a clocked sink serialize as format v2.
+    pub fn with_clock(
+        sink: impl TapeSink + Send + 'static,
+        clock: impl Fn() -> u64 + Send + 'static,
+    ) -> SharedSink {
+        SharedSink(Arc::new(Mutex::new(SinkCursor {
+            sink: Box::new(sink),
+            next: 0,
+            clock: Some(Box::new(clock)),
+            last_time: 0,
         })))
     }
 
@@ -227,7 +260,12 @@ impl SharedSink {
         let mut cursor = self.0.lock().expect("tape sink lock");
         let step = cursor.next;
         cursor.next += 1;
-        let event = make(step);
+        let mut event = make(step);
+        if let Some(clock) = &cursor.clock {
+            let now = clock().max(cursor.last_time);
+            cursor.last_time = now;
+            event.time = Some(now);
+        }
         cursor.sink.record(event);
     }
 

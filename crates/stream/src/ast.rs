@@ -1,0 +1,198 @@
+//! Abstract syntax for stream specifications.
+//!
+//! A stream spec is a list of declarations over the monitored event
+//! stream:
+//!
+//! * **aggregate streams** — `stream errs = count(post(err)) over
+//!   window(100)` — a windowed aggregate of the events matching a tspec
+//!   event predicate;
+//! * **derived streams** — `stream load = errs * 100 / total` — integer
+//!   arithmetic over other streams, re-evaluated after every observed
+//!   event;
+//! * **triggers** — `trigger slo = load > 10 and post(req)` — boolean
+//!   conditions mixing stream-value comparisons with tspec event atoms,
+//!   fired on rising edges;
+//! * **deadlines** — `deadline post(beat) every 50 ms` — periodic-rate
+//!   declarations: a gap between consecutive matching events longer than
+//!   the period is a *miss*.
+//!
+//! The event-predicate layer ([`Pred`]/[`monsem_tspec::Atom`]) is tspec's own — the
+//! two spec languages share one predicate surface, so `pre(f)`,
+//! `post(f)`, `value ⋈ n`, and `unsorted` mean the same thing in both.
+
+use monsem_tspec::{CmpOp, Pred};
+
+/// The aggregation functions available to aggregate streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    /// Number of matching events in the window.
+    Count,
+    /// Sum of the integer values of matching `post` events.
+    Sum,
+    /// Integer mean (truncated toward zero) of the integer values.
+    Avg,
+    /// Smallest integer value in the window.
+    Min,
+    /// Largest integer value in the window.
+    Max,
+    /// Matching events per second; requires a time window.
+    Rate,
+}
+
+impl Agg {
+    /// The surface keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Agg::Count => "count",
+            Agg::Sum => "sum",
+            Agg::Avg => "avg",
+            Agg::Min => "min",
+            Agg::Max => "max",
+            Agg::Rate => "rate",
+        }
+    }
+
+    /// Parses a surface keyword.
+    pub fn from_keyword(word: &str) -> Option<Agg> {
+        Some(match word {
+            "count" => Agg::Count,
+            "sum" => Agg::Sum,
+            "avg" => Agg::Avg,
+            "min" => Agg::Min,
+            "max" => Agg::Max,
+            "rate" => Agg::Rate,
+            _ => return None,
+        })
+    }
+}
+
+/// A sliding window: the scope an aggregate ranges over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowSpec {
+    /// `window(k)` — the last `k` observed events.
+    Events(usize),
+    /// `window(d ms)` — the (pane-quantized) last `d` milliseconds.
+    Time(u64),
+}
+
+/// The right-hand side of a `stream` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamDef {
+    /// A windowed (or cumulative, when `window` is `None`) aggregate of
+    /// the events matching `pred`.
+    Aggregate {
+        /// The aggregation function.
+        agg: Agg,
+        /// Which events contribute.
+        pred: Pred,
+        /// The window; `None` aggregates over the whole trace.
+        window: Option<WindowSpec>,
+    },
+    /// Integer arithmetic over other streams.
+    Derived(ValueExpr),
+}
+
+/// One `stream` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamDecl {
+    /// The declared stream name.
+    pub name: String,
+    /// Its definition.
+    pub def: StreamDef,
+    /// Byte offset of the declaration, for error reporting.
+    pub offset: usize,
+}
+
+/// Integer arithmetic over stream values and constants. Every stream
+/// value is an `Option<i64>` — an aggregate with no contributing events
+/// yet (`min`/`max`/`avg`) is *undefined* — and expressions propagate
+/// undefinedness: any undefined operand, division by zero, or overflow
+/// makes the whole expression undefined.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueExpr {
+    /// An integer literal.
+    Const(i64),
+    /// A reference to another stream's current value.
+    Stream(String),
+    /// A binary arithmetic operation.
+    Bin(BinOp, Box<ValueExpr>, Box<ValueExpr>),
+}
+
+/// Arithmetic operators for derived streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncating; division by zero is undefined)
+    Div,
+}
+
+impl BinOp {
+    /// Applies the operation with overflow and division-by-zero checks.
+    pub fn apply(self, lhs: i64, rhs: i64) -> Option<i64> {
+        match self {
+            BinOp::Add => lhs.checked_add(rhs),
+            BinOp::Sub => lhs.checked_sub(rhs),
+            BinOp::Mul => lhs.checked_mul(rhs),
+            BinOp::Div => lhs.checked_div(rhs),
+        }
+    }
+}
+
+/// A trigger condition: boolean structure owned by the stream language,
+/// with tspec event atoms and stream-value comparisons at the leaves.
+///
+/// A [`Cond::Cmp`] whose either side is undefined is *false* — a trigger
+/// does not fire on streams that have not produced a value yet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// A tspec event predicate on the current event.
+    Event(Pred),
+    /// A comparison over stream values.
+    Cmp(ValueExpr, CmpOp, ValueExpr),
+    /// `not c`
+    Not(Box<Cond>),
+    /// `c and d`
+    And(Box<Cond>, Box<Cond>),
+    /// `c or d`
+    Or(Box<Cond>, Box<Cond>),
+}
+
+/// One `trigger` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggerDecl {
+    /// The trigger's name, quoted in firing reasons.
+    pub name: String,
+    /// The condition; the trigger fires on rising edges.
+    pub cond: Cond,
+    /// Byte offset of the declaration.
+    pub offset: usize,
+}
+
+/// One `deadline` declaration: `deadline <pred> every <n> ms`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadlineDecl {
+    /// Which events reset the deadline clock.
+    pub pred: Pred,
+    /// The period in milliseconds.
+    pub period: u64,
+    /// The declaration's source text, quoted in miss reasons.
+    pub text: String,
+    /// Byte offset of the declaration.
+    pub offset: usize,
+}
+
+/// A parsed (not yet compiled) stream specification.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpecAst {
+    /// The `stream` declarations, in source order.
+    pub streams: Vec<StreamDecl>,
+    /// The `trigger` declarations, in source order.
+    pub triggers: Vec<TriggerDecl>,
+    /// The `deadline` declarations, in source order.
+    pub deadlines: Vec<DeadlineDecl>,
+}

@@ -1,0 +1,534 @@
+//! Recursive-descent parser for the stream specification surface.
+//!
+//! The stream language reuses tspec's lexer and its event-predicate
+//! grammar wholesale (via [`parse_pred_tokens`] /
+//! [`parse_pred_atom_tokens`]), adding declarations on top:
+//!
+//! ```text
+//! spec     := decl*
+//! decl     := 'stream' NAME '=' streamDef
+//!           | 'trigger' NAME '=' cond
+//!           | 'deadline' pred 'every' INT 'ms'
+//! streamDef:= AGG '(' pred ')' ('over' 'window' '(' INT ['ms'] ')')?
+//!           | vexpr                      # derived stream
+//! AGG      := 'count' | 'sum' | 'avg' | 'min' | 'max' | 'rate'
+//! cond     := cand ('or' cand)*
+//! cand     := cnot ('and' cnot)*
+//! cnot     := 'not' cnot | catom
+//! catom    := event-atom                 # pre/post/at/done/value/unsorted/true/false
+//!           | vexpr CMP vexpr
+//!           | '(' cond ')'
+//! vexpr    := vterm (('+'|'-') vterm)*
+//! vterm    := vfact (('*'|'/') vfact)*
+//! vfact    := INT | '-' INT | NAME | '(' vexpr ')'
+//! ```
+//!
+//! Declarations are keyword-led, so no separator is needed between them.
+//! A `(` opening a `catom` is ambiguous between a parenthesized
+//! comparison and a parenthesized condition; the parser tries the
+//! comparison first and backtracks.
+
+use crate::ast::BinOp;
+use crate::ast::{
+    Agg, Cond, DeadlineDecl, SpecAst, StreamDecl, StreamDef, TriggerDecl, ValueExpr, WindowSpec,
+};
+use monsem_tspec::lexer::{lex, Spanned, Tok};
+use monsem_tspec::{parse_pred_atom_tokens, parse_pred_tokens, CmpOp, Pred, SpecError};
+
+/// Words that cannot name a stream or trigger: the aggregate functions,
+/// the event-atom keywords shared with tspec, and the stream language's
+/// own structural keywords.
+pub const RESERVED: &[&str] = &[
+    "count", "sum", "avg", "min", "max", "rate", // aggregates
+    "pre", "post", "at", "done", "value", "unsorted", "true", "false", // event atoms
+    "and", "or", "not", // boolean structure
+    "over", "window", "every", "ms", "stream", "trigger", "deadline", // declarations
+];
+
+/// Event-atom keywords that begin a tspec predicate atom inside a
+/// trigger condition.
+const ATOM_KEYWORDS: &[&str] = &[
+    "pre", "post", "at", "done", "value", "unsorted", "true", "false",
+];
+
+/// The widest permitted event-count window. Ring-buffer memory is
+/// `O(width)` per stream, so the cap keeps the compile-time memory bound
+/// honest (≤ ~1.5 MiB per stream).
+pub const MAX_EVENT_WINDOW: usize = 65_536;
+
+/// Parses stream-spec source text into an unresolved AST.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] (tspec's error type — the two languages share
+/// one diagnostic surface) on lexical or syntactic failure.
+pub fn parse_stream_src(src: &str) -> Result<SpecAst, SpecError> {
+    let toks = lex(src)?;
+    let mut p = Parser { src, toks, pos: 0 };
+    p.spec()
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+fn describe(tok: &Tok) -> String {
+    match tok {
+        Tok::Ident(s) => format!("`{s}`"),
+        Tok::Int(n) => format!("`{n}`"),
+        other => format!("`{other:?}`"),
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|s| &s.tok)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|s| s.offset)
+            .unwrap_or(self.src.len())
+    }
+
+    fn bump(&mut self) -> Option<Spanned> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<usize, SpecError> {
+        let at = self.offset();
+        match self.bump() {
+            Some(s) if s.tok == want => Ok(s.offset),
+            Some(s) => Err(SpecError::syntax(
+                format!("expected {what}, found {}", describe(&s.tok)),
+                s.offset,
+            )),
+            None => Err(SpecError::syntax(format!("expected {what}"), at)),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<usize, SpecError> {
+        let at = self.offset();
+        match self.bump() {
+            Some(Spanned {
+                tok: Tok::Ident(w),
+                offset,
+            }) if w == kw => Ok(offset),
+            Some(s) => Err(SpecError::syntax(
+                format!("expected `{kw}`, found {}", describe(&s.tok)),
+                s.offset,
+            )),
+            None => Err(SpecError::syntax(format!("expected `{kw}`"), at)),
+        }
+    }
+
+    fn decl_name(&mut self) -> Result<String, SpecError> {
+        let at = self.offset();
+        match self.bump() {
+            Some(Spanned {
+                tok: Tok::Ident(w),
+                offset,
+            }) => {
+                if RESERVED.contains(&w.as_str()) {
+                    Err(SpecError::syntax(
+                        format!("`{w}` is a reserved word and cannot be declared"),
+                        offset,
+                    ))
+                } else {
+                    Ok(w)
+                }
+            }
+            Some(s) => Err(SpecError::syntax(
+                format!("expected a name, found {}", describe(&s.tok)),
+                s.offset,
+            )),
+            None => Err(SpecError::syntax("expected a name", at)),
+        }
+    }
+
+    fn int(&mut self, what: &str) -> Result<(i64, usize), SpecError> {
+        let at = self.offset();
+        match self.bump() {
+            Some(Spanned {
+                tok: Tok::Int(n),
+                offset,
+            }) => Ok((n, offset)),
+            Some(s) => Err(SpecError::syntax(
+                format!("expected {what}, found {}", describe(&s.tok)),
+                s.offset,
+            )),
+            None => Err(SpecError::syntax(format!("expected {what}"), at)),
+        }
+    }
+
+    fn pred(&mut self) -> Result<Pred, SpecError> {
+        parse_pred_tokens(&self.toks, &mut self.pos, self.src.len())
+    }
+
+    fn spec(&mut self) -> Result<SpecAst, SpecError> {
+        let mut ast = SpecAst::default();
+        while self.pos < self.toks.len() {
+            let at = self.offset();
+            match self.peek() {
+                Some(Tok::Ident(w)) if w == "stream" => ast.streams.push(self.stream_decl()?),
+                Some(Tok::Ident(w)) if w == "trigger" => ast.triggers.push(self.trigger_decl()?),
+                Some(Tok::Ident(w)) if w == "deadline" => ast.deadlines.push(self.deadline_decl()?),
+                Some(tok) => {
+                    return Err(SpecError::syntax(
+                        format!(
+                            "expected `stream`, `trigger`, or `deadline`, found {}",
+                            describe(tok)
+                        ),
+                        at,
+                    ))
+                }
+                None => break,
+            }
+        }
+        Ok(ast)
+    }
+
+    fn stream_decl(&mut self) -> Result<StreamDecl, SpecError> {
+        let offset = self.keyword("stream")?;
+        let name = self.decl_name()?;
+        self.expect(Tok::Eq, "`=`")?;
+        let def = match (self.peek(), self.peek2()) {
+            (Some(Tok::Ident(w)), Some(Tok::LParen)) if Agg::from_keyword(w).is_some() => {
+                let agg = Agg::from_keyword(w).expect("checked by guard");
+                self.bump();
+                self.expect(Tok::LParen, "`(`")?;
+                let pred = self.pred()?;
+                self.expect(Tok::RParen, "`)` to close the aggregate")?;
+                let window = if matches!(self.peek(), Some(Tok::Ident(w)) if w == "over") {
+                    self.bump();
+                    Some(self.window()?)
+                } else {
+                    None
+                };
+                StreamDef::Aggregate { agg, pred, window }
+            }
+            _ => StreamDef::Derived(self.vexpr()?),
+        };
+        Ok(StreamDecl { name, def, offset })
+    }
+
+    fn window(&mut self) -> Result<WindowSpec, SpecError> {
+        self.keyword("window")?;
+        self.expect(Tok::LParen, "`(`")?;
+        let (n, at) = self.int("a window width")?;
+        if n <= 0 {
+            return Err(SpecError::syntax("window width must be positive", at));
+        }
+        let spec = if matches!(self.peek(), Some(Tok::Ident(w)) if w == "ms") {
+            self.bump();
+            WindowSpec::Time(n as u64)
+        } else {
+            if n as usize > MAX_EVENT_WINDOW {
+                return Err(SpecError::syntax(
+                    format!("event window wider than {MAX_EVENT_WINDOW}"),
+                    at,
+                ));
+            }
+            WindowSpec::Events(n as usize)
+        };
+        self.expect(Tok::RParen, "`)` to close the window")?;
+        Ok(spec)
+    }
+
+    fn trigger_decl(&mut self) -> Result<TriggerDecl, SpecError> {
+        let offset = self.keyword("trigger")?;
+        let name = self.decl_name()?;
+        self.expect(Tok::Eq, "`=`")?;
+        let cond = self.cond()?;
+        Ok(TriggerDecl { name, cond, offset })
+    }
+
+    fn deadline_decl(&mut self) -> Result<DeadlineDecl, SpecError> {
+        let offset = self.keyword("deadline")?;
+        let pred = self.pred()?;
+        self.keyword("every")?;
+        let (n, at) = self.int("a period in milliseconds")?;
+        if n <= 0 {
+            return Err(SpecError::syntax("deadline period must be positive", at));
+        }
+        let ms_at = self.keyword("ms")?;
+        let text = self.src[offset..ms_at + 2].trim().to_string();
+        Ok(DeadlineDecl {
+            pred,
+            period: n as u64,
+            text,
+            offset,
+        })
+    }
+
+    fn cond(&mut self) -> Result<Cond, SpecError> {
+        let mut lhs = self.cand()?;
+        while matches!(self.peek(), Some(Tok::Ident(w)) if w == "or") {
+            self.bump();
+            let rhs = self.cand()?;
+            lhs = Cond::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cand(&mut self) -> Result<Cond, SpecError> {
+        let mut lhs = self.cnot()?;
+        while matches!(self.peek(), Some(Tok::Ident(w)) if w == "and") {
+            self.bump();
+            let rhs = self.cnot()?;
+            lhs = Cond::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cnot(&mut self) -> Result<Cond, SpecError> {
+        if matches!(self.peek(), Some(Tok::Ident(w)) if w == "not") {
+            self.bump();
+            Ok(Cond::Not(Box::new(self.cnot()?)))
+        } else {
+            self.catom()
+        }
+    }
+
+    fn catom(&mut self) -> Result<Cond, SpecError> {
+        match self.peek() {
+            Some(Tok::Ident(w)) if ATOM_KEYWORDS.contains(&w.as_str()) => {
+                let atom = parse_pred_atom_tokens(&self.toks, &mut self.pos, self.src.len())?;
+                Ok(Cond::Event(Pred::Atom(atom)))
+            }
+            Some(Tok::LParen) => {
+                // `(` is ambiguous: `(a + b) > c` vs. `(a > b or done)`.
+                // Try the comparison, backtrack to the grouped condition.
+                let save = self.pos;
+                match self.cmp() {
+                    Ok(c) => Ok(c),
+                    Err(_) => {
+                        self.pos = save;
+                        self.expect(Tok::LParen, "`(`")?;
+                        let c = self.cond()?;
+                        self.expect(Tok::RParen, "`)` to close the condition")?;
+                        Ok(c)
+                    }
+                }
+            }
+            _ => self.cmp(),
+        }
+    }
+
+    fn cmp(&mut self) -> Result<Cond, SpecError> {
+        let lhs = self.vexpr()?;
+        let at = self.offset();
+        let op = match self.bump() {
+            Some(s) => match s.tok {
+                Tok::Eq => CmpOp::Eq,
+                Tok::Ne => CmpOp::Ne,
+                Tok::Lt => CmpOp::Lt,
+                Tok::Le => CmpOp::Le,
+                Tok::Gt => CmpOp::Gt,
+                Tok::Ge => CmpOp::Ge,
+                other => {
+                    return Err(SpecError::syntax(
+                        format!("expected a comparison operator, found {}", describe(&other)),
+                        s.offset,
+                    ))
+                }
+            },
+            None => return Err(SpecError::syntax("expected a comparison operator", at)),
+        };
+        let rhs = self.vexpr()?;
+        Ok(Cond::Cmp(lhs, op, rhs))
+    }
+
+    fn vexpr(&mut self) -> Result<ValueExpr, SpecError> {
+        let mut lhs = self.vterm()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                // `-` doubles as a negative-literal prefix; only treat it
+                // as subtraction when it is not immediately followed by
+                // the start of a factor it would bind tighter to. (The
+                // lexer only emits Minus, never a signed Int, so `a - 3`
+                // and `a -3` parse identically: subtraction.)
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.vterm()?;
+            lhs = ValueExpr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn vterm(&mut self) -> Result<ValueExpr, SpecError> {
+        let mut lhs = self.vfact()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.vfact()?;
+            lhs = ValueExpr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn vfact(&mut self) -> Result<ValueExpr, SpecError> {
+        let at = self.offset();
+        match self.bump() {
+            Some(Spanned {
+                tok: Tok::Int(n), ..
+            }) => Ok(ValueExpr::Const(n)),
+            Some(Spanned {
+                tok: Tok::Minus, ..
+            }) => {
+                let (n, _) = self.int("an integer literal after `-`")?;
+                Ok(ValueExpr::Const(-n))
+            }
+            Some(Spanned {
+                tok: Tok::Ident(w),
+                offset,
+            }) => {
+                if RESERVED.contains(&w.as_str()) {
+                    Err(SpecError::syntax(
+                        format!("`{w}` is a reserved word, not a stream reference"),
+                        offset,
+                    ))
+                } else {
+                    Ok(ValueExpr::Stream(w))
+                }
+            }
+            Some(Spanned {
+                tok: Tok::LParen, ..
+            }) => {
+                let e = self.vexpr()?;
+                self.expect(Tok::RParen, "`)` to close the expression")?;
+                Ok(e)
+            }
+            Some(s) => Err(SpecError::syntax(
+                format!("expected a stream value, found {}", describe(&s.tok)),
+                s.offset,
+            )),
+            None => Err(SpecError::syntax("expected a stream value", at)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monsem_tspec::Atom;
+
+    #[test]
+    fn parses_aggregate_and_derived_streams() {
+        let ast = parse_stream_src(
+            "stream errs = count(post(err)) over window(100)\n\
+             stream total = count(post(_))\n\
+             stream pct = errs * 100 / total",
+        )
+        .unwrap();
+        assert_eq!(ast.streams.len(), 3);
+        assert!(matches!(
+            ast.streams[0].def,
+            StreamDef::Aggregate {
+                agg: Agg::Count,
+                window: Some(WindowSpec::Events(100)),
+                ..
+            }
+        ));
+        assert!(matches!(
+            ast.streams[1].def,
+            StreamDef::Aggregate { window: None, .. }
+        ));
+        assert!(matches!(ast.streams[2].def, StreamDef::Derived(_)));
+    }
+
+    #[test]
+    fn parses_time_windows_triggers_and_deadlines() {
+        let ast = parse_stream_src(
+            "stream lat = max(post(req)) over window(250 ms)\n\
+             trigger slow = lat > 40 and post(req)\n\
+             deadline post(beat) every 50 ms",
+        )
+        .unwrap();
+        assert!(matches!(
+            ast.streams[0].def,
+            StreamDef::Aggregate {
+                agg: Agg::Max,
+                window: Some(WindowSpec::Time(250)),
+                ..
+            }
+        ));
+        assert!(matches!(ast.triggers[0].cond, Cond::And(..)));
+        assert_eq!(ast.deadlines[0].period, 50);
+        assert_eq!(ast.deadlines[0].text, "deadline post(beat) every 50 ms");
+    }
+
+    #[test]
+    fn grouped_conditions_backtrack_from_comparisons() {
+        let ast = parse_stream_src(
+            "stream a = count(pre(_))\n\
+             stream b = count(post(_))\n\
+             trigger t = (a + b) > 4 and (a > 1 or done)",
+        )
+        .unwrap();
+        let Cond::And(lhs, rhs) = &ast.triggers[0].cond else {
+            panic!("expected And");
+        };
+        assert!(matches!(**lhs, Cond::Cmp(..)));
+        assert!(matches!(**rhs, Cond::Or(..)));
+    }
+
+    #[test]
+    fn event_atoms_reuse_tspec_grammar() {
+        let ast = parse_stream_src("trigger v = value >= 10 or done").unwrap();
+        let Cond::Or(lhs, rhs) = &ast.triggers[0].cond else {
+            panic!("expected Or");
+        };
+        assert!(matches!(
+            **lhs,
+            Cond::Event(Pred::Atom(Atom::Value(CmpOp::Ge, 10)))
+        ));
+        assert!(matches!(**rhs, Cond::Event(Pred::Atom(Atom::Done))));
+    }
+
+    #[test]
+    fn rejects_reserved_names_zero_windows_and_garbage() {
+        assert!(parse_stream_src("stream count = count(pre(_))")
+            .unwrap_err()
+            .message
+            .contains("reserved"));
+        assert!(parse_stream_src("stream a = count(pre(_)) over window(0)")
+            .unwrap_err()
+            .message
+            .contains("positive"));
+        assert!(parse_stream_src("deadline post(b) every 0 ms")
+            .unwrap_err()
+            .message
+            .contains("positive"));
+        assert!(parse_stream_src("widget w = 3")
+            .unwrap_err()
+            .message
+            .contains("expected"));
+        let wide = format!(
+            "stream a = count(pre(_)) over window({})",
+            MAX_EVENT_WINDOW + 1
+        );
+        assert!(parse_stream_src(&wide)
+            .unwrap_err()
+            .message
+            .contains("wider"));
+    }
+}

@@ -3,13 +3,14 @@
 //! A tape is a header followed by a flat record stream:
 //!
 //! ```text
-//! header  := "MTAP" u16-le version (currently 1)
-//! record  := STR | PRE | POST | DONE
+//! header  := "MTAP" u16-le version (1 untimed, 2 timed)
+//! record  := STR | PRE | POST | DONE | TIME (v2 only)
 //! STR     := 0x01 uvarint(len) bytes        -- interns the next string id
 //! PRE     := 0x02 uvarint(ns) uvarint(name) uvarint(step)
 //! POST    := 0x03 uvarint(ns) uvarint(name) uvarint(step)
 //!                 u8(flags) [ivarint(int)] uvarint(display)
 //! DONE    := 0x04 uvarint(step)
+//! TIME    := 0x05 uvarint(delta-ms)         -- stamps the next event
 //! ```
 //!
 //! Strings (namespaces, names, value displays) are interned: the first
@@ -19,6 +20,14 @@
 //! unsorted list ([`ValueDesc::unsorted`]). All integers are LEB128
 //! varints, so a typical event costs a handful of bytes once its strings
 //! are warm.
+//!
+//! **Format v2** adds optional per-event monotonic timestamps: a `TIME`
+//! record carries the delta (in milliseconds, LEB128) from the previous
+//! stamped event and applies to the immediately following event record.
+//! Events without a preceding `TIME` record stay unstamped, so mixed
+//! tapes round-trip exactly. A writer emits v2 only when the recording
+//! had a clock attached ([`write_tape`] auto-detects; see
+//! [`TapeWriter::timed`]); readers accept v1 tapes unchanged.
 //!
 //! The writer is a [`TapeSink`], so it drops into every recording entry
 //! point ([`Taping`](monsem_monitor::Taping), `record_monitored`, the
@@ -34,13 +43,16 @@ use std::io::{self, Write};
 
 /// The four magic bytes opening every tape.
 pub const MAGIC: [u8; 4] = *b"MTAP";
-/// The current format version.
+/// The baseline (untimed) format version.
 pub const VERSION: u16 = 1;
+/// The timed format version: v1 plus `TIME` records.
+pub const VERSION_TIMED: u16 = 2;
 
 const TAG_STR: u8 = 0x01;
 const TAG_PRE: u8 = 0x02;
 const TAG_POST: u8 = 0x03;
 const TAG_DONE: u8 = 0x04;
+const TAG_TIME: u8 = 0x05;
 
 const FLAG_INT: u8 = 0x01;
 const FLAG_UNSORTED: u8 = 0x02;
@@ -91,19 +103,37 @@ pub struct TapeWriter<W: Write> {
     strings: HashMap<String, u64>,
     buf: Vec<u8>,
     error: Option<io::Error>,
+    timed: bool,
+    last_time: u64,
 }
 
 impl<W: Write> TapeWriter<W> {
-    /// Opens a tape: writes the header immediately.
+    /// Opens an untimed (v1) tape: writes the header immediately. Event
+    /// timestamps, if any, are dropped; use [`TapeWriter::timed`] to
+    /// keep them.
     pub fn new(out: W) -> TapeWriter<W> {
+        TapeWriter::with_version(out, false)
+    }
+
+    /// Opens a timed (v2) tape: stamped events get a `TIME` record with
+    /// the millisecond delta from the previous stamped event (clamped
+    /// monotone); unstamped events are written as in v1.
+    pub fn timed(out: W) -> TapeWriter<W> {
+        TapeWriter::with_version(out, true)
+    }
+
+    fn with_version(out: W, timed: bool) -> TapeWriter<W> {
         let mut w = TapeWriter {
             out,
             strings: HashMap::new(),
             buf: Vec::new(),
             error: None,
+            timed,
+            last_time: 0,
         };
+        let version = if timed { VERSION_TIMED } else { VERSION };
         w.buf.extend_from_slice(&MAGIC);
-        w.buf.extend_from_slice(&VERSION.to_le_bytes());
+        w.buf.extend_from_slice(&version.to_le_bytes());
         w.flush_buf();
         w
     }
@@ -149,6 +179,14 @@ impl<W: Write> TapeSink for TapeWriter<W> {
         if self.error.is_some() {
             return;
         }
+        if self.timed {
+            if let Some(t) = event.time {
+                let t = t.max(self.last_time);
+                self.buf.push(TAG_TIME);
+                put_uvarint(&mut self.buf, t - self.last_time);
+                self.last_time = t;
+            }
+        }
         match event.phase {
             TapePhase::Pre => {
                 let ns = self.intern(&event.namespace);
@@ -189,9 +227,13 @@ impl<W: Write> TapeSink for TapeWriter<W> {
     }
 }
 
-/// Serializes `events` into a fresh in-memory tape.
+/// Serializes `events` into a fresh in-memory tape. Picks the version
+/// automatically: v2 iff any event carries a timestamp (i.e. the
+/// recording had a clock attached), v1 otherwise.
 pub fn write_tape<'a>(events: impl IntoIterator<Item = &'a TapeEvent>) -> Vec<u8> {
-    let mut w = TapeWriter::new(Vec::new());
+    let events: Vec<&TapeEvent> = events.into_iter().collect();
+    let timed = events.iter().any(|ev| ev.time.is_some());
+    let mut w = TapeWriter::with_version(Vec::new(), timed);
     for ev in events {
         w.record(ev.clone());
     }
@@ -210,9 +252,11 @@ pub fn read_tape(buf: &[u8]) -> Result<Vec<TapeEvent>, TapeError> {
         return Err(TapeError::BadMagic);
     }
     let version = u16::from_le_bytes(r.bytes(2)?.try_into().expect("two bytes"));
-    if version != VERSION {
+    if version != VERSION && version != VERSION_TIMED {
         return Err(TapeError::BadVersion(version));
     }
+    let mut last_time = 0u64;
+    let mut pending_time: Option<u64> = None;
     let mut strings: Vec<String> = Vec::new();
     let lookup = |strings: &[String], id: u64| -> Result<String, TapeError> {
         usize::try_from(id)
@@ -226,6 +270,10 @@ pub fn read_tape(buf: &[u8]) -> Result<Vec<TapeEvent>, TapeError> {
         let at = r.position();
         match r.u8()? {
             TAG_STR => strings.push(r.string()?),
+            TAG_TIME if version >= VERSION_TIMED => {
+                last_time = last_time.saturating_add(r.uvarint()?);
+                pending_time = Some(last_time);
+            }
             TAG_PRE => {
                 let namespace = lookup(&strings, r.uvarint()?)?;
                 let name = lookup(&strings, r.uvarint()?)?;
@@ -236,6 +284,7 @@ pub fn read_tape(buf: &[u8]) -> Result<Vec<TapeEvent>, TapeError> {
                     name,
                     value: None,
                     step,
+                    time: pending_time.take(),
                 });
             }
             TAG_POST => {
@@ -259,6 +308,7 @@ pub fn read_tape(buf: &[u8]) -> Result<Vec<TapeEvent>, TapeError> {
                         display,
                     }),
                     step,
+                    time: pending_time.take(),
                 });
             }
             TAG_DONE => {
@@ -269,6 +319,7 @@ pub fn read_tape(buf: &[u8]) -> Result<Vec<TapeEvent>, TapeError> {
                     name: String::new(),
                     value: None,
                     step,
+                    time: pending_time.take(),
                 });
             }
             tag => return Err(TapeError::BadTag(tag, at)),
@@ -315,6 +366,38 @@ mod tests {
         let payload = &bytes[6..];
         let occurrences = payload.windows(3).filter(|w| *w == b"fac").count();
         assert_eq!(occurrences, 1);
+    }
+
+    #[test]
+    fn timed_tapes_roundtrip_as_v2() {
+        let a = Annotation::label("req");
+        let events = vec![
+            TapeEvent::pre(&a, 0).at(5),
+            TapeEvent::post(&a, &Value::Int(7), 1).at(5),
+            TapeEvent::pre(&a, 2), // unstamped event on a timed tape
+            TapeEvent::post(&a, &Value::Int(9), 3).at(130),
+            TapeEvent::done(4).at(200),
+        ];
+        let bytes = write_tape(&events);
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        assert_eq!(version, VERSION_TIMED);
+        assert_eq!(read_tape(&bytes).unwrap(), events);
+    }
+
+    #[test]
+    fn untimed_events_produce_a_v1_tape() {
+        let bytes = write_tape(&sample_events());
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        assert_eq!(version, VERSION);
+    }
+
+    #[test]
+    fn v1_tapes_reject_time_records() {
+        let mut bytes = write_tape(&sample_events());
+        let at = bytes.len();
+        bytes.push(TAG_TIME);
+        bytes.push(0);
+        assert_eq!(read_tape(&bytes), Err(TapeError::BadTag(TAG_TIME, at)));
     }
 
     #[test]

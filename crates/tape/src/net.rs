@@ -11,18 +11,36 @@
 use crate::proto::{read_frame, write_frame, Request, Response};
 use crate::server::MonitorServer;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+
+/// How to wake a listener blocked in `accept` so it notices the stop
+/// flag: connect to it ourselves. The throwaway connection is accepted,
+/// observed after the flag, and dropped.
+#[derive(Debug, Clone)]
+enum WakeTarget {
+    Tcp(SocketAddr),
+    Unix(PathBuf),
+}
+
+impl WakeTarget {
+    fn wake(&self) {
+        match self {
+            WakeTarget::Tcp(addr) => drop(TcpStream::connect(addr)),
+            WakeTarget::Unix(path) => drop(UnixStream::connect(path)),
+        }
+    }
+}
 
 /// A handle to a running listener.
 #[derive(Debug)]
 pub struct ServeHandle {
     addr: Option<SocketAddr>,
+    wake: WakeTarget,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
 }
@@ -37,8 +55,13 @@ impl ServeHandle {
     /// Stops accepting new connections and joins the accept loop.
     /// Existing connections finish at their own pace.
     pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(t) = self.accept_thread.take() {
+            self.wake.wake();
             let _ = t.join();
         }
     }
@@ -46,10 +69,7 @@ impl ServeHandle {
 
 impl Drop for ServeHandle {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -70,8 +90,10 @@ fn serve_connection(server: &MonitorServer, mut stream: impl io::Read + io::Writ
     }
 }
 
-const POLL: Duration = Duration::from_millis(25);
-
+// The listener stays in blocking mode: `accept` parks the thread until a
+// connection (or the `stop()` wakeup self-connect) arrives, so an idle
+// server costs zero wakeups. The stop flag is re-checked after every
+// accept, which is what makes the wakeup connection sufficient.
 fn accept_loop<L, S>(
     listener: L,
     accept: impl Fn(&L) -> io::Result<S>,
@@ -83,12 +105,18 @@ fn accept_loop<L, S>(
     while !stop.load(Ordering::SeqCst) {
         match accept(&listener) {
             Ok(stream) => {
+                if stop.load(Ordering::SeqCst) {
+                    return; // the wakeup connection itself
+                }
                 let server = Arc::clone(&server);
                 let _ = std::thread::Builder::new()
                     .name("monsem-conn".to_string())
                     .spawn(move || serve_connection(&server, stream));
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            // Transient per-connection failures (e.g. the peer aborting
+            // mid-handshake) must not kill the listener.
+            Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(_) => return,
         }
     }
@@ -103,27 +131,25 @@ fn accept_loop<L, S>(
 /// Propagates bind failures.
 pub fn serve_tcp(server: Arc<MonitorServer>, addr: impl ToSocketAddrs) -> io::Result<ServeHandle> {
     let listener = TcpListener::bind(addr)?;
-    listener.set_nonblocking(true)?;
     let bound = listener.local_addr()?;
+    // A wakeup connect must reach the listener even when it is bound to
+    // an unspecified address (0.0.0.0 / ::), so target loopback then.
+    let wake_addr = SocketAddr::new(
+        match bound.ip() {
+            IpAddr::V4(ip) if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            IpAddr::V6(ip) if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            ip => ip,
+        },
+        bound.port(),
+    );
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
     let accept_thread = std::thread::Builder::new()
         .name("monsem-accept".to_string())
-        .spawn(move || {
-            accept_loop(
-                listener,
-                |l| {
-                    l.accept().map(|(s, _)| {
-                        let _ = s.set_nonblocking(false);
-                        s
-                    })
-                },
-                server,
-                stop2,
-            )
-        })?;
+        .spawn(move || accept_loop(listener, |l| l.accept().map(|(s, _)| s), server, stop2))?;
     Ok(ServeHandle {
         addr: Some(bound),
+        wake: WakeTarget::Tcp(wake_addr),
         stop,
         accept_thread: Some(accept_thread),
     })
@@ -139,26 +165,14 @@ pub fn serve_unix(server: Arc<MonitorServer>, path: impl AsRef<Path>) -> io::Res
     let path = path.as_ref();
     let _ = std::fs::remove_file(path);
     let listener = UnixListener::bind(path)?;
-    listener.set_nonblocking(true)?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
     let accept_thread = std::thread::Builder::new()
         .name("monsem-accept".to_string())
-        .spawn(move || {
-            accept_loop(
-                listener,
-                |l| {
-                    l.accept().map(|(s, _)| {
-                        let _ = s.set_nonblocking(false);
-                        s
-                    })
-                },
-                server,
-                stop2,
-            )
-        })?;
+        .spawn(move || accept_loop(listener, |l| l.accept().map(|(s, _)| s), server, stop2))?;
     Ok(ServeHandle {
         addr: None,
+        wake: WakeTarget::Unix(path.to_path_buf()),
         stop,
         accept_thread: Some(accept_thread),
     })
@@ -226,6 +240,28 @@ impl<S: io::Read + io::Write> Client<S> {
             session,
             enforcing,
             spec: spec.to_string(),
+            stream: None,
+        })
+    }
+
+    /// Opens a session carrying a stream (SLO) spec next to its safety
+    /// spec.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::request`].
+    pub fn open_with_stream(
+        &mut self,
+        session: u64,
+        spec: &str,
+        stream: &str,
+        enforcing: bool,
+    ) -> io::Result<Response> {
+        self.request(&Request::Open {
+            session,
+            enforcing,
+            spec: spec.to_string(),
+            stream: Some(stream.to_string()),
         })
     }
 
@@ -250,7 +286,21 @@ impl<S: io::Read + io::Write> Client<S> {
     pub fn swap(&mut self, session: u64, spec: &str) -> io::Result<Response> {
         self.request(&Request::Swap {
             session,
-            spec: spec.to_string(),
+            spec: Some(spec.to_string()),
+            stream: None,
+        })
+    }
+
+    /// Hot-swaps a session's stream spec, keeping its safety spec.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::request`].
+    pub fn swap_stream(&mut self, session: u64, stream: &str) -> io::Result<Response> {
+        self.request(&Request::Swap {
+            session,
+            spec: None,
+            stream: Some(stream.to_string()),
         })
     }
 
@@ -261,5 +311,64 @@ impl<S: io::Read + io::Write> Client<S> {
     /// As for [`Client::request`].
     pub fn close(&mut self, session: u64) -> io::Result<Response> {
         self.request(&Request::Close { session })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use std::time::{Duration, Instant};
+
+    // The accept loop blocks in `accept` with no polling; these tests pin
+    // that `stop()` still returns promptly because of the self-connect
+    // wakeup. Without the wakeup they would hang until the harness
+    // timeout, not merely run slow.
+
+    #[test]
+    fn idle_tcp_listener_stops_promptly() {
+        let server = Arc::new(MonitorServer::start(ServerConfig::default()));
+        let handle = serve_tcp(Arc::clone(&server), "127.0.0.1:0").expect("bind");
+        let started = Instant::now();
+        handle.stop();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "stop() took {:?}",
+            started.elapsed()
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_unix_listener_stops_promptly() {
+        let dir = std::env::temp_dir().join(format!("monsem-net-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("stop.sock");
+        let server = Arc::new(MonitorServer::start(ServerConfig::default()));
+        let handle = serve_unix(Arc::clone(&server), &path).expect("bind unix");
+        let started = Instant::now();
+        handle.stop();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "stop() took {:?}",
+            started.elapsed()
+        );
+        server.shutdown();
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn listener_still_serves_before_stop() {
+        let server = Arc::new(MonitorServer::start(ServerConfig::default()));
+        let handle = serve_tcp(Arc::clone(&server), "127.0.0.1:0").expect("bind");
+        let addr = handle.addr().expect("tcp addr");
+        let mut client = Client::connect_tcp(addr).expect("connect");
+        assert_eq!(
+            client.open(1, "never(post(b))", false).expect("open"),
+            Response::Ok
+        );
+        handle.stop();
+        server.shutdown();
     }
 }

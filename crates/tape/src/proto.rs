@@ -60,6 +60,10 @@ pub enum Request {
         enforcing: bool,
         /// The temporal spec source text.
         spec: String,
+        /// Optional stream spec source text: an SLO check evaluated next
+        /// to the safety spec (trigger firings and deadline misses are
+        /// reported in the session's [`Verdict`]).
+        stream: Option<String>,
     },
     /// Appends events to a session's tape.
     Events {
@@ -73,8 +77,12 @@ pub enum Request {
     Swap {
         /// The session to reconfigure.
         session: u64,
-        /// The new spec source text.
-        spec: String,
+        /// The new safety spec source text; `None` keeps the current
+        /// one.
+        spec: Option<String>,
+        /// The new stream spec source text; `None` keeps the current one
+        /// (a stream spec survives a safety-spec swap unchanged).
+        stream: Option<String>,
     },
     /// Closes the session and reports its final verdict.
     Close {
@@ -115,6 +123,10 @@ pub struct Verdict {
     /// Whether the last hot-swap had to splice from a truncated window
     /// (the replayed suffix was shorter than the session's history).
     pub swap_truncated: bool,
+    /// Stream-spec trigger firings so far (0 without a stream spec).
+    pub firings: u64,
+    /// Stream-spec deadline misses so far (0 without a stream spec).
+    pub missed: u64,
 }
 
 const REQ_OPEN: u8 = 0x01;
@@ -165,17 +177,19 @@ fn put_event(out: &mut Vec<u8>, ev: &TapeEvent) {
             put_uvarint(out, ev.step);
         }
     }
+    put_opt_u64(out, ev.time);
 }
 
 fn read_event(r: &mut ByteReader<'_>) -> Result<TapeEvent, ProtoError> {
-    match r.u8()? {
-        EV_PRE => Ok(TapeEvent {
+    let mut ev = match r.u8()? {
+        EV_PRE => TapeEvent {
             phase: TapePhase::Pre,
             namespace: r.string()?,
             name: r.string()?,
             value: None,
             step: r.uvarint()?,
-        }),
+            time: None,
+        },
         EV_POST => {
             let namespace = r.string()?;
             let name = r.string()?;
@@ -187,7 +201,7 @@ fn read_event(r: &mut ByteReader<'_>) -> Result<TapeEvent, ProtoError> {
                 None
             };
             let display = r.string()?;
-            Ok(TapeEvent {
+            TapeEvent {
                 phase: TapePhase::Post,
                 namespace,
                 name,
@@ -197,17 +211,38 @@ fn read_event(r: &mut ByteReader<'_>) -> Result<TapeEvent, ProtoError> {
                     display,
                 }),
                 step,
-            })
+                time: None,
+            }
         }
-        EV_DONE => Ok(TapeEvent {
+        EV_DONE => TapeEvent {
             phase: TapePhase::Done,
             namespace: String::new(),
             name: String::new(),
             value: None,
             step: r.uvarint()?,
-        }),
-        tag => Err(ProtoError::BadTag(tag)),
+            time: None,
+        },
+        tag => return Err(ProtoError::BadTag(tag)),
+    };
+    ev.time = read_opt_u64(r)?;
+    Ok(ev)
+}
+
+fn put_opt_str(out: &mut Vec<u8>, s: &Option<String>) {
+    match s {
+        Some(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+        None => out.push(0),
     }
+}
+
+fn read_opt_str(r: &mut ByteReader<'_>) -> Result<Option<String>, ProtoError> {
+    Ok(match r.u8()? {
+        0 => None,
+        _ => Some(r.string()?),
+    })
 }
 
 fn put_opt_u64(out: &mut Vec<u8>, n: Option<u64>) {
@@ -236,11 +271,13 @@ impl Request {
                 session,
                 enforcing,
                 spec,
+                stream,
             } => {
                 out.push(REQ_OPEN);
                 put_uvarint(&mut out, *session);
                 out.push(u8::from(*enforcing));
                 put_str(&mut out, spec);
+                put_opt_str(&mut out, stream);
             }
             Request::Events { session, events } => {
                 out.push(REQ_EVENTS);
@@ -250,10 +287,15 @@ impl Request {
                     put_event(&mut out, ev);
                 }
             }
-            Request::Swap { session, spec } => {
+            Request::Swap {
+                session,
+                spec,
+                stream,
+            } => {
                 out.push(REQ_SWAP);
                 put_uvarint(&mut out, *session);
-                put_str(&mut out, spec);
+                put_opt_str(&mut out, spec);
+                put_opt_str(&mut out, stream);
             }
             Request::Close { session } => {
                 out.push(REQ_CLOSE);
@@ -275,6 +317,7 @@ impl Request {
                 session: r.uvarint()?,
                 enforcing: r.u8()? != 0,
                 spec: r.string()?,
+                stream: read_opt_str(&mut r)?,
             }),
             REQ_EVENTS => {
                 let session = r.uvarint()?;
@@ -287,7 +330,8 @@ impl Request {
             }
             REQ_SWAP => Ok(Request::Swap {
                 session: r.uvarint()?,
-                spec: r.string()?,
+                spec: read_opt_str(&mut r)?,
+                stream: read_opt_str(&mut r)?,
             }),
             REQ_CLOSE => Ok(Request::Close {
                 session: r.uvarint()?,
@@ -326,6 +370,8 @@ impl Response {
                     Some(true) => 2,
                 });
                 out.push(u8::from(v.swap_truncated));
+                put_uvarint(&mut out, v.firings);
+                put_uvarint(&mut out, v.missed);
             }
         }
         out
@@ -356,6 +402,8 @@ impl Response {
                     _ => Some(true),
                 };
                 let swap_truncated = r.u8()? != 0;
+                let firings = r.uvarint()?;
+                let missed = r.uvarint()?;
                 Ok(Response::Verdict(Verdict {
                     session,
                     ingested,
@@ -364,6 +412,8 @@ impl Response {
                     earliest_violation,
                     accepted,
                     swap_truncated,
+                    firings,
+                    missed,
                 }))
             }
             tag => Err(ProtoError::BadTag(tag)),
@@ -424,18 +474,31 @@ mod tests {
                 session: 7,
                 enforcing: true,
                 spec: "never(post(b))".to_string(),
+                stream: Some("stream errs = count(post(p))".to_string()),
+            },
+            Request::Open {
+                session: 8,
+                enforcing: false,
+                spec: "never(post(b))".to_string(),
+                stream: None,
             },
             Request::Events {
                 session: 7,
                 events: vec![
-                    TapeEvent::pre(&ann, 0),
+                    TapeEvent::pre(&ann, 0).at(12),
                     TapeEvent::post(&ann, &Value::Int(-3), 1),
-                    TapeEvent::done(2),
+                    TapeEvent::done(2).at(90),
                 ],
             },
             Request::Swap {
                 session: 7,
-                spec: "always(post(p) => value > 0)".to_string(),
+                spec: Some("always(post(p) => value > 0)".to_string()),
+                stream: None,
+            },
+            Request::Swap {
+                session: 7,
+                spec: None,
+                stream: Some("trigger hot = errs > 3".to_string()),
             },
             Request::Close { session: 7 },
         ];
@@ -457,6 +520,8 @@ mod tests {
                 earliest_violation: Some(4),
                 accepted: Some(false),
                 swap_truncated: true,
+                firings: 2,
+                missed: 1,
             }),
             Response::Verdict(Verdict {
                 session: 3,
@@ -466,6 +531,8 @@ mod tests {
                 earliest_violation: None,
                 accepted: None,
                 swap_truncated: false,
+                firings: 0,
+                missed: 0,
             }),
         ];
         for resp in resps {

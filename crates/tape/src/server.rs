@@ -23,10 +23,16 @@
 //!   automaton. If the window had already dropped older events the
 //!   verdict flags `swap_truncated`: the new spec judged only the
 //!   suffix it could see.
+//! * **Stream SLOs** — a session may carry a
+//!   [`monsem_stream::StreamMonitor`] next to its safety spec: trigger
+//!   firings and deadline misses are reported in every [`Verdict`]. The
+//!   stream check is always observing, survives safety-spec swaps, and
+//!   can itself be hot-swapped (splicing by the same window replay).
 
 use crate::proto::{Request, Response, Verdict};
 use monsem_monitor::tape::{TapeEvent, TapePhase};
 use monsem_monitor::{Budget, FaultPolicy, GuardState, Guarded, Health, Monitor, Outcome};
+use monsem_stream::{StreamMonitor, StreamState};
 use monsem_tspec::{SpecMonitor, SpecState, DEFAULT_REPLAY_CAP};
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
@@ -76,6 +82,11 @@ pub struct MonitorServer {
 struct Session {
     guard: Guarded<SpecMonitor>,
     gs: Option<GuardState<SpecState>>,
+    /// The optional stream-SLO check riding next to the safety spec.
+    /// Always *observing* — an SLO verdict reports, it never vetoes
+    /// ingest — and outside the guard: its evaluation is statically
+    /// memory-bounded and cannot panic on event data.
+    stream: Option<(StreamMonitor, StreamState)>,
     enforcing: bool,
     window: VecDeque<TapeEvent>,
     window_dropped: u64,
@@ -86,9 +97,17 @@ struct Session {
     swap_truncated: bool,
 }
 
+fn stream_monitor(src: &str, session: u64) -> Result<(StreamMonitor, StreamState), String> {
+    let m = StreamMonitor::new(format!("session-{session}-stream"), src)
+        .map_err(|e| format!("stream spec: {e}"))?;
+    let s = m.initial_state();
+    Ok((m, s))
+}
+
 impl Session {
     fn open(
         spec: &str,
+        stream: Option<&str>,
         session: u64,
         enforcing: bool,
         config: &ServerConfig,
@@ -98,6 +117,7 @@ impl Session {
         if enforcing {
             monitor = monitor.enforcing();
         }
+        let stream = stream.map(|src| stream_monitor(src, session)).transpose()?;
         let guard = Guarded::new(monitor)
             .policy(config.policy)
             .budget(config.budget);
@@ -105,6 +125,7 @@ impl Session {
         Ok(Session {
             guard,
             gs: Some(gs),
+            stream,
             enforcing,
             window: VecDeque::new(),
             window_dropped: 0,
@@ -135,6 +156,8 @@ impl Session {
             earliest_violation: self.earliest_violation,
             accepted: self.accepted,
             swap_truncated: self.swap_truncated,
+            firings: self.stream.as_ref().map_or(0, |(_, s)| s.fired_total),
+            missed: self.stream.as_ref().map_or(0, |(_, s)| s.missed_total),
         }
     }
 
@@ -147,7 +170,7 @@ impl Session {
             return;
         }
         if ev.phase == TapePhase::Done {
-            self.finish();
+            self.finish(ev.time);
             return;
         }
         if self.window.len() == self.window_cap {
@@ -155,6 +178,12 @@ impl Session {
             self.window_dropped += 1;
         }
         self.window.push_back(ev.clone());
+        if let Some((m, s)) = self.stream.take() {
+            let s = match m.advance_tape_event(s, ev) {
+                Outcome::Continue(s) | Outcome::Abort { state: s, .. } => s,
+            };
+            self.stream = Some((m, s));
+        }
         let gs = self.gs.take().expect("session guard state present");
         let had_violation = gs.state.violation.is_some();
         let gs = match self
@@ -175,7 +204,12 @@ impl Session {
     }
 
     /// Ends the trace: runs the end-of-trace check and pins acceptance.
-    fn finish(&mut self) {
+    /// `end_time` is the `done` marker's timestamp (for deadline
+    /// end-gap checks), when the tape carries one.
+    fn finish(&mut self, end_time: Option<u64>) {
+        if let Some((m, s)) = &mut self.stream {
+            *s = m.finish(s, end_time);
+        }
         let gs = self.gs.as_mut().expect("session guard state present");
         if !gs.health.is_ok() {
             // A degraded monitor renders no verdict on the full trace.
@@ -196,29 +230,56 @@ impl Session {
         }
     }
 
-    /// Hot-swaps the spec, splicing state by replaying the retained
-    /// window through the new automaton.
-    fn swap(&mut self, spec: &str, session: u64, config: &ServerConfig) -> Result<(), String> {
-        let mut monitor =
-            SpecMonitor::new(format!("session-{session}"), spec).map_err(|e| e.to_string())?;
-        if self.enforcing {
-            monitor = monitor.enforcing();
+    /// Hot-swaps the session's specs, splicing state by replaying the
+    /// retained window through the new monitors. `None` keeps the
+    /// corresponding spec in force unchanged — in particular a stream
+    /// spec survives a safety-spec swap, and vice versa.
+    fn swap(
+        &mut self,
+        spec: Option<&str>,
+        stream: Option<&str>,
+        session: u64,
+        config: &ServerConfig,
+    ) -> Result<(), String> {
+        // Compile both before installing either: a swap is atomic.
+        let new_safety = spec
+            .map(|src| {
+                let mut m = SpecMonitor::new(format!("session-{session}"), src)
+                    .map_err(|e| e.to_string())?;
+                if self.enforcing {
+                    m = m.enforcing();
+                }
+                Ok::<_, String>(m)
+            })
+            .transpose()?;
+        let new_stream = stream.map(|src| stream_monitor(src, session)).transpose()?;
+        if let Some(monitor) = new_safety {
+            let (state, earliest) = splice_state(&monitor, self.window.iter());
+            let guard = Guarded::new(monitor)
+                .policy(config.policy)
+                .budget(config.budget);
+            let mut gs = guard.initial_state();
+            gs.state = state;
+            self.guard = guard;
+            self.gs = Some(gs);
+            self.earliest_violation = earliest;
         }
-        let (state, earliest) = splice_state(&monitor, self.window.iter());
-        let guard = Guarded::new(monitor)
-            .policy(config.policy)
-            .budget(config.budget);
-        let mut gs = guard.initial_state();
-        gs.state = state;
-        self.guard = guard;
-        self.gs = Some(gs);
-        self.earliest_violation = earliest;
-        self.swap_truncated = self.window_dropped > 0;
+        if let Some((m, mut s)) = new_stream {
+            for ev in &self.window {
+                s = match m.advance_tape_event(s, ev) {
+                    Outcome::Continue(s) | Outcome::Abort { state: s, .. } => s,
+                };
+            }
+            self.stream = Some((m, s));
+        }
+        if spec.is_some() || stream.is_some() {
+            self.swap_truncated = self.window_dropped > 0;
+        }
         if self.accepted.is_some() {
             // The trace had already ended; re-judge it under the new
-            // spec so the close verdict reflects what is now in force.
+            // specs so the close verdict reflects what is now in force.
             self.accepted = None;
-            self.finish();
+            self.finish(None);
         }
         Ok(())
     }
@@ -252,7 +313,8 @@ fn handle(sessions: &mut HashMap<u64, Session>, config: &ServerConfig, req: Requ
             session,
             enforcing,
             spec,
-        } => match Session::open(&spec, session, enforcing, config) {
+            stream,
+        } => match Session::open(&spec, stream.as_deref(), session, enforcing, config) {
             Ok(s) => {
                 sessions.insert(session, s);
                 Response::Ok
@@ -268,8 +330,12 @@ fn handle(sessions: &mut HashMap<u64, Session>, config: &ServerConfig, req: Requ
             }
             None => Response::Err(format!("no such session {session}")),
         },
-        Request::Swap { session, spec } => match sessions.get_mut(&session) {
-            Some(s) => match s.swap(&spec, session, config) {
+        Request::Swap {
+            session,
+            spec,
+            stream,
+        } => match sessions.get_mut(&session) {
+            Some(s) => match s.swap(spec.as_deref(), stream.as_deref(), session, config) {
                 Ok(()) => Response::Verdict(s.verdict(session)),
                 Err(e) => Response::Err(format!("swap session {session}: {e}")),
             },
@@ -279,7 +345,7 @@ fn handle(sessions: &mut HashMap<u64, Session>, config: &ServerConfig, req: Requ
             Some(mut s) => {
                 if s.accepted.is_none() {
                     // Closing ends the trace.
-                    s.finish();
+                    s.finish(None);
                 }
                 Response::Verdict(s.verdict(session))
             }
@@ -352,6 +418,23 @@ impl MonitorServer {
             session,
             enforcing,
             spec: spec.to_string(),
+            stream: None,
+        })
+    }
+
+    /// Opens a session running `spec` with a stream-SLO check beside it.
+    pub fn open_with_stream(
+        &self,
+        session: u64,
+        spec: &str,
+        stream: &str,
+        enforcing: bool,
+    ) -> Response {
+        self.request(Request::Open {
+            session,
+            enforcing,
+            spec: spec.to_string(),
+            stream: Some(stream.to_string()),
         })
     }
 
@@ -360,11 +443,23 @@ impl MonitorServer {
         self.request(Request::Events { session, events })
     }
 
-    /// Hot-swaps a session's spec.
+    /// Hot-swaps a session's safety spec (the stream spec, if any,
+    /// stays in force).
     pub fn swap(&self, session: u64, spec: &str) -> Response {
         self.request(Request::Swap {
             session,
-            spec: spec.to_string(),
+            spec: Some(spec.to_string()),
+            stream: None,
+        })
+    }
+
+    /// Hot-swaps a session's stream spec (the safety spec stays in
+    /// force).
+    pub fn swap_stream(&self, session: u64, stream: &str) -> Response {
+        self.request(Request::Swap {
+            session,
+            spec: None,
+            stream: Some(stream.to_string()),
         })
     }
 
@@ -467,6 +562,70 @@ mod tests {
         let v = verdict(server.swap(4, "always(post(p) => value > 0)"));
         assert_eq!(v.violation, None, "the evidence is out of the window");
         assert!(v.swap_truncated, "and the verdict says so");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stream_slos_ride_next_to_the_safety_spec() {
+        let server = MonitorServer::start(ServerConfig::default());
+        assert_eq!(
+            server.open_with_stream(
+                7,
+                "never(post(zzz))",
+                "stream neg = count(value < 0) over window(10)\ntrigger any = neg >= 2",
+                false,
+            ),
+            Response::Ok
+        );
+        let v = verdict(server.events(7, vec![post("p", -1, 0), post("p", 3, 1)]));
+        assert_eq!(v.firings, 0, "one negative is below the trigger");
+        let v = verdict(server.events(7, vec![post("p", -2, 2)]));
+        assert_eq!(v.firings, 1);
+        assert_eq!(v.violation, None, "SLO firings are not safety violations");
+        // A safety-spec swap keeps the stream state in force.
+        let v = verdict(server.swap(7, "never(post(yyy))"));
+        assert_eq!(v.firings, 1);
+        // A stream swap splices the new spec from the retained window:
+        // value < 0 has two rising edges over [-1, 3, -2].
+        let v = verdict(server.swap_stream(7, "trigger seen = value < 0"));
+        assert_eq!(v.firings, 2);
+        let v = verdict(server.close(7));
+        assert_eq!(v.accepted, Some(true));
+        server.shutdown();
+    }
+
+    #[test]
+    fn stream_deadlines_miss_on_timed_gaps() {
+        let server = MonitorServer::start(ServerConfig::default());
+        server.open_with_stream(
+            8,
+            "never(post(zzz))",
+            "deadline post(beat) every 50 ms",
+            false,
+        );
+        let beat = |v: i64, step: u64, t: u64| {
+            TapeEvent::post(&Annotation::label("beat"), &Value::Int(v), step).at(t)
+        };
+        let v = verdict(server.events(8, vec![beat(1, 0, 0), beat(1, 1, 40), beat(1, 2, 200)]));
+        assert_eq!(v.missed, 1, "one 160 ms gap against a 50 ms period");
+        let v = verdict(server.events(8, vec![TapeEvent::done(3).at(400)]));
+        assert_eq!(v.missed, 2, "the end-of-trace gap misses again");
+        assert_eq!(v.accepted, Some(true));
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_stream_specs_fail_open_and_swap() {
+        let server = MonitorServer::start(ServerConfig::default());
+        assert!(matches!(
+            server.open_with_stream(9, "never(post(b))", "stream x = rate(post(p))", false),
+            Response::Err(_)
+        ));
+        server.open(9, "never(post(b))", false);
+        assert!(matches!(
+            server.swap_stream(9, "trigger t = nosuch > 0"),
+            Response::Err(_)
+        ));
         server.shutdown();
     }
 

@@ -39,6 +39,9 @@ pub enum Tok {
     Comma,
     /// `-` (only valid immediately before an integer literal)
     Minus,
+    /// `/` (used by the stream spec surface; no temporal-spec production
+    /// consumes it)
+    Slash,
     /// `=>`
     Implies,
     /// `=`
@@ -143,6 +146,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, SpecError> {
             '-' => {
                 i += 1;
                 Tok::Minus
+            }
+            '/' => {
+                i += 1;
+                Tok::Slash
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {

@@ -74,7 +74,7 @@ pub use monitor::{
     ShardTape, SpecMonitor, SpecState, TapeCheck, TapeOutcome, DEFAULT_REPLAY_CAP,
     DEFAULT_TRACE_CAP,
 };
-pub use parser::parse_spec;
+pub use parser::{parse_pred_atom_tokens, parse_pred_tokens, parse_spec};
 
 /// What category of failure a [`SpecError`] reports.
 ///

@@ -74,6 +74,58 @@ pub fn parse_spec(src: &str) -> Result<SpecExpr, SpecError> {
     Ok(expr)
 }
 
+/// Parses one event predicate (the `pred` production) from a pre-lexed
+/// token stream, starting at `*pos` and leaving `*pos` on the first
+/// unconsumed token. `src_len` anchors end-of-input error offsets.
+///
+/// This is the embedding surface for `monsem-stream`, whose spec grammar
+/// hosts tspec predicates inside aggregate arguments and deadline
+/// declarations.
+///
+/// # Errors
+///
+/// Syntax errors with the offending token's byte offset.
+pub fn parse_pred_tokens(
+    toks: &[Spanned],
+    pos: &mut usize,
+    src_len: usize,
+) -> Result<Pred, SpecError> {
+    let mut p = Parser {
+        toks: toks.to_vec(),
+        pos: *pos,
+        end: src_len,
+    };
+    let pred = p.pred()?;
+    *pos = p.pos;
+    Ok(pred)
+}
+
+/// Parses a single atomic event predicate (the `patom` production:
+/// `pre(f)`, `post(f)`, `at(f)`, `value ⋈ n`, `done`, `unsorted`,
+/// `true`, `false`) from a pre-lexed token stream. Unlike
+/// [`parse_pred_tokens`] it does not consume `and`/`or`/`not`
+/// connectives, so a host grammar (trigger conditions in
+/// `monsem-stream`) can own the boolean structure while delegating the
+/// event atoms here.
+///
+/// # Errors
+///
+/// As for [`parse_pred_tokens`].
+pub fn parse_pred_atom_tokens(
+    toks: &[Spanned],
+    pos: &mut usize,
+    src_len: usize,
+) -> Result<Atom, SpecError> {
+    let mut p = Parser {
+        toks: toks.to_vec(),
+        pos: *pos,
+        end: src_len,
+    };
+    let atom = p.patom()?;
+    *pos = p.pos;
+    Ok(atom)
+}
+
 struct Parser {
     toks: Vec<Spanned>,
     pos: usize,

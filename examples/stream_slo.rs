@@ -1,0 +1,104 @@
+//! Stream SLOs: sliding-window aggregates, derived streams, triggers,
+//! and timed deadlines over a program's event stream — with the memory
+//! bound of the whole pipeline known at compile time.
+//!
+//! ```text
+//! cargo run --example stream_slo
+//! ```
+
+use monitoring_semantics::core::EvalError;
+use monitoring_semantics::monitor::machine::eval_monitored;
+use monitoring_semantics::monitor::tape::{TapeEvent, TapePhase};
+use monitoring_semantics::monitor::{record_monitored, MemorySink, Monitor, SharedSink};
+use monitoring_semantics::stream::StreamMonitor;
+use monitoring_semantics::syntax::parse_expr;
+
+/// An SLO over a request-handling loop: windowed latency statistics,
+/// a derived headroom stream, and triggers on the service levels.
+const SLO: &str = "stream mean_lat = avg(post(lat)) over window(10)\n\
+                   stream worst = max(post(lat)) over window(10)\n\
+                   stream requests = count(post(req))\n\
+                   stream headroom = 100 - worst\n\
+                   trigger slo_burn = mean_lat > 50\n\
+                   trigger spike = worst > 90";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // -----------------------------------------------------------------
+    // Compile the spec. Every stream's evaluator state is bounded at
+    // compile time — rings, monotonic deques, and time panes are all
+    // allocated up front; the steady state never touches the heap.
+    // -----------------------------------------------------------------
+    let slo = StreamMonitor::new("latency-slo", SLO)?;
+    println!("static memory bound:");
+    println!("{}", slo.spec().memory());
+
+    // A service loop: each request `{req}:n` is followed by a latency
+    // sample `{lat}:...`; request 7 is pathologically slow.
+    let service = parse_expr(
+        "letrec svc = lambda n. \
+           if n = 0 then 0 \
+           else ({req}:n ; {lat}:(if n = 7 then 95 else 20 + n) ; svc (n - 1)) \
+         in svc 12",
+    )?;
+
+    // -----------------------------------------------------------------
+    // Observing run: the answer is unchanged (Theorem 7.7); trigger
+    // firings are recorded in the monitor state, not enforced.
+    // -----------------------------------------------------------------
+    let (answer, state) = eval_monitored(&service, &slo)?;
+    println!("service answered {answer}");
+    println!("σ = {}", slo.render_state(&state));
+    for f in &state.firings {
+        println!("  {}", f.reason);
+    }
+
+    // -----------------------------------------------------------------
+    // Enforcing run: the same spec vetoes the computation at the first
+    // trigger firing.
+    // -----------------------------------------------------------------
+    let enforcing = StreamMonitor::new("latency-slo", SLO)?.enforcing();
+    match eval_monitored(&service, &enforcing) {
+        Err(EvalError::MonitorAbort { monitor, reason }) => {
+            println!("\nenforcing run aborted by `{monitor}`:");
+            println!("  {reason}");
+        }
+        other => panic!("expected an abort, got {other:?}"),
+    }
+
+    // -----------------------------------------------------------------
+    // Offline: record the run to an event tape, then check the tape.
+    // The offline verdict agrees with the live run on every firing.
+    // -----------------------------------------------------------------
+    let mem = MemorySink::new();
+    let sink = SharedSink::new(mem.clone());
+    record_monitored(&service, slo.clone(), &sink)?;
+    let tape = mem.take();
+    let check = slo.check_tape(&tape);
+    println!("\noffline check over {} tape events:", tape.len());
+    println!("σ = {}", slo.render_state(&check.state));
+    assert_eq!(check.fired_total, state.fired_total, "offline ≡ live");
+
+    // -----------------------------------------------------------------
+    // Timed tapes: a deadline spec over heartbeat events. The second
+    // gap (250 → 1000 ms) exceeds the 500 ms period, so the offline
+    // check reports exactly one miss.
+    // -----------------------------------------------------------------
+    let hb = StreamMonitor::new("heartbeat", "deadline post(hb) every 500 ms")?;
+    let beat = |step: u64, time: u64| TapeEvent {
+        phase: TapePhase::Post,
+        namespace: String::new(),
+        name: "hb".to_string(),
+        value: None,
+        step,
+        time: Some(time),
+    };
+    let timed = vec![beat(0, 0), beat(1, 250), beat(2, 1000), beat(3, 1200)];
+    let check = hb.check_tape(&timed);
+    println!("\nheartbeat tape: {} deadline miss(es)", check.missed);
+    if let Some(reason) = &check.state.first_miss {
+        println!("  first: {reason}");
+    }
+    assert_eq!(check.missed, 1);
+
+    Ok(())
+}

@@ -76,10 +76,10 @@ fn usage() -> String {
      monsem instrument (-e <src> | <file>)\n  \
      monsem bta        (-e <src> | <file>) [--static name,name]\n  \
      monsem specialize (-e <src> | <file>) [--input name=int]…\n  \
-     monsem record     (-e <src> | <file>) --out <tape.bin> [--spec <spec|file>]\n  \
-     monsem check      <tape.bin> <spec|file> [--enforcing]\n  \
+     monsem record     (-e <src> | <file>) --out <tape.bin> [--spec <spec|file>] [--timed]\n  \
+     monsem check      <tape.bin> [<spec|file>] [--stream <spec|file>] [--enforcing]\n  \
      monsem serve      (--tcp <addr> | --unix <path>) [--shards N] [--queue N] [--window N] [--policy fatal|quarantine]\n  \
-     monsem swap       (--tcp <addr> | --unix <path>) --session <id> <spec|file>"
+     monsem swap       (--tcp <addr> | --unix <path>) --session <id> [<spec|file>] [--stream <spec|file>]"
         .to_string()
 }
 
@@ -95,8 +95,11 @@ fn program_and_flags(args: &[String]) -> Result<(Expr, Vec<String>), String> {
             source = Some(src.clone());
         } else if a.starts_with("--") {
             flags.push(a.clone());
-            if let Some(v) = it.next() {
-                flags.push(v.clone());
+            // Value-less flags must not swallow the next argument.
+            if a != "--timed" {
+                if let Some(v) = it.next() {
+                    flags.push(v.clone());
+                }
             }
         } else if source.is_none() {
             source =
@@ -215,7 +218,14 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
     let (program, flags) = program_and_flags(args)?;
     let out = flag_value(&flags, "--out").ok_or("record needs --out <tape.bin>")?;
     let mem = MemorySink::new();
-    let sink = SharedSink::new(mem.clone());
+    let sink = if flags.iter().any(|f| f == "--timed") {
+        // Stamp every event with wall-clock milliseconds (tape format
+        // v2), enabling offline deadline checking.
+        let epoch = std::time::Instant::now();
+        SharedSink::with_clock(mem.clone(), move || epoch.elapsed().as_millis() as u64)
+    } else {
+        SharedSink::new(mem.clone())
+    };
     let answer = match flag_value(&flags, "--spec") {
         Some(spec) => {
             let src = load_spec(spec)?;
@@ -246,40 +256,86 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    use monitoring_semantics::stream::StreamMonitor;
     use monitoring_semantics::tape::read_tape;
     use monitoring_semantics::tspec::{SpecMonitor, TapeOutcome};
-    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-    let [tape_path, spec_arg] = positional.as_slice() else {
-        return Err("check needs <tape.bin> <spec|file>".to_string());
+    let stream_arg = flag_value(args, "--stream");
+    let positional: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && !matches!(args.get(i.wrapping_sub(1)), Some(prev) if prev == "--stream")
+        })
+        .map(|(_, a)| a)
+        .collect();
+    let (tape_path, spec_arg) = match positional.as_slice() {
+        [tape] if stream_arg.is_some() => (tape, None),
+        [tape, spec] => (tape, Some(spec)),
+        _ => return Err("check needs <tape.bin> and a <spec|file> and/or --stream".to_string()),
     };
     let bytes = std::fs::read(tape_path).map_err(|e| format!("cannot read `{tape_path}`: {e}"))?;
     let events = read_tape(&bytes).map_err(|e| e.to_string())?;
-    let src = load_spec(spec_arg)?;
-    let mut monitor = SpecMonitor::new("check", &src).map_err(|e| e.to_string())?;
-    if args.iter().any(|a| a == "--enforcing") {
-        monitor = monitor.enforcing();
-    }
-    let check = monitor.check_tape(events.iter());
-    match &check.outcome {
-        TapeOutcome::Satisfied => {
-            println!("satisfied after {} events", check.state.events);
-            Ok(ExitCode::SUCCESS)
+    let mut code = ExitCode::SUCCESS;
+    if let Some(spec_arg) = spec_arg {
+        let src = load_spec(spec_arg)?;
+        let mut monitor = SpecMonitor::new("check", &src).map_err(|e| e.to_string())?;
+        if args.iter().any(|a| a == "--enforcing") {
+            monitor = monitor.enforcing();
         }
-        TapeOutcome::Pending => {
-            println!(
-                "pending after {} events (no `done` marker on the tape)",
-                check.state.events
-            );
-            Ok(ExitCode::SUCCESS)
-        }
-        TapeOutcome::Violated(reason) => {
-            match check.earliest_violation {
-                Some(step) => println!("violated at step {step}: {reason}"),
-                None => println!("violated at end of trace: {reason}"),
+        let check = monitor.check_tape(events.iter());
+        match &check.outcome {
+            TapeOutcome::Satisfied => {
+                println!("satisfied after {} events", check.state.events);
             }
-            Ok(ExitCode::from(1))
+            TapeOutcome::Pending => {
+                println!(
+                    "pending after {} events (no `done` marker on the tape)",
+                    check.state.events
+                );
+            }
+            TapeOutcome::Violated(reason) => {
+                match check.earliest_violation {
+                    Some(step) => println!("violated at step {step}: {reason}"),
+                    None => println!("violated at end of trace: {reason}"),
+                }
+                code = ExitCode::from(1);
+            }
         }
     }
+    if let Some(stream_arg) = stream_arg {
+        let src = load_spec(stream_arg)?;
+        let monitor = StreamMonitor::new("check-stream", &src).map_err(|e| e.to_string())?;
+        eprintln!("; static memory bound:");
+        for line in monitor.spec().memory().to_string().lines() {
+            eprintln!(";{line}");
+        }
+        let check = monitor.check_tape(events.iter());
+        for f in &check.firings {
+            match f.step {
+                Some(step) => println!("step {step}: {}", f.reason),
+                None => println!("{}", f.reason),
+            }
+        }
+        if let Some(miss) = &check.state.first_miss {
+            println!("deadline {miss}");
+        }
+        println!(
+            "stream: {} firing(s), {} deadline miss(es) over {} events{}",
+            check.fired_total,
+            check.missed,
+            check.state.events,
+            if check.completed {
+                ""
+            } else {
+                " (no `done` marker)"
+            }
+        );
+        if check.fired_total > 0 || check.missed > 0 {
+            code = ExitCode::from(1);
+        }
+    }
+    Ok(code)
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
@@ -321,7 +377,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_swap(args: &[String]) -> Result<(), String> {
-    use monitoring_semantics::tape::{Client, Response};
+    use monitoring_semantics::tape::{Client, Request, Response};
     let session: u64 = flag_value(args, "--session")
         .ok_or("swap needs --session <id>")?
         .parse()
@@ -334,28 +390,40 @@ fn cmd_swap(args: &[String]) -> Result<(), String> {
                 && !matches!(args.get(i.wrapping_sub(1)), Some(prev) if prev.starts_with("--"))
         })
         .map(|(_, a)| a)
-        .next()
-        .ok_or("swap needs a <spec|file> argument")?;
-    let spec = load_spec(spec_arg)?;
+        .next();
+    let stream_arg = flag_value(args, "--stream");
+    if spec_arg.is_none() && stream_arg.is_none() {
+        return Err("swap needs a <spec|file> argument and/or --stream <spec|file>".to_string());
+    }
+    let req = Request::Swap {
+        session,
+        spec: spec_arg.map(|a| load_spec(a)).transpose()?,
+        stream: stream_arg.map(load_spec).transpose()?,
+    };
     let response = match (flag_value(args, "--tcp"), flag_value(args, "--unix")) {
         (Some(addr), None) => Client::connect_tcp(addr)
-            .and_then(|mut c| c.swap(session, &spec))
+            .and_then(|mut c| c.request(&req))
             .map_err(|e| e.to_string())?,
         (None, Some(path)) => Client::connect_unix(path)
-            .and_then(|mut c| c.swap(session, &spec))
+            .and_then(|mut c| c.request(&req))
             .map_err(|e| e.to_string())?,
         _ => return Err("swap needs exactly one of --tcp <addr> or --unix <path>".to_string()),
     };
     match response {
         Response::Verdict(v) => {
             println!(
-                "session {}: {} events ingested, health {}{}{}",
+                "session {}: {} events ingested, health {}{}{}{}",
                 v.session,
                 v.ingested,
                 v.health,
                 match &v.violation {
                     Some(reason) => format!(", violation: {reason}"),
                     None => ", no violation".to_string(),
+                },
+                if v.firings > 0 || v.missed > 0 {
+                    format!(", stream: {} firing(s), {} miss(es)", v.firings, v.missed)
+                } else {
+                    String::new()
                 },
                 if v.swap_truncated {
                     " (spliced from a truncated window)"

@@ -67,6 +67,7 @@ pub use monsem_core as core;
 pub use monsem_monitor as monitor;
 pub use monsem_monitors as monitors;
 pub use monsem_pe as pe;
+pub use monsem_stream as stream;
 pub use monsem_syntax as syntax;
 pub use monsem_tape as tape;
 pub use monsem_tspec as tspec;

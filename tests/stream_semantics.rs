@@ -1,0 +1,341 @@
+//! PR 8: stream-algebra monitors. Differential properties:
+//!
+//! 1. **Incremental ≡ naive** — every windowed aggregate (`count`,
+//!    `sum`, `avg`, `min`, `max` over event windows; the same plus
+//!    `rate` over time windows) computed by the O(1)-per-event
+//!    evaluator equals an O(n·k) recomputation from scratch at every
+//!    step. The incremental machinery under test: ring buffers with
+//!    invertible totals, monotonic deques for the extrema, and
+//!    pane-quantized time windows.
+//! 2. **Trigger ≡ tspec** — a pure event trigger fires exactly where
+//!    the equivalent temporal spec convicts: first firing step equals
+//!    `earliest_violation`, and "ever fired" equals "violated".
+//! 3. **Live ≡ offline** — `StreamMonitor::check_tape` over a recorded
+//!    tape reproduces the live run's trigger firings and final stream
+//!    values.
+//! 4. **Parallel ≡ sequential** — the stream monitor's `MergeMonitor`
+//!    replay makes the parallel machine agree with the sequential one
+//!    bit-for-bit on random `par` programs.
+
+use monitoring_semantics::core::machine::EvalOptions;
+use monitoring_semantics::core::{Env, EvalError, Value};
+use monitoring_semantics::monitor::machine::eval_monitored_with;
+use monitoring_semantics::monitor::{
+    eval_parallel_with, record_monitored_with, MemorySink, MergeMonitor, Monitor, Outcome,
+    ParOptions, SharedSink, TapePhase,
+};
+use monitoring_semantics::stream::{EvView, StreamMonitor, StreamState, PANES};
+use monitoring_semantics::syntax::gen::{gen_program, sprinkle_annotations, GenConfig};
+use monitoring_semantics::syntax::{Expr, Namespace};
+use monitoring_semantics::tspec::{SpecMonitor, TapeOutcome};
+use proptest::prelude::*;
+use proptest::sample::select;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FUEL: u64 = 400_000;
+
+/// One synthetic observed event: a `post` at `name` carrying `int`, at
+/// `dt` milliseconds after the previous event.
+#[derive(Debug, Clone)]
+struct Ev {
+    name: &'static str,
+    int: Option<i64>,
+    dt: u64,
+}
+
+/// A seeded random event sequence: names split between a matching and a
+/// non-matching label, mostly-integer values, small time gaps.
+fn gen_events(seed: u64, n: usize) -> Vec<Ev> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Ev {
+            name: if rng.gen_bool(0.5) { "p" } else { "q" },
+            int: rng.gen_bool(0.75).then(|| rng.gen_range(-100i64..100)),
+            dt: rng.gen_range(0u64..=20),
+        })
+        .collect()
+}
+
+/// Feeds the events through the monitor with explicit (cumulative)
+/// timestamps, capturing the stream values after every event.
+fn run_events(m: &StreamMonitor, events: &[Ev]) -> (Vec<Vec<Option<i64>>>, StreamState) {
+    let mut s = m.initial_state();
+    let mut t = 0;
+    let mut history = Vec::with_capacity(events.len());
+    for e in events {
+        t += e.dt;
+        let view = EvView {
+            phase: TapePhase::Post,
+            name: e.name,
+            int: e.int,
+            unsorted: false,
+        };
+        s = match m.step_event(s, &view, None, Some(t)) {
+            Outcome::Continue(s) | Outcome::Abort { state: s, .. } => s,
+        };
+        history.push(s.values.clone());
+    }
+    (history, s)
+}
+
+/// The naive aggregate over a slice of matching contributions:
+/// `(int-or-hit)` pairs where `None` is a match without an integer.
+fn naive(agg: &str, matching: &[Option<i64>], span_ms: u64) -> Option<i64> {
+    let vals: Vec<i64> = matching.iter().filter_map(|c| *c).collect();
+    match agg {
+        "count" => Some(matching.len() as i64),
+        "sum" => Some(vals.iter().fold(0i64, |a, v| a.wrapping_add(*v))),
+        "avg" => (!vals.is_empty()).then(|| {
+            vals.iter()
+                .fold(0i64, |a, v| a.wrapping_add(*v))
+                .wrapping_div(vals.len() as i64)
+        }),
+        "min" => vals.iter().min().copied(),
+        "max" => vals.iter().max().copied(),
+        "rate" => Some(((matching.len() as i64) * 1000) / span_ms as i64),
+        other => panic!("unknown aggregate {other}"),
+    }
+}
+
+/// The matching contributions among `events[..=i]` visible to an
+/// event-count window of width `k` (`None` = whole trace): the window
+/// slides over *observed* events, matching or not.
+fn window_matches(events: &[Ev], i: usize, k: Option<usize>) -> Vec<Option<i64>> {
+    let lo = k.map_or(0, |k| (i + 1).saturating_sub(k));
+    events[lo..=i]
+        .iter()
+        .filter(|e| e.name == "p")
+        .map(|e| e.int)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Property 1a: event-count windows (and cumulative aggregates) are
+    /// exactly a naive recomputation at every step.
+    #[test]
+    fn event_windows_match_naive_recomputation(
+        seed: u64,
+        n in 1usize..80,
+        k in 1usize..9,
+        agg in select(vec!["count", "sum", "avg", "min", "max"]),
+        windowed: bool,
+    ) {
+        let events = gen_events(seed, n);
+        let window = if windowed { format!(" over window({k})") } else { String::new() };
+        let m = StreamMonitor::new("t", &format!("stream s = {agg}(post(p)){window}")).unwrap();
+        let (history, _) = run_events(&m, &events);
+        for (i, values) in history.iter().enumerate() {
+            let matching = window_matches(&events, i, windowed.then_some(k));
+            prop_assert_eq!(
+                values[0],
+                naive(agg, &matching, 1),
+                "{} over last {:?} at event {}: {:?}",
+                agg, windowed.then_some(k), i, matching
+            );
+        }
+    }
+
+    /// Property 1b: time windows are exactly a naive recomputation under
+    /// the documented pane quantization — a `window(d ms)` spec covers
+    /// the current pane plus the previous PANES-1 panes of width
+    /// ⌈d/PANES⌉, an effective span of at least `d`.
+    #[test]
+    fn time_windows_match_naive_pane_recomputation(
+        seed: u64,
+        n in 1usize..80,
+        d in 1u64..200,
+        agg in select(vec!["count", "sum", "avg", "min", "max", "rate"]),
+    ) {
+        let events = gen_events(seed, n);
+        let m = StreamMonitor::new("t", &format!("stream s = {agg}(post(p)) over window({d} ms)"))
+            .unwrap();
+        let (history, _) = run_events(&m, &events);
+        let width = d.div_ceil(PANES as u64).max(1);
+        let span = width * PANES as u64;
+        let mut t = 0;
+        let mut times = Vec::with_capacity(events.len());
+        for e in &events {
+            t += e.dt;
+            times.push(t);
+        }
+        for (i, values) in history.iter().enumerate() {
+            let idx = times[i] / width;
+            let lo_pane = idx.saturating_sub(PANES as u64 - 1);
+            let matching: Vec<Option<i64>> = events[..=i]
+                .iter()
+                .zip(&times)
+                .filter(|(e, te)| e.name == "p" && **te / width >= lo_pane)
+                .map(|(e, _)| e.int)
+                .collect();
+            prop_assert_eq!(
+                values[0],
+                naive(agg, &matching, span),
+                "{} over window({} ms) (pane width {}) at event {}",
+                agg, d, width, i
+            );
+        }
+    }
+
+    /// Property 2: a pure event trigger is the rising-edge view of the
+    /// equivalent temporal spec — it first fires exactly at the step
+    /// `never(…)` convicts, and fires at all iff the spec is violated.
+    #[test]
+    fn event_triggers_agree_with_the_equivalent_tspec(seed: u64, density in 100u16..=1000) {
+        let program = annotated_program(seed, density);
+        let tspec = SpecMonitor::new("never-neg", "never(post(_) and value < 0)")
+            .unwrap()
+            .in_namespace(Namespace::new("ns"));
+        let (events, _) = record(&program, tspec.clone());
+        let tcheck = tspec.check_tape(&events);
+
+        let stream = StreamMonitor::new("neg", "trigger neg = post(_) and value < 0")
+            .unwrap()
+            .in_namespace(Namespace::new("ns"));
+        let scheck = stream.check_tape(&events);
+
+        let violated = matches!(tcheck.outcome, TapeOutcome::Violated(_));
+        prop_assert_eq!(
+            scheck.fired_total > 0,
+            violated,
+            "fired iff the temporal spec is violated"
+        );
+        prop_assert_eq!(
+            scheck.firings.first().and_then(|f| f.step),
+            tcheck.earliest_violation,
+            "the first firing is the earliest violation"
+        );
+    }
+
+    /// Property 3: offline checking reproduces the live run — same
+    /// trigger firings (name and position), same final stream values.
+    #[test]
+    fn offline_check_matches_the_live_run(seed: u64, density in 100u16..=1000) {
+        let program = annotated_program(seed, density);
+        let m = StreamMonitor::new(
+            "slo",
+            "stream negs = count(value < 0) over window(5)\n\
+             stream all = count(post(_))\n\
+             trigger burst = negs >= 2\n\
+             trigger deep = all > 40",
+        )
+        .unwrap()
+        .in_namespace(Namespace::new("ns"));
+        let (events, result) = record(&program, m.clone());
+        if let Ok((_, live)) = result {
+            let check = m.check_tape(&events);
+            let keys = |fs: &[monitoring_semantics::stream::Firing]| -> Vec<(String, u64)> {
+                fs.iter().map(|f| (f.trigger.clone(), f.at)).collect()
+            };
+            prop_assert_eq!(keys(&live.firings), keys(&check.firings));
+            prop_assert_eq!(live.fired_total, check.fired_total);
+            prop_assert_eq!(live.values, check.state.values);
+            prop_assert_eq!(live.events, check.state.events);
+        }
+    }
+
+    /// Property 4: the parallel machine agrees with the sequential one
+    /// bit-for-bit under a stream monitor — the shard-tape replay merge
+    /// is exact.
+    #[test]
+    fn parallel_stream_monitor_matches_sequential(
+        seed: u64,
+        density in 0u16..300,
+        threads in 1usize..5,
+    ) {
+        let program = par_program(seed, density);
+        let m = StreamMonitor::new(
+            "win",
+            "stream lo = min(post(_)) over window(3)\n\
+             stream hi = max(post(_)) over window(3)\n\
+             stream n = count(post(_)) over window(8)\n\
+             stream spread = hi - lo\n\
+             trigger wide = spread > 50",
+        )
+        .unwrap()
+        .in_namespace(Namespace::new("ns"));
+        assert_parallel_matches_sequential(&program, &m, threads)?;
+    }
+}
+
+fn annotated_program(seed: u64, density: u16) -> Expr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let plain = gen_program(&mut rng, &GenConfig::default());
+    sprinkle_annotations(
+        &mut rng,
+        &plain,
+        &Namespace::new("ns"),
+        f64::from(density) / 1000.0,
+    )
+}
+
+fn par_program(seed: u64, density: u16) -> Expr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = GenConfig {
+        par_chance: 0.35,
+        ..GenConfig::default()
+    };
+    let plain = gen_program(&mut rng, &cfg);
+    sprinkle_annotations(
+        &mut rng,
+        &plain,
+        &Namespace::new("ns"),
+        f64::from(density) / 1000.0,
+    )
+}
+
+type Recorded<S> = (
+    Vec<monitoring_semantics::monitor::TapeEvent>,
+    Result<(Value, S), EvalError>,
+);
+
+/// Records `program` under `monitor`, returning the tape and the run's
+/// result.
+fn record<M: Monitor + Clone>(program: &Expr, monitor: M) -> Recorded<M::State> {
+    let mem = MemorySink::new();
+    let sink = SharedSink::new(mem.clone());
+    let result = record_monitored_with(
+        program,
+        &Env::empty(),
+        monitor,
+        &sink,
+        &EvalOptions::with_fuel(FUEL),
+    );
+    (mem.take(), result)
+}
+
+fn assert_parallel_matches_sequential<M>(
+    program: &Expr,
+    monitor: &M,
+    threads: usize,
+) -> Result<(), TestCaseError>
+where
+    M: MergeMonitor + Sync,
+    M::State: Send + PartialEq + std::fmt::Debug,
+{
+    let seq = eval_monitored_with(
+        program,
+        &Env::empty(),
+        monitor,
+        monitor.initial_state(),
+        &EvalOptions::with_fuel(FUEL),
+    );
+    let par = eval_parallel_with(
+        program,
+        &Env::empty(),
+        monitor,
+        monitor.initial_state(),
+        &ParOptions {
+            threads,
+            eval: EvalOptions::with_fuel(FUEL),
+        },
+    );
+    let fuel =
+        |r: &Result<(Value, M::State), EvalError>| matches!(r, Err(EvalError::FuelExhausted));
+    if !fuel(&seq) && !fuel(&par) {
+        prop_assert_eq!(seq, par, "program: {}", program);
+    }
+    Ok(())
+}

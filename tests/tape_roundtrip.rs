@@ -224,6 +224,88 @@ proptest! {
     }
 }
 
+/// Records `program` with a clocked sink whose (seeded, jittery) clock
+/// can step backwards; the sink's monotone clamp must still produce a
+/// nondecreasing tape.
+fn record_timed(program: &Expr, seed: u64) -> Vec<TapeEvent> {
+    use rand::Rng;
+    use std::sync::{Arc, Mutex};
+    let mem = MemorySink::new();
+    let rng = Arc::new(Mutex::new(StdRng::seed_from_u64(seed ^ 0x7131)));
+    let clock = move || {
+        let mut rng = rng.lock().unwrap();
+        // A drifting clock with occasional backwards jitter.
+        rng.gen_range(0..5000)
+    };
+    let sink = SharedSink::with_clock(mem.clone(), clock);
+    let _ = record_monitored_with(
+        program,
+        &Env::empty(),
+        neg_spec(),
+        &sink,
+        &EvalOptions::with_fuel(FUEL),
+    );
+    mem.take()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Property 4 (format v2): timed tapes round-trip exactly — the
+    /// LEB128 delta coding loses nothing — and version selection is
+    /// automatic: v2 iff the sink stamped timestamps.
+    #[test]
+    fn timed_tape_serialization_roundtrips(seed: u64, density in 100u16..=1000) {
+        let program = annotated_program(seed, density);
+        let timed = record_timed(&program, seed);
+        if timed.is_empty() {
+            return Ok(()); // the program had no annotations to record
+        }
+        prop_assert!(
+            timed.iter().all(|e| e.time.is_some()),
+            "a clocked sink stamps every event"
+        );
+        let bytes = write_tape(&timed);
+        prop_assert_eq!(
+            u16::from_le_bytes([bytes[4], bytes[5]]),
+            monitoring_semantics::tape::format::VERSION_TIMED,
+            "stamped events select format v2"
+        );
+        let decoded = read_tape(&bytes).expect("a written v2 tape must decode");
+        prop_assert_eq!(&decoded, &timed, "decode ∘ encode is the identity on v2");
+
+        // The same events stripped of timestamps select v1 and still
+        // round-trip — readers accept both versions unchanged.
+        let untimed: Vec<TapeEvent> = timed
+            .iter()
+            .map(|e| TapeEvent { time: None, ..e.clone() })
+            .collect();
+        let bytes = write_tape(&untimed);
+        prop_assert_eq!(
+            u16::from_le_bytes([bytes[4], bytes[5]]),
+            monitoring_semantics::tape::format::VERSION,
+            "unstamped events select format v1"
+        );
+        prop_assert_eq!(read_tape(&bytes).unwrap(), untimed);
+    }
+
+    /// Property 5 (format v2): tape timestamps are monotone even when
+    /// the wall clock jitters backwards — the sink clamps, and the
+    /// delta coding (which cannot express a negative step) never has to.
+    #[test]
+    fn timed_tapes_are_monotone_under_clock_jitter(seed: u64, density in 100u16..=1000) {
+        let program = annotated_program(seed, density);
+        let timed = record_timed(&program, seed);
+        let decoded = read_tape(&write_tape(&timed)).unwrap();
+        let times: Vec<u64> = decoded.iter().filter_map(|e| e.time).collect();
+        prop_assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "timestamps must be nondecreasing: {:?}",
+            times
+        );
+    }
+}
+
 /// Pinned concrete shape: the machine evaluates operands right-to-left,
 /// so `{ns/a}:1 + {ns/b}:(0 - 2)` puts the b events first on the tape;
 /// the offline checker convicts at the `post b = -2` step.
