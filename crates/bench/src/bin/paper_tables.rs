@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p monsem-bench --bin paper_tables -- \
-//!     [--table all|examples|spec-levels|fig11|futamura|tspec|tspec_levels|tiered|parallel|tape|stream] [--json <dir>]
+//!     [--table all|examples|spec-levels|fig11|futamura|tspec|tspec_levels|tiered|parallel|tape|server-scale|stream] [--json <dir>]
 //! ```
 //!
 //! With `--json <dir>`, the timed tables additionally write
@@ -13,7 +13,10 @@
 //! spec), `BENCH_tiered.json` (profile-guided tiering vs the fixed
 //! levels), `BENCH_parallel.json` (fork-join speedups),
 //! `BENCH_tape.json` (event-tape recording, serialization, offline
-//! check, and server ingest) and `BENCH_stream.json` (stream-monitor
+//! check, and server ingest), `BENCH_server_scale.json` (batched
+//! pipelined ingest over real sockets vs producer count, a batch-size
+//! ablation against the synchronous per-event protocol, and
+//! checkpoint-seeded vs full-replay check time) and `BENCH_stream.json` (stream-monitor
 //! throughput vs window count and width, with the allocation-free
 //! steady state asserted by a counting allocator) — into `<dir>`, so
 //! the performance trajectory can be tracked across revisions.
@@ -96,6 +99,7 @@ fn main() {
         "tiered" => tiered(json),
         "parallel" => parallel(json),
         "tape" => tape(json),
+        "server-scale" | "server_scale" => server_scale(json),
         "stream" => stream(json),
         "all" => {
             examples();
@@ -107,11 +111,12 @@ fn main() {
             tiered(json);
             parallel(json);
             tape(json);
+            server_scale(json);
             stream(json);
         }
         other => {
             eprintln!(
-                "unknown table `{other}`; try examples, spec-levels, fig11, futamura, tspec, tspec_levels, tiered, parallel, tape, stream, all"
+                "unknown table `{other}`; try examples, spec-levels, fig11, futamura, tspec, tspec_levels, tiered, parallel, tape, server-scale, stream, all"
             );
             std::process::exit(2);
         }
@@ -1038,6 +1043,505 @@ fn tape(json: Option<&Path>) {
         );
         write_json(dir, "BENCH_tape.json", body);
     }
+}
+
+/// Saturation study for the batched, pipelined ingest path: P
+/// producers over real sockets (TCP and Unix), a batch-size ablation
+/// against the synchronous per-event protocol, and checkpoint-seeded
+/// vs full-replay offline check time. Every timed configuration first
+/// proves its verdict identical to the offline oracle — a fast path
+/// that changes the answer would be a bug, not a speedup.
+fn server_scale(json: Option<&Path>) {
+    use monsem_core::Value;
+    use monsem_monitor::TapeEvent;
+    use monsem_syntax::Annotation;
+    use monsem_tape::{
+        check_tape_from, read_tape, serve_tcp, serve_unix, write_tape_checkpointed, Client,
+        MonitorServer, Request, Response, ServerConfig,
+    };
+    use monsem_tspec::{SpecMonitor, TapeOutcome};
+    use std::io::{Read, Write};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const SPEC: &str = "always(post(req) => value >= 0)";
+    /// Events per producer per run; also the checkpointed tape's length.
+    const TOTAL: usize = 100_000;
+    /// Events for the synchronous per-event baseline (each event costs a
+    /// full round trip; the full workload would dominate the run).
+    const SYNC_N: usize = 16_384;
+    const PRODUCERS: &[usize] = &[1, 2, 4, 8];
+    const BATCHES: &[usize] = &[1, 16, 64, 256, 1024, 4096, 16384];
+    const CKPT_EVERY: usize = 10_000;
+    /// Scale points multiply the workload by P, so fewer repetitions.
+    const SCALE_WARMUP: u32 = 1;
+    const SCALE_RUNS: u32 = 5;
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    header(&format!(
+        "Server saturation: batched pipelined ingest over sockets, {TOTAL} events/producer\n\
+         host_cpus = {host_cpus}; every timed point's verdict is asserted against the\n\
+         offline oracle before the clock starts"
+    ));
+
+    let ann = Annotation::label("req");
+    let events: Vec<TapeEvent> = (0..TOTAL)
+        .map(|i| {
+            // Mostly in-spec values with a violation every 10k events, so
+            // the violated path (and earliest-violation tracking) is paid
+            // for, not skipped.
+            let v = if i % 10_000 == 9_999 {
+                -1
+            } else {
+                (i % 97) as i64
+            };
+            TapeEvent::post(&ann, &Value::Int(v), i as u64)
+        })
+        .collect();
+    let oracle = SpecMonitor::new("oracle", SPEC)
+        .unwrap()
+        .check_tape(events.iter());
+    let oracle_earliest = oracle.earliest_violation;
+    let oracle_violated = matches!(oracle.outcome, TapeOutcome::Violated(_));
+    assert!(oracle_violated, "the workload must exercise violations");
+
+    // The offline checker's bare fold on this workload — the rate every
+    // ingest path is chasing.
+    let oracle_monitor = SpecMonitor::new("oracle", SPEC).unwrap();
+    let t_offline = measure(
+        || {
+            std::hint::black_box(oracle_monitor.check_tape(events.iter()));
+        },
+        SCALE_WARMUP,
+        SCALE_RUNS,
+    );
+    let offline_epms = TOTAL as f64 / (t_offline.as_secs_f64() * 1e3);
+    println!(
+        "offline check (no decode)  {}   ({offline_epms:>8.0} events/ms)",
+        ms(t_offline)
+    );
+
+    /// One timed run: P producers, each with its own connection and
+    /// session, pushing the whole workload through a `BatchWriter` and
+    /// closing. The close verdict is the barrier *and* the correctness
+    /// check: ingested count, earliest violation, and verdict class
+    /// must equal the offline oracle's.
+    fn producers_run<S, C>(
+        connect: &C,
+        p: usize,
+        batch: usize,
+        events: &[TapeEvent],
+        oracle_earliest: Option<u64>,
+        oracle_violated: bool,
+    ) -> Duration
+    where
+        S: Read + Write + Send,
+        C: Fn() -> Client<S> + Sync,
+    {
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..p {
+                scope.spawn(move || {
+                    let mut client = connect();
+                    let session = t as u64;
+                    let resp = client
+                        .request(&Request::Open {
+                            session,
+                            enforcing: false,
+                            spec: SPEC.to_string(),
+                            stream: None,
+                        })
+                        .expect("open");
+                    assert!(matches!(resp, Response::Ok), "open: {resp:?}");
+                    // One EventBatch frame per chunk — the same wire
+                    // image a `BatchWriter` flushes at this batch size,
+                    // minus the per-event clone into its buffer (which
+                    // would time the benchmark harness, not the path).
+                    for chunk in events.chunks(batch) {
+                        client.send_batch(session, chunk).expect("send");
+                    }
+                    let resp = client.request(&Request::Close { session }).expect("close");
+                    let v = match resp {
+                        Response::Verdict(v) => v,
+                        other => panic!("close: {other:?}"),
+                    };
+                    assert_eq!(v.ingested, events.len() as u64, "events lost in flight");
+                    assert_eq!(v.earliest_violation, oracle_earliest, "verdict drifted");
+                    assert_eq!(v.violation.is_some(), oracle_violated, "verdict drifted");
+                });
+            }
+        });
+        start.elapsed()
+    }
+
+    let batch_default = monsem_tape::DEFAULT_BATCH;
+    let mut points: Vec<(String, usize, Duration, f64)> = Vec::new();
+    let mut ablation: Vec<(usize, Duration, f64)> = Vec::new();
+    let mut sync_point: Option<(Duration, f64)> = None;
+    let whole_image: (Duration, f64);
+
+    // In-process pipelined points first: the same fire-and-forget
+    // batch-fold-ack path minus the socket, i.e. the apples-to-apples
+    // successor of BENCH_tape's synchronous chunked server ingest.
+    {
+        let server = Arc::new(MonitorServer::start(ServerConfig::default()));
+        for &p in PRODUCERS {
+            let server_ref = &server;
+            let events_ref = &events;
+            let wall = measure_producers(
+                || {
+                    let start = Instant::now();
+                    std::thread::scope(|scope| {
+                        for t in 0..p {
+                            scope.spawn(move || {
+                                let session = t as u64;
+                                assert!(matches!(
+                                    server_ref.request(Request::Open {
+                                        session,
+                                        enforcing: false,
+                                        spec: SPEC.to_string(),
+                                        stream: None,
+                                    }),
+                                    Response::Ok
+                                ));
+                                // Acks are advisory; an unread (bounded)
+                                // channel exercises the drop-not-block path.
+                                let (out, _acks) = std::sync::mpsc::sync_channel(64);
+                                for chunk in events_ref.chunks(batch_default) {
+                                    assert!(server_ref.post(
+                                        Request::Events {
+                                            session,
+                                            events: chunk.to_vec(),
+                                        },
+                                        out.clone(),
+                                    ));
+                                }
+                                let v = match server_ref.request(Request::Close { session }) {
+                                    Response::Verdict(v) => v,
+                                    other => panic!("close: {other:?}"),
+                                };
+                                assert_eq!(v.ingested, events_ref.len() as u64);
+                                assert_eq!(v.earliest_violation, oracle_earliest);
+                                assert_eq!(v.violation.is_some(), oracle_violated);
+                            });
+                        }
+                    });
+                    start.elapsed()
+                },
+                SCALE_WARMUP,
+                SCALE_RUNS,
+            );
+            let total = (p * TOTAL) as f64;
+            let epms = total / (wall.as_secs_f64() * 1e3);
+            println!(
+                "inproc P={p}  batch={batch_default:<4}  {}   ({epms:>8.0} events/ms aggregate)",
+                ms(wall)
+            );
+            points.push(("inproc".to_string(), p, wall, epms));
+        }
+
+        // Batch = the whole tape: one EventBatch frame carrying a
+        // pre-encoded 100k-event image. The server pays exactly what
+        // the offline checker pays (decode + fold) plus one queue hop —
+        // the limit the batching curve converges to.
+        let image = monsem_tape::write_tape(&events);
+        let mut image_session = 500u64;
+        let image_wall = measure_producers(
+            || {
+                image_session += 1;
+                let start = Instant::now();
+                assert!(matches!(
+                    server.request(Request::Open {
+                        session: image_session,
+                        enforcing: false,
+                        spec: SPEC.to_string(),
+                        stream: None,
+                    }),
+                    Response::Ok
+                ));
+                let (out, _acks) = std::sync::mpsc::sync_channel(64);
+                assert!(server.post(
+                    Request::EventBatch {
+                        session: image_session,
+                        tape: image.clone(),
+                    },
+                    out,
+                ));
+                let v = match server.request(Request::Close {
+                    session: image_session,
+                }) {
+                    Response::Verdict(v) => v,
+                    other => panic!("close: {other:?}"),
+                };
+                assert_eq!(v.ingested, events.len() as u64);
+                assert_eq!(v.earliest_violation, oracle_earliest);
+                start.elapsed()
+            },
+            SCALE_WARMUP,
+            SCALE_RUNS,
+        );
+        let image_epms = TOTAL as f64 / (image_wall.as_secs_f64() * 1e3);
+        println!(
+            "inproc P=1  whole image  {}   ({image_epms:>8.0} events/ms)",
+            ms(image_wall)
+        );
+        whole_image = (image_wall, image_epms);
+        server.shutdown();
+    }
+
+    for transport in ["tcp", "unix"] {
+        let server = Arc::new(MonitorServer::start(ServerConfig::default()));
+        let sock_path = std::env::temp_dir().join(format!(
+            "monsem-bench-scale-{}-{transport}.sock",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&sock_path);
+        let (handle, addr) = if transport == "tcp" {
+            let h = serve_tcp(Arc::clone(&server), "127.0.0.1:0").expect("bind tcp");
+            let a = h.addr().expect("tcp addr");
+            (h, Some(a))
+        } else {
+            (
+                serve_unix(Arc::clone(&server), &sock_path).expect("bind unix"),
+                None,
+            )
+        };
+
+        // Producer scaling at the default batch size. The total offered
+        // load grows with P (each producer pushes the full workload), so
+        // aggregate events/ms is the saturation curve.
+        for &p in PRODUCERS {
+            let wall = if transport == "tcp" {
+                let addr = addr.unwrap();
+                let connect = move || Client::connect_tcp(addr).expect("connect");
+                measure_producers(
+                    || {
+                        producers_run(
+                            &connect,
+                            p,
+                            batch_default,
+                            &events,
+                            oracle_earliest,
+                            oracle_violated,
+                        )
+                    },
+                    SCALE_WARMUP,
+                    SCALE_RUNS,
+                )
+            } else {
+                let path = sock_path.clone();
+                let connect = move || Client::connect_unix(&path).expect("connect");
+                measure_producers(
+                    || {
+                        producers_run(
+                            &connect,
+                            p,
+                            batch_default,
+                            &events,
+                            oracle_earliest,
+                            oracle_violated,
+                        )
+                    },
+                    SCALE_WARMUP,
+                    SCALE_RUNS,
+                )
+            };
+            let total = (p * TOTAL) as f64;
+            let epms = total / (wall.as_secs_f64() * 1e3);
+            println!(
+                "{transport:<5} P={p}  batch={batch_default:<4}  {}   ({epms:>8.0} events/ms aggregate)",
+                ms(wall)
+            );
+            points.push((transport.to_string(), p, wall, epms));
+        }
+
+        // Batch-size ablation and the synchronous per-event baseline,
+        // single producer over TCP (the transport with the higher
+        // per-frame cost).
+        if transport == "tcp" {
+            let addr = addr.unwrap();
+            for &batch in BATCHES {
+                let connect = move || Client::connect_tcp(addr).expect("connect");
+                let wall = measure_producers(
+                    || {
+                        producers_run(
+                            &connect,
+                            1,
+                            batch,
+                            &events,
+                            oracle_earliest,
+                            oracle_violated,
+                        )
+                    },
+                    SCALE_WARMUP,
+                    SCALE_RUNS,
+                );
+                let epms = TOTAL as f64 / (wall.as_secs_f64() * 1e3);
+                println!(
+                    "tcp   P=1  batch={batch:<4}  {}   ({epms:>8.0} events/ms)",
+                    ms(wall)
+                );
+                ablation.push((batch, wall, epms));
+            }
+            // The pre-batching baseline: one synchronous request — a
+            // fresh reply channel, a queue round trip, a blocking recv —
+            // per event, through the in-process API (the wire protocol no
+            // longer has a per-event reply to measure).
+            let sync_events = &events[..SYNC_N];
+            let sync_oracle = SpecMonitor::new("oracle", SPEC)
+                .unwrap()
+                .check_tape(sync_events.iter());
+            let mut sync_session = 900u64;
+            let wall = measure_producers(
+                || {
+                    sync_session += 1;
+                    let start = Instant::now();
+                    assert!(matches!(
+                        server.request(Request::Open {
+                            session: sync_session,
+                            enforcing: false,
+                            spec: SPEC.to_string(),
+                            stream: None,
+                        }),
+                        Response::Ok
+                    ));
+                    for ev in sync_events {
+                        server.request(Request::Events {
+                            session: sync_session,
+                            events: vec![ev.clone()],
+                        });
+                    }
+                    let v = match server.request(Request::Close {
+                        session: sync_session,
+                    }) {
+                        Response::Verdict(v) => v,
+                        other => panic!("close: {other:?}"),
+                    };
+                    assert_eq!(v.ingested, sync_events.len() as u64);
+                    assert_eq!(v.earliest_violation, sync_oracle.earliest_violation);
+                    start.elapsed()
+                },
+                SCALE_WARMUP,
+                SCALE_RUNS,
+            );
+            let epms = SYNC_N as f64 / (wall.as_secs_f64() * 1e3);
+            println!(
+                "sync per-event request  {}   ({epms:>8.0} events/ms, {SYNC_N} events, in-process)",
+                ms(wall)
+            );
+            sync_point = Some((wall, epms));
+        }
+
+        handle.stop();
+        server.shutdown();
+        let _ = std::fs::remove_file(&sock_path);
+    }
+
+    // Checkpointed vs full-replay offline check on the same ≥100k-event
+    // tape. The seeded check must reach the identical verdict before
+    // its time means anything.
+    let monitor = SpecMonitor::new("ck", SPEC).unwrap();
+    let v3 = write_tape_checkpointed(&events, &monitor, None, CKPT_EVERY);
+    let decoded = read_tape(&v3).expect("v3 decodes");
+    let full = monitor.check_tape(decoded.iter());
+    let seeded = check_tape_from(&monitor, &v3, (TOTAL - 1) as u64).expect("seeded check");
+    assert_eq!(
+        std::mem::discriminant(&seeded.check.outcome),
+        std::mem::discriminant(&full.outcome),
+        "a checkpoint changed the verdict"
+    );
+    assert_eq!(seeded.check.earliest_violation, full.earliest_violation);
+    assert_eq!(seeded.check.state.state, full.state.state);
+    let resumed_at = seeded.resumed_at;
+    let replayed = seeded.replayed;
+    let t_full = measure(
+        || {
+            let evs = read_tape(&v3).unwrap();
+            std::hint::black_box(monitor.check_tape(evs.iter()));
+        },
+        WARMUP,
+        RUNS,
+    );
+    let t_seeded = measure(
+        || {
+            std::hint::black_box(check_tape_from(&monitor, &v3, (TOTAL - 1) as u64).unwrap());
+        },
+        WARMUP,
+        RUNS,
+    );
+    let ckpt_speedup = t_full.as_secs_f64() / t_seeded.as_secs_f64();
+    println!(
+        "check --from (full replay)      {}   ({} events folded)",
+        ms(t_full),
+        TOTAL
+    );
+    println!(
+        "check --from (checkpointed)     {}   (resumed at {resumed_at}, {replayed} folded, {ckpt_speedup:.1}x)",
+        ms(t_seeded)
+    );
+
+    if let Some(dir) = json {
+        let point_rows: Vec<String> = points
+            .iter()
+            .map(|(transport, p, wall, epms)| {
+                format!(
+                    "    {{ \"transport\": \"{transport}\", \"producers\": {p}, \"total_events\": {}, \"wall_ms\": {}, \"events_per_ms\": {epms:.1} }}",
+                    p * TOTAL,
+                    json_ms(*wall)
+                )
+            })
+            .collect();
+        let ablation_rows: Vec<String> = ablation
+            .iter()
+            .map(|(batch, wall, epms)| {
+                format!(
+                    "    {{ \"batch\": {batch}, \"wall_ms\": {}, \"events_per_ms\": {epms:.1} }}",
+                    json_ms(*wall)
+                )
+            })
+            .collect();
+        let (sync_wall, sync_epms) = sync_point.expect("tcp section ran");
+        let (image_wall, image_epms) = whole_image;
+        let body = format!(
+            "{{\n  \
+               \"table\": \"server_scale\",\n  \
+               \"unit\": \"ms\",\n  \
+               \"statistic\": \"median of {SCALE_RUNS} after {SCALE_WARMUP} warmups (scale points); median of {RUNS} after {WARMUP} (checkpoint)\",\n  \
+               \"host_cpus\": {host_cpus},\n  \
+               \"shards\": {},\n  \
+               \"spec\": \"{SPEC}\",\n  \
+               \"events_per_producer\": {TOTAL},\n  \
+               \"default_batch\": {batch_default},\n  \
+               \"verdicts_asserted_against_offline_oracle\": true,\n  \
+               \"offline_check\": {{ \"wall_ms\": {}, \"events_per_ms\": {offline_epms:.1} }},\n  \
+               \"points\": [\n{}\n  ],\n  \
+               \"batch_ablation\": [\n{}\n  ],\n  \
+               \"whole_tape_image\": {{ \"wall_ms\": {}, \"events_per_ms\": {image_epms:.1} }},\n  \
+               \"sync_per_event\": {{ \"events\": {SYNC_N}, \"wall_ms\": {}, \"events_per_ms\": {sync_epms:.1} }},\n  \
+               \"checkpoint\": {{ \"tape_events\": {TOTAL}, \"checkpoint_every\": {CKPT_EVERY}, \"full_check_ms\": {}, \"seeded_check_ms\": {}, \"resumed_at\": {resumed_at}, \"replayed\": {replayed}, \"speedup\": {ckpt_speedup:.2} }}\n}}\n",
+            ServerConfig::default().shards,
+            json_ms(t_offline),
+            point_rows.join(",\n"),
+            ablation_rows.join(",\n"),
+            json_ms(image_wall),
+            json_ms(sync_wall),
+            json_ms(t_full),
+            json_ms(t_seeded),
+        );
+        write_json(dir, "BENCH_server_scale.json", body);
+    }
+}
+
+/// Median of `runs` wall-clock durations returned by `f` (the closure
+/// times itself — connection setup and thread spawn are part of what a
+/// producer pays, so they stay inside the clock).
+fn measure_producers<F: FnMut() -> Duration>(mut f: F, warmup: u32, runs: u32) -> Duration {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples: Vec<Duration> = (0..runs.max(1)).map(|_| f()).collect();
+    samples.sort();
+    samples[samples.len() / 2]
 }
 
 /// Stream-monitor throughput vs window count and width, plus the

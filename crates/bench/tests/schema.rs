@@ -155,6 +155,36 @@ const SCHEMAS: &[(&str, &str, &[&str])] = &[
             "\"server_events_per_ms\"",
         ],
     ),
+    (
+        "BENCH_server_scale.json",
+        "server_scale",
+        &[
+            "\"unit\"",
+            "\"host_cpus\"",
+            "\"shards\"",
+            "\"spec\"",
+            "\"events_per_producer\"",
+            "\"default_batch\"",
+            "\"verdicts_asserted_against_offline_oracle\"",
+            "\"offline_check\"",
+            "\"points\"",
+            "\"transport\"",
+            "\"producers\"",
+            "\"total_events\"",
+            "\"wall_ms\"",
+            "\"events_per_ms\"",
+            "\"batch_ablation\"",
+            "\"whole_tape_image\"",
+            "\"sync_per_event\"",
+            "\"checkpoint\"",
+            "\"checkpoint_every\"",
+            "\"full_check_ms\"",
+            "\"seeded_check_ms\"",
+            "\"resumed_at\"",
+            "\"replayed\"",
+            "\"speedup\"",
+        ],
+    ),
 ];
 
 #[test]
@@ -196,6 +226,20 @@ fn stream_snapshot_records_allocation_free_steady_state() {
     assert!(
         body.contains("\"steady_state_allocations\": 0"),
         "the stream snapshot must record an allocation-free steady state"
+    );
+}
+
+/// The honesty claim in the server-scale snapshot is load-bearing (the
+/// bench asserts every timed point's verdict against the offline oracle
+/// before the clock starts): a fast number with a wrong verdict is not
+/// a number.
+#[test]
+fn server_scale_snapshot_records_oracle_checked_verdicts() {
+    let body = std::fs::read_to_string(root().join("BENCH_server_scale.json"))
+        .expect("BENCH_server_scale.json is checked in");
+    assert!(
+        body.contains("\"verdicts_asserted_against_offline_oracle\": true"),
+        "the server-scale snapshot must record oracle-checked verdicts"
     );
 }
 

@@ -58,6 +58,7 @@ pub mod compile;
 pub mod eval;
 pub mod monitor;
 pub mod parser;
+pub mod snapshot;
 
 pub use ast::{
     Agg, BinOp, Cond, DeadlineDecl, SpecAst, StreamDecl, StreamDef, TriggerDecl, ValueExpr,
@@ -70,3 +71,4 @@ pub use monitor::{
     DEFAULT_FIRINGS_CAP, DEFAULT_REPLAY_CAP,
 };
 pub use parser::{parse_stream_src, MAX_EVENT_WINDOW, RESERVED};
+pub use snapshot::{restore_state, snapshot_state, SnapshotError, SNAPSHOT_VERSION};

@@ -478,7 +478,19 @@ impl StreamMonitor {
     /// *all* firings and misses, agreeing with an observing live run on
     /// every trigger firing.
     pub fn check_tape<'a>(&self, events: impl IntoIterator<Item = &'a TapeEvent>) -> StreamCheck {
-        let mut state = self.initial_state();
+        self.check_tape_seeded(self.initial_state(), events)
+    }
+
+    /// [`StreamMonitor::check_tape`] starting from `seed` instead of the
+    /// initial state — the replay primitive behind checkpoint-seeded
+    /// checking: restore a snapshot taken after the first N events, feed
+    /// the remaining tape, and the verdict matches a full replay.
+    pub fn check_tape_seeded<'a>(
+        &self,
+        seed: StreamState,
+        events: impl IntoIterator<Item = &'a TapeEvent>,
+    ) -> StreamCheck {
+        let mut state = seed;
         let mut completed = false;
         for ev in events {
             if ev.phase == TapePhase::Done {

@@ -29,6 +29,25 @@
 //! had a clock attached ([`write_tape`] auto-detects; see
 //! [`TapeWriter::timed`]); readers accept v1 tapes unchanged.
 //!
+//! **Format v3** adds `CKPT` records: a [`Checkpoint`] summarizes the
+//! monitor state reached after folding every event before it — the DFA
+//! state of the spec it was folded under (named by digest), the
+//! earliest-violation step, and optionally an opaque stream-monitor
+//! snapshot with its own digest. A checker may seed from the last
+//! checkpoint at or before a requested offset instead of replaying from
+//! zero (`monsem check --from`). Readers that do not care
+//! ([`read_tape`]) skip `CKPT` records, so v3 tapes negotiate down
+//! cleanly; [`read_tape_checkpointed`] surfaces them.
+//!
+//! ```text
+//! CKPT := 0x06 uvarint(events) uvarint(step) u8(flags)
+//!              uvarint(spec-digest) uvarint(dfa-state) uvarint(dfa-events)
+//!              [uvarint(earliest-violation-step)]            -- flags bit 0
+//!              [uvarint(stream-spec-digest)
+//!               uvarint(snapshot-digest)
+//!               uvarint(len) snapshot-bytes]                 -- flags bit 1
+//! ```
+//!
 //! The writer is a [`TapeSink`], so it drops into every recording entry
 //! point ([`Taping`](monsem_monitor::Taping), `record_monitored`, the
 //! pe engine); I/O errors are sticky and surface at
@@ -47,15 +66,73 @@ pub const MAGIC: [u8; 4] = *b"MTAP";
 pub const VERSION: u16 = 1;
 /// The timed format version: v1 plus `TIME` records.
 pub const VERSION_TIMED: u16 = 2;
+/// The checkpointed format version: v2 plus `CKPT` records.
+pub const VERSION_CHECKPOINT: u16 = 3;
 
 const TAG_STR: u8 = 0x01;
 const TAG_PRE: u8 = 0x02;
 const TAG_POST: u8 = 0x03;
 const TAG_DONE: u8 = 0x04;
 const TAG_TIME: u8 = 0x05;
+const TAG_CKPT: u8 = 0x06;
 
 const FLAG_INT: u8 = 0x01;
 const FLAG_UNSORTED: u8 = 0x02;
+
+const CKPT_VIOLATION: u8 = 0x01;
+const CKPT_STREAM: u8 = 0x02;
+
+/// FNV-1a over `bytes`: the digest used to name specs and stream
+/// snapshots inside [`Checkpoint`] records. Not cryptographic — it
+/// guards against *mistakes* (checking a tape's checkpoints against the
+/// wrong spec), not adversaries.
+pub fn digest64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A folded-prefix summary embedded in a v3 tape: everything a checker
+/// needs to resume replay *after* the events preceding this record,
+/// without folding them again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Tape events preceding this record — the replay resume offset.
+    pub events: u64,
+    /// Step index of the last preceding event (`0` before any event).
+    pub step: u64,
+    /// [`digest64`] of the spec source the DFA fields were folded under.
+    /// A checker running a different spec must ignore this checkpoint.
+    pub spec_digest: u64,
+    /// The spec monitor's DFA state after the prefix.
+    pub dfa_state: u32,
+    /// The spec monitor's relevant-event count after the prefix (tape
+    /// events the automaton did not observe are not in it).
+    pub dfa_events: u64,
+    /// Step of the event on which the prefix first entered a violation,
+    /// if it did.
+    pub earliest_violation: Option<u64>,
+    /// Stream-monitor snapshot of the same prefix, when one was folded
+    /// alongside.
+    pub stream: Option<StreamCheckpoint>,
+}
+
+/// An opaque stream-monitor snapshot rider on a [`Checkpoint`]. The
+/// bytes are produced and consumed by `monsem-stream`'s snapshot codec;
+/// the tape layer only frames and digests them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamCheckpoint {
+    /// [`digest64`] of the stream spec source the snapshot belongs to.
+    pub spec_digest: u64,
+    /// [`digest64`] of `snapshot` — detects truncation or corruption
+    /// before a checker trusts the bytes.
+    pub snapshot_digest: u64,
+    /// The serialized stream state.
+    pub snapshot: Vec<u8>,
+}
 
 /// A malformed tape.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,6 +181,7 @@ pub struct TapeWriter<W: Write> {
     buf: Vec<u8>,
     error: Option<io::Error>,
     timed: bool,
+    checkpointed: bool,
     last_time: u64,
 }
 
@@ -112,30 +190,76 @@ impl<W: Write> TapeWriter<W> {
     /// timestamps, if any, are dropped; use [`TapeWriter::timed`] to
     /// keep them.
     pub fn new(out: W) -> TapeWriter<W> {
-        TapeWriter::with_version(out, false)
+        TapeWriter::with_version(out, false, false)
     }
 
     /// Opens a timed (v2) tape: stamped events get a `TIME` record with
     /// the millisecond delta from the previous stamped event (clamped
     /// monotone); unstamped events are written as in v1.
     pub fn timed(out: W) -> TapeWriter<W> {
-        TapeWriter::with_version(out, true)
+        TapeWriter::with_version(out, true, false)
     }
 
-    fn with_version(out: W, timed: bool) -> TapeWriter<W> {
+    /// Opens a checkpointed (v3) tape: [`TapeWriter::checkpoint`] becomes
+    /// available, and `timed` selects whether event timestamps are kept
+    /// (v3 subsumes v2's `TIME` records).
+    pub fn checkpointed(out: W, timed: bool) -> TapeWriter<W> {
+        TapeWriter::with_version(out, timed, true)
+    }
+
+    fn with_version(out: W, timed: bool, checkpointed: bool) -> TapeWriter<W> {
         let mut w = TapeWriter {
             out,
             strings: HashMap::new(),
             buf: Vec::new(),
             error: None,
             timed,
+            checkpointed,
             last_time: 0,
         };
-        let version = if timed { VERSION_TIMED } else { VERSION };
+        let version = if checkpointed {
+            VERSION_CHECKPOINT
+        } else if timed {
+            VERSION_TIMED
+        } else {
+            VERSION
+        };
         w.buf.extend_from_slice(&MAGIC);
         w.buf.extend_from_slice(&version.to_le_bytes());
         w.flush_buf();
         w
+    }
+
+    /// Writes a `CKPT` record. No-op on v1/v2 tapes — only a writer
+    /// opened with [`TapeWriter::checkpointed`] may carry them.
+    pub fn checkpoint(&mut self, ckpt: &Checkpoint) {
+        if !self.checkpointed || self.error.is_some() {
+            return;
+        }
+        self.buf.push(TAG_CKPT);
+        put_uvarint(&mut self.buf, ckpt.events);
+        put_uvarint(&mut self.buf, ckpt.step);
+        let mut flags = 0u8;
+        if ckpt.earliest_violation.is_some() {
+            flags |= CKPT_VIOLATION;
+        }
+        if ckpt.stream.is_some() {
+            flags |= CKPT_STREAM;
+        }
+        self.buf.push(flags);
+        put_uvarint(&mut self.buf, ckpt.spec_digest);
+        put_uvarint(&mut self.buf, u64::from(ckpt.dfa_state));
+        put_uvarint(&mut self.buf, ckpt.dfa_events);
+        if let Some(step) = ckpt.earliest_violation {
+            put_uvarint(&mut self.buf, step);
+        }
+        if let Some(sc) = &ckpt.stream {
+            put_uvarint(&mut self.buf, sc.spec_digest);
+            put_uvarint(&mut self.buf, sc.snapshot_digest);
+            put_uvarint(&mut self.buf, sc.snapshot.len() as u64);
+            self.buf.extend_from_slice(&sc.snapshot);
+        }
+        self.flush_buf();
     }
 
     fn flush_buf(&mut self) {
@@ -233,7 +357,7 @@ impl<W: Write> TapeSink for TapeWriter<W> {
 pub fn write_tape<'a>(events: impl IntoIterator<Item = &'a TapeEvent>) -> Vec<u8> {
     let events: Vec<&TapeEvent> = events.into_iter().collect();
     let timed = events.iter().any(|ev| ev.time.is_some());
-    let mut w = TapeWriter::with_version(Vec::new(), timed);
+    let mut w = TapeWriter::with_version(Vec::new(), timed, false);
     for ev in events {
         w.record(ev.clone());
     }
@@ -247,12 +371,33 @@ pub fn write_tape<'a>(events: impl IntoIterator<Item = &'a TapeEvent>) -> Vec<u8
 /// [`TapeError`] on any malformation: bad magic or version, unknown
 /// tags, dangling string ids, or truncated records.
 pub fn read_tape(buf: &[u8]) -> Result<Vec<TapeEvent>, TapeError> {
+    read_tape_with(buf, |_| {})
+}
+
+/// Parses a binary tape, also surfacing its [`Checkpoint`] records (v3;
+/// v1/v2 tapes simply yield none). The returned checkpoints are in tape
+/// order; each one's [`Checkpoint::events`] is the number of events
+/// decoded before it.
+///
+/// # Errors
+///
+/// As for [`read_tape`].
+pub fn read_tape_checkpointed(buf: &[u8]) -> Result<(Vec<TapeEvent>, Vec<Checkpoint>), TapeError> {
+    let mut ckpts = Vec::new();
+    let events = read_tape_with(buf, |c| ckpts.push(c))?;
+    Ok((events, ckpts))
+}
+
+fn read_tape_with(
+    buf: &[u8],
+    mut on_checkpoint: impl FnMut(Checkpoint),
+) -> Result<Vec<TapeEvent>, TapeError> {
     let mut r = ByteReader::new(buf);
     if r.bytes(4)? != MAGIC {
         return Err(TapeError::BadMagic);
     }
     let version = u16::from_le_bytes(r.bytes(2)?.try_into().expect("two bytes"));
-    if version != VERSION && version != VERSION_TIMED {
+    if !(VERSION..=VERSION_CHECKPOINT).contains(&version) {
         return Err(TapeError::BadVersion(version));
     }
     let mut last_time = 0u64;
@@ -273,6 +418,42 @@ pub fn read_tape(buf: &[u8]) -> Result<Vec<TapeEvent>, TapeError> {
             TAG_TIME if version >= VERSION_TIMED => {
                 last_time = last_time.saturating_add(r.uvarint()?);
                 pending_time = Some(last_time);
+            }
+            TAG_CKPT if version >= VERSION_CHECKPOINT => {
+                let ckpt_events = r.uvarint()?;
+                let step = r.uvarint()?;
+                let flags = r.u8()?;
+                let spec_digest = r.uvarint()?;
+                let dfa_state = u32::try_from(r.uvarint()?)
+                    .map_err(|_| TapeError::Wire(WireError::VarintOverflow))?;
+                let dfa_events = r.uvarint()?;
+                let earliest_violation = if flags & CKPT_VIOLATION != 0 {
+                    Some(r.uvarint()?)
+                } else {
+                    None
+                };
+                let stream = if flags & CKPT_STREAM != 0 {
+                    let sd = r.uvarint()?;
+                    let snap_digest = r.uvarint()?;
+                    let len = usize::try_from(r.uvarint()?)
+                        .map_err(|_| TapeError::Wire(WireError::VarintOverflow))?;
+                    Some(StreamCheckpoint {
+                        spec_digest: sd,
+                        snapshot_digest: snap_digest,
+                        snapshot: r.bytes(len)?.to_vec(),
+                    })
+                } else {
+                    None
+                };
+                on_checkpoint(Checkpoint {
+                    events: ckpt_events,
+                    step,
+                    spec_digest,
+                    dfa_state,
+                    dfa_events,
+                    earliest_violation,
+                    stream,
+                });
             }
             TAG_PRE => {
                 let namespace = lookup(&strings, r.uvarint()?)?;
@@ -415,6 +596,81 @@ mod tests {
             read_tape(&bytes[..bytes.len() - 1]),
             Err(TapeError::Wire(_)) | Err(TapeError::BadStringId(_))
         ));
+    }
+
+    fn sample_checkpoint(events: u64, step: u64) -> Checkpoint {
+        Checkpoint {
+            events,
+            step,
+            spec_digest: digest64(b"never(post(b))"),
+            dfa_state: 2,
+            dfa_events: events,
+            earliest_violation: step.checked_sub(1),
+            stream: events.is_multiple_of(2).then(|| StreamCheckpoint {
+                spec_digest: digest64(b"stream s = count(post(_))"),
+                snapshot_digest: digest64(&[1, 2, 3]),
+                snapshot: vec![1, 2, 3],
+            }),
+        }
+    }
+
+    #[test]
+    fn checkpointed_tapes_roundtrip_as_v3() {
+        let events = sample_events();
+        let mut w = TapeWriter::checkpointed(Vec::new(), false);
+        let mut want = Vec::new();
+        for (i, ev) in events.iter().enumerate() {
+            w.record(ev.clone());
+            if i % 2 == 1 {
+                let c = sample_checkpoint(i as u64 + 1, ev.step);
+                w.checkpoint(&c);
+                want.push(c);
+            }
+        }
+        let bytes = w.finish().unwrap();
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        assert_eq!(version, VERSION_CHECKPOINT);
+        // A checkpoint-blind reader sees exactly the events.
+        assert_eq!(read_tape(&bytes).unwrap(), events);
+        // A checkpoint-aware reader also gets the records, in order.
+        let (got_events, got_ckpts) = read_tape_checkpointed(&bytes).unwrap();
+        assert_eq!(got_events, events);
+        assert_eq!(got_ckpts, want);
+    }
+
+    #[test]
+    fn checkpointed_timed_tapes_keep_their_timestamps() {
+        let a = Annotation::label("req");
+        let events = vec![
+            TapeEvent::pre(&a, 0).at(5),
+            TapeEvent::post(&a, &Value::Int(7), 1).at(9),
+        ];
+        let mut w = TapeWriter::checkpointed(Vec::new(), true);
+        for ev in &events {
+            w.record(ev.clone());
+        }
+        w.checkpoint(&sample_checkpoint(2, 1));
+        let bytes = w.finish().unwrap();
+        assert_eq!(read_tape(&bytes).unwrap(), events);
+    }
+
+    #[test]
+    fn v1_and_v2_tapes_reject_checkpoint_records() {
+        let mut bytes = write_tape(&sample_events());
+        let at = bytes.len();
+        bytes.push(TAG_CKPT);
+        assert_eq!(read_tape(&bytes), Err(TapeError::BadTag(TAG_CKPT, at)));
+        // And a non-checkpointed writer refuses to emit one.
+        let mut w = TapeWriter::timed(Vec::new());
+        w.checkpoint(&sample_checkpoint(1, 0));
+        let bytes = w.finish().unwrap();
+        assert_eq!(bytes.len(), 6, "header only");
+    }
+
+    #[test]
+    fn digest64_separates_specs() {
+        assert_ne!(digest64(b"never(post(a))"), digest64(b"never(post(b))"));
+        assert_eq!(digest64(b""), 0xcbf2_9ce4_8422_2325);
     }
 
     #[test]

@@ -14,7 +14,15 @@
 //! * streamed to a long-lived [`server::MonitorServer`] over the framed
 //!   [`proto`]col — many producer sessions, bounded ingest queues for
 //!   backpressure, per-session [`Guarded`](monsem_monitor::Guarded) spec
-//!   monitors, and sharded workers;
+//!   monitors, and sharded workers; event frames can be *batched*
+//!   ([`proto::Request::EventBatch`] carries a tape image) and
+//!   *pipelined* (no per-frame reply; cumulative
+//!   [`proto::Response::Ack`]s instead), so ingest throughput
+//!   approaches the offline checker's fold rate;
+//! * **compacted** with [`checkpoint`]s: a v3 tape interleaves
+//!   `Checkpoint` records pinning the spec DFA state (and a
+//!   digest-guarded stream-evaluator snapshot), so `monsem check
+//!   --from` seeks instead of replaying from zero;
 //! * re-judged under a **hot-swapped** spec: a [`proto::Request::Swap`]
 //!   compiles the new spec and splices session state by replaying the
 //!   session's bounded suffix window through the new automaton
@@ -28,13 +36,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod format;
 pub mod net;
 pub mod proto;
 pub mod server;
 pub mod wire;
 
-pub use format::{read_tape, write_tape, TapeError, TapeWriter, MAGIC, VERSION};
-pub use net::{serve_tcp, serve_unix, Client, ServeHandle};
+pub use checkpoint::{
+    check_stream_from, check_tape_from, seek_checkpoint, spec_digest, write_tape_checkpointed,
+    SeededCheck,
+};
+pub use format::{
+    digest64, read_tape, read_tape_checkpointed, write_tape, Checkpoint, StreamCheckpoint,
+    TapeError, TapeWriter, MAGIC, VERSION, VERSION_CHECKPOINT, VERSION_TIMED,
+};
+pub use net::{
+    serve_tcp, serve_unix, BatchWriter, Client, ServeHandle, SplitStream, DEFAULT_BATCH,
+};
 pub use proto::{read_frame, write_frame, ProtoError, Request, Response, Verdict};
-pub use server::{splice_state, MonitorServer, ServerConfig};
+pub use server::{splice_state, MonitorServer, ServerConfig, DEFAULT_ACK_EVERY};

@@ -1,22 +1,72 @@
 //! Socket front ends for the monitor server: TCP and Unix-domain
 //! listeners speaking the framed [`crate::proto`] protocol, plus a small
-//! blocking [`Client`].
+//! blocking [`Client`] with a buffering [`BatchWriter`].
 //!
-//! Each accepted connection gets a thread that decodes request frames
-//! and calls [`MonitorServer::request`]; because the server's shard
-//! queues are bounded, a connection whose session floods the server
-//! blocks *in its own thread*, exerting TCP/socket backpressure on that
-//! producer without stalling other connections.
+//! Each accepted connection gets a *reader* thread that decodes request
+//! frames, plus a *writer* thread that drains an outbound response
+//! queue. Control requests (`Open`/`Swap`/`Close`) go through the
+//! synchronous [`MonitorServer::request`] path; event frames are
+//! [`MonitorServer::post`]ed fire-and-forget, so a producer can stream
+//! `EventBatch` frames back-to-back while cumulative acks flow out on
+//! the writer side — the socket round-trip leaves the per-event path.
+//! Because the server's shard queues are bounded, a connection whose
+//! session floods the server blocks *in its own reader thread*,
+//! exerting TCP/socket backpressure on that producer without stalling
+//! other connections.
 
+use crate::format::write_tape;
 use crate::proto::{read_frame, write_frame, Request, Response};
 use crate::server::MonitorServer;
+use monsem_monitor::tape::TapeEvent;
+use std::collections::HashMap;
 use std::io;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::sync_channel;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Default [`BatchWriter`] flush threshold, in buffered events.
+pub const DEFAULT_BATCH: usize = 256;
+
+/// Outbound frame queue depth per connection. Deep enough that acks for
+/// a full shard queue never block the worker; the writer thread drains
+/// it at socket speed.
+const OUTBOUND_DEPTH: usize = 1024;
+
+/// A byte stream whose write half can be split off into an
+/// independently-owned handle, so a connection can read requests and
+/// write responses from different threads.
+pub trait SplitStream: io::Read + io::Write {
+    /// The write-half handle type.
+    type Writer: io::Write + Send + 'static;
+
+    /// Splits off a write handle to the same underlying stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS duplication failure.
+    fn split_writer(&self) -> io::Result<Self::Writer>;
+}
+
+impl SplitStream for TcpStream {
+    type Writer = TcpStream;
+
+    fn split_writer(&self) -> io::Result<TcpStream> {
+        self.try_clone()
+    }
+}
+
+impl SplitStream for UnixStream {
+    type Writer = UnixStream;
+
+    fn split_writer(&self) -> io::Result<UnixStream> {
+        self.try_clone()
+    }
+}
 
 /// How to wake a listener blocked in `accept` so it notices the stop
 /// flag: connect to it ourselves. The throwaway connection is accepted,
@@ -73,21 +123,61 @@ impl Drop for ServeHandle {
     }
 }
 
-fn serve_connection(server: &MonitorServer, mut stream: impl io::Read + io::Write) {
+fn serve_connection<S: SplitStream>(server: &MonitorServer, mut stream: S) {
+    let Ok(mut writer) = stream.split_writer() else {
+        return;
+    };
+    let (wtx, wrx) = sync_channel::<Response>(OUTBOUND_DEPTH);
+    let writer_thread = std::thread::Builder::new()
+        .name("monsem-conn-writer".to_string())
+        .spawn(move || {
+            while let Ok(resp) = wrx.recv() {
+                if write_frame(&mut writer, &resp.encode()).is_err() {
+                    return;
+                }
+            }
+        });
+    let Ok(writer_thread) = writer_thread else {
+        return;
+    };
     loop {
         let frame = match read_frame(&mut stream) {
             Ok(Some(frame)) => frame,
-            Ok(None) => return, // clean EOF
-            Err(_) => return,
+            Ok(None) => break, // clean EOF
+            Err(_) => break,
         };
-        let resp = match Request::decode(&frame) {
-            Ok(req) => server.request(req),
-            Err(e) => Response::Err(format!("bad request: {e}")),
-        };
-        if write_frame(&mut stream, &resp.encode()).is_err() {
-            return;
+        match Request::decode(&frame) {
+            // Event frames are fire-and-forget: the shard folds them
+            // and try_sends cumulative acks (or errors) into the
+            // outbound queue. The reader immediately returns to the
+            // socket for the next frame.
+            Ok(req @ (Request::Events { .. } | Request::EventBatch { .. })) => {
+                if !server.post(req, wtx.clone()) {
+                    let _ = wtx.send(Response::Err("server is shut down".to_string()));
+                }
+            }
+            // Control requests stay strictly request/reply. Queueing
+            // the reply *behind* any pending acks keeps the outbound
+            // frame order consistent with fold order: the shard acked
+            // before it replied.
+            Ok(req) => {
+                let resp = server.request(req);
+                if wtx.send(resp).is_err() {
+                    break;
+                }
+            }
+            Err(e) => {
+                if wtx
+                    .send(Response::Err(format!("bad request: {e}")))
+                    .is_err()
+                {
+                    break;
+                }
+            }
         }
     }
+    drop(wtx);
+    let _ = writer_thread.join();
 }
 
 // The listener stays in blocking mode: `accept` parks the thread until a
@@ -100,7 +190,7 @@ fn accept_loop<L, S>(
     server: Arc<MonitorServer>,
     stop: Arc<AtomicBool>,
 ) where
-    S: io::Read + io::Write + Send + 'static,
+    S: SplitStream + Send + 'static,
 {
     while !stop.load(Ordering::SeqCst) {
         match accept(&listener) {
@@ -179,9 +269,20 @@ pub fn serve_unix(server: Arc<MonitorServer>, path: impl AsRef<Path>) -> io::Res
 }
 
 /// A blocking protocol client over any byte stream.
+///
+/// Control requests ([`Client::open`], [`Client::swap`],
+/// [`Client::close`], …) are strictly request/reply. Event traffic can
+/// instead be *streamed*: [`Client::send_batch`] writes an
+/// [`Request::EventBatch`] frame and returns without reading, and the
+/// cumulative [`Response::Ack`] frames the server interleaves are
+/// absorbed (and recorded — see [`Client::last_ack`]) by the next
+/// synchronous request. [`Client::batch_writer`] layers size/interval
+/// buffering on top.
 #[derive(Debug)]
 pub struct Client<S> {
     stream: S,
+    /// Highest `through_step` acked per session, from absorbed acks.
+    acks: HashMap<u64, u64>,
 }
 
 impl Client<TcpStream> {
@@ -191,9 +292,7 @@ impl Client<TcpStream> {
     ///
     /// Propagates connection failures.
     pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<Client<TcpStream>> {
-        Ok(Client {
-            stream: TcpStream::connect(addr)?,
-        })
+        Ok(Client::new(TcpStream::connect(addr)?))
     }
 }
 
@@ -204,19 +303,23 @@ impl Client<UnixStream> {
     ///
     /// Propagates connection failures.
     pub fn connect_unix(path: impl AsRef<Path>) -> io::Result<Client<UnixStream>> {
-        Ok(Client {
-            stream: UnixStream::connect(path)?,
-        })
+        Ok(Client::new(UnixStream::connect(path)?))
     }
 }
 
 impl<S: io::Read + io::Write> Client<S> {
     /// Wraps an already-connected stream.
     pub fn new(stream: S) -> Client<S> {
-        Client { stream }
+        Client {
+            stream,
+            acks: HashMap::new(),
+        }
     }
 
-    /// Sends one request and waits for its response.
+    /// Sends one request and waits for its response. Ack frames pending
+    /// from earlier streamed batches are recorded and skipped — with
+    /// one synchronous request in flight at a time, the first non-ack
+    /// frame is this request's reply.
     ///
     /// # Errors
     ///
@@ -224,10 +327,65 @@ impl<S: io::Read + io::Write> Client<S> {
     /// decode (including an unexpected mid-reply EOF).
     pub fn request(&mut self, req: &Request) -> io::Result<Response> {
         write_frame(&mut self.stream, &req.encode())?;
-        let frame = read_frame(&mut self.stream)?.ok_or_else(|| {
-            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-request")
-        })?;
-        Response::decode(&frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        loop {
+            let frame = read_frame(&mut self.stream)?.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-request")
+            })?;
+            let resp = Response::decode(&frame)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            match resp {
+                Response::Ack {
+                    session,
+                    through_step,
+                } => {
+                    let acked = self.acks.entry(session).or_insert(through_step);
+                    *acked = (*acked).max(through_step);
+                }
+                resp => return Ok(resp),
+            }
+        }
+    }
+
+    /// Fire-and-forget: frames `events` as a complete tape image
+    /// ([`Request::EventBatch`]) and writes it without waiting for any
+    /// reply. Violations and errors surface in the interleaved acks /
+    /// the next synchronous request (typically [`Client::close`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures writing the frame.
+    pub fn send_batch(&mut self, session: u64, events: &[TapeEvent]) -> io::Result<()> {
+        write_frame(
+            &mut self.stream,
+            &Request::EventBatch {
+                session,
+                tape: write_tape(events),
+            }
+            .encode(),
+        )
+    }
+
+    /// The highest event step the server has cumulatively acked for
+    /// `session`, as observed so far. Acks are only *read* during
+    /// synchronous requests, so this is a lower bound that tightens on
+    /// every [`Client::request`].
+    pub fn last_ack(&self, session: u64) -> Option<u64> {
+        self.acks.get(&session).copied()
+    }
+
+    /// A buffering writer for one session: events accumulate locally
+    /// and ship as [`Request::EventBatch`] frames when `flush_at`
+    /// events are buffered (see [`BatchWriter::flush_every`] for an
+    /// additional time-based trigger).
+    pub fn batch_writer(&mut self, session: u64, flush_at: usize) -> BatchWriter<'_, S> {
+        BatchWriter {
+            client: self,
+            session,
+            buf: Vec::with_capacity(flush_at.max(1)),
+            flush_at: flush_at.max(1),
+            flush_every: None,
+            last_flush: Instant::now(),
+        }
     }
 
     /// Opens a session.
@@ -265,17 +423,25 @@ impl<S: io::Read + io::Write> Client<S> {
         })
     }
 
-    /// Streams events into a session.
+    /// Streams events into a session, fire-and-forget: the server
+    /// replies with cumulative [`Response::Ack`]s instead of a
+    /// per-frame verdict (absorbed by the next synchronous
+    /// [`Client::request`] — typically the [`Client::close`] barrier,
+    /// whose verdict is authoritative). Returns as soon as the frame
+    /// is written.
     ///
     /// # Errors
     ///
-    /// As for [`Client::request`].
+    /// Propagates socket write errors.
     pub fn events(
         &mut self,
         session: u64,
         events: Vec<monsem_monitor::TapeEvent>,
-    ) -> io::Result<Response> {
-        self.request(&Request::Events { session, events })
+    ) -> io::Result<()> {
+        write_frame(
+            &mut self.stream,
+            &Request::Events { session, events }.encode(),
+        )
     }
 
     /// Hot-swaps a session's spec.
@@ -311,6 +477,81 @@ impl<S: io::Read + io::Write> Client<S> {
     /// As for [`Client::request`].
     pub fn close(&mut self, session: u64) -> io::Result<Response> {
         self.request(&Request::Close { session })
+    }
+}
+
+/// A size- and interval-buffered event writer over a [`Client`], built
+/// by [`Client::batch_writer`].
+///
+/// Events [`BatchWriter::push`]ed here buffer locally until `flush_at`
+/// of them accumulate (or [`BatchWriter::flush_every`]'s interval
+/// elapses), then ship as one fire-and-forget [`Request::EventBatch`]
+/// frame. Dropping the writer flushes best-effort; call
+/// [`BatchWriter::flush`] (or issue a synchronous request afterwards)
+/// when delivery must be confirmed.
+#[derive(Debug)]
+pub struct BatchWriter<'a, S: io::Read + io::Write> {
+    client: &'a mut Client<S>,
+    session: u64,
+    buf: Vec<TapeEvent>,
+    flush_at: usize,
+    flush_every: Option<Duration>,
+    last_flush: Instant,
+}
+
+impl<S: io::Read + io::Write> BatchWriter<'_, S> {
+    /// Additionally flushes whenever `interval` has elapsed since the
+    /// last shipped batch, bounding how stale a trickle of events can
+    /// get on a mostly-idle session.
+    #[must_use]
+    pub fn flush_every(mut self, interval: Duration) -> Self {
+        self.flush_every = Some(interval);
+        self
+    }
+
+    /// Buffers one event, shipping the batch if the size or interval
+    /// threshold is now crossed.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures from the flush, if one was triggered.
+    pub fn push(&mut self, ev: TapeEvent) -> io::Result<()> {
+        self.buf.push(ev);
+        let due = self.buf.len() >= self.flush_at
+            || self
+                .flush_every
+                .is_some_and(|d| self.last_flush.elapsed() >= d);
+        if due {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Ships any buffered events now.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures writing the frame (the buffer is preserved so a
+    /// retry does not lose events).
+    pub fn flush(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.client.send_batch(self.session, &self.buf)?;
+            self.buf.clear();
+        }
+        self.last_flush = Instant::now();
+        Ok(())
+    }
+
+    /// Buffered events not yet shipped.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+impl<S: io::Read + io::Write> Drop for BatchWriter<'_, S> {
+    fn drop(&mut self) {
+        // Best-effort: an explicit flush() is the reliable path.
+        let _ = self.flush();
     }
 }
 
@@ -368,6 +609,49 @@ mod tests {
             client.open(1, "never(post(b))", false).expect("open"),
             Response::Ok
         );
+        handle.stop();
+        server.shutdown();
+    }
+
+    #[test]
+    fn batched_pipelined_ingest_round_trips_with_acks() {
+        use monsem_core::Value;
+        use monsem_syntax::Annotation;
+
+        let config = ServerConfig {
+            ack_every: 8,
+            ..ServerConfig::default()
+        };
+        let server = Arc::new(MonitorServer::start(config));
+        let handle = serve_tcp(Arc::clone(&server), "127.0.0.1:0").expect("bind");
+        let addr = handle.addr().expect("tcp addr");
+        let mut client = Client::connect_tcp(addr).expect("connect");
+        client
+            .open(21, "always(post(p) => value >= 0)", false)
+            .expect("open");
+        let ann = Annotation::label("p");
+        {
+            let mut w = client.batch_writer(21, 8);
+            for step in 0..40u64 {
+                // Step 33 violates; everything else is fine.
+                let v = if step == 33 { -1 } else { 1 };
+                w.push(TapeEvent::post(&ann, &Value::Int(v), step))
+                    .expect("push");
+            }
+            w.flush().expect("flush");
+            assert_eq!(w.pending(), 0);
+        }
+        // Close is the synchronous barrier: its verdict covers every
+        // streamed event, and pending acks are absorbed on the way.
+        let v = match client.close(21).expect("close") {
+            Response::Verdict(v) => v,
+            other => panic!("expected verdict, got {other:?}"),
+        };
+        assert_eq!(v.ingested, 40);
+        assert_eq!(v.earliest_violation, Some(33));
+        assert!(v.violation.is_some());
+        let acked = client.last_ack(21).expect("saw at least one ack");
+        assert!(acked <= 39, "acks never exceed what was sent");
         handle.stop();
         server.shutdown();
     }

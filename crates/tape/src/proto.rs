@@ -6,6 +6,18 @@
 //! varint primitives as the tape format; events inside an
 //! [`Request::Events`] frame are encoded self-contained (no interning)
 //! so frames can be decoded independently of connection history.
+//!
+//! # Batched, pipelined ingest
+//!
+//! [`Request::EventBatch`] carries its events as a complete tape image
+//! (the exact bytes [`crate::write_tape`] would produce), so a producer
+//! that already records to a tape can ship the same bytes — wire ==
+//! tape — and the per-tape string interning amortizes event names
+//! across the batch. Event frames are *fire-and-forget*: the server
+//! does not reply per frame but emits a cumulative [`Response::Ack`]
+//! every configured number of events, so the socket round-trip leaves
+//! the per-event path entirely. [`Request::Open`], [`Request::Swap`],
+//! and [`Request::Close`] remain strictly request/reply.
 
 use crate::wire::{put_ivarint, put_str, put_uvarint, ByteReader, WireError};
 use monsem_monitor::tape::{TapeEvent, TapePhase, ValueDesc};
@@ -89,6 +101,18 @@ pub enum Request {
         /// The session to finish.
         session: u64,
     },
+    /// Appends a batch of events encoded as a complete tape image.
+    ///
+    /// Like [`Request::Events`] but fire-and-forget: the server replies
+    /// only with periodic cumulative [`Response::Ack`] frames (and an
+    /// error frame on failure), never per batch.
+    EventBatch {
+        /// The session to feed.
+        session: u64,
+        /// A complete tape image ([`crate::write_tape`] output): magic,
+        /// version, interned events.
+        tape: Vec<u8>,
+    },
 }
 
 /// A server-to-client message.
@@ -101,6 +125,17 @@ pub enum Response {
     /// A session verdict (returned by every successful session request,
     /// so producers see violations as soon as they are ingested).
     Verdict(Verdict),
+    /// A cumulative acknowledgement on the fire-and-forget event path:
+    /// every event with step ≤ `through_step` has been folded into the
+    /// session's monitor. Acks are advisory (the server drops them
+    /// rather than stall a shard when the client is not reading);
+    /// [`Request::Close`]'s verdict is the authoritative barrier.
+    Ack {
+        /// The session this ack describes.
+        session: u64,
+        /// The highest event step folded so far.
+        through_step: u64,
+    },
 }
 
 /// The observable state of a session.
@@ -133,10 +168,12 @@ const REQ_OPEN: u8 = 0x01;
 const REQ_EVENTS: u8 = 0x02;
 const REQ_SWAP: u8 = 0x03;
 const REQ_CLOSE: u8 = 0x04;
+const REQ_BATCH: u8 = 0x05;
 
 const RESP_OK: u8 = 0x01;
 const RESP_ERR: u8 = 0x02;
 const RESP_VERDICT: u8 = 0x03;
+const RESP_ACK: u8 = 0x04;
 
 const EV_PRE: u8 = 0x01;
 const EV_POST: u8 = 0x02;
@@ -301,6 +338,12 @@ impl Request {
                 out.push(REQ_CLOSE);
                 put_uvarint(&mut out, *session);
             }
+            Request::EventBatch { session, tape } => {
+                out.push(REQ_BATCH);
+                put_uvarint(&mut out, *session);
+                put_uvarint(&mut out, tape.len() as u64);
+                out.extend_from_slice(tape);
+            }
         }
         out
     }
@@ -336,6 +379,15 @@ impl Request {
             REQ_CLOSE => Ok(Request::Close {
                 session: r.uvarint()?,
             }),
+            REQ_BATCH => {
+                let session = r.uvarint()?;
+                let len = usize::try_from(r.uvarint()?)
+                    .map_err(|_| ProtoError::Wire(WireError::VarintOverflow))?;
+                Ok(Request::EventBatch {
+                    session,
+                    tape: r.bytes(len)?.to_vec(),
+                })
+            }
             tag => Err(ProtoError::BadTag(tag)),
         }
     }
@@ -372,6 +424,14 @@ impl Response {
                 out.push(u8::from(v.swap_truncated));
                 put_uvarint(&mut out, v.firings);
                 put_uvarint(&mut out, v.missed);
+            }
+            Response::Ack {
+                session,
+                through_step,
+            } => {
+                out.push(RESP_ACK);
+                put_uvarint(&mut out, *session);
+                put_uvarint(&mut out, *through_step);
             }
         }
         out
@@ -416,6 +476,10 @@ impl Response {
                     missed,
                 }))
             }
+            RESP_ACK => Ok(Response::Ack {
+                session: r.uvarint()?,
+                through_step: r.uvarint()?,
+            }),
             tag => Err(ProtoError::BadTag(tag)),
         }
     }
@@ -508,6 +572,32 @@ mod tests {
     }
 
     #[test]
+    fn event_batches_roundtrip_as_tape_bytes() {
+        let ann = Annotation::label("p");
+        let events = vec![
+            TapeEvent::pre(&ann, 0).at(5),
+            TapeEvent::post(&ann, &Value::Int(42), 1).at(9),
+        ];
+        let tape = crate::write_tape(&events);
+        let req = Request::EventBatch {
+            session: 11,
+            tape: tape.clone(),
+        };
+        match Request::decode(&req.encode()).unwrap() {
+            Request::EventBatch {
+                session,
+                tape: wire,
+            } => {
+                assert_eq!(session, 11);
+                // Wire == tape: the payload is a complete tape image.
+                assert_eq!(wire, tape);
+                assert_eq!(crate::read_tape(&wire).unwrap(), events);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
     fn responses_roundtrip() {
         let resps = vec![
             Response::Ok,
@@ -534,6 +624,10 @@ mod tests {
                 firings: 0,
                 missed: 0,
             }),
+            Response::Ack {
+                session: 9,
+                through_step: 4095,
+            },
         ];
         for resp in resps {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);

@@ -23,21 +23,43 @@
 //!   automaton. If the window had already dropped older events the
 //!   verdict flags `swap_truncated`: the new spec judged only the
 //!   suffix it could see.
+//! * **Pipelined ingest** — event frames can bypass the request/reply
+//!   round-trip entirely: [`MonitorServer::post`] enqueues an
+//!   [`Request::Events`] or [`Request::EventBatch`] fire-and-forget,
+//!   and the shard emits a cumulative [`Response::Ack`] every
+//!   [`ServerConfig::ack_every`] ingested events. The shard table
+//!   itself is a plain immutable array — routing an event costs an
+//!   index and a channel send, no lock and no allocation.
+//! * **Checkpoint compaction** — with
+//!   [`ServerConfig::checkpoint_every`] set, a session drops its
+//!   hot-swap replay window at every checkpoint boundary instead of
+//!   retaining the full `swap_window` suffix indefinitely; a swap that
+//!   crosses a boundary honestly reports `swap_truncated`.
+//! * **Drain on shutdown** — [`MonitorServer::shutdown`] closes the
+//!   intake and poisons each shard queue, so every event enqueued
+//!   before shutdown is still folded (and acked) before the workers
+//!   exit: the server never acknowledges an event it did not fold.
 //! * **Stream SLOs** — a session may carry a
 //!   [`monsem_stream::StreamMonitor`] next to its safety spec: trigger
 //!   firings and deadline misses are reported in every [`Verdict`]. The
 //!   stream check is always observing, survives safety-spec swaps, and
 //!   can itself be hot-swapped (splicing by the same window replay).
 
+use crate::format::read_tape;
 use crate::proto::{Request, Response, Verdict};
 use monsem_monitor::tape::{TapeEvent, TapePhase};
 use monsem_monitor::{Budget, FaultPolicy, GuardState, Guarded, Health, Monitor, Outcome};
 use monsem_stream::{StreamMonitor, StreamState};
 use monsem_tspec::{SpecMonitor, SpecState, DEFAULT_REPLAY_CAP};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Mutex;
 use std::thread::JoinHandle;
+
+/// Default ingested-event interval between cumulative acks on the
+/// fire-and-forget path.
+pub const DEFAULT_ACK_EVERY: usize = 256;
 
 /// Tuning knobs for a [`MonitorServer`].
 #[derive(Debug, Clone)]
@@ -52,6 +74,15 @@ pub struct ServerConfig {
     pub policy: FaultPolicy,
     /// Monitoring budget for every session.
     pub budget: Budget,
+    /// Emit a cumulative [`Response::Ack`] after this many ingested
+    /// events on the fire-and-forget path (0 behaves like 1: ack after
+    /// every posted frame).
+    pub ack_every: usize,
+    /// Checkpoint interval in ingested events; at each boundary the
+    /// session's hot-swap replay window is dropped (compaction — memory
+    /// stays bounded by the interval, and a later swap reports
+    /// `swap_truncated`). 0 disables compaction.
+    pub checkpoint_every: usize,
 }
 
 impl Default for ServerConfig {
@@ -62,21 +93,45 @@ impl Default for ServerConfig {
             swap_window: DEFAULT_REPLAY_CAP,
             policy: FaultPolicy::Quarantine,
             budget: Budget::default(),
+            ack_every: DEFAULT_ACK_EVERY,
+            checkpoint_every: 0,
         }
     }
 }
 
-type Job = (Request, SyncSender<Response>);
+/// Where a job's outcome goes.
+enum Reply {
+    /// Strict request/reply: the caller blocks on this one-shot channel.
+    Sync(SyncSender<Response>),
+    /// Fire-and-forget event path: the channel is the connection's
+    /// outbound frame queue. Acks and errors are `try_send`-ed — a
+    /// client that stopped reading loses advisory acks rather than
+    /// stalling the shard for every other session.
+    Acked(SyncSender<Response>),
+}
+
+enum Job {
+    Req(Request, Reply),
+    /// Queue poison: the worker folds everything enqueued before this
+    /// marker, then exits. Shutdown's drain guarantee rides on channel
+    /// FIFO order.
+    Stop,
+}
 
 /// The server: a set of shard queues feeding worker threads.
 ///
 /// Share it behind an [`std::sync::Arc`] — every method takes `&self`.
-/// The in-process entry point is [`MonitorServer::request`]; the socket
-/// front ends in [`crate::net`] decode frames into the same calls.
+/// The in-process entry points are [`MonitorServer::request`]
+/// (synchronous) and [`MonitorServer::post`] (fire-and-forget with
+/// cumulative acks); the socket front ends in [`crate::net`] decode
+/// frames into the same calls.
 #[derive(Debug)]
 pub struct MonitorServer {
-    shards: Mutex<Vec<SyncSender<Job>>>,
+    /// Immutable after construction: routing is an index + send, with
+    /// no lock and no sender clone on the per-event path.
+    shards: Box<[SyncSender<Job>]>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    down: AtomicBool,
 }
 
 struct Session {
@@ -91,7 +146,14 @@ struct Session {
     window: VecDeque<TapeEvent>,
     window_dropped: u64,
     window_cap: usize,
+    /// Checkpoint interval in ingested events (0 = off): at each
+    /// boundary the replay window is compacted away.
+    checkpoint_every: usize,
     ingested: u64,
+    /// Highest event step folded so far — what a cumulative ack quotes.
+    last_step: u64,
+    /// `ingested` as of the last ack successfully sent.
+    acked_at: u64,
     earliest_violation: Option<u64>,
     accepted: Option<bool>,
     swap_truncated: bool,
@@ -130,7 +192,10 @@ impl Session {
             window: VecDeque::new(),
             window_dropped: 0,
             window_cap: config.swap_window.max(1),
+            checkpoint_every: config.checkpoint_every,
             ingested: 0,
+            last_step: 0,
+            acked_at: 0,
             earliest_violation: None,
             accepted: None,
             swap_truncated: false,
@@ -161,9 +226,23 @@ impl Session {
         }
     }
 
-    /// Feeds one event through the guarded monitor.
-    fn ingest(&mut self, ev: &TapeEvent) {
+    /// Feeds one event through the guarded monitor. Takes the event by
+    /// value: after folding (by reference) it is *moved* into the
+    /// replay window, so the hot path allocates nothing per event
+    /// beyond what the monitors themselves do.
+    fn ingest(&mut self, ev: TapeEvent) {
         self.ingested += 1;
+        self.last_step = self.last_step.max(ev.step);
+        if self.checkpoint_every > 0
+            && self.ingested.is_multiple_of(self.checkpoint_every as u64)
+            && !self.window.is_empty()
+        {
+            // Checkpoint boundary: compact the replay window away. A
+            // swap after this point splices from a shorter (possibly
+            // empty) suffix and reports `swap_truncated`.
+            self.window_dropped += self.window.len() as u64;
+            self.window.clear();
+        }
         if self.accepted.is_some() {
             // The trace already ended; late events are counted but not
             // judged.
@@ -173,13 +252,8 @@ impl Session {
             self.finish(ev.time);
             return;
         }
-        if self.window.len() == self.window_cap {
-            self.window.pop_front();
-            self.window_dropped += 1;
-        }
-        self.window.push_back(ev.clone());
         if let Some((m, s)) = self.stream.take() {
-            let s = match m.advance_tape_event(s, ev) {
+            let s = match m.advance_tape_event(s, &ev) {
                 Outcome::Continue(s) | Outcome::Abort { state: s, .. } => s,
             };
             self.stream = Some((m, s));
@@ -188,7 +262,7 @@ impl Session {
         let had_violation = gs.state.violation.is_some();
         let gs = match self
             .guard
-            .guard_with(gs, |m, s| m.advance_tape_event(s, ev))
+            .guard_with(gs, |m, s| m.advance_tape_event(s, &ev))
         {
             Outcome::Continue(gs) => gs,
             Outcome::Abort { state: gs, .. } => {
@@ -201,6 +275,11 @@ impl Session {
             self.earliest_violation = Some(ev.step);
         }
         self.gs = Some(gs);
+        if self.window.len() == self.window_cap {
+            self.window.pop_front();
+            self.window_dropped += 1;
+        }
+        self.window.push_back(ev);
     }
 
     /// Ends the trace: runs the end-of-trace check and pins acceptance.
@@ -307,6 +386,16 @@ pub fn splice_state<'a>(
     (state, earliest)
 }
 
+fn req_session(req: &Request) -> u64 {
+    match req {
+        Request::Open { session, .. }
+        | Request::Events { session, .. }
+        | Request::Swap { session, .. }
+        | Request::Close { session }
+        | Request::EventBatch { session, .. } => *session,
+    }
+}
+
 fn handle(sessions: &mut HashMap<u64, Session>, config: &ServerConfig, req: Request) -> Response {
     match req {
         Request::Open {
@@ -323,12 +412,27 @@ fn handle(sessions: &mut HashMap<u64, Session>, config: &ServerConfig, req: Requ
         },
         Request::Events { session, events } => match sessions.get_mut(&session) {
             Some(s) => {
-                for ev in &events {
+                for ev in events {
                     s.ingest(ev);
                 }
                 Response::Verdict(s.verdict(session))
             }
             None => Response::Err(format!("no such session {session}")),
+        },
+        Request::EventBatch { session, tape } => match read_tape(&tape) {
+            Ok(events) => match sessions.get_mut(&session) {
+                Some(s) => {
+                    // The batch fold: N events advance the monitor
+                    // back-to-back without touching the shard queue (or
+                    // any reply machinery) between them.
+                    for ev in events {
+                        s.ingest(ev);
+                    }
+                    Response::Verdict(s.verdict(session))
+                }
+                None => Response::Err(format!("no such session {session}")),
+            },
+            Err(e) => Response::Err(format!("batch for session {session}: {e}")),
         },
         Request::Swap {
             session,
@@ -356,10 +460,43 @@ fn handle(sessions: &mut HashMap<u64, Session>, config: &ServerConfig, req: Requ
 
 fn worker(rx: Receiver<Job>, config: ServerConfig) {
     let mut sessions: HashMap<u64, Session> = HashMap::new();
-    while let Ok((req, reply)) = rx.recv() {
-        let resp = handle(&mut sessions, &config, req);
-        // A dead requester is not the worker's problem.
-        let _ = reply.send(resp);
+    let ack_every = config.ack_every.max(1) as u64;
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Stop => break,
+            Job::Req(req, Reply::Sync(reply)) => {
+                let resp = handle(&mut sessions, &config, req);
+                // A dead requester is not the worker's problem.
+                let _ = reply.send(resp);
+            }
+            Job::Req(req, Reply::Acked(out)) => {
+                let session = req_session(&req);
+                match handle(&mut sessions, &config, req) {
+                    Response::Verdict(_) => {
+                        // Folded. Ack cumulatively once the window
+                        // fills; a full outbound queue just defers the
+                        // ack to a later boundary (never to before the
+                        // fold — the events are already in the monitor).
+                        if let Some(s) = sessions.get_mut(&session) {
+                            if s.ingested - s.acked_at >= ack_every
+                                && out
+                                    .try_send(Response::Ack {
+                                        session,
+                                        through_step: s.last_step,
+                                    })
+                                    .is_ok()
+                            {
+                                s.acked_at = s.ingested;
+                            }
+                        }
+                    }
+                    err @ Response::Err(_) => {
+                        let _ = out.try_send(err);
+                    }
+                    _ => {}
+                }
+            }
+        }
     }
 }
 
@@ -381,35 +518,55 @@ impl MonitorServer {
             shards.push(tx);
         }
         MonitorServer {
-            shards: Mutex::new(shards),
+            shards: shards.into_boxed_slice(),
             workers: Mutex::new(workers),
+            down: AtomicBool::new(false),
         }
+    }
+
+    /// The shard sender for `session`, or `None` once the server is
+    /// shutting down. No lock: the table is immutable for the server's
+    /// lifetime, so routing is a flag load and an index.
+    fn route(&self, session: u64) -> Option<&SyncSender<Job>> {
+        if self.down.load(Ordering::Acquire) {
+            return None;
+        }
+        Some(&self.shards[(session % self.shards.len() as u64) as usize])
     }
 
     /// Routes a request to its session's shard and waits for the reply.
     /// Blocks while the shard's bounded queue is full — this is the
     /// backpressure producers feel.
     pub fn request(&self, req: Request) -> Response {
-        let session = match &req {
-            Request::Open { session, .. }
-            | Request::Events { session, .. }
-            | Request::Swap { session, .. }
-            | Request::Close { session } => *session,
-        };
-        let tx = {
-            let shards = self.shards.lock().expect("shard table lock");
-            if shards.is_empty() {
-                return Response::Err("server is shut down".to_string());
-            }
-            shards[(session % shards.len() as u64) as usize].clone()
+        let Some(tx) = self.route(req_session(&req)) else {
+            return Response::Err("server is shut down".to_string());
         };
         let (reply_tx, reply_rx) = sync_channel(1);
-        if tx.send((req, reply_tx)).is_err() {
+        if tx.send(Job::Req(req, Reply::Sync(reply_tx))).is_err() {
             return Response::Err("server is shut down".to_string());
         }
         reply_rx
             .recv()
             .unwrap_or_else(|_| Response::Err("server worker died".to_string()))
+    }
+
+    /// Enqueues an event request fire-and-forget: no per-message reply
+    /// is produced. The shard folds the events and `try_send`s a
+    /// cumulative [`Response::Ack`] (or an error) into `out` — the
+    /// connection's outbound frame queue — every
+    /// [`ServerConfig::ack_every`] ingested events. Returns `false` if
+    /// the server is shut down (nothing was enqueued).
+    ///
+    /// Meant for [`Request::Events`] and [`Request::EventBatch`] only —
+    /// control requests belong on the synchronous
+    /// [`MonitorServer::request`] path (posting one here folds it but
+    /// discards its non-error reply). Blocks while the shard queue is
+    /// full, like [`MonitorServer::request`].
+    pub fn post(&self, req: Request, out: SyncSender<Response>) -> bool {
+        match self.route(req_session(&req)) {
+            Some(tx) => tx.send(Job::Req(req, Reply::Acked(out))).is_ok(),
+            None => false,
+        }
     }
 
     /// Opens a session running `spec`.
@@ -470,8 +627,19 @@ impl MonitorServer {
 
     /// Stops accepting requests, drains the queues, and joins the
     /// workers.
+    ///
+    /// The drain is real: the intake flag flips first, then each shard
+    /// queue is poisoned with a `Job::Stop` marker. Channel FIFO
+    /// order means every job enqueued before the marker is still
+    /// folded (and replied to or acked) before its worker exits — a
+    /// stopped server never acknowledges an event it did not fold, and
+    /// never drops a queued one.
     pub fn shutdown(&self) {
-        self.shards.lock().expect("shard table lock").clear();
+        self.down.store(true, Ordering::Release);
+        for tx in self.shards.iter() {
+            // Err here means the worker already exited — fine.
+            let _ = tx.send(Job::Stop);
+        }
         let workers: Vec<_> = self
             .workers
             .lock()
@@ -635,6 +803,159 @@ mod tests {
         assert!(matches!(server.events(9, vec![]), Response::Err(_)));
         assert!(matches!(server.open(9, "always(", false), Response::Err(_)));
         server.shutdown();
+    }
+
+    #[test]
+    fn batched_ingest_matches_per_event_ingest() {
+        let server = MonitorServer::start(ServerConfig::default());
+        let events = vec![post("p", 5, 0), post("p", -5, 1), post("p", 7, 2)];
+        server.open(10, "always(post(p) => value > 0)", false);
+        server.open(11, "always(post(p) => value > 0)", false);
+        let per_event = verdict(server.events(10, events.clone()));
+        let batched = verdict(server.request(Request::EventBatch {
+            session: 11,
+            tape: crate::write_tape(&events),
+        }));
+        assert_eq!(per_event.ingested, batched.ingested);
+        // Violation messages embed the session name; compare modulo it.
+        for v in [&per_event, &batched] {
+            assert!(v.violation.as_deref().unwrap().contains("post p = -5"));
+        }
+        assert_eq!(per_event.earliest_violation, batched.earliest_violation);
+        server.shutdown();
+    }
+
+    #[test]
+    fn posted_events_ack_cumulatively() {
+        let config = ServerConfig {
+            ack_every: 4,
+            ..ServerConfig::default()
+        };
+        let server = MonitorServer::start(config);
+        server.open(12, "never(post(zzz))", false);
+        let (out, acks) = sync_channel(64);
+        for chunk in 0..3u64 {
+            let events: Vec<_> = (0..4).map(|i| post("p", 1, chunk * 4 + i)).collect();
+            assert!(server.post(
+                Request::EventBatch {
+                    session: 12,
+                    tape: crate::write_tape(&events),
+                },
+                out.clone(),
+            ));
+        }
+        // Close is the barrier: after its verdict, all prior acks are
+        // in the queue.
+        let v = verdict(server.close(12));
+        assert_eq!(v.ingested, 12);
+        drop(out);
+        let acked: Vec<_> = acks.iter().collect();
+        assert_eq!(acked.len(), 3, "one cumulative ack per 4-event window");
+        let steps: Vec<_> = acked
+            .iter()
+            .map(|a| match a {
+                Response::Ack {
+                    session,
+                    through_step,
+                } => {
+                    assert_eq!(*session, 12);
+                    *through_step
+                }
+                other => panic!("expected ack, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(steps, vec![3, 7, 11], "acks are cumulative and ordered");
+        server.shutdown();
+    }
+
+    #[test]
+    fn posting_to_a_missing_session_reports_the_error() {
+        let server = MonitorServer::start(ServerConfig::default());
+        let (out, errs) = sync_channel(4);
+        assert!(server.post(
+            Request::Events {
+                session: 99,
+                events: vec![post("p", 1, 0)],
+            },
+            out,
+        ));
+        assert!(matches!(errs.recv().unwrap(), Response::Err(_)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn checkpoints_compact_the_swap_window() {
+        let config = ServerConfig {
+            checkpoint_every: 4,
+            ..ServerConfig::default()
+        };
+        let server = MonitorServer::start(config);
+        server.open(13, "never(post(zzz))", false);
+        // The violating -5 at step 1 falls before the checkpoint at
+        // ingested = 4, so the compacted window cannot re-judge it.
+        verdict(server.events(
+            13,
+            vec![
+                post("p", 5, 0),
+                post("p", -5, 1),
+                post("p", 6, 2),
+                post("p", 7, 3),
+                post("p", 8, 4),
+            ],
+        ));
+        let v = verdict(server.swap(13, "always(post(p) => value > 0)"));
+        assert_eq!(v.violation, None, "the evidence predates the checkpoint");
+        assert!(v.swap_truncated, "and the verdict says so");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_events_before_acking_stops() {
+        // The drain guarantee, observed through acks: everything posted
+        // before shutdown is folded, and every ack quotes only folded
+        // steps — a stopped server never acks an event it did not fold.
+        let config = ServerConfig {
+            shards: 1,
+            ack_every: 1,
+            ..ServerConfig::default()
+        };
+        let server = MonitorServer::start(config);
+        server.open(14, "never(post(zzz))", false);
+        let (out, acks) = sync_channel(256);
+        let last_step = 29;
+        for step in 0..=last_step {
+            assert!(server.post(
+                Request::Events {
+                    session: 14,
+                    events: vec![post("p", 1, step)],
+                },
+                out.clone(),
+            ));
+        }
+        server.shutdown();
+        drop(out);
+        let steps: Vec<u64> = acks
+            .iter()
+            .map(|a| match a {
+                Response::Ack { through_step, .. } => through_step,
+                other => panic!("expected ack, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            steps.last().copied(),
+            Some(last_step),
+            "the drain folded (and acked) everything queued before stop"
+        );
+        assert!(steps.windows(2).all(|w| w[0] < w[1]), "acks are monotonic");
+        // And the intake really is closed.
+        assert!(matches!(server.close(14), Response::Err(_)));
+        assert!(!server.post(
+            Request::Events {
+                session: 14,
+                events: vec![],
+            },
+            sync_channel(1).0,
+        ));
     }
 
     #[test]

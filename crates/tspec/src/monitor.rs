@@ -322,7 +322,21 @@ impl SpecMonitor {
     /// mirroring the abort the live run would have taken; an observing
     /// monitor replays to the end.
     pub fn check_tape<'a>(&self, events: impl IntoIterator<Item = &'a TapeEvent>) -> TapeCheck {
-        let mut state = self.initial_state();
+        self.check_tape_seeded(self.initial_state(), events)
+    }
+
+    /// [`SpecMonitor::check_tape`] starting from `seed` instead of the
+    /// initial state — the replay primitive behind checkpoint-seeded
+    /// checking. A seed carrying a prefix violation (its `violation` is
+    /// already set) is reported with the seed's own earliest step left to
+    /// the caller to merge; violations discovered *during* this replay
+    /// are stamped with their tape step as usual.
+    pub fn check_tape_seeded<'a>(
+        &self,
+        seed: SpecState,
+        events: impl IntoIterator<Item = &'a TapeEvent>,
+    ) -> TapeCheck {
+        let mut state = seed;
         let mut earliest: Option<u64> = None;
         let mut completed = false;
         for ev in events {

@@ -76,9 +76,9 @@ fn usage() -> String {
      monsem instrument (-e <src> | <file>)\n  \
      monsem bta        (-e <src> | <file>) [--static name,name]\n  \
      monsem specialize (-e <src> | <file>) [--input name=int]…\n  \
-     monsem record     (-e <src> | <file>) --out <tape.bin> [--spec <spec|file>] [--timed]\n  \
-     monsem check      <tape.bin> [<spec|file>] [--stream <spec|file>] [--enforcing]\n  \
-     monsem serve      (--tcp <addr> | --unix <path>) [--shards N] [--queue N] [--window N] [--policy fatal|quarantine]\n  \
+     monsem record     (-e <src> | <file>) --out <tape.bin> [--spec <spec|file>] [--timed] [--checkpoint-every N]\n  \
+     monsem check      <tape.bin> [<spec|file>] [--stream <spec|file>] [--enforcing] [--from N]\n  \
+     monsem serve      (--tcp <addr> | --unix <path>) [--shards N] [--queue N] [--window N] [--ack-every N] [--checkpoint-every N] [--policy fatal|quarantine]\n  \
      monsem swap       (--tcp <addr> | --unix <path>) --session <id> [<spec|file>] [--stream <spec|file>]"
         .to_string()
 }
@@ -213,10 +213,13 @@ fn load_spec(arg: &str) -> Result<String, String> {
 
 fn cmd_record(args: &[String]) -> Result<(), String> {
     use monitoring_semantics::monitor::{record_monitored, MemorySink, SharedSink};
-    use monitoring_semantics::tape::write_tape;
+    use monitoring_semantics::tape::{write_tape, write_tape_checkpointed};
     use monitoring_semantics::tspec::SpecMonitor;
     let (program, flags) = program_and_flags(args)?;
     let out = flag_value(&flags, "--out").ok_or("record needs --out <tape.bin>")?;
+    let checkpoint_every: Option<usize> = flag_value(&flags, "--checkpoint-every")
+        .map(|v| v.parse().map_err(|_| "--checkpoint-every needs an integer"))
+        .transpose()?;
     let mem = MemorySink::new();
     let sink = if flags.iter().any(|f| f == "--timed") {
         // Stamp every event with wall-clock milliseconds (tape format
@@ -226,10 +229,13 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
     } else {
         SharedSink::new(mem.clone())
     };
-    let answer = match flag_value(&flags, "--spec") {
-        Some(spec) => {
-            let src = load_spec(spec)?;
-            let monitor = SpecMonitor::new("cli", &src).map_err(|e| e.to_string())?;
+    let spec_src = flag_value(&flags, "--spec").map(load_spec).transpose()?;
+    if checkpoint_every.is_some() && spec_src.is_none() {
+        return Err("--checkpoint-every needs --spec (a checkpoint pins the spec's state)".into());
+    }
+    let answer = match &spec_src {
+        Some(src) => {
+            let monitor = SpecMonitor::new("cli", src).map_err(|e| e.to_string())?;
             let (value, state) =
                 record_monitored(&program, monitor, &sink).map_err(|e| e.to_string())?;
             if let Some(v) = &state.violation {
@@ -248,7 +254,16 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
         }
     };
     let events = mem.take();
-    let bytes = write_tape(&events);
+    let bytes = match checkpoint_every {
+        Some(every) => {
+            // Re-fold a fresh monitor over the recorded events so each
+            // checkpoint pins the exact DFA state at its cut.
+            let src = spec_src.as_deref().expect("checked above");
+            let monitor = SpecMonitor::new("cli", src).map_err(|e| e.to_string())?;
+            write_tape_checkpointed(&events, &monitor, None, every)
+        }
+        None => write_tape(&events),
+    };
     std::fs::write(out, &bytes).map_err(|e| format!("cannot write `{out}`: {e}"))?;
     eprintln!("; {} events, {} bytes -> {out}", events.len(), bytes.len());
     println!("{answer}");
@@ -257,15 +272,18 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
 
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     use monitoring_semantics::stream::StreamMonitor;
-    use monitoring_semantics::tape::read_tape;
+    use monitoring_semantics::tape::{check_stream_from, check_tape_from, read_tape};
     use monitoring_semantics::tspec::{SpecMonitor, TapeOutcome};
     let stream_arg = flag_value(args, "--stream");
+    let from: Option<u64> = flag_value(args, "--from")
+        .map(|v| v.parse().map_err(|_| "--from needs an event offset"))
+        .transpose()?;
     let positional: Vec<&String> = args
         .iter()
         .enumerate()
         .filter(|(i, a)| {
             !a.starts_with("--")
-                && !matches!(args.get(i.wrapping_sub(1)), Some(prev) if prev == "--stream")
+                && !matches!(args.get(i.wrapping_sub(1)), Some(prev) if prev == "--stream" || prev == "--from")
         })
         .map(|(_, a)| a)
         .collect();
@@ -283,7 +301,21 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
         if args.iter().any(|a| a == "--enforcing") {
             monitor = monitor.enforcing();
         }
-        let check = monitor.check_tape(events.iter());
+        let check = match from {
+            Some(n) => {
+                // Seek to the last checkpoint at or before the offset
+                // (falling back to a full replay when none fits).
+                let seeded = check_tape_from(&monitor, &bytes, n).map_err(|e| e.to_string())?;
+                eprintln!(
+                    "; resumed at event {} ({} of {} replayed)",
+                    seeded.resumed_at,
+                    seeded.replayed,
+                    events.len()
+                );
+                seeded.check
+            }
+            None => monitor.check_tape(events.iter()),
+        };
         match &check.outcome {
             TapeOutcome::Satisfied => {
                 println!("satisfied after {} events", check.state.events);
@@ -310,7 +342,19 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
         for line in monitor.spec().memory().to_string().lines() {
             eprintln!(";{line}");
         }
-        let check = monitor.check_tape(events.iter());
+        let check = match from {
+            Some(n) => {
+                let seeded = check_stream_from(&monitor, &bytes, n).map_err(|e| e.to_string())?;
+                eprintln!(
+                    "; resumed at event {} ({} of {} replayed)",
+                    seeded.resumed_at,
+                    seeded.replayed,
+                    events.len()
+                );
+                seeded.check
+            }
+            None => monitor.check_tape(events.iter()),
+        };
         for f in &check.firings {
             match f.step {
                 Some(step) => println!("step {step}: {}", f.reason),
@@ -353,6 +397,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         shards: parse("--shards", defaults.shards)?,
         queue_depth: parse("--queue", defaults.queue_depth)?,
         swap_window: parse("--window", defaults.swap_window)?,
+        ack_every: parse("--ack-every", defaults.ack_every)?,
+        checkpoint_every: parse("--checkpoint-every", defaults.checkpoint_every)?,
         policy: match flag_value(args, "--policy").unwrap_or("quarantine") {
             "fatal" => FaultPolicy::Fatal,
             "quarantine" => FaultPolicy::Quarantine,
@@ -362,18 +408,31 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     };
     let server = Arc::new(MonitorServer::start(config));
     let handle = match (flag_value(args, "--tcp"), flag_value(args, "--unix")) {
-        (Some(addr), None) => serve_tcp(server, addr).map_err(|e| e.to_string())?,
-        (None, Some(path)) => serve_unix(server, path).map_err(|e| e.to_string())?,
+        (Some(addr), None) => serve_tcp(Arc::clone(&server), addr).map_err(|e| e.to_string())?,
+        (None, Some(path)) => serve_unix(Arc::clone(&server), path).map_err(|e| e.to_string())?,
         _ => return Err("serve needs exactly one of --tcp <addr> or --unix <path>".to_string()),
     };
     match handle.addr() {
         Some(addr) => eprintln!("; monitor server listening on tcp {addr}"),
         None => eprintln!("; monitor server listening on unix socket"),
     }
-    // Serve until killed.
+    // Serve until stdin closes or says `stop`: queued events are still
+    // folded (and acked) before the workers exit.
+    let stdin = std::io::stdin();
+    let mut line = String::new();
     loop {
-        std::thread::park();
+        line.clear();
+        match stdin.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line.trim() == "stop" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
     }
+    eprintln!("; draining shard queues");
+    handle.stop();
+    server.shutdown();
+    Ok(())
 }
 
 fn cmd_swap(args: &[String]) -> Result<(), String> {
@@ -434,6 +493,9 @@ fn cmd_swap(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Response::Ok => Ok(()),
+        // The client absorbs ack frames inside `request`; a stray one
+        // here means the server answered a swap with nonsense.
+        Response::Ack { .. } => Err("unexpected ack reply to swap".to_string()),
         Response::Err(e) => Err(e),
     }
 }

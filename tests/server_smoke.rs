@@ -130,14 +130,19 @@ fn tcp_round_trip_with_a_hot_swap() {
     assert_eq!(alice.open(101, NEG_SPEC, false).unwrap(), Response::Ok);
     assert_eq!(bob.open(102, NEG_SPEC, false).unwrap(), Response::Ok);
 
+    // Event frames are fire-and-forget under the pipelined protocol;
+    // the next synchronous request (swap or close) is the barrier that
+    // proves they were folded.
     let (head, tail) = tape.split_at(tape.len() / 2);
-    verdict(alice.events(101, head.to_vec()).unwrap());
-    verdict(bob.events(102, tape.clone()).unwrap());
+    alice.events(101, head.to_vec()).unwrap();
+    bob.events(102, tape.clone()).unwrap();
 
     // Alice swaps mid-run: history is re-judged under the new spec.
+    // The swap verdict doubles as the barrier for the head frames.
     let v = verdict(alice.swap(101, ZERO_SPEC).unwrap());
     assert!(!v.swap_truncated);
-    verdict(alice.events(101, tail.to_vec()).unwrap());
+    assert_eq!(v.ingested, head.len() as u64, "swap barriers the head");
+    alice.events(101, tail.to_vec()).unwrap();
 
     let v = verdict(alice.close(101).unwrap());
     let (accepted, earliest) = expected_accepted(&tape, ZERO_SPEC);
@@ -162,9 +167,9 @@ fn unix_socket_round_trip() {
     let mut client = Client::connect_unix(&path).expect("connect");
     let tape = producer_tape(3); // violates NEG_SPEC
     assert_eq!(client.open(7, NEG_SPEC, false).unwrap(), Response::Ok);
-    let v = verdict(client.events(7, tape.clone()).unwrap());
-    assert_eq!(v.ingested, tape.len() as u64);
+    client.events(7, tape.clone()).unwrap();
     let v = verdict(client.close(7).unwrap());
+    assert_eq!(v.ingested, tape.len() as u64);
     let (accepted, earliest) = expected_accepted(&tape, NEG_SPEC);
     assert_eq!(v.accepted, Some(accepted));
     assert_eq!(v.earliest_violation, earliest);
