@@ -185,6 +185,28 @@ const SCHEMAS: &[(&str, &str, &[&str])] = &[
             "\"speedup\"",
         ],
     ),
+    (
+        "BENCH_server_conns.json",
+        "server_conns",
+        &[
+            "\"unit\"",
+            "\"host_cpus\"",
+            "\"shards\"",
+            "\"io_threads\"",
+            "\"drivers\"",
+            "\"spec\"",
+            "\"verdicts_asserted_against_offline_oracle\"",
+            "\"points\"",
+            "\"backend\"",
+            "\"conns\"",
+            "\"events_per_conn\"",
+            "\"total_events\"",
+            "\"wall_ms\"",
+            "\"events_per_ms\"",
+            "\"peak_threads\"",
+            "\"peak_rss_kb\"",
+        ],
+    ),
 ];
 
 #[test]
@@ -240,6 +262,27 @@ fn server_scale_snapshot_records_oracle_checked_verdicts() {
     assert!(
         body.contains("\"verdicts_asserted_against_offline_oracle\": true"),
         "the server-scale snapshot must record oracle-checked verdicts"
+    );
+}
+
+/// Same honesty claim for the connection sweep, plus the snapshot must
+/// actually cover both backends — a sweep that silently dropped the
+/// reactor (or the threaded baseline) would still have valid fields.
+#[test]
+fn server_conns_snapshot_covers_both_backends_with_oracle_checked_verdicts() {
+    let body = std::fs::read_to_string(root().join("BENCH_server_conns.json"))
+        .expect("BENCH_server_conns.json is checked in");
+    assert!(
+        body.contains("\"verdicts_asserted_against_offline_oracle\": true"),
+        "the server-conns snapshot must record oracle-checked verdicts"
+    );
+    assert!(
+        body.contains("\"backend\": \"threaded\"") && body.contains("\"backend\": \"reactor"),
+        "the server-conns snapshot must cover both I/O backends"
+    );
+    assert!(
+        body.contains("\"conns\": 1024"),
+        "the server-conns snapshot must include the C=1024 point"
     );
 }
 

@@ -501,6 +501,82 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
+/// An incremental frame decoder for nonblocking transports: bytes are
+/// [`FrameDecoder::extend`]ed in whatever dribbles the socket delivers
+/// (down to one byte at a time), and [`FrameDecoder::next_frame`] yields
+/// each complete payload as soon as its last byte arrives.
+///
+/// This is the readiness-driven counterpart of [`read_frame`]: the
+/// blocking reader parks the thread until a frame completes, the decoder
+/// returns `Ok(None)` and lets the caller go back to `epoll_wait`. Both
+/// accept the same wire format, so a byte stream produced by
+/// [`write_frame`] decodes identically through either.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted lazily so a burst of frames
+    /// costs one memmove, not one per frame.
+    start: usize,
+}
+
+/// Compact the consumed prefix away once it exceeds this many bytes.
+const DECODER_COMPACT_AT: usize = 64 * 1024;
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends freshly received bytes. Any split is fine — mid-length,
+    /// mid-payload, several frames at once.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes received but not yet yielded as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether the stream stopped mid-frame: EOF now would be unclean.
+    pub fn has_partial(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// Yields the next complete frame payload, or `Ok(None)` when more
+    /// bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::FrameTooLarge`] as soon as a length prefix exceeds
+    /// [`MAX_FRAME`] — the decoder does not wait for the bogus payload.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, ProtoError> {
+        let pending = &self.buf[self.start..];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([pending[0], pending[1], pending[2], pending[3]]);
+        if len > MAX_FRAME {
+            return Err(ProtoError::FrameTooLarge(len));
+        }
+        let total = 4 + len as usize;
+        if pending.len() < total {
+            return Ok(None);
+        }
+        let payload = pending[4..total].to_vec();
+        self.start += total;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > DECODER_COMPACT_AT {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        Ok(Some(payload))
+    }
+}
+
 /// Reads one length-prefixed frame. Returns `Ok(None)` on clean EOF at a
 /// frame boundary.
 ///
@@ -651,5 +727,56 @@ mod tests {
         buf.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
         let err = read_frame(&mut io::Cursor::new(buf)).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn decoder_yields_frames_at_every_byte_boundary() {
+        // The same byte stream write_frame produced, fed one byte at a
+        // time: each frame must appear exactly when its last byte lands.
+        let frames: Vec<&[u8]> = vec![b"hello", b"", b"x", b"wide payload \xff\x00\x7f"];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        for (i, b) in wire.iter().enumerate() {
+            dec.extend(std::slice::from_ref(b));
+            while let Some(frame) = dec.next_frame().unwrap() {
+                got.push(frame);
+            }
+            let complete_bytes: usize = frames
+                .iter()
+                .scan(0usize, |acc, f| {
+                    *acc += 4 + f.len();
+                    Some(*acc)
+                })
+                .take_while(|&end| end <= i + 1)
+                .count();
+            assert_eq!(got.len(), complete_bytes, "after byte {i}");
+        }
+        assert_eq!(got, frames);
+        assert!(!dec.has_partial(), "clean boundary at the end");
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_prefix_before_the_payload_arrives() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&(MAX_FRAME + 1).to_be_bytes());
+        assert!(dec.next_frame().is_err(), "no need to wait for the body");
+    }
+
+    #[test]
+    fn decoder_reports_partial_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"abc").unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire[..wire.len() - 1]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert!(dec.has_partial(), "EOF here would be unclean");
+        dec.extend(&wire[wire.len() - 1..]);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"abc");
+        assert!(!dec.has_partial());
+        assert_eq!(dec.buffered(), 0);
     }
 }

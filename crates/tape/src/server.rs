@@ -53,7 +53,7 @@ use monsem_stream::{StreamMonitor, StreamState};
 use monsem_tspec::{SpecMonitor, SpecState, DEFAULT_REPLAY_CAP};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Mutex;
 use std::thread::JoinHandle;
 
@@ -99,23 +99,81 @@ impl Default for ServerConfig {
     }
 }
 
-/// Where a job's outcome goes.
-enum Reply {
-    /// Strict request/reply: the caller blocks on this one-shot channel.
-    Sync(SyncSender<Response>),
-    /// Fire-and-forget event path: the channel is the connection's
-    /// outbound frame queue. Acks and errors are `try_send`-ed — a
-    /// client that stopped reading loses advisory acks rather than
-    /// stalling the shard for every other session.
-    Acked(SyncSender<Response>),
+/// Where a shard delivers fire-and-forget outcomes: cumulative acks and
+/// errors for posted event frames, and (on the [`Reply::Routed`] path)
+/// control replies that must travel back to a connection the worker
+/// cannot block on.
+///
+/// The two delivery guarantees differ deliberately:
+///
+/// * [`ResponseSink::ack`] is *advisory* — a sink may coalesce a stale
+///   queued ack into a newer `through_step`, or decline outright
+///   (return `false`) when its queue is full. The worker only advances
+///   its ack watermark when the sink accepted, so a declined ack is
+///   retried at the next boundary, never lost silently forever.
+/// * [`ResponseSink::send`] is *must-deliver*: errors and routed control
+///   replies either reach the peer or the sink reports the connection
+///   dead (`false`). Dropping them on queue pressure is not an option —
+///   that was the silent-`Response::Err`-loss bug.
+pub trait ResponseSink: Send {
+    /// Offers a cumulative ack. Returns `true` if the sink took
+    /// responsibility for (eventually) delivering an ack at least this
+    /// new.
+    fn ack(&self, session: u64, through_step: u64) -> bool;
+
+    /// Delivers an error or routed reply, blocking or buffering as the
+    /// transport requires. Returns `false` only when the peer is gone.
+    fn send(&self, resp: Response) -> bool;
 }
 
-enum Job {
+/// The in-process sink: a plain bounded channel. Acks `try_send` (the
+/// documented advisory semantics — an unread channel loses acks rather
+/// than wedging the shard); errors block, so they are never lost while
+/// the receiver lives.
+impl ResponseSink for SyncSender<Response> {
+    fn ack(&self, session: u64, through_step: u64) -> bool {
+        self.try_send(Response::Ack {
+            session,
+            through_step,
+        })
+        .is_ok()
+    }
+
+    fn send(&self, resp: Response) -> bool {
+        SyncSender::send(self, resp).is_ok()
+    }
+}
+
+/// Where a job's outcome goes.
+pub(crate) enum Reply {
+    /// Strict request/reply: the caller blocks on this one-shot channel.
+    Sync(SyncSender<Response>),
+    /// Fire-and-forget event path: the sink is the connection's
+    /// outbound queue. Acks are offered per [`ResponseSink::ack`];
+    /// errors go through the must-deliver [`ResponseSink::send`].
+    Acked(Box<dyn ResponseSink>),
+    /// A control request whose reply is delivered through the sink
+    /// instead of a blocking one-shot channel — the reactor's
+    /// nonblocking control path. The reply (whatever it is) is
+    /// [`ResponseSink::send`]-ed.
+    Routed(Box<dyn ResponseSink>),
+}
+
+pub(crate) enum Job {
     Req(Request, Reply),
     /// Queue poison: the worker folds everything enqueued before this
     /// marker, then exits. Shutdown's drain guarantee rides on channel
     /// FIFO order.
     Stop,
+}
+
+/// Why a nonblocking submit did not enqueue.
+pub(crate) enum SubmitError {
+    /// The shard queue is full; the job is handed back so the caller
+    /// can park it and retry. This is the reactor's backpressure edge.
+    Full(Job),
+    /// The server is shut down; nothing was or will be enqueued.
+    Down,
 }
 
 /// The server: a set of shard queues feeding worker threads.
@@ -386,7 +444,7 @@ pub fn splice_state<'a>(
     (state, earliest)
 }
 
-fn req_session(req: &Request) -> u64 {
+pub(crate) fn req_session(req: &Request) -> u64 {
     match req {
         Request::Open { session, .. }
         | Request::Events { session, .. }
@@ -469,32 +527,34 @@ fn worker(rx: Receiver<Job>, config: ServerConfig) {
                 // A dead requester is not the worker's problem.
                 let _ = reply.send(resp);
             }
-            Job::Req(req, Reply::Acked(out)) => {
+            Job::Req(req, Reply::Acked(sink)) => {
                 let session = req_session(&req);
                 match handle(&mut sessions, &config, req) {
                     Response::Verdict(_) => {
                         // Folded. Ack cumulatively once the window
-                        // fills; a full outbound queue just defers the
-                        // ack to a later boundary (never to before the
-                        // fold — the events are already in the monitor).
+                        // fills; a declined ack just defers to a later
+                        // boundary (never to before the fold — the
+                        // events are already in the monitor).
                         if let Some(s) = sessions.get_mut(&session) {
                             if s.ingested - s.acked_at >= ack_every
-                                && out
-                                    .try_send(Response::Ack {
-                                        session,
-                                        through_step: s.last_step,
-                                    })
-                                    .is_ok()
+                                && sink.ack(session, s.last_step)
                             {
                                 s.acked_at = s.ingested;
                             }
                         }
                     }
                     err @ Response::Err(_) => {
-                        let _ = out.try_send(err);
+                        // Must-deliver: a full outbound queue blocks or
+                        // buffers, it never eats the error.
+                        let _ = sink.send(err);
                     }
                     _ => {}
                 }
+            }
+            Job::Req(req, Reply::Routed(sink)) => {
+                let resp = handle(&mut sessions, &config, req);
+                // A dead connection is not the worker's problem.
+                let _ = sink.send(resp);
             }
         }
     }
@@ -551,11 +611,13 @@ impl MonitorServer {
     }
 
     /// Enqueues an event request fire-and-forget: no per-message reply
-    /// is produced. The shard folds the events and `try_send`s a
-    /// cumulative [`Response::Ack`] (or an error) into `out` — the
-    /// connection's outbound frame queue — every
-    /// [`ServerConfig::ack_every`] ingested events. Returns `false` if
-    /// the server is shut down (nothing was enqueued).
+    /// is produced. The shard folds the events and offers a cumulative
+    /// [`Response::Ack`] into `out` — the connection's outbound frame
+    /// queue — every [`ServerConfig::ack_every`] ingested events
+    /// (advisory `try_send`; see [`ResponseSink::ack`]). Errors are
+    /// must-deliver: they block on a full queue rather than vanish.
+    /// Returns `false` if the server is shut down (nothing was
+    /// enqueued).
     ///
     /// Meant for [`Request::Events`] and [`Request::EventBatch`] only —
     /// control requests belong on the synchronous
@@ -563,10 +625,32 @@ impl MonitorServer {
     /// discards its non-error reply). Blocks while the shard queue is
     /// full, like [`MonitorServer::request`].
     pub fn post(&self, req: Request, out: SyncSender<Response>) -> bool {
+        self.post_with(req, Box::new(out))
+    }
+
+    /// [`MonitorServer::post`] generalized over the outcome sink: the
+    /// socket front ends pass their per-connection outbound buffers
+    /// here instead of a channel.
+    pub fn post_with(&self, req: Request, sink: Box<dyn ResponseSink>) -> bool {
         match self.route(req_session(&req)) {
-            Some(tx) => tx.send(Job::Req(req, Reply::Acked(out))).is_ok(),
+            Some(tx) => tx.send(Job::Req(req, Reply::Acked(sink))).is_ok(),
             None => false,
         }
+    }
+
+    /// Nonblocking submit for readiness-driven callers: offers `job` to
+    /// `session`'s shard queue and *returns* instead of blocking when
+    /// the queue is full, handing the job back so the caller can park
+    /// the connection and retry. The reactor's per-connection
+    /// backpressure is built on this edge.
+    pub(crate) fn try_submit(&self, session: u64, job: Job) -> Result<(), SubmitError> {
+        let Some(tx) = self.route(session) else {
+            return Err(SubmitError::Down);
+        };
+        tx.try_send(job).map_err(|e| match e {
+            TrySendError::Full(job) => SubmitError::Full(job),
+            TrySendError::Disconnected(_) => SubmitError::Down,
+        })
     }
 
     /// Opens a session running `spec`.

@@ -78,7 +78,7 @@ fn usage() -> String {
      monsem specialize (-e <src> | <file>) [--input name=int]…\n  \
      monsem record     (-e <src> | <file>) --out <tape.bin> [--spec <spec|file>] [--timed] [--checkpoint-every N]\n  \
      monsem check      <tape.bin> [<spec|file>] [--stream <spec|file>] [--enforcing] [--from N]\n  \
-     monsem serve      (--tcp <addr> | --unix <path>) [--shards N] [--queue N] [--window N] [--ack-every N] [--checkpoint-every N] [--policy fatal|quarantine]\n  \
+     monsem serve      (--tcp <addr> | --unix <path>) [--shards N] [--queue N] [--window N] [--ack-every N] [--checkpoint-every N] [--policy fatal|quarantine] [--io-backend threaded|reactor] [--io-threads N]\n  \
      monsem swap       (--tcp <addr> | --unix <path>) --session <id> [<spec|file>] [--stream <spec|file>]"
         .to_string()
 }
@@ -384,7 +384,9 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     use monitoring_semantics::monitor::fault::FaultPolicy;
-    use monitoring_semantics::tape::{serve_tcp, serve_unix, MonitorServer, ServerConfig};
+    use monitoring_semantics::tape::{
+        serve_tcp_with, serve_unix_with, IoBackend, MonitorServer, ServerConfig, DEFAULT_IO_THREADS,
+    };
     use std::sync::Arc;
     let parse = |name: &str, default: usize| -> Result<usize, String> {
         match flag_value(args, name) {
@@ -406,15 +408,45 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         },
         ..defaults
     };
+    // Flag beats MONSEM_IO_BACKEND beats the threaded default;
+    // --io-threads refines either reactor spelling.
+    let mut backend = match flag_value(args, "--io-backend") {
+        Some(name) => {
+            IoBackend::parse(name).ok_or_else(|| format!("unknown io backend `{name}`"))?
+        }
+        None => IoBackend::from_env(),
+    };
+    if let Some(n) = flag_value(args, "--io-threads") {
+        let io_threads: usize = n
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or("--io-threads needs a positive integer")?;
+        backend = match backend {
+            IoBackend::Threaded => IoBackend::Reactor { io_threads },
+            IoBackend::Reactor { .. } => IoBackend::Reactor { io_threads },
+        };
+    }
     let server = Arc::new(MonitorServer::start(config));
     let handle = match (flag_value(args, "--tcp"), flag_value(args, "--unix")) {
-        (Some(addr), None) => serve_tcp(Arc::clone(&server), addr).map_err(|e| e.to_string())?,
-        (None, Some(path)) => serve_unix(Arc::clone(&server), path).map_err(|e| e.to_string())?,
+        (Some(addr), None) => {
+            serve_tcp_with(Arc::clone(&server), addr, backend).map_err(|e| e.to_string())?
+        }
+        (None, Some(path)) => {
+            serve_unix_with(Arc::clone(&server), path, backend).map_err(|e| e.to_string())?
+        }
         _ => return Err("serve needs exactly one of --tcp <addr> or --unix <path>".to_string()),
     };
+    let backend_name = match backend {
+        IoBackend::Threaded => "threaded".to_string(),
+        IoBackend::Reactor { io_threads } if io_threads == DEFAULT_IO_THREADS => {
+            "reactor".to_string()
+        }
+        IoBackend::Reactor { io_threads } => format!("reactor:{io_threads}"),
+    };
     match handle.addr() {
-        Some(addr) => eprintln!("; monitor server listening on tcp {addr}"),
-        None => eprintln!("; monitor server listening on unix socket"),
+        Some(addr) => eprintln!("; monitor server listening on tcp {addr} ({backend_name} io)"),
+        None => eprintln!("; monitor server listening on unix socket ({backend_name} io)"),
     }
     // Serve until stdin closes or says `stop`: queued events are still
     // folded (and acked) before the workers exit.

@@ -129,3 +129,76 @@ fn repl_session_end_to_end() {
     assert!(stdout.contains("12"), "{stdout}"); // 2 + 4 + 6
     assert!(stdout.contains("bye"), "{stdout}");
 }
+
+/// `monsem serve --io-backend reactor` comes up, names its backend in
+/// the listen banner, serves a real session over TCP, and drains
+/// cleanly on `stop`.
+#[cfg(target_os = "linux")]
+#[test]
+fn serve_reactor_backend_smoke() {
+    use monitoring_semantics::core::Value;
+    use monitoring_semantics::monitor::TapeEvent;
+    use monitoring_semantics::syntax::Annotation;
+    use monitoring_semantics::tape::{Client, Response};
+    use std::io::BufRead;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_monsem"))
+        .args([
+            "serve",
+            "--tcp",
+            "127.0.0.1:0",
+            "--io-backend",
+            "reactor",
+            "--io-threads",
+            "2",
+        ])
+        .stdin(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("monsem serve starts");
+
+    let mut stderr = std::io::BufReader::new(child.stderr.take().unwrap());
+    let mut banner = String::new();
+    stderr.read_line(&mut banner).unwrap();
+    assert!(
+        banner.contains("listening on tcp") && banner.contains("reactor:2"),
+        "{banner}"
+    );
+    let addr = banner
+        .split("tcp ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("banner carries the bound address");
+
+    let mut client = Client::connect_tcp(addr).expect("connect to served address");
+    assert!(matches!(
+        client
+            .open(1, "never(post(_) and value < 0)", false)
+            .unwrap(),
+        Response::Ok
+    ));
+    let events: Vec<TapeEvent> = (0..10)
+        .map(|s| {
+            TapeEvent::post(
+                &Annotation::label("p"),
+                &Value::Int(if s == 7 { -1 } else { 1 }),
+                s,
+            )
+        })
+        .chain(std::iter::once(TapeEvent::done(10)))
+        .collect();
+    client.send_batch(1, &events).unwrap();
+    let resp = client.close(1).unwrap();
+    match resp {
+        Response::Verdict(v) => {
+            assert_eq!(v.accepted, Some(false), "{v:?}");
+            assert_eq!(v.earliest_violation, Some(7), "{v:?}");
+        }
+        other => panic!("expected verdict, got {other:?}"),
+    }
+    drop(client);
+
+    child.stdin.as_mut().unwrap().write_all(b"stop\n").unwrap();
+    let status = child.wait().unwrap();
+    assert!(status.success());
+}

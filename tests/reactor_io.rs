@@ -1,0 +1,383 @@
+//! PR 10: the readiness-driven I/O reactor, differentially tested
+//! against the threaded backend.
+//!
+//! Four concerns, each a satellite of the reactor tentpole:
+//!
+//! * **Byte dribbles** — frames split at arbitrary byte boundaries must
+//!   decode identically whether they arrive whole or one byte at a
+//!   time, both through [`FrameDecoder`] directly (proptest over random
+//!   frame contents and chunk sizes) and over a real socket against
+//!   both backends, with close verdicts checked against the offline
+//!   oracle.
+//! * **Fd hygiene** — N connect/disconnect cycles leave the
+//!   `/proc/self/fd` count where it started: no leaked sockets, dup'd
+//!   reader handles, epoll instances, or eventfds.
+//! * **Sticky client faults** — a broken connection errors the *next*
+//!   `events()`/control call, and every call after that fails
+//!   immediately with the original error kind.
+//! * **Parking backpressure** — depth-1 shard queues under concurrent
+//!   producers force the reactor to park read interest; verdicts must
+//!   still match the oracle exactly (no dropped or reordered frames).
+
+#![cfg(target_os = "linux")]
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use monitoring_semantics::core::Value;
+use monitoring_semantics::monitor::TapeEvent;
+use monitoring_semantics::syntax::Annotation;
+use monitoring_semantics::tape::{
+    read_frame, serve_tcp_with, write_frame, Client, FrameDecoder, IoBackend, MonitorServer,
+    Request, Response, ServerConfig, Verdict,
+};
+use monitoring_semantics::tspec::{SpecMonitor, TapeOutcome};
+use proptest::prelude::*;
+
+const SPEC: &str = "never(post(_) and value < 0)";
+
+fn both_backends() -> [(&'static str, IoBackend); 2] {
+    [
+        ("threaded", IoBackend::Threaded),
+        ("reactor", IoBackend::Reactor { io_threads: 2 }),
+    ]
+}
+
+fn post(v: i64, step: u64) -> TapeEvent {
+    TapeEvent::post(&Annotation::label("p"), &Value::Int(v), step)
+}
+
+/// `n` posts with violations at `violate_at`, closed by a `done` marker.
+fn tape(n: u64, violate_at: &[u64]) -> Vec<TapeEvent> {
+    let mut evs: Vec<TapeEvent> = (0..n)
+        .map(|s| post(if violate_at.contains(&s) { -1 } else { 1 }, s))
+        .collect();
+    evs.push(TapeEvent::done(n));
+    evs
+}
+
+/// The offline ground truth for a tape that carries its `done`.
+fn oracle(tape: &[TapeEvent]) -> (bool, Option<u64>) {
+    let m = SpecMonitor::new("oracle", SPEC).unwrap();
+    let check = m.check_tape(tape);
+    match check.outcome {
+        TapeOutcome::Satisfied => (true, check.earliest_violation),
+        TapeOutcome::Violated(_) => (false, check.earliest_violation),
+        TapeOutcome::Pending => panic!("test tapes always carry done"),
+    }
+}
+
+fn verdict(resp: Response) -> Verdict {
+    match resp {
+        Response::Verdict(v) => v,
+        other => panic!("expected a verdict, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The incremental decoder recovers the exact frame sequence no
+    /// matter how the byte stream is chopped up, and ends with no
+    /// phantom partial frame.
+    #[test]
+    fn frame_decoder_survives_any_byte_dribble(
+        frames in proptest::collection::vec(
+            proptest::collection::vec(0u8..=255, 0..200),
+            1..6,
+        ),
+        chunk_sizes in proptest::collection::vec(1usize..7, 1..64),
+    ) {
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        let mut at = 0;
+        let mut turn = 0;
+        while at < wire.len() {
+            let n = chunk_sizes[turn % chunk_sizes.len()].min(wire.len() - at);
+            turn += 1;
+            dec.extend(&wire[at..at + n]);
+            at += n;
+            while let Some(frame) = dec.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        prop_assert_eq!(&got, &frames);
+        prop_assert!(!dec.has_partial());
+    }
+}
+
+/// Writes one length-prefixed frame in 3-byte chunks, flushing each and
+/// sleeping occasionally so some chunks genuinely arrive as separate
+/// reads on the server side.
+fn dribble_frame(sock: &mut TcpStream, payload: &[u8]) {
+    let mut frame = Vec::with_capacity(payload.len() + 4);
+    write_frame(&mut frame, payload).unwrap();
+    for (i, chunk) in frame.chunks(3).enumerate() {
+        sock.write_all(chunk).unwrap();
+        sock.flush().unwrap();
+        if i % 16 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+fn next_response(sock: &mut TcpStream) -> Response {
+    let frame = read_frame(sock).unwrap().expect("server closed early");
+    Response::decode(&frame).unwrap()
+}
+
+/// Byte-dribbled frames over a real socket reach the same close verdict
+/// as the offline oracle, on both backends.
+#[test]
+fn socket_dribbles_reach_oracle_verdicts_on_both_backends() {
+    for (name, backend) in both_backends() {
+        let server = Arc::new(MonitorServer::start(ServerConfig::default()));
+        let handle = serve_tcp_with(Arc::clone(&server), "127.0.0.1:0", backend).expect("bind");
+        let addr = handle.addr().expect("tcp listener has an address");
+
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.set_nodelay(true).ok();
+
+        let events = tape(25, &[17]);
+        let (want_accept, want_earliest) = oracle(&events);
+
+        dribble_frame(
+            &mut sock,
+            &Request::Open {
+                session: 5,
+                enforcing: false,
+                spec: SPEC.to_string(),
+                stream: None,
+            }
+            .encode(),
+        );
+        match next_response(&mut sock) {
+            Response::Ok => {}
+            other => panic!("{name}: open failed: {other:?}"),
+        }
+
+        // Events flow through the fire-and-forget path, one dribbled
+        // frame per small chunk, so a frame routinely straddles reads.
+        for chunk in events.chunks(4) {
+            dribble_frame(
+                &mut sock,
+                &Request::Events {
+                    session: 5,
+                    events: chunk.to_vec(),
+                }
+                .encode(),
+            );
+        }
+        dribble_frame(&mut sock, &Request::Close { session: 5 }.encode());
+
+        let v = loop {
+            match next_response(&mut sock) {
+                Response::Ack { .. } => continue,
+                Response::Verdict(v) => break v,
+                other => panic!("{name}: unexpected response {other:?}"),
+            }
+        };
+        assert_eq!(v.ingested, events.len() as u64, "{name}: ingested");
+        assert_eq!(v.accepted, Some(want_accept), "{name}: accepted");
+        assert_eq!(v.earliest_violation, want_earliest, "{name}: earliest");
+
+        drop(sock);
+        handle.stop();
+        server.shutdown();
+    }
+}
+
+fn fd_count() -> usize {
+    std::fs::read_dir("/proc/self/fd").unwrap().count()
+}
+
+/// Waits for the fd count to settle at or below `target` (connection
+/// teardown is asynchronous on the threaded backend: the reader thread
+/// has to notice EOF before the dup'd handle closes).
+fn settle_fds(target: usize) -> usize {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let now = fd_count();
+        if now <= target || Instant::now() > deadline {
+            return now;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// N connect/run/disconnect cycles leave `/proc/self/fd` exactly where
+/// it started, on both backends — and tearing the server down releases
+/// the listener, epoll, and eventfd descriptors too.
+#[test]
+fn connect_disconnect_cycles_leak_no_fds() {
+    let before_servers = fd_count();
+    for (name, backend) in both_backends() {
+        let server = Arc::new(MonitorServer::start(ServerConfig::default()));
+        let handle = serve_tcp_with(Arc::clone(&server), "127.0.0.1:0", backend).expect("bind");
+        let addr = handle.addr().unwrap();
+
+        // Baseline after the server is up: listener + any reactor
+        // epoll/eventfd descriptors are part of the steady state.
+        let baseline = fd_count();
+
+        for i in 0..24u64 {
+            let mut client = Client::connect_tcp(addr).unwrap();
+            let events = tape(8, &[]);
+            let (want_accept, _) = oracle(&events);
+            match client.open(i, SPEC, false).unwrap() {
+                Response::Ok => {}
+                other => panic!("{name}: open failed: {other:?}"),
+            }
+            client.send_batch(i, &events).unwrap();
+            let v = verdict(client.close(i).unwrap());
+            assert_eq!(v.accepted, Some(want_accept), "{name}: cycle {i}");
+            drop(client);
+        }
+
+        let settled = settle_fds(baseline);
+        assert!(
+            settled <= baseline,
+            "{name}: leaked fds: {settled} open after cycles vs baseline {baseline}"
+        );
+
+        handle.stop();
+        server.shutdown();
+    }
+    let settled = settle_fds(before_servers);
+    assert!(
+        settled <= before_servers,
+        "server teardown leaked fds: {settled} open vs {before_servers} before any server"
+    );
+}
+
+/// A connection whose peer vanished errors the next `events()` call
+/// (once the broken pipe surfaces), and every call after that —
+/// including `close()` — fails immediately with the original kind.
+#[test]
+fn broken_connection_errors_next_call_and_stays_failed() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let sock = TcpStream::connect(addr).unwrap();
+    let (server_side, _) = listener.accept().unwrap();
+    drop(server_side); // peer hangs up before a single reply
+    drop(listener);
+
+    let mut client = Client::new(sock);
+    let mut first = None;
+    // Writes land in socket buffers until the RST comes back; keep
+    // streaming until the failure surfaces (bounded so a regression
+    // hangs the loop rather than spinning forever).
+    for step in 0..200_000u64 {
+        if let Err(e) = client.events(1, vec![post(1, step)]) {
+            first = Some(e);
+            break;
+        }
+    }
+    let first = first.expect("a dead peer eventually fails events()");
+
+    let next = client.close(1).unwrap_err();
+    assert_eq!(
+        next.kind(),
+        first.kind(),
+        "sticky fault keeps the original kind"
+    );
+    assert!(
+        next.to_string().contains("connection failed earlier"),
+        "sticky fault names the earlier failure: {next}"
+    );
+    // Still failing: the fault does not clear.
+    assert!(client.events(1, vec![post(1, 0)]).is_err());
+}
+
+/// Stopping a reactor-backed server closes its multiplexed connections,
+/// which a streaming client observes as a prompt `events()` error —
+/// not a silent hang until `close()`.
+#[test]
+fn reactor_stop_surfaces_as_client_io_error() {
+    let server = Arc::new(MonitorServer::start(ServerConfig::default()));
+    let handle = serve_tcp_with(
+        Arc::clone(&server),
+        "127.0.0.1:0",
+        IoBackend::Reactor { io_threads: 1 },
+    )
+    .expect("bind");
+    let addr = handle.addr().unwrap();
+
+    let mut client = Client::connect_tcp(addr).unwrap();
+    match client.open(9, SPEC, false).unwrap() {
+        Response::Ok => {}
+        other => panic!("open failed: {other:?}"),
+    }
+    handle.stop(); // reactor teardown closes the connection
+
+    let mut first = None;
+    for step in 0..200_000u64 {
+        if let Err(e) = client.events(9, vec![post(1, step)]) {
+            first = Some(e);
+            break;
+        }
+    }
+    let first = first.expect("a stopped reactor eventually fails events()");
+    let next = client.close(9).unwrap_err();
+    assert_eq!(next.kind(), first.kind());
+    server.shutdown();
+}
+
+/// Depth-1 shard queues under eight concurrent dribbling producers on
+/// one reactor thread: read interest parks and resumes constantly, yet
+/// every verdict matches the offline oracle — nothing dropped, nothing
+/// reordered.
+#[test]
+fn reactor_parks_full_queues_without_losing_frames() {
+    let server = Arc::new(MonitorServer::start(ServerConfig {
+        queue_depth: 1,
+        shards: 2,
+        ack_every: 4,
+        ..ServerConfig::default()
+    }));
+    let handle = serve_tcp_with(
+        Arc::clone(&server),
+        "127.0.0.1:0",
+        IoBackend::Reactor { io_threads: 1 },
+    )
+    .expect("bind");
+    let addr = handle.addr().unwrap();
+
+    let producers: Vec<_> = (0..8u64)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect_tcp(addr).unwrap();
+                let events = tape(200, &[(i * 37) % 200]);
+                let (want_accept, want_earliest) = oracle(&events);
+                match client.open(i, SPEC, false).unwrap() {
+                    Response::Ok => {}
+                    other => panic!("producer {i}: open failed: {other:?}"),
+                }
+                // Small chunks keep the depth-1 queues permanently
+                // full, so parking is exercised rather than skirted.
+                for chunk in events.chunks(5) {
+                    client.send_batch(i, chunk).unwrap();
+                }
+                let v = verdict(client.close(i).unwrap());
+                assert_eq!(v.ingested, events.len() as u64, "producer {i}: ingested");
+                assert_eq!(v.accepted, Some(want_accept), "producer {i}: accepted");
+                assert_eq!(
+                    v.earliest_violation, want_earliest,
+                    "producer {i}: earliest"
+                );
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().expect("producer thread panicked");
+    }
+
+    handle.stop();
+    server.shutdown();
+}
